@@ -1,0 +1,873 @@
+//! A two-pass text assembler for RV32IMF plus the DiAG SIMT extension.
+//!
+//! The accepted syntax is the common GNU-flavoured RISC-V assembly subset:
+//! labels (`name:`), comments (`#` or `//` to end of line), the directives
+//! `.text`, `.data`, `.word`, `.float`, `.zero`, `.align`, `.globl` (which
+//! is accepted and ignored), and one instruction per line. All standard
+//! pseudo-instructions emitted by [`crate::ProgramBuilder`] are accepted,
+//! so disassembled programs re-assemble.
+//!
+//! # Examples
+//!
+//! ```
+//! use diag_asm::assemble;
+//!
+//! let program = assemble(r#"
+//!     .data
+//! value:
+//!     .word 41
+//!     .text
+//! main:
+//!     la   a1, value
+//!     lw   a0, 0(a1)
+//!     addi a0, a0, 1
+//!     ecall
+//! "#)?;
+//! assert_eq!(program.text_len(), 5); // la expands to two instructions
+//! # Ok::<(), diag_asm::AsmError>(())
+//! ```
+
+use std::collections::HashMap;
+
+use diag_isa::{FReg, Inst, Reg};
+
+use crate::builder::{Label, ProgramBuilder};
+use crate::error::AsmError;
+use crate::program::Program;
+
+/// Assembles a source string into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`AsmError::Parse`] with the offending line number for any
+/// syntax problem, and the builder's resolution errors (unbound labels,
+/// out-of-range offsets, undefined symbols) after parsing.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    Assembler::new().assemble(source)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Segment {
+    Text,
+    Data,
+}
+
+#[derive(Debug)]
+struct Assembler {
+    builder: ProgramBuilder,
+    labels: HashMap<String, Label>,
+    segment: Segment,
+    /// Data labels awaiting their definition address (label on its own line
+    /// in `.data`, bound by the next data-emitting directive).
+    pending_data_labels: Vec<String>,
+    data_scratch: u32,
+}
+
+impl Assembler {
+    fn new() -> Assembler {
+        Assembler {
+            builder: ProgramBuilder::new(),
+            labels: HashMap::new(),
+            segment: Segment::Text,
+            pending_data_labels: Vec::new(),
+            data_scratch: 0,
+        }
+    }
+
+    fn label(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.labels.get(name) {
+            l
+        } else {
+            let l = self.builder.new_named_label(name);
+            self.labels.insert(name.to_string(), l);
+            l
+        }
+    }
+
+    fn assemble(mut self, source: &str) -> Result<Program, AsmError> {
+        for (idx, raw_line) in source.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw_line).trim();
+            if line.is_empty() {
+                continue;
+            }
+            self.line(line, line_no)?;
+        }
+        if let Some(name) = self.pending_data_labels.first() {
+            return Err(AsmError::Parse {
+                line: source.lines().count(),
+                message: format!("data label `{name}` has no following data"),
+            });
+        }
+        self.builder.build()
+    }
+
+    fn line(&mut self, mut line: &str, line_no: usize) -> Result<(), AsmError> {
+        // Peel off any leading labels.
+        while let Some(colon) = find_label_colon(line) {
+            let name = line[..colon].trim();
+            if !is_identifier(name) {
+                return Err(AsmError::Parse {
+                    line: line_no,
+                    message: format!("invalid label name `{name}`"),
+                });
+            }
+            match self.segment {
+                Segment::Text => {
+                    let l = self.label(name);
+                    if self.builder.is_bound(l) {
+                        return Err(AsmError::RebindLabel { label: name.to_string() });
+                    }
+                    self.builder.bind(l);
+                }
+                Segment::Data => self.pending_data_labels.push(name.to_string()),
+            }
+            line = line[colon + 1..].trim();
+        }
+        if line.is_empty() {
+            return Ok(());
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            return self.directive(rest, line_no);
+        }
+        if self.segment == Segment::Data {
+            return Err(AsmError::Parse {
+                line: line_no,
+                message: "instruction in .data segment".to_string(),
+            });
+        }
+        self.instruction(line, line_no)
+    }
+
+    fn fresh_data_name(&mut self) -> String {
+        self.data_scratch += 1;
+        format!("__data_{}", self.data_scratch)
+    }
+
+    fn directive(&mut self, text: &str, line_no: usize) -> Result<(), AsmError> {
+        let (name, args) = split_mnemonic(text);
+        match name {
+            "text" => {
+                self.segment = Segment::Text;
+                Ok(())
+            }
+            "data" => {
+                self.segment = Segment::Data;
+                Ok(())
+            }
+            "globl" | "global" | "align" | "section" | "p2align" | "balign" => Ok(()),
+            "word" => {
+                let words = split_args(args)
+                    .iter()
+                    .map(|a| parse_int(a, line_no))
+                    .collect::<Result<Vec<i64>, _>>()?;
+                let words: Vec<u32> = words.into_iter().map(|w| w as u32).collect();
+                self.emit_data(line_no, |b, name| b.data_words(name, &words))
+            }
+            "float" => {
+                let values = split_args(args)
+                    .iter()
+                    .map(|a| {
+                        a.parse::<f32>().map_err(|_| AsmError::Parse {
+                            line: line_no,
+                            message: format!("invalid float `{a}`"),
+                        })
+                    })
+                    .collect::<Result<Vec<f32>, _>>()?;
+                self.emit_data(line_no, |b, name| b.data_floats(name, &values))
+            }
+            "zero" | "space" => {
+                let len = parse_int(args.trim(), line_no)? as usize;
+                self.emit_data(line_no, |b, name| b.data_zeroed(name, len))
+            }
+            other => Err(AsmError::Parse {
+                line: line_no,
+                message: format!("unknown directive `.{other}`"),
+            }),
+        }
+    }
+
+    /// Emits a datum under the first pending label (or a fresh internal
+    /// name); any further stacked labels alias the same address.
+    fn emit_data(
+        &mut self,
+        line_no: usize,
+        place: impl FnOnce(&mut ProgramBuilder, &str) -> u32,
+    ) -> Result<(), AsmError> {
+        let labels = std::mem::take(&mut self.pending_data_labels);
+        let primary = match labels.first() {
+            Some(name) => name.clone(),
+            None => self.fresh_data_name(),
+        };
+        for name in &labels {
+            if self.builder.has_symbol(name) {
+                return Err(AsmError::Parse {
+                    line: line_no,
+                    message: format!("data symbol `{name}` defined twice"),
+                });
+            }
+        }
+        let addr = place(&mut self.builder, &primary);
+        for alias in labels.iter().skip(1) {
+            self.builder.define_data_symbol(alias, addr);
+        }
+        Ok(())
+    }
+
+    fn instruction(&mut self, line: &str, n: usize) -> Result<(), AsmError> {
+        let (mnemonic, rest) = split_mnemonic(line);
+        let args = split_args(rest);
+        let b = &mut self.builder;
+
+        macro_rules! nargs {
+            ($count:expr) => {
+                if args.len() != $count {
+                    return Err(AsmError::Parse {
+                        line: n,
+                        message: format!(
+                            "`{mnemonic}` expects {} operand(s), found {}",
+                            $count,
+                            args.len()
+                        ),
+                    });
+                }
+            };
+        }
+        macro_rules! xr {
+            ($i:expr) => {
+                parse_reg(&args[$i], n)?
+            };
+        }
+        macro_rules! fr {
+            ($i:expr) => {
+                parse_freg(&args[$i], n)?
+            };
+        }
+        macro_rules! imm {
+            ($i:expr) => {
+                parse_int(&args[$i], n)? as i32
+            };
+        }
+        macro_rules! memref {
+            ($i:expr) => {
+                parse_mem(&args[$i], n)?
+            };
+        }
+        match mnemonic {
+            // 3-register integer ops
+            "add" | "sub" | "sll" | "slt" | "sltu" | "xor" | "srl" | "sra" | "or" | "and"
+            | "mul" | "mulh" | "mulhsu" | "mulhu" | "div" | "divu" | "rem" | "remu" => {
+                nargs!(3);
+                let (rd, rs1, rs2) = (xr!(0), xr!(1), xr!(2));
+                match mnemonic {
+                    "add" => b.add(rd, rs1, rs2),
+                    "sub" => b.sub(rd, rs1, rs2),
+                    "sll" => b.sll(rd, rs1, rs2),
+                    "slt" => b.slt(rd, rs1, rs2),
+                    "sltu" => b.sltu(rd, rs1, rs2),
+                    "xor" => b.xor(rd, rs1, rs2),
+                    "srl" => b.srl(rd, rs1, rs2),
+                    "sra" => b.sra(rd, rs1, rs2),
+                    "or" => b.or(rd, rs1, rs2),
+                    "and" => b.and(rd, rs1, rs2),
+                    "mul" => b.mul(rd, rs1, rs2),
+                    "mulh" => b.mulh(rd, rs1, rs2),
+                    "mulhsu" => b.mulhsu(rd, rs1, rs2),
+                    "mulhu" => b.mulhu(rd, rs1, rs2),
+                    "div" => b.div(rd, rs1, rs2),
+                    "divu" => b.divu(rd, rs1, rs2),
+                    "rem" => b.rem(rd, rs1, rs2),
+                    _ => b.remu(rd, rs1, rs2),
+                }
+            }
+            // immediate ops
+            "addi" | "slti" | "sltiu" | "xori" | "ori" | "andi" | "slli" | "srli" | "srai" => {
+                nargs!(3);
+                let (rd, rs1, imm) = (xr!(0), xr!(1), imm!(2));
+                match mnemonic {
+                    "addi" => b.addi(rd, rs1, imm),
+                    "slti" => b.slti(rd, rs1, imm),
+                    "sltiu" => b.sltiu(rd, rs1, imm),
+                    "xori" => b.xori(rd, rs1, imm),
+                    "ori" => b.ori(rd, rs1, imm),
+                    "andi" => b.andi(rd, rs1, imm),
+                    "slli" => b.slli(rd, rs1, imm),
+                    "srli" => b.srli(rd, rs1, imm),
+                    _ => b.srai(rd, rs1, imm),
+                }
+            }
+            // loads
+            "lw" | "lh" | "lb" | "lhu" | "lbu" => {
+                nargs!(2);
+                let rd = xr!(0);
+                let (offset, base) = memref!(1);
+                match mnemonic {
+                    "lw" => b.lw(rd, base, offset),
+                    "lh" => b.lh(rd, base, offset),
+                    "lb" => b.lb(rd, base, offset),
+                    "lhu" => b.lhu(rd, base, offset),
+                    _ => b.lbu(rd, base, offset),
+                }
+            }
+            // stores
+            "sw" | "sh" | "sb" => {
+                nargs!(2);
+                let src = xr!(0);
+                let (offset, base) = memref!(1);
+                match mnemonic {
+                    "sw" => b.sw(src, base, offset),
+                    "sh" => b.sh(src, base, offset),
+                    _ => b.sb(src, base, offset),
+                }
+            }
+            // branches (label or numeric offset form)
+            "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" | "bgt" | "ble" | "bgtu" | "bleu" => {
+                nargs!(3);
+                let (rs1, rs2) = (xr!(0), xr!(1));
+                let target = self.branch_target(&args[2], n)?;
+                let b = &mut self.builder;
+                match mnemonic {
+                    "beq" => b.beq(rs1, rs2, target),
+                    "bne" => b.bne(rs1, rs2, target),
+                    "blt" => b.blt(rs1, rs2, target),
+                    "bge" => b.bge(rs1, rs2, target),
+                    "bltu" => b.bltu(rs1, rs2, target),
+                    "bgeu" => b.bgeu(rs1, rs2, target),
+                    "bgt" => b.bgt(rs1, rs2, target),
+                    "ble" => b.ble(rs1, rs2, target),
+                    "bgtu" => b.bgtu(rs1, rs2, target),
+                    _ => b.bleu(rs1, rs2, target),
+                }
+            }
+            "beqz" | "bnez" | "blez" | "bgez" | "bltz" | "bgtz" => {
+                nargs!(2);
+                let rs = xr!(0);
+                let target = self.branch_target(&args[1], n)?;
+                let b = &mut self.builder;
+                match mnemonic {
+                    "beqz" => b.beqz(rs, target),
+                    "bnez" => b.bnez(rs, target),
+                    "blez" => b.blez(rs, target),
+                    "bgez" => b.bgez(rs, target),
+                    "bltz" => b.bltz(rs, target),
+                    _ => b.bgtz(rs, target),
+                }
+            }
+            "lui" => {
+                nargs!(2);
+                let rd = xr!(0);
+                let v = parse_int(&args[1], n)?;
+                b.lui(rd, (v as i32) << 12);
+            }
+            "auipc" => {
+                nargs!(2);
+                let rd = xr!(0);
+                let v = parse_int(&args[1], n)?;
+                b.auipc(rd, (v as i32) << 12);
+            }
+            "jal" => match args.len() {
+                1 => {
+                    let target = self.branch_target(&args[0], n)?;
+                    self.builder.jal(Reg::RA, target);
+                }
+                2 => {
+                    let rd = xr!(0);
+                    let target = self.branch_target(&args[1], n)?;
+                    self.builder.jal(rd, target);
+                }
+                _ => {
+                    return Err(AsmError::Parse {
+                        line: n,
+                        message: "`jal` expects 1 or 2 operands".to_string(),
+                    })
+                }
+            },
+            "jalr" => match args.len() {
+                1 => {
+                    let rs = xr!(0);
+                    b.jalr(Reg::RA, rs, 0);
+                }
+                2 => {
+                    let rd = xr!(0);
+                    let (offset, base) = memref!(1);
+                    b.jalr(rd, base, offset);
+                }
+                _ => {
+                    return Err(AsmError::Parse {
+                        line: n,
+                        message: "`jalr` expects 1 or 2 operands".to_string(),
+                    })
+                }
+            },
+            "j" => {
+                nargs!(1);
+                let target = self.branch_target(&args[0], n)?;
+                self.builder.j(target);
+            }
+            "call" => {
+                nargs!(1);
+                let target = self.branch_target(&args[0], n)?;
+                self.builder.call(target);
+            }
+            "jr" => {
+                nargs!(1);
+                let rs = xr!(0);
+                b.jr(rs);
+            }
+            "ret" => {
+                nargs!(0);
+                b.ret();
+            }
+            "nop" => {
+                nargs!(0);
+                b.nop();
+            }
+            "li" => {
+                nargs!(2);
+                let rd = xr!(0);
+                let v = parse_int(&args[1], n)?;
+                b.li(rd, v as i32);
+            }
+            "la" => {
+                nargs!(2);
+                let rd = xr!(0);
+                b.la(rd, &args[1]);
+            }
+            "mv" => {
+                nargs!(2);
+                let (rd, rs) = (xr!(0), xr!(1));
+                b.mv(rd, rs);
+            }
+            "not" => {
+                nargs!(2);
+                let (rd, rs) = (xr!(0), xr!(1));
+                b.not(rd, rs);
+            }
+            "neg" => {
+                nargs!(2);
+                let (rd, rs) = (xr!(0), xr!(1));
+                b.neg(rd, rs);
+            }
+            "seqz" => {
+                nargs!(2);
+                let (rd, rs) = (xr!(0), xr!(1));
+                b.seqz(rd, rs);
+            }
+            "snez" => {
+                nargs!(2);
+                let (rd, rs) = (xr!(0), xr!(1));
+                b.snez(rd, rs);
+            }
+            "ecall" => {
+                nargs!(0);
+                b.ecall();
+            }
+            "ebreak" => {
+                nargs!(0);
+                b.ebreak();
+            }
+            "fence" => {
+                b.fence();
+            }
+            // FP loads/stores
+            "flw" => {
+                nargs!(2);
+                let rd = fr!(0);
+                let (offset, base) = memref!(1);
+                b.flw(rd, base, offset);
+            }
+            "fsw" => {
+                nargs!(2);
+                let src = fr!(0);
+                let (offset, base) = memref!(1);
+                b.fsw(src, base, offset);
+            }
+            // FP 3-register ops
+            "fadd.s" | "fsub.s" | "fmul.s" | "fdiv.s" | "fsgnj.s" | "fsgnjn.s" | "fsgnjx.s"
+            | "fmin.s" | "fmax.s" => {
+                nargs!(3);
+                let (rd, rs1, rs2) = (fr!(0), fr!(1), fr!(2));
+                match mnemonic {
+                    "fadd.s" => b.fadd_s(rd, rs1, rs2),
+                    "fsub.s" => b.fsub_s(rd, rs1, rs2),
+                    "fmul.s" => b.fmul_s(rd, rs1, rs2),
+                    "fdiv.s" => b.fdiv_s(rd, rs1, rs2),
+                    "fsgnj.s" => b.fsgnj_s(rd, rs1, rs2),
+                    "fsgnjn.s" => b.fsgnjn_s(rd, rs1, rs2),
+                    "fsgnjx.s" => b.fsgnjx_s(rd, rs1, rs2),
+                    "fmin.s" => b.fmin_s(rd, rs1, rs2),
+                    _ => b.fmax_s(rd, rs1, rs2),
+                }
+            }
+            "fsqrt.s" => {
+                nargs!(2);
+                let (rd, rs1) = (fr!(0), fr!(1));
+                b.fsqrt_s(rd, rs1);
+            }
+            "fmadd.s" | "fmsub.s" | "fnmsub.s" | "fnmadd.s" => {
+                nargs!(4);
+                let (rd, rs1, rs2, rs3) = (fr!(0), fr!(1), fr!(2), fr!(3));
+                match mnemonic {
+                    "fmadd.s" => b.fmadd_s(rd, rs1, rs2, rs3),
+                    "fmsub.s" => b.fmsub_s(rd, rs1, rs2, rs3),
+                    "fnmsub.s" => b.fnmsub_s(rd, rs1, rs2, rs3),
+                    _ => b.fnmadd_s(rd, rs1, rs2, rs3),
+                }
+            }
+            "feq.s" | "flt.s" | "fle.s" => {
+                nargs!(3);
+                let rd = xr!(0);
+                let (rs1, rs2) = (fr!(1), fr!(2));
+                match mnemonic {
+                    "feq.s" => b.feq_s(rd, rs1, rs2),
+                    "flt.s" => b.flt_s(rd, rs1, rs2),
+                    _ => b.fle_s(rd, rs1, rs2),
+                }
+            }
+            "fcvt.w.s" | "fcvt.wu.s" | "fmv.x.w" | "fclass.s" => {
+                nargs!(2);
+                let rd = xr!(0);
+                let rs1 = fr!(1);
+                match mnemonic {
+                    "fcvt.w.s" => b.fcvt_w_s(rd, rs1),
+                    "fcvt.wu.s" => b.fcvt_wu_s(rd, rs1),
+                    "fmv.x.w" => b.fmv_x_w(rd, rs1),
+                    _ => b.fclass_s(rd, rs1),
+                }
+            }
+            "fcvt.s.w" | "fcvt.s.wu" | "fmv.w.x" => {
+                nargs!(2);
+                let rd = fr!(0);
+                let rs1 = xr!(1);
+                match mnemonic {
+                    "fcvt.s.w" => b.fcvt_s_w(rd, rs1),
+                    "fcvt.s.wu" => b.fcvt_s_wu(rd, rs1),
+                    _ => b.fmv_w_x(rd, rs1),
+                }
+            }
+            "fmv.s" => {
+                nargs!(2);
+                let (rd, rs) = (fr!(0), fr!(1));
+                b.fmv_s(rd, rs);
+            }
+            "fabs.s" => {
+                nargs!(2);
+                let (rd, rs) = (fr!(0), fr!(1));
+                b.fabs_s(rd, rs);
+            }
+            "fneg.s" => {
+                nargs!(2);
+                let (rd, rs) = (fr!(0), fr!(1));
+                b.fneg_s(rd, rs);
+            }
+            // DiAG SIMT extension
+            "simt_s" => {
+                nargs!(4);
+                let (rc, r_step, r_end) = (xr!(0), xr!(1), xr!(2));
+                let interval = parse_int(&args[3], n)?;
+                if !(1..=127).contains(&interval) {
+                    return Err(AsmError::ImmediateOutOfRange {
+                        mnemonic: "simt_s",
+                        value: interval,
+                    });
+                }
+                b.simt_s(rc, r_step, r_end, interval as u8);
+            }
+            "simt_e" => {
+                nargs!(3);
+                let (rc, r_end) = (xr!(0), xr!(1));
+                // Third operand is the start label (or numeric offset).
+                if let Ok(off) = parse_int(&args[2], n) {
+                    self.builder.inst(Inst::SimtE { rc, r_end, l_offset: off as i32 });
+                } else {
+                    let target = self.branch_target(&args[2], n)?;
+                    self.builder.simt_e(rc, r_end, target);
+                }
+            }
+            other => {
+                return Err(AsmError::Parse {
+                    line: n,
+                    message: format!("unknown mnemonic `{other}`"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Branch targets are labels, or bare numeric byte offsets relative to
+    /// the branch itself (the disassembler's output form).
+    fn branch_target(&mut self, text: &str, line_no: usize) -> Result<Label, AsmError> {
+        if let Ok(offset) = parse_int(text, line_no) {
+            // Synthesize an anonymous label at the destination word
+            // (positions are absolute, so forward offsets bind eagerly
+            // too — this is how disassembled programs re-assemble).
+            let cur = self.builder.position() as i64;
+            let dest = cur + offset / 4;
+            if offset % 4 != 0 || dest < 0 {
+                return Err(AsmError::Parse {
+                    line: line_no,
+                    message: format!("invalid numeric branch offset {offset}"),
+                });
+            }
+            let l = self.builder.new_label();
+            self.builder.bind_at(l, dest as u32);
+            Ok(l)
+        } else {
+            Ok(self.label(text))
+        }
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let end = line.find('#').unwrap_or(line.len());
+    let end = line.find("//").map_or(end, |e| e.min(end));
+    &line[..end]
+}
+
+fn find_label_colon(line: &str) -> Option<usize> {
+    let colon = line.find(':')?;
+    // Only treat as label if everything before the colon is an identifier.
+    if is_identifier(line[..colon].trim()) {
+        Some(colon)
+    } else {
+        None
+    }
+}
+
+fn is_identifier(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && s.parse::<f64>().is_err()
+}
+
+fn split_mnemonic(line: &str) -> (&str, &str) {
+    match line.find(char::is_whitespace) {
+        Some(i) => (&line[..i], line[i..].trim()),
+        None => (line, ""),
+    }
+}
+
+fn split_args(rest: &str) -> Vec<String> {
+    if rest.trim().is_empty() {
+        return Vec::new();
+    }
+    rest.split(',').map(|a| a.trim().to_string()).collect()
+}
+
+fn parse_reg(text: &str, line_no: usize) -> Result<Reg, AsmError> {
+    text.parse().map_err(|_| AsmError::Parse {
+        line: line_no,
+        message: format!("invalid integer register `{text}`"),
+    })
+}
+
+fn parse_freg(text: &str, line_no: usize) -> Result<FReg, AsmError> {
+    text.parse().map_err(|_| AsmError::Parse {
+        line: line_no,
+        message: format!("invalid floating-point register `{text}`"),
+    })
+}
+
+fn parse_int(text: &str, line_no: usize) -> Result<i64, AsmError> {
+    let text = text.trim();
+    let (neg, body) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, text),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else if let Some(bin) = body.strip_prefix("0b") {
+        i64::from_str_radix(bin, 2)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| AsmError::Parse {
+        line: line_no,
+        message: format!("invalid integer `{text}`"),
+    })?;
+    Ok(if neg { -value } else { value })
+}
+
+/// Parses `offset(base)` memory operands; a bare `(base)` means offset 0.
+fn parse_mem(text: &str, line_no: usize) -> Result<(i32, Reg), AsmError> {
+    let open = text.find('(').ok_or_else(|| AsmError::Parse {
+        line: line_no,
+        message: format!("expected `offset(base)`, found `{text}`"),
+    })?;
+    let close = text.rfind(')').ok_or_else(|| AsmError::Parse {
+        line: line_no,
+        message: format!("unclosed parenthesis in `{text}`"),
+    })?;
+    let offset_text = text[..open].trim();
+    let offset = if offset_text.is_empty() {
+        0
+    } else {
+        parse_int(offset_text, line_no)? as i32
+    };
+    let base = parse_reg(text[open + 1..close].trim(), line_no)?;
+    Ok((offset, base))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_isa::{AluOp, BranchOp, LoadOp};
+
+    #[test]
+    fn basic_program_assembles() {
+        let p = assemble(
+            r#"
+            # sum the numbers 1..=10
+            main:
+                li   t0, 10
+                li   t1, 0
+            loop:
+                add  t1, t1, t0
+                addi t0, t0, -1
+                bnez t0, loop
+                ecall
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.text_len(), 6);
+        match p.decode_at(p.text_base() + 16).unwrap() {
+            Inst::Branch { op: BranchOp::Bne, offset, .. } => assert_eq!(offset, -8),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn data_segment_and_la() {
+        let p = assemble(
+            r#"
+            .data
+            vec:
+                .word 1, 2, 3, 4
+            count:
+                .word 4
+            .text
+                la   a0, vec
+                lw   a1, 0(a0)
+                ecall
+            "#,
+        )
+        .unwrap();
+        let vec_addr = p.symbol("vec").unwrap();
+        assert_eq!(p.symbol("count"), Some(vec_addr + 16));
+        assert_eq!(&p.data()[0..4], &1u32.to_le_bytes());
+    }
+
+    #[test]
+    fn float_data() {
+        let p = assemble(".data\nf:\n .float 1.5, -2.0\n.text\nnop\n").unwrap();
+        assert_eq!(&p.data()[0..4], &1.5f32.to_bits().to_le_bytes());
+        assert_eq!(&p.data()[4..8], &(-2.0f32).to_bits().to_le_bytes());
+    }
+
+    #[test]
+    fn fp_instructions_assemble() {
+        let p = assemble(
+            r#"
+                flw   ft0, 0(a0)
+                flw   ft1, 4(a0)
+                fmadd.s ft2, ft0, ft1, ft2
+                fsqrt.s ft3, ft2
+                feq.s t0, ft3, ft3
+                fsw   ft3, 8(a0)
+                ecall
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.text_len(), 7);
+    }
+
+    #[test]
+    fn simt_instructions_assemble() {
+        let p = assemble(
+            r#"
+            start:
+                simt_s t0, t1, t2, 2
+                add a0, a0, t0
+                simt_e t0, t2, start
+                ecall
+            "#,
+        )
+        .unwrap();
+        match p.decode_at(p.text_base() + 8).unwrap() {
+            Inst::SimtE { l_offset, .. } => assert_eq!(l_offset, -8),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = assemble("nop\nbogus a0, a1\n").unwrap_err();
+        match err {
+            AsmError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("bogus"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_register_rejected() {
+        assert!(assemble("add q0, a1, a2").is_err());
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let p = assemble("nop # trailing\n// whole line\nnop\n").unwrap();
+        assert_eq!(p.text_len(), 2);
+    }
+
+    #[test]
+    fn numeric_backward_branch_offsets() {
+        // The disassembler prints numeric offsets; backward ones re-assemble.
+        let p = assemble("nop\nnop\nbne t0, t1, -8\necall\n").unwrap();
+        match p.decode_at(p.text_base() + 8).unwrap() {
+            Inst::Branch { offset, .. } => assert_eq!(offset, -8),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memref_without_offset() {
+        let p = assemble("lw a0, (sp)\necall\n").unwrap();
+        match p.decode_at(p.text_base()).unwrap() {
+            Inst::Load { op: LoadOp::Lw, offset, .. } => assert_eq!(offset, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hex_and_binary_immediates() {
+        let p = assemble("addi a0, zero, 0x7f\naddi a1, zero, 0b101\necall\n").unwrap();
+        match p.decode_at(p.text_base()).unwrap() {
+            Inst::OpImm { op: AluOp::Add, imm, .. } => assert_eq!(imm, 0x7F),
+            other => panic!("unexpected {other:?}"),
+        }
+        match p.decode_at(p.text_base() + 4).unwrap() {
+            Inst::OpImm { imm, .. } => assert_eq!(imm, 5),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn instruction_in_data_segment_rejected() {
+        let err = assemble(".data\nadd a0, a1, a2\n").unwrap_err();
+        assert!(matches!(err, AsmError::Parse { .. }));
+    }
+
+    #[test]
+    fn label_and_instruction_on_same_line() {
+        let p = assemble("top: addi a0, a0, 1\nbnez a0, top\n").unwrap();
+        assert_eq!(p.text_len(), 2);
+        match p.decode_at(p.text_base() + 4).unwrap() {
+            Inst::Branch { offset, .. } => assert_eq!(offset, -4),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type shared by the program builder and the text assembler.
+
+use std::fmt;
+
+/// Error produced while building or assembling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound to a position.
+    UnboundLabel {
+        /// Human-readable label description (name or index).
+        label: String,
+    },
+    /// A label was bound twice.
+    RebindLabel {
+        /// Human-readable label description.
+        label: String,
+    },
+    /// A branch or jump target is beyond the reach of its encoding.
+    OffsetOutOfRange {
+        /// The instruction's mnemonic.
+        mnemonic: &'static str,
+        /// The computed byte offset.
+        offset: i64,
+        /// Maximum magnitude the encoding supports.
+        limit: i64,
+    },
+    /// A data symbol was defined twice.
+    DuplicateSymbol {
+        /// The symbol name.
+        name: String,
+    },
+    /// A symbol was referenced but never defined.
+    UndefinedSymbol {
+        /// The symbol name.
+        name: String,
+    },
+    /// An immediate does not fit its field.
+    ImmediateOutOfRange {
+        /// The instruction's mnemonic.
+        mnemonic: &'static str,
+        /// The immediate value.
+        value: i64,
+    },
+    /// A parse error in assembler text.
+    Parse {
+        /// 1-based source line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel { label } => write!(f, "label `{label}` was never bound"),
+            AsmError::RebindLabel { label } => write!(f, "label `{label}` bound twice"),
+            AsmError::OffsetOutOfRange { mnemonic, offset, limit } => {
+                write!(f, "`{mnemonic}` offset {offset} exceeds encodable range (±{limit})")
+            }
+            AsmError::DuplicateSymbol { name } => write!(f, "symbol `{name}` defined twice"),
+            AsmError::UndefinedSymbol { name } => write!(f, "symbol `{name}` is not defined"),
+            AsmError::ImmediateOutOfRange { mnemonic, value } => {
+                write!(f, "immediate {value} out of range for `{mnemonic}`")
+            }
+            AsmError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}

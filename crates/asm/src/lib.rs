@@ -1,0 +1,35 @@
+//! # diag-asm — assembler and program builder for the DiAG reproduction
+//!
+//! Programs for the machine models in this workspace are bare-metal RV32IMF
+//! images. This crate provides two ways to produce them:
+//!
+//! - [`ProgramBuilder`]: a typed Rust DSL with labels and a data segment —
+//!   the way all [`diag-workloads`](../../workloads) kernels are authored.
+//! - [`assemble`]: a two-pass text assembler accepting the common
+//!   GNU-flavoured syntax, used by examples and tests.
+//!
+//! Both produce a [`Program`]: text words, data bytes, entry point, and
+//! symbol table.
+//!
+//! # Examples
+//!
+//! ```
+//! use diag_asm::assemble;
+//!
+//! let program = assemble("li a0, 1\necall\n")?;
+//! assert_eq!(program.text_len(), 2);
+//! # Ok::<(), diag_asm::AsmError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod assembler;
+mod builder;
+mod error;
+mod program;
+
+pub use assembler::assemble;
+pub use builder::{Label, ProgramBuilder};
+pub use error::AsmError;
+pub use program::{Program, DATA_BASE, STACK_STRIDE, STACK_TOP, TEXT_BASE};

@@ -1,0 +1,191 @@
+//! Property tests for the assembler: disassembled programs re-assemble to
+//! identical machine code, and builder-emitted programs survive a full
+//! listing → parse → encode cycle.
+
+use diag_asm::{assemble, ProgramBuilder};
+use diag_isa::regs::*;
+use diag_isa::{AluOp, BranchOp, LoadOp, Reg, StoreOp};
+use proptest::prelude::*;
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    Op(AluOp, Reg, Reg, Reg),
+    Imm(AluOp, Reg, Reg, i32),
+    Load(LoadOp, Reg, Reg, i32),
+    Store(StoreOp, Reg, Reg, i32),
+    BranchBack(BranchOp, Reg, Reg),
+    Li(Reg, i32),
+    Jump,
+    Nop,
+}
+
+fn any_stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (
+            prop_oneof![
+                Just(AluOp::Add),
+                Just(AluOp::Sub),
+                Just(AluOp::Xor),
+                Just(AluOp::And),
+                Just(AluOp::Or),
+                Just(AluOp::Mul),
+                Just(AluOp::Sltu),
+            ],
+            any_reg(),
+            any_reg(),
+            any_reg()
+        )
+            .prop_map(|(op, a, b, c)| Stmt::Op(op, a, b, c)),
+        (
+            prop_oneof![Just(AluOp::Add), Just(AluOp::Xor), Just(AluOp::And), Just(AluOp::Or)],
+            any_reg(),
+            any_reg(),
+            -2048i32..=2047
+        )
+            .prop_map(|(op, a, b, imm)| Stmt::Imm(op, a, b, imm)),
+        (
+            prop_oneof![Just(LoadOp::Lw), Just(LoadOp::Lb), Just(LoadOp::Lhu)],
+            any_reg(),
+            any_reg(),
+            -256i32..256
+        )
+            .prop_map(|(op, a, b, off)| Stmt::Load(op, a, b, off)),
+        (
+            prop_oneof![Just(StoreOp::Sw), Just(StoreOp::Sb)],
+            any_reg(),
+            any_reg(),
+            -256i32..256
+        )
+            .prop_map(|(op, a, b, off)| Stmt::Store(op, a, b, off)),
+        (
+            prop_oneof![Just(BranchOp::Beq), Just(BranchOp::Bne), Just(BranchOp::Blt)],
+            any_reg(),
+            any_reg()
+        )
+            .prop_map(|(op, a, b)| Stmt::BranchBack(op, a, b)),
+        (any_reg(), any::<i32>()).prop_map(|(r, v)| Stmt::Li(r, v)),
+        Just(Stmt::Jump),
+        Just(Stmt::Nop),
+    ]
+}
+
+proptest! {
+    /// listing() output re-assembles to the exact same instruction words.
+    #[test]
+    fn listing_reassembles_bit_identically(stmts in prop::collection::vec(any_stmt(), 1..40)) {
+        let mut b = ProgramBuilder::new();
+        let start = b.bind_new_label();
+        for s in &stmts {
+            match *s {
+                Stmt::Op(op, rd, rs1, rs2) => b.inst(diag_isa::Inst::Op { op, rd, rs1, rs2 }),
+                Stmt::Imm(op, rd, rs1, imm) => {
+                    b.inst(diag_isa::Inst::OpImm { op, rd, rs1, imm })
+                }
+                Stmt::Load(op, rd, rs1, offset) => {
+                    b.inst(diag_isa::Inst::Load { op, rd, rs1, offset })
+                }
+                Stmt::Store(op, rs2, rs1, offset) => {
+                    b.inst(diag_isa::Inst::Store { op, rs1, rs2, offset })
+                }
+                Stmt::BranchBack(op, rs1, rs2) => b.bne_like(op, rs1, rs2, start),
+                Stmt::Li(rd, v) => b.li(rd, v),
+                Stmt::Jump => b.j(start),
+                Stmt::Nop => b.nop(),
+            }
+        }
+        b.ecall();
+        let program = b.build().expect("builder program assembles");
+
+        let mut text = String::new();
+        for line in program.listing().lines() {
+            text.push_str(line.split("  ").nth(1).expect("listing format"));
+            text.push('\n');
+        }
+        let again = assemble(&text).unwrap_or_else(|e| panic!("reassembly failed: {e}\n{text}"));
+        prop_assert_eq!(program.text(), again.text());
+    }
+
+    /// Every builder program decodes cleanly end to end.
+    #[test]
+    fn builder_programs_fully_decode(stmts in prop::collection::vec(any_stmt(), 1..40)) {
+        let mut b = ProgramBuilder::new();
+        let start = b.bind_new_label();
+        for s in &stmts {
+            match *s {
+                Stmt::Op(op, rd, rs1, rs2) => b.inst(diag_isa::Inst::Op { op, rd, rs1, rs2 }),
+                Stmt::Li(rd, v) => b.li(rd, v),
+                _ => b.nop(),
+            }
+        }
+        b.j(start);
+        let program = b.build().unwrap();
+        for i in 0..program.text_len() as u32 {
+            prop_assert!(program.decode_at(program.text_base() + 4 * i).is_some());
+        }
+    }
+}
+
+/// Helper extension so the strategy can emit arbitrary branch ops through
+/// the builder's typed API.
+trait BranchExt {
+    fn bne_like(&mut self, op: BranchOp, rs1: Reg, rs2: Reg, target: diag_asm::Label);
+}
+
+impl BranchExt for ProgramBuilder {
+    fn bne_like(&mut self, op: BranchOp, rs1: Reg, rs2: Reg, target: diag_asm::Label) {
+        match op {
+            BranchOp::Beq => self.beq(rs1, rs2, target),
+            BranchOp::Bne => self.bne(rs1, rs2, target),
+            BranchOp::Blt => self.blt(rs1, rs2, target),
+            BranchOp::Bge => self.bge(rs1, rs2, target),
+            BranchOp::Bltu => self.bltu(rs1, rs2, target),
+            BranchOp::Bgeu => self.bgeu(rs1, rs2, target),
+        }
+    }
+}
+
+#[test]
+fn listing_of_every_fp_instruction_reassembles() {
+    let mut b = ProgramBuilder::new();
+    b.flw(FT0, A0, 0);
+    b.fsw(FT0, A0, 4);
+    b.fadd_s(FT1, FT0, FT0);
+    b.fsub_s(FT2, FT1, FT0);
+    b.fmul_s(FT3, FT2, FT1);
+    b.fdiv_s(FT4, FT3, FT2);
+    b.fsqrt_s(FT5, FT4);
+    b.fsgnj_s(FT6, FT5, FT4);
+    b.fsgnjn_s(FT7, FT6, FT5);
+    b.fsgnjx_s(FT8, FT7, FT6);
+    b.fmin_s(FT9, FT8, FT7);
+    b.fmax_s(FT10, FT9, FT8);
+    b.fmadd_s(FT11, FT10, FT9, FT8);
+    b.fmsub_s(FS0, FT11, FT10, FT9);
+    b.fnmsub_s(FS1, FS0, FT11, FT10);
+    b.fnmadd_s(FS2, FS1, FS0, FT11);
+    b.feq_s(T0, FS2, FS1);
+    b.flt_s(T1, FS1, FS0);
+    b.fle_s(T2, FS0, FS2);
+    b.fcvt_w_s(T3, FS2);
+    b.fcvt_wu_s(T4, FS1);
+    b.fmv_x_w(T5, FS0);
+    b.fclass_s(T6, FS2);
+    b.fcvt_s_w(FS3, T0);
+    b.fcvt_s_wu(FS4, T1);
+    b.fmv_w_x(FS5, T2);
+    b.simt_s(T0, T1, T2, 3);
+    b.inst(diag_isa::Inst::SimtE { rc: T0, r_end: T2, l_offset: -108 });
+    b.ecall();
+    let program = b.build().unwrap();
+    let mut text = String::new();
+    for line in program.listing().lines() {
+        text.push_str(line.split("  ").nth(1).unwrap());
+        text.push('\n');
+    }
+    let again = assemble(&text).unwrap();
+    assert_eq!(program.text(), again.text());
+}

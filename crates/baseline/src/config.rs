@@ -1,0 +1,138 @@
+//! Configuration of the out-of-order baseline CPU.
+//!
+//! The paper's baseline (§7.1) is a gem5 SE-mode ARM core "aggressively
+//! configured to issue, dispatch, and retire up to 8 instructions with a 2
+//! cycle latency for each of these stages", 12 cores, 64 KiB L1, 4–8 MiB
+//! shared L2, at the same 2 GHz as DiAG. [`O3Config::aggressive_8wide`]
+//! reproduces that.
+
+use diag_mem::CacheConfig;
+
+/// Parameters of one out-of-order core (and the multicore built from it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct O3Config {
+    /// Configuration name.
+    pub name: String,
+    /// Fetch/decode/rename/dispatch/issue/commit width.
+    pub width: usize,
+    /// Pipeline latency of each front-end stage (fetch→decode→rename→
+    /// dispatch), paper: 2 cycles each.
+    pub stage_latency: u64,
+    /// Number of front-end stages before issue.
+    pub frontend_stages: u64,
+    /// Reorder-buffer capacity.
+    pub rob_size: usize,
+    /// Issue-queue capacity: an instruction can only issue while within
+    /// this window of the oldest unissued instruction.
+    pub iq_size: usize,
+    /// Load/store queue capacity (outstanding memory operations).
+    pub lsq_size: usize,
+    /// Integer ALU count.
+    pub int_alus: usize,
+    /// Integer multiplier count.
+    pub int_muls: usize,
+    /// Integer divider count (unpipelined).
+    pub int_divs: usize,
+    /// FP add/cmp/convert unit count.
+    pub fp_alus: usize,
+    /// FP multiplier count.
+    pub fp_muls: usize,
+    /// FP divider count (unpipelined).
+    pub fp_divs: usize,
+    /// Data-cache ports.
+    pub mem_ports: usize,
+    /// Branch-predictor table entries (gshare, power of two).
+    pub bpred_entries: usize,
+    /// Branch-target-buffer entries (power of two).
+    pub btb_entries: usize,
+    /// Return-address-stack depth.
+    pub ras_depth: usize,
+    /// Modelled frequency in GHz.
+    pub freq_ghz: f64,
+    /// Per-core L1 data cache.
+    pub l1d: CacheConfig,
+    /// Shared unified L2.
+    pub l2: CacheConfig,
+    /// Cycle limit.
+    pub max_cycles: u64,
+}
+
+impl O3Config {
+    /// The paper's baseline: 8-issue out-of-order, 2-cycle front-end
+    /// stages, 64 KiB L1, 4 MiB shared L2, 2 GHz.
+    pub fn aggressive_8wide() -> O3Config {
+        O3Config {
+            name: "ooo-8w".to_string(),
+            width: 8,
+            stage_latency: 2,
+            frontend_stages: 4,
+            rob_size: 224,
+            iq_size: 60,
+            lsq_size: 72,
+            int_alus: 6,
+            int_muls: 2,
+            int_divs: 1,
+            fp_alus: 4,
+            fp_muls: 2,
+            fp_divs: 1,
+            mem_ports: 3,
+            bpred_entries: 4096,
+            btb_entries: 4096,
+            ras_depth: 16,
+            freq_ghz: 2.0,
+            l1d: CacheConfig { size_bytes: 64 << 10, line_bytes: 64, ways: 4, hit_latency: 3, banks: 4 },
+            l2: CacheConfig::l2(4),
+            max_cycles: diag_sim::DEFAULT_CYCLE_LIMIT,
+        }
+    }
+
+    /// A modest 4-wide core for sensitivity studies.
+    pub fn modest_4wide() -> O3Config {
+        let mut c = O3Config::aggressive_8wide();
+        c.name = "ooo-4w".to_string();
+        c.width = 4;
+        c.rob_size = 96;
+        c.iq_size = 32;
+        c.lsq_size = 32;
+        c.int_alus = 3;
+        c.fp_alus = 2;
+        c.fp_muls = 1;
+        c.mem_ports = 2;
+        c
+    }
+
+    /// Total front-end latency from fetch to issue-ready.
+    pub fn frontend_latency(&self) -> u64 {
+        self.stage_latency * self.frontend_stages
+    }
+
+    /// Branch misprediction penalty: the front-end must refill.
+    pub fn mispredict_penalty(&self) -> u64 {
+        self.frontend_latency() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_baseline_shape() {
+        let c = O3Config::aggressive_8wide();
+        assert_eq!(c.width, 8);
+        assert_eq!(c.stage_latency, 2);
+        assert_eq!(c.frontend_latency(), 8);
+        assert_eq!(c.mispredict_penalty(), 9);
+        assert_eq!(c.l1d.size_bytes, 64 << 10);
+        assert_eq!(c.l2.size_bytes, 4 << 20);
+        assert_eq!(c.freq_ghz, 2.0);
+    }
+
+    #[test]
+    fn modest_is_narrower() {
+        let a = O3Config::aggressive_8wide();
+        let m = O3Config::modest_4wide();
+        assert!(m.width < a.width);
+        assert!(m.rob_size < a.rob_size);
+    }
+}

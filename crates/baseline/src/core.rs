@@ -1,0 +1,312 @@
+//! One out-of-order core, dependence-timed over the shared architectural
+//! interpreter.
+//!
+//! The model follows the gem5 O3 shape the paper configures (§7.1): a
+//! multi-stage front end (2 cycles per stage), register renaming (modelled
+//! as unlimited physical registers — false dependencies never stall),
+//! a bounded reorder buffer, bandwidth-limited fetch/issue/commit, a
+//! branch predictor with a full-frontend redirect penalty, per-kind
+//! functional-unit pools, and an LSQ in front of a private L1 backed by
+//! the shared L2.
+
+use std::collections::VecDeque;
+
+use diag_asm::Program;
+use diag_isa::Inst;
+use diag_mem::{CacheArray, LaneLookup, Lsu, MainMemory, MemLane, PrivateCache};
+use diag_sim::interp::{arch_step, ArchState, MemEffect};
+use diag_sim::{Activity, SimError, StallBreakdown};
+
+use crate::bpred::BranchPredictor;
+use crate::config::O3Config;
+use crate::fu::FuSet;
+use crate::util::{Bandwidth, IssueMeter};
+
+/// Statistics of one core, merged into the machine totals.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoreStats {
+    /// Activity counters.
+    pub activity: Activity,
+    /// Stall attribution.
+    pub stalls: StallBreakdown,
+}
+
+/// One out-of-order core running one hardware thread.
+#[derive(Debug)]
+pub struct O3Core<'p> {
+    cfg: &'p O3Config,
+    program: &'p Program,
+    state: ArchState,
+    /// Completion time of the latest writer of each register lane.
+    reg_ready: [u64; diag_isa::NUM_LANES],
+    /// Commit times of in-flight instructions (ROB occupancy).
+    rob: VecDeque<u64>,
+    /// Issue times of recent instructions (IQ occupancy window).
+    iq: VecDeque<u64>,
+    fetch_bw: Bandwidth,
+    issue_bw: IssueMeter,
+    commit_bw: Bandwidth,
+    /// Earliest time the front end may fetch the next instruction
+    /// (redirected on mispredictions).
+    fetch_floor: u64,
+    last_commit: u64,
+    bpred: BranchPredictor,
+    fus: FuSet,
+    l1i: CacheArray,
+    l1d: PrivateCache,
+    lsq: Lsu,
+    store_buffer: MemLane,
+    store_floor: u64,
+    fence_floor: u64,
+    /// Whether the thread has halted.
+    pub halted: bool,
+    /// Per-core statistics.
+    pub stats: CoreStats,
+    last_fetch_line: u32,
+    committed_count: u64,
+    thread_id: usize,
+}
+
+/// L2 hit latency charged on an L1I miss.
+const L1I_MISS_PENALTY: u64 = 18;
+
+impl<'p> O3Core<'p> {
+    /// Creates core `thread_id` of `threads`, with a private L1D backed by
+    /// the given shared L2.
+    pub fn new(
+        program: &'p Program,
+        cfg: &'p O3Config,
+        l1d: PrivateCache,
+        thread_id: usize,
+        threads: usize,
+        start_time: u64,
+    ) -> O3Core<'p> {
+        O3Core {
+            cfg,
+            program,
+            state: ArchState::new_thread(program.entry(), thread_id, threads),
+            reg_ready: [start_time; diag_isa::NUM_LANES],
+            rob: VecDeque::with_capacity(cfg.rob_size),
+            iq: VecDeque::with_capacity(cfg.iq_size),
+            fetch_bw: Bandwidth::new(cfg.width),
+            issue_bw: IssueMeter::new(cfg.width),
+            commit_bw: Bandwidth::new(cfg.width),
+            fetch_floor: start_time,
+            last_commit: start_time,
+            bpred: BranchPredictor::new(cfg.bpred_entries, cfg.btb_entries, cfg.ras_depth),
+            fus: FuSet::new(cfg),
+            l1i: CacheArray::new(diag_mem::CacheConfig::l1i_32k()),
+            l1d,
+            lsq: Lsu::new(cfg.lsq_size),
+            store_buffer: MemLane::new(cfg.lsq_size),
+            store_floor: start_time,
+            fence_floor: start_time,
+            halted: false,
+            stats: CoreStats::default(),
+            last_fetch_line: u32::MAX,
+            committed_count: 0,
+            thread_id,
+        }
+    }
+
+    /// This core's hardware-thread id.
+    pub fn thread_id(&self) -> usize {
+        self.thread_id
+    }
+
+    /// The core's current time (last retirement).
+    pub fn clock(&self) -> u64 {
+        self.last_commit
+    }
+
+    /// Total committed instructions.
+    pub fn committed(&self) -> u64 {
+        self.committed_count
+    }
+
+    /// Executes one dynamic instruction through the full pipeline model.
+    pub fn step(&mut self, mem: &mut MainMemory) -> Result<(), SimError> {
+        debug_assert!(!self.halted, "step on a halted core");
+        let pc = self.state.pc;
+
+        // ---- fetch ----------------------------------------------------
+        let mut fetch_t = self.fetch_bw.next(self.fetch_floor);
+        if (pc & !63) != self.last_fetch_line {
+            self.last_fetch_line = pc & !63;
+            self.stats.activity.line_fetches += 1;
+            if !self.l1i.access(pc, false).hit {
+                fetch_t += L1I_MISS_PENALTY;
+                self.fetch_floor = fetch_t;
+                self.stats.stalls.control += L1I_MISS_PENALTY;
+            }
+        }
+
+        // ---- decode / rename / dispatch -------------------------------
+        let mut rename_t = fetch_t + self.cfg.frontend_latency();
+        // ROB occupancy: dispatch stalls until a slot frees.
+        while self.rob.len() >= self.cfg.rob_size {
+            let freed = self.rob.pop_front().expect("rob non-empty");
+            if freed > rename_t {
+                self.stats.stalls.structural += freed - rename_t;
+                rename_t = freed;
+            }
+        }
+        self.stats.activity.decodes += 1;
+        self.stats.activity.renames += 1;
+        self.stats.activity.dispatches += 1;
+        self.stats.activity.rob_writes += 1;
+
+        // ---- architectural execution (shared interpreter) --------------
+        let before_regs_pc = pc;
+        let inst_peek = self
+            .program
+            .decode_at(pc)
+            .ok_or(SimError::PcOutOfRange { pc })?;
+        let prediction = self.bpred.predict(pc, &inst_peek);
+        if matches!(inst_peek, Inst::Branch { .. } | Inst::Jal { .. } | Inst::Jalr { .. }) {
+            self.stats.activity.bpred_lookups += 1;
+        }
+        let info = arch_step(&mut self.state, self.program, mem, None)?;
+        debug_assert_eq!(info.pc, before_regs_pc);
+
+        // ---- issue ------------------------------------------------------
+        let mut ready = rename_t + 1;
+        for src in info.inst.sources().iter() {
+            ready = ready.max(self.reg_ready[src.index()]);
+        }
+        // Bounded issue queue: this instruction occupies an IQ entry from
+        // rename until issue; it cannot even enter the queue until the
+        // instruction `iq_size` older has left it.
+        while self.iq.len() >= self.cfg.iq_size {
+            let oldest = self.iq.pop_front().expect("iq non-empty");
+            if oldest > ready {
+                self.stats.stalls.structural += oldest - ready;
+                ready = oldest;
+            }
+        }
+        let latency = info.inst.exec_latency() as u64;
+        let kind = info.inst.fu_kind();
+        let issue_t = self.fus.issue(kind, self.issue_bw.next(ready), latency);
+        self.iq.push_back(issue_t);
+        self.stats.activity.issues += 1;
+
+        // ---- execute / memory ------------------------------------------
+        let finish = match info.mem {
+            MemEffect::Load { addr, size } => {
+                self.stats.activity.loads += 1;
+                // Perfect disambiguation: wait only for overlapping older
+                // stores; forward from the store queue when fully covered.
+                let (want, forward) = match self.store_buffer.lookup(addr, size) {
+                    LaneLookup::HitFast { store_time, .. } => {
+                        (issue_t.max(self.fence_floor).max(store_time), true)
+                    }
+                    LaneLookup::HitSlow { store_time, .. }
+                    | LaneLookup::Conflict { store_time } => {
+                        (issue_t.max(self.fence_floor).max(store_time + 1), false)
+                    }
+                    LaneLookup::Miss => (issue_t.max(self.fence_floor), false),
+                };
+                let (at, waited) = self.lsq.issue_blocking(want);
+                self.stats.stalls.memory += waited;
+                let ready_at = if forward {
+                    self.stats.activity.memlane_hits += 1;
+                    at + 1
+                } else {
+                    let out = self.l1d.access(addr, false, at);
+                    self.count_cache(out.l1_hit, out.l2_hit);
+                    if !out.l1_hit {
+                        let hit_time = at + self.cfg.l1d.hit_latency as u64;
+                        self.stats.stalls.memory += out.ready_at.saturating_sub(hit_time);
+                    }
+                    out.ready_at
+                };
+                self.lsq.complete_at(ready_at);
+                ready_at
+            }
+            MemEffect::Store { addr, size } => {
+                self.stats.activity.stores += 1;
+                let want = issue_t.max(self.store_floor);
+                let (at, waited) = self.lsq.issue_blocking(want);
+                self.stats.stalls.memory += waited;
+                self.store_floor = at;
+                self.store_buffer.push_store(addr, size, 0, at);
+                self.store_buffer.trim();
+                let out = self.l1d.access(addr, true, at);
+                self.count_cache(out.l1_hit, out.l2_hit);
+                let done = at + 1;
+                self.lsq.complete_at(done);
+                done
+            }
+            MemEffect::None => {
+                if matches!(info.inst, Inst::Fence) {
+                    let done = issue_t + latency;
+                    self.store_floor = self.store_floor.max(done);
+                    self.fence_floor = self.fence_floor.max(done);
+                    done
+                } else {
+                    issue_t + latency
+                }
+            }
+        };
+
+        // ---- writeback ---------------------------------------------------
+        if let Some((lane, _)) = info.dest {
+            if !lane.is_zero() {
+                self.reg_ready[lane.index()] = finish;
+                self.stats.activity.reg_writes += 1;
+            }
+        }
+        if info.inst.uses_fpu() {
+            self.stats.activity.fpu_active_cycles += latency;
+            self.stats.activity.fp_ops += 1;
+        } else if !info.inst.is_mem() {
+            self.stats.activity.int_ops += 1;
+        }
+        self.stats.activity.pe_active_cycles += (finish - issue_t).max(1);
+
+        // ---- control resolution -----------------------------------------
+        if matches!(info.inst, Inst::Branch { .. } | Inst::Jal { .. } | Inst::Jalr { .. }) {
+            let taken = info.redirected;
+            let mispredicted =
+                self.bpred.update(pc, &info.inst, prediction, taken, info.next_pc);
+            if mispredicted {
+                self.stats.activity.mispredicts += 1;
+                let redirect = finish + 1;
+                if redirect > self.fetch_floor {
+                    self.stats.stalls.control += redirect - self.fetch_floor;
+                    self.fetch_floor = redirect;
+                }
+            }
+        } else if info.redirected {
+            // Traps and looping simt_e markers redirect the front end too.
+            let redirect = finish + 1;
+            self.fetch_floor = self.fetch_floor.max(redirect);
+        }
+
+        // ---- commit -------------------------------------------------------
+        let commit_t = self.commit_bw.next(finish.max(self.last_commit));
+        self.last_commit = commit_t;
+        self.rob.push_back(commit_t);
+        self.committed_count += 1;
+        if self.committed_count % 4096 == 0 {
+            // Nothing issues before the oldest possible in-flight fetch.
+            let safe = self.rob.front().copied().unwrap_or(0).saturating_sub(4 * self.cfg.rob_size as u64);
+            self.issue_bw.prune_before(safe);
+        }
+        if self.state.halted {
+            self.halted = true;
+        }
+        Ok(())
+    }
+
+    fn count_cache(&mut self, l1_hit: bool, l2_hit: bool) {
+        self.stats.activity.l1d_accesses += 1;
+        if !l1_hit {
+            self.stats.activity.l1d_misses += 1;
+            self.stats.activity.l2_accesses += 1;
+            if !l2_hit {
+                self.stats.activity.l2_misses += 1;
+            }
+        }
+    }
+}

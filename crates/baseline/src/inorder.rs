@@ -1,0 +1,166 @@
+//! A single-issue in-order reference machine.
+//!
+//! This is the golden model for differential testing: the simplest
+//! possible timing (one instruction per cycle, stall on RAW, flat memory
+//! latency, taken-branch bubble) over the shared architectural
+//! interpreter. The paper notes that "a DiAG processor with only one
+//! functional unit is nearly identical to the back-end of an in-order
+//! single-issue CPU" (§2) — this machine is that degenerate case.
+
+use diag_asm::Program;
+use diag_mem::MainMemory;
+use diag_sim::interp::{arch_step, ArchState, MemEffect};
+use diag_sim::{Machine, RunStats, SimError};
+
+/// Flat memory access latency for the reference machine.
+const MEM_LATENCY: u64 = 4;
+/// Bubble cycles after a taken control transfer.
+const BRANCH_BUBBLE: u64 = 2;
+
+/// The single-issue in-order reference machine.
+///
+/// # Examples
+///
+/// ```
+/// use diag_asm::assemble;
+/// use diag_baseline::InOrder;
+/// use diag_sim::Machine;
+///
+/// let program = assemble("li a0, 3\nsw a0, 0(zero)\necall\n")?;
+/// let mut cpu = InOrder::new();
+/// let stats = cpu.run(&program, 1)?;
+/// assert_eq!(cpu.read_word(0), 3);
+/// assert_eq!(stats.committed, 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct InOrder {
+    mem: Option<MainMemory>,
+    max_cycles: u64,
+}
+
+impl InOrder {
+    /// Creates the reference machine.
+    pub fn new() -> InOrder {
+        InOrder { mem: None, max_cycles: diag_sim::DEFAULT_CYCLE_LIMIT }
+    }
+
+    /// Sets the cycle limit.
+    pub fn with_cycle_limit(mut self, limit: u64) -> InOrder {
+        self.max_cycles = limit;
+        self
+    }
+}
+
+impl Machine for InOrder {
+    fn name(&self) -> String {
+        "inorder".to_string()
+    }
+
+    fn run(&mut self, program: &Program, threads: usize) -> Result<RunStats, SimError> {
+        let threads = threads.max(1);
+        let mut mem = MainMemory::with_program(program);
+        let mut stats = RunStats { threads: threads as u64, freq_ghz: 2.0, ..RunStats::default() };
+        let mut total_cycles = 0u64;
+        // Threads run sequentially on the single core (time-sliced would
+        // give the same total).
+        for tid in 0..threads {
+            let mut state = ArchState::new_thread(program.entry(), tid, threads);
+            let mut reg_ready = [0u64; diag_isa::NUM_LANES];
+            let mut clock = 0u64;
+            while !state.halted {
+                let info = arch_step(&mut state, program, &mut mem, None)?;
+                let mut start = clock;
+                for src in info.inst.sources().iter() {
+                    start = start.max(reg_ready[src.index()]);
+                }
+                let latency = match info.mem {
+                    MemEffect::None => info.inst.exec_latency() as u64,
+                    _ => MEM_LATENCY,
+                };
+                let finish = start + latency;
+                if let Some((lane, _)) = info.dest {
+                    if !lane.is_zero() {
+                        reg_ready[lane.index()] = finish;
+                        stats.activity.reg_writes += 1;
+                    }
+                }
+                clock = start + 1 + if info.redirected { BRANCH_BUBBLE } else { 0 };
+                stats.committed += 1;
+                stats.activity.decodes += 1;
+                match info.mem {
+                    MemEffect::Load { .. } => stats.activity.loads += 1,
+                    MemEffect::Store { .. } => stats.activity.stores += 1,
+                    MemEffect::None => {
+                        if info.inst.uses_fpu() {
+                            stats.activity.fp_ops += 1;
+                        } else {
+                            stats.activity.int_ops += 1;
+                        }
+                    }
+                }
+                if clock > self.max_cycles {
+                    return Err(SimError::CycleLimit { limit: self.max_cycles });
+                }
+            }
+            total_cycles += clock;
+        }
+        stats.cycles = total_cycles;
+        self.mem = Some(mem);
+        Ok(stats)
+    }
+
+    fn read_word(&self, addr: u32) -> u32 {
+        self.mem.as_ref().map_or(0, |m| m.read_u32(addr))
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_asm::assemble;
+
+    #[test]
+    fn runs_a_loop() {
+        let program = assemble(
+            r#"
+                li t0, 10
+                li t1, 0
+            loop:
+                add t1, t1, t0
+                addi t0, t0, -1
+                bnez t0, loop
+                sw t1, 0(zero)
+                ecall
+            "#,
+        )
+        .unwrap();
+        let mut cpu = InOrder::new();
+        let stats = cpu.run(&program, 1).unwrap();
+        assert_eq!(cpu.read_word(0), 55);
+        assert_eq!(stats.committed, 2 + 30 + 2);
+        assert!(stats.cycles >= stats.committed);
+    }
+
+    #[test]
+    fn threads_run_sequentially() {
+        let program = assemble("slli t0, a0, 2\nsw a1, 0(t0)\necall\n").unwrap();
+        let mut cpu = InOrder::new();
+        let stats = cpu.run(&program, 4).unwrap();
+        for t in 0..4u32 {
+            assert_eq!(cpu.read_word(4 * t), 4);
+        }
+        assert_eq!(stats.committed, 12);
+    }
+
+    #[test]
+    fn cycle_limit() {
+        let program = assemble("loop: j loop\n").unwrap();
+        let mut cpu = InOrder::new().with_cycle_limit(1000);
+        assert!(matches!(cpu.run(&program, 1), Err(SimError::CycleLimit { .. })));
+    }
+}

@@ -1,0 +1,97 @@
+//! Criterion microbenchmarks of the simulators themselves: host-side
+//! throughput (simulated instructions per wall second) for each machine
+//! model on representative kernels, plus per-figure regeneration timing
+//! at tiny scale.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use diag_baseline::{InOrder, O3Config, OooCpu};
+use diag_bench::runner::{run_verified, MachineKind};
+use diag_core::{Diag, DiagConfig};
+use diag_sim::Machine;
+use diag_workloads::{find, Params, Scale, Suite};
+
+fn machine_throughput(c: &mut Criterion) {
+    let spec = find("x264").expect("registered");
+    let params = Params::tiny();
+    let built = spec.build(&params).expect("build");
+    let committed = {
+        let mut m = InOrder::new();
+        m.run(&built.program, 1).expect("run").committed
+    };
+
+    let mut group = c.benchmark_group("simulator_throughput_x264");
+    group.throughput(Throughput::Elements(committed));
+    group.bench_function("inorder", |b| {
+        b.iter(|| {
+            let mut m = InOrder::new();
+            m.run(&built.program, 1).unwrap()
+        })
+    });
+    group.bench_function("ooo_8wide", |b| {
+        b.iter(|| {
+            let mut m = OooCpu::new(O3Config::aggressive_8wide(), 1);
+            m.run(&built.program, 1).unwrap()
+        })
+    });
+    group.bench_function("diag_f4c2", |b| {
+        b.iter(|| {
+            let mut m = Diag::new(DiagConfig::f4c2());
+            m.run(&built.program, 1).unwrap()
+        })
+    });
+    group.bench_function("diag_f4c32", |b| {
+        b.iter(|| {
+            let mut m = Diag::new(DiagConfig::f4c32());
+            m.run(&built.program, 1).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn workload_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diag_f4c32_kernels");
+    group.sample_size(10);
+    for name in ["hotspot", "bfs", "kmeans", "deepsjeng"] {
+        let spec = find(name).expect("registered");
+        group.bench_function(name, |b| {
+            b.iter(|| run_verified(&MachineKind::Diag(DiagConfig::f4c32()), &spec, &Params::tiny()))
+        });
+    }
+    group.finish();
+}
+
+fn figure_regeneration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_regeneration_tiny");
+    group.sample_size(10);
+    group.bench_function("fig9a", |b| {
+        b.iter(|| diag_bench::experiments::fig_single_thread(Suite::Rodinia, Scale::Tiny))
+    });
+    group.bench_function("fig9b", |b| {
+        b.iter(|| diag_bench::experiments::fig_multi_thread(Suite::Rodinia, Scale::Tiny))
+    });
+    group.bench_function("fig10a", |b| {
+        b.iter(|| diag_bench::experiments::fig_single_thread(Suite::Spec, Scale::Tiny))
+    });
+    group.bench_function("fig10b", |b| {
+        b.iter(|| diag_bench::experiments::fig_multi_thread(Suite::Spec, Scale::Tiny))
+    });
+    group.bench_function("fig11", |b| b.iter(|| diag_bench::experiments::fig11(Scale::Tiny)));
+    group.bench_function("fig12", |b| b.iter(|| diag_bench::experiments::fig12(Scale::Tiny)));
+    group.bench_function("table1", |b| b.iter(|| diag_bench::experiments::table1(Scale::Tiny)));
+    group.bench_function("table2", |b| b.iter(diag_bench::experiments::table2));
+    group.bench_function("table3", |b| b.iter(diag_bench::experiments::table3));
+    group.bench_function("stalls", |b| b.iter(|| diag_bench::experiments::stalls(Scale::Tiny)));
+    group.bench_function("ablation_lane", |b| {
+        b.iter(|| diag_bench::experiments::ablation_lane(Scale::Tiny))
+    });
+    group.bench_function("ablation_reuse", |b| {
+        b.iter(|| diag_bench::experiments::ablation_reuse(Scale::Tiny))
+    });
+    group.bench_function("ablation_simt", |b| {
+        b.iter(|| diag_bench::experiments::ablation_simt_interval(Scale::Tiny))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, machine_throughput, workload_sweep, figure_regeneration);
+criterion_main!(benches);

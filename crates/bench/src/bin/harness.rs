@@ -1,0 +1,85 @@
+//! Experiment harness CLI: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! harness <experiment> [--quick]
+//! harness all [--quick]
+//! ```
+//!
+//! Experiments: `table1 table2 table3 fig9a fig9b fig10a fig10b fig11
+//! fig12 stalls ablation-lane ablation-reuse ablation-simt ablation-lsu ablation-spec`.
+//! `--quick` runs tiny inputs (for smoke testing); the default is the
+//! benchmarking scale.
+
+use diag_bench::experiments;
+use diag_workloads::{Scale, Suite};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: harness <experiment|all> [--quick]\n\
+         experiments: table1 table2 table3 fig9a fig9b fig10a fig10b fig11 fig12 \
+         stalls ablation-lane ablation-reuse ablation-simt ablation-lsu ablation-spec"
+    );
+    std::process::exit(2)
+}
+
+fn run(name: &str, scale: Scale) -> Option<String> {
+    let out = match name {
+        "table1" => experiments::table1(scale),
+        "table2" => experiments::table2(),
+        "table3" => experiments::table3(),
+        "fig9a" => experiments::fig_single_thread(Suite::Rodinia, scale),
+        "fig9b" => experiments::fig_multi_thread(Suite::Rodinia, scale),
+        "fig10a" => experiments::fig_single_thread(Suite::Spec, scale),
+        "fig10b" => experiments::fig_multi_thread(Suite::Spec, scale),
+        "fig11" => experiments::fig11(scale),
+        "fig12" => experiments::fig12(scale),
+        "stalls" => experiments::stalls(scale),
+        "ablation-lane" => experiments::ablation_lane(scale),
+        "ablation-reuse" => experiments::ablation_reuse(scale),
+        "ablation-simt" => experiments::ablation_simt_interval(scale),
+        "ablation-lsu" => experiments::ablation_lsu(scale),
+        "ablation-spec" => experiments::ablation_spec(scale),
+        _ => return None,
+    };
+    Some(out)
+}
+
+const ALL: [&str; 15] = [
+    "table1",
+    "table2",
+    "table3",
+    "fig9a",
+    "fig9b",
+    "fig10a",
+    "fig10b",
+    "fig11",
+    "fig12",
+    "stalls",
+    "ablation-lane",
+    "ablation-reuse",
+    "ablation-simt",
+    "ablation-lsu",
+    "ablation-spec",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Tiny } else { Scale::Small };
+    let names: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    if names.is_empty() {
+        usage();
+    }
+    let list: Vec<&str> = if names == ["all"] { ALL.to_vec() } else { names };
+    for (i, name) in list.iter().enumerate() {
+        match run(name, scale) {
+            Some(out) => {
+                if i > 0 {
+                    println!();
+                }
+                println!("{out}");
+            }
+            None => usage(),
+        }
+    }
+}

@@ -1,0 +1,529 @@
+//! One regeneration function per paper table and figure.
+//!
+//! Every function prints the same rows/series the paper reports, with the
+//! paper's published value alongside ours where the paper states one.
+//! Absolute cycle counts are not expected to match the authors' testbed;
+//! the *shape* — who wins, by roughly what factor — is the reproduction
+//! target (see EXPERIMENTS.md).
+
+use diag_core::{Diag, DiagConfig};
+use diag_power::{geomean, ratio, BaselineEnergyModel, DiagEnergyModel, TextTable};
+use diag_sim::RunStats;
+use diag_workloads::{rodinia_specs, spec_specs, Params, Scale, Suite, WorkloadSpec};
+
+use crate::runner::{run_verified, MachineKind, MT_THREADS};
+
+fn params(scale: Scale) -> Params {
+    Params { scale, ..Params::small() }
+}
+
+fn diag_configs() -> [(usize, DiagConfig); 3] {
+    [
+        (32, DiagConfig::f4c2()),
+        (256, DiagConfig::f4c16()),
+        (512, DiagConfig::f4c32()),
+    ]
+}
+
+/// A SIMT-friendly F4C32: four clusters per ring so the kernels' pipeline
+/// regions fit their rings (paper §7.2.1 notes DiAG must be configured
+/// "with enough PEs … to unlock its potential with thread pipelining").
+fn simt_config() -> DiagConfig {
+    let mut cfg = DiagConfig::f4c32();
+    cfg.ring_clusters = 4;
+    cfg
+}
+
+/// Single-thread relative performance across a suite (Figures 9a / 10a).
+pub fn fig_single_thread(suite: Suite, scale: Scale) -> String {
+    let specs: Vec<WorkloadSpec> = match suite {
+        Suite::Rodinia => rodinia_specs(),
+        Suite::Spec => spec_specs(),
+    };
+    let (fig, paper_avgs) = match suite {
+        Suite::Rodinia => ("Figure 9a", [0.91, 1.12, 1.12]),
+        Suite::Spec => ("Figure 10a", [0.81, 0.97, 0.97]),
+    };
+    let p = params(scale);
+    let baseline = MachineKind::Ooo(1);
+    let mut table =
+        TextTable::new(["benchmark", "DiAG 32 PE", "DiAG 256 PE", "DiAG 512 PE"]);
+    let mut cols: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for spec in &specs {
+        let base = run_verified(&baseline, spec, &p);
+        let mut row = vec![spec.name.to_string()];
+        for (i, (_, cfg)) in diag_configs().into_iter().enumerate() {
+            let ours = run_verified(&MachineKind::Diag(cfg), spec, &p);
+            let rel = base.cycles as f64 / ours.cycles as f64;
+            cols[i].push(rel);
+            row.push(ratio(rel));
+        }
+        table.row(row);
+    }
+    let mut out = format!(
+        "{fig}: single-thread relative performance vs 1-core 8-issue OoO (higher = faster)\n"
+    );
+    out.push_str(&table.render());
+    for (i, pes) in [32, 256, 512].into_iter().enumerate() {
+        out.push_str(&format!(
+            "geomean {pes} PEs: {} (paper: {:.2}x)\n",
+            ratio(geomean(&cols[i])),
+            paper_avgs[i]
+        ));
+    }
+    out
+}
+
+/// Multi-thread relative performance across a suite (Figures 9b / 10b),
+/// with a SIMT-pipelined series for the capable kernels.
+pub fn fig_multi_thread(suite: Suite, scale: Scale) -> String {
+    let specs: Vec<WorkloadSpec> = match suite {
+        Suite::Rodinia => rodinia_specs(),
+        Suite::Spec => spec_specs(),
+    };
+    let (fig, paper_mt, paper_simt) = match suite {
+        Suite::Rodinia => ("Figure 9b", 0.95, 1.2),
+        Suite::Spec => ("Figure 10b", 0.97, 1.15),
+    };
+    let p = params(scale).with_threads(MT_THREADS);
+    let baseline = MachineKind::Ooo(MT_THREADS);
+    let mut table = TextTable::new(["benchmark", "DiAG 16x2", "DiAG +SIMT"]);
+    let mut mt = Vec::new();
+    let mut simt = Vec::new();
+    for spec in &specs {
+        let base = run_verified(&baseline, spec, &p);
+        let ours = run_verified(&MachineKind::Diag(DiagConfig::f4c32()), spec, &p);
+        let rel = base.cycles as f64 / ours.cycles as f64;
+        mt.push(rel);
+        let simt_cell = if spec.simt_capable {
+            let ps = p.with_simt(true);
+            let pipelined = run_verified(&MachineKind::Diag(simt_config()), spec, &ps);
+            let rel_simt = base.cycles as f64 / pipelined.cycles as f64;
+            simt.push(rel_simt);
+            ratio(rel_simt)
+        } else {
+            simt.push(rel);
+            "-".to_string()
+        };
+        table.row([spec.name.to_string(), ratio(rel), simt_cell]);
+    }
+    let mut out = format!(
+        "{fig}: {MT_THREADS}-thread relative performance vs {MT_THREADS}-core OoO (higher = faster)\n"
+    );
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "geomean multi-thread: {} (paper: {paper_mt:.2}x)\n",
+        ratio(geomean(&mt))
+    ));
+    out.push_str(&format!(
+        "geomean with SIMT pipelining: {} (paper: {paper_simt:.2}x)\n",
+        ratio(geomean(&simt))
+    ));
+    out
+}
+
+/// Figure 11: energy-consumption breakdown by hardware component for four
+/// Rodinia benchmarks.
+pub fn fig11(scale: Scale) -> String {
+    let names = ["backprop", "bfs", "hotspot", "srad"];
+    let p = params(scale);
+    let model = DiagEnergyModel::default();
+    let mut table = TextTable::new(["benchmark", "FPU %", "reg lanes %", "memory %", "control %"]);
+    for name in names {
+        let spec = diag_workloads::find(name).expect("registered");
+        let stats = run_verified(&MachineKind::Diag(DiagConfig::f4c32()), &spec, &p);
+        let e = model.energy(&stats);
+        let (fpu, lanes, mem, ctl) = e.shares();
+        table.row([
+            name.to_string(),
+            format!("{fpu:.1}"),
+            format!("{lanes:.1}"),
+            format!("{mem:.1}"),
+            format!("{ctl:.1}"),
+        ]);
+    }
+    let mut out = String::from(
+        "Figure 11: DiAG F4C32 energy breakdown by component (paper: FPU ~half in \
+         compute-heavy kernels, ~20% register lanes; memory dominates graph traversal)\n",
+    );
+    out.push_str(&table.render());
+    out
+}
+
+/// Figure 12: Rodinia energy-efficiency improvement over the baseline
+/// (inverse total energy; single-thread, multi-thread, and SIMT series).
+pub fn fig12(scale: Scale) -> String {
+    let diag_model = DiagEnergyModel::default();
+    let base_model = BaselineEnergyModel::default();
+    let mut table = TextTable::new(["benchmark", "single", "multi", "+SIMT"]);
+    let mut single = Vec::new();
+    let mut multi = Vec::new();
+    let mut simt = Vec::new();
+    for spec in rodinia_specs() {
+        let p1 = params(scale);
+        let b1 = run_verified(&MachineKind::Ooo(1), &spec, &p1);
+        let d1 = run_verified(&MachineKind::Diag(DiagConfig::f4c32()), &spec, &p1);
+        let r1 = base_model.energy(&b1).total_nj() / diag_model.energy(&d1).total_nj();
+        single.push(r1);
+
+        let pm = p1.with_threads(MT_THREADS);
+        let bm = run_verified(&MachineKind::Ooo(MT_THREADS), &spec, &pm);
+        let dm = run_verified(&MachineKind::Diag(DiagConfig::f4c32()), &spec, &pm);
+        let rm = base_model.energy(&bm).total_nj() / diag_model.energy(&dm).total_nj();
+        multi.push(rm);
+
+        let rs = if spec.simt_capable {
+            let ps = pm.with_simt(true);
+            let ds = run_verified(&MachineKind::Diag(simt_config()), &spec, &ps);
+            base_model.energy(&bm).total_nj() / diag_model.energy(&ds).total_nj()
+        } else {
+            rm
+        };
+        simt.push(rs);
+        table.row([
+            spec.name.to_string(),
+            ratio(r1),
+            ratio(rm),
+            if spec.simt_capable { ratio(rs) } else { "-".to_string() },
+        ]);
+    }
+    let mut out = String::from(
+        "Figure 12: energy-efficiency improvement vs OoO baseline (higher = better)\n",
+    );
+    out.push_str(&table.render());
+    out.push_str(&format!("geomean single-thread: {} (paper: 1.51x)\n", ratio(geomean(&single))));
+    out.push_str(&format!("geomean multi-thread:  {} (paper: 1.35x)\n", ratio(geomean(&multi))));
+    out.push_str(&format!("geomean with SIMT:     {} (paper: 1.63x)\n", ratio(geomean(&simt))));
+    out
+}
+
+/// Table 1: per-instruction front-end event rates, measured.
+pub fn table1(scale: Scale) -> String {
+    let spec = diag_workloads::find("pathfinder").expect("registered");
+    let p = params(scale);
+    let ooo = run_verified(&MachineKind::Ooo(1), &spec, &p);
+    let diag = run_verified(&MachineKind::Diag(DiagConfig::f4c32()), &spec, &p);
+    let mut no_reuse = DiagConfig::f4c32();
+    no_reuse.enable_reuse = false;
+    let initial = run_verified(&MachineKind::Diag(no_reuse), &spec, &p);
+
+    let per = |n: u64, s: &RunStats| format!("{:.3}", n as f64 / s.committed as f64);
+    let mut table = TextTable::new(["event / instr", "OoO", "DiAG (no reuse)", "DiAG (reuse)"]);
+    table.row([
+        "fetched lines".to_string(),
+        per(ooo.activity.line_fetches, &ooo),
+        per(initial.activity.line_fetches, &initial),
+        per(diag.activity.line_fetches, &diag),
+    ]);
+    table.row([
+        "decodes".to_string(),
+        per(ooo.activity.decodes, &ooo),
+        per(initial.activity.decodes, &initial),
+        per(diag.activity.decodes, &diag),
+    ]);
+    table.row([
+        "renames".to_string(),
+        per(ooo.activity.renames, &ooo),
+        "0 (reg lanes)".to_string(),
+        "0 (reg lanes)".to_string(),
+    ]);
+    table.row([
+        "issues/dispatches".to_string(),
+        per(ooo.activity.issues, &ooo),
+        "0 (dataflow)".to_string(),
+        "0 (dataflow)".to_string(),
+    ]);
+    table.row([
+        "ROB writes".to_string(),
+        per(ooo.activity.rob_writes, &ooo),
+        "0 (PC lane)".to_string(),
+        "0 (PC lane)".to_string(),
+    ]);
+    let mut out = String::from(
+        "Table 1: front-end work per committed instruction (paper: DiAG eliminates \
+         rename/issue/dispatch entirely; reuse also eliminates fetch and decode)\n",
+    );
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "DiAG reuse fraction on this loop kernel: {:.1}%\n",
+        diag.reuse_fraction() * 100.0
+    ));
+    out
+}
+
+/// Table 2: the evaluated DiAG configurations.
+pub fn table2() -> String {
+    let mut table = TextTable::new([
+        "Configuration",
+        "ISA",
+        "PEs/Cluster",
+        "Clusters",
+        "Total PEs",
+        "Freq (Sim)",
+        "L1D",
+        "L2",
+    ]);
+    for cfg in [DiagConfig::i4c2(), DiagConfig::f4c2(), DiagConfig::f4c16(), DiagConfig::f4c32()] {
+        table.row([
+            cfg.name.clone(),
+            if cfg.fp_enabled { "RV32IMF".to_string() } else { "RV32I".to_string() },
+            cfg.pes_per_cluster.to_string(),
+            cfg.clusters.to_string(),
+            cfg.total_pes().to_string(),
+            format!("{} GHz", cfg.freq_ghz),
+            format!("{} KB", cfg.l1d.size_bytes >> 10),
+            cfg.l2.map_or("N/A".to_string(), |l2| format!("{} MB", l2.size_bytes >> 20)),
+        ]);
+    }
+    format!("Table 2: DiAG configurations used for evaluation\n{}", table.render())
+}
+
+/// Table 3: hardware area and power breakdown by component.
+pub fn table3() -> String {
+    let mut table = TextTable::new(["Component", "Area", "Total Power"]);
+    for row in diag_power::components::table3() {
+        let area = if row.area_mm2 >= 1.0 {
+            format!("{:.3} mm2", row.area_mm2)
+        } else {
+            format!("{:.1} um2", row.spec.area_um2)
+        };
+        let power = if row.spec.power_mw >= 1000.0 {
+            format!("{:.2} W", row.spec.power_mw / 1000.0)
+        } else {
+            format!("{:.3} mW", row.spec.power_mw)
+        };
+        let star = if row.spec.estimated { "*" } else { "" };
+        table.row([format!("{}{star}", row.spec.name), area, power]);
+    }
+    let mut out = format!(
+        "Table 3: hardware area and power breakdown (FreePDK 45 nm synthesis values \
+         from the paper; * = partially estimated)\n{}",
+        table.render()
+    );
+    // The paper models caches separately with CACTI; append our estimates.
+    let cfg = DiagConfig::f4c32();
+    let (l1i, l1d, l2) = diag_power::cacti::hierarchy(&cfg.l1i, &cfg.l1d, cfg.l2.as_ref());
+    let mut caches = TextTable::new(["Cache (CACTI-style)", "Area", "Read energy"]);
+    caches.row(["L1I 32KB".to_string(), format!("{:.2} mm2", l1i.area_mm2), format!("{:.0} pJ", l1i.read_pj)]);
+    caches.row(["L1D 128KB".to_string(), format!("{:.2} mm2", l1d.area_mm2), format!("{:.0} pJ", l1d.read_pj)]);
+    if let Some(l2) = l2 {
+        caches.row(["L2 4MB".to_string(), format!("{:.2} mm2", l2.area_mm2), format!("{:.0} pJ", l2.read_pj)]);
+    }
+    out.push('\n');
+    out.push_str(&caches.render());
+    out
+}
+
+/// §7.3.2: stall-cause breakdown averaged across the Rodinia suite.
+pub fn stalls(scale: Scale) -> String {
+    let p = params(scale);
+    let mut total = diag_sim::StallBreakdown::default();
+    for spec in rodinia_specs() {
+        let stats = run_verified(&MachineKind::Diag(DiagConfig::f4c32()), &spec, &p);
+        total += stats.stalls;
+    }
+    let (m, c, o) = total.shares();
+    let mut table = TextTable::new(["cause", "measured", "paper"]);
+    table.row(["memory".to_string(), format!("{m:.1}%"), "73.6%".to_string()]);
+    table.row(["control".to_string(), format!("{c:.1}%"), "21.1%".to_string()]);
+    table.row(["other (structural)".to_string(), format!("{o:.1}%"), "5.3%".to_string()]);
+    format!("Section 7.3.2: DiAG stall-source breakdown over Rodinia\n{}", table.render())
+}
+
+/// Ablation: register-lane buffer interval (paper §6.1.2 fixes it at 8).
+pub fn ablation_lane(scale: Scale) -> String {
+    let spec = diag_workloads::find("srad").expect("registered");
+    let p = params(scale);
+    let mut table = TextTable::new(["buffer interval (PEs)", "cycles", "IPC"]);
+    for interval in [4usize, 8, 16] {
+        let mut cfg = DiagConfig::f4c32();
+        cfg.lane_buffer_interval = interval;
+        let stats = run_verified(&MachineKind::Diag(cfg), &spec, &p);
+        table.row([
+            interval.to_string(),
+            stats.cycles.to_string(),
+            format!("{:.3}", stats.ipc()),
+        ]);
+    }
+    format!(
+        "Ablation: register-lane buffer interval on srad (paper buffers every 8 PEs, \
+         §6.1.2 — fewer buffers = lower latency but longer critical wires)\n{}",
+        table.render()
+    )
+}
+
+/// Ablation: datapath reuse on/off across loop-heavy kernels.
+pub fn ablation_reuse(scale: Scale) -> String {
+    let p = params(scale);
+    let mut table = TextTable::new(["benchmark", "reuse cycles", "no-reuse cycles", "speedup"]);
+    for name in ["pathfinder", "hotspot", "x264", "mcf"] {
+        let spec = diag_workloads::find(name).expect("registered");
+        let on = run_verified(&MachineKind::Diag(DiagConfig::f4c32()), &spec, &p);
+        let mut cfg = DiagConfig::f4c32();
+        cfg.enable_reuse = false;
+        let off = run_verified(&MachineKind::Diag(cfg), &spec, &p);
+        table.row([
+            name.to_string(),
+            on.cycles.to_string(),
+            off.cycles.to_string(),
+            ratio(off.cycles as f64 / on.cycles as f64),
+        ]);
+    }
+    format!(
+        "Ablation: datapath reuse (§4.3.2) on F4C32 — reuse (with its preemptive \
+         loop-line loading) eliminates refetch/redecode of resident loops\n{}",
+        table.render()
+    )
+}
+
+/// Ablation: cluster LSU queue depth (§7.3.2 blames "full LSU request
+/// queues" for many memory stalls).
+pub fn ablation_lsu(scale: Scale) -> String {
+    let spec = diag_workloads::find("mcf").expect("registered");
+    let p = params(scale);
+    let mut table = TextTable::new(["LSU depth", "cycles", "memory-stall cycles"]);
+    for depth in [4usize, 8, 16, 32] {
+        let mut cfg = DiagConfig::f4c32();
+        cfg.lsu_depth = depth;
+        let stats = run_verified(&MachineKind::Diag(cfg), &spec, &p);
+        table.row([
+            depth.to_string(),
+            stats.cycles.to_string(),
+            stats.stalls.memory.to_string(),
+        ]);
+    }
+    format!(
+        "Ablation: cluster LSU outstanding-request depth on mcf (memory-bound) — \
+         deeper queues overlap more misses\n{}",
+        table.render()
+    )
+}
+
+/// Ablation: speculative datapath construction on forward branches
+/// (paper §7.3.2 future work: "penalties due to unpredictable control
+/// flow changes can potentially be ameliorated by simultaneously
+/// constructing multiple speculative datapaths").
+pub fn ablation_spec(scale: Scale) -> String {
+    let p = params(scale);
+    let mut table = TextTable::new(["benchmark", "baseline cycles", "speculative cycles", "speedup"]);
+    for name in ["xz", "bfs", "nw", "leela"] {
+        let spec = diag_workloads::find(name).expect("registered");
+        let plain = run_verified(&MachineKind::Diag(DiagConfig::f4c32()), &spec, &p);
+        let mut cfg = DiagConfig::f4c32();
+        cfg.speculative_datapaths = true;
+        let with = run_verified(&MachineKind::Diag(cfg), &spec, &p);
+        table.row([
+            name.to_string(),
+            plain.cycles.to_string(),
+            with.cycles.to_string(),
+            ratio(plain.cycles as f64 / with.cycles as f64),
+        ]);
+    }
+    // Suite kernels' forward branches are short skips within resident
+    // lines, so the mechanism is neutral there; a synthetic kernel whose
+    // taken path crosses I-lines shows the benefit.
+    let program = far_branch_program();
+    // Under cluster-capacity pressure (F4C2: two clusters, three lines of
+    // loop) the taken-path line is evicted every iteration.
+    let mut plain_m = Diag::new(DiagConfig::f4c2());
+    let plain = diag_sim::Machine::run(&mut plain_m, &program, 1).expect("plain run");
+    let mut cfg = DiagConfig::f4c2();
+    cfg.speculative_datapaths = true;
+    let mut spec_m = Diag::new(cfg);
+    let with = diag_sim::Machine::run(&mut spec_m, &program, 1).expect("spec run");
+    table.row([
+        "far-branch (synthetic, F4C2)".to_string(),
+        plain.cycles.to_string(),
+        with.cycles.to_string(),
+        ratio(plain.cycles as f64 / with.cycles as f64),
+    ]);
+    format!(
+        "Ablation: speculative forward-branch datapaths (§7.3.2 future work). \
+         Finding: consistently neutral — once the control unit's preemptive \
+         line loading (§5.1.3) and datapath residency are modelled, taken \
+         forward branches almost always land on lines that are already (or \
+         about to be) resident, so there is little left for speculative \
+         construction to hide. The paper's hypothesis targets wrong-path \
+         flush costs our model does not simulate\n{}",
+        table.render()
+    )
+}
+
+/// A loop whose taken forward branch lands in a different I-line.
+fn far_branch_program() -> diag_asm::Program {
+    use diag_isa::regs::*;
+    let mut b = diag_asm::ProgramBuilder::new();
+    b.li(T0, 2000);
+    b.li(T2, 0);
+    let top = b.bind_new_label();
+    let far = b.new_label();
+    b.andi(T1, T0, 1);
+    b.bnez(T1, far);
+    for _ in 0..3 {
+        b.addi(T2, T2, 1);
+    }
+    for _ in 0..20 {
+        b.nop();
+    }
+    b.bind(far);
+    b.addi(T0, T0, -1);
+    b.bnez(T0, top);
+    b.sw(T2, ZERO, 0);
+    b.ecall();
+    b.build().expect("synthetic kernel assembles")
+}
+
+/// Ablation: SIMT initiation interval (paper §5.4's `interval` operand).
+pub fn ablation_simt_interval(scale: Scale) -> String {
+    // Rebuild hotspot with different intervals by running the pipelined
+    // config against the simt binary; the interval is encoded in simt_s,
+    // so vary it through a custom build.
+    let p = params(scale).with_simt(true);
+    let spec = diag_workloads::find("hotspot").expect("registered");
+    let mut table = TextTable::new(["machine", "cycles", "IPC"]);
+    let seq = run_verified(&MachineKind::Diag(DiagConfig::f4c32()), &spec, &params(scale));
+    table.row(["serial loop (reuse)".to_string(), seq.cycles.to_string(), format!("{:.3}", seq.ipc())]);
+    let mut cfg = simt_config();
+    cfg.ring_clusters = cfg.clusters; // single ring for single thread
+    let piped = run_verified(&MachineKind::Diag(cfg), &spec, &p);
+    table.row(["SIMT pipelined".to_string(), piped.cycles.to_string(), format!("{:.3}", piped.ipc())]);
+    format!(
+        "Ablation: thread pipelining vs serial loop execution on hotspot (single \
+         thread, §4.4)\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_and_table3_render() {
+        let t2 = table2();
+        assert!(t2.contains("F4C32"));
+        assert!(t2.contains("512"));
+        let t3 = table3();
+        assert!(t3.contains("REGLANE"));
+        assert!(t3.contains("93.07"));
+    }
+
+    #[test]
+    fn table1_runs_at_tiny_scale() {
+        let t = table1(Scale::Tiny);
+        assert!(t.contains("reuse fraction"));
+        assert!(t.contains("reg lanes"));
+    }
+
+    #[test]
+    fn fig11_runs_at_tiny_scale() {
+        let t = fig11(Scale::Tiny);
+        assert!(t.contains("backprop"));
+    }
+
+    #[test]
+    fn stalls_runs_at_tiny_scale() {
+        let t = stalls(Scale::Tiny);
+        assert!(t.contains("73.6%"));
+    }
+}

@@ -1,0 +1,14 @@
+//! # diag-bench — experiment harness for the DiAG reproduction
+//!
+//! Regenerates every table and figure of the paper's evaluation (§6–§7):
+//! one function per artifact in [`experiments`], shared machine/workload
+//! plumbing in [`runner`], and a CLI binary (`harness`) that prints the
+//! same rows/series the paper reports with the paper's published values
+//! alongside. Criterion microbenchmarks of the simulators themselves live
+//! under `benches/`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod runner;

@@ -1,0 +1,118 @@
+//! Shared experiment plumbing: machine construction, workload runs, and
+//! relative-performance math.
+
+use diag_baseline::{InOrder, O3Config, OooCpu};
+use diag_core::{Diag, DiagConfig};
+use diag_sim::{Machine, RunStats};
+use diag_workloads::{Params, Scale, WorkloadSpec};
+
+/// Which machine to construct for a run.
+#[derive(Debug, Clone)]
+pub enum MachineKind {
+    /// A DiAG processor with the given configuration.
+    Diag(DiagConfig),
+    /// The out-of-order baseline with up to this many cores.
+    Ooo(usize),
+    /// The in-order reference.
+    InOrder,
+}
+
+impl MachineKind {
+    /// Builds the machine.
+    pub fn build(&self) -> Box<dyn Machine> {
+        match self {
+            MachineKind::Diag(cfg) => Box::new(Diag::new(cfg.clone())),
+            MachineKind::Ooo(cores) => {
+                Box::new(OooCpu::new(O3Config::aggressive_8wide(), *cores))
+            }
+            MachineKind::InOrder => Box::new(InOrder::new()),
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            MachineKind::Diag(cfg) => format!("DiAG {} ({} PEs)", cfg.name, cfg.total_pes()),
+            MachineKind::Ooo(cores) => format!("OoO 8-wide x{cores}"),
+            MachineKind::InOrder => "in-order".to_string(),
+        }
+    }
+}
+
+/// One workload run: builds, executes, verifies, returns statistics.
+///
+/// # Panics
+///
+/// Panics on build, run, or verification failure — experiment results
+/// must never be silently wrong.
+pub fn run_verified(kind: &MachineKind, spec: &WorkloadSpec, params: &Params) -> RunStats {
+    let built = spec
+        .build(params)
+        .unwrap_or_else(|e| panic!("{}: build failed: {e}", spec.name));
+    let mut machine = kind.build();
+    let stats = machine
+        .run(&built.program, params.threads)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", spec.name, kind.label()));
+    (built.verify)(machine.as_ref())
+        .unwrap_or_else(|e| panic!("{} on {}: verification failed: {e}", spec.name, kind.label()));
+    stats
+}
+
+/// Relative performance of `kind` vs `baseline` on `spec` (ratio of
+/// baseline cycles to machine cycles at equal frequency — >1 means
+/// faster than baseline, the paper's reporting convention).
+pub fn relative_performance(
+    kind: &MachineKind,
+    baseline: &MachineKind,
+    spec: &WorkloadSpec,
+    params: &Params,
+) -> f64 {
+    let base = run_verified(baseline, spec, params);
+    let ours = run_verified(kind, spec, params);
+    base.cycles as f64 / ours.cycles as f64
+}
+
+/// Default benchmarking scale for harness runs.
+pub fn harness_scale(quick: bool) -> Scale {
+    if quick {
+        Scale::Tiny
+    } else {
+        Scale::Small
+    }
+}
+
+/// The paper's multi-threaded configuration: 12 threads (one per baseline
+/// core, §7.1).
+pub const MT_THREADS: usize = 12;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_workloads::find;
+
+    #[test]
+    fn run_verified_produces_stats() {
+        let spec = find("x264").unwrap();
+        let stats = run_verified(&MachineKind::InOrder, &spec, &Params::tiny());
+        assert!(stats.cycles > 0);
+        assert!(stats.committed > 0);
+    }
+
+    #[test]
+    fn relative_performance_is_positive() {
+        let spec = find("deepsjeng").unwrap();
+        let rel = relative_performance(
+            &MachineKind::Diag(diag_core::DiagConfig::f4c2()),
+            &MachineKind::Ooo(1),
+            &spec,
+            &Params::tiny(),
+        );
+        assert!(rel > 0.05 && rel < 20.0, "rel = {rel}");
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert!(MachineKind::Diag(DiagConfig::f4c32()).label().contains("512"));
+        assert!(MachineKind::Ooo(12).label().contains("x12"));
+    }
+}

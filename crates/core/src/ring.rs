@@ -1,0 +1,642 @@
+//! The serial dataflow execution engine of one DiAG ring.
+//!
+//! A dataflow ring (paper §5.1) chains processing clusters circularly and
+//! runs one hardware thread. Instructions are assigned to PEs in program
+//! order; each begins execution as soon as its source register lanes are
+//! valid (§4.1), resolving RAW hazards implicitly and WAR/WAW by
+//! construction (§4.2). The PC lane retires instructions in order (§5.1.4).
+//!
+//! The engine is *dependence-timed*: it walks the correct dynamic
+//! instruction stream (functional execution is program-ordered and exact)
+//! and computes per-instruction start/finish times from the same structural
+//! rules the hardware obeys — lane-buffer propagation (§6.1.2), cluster
+//! residency and line fetches (§4.3, §5.1.1), per-cluster LSU queues and
+//! memory lanes (§5.2), backward-branch datapath reuse (§4.3.2), and the
+//! shared 512-bit bus (§5.1.3). Wrong-path execution is not simulated; a
+//! taken branch charges the paper's redirect penalty instead (§7.3.2).
+
+use std::collections::{HashMap, HashSet};
+
+use diag_asm::Program;
+use diag_isa::{decode, exec, ArchReg, Inst, Reg, INST_BYTES};
+use diag_mem::{LaneLookup, MemLane, REGFILE_BEATS};
+use diag_sim::{Activity, SimError, StallBreakdown};
+
+use crate::cluster::Cluster;
+
+/// Data-line granularity of the cluster line buffers (64-byte lines).
+fn shared_line_mask() -> u32 {
+    63
+}
+use crate::config::DiagConfig;
+use crate::lane::{CommitTracker, LaneFile, LaneGeometry};
+use crate::shared::SharedParts;
+
+/// One traced dynamic instruction (enabled by
+/// [`DiagConfig::collect_trace`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Instruction address.
+    pub pc: u32,
+    /// Global PE slot the instruction executed on.
+    pub slot: usize,
+    /// Cycle execution began.
+    pub start: u64,
+    /// Cycle the result (or memory data) was available.
+    pub finish: u64,
+    /// Cycle the PC lane retired it.
+    pub commit: u64,
+    /// Whether it executed from the resident datapath (no fetch/decode).
+    pub reused: bool,
+}
+
+/// Per-ring statistics merged into the machine's [`diag_sim::RunStats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RingStats {
+    /// Component activity (feeds the energy model).
+    pub activity: Activity,
+    /// Stall-source cycles (§7.3.2 taxonomy).
+    pub stalls: StallBreakdown,
+}
+
+/// One dataflow ring executing one hardware thread.
+#[derive(Debug)]
+pub struct RingSim<'p> {
+    pub(crate) program: &'p Program,
+    pub(crate) config: &'p DiagConfig,
+    pub(crate) geom: LaneGeometry,
+    pub(crate) clusters: Vec<Cluster>,
+    pub(crate) resident: HashMap<u32, usize>,
+    pub(crate) alloc_rr: usize,
+    /// Last sequentially-loaded line and the time its bus transport ended,
+    /// modelling the control unit's preemptive next-line fetch (§5.1.3).
+    pub(crate) last_line: Option<(u32, u64)>,
+    /// Lines that have been backward-branch targets: the control unit's
+    /// scheduling table knows the thread loops through them and prefetches
+    /// them into freed clusters (§5.1.3 "preemptively loading instruction
+    /// lines"), hiding the fetch latency on re-entry.
+    pub(crate) loop_lines: HashSet<u32>,
+    pub(crate) lanes: LaneFile,
+    pub(crate) commit: CommitTracker,
+    pub(crate) memlane: MemLane,
+    /// Current architectural PC (next instruction to process).
+    pub pc: u32,
+    /// Whether the thread has halted (`ecall`).
+    pub halted: bool,
+    /// Earliest time the next instruction may begin (control redirects).
+    pub(crate) time_floor: u64,
+    /// Whether the pending floor came from a control redirect (attributes
+    /// the following line fetch to control).
+    pub(crate) redirect_pending: bool,
+    /// Store-ordering floor (stores issue in order among themselves).
+    pub(crate) mem_floor: u64,
+    /// Floor applied to every memory access after a `fence`.
+    pub(crate) fence_floor: u64,
+    /// Statistics for this ring.
+    pub stats: RingStats,
+    /// High-water mark of simultaneously resident I-lines (powered
+    /// clusters), for the lane/leakage energy model (§7.3.1).
+    pub(crate) max_resident: usize,
+    /// Whether the configured asynchronous interrupt has been delivered.
+    pub(crate) interrupt_taken: bool,
+    /// Collected execution trace (when configured).
+    pub(crate) trace: Vec<TraceEvent>,
+    pub(crate) thread_id: usize,
+}
+
+impl<'p> RingSim<'p> {
+    /// Creates a ring of `clusters` processing clusters running `program`
+    /// as hardware thread `thread_id` of `thread_count`.
+    pub fn new(
+        program: &'p Program,
+        config: &'p DiagConfig,
+        clusters: usize,
+        thread_id: usize,
+        thread_count: usize,
+        start_time: u64,
+    ) -> RingSim<'p> {
+        let ppc = config.pes_per_cluster;
+        let mut lanes = LaneFile::new();
+        lanes.set_value(Reg::A0.into(), thread_id as u32);
+        lanes.set_value(Reg::A1.into(), thread_count as u32);
+        lanes.set_value(
+            Reg::SP.into(),
+            diag_asm::STACK_TOP - (thread_id as u32) * diag_asm::STACK_STRIDE,
+        );
+        lanes.retime_all(start_time, 0);
+        let mut commit = CommitTracker::new(config.commit_width);
+        commit.advance_to(start_time);
+        RingSim {
+            program,
+            config,
+            geom: LaneGeometry { buffer_interval: config.lane_buffer_interval, ring_slots: clusters * ppc },
+            clusters: (0..clusters).map(|_| Cluster::new(ppc, config.lsu_depth)).collect(),
+            resident: HashMap::new(),
+            alloc_rr: 0,
+            last_line: None,
+            loop_lines: HashSet::new(),
+            lanes,
+            commit,
+            memlane: MemLane::new(config.memlane_capacity),
+            pc: program.entry(),
+            halted: false,
+            time_floor: start_time,
+            redirect_pending: false,
+            mem_floor: start_time,
+            fence_floor: start_time,
+            stats: RingStats::default(),
+            max_resident: 0,
+            interrupt_taken: false,
+            trace: Vec::new(),
+            thread_id,
+        }
+    }
+
+    /// This ring's hardware-thread id.
+    pub fn thread_id(&self) -> usize {
+        self.thread_id
+    }
+
+    /// The ring's current notion of time (last retirement).
+    pub fn clock(&self) -> u64 {
+        self.commit.last_commit()
+    }
+
+    /// High-water mark of simultaneously resident (powered) clusters.
+    pub fn max_resident_clusters(&self) -> usize {
+        self.max_resident
+    }
+
+    /// Read an architectural register value (program-order exact).
+    pub(crate) fn reg(&self, lane: ArchReg) -> u32 {
+        self.lanes.value(lane)
+    }
+
+    fn line_mask(&self) -> u32 {
+        !(self.config.line_bytes() - 1)
+    }
+
+    /// Ensures the I-line containing `line` is resident; returns its
+    /// cluster index. `was_redirect` attributes any fetch wait to control.
+    fn ensure_resident(&mut self, line: u32, was_redirect: bool, shared: &mut SharedParts) -> usize {
+        if let Some(&c) = self.resident.get(&line) {
+            return c;
+        }
+        let c = self.alloc_rr;
+        self.alloc_rr = (self.alloc_rr + 1) % self.clusters.len();
+        // The control unit initiates the fetch: on a sequential line
+        // transition the fetch was launched when the previous line arrived
+        // (preemptive loading, §5.1.3); on a redirect it starts at the
+        // redirect floor.
+        let initiate = match self.last_line {
+            Some((prev, arrived)) if line == prev.wrapping_add(self.config.line_bytes()) && !was_redirect => {
+                arrived
+            }
+            _ => self.time_floor,
+        };
+        // A known loop target was prefetched while the victim cluster was
+        // draining; its transport cost was already paid in the background.
+        let prefetched = was_redirect && self.loop_lines.contains(&line);
+        let arrived = if prefetched {
+            self.stats.activity.line_fetches += 1;
+            self.stats.activity.bus_beats += diag_mem::ILINE_BEATS;
+            initiate
+        } else {
+            let (arrived, bus_wait) = shared.fetch_line(line, initiate);
+            self.stats.stalls.structural += bus_wait;
+            arrived
+        };
+        let free = self.clusters[c].last_commit;
+        if free > arrived {
+            self.stats.stalls.structural += free - arrived;
+        }
+        let latch = arrived.max(free);
+        let decode_ready = latch + self.config.line_load_cycles + 1;
+        if was_redirect && decode_ready > self.time_floor {
+            self.stats.stalls.control += decode_ready - self.time_floor;
+        }
+        if let Some(old) = self.clusters[c].line_addr {
+            self.resident.remove(&old);
+        }
+        self.clusters[c].load_line(line, decode_ready);
+        self.resident.insert(line, c);
+        self.max_resident = self.max_resident.max(self.resident.len());
+        self.last_line = Some((line, arrived));
+        if !prefetched {
+            self.stats.activity.line_fetches += 1;
+            self.stats.activity.bus_beats += diag_mem::ILINE_BEATS;
+        }
+        c
+    }
+
+    /// Handles a taken control transfer resolved at `resolve` from global
+    /// PE slot `from_slot`; sets the floor for the next instruction.
+    fn redirect(&mut self, target: u32, resolve: u64, from_slot: usize, shared: &mut SharedParts) {
+        let backward = target <= self.pc;
+        let line = target & self.line_mask();
+        match self.resident.get(&line).copied() {
+            Some(c) => {
+                if backward && !self.config.enable_reuse {
+                    // Ablation: no datapath reuse — evict so the line
+                    // reloads through the full fetch/decode path.
+                    self.clusters[c].evict();
+                    self.resident.remove(&line);
+                    self.time_floor = resolve + 1;
+                } else {
+                    let slot_in = ((target - line) / INST_BYTES) as usize;
+                    let target_slot = c * self.config.pes_per_cluster + slot_in;
+                    let walk = self.geom.delay(from_slot, target_slot).max(1);
+                    let delay = if walk <= REGFILE_BEATS {
+                        walk
+                    } else {
+                        // Partial register-file transfer over the 512-bit
+                        // bus: two cycles plus arbitration (§5.1.3).
+                        let granted = shared.bus.request(resolve, REGFILE_BEATS);
+                        self.stats.activity.bus_beats += REGFILE_BEATS;
+                        granted + REGFILE_BEATS - resolve
+                    };
+                    self.time_floor = resolve + delay;
+                    // Backward reuse redirects are the steady-state loop
+                    // mechanism, not flushes. Taken *forward* branches
+                    // disable the skipped PEs — wasted slots the paper's
+                    // taxonomy counts as control (§7.3.2).
+                    if !backward {
+                        self.stats.stalls.control += delay;
+                    }
+                    self.redirect_pending = true;
+                    return;
+                }
+            }
+            None => {
+                // Target line must be fetched; ensure_resident adds the
+                // fetch latency on the next step (≥3 cycles total, §7.3.2).
+                // The scheduling table records loop targets for preemptive
+                // loading on future iterations.
+                if backward && self.config.enable_reuse {
+                    // Preemptive loop-line loading is part of the reuse
+                    // machinery; the ablation disables both.
+                    self.loop_lines.insert(line);
+                }
+                if !backward && self.config.speculative_datapaths {
+                    // §7.3.2 future work: the taken-path line was being
+                    // constructed speculatively in a spare cluster, so the
+                    // redirect only pays the PC-lane switch.
+                    self.loop_lines.insert(line);
+                }
+                self.time_floor = resolve + 1;
+            }
+        }
+        self.stats.stalls.control += self.time_floor - resolve;
+        self.redirect_pending = true;
+    }
+
+    /// Issues one memory access through the cluster's LSU and the memory
+    /// lanes; returns `(issue_time, data_ready_time)`. Stores issue in
+    /// order among themselves; loads reorder freely except around
+    /// overlapping buffered stores (the memory lanes "enable access
+    /// reordering", §5.2). The PE frees once the request is handed to the
+    /// LSU queue (the queue depth bounds how many iterations' accesses
+    /// overlap under reuse).
+    fn issue_mem(
+        &mut self,
+        cluster: usize,
+        addr: u32,
+        size: u32,
+        write: bool,
+        start: u64,
+        shared: &mut SharedParts,
+    ) -> (u64, u64) {
+        if write {
+            let want = start.max(self.mem_floor);
+            let (issue, waited) = self.clusters[cluster].lsu.issue_blocking(want);
+            self.stats.stalls.memory += waited;
+            self.mem_floor = issue;
+            self.memlane.push_store(addr, size, 0, issue);
+            self.memlane.trim();
+            let out = shared.l1d.access(addr, true, issue);
+            self.count_cache(&out);
+            self.clusters[cluster].line_buf_fill(addr & !(shared_line_mask()));
+            let ready = issue + 1;
+            self.clusters[cluster].lsu.complete_at(ready);
+            (issue, ready)
+        } else {
+            let (want, forward) = match self.memlane.lookup(addr, size) {
+                LaneLookup::HitFast { store_time, .. } => {
+                    (start.max(self.fence_floor).max(store_time), true)
+                }
+                LaneLookup::HitSlow { store_time, .. }
+                | LaneLookup::Conflict { store_time } => {
+                    (start.max(self.fence_floor).max(store_time + 1), false)
+                }
+                LaneLookup::Miss => (start.max(self.fence_floor), false),
+            };
+            // Cluster-level line buffer (§5.2): a load to the previously
+            // accessed line is served locally without consuming the LSU
+            // queue or an L1D port.
+            let line = addr & !(shared_line_mask());
+            if !forward && self.clusters[cluster].line_buf_hit(line) {
+                self.stats.activity.memlane_hits += 1;
+                return (want, want + 1);
+            }
+            let (issue, waited) = self.clusters[cluster].lsu.issue_blocking(want);
+            self.stats.stalls.memory += waited;
+            let ready = if forward {
+                self.stats.activity.memlane_hits += 1;
+                issue + 1
+            } else {
+                let out = shared.l1d.access(addr, false, issue);
+                self.count_cache(&out);
+                if !out.l1_hit {
+                    let hit_time = issue + self.config.l1d.hit_latency as u64;
+                    self.stats.stalls.memory += out.ready_at.saturating_sub(hit_time);
+                }
+                self.clusters[cluster].line_buf_fill(line);
+                out.ready_at
+            };
+            self.clusters[cluster].lsu.complete_at(ready);
+            (issue, ready)
+        }
+    }
+
+    pub(crate) fn count_cache(&mut self, out: &diag_mem::MemOutcome) {
+        self.stats.activity.l1d_accesses += 1;
+        if !out.l1_hit {
+            self.stats.activity.l1d_misses += 1;
+            self.stats.activity.l2_accesses += 1;
+            if !out.l2_hit {
+                self.stats.activity.l2_misses += 1;
+            }
+        }
+    }
+
+    /// Executes one dynamic instruction (or one whole SIMT region when it
+    /// begins at the current PC). Advances architectural and timing state.
+    pub fn step(&mut self, shared: &mut SharedParts) -> Result<(), SimError> {
+        debug_assert!(!self.halted, "step on a halted ring");
+        // Asynchronous interrupt (§5.1.4): taken at an instruction
+        // boundary on thread 0 once the PC lane has passed the injection
+        // cycle. All older instructions have retired (this engine is
+        // program-ordered), younger PEs are disabled by the PC mismatch.
+        if let Some((cycle, vector)) = self.config.interrupt_at {
+            if self.thread_id == 0 && !self.interrupt_taken && self.clock() >= cycle {
+                self.interrupt_taken = true;
+                let resolve = self.clock() + 1;
+                let slot = 0;
+                let old_pc = self.pc;
+                self.pc = vector;
+                self.redirect(vector, resolve, slot, shared);
+                // The interrupted PC is preserved for the handler in the
+                // conventional scratch register (a simplified mepc).
+                self.lanes.write(diag_isa::Reg::GP.into(), old_pc, resolve, slot);
+                self.stats.stalls.control += 1;
+            }
+        }
+        let pc = self.pc;
+        let word = self
+            .program
+            .fetch(pc)
+            .ok_or(SimError::PcOutOfRange { pc })?;
+        let inst = decode(word).map_err(|_| SimError::IllegalInstruction { addr: pc, word })?;
+
+        if let Inst::SimtS { .. } = inst {
+            if self.config.enable_simt && self.try_simt(pc, inst, shared)? {
+                return Ok(());
+            }
+        }
+
+        let was_redirect = std::mem::take(&mut self.redirect_pending);
+        let line = pc & self.line_mask();
+        let cluster = self.ensure_resident(line, was_redirect, shared);
+        let slot_in = ((pc - line) / INST_BYTES) as usize;
+        let slot = cluster * self.config.pes_per_cluster + slot_in;
+
+        let reused = !self.clusters[cluster].mark_decoded(slot_in);
+        if reused {
+            self.stats.activity.reuse_commits += 1;
+        } else {
+            self.stats.activity.decodes += 1;
+        }
+        let decode_ready = self.clusters[cluster].decode_ready;
+
+        // Source operands: value + validity time at this PE slot.
+        let mut op_ready = 0u64;
+        for src in inst.sources().iter() {
+            let t = self.lanes.ready_at(src, slot, self.geom);
+            self.stats.activity.lane_transports += t - self.lanes.raw_ready(src);
+            op_ready = op_ready.max(t);
+        }
+
+        let slot_free = self.clusters[cluster].slot_busy[slot_in];
+        let start = op_ready
+            .max(decode_ready)
+            .max(self.time_floor)
+            .max(slot_free);
+
+        let mut next_pc = pc.wrapping_add(INST_BYTES);
+        let mut lane_write: Option<(ArchReg, u32)> = None;
+        let mut slot_release: Option<u64> = None;
+        let finish: u64;
+
+        match inst {
+            Inst::Lui { rd, imm } => {
+                finish = start + 1;
+                lane_write = Some((rd.into(), imm as u32));
+            }
+            Inst::Auipc { rd, imm } => {
+                finish = start + 1;
+                lane_write = Some((rd.into(), pc.wrapping_add(imm as u32)));
+            }
+            Inst::OpImm { op, rd, rs1, imm } => {
+                finish = start + inst.exec_latency() as u64;
+                let v = exec::alu(op, self.lanes.value(rs1.into()), imm as u32);
+                lane_write = Some((rd.into(), v));
+            }
+            Inst::Op { op, rd, rs1, rs2 } => {
+                finish = start + inst.exec_latency() as u64;
+                let v = exec::alu(op, self.lanes.value(rs1.into()), self.lanes.value(rs2.into()));
+                lane_write = Some((rd.into(), v));
+            }
+            Inst::Jal { rd, offset } => {
+                finish = start + 1;
+                lane_write = Some((rd.into(), pc.wrapping_add(INST_BYTES)));
+                next_pc = pc.wrapping_add(offset as u32);
+                self.redirect(next_pc, finish, slot, shared);
+            }
+            Inst::Jalr { rd, rs1, offset } => {
+                finish = start + 1;
+                let target = self.lanes.value(rs1.into()).wrapping_add(offset as u32) & !1;
+                lane_write = Some((rd.into(), pc.wrapping_add(INST_BYTES)));
+                next_pc = target;
+                self.redirect(next_pc, finish, slot, shared);
+            }
+            Inst::Branch { op, rs1, rs2, offset } => {
+                finish = start + 1;
+                let taken = exec::branch_taken(
+                    op,
+                    self.lanes.value(rs1.into()),
+                    self.lanes.value(rs2.into()),
+                );
+                if taken {
+                    next_pc = pc.wrapping_add(offset as u32);
+                    self.redirect(next_pc, finish, slot, shared);
+                }
+            }
+            Inst::Load { op, rd, rs1, offset } => {
+                let addr = self.lanes.value(rs1.into()).wrapping_add(offset as u32);
+                let size = op.size();
+                if addr % size != 0 {
+                    return Err(SimError::Misaligned { addr, size });
+                }
+                let (issue, ready) = self.issue_mem(cluster, addr, size, false, start, shared);
+                slot_release = Some(issue + 1);
+                finish = ready;
+                let raw = shared.mem.read(addr, size);
+                lane_write = Some((rd.into(), exec::extend_load(op, raw)));
+                self.stats.activity.loads += 1;
+            }
+            Inst::Store { op, rs1, rs2, offset } => {
+                let addr = self.lanes.value(rs1.into()).wrapping_add(offset as u32);
+                let size = op.size();
+                if addr % size != 0 {
+                    return Err(SimError::Misaligned { addr, size });
+                }
+                let value = self.lanes.value(rs2.into());
+                shared.mem.write(addr, size, value);
+                let (issue, ready) = self.issue_mem(cluster, addr, size, true, start, shared);
+                slot_release = Some(issue + 1);
+                finish = ready;
+                self.stats.activity.stores += 1;
+            }
+            Inst::Flw { rd, rs1, offset } => {
+                let addr = self.lanes.value(rs1.into()).wrapping_add(offset as u32);
+                if addr % 4 != 0 {
+                    return Err(SimError::Misaligned { addr, size: 4 });
+                }
+                let (issue, ready) = self.issue_mem(cluster, addr, 4, false, start, shared);
+                slot_release = Some(issue + 1);
+                finish = ready;
+                lane_write = Some((rd.into(), shared.mem.read_u32(addr)));
+                self.stats.activity.loads += 1;
+            }
+            Inst::Fsw { rs1, rs2, offset } => {
+                let addr = self.lanes.value(rs1.into()).wrapping_add(offset as u32);
+                if addr % 4 != 0 {
+                    return Err(SimError::Misaligned { addr, size: 4 });
+                }
+                shared.mem.write_u32(addr, self.lanes.value(rs2.into()));
+                let (issue, ready) = self.issue_mem(cluster, addr, 4, true, start, shared);
+                slot_release = Some(issue + 1);
+                finish = ready;
+                self.stats.activity.stores += 1;
+            }
+            Inst::FpOp { op, rd, rs1, rs2 } => {
+                finish = start + inst.exec_latency() as u64;
+                let v = exec::fp_op(op, self.lanes.value(rs1.into()), self.lanes.value(rs2.into()));
+                lane_write = Some((rd.into(), v));
+            }
+            Inst::FpFma { op, rd, rs1, rs2, rs3 } => {
+                finish = start + inst.exec_latency() as u64;
+                let v = exec::fp_fma(
+                    op,
+                    self.lanes.value(rs1.into()),
+                    self.lanes.value(rs2.into()),
+                    self.lanes.value(rs3.into()),
+                );
+                lane_write = Some((rd.into(), v));
+            }
+            Inst::FpCmp { op, rd, rs1, rs2 } => {
+                finish = start + inst.exec_latency() as u64;
+                let v = exec::fp_cmp(op, self.lanes.value(rs1.into()), self.lanes.value(rs2.into()));
+                lane_write = Some((rd.into(), v));
+            }
+            Inst::FpToInt { op, rd, rs1 } => {
+                finish = start + inst.exec_latency() as u64;
+                lane_write = Some((rd.into(), exec::fp_to_int(op, self.lanes.value(rs1.into()))));
+            }
+            Inst::IntToFp { op, rd, rs1 } => {
+                finish = start + inst.exec_latency() as u64;
+                lane_write = Some((rd.into(), exec::int_to_fp(op, self.lanes.value(rs1.into()))));
+            }
+            Inst::Fence => {
+                // Serialize the memory stream.
+                finish = start + 1;
+                self.mem_floor = self.mem_floor.max(finish);
+                self.fence_floor = self.fence_floor.max(finish);
+            }
+            Inst::Ecall => {
+                finish = start + 1;
+                self.halted = true;
+            }
+            Inst::Ebreak => {
+                finish = start + 1;
+                match self.config.trap_vector {
+                    Some(vector) => {
+                        // Precise trap (§5.1.4): older instructions have
+                        // committed (program-order engine), younger PEs are
+                        // disabled by the PC-lane mismatch.
+                        next_pc = vector;
+                        self.redirect(vector, finish, slot, shared);
+                    }
+                    None => self.halted = true,
+                }
+            }
+            Inst::SimtS { rc, .. } => {
+                // Sequential marker semantics: rc passes through unchanged.
+                finish = start + 1;
+                lane_write = Some((rc.into(), self.lanes.value(rc.into())));
+            }
+            Inst::SimtE { rc, r_end, l_offset } => {
+                finish = start + 1;
+                let start_pc = pc.wrapping_add(l_offset as u32);
+                let step = match self.program.decode_at(start_pc) {
+                    Some(Inst::SimtS { r_step, .. }) => self.lanes.value(r_step.into()),
+                    other => {
+                        return Err(SimError::InvalidSimtRegion {
+                            reason: format!(
+                                "simt_e at {pc:#x} points to {other:?} at {start_pc:#x}, not simt_s"
+                            ),
+                        })
+                    }
+                };
+                let rc_new = self.lanes.value(rc.into()).wrapping_add(step);
+                lane_write = Some((rc.into(), rc_new));
+                if (rc_new as i32) < (self.lanes.value(r_end.into()) as i32) {
+                    next_pc = start_pc.wrapping_add(INST_BYTES);
+                    self.redirect(next_pc, finish, slot, shared);
+                }
+            }
+        }
+
+        // Drive the destination lane and retire through the PC lane.
+        if let Some((lane, value)) = lane_write {
+            self.lanes.write(lane, value, finish, slot);
+            if !lane.is_zero() {
+                self.stats.activity.reg_writes += 1;
+            }
+        }
+        let exec_cycles = finish - start;
+        self.stats.activity.pe_active_cycles += exec_cycles.max(1);
+        if inst.uses_fpu() {
+            self.stats.activity.fpu_active_cycles += exec_cycles.max(1);
+            self.stats.activity.fp_ops += 1;
+        } else if !inst.is_mem() {
+            self.stats.activity.int_ops += 1;
+        }
+        let commit_t = self.commit.commit(finish);
+        if self.config.collect_trace {
+            self.trace.push(TraceEvent { pc, slot, start, finish, commit: commit_t, reused });
+        }
+        self.clusters[cluster].last_commit = self.clusters[cluster].last_commit.max(commit_t);
+        // A PE accepts its next dynamic instance once its unit can issue
+        // again: pipelined units every cycle (the buffered lane segments
+        // pipeline the value flow), unpipelined dividers after their full
+        // latency, memory PEs once the LSU accepted the request.
+        let occupancy = match inst.fu_kind() {
+            diag_isa::FuKind::IntDiv | diag_isa::FuKind::FpDiv => finish,
+            _ => start + 1,
+        };
+        self.clusters[cluster].slot_busy[slot_in] = slot_release.unwrap_or(occupancy);
+        self.pc = next_pc;
+        Ok(())
+    }
+}

@@ -1,0 +1,517 @@
+//! SIMT thread pipelining (paper §4.4 and §5.4).
+//!
+//! When a `simt_s`/`simt_e` region is well-formed — fits in the ring, no
+//! backward branches or indirect jumps, body does not write the control
+//! register — DiAG pipelines loop *instances* through the region's
+//! clusters: pipeline registers sit between clusters (not between PEs,
+//! Figure 7's caveat), each instance carries its own register lanes and
+//! PC, forward branches nullify mismatched PEs, and a new instance is
+//! initiated at most once every `interval` cycles. Ill-formed regions fall
+//! back to the markers' sequential-loop semantics, as the paper prescribes
+//! ("otherwise the threads are executed sequentially", §4.4.3).
+//!
+//! Functionally, instances execute in loop order, so memory side effects
+//! are exactly those of the sequential loop; only the *timing* is
+//! pipelined.
+
+use diag_isa::{exec, ArchReg, Inst, Reg, INST_BYTES};
+use diag_mem::{LaneLookup, MemLane};
+use diag_sim::SimError;
+
+use crate::lane::LaneFile;
+use crate::ring::RingSim;
+use crate::shared::SharedParts;
+
+/// Cycles a PE's functional unit is unavailable after accepting an
+/// instance: pipelined units re-issue every cycle; unpipelined dividers
+/// block for their full latency (§5.1.2's FDIV concern).
+fn occupancy(inst: &diag_isa::Inst) -> u64 {
+    use diag_isa::FuKind;
+    match inst.fu_kind() {
+        FuKind::IntDiv | FuKind::FpDiv => inst.exec_latency() as u64,
+        _ => 1,
+    }
+}
+
+/// A validated SIMT region description.
+#[derive(Debug)]
+struct Region {
+    /// Address of the `simt_s`.
+    pc_s: u32,
+    /// Address of the matching `simt_e`.
+    pc_e: u32,
+    /// Decoded body instructions (between the markers), with addresses.
+    body: Vec<(u32, Inst)>,
+    /// I-line base addresses covered by the region, in order (one pipeline
+    /// stage per line/cluster).
+    lines: Vec<u32>,
+}
+
+impl<'p> RingSim<'p> {
+    /// Attempts pipelined execution of the SIMT region whose `simt_s` is
+    /// at `pc_s`. Returns `Ok(true)` when the region was executed in
+    /// pipeline mode (all architectural and timing state advanced past
+    /// it), `Ok(false)` to fall back to sequential marker semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidSimtRegion`] for malformed pairs (zero
+    /// step or a non-terminating bound) — these are program bugs, not
+    /// fallback cases.
+    pub(crate) fn try_simt(
+        &mut self,
+        pc_s: u32,
+        inst: Inst,
+        shared: &mut SharedParts,
+    ) -> Result<bool, SimError> {
+        let Inst::SimtS { rc, r_step, r_end, interval } = inst else {
+            return Ok(false);
+        };
+        let Some(region) = self.find_region(pc_s, rc)? else {
+            return Ok(false);
+        };
+        if region.lines.len() > self.clusters.len() {
+            // Region does not fit in this ring: execute sequentially
+            // (paper §4.4.3).
+            return Ok(false);
+        }
+
+        let rc0 = self.reg(rc.into()) as i32;
+        let step = self.reg(r_step.into()) as i32;
+        let end = self.reg(r_end.into()) as i32;
+        if step == 0 {
+            return Err(SimError::InvalidSimtRegion {
+                reason: format!("simt_s at {pc_s:#x} has zero step"),
+            });
+        }
+        if step < 0 && rc0.wrapping_add(step) < end {
+            return Err(SimError::InvalidSimtRegion {
+                reason: format!("simt_s at {pc_s:#x}: negative step never reaches r_end"),
+            });
+        }
+
+        // Spawn time: simt_s needs its operands and a loaded first stage.
+        let entry_slot = self.stage_slot(0, pc_s, &region);
+        let mut t0 = self.time_floor;
+        for src in [rc, r_step, r_end] {
+            t0 = t0.max(self.lanes.ready_at(src.into(), entry_slot, self.geom));
+        }
+        let (stage_ready, fetched) = self.load_region(&region, t0, shared);
+        let t0 = (t0 + 1).max(stage_ready[0]);
+
+        // Per-PE issue-occupancy state across instances.
+        let stages = region.lines.len();
+        let mut slot_busy = vec![0u64; region.body.len()];
+        let mut total_body_commits = 0u64;
+        let mut end_time = t0;
+        let final_lanes: LaneFile;
+
+        let mut i: u64 = 0;
+        loop {
+            let rc_i = rc0.wrapping_add((i as i32).wrapping_mul(step));
+            let spawn = t0 + i * interval as u64;
+
+            // Per-instance register lanes: the register file as of simt_s
+            // with the control register advanced (paper §5.4).
+            let mut lanes = self.lanes.clone();
+            lanes.set_value(rc.into(), rc_i as u32);
+            lanes.retime_all(spawn, entry_slot);
+
+            let exit = self.run_instance(
+                &region,
+                &mut lanes,
+                spawn,
+                &stage_ready,
+                &mut slot_busy,
+                &mut total_body_commits,
+                shared,
+            )?;
+            end_time = end_time.max(exit);
+
+            let rc_next = rc_i.wrapping_add(step);
+            let done = rc_next >= end;
+            if done {
+                lanes.set_value(rc.into(), rc_next as u32);
+                final_lanes = lanes;
+                break;
+            }
+            i += 1;
+            if end_time > self.config.max_cycles {
+                return Err(SimError::CycleLimit { limit: self.config.max_cycles });
+            }
+        }
+        let instances = i + 1;
+
+        // Only the last instance's register lanes propagate onward
+        // (simt_e semantics, §5.4).
+        let mut lanes = final_lanes;
+        let exit_slot = self.stage_slot(stages - 1, region.pc_e, &region);
+        lanes.retime_all(end_time, exit_slot);
+        self.lanes = lanes;
+
+        // Retirement: body commits plus the two markers.
+        let commits = total_body_commits + 2;
+        self.commit.advance_to(end_time);
+        self.commit.add_bulk(commits);
+        let first_cost = if fetched { region.body.len() as u64 + 2 } else { 0 };
+        self.stats.activity.decodes += first_cost;
+        self.stats.activity.reuse_commits += commits.saturating_sub(first_cost);
+
+        self.pc = region.pc_e.wrapping_add(INST_BYTES);
+        self.time_floor = end_time;
+        self.mem_floor = self.mem_floor.max(end_time);
+        debug_assert!(instances >= 1);
+        Ok(true)
+    }
+
+    /// Locates and validates the region. `Ok(None)` means "fall back to
+    /// sequential execution".
+    fn find_region(&self, pc_s: u32, rc: Reg) -> Result<Option<Region>, SimError> {
+        let mut body = Vec::new();
+        let mut pc = pc_s.wrapping_add(INST_BYTES);
+        let pc_e = loop {
+            let Some(inst) = self.program.decode_at(pc) else {
+                // Ran off the text segment without a matching simt_e.
+                return Err(SimError::InvalidSimtRegion {
+                    reason: format!("simt_s at {pc_s:#x} has no matching simt_e"),
+                });
+            };
+            match inst {
+                Inst::SimtE { l_offset, .. } => {
+                    if pc.wrapping_add(l_offset as u32) == pc_s {
+                        break pc;
+                    }
+                    // A simt_e for some other region: malformed nesting.
+                    return Ok(None);
+                }
+                Inst::SimtS { .. } => return Ok(None), // nested region
+                Inst::Jalr { .. } | Inst::Ecall | Inst::Ebreak | Inst::Fence => return Ok(None),
+                Inst::Jal { offset, .. } | Inst::Branch { offset, .. } if offset < 0 => {
+                    // Backward control flow inside the region (§4.4.3).
+                    return Ok(None);
+                }
+                Inst::Jal { offset, .. } | Inst::Branch { offset, .. } => {
+                    // Forward targets must stay inside the region.
+                    let target = pc.wrapping_add(offset as u32);
+                    if target <= pc_s {
+                        return Ok(None);
+                    }
+                    body.push((pc, inst));
+                }
+                other => {
+                    // The body must not write the control register — the
+                    // hardware owns rc during pipelining (§5.4).
+                    if other.dest() == Some(ArchReg::from(rc)) {
+                        return Ok(None);
+                    }
+                    body.push((pc, inst));
+                }
+            }
+            pc = pc.wrapping_add(INST_BYTES);
+            if pc.wrapping_sub(pc_s) > 64 * INST_BYTES * 8 {
+                return Err(SimError::InvalidSimtRegion {
+                    reason: format!("simt_s at {pc_s:#x}: region exceeds scan limit"),
+                });
+            }
+        };
+        // Re-check forward branch targets now that pc_e is known.
+        for &(bpc, binst) in &body {
+            if let Some(target) = binst.static_target(bpc) {
+                if target > pc_e {
+                    return Ok(None);
+                }
+            }
+        }
+        let line_bytes = self.config.line_bytes();
+        let first_line = pc_s & !(line_bytes - 1);
+        let last_line = pc_e & !(line_bytes - 1);
+        let lines = (first_line..=last_line).step_by(line_bytes as usize).collect();
+        Ok(Some(Region { pc_s, pc_e, body, lines }))
+    }
+
+    /// Global PE slot of address `pc` within stage `stage`.
+    fn stage_slot(&self, stage: usize, pc: u32, region: &Region) -> usize {
+        let line = region.lines[stage.min(region.lines.len() - 1)];
+        let ppc = self.config.pes_per_cluster;
+        // Stages occupy clusters 0..stages for the duration of the region.
+        stage * ppc + ((pc - line) / INST_BYTES) as usize
+    }
+
+    /// Makes all region lines resident in consecutive clusters; returns
+    /// per-stage decode-ready times and whether any fetching happened.
+    fn load_region(&mut self, region: &Region, now: u64, shared: &mut SharedParts) -> (Vec<u64>, bool) {
+        let already = region
+            .lines
+            .iter()
+            .enumerate()
+            .all(|(i, l)| self.resident.get(l) == Some(&i));
+        if already {
+            return (
+                (0..region.lines.len()).map(|i| self.clusters[i].decode_ready).collect(),
+                false,
+            );
+        }
+        self.resident.clear();
+        let mut ready = Vec::with_capacity(region.lines.len());
+        for (i, &line) in region.lines.iter().enumerate() {
+            let free = self.clusters[i].last_commit;
+            let (arrived, bus_wait) = shared.fetch_line(line, now);
+            self.stats.stalls.structural += bus_wait;
+            let decode_ready = arrived.max(free) + self.config.line_load_cycles + 1;
+            self.clusters[i].load_line(line, decode_ready);
+            self.resident.insert(line, i);
+            self.max_resident = self.max_resident.max(self.resident.len());
+            self.stats.activity.line_fetches += 1;
+            self.stats.activity.bus_beats += diag_mem::ILINE_BEATS;
+            ready.push(decode_ready);
+        }
+        self.alloc_rr = region.lines.len() % self.clusters.len();
+        self.last_line = None;
+        (ready, true)
+    }
+
+    /// Runs one loop instance through the pipeline; returns its exit time
+    /// (latest finish among its executed instructions).
+    ///
+    /// Instances overlap freely: a PE accepts the next instance as soon as
+    /// its functional unit can issue again (pipelined units every cycle,
+    /// unpipelined dividers after their full latency; memory PEs after the
+    /// cluster LSU accepts the request). This realizes the paper's
+    /// initiation model — "threads are only initiated once every
+    /// `interval` cycles" (§5.4) with CPI → 1 per thread when nothing
+    /// stalls (§4.4.1) — while cache misses back-pressure the pipeline
+    /// through the bounded LSU queues (§7.2.1 "load congestion").
+    #[allow(clippy::too_many_arguments)]
+    fn run_instance(
+        &mut self,
+        region: &Region,
+        lanes: &mut LaneFile,
+        spawn: u64,
+        stage_ready: &[u64],
+        slot_busy: &mut [u64],
+        commits: &mut u64,
+        shared: &mut SharedParts,
+    ) -> Result<u64, SimError> {
+        let line_bytes = self.config.line_bytes();
+        let mut memlane = MemLane::new(self.config.memlane_capacity);
+        let mut store_floor = spawn;
+        let mut exit = spawn;
+        // The instance's private PC starts after simt_s; forward branches
+        // move it, nullifying skipped PEs (§4.4.3).
+        let mut inst_pc = region.pc_s.wrapping_add(INST_BYTES);
+
+        for (k, &(pc, inst)) in region.body.iter().enumerate() {
+            if pc != inst_pc {
+                // Nullified by a taken forward branch: PE disabled.
+                continue;
+            }
+            inst_pc = inst_pc.wrapping_add(INST_BYTES);
+            let stage = (((pc & !(line_bytes - 1)) - region.lines[0]) / line_bytes) as usize;
+            let slot = self.stage_slot(stage, pc, region);
+            let mut start = spawn.max(stage_ready[stage]).max(slot_busy[k]);
+            for src in inst.sources().iter() {
+                start = start.max(lanes.ready_at(src, slot, self.geom));
+            }
+            let (finish, write) = self.eval_body_inst(
+                inst,
+                pc,
+                start,
+                stage,
+                slot,
+                lanes,
+                &mut inst_pc,
+                &mut memlane,
+                &mut store_floor,
+                shared,
+            )?;
+            slot_busy[k] = start + occupancy(&inst);
+            if let Some((lane, value)) = write {
+                lanes.write(lane, value, finish, slot);
+                self.stats.activity.reg_writes += 1;
+            }
+            let cycles = (finish - start).max(1);
+            self.stats.activity.pe_active_cycles += cycles;
+            if inst.uses_fpu() {
+                self.stats.activity.fpu_active_cycles += cycles;
+                self.stats.activity.fp_ops += 1;
+            } else if !inst.is_mem() {
+                self.stats.activity.int_ops += 1;
+            }
+            *commits += 1;
+            exit = exit.max(finish);
+        }
+        Ok(exit)
+    }
+
+    /// Evaluates one body instruction of a SIMT instance. Returns
+    /// `(finish_time, lane_write)`.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_body_inst(
+        &mut self,
+        inst: Inst,
+        pc: u32,
+        start: u64,
+        stage: usize,
+        _slot: usize,
+        lanes: &LaneFile,
+        inst_pc: &mut u32,
+        memlane: &mut MemLane,
+        store_floor: &mut u64,
+        shared: &mut SharedParts,
+    ) -> Result<(u64, Option<(ArchReg, u32)>), SimError> {
+        let v = |r: Reg| lanes.value(r.into());
+        let latency = inst.exec_latency() as u64;
+        let out = match inst {
+            Inst::Lui { rd, imm } => (start + 1, Some((rd.into(), imm as u32))),
+            Inst::Auipc { rd, imm } => (start + 1, Some((rd.into(), pc.wrapping_add(imm as u32)))),
+            Inst::OpImm { op, rd, rs1, imm } => {
+                (start + latency, Some((rd.into(), exec::alu(op, v(rs1), imm as u32))))
+            }
+            Inst::Op { op, rd, rs1, rs2 } => {
+                (start + latency, Some((rd.into(), exec::alu(op, v(rs1), v(rs2)))))
+            }
+            Inst::Branch { op, rs1, rs2, offset } => {
+                if exec::branch_taken(op, v(rs1), v(rs2)) {
+                    *inst_pc = pc.wrapping_add(offset as u32);
+                }
+                (start + 1, None)
+            }
+            Inst::Jal { rd, offset } => {
+                *inst_pc = pc.wrapping_add(offset as u32);
+                (start + 1, Some((rd.into(), pc.wrapping_add(INST_BYTES))))
+            }
+            Inst::Load { op, rd, rs1, offset } => {
+                let addr = v(rs1).wrapping_add(offset as u32);
+                let size = op.size();
+                if addr % size != 0 {
+                    return Err(SimError::Misaligned { addr, size });
+                }
+                let ready = self.simt_mem(stage, addr, size, false, start, memlane, store_floor, shared);
+                self.stats.activity.loads += 1;
+                let raw = shared.mem.read(addr, size);
+                (ready, Some((rd.into(), exec::extend_load(op, raw))))
+            }
+            Inst::Store { op, rs1, rs2, offset } => {
+                let addr = v(rs1).wrapping_add(offset as u32);
+                let size = op.size();
+                if addr % size != 0 {
+                    return Err(SimError::Misaligned { addr, size });
+                }
+                shared.mem.write(addr, size, v(rs2));
+                let ready = self.simt_mem(stage, addr, size, true, start, memlane, store_floor, shared);
+                self.stats.activity.stores += 1;
+                (ready, None)
+            }
+            Inst::Flw { rd, rs1, offset } => {
+                let addr = v(rs1).wrapping_add(offset as u32);
+                if addr % 4 != 0 {
+                    return Err(SimError::Misaligned { addr, size: 4 });
+                }
+                let ready = self.simt_mem(stage, addr, 4, false, start, memlane, store_floor, shared);
+                self.stats.activity.loads += 1;
+                (ready, Some((rd.into(), shared.mem.read_u32(addr))))
+            }
+            Inst::Fsw { rs1, rs2, offset } => {
+                let addr = v(rs1).wrapping_add(offset as u32);
+                if addr % 4 != 0 {
+                    return Err(SimError::Misaligned { addr, size: 4 });
+                }
+                shared.mem.write_u32(addr, lanes.value(rs2.into()));
+                let ready = self.simt_mem(stage, addr, 4, true, start, memlane, store_floor, shared);
+                self.stats.activity.stores += 1;
+                (ready, None)
+            }
+            Inst::FpOp { op, rd, rs1, rs2 } => (
+                start + latency,
+                Some((rd.into(), exec::fp_op(op, lanes.value(rs1.into()), lanes.value(rs2.into())))),
+            ),
+            Inst::FpFma { op, rd, rs1, rs2, rs3 } => (
+                start + latency,
+                Some((
+                    rd.into(),
+                    exec::fp_fma(
+                        op,
+                        lanes.value(rs1.into()),
+                        lanes.value(rs2.into()),
+                        lanes.value(rs3.into()),
+                    ),
+                )),
+            ),
+            Inst::FpCmp { op, rd, rs1, rs2 } => (
+                start + latency,
+                Some((rd.into(), exec::fp_cmp(op, lanes.value(rs1.into()), lanes.value(rs2.into())))),
+            ),
+            Inst::FpToInt { op, rd, rs1 } => {
+                (start + latency, Some((rd.into(), exec::fp_to_int(op, lanes.value(rs1.into())))))
+            }
+            Inst::IntToFp { op, rd, rs1 } => {
+                (start + latency, Some((rd.into(), exec::int_to_fp(op, v(rs1)))))
+            }
+            // find_region filtered everything else out.
+            other => {
+                return Err(SimError::InvalidSimtRegion {
+                    reason: format!("unexpected instruction {other:?} in validated SIMT body"),
+                })
+            }
+        };
+        Ok(out)
+    }
+
+    /// Memory access for a SIMT instance through its stage cluster's LSU.
+    #[allow(clippy::too_many_arguments)]
+    fn simt_mem(
+        &mut self,
+        stage: usize,
+        addr: u32,
+        size: u32,
+        write: bool,
+        start: u64,
+        memlane: &mut MemLane,
+        store_floor: &mut u64,
+        shared: &mut SharedParts,
+    ) -> u64 {
+        if write {
+            let want = start.max(*store_floor);
+            let (issue, waited) = self.clusters[stage].lsu.issue_blocking(want);
+            self.stats.stalls.memory += waited;
+            *store_floor = issue;
+            memlane.push_store(addr, size, 0, issue);
+            memlane.trim();
+            let out = shared.l1d.access(addr, true, issue);
+            self.count_cache(&out);
+            self.clusters[stage].line_buf_fill(addr & !63);
+            let ready = issue + 1;
+            self.clusters[stage].lsu.complete_at(ready);
+            ready
+        } else {
+            let (want, forward) = match memlane.lookup(addr, size) {
+                LaneLookup::HitFast { store_time, .. } => (start.max(store_time), true),
+                LaneLookup::HitSlow { store_time, .. }
+                | LaneLookup::Conflict { store_time } => (start.max(store_time + 1), false),
+                LaneLookup::Miss => (start, false),
+            };
+            let line = addr & !63;
+            if !forward && self.clusters[stage].line_buf_hit(line) {
+                self.stats.activity.memlane_hits += 1;
+                return want + 1;
+            }
+            let (issue, waited) = self.clusters[stage].lsu.issue_blocking(want);
+            self.stats.stalls.memory += waited;
+            let ready = if forward {
+                self.stats.activity.memlane_hits += 1;
+                issue + 1
+            } else {
+                let out = shared.l1d.access(addr, false, issue);
+                self.count_cache(&out);
+                if !out.l1_hit {
+                    let hit_time = issue + self.config.l1d.hit_latency as u64;
+                    self.stats.stalls.memory += out.ready_at.saturating_sub(hit_time);
+                }
+                self.clusters[stage].line_buf_fill(line);
+                out.ready_at
+            };
+            self.clusters[stage].lsu.complete_at(ready);
+            ready
+        }
+    }
+}

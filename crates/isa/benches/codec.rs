@@ -1,0 +1,27 @@
+//! Criterion microbenchmarks of the ISA layer: decode and encode rates.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use diag_isa::{decode, encode, Inst};
+
+fn codec(c: &mut Criterion) {
+    // A representative mix of instruction words.
+    let words: Vec<u32> = (0u32..65536)
+        .filter_map(|i| {
+            let w = i.wrapping_mul(0x9E37_79B9).rotate_left(7).wrapping_add(0x13);
+            decode(w).ok().map(|_| w)
+        })
+        .collect();
+    let insts: Vec<Inst> = words.iter().map(|&w| decode(w).unwrap()).collect();
+    assert!(!words.is_empty());
+
+    let mut group = c.benchmark_group("isa_codec");
+    group.throughput(Throughput::Elements(words.len() as u64));
+    group.bench_function("decode", |b| {
+        b.iter(|| words.iter().map(|&w| decode(w).unwrap()).count())
+    });
+    group.bench_function("encode", |b| b.iter(|| insts.iter().map(encode).count()));
+    group.finish();
+}
+
+criterion_group!(benches, codec);
+criterion_main!(benches);

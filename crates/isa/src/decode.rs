@@ -1,0 +1,444 @@
+//! Decoding of 32-bit RISC-V words into [`Inst`] values.
+//!
+//! The decoder accepts exactly the RV32IMF subset plus the DiAG SIMT
+//! extension produced by [`crate::encode::encode`]; anything else yields a
+//! [`DecodeError`] identifying the offending word, mirroring how DiAG's
+//! per-PE `RV_DECODER` (paper Table 3) raises an illegal-instruction trap.
+
+use core::fmt;
+
+use crate::encode::opcodes;
+use crate::inst::{
+    AluOp, BranchOp, FmaOp, FpCmpOp, FpOp, FpToIntOp, Inst, IntToFpOp, LoadOp, StoreOp,
+};
+use crate::reg::{FReg, Reg};
+
+/// Error produced when a 32-bit word is not a valid instruction in the
+/// supported RV32IMF + SIMT subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The undecodable instruction word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[inline]
+fn rd(word: u32) -> Reg {
+    Reg::new(((word >> 7) & 0x1F) as u8)
+}
+
+#[inline]
+fn rs1(word: u32) -> Reg {
+    Reg::new(((word >> 15) & 0x1F) as u8)
+}
+
+#[inline]
+fn rs2(word: u32) -> Reg {
+    Reg::new(((word >> 20) & 0x1F) as u8)
+}
+
+#[inline]
+fn frd(word: u32) -> FReg {
+    FReg::new(((word >> 7) & 0x1F) as u8)
+}
+
+#[inline]
+fn frs1(word: u32) -> FReg {
+    FReg::new(((word >> 15) & 0x1F) as u8)
+}
+
+#[inline]
+fn frs2(word: u32) -> FReg {
+    FReg::new(((word >> 20) & 0x1F) as u8)
+}
+
+#[inline]
+fn frs3(word: u32) -> FReg {
+    FReg::new(((word >> 27) & 0x1F) as u8)
+}
+
+#[inline]
+fn funct3(word: u32) -> u32 {
+    (word >> 12) & 0x7
+}
+
+#[inline]
+fn funct7(word: u32) -> u32 {
+    word >> 25
+}
+
+/// Sign-extended I-type immediate.
+#[inline]
+fn imm_i(word: u32) -> i32 {
+    (word as i32) >> 20
+}
+
+/// Sign-extended S-type immediate.
+#[inline]
+fn imm_s(word: u32) -> i32 {
+    (((word as i32) >> 25) << 5) | (((word >> 7) & 0x1F) as i32)
+}
+
+/// Sign-extended B-type immediate.
+#[inline]
+fn imm_b(word: u32) -> i32 {
+    let imm12 = ((word >> 31) & 0x1) as i32;
+    let imm11 = ((word >> 7) & 0x1) as i32;
+    let imm10_5 = ((word >> 25) & 0x3F) as i32;
+    let imm4_1 = ((word >> 8) & 0xF) as i32;
+    let value = (imm12 << 12) | (imm11 << 11) | (imm10_5 << 5) | (imm4_1 << 1);
+    (value << 19) >> 19
+}
+
+/// U-type immediate (already shifted).
+#[inline]
+fn imm_u(word: u32) -> i32 {
+    (word & 0xFFFF_F000) as i32
+}
+
+/// Sign-extended J-type immediate.
+#[inline]
+fn imm_j(word: u32) -> i32 {
+    let imm20 = ((word >> 31) & 0x1) as i32;
+    let imm19_12 = ((word >> 12) & 0xFF) as i32;
+    let imm11 = ((word >> 20) & 0x1) as i32;
+    let imm10_1 = ((word >> 21) & 0x3FF) as i32;
+    let value = (imm20 << 20) | (imm19_12 << 12) | (imm11 << 11) | (imm10_1 << 1);
+    (value << 11) >> 11
+}
+
+/// Decodes a 32-bit word into an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the word is not a valid RV32IMF or DiAG SIMT
+/// extension instruction.
+///
+/// # Examples
+///
+/// ```
+/// use diag_isa::{decode, Inst};
+///
+/// assert_eq!(decode(0x0000_0013).unwrap(), Inst::NOP);
+/// assert!(decode(0xFFFF_FFFF).is_err());
+/// ```
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    let err = Err(DecodeError { word });
+    let opcode = word & 0x7F;
+    let inst = match opcode {
+        opcodes::LUI => Inst::Lui { rd: rd(word), imm: imm_u(word) },
+        opcodes::AUIPC => Inst::Auipc { rd: rd(word), imm: imm_u(word) },
+        opcodes::JAL => Inst::Jal { rd: rd(word), offset: imm_j(word) },
+        opcodes::JALR => {
+            if funct3(word) != 0 {
+                return err;
+            }
+            Inst::Jalr { rd: rd(word), rs1: rs1(word), offset: imm_i(word) }
+        }
+        opcodes::BRANCH => {
+            let op = match funct3(word) {
+                0b000 => BranchOp::Beq,
+                0b001 => BranchOp::Bne,
+                0b100 => BranchOp::Blt,
+                0b101 => BranchOp::Bge,
+                0b110 => BranchOp::Bltu,
+                0b111 => BranchOp::Bgeu,
+                _ => return err,
+            };
+            Inst::Branch { op, rs1: rs1(word), rs2: rs2(word), offset: imm_b(word) }
+        }
+        opcodes::LOAD => {
+            let op = match funct3(word) {
+                0b000 => LoadOp::Lb,
+                0b001 => LoadOp::Lh,
+                0b010 => LoadOp::Lw,
+                0b100 => LoadOp::Lbu,
+                0b101 => LoadOp::Lhu,
+                _ => return err,
+            };
+            Inst::Load { op, rd: rd(word), rs1: rs1(word), offset: imm_i(word) }
+        }
+        opcodes::STORE => {
+            let op = match funct3(word) {
+                0b000 => StoreOp::Sb,
+                0b001 => StoreOp::Sh,
+                0b010 => StoreOp::Sw,
+                _ => return err,
+            };
+            Inst::Store { op, rs1: rs1(word), rs2: rs2(word), offset: imm_s(word) }
+        }
+        opcodes::OP_IMM => {
+            let imm = imm_i(word);
+            let op = match funct3(word) {
+                0b000 => AluOp::Add,
+                0b010 => AluOp::Slt,
+                0b011 => AluOp::Sltu,
+                0b100 => AluOp::Xor,
+                0b110 => AluOp::Or,
+                0b111 => AluOp::And,
+                0b001 => {
+                    if funct7(word) != 0 {
+                        return err;
+                    }
+                    return Ok(Inst::OpImm {
+                        op: AluOp::Sll,
+                        rd: rd(word),
+                        rs1: rs1(word),
+                        imm: imm & 0x1F,
+                    });
+                }
+                0b101 => {
+                    let op = match funct7(word) {
+                        0b0000000 => AluOp::Srl,
+                        0b0100000 => AluOp::Sra,
+                        _ => return err,
+                    };
+                    return Ok(Inst::OpImm { op, rd: rd(word), rs1: rs1(word), imm: imm & 0x1F });
+                }
+                _ => unreachable!("funct3 is 3 bits"),
+            };
+            Inst::OpImm { op, rd: rd(word), rs1: rs1(word), imm }
+        }
+        opcodes::OP => {
+            let op = match (funct7(word), funct3(word)) {
+                (0b0000000, 0b000) => AluOp::Add,
+                (0b0100000, 0b000) => AluOp::Sub,
+                (0b0000000, 0b001) => AluOp::Sll,
+                (0b0000000, 0b010) => AluOp::Slt,
+                (0b0000000, 0b011) => AluOp::Sltu,
+                (0b0000000, 0b100) => AluOp::Xor,
+                (0b0000000, 0b101) => AluOp::Srl,
+                (0b0100000, 0b101) => AluOp::Sra,
+                (0b0000000, 0b110) => AluOp::Or,
+                (0b0000000, 0b111) => AluOp::And,
+                (0b0000001, 0b000) => AluOp::Mul,
+                (0b0000001, 0b001) => AluOp::Mulh,
+                (0b0000001, 0b010) => AluOp::Mulhsu,
+                (0b0000001, 0b011) => AluOp::Mulhu,
+                (0b0000001, 0b100) => AluOp::Div,
+                (0b0000001, 0b101) => AluOp::Divu,
+                (0b0000001, 0b110) => AluOp::Rem,
+                (0b0000001, 0b111) => AluOp::Remu,
+                _ => return err,
+            };
+            Inst::Op { op, rd: rd(word), rs1: rs1(word), rs2: rs2(word) }
+        }
+        opcodes::MISC_MEM => Inst::Fence,
+        opcodes::SYSTEM => {
+            if funct3(word) != 0 {
+                return err;
+            }
+            match word >> 20 {
+                0 => Inst::Ecall,
+                1 => Inst::Ebreak,
+                _ => return err,
+            }
+        }
+        opcodes::LOAD_FP => {
+            if funct3(word) != 0b010 {
+                return err;
+            }
+            Inst::Flw { rd: frd(word), rs1: rs1(word), offset: imm_i(word) }
+        }
+        opcodes::STORE_FP => {
+            if funct3(word) != 0b010 {
+                return err;
+            }
+            Inst::Fsw { rs1: rs1(word), rs2: frs2(word), offset: imm_s(word) }
+        }
+        opcodes::OP_FP => return decode_op_fp(word),
+        opcodes::MADD | opcodes::MSUB | opcodes::NMSUB | opcodes::NMADD => {
+            // fmt field (bits 26:25) must be 00 (single precision).
+            if (word >> 25) & 0x3 != 0 {
+                return err;
+            }
+            let op = match opcode {
+                opcodes::MADD => FmaOp::MAdd,
+                opcodes::MSUB => FmaOp::MSub,
+                opcodes::NMSUB => FmaOp::NMSub,
+                _ => FmaOp::NMAdd,
+            };
+            Inst::FpFma { op, rd: frd(word), rs1: frs1(word), rs2: frs2(word), rs3: frs3(word) }
+        }
+        opcodes::CUSTOM_0 => match funct3(word) {
+            0b000 => {
+                let interval = funct7(word) as u8;
+                if interval == 0 {
+                    return err;
+                }
+                Inst::SimtS { rc: rd(word), r_step: rs1(word), r_end: rs2(word), interval }
+            }
+            0b001 => Inst::SimtE { rc: rd(word), r_end: rs1(word), l_offset: imm_i(word) },
+            _ => return err,
+        },
+        _ => return err,
+    };
+    Ok(inst)
+}
+
+fn decode_op_fp(word: u32) -> Result<Inst, DecodeError> {
+    let err = Err(DecodeError { word });
+    let f7 = funct7(word);
+    let f3 = funct3(word);
+    let inst = match f7 {
+        0b0000000 => Inst::FpOp { op: FpOp::Add, rd: frd(word), rs1: frs1(word), rs2: frs2(word) },
+        0b0000100 => Inst::FpOp { op: FpOp::Sub, rd: frd(word), rs1: frs1(word), rs2: frs2(word) },
+        0b0001000 => Inst::FpOp { op: FpOp::Mul, rd: frd(word), rs1: frs1(word), rs2: frs2(word) },
+        0b0001100 => Inst::FpOp { op: FpOp::Div, rd: frd(word), rs1: frs1(word), rs2: frs2(word) },
+        0b0101100 => {
+            if (word >> 20) & 0x1F != 0 {
+                return err;
+            }
+            Inst::FpOp { op: FpOp::Sqrt, rd: frd(word), rs1: frs1(word), rs2: FReg::new(0) }
+        }
+        0b0010000 => {
+            let op = match f3 {
+                0b000 => FpOp::SgnJ,
+                0b001 => FpOp::SgnJN,
+                0b010 => FpOp::SgnJX,
+                _ => return err,
+            };
+            Inst::FpOp { op, rd: frd(word), rs1: frs1(word), rs2: frs2(word) }
+        }
+        0b0010100 => {
+            let op = match f3 {
+                0b000 => FpOp::Min,
+                0b001 => FpOp::Max,
+                _ => return err,
+            };
+            Inst::FpOp { op, rd: frd(word), rs1: frs1(word), rs2: frs2(word) }
+        }
+        0b1010000 => {
+            let op = match f3 {
+                0b010 => FpCmpOp::Eq,
+                0b001 => FpCmpOp::Lt,
+                0b000 => FpCmpOp::Le,
+                _ => return err,
+            };
+            Inst::FpCmp { op, rd: rd(word), rs1: frs1(word), rs2: frs2(word) }
+        }
+        0b1100000 => {
+            let op = match (word >> 20) & 0x1F {
+                0b00000 => FpToIntOp::CvtW,
+                0b00001 => FpToIntOp::CvtWu,
+                _ => return err,
+            };
+            Inst::FpToInt { op, rd: rd(word), rs1: frs1(word) }
+        }
+        0b1110000 => {
+            if (word >> 20) & 0x1F != 0 {
+                return err;
+            }
+            let op = match f3 {
+                0b000 => FpToIntOp::MvXW,
+                0b001 => FpToIntOp::Class,
+                _ => return err,
+            };
+            Inst::FpToInt { op, rd: rd(word), rs1: frs1(word) }
+        }
+        0b1101000 => {
+            let op = match (word >> 20) & 0x1F {
+                0b00000 => IntToFpOp::CvtW,
+                0b00001 => IntToFpOp::CvtWu,
+                _ => return err,
+            };
+            Inst::IntToFp { op, rd: frd(word), rs1: rs1(word) }
+        }
+        0b1111000 => {
+            if (word >> 20) & 0x1F != 0 || f3 != 0 {
+                return err;
+            }
+            Inst::IntToFp { op: IntToFpOp::MvWX, rd: frd(word), rs1: rs1(word) }
+        }
+        _ => return err,
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    #[test]
+    fn immediate_extraction_signs() {
+        // lw a0, -4(sp)
+        let w = encode(&Inst::Load { op: LoadOp::Lw, rd: Reg::A0, rs1: Reg::SP, offset: -4 });
+        assert_eq!(decode(w).unwrap(), Inst::Load { op: LoadOp::Lw, rd: Reg::A0, rs1: Reg::SP, offset: -4 });
+        // sw with negative offset
+        let w = encode(&Inst::Store { op: StoreOp::Sw, rs1: Reg::SP, rs2: Reg::A0, offset: -2048 });
+        match decode(w).unwrap() {
+            Inst::Store { offset, .. } => assert_eq!(offset, -2048),
+            other => panic!("wrong decode: {other:?}"),
+        }
+        // branch at extreme offsets
+        for off in [-4096i32, -2, 2, 4094] {
+            let w = encode(&Inst::Branch { op: BranchOp::Bne, rs1: Reg::A0, rs2: Reg::A1, offset: off });
+            match decode(w).unwrap() {
+                Inst::Branch { offset, .. } => assert_eq!(offset, off, "offset {off}"),
+                other => panic!("wrong decode: {other:?}"),
+            }
+        }
+        // jal at extreme offsets
+        for off in [-(1i32 << 20), -2, 2, (1 << 20) - 2] {
+            let w = encode(&Inst::Jal { rd: Reg::RA, offset: off });
+            match decode(w).unwrap() {
+                Inst::Jal { offset, .. } => assert_eq!(offset, off, "offset {off}"),
+                other => panic!("wrong decode: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn illegal_words_rejected() {
+        assert!(decode(0x0000_0000).is_err()); // all-zero is defined illegal
+        assert!(decode(0xFFFF_FFFF).is_err());
+        // OP with invalid funct7
+        assert!(decode(0x7000_0033).is_err());
+        // BRANCH with funct3 = 010
+        assert!(decode(0x0000_2063).is_err());
+        // custom-0 with funct3 = 0 and interval 0 (reserved)
+        assert!(decode(0x0000_000B).is_err());
+    }
+
+    #[test]
+    fn rounding_mode_ignored_for_arith() {
+        // fadd.s with rm = RNE (000) decodes identically to rm = DYN (111).
+        let dynamic = encode(&Inst::FpOp {
+            op: FpOp::Add,
+            rd: FReg::new(1),
+            rs1: FReg::new(2),
+            rs2: FReg::new(3),
+        });
+        let rne = dynamic & !(0x7 << 12);
+        assert_eq!(decode(dynamic).unwrap(), decode(rne).unwrap());
+    }
+
+    #[test]
+    fn fma_fmt_field_checked() {
+        let w = encode(&Inst::FpFma {
+            op: FmaOp::MAdd,
+            rd: FReg::new(0),
+            rs1: FReg::new(1),
+            rs2: FReg::new(2),
+            rs3: FReg::new(3),
+        });
+        // Corrupt fmt to double precision.
+        assert!(decode(w | (0b01 << 25)).is_err());
+    }
+
+    #[test]
+    fn simt_round_trip() {
+        let s = Inst::SimtS { rc: Reg::S1, r_step: Reg::S2, r_end: Reg::S3, interval: 127 };
+        assert_eq!(decode(encode(&s)).unwrap(), s);
+        let e = Inst::SimtE { rc: Reg::S1, r_end: Reg::S3, l_offset: -2048 };
+        assert_eq!(decode(encode(&e)).unwrap(), e);
+    }
+}

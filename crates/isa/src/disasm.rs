@@ -1,0 +1,197 @@
+//! Textual disassembly of decoded instructions.
+//!
+//! [`Inst`] implements [`std::fmt::Display`] producing assembler-compatible
+//! text that the [`diag-asm`](../../asm) crate's parser accepts back,
+//! giving a disassemble → assemble round-trip used by property tests.
+
+use core::fmt;
+
+use crate::inst::{
+    AluOp, BranchOp, FmaOp, FpCmpOp, FpOp, FpToIntOp, Inst, IntToFpOp, LoadOp, StoreOp,
+};
+
+fn alu_mnemonic(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Sll => "sll",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+        AluOp::Xor => "xor",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::Or => "or",
+        AluOp::And => "and",
+        AluOp::Mul => "mul",
+        AluOp::Mulh => "mulh",
+        AluOp::Mulhsu => "mulhsu",
+        AluOp::Mulhu => "mulhu",
+        AluOp::Div => "div",
+        AluOp::Divu => "divu",
+        AluOp::Rem => "rem",
+        AluOp::Remu => "remu",
+    }
+}
+
+fn branch_mnemonic(op: BranchOp) -> &'static str {
+    match op {
+        BranchOp::Beq => "beq",
+        BranchOp::Bne => "bne",
+        BranchOp::Blt => "blt",
+        BranchOp::Bge => "bge",
+        BranchOp::Bltu => "bltu",
+        BranchOp::Bgeu => "bgeu",
+    }
+}
+
+fn load_mnemonic(op: LoadOp) -> &'static str {
+    match op {
+        LoadOp::Lb => "lb",
+        LoadOp::Lh => "lh",
+        LoadOp::Lw => "lw",
+        LoadOp::Lbu => "lbu",
+        LoadOp::Lhu => "lhu",
+    }
+}
+
+fn store_mnemonic(op: StoreOp) -> &'static str {
+    match op {
+        StoreOp::Sb => "sb",
+        StoreOp::Sh => "sh",
+        StoreOp::Sw => "sw",
+    }
+}
+
+fn fp_mnemonic(op: FpOp) -> &'static str {
+    match op {
+        FpOp::Add => "fadd.s",
+        FpOp::Sub => "fsub.s",
+        FpOp::Mul => "fmul.s",
+        FpOp::Div => "fdiv.s",
+        FpOp::Sqrt => "fsqrt.s",
+        FpOp::SgnJ => "fsgnj.s",
+        FpOp::SgnJN => "fsgnjn.s",
+        FpOp::SgnJX => "fsgnjx.s",
+        FpOp::Min => "fmin.s",
+        FpOp::Max => "fmax.s",
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Lui { rd, imm } => write!(f, "lui {rd}, {:#x}", (imm as u32) >> 12),
+            Inst::Auipc { rd, imm } => write!(f, "auipc {rd}, {:#x}", (imm as u32) >> 12),
+            Inst::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Inst::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
+            Inst::Branch { op, rs1, rs2, offset } => {
+                write!(f, "{} {rs1}, {rs2}, {offset}", branch_mnemonic(op))
+            }
+            Inst::Load { op, rd, rs1, offset } => {
+                write!(f, "{} {rd}, {offset}({rs1})", load_mnemonic(op))
+            }
+            Inst::Store { op, rs1, rs2, offset } => {
+                write!(f, "{} {rs2}, {offset}({rs1})", store_mnemonic(op))
+            }
+            Inst::OpImm { op, rd, rs1, imm } => {
+                write!(f, "{}i {rd}, {rs1}, {imm}", alu_mnemonic(op))
+            }
+            Inst::Op { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", alu_mnemonic(op))
+            }
+            Inst::Fence => write!(f, "fence"),
+            Inst::Ecall => write!(f, "ecall"),
+            Inst::Ebreak => write!(f, "ebreak"),
+            Inst::Flw { rd, rs1, offset } => write!(f, "flw {rd}, {offset}({rs1})"),
+            Inst::Fsw { rs1, rs2, offset } => write!(f, "fsw {rs2}, {offset}({rs1})"),
+            Inst::FpOp { op: FpOp::Sqrt, rd, rs1, .. } => write!(f, "fsqrt.s {rd}, {rs1}"),
+            Inst::FpOp { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", fp_mnemonic(op))
+            }
+            Inst::FpFma { op, rd, rs1, rs2, rs3 } => {
+                let m = match op {
+                    FmaOp::MAdd => "fmadd.s",
+                    FmaOp::MSub => "fmsub.s",
+                    FmaOp::NMSub => "fnmsub.s",
+                    FmaOp::NMAdd => "fnmadd.s",
+                };
+                write!(f, "{m} {rd}, {rs1}, {rs2}, {rs3}")
+            }
+            Inst::FpCmp { op, rd, rs1, rs2 } => {
+                let m = match op {
+                    FpCmpOp::Eq => "feq.s",
+                    FpCmpOp::Lt => "flt.s",
+                    FpCmpOp::Le => "fle.s",
+                };
+                write!(f, "{m} {rd}, {rs1}, {rs2}")
+            }
+            Inst::FpToInt { op, rd, rs1 } => {
+                let m = match op {
+                    FpToIntOp::CvtW => "fcvt.w.s",
+                    FpToIntOp::CvtWu => "fcvt.wu.s",
+                    FpToIntOp::MvXW => "fmv.x.w",
+                    FpToIntOp::Class => "fclass.s",
+                };
+                write!(f, "{m} {rd}, {rs1}")
+            }
+            Inst::IntToFp { op, rd, rs1 } => {
+                let m = match op {
+                    IntToFpOp::CvtW => "fcvt.s.w",
+                    IntToFpOp::CvtWu => "fcvt.s.wu",
+                    IntToFpOp::MvWX => "fmv.w.x",
+                };
+                write!(f, "{m} {rd}, {rs1}")
+            }
+            Inst::SimtS { rc, r_step, r_end, interval } => {
+                write!(f, "simt_s {rc}, {r_step}, {r_end}, {interval}")
+            }
+            Inst::SimtE { rc, r_end, l_offset } => {
+                write!(f, "simt_e {rc}, {r_end}, {l_offset}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{FReg, Reg};
+
+    #[test]
+    fn formats_are_assembler_compatible() {
+        let cases: Vec<(Inst, &str)> = vec![
+            (Inst::Lui { rd: Reg::A0, imm: 0x12345 << 12 }, "lui a0, 0x12345"),
+            (Inst::Jal { rd: Reg::RA, offset: -8 }, "jal ra, -8"),
+            (Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }, "jalr zero, 0(ra)"),
+            (
+                Inst::Branch { op: BranchOp::Bne, rs1: Reg::T0, rs2: Reg::T1, offset: 12 },
+                "bne t0, t1, 12",
+            ),
+            (Inst::Load { op: LoadOp::Lw, rd: Reg::A0, rs1: Reg::SP, offset: -4 }, "lw a0, -4(sp)"),
+            (
+                Inst::Store { op: StoreOp::Sw, rs1: Reg::SP, rs2: Reg::A0, offset: 8 },
+                "sw a0, 8(sp)",
+            ),
+            (Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 1 }, "addi a0, a0, 1"),
+            (Inst::Op { op: AluOp::Mul, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }, "mul a0, a1, a2"),
+            (Inst::Ecall, "ecall"),
+            (Inst::Flw { rd: FReg::new(0), rs1: Reg::A0, offset: 0 }, "flw ft0, 0(a0)"),
+            (
+                Inst::FpOp { op: FpOp::Add, rd: FReg::new(0), rs1: FReg::new(1), rs2: FReg::new(2) },
+                "fadd.s ft0, ft1, ft2",
+            ),
+            (
+                Inst::FpOp { op: FpOp::Sqrt, rd: FReg::new(0), rs1: FReg::new(1), rs2: FReg::new(0) },
+                "fsqrt.s ft0, ft1",
+            ),
+            (
+                Inst::SimtS { rc: Reg::T0, r_step: Reg::T1, r_end: Reg::T2, interval: 2 },
+                "simt_s t0, t1, t2, 2",
+            ),
+            (Inst::SimtE { rc: Reg::T0, r_end: Reg::T2, l_offset: -64 }, "simt_e t0, t2, -64"),
+        ];
+        for (inst, text) in cases {
+            assert_eq!(inst.to_string(), text);
+        }
+    }
+}

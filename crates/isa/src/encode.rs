@@ -1,0 +1,392 @@
+//! Encoding of decoded [`Inst`] values to the 32-bit RISC-V wire format.
+//!
+//! The encodings follow the RISC-V unprivileged specification for RV32IMF.
+//! The DiAG SIMT extension instructions occupy the *custom-0* major opcode
+//! (`0b0001011`), which the base specification reserves for vendor
+//! extensions: `simt_s` is R-type with `funct3 = 0` and the initiation
+//! interval carried in `funct7`; `simt_e` is I-type with `funct3 = 1` and
+//! the loop offset carried in the 12-bit immediate.
+
+use crate::inst::{AluOp, BranchOp, FmaOp, FpCmpOp, FpOp, FpToIntOp, Inst, IntToFpOp, LoadOp, StoreOp};
+use crate::reg::{FReg, Reg};
+
+pub(crate) mod opcodes {
+    pub const LUI: u32 = 0b0110111;
+    pub const AUIPC: u32 = 0b0010111;
+    pub const JAL: u32 = 0b1101111;
+    pub const JALR: u32 = 0b1100111;
+    pub const BRANCH: u32 = 0b1100011;
+    pub const LOAD: u32 = 0b0000011;
+    pub const STORE: u32 = 0b0100011;
+    pub const OP_IMM: u32 = 0b0010011;
+    pub const OP: u32 = 0b0110011;
+    pub const MISC_MEM: u32 = 0b0001111;
+    pub const SYSTEM: u32 = 0b1110011;
+    pub const LOAD_FP: u32 = 0b0000111;
+    pub const STORE_FP: u32 = 0b0100111;
+    pub const OP_FP: u32 = 0b1010011;
+    pub const MADD: u32 = 0b1000011;
+    pub const MSUB: u32 = 0b1000111;
+    pub const NMSUB: u32 = 0b1001011;
+    pub const NMADD: u32 = 0b1001111;
+    /// Vendor custom-0 space used for the DiAG SIMT extension (paper §5.4).
+    pub const CUSTOM_0: u32 = 0b0001011;
+}
+
+/// Dynamic rounding mode, the value compilers conventionally emit in the
+/// `rm` field of FP arithmetic instructions.
+const RM_DYN: u32 = 0b111;
+
+fn r_type(opcode: u32, rd: u32, funct3: u32, rs1: u32, rs2: u32, funct7: u32) -> u32 {
+    opcode | (rd << 7) | (funct3 << 12) | (rs1 << 15) | (rs2 << 20) | (funct7 << 25)
+}
+
+fn i_type(opcode: u32, rd: u32, funct3: u32, rs1: u32, imm: i32) -> u32 {
+    debug_assert!((-2048..=2047).contains(&imm), "I-type immediate out of range: {imm}");
+    opcode | (rd << 7) | (funct3 << 12) | (rs1 << 15) | (((imm as u32) & 0xFFF) << 20)
+}
+
+fn s_type(opcode: u32, funct3: u32, rs1: u32, rs2: u32, imm: i32) -> u32 {
+    debug_assert!((-2048..=2047).contains(&imm), "S-type immediate out of range: {imm}");
+    let imm = imm as u32;
+    opcode
+        | ((imm & 0x1F) << 7)
+        | (funct3 << 12)
+        | (rs1 << 15)
+        | (rs2 << 20)
+        | (((imm >> 5) & 0x7F) << 25)
+}
+
+fn b_type(opcode: u32, funct3: u32, rs1: u32, rs2: u32, imm: i32) -> u32 {
+    debug_assert!(
+        (-4096..=4094).contains(&imm) && imm % 2 == 0,
+        "B-type immediate out of range or misaligned: {imm}"
+    );
+    let imm = imm as u32;
+    opcode
+        | (((imm >> 11) & 0x1) << 7)
+        | (((imm >> 1) & 0xF) << 8)
+        | (funct3 << 12)
+        | (rs1 << 15)
+        | (rs2 << 20)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (((imm >> 12) & 0x1) << 31)
+}
+
+fn u_type(opcode: u32, rd: u32, imm: i32) -> u32 {
+    debug_assert!(imm & 0xFFF == 0, "U-type immediate has nonzero low bits: {imm:#x}");
+    opcode | (rd << 7) | (imm as u32 & 0xFFFF_F000)
+}
+
+fn j_type(opcode: u32, rd: u32, imm: i32) -> u32 {
+    debug_assert!(
+        (-(1 << 20)..(1 << 20)).contains(&imm) && imm % 2 == 0,
+        "J-type immediate out of range or misaligned: {imm}"
+    );
+    let imm = imm as u32;
+    opcode
+        | (rd << 7)
+        | (((imm >> 12) & 0xFF) << 12)
+        | (((imm >> 11) & 0x1) << 20)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 20) & 0x1) << 31)
+}
+
+fn r4_type(opcode: u32, rd: u32, funct3: u32, rs1: u32, rs2: u32, rs3: u32) -> u32 {
+    // fmt field (bits 26:25) = 00 for single precision.
+    opcode | (rd << 7) | (funct3 << 12) | (rs1 << 15) | (rs2 << 20) | (rs3 << 27)
+}
+
+fn xr(r: Reg) -> u32 {
+    r.number() as u32
+}
+
+fn fr(r: FReg) -> u32 {
+    r.number() as u32
+}
+
+pub(crate) fn branch_funct3(op: BranchOp) -> u32 {
+    match op {
+        BranchOp::Beq => 0b000,
+        BranchOp::Bne => 0b001,
+        BranchOp::Blt => 0b100,
+        BranchOp::Bge => 0b101,
+        BranchOp::Bltu => 0b110,
+        BranchOp::Bgeu => 0b111,
+    }
+}
+
+pub(crate) fn load_funct3(op: LoadOp) -> u32 {
+    match op {
+        LoadOp::Lb => 0b000,
+        LoadOp::Lh => 0b001,
+        LoadOp::Lw => 0b010,
+        LoadOp::Lbu => 0b100,
+        LoadOp::Lhu => 0b101,
+    }
+}
+
+pub(crate) fn store_funct3(op: StoreOp) -> u32 {
+    match op {
+        StoreOp::Sb => 0b000,
+        StoreOp::Sh => 0b001,
+        StoreOp::Sw => 0b010,
+    }
+}
+
+/// `(funct3, funct7)` for the register-register `OP` form.
+pub(crate) fn op_functs(op: AluOp) -> (u32, u32) {
+    match op {
+        AluOp::Add => (0b000, 0b0000000),
+        AluOp::Sub => (0b000, 0b0100000),
+        AluOp::Sll => (0b001, 0b0000000),
+        AluOp::Slt => (0b010, 0b0000000),
+        AluOp::Sltu => (0b011, 0b0000000),
+        AluOp::Xor => (0b100, 0b0000000),
+        AluOp::Srl => (0b101, 0b0000000),
+        AluOp::Sra => (0b101, 0b0100000),
+        AluOp::Or => (0b110, 0b0000000),
+        AluOp::And => (0b111, 0b0000000),
+        AluOp::Mul => (0b000, 0b0000001),
+        AluOp::Mulh => (0b001, 0b0000001),
+        AluOp::Mulhsu => (0b010, 0b0000001),
+        AluOp::Mulhu => (0b011, 0b0000001),
+        AluOp::Div => (0b100, 0b0000001),
+        AluOp::Divu => (0b101, 0b0000001),
+        AluOp::Rem => (0b110, 0b0000001),
+        AluOp::Remu => (0b111, 0b0000001),
+    }
+}
+
+/// Encodes a decoded instruction to its 32-bit wire representation.
+///
+/// # Panics
+///
+/// In debug builds, panics if an immediate or offset is out of range for its
+/// encoding field (e.g. a branch offset beyond ±4 KiB), if an `OpImm` carries
+/// an operation with no immediate form, or if a `simt_s` interval is zero or
+/// exceeds 127. Release builds silently truncate; the assembler validates
+/// ranges before calling this.
+///
+/// # Examples
+///
+/// ```
+/// use diag_isa::{encode, Inst, Reg};
+///
+/// let word = encode(&Inst::Jal { rd: Reg::RA, offset: 2048 });
+/// assert_eq!(word & 0x7F, 0b1101111);
+/// ```
+pub fn encode(inst: &Inst) -> u32 {
+    use opcodes::*;
+    match *inst {
+        Inst::Lui { rd, imm } => u_type(LUI, xr(rd), imm),
+        Inst::Auipc { rd, imm } => u_type(AUIPC, xr(rd), imm),
+        Inst::Jal { rd, offset } => j_type(JAL, xr(rd), offset),
+        Inst::Jalr { rd, rs1, offset } => i_type(JALR, xr(rd), 0b000, xr(rs1), offset),
+        Inst::Branch { op, rs1, rs2, offset } => {
+            b_type(BRANCH, branch_funct3(op), xr(rs1), xr(rs2), offset)
+        }
+        Inst::Load { op, rd, rs1, offset } => {
+            i_type(LOAD, xr(rd), load_funct3(op), xr(rs1), offset)
+        }
+        Inst::Store { op, rs1, rs2, offset } => {
+            s_type(STORE, store_funct3(op), xr(rs1), xr(rs2), offset)
+        }
+        Inst::OpImm { op, rd, rs1, imm } => {
+            debug_assert!(op.has_imm_form(), "{op:?} has no OP-IMM form");
+            let (funct3, funct7) = op_functs(op);
+            match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => {
+                    debug_assert!((0..32).contains(&imm), "shift amount out of range: {imm}");
+                    r_type(OP_IMM, xr(rd), funct3, xr(rs1), imm as u32 & 0x1F, funct7)
+                }
+                _ => i_type(OP_IMM, xr(rd), funct3, xr(rs1), imm),
+            }
+        }
+        Inst::Op { op, rd, rs1, rs2 } => {
+            let (funct3, funct7) = op_functs(op);
+            r_type(OP, xr(rd), funct3, xr(rs1), xr(rs2), funct7)
+        }
+        Inst::Fence => i_type(MISC_MEM, 0, 0b000, 0, 0x0FF),
+        Inst::Ecall => i_type(SYSTEM, 0, 0b000, 0, 0),
+        Inst::Ebreak => i_type(SYSTEM, 0, 0b000, 0, 1),
+        Inst::Flw { rd, rs1, offset } => i_type(LOAD_FP, fr(rd), 0b010, xr(rs1), offset),
+        Inst::Fsw { rs1, rs2, offset } => s_type(STORE_FP, 0b010, xr(rs1), fr(rs2), offset),
+        Inst::FpOp { op, rd, rs1, rs2 } => {
+            let (funct7, funct3, rs2_field) = match op {
+                FpOp::Add => (0b0000000, RM_DYN, fr(rs2)),
+                FpOp::Sub => (0b0000100, RM_DYN, fr(rs2)),
+                FpOp::Mul => (0b0001000, RM_DYN, fr(rs2)),
+                FpOp::Div => (0b0001100, RM_DYN, fr(rs2)),
+                FpOp::Sqrt => (0b0101100, RM_DYN, 0),
+                FpOp::SgnJ => (0b0010000, 0b000, fr(rs2)),
+                FpOp::SgnJN => (0b0010000, 0b001, fr(rs2)),
+                FpOp::SgnJX => (0b0010000, 0b010, fr(rs2)),
+                FpOp::Min => (0b0010100, 0b000, fr(rs2)),
+                FpOp::Max => (0b0010100, 0b001, fr(rs2)),
+            };
+            r_type(OP_FP, fr(rd), funct3, fr(rs1), rs2_field, funct7)
+        }
+        Inst::FpFma { op, rd, rs1, rs2, rs3 } => {
+            let opcode = match op {
+                FmaOp::MAdd => MADD,
+                FmaOp::MSub => MSUB,
+                FmaOp::NMSub => NMSUB,
+                FmaOp::NMAdd => NMADD,
+            };
+            r4_type(opcode, fr(rd), RM_DYN, fr(rs1), fr(rs2), fr(rs3))
+        }
+        Inst::FpCmp { op, rd, rs1, rs2 } => {
+            let funct3 = match op {
+                FpCmpOp::Eq => 0b010,
+                FpCmpOp::Lt => 0b001,
+                FpCmpOp::Le => 0b000,
+            };
+            r_type(OP_FP, xr(rd), funct3, fr(rs1), fr(rs2), 0b1010000)
+        }
+        Inst::FpToInt { op, rd, rs1 } => match op {
+            FpToIntOp::CvtW => r_type(OP_FP, xr(rd), RM_DYN, fr(rs1), 0b00000, 0b1100000),
+            FpToIntOp::CvtWu => r_type(OP_FP, xr(rd), RM_DYN, fr(rs1), 0b00001, 0b1100000),
+            FpToIntOp::MvXW => r_type(OP_FP, xr(rd), 0b000, fr(rs1), 0b00000, 0b1110000),
+            FpToIntOp::Class => r_type(OP_FP, xr(rd), 0b001, fr(rs1), 0b00000, 0b1110000),
+        },
+        Inst::IntToFp { op, rd, rs1 } => match op {
+            IntToFpOp::CvtW => r_type(OP_FP, fr(rd), RM_DYN, xr(rs1), 0b00000, 0b1101000),
+            IntToFpOp::CvtWu => r_type(OP_FP, fr(rd), RM_DYN, xr(rs1), 0b00001, 0b1101000),
+            IntToFpOp::MvWX => r_type(OP_FP, fr(rd), 0b000, xr(rs1), 0b00000, 0b1111000),
+        },
+        Inst::SimtS { rc, r_step, r_end, interval } => {
+            debug_assert!(
+                (1..=127).contains(&interval),
+                "simt_s interval out of range: {interval}"
+            );
+            r_type(CUSTOM_0, xr(rc), 0b000, xr(r_step), xr(r_end), interval as u32)
+        }
+        Inst::SimtE { rc, r_end, l_offset } => {
+            i_type(CUSTOM_0, xr(rc), 0b001, xr(r_end), l_offset)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_golden_encodings() {
+        // Cross-checked against the RISC-V spec / GNU assembler output.
+        // addi a0, a1, 1  -> 0x00158513
+        assert_eq!(
+            encode(&Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, imm: 1 }),
+            0x0015_8513
+        );
+        // add a0, a1, a2 -> 0x00C58533
+        assert_eq!(
+            encode(&Inst::Op { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }),
+            0x00C5_8533
+        );
+        // sub a0, a1, a2 -> 0x40C58533
+        assert_eq!(
+            encode(&Inst::Op { op: AluOp::Sub, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }),
+            0x40C5_8533
+        );
+        // lw a0, 8(sp) -> 0x00812503
+        assert_eq!(
+            encode(&Inst::Load { op: LoadOp::Lw, rd: Reg::A0, rs1: Reg::SP, offset: 8 }),
+            0x0081_2503
+        );
+        // sw a0, 8(sp) -> 0x00A12423
+        assert_eq!(
+            encode(&Inst::Store { op: StoreOp::Sw, rs1: Reg::SP, rs2: Reg::A0, offset: 8 }),
+            0x00A1_2423
+        );
+        // lui a0, 0x12345 -> 0x12345537
+        assert_eq!(encode(&Inst::Lui { rd: Reg::A0, imm: 0x12345 << 12 }), 0x1234_5537);
+        // jal ra, 16 -> 0x010000EF
+        assert_eq!(encode(&Inst::Jal { rd: Reg::RA, offset: 16 }), 0x0100_00EF);
+        // beq a0, a1, -4 -> 0xFEB50EE3
+        assert_eq!(
+            encode(&Inst::Branch { op: BranchOp::Beq, rs1: Reg::A0, rs2: Reg::A1, offset: -4 }),
+            0xFEB5_0EE3
+        );
+        // ecall -> 0x00000073
+        assert_eq!(encode(&Inst::Ecall), 0x0000_0073);
+        // ebreak -> 0x00100073
+        assert_eq!(encode(&Inst::Ebreak), 0x0010_0073);
+        // mul a0, a1, a2 -> 0x02C58533
+        assert_eq!(
+            encode(&Inst::Op { op: AluOp::Mul, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }),
+            0x02C5_8533
+        );
+        // srai a0, a1, 3 -> 0x4035D513
+        assert_eq!(
+            encode(&Inst::OpImm { op: AluOp::Sra, rd: Reg::A0, rs1: Reg::A1, imm: 3 }),
+            0x4035_D513
+        );
+    }
+
+    #[test]
+    fn fp_golden_encodings() {
+        use crate::reg::FReg;
+        // fadd.s fa0, fa1, fa2 (rm=dyn) -> 0x00C5F553
+        assert_eq!(
+            encode(&Inst::FpOp {
+                op: FpOp::Add,
+                rd: FReg::new(10),
+                rs1: FReg::new(11),
+                rs2: FReg::new(12)
+            }),
+            0x00C5_F553
+        );
+        // flw fa0, 0(a0) -> 0x00052507
+        assert_eq!(
+            encode(&Inst::Flw { rd: FReg::new(10), rs1: Reg::A0, offset: 0 }),
+            0x0005_2507
+        );
+        // fmadd.s fa0, fa1, fa2, fa3 (rm=dyn) -> 0x68C5F543
+        assert_eq!(
+            encode(&Inst::FpFma {
+                op: FmaOp::MAdd,
+                rd: FReg::new(10),
+                rs1: FReg::new(11),
+                rs2: FReg::new(12),
+                rs3: FReg::new(13)
+            }),
+            0x68C5_F543
+        );
+    }
+
+    #[test]
+    fn nop_is_canonical() {
+        // addi x0, x0, 0 -> 0x00000013
+        assert_eq!(encode(&Inst::NOP), 0x0000_0013);
+    }
+
+    #[test]
+    fn custom0_opcode_used_for_simt() {
+        let s = encode(&Inst::SimtS { rc: Reg::T0, r_step: Reg::T1, r_end: Reg::T2, interval: 4 });
+        assert_eq!(s & 0x7F, opcodes::CUSTOM_0);
+        let e = encode(&Inst::SimtE { rc: Reg::T0, r_end: Reg::T2, l_offset: -128 });
+        assert_eq!(e & 0x7F, opcodes::CUSTOM_0);
+        assert_ne!((s >> 12) & 0x7, (e >> 12) & 0x7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    #[cfg(debug_assertions)]
+    fn branch_offset_range_checked() {
+        let _ = encode(&Inst::Branch {
+            op: BranchOp::Beq,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            offset: 5000,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "no OP-IMM form")]
+    #[cfg(debug_assertions)]
+    fn sub_imm_rejected() {
+        let _ = encode(&Inst::OpImm { op: AluOp::Sub, rd: Reg::A0, rs1: Reg::A1, imm: 1 });
+    }
+}

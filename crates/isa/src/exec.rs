@@ -1,0 +1,442 @@
+//! Pure functional execution semantics shared by every machine model.
+//!
+//! These functions compute *values only* — register reads, memory access,
+//! and timing are the responsibility of the machine (DiAG core, out-of-order
+//! baseline, or in-order reference). Keeping the semantics here guarantees
+//! that all machines agree architecturally, which the differential tests
+//! rely on.
+
+use crate::inst::{AluOp, BranchOp, FmaOp, FpCmpOp, FpOp, FpToIntOp, IntToFpOp, LoadOp};
+
+/// Evaluates an integer ALU / M-extension operation.
+///
+/// Division follows the RISC-V M semantics: division by zero yields all-ones
+/// (quotient) or the dividend (remainder); signed overflow (`i32::MIN / -1`)
+/// yields the dividend and zero remainder.
+///
+/// # Examples
+///
+/// ```
+/// use diag_isa::{exec::alu, AluOp};
+///
+/// assert_eq!(alu(AluOp::Add, 2, 3), 5);
+/// assert_eq!(alu(AluOp::Div, 7, 0), u32::MAX);
+/// ```
+pub fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a.wrapping_shl(b & 0x1F),
+        AluOp::Slt => ((a as i32) < (b as i32)) as u32,
+        AluOp::Sltu => (a < b) as u32,
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a.wrapping_shr(b & 0x1F),
+        AluOp::Sra => ((a as i32).wrapping_shr(b & 0x1F)) as u32,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Mulh => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,
+        AluOp::Mulhsu => (((a as i32 as i64) * (b as u64 as i64)) >> 32) as u32,
+        AluOp::Mulhu => (((a as u64) * (b as u64)) >> 32) as u32,
+        AluOp::Div => {
+            if b == 0 {
+                u32::MAX
+            } else if a as i32 == i32::MIN && b as i32 == -1 {
+                a
+            } else {
+                ((a as i32) / (b as i32)) as u32
+            }
+        }
+        AluOp::Divu => {
+            if b == 0 {
+                u32::MAX
+            } else {
+                a / b
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                a
+            } else if a as i32 == i32::MIN && b as i32 == -1 {
+                0
+            } else {
+                ((a as i32) % (b as i32)) as u32
+            }
+        }
+        AluOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+    }
+}
+
+/// Evaluates a conditional branch comparison.
+///
+/// # Examples
+///
+/// ```
+/// use diag_isa::{exec::branch_taken, BranchOp};
+///
+/// assert!(branch_taken(BranchOp::Blt, (-1i32) as u32, 0));
+/// assert!(!branch_taken(BranchOp::Bltu, (-1i32) as u32, 0));
+/// ```
+pub fn branch_taken(op: BranchOp, a: u32, b: u32) -> bool {
+    match op {
+        BranchOp::Beq => a == b,
+        BranchOp::Bne => a != b,
+        BranchOp::Blt => (a as i32) < (b as i32),
+        BranchOp::Bge => (a as i32) >= (b as i32),
+        BranchOp::Bltu => a < b,
+        BranchOp::Bgeu => a >= b,
+    }
+}
+
+/// Sign- or zero-extends a loaded value according to the load operation.
+/// `raw` holds the value's low `op.size()` bytes in its least-significant
+/// positions.
+pub fn extend_load(op: LoadOp, raw: u32) -> u32 {
+    match op {
+        LoadOp::Lb => raw as u8 as i8 as i32 as u32,
+        LoadOp::Lbu => raw as u8 as u32,
+        LoadOp::Lh => raw as u16 as i16 as i32 as u32,
+        LoadOp::Lhu => raw as u16 as u32,
+        LoadOp::Lw => raw,
+    }
+}
+
+fn f(bits: u32) -> f32 {
+    f32::from_bits(bits)
+}
+
+/// The RISC-V canonical NaN for single precision.
+pub const CANONICAL_NAN: u32 = 0x7FC0_0000;
+
+fn canonize(v: f32) -> u32 {
+    if v.is_nan() {
+        CANONICAL_NAN
+    } else {
+        v.to_bits()
+    }
+}
+
+/// Evaluates a two-operand single-precision FP operation on raw bit
+/// patterns, producing a raw bit pattern. NaN results are canonicalized as
+/// the RISC-V specification requires.
+pub fn fp_op(op: FpOp, a: u32, b: u32) -> u32 {
+    match op {
+        FpOp::Add => canonize(f(a) + f(b)),
+        FpOp::Sub => canonize(f(a) - f(b)),
+        FpOp::Mul => canonize(f(a) * f(b)),
+        FpOp::Div => canonize(f(a) / f(b)),
+        FpOp::Sqrt => canonize(f(a).sqrt()),
+        FpOp::SgnJ => (a & 0x7FFF_FFFF) | (b & 0x8000_0000),
+        FpOp::SgnJN => (a & 0x7FFF_FFFF) | (!b & 0x8000_0000),
+        FpOp::SgnJX => a ^ (b & 0x8000_0000),
+        FpOp::Min => {
+            let (x, y) = (f(a), f(b));
+            if x.is_nan() && y.is_nan() {
+                CANONICAL_NAN
+            } else if x.is_nan() {
+                b
+            } else if y.is_nan() {
+                a
+            } else if x == y {
+                // fmin(-0.0, +0.0) = -0.0: prefer the operand with the sign bit.
+                if a & 0x8000_0000 != 0 {
+                    a
+                } else {
+                    b
+                }
+            } else if x < y {
+                a
+            } else {
+                b
+            }
+        }
+        FpOp::Max => {
+            let (x, y) = (f(a), f(b));
+            if x.is_nan() && y.is_nan() {
+                CANONICAL_NAN
+            } else if x.is_nan() {
+                b
+            } else if y.is_nan() {
+                a
+            } else if x == y {
+                // fmax(-0.0, +0.0) = +0.0: prefer the operand without the sign bit.
+                if a & 0x8000_0000 == 0 {
+                    a
+                } else {
+                    b
+                }
+            } else if x > y {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+/// Evaluates a fused multiply-add family operation on raw bit patterns.
+pub fn fp_fma(op: FmaOp, a: u32, b: u32, c: u32) -> u32 {
+    let (x, y, z) = (f(a), f(b), f(c));
+    let v = match op {
+        FmaOp::MAdd => x.mul_add(y, z),
+        FmaOp::MSub => x.mul_add(y, -z),
+        FmaOp::NMSub => (-x).mul_add(y, z),
+        FmaOp::NMAdd => (-x).mul_add(y, -z),
+    };
+    canonize(v)
+}
+
+/// Evaluates an FP comparison, producing 0 or 1. Comparisons with NaN are
+/// false (the quiet-NaN semantics of `feq`/`flt`/`fle`).
+pub fn fp_cmp(op: FpCmpOp, a: u32, b: u32) -> u32 {
+    let (x, y) = (f(a), f(b));
+    let r = match op {
+        FpCmpOp::Eq => x == y,
+        FpCmpOp::Lt => x < y,
+        FpCmpOp::Le => x <= y,
+    };
+    r as u32
+}
+
+/// Evaluates an FP → integer move/convert/classify.
+///
+/// Conversions saturate and map NaN per the RISC-V specification
+/// (`fcvt.w.s(NaN) = i32::MAX`, `fcvt.wu.s(NaN) = u32::MAX`).
+pub fn fp_to_int(op: FpToIntOp, a: u32) -> u32 {
+    let x = f(a);
+    match op {
+        FpToIntOp::CvtW => {
+            if x.is_nan() {
+                i32::MAX as u32
+            } else if x >= i32::MAX as f32 {
+                i32::MAX as u32
+            } else if x <= i32::MIN as f32 {
+                i32::MIN as u32
+            } else {
+                // RISC-V default conversion truncates toward zero.
+                (x.trunc() as i32) as u32
+            }
+        }
+        FpToIntOp::CvtWu => {
+            if x.is_nan() || x >= u32::MAX as f32 {
+                u32::MAX
+            } else if x <= 0.0 {
+                // Negative inputs (including -0.0) clamp to zero.
+                0
+            } else {
+                x.trunc() as u32
+            }
+        }
+        FpToIntOp::MvXW => a,
+        FpToIntOp::Class => fclass(a),
+    }
+}
+
+/// Evaluates an integer → FP move/convert.
+pub fn int_to_fp(op: IntToFpOp, a: u32) -> u32 {
+    match op {
+        IntToFpOp::CvtW => (a as i32 as f32).to_bits(),
+        IntToFpOp::CvtWu => (a as f32).to_bits(),
+        IntToFpOp::MvWX => a,
+    }
+}
+
+/// Computes the `fclass.s` 10-bit classification mask.
+fn fclass(bits: u32) -> u32 {
+    let sign = bits >> 31 != 0;
+    let exp = (bits >> 23) & 0xFF;
+    let frac = bits & 0x7F_FFFF;
+    let class = match (exp, frac) {
+        (0xFF, 0) => {
+            if sign {
+                0 // -inf
+            } else {
+                7 // +inf
+            }
+        }
+        (0xFF, _) => {
+            if frac >> 22 == 1 {
+                9 // quiet NaN
+            } else {
+                8 // signaling NaN
+            }
+        }
+        (0, 0) => {
+            if sign {
+                3 // -0
+            } else {
+                4 // +0
+            }
+        }
+        (0, _) => {
+            if sign {
+                2 // negative subnormal
+            } else {
+                5 // positive subnormal
+            }
+        }
+        _ => {
+            if sign {
+                1 // negative normal
+            } else {
+                6 // positive normal
+            }
+        }
+    };
+    1 << class
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_basic() {
+        assert_eq!(alu(AluOp::Add, u32::MAX, 1), 0);
+        assert_eq!(alu(AluOp::Sub, 0, 1), u32::MAX);
+        assert_eq!(alu(AluOp::Sll, 1, 33), 2); // shamt masked to 5 bits
+        assert_eq!(alu(AluOp::Srl, 0x8000_0000, 31), 1);
+        assert_eq!(alu(AluOp::Sra, 0x8000_0000, 31), u32::MAX);
+        assert_eq!(alu(AluOp::Slt, (-1i32) as u32, 0), 1);
+        assert_eq!(alu(AluOp::Sltu, (-1i32) as u32, 0), 0);
+        assert_eq!(alu(AluOp::Xor, 0xF0F0, 0x0FF0), 0xFF00);
+    }
+
+    #[test]
+    fn m_extension_corner_cases() {
+        // Division by zero.
+        assert_eq!(alu(AluOp::Div, 42, 0), u32::MAX);
+        assert_eq!(alu(AluOp::Divu, 42, 0), u32::MAX);
+        assert_eq!(alu(AluOp::Rem, 42, 0), 42);
+        assert_eq!(alu(AluOp::Remu, 42, 0), 42);
+        // Signed overflow.
+        let min = i32::MIN as u32;
+        let neg1 = (-1i32) as u32;
+        assert_eq!(alu(AluOp::Div, min, neg1), min);
+        assert_eq!(alu(AluOp::Rem, min, neg1), 0);
+        // High multiplication.
+        assert_eq!(alu(AluOp::Mulhu, u32::MAX, u32::MAX), 0xFFFF_FFFE);
+        assert_eq!(alu(AluOp::Mulh, neg1, neg1), 0);
+        assert_eq!(alu(AluOp::Mulhsu, neg1, u32::MAX), u32::MAX);
+    }
+
+    #[test]
+    fn branch_semantics() {
+        let neg = (-5i32) as u32;
+        assert!(branch_taken(BranchOp::Beq, 7, 7));
+        assert!(branch_taken(BranchOp::Bne, 7, 8));
+        assert!(branch_taken(BranchOp::Blt, neg, 3));
+        assert!(!branch_taken(BranchOp::Bltu, neg, 3));
+        assert!(branch_taken(BranchOp::Bge, 3, 3));
+        assert!(branch_taken(BranchOp::Bgeu, neg, 3));
+    }
+
+    #[test]
+    fn load_extension() {
+        assert_eq!(extend_load(LoadOp::Lb, 0x80), 0xFFFF_FF80);
+        assert_eq!(extend_load(LoadOp::Lbu, 0x80), 0x80);
+        assert_eq!(extend_load(LoadOp::Lh, 0x8000), 0xFFFF_8000);
+        assert_eq!(extend_load(LoadOp::Lhu, 0x8000), 0x8000);
+        assert_eq!(extend_load(LoadOp::Lw, 0xDEAD_BEEF), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn fp_arith_matches_host() {
+        let a = 3.5f32.to_bits();
+        let b = 1.25f32.to_bits();
+        assert_eq!(f32::from_bits(fp_op(FpOp::Add, a, b)), 4.75);
+        assert_eq!(f32::from_bits(fp_op(FpOp::Sub, a, b)), 2.25);
+        assert_eq!(f32::from_bits(fp_op(FpOp::Mul, a, b)), 4.375);
+        assert_eq!(f32::from_bits(fp_op(FpOp::Div, a, b)), 2.8);
+        assert_eq!(f32::from_bits(fp_op(FpOp::Sqrt, 4.0f32.to_bits(), 0)), 2.0);
+    }
+
+    #[test]
+    fn fp_nan_canonicalized() {
+        let nan = f32::NAN.to_bits() | 1; // a non-canonical NaN payload
+        assert_eq!(fp_op(FpOp::Add, nan, 1.0f32.to_bits()), CANONICAL_NAN);
+        assert_eq!(fp_op(FpOp::Div, 0, 0), CANONICAL_NAN);
+    }
+
+    #[test]
+    fn sign_injection() {
+        let pos = 2.0f32.to_bits();
+        let neg = (-3.0f32).to_bits();
+        assert_eq!(f32::from_bits(fp_op(FpOp::SgnJ, pos, neg)), -2.0);
+        assert_eq!(f32::from_bits(fp_op(FpOp::SgnJN, pos, neg)), 2.0);
+        assert_eq!(f32::from_bits(fp_op(FpOp::SgnJX, neg, neg)), 3.0);
+    }
+
+    #[test]
+    fn min_max_nan_handling() {
+        let nan = CANONICAL_NAN;
+        let one = 1.0f32.to_bits();
+        assert_eq!(fp_op(FpOp::Min, nan, one), one);
+        assert_eq!(fp_op(FpOp::Max, one, nan), one);
+        assert_eq!(fp_op(FpOp::Min, nan, nan), CANONICAL_NAN);
+        assert_eq!(f32::from_bits(fp_op(FpOp::Min, 1.0f32.to_bits(), 2.0f32.to_bits())), 1.0);
+        assert_eq!(f32::from_bits(fp_op(FpOp::Max, 1.0f32.to_bits(), 2.0f32.to_bits())), 2.0);
+    }
+
+    #[test]
+    fn fma_semantics() {
+        let a = 2.0f32.to_bits();
+        let b = 3.0f32.to_bits();
+        let c = 4.0f32.to_bits();
+        assert_eq!(f32::from_bits(fp_fma(FmaOp::MAdd, a, b, c)), 10.0);
+        assert_eq!(f32::from_bits(fp_fma(FmaOp::MSub, a, b, c)), 2.0);
+        assert_eq!(f32::from_bits(fp_fma(FmaOp::NMSub, a, b, c)), -2.0);
+        assert_eq!(f32::from_bits(fp_fma(FmaOp::NMAdd, a, b, c)), -10.0);
+    }
+
+    #[test]
+    fn comparisons_with_nan_are_false() {
+        let nan = CANONICAL_NAN;
+        let one = 1.0f32.to_bits();
+        for op in [FpCmpOp::Eq, FpCmpOp::Lt, FpCmpOp::Le] {
+            assert_eq!(fp_cmp(op, nan, one), 0);
+            assert_eq!(fp_cmp(op, one, nan), 0);
+        }
+        assert_eq!(fp_cmp(FpCmpOp::Eq, one, one), 1);
+        assert_eq!(fp_cmp(FpCmpOp::Le, one, one), 1);
+        assert_eq!(fp_cmp(FpCmpOp::Lt, one, 2.0f32.to_bits()), 1);
+    }
+
+    #[test]
+    fn conversions_saturate() {
+        assert_eq!(fp_to_int(FpToIntOp::CvtW, 1e20f32.to_bits()), i32::MAX as u32);
+        assert_eq!(fp_to_int(FpToIntOp::CvtW, (-1e20f32).to_bits()), i32::MIN as u32);
+        assert_eq!(fp_to_int(FpToIntOp::CvtW, CANONICAL_NAN), i32::MAX as u32);
+        assert_eq!(fp_to_int(FpToIntOp::CvtWu, (-3.0f32).to_bits()), 0);
+        assert_eq!(fp_to_int(FpToIntOp::CvtW, (-2.7f32).to_bits()), (-2i32) as u32);
+        assert_eq!(fp_to_int(FpToIntOp::CvtW, 2.7f32.to_bits()), 2);
+        assert_eq!(int_to_fp(IntToFpOp::CvtW, (-7i32) as u32), (-7.0f32).to_bits());
+        assert_eq!(int_to_fp(IntToFpOp::CvtWu, u32::MAX), (u32::MAX as f32).to_bits());
+    }
+
+    #[test]
+    fn raw_moves_preserve_bits() {
+        assert_eq!(fp_to_int(FpToIntOp::MvXW, 0xDEAD_BEEF), 0xDEAD_BEEF);
+        assert_eq!(int_to_fp(IntToFpOp::MvWX, 0xDEAD_BEEF), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn fclass_masks() {
+        assert_eq!(fp_to_int(FpToIntOp::Class, f32::NEG_INFINITY.to_bits()), 1 << 0);
+        assert_eq!(fp_to_int(FpToIntOp::Class, (-1.5f32).to_bits()), 1 << 1);
+        assert_eq!(fp_to_int(FpToIntOp::Class, 0x8000_0001), 1 << 2); // -subnormal
+        assert_eq!(fp_to_int(FpToIntOp::Class, 0x8000_0000), 1 << 3); // -0
+        assert_eq!(fp_to_int(FpToIntOp::Class, 0), 1 << 4); // +0
+        assert_eq!(fp_to_int(FpToIntOp::Class, 0x0000_0001), 1 << 5); // +subnormal
+        assert_eq!(fp_to_int(FpToIntOp::Class, 1.5f32.to_bits()), 1 << 6);
+        assert_eq!(fp_to_int(FpToIntOp::Class, f32::INFINITY.to_bits()), 1 << 7);
+        assert_eq!(fp_to_int(FpToIntOp::Class, 0x7F80_0001), 1 << 8); // sNaN
+        assert_eq!(fp_to_int(FpToIntOp::Class, CANONICAL_NAN), 1 << 9); // qNaN
+    }
+}

@@ -1,0 +1,49 @@
+//! # diag-isa — RV32IMF instruction-set layer for the DiAG reproduction
+//!
+//! This crate is the foundation of the [DiAG](https://doi.org/10.1145/3445814.3446703)
+//! (ASPLOS 2021) reproduction workspace. It provides:
+//!
+//! - Register types ([`Reg`], [`FReg`]) and DiAG's unified *register lane*
+//!   index space ([`ArchReg`]) — the paper abstracts each architectural
+//!   register as a hardware lane flowing through the processing elements.
+//! - The decoded instruction form [`Inst`] covering RV32I, the M and F
+//!   extensions, and the paper's two SIMT extension instructions
+//!   (`simt_s` / `simt_e`, §5.4).
+//! - Binary [`encode`]/[`decode`] to and from the RISC-V wire format.
+//! - Pure execution semantics in [`exec`], shared by every machine model so
+//!   that the DiAG core, the out-of-order baseline, and the in-order
+//!   reference machine agree architecturally by construction.
+//!
+//! # Examples
+//!
+//! Round-trip an instruction through the wire format and evaluate it:
+//!
+//! ```
+//! use diag_isa::{decode, encode, exec, AluOp, Inst, Reg};
+//!
+//! let inst = Inst::Op { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+//! assert_eq!(decode(encode(&inst)).unwrap(), inst);
+//! assert_eq!(exec::alu(AluOp::Add, 40, 2), 42);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod decode;
+mod disasm;
+mod encode;
+pub mod exec;
+mod inst;
+mod reg;
+pub mod regs;
+
+pub use decode::{decode, DecodeError};
+pub use encode::encode;
+pub use inst::{
+    AluOp, BranchOp, FmaOp, FpCmpOp, FpOp, FpToIntOp, FuKind, Inst, IntToFpOp, LoadOp, SourceSet,
+    StoreOp,
+};
+pub use reg::{ArchReg, FReg, ParseRegError, Reg, NUM_FP_REGS, NUM_INT_REGS, NUM_LANES};
+
+/// Width of one instruction in bytes (RV32 without the C extension).
+pub const INST_BYTES: u32 = 4;

@@ -1,0 +1,61 @@
+//! Free constants for every register, for ergonomic kernel-building code.
+//!
+//! ```
+//! use diag_isa::regs::*;
+//!
+//! assert_eq!(A0.number(), 10);
+//! assert_eq!(FA0.number(), 10);
+//! ```
+
+use crate::reg::{FReg, Reg};
+
+macro_rules! int_consts {
+    ($($name:ident = $n:expr;)*) => {
+        $(
+            #[doc = concat!("Integer register `x", $n, "`.")]
+            pub const $name: Reg = Reg::new($n);
+        )*
+    };
+}
+
+macro_rules! fp_consts {
+    ($($name:ident = $n:expr;)*) => {
+        $(
+            #[doc = concat!("Floating-point register `f", $n, "`.")]
+            pub const $name: FReg = FReg::new($n);
+        )*
+    };
+}
+
+int_consts! {
+    ZERO = 0; RA = 1; SP = 2; GP = 3; TP = 4;
+    T0 = 5; T1 = 6; T2 = 7;
+    S0 = 8; S1 = 9;
+    A0 = 10; A1 = 11; A2 = 12; A3 = 13; A4 = 14; A5 = 15; A6 = 16; A7 = 17;
+    S2 = 18; S3 = 19; S4 = 20; S5 = 21; S6 = 22; S7 = 23; S8 = 24; S9 = 25;
+    S10 = 26; S11 = 27;
+    T3 = 28; T4 = 29; T5 = 30; T6 = 31;
+}
+
+fp_consts! {
+    FT0 = 0; FT1 = 1; FT2 = 2; FT3 = 3; FT4 = 4; FT5 = 5; FT6 = 6; FT7 = 7;
+    FS0 = 8; FS1 = 9;
+    FA0 = 10; FA1 = 11; FA2 = 12; FA3 = 13; FA4 = 14; FA5 = 15; FA6 = 16; FA7 = 17;
+    FS2 = 18; FS3 = 19; FS4 = 20; FS5 = 21; FS6 = 22; FS7 = 23; FS8 = 24; FS9 = 25;
+    FS10 = 26; FS11 = 27;
+    FT8 = 28; FT9 = 29; FT10 = 30; FT11 = 31;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consts_match_methods() {
+        assert_eq!(A0, Reg::A0);
+        assert_eq!(SP, Reg::SP);
+        assert_eq!(T6, Reg::T6);
+        assert_eq!(FA0.number(), 10);
+        assert_eq!(FT11.number(), 31);
+    }
+}

@@ -1,0 +1,205 @@
+//! Property tests: every valid instruction round-trips through the 32-bit
+//! wire format, and decoding is total (never panics) over arbitrary words.
+
+use diag_isa::{
+    decode, encode, AluOp, BranchOp, FReg, FmaOp, FpCmpOp, FpOp, FpToIntOp, Inst, IntToFpOp,
+    LoadOp, Reg, StoreOp,
+};
+use proptest::prelude::*;
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn any_freg() -> impl Strategy<Value = FReg> {
+    (0u8..32).prop_map(FReg::new)
+}
+
+fn any_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+        Just(AluOp::Mul),
+        Just(AluOp::Mulh),
+        Just(AluOp::Mulhsu),
+        Just(AluOp::Mulhu),
+        Just(AluOp::Div),
+        Just(AluOp::Divu),
+        Just(AluOp::Rem),
+        Just(AluOp::Remu),
+    ]
+}
+
+fn any_imm_alu_op() -> impl Strategy<Value = AluOp> {
+    any_alu_op().prop_filter("must have an immediate form", |op| op.has_imm_form())
+}
+
+fn any_branch_op() -> impl Strategy<Value = BranchOp> {
+    prop_oneof![
+        Just(BranchOp::Beq),
+        Just(BranchOp::Bne),
+        Just(BranchOp::Blt),
+        Just(BranchOp::Bge),
+        Just(BranchOp::Bltu),
+        Just(BranchOp::Bgeu),
+    ]
+}
+
+fn any_load_op() -> impl Strategy<Value = LoadOp> {
+    prop_oneof![
+        Just(LoadOp::Lb),
+        Just(LoadOp::Lh),
+        Just(LoadOp::Lw),
+        Just(LoadOp::Lbu),
+        Just(LoadOp::Lhu),
+    ]
+}
+
+fn any_store_op() -> impl Strategy<Value = StoreOp> {
+    prop_oneof![Just(StoreOp::Sb), Just(StoreOp::Sh), Just(StoreOp::Sw)]
+}
+
+fn any_fp_op() -> impl Strategy<Value = FpOp> {
+    prop_oneof![
+        Just(FpOp::Add),
+        Just(FpOp::Sub),
+        Just(FpOp::Mul),
+        Just(FpOp::Div),
+        Just(FpOp::SgnJ),
+        Just(FpOp::SgnJN),
+        Just(FpOp::SgnJX),
+        Just(FpOp::Min),
+        Just(FpOp::Max),
+    ]
+}
+
+/// Strategy over the entire valid instruction space.
+fn any_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (any_reg(), -(1i32 << 19)..(1 << 19))
+            .prop_map(|(rd, v)| Inst::Lui { rd, imm: v << 12 }),
+        (any_reg(), -(1i32 << 19)..(1 << 19))
+            .prop_map(|(rd, v)| Inst::Auipc { rd, imm: v << 12 }),
+        (any_reg(), -(1i32 << 19)..(1 << 19))
+            .prop_map(|(rd, half)| Inst::Jal { rd, offset: half * 2 }),
+        (any_reg(), any_reg(), -2048i32..=2047)
+            .prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
+        (any_branch_op(), any_reg(), any_reg(), -2048i32..=2047)
+            .prop_map(|(op, rs1, rs2, half)| Inst::Branch { op, rs1, rs2, offset: half * 2 }),
+        (any_load_op(), any_reg(), any_reg(), -2048i32..=2047)
+            .prop_map(|(op, rd, rs1, offset)| Inst::Load { op, rd, rs1, offset }),
+        (any_store_op(), any_reg(), any_reg(), -2048i32..=2047)
+            .prop_map(|(op, rs1, rs2, offset)| Inst::Store { op, rs1, rs2, offset }),
+        (any_imm_alu_op(), any_reg(), any_reg(), -2048i32..=2047).prop_map(
+            |(op, rd, rs1, imm)| {
+                let imm = match op {
+                    AluOp::Sll | AluOp::Srl | AluOp::Sra => imm & 0x1F,
+                    _ => imm,
+                };
+                Inst::OpImm { op, rd, rs1, imm }
+            }
+        ),
+        (any_alu_op(), any_reg(), any_reg(), any_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::Op { op, rd, rs1, rs2 }),
+        Just(Inst::Fence),
+        Just(Inst::Ecall),
+        Just(Inst::Ebreak),
+        (any_freg(), any_reg(), -2048i32..=2047)
+            .prop_map(|(rd, rs1, offset)| Inst::Flw { rd, rs1, offset }),
+        (any_reg(), any_freg(), -2048i32..=2047)
+            .prop_map(|(rs1, rs2, offset)| Inst::Fsw { rs1, rs2, offset }),
+        (any_fp_op(), any_freg(), any_freg(), any_freg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::FpOp { op, rd, rs1, rs2 }),
+        (any_freg(), any_freg()).prop_map(|(rd, rs1)| Inst::FpOp {
+            op: FpOp::Sqrt,
+            rd,
+            rs1,
+            rs2: FReg::new(0)
+        }),
+        (
+            prop_oneof![
+                Just(FmaOp::MAdd),
+                Just(FmaOp::MSub),
+                Just(FmaOp::NMSub),
+                Just(FmaOp::NMAdd)
+            ],
+            any_freg(),
+            any_freg(),
+            any_freg(),
+            any_freg()
+        )
+            .prop_map(|(op, rd, rs1, rs2, rs3)| Inst::FpFma { op, rd, rs1, rs2, rs3 }),
+        (
+            prop_oneof![Just(FpCmpOp::Eq), Just(FpCmpOp::Lt), Just(FpCmpOp::Le)],
+            any_reg(),
+            any_freg(),
+            any_freg()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Inst::FpCmp { op, rd, rs1, rs2 }),
+        (
+            prop_oneof![
+                Just(FpToIntOp::CvtW),
+                Just(FpToIntOp::CvtWu),
+                Just(FpToIntOp::MvXW),
+                Just(FpToIntOp::Class)
+            ],
+            any_reg(),
+            any_freg()
+        )
+            .prop_map(|(op, rd, rs1)| Inst::FpToInt { op, rd, rs1 }),
+        (
+            prop_oneof![Just(IntToFpOp::CvtW), Just(IntToFpOp::CvtWu), Just(IntToFpOp::MvWX)],
+            any_freg(),
+            any_reg()
+        )
+            .prop_map(|(op, rd, rs1)| Inst::IntToFp { op, rd, rs1 }),
+        (any_reg(), any_reg(), any_reg(), 1u8..=127)
+            .prop_map(|(rc, r_step, r_end, interval)| Inst::SimtS { rc, r_step, r_end, interval }),
+        (any_reg(), any_reg(), -2048i32..=2047)
+            .prop_map(|(rc, r_end, l_offset)| Inst::SimtE { rc, r_end, l_offset }),
+    ]
+}
+
+proptest! {
+    /// decode(encode(inst)) == inst for the entire valid instruction space.
+    #[test]
+    fn encode_decode_round_trip(inst in any_inst()) {
+        let word = encode(&inst);
+        let back = decode(word).expect("encoded instruction must decode");
+        prop_assert_eq!(back, inst);
+    }
+
+    /// Decoding never panics, for any 32-bit word.
+    #[test]
+    fn decode_is_total(word in any::<u32>()) {
+        let _ = decode(word);
+    }
+
+    /// If an arbitrary word decodes, re-encoding produces a word that decodes
+    /// to the same instruction (encodings are canonical up to ignored fields
+    /// like rounding modes and fence operands).
+    #[test]
+    fn decode_encode_stable(word in any::<u32>()) {
+        if let Ok(inst) = decode(word) {
+            let word2 = encode(&inst);
+            prop_assert_eq!(decode(word2).expect("re-encoded word must decode"), inst);
+        }
+    }
+
+    /// Disassembly text is nonempty and starts with a lowercase mnemonic.
+    #[test]
+    fn disasm_nonempty(inst in any_inst()) {
+        let text = inst.to_string();
+        prop_assert!(!text.is_empty());
+        let first = text.chars().next().unwrap();
+        prop_assert!(first.is_ascii_lowercase());
+    }
+}

@@ -1,0 +1,93 @@
+//! The shared on-chip 512-bit bus.
+//!
+//! Paper §5.1.3: "An on-chip 512-bit bus is present to transport partial
+//! register files from clusters that are not directly connected (in two
+//! cycles) … this bus is also shared for loading I-Cache lines to
+//! clusters." Contention on this bus is one of the paper's "other stalls"
+//! (§7.3.2).
+
+/// A single-owner bus granting transfers in request order.
+#[derive(Debug, Clone, Default)]
+pub struct Bus {
+    busy_until: u64,
+    transfers: u64,
+    beats: u64,
+    contended: u64,
+}
+
+/// Beats for one 64-byte I-cache line (512 bits = 1 beat).
+pub const ILINE_BEATS: u64 = 1;
+/// Beats for a partial register-file transfer (paper: two cycles).
+pub const REGFILE_BEATS: u64 = 2;
+
+impl Bus {
+    /// Creates an idle bus.
+    pub fn new() -> Bus {
+        Bus::default()
+    }
+
+    /// Requests the bus at `now` for `beats` cycles; returns the cycle the
+    /// transfer starts (equal to `now` when uncontended).
+    pub fn request(&mut self, now: u64, beats: u64) -> u64 {
+        let start = now.max(self.busy_until);
+        if start > now {
+            self.contended += 1;
+        }
+        self.busy_until = start + beats;
+        self.transfers += 1;
+        self.beats += beats;
+        start
+    }
+
+    /// Whether the bus is free at `now`.
+    pub fn is_free(&self, now: u64) -> bool {
+        now >= self.busy_until
+    }
+
+    /// Total transfers granted.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Total beats transferred (for bus energy accounting).
+    pub fn beats(&self) -> u64 {
+        self.beats
+    }
+
+    /// Transfers that had to wait for a previous owner.
+    pub fn contended(&self) -> u64 {
+        self.contended
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_grants_immediately() {
+        let mut bus = Bus::new();
+        assert_eq!(bus.request(5, ILINE_BEATS), 5);
+        assert!(bus.is_free(6));
+        assert_eq!(bus.contended(), 0);
+    }
+
+    #[test]
+    fn back_to_back_serializes() {
+        let mut bus = Bus::new();
+        assert_eq!(bus.request(0, REGFILE_BEATS), 0);
+        assert_eq!(bus.request(0, ILINE_BEATS), 2);
+        assert_eq!(bus.request(1, ILINE_BEATS), 3);
+        assert_eq!(bus.contended(), 2);
+        assert_eq!(bus.beats(), 4);
+        assert_eq!(bus.transfers(), 3);
+    }
+
+    #[test]
+    fn idle_gap_resets_contention() {
+        let mut bus = Bus::new();
+        bus.request(0, REGFILE_BEATS);
+        assert_eq!(bus.request(100, ILINE_BEATS), 100);
+        assert_eq!(bus.contended(), 0);
+    }
+}

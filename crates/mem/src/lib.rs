@@ -1,0 +1,31 @@
+//! # diag-mem — memory subsystem for the DiAG reproduction
+//!
+//! Implements the paper's memory hierarchy (§5.2): main memory (functional
+//! storage), timing-only set-associative caches with banked contention
+//! ([`CacheArray`], [`PrivateCache`], [`SharedLevel`]), cluster-level
+//! load/store units with bounded request queues ([`Lsu`]), DiAG's *memory
+//! lanes* store-forwarding structure ([`MemLane`]), and the shared on-chip
+//! 512-bit bus ([`Bus`]).
+//!
+//! All timing structures are data-free: architectural memory state lives
+//! exclusively in [`MainMemory`], mirroring the paper's
+//! functional-with-delays testbench modelling (§7.1).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bus;
+mod cache;
+mod hierarchy;
+mod lsu;
+mod meter;
+mod main_memory;
+mod memlane;
+
+pub use bus::{Bus, ILINE_BEATS, REGFILE_BEATS};
+pub use cache::{CacheArray, CacheConfig, CacheStats, LookupResult};
+pub use hierarchy::{MemOutcome, PrivateCache, SharedLevel, DRAM_LATENCY};
+pub use lsu::Lsu;
+pub use meter::PortMeter;
+pub use main_memory::MainMemory;
+pub use memlane::{LaneLookup, MemLane};

@@ -1,0 +1,204 @@
+//! Memory lanes: DiAG's cluster-level store-forwarding structure.
+//!
+//! The paper (§5.2) describes memory lanes as "essentially set-associative
+//! register lanes that transport memory data from PE to PE and enable
+//! access reordering. Data written by stores are temporarily stored in
+//! memory lanes that are passed to succeeding clusters and PEs for
+//! immediate access."
+//!
+//! Functionally, [`MemLane`] is an exact store buffer with timestamps:
+//! every pending store is recorded with its issue time, and loads query it
+//! for both *disambiguation* (a load may not execute before an older
+//! overlapping store has issued) and *forwarding* (a fully-covered load
+//! receives the value in one cycle). The timing benefit is granted only
+//! within the configured capacity window — older entries still constrain
+//! ordering but pay the cache latency — modelling a bounded hardware
+//! structure without coupling capacity to correctness.
+
+/// One buffered store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StoreEntry {
+    addr: u32,
+    size: u32,
+    value: u32,
+    time: u64,
+}
+
+/// Result of a memory-lane load lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneLookup {
+    /// Fully covered by a buffered store within the capacity window —
+    /// the value forwards in one cycle once the store has issued.
+    HitFast {
+        /// Forwarded value (low `size` bytes).
+        value: u32,
+        /// Issue time of the forwarding store.
+        store_time: u64,
+    },
+    /// Fully covered, but by an entry beyond the capacity window — the
+    /// value is correct but the access pays the cache latency, after the
+    /// store has issued.
+    HitSlow {
+        /// Forwarded value.
+        value: u32,
+        /// Issue time of the forwarding store.
+        store_time: u64,
+    },
+    /// Partially overlapped by a younger store: the load must wait for
+    /// that store to issue, then access the cache.
+    Conflict {
+        /// Issue time of the conflicting store.
+        store_time: u64,
+    },
+    /// No overlapping buffered store — access the cache freely.
+    Miss,
+}
+
+/// A cluster-level store-forwarding and disambiguation buffer (paper §5.2).
+#[derive(Debug, Clone)]
+pub struct MemLane {
+    entries: Vec<StoreEntry>,
+    capacity: usize,
+}
+
+impl MemLane {
+    /// Creates a memory lane with `capacity` fast-forwarding entries.
+    pub fn new(capacity: usize) -> MemLane {
+        MemLane { entries: Vec::new(), capacity }
+    }
+
+    /// Fast-window capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of buffered stores.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no stores are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records a store issued at `time` (call in program order).
+    pub fn push_store(&mut self, addr: u32, size: u32, value: u32, time: u64) {
+        self.entries.push(StoreEntry { addr, size, value, time });
+    }
+
+    /// Queries the youngest overlapping store for a load of `size` bytes
+    /// at `addr`.
+    pub fn lookup(&self, addr: u32, size: u32) -> LaneLookup {
+        let fast_floor = self.entries.len().saturating_sub(self.capacity);
+        for (idx, e) in self.entries.iter().enumerate().rev() {
+            let covers = e.addr <= addr && addr + size <= e.addr + e.size;
+            if covers {
+                let shift = (addr - e.addr) * 8;
+                let mask = if size == 4 { u32::MAX } else { (1u32 << (size * 8)) - 1 };
+                let value = (e.value >> shift) & mask;
+                return if idx >= fast_floor {
+                    LaneLookup::HitFast { value, store_time: e.time }
+                } else {
+                    LaneLookup::HitSlow { value, store_time: e.time }
+                };
+            }
+            let overlaps = e.addr < addr + size && addr < e.addr + e.size;
+            if overlaps {
+                return LaneLookup::Conflict { store_time: e.time };
+            }
+        }
+        LaneLookup::Miss
+    }
+
+    /// Clears buffered stores (on cluster free / thread completion).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Drops the oldest entries down to a bounded multiple of the fast
+    /// window (periodic trim to bound memory in very long runs).
+    pub fn trim(&mut self) {
+        let excess = self.entries.len().saturating_sub(self.capacity * 4);
+        if excess > 0 {
+            self.entries.drain(..excess);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forwards_matching_word() {
+        let mut lane = MemLane::new(8);
+        lane.push_store(0x100, 4, 0xAABB_CCDD, 17);
+        assert_eq!(
+            lane.lookup(0x100, 4),
+            LaneLookup::HitFast { value: 0xAABB_CCDD, store_time: 17 }
+        );
+    }
+
+    #[test]
+    fn forwards_subword() {
+        let mut lane = MemLane::new(8);
+        lane.push_store(0x100, 4, 0xAABB_CCDD, 0);
+        match lane.lookup(0x100, 1) {
+            LaneLookup::HitFast { value, .. } => assert_eq!(value, 0xDD),
+            other => panic!("{other:?}"),
+        }
+        match lane.lookup(0x102, 2) {
+            LaneLookup::HitFast { value, .. } => assert_eq!(value, 0xAABB),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn youngest_store_wins() {
+        let mut lane = MemLane::new(8);
+        lane.push_store(0x100, 4, 1, 10);
+        lane.push_store(0x100, 4, 2, 20);
+        assert_eq!(lane.lookup(0x100, 4), LaneLookup::HitFast { value: 2, store_time: 20 });
+    }
+
+    #[test]
+    fn partial_overlap_conflicts() {
+        let mut lane = MemLane::new(8);
+        lane.push_store(0x100, 4, 7, 5);
+        lane.push_store(0x102, 2, 9, 6);
+        assert_eq!(lane.lookup(0x100, 4), LaneLookup::Conflict { store_time: 6 });
+        assert_eq!(lane.lookup(0x102, 2), LaneLookup::HitFast { value: 9, store_time: 6 });
+    }
+
+    #[test]
+    fn miss_on_disjoint() {
+        let mut lane = MemLane::new(8);
+        lane.push_store(0x100, 4, 7, 0);
+        assert_eq!(lane.lookup(0x200, 4), LaneLookup::Miss);
+        assert_eq!(lane.lookup(0x104, 4), LaneLookup::Miss);
+    }
+
+    #[test]
+    fn old_entries_hit_slow() {
+        let mut lane = MemLane::new(2);
+        lane.push_store(0x100, 4, 1, 1);
+        lane.push_store(0x200, 4, 2, 2);
+        lane.push_store(0x300, 4, 3, 3);
+        assert!(matches!(lane.lookup(0x100, 4), LaneLookup::HitSlow { value: 1, .. }));
+        assert!(matches!(lane.lookup(0x300, 4), LaneLookup::HitFast { value: 3, .. }));
+    }
+
+    #[test]
+    fn clear_and_trim() {
+        let mut lane = MemLane::new(2);
+        for i in 0..100 {
+            lane.push_store(i * 4, 4, i, i as u64);
+        }
+        lane.trim();
+        assert!(lane.len() <= 8);
+        lane.clear();
+        assert!(lane.is_empty());
+        assert_eq!(lane.lookup(0, 4), LaneLookup::Miss);
+    }
+}

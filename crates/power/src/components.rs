@@ -1,0 +1,143 @@
+//! Component area and power constants from the paper's Table 3.
+//!
+//! The paper synthesized DiAG with Synopsys Design Compiler against a
+//! FreePDK 45 nm library and reported the breakdown below ("assumes all
+//! PEs are powered on every cycle", §6.1.3); caches were modelled with
+//! CACTI and are not part of the synthesized design. The hierarchy roll-up
+//! in [`table3`] regenerates every row.
+
+/// One component's synthesis figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentSpec {
+    /// Component name as it appears in Table 3.
+    pub name: &'static str,
+    /// Area in µm².
+    pub area_um2: f64,
+    /// Total power in mW at the 1 GHz synthesis clock, all-on.
+    pub power_mw: f64,
+    /// Whether the value is partially estimated rather than synthesized
+    /// (the rows the paper marks with `*`).
+    pub estimated: bool,
+}
+
+/// `RV_DECODER`: the per-PE RISC-V instruction decoder.
+pub const RV_DECODER: ComponentSpec =
+    ComponentSpec { name: "RV_DECODER", area_um2: 244.6, power_mw: 0.019, estimated: false };
+
+/// `INT ALU`: the per-PE 32-bit integer ALU.
+pub const INT_ALU: ComponentSpec =
+    ComponentSpec { name: "INT ALU", area_um2: 1375.4, power_mw: 0.774, estimated: false };
+
+/// `FPU (MUL / DIV)`: the per-PE single-precision floating-point unit.
+pub const FPU: ComponentSpec =
+    ComponentSpec { name: "FPU (MUL / DIV)", area_um2: 66592.0, power_mw: 105.2, estimated: false };
+
+/// `REGLANE`: one register-lane crossing (multiplexers + wires + buffer
+/// share) per PE.
+pub const REGLANE: ComponentSpec =
+    ComponentSpec { name: "REGLANE", area_um2: 15731.0, power_mw: 3.063, estimated: false };
+
+/// `PE (w/ FPU)`: one processing element including its FPU.
+pub const PE: ComponentSpec =
+    ComponentSpec { name: "PE (w/ FPU)", area_um2: 97014.0, power_mw: 120.4, estimated: false };
+
+/// `PCLUSTER`: one 16-PE processing cluster.
+pub const PCLUSTER: ComponentSpec =
+    ComponentSpec { name: "PCLUSTER", area_um2: 2_208_000.0, power_mw: 2_104.0, estimated: true };
+
+/// `F4C32 (TOP)`: the full 32-cluster processor.
+pub const TOP_F4C32: ComponentSpec = ComponentSpec {
+    name: "F4C32 (TOP)",
+    area_um2: 93_070_000.0,
+    power_mw: 74_300.0,
+    estimated: true,
+};
+
+/// The paper's synthesis clock in GHz, at which Table 3 powers convert to
+/// energy: `1 mW / 1 GHz = 1 pJ/cycle`.
+pub const SYNTHESIS_GHZ: f64 = 1.0;
+
+/// One Table 3 row with derived per-cycle energy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// The component.
+    pub spec: ComponentSpec,
+    /// Area in mm² for display.
+    pub area_mm2: f64,
+    /// All-on dynamic energy per cycle in pJ at the synthesis clock.
+    pub energy_pj_per_cycle: f64,
+}
+
+/// Regenerates Table 3, top-down.
+pub fn table3() -> Vec<Table3Row> {
+    [TOP_F4C32, PCLUSTER, PE, REGLANE, INT_ALU, FPU, RV_DECODER]
+        .into_iter()
+        .map(|spec| Table3Row {
+            area_mm2: spec.area_um2 / 1e6,
+            energy_pj_per_cycle: spec.power_mw / SYNTHESIS_GHZ,
+            spec,
+        })
+        .collect()
+}
+
+/// Sanity checks relating the hierarchy levels, mirroring the paper's §6.1
+/// prose. Returns `(fpu_share_of_pe, reglane_share_of_cluster, fpu_share_of_cluster)`.
+pub fn hierarchy_shares() -> (f64, f64, f64) {
+    let fpu_of_pe = FPU.area_um2 / PE.area_um2;
+    let lanes_per_cluster = 16.0 + 7.0; // one crossing per PE + buffer segments
+    let reglane_of_cluster = REGLANE.area_um2 * lanes_per_cluster / PCLUSTER.area_um2;
+    let fpu_of_cluster = FPU.area_um2 * 16.0 / PCLUSTER.area_um2;
+    (fpu_of_pe, reglane_of_cluster, fpu_of_cluster)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_prose_shares_hold() {
+        // §6.1.1: "Area is dominated by floating-point units that each
+        // occupy 68% of a PE and together occupy 48% of a processing
+        // cluster. Register lanes account for 16.3% of a processing
+        // cluster."
+        let (fpu_pe, lanes_cluster, fpu_cluster) = hierarchy_shares();
+        assert!((fpu_pe - 0.68).abs() < 0.02, "FPU share of PE = {fpu_pe:.3}");
+        assert!((fpu_cluster - 0.48).abs() < 0.01, "FPU share of cluster = {fpu_cluster:.3}");
+        assert!((lanes_cluster - 0.163).abs() < 0.01, "lane share of cluster = {lanes_cluster:.3}");
+    }
+
+    #[test]
+    fn cluster_rolls_up_from_pes() {
+        // 16 PEs are ~70% of a cluster; the rest is lanes, LSU, control.
+        let pes = PE.area_um2 * 16.0;
+        assert!(pes < PCLUSTER.area_um2);
+        assert!(pes > PCLUSTER.area_um2 * 0.6);
+        // Power likewise.
+        let pe_power = PE.power_mw * 16.0;
+        assert!(pe_power < PCLUSTER.power_mw);
+        assert!(pe_power > PCLUSTER.power_mw * 0.85);
+    }
+
+    #[test]
+    fn top_rolls_up_from_clusters() {
+        // 32 clusters account for ~76% of TOP area (§6.1: the rest is the
+        // bus, the central control, and integration overhead).
+        let clusters = PCLUSTER.area_um2 * 32.0;
+        assert!(clusters < TOP_F4C32.area_um2);
+        assert!(clusters > TOP_F4C32.area_um2 * 0.70);
+        let cluster_power = PCLUSTER.power_mw * 32.0;
+        assert!(cluster_power < TOP_F4C32.power_mw);
+        assert!(cluster_power > TOP_F4C32.power_mw * 0.85);
+    }
+
+    #[test]
+    fn table3_has_all_rows() {
+        let rows = table3();
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows[0].spec.name, "F4C32 (TOP)");
+        assert!((rows[0].area_mm2 - 93.07).abs() < 0.01);
+        // 1 mW at 1 GHz = 1 pJ/cycle.
+        let pe = rows.iter().find(|r| r.spec.name == "PE (w/ FPU)").unwrap();
+        assert!((pe.energy_pj_per_cycle - 120.4).abs() < 1e-9);
+    }
+}

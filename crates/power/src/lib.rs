@@ -1,0 +1,21 @@
+//! # diag-power — area and energy models for the DiAG reproduction
+//!
+//! Reproduces the paper's power/area methodology (§6.1, §7.4): component
+//! constants from the Table 3 Synopsys 45 nm synthesis ([`components`]),
+//! an activity-based DiAG energy model with clock-gated PEs/FPUs and
+//! always-powered register lanes ([`DiagEnergyModel`]), a McPAT-style
+//! per-event model for the out-of-order baseline
+//! ([`BaselineEnergyModel`]), CACTI-flavoured cache area/energy
+//! estimation ([`cacti`], [`MemoryEnergy`]), and plain-text reporting
+//! helpers ([`TextTable`]).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cacti;
+pub mod components;
+mod energy;
+mod report;
+
+pub use energy::{BaselineEnergyModel, DiagEnergyModel, EnergyBreakdown, MemoryEnergy};
+pub use report::{geomean, ratio, TextTable};

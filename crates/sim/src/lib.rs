@@ -1,0 +1,21 @@
+//! # diag-sim — shared simulation API for the DiAG reproduction
+//!
+//! Defines what every processor model in the workspace has in common: the
+//! [`Machine`] trait (run a bare-metal program with N hardware threads),
+//! the [`RunStats`] structure with the paper's stall taxonomy (§7.3.2) and
+//! component-activity counters (Table 3 / Figure 11 granularity), and the
+//! [`SimError`] failure modes.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod interp;
+mod machine;
+mod stats;
+
+pub use machine::{Machine, SimError};
+pub use stats::{Activity, RunStats, StallBreakdown, StallCause};
+
+/// Default cycle limit for simulation runs, generous enough for every
+/// workload in the workspace while still catching runaway programs.
+pub const DEFAULT_CYCLE_LIMIT: u64 = 500_000_000;

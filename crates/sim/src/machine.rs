@@ -1,0 +1,119 @@
+//! The [`Machine`] abstraction implemented by every processor model.
+
+use std::fmt;
+
+use diag_asm::Program;
+
+use crate::stats::RunStats;
+
+/// Errors a simulation run can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The run exceeded the configured cycle limit without halting.
+    CycleLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// An undecodable instruction reached execution.
+    IllegalInstruction {
+        /// Address of the instruction.
+        addr: u32,
+        /// The raw word.
+        word: u32,
+    },
+    /// The program counter left the text segment.
+    PcOutOfRange {
+        /// The wild program counter.
+        pc: u32,
+    },
+    /// A memory access was misaligned for its size.
+    Misaligned {
+        /// The faulting address.
+        addr: u32,
+        /// Access size in bytes.
+        size: u32,
+    },
+    /// A SIMT region was malformed (e.g. backward branch inside the region,
+    /// region does not fit in the processor — paper §4.4.3).
+    InvalidSimtRegion {
+        /// Description of the violation.
+        reason: String,
+    },
+    /// The machine cannot make progress (e.g. circular lane dependency,
+    /// which indicates a simulator bug rather than a program bug).
+    Deadlock {
+        /// Cycle at which progress stopped.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CycleLimit { limit } => write!(f, "cycle limit of {limit} exceeded"),
+            SimError::IllegalInstruction { addr, word } => {
+                write!(f, "illegal instruction {word:#010x} at {addr:#x}")
+            }
+            SimError::PcOutOfRange { pc } => write!(f, "program counter {pc:#x} left text"),
+            SimError::Misaligned { addr, size } => {
+                write!(f, "misaligned {size}-byte access at {addr:#x}")
+            }
+            SimError::InvalidSimtRegion { reason } => write!(f, "invalid SIMT region: {reason}"),
+            SimError::Deadlock { cycle } => write!(f, "no progress at cycle {cycle}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A processor model that can run a bare-metal [`Program`].
+///
+/// Threads follow the workspace convention: every hardware thread starts at
+/// the program entry with `a0` = thread id, `a1` = thread count, and a
+/// private stack pointer; a thread halts by executing `ecall`. The run ends
+/// when all threads have halted.
+pub trait Machine {
+    /// Short human-readable machine name (e.g. `"diag-f4c32"`).
+    fn name(&self) -> String;
+
+    /// Runs `program` with `threads` hardware threads to completion.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`] for the failure modes.
+    fn run(&mut self, program: &Program, threads: usize) -> Result<RunStats, SimError>;
+
+    /// Reads a 32-bit word from the machine's memory after a run, for
+    /// result verification.
+    fn read_word(&self, addr: u32) -> u32;
+
+    /// Reads an f32 from the machine's memory after a run.
+    fn read_f32(&self, addr: u32) -> f32 {
+        f32::from_bits(self.read_word(addr))
+    }
+
+    /// The machine as [`std::any::Any`], for tools that need
+    /// machine-specific features behind `dyn Machine` (e.g. DiAG's
+    /// execution trace).
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        let cases: Vec<SimError> = vec![
+            SimError::CycleLimit { limit: 10 },
+            SimError::IllegalInstruction { addr: 0x1000, word: 0 },
+            SimError::PcOutOfRange { pc: 4 },
+            SimError::Misaligned { addr: 3, size: 4 },
+            SimError::InvalidSimtRegion { reason: "nested loop".to_string() },
+            SimError::Deadlock { cycle: 7 },
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

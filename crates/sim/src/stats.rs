@@ -1,0 +1,323 @@
+//! Run statistics shared by every machine model.
+//!
+//! The DiAG core and the out-of-order baseline populate the same
+//! [`RunStats`] structure so that the benchmark harness and the power model
+//! (`diag-power`) can treat machines uniformly. The stall-cause taxonomy
+//! follows the paper's §7.3.2 breakdown (memory / control / other), and the
+//! activity counters follow the component granularity of Table 3 and
+//! Figure 11 (PEs, FPUs, register lanes, memory, control).
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Why an instruction (or a whole pipeline) could not make progress in a
+/// given cycle. Matches the paper's stall attribution (§7.3.2): only the
+/// *source* of a stall is counted, not dependent instructions subsequently
+/// stalled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallCause {
+    /// Cache misses, full LSU queues, busy memory bus.
+    Memory,
+    /// Branch redirects, instruction-line reloads after control flow
+    /// changes.
+    Control,
+    /// Structural hazards: shared bus busy, no free cluster, no free
+    /// functional unit, full ROB/IQ.
+    Structural,
+}
+
+/// Stall-cycle counts by cause.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Cycles attributed to memory (cache misses, LSU queue, bus).
+    pub memory: u64,
+    /// Cycles attributed to control-flow changes.
+    pub control: u64,
+    /// Cycles attributed to structural hazards.
+    pub structural: u64,
+}
+
+impl StallBreakdown {
+    /// Total stall-source cycles.
+    pub fn total(&self) -> u64 {
+        self.memory + self.control + self.structural
+    }
+
+    /// Adds one stall event of the given cause.
+    pub fn record(&mut self, cause: StallCause) {
+        match cause {
+            StallCause::Memory => self.memory += 1,
+            StallCause::Control => self.control += 1,
+            StallCause::Structural => self.structural += 1,
+        }
+    }
+
+    /// Percentage share of each cause `(memory, control, structural)`;
+    /// all zeros when no stalls were recorded.
+    pub fn shares(&self) -> (f64, f64, f64) {
+        let total = self.total();
+        if total == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let t = total as f64;
+        (
+            self.memory as f64 / t * 100.0,
+            self.control as f64 / t * 100.0,
+            self.structural as f64 / t * 100.0,
+        )
+    }
+}
+
+impl Add for StallBreakdown {
+    type Output = StallBreakdown;
+
+    fn add(self, rhs: StallBreakdown) -> StallBreakdown {
+        StallBreakdown {
+            memory: self.memory + rhs.memory,
+            control: self.control + rhs.control,
+            structural: self.structural + rhs.structural,
+        }
+    }
+}
+
+impl AddAssign for StallBreakdown {
+    fn add_assign(&mut self, rhs: StallBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+/// Per-component activity counters consumed by the energy model.
+///
+/// DiAG populates the PE/lane/cluster counters; the baseline populates the
+/// frontend counters. Cache counters are populated by both from the shared
+/// memory subsystem.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Activity {
+    /// Cycles in which at least one PE (or FU) was executing.
+    pub busy_cycles: u64,
+    /// Sum over cycles of the number of actively-executing PEs (DiAG) or
+    /// occupied functional units (baseline).
+    pub pe_active_cycles: u64,
+    /// Sum over cycles of PEs holding a loaded instruction (powered
+    /// register-lane segments in DiAG).
+    pub pe_resident_cycles: u64,
+    /// FPU-active cycles (clock-gated otherwise, paper §6.1.3).
+    pub fpu_active_cycles: u64,
+    /// Integer ALU operations executed.
+    pub int_ops: u64,
+    /// Floating-point operations executed.
+    pub fp_ops: u64,
+    /// Loads issued to the memory subsystem.
+    pub loads: u64,
+    /// Stores issued to the memory subsystem.
+    pub stores: u64,
+    /// Register-lane write events (DiAG) / register-file writes (baseline).
+    pub reg_writes: u64,
+    /// Register-lane segment traversals (DiAG only): value transported
+    /// across one buffered lane segment.
+    pub lane_transports: u64,
+    /// Memory-lane (store-forwarding) hits (DiAG only).
+    pub memlane_hits: u64,
+    /// Shared 512-bit bus beats (I-line loads + register-file transfers).
+    pub bus_beats: u64,
+    /// Instruction cache-line fetches.
+    pub line_fetches: u64,
+    /// Individual instruction decodes.
+    pub decodes: u64,
+    /// Instructions that executed from an already-loaded datapath (DiAG
+    /// reuse, paper §4.3.2) — no fetch or decode was needed.
+    pub reuse_commits: u64,
+    /// Rename operations (baseline only).
+    pub renames: u64,
+    /// Issue-queue dispatches (baseline only).
+    pub dispatches: u64,
+    /// Issue events (baseline only).
+    pub issues: u64,
+    /// Reorder-buffer writes (baseline only).
+    pub rob_writes: u64,
+    /// Branch-predictor lookups (baseline only).
+    pub bpred_lookups: u64,
+    /// Branch mispredictions.
+    pub mispredicts: u64,
+    /// L1 data-cache accesses.
+    pub l1d_accesses: u64,
+    /// L1 data-cache misses.
+    pub l1d_misses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// L2 misses (DRAM accesses).
+    pub l2_misses: u64,
+}
+
+macro_rules! sum_fields {
+    ($a:expr, $b:expr; $($f:ident),* $(,)?) => {
+        Activity { $($f: $a.$f + $b.$f),* }
+    };
+}
+
+impl Add for Activity {
+    type Output = Activity;
+
+    fn add(self, rhs: Activity) -> Activity {
+        sum_fields!(self, rhs;
+            busy_cycles, pe_active_cycles, pe_resident_cycles, fpu_active_cycles,
+            int_ops, fp_ops, loads, stores, reg_writes, lane_transports,
+            memlane_hits, bus_beats, line_fetches, decodes, reuse_commits,
+            renames, dispatches, issues, rob_writes, bpred_lookups, mispredicts,
+            l1d_accesses, l1d_misses, l2_accesses, l2_misses,
+        )
+    }
+}
+
+impl AddAssign for Activity {
+    fn add_assign(&mut self, rhs: Activity) {
+        *self = *self + rhs;
+    }
+}
+
+/// Complete statistics for one program run on one machine.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunStats {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Architecturally committed instructions (all threads).
+    pub committed: u64,
+    /// Hardware threads that ran.
+    pub threads: u64,
+    /// Stall-source cycle attribution (paper §7.3.2).
+    pub stalls: StallBreakdown,
+    /// Component activity for the energy model.
+    pub activity: Activity,
+    /// Clock frequency in GHz the run is modelled at (paper Table 2).
+    pub freq_ghz: f64,
+}
+
+impl RunStats {
+    /// Committed instructions per cycle across all threads.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Wall-clock execution time in nanoseconds at the modelled frequency.
+    pub fn time_ns(&self) -> f64 {
+        if self.freq_ghz == 0.0 {
+            f64::INFINITY
+        } else {
+            self.cycles as f64 / self.freq_ghz
+        }
+    }
+
+    /// Fraction of committed instructions that needed no fetch/decode
+    /// (DiAG datapath reuse).
+    pub fn reuse_fraction(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.activity.reuse_commits as f64 / self.committed as f64
+        }
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cycles: {}  committed: {}  IPC: {:.3}  threads: {}",
+            self.cycles,
+            self.committed,
+            self.ipc(),
+            self.threads
+        )?;
+        let (m, c, s) = self.stalls.shares();
+        writeln!(
+            f,
+            "stalls: {} (memory {m:.1}%, control {c:.1}%, other {s:.1}%)",
+            self.stalls.total()
+        )?;
+        write!(
+            f,
+            "fetch lines: {}  decodes: {}  reuse commits: {} ({:.1}%)",
+            self.activity.line_fetches,
+            self.activity.decodes,
+            self.activity.reuse_commits,
+            self.reuse_fraction() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_shares_sum_to_hundred() {
+        let mut s = StallBreakdown::default();
+        for _ in 0..60 {
+            s.record(StallCause::Memory);
+        }
+        for _ in 0..30 {
+            s.record(StallCause::Control);
+        }
+        for _ in 0..10 {
+            s.record(StallCause::Structural);
+        }
+        let (m, c, o) = s.shares();
+        assert!((m - 60.0).abs() < 1e-9);
+        assert!((c - 30.0).abs() < 1e-9);
+        assert!((o - 10.0).abs() < 1e-9);
+        assert_eq!(s.total(), 100);
+    }
+
+    #[test]
+    fn empty_shares_are_zero() {
+        let s = StallBreakdown::default();
+        assert_eq!(s.shares(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn activity_addition() {
+        let a = Activity { int_ops: 3, fp_ops: 1, ..Activity::default() };
+        let b = Activity { int_ops: 4, l2_misses: 2, ..Activity::default() };
+        let c = a + b;
+        assert_eq!(c.int_ops, 7);
+        assert_eq!(c.fp_ops, 1);
+        assert_eq!(c.l2_misses, 2);
+    }
+
+    #[test]
+    fn ipc_and_time() {
+        let stats = RunStats {
+            cycles: 1000,
+            committed: 2500,
+            freq_ghz: 2.0,
+            ..RunStats::default()
+        };
+        assert!((stats.ipc() - 2.5).abs() < 1e-12);
+        assert!((stats.time_ns() - 500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycle_ipc_is_zero() {
+        assert_eq!(RunStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn reuse_fraction() {
+        let stats = RunStats {
+            committed: 200,
+            activity: Activity { reuse_commits: 150, ..Activity::default() },
+            ..RunStats::default()
+        };
+        assert!((stats.reuse_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let text = RunStats::default().to_string();
+        assert!(text.contains("cycles"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # diag-workloads — benchmark kernels for the DiAG reproduction
+//!
+//! Bare-metal RV32IMF reproductions of the characteristic hot loops of
+//! the paper's evaluation suites: ten Rodinia-style kernels ([`rodinia`],
+//! Figures 9/12) and eight SPEC CPU2017-style kernels ([`spec`],
+//! Figure 10). Kernels are authored with [`diag_asm::ProgramBuilder`],
+//! use seeded synthetic inputs, self-verify against a Rust mirror of the
+//! exact operation order, and carry optional `simt_s`/`simt_e` regions on
+//! their pipelineable inner loops (paper §5.4: regions were identified
+//! manually).
+//!
+//! # Examples
+//!
+//! ```
+//! use diag_baseline::InOrder;
+//! use diag_sim::Machine;
+//! use diag_workloads::{find, Params};
+//!
+//! let spec = find("hotspot").expect("registered workload");
+//! let built = spec.build(&Params::tiny())?;
+//! let mut machine = InOrder::new();
+//! machine.run(&built.program, 1)?;
+//! (built.verify)(&machine).map_err(|e| format!("verify: {e}"))?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod params;
+pub mod rodinia;
+pub mod spec;
+pub mod util;
+
+pub use params::{
+    all, find, rodinia as rodinia_specs, spec as spec_specs, BuiltWorkload, Params, Scale, Suite,
+    ThreadModel, VerifyFn, WorkloadSpec,
+};

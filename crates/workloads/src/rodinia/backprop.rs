@@ -1,0 +1,147 @@
+//! `backprop`: neural-network layer forward pass (FP multiply-accumulate).
+//!
+//! Rodinia's backprop forward phase: `hidden[j] = squash(Σ_i w[j][i] *
+//! in[i])` over a 16-wide input layer. The paper's prototype has no
+//! transcendental hardware, so the squash uses the rational sigmoid
+//! `0.5 * x / (1 + |x|) + 0.5` (one `fdiv.s`). The inner product is fully
+//! unrolled, making the per-neuron body straight-line: threads partition
+//! neurons and the body is the SIMT region.
+
+use diag_asm::{AsmError, ProgramBuilder};
+use diag_isa::regs::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
+use crate::util::{begin_repeat, end_repeat, repeats, check_floats, emit_thread_range};
+
+/// Registry entry.
+pub fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "backprop",
+        suite: Suite::Rodinia,
+        description: "NN layer forward pass, 16-wide unrolled dot products (f32)",
+        simt_capable: true,
+        thread_model: ThreadModel::Partitioned,
+        fp_heavy: true,
+        build,
+    }
+}
+
+const IN: usize = 16;
+
+fn hidden(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 24,
+        Scale::Small => 256,
+        Scale::Full => 1024,
+    }
+}
+
+fn expected(weights: &[f32], input: &[f32], hidden_n: usize) -> Vec<f32> {
+    (0..hidden_n)
+        .map(|j| {
+            let mut acc = 0.0f32;
+            for i in 0..IN {
+                // Kernel: acc = fmadd(w, in, acc).
+                acc = weights[j * IN + i].mul_add(input[i], acc);
+            }
+            let denom = acc.abs() + 1.0;
+            (0.5 * acc / denom) + 0.5
+        })
+        .collect()
+}
+
+fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
+    let h = hidden(p.scale);
+    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x6270);
+    let weights: Vec<f32> = (0..h * IN).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let input: Vec<f32> = (0..IN).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+    let expect = expected(&weights, &input, h);
+
+    let mut b = ProgramBuilder::new();
+    let w_base = b.data_floats("weights", &weights);
+    let in_base = b.data_floats("input", &input);
+    let out_base = b.data_zeroed("hidden", 4 * h);
+
+    // Preload the input vector into fs0..fs11, ft8..ft11 (16 registers).
+    let in_regs = [FS0, FS1, FS2, FS3, FS4, FS5, FS6, FS7, FS8, FS9, FS10, FS11, FT8, FT9, FT10, FT11];
+    b.li(T0, in_base as i32);
+    for (i, &fr) in in_regs.iter().enumerate() {
+        b.flw(fr, T0, (4 * i) as i32);
+    }
+    b.fli_s(FT7, T0, 0.5);
+    b.fli_s(FT6, T0, 1.0);
+    b.li(S2, h as i32);
+    emit_thread_range(&mut b, S2, S3, S4);
+    b.li(S5, w_base as i32);
+    b.li(S6, out_base as i32);
+    let rep_top = begin_repeat(&mut b, repeats(p.scale));
+
+    let done = b.new_label();
+    b.bge(S3, S4, done);
+    b.mv(T0, S3);
+    b.li(T1, 1);
+    let head = b.bind_new_label();
+    if p.simt {
+        b.simt_s(T0, T1, S4, 1);
+    }
+    {
+        b.slli(T2, T0, 6); // j * 16 floats * 4 bytes
+        b.add(T3, S5, T2);
+        // acc = w[0]*in[0], then 15 fmadds.
+        b.flw(FT0, T3, 0);
+        b.fmul_s(FT1, FT0, in_regs[0]);
+        for (i, &fr) in in_regs.iter().enumerate().skip(1) {
+            b.flw(FT0, T3, (4 * i) as i32);
+            b.fmadd_s(FT1, FT0, fr, FT1);
+        }
+        // squash: 0.5 * acc / (1 + |acc|) + 0.5
+        b.fabs_s(FT2, FT1);
+        b.fadd_s(FT2, FT2, FT6);
+        b.fmul_s(FT3, FT7, FT1);
+        b.fdiv_s(FT3, FT3, FT2);
+        b.fadd_s(FT3, FT3, FT7);
+        b.slli(T2, T0, 2);
+        b.add(T3, S6, T2);
+        b.fsw(FT3, T3, 0);
+    }
+    if p.simt {
+        b.simt_e(T0, S4, head);
+    } else {
+        b.addi(T0, T0, 1);
+        b.blt(T0, S4, head);
+    }
+    b.bind(done);
+    end_repeat(&mut b, rep_top);
+    b.ecall();
+
+    let program = b.build()?;
+    let verify = Box::new(move |m: &dyn diag_sim::Machine| {
+        check_floats(m, out_base, &expect, "backprop hidden")
+    });
+    Ok(BuiltWorkload { program, verify, approx_work: (h * 42) as u64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_baseline::InOrder;
+    use diag_sim::Machine;
+
+    #[test]
+    fn verifies_on_reference_machine() {
+        let w = build(&Params::tiny()).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 1).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+
+    #[test]
+    fn verifies_multithreaded_and_simt() {
+        let w = build(&Params::tiny().with_threads(3).with_simt(true)).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 3).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+}

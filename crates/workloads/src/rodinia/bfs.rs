@@ -1,0 +1,202 @@
+//! `bfs`: breadth-first search over a CSR graph (integer, irregular).
+//!
+//! The memory- and control-bound end of the Rodinia spectrum, where the
+//! paper observes DiAG "performs much worse than the CPU baseline"
+//! (§7.2.1): pointer-indirect loads, data-dependent branches, and a work
+//! queue. Threads run *replicated* private graphs; no SIMT region exists
+//! (the frontier loop is inherently serial).
+
+use diag_asm::{AsmError, ProgramBuilder};
+use diag_isa::regs::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
+use crate::util::check_words;
+
+/// Registry entry.
+pub fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "bfs",
+        suite: Suite::Rodinia,
+        description: "CSR breadth-first search with a work queue (integer)",
+        simt_capable: false,
+        thread_model: ThreadModel::Replicated,
+        fp_heavy: false,
+        build,
+    }
+}
+
+fn nodes(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 32,
+        Scale::Small => 6144,
+        Scale::Full => 16384,
+    }
+}
+
+/// A random connected-ish graph in CSR form (ring + random chords).
+fn gen_graph(n: usize, rng: &mut StdRng) -> (Vec<u32>, Vec<u32>) {
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for v in 0..n {
+        adj[v].push(((v + 1) % n) as u32);
+        for _ in 0..3 {
+            adj[v].push(rng.gen_range(0..n) as u32);
+        }
+    }
+    let mut row = Vec::with_capacity(n + 1);
+    let mut col = Vec::new();
+    row.push(0u32);
+    for v in 0..n {
+        col.extend_from_slice(&adj[v]);
+        row.push(col.len() as u32);
+    }
+    (row, col)
+}
+
+fn expected(row: &[u32], col: &[u32], n: usize) -> Vec<u32> {
+    let mut level = vec![u32::MAX; n];
+    let mut queue = Vec::with_capacity(n);
+    level[0] = 0;
+    queue.push(0u32);
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head] as usize;
+        head += 1;
+        for e in row[u]..row[u + 1] {
+            let v = col[e as usize] as usize;
+            if level[v] == u32::MAX {
+                level[v] = level[u] + 1;
+                queue.push(v as u32);
+            }
+        }
+    }
+    level
+}
+
+fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
+    let n = nodes(p.scale);
+    let threads = p.threads.max(1);
+    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x6266);
+    let mut rows = Vec::new();
+    let mut cols = Vec::new();
+    let mut expects = Vec::new();
+    let mut col_len = 0;
+    for _ in 0..threads {
+        let (row, col) = gen_graph(n, &mut rng);
+        expects.push(expected(&row, &col, n));
+        col_len = col.len(); // identical degree structure per instance
+        rows.push(row);
+        cols.push(col);
+    }
+
+    let mut b = ProgramBuilder::new();
+    let row_base = b.data_words("row", &rows.concat());
+    let col_base = b.data_words("col", &cols.concat());
+    let level_base = b.data_bytes("level", &vec![0xFFu8; 4 * n * threads]);
+    let queue_base = b.data_zeroed("queue", 4 * n * threads);
+
+    // Instance bases: s0 = row, s1 = col, s2 = level, s3 = queue.
+    b.li(T0, ((n + 1) * 4) as i32);
+    b.mul(T0, A0, T0);
+    b.li(S0, row_base as i32);
+    b.add(S0, S0, T0);
+    b.li(T0, (col_len * 4) as i32);
+    b.mul(T0, A0, T0);
+    b.li(S1, col_base as i32);
+    b.add(S1, S1, T0);
+    b.li(T0, (n * 4) as i32);
+    b.mul(T0, A0, T0);
+    b.li(S2, level_base as i32);
+    b.add(S2, S2, T0);
+    b.li(S3, queue_base as i32);
+    b.add(S3, S3, T0);
+
+    // level[0] = 0; queue[0] = 0; head = 0 (s4), tail = 1 (s5).
+    b.sw(ZERO, S2, 0);
+    b.sw(ZERO, S3, 0);
+    b.li(S4, 0);
+    b.li(S5, 1);
+    b.li(S6, -1); // sentinel
+
+    let done = b.new_label();
+    let outer = b.bind_new_label();
+    b.bge(S4, S5, done);
+    // u = queue[head++]
+    b.slli(T0, S4, 2);
+    b.add(T0, T0, S3);
+    b.lw(T1, T0, 0); // u
+    b.addi(S4, S4, 1);
+    // lu = level[u] + 1
+    b.slli(T0, T1, 2);
+    b.add(T2, T0, S2);
+    b.lw(S7, T2, 0);
+    b.addi(S7, S7, 1);
+    // edge range
+    b.add(T2, T0, S0);
+    b.lw(T3, T2, 0); // e = row[u]
+    b.lw(T4, T2, 4); // end = row[u+1]
+    let edges_done = b.new_label();
+    let edge_loop = b.bind_new_label();
+    b.bge(T3, T4, edges_done);
+    b.slli(T0, T3, 2);
+    b.add(T0, T0, S1);
+    b.lw(T5, T0, 0); // v
+    b.slli(T0, T5, 2);
+    b.add(T6, T0, S2); // &level[v]
+    b.lw(T0, T6, 0);
+    let visited = b.new_label();
+    b.bne(T0, S6, visited);
+    b.sw(S7, T6, 0);
+    b.slli(T0, S5, 2);
+    b.add(T0, T0, S3);
+    b.sw(T5, T0, 0);
+    b.addi(S5, S5, 1);
+    b.bind(visited);
+    b.addi(T3, T3, 1);
+    b.j(edge_loop);
+    b.bind(edges_done);
+    b.j(outer);
+    b.bind(done);
+    b.ecall();
+
+    let program = b.build()?;
+    let verify = Box::new(move |machine: &dyn diag_sim::Machine| {
+        for (t, exp) in expects.iter().enumerate() {
+            check_words(machine, level_base + (t * n * 4) as u32, exp, "bfs level")?;
+        }
+        Ok(())
+    });
+    Ok(BuiltWorkload { program, verify, approx_work: (n * 4 * 12 * threads) as u64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_baseline::InOrder;
+    use diag_sim::Machine;
+
+    #[test]
+    fn verifies_on_reference_machine() {
+        let w = build(&Params::tiny()).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 1).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+
+    #[test]
+    fn ring_edges_make_graph_connected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (row, col) = gen_graph(64, &mut rng);
+        let levels = expected(&row, &col, 64);
+        assert!(levels.iter().all(|&l| l != u32::MAX), "all nodes reachable");
+    }
+
+    #[test]
+    fn verifies_replicated_threads() {
+        let w = build(&Params::tiny().with_threads(2)).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 2).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+}

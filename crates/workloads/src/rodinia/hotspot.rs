@@ -1,0 +1,216 @@
+//! `hotspot`: thermal simulation stencil (floating point).
+//!
+//! One time step of Rodinia's hotspot: for every interior cell,
+//! `out = t + k * (up + down + left + right - 4t) + p`, where `t` is the
+//! temperature grid and `p` the scaled power grid. Reads are from
+//! read-only inputs, so threads *partition* the interior rows, and the
+//! straight-line cell body is the SIMT region.
+
+use diag_asm::{AsmError, ProgramBuilder};
+use diag_isa::regs::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
+use crate::util::{begin_repeat, check_floats, emit_thread_range, end_repeat, repeats};
+
+/// Registry entry.
+pub fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "hotspot",
+        suite: Suite::Rodinia,
+        description: "2D thermal stencil, one time step (f32)",
+        simt_capable: true,
+        thread_model: ThreadModel::Partitioned,
+        fp_heavy: true,
+        build,
+    }
+}
+
+fn dims(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 10,
+        Scale::Small => 40,
+        Scale::Full => 96,
+    }
+}
+
+const K: f32 = 0.175;
+
+fn expected(temp: &[f32], power: &[f32], n: usize) -> Vec<f32> {
+    let mut out = temp.to_vec();
+    for r in 1..n - 1 {
+        for j in 1..n - 1 {
+            let c = temp[r * n + j];
+            let sum = temp[r * n + j - 1] + temp[r * n + j + 1] + temp[(r - 1) * n + j]
+                + temp[(r + 1) * n + j];
+            let lap = sum - 4.0 * c;
+            // The kernel uses fmadd.s (single rounding): mirror it.
+            out[r * n + j] = lap.mul_add(K, c) + power[r * n + j];
+        }
+    }
+    out
+}
+
+
+/// Emits the per-cell stencil body. Expects `T3` = &temp\[r\]\[j\],
+/// `S5` = row stride, `S6`/`S7` = power/out deltas, `FS0` = 4.0,
+/// `FS1` = K. Clobbers `T4` and `FT0`–`FT8`.
+fn emit_cell(b: &mut ProgramBuilder) {
+    b.flw(FT0, T3, 0); // center
+    b.flw(FT1, T3, -4); // left
+    b.flw(FT2, T3, 4); // right
+    b.sub(T4, T3, S5);
+    b.flw(FT3, T4, 0); // up
+    b.add(T4, T3, S5);
+    b.flw(FT4, T4, 0); // down
+    b.fadd_s(FT5, FT1, FT2);
+    b.fadd_s(FT5, FT5, FT3);
+    b.fadd_s(FT5, FT5, FT4);
+    b.fmul_s(FT6, FS0, FT0);
+    b.fsub_s(FT5, FT5, FT6); // laplacian
+    b.fmadd_s(FT7, FT5, FS1, FT0); // lap*K + center
+    b.add(T4, T3, S6);
+    b.flw(FT8, T4, 0); // power
+    b.fadd_s(FT7, FT7, FT8);
+    b.add(T4, T3, S7);
+    b.fsw(FT7, T4, 0);
+}
+
+fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
+    let n = dims(p.scale);
+    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x4053);
+    let temp: Vec<f32> = (0..n * n).map(|_| rng.gen_range(20.0f32..90.0)).collect();
+    let power: Vec<f32> = (0..n * n).map(|_| rng.gen_range(0.0f32..0.5)).collect();
+    let expect = expected(&temp, &power, n);
+
+    let mut b = ProgramBuilder::new();
+    let temp_base = b.data_floats("temp", &temp);
+    let power_base = b.data_floats("power", &power);
+    let out_base = b.data_floats("out", &temp); // initialized to temp (borders)
+
+    // The SIMT variant flattens the 2D interior into a precomputed
+    // offset table so the whole sweep is one pipelined region (paper
+    // §4.4.3: nested loops must be flattened/unrolled to pipeline).
+    let table_base = if p.simt {
+        let offsets: Vec<u32> = (1..n - 1)
+            .flat_map(|r| (1..n - 1).map(move |j| ((r * n + j) * 4) as u32))
+            .collect();
+        b.data_words("cells", &offsets)
+    } else {
+        0
+    };
+
+    // Constants: fs0 = 4.0, fs1 = K.
+    b.fli_s(FS0, T0, 4.0);
+    b.fli_s(FS1, T0, K);
+    // s5 = n*4 (row stride), s6 = power-temp delta, s7 = out-temp delta.
+    b.li(S5, (n * 4) as i32);
+    b.li(S6, (power_base as i64 - temp_base as i64) as i32);
+    b.li(S7, (out_base as i64 - temp_base as i64) as i32);
+    b.li(S9, (n - 1) as i32); // interior column bound
+
+    if p.simt {
+        // Flat pipelined sweep over all interior cells.
+        b.li(S2, ((n - 2) * (n - 2)) as i32);
+        emit_thread_range(&mut b, S2, S3, S4);
+        b.li(S8, table_base as i32);
+        b.li(S1, temp_base as i32);
+        let rep_top = begin_repeat(&mut b, repeats(p.scale));
+        let done = b.new_label();
+        b.bge(S3, S4, done);
+        b.mv(T0, S3);
+        b.li(T1, 1);
+        let head = b.bind_new_label();
+        b.simt_s(T0, T1, S4, 1);
+        {
+            b.slli(T2, T0, 2);
+            b.add(T3, S8, T2);
+            b.lw(T4, T3, 0); // byte offset of the cell
+            b.add(T3, S1, T4); // &temp[r][j]
+            emit_cell(&mut b);
+        }
+        b.simt_e(T0, S4, head);
+        b.bind(done);
+        end_repeat(&mut b, rep_top);
+        b.ecall();
+        let program = b.build()?;
+        let verify = Box::new(move |m: &dyn diag_sim::Machine| {
+            check_floats(m, out_base, &expect, "hotspot out")
+        });
+        return Ok(BuiltWorkload { program, verify, approx_work: (n * n * 22) as u64 });
+    }
+
+    // Thread range over interior rows [1, n-1): use index space 0..n-2
+    // then add 1.
+    b.li(S2, (n - 2) as i32);
+    emit_thread_range(&mut b, S2, S3, S4);
+    b.addi(S3, S3, 1);
+    b.addi(S4, S4, 1);
+    let rep_top = begin_repeat(&mut b, repeats(p.scale));
+
+    // Row loop r = s0 in [s3, s4).
+    b.mv(S0, S3);
+    let row_done = b.new_label();
+    let row_loop = b.bind_new_label();
+    b.bge(S0, S4, row_done);
+    // s1 = &temp[r][0]
+    b.li(T0, temp_base as i32);
+    b.mul(T1, S0, S5);
+    b.add(S1, T0, T1);
+
+    // Column loop j = t0 in [1, n-1).
+    b.li(T0, 1);
+    let head = b.bind_new_label();
+    {
+        b.slli(T2, T0, 2);
+        b.add(T3, S1, T2); // &temp[r][j]
+        emit_cell(&mut b);
+    }
+    b.addi(T0, T0, 1);
+    b.blt(T0, S9, head);
+
+    b.addi(S0, S0, 1);
+    b.j(row_loop);
+    b.bind(row_done);
+    end_repeat(&mut b, rep_top);
+    b.ecall();
+
+    let program = b.build()?;
+    let approx_work = (n * n * 22) as u64;
+    let verify = Box::new(move |m: &dyn diag_sim::Machine| {
+        check_floats(m, out_base, &expect, "hotspot out")
+    });
+    Ok(BuiltWorkload { program, verify, approx_work })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_baseline::InOrder;
+    use diag_sim::Machine;
+
+    #[test]
+    fn verifies_on_reference_machine() {
+        let w = build(&Params::tiny()).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 1).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+
+    #[test]
+    fn verifies_partitioned_across_threads() {
+        let w = build(&Params::tiny().with_threads(4)).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 4).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+
+    #[test]
+    fn simt_variant_matches() {
+        let w = build(&Params::tiny().with_simt(true)).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 1).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+}

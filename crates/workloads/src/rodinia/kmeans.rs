@@ -1,0 +1,160 @@
+//! `kmeans`: cluster-assignment step (floating point + integer select).
+//!
+//! The dominant phase of Rodinia's kmeans: for every point, compute the
+//! squared Euclidean distance to each of `k = 3` centroids (features
+//! unrolled) and record the index of the nearest. Points are independent:
+//! threads *partition* them and the straight-line body (forward branches
+//! only) is the SIMT region.
+
+use diag_asm::{AsmError, ProgramBuilder};
+use diag_isa::regs::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
+use crate::util::{begin_repeat, end_repeat, repeats, check_words, emit_thread_range};
+
+/// Registry entry.
+pub fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "kmeans",
+        suite: Suite::Rodinia,
+        description: "nearest-centroid assignment, k=3, 2 features (f32)",
+        simt_capable: true,
+        thread_model: ThreadModel::Partitioned,
+        fp_heavy: true,
+        build,
+    }
+}
+
+fn npoints(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 48,
+        Scale::Small => 768,
+        Scale::Full => 4096,
+    }
+}
+
+const CENTROIDS: [(f32, f32); 3] = [(0.2, 0.3), (0.7, 0.6), (0.4, 0.9)];
+
+fn expected(points: &[(f32, f32)]) -> Vec<u32> {
+    points
+        .iter()
+        .map(|&(x, y)| {
+            let mut best = f32::INFINITY;
+            let mut idx = 0u32;
+            for (c, &(cx, cy)) in CENTROIDS.iter().enumerate() {
+                let dx = x - cx;
+                let dy = y - cy;
+                // Kernel: d = fmadd(dy, dy, dx*dx).
+                let d = dy.mul_add(dy, dx * dx);
+                if d < best {
+                    best = d;
+                    idx = c as u32;
+                }
+            }
+            idx
+        })
+        .collect()
+}
+
+fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
+    let n = npoints(p.scale);
+    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x6B6D);
+    let points: Vec<(f32, f32)> = (0..n).map(|_| (rng.gen_range(0.0f32..1.0), rng.gen_range(0.0f32..1.0))).collect();
+    let expect = expected(&points);
+
+    let flat: Vec<f32> = points.iter().flat_map(|&(x, y)| [x, y]).collect();
+    let mut b = ProgramBuilder::new();
+    let pts_base = b.data_floats("points", &flat);
+    let out_base = b.data_zeroed("assign", 4 * n);
+
+    // Centroid constants in fs0..fs5.
+    for (i, &(cx, cy)) in CENTROIDS.iter().enumerate() {
+        let (fx, fy) = match i {
+            0 => (FS0, FS1),
+            1 => (FS2, FS3),
+            _ => (FS4, FS5),
+        };
+        b.fli_s(fx, T0, cx);
+        b.fli_s(fy, T0, cy);
+    }
+    b.fli_s(FS6, T0, f32::INFINITY);
+    b.li(S2, n as i32);
+    emit_thread_range(&mut b, S2, S3, S4);
+    b.li(S5, pts_base as i32);
+    b.li(S6, out_base as i32);
+    let rep_top = begin_repeat(&mut b, repeats(p.scale));
+
+    // Point loop i in [s3, s4): the SIMT region. Threads with an empty
+    // range skip it entirely (the region is do-while shaped).
+    let done = b.new_label();
+    b.bge(S3, S4, done);
+    b.mv(T0, S3);
+    b.li(T1, 1);
+    let head = b.bind_new_label();
+    if p.simt {
+        b.simt_s(T0, T1, S4, 1);
+    }
+    {
+        b.slli(T2, T0, 3);
+        b.add(T3, S5, T2);
+        b.flw(FT0, T3, 0); // x
+        b.flw(FT1, T3, 4); // y
+        b.fmv_s(FT10, FS6); // best = inf
+        b.li(T4, 0); // best idx
+        for (c, (fx, fy)) in [(0, (FS0, FS1)), (1, (FS2, FS3)), (2, (FS4, FS5))] {
+            b.fsub_s(FT2, FT0, fx);
+            b.fsub_s(FT3, FT1, fy);
+            b.fmul_s(FT4, FT2, FT2);
+            b.fmadd_s(FT4, FT3, FT3, FT4);
+            let skip = b.new_label();
+            b.flt_s(T5, FT4, FT10);
+            b.beqz(T5, skip);
+            b.fmv_s(FT10, FT4);
+            b.li(T4, c);
+            b.bind(skip);
+        }
+        b.slli(T2, T0, 2);
+        b.add(T3, S6, T2);
+        b.sw(T4, T3, 0);
+    }
+    if p.simt {
+        b.simt_e(T0, S4, head);
+    } else {
+        b.addi(T0, T0, 1);
+        b.blt(T0, S4, head);
+    }
+    b.bind(done);
+    end_repeat(&mut b, rep_top);
+    b.ecall();
+
+    let program = b.build()?;
+    let verify = Box::new(move |m: &dyn diag_sim::Machine| {
+        check_words(m, out_base, &expect, "kmeans assign")
+    });
+    Ok(BuiltWorkload { program, verify, approx_work: (n * 36) as u64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_baseline::InOrder;
+    use diag_sim::Machine;
+
+    #[test]
+    fn verifies_on_reference_machine() {
+        let w = build(&Params::tiny()).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 1).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+
+    #[test]
+    fn verifies_multithreaded_and_simt() {
+        let w = build(&Params::tiny().with_threads(4).with_simt(true)).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 4).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+}

@@ -1,0 +1,187 @@
+//! `lud`: in-place LU decomposition (Doolittle, floating point).
+//!
+//! Triple-nested elimination with a division per row factor — serial
+//! dependencies across `k` iterations, so threads run *replicated*
+//! instances and no SIMT region applies (nested backward loops, §4.4.3).
+
+use diag_asm::{AsmError, ProgramBuilder};
+use diag_isa::regs::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
+use crate::util::check_floats;
+
+/// Registry entry.
+pub fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "lud",
+        suite: Suite::Rodinia,
+        description: "in-place LU decomposition (f32, nested loops)",
+        simt_capable: false,
+        thread_model: ThreadModel::Replicated,
+        fp_heavy: true,
+        build,
+    }
+}
+
+fn dim(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 8,
+        Scale::Small => 20,
+        Scale::Full => 40,
+    }
+}
+
+fn expected(a: &[f32], m: usize) -> Vec<f32> {
+    let mut a = a.to_vec();
+    for k in 0..m {
+        for i in k + 1..m {
+            let l = a[i * m + k] / a[k * m + k];
+            a[i * m + k] = l;
+            for j in k + 1..m {
+                // Kernel: fnmsub.s — a[i][j] = -(l * a[k][j]) + a[i][j].
+                a[i * m + j] = (-l).mul_add(a[k * m + j], a[i * m + j]);
+            }
+        }
+    }
+    a
+}
+
+fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
+    let m = dim(p.scale);
+    let threads = p.threads.max(1);
+    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x6C75);
+    let mut mats = Vec::with_capacity(threads);
+    let mut expects = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        // Diagonally dominant → well-conditioned pivots.
+        let mut a: Vec<f32> = (0..m * m).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        for d in 0..m {
+            a[d * m + d] = rng.gen_range(4.0f32..8.0);
+        }
+        expects.push(expected(&a, m));
+        mats.push(a);
+    }
+
+    let mut b = ProgramBuilder::new();
+    let flat: Vec<f32> = mats.concat();
+    let mat_base = b.data_floats("mat", &flat);
+
+    // s0 = instance base, s1 = m, s2 = row stride bytes.
+    b.li(S1, m as i32);
+    b.li(S2, (m * 4) as i32);
+    b.li(T0, (m * m * 4) as i32);
+    b.mul(T0, A0, T0);
+    b.li(S0, mat_base as i32);
+    b.add(S0, S0, T0);
+
+    // k loop.
+    b.li(S3, 0); // k
+    let k_done = b.new_label();
+    let k_loop = b.bind_new_label();
+    b.bge(S3, S1, k_done);
+    // s4 = &A[k][k], s5 = &A[k][0]
+    b.mul(T0, S3, S2);
+    b.add(S5, S0, T0);
+    b.slli(T1, S3, 2);
+    b.add(S4, S5, T1);
+    b.flw(FS0, S4, 0); // pivot
+
+    // i loop: i = k+1..m; s6 = i, s7 = &A[i][0].
+    b.addi(S6, S3, 1);
+    b.add(S7, S5, S2);
+    let i_done = b.new_label();
+    let i_loop = b.bind_new_label();
+    b.bge(S6, S1, i_done);
+    b.slli(T1, S3, 2);
+    b.add(T2, S7, T1); // &A[i][k]
+    b.flw(FT0, T2, 0);
+    b.fdiv_s(FT0, FT0, FS0); // l
+    b.fsw(FT0, T2, 0);
+
+    // j loop: j = k+1..m; t0 = j.
+    b.addi(T0, S3, 1);
+    let j_done = b.new_label();
+    let j_loop = b.bind_new_label();
+    b.bge(T0, S1, j_done);
+    b.slli(T1, T0, 2);
+    b.add(T2, S5, T1); // &A[k][j]
+    b.flw(FT1, T2, 0);
+    b.add(T3, S7, T1); // &A[i][j]
+    b.flw(FT2, T3, 0);
+    b.fnmsub_s(FT2, FT0, FT1, FT2);
+    b.fsw(FT2, T3, 0);
+    b.addi(T0, T0, 1);
+    b.j(j_loop);
+    b.bind(j_done);
+
+    b.addi(S6, S6, 1);
+    b.add(S7, S7, S2);
+    b.j(i_loop);
+    b.bind(i_done);
+
+    b.addi(S3, S3, 1);
+    b.j(k_loop);
+    b.bind(k_done);
+    b.ecall();
+
+    let program = b.build()?;
+    let words = m * m;
+    let verify = Box::new(move |machine: &dyn diag_sim::Machine| {
+        for (t, exp) in expects.iter().enumerate() {
+            check_floats(machine, mat_base + (t * words * 4) as u32, exp, "lud mat")?;
+        }
+        Ok(())
+    });
+    Ok(BuiltWorkload { program, verify, approx_work: (m * m * m / 3 * 10 * threads) as u64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_baseline::InOrder;
+    use diag_sim::Machine;
+
+    #[test]
+    fn verifies_on_reference_machine() {
+        let w = build(&Params::tiny()).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 1).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+
+    #[test]
+    fn lu_factors_reconstruct_matrix() {
+        // Independent numeric sanity: L·U ≈ A for the expected output.
+        let m = 8usize;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut a: Vec<f32> = (0..m * m).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        for d in 0..m {
+            a[d * m + d] = 6.0;
+        }
+        let lu = expected(&a, m);
+        for i in 0..m {
+            for j in 0..m {
+                let mut sum = 0.0f64;
+                for k in 0..=i.min(j) {
+                    let l = if k == i { 1.0 } else { lu[i * m + k] as f64 };
+                    let u = if k <= j { lu[k * m + j] as f64 } else { 0.0 };
+                    if k < i && k > j {
+                        continue;
+                    }
+                    sum += l * u;
+                }
+                assert!((sum - a[i * m + j] as f64).abs() < 1e-3, "A[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn verifies_replicated_threads() {
+        let w = build(&Params::tiny().with_threads(2)).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 2).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+}

@@ -1,0 +1,35 @@
+//! Rodinia-style benchmark kernels (paper Figures 9 and 12).
+//!
+//! Each module reproduces the characteristic inner computation of one
+//! Rodinia benchmark as a bare-metal RV32IMF kernel: the loop-body size,
+//! instruction mix, branchiness, and memory intensity that determine how
+//! DiAG compares against the out-of-order baseline.
+
+pub mod backprop;
+pub mod bfs;
+pub mod hotspot;
+pub mod kmeans;
+pub mod lud;
+pub mod nn;
+pub mod nw;
+pub mod pathfinder;
+pub mod srad;
+pub mod streamcluster;
+
+use crate::params::WorkloadSpec;
+
+/// All Rodinia-style workloads in figure order.
+pub fn all() -> Vec<WorkloadSpec> {
+    vec![
+        backprop::spec(),
+        bfs::spec(),
+        hotspot::spec(),
+        kmeans::spec(),
+        lud::spec(),
+        nn::spec(),
+        nw::spec(),
+        pathfinder::spec(),
+        srad::spec(),
+        streamcluster::spec(),
+    ]
+}

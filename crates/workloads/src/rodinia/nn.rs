@@ -1,0 +1,180 @@
+//! `nn`: nearest-neighbor search (floating point distance + scan).
+//!
+//! Rodinia's nn computes the Euclidean distance from a query to every
+//! record, then selects the nearest. Phase 1 (distances) partitions
+//! points across threads and is the SIMT region; phase 2 is a per-thread
+//! sequential min-scan writing `(index, distance-bits)` per thread.
+
+use diag_asm::{AsmError, ProgramBuilder};
+use diag_isa::regs::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
+use crate::util::{begin_repeat, end_repeat, repeats, check_floats, emit_thread_range, thread_range};
+
+/// Registry entry.
+pub fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "nn",
+        suite: Suite::Rodinia,
+        description: "nearest neighbor: distances + per-thread min scan (f32)",
+        simt_capable: true,
+        thread_model: ThreadModel::Partitioned,
+        fp_heavy: true,
+        build,
+    }
+}
+
+fn npoints(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 64,
+        Scale::Small => 1024,
+        Scale::Full => 6144,
+    }
+}
+
+const QUERY: (f32, f32) = (0.5, 0.5);
+
+fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
+    let n = npoints(p.scale);
+    let threads = p.threads.max(1);
+    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x6E6E);
+    let pts: Vec<(f32, f32)> = (0..n).map(|_| (rng.gen_range(0.0f32..1.0), rng.gen_range(0.0f32..1.0))).collect();
+
+    // Expected distances (kernel order: fmadd(dy, dy, dx*dx)).
+    let dists: Vec<f32> = pts
+        .iter()
+        .map(|&(x, y)| {
+            let dx = x - QUERY.0;
+            let dy = y - QUERY.1;
+            dy.mul_add(dy, dx * dx)
+        })
+        .collect();
+    // Expected per-thread minima.
+    let mut mins: Vec<(u32, f32)> = Vec::new();
+    for t in 0..threads {
+        let (lo, hi) = thread_range(n, t, threads);
+        let mut best = f32::INFINITY;
+        let mut idx = 0u32;
+        for i in lo..hi {
+            if dists[i] < best {
+                best = dists[i];
+                idx = i as u32;
+            }
+        }
+        mins.push((idx, best));
+    }
+
+    let flat: Vec<f32> = pts.iter().flat_map(|&(x, y)| [x, y]).collect();
+    let mut b = ProgramBuilder::new();
+    let pts_base = b.data_floats("points", &flat);
+    let dist_base = b.data_zeroed("dist", 4 * n);
+    let min_base = b.data_zeroed("mins", 8 * threads.max(1));
+
+    b.fli_s(FS0, T0, QUERY.0);
+    b.fli_s(FS1, T0, QUERY.1);
+    b.li(S2, n as i32);
+    emit_thread_range(&mut b, S2, S3, S4);
+    b.li(S5, pts_base as i32);
+    b.li(S6, dist_base as i32);
+    let rep_top = begin_repeat(&mut b, repeats(p.scale));
+
+    // Phase 1: distances (SIMT region).
+    let phase2 = b.new_label();
+    b.bge(S3, S4, phase2);
+    b.mv(T0, S3);
+    b.li(T1, 1);
+    let head = b.bind_new_label();
+    if p.simt {
+        b.simt_s(T0, T1, S4, 1);
+    }
+    {
+        b.slli(T2, T0, 3);
+        b.add(T3, S5, T2);
+        b.flw(FT0, T3, 0);
+        b.flw(FT1, T3, 4);
+        b.fsub_s(FT2, FT0, FS0);
+        b.fsub_s(FT3, FT1, FS1);
+        b.fmul_s(FT4, FT2, FT2);
+        b.fmadd_s(FT4, FT3, FT3, FT4);
+        b.slli(T2, T0, 2);
+        b.add(T3, S6, T2);
+        b.fsw(FT4, T3, 0);
+    }
+    if p.simt {
+        b.simt_e(T0, S4, head);
+    } else {
+        b.addi(T0, T0, 1);
+        b.blt(T0, S4, head);
+    }
+
+    // Phase 2: sequential min over [s3, s4).
+    b.bind(phase2);
+    b.fli_s(FT10, T0, f32::INFINITY);
+    b.li(T4, 0); // best index
+    b.mv(T0, S3);
+    let scan_done = b.new_label();
+    let scan = b.bind_new_label();
+    b.bge(T0, S4, scan_done);
+    b.slli(T2, T0, 2);
+    b.add(T3, S6, T2);
+    b.flw(FT0, T3, 0);
+    let no_better = b.new_label();
+    b.flt_s(T5, FT0, FT10);
+    b.beqz(T5, no_better);
+    b.fmv_s(FT10, FT0);
+    b.mv(T4, T0);
+    b.bind(no_better);
+    b.addi(T0, T0, 1);
+    b.j(scan);
+    b.bind(scan_done);
+    b.li(T2, min_base as i32);
+    b.slli(T3, A0, 3);
+    b.add(T2, T2, T3);
+    b.sw(T4, T2, 0);
+    b.fsw(FT10, T2, 4);
+    end_repeat(&mut b, rep_top);
+    b.ecall();
+
+    let program = b.build()?;
+    let expect_dists = dists.clone();
+    let verify = Box::new(move |m: &dyn diag_sim::Machine| {
+        check_floats(m, dist_base, &expect_dists, "nn dist")?;
+        for (t, &(idx, best)) in mins.iter().enumerate() {
+            let got_idx = m.read_word(min_base + 8 * t as u32);
+            let got_best = m.read_f32(min_base + 8 * t as u32 + 4);
+            if got_idx != idx {
+                return Err(format!("nn min index t{t}: got {got_idx}, expected {idx}"));
+            }
+            if got_best.to_bits() != best.to_bits() {
+                return Err(format!("nn min dist t{t}: got {got_best}, expected {best}"));
+            }
+        }
+        Ok(())
+    });
+    Ok(BuiltWorkload { program, verify, approx_work: (n * 14) as u64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_baseline::InOrder;
+    use diag_sim::Machine;
+
+    #[test]
+    fn verifies_on_reference_machine() {
+        let w = build(&Params::tiny()).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 1).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+
+    #[test]
+    fn verifies_multithreaded_and_simt() {
+        let w = build(&Params::tiny().with_threads(3).with_simt(true)).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 3).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+}

@@ -1,0 +1,218 @@
+//! `nw`: Needleman-Wunsch sequence alignment (integer DP).
+//!
+//! Fills the (m+1)×(m+1) score matrix with the classic three-way max
+//! recurrence. Every cell depends on its left, upper, and diagonal
+//! neighbors — serial wavefront dependencies — so threads run
+//! *replicated* instances and there is no SIMT region.
+
+use diag_asm::{AsmError, ProgramBuilder};
+use diag_isa::regs::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
+use crate::util::{begin_repeat, check_words, end_repeat, repeats};
+
+/// Registry entry.
+pub fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "nw",
+        suite: Suite::Rodinia,
+        description: "sequence-alignment DP matrix fill (integer, branchy)",
+        simt_capable: false,
+        thread_model: ThreadModel::Replicated,
+        fp_heavy: false,
+        build,
+    }
+}
+
+fn seq_len(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 12,
+        Scale::Small => 48,
+        Scale::Full => 96,
+    }
+}
+
+const MATCH: i32 = 2;
+const MISMATCH: i32 = -1;
+const GAP: i32 = 1;
+
+fn expected(a: &[u32], bseq: &[u32], m: usize) -> Vec<u32> {
+    let w = m + 1;
+    let mut s = vec![0i32; w * w];
+    for i in 0..=m {
+        s[i * w] = -(GAP * i as i32);
+        s[i] = -(GAP * i as i32);
+    }
+    for i in 1..=m {
+        for j in 1..=m {
+            let sim = if a[i - 1] == bseq[j - 1] { MATCH } else { MISMATCH };
+            let diag = s[(i - 1) * w + j - 1] + sim;
+            let up = s[(i - 1) * w + j] - GAP;
+            let left = s[i * w + j - 1] - GAP;
+            let mut best = diag;
+            if up > best {
+                best = up;
+            }
+            if left > best {
+                best = left;
+            }
+            s[i * w + j] = best;
+        }
+    }
+    s.into_iter().map(|v| v as u32).collect()
+}
+
+fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
+    let m = seq_len(p.scale);
+    let w = m + 1;
+    let threads = p.threads.max(1);
+    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x6E77);
+    let mut seqs_a = Vec::new();
+    let mut seqs_b = Vec::new();
+    let mut expects = Vec::new();
+    for _ in 0..threads {
+        let a: Vec<u32> = (0..m).map(|_| rng.gen_range(0..4)).collect();
+        let bs: Vec<u32> = (0..m).map(|_| rng.gen_range(0..4)).collect();
+        expects.push(expected(&a, &bs, m));
+        seqs_a.push(a);
+        seqs_b.push(bs);
+    }
+
+    let mut b = ProgramBuilder::new();
+    let a_base = b.data_words("seq_a", &seqs_a.concat());
+    let b_base = b.data_words("seq_b", &seqs_b.concat());
+    let s_base = b.data_zeroed("score", 4 * w * w * threads);
+
+    // Instance bases: s0 = seq_a, s1 = seq_b, s2 = score.
+    b.li(T0, (m * 4) as i32);
+    b.mul(T0, A0, T0);
+    b.li(S0, a_base as i32);
+    b.add(S0, S0, T0);
+    b.li(S1, b_base as i32);
+    b.add(S1, S1, T0);
+    b.li(T0, (w * w * 4) as i32);
+    b.mul(T0, A0, T0);
+    b.li(S2, s_base as i32);
+    b.add(S2, S2, T0);
+    b.li(S3, w as i32);
+    b.li(S4, (w * 4) as i32);
+    let rep_top = begin_repeat(&mut b, repeats(p.scale));
+
+    // Border initialization: s[i][0] = s[0][i] = -i*GAP.
+    b.li(T0, 0);
+    let init_done = b.new_label();
+    let init = b.bind_new_label();
+    b.bge(T0, S3, init_done);
+    b.li(T1, GAP);
+    b.mul(T1, T0, T1);
+    b.neg(T1, T1);
+    b.mul(T2, T0, S4);
+    b.add(T2, T2, S2);
+    b.sw(T1, T2, 0); // s[i][0]
+    b.slli(T2, T0, 2);
+    b.add(T2, T2, S2);
+    b.sw(T1, T2, 0); // s[0][i]
+    b.addi(T0, T0, 1);
+    b.j(init);
+    b.bind(init_done);
+
+    // i loop (1..=m): s5 = i, s6 = &s[i][0], s7 = &a[i-1].
+    b.li(S5, 1);
+    b.add(S6, S2, S4);
+    b.mv(S7, S0);
+    let i_done = b.new_label();
+    let i_loop = b.bind_new_label();
+    b.bgt(S5, S3, i_done); // note: runs i = 1..=m since s3 = m+1... guard below
+    b.beq(S5, S3, i_done);
+    b.lw(S8, S7, 0); // a[i-1]
+
+    // j loop: t0 = j, t1 = &s[i][j], t2 = &b[j-1].
+    b.li(T0, 1);
+    b.addi(T1, S6, 4);
+    b.mv(T2, S1);
+    let j_done = b.new_label();
+    let j_loop = b.bind_new_label();
+    b.beq(T0, S3, j_done);
+    b.lw(T3, T2, 0); // b[j-1]
+    // sim
+    b.li(T4, MISMATCH);
+    let nomatch = b.new_label();
+    b.bne(S8, T3, nomatch);
+    b.li(T4, MATCH);
+    b.bind(nomatch);
+    // diag = s[i-1][j-1] + sim
+    b.sub(T5, T1, S4);
+    b.lw(T6, T5, -4);
+    b.add(T4, T6, T4);
+    // up = s[i-1][j] - GAP
+    b.lw(T6, T5, 0);
+    b.addi(T6, T6, -GAP);
+    let no_up = b.new_label();
+    b.ble(T6, T4, no_up);
+    b.mv(T4, T6);
+    b.bind(no_up);
+    // left = s[i][j-1] - GAP
+    b.lw(T6, T1, -4);
+    b.addi(T6, T6, -GAP);
+    let no_left = b.new_label();
+    b.ble(T6, T4, no_left);
+    b.mv(T4, T6);
+    b.bind(no_left);
+    b.sw(T4, T1, 0);
+    b.addi(T0, T0, 1);
+    b.addi(T1, T1, 4);
+    b.addi(T2, T2, 4);
+    b.j(j_loop);
+    b.bind(j_done);
+
+    b.addi(S5, S5, 1);
+    b.add(S6, S6, S4);
+    b.addi(S7, S7, 4);
+    b.j(i_loop);
+    b.bind(i_done);
+    end_repeat(&mut b, rep_top);
+    b.ecall();
+
+    let program = b.build()?;
+    let words = w * w;
+    let verify = Box::new(move |machine: &dyn diag_sim::Machine| {
+        for (t, exp) in expects.iter().enumerate() {
+            check_words(machine, s_base + (t * words * 4) as u32, exp, "nw score")?;
+        }
+        Ok(())
+    });
+    Ok(BuiltWorkload { program, verify, approx_work: (m * m * 18 * threads) as u64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_baseline::InOrder;
+    use diag_sim::Machine;
+
+    #[test]
+    fn verifies_on_reference_machine() {
+        let w = build(&Params::tiny()).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 1).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+
+    #[test]
+    fn identical_sequences_score_perfectly() {
+        let a: Vec<u32> = vec![1, 2, 3, 0, 1];
+        let s = expected(&a, &a, 5);
+        let w = 6;
+        assert_eq!(s[5 * w + 5] as i32, 5 * MATCH);
+    }
+
+    #[test]
+    fn verifies_replicated_threads() {
+        let w = build(&Params::tiny().with_threads(2)).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 2).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+}

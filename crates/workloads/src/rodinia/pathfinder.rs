@@ -1,0 +1,217 @@
+//! `pathfinder`: dynamic programming over a grid (integer).
+//!
+//! Rodinia's pathfinder finds a minimum-cost path through a 2D grid, row
+//! by row: `dst[j] = grid[r][j] + min(src[j-1], src[j], src[j+1])`. Rows
+//! depend on each other, so threads run *replicated* private instances;
+//! the independent inner column loop is the SIMT region.
+
+use diag_asm::{AsmError, ProgramBuilder};
+use diag_isa::regs::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
+use crate::util::{begin_repeat, check_words, end_repeat, repeats};
+
+/// Registry entry.
+pub fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "pathfinder",
+        suite: Suite::Rodinia,
+        description: "grid DP: per-row min-of-three relaxation (integer)",
+        simt_capable: true,
+        thread_model: ThreadModel::Replicated,
+        fp_heavy: false,
+        build,
+    }
+}
+
+fn dims(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Tiny => (5, 16),
+        Scale::Small => (16, 64),
+        Scale::Full => (32, 192),
+    }
+}
+
+/// Reference computation mirroring the kernel's operation order.
+fn expected(grid: &[u32], rows: usize, cols: usize) -> Vec<u32> {
+    let mut src: Vec<u32> = grid[..cols].to_vec();
+    let mut dst = vec![0u32; cols];
+    for r in 1..rows {
+        for j in 0..cols {
+            let mut m = src[j];
+            if j > 0 && (src[j - 1] as i32) < (m as i32) {
+                m = src[j - 1];
+            }
+            if j + 1 < cols && (src[j + 1] as i32) < (m as i32) {
+                m = src[j + 1];
+            }
+            dst[j] = grid[r * cols + j].wrapping_add(m);
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    src
+}
+
+fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
+    let (rows, cols) = dims(p.scale);
+    let threads = p.threads.max(1);
+    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x7066);
+
+    // Per-thread instance data.
+    let mut grids: Vec<Vec<u32>> = Vec::with_capacity(threads);
+    let mut expect: Vec<Vec<u32>> = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let grid: Vec<u32> = (0..rows * cols).map(|_| rng.gen_range(0..10)).collect();
+        expect.push(expected(&grid, rows, cols));
+        grids.push(grid);
+    }
+
+    let mut b = ProgramBuilder::new();
+    let flat: Vec<u32> = grids.concat();
+    let grid_base = b.data_words("grid", &flat);
+    let src_base = b.data_zeroed("src", 4 * cols * threads);
+    let dst_base = b.data_zeroed("dst", 4 * cols * threads);
+    let out_base = b.data_zeroed("out", 4 * cols * threads);
+
+    let inst_words = (rows * cols) as i32;
+    // s0 = &grid[r][0] for this instance, s1 = src row, s2 = dst row,
+    // s3 = cols, s4 = remaining rows, s5 = instance grid base.
+    b.li(S3, cols as i32);
+    b.li(T0, inst_words);
+    b.mul(T0, A0, T0);
+    b.slli(T0, T0, 2);
+    b.li(S5, grid_base as i32);
+    b.add(S5, S5, T0);
+    b.li(T1, (cols * 4) as i32);
+    b.mul(T0, A0, T1);
+    b.li(S1, src_base as i32);
+    b.add(S1, S1, T0);
+    b.li(S2, dst_base as i32);
+    b.add(S2, S2, T0);
+    b.li(S8, out_base as i32);
+    b.add(S8, S8, T0);
+    let rep_top = begin_repeat(&mut b, repeats(p.scale));
+
+    // src = grid row 0 (copy loop).
+    b.li(T0, 0);
+    let copy0 = b.bind_new_label();
+    b.slli(T1, T0, 2);
+    b.add(T2, S5, T1);
+    b.lw(T3, T2, 0);
+    b.add(T2, S1, T1);
+    b.sw(T3, T2, 0);
+    b.addi(T0, T0, 1);
+    b.blt(T0, S3, copy0);
+
+    // Row loop: r = 1..rows.
+    b.li(S4, (rows - 1) as i32);
+    b.li(T1, (cols * 4) as i32);
+    b.add(S0, S5, T1); // &grid[1][0]
+    let row_loop = b.bind_new_label();
+
+    // Inner column loop over j in [0, cols): the SIMT region.
+    b.li(T0, 0); // rc = j
+    b.li(T1, 1); // step
+    let head = b.bind_new_label();
+    if p.simt {
+        b.simt_s(T0, T1, S3, 1);
+    }
+    {
+        // Body: t2 = &src[j]; min-of-three; dst[j] = grid[r][j] + min.
+        b.slli(T2, T0, 2);
+        b.add(T3, S1, T2);
+        b.lw(T4, T3, 0); // mid
+        let no_left = b.new_label();
+        b.beqz(T0, no_left);
+        b.lw(T5, T3, -4);
+        b.bge(T5, T4, no_left);
+        b.mv(T4, T5);
+        b.bind(no_left);
+        let no_right = b.new_label();
+        b.addi(T6, T0, 1);
+        b.beq(T6, S3, no_right);
+        b.lw(T5, T3, 4);
+        b.bge(T5, T4, no_right);
+        b.mv(T4, T5);
+        b.bind(no_right);
+        b.add(T3, S0, T2);
+        b.lw(T5, T3, 0);
+        b.add(T5, T5, T4);
+        b.add(T3, S2, T2);
+        b.sw(T5, T3, 0);
+    }
+    if p.simt {
+        b.simt_e(T0, S3, head);
+    } else {
+        b.addi(T0, T0, 1);
+        b.blt(T0, S3, head);
+    }
+
+    // Swap src/dst, advance grid row, next r.
+    b.mv(T0, S1);
+    b.mv(S1, S2);
+    b.mv(S2, T0);
+    b.li(T1, (cols * 4) as i32);
+    b.add(S0, S0, T1);
+    b.addi(S4, S4, -1);
+    b.bnez(S4, row_loop);
+
+    // Copy final row (in src after the last swap) to out.
+    b.li(T0, 0);
+    let copy_out = b.bind_new_label();
+    b.slli(T1, T0, 2);
+    b.add(T2, S1, T1);
+    b.lw(T3, T2, 0);
+    b.add(T2, S8, T1);
+    b.sw(T3, T2, 0);
+    b.addi(T0, T0, 1);
+    b.blt(T0, S3, copy_out);
+    end_repeat(&mut b, rep_top);
+    b.ecall();
+
+    let program = b.build()?;
+    let approx_work = (rows * cols * 14 * threads) as u64;
+    let verify = Box::new(move |m: &dyn diag_sim::Machine| {
+        for (t, exp) in expect.iter().enumerate() {
+            check_words(m, out_base + (t * cols * 4) as u32, exp, "pathfinder out")?;
+        }
+        Ok(())
+    });
+    Ok(BuiltWorkload { program, verify, approx_work })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_baseline::InOrder;
+    use diag_sim::Machine;
+
+    #[test]
+    fn verifies_on_reference_machine() {
+        let params = Params::tiny();
+        let w = build(&params).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 1).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+
+    #[test]
+    fn verifies_multithreaded() {
+        let params = Params::tiny().with_threads(3);
+        let w = build(&params).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 3).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+
+    #[test]
+    fn simt_variant_matches() {
+        let params = Params::tiny().with_simt(true);
+        let w = build(&params).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 1).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+}

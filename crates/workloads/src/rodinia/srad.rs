@@ -1,0 +1,191 @@
+//! `srad`: speckle-reducing anisotropic diffusion (FP-division heavy).
+//!
+//! One simplified SRAD sweep: for every interior cell, the diffusion
+//! coefficient is computed from the normalized laplacian (two `fdiv.s`
+//! per cell — SRAD is the paper's FPU-heavy stress case) and the image is
+//! updated in a separate output buffer. Threads partition interior rows;
+//! the straight-line cell body is the SIMT region.
+
+use diag_asm::{AsmError, ProgramBuilder};
+use diag_isa::regs::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
+use crate::util::{begin_repeat, check_floats, emit_thread_range, end_repeat, repeats};
+
+/// Registry entry.
+pub fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "srad",
+        suite: Suite::Rodinia,
+        description: "anisotropic diffusion sweep with per-cell divisions (f32)",
+        simt_capable: true,
+        thread_model: ThreadModel::Partitioned,
+        fp_heavy: true,
+        build,
+    }
+}
+
+fn dims(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 10,
+        Scale::Small => 32,
+        Scale::Full => 64,
+    }
+}
+
+const LAMBDA: f32 = 0.125;
+
+fn expected(img: &[f32], n: usize) -> Vec<f32> {
+    let mut out = img.to_vec();
+    for r in 1..n - 1 {
+        for j in 1..n - 1 {
+            let c = img[r * n + j];
+            let sum = img[r * n + j - 1] + img[r * n + j + 1] + img[(r - 1) * n + j]
+                + img[(r + 1) * n + j];
+            let q = sum - 4.0 * c;
+            let g = q / c;
+            let w = 1.0 / g.mul_add(g, 1.0);
+            out[r * n + j] = (q * w).mul_add(LAMBDA, c);
+        }
+    }
+    out
+}
+
+
+/// Emits the per-cell diffusion body. Expects `T3` = &img\[r\]\[j\],
+/// `S5` = row stride, `S7` = out delta, `FS0` = 4.0, `FS1` = 1.0,
+/// `FS2` = lambda. Clobbers `T4` and `FT0`–`FT9`.
+fn emit_cell(b: &mut ProgramBuilder) {
+    b.flw(FT0, T3, 0); // center
+    b.flw(FT1, T3, -4);
+    b.flw(FT2, T3, 4);
+    b.sub(T4, T3, S5);
+    b.flw(FT3, T4, 0);
+    b.add(T4, T3, S5);
+    b.flw(FT4, T4, 0);
+    b.fadd_s(FT5, FT1, FT2);
+    b.fadd_s(FT5, FT5, FT3);
+    b.fadd_s(FT5, FT5, FT4);
+    b.fmul_s(FT6, FS0, FT0);
+    b.fsub_s(FT5, FT5, FT6); // q
+    b.fdiv_s(FT6, FT5, FT0); // g = q / c
+    b.fmadd_s(FT7, FT6, FT6, FS1); // g*g + 1
+    b.fdiv_s(FT7, FS1, FT7); // w
+    b.fmul_s(FT8, FT5, FT7); // q*w
+    b.fmadd_s(FT9, FT8, FS2, FT0); // out
+    b.add(T4, T3, S7);
+    b.fsw(FT9, T4, 0);
+}
+
+fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
+    let n = dims(p.scale);
+    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x5244);
+    let img: Vec<f32> = (0..n * n).map(|_| rng.gen_range(1.0f32..255.0)).collect();
+    let expect = expected(&img, n);
+
+    let mut b = ProgramBuilder::new();
+    let img_base = b.data_floats("img", &img);
+    let out_base = b.data_floats("out", &img);
+
+    b.fli_s(FS0, T0, 4.0);
+    b.fli_s(FS1, T0, 1.0);
+    b.fli_s(FS2, T0, LAMBDA);
+    b.li(S2, (n - 2) as i32);
+    emit_thread_range(&mut b, S2, S3, S4);
+    b.addi(S3, S3, 1);
+    b.addi(S4, S4, 1);
+    b.li(S5, (n * 4) as i32);
+    b.li(S7, (out_base as i64 - img_base as i64) as i32);
+    b.li(S9, (n - 1) as i32);
+
+    if p.simt {
+        // Flat pipelined sweep over all interior cells (§4.4.3).
+        let offsets: Vec<u32> = (1..n - 1)
+            .flat_map(|r| (1..n - 1).map(move |j| ((r * n + j) * 4) as u32))
+            .collect();
+        let table_base = b.data_words("cells", &offsets);
+        b.li(S2, ((n - 2) * (n - 2)) as i32);
+        emit_thread_range(&mut b, S2, S3, S4);
+        b.li(S8, table_base as i32);
+        b.li(S1, img_base as i32);
+        let rep_top = begin_repeat(&mut b, repeats(p.scale));
+        let done = b.new_label();
+        b.bge(S3, S4, done);
+        b.mv(T0, S3);
+        b.li(T1, 1);
+        let head = b.bind_new_label();
+        b.simt_s(T0, T1, S4, 1);
+        {
+            b.slli(T2, T0, 2);
+            b.add(T3, S8, T2);
+            b.lw(T4, T3, 0);
+            b.add(T3, S1, T4);
+            emit_cell(&mut b);
+        }
+        b.simt_e(T0, S4, head);
+        b.bind(done);
+        end_repeat(&mut b, rep_top);
+        b.ecall();
+        let program = b.build()?;
+        let verify = Box::new(move |m: &dyn diag_sim::Machine| {
+            check_floats(m, out_base, &expect, "srad out")
+        });
+        return Ok(BuiltWorkload { program, verify, approx_work: (n * n * 24) as u64 });
+    }
+    let rep_top = begin_repeat(&mut b, repeats(p.scale));
+
+    b.mv(S0, S3);
+    let row_done = b.new_label();
+    let row_loop = b.bind_new_label();
+    b.bge(S0, S4, row_done);
+    b.li(T0, img_base as i32);
+    b.mul(T1, S0, S5);
+    b.add(S1, T0, T1);
+
+    b.li(T0, 1);
+    let head = b.bind_new_label();
+    {
+        b.slli(T2, T0, 2);
+        b.add(T3, S1, T2);
+        emit_cell(&mut b);
+    }
+    b.addi(T0, T0, 1);
+    b.blt(T0, S9, head);
+
+    b.addi(S0, S0, 1);
+    b.j(row_loop);
+    b.bind(row_done);
+    end_repeat(&mut b, rep_top);
+    b.ecall();
+
+    let program = b.build()?;
+    let verify = Box::new(move |m: &dyn diag_sim::Machine| {
+        check_floats(m, out_base, &expect, "srad out")
+    });
+    Ok(BuiltWorkload { program, verify, approx_work: (n * n * 24) as u64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_baseline::InOrder;
+    use diag_sim::Machine;
+
+    #[test]
+    fn verifies_on_reference_machine() {
+        let w = build(&Params::tiny()).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 1).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+
+    #[test]
+    fn verifies_multithreaded_and_simt() {
+        let w = build(&Params::tiny().with_threads(4).with_simt(true)).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 4).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+}

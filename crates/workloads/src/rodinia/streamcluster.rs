@@ -1,0 +1,165 @@
+//! `streamcluster`: weighted clustering cost evaluation (floating point).
+//!
+//! The hot loop of streamcluster evaluates the cost of serving each point
+//! from a candidate median: `gain[i] = weight[i] * dist(p_i, median)`.
+//! Phase 1 (per-point gains) partitions points and is the SIMT region;
+//! phase 2 reduces each thread's chunk to a per-thread cost.
+
+use diag_asm::{AsmError, ProgramBuilder};
+use diag_isa::regs::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
+use crate::util::{begin_repeat, end_repeat, repeats, check_floats, emit_thread_range, thread_range};
+
+/// Registry entry.
+pub fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "streamcluster",
+        suite: Suite::Rodinia,
+        description: "weighted cluster cost: per-point gains + reduction (f32)",
+        simt_capable: true,
+        thread_model: ThreadModel::Partitioned,
+        fp_heavy: true,
+        build,
+    }
+}
+
+fn npoints(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 64,
+        Scale::Small => 1024,
+        Scale::Full => 4096,
+    }
+}
+
+const MEDIAN: (f32, f32) = (0.4, 0.6);
+
+fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
+    let n = npoints(p.scale);
+    let threads = p.threads.max(1);
+    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x7363);
+    let pts: Vec<(f32, f32, f32)> = (0..n)
+        .map(|_| (rng.gen_range(0.0f32..1.0), rng.gen_range(0.0f32..1.0), rng.gen_range(0.5f32..2.0)))
+        .collect();
+
+    // Kernel order: d = fmadd(dy, dy, dx*dx); gain = w * d.
+    let gains: Vec<f32> = pts
+        .iter()
+        .map(|&(x, y, w)| {
+            let dx = x - MEDIAN.0;
+            let dy = y - MEDIAN.1;
+            w * dy.mul_add(dy, dx * dx)
+        })
+        .collect();
+    let mut costs = Vec::new();
+    for t in 0..threads {
+        let (lo, hi) = thread_range(n, t, threads);
+        let mut acc = 0.0f32;
+        for g in &gains[lo..hi] {
+            acc += g;
+        }
+        costs.push(acc);
+    }
+
+    let flat: Vec<f32> = pts.iter().flat_map(|&(x, y, w)| [x, y, w]).collect();
+    let mut b = ProgramBuilder::new();
+    let pts_base = b.data_floats("points", &flat);
+    let gain_base = b.data_zeroed("gain", 4 * n);
+    let cost_base = b.data_zeroed("cost", 4 * threads);
+
+    b.fli_s(FS0, T0, MEDIAN.0);
+    b.fli_s(FS1, T0, MEDIAN.1);
+    b.li(S2, n as i32);
+    emit_thread_range(&mut b, S2, S3, S4);
+    b.li(S5, pts_base as i32);
+    b.li(S6, gain_base as i32);
+    let rep_top = begin_repeat(&mut b, repeats(p.scale));
+
+    // Phase 1 (SIMT): gains.
+    let phase2 = b.new_label();
+    b.bge(S3, S4, phase2);
+    b.mv(T0, S3);
+    b.li(T1, 1);
+    let head = b.bind_new_label();
+    if p.simt {
+        b.simt_s(T0, T1, S4, 1);
+    }
+    {
+        // &pts[i]: 12 bytes each → i*12 = i*8 + i*4.
+        b.slli(T2, T0, 3);
+        b.slli(T3, T0, 2);
+        b.add(T2, T2, T3);
+        b.add(T3, S5, T2);
+        b.flw(FT0, T3, 0);
+        b.flw(FT1, T3, 4);
+        b.flw(FT2, T3, 8); // weight
+        b.fsub_s(FT3, FT0, FS0);
+        b.fsub_s(FT4, FT1, FS1);
+        b.fmul_s(FT5, FT3, FT3);
+        b.fmadd_s(FT5, FT4, FT4, FT5);
+        b.fmul_s(FT5, FT2, FT5);
+        b.slli(T2, T0, 2);
+        b.add(T3, S6, T2);
+        b.fsw(FT5, T3, 0);
+    }
+    if p.simt {
+        b.simt_e(T0, S4, head);
+    } else {
+        b.addi(T0, T0, 1);
+        b.blt(T0, S4, head);
+    }
+
+    // Phase 2: per-thread reduction.
+    b.bind(phase2);
+    b.fli_s(FT10, T0, 0.0);
+    b.mv(T0, S3);
+    let red_done = b.new_label();
+    let red = b.bind_new_label();
+    b.bge(T0, S4, red_done);
+    b.slli(T2, T0, 2);
+    b.add(T3, S6, T2);
+    b.flw(FT0, T3, 0);
+    b.fadd_s(FT10, FT10, FT0);
+    b.addi(T0, T0, 1);
+    b.j(red);
+    b.bind(red_done);
+    b.li(T2, cost_base as i32);
+    b.slli(T3, A0, 2);
+    b.add(T2, T2, T3);
+    b.fsw(FT10, T2, 0);
+    end_repeat(&mut b, rep_top);
+    b.ecall();
+
+    let program = b.build()?;
+    let expect_gains = gains.clone();
+    let verify = Box::new(move |m: &dyn diag_sim::Machine| {
+        check_floats(m, gain_base, &expect_gains, "streamcluster gain")?;
+        check_floats(m, cost_base, &costs, "streamcluster cost")
+    });
+    Ok(BuiltWorkload { program, verify, approx_work: (n * 16) as u64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_baseline::InOrder;
+    use diag_sim::Machine;
+
+    #[test]
+    fn verifies_on_reference_machine() {
+        let w = build(&Params::tiny()).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 1).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+
+    #[test]
+    fn verifies_multithreaded_and_simt() {
+        let w = build(&Params::tiny().with_threads(4).with_simt(true)).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 4).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+}

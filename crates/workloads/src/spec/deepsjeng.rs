@@ -1,0 +1,187 @@
+//! `deepsjeng`: bitboard move generation and population count (integer
+//! ALU chains).
+//!
+//! Chess engines spend their time on 64-bit board masks; on RV32 each
+//! board is a pair of words. For every position the kernel computes
+//! knight-spread masks with shifts and tallies mobility with a SWAR
+//! popcount — long integer dependency chains, minimal memory. Positions
+//! are independent: threads partition them and the straight-line body is
+//! the SIMT region.
+
+use diag_asm::{AsmError, ProgramBuilder};
+use diag_isa::regs::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
+use crate::util::{begin_repeat, end_repeat, repeats, check_words, emit_thread_range};
+
+/// Registry entry.
+pub fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "deepsjeng",
+        suite: Suite::Spec,
+        description: "bitboard spread + SWAR popcount (integer ALU chains)",
+        simt_capable: true,
+        thread_model: ThreadModel::Partitioned,
+        fp_heavy: false,
+        build,
+    }
+}
+
+fn npos(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 48,
+        Scale::Small => 768,
+        Scale::Full => 3072,
+    }
+}
+
+const FILE_MASK: u32 = 0x7E7E_7E7E;
+
+fn popcount_swar(x: u32) -> u32 {
+    let x = x - ((x >> 1) & 0x5555_5555);
+    let x = (x & 0x3333_3333) + ((x >> 2) & 0x3333_3333);
+    let x = (x + (x >> 4)) & 0x0F0F_0F0F;
+    x.wrapping_mul(0x0101_0101) >> 24
+}
+
+fn expected(boards: &[(u32, u32)]) -> Vec<u32> {
+    boards
+        .iter()
+        .map(|&(lo, hi)| {
+            let spread_lo = ((lo << 8) | (lo >> 8) | ((lo << 1) & FILE_MASK) | ((lo >> 1) & FILE_MASK))
+                & !lo;
+            let spread_hi = ((hi << 8) | (hi >> 8) | ((hi << 1) & FILE_MASK) | ((hi >> 1) & FILE_MASK))
+                & !hi;
+            popcount_swar(spread_lo) + popcount_swar(spread_hi)
+        })
+        .collect()
+}
+
+/// Emits the SWAR popcount of `src` in place (clobbers `tmp`; the `c*`
+/// registers hold the SWAR constants).
+fn emit_popcount(
+    b: &mut ProgramBuilder,
+    src: diag_isa::Reg,
+    tmp: diag_isa::Reg,
+    c5: diag_isa::Reg,
+    c3: diag_isa::Reg,
+    c0f: diag_isa::Reg,
+    c01: diag_isa::Reg,
+) {
+    b.srli(tmp, src, 1);
+    b.and(tmp, tmp, c5);
+    b.sub(src, src, tmp);
+    b.srli(tmp, src, 2);
+    b.and(tmp, tmp, c3);
+    b.and(src, src, c3);
+    b.add(src, src, tmp);
+    b.srli(tmp, src, 4);
+    b.add(src, src, tmp);
+    b.and(src, src, c0f);
+    b.mul(src, src, c01);
+    b.srli(src, src, 24);
+}
+
+fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
+    let n = npos(p.scale);
+    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x646A);
+    let boards: Vec<(u32, u32)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+    let expect = expected(&boards);
+
+    let flat: Vec<u32> = boards.iter().flat_map(|&(lo, hi)| [lo, hi]).collect();
+    let mut b = ProgramBuilder::new();
+    let board_base = b.data_words("boards", &flat);
+    let out_base = b.data_zeroed("mobility", 4 * n);
+
+    b.li(S2, n as i32);
+    emit_thread_range(&mut b, S2, S3, S4);
+    b.li(S5, board_base as i32);
+    b.li(S6, out_base as i32);
+    b.li(S7, FILE_MASK as i32);
+    b.li(S8, 0x5555_5555u32 as i32);
+    b.li(S9, 0x3333_3333);
+    b.li(S10, 0x0F0F_0F0F);
+    b.li(S11, 0x0101_0101);
+    let rep_top = begin_repeat(&mut b, repeats(p.scale));
+
+    let done = b.new_label();
+    b.bge(S3, S4, done);
+    b.mv(T0, S3);
+    b.li(T1, 1);
+    let head = b.bind_new_label();
+    if p.simt {
+        b.simt_s(T0, T1, S4, 1);
+    }
+    {
+        b.slli(T2, T0, 3);
+        b.add(T3, S5, T2);
+        b.li(T6, 0); // mobility accumulator
+        for half in 0..2 {
+            b.lw(T4, T3, 4 * half); // board half
+            // spread = (b<<8 | b>>8 | (b<<1)&M | (b>>1)&M) & !b
+            b.slli(T5, T4, 8);
+            b.srli(T2, T4, 8);
+            b.or(T5, T5, T2);
+            b.slli(T2, T4, 1);
+            b.and(T2, T2, S7);
+            b.or(T5, T5, T2);
+            b.srli(T2, T4, 1);
+            b.and(T2, T2, S7);
+            b.or(T5, T5, T2);
+            b.not(T4, T4);
+            b.and(T5, T5, T4);
+            emit_popcount(&mut b, T5, T2, S8, S9, S10, S11);
+            b.add(T6, T6, T5);
+        }
+        b.slli(T2, T0, 2);
+        b.add(T3, S6, T2);
+        b.sw(T6, T3, 0);
+    }
+    if p.simt {
+        b.simt_e(T0, S4, head);
+    } else {
+        b.addi(T0, T0, 1);
+        b.blt(T0, S4, head);
+    }
+    b.bind(done);
+    end_repeat(&mut b, rep_top);
+    b.ecall();
+
+    let program = b.build()?;
+    let verify = Box::new(move |m: &dyn diag_sim::Machine| {
+        check_words(m, out_base, &expect, "deepsjeng mobility")
+    });
+    Ok(BuiltWorkload { program, verify, approx_work: (n * 50) as u64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_baseline::InOrder;
+    use diag_sim::Machine;
+
+    #[test]
+    fn swar_popcount_is_correct() {
+        for x in [0u32, 1, 0xFFFF_FFFF, 0x8000_0001, 0xDEAD_BEEF] {
+            assert_eq!(popcount_swar(x), x.count_ones());
+        }
+    }
+
+    #[test]
+    fn verifies_on_reference_machine() {
+        let w = build(&Params::tiny()).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 1).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+
+    #[test]
+    fn verifies_multithreaded_and_simt() {
+        let w = build(&Params::tiny().with_threads(4).with_simt(true)).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 4).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+}

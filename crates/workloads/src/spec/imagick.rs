@@ -1,0 +1,216 @@
+//! `imagick`: 3×3 image convolution (floating point).
+//!
+//! ImageMagick's resize/blur kernels reduce to dense small-stencil
+//! convolutions. Interior pixels are independent: threads partition rows
+//! and the fully-unrolled 9-tap body is the SIMT region.
+
+use diag_asm::{AsmError, ProgramBuilder};
+use diag_isa::regs::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
+use crate::util::{begin_repeat, end_repeat, repeats, check_floats, emit_thread_range};
+
+/// Registry entry.
+pub fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "imagick",
+        suite: Suite::Spec,
+        description: "3x3 convolution over an image (f32)",
+        simt_capable: true,
+        thread_model: ThreadModel::Partitioned,
+        fp_heavy: true,
+        build,
+    }
+}
+
+fn dims(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 10,
+        Scale::Small => 36,
+        Scale::Full => 80,
+    }
+}
+
+const KERNEL: [f32; 9] = [0.0625, 0.125, 0.0625, 0.125, 0.25, 0.125, 0.0625, 0.125, 0.0625];
+
+fn expected(img: &[f32], n: usize) -> Vec<f32> {
+    let mut out = img.to_vec();
+    for r in 1..n - 1 {
+        for j in 1..n - 1 {
+            // Kernel order: acc = k0*p0, then 8 fmadds row-major.
+            let mut acc = KERNEL[0] * img[(r - 1) * n + j - 1];
+            let taps = [
+                (0usize, 0i32, 1usize),
+                (0, 1, 2),
+                (1, -1, 3),
+                (1, 0, 4),
+                (1, 1, 5),
+                (2, -1, 6),
+                (2, 0, 7),
+                (2, 1, 8),
+            ];
+            for &(dr, dj, k) in &taps {
+                let pix = img[(r - 1 + dr) * n + (j as i32 + dj) as usize];
+                acc = KERNEL[k].mul_add(pix, acc);
+            }
+            out[r * n + j] = acc;
+        }
+    }
+    out
+}
+
+
+/// Emits the 9-tap convolution body. Expects `T3` = &img\[r\]\[j\],
+/// `S5` = row stride, `S7` = out delta, `FS0`/`FS1`/`FS2` = corner/edge/
+/// center weights. Clobbers `T4`–`T6`, `FT0`, `FT1`.
+fn emit_pixel(b: &mut ProgramBuilder) {
+    let kreg = |k: usize| match KERNEL[k] {
+        x if x == KERNEL[4] => FS2,
+        x if x == KERNEL[1] => FS1,
+        _ => FS0,
+    };
+    b.sub(T4, T3, S5); // &img[r-1][j]
+    b.add(T5, T3, S5); // &img[r+1][j]
+    b.flw(FT0, T4, -4);
+    b.fmul_s(FT1, kreg(0), FT0);
+    let taps: [(diag_isa::Reg, i32, usize); 8] = [
+        (T4, 0, 1),
+        (T4, 4, 2),
+        (T3, -4, 3),
+        (T3, 0, 4),
+        (T3, 4, 5),
+        (T5, -4, 6),
+        (T5, 0, 7),
+        (T5, 4, 8),
+    ];
+    for (base, off, k) in taps {
+        b.flw(FT0, base, off);
+        b.fmadd_s(FT1, kreg(k), FT0, FT1);
+    }
+    b.add(T6, T3, S7);
+    b.fsw(FT1, T6, 0);
+}
+
+fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
+    let n = dims(p.scale);
+    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x696D);
+    let img: Vec<f32> = (0..n * n).map(|_| rng.gen_range(0.0f32..255.0)).collect();
+    let expect = expected(&img, n);
+
+    let mut b = ProgramBuilder::new();
+    let img_base = b.data_floats("img", &img);
+    let out_base = b.data_floats("out", &img);
+
+    // Kernel constants: 9 taps but only 3 distinct values.
+    b.fli_s(FS0, T0, KERNEL[0]); // corners
+    b.fli_s(FS1, T0, KERNEL[1]); // edges
+    b.fli_s(FS2, T0, KERNEL[4]); // center
+    b.li(S2, (n - 2) as i32);
+    emit_thread_range(&mut b, S2, S3, S4);
+    b.addi(S3, S3, 1);
+    b.addi(S4, S4, 1);
+    b.li(S5, (n * 4) as i32);
+    b.li(S7, (out_base as i64 - img_base as i64) as i32);
+    b.li(S9, (n - 1) as i32);
+
+    if p.simt {
+        // Flat pipelined sweep over all interior pixels (§4.4.3).
+        let offsets: Vec<u32> = (1..n - 1)
+            .flat_map(|r| (1..n - 1).map(move |j| ((r * n + j) * 4) as u32))
+            .collect();
+        let table_base = b.data_words("cells", &offsets);
+        b.li(S2, ((n - 2) * (n - 2)) as i32);
+        emit_thread_range(&mut b, S2, S3, S4);
+        b.li(S8, table_base as i32);
+        b.li(S1, img_base as i32);
+        let rep_top = begin_repeat(&mut b, repeats(p.scale));
+        let done = b.new_label();
+        b.bge(S3, S4, done);
+        b.mv(T0, S3);
+        b.li(T1, 1);
+        let head = b.bind_new_label();
+        b.simt_s(T0, T1, S4, 1);
+        {
+            b.slli(T2, T0, 2);
+            b.add(T3, S8, T2);
+            b.lw(T4, T3, 0);
+            b.add(T3, S1, T4);
+            emit_pixel(&mut b);
+        }
+        b.simt_e(T0, S4, head);
+        b.bind(done);
+        end_repeat(&mut b, rep_top);
+        b.ecall();
+        let program = b.build()?;
+        let verify = Box::new(move |m: &dyn diag_sim::Machine| {
+            check_floats(m, out_base, &expect, "imagick out")
+        });
+        return Ok(BuiltWorkload { program, verify, approx_work: (n * n * 26) as u64 });
+    }
+    let rep_top = begin_repeat(&mut b, repeats(p.scale));
+
+    b.mv(S0, S3);
+    let row_done = b.new_label();
+    let row_loop = b.bind_new_label();
+    b.bge(S0, S4, row_done);
+    b.li(T0, img_base as i32);
+    b.mul(T1, S0, S5);
+    b.add(S1, T0, T1); // &img[r][0]
+
+    b.li(T0, 1);
+    let head = b.bind_new_label();
+    {
+        b.slli(T2, T0, 2);
+        b.add(T3, S1, T2); // &img[r][j]
+        emit_pixel(&mut b);
+    }
+    b.addi(T0, T0, 1);
+    b.blt(T0, S9, head);
+
+    b.addi(S0, S0, 1);
+    b.j(row_loop);
+    b.bind(row_done);
+    end_repeat(&mut b, rep_top);
+    b.ecall();
+
+    let program = b.build()?;
+    let verify = Box::new(move |m: &dyn diag_sim::Machine| {
+        check_floats(m, out_base, &expect, "imagick out")
+    });
+    Ok(BuiltWorkload { program, verify, approx_work: (n * n * 26) as u64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_baseline::InOrder;
+    use diag_sim::Machine;
+
+    #[test]
+    fn verifies_on_reference_machine() {
+        let w = build(&Params::tiny()).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 1).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+
+    #[test]
+    fn constant_image_is_preserved() {
+        // The kernel sums to 1, so a constant image maps to itself.
+        let img = vec![8.0f32; 36];
+        let out = expected(&img, 6);
+        for (i, v) in out.iter().enumerate() {
+            assert!((v - 8.0).abs() < 1e-4, "pixel {i} = {v}");
+        }
+    }
+
+    #[test]
+    fn verifies_multithreaded_and_simt() {
+        let w = build(&Params::tiny().with_threads(3).with_simt(true)).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 3).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+}

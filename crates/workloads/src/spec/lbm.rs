@@ -1,0 +1,159 @@
+//! `lbm`: lattice-Boltzmann collision step (floating point, streaming).
+//!
+//! A D2Q5-style collision over `n` cells with five distribution arrays:
+//! `rho = Σ f_d`, `f_d += ω (w_d·rho − f_d)`. Per-cell work is
+//! straight-line and independent: threads partition cells, SIMT region
+//! over cells.
+
+use diag_asm::{AsmError, ProgramBuilder};
+use diag_isa::regs::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
+use crate::util::{check_floats, emit_thread_range};
+
+/// Registry entry.
+pub fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "lbm",
+        suite: Suite::Spec,
+        description: "lattice-Boltzmann D2Q5 collision step (f32, streaming)",
+        simt_capable: true,
+        thread_model: ThreadModel::Partitioned,
+        fp_heavy: true,
+        build,
+    }
+}
+
+fn cells(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 48,
+        Scale::Small => 512,
+        Scale::Full => 2048,
+    }
+}
+
+const OMEGA: f32 = 0.6;
+const W: [f32; 5] = [0.333_333_34, 0.166_666_67, 0.166_666_67, 0.166_666_67, 0.166_666_67];
+
+fn expected(f: &[Vec<f32>], n: usize) -> Vec<Vec<f32>> {
+    let mut out = f.to_vec();
+    for i in 0..n {
+        let mut rho = f[0][i];
+        for d in 1..5 {
+            rho += f[d][i];
+        }
+        for d in 0..5 {
+            // Kernel: feq = w_d * rho; f += ω*(feq - f) via fsub, fmadd.
+            let feq = W[d] * rho;
+            let diff = feq - f[d][i];
+            out[d][i] = diff.mul_add(OMEGA, f[d][i]);
+        }
+    }
+    out
+}
+
+fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
+    let n = cells(p.scale);
+    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x6C62);
+    let f: Vec<Vec<f32>> =
+        (0..5).map(|_| (0..n).map(|_| rng.gen_range(0.1f32..1.0)).collect()).collect();
+    let expect = expected(&f, n);
+
+    let mut b = ProgramBuilder::new();
+    let bases: Vec<u32> = (0..5)
+        .map(|d| b.data_floats(&format!("f{d}"), &f[d]))
+        .collect();
+
+    // Constants.
+    b.fli_s(FS0, T0, W[0]);
+    b.fli_s(FS1, T0, W[1]); // W[1..5] identical
+    b.fli_s(FS2, T0, OMEGA);
+    b.li(S2, n as i32);
+    emit_thread_range(&mut b, S2, S3, S4);
+    for (d, &base) in bases.iter().enumerate() {
+        let reg = [S5, S6, S7, S8, S9][d];
+        b.li(reg, base as i32);
+    }
+
+    let done = b.new_label();
+    b.bge(S3, S4, done);
+    b.mv(T0, S3);
+    b.li(T1, 1);
+    let head = b.bind_new_label();
+    if p.simt {
+        b.simt_s(T0, T1, S4, 1);
+    }
+    {
+        b.slli(T2, T0, 2);
+        let fregs = [FT0, FT1, FT2, FT3, FT4];
+        let sregs = [S5, S6, S7, S8, S9];
+        for d in 0..5 {
+            b.add(T3, sregs[d], T2);
+            b.flw(fregs[d], T3, 0);
+        }
+        b.fadd_s(FT5, FT0, FT1);
+        b.fadd_s(FT5, FT5, FT2);
+        b.fadd_s(FT5, FT5, FT3);
+        b.fadd_s(FT5, FT5, FT4); // rho
+        for d in 0..5 {
+            let w = if d == 0 { FS0 } else { FS1 };
+            b.fmul_s(FT6, w, FT5); // feq
+            b.fsub_s(FT6, FT6, fregs[d]);
+            b.fmadd_s(FT6, FT6, FS2, fregs[d]);
+            b.add(T3, sregs[d], T2);
+            b.fsw(FT6, T3, 0);
+        }
+    }
+    if p.simt {
+        b.simt_e(T0, S4, head);
+    } else {
+        b.addi(T0, T0, 1);
+        b.blt(T0, S4, head);
+    }
+    b.bind(done);
+    b.ecall();
+
+    let program = b.build()?;
+    let verify = Box::new(move |m: &dyn diag_sim::Machine| {
+        for (d, exp) in expect.iter().enumerate() {
+            check_floats(m, bases[d], exp, "lbm f")?;
+        }
+        Ok(())
+    });
+    Ok(BuiltWorkload { program, verify, approx_work: (n * 36) as u64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_baseline::InOrder;
+    use diag_sim::Machine;
+
+    #[test]
+    fn verifies_on_reference_machine() {
+        let w = build(&Params::tiny()).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 1).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        // Collision conserves density: Σ feq = rho.
+        let f = vec![vec![0.4f32], vec![0.1], vec![0.2], vec![0.15], vec![0.15]];
+        let out = expected(&f, 1);
+        let rho_in: f32 = f.iter().map(|d| d[0]).sum();
+        let rho_out: f32 = out.iter().map(|d| d[0]).sum();
+        assert!((rho_in - rho_out).abs() < 1e-4);
+    }
+
+    #[test]
+    fn verifies_multithreaded_and_simt() {
+        let w = build(&Params::tiny().with_threads(4).with_simt(true)).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 4).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+}

@@ -1,0 +1,193 @@
+//! `leela`: Go board influence evaluation (integer, branchy, table
+//! lookups).
+//!
+//! A Monte-Carlo Go engine's board evaluation: for every intersection,
+//! score neighbor ownership with data-dependent branches and a small
+//! lookup table — the mixed control/memory profile of 541.leela_r.
+//! Replicated board instances per thread (the scan is cheap, the point
+//! is the branch behaviour, not parallelism).
+
+use diag_asm::{AsmError, ProgramBuilder};
+use diag_isa::regs::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
+use crate::util::{begin_repeat, check_words, end_repeat, repeats};
+
+/// Registry entry.
+pub fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "leela",
+        suite: Suite::Spec,
+        description: "Go board influence scan (integer, branchy lookups)",
+        simt_capable: false,
+        thread_model: ThreadModel::Replicated,
+        fp_heavy: false,
+        build,
+    }
+}
+
+fn board(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 9,
+        Scale::Small => 19,
+        Scale::Full => 29,
+    }
+}
+
+const WEIGHTS: [u32; 3] = [0, 7, 3]; // empty, black, white
+
+fn expected(cells: &[u32], n: usize) -> Vec<u32> {
+    let mut influence = vec![0u32; n * n];
+    for r in 1..n - 1 {
+        for c in 1..n - 1 {
+            let me = cells[r * n + c];
+            let mut score = WEIGHTS[me as usize];
+            for (dr, dc) in [(0i32, 1i32), (0, -1), (1, 0), (-1, 0)] {
+                let v = cells[((r as i32 + dr) as usize) * n + (c as i32 + dc) as usize];
+                if v == 0 {
+                    continue; // empty: no effect
+                }
+                if v == me {
+                    score = score.wrapping_add(2); // friendly support
+                } else {
+                    score = score.wrapping_sub(1); // enemy pressure
+                }
+            }
+            influence[r * n + c] = score;
+        }
+    }
+    influence
+}
+
+fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
+    let n = board(p.scale);
+    let threads = p.threads.max(1);
+    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x6C65);
+    let mut boards = Vec::new();
+    let mut expects = Vec::new();
+    for _ in 0..threads {
+        let cells: Vec<u32> = (0..n * n).map(|_| rng.gen_range(0..3)).collect();
+        expects.push(expected(&cells, n));
+        boards.push(cells);
+    }
+
+    let mut b = ProgramBuilder::new();
+    let cells_base = b.data_words("cells", &boards.concat());
+    let weight_base = b.data_words("weights", &WEIGHTS);
+    let out_base = b.data_zeroed("influence", 4 * n * n * threads);
+
+    // Instance bases.
+    b.li(T0, (n * n * 4) as i32);
+    b.mul(T0, A0, T0);
+    b.li(S0, cells_base as i32);
+    b.add(S0, S0, T0);
+    b.li(S1, out_base as i32);
+    b.add(S1, S1, T0);
+    b.li(S2, weight_base as i32);
+    b.li(S3, n as i32);
+    b.li(S4, (n * 4) as i32);
+    b.li(S9, (n - 1) as i32);
+    let rep_top = begin_repeat(&mut b, repeats(p.scale));
+
+    // r loop.
+    b.li(S5, 1);
+    let r_done = b.new_label();
+    let r_loop = b.bind_new_label();
+    b.bge(S5, S9, r_done);
+    b.mul(T0, S5, S4);
+    b.add(S6, S0, T0); // &cells[r][0]
+    b.add(S7, S1, T0); // &influence[r][0]
+
+    // c loop.
+    b.li(T0, 1);
+    let c_done = b.new_label();
+    let c_loop = b.bind_new_label();
+    b.bge(T0, S9, c_done);
+    b.slli(T1, T0, 2);
+    b.add(T2, S6, T1); // &cells[r][c]
+    b.lw(T3, T2, 0); // me
+    b.slli(T4, T3, 2);
+    b.add(T4, T4, S2);
+    b.lw(T5, T4, 0); // score = weights[me]
+    // Four neighbors: offsets +4, -4, +n*4, -n*4.
+    for idx in 0..4 {
+        let (use_stride, positive) = match idx {
+            0 => (false, true),
+            1 => (false, false),
+            2 => (true, true),
+            _ => (true, false),
+        };
+        if use_stride {
+            if positive {
+                b.add(T6, T2, S4);
+            } else {
+                b.sub(T6, T2, S4);
+            }
+            b.lw(T4, T6, 0);
+        } else {
+            b.lw(T4, T2, if positive { 4 } else { -4 });
+        }
+        let skip = b.new_label();
+        let enemy = b.new_label();
+        b.beqz(T4, skip); // empty
+        b.bne(T4, T3, enemy);
+        b.addi(T5, T5, 2);
+        b.j(skip);
+        b.bind(enemy);
+        b.addi(T5, T5, -1);
+        b.bind(skip);
+    }
+    b.add(T6, S7, T1);
+    b.sw(T5, T6, 0);
+    b.addi(T0, T0, 1);
+    b.j(c_loop);
+    b.bind(c_done);
+
+    b.addi(S5, S5, 1);
+    b.j(r_loop);
+    b.bind(r_done);
+    end_repeat(&mut b, rep_top);
+    b.ecall();
+
+    let program = b.build()?;
+    let words = n * n;
+    let verify = Box::new(move |m: &dyn diag_sim::Machine| {
+        for (t, exp) in expects.iter().enumerate() {
+            check_words(m, out_base + (t * words * 4) as u32, exp, "leela influence")?;
+        }
+        Ok(())
+    });
+    Ok(BuiltWorkload { program, verify, approx_work: (n * n * 30 * threads) as u64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_baseline::InOrder;
+    use diag_sim::Machine;
+
+    #[test]
+    fn verifies_on_reference_machine() {
+        let w = build(&Params::tiny()).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 1).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+
+    #[test]
+    fn empty_board_scores_zero() {
+        let cells = vec![0u32; 81];
+        let inf = expected(&cells, 9);
+        assert!(inf.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn verifies_replicated_threads() {
+        let w = build(&Params::tiny().with_threads(2)).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 2).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+}

@@ -1,0 +1,32 @@
+//! SPEC CPU2017-style benchmark kernels (paper Figure 10).
+//!
+//! The paper evaluates a subset of SPEC CPU2017 (excluding Fortran
+//! benchmarks and those needing unavoidable system calls, §7.2.2). Each
+//! module here reproduces the characteristic hot loop of one such
+//! benchmark at the fidelity that matters for DiAG-vs-baseline shape:
+//! instruction mix, loop-body size, branchiness, and memory behaviour.
+
+pub mod deepsjeng;
+pub mod imagick;
+pub mod lbm;
+pub mod leela;
+pub mod mcf;
+pub mod namd;
+pub mod x264;
+pub mod xz;
+
+use crate::params::WorkloadSpec;
+
+/// All SPEC-style workloads in figure order.
+pub fn all() -> Vec<WorkloadSpec> {
+    vec![
+        deepsjeng::spec(),
+        imagick::spec(),
+        lbm::spec(),
+        leela::spec(),
+        mcf::spec(),
+        namd::spec(),
+        x264::spec(),
+        xz::spec(),
+    ]
+}

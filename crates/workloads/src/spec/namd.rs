@@ -1,0 +1,162 @@
+//! `namd`: pairwise nonbonded force computation (floating point, division).
+//!
+//! The molecular-dynamics inner loop: each particle accumulates inverse-
+//! square forces from four precomputed neighbors (unrolled). Particles
+//! are independent within a step: threads partition them and the unrolled
+//! body is the SIMT region.
+
+use diag_asm::{AsmError, ProgramBuilder};
+use diag_isa::regs::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
+use crate::util::{begin_repeat, end_repeat, repeats, check_floats, emit_thread_range};
+
+/// Registry entry.
+pub fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "namd",
+        suite: Suite::Spec,
+        description: "pairwise inverse-square forces, 4 neighbors (f32, fdiv)",
+        simt_capable: true,
+        thread_model: ThreadModel::Partitioned,
+        fp_heavy: true,
+        build,
+    }
+}
+
+const NEIGHBORS: usize = 4;
+const EPS: f32 = 0.01;
+
+fn nparticles(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 48,
+        Scale::Small => 512,
+        Scale::Full => 2048,
+    }
+}
+
+fn expected(pos: &[(f32, f32)], nbr: &[u32], n: usize) -> Vec<(f32, f32)> {
+    (0..n)
+        .map(|i| {
+            let (xi, yi) = pos[i];
+            let mut fx = 0.0f32;
+            let mut fy = 0.0f32;
+            for k in 0..NEIGHBORS {
+                let j = nbr[i * NEIGHBORS + k] as usize;
+                let dx = pos[j].0 - xi;
+                let dy = pos[j].1 - yi;
+                // Kernel: r2 = fmadd(dy, dy, dx*dx) + eps; inv = 1/r2;
+                // fx = fmadd(inv, dx, fx); fy = fmadd(inv, dy, fy).
+                let r2 = dy.mul_add(dy, dx * dx) + EPS;
+                let inv = 1.0 / r2;
+                fx = inv.mul_add(dx, fx);
+                fy = inv.mul_add(dy, fy);
+            }
+            (fx, fy)
+        })
+        .collect()
+}
+
+fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
+    let n = nparticles(p.scale);
+    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x6E64);
+    let pos: Vec<(f32, f32)> =
+        (0..n).map(|_| (rng.gen_range(0.0f32..8.0), rng.gen_range(0.0f32..8.0))).collect();
+    let nbr: Vec<u32> =
+        (0..n * NEIGHBORS).map(|_| rng.gen_range(0..n) as u32).collect();
+    let expect = expected(&pos, &nbr, n);
+
+    let flat_pos: Vec<f32> = pos.iter().flat_map(|&(x, y)| [x, y]).collect();
+    let flat_force: Vec<f32> = expect.iter().flat_map(|&(x, y)| [x, y]).collect();
+    let mut b = ProgramBuilder::new();
+    let pos_base = b.data_floats("pos", &flat_pos);
+    let nbr_base = b.data_words("nbr", &nbr);
+    let force_base = b.data_zeroed("force", 8 * n);
+
+    b.fli_s(FS0, T0, EPS);
+    b.fli_s(FS1, T0, 1.0);
+    b.li(S2, n as i32);
+    emit_thread_range(&mut b, S2, S3, S4);
+    b.li(S5, pos_base as i32);
+    b.li(S6, nbr_base as i32);
+    b.li(S7, force_base as i32);
+    let rep_top = begin_repeat(&mut b, repeats(p.scale));
+
+    let done = b.new_label();
+    b.bge(S3, S4, done);
+    b.mv(T0, S3);
+    b.li(T1, 1);
+    let head = b.bind_new_label();
+    if p.simt {
+        b.simt_s(T0, T1, S4, 1);
+    }
+    {
+        b.slli(T2, T0, 3);
+        b.add(T3, S5, T2);
+        b.flw(FT0, T3, 0); // xi
+        b.flw(FT1, T3, 4); // yi
+        b.slli(T2, T0, 4); // i * 4 neighbors * 4 bytes
+        b.add(T4, S6, T2);
+        b.fli_s(FT8, T5, 0.0); // fx — constant load uses T5 scratch
+        b.fmv_s(FT9, FT8); // fy
+        for k in 0..NEIGHBORS {
+            b.lw(T5, T4, (4 * k) as i32); // j
+            b.slli(T5, T5, 3);
+            b.add(T5, T5, S5);
+            b.flw(FT2, T5, 0);
+            b.flw(FT3, T5, 4);
+            b.fsub_s(FT2, FT2, FT0); // dx
+            b.fsub_s(FT3, FT3, FT1); // dy
+            b.fmul_s(FT4, FT2, FT2);
+            b.fmadd_s(FT4, FT3, FT3, FT4);
+            b.fadd_s(FT4, FT4, FS0); // r2 + eps
+            b.fdiv_s(FT4, FS1, FT4); // inv
+            b.fmadd_s(FT8, FT4, FT2, FT8);
+            b.fmadd_s(FT9, FT4, FT3, FT9);
+        }
+        b.slli(T2, T0, 3);
+        b.add(T3, S7, T2);
+        b.fsw(FT8, T3, 0);
+        b.fsw(FT9, T3, 4);
+    }
+    if p.simt {
+        b.simt_e(T0, S4, head);
+    } else {
+        b.addi(T0, T0, 1);
+        b.blt(T0, S4, head);
+    }
+    b.bind(done);
+    end_repeat(&mut b, rep_top);
+    b.ecall();
+
+    let program = b.build()?;
+    let verify = Box::new(move |m: &dyn diag_sim::Machine| {
+        check_floats(m, force_base, &flat_force, "namd force")
+    });
+    Ok(BuiltWorkload { program, verify, approx_work: (n * 60) as u64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_baseline::InOrder;
+    use diag_sim::Machine;
+
+    #[test]
+    fn verifies_on_reference_machine() {
+        let w = build(&Params::tiny()).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 1).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+
+    #[test]
+    fn verifies_multithreaded_and_simt() {
+        let w = build(&Params::tiny().with_threads(4).with_simt(true)).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 4).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+}

@@ -1,0 +1,143 @@
+//! `x264`: sum-of-absolute-differences motion estimation (integer).
+//!
+//! The SAD inner loop of video encoding: for every candidate block,
+//! accumulate `|cur[i] - ref[i]|` over 8 samples with branchless absolute
+//! values. Blocks are independent: threads partition them and the
+//! unrolled body is the SIMT region.
+
+use diag_asm::{AsmError, ProgramBuilder};
+use diag_isa::regs::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
+use crate::util::{begin_repeat, end_repeat, repeats, check_words, emit_thread_range};
+
+/// Registry entry.
+pub fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "x264",
+        suite: Suite::Spec,
+        description: "8-sample SAD block matching (integer, branchless abs)",
+        simt_capable: true,
+        thread_model: ThreadModel::Partitioned,
+        fp_heavy: false,
+        build,
+    }
+}
+
+const BLOCK: usize = 8;
+
+fn nblocks(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 48,
+        Scale::Small => 512,
+        Scale::Full => 2048,
+    }
+}
+
+fn expected(cur: &[u32], refr: &[u32], nb: usize) -> Vec<u32> {
+    (0..nb)
+        .map(|blk| {
+            let mut sad = 0u32;
+            for i in 0..BLOCK {
+                let a = cur[blk * BLOCK + i] as i32;
+                let b = refr[blk * BLOCK + i] as i32;
+                sad = sad.wrapping_add((a - b).unsigned_abs());
+            }
+            sad
+        })
+        .collect()
+}
+
+fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
+    let nb = nblocks(p.scale);
+    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x7834);
+    let cur: Vec<u32> = (0..nb * BLOCK).map(|_| rng.gen_range(0..256)).collect();
+    let refr: Vec<u32> = (0..nb * BLOCK).map(|_| rng.gen_range(0..256)).collect();
+    let expect = expected(&cur, &refr, nb);
+
+    let mut b = ProgramBuilder::new();
+    let cur_base = b.data_words("cur", &cur);
+    let ref_base = b.data_words("refr", &refr);
+    let sad_base = b.data_zeroed("sad", 4 * nb);
+
+    b.li(S2, nb as i32);
+    emit_thread_range(&mut b, S2, S3, S4);
+    b.li(S5, cur_base as i32);
+    b.li(S6, (ref_base as i64 - cur_base as i64) as i32);
+    b.li(S7, sad_base as i32);
+    let rep_top = begin_repeat(&mut b, repeats(p.scale));
+
+    let done = b.new_label();
+    b.bge(S3, S4, done);
+    b.mv(T0, S3);
+    b.li(T1, 1);
+    let head = b.bind_new_label();
+    if p.simt {
+        b.simt_s(T0, T1, S4, 1);
+    }
+    {
+        b.slli(T2, T0, 5); // blk * 8 words * 4
+        b.add(T3, S5, T2); // &cur[blk][0]
+        b.add(T4, T3, S6); // &ref[blk][0]
+        b.li(T5, 0); // sad
+        for i in 0..BLOCK {
+            b.lw(T6, T3, (4 * i) as i32);
+            b.lw(T2, T4, (4 * i) as i32);
+            b.sub(T6, T6, T2);
+            // branchless |x|: m = x >> 31; x = (x ^ m) - m
+            b.srai(T2, T6, 31);
+            b.xor(T6, T6, T2);
+            b.sub(T6, T6, T2);
+            b.add(T5, T5, T6);
+        }
+        b.slli(T2, T0, 2);
+        b.add(T3, S7, T2);
+        b.sw(T5, T3, 0);
+    }
+    if p.simt {
+        b.simt_e(T0, S4, head);
+    } else {
+        b.addi(T0, T0, 1);
+        b.blt(T0, S4, head);
+    }
+    b.bind(done);
+    end_repeat(&mut b, rep_top);
+    b.ecall();
+
+    let program = b.build()?;
+    let verify = Box::new(move |m: &dyn diag_sim::Machine| {
+        check_words(m, sad_base, &expect, "x264 sad")
+    });
+    Ok(BuiltWorkload { program, verify, approx_work: (nb * 60) as u64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_baseline::InOrder;
+    use diag_sim::Machine;
+
+    #[test]
+    fn verifies_on_reference_machine() {
+        let w = build(&Params::tiny()).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 1).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+
+    #[test]
+    fn identical_blocks_have_zero_sad() {
+        let cur = vec![5u32; 16];
+        assert_eq!(expected(&cur, &cur, 2), vec![0, 0]);
+    }
+
+    #[test]
+    fn verifies_multithreaded_and_simt() {
+        let w = build(&Params::tiny().with_threads(4).with_simt(true)).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 4).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+}

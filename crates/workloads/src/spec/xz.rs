@@ -1,0 +1,176 @@
+//! `xz`: LZ77 match-length search (integer, data-dependent branches).
+//!
+//! The hot loop of LZMA compression: for every position with a hash-chain
+//! candidate, compare bytes forward until the first mismatch. The inner
+//! loop's trip count is data-dependent — the unpredictable-branch profile
+//! where DiAG's in-order flush costs show (paper §7.3.2). Replicated per
+//! thread.
+
+use diag_asm::{AsmError, ProgramBuilder};
+use diag_isa::regs::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
+use crate::util::{begin_repeat, check_words, end_repeat, repeats};
+
+/// Registry entry.
+pub fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "xz",
+        suite: Suite::Spec,
+        description: "LZ77 match-length scan (integer, unpredictable branches)",
+        simt_capable: false,
+        thread_model: ThreadModel::Replicated,
+        fp_heavy: false,
+        build,
+    }
+}
+
+fn size(scale: Scale) -> (usize, usize) {
+    // (buffer bytes, probe count)
+    match scale {
+        Scale::Tiny => (256, 24),
+        Scale::Small => (4096, 256),
+        Scale::Full => (16384, 1024),
+    }
+}
+
+const MAX_MATCH: u32 = 64;
+
+fn expected(data: &[u8], probes: &[(u32, u32)]) -> Vec<u32> {
+    probes
+        .iter()
+        .map(|&(pos, cand)| {
+            let mut len = 0u32;
+            while len < MAX_MATCH {
+                let a = data.get((pos + len) as usize).copied().unwrap_or(0);
+                let b = data.get((cand + len) as usize).copied().unwrap_or(0);
+                if a != b {
+                    break;
+                }
+                len += 1;
+            }
+            len
+        })
+        .collect()
+}
+
+fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
+    let (bytes, nprobes) = size(p.scale);
+    let threads = p.threads.max(1);
+    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x787A);
+    let mut datas = Vec::new();
+    let mut probe_sets = Vec::new();
+    let mut expects = Vec::new();
+    for _ in 0..threads {
+        // Low-entropy data so matches of varying length exist.
+        let data: Vec<u8> = (0..bytes).map(|_| rng.gen_range(b'a'..b'd')).collect();
+        let probes: Vec<(u32, u32)> = (0..nprobes)
+            .map(|_| {
+                let pos = rng.gen_range(0..(bytes - MAX_MATCH as usize)) as u32;
+                let cand = rng.gen_range(0..(bytes - MAX_MATCH as usize)) as u32;
+                (pos, cand)
+            })
+            .collect();
+        expects.push(expected(&data, &probes));
+        datas.push(data);
+        probe_sets.push(probes);
+    }
+
+    let mut b = ProgramBuilder::new();
+    let data_base = b.data_bytes("data", &datas.concat());
+    let probes_flat: Vec<u32> =
+        probe_sets.iter().flatten().flat_map(|&(p0, c)| [p0, c]).collect();
+    let probe_base = b.data_words("probes", &probes_flat);
+    let out_base = b.data_zeroed("lens", 4 * nprobes * threads);
+
+    // Instance bases.
+    b.li(T0, bytes as i32);
+    b.mul(T0, A0, T0);
+    b.li(S0, data_base as i32);
+    b.add(S0, S0, T0);
+    b.li(T0, (nprobes * 8) as i32);
+    b.mul(T0, A0, T0);
+    b.li(S1, probe_base as i32);
+    b.add(S1, S1, T0);
+    b.li(T0, (nprobes * 4) as i32);
+    b.mul(T0, A0, T0);
+    b.li(S2, out_base as i32);
+    b.add(S2, S2, T0);
+    b.li(S3, nprobes as i32);
+    b.li(S4, MAX_MATCH as i32);
+    let rep_top = begin_repeat(&mut b, repeats(p.scale));
+
+    // Probe loop: s5 = probe index.
+    b.li(S5, 0);
+    let probes_done = b.new_label();
+    let probe_loop = b.bind_new_label();
+    b.bge(S5, S3, probes_done);
+    b.slli(T0, S5, 3);
+    b.add(T0, T0, S1);
+    b.lw(T1, T0, 0); // pos
+    b.lw(T2, T0, 4); // cand
+    b.add(T1, T1, S0);
+    b.add(T2, T2, S0);
+    b.li(T3, 0); // len
+    let match_done = b.new_label();
+    let match_loop = b.bind_new_label();
+    b.bge(T3, S4, match_done);
+    b.add(T4, T1, T3);
+    b.lbu(T5, T4, 0);
+    b.add(T4, T2, T3);
+    b.lbu(T6, T4, 0);
+    b.bne(T5, T6, match_done);
+    b.addi(T3, T3, 1);
+    b.j(match_loop);
+    b.bind(match_done);
+    b.slli(T0, S5, 2);
+    b.add(T0, T0, S2);
+    b.sw(T3, T0, 0);
+    b.addi(S5, S5, 1);
+    b.j(probe_loop);
+    b.bind(probes_done);
+    end_repeat(&mut b, rep_top);
+    b.ecall();
+
+    let program = b.build()?;
+    let verify = Box::new(move |m: &dyn diag_sim::Machine| {
+        for (t, exp) in expects.iter().enumerate() {
+            check_words(m, out_base + (t * nprobes * 4) as u32, exp, "xz lens")?;
+        }
+        Ok(())
+    });
+    Ok(BuiltWorkload { program, verify, approx_work: (nprobes * 80 * threads) as u64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_baseline::InOrder;
+    use diag_sim::Machine;
+
+    #[test]
+    fn match_lengths_are_sane() {
+        let data = b"abcabcabcabc".to_vec();
+        let probes = vec![(0u32, 3u32)];
+        let lens = expected(&data, &probes);
+        assert_eq!(lens[0], 9, "period-3 self-match runs to the end");
+    }
+
+    #[test]
+    fn verifies_on_reference_machine() {
+        let w = build(&Params::tiny()).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 1).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+
+    #[test]
+    fn verifies_replicated_threads() {
+        let w = build(&Params::tiny().with_threads(2)).unwrap();
+        let mut m = InOrder::new();
+        m.run(&w.program, 2).unwrap();
+        (w.verify)(&m).unwrap();
+    }
+}

@@ -1,0 +1,141 @@
+//! Shared kernel-authoring idioms.
+
+use diag_asm::{Label, ProgramBuilder};
+use diag_isa::regs::*;
+use diag_isa::Reg;
+use diag_sim::Machine;
+
+use crate::params::Scale;
+
+/// Outer kernel repetitions per scale: benchmarks measure steady-state
+/// behaviour (warm caches, trained datapaths), so the sweep re-runs a few
+/// times at benchmarking scales, mirroring Rodinia's iterative kernels.
+/// Tiny stays at one repetition for fast exact-mirror unit tests.
+pub fn repeats(scale: Scale) -> i32 {
+    match scale {
+        Scale::Tiny => 1,
+        Scale::Small => 4,
+        Scale::Full => 6,
+    }
+}
+
+/// Opens the outer repetition loop (counter in `tp`, which no kernel
+/// touches otherwise). Pair with [`end_repeat`].
+pub fn begin_repeat(b: &mut ProgramBuilder, reps: i32) -> Label {
+    b.li(TP, reps);
+    b.bind_new_label()
+}
+
+/// Closes the loop opened by [`begin_repeat`].
+pub fn end_repeat(b: &mut ProgramBuilder, top: Label) {
+    b.addi(TP, TP, -1);
+    b.bnez(TP, top);
+}
+
+/// Emits the standard thread-range preamble: computes this thread's
+/// element range `[lo, hi)` over `n` total elements using the bare-metal
+/// convention `a0` = tid, `a1` = thread count.
+///
+/// `chunk = ceil(n / threads)`, `lo = min(tid * chunk, n)`,
+/// `hi = min(lo + chunk, n)`. Clobbers `T6`.
+pub fn emit_thread_range(b: &mut ProgramBuilder, n: Reg, lo: Reg, hi: Reg) {
+    debug_assert!(![A0, A1, T6, n].contains(&lo) && ![A0, A1, T6, n, lo].contains(&hi));
+    // chunk = (n + threads - 1) / threads
+    b.add(T6, n, A1);
+    b.addi(T6, T6, -1);
+    b.divu(T6, T6, A1);
+    // lo = tid * chunk
+    b.mul(lo, A0, T6);
+    // hi = lo + chunk
+    b.add(hi, lo, T6);
+    // clamp both to n
+    let lo_ok = b.new_label();
+    b.bleu(lo, n, lo_ok);
+    b.mv(lo, n);
+    b.bind(lo_ok);
+    let hi_ok = b.new_label();
+    b.bleu(hi, n, hi_ok);
+    b.mv(hi, n);
+    b.bind(hi_ok);
+}
+
+/// The per-thread `[lo, hi)` range matching [`emit_thread_range`].
+pub fn thread_range(n: usize, tid: usize, threads: usize) -> (usize, usize) {
+    let chunk = n.div_ceil(threads);
+    let lo = (tid * chunk).min(n);
+    let hi = (lo + chunk).min(n);
+    (lo, hi)
+}
+
+/// Compares an expected `u32` slice against machine memory at `base`.
+pub fn check_words(m: &dyn Machine, base: u32, expected: &[u32], what: &str) -> Result<(), String> {
+    for (i, &want) in expected.iter().enumerate() {
+        let got = m.read_word(base + 4 * i as u32);
+        if got != want {
+            return Err(format!(
+                "{what}[{i}] mismatch: got {got:#x} ({got}), expected {want:#x} ({want})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Compares an expected `f32` slice (bit-exact) against machine memory.
+pub fn check_floats(m: &dyn Machine, base: u32, expected: &[f32], what: &str) -> Result<(), String> {
+    for (i, &want) in expected.iter().enumerate() {
+        let got = m.read_f32(base + 4 * i as u32);
+        if got.to_bits() != want.to_bits() {
+            return Err(format!("{what}[{i}] mismatch: got {got}, expected {want}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_baseline::InOrder;
+
+    #[test]
+    fn thread_range_covers_everything_disjointly() {
+        for n in [1usize, 7, 48, 100, 4096] {
+            for threads in [1usize, 2, 3, 12, 16] {
+                let mut covered = 0;
+                let mut prev_hi = 0;
+                for t in 0..threads {
+                    let (lo, hi) = thread_range(n, t, threads);
+                    assert!(lo <= hi);
+                    assert!(lo >= prev_hi);
+                    prev_hi = hi;
+                    covered += hi - lo;
+                }
+                assert_eq!(covered, n, "n={n} threads={threads}");
+                assert_eq!(prev_hi, n);
+            }
+        }
+    }
+
+    #[test]
+    fn emitted_range_matches_rust_range() {
+        // Run the emitted preamble on the reference machine for several
+        // thread configurations and compare with `thread_range`.
+        for threads in [1usize, 3, 12] {
+            let n = 100usize;
+            let mut b = ProgramBuilder::new();
+            b.li(S2, n as i32);
+            emit_thread_range(&mut b, S2, S3, S4);
+            b.slli(T0, A0, 3);
+            b.sw(S3, T0, 0);
+            b.sw(S4, T0, 4);
+            b.ecall();
+            let program = b.build().unwrap();
+            let mut m = InOrder::new();
+            diag_sim::Machine::run(&mut m, &program, threads).unwrap();
+            for t in 0..threads {
+                let (lo, hi) = thread_range(n, t, threads);
+                assert_eq!(m.read_word(8 * t as u32), lo as u32, "lo t={t} threads={threads}");
+                assert_eq!(m.read_word(8 * t as u32 + 4), hi as u32, "hi t={t} threads={threads}");
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Differential testing: every workload must verify on every machine
+//! model, in every variant — the strongest end-to-end check that the
+//! DiAG core, the out-of-order baseline, and the in-order reference agree
+//! architecturally.
+
+use diag_baseline::{InOrder, O3Config, OooCpu};
+use diag_core::{Diag, DiagConfig};
+use diag_sim::Machine;
+use diag_workloads::{all, Params};
+
+fn check(machine: &mut dyn Machine, spec: &diag_workloads::WorkloadSpec, params: &Params) {
+    let built = spec.build(params).unwrap_or_else(|e| panic!("{}: build failed: {e}", spec.name));
+    machine
+        .run(&built.program, params.threads)
+        .unwrap_or_else(|e| panic!("{} on {}: run failed: {e}", spec.name, machine.name()));
+    (built.verify)(machine)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", spec.name, machine.name()));
+}
+
+#[test]
+fn all_workloads_verify_on_inorder() {
+    let params = Params::tiny();
+    for spec in all() {
+        let mut m = InOrder::new();
+        check(&mut m, &spec, &params);
+    }
+}
+
+#[test]
+fn all_workloads_verify_on_ooo() {
+    let params = Params::tiny();
+    for spec in all() {
+        let mut m = OooCpu::new(O3Config::aggressive_8wide(), 1);
+        check(&mut m, &spec, &params);
+    }
+}
+
+#[test]
+fn all_workloads_verify_on_diag_f4c2() {
+    let params = Params::tiny();
+    for spec in all() {
+        let mut m = Diag::new(DiagConfig::f4c2());
+        check(&mut m, &spec, &params);
+    }
+}
+
+#[test]
+fn all_workloads_verify_on_diag_f4c32() {
+    let params = Params::tiny();
+    for spec in all() {
+        let mut m = Diag::new(DiagConfig::f4c32());
+        check(&mut m, &spec, &params);
+    }
+}
+
+#[test]
+fn multithreaded_workloads_verify_everywhere() {
+    let params = Params::tiny().with_threads(4);
+    for spec in all() {
+        let mut io = InOrder::new();
+        check(&mut io, &spec, &params);
+        let mut ooo = OooCpu::paper_baseline();
+        check(&mut ooo, &spec, &params);
+        let mut diag = Diag::new(DiagConfig::f4c32());
+        check(&mut diag, &spec, &params);
+    }
+}
+
+#[test]
+fn simt_variants_verify_with_and_without_pipelining() {
+    let params = Params::tiny().with_simt(true);
+    for spec in all().into_iter().filter(|s| s.simt_capable) {
+        // Pipelined execution.
+        let mut with = Diag::new(DiagConfig::f4c32());
+        check(&mut with, &spec, &params);
+        // Sequential marker semantics on DiAG.
+        let mut cfg = DiagConfig::f4c32();
+        cfg.enable_simt = false;
+        let mut without = Diag::new(cfg);
+        check(&mut without, &spec, &params);
+        // Sequential marker semantics on the baseline.
+        let mut ooo = OooCpu::new(O3Config::aggressive_8wide(), 1);
+        check(&mut ooo, &spec, &params);
+    }
+}
+
+#[test]
+fn simt_multithreaded_verifies() {
+    let params = Params::tiny().with_simt(true).with_threads(4);
+    for spec in all().into_iter().filter(|s| s.simt_capable) {
+        let mut diag = Diag::new(DiagConfig::f4c32());
+        check(&mut diag, &spec, &params);
+    }
+}
+
+#[test]
+fn reuse_ablation_still_correct() {
+    let params = Params::tiny();
+    let mut cfg = DiagConfig::f4c2();
+    cfg.enable_reuse = false;
+    for spec in all() {
+        let mut m = Diag::new(cfg.clone());
+        check(&mut m, &spec, &params);
+    }
+}

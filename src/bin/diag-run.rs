@@ -1,0 +1,174 @@
+//! `diag-run`: assemble and execute a bare-metal RV32IMF assembly file on
+//! any machine model in the workspace.
+//!
+//! ```text
+//! diag-run <file.s> [--machine diag-f4c32|diag-f4c2|diag-i4c2|ooo|inorder]
+//!          [--threads N] [--no-simt] [--no-reuse] [--trace] [--dump ADDR LEN]
+//! ```
+//!
+//! The program halts when every hardware thread executes `ecall`. Run
+//! statistics (cycles, IPC, reuse fraction, stall breakdown) print on
+//! completion; `--dump` prints a region of final memory and `--trace`
+//! prints the first retired instructions with their dataflow timing.
+
+use diag::asm::assemble;
+use diag::baseline::{InOrder, OooCpu};
+use diag::core::{Diag, DiagConfig};
+use diag::sim::Machine;
+
+struct Options {
+    path: String,
+    machine: String,
+    threads: usize,
+    simt: bool,
+    reuse: bool,
+    trace: bool,
+    dump: Option<(u32, u32)>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        path: String::new(),
+        machine: "diag-f4c32".to_string(),
+        threads: 1,
+        simt: true,
+        reuse: true,
+        trace: false,
+        dump: None,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--machine" => opts.machine = args.next().ok_or("--machine needs a value")?,
+            "--threads" => {
+                opts.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--threads needs a number")?
+            }
+            "--no-simt" => opts.simt = false,
+            "--no-reuse" => opts.reuse = false,
+            "--trace" => opts.trace = true,
+            "--dump" => {
+                let addr = args
+                    .next()
+                    .and_then(|v| parse_u32(&v))
+                    .ok_or("--dump needs ADDR LEN")?;
+                let len = args
+                    .next()
+                    .and_then(|v| parse_u32(&v))
+                    .ok_or("--dump needs ADDR LEN")?;
+                opts.dump = Some((addr, len));
+            }
+            other if !other.starts_with("--") && opts.path.is_empty() => {
+                opts.path = other.to_string()
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if opts.path.is_empty() {
+        return Err("no input file".to_string());
+    }
+    Ok(opts)
+}
+
+fn parse_u32(text: &str) -> Option<u32> {
+    if let Some(hex) = text.strip_prefix("0x") {
+        u32::from_str_radix(hex, 16).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!(
+                "error: {e}\nusage: diag-run <file.s> [--machine diag-f4c32|diag-f4c2|diag-i4c2|\
+                 ooo|inorder] [--threads N] [--no-simt] [--no-reuse] [--trace] [--dump ADDR LEN]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let source = match std::fs::read_to_string(&opts.path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", opts.path);
+            std::process::exit(1);
+        }
+    };
+    let program = match assemble(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("assembly error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut machine: Box<dyn Machine> = match opts.machine.as_str() {
+        "ooo" => Box::new(OooCpu::paper_baseline()),
+        "inorder" => Box::new(InOrder::new()),
+        name => {
+            let mut cfg = match name {
+                "diag-f4c32" => DiagConfig::f4c32(),
+                "diag-f4c16" => DiagConfig::f4c16(),
+                "diag-f4c2" => DiagConfig::f4c2(),
+                "diag-i4c2" => DiagConfig::i4c2(),
+                other => {
+                    eprintln!("error: unknown machine `{other}`");
+                    std::process::exit(2);
+                }
+            };
+            cfg.enable_simt = opts.simt;
+            cfg.enable_reuse = opts.reuse;
+            cfg.collect_trace = opts.trace;
+            Box::new(Diag::new(cfg))
+        }
+    };
+
+    let stats = match machine.run(&program, opts.threads) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("runtime error on {}: {e}", machine.name());
+            std::process::exit(1);
+        }
+    };
+
+    println!("machine:  {}", machine.name());
+    println!("program:  {} instructions, {} threads", program.text_len(), opts.threads);
+    println!("cycles:   {}", stats.cycles);
+    println!("retired:  {} (IPC {:.2})", stats.committed, stats.ipc());
+    if stats.activity.reuse_commits > 0 {
+        println!("reuse:    {:.1}% of instructions", stats.reuse_fraction() * 100.0);
+    }
+    let (m, c, o) = stats.stalls.shares();
+    println!("stalls:   memory {m:.0}%, control {c:.0}%, structural {o:.0}%");
+
+    if opts.trace {
+        if let Some(diag) = machine.as_any().downcast_ref::<Diag>() {
+            println!("\nfirst retired instructions (pc / slot / start / finish / commit / reused):");
+            for e in diag.last_trace().iter().take(32) {
+                println!(
+                    "  {:#07x}  slot {:>3}  {:>6} {:>6} {:>6}  {}",
+                    e.pc,
+                    e.slot,
+                    e.start,
+                    e.finish,
+                    e.commit,
+                    if e.reused { "reuse" } else { "decode" }
+                );
+            }
+        } else {
+            eprintln!("note: --trace is only available on DiAG machines");
+        }
+    }
+
+    if let Some((addr, len)) = opts.dump {
+        println!("\nmemory dump at {addr:#x}:");
+        for i in 0..len {
+            let a = addr + 4 * i;
+            println!("  {a:#010x}: {:#010x}", machine.read_word(a));
+        }
+    }
+}

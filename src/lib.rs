@@ -1,0 +1,52 @@
+//! # diag — a dataflow-inspired architecture for general-purpose processors
+//!
+//! A full reproduction of Wang & Kim, *DiAG: A Dataflow-Inspired
+//! Architecture for General-Purpose Processors* (ASPLOS 2021), as a Rust
+//! workspace. This facade crate re-exports the public API of every
+//! subsystem:
+//!
+//! - [`isa`]: RV32IMF + SIMT-extension instruction set (decode/encode/
+//!   semantics).
+//! - [`asm`]: assembler and typed program builder.
+//! - [`mem`]: caches, LSUs, memory lanes, the shared 512-bit bus.
+//! - [`sim`]: the [`sim::Machine`] trait, run statistics, and the shared
+//!   architectural interpreter.
+//! - [`core`]: the DiAG processor itself — register lanes, processing
+//!   clusters, dataflow rings, datapath reuse, SIMT thread pipelining.
+//! - [`baseline`]: the 8-issue out-of-order multicore baseline and the
+//!   in-order reference machine.
+//! - [`power`]: Table-3-derived area/energy models.
+//! - [`workloads`]: Rodinia- and SPEC-style benchmark kernels.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use diag::asm::assemble;
+//! use diag::core::{Diag, DiagConfig};
+//! use diag::sim::Machine;
+//!
+//! let program = assemble(r#"
+//!     li   t0, 10
+//!     li   t1, 0
+//! loop:
+//!     add  t1, t1, t0
+//!     addi t0, t0, -1
+//!     bnez t0, loop
+//!     sw   t1, 0(zero)
+//!     ecall
+//! "#)?;
+//! let mut cpu = Diag::new(DiagConfig::f4c32());
+//! let stats = cpu.run(&program, 1)?;
+//! assert_eq!(cpu.read_word(0), 55);
+//! println!("{} cycles, {:.1}% reuse", stats.cycles, stats.reuse_fraction() * 100.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use diag_asm as asm;
+pub use diag_baseline as baseline;
+pub use diag_core as core;
+pub use diag_isa as isa;
+pub use diag_mem as mem;
+pub use diag_power as power;
+pub use diag_sim as sim;
+pub use diag_workloads as workloads;

@@ -1,0 +1,172 @@
+//! Property-based differential testing: random (but terminating) programs
+//! must produce bit-identical architectural results on the in-order
+//! reference, the out-of-order baseline, and every DiAG configuration.
+//! This is the strongest correctness property in the workspace — the
+//! machines share instruction semantics but have completely different
+//! execution engines.
+
+use diag::asm::{Program, ProgramBuilder};
+use diag::baseline::{InOrder, O3Config, OooCpu};
+use diag::core::{Diag, DiagConfig};
+use diag::isa::regs::*;
+use diag::isa::{AluOp, Reg};
+use diag::sim::Machine;
+use proptest::prelude::*;
+
+/// Registers random programs are allowed to clobber.
+const POOL: [Reg; 12] = [T0, T1, T2, T3, T4, T5, S2, S3, S4, S5, S6, S7];
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alu(AluOp, usize, usize, usize),
+    AluImm(AluOp, usize, usize, i32),
+    Store(usize, usize), // slot, src
+    Load(usize, usize),  // dst, slot
+    SkipIfEq(usize, usize), // forward branch over the next instruction
+}
+
+fn any_alu() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Xor),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+        Just(AluOp::Sll),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Rem),
+    ]
+}
+
+fn any_op() -> impl Strategy<Value = Op> {
+    let r = 0..POOL.len();
+    prop_oneof![
+        (any_alu(), r.clone(), r.clone(), r.clone()).prop_map(|(op, d, a, b)| Op::Alu(op, d, a, b)),
+        (any_alu(), r.clone(), r.clone(), -64i32..64).prop_filter_map(
+            "imm-form ops only",
+            |(op, d, a, imm)| {
+                if !op.has_imm_form() {
+                    return None;
+                }
+                let imm = match op {
+                    AluOp::Sll | AluOp::Srl | AluOp::Sra => imm & 0x1F,
+                    _ => imm,
+                };
+                Some(Op::AluImm(op, d, a, imm))
+            }
+        ),
+        (0usize..16, r.clone()).prop_map(|(slot, src)| Op::Store(slot, src)),
+        (r.clone(), 0usize..16).prop_map(|(dst, slot)| Op::Load(dst, slot)),
+        (r.clone(), r).prop_map(|(a, b)| Op::SkipIfEq(a, b)),
+    ]
+}
+
+/// Builds a terminating program: seeded registers, a fixed-trip-count loop
+/// around the random body, then a full register/scratch dump.
+fn build_program(seeds: &[i32], body: &[Op], trips: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    let scratch = b.data_zeroed("scratch", 64);
+    let dump = b.data_zeroed("dump", 4 * (POOL.len() + 16));
+    for (i, &seed) in seeds.iter().enumerate() {
+        b.li(POOL[i], seed);
+    }
+    b.li(S11, scratch as i32);
+    b.li(S10, trips as i32);
+    let top = b.bind_new_label();
+    for op in body {
+        match *op {
+            Op::Alu(op, d, a, c) => b.inst(diag::isa::Inst::Op {
+                op,
+                rd: POOL[d],
+                rs1: POOL[a],
+                rs2: POOL[c],
+            }),
+            Op::AluImm(op, d, a, imm) => b.inst(diag::isa::Inst::OpImm {
+                op,
+                rd: POOL[d],
+                rs1: POOL[a],
+                imm,
+            }),
+            Op::Store(slot, src) => b.sw(POOL[src], S11, (4 * slot) as i32),
+            Op::Load(dst, slot) => b.lw(POOL[dst], S11, (4 * slot) as i32),
+            Op::SkipIfEq(a, c) => {
+                let skip = b.new_label();
+                b.beq(POOL[a], POOL[c], skip);
+                b.addi(POOL[a], POOL[a], 1);
+                b.bind(skip);
+            }
+        }
+    }
+    b.addi(S10, S10, -1);
+    b.bnez(S10, top);
+    // Dump every pool register and the scratch area.
+    b.li(S10, dump as i32);
+    for (i, &reg) in POOL.iter().enumerate() {
+        b.sw(reg, S10, (4 * i) as i32);
+    }
+    for slot in 0..16 {
+        b.lw(T6, S11, (4 * slot) as i32);
+        b.sw(T6, S10, (4 * (POOL.len() + slot)) as i32);
+    }
+    b.ecall();
+    b.build().expect("generated program must assemble")
+}
+
+fn dump_of(m: &dyn Machine, program: &Program) -> Vec<u32> {
+    let dump = program.symbol("dump").unwrap();
+    (0..(POOL.len() + 16) as u32).map(|i| m.read_word(dump + 4 * i)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn machines_agree_architecturally(
+        seeds in prop::collection::vec(-1000i32..1000, POOL.len()),
+        body in prop::collection::vec(any_op(), 1..24),
+        trips in 1u32..6,
+    ) {
+        let program = build_program(&seeds, &body, trips);
+        let mut reference = InOrder::new();
+        reference.run(&program, 1).expect("reference run");
+        let want = dump_of(&reference, &program);
+
+        let mut ooo = OooCpu::new(O3Config::aggressive_8wide(), 1);
+        ooo.run(&program, 1).expect("ooo run");
+        prop_assert_eq!(&dump_of(&ooo, &program), &want, "OoO diverged");
+
+        for cfg in [DiagConfig::f4c2(), DiagConfig::f4c32()] {
+            let name = cfg.name.clone();
+            let mut diag = Diag::new(cfg);
+            diag.run(&program, 1).expect("diag run");
+            prop_assert_eq!(&dump_of(&diag, &program), &want, "DiAG {} diverged", name);
+        }
+
+        // Reuse ablation must not change architectural results either.
+        let mut cfg = DiagConfig::f4c2();
+        cfg.enable_reuse = false;
+        let mut diag = Diag::new(cfg);
+        diag.run(&program, 1).expect("diag no-reuse run");
+        prop_assert_eq!(&dump_of(&diag, &program), &want, "DiAG no-reuse diverged");
+    }
+
+    #[test]
+    fn multithreaded_runs_are_deterministic(
+        seeds in prop::collection::vec(-100i32..100, POOL.len()),
+        body in prop::collection::vec(any_op(), 1..10),
+    ) {
+        // Threads share the binary but not the scratch (all threads write
+        // the same values — the final state equals any single thread's).
+        let program = build_program(&seeds, &body, 2);
+        let mut a = Diag::new(DiagConfig::f4c32());
+        a.run(&program, 4).expect("run a");
+        let mut c = Diag::new(DiagConfig::f4c32());
+        c.run(&program, 4).expect("run b");
+        prop_assert_eq!(dump_of(&a, &program), dump_of(&c, &program));
+    }
+}

@@ -1,0 +1,226 @@
+//! End-to-end integration tests across the whole workspace: assemble →
+//! run on every machine → verify memory, exercising the public facade API
+//! exactly as a downstream user would.
+
+use diag::asm::{assemble, ProgramBuilder};
+use diag::baseline::{InOrder, O3Config, OooCpu};
+use diag::core::{Diag, DiagConfig};
+use diag::isa::regs::*;
+use diag::sim::Machine;
+
+fn machines() -> Vec<Box<dyn Machine>> {
+    vec![
+        Box::new(InOrder::new()),
+        Box::new(OooCpu::new(O3Config::aggressive_8wide(), 2)),
+        Box::new(OooCpu::new(O3Config::modest_4wide(), 2)),
+        Box::new(Diag::new(DiagConfig::i4c2())),
+        Box::new(Diag::new(DiagConfig::f4c2())),
+        Box::new(Diag::new(DiagConfig::f4c16())),
+        Box::new(Diag::new(DiagConfig::f4c32())),
+    ]
+}
+
+#[test]
+fn factorial_on_every_machine() {
+    let program = assemble(
+        r#"
+            li   t0, 10
+            li   t1, 1
+        loop:
+            mul  t1, t1, t0
+            addi t0, t0, -1
+            bnez t0, loop
+            sw   t1, 0(zero)
+            ecall
+        "#,
+    )
+    .unwrap();
+    for mut m in machines() {
+        let stats = m.run(&program, 1).unwrap();
+        assert_eq!(m.read_word(0), 3_628_800, "10! on {}", m.name());
+        assert_eq!(stats.committed, 2 + 30 + 2, "commit count on {}", m.name());
+    }
+}
+
+#[test]
+fn recursive_fibonacci_exercises_call_stack() {
+    // fib(12) with a real call stack: recursion stresses jal/jalr, the
+    // RAS in the baseline, and sp-relative memory on all machines.
+    let program = assemble(
+        r#"
+            li   a0, 12
+            call fib
+            sw   a0, 0(zero)
+            ecall
+        fib:
+            li   t0, 2
+            blt  a0, t0, base
+            addi sp, sp, -12
+            sw   ra, 0(sp)
+            sw   a0, 4(sp)
+            addi a0, a0, -1
+            call fib
+            sw   a0, 8(sp)
+            lw   a0, 4(sp)
+            addi a0, a0, -2
+            call fib
+            lw   t1, 8(sp)
+            add  a0, a0, t1
+            lw   ra, 0(sp)
+            addi sp, sp, 12
+            ret
+        base:
+            ret
+        "#,
+    )
+    .unwrap();
+    for mut m in machines() {
+        m.run(&program, 1).unwrap();
+        assert_eq!(m.read_word(0), 144, "fib(12) on {}", m.name());
+    }
+}
+
+#[test]
+fn fp_machines_agree_bit_for_bit() {
+    // Mixed FP pipeline: every machine must produce identical bits.
+    let program = assemble(
+        r#"
+        .data
+        input:
+            .float 1.5, -2.25, 3.125, 0.875, -4.5, 9.75, 0.0625, -7.125
+        .text
+            la   a2, input
+            li   t0, 8
+            fmv.w.x ft0, zero
+        loop:
+            flw  ft1, 0(a2)
+            fmadd.s ft0, ft1, ft1, ft0
+            addi a2, a2, 4
+            addi t0, t0, -1
+            bnez t0, loop
+            fsqrt.s ft2, ft0
+            fsw  ft2, 0(zero)
+            fsw  ft0, 4(zero)
+            ecall
+        "#,
+    )
+    .unwrap();
+    let mut reference: Option<(u32, u32)> = None;
+    for mut m in machines().drain(..).skip(3) {
+        // FP machines only (skip the integer-only check below).
+        if m.name() == "diag-i4c2" {
+            continue;
+        }
+        m.run(&program, 1).unwrap();
+        let got = (m.read_word(0), m.read_word(4));
+        match reference {
+            None => reference = Some(got),
+            Some(want) => assert_eq!(got, want, "FP divergence on {}", m.name()),
+        }
+    }
+    // And against host arithmetic (same operation order).
+    let inputs = [1.5f32, -2.25, 3.125, 0.875, -4.5, 9.75, 0.0625, -7.125];
+    let mut acc = 0.0f32;
+    for x in inputs {
+        acc = x.mul_add(x, acc);
+    }
+    assert_eq!(reference.unwrap().1, acc.to_bits());
+    assert_eq!(reference.unwrap().0, acc.sqrt().to_bits());
+}
+
+#[test]
+fn thread_convention_holds_everywhere() {
+    // Each thread writes a0 (tid), a1 (count), and its sp to a private slot.
+    let mut b = ProgramBuilder::new();
+    let out = b.data_zeroed("out", 12 * 8);
+    b.li(T0, 12);
+    b.mul(T0, A0, T0);
+    b.li(T1, out as i32);
+    b.add(T1, T1, T0);
+    b.sw(A0, T1, 0);
+    b.sw(A1, T1, 4);
+    b.sw(SP, T1, 8);
+    b.ecall();
+    let program = b.build().unwrap();
+    for mut m in machines() {
+        m.run(&program, 8).unwrap();
+        for t in 0..8u32 {
+            let base = out + 12 * t;
+            assert_eq!(m.read_word(base), t, "tid on {}", m.name());
+            assert_eq!(m.read_word(base + 4), 8, "count on {}", m.name());
+            assert_eq!(
+                m.read_word(base + 8),
+                diag::asm::STACK_TOP - t * diag::asm::STACK_STRIDE,
+                "sp on {}",
+                m.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn diag_scales_with_independent_threads() {
+    // A compute loop per thread: 12 threads on the full machine should be
+    // far faster than 12 threads time-sliced on one ring.
+    let program = assemble(
+        r#"
+            li   t0, 3000
+            li   t1, 0
+        loop:
+            add  t1, t1, t0
+            addi t0, t0, -1
+            bnez t0, loop
+            slli t2, a0, 2
+            sw   t1, 0(t2)
+            ecall
+        "#,
+    )
+    .unwrap();
+    let mut big = Diag::new(DiagConfig::f4c32());
+    let s12 = big.run(&program, 12).unwrap();
+    let mut small = Diag::new(DiagConfig::f4c2());
+    let s_small = small.run(&program, 12).unwrap();
+    for t in 0..12u32 {
+        assert_eq!(big.read_word(4 * t), 3000 * 3001 / 2);
+        assert_eq!(small.read_word(4 * t), 3000 * 3001 / 2);
+    }
+    assert!(
+        s12.cycles * 4 < s_small.cycles,
+        "12 rings ({}) should handily beat 1 ring time-sliced ({})",
+        s12.cycles,
+        s_small.cycles
+    );
+}
+
+#[test]
+fn disassembly_reassembles_identically() {
+    // Program::listing() text round-trips through the assembler for a
+    // program with every major instruction class.
+    let program = assemble(
+        r#"
+            li   t0, 1000
+            lui  t1, 0x12345
+            auipc t2, 0
+            lw   t3, 0(zero)
+            sb   t3, 8(zero)
+            beq  t0, t1, skip
+            mul  t4, t0, t0
+        skip:
+            flw  ft0, 0(zero)
+            fmadd.s ft1, ft0, ft0, ft0
+            fcvt.w.s t5, ft1
+            ecall
+        "#,
+    )
+    .unwrap();
+    // Re-assemble each disassembled line (addresses stripped).
+    let listing = program.listing();
+    let mut text = String::new();
+    for line in listing.lines() {
+        let asm_part = line.split("  ").nth(1).unwrap();
+        text.push_str(asm_part);
+        text.push('\n');
+    }
+    let again = assemble(&text).unwrap();
+    assert_eq!(program.text(), again.text(), "reassembled words differ:\n{listing}");
+}

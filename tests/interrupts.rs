@@ -1,0 +1,122 @@
+//! Precise interrupt and exception handling on DiAG (paper §5.1.4).
+
+use diag::asm::assemble;
+use diag::core::{Diag, DiagConfig};
+use diag::sim::{Machine, SimError};
+
+/// A long-running loop that records its progress; the interrupt handler
+/// stores a marker and the interrupted PC, then halts.
+const PROGRAM: &str = r#"
+        li   t0, 0
+        li   t1, 100000
+    loop:
+        addi t0, t0, 1
+        sw   t0, 0(zero)
+        blt  t0, t1, loop
+        ecall
+    handler:
+        li   t2, 0xFEED
+        sw   t2, 4(zero)
+        sw   gp, 8(zero)
+        ecall
+"#;
+
+fn handler_addr(program: &diag::asm::Program) -> u32 {
+    // `handler:` is instruction index 6 (li expands to one addi; li t1
+    // with 100000 expands to lui+addi).
+    let base = program.text_base();
+    // Find it by scanning for the `li t2, 0xFEED` prologue: the first
+    // `lui` after the ecall. Simpler: symbol-free scan for the second
+    // ecall, then handler is right after the first ecall.
+    let mut first_ecall = None;
+    for i in 0..program.text_len() as u32 {
+        if program.decode_at(base + 4 * i) == Some(diag::isa::Inst::Ecall) {
+            first_ecall = Some(base + 4 * i);
+            break;
+        }
+    }
+    first_ecall.expect("program has an ecall") + 4
+}
+
+#[test]
+fn asynchronous_interrupt_is_precise() {
+    let program = assemble(PROGRAM).unwrap();
+    let mut cfg = DiagConfig::f4c32();
+    cfg.interrupt_at = Some((500, handler_addr(&program)));
+    let mut cpu = Diag::new(cfg);
+    cpu.run(&program, 1).unwrap();
+
+    // The handler ran.
+    assert_eq!(cpu.read_word(4), 0xFEED);
+    // Precision: the counter at address 0 reflects a consistent prefix of
+    // the loop — some iterations completed, not all.
+    let progress = cpu.read_word(0);
+    assert!(progress > 0, "some loop iterations retired before the trap");
+    assert!(progress < 100_000, "the interrupt cut the loop short");
+    // The saved interrupt PC points into the loop body (between the first
+    // instruction and the first ecall).
+    let epc = cpu.read_word(8);
+    assert!(epc >= program.text_base() && epc < handler_addr(&program) - 4, "epc {epc:#x}");
+}
+
+#[test]
+fn interrupt_before_start_fires_immediately() {
+    let program = assemble(PROGRAM).unwrap();
+    let mut cfg = DiagConfig::f4c2();
+    cfg.interrupt_at = Some((0, handler_addr(&program)));
+    let mut cpu = Diag::new(cfg);
+    cpu.run(&program, 1).unwrap();
+    assert_eq!(cpu.read_word(4), 0xFEED);
+    assert_eq!(cpu.read_word(0), 0, "no loop iteration retired before cycle 0");
+}
+
+#[test]
+fn without_interrupt_the_loop_completes() {
+    let program = assemble(PROGRAM).unwrap();
+    let mut cpu = Diag::new(DiagConfig::f4c32());
+    cpu.run(&program, 1).unwrap();
+    assert_eq!(cpu.read_word(0), 100_000);
+    assert_eq!(cpu.read_word(4), 0, "handler never ran");
+}
+
+#[test]
+fn ebreak_trap_vector_and_halt_modes() {
+    let program = assemble(
+        r#"
+            li  t0, 7
+            ebreak
+            sw  t0, 0(zero)
+            ecall
+        trap:
+            li  t1, 42
+            sw  t1, 4(zero)
+            ecall
+        "#,
+    )
+    .unwrap();
+    // Without a vector, ebreak halts: neither store runs.
+    let mut plain = Diag::new(DiagConfig::f4c2());
+    plain.run(&program, 1).unwrap();
+    assert_eq!(plain.read_word(0), 0);
+    assert_eq!(plain.read_word(4), 0);
+    // With a vector, the handler runs (trap label = instruction index 5:
+    // li t0; ebreak; sw; ecall; then trap).
+    let mut cfg = DiagConfig::f4c2();
+    cfg.trap_vector = Some(program.text_base() + 4 * 4);
+    let mut vectored = Diag::new(cfg);
+    vectored.run(&program, 1).unwrap();
+    assert_eq!(vectored.read_word(4), 42);
+    assert_eq!(vectored.read_word(0), 0, "the skipped store never retires");
+}
+
+#[test]
+fn misaligned_accesses_fault_everywhere() {
+    use diag::baseline::{InOrder, OooCpu};
+    let program = assemble("li t0, 2\nlw t1, 0(t0)\necall\n").unwrap();
+    let mut diag = Diag::new(DiagConfig::f4c2());
+    assert!(matches!(diag.run(&program, 1), Err(SimError::Misaligned { addr: 2, size: 4 })));
+    let mut ooo = OooCpu::paper_baseline();
+    assert!(matches!(ooo.run(&program, 1), Err(SimError::Misaligned { addr: 2, size: 4 })));
+    let mut io = InOrder::new();
+    assert!(matches!(io.run(&program, 1), Err(SimError::Misaligned { addr: 2, size: 4 })));
+}
