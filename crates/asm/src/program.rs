@@ -106,7 +106,7 @@ impl Program {
     /// The instruction word at `addr`, if `addr` is inside the text segment
     /// and word-aligned.
     pub fn fetch(&self, addr: u32) -> Option<u32> {
-        if addr < self.text_base || addr % INST_BYTES != 0 {
+        if addr < self.text_base || !addr.is_multiple_of(INST_BYTES) {
             return None;
         }
         let index = ((addr - self.text_base) / INST_BYTES) as usize;

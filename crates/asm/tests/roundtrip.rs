@@ -1,17 +1,24 @@
-//! Property tests for the assembler: disassembled programs re-assemble to
-//! identical machine code, and builder-emitted programs survive a full
-//! listing → parse → encode cycle.
+//! Randomized tests for the assembler: disassembled programs re-assemble
+//! to identical machine code, and builder-emitted programs survive a full
+//! listing → parse → encode cycle. Driven by the in-workspace
+//! [`SplitMix64`] generator so the suite runs fully offline; the `heavy`
+//! feature scales the case count up for soak runs.
 
 use diag_asm::{assemble, ProgramBuilder};
+use diag_isa::prng::SplitMix64;
 use diag_isa::regs::*;
 use diag_isa::{AluOp, BranchOp, LoadOp, Reg, StoreOp};
-use proptest::prelude::*;
 
-fn any_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg::new)
+#[cfg(not(feature = "heavy"))]
+const CASES: u64 = 96;
+#[cfg(feature = "heavy")]
+const CASES: u64 = 8_192;
+
+fn any_reg(rng: &mut SplitMix64) -> Reg {
+    Reg::new(rng.gen_range(0u8..32))
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Stmt {
     Op(AluOp, Reg, Reg, Reg),
     Imm(AluOp, Reg, Reg, i32),
@@ -23,68 +30,66 @@ enum Stmt {
     Nop,
 }
 
-fn any_stmt() -> impl Strategy<Value = Stmt> {
-    prop_oneof![
-        (
-            prop_oneof![
-                Just(AluOp::Add),
-                Just(AluOp::Sub),
-                Just(AluOp::Xor),
-                Just(AluOp::And),
-                Just(AluOp::Or),
-                Just(AluOp::Mul),
-                Just(AluOp::Sltu),
-            ],
-            any_reg(),
-            any_reg(),
-            any_reg()
-        )
-            .prop_map(|(op, a, b, c)| Stmt::Op(op, a, b, c)),
-        (
-            prop_oneof![Just(AluOp::Add), Just(AluOp::Xor), Just(AluOp::And), Just(AluOp::Or)],
-            any_reg(),
-            any_reg(),
-            -2048i32..=2047
-        )
-            .prop_map(|(op, a, b, imm)| Stmt::Imm(op, a, b, imm)),
-        (
-            prop_oneof![Just(LoadOp::Lw), Just(LoadOp::Lb), Just(LoadOp::Lhu)],
-            any_reg(),
-            any_reg(),
-            -256i32..256
-        )
-            .prop_map(|(op, a, b, off)| Stmt::Load(op, a, b, off)),
-        (
-            prop_oneof![Just(StoreOp::Sw), Just(StoreOp::Sb)],
-            any_reg(),
-            any_reg(),
-            -256i32..256
-        )
-            .prop_map(|(op, a, b, off)| Stmt::Store(op, a, b, off)),
-        (
-            prop_oneof![Just(BranchOp::Beq), Just(BranchOp::Bne), Just(BranchOp::Blt)],
-            any_reg(),
-            any_reg()
-        )
-            .prop_map(|(op, a, b)| Stmt::BranchBack(op, a, b)),
-        (any_reg(), any::<i32>()).prop_map(|(r, v)| Stmt::Li(r, v)),
-        Just(Stmt::Jump),
-        Just(Stmt::Nop),
-    ]
+fn any_stmt(rng: &mut SplitMix64) -> Stmt {
+    const OPS: [AluOp; 7] =
+        [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And, AluOp::Or, AluOp::Mul, AluOp::Sltu];
+    const IMM_OPS: [AluOp; 4] = [AluOp::Add, AluOp::Xor, AluOp::And, AluOp::Or];
+    const LOADS: [LoadOp; 3] = [LoadOp::Lw, LoadOp::Lb, LoadOp::Lhu];
+    const STORES: [StoreOp; 2] = [StoreOp::Sw, StoreOp::Sb];
+    const BRANCHES: [BranchOp; 3] = [BranchOp::Beq, BranchOp::Bne, BranchOp::Blt];
+    match rng.gen_range(0u32..8) {
+        0 => Stmt::Op(
+            OPS[rng.gen_range(0usize..OPS.len())],
+            any_reg(rng),
+            any_reg(rng),
+            any_reg(rng),
+        ),
+        1 => Stmt::Imm(
+            IMM_OPS[rng.gen_range(0usize..IMM_OPS.len())],
+            any_reg(rng),
+            any_reg(rng),
+            rng.gen_range(-2048i32..2048),
+        ),
+        2 => Stmt::Load(
+            LOADS[rng.gen_range(0usize..LOADS.len())],
+            any_reg(rng),
+            any_reg(rng),
+            rng.gen_range(-256i32..256),
+        ),
+        3 => Stmt::Store(
+            STORES[rng.gen_range(0usize..STORES.len())],
+            any_reg(rng),
+            any_reg(rng),
+            rng.gen_range(-256i32..256),
+        ),
+        4 => Stmt::BranchBack(
+            BRANCHES[rng.gen_range(0usize..BRANCHES.len())],
+            any_reg(rng),
+            any_reg(rng),
+        ),
+        5 => Stmt::Li(any_reg(rng), rng.gen::<u32>() as i32),
+        6 => Stmt::Jump,
+        _ => Stmt::Nop,
+    }
 }
 
-proptest! {
-    /// listing() output re-assembles to the exact same instruction words.
-    #[test]
-    fn listing_reassembles_bit_identically(stmts in prop::collection::vec(any_stmt(), 1..40)) {
+fn random_stmts(rng: &mut SplitMix64, max: usize) -> Vec<Stmt> {
+    let count = rng.gen_range(1usize..max);
+    (0..count).map(|_| any_stmt(rng)).collect()
+}
+
+/// listing() output re-assembles to the exact same instruction words.
+#[test]
+fn listing_reassembles_bit_identically() {
+    let mut rng = SplitMix64::seed_from_u64(0xA53A_0001);
+    for _ in 0..CASES {
+        let stmts = random_stmts(&mut rng, 40);
         let mut b = ProgramBuilder::new();
         let start = b.bind_new_label();
         for s in &stmts {
             match *s {
                 Stmt::Op(op, rd, rs1, rs2) => b.inst(diag_isa::Inst::Op { op, rd, rs1, rs2 }),
-                Stmt::Imm(op, rd, rs1, imm) => {
-                    b.inst(diag_isa::Inst::OpImm { op, rd, rs1, imm })
-                }
+                Stmt::Imm(op, rd, rs1, imm) => b.inst(diag_isa::Inst::OpImm { op, rd, rs1, imm }),
                 Stmt::Load(op, rd, rs1, offset) => {
                     b.inst(diag_isa::Inst::Load { op, rd, rs1, offset })
                 }
@@ -106,12 +111,16 @@ proptest! {
             text.push('\n');
         }
         let again = assemble(&text).unwrap_or_else(|e| panic!("reassembly failed: {e}\n{text}"));
-        prop_assert_eq!(program.text(), again.text());
+        assert_eq!(program.text(), again.text());
     }
+}
 
-    /// Every builder program decodes cleanly end to end.
-    #[test]
-    fn builder_programs_fully_decode(stmts in prop::collection::vec(any_stmt(), 1..40)) {
+/// Every builder program decodes cleanly end to end.
+#[test]
+fn builder_programs_fully_decode() {
+    let mut rng = SplitMix64::seed_from_u64(0xA53A_0002);
+    for _ in 0..CASES {
+        let stmts = random_stmts(&mut rng, 40);
         let mut b = ProgramBuilder::new();
         let start = b.bind_new_label();
         for s in &stmts {
@@ -124,12 +133,12 @@ proptest! {
         b.j(start);
         let program = b.build().unwrap();
         for i in 0..program.text_len() as u32 {
-            prop_assert!(program.decode_at(program.text_base() + 4 * i).is_some());
+            assert!(program.decode_at(program.text_base() + 4 * i).is_some());
         }
     }
 }
 
-/// Helper extension so the strategy can emit arbitrary branch ops through
+/// Helper extension so the generator can emit arbitrary branch ops through
 /// the builder's typed API.
 trait BranchExt {
     fn bne_like(&mut self, op: BranchOp, rs1: Reg, rs2: Reg, target: diag_asm::Label);

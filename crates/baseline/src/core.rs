@@ -10,12 +10,13 @@
 //! the shared L2.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use diag_asm::Program;
 use diag_isa::Inst;
 use diag_mem::{CacheArray, LaneLookup, Lsu, MainMemory, MemLane, PrivateCache};
 use diag_sim::interp::{arch_step, ArchState, MemEffect};
-use diag_sim::{Activity, SimError, StallBreakdown};
+use diag_sim::{Activity, Commit, SimError, StallBreakdown};
 
 use crate::bpred::BranchPredictor;
 use crate::config::O3Config;
@@ -33,9 +34,9 @@ pub struct CoreStats {
 
 /// One out-of-order core running one hardware thread.
 #[derive(Debug)]
-pub struct O3Core<'p> {
-    cfg: &'p O3Config,
-    program: &'p Program,
+pub struct O3Core {
+    cfg: Arc<O3Config>,
+    program: Arc<Program>,
     state: ArchState,
     /// Completion time of the latest writer of each register lane.
     reg_ready: [u64; diag_isa::NUM_LANES],
@@ -65,26 +66,29 @@ pub struct O3Core<'p> {
     last_fetch_line: u32,
     committed_count: u64,
     thread_id: usize,
+    /// Whether retirements are appended to `commits`.
+    pub(crate) commit_log: bool,
+    /// Retirements logged since the machine last drained them.
+    pub(crate) commits: Vec<Commit>,
 }
 
 /// L2 hit latency charged on an L1I miss.
 const L1I_MISS_PENALTY: u64 = 18;
 
-impl<'p> O3Core<'p> {
+impl O3Core {
     /// Creates core `thread_id` of `threads`, with a private L1D backed by
     /// the given shared L2.
     pub fn new(
-        program: &'p Program,
-        cfg: &'p O3Config,
+        program: Arc<Program>,
+        cfg: Arc<O3Config>,
         l1d: PrivateCache,
         thread_id: usize,
         threads: usize,
         start_time: u64,
-    ) -> O3Core<'p> {
+    ) -> O3Core {
+        let state = ArchState::new_thread(program.entry(), thread_id, threads);
         O3Core {
-            cfg,
-            program,
-            state: ArchState::new_thread(program.entry(), thread_id, threads),
+            state,
             reg_ready: [start_time; diag_isa::NUM_LANES],
             rob: VecDeque::with_capacity(cfg.rob_size),
             iq: VecDeque::with_capacity(cfg.iq_size),
@@ -94,7 +98,7 @@ impl<'p> O3Core<'p> {
             fetch_floor: start_time,
             last_commit: start_time,
             bpred: BranchPredictor::new(cfg.bpred_entries, cfg.btb_entries, cfg.ras_depth),
-            fus: FuSet::new(cfg),
+            fus: FuSet::new(&cfg),
             l1i: CacheArray::new(diag_mem::CacheConfig::l1i_32k()),
             l1d,
             lsq: Lsu::new(cfg.lsq_size),
@@ -106,6 +110,10 @@ impl<'p> O3Core<'p> {
             last_fetch_line: u32::MAX,
             committed_count: 0,
             thread_id,
+            commit_log: false,
+            commits: Vec::new(),
+            cfg,
+            program,
         }
     }
 
@@ -166,7 +174,7 @@ impl<'p> O3Core<'p> {
         if matches!(inst_peek, Inst::Branch { .. } | Inst::Jal { .. } | Inst::Jalr { .. }) {
             self.stats.activity.bpred_lookups += 1;
         }
-        let info = arch_step(&mut self.state, self.program, mem, None)?;
+        let info = arch_step(&mut self.state, &self.program, mem, None)?;
         debug_assert_eq!(info.pc, before_regs_pc);
 
         // ---- issue ------------------------------------------------------
@@ -288,7 +296,14 @@ impl<'p> O3Core<'p> {
         self.last_commit = commit_t;
         self.rob.push_back(commit_t);
         self.committed_count += 1;
-        if self.committed_count % 4096 == 0 {
+        if self.commit_log {
+            self.commits.push(Commit {
+                thread: self.thread_id as u32,
+                pc,
+                dest: info.dest.filter(|(lane, _)| !lane.is_zero()),
+            });
+        }
+        if self.committed_count.is_multiple_of(4096) {
             // Nothing issues before the oldest possible in-flight fetch.
             let safe = self.rob.front().copied().unwrap_or(0).saturating_sub(4 * self.cfg.rob_size as u64);
             self.issue_bw.prune_before(safe);

@@ -7,15 +7,37 @@
 //! functional unit is nearly identical to the back-end of an in-order
 //! single-issue CPU" (§2) — this machine is that degenerate case.
 
+use std::sync::Arc;
+
 use diag_asm::Program;
 use diag_mem::MainMemory;
 use diag_sim::interp::{arch_step, ArchState, MemEffect};
-use diag_sim::{Machine, RunStats, SimError};
+use diag_sim::{Commit, Machine, RunStats, SimError, StepOutcome};
 
 /// Flat memory access latency for the reference machine.
 const MEM_LATENCY: u64 = 4;
 /// Bubble cycles after a taken control transfer.
 const BRANCH_BUBBLE: u64 = 2;
+
+/// In-flight execution state of one reference run. Threads run
+/// sequentially on the single core (time-sliced would give the same
+/// total), so the state is one thread's registers plus the id of the
+/// thread currently running.
+#[derive(Debug)]
+struct InOrderRun {
+    program: Arc<Program>,
+    threads: usize,
+    mem: MainMemory,
+    state: ArchState,
+    reg_ready: [u64; diag_isa::NUM_LANES],
+    clock: u64,
+    /// Thread currently executing.
+    tid: usize,
+    /// Cycles of threads that already finished.
+    total_cycles: u64,
+    stats: RunStats,
+    halted: bool,
+}
 
 /// The single-issue in-order reference machine.
 ///
@@ -33,16 +55,31 @@ const BRANCH_BUBBLE: u64 = 2;
 /// assert_eq!(stats.committed, 3);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct InOrder {
-    mem: Option<MainMemory>,
     max_cycles: u64,
+    run: Option<InOrderRun>,
+    last_stats: Option<RunStats>,
+    commit_log: bool,
+    commits: Vec<Commit>,
+}
+
+impl Default for InOrder {
+    fn default() -> InOrder {
+        InOrder::new()
+    }
 }
 
 impl InOrder {
     /// Creates the reference machine.
     pub fn new() -> InOrder {
-        InOrder { mem: None, max_cycles: diag_sim::DEFAULT_CYCLE_LIMIT }
+        InOrder {
+            max_cycles: diag_sim::DEFAULT_CYCLE_LIMIT,
+            run: None,
+            last_stats: None,
+            commit_log: false,
+            commits: Vec::new(),
+        }
     }
 
     /// Sets the cycle limit.
@@ -57,61 +94,112 @@ impl Machine for InOrder {
         "inorder".to_string()
     }
 
-    fn run(&mut self, program: &Program, threads: usize) -> Result<RunStats, SimError> {
+    fn load(&mut self, program: &Program, threads: usize) {
         let threads = threads.max(1);
-        let mut mem = MainMemory::with_program(program);
-        let mut stats = RunStats { threads: threads as u64, freq_ghz: 2.0, ..RunStats::default() };
-        let mut total_cycles = 0u64;
-        // Threads run sequentially on the single core (time-sliced would
-        // give the same total).
-        for tid in 0..threads {
-            let mut state = ArchState::new_thread(program.entry(), tid, threads);
-            let mut reg_ready = [0u64; diag_isa::NUM_LANES];
-            let mut clock = 0u64;
-            while !state.halted {
-                let info = arch_step(&mut state, program, &mut mem, None)?;
-                let mut start = clock;
-                for src in info.inst.sources().iter() {
-                    start = start.max(reg_ready[src.index()]);
-                }
-                let latency = match info.mem {
-                    MemEffect::None => info.inst.exec_latency() as u64,
-                    _ => MEM_LATENCY,
-                };
-                let finish = start + latency;
-                if let Some((lane, _)) = info.dest {
-                    if !lane.is_zero() {
-                        reg_ready[lane.index()] = finish;
-                        stats.activity.reg_writes += 1;
-                    }
-                }
-                clock = start + 1 + if info.redirected { BRANCH_BUBBLE } else { 0 };
-                stats.committed += 1;
-                stats.activity.decodes += 1;
-                match info.mem {
-                    MemEffect::Load { .. } => stats.activity.loads += 1,
-                    MemEffect::Store { .. } => stats.activity.stores += 1,
-                    MemEffect::None => {
-                        if info.inst.uses_fpu() {
-                            stats.activity.fp_ops += 1;
-                        } else {
-                            stats.activity.int_ops += 1;
-                        }
-                    }
-                }
-                if clock > self.max_cycles {
-                    return Err(SimError::CycleLimit { limit: self.max_cycles });
+        let program = Arc::new(program.clone());
+        let mem = MainMemory::with_program(&program);
+        self.last_stats = None;
+        self.commits.clear();
+        self.run = Some(InOrderRun {
+            state: ArchState::new_thread(program.entry(), 0, threads),
+            program,
+            threads,
+            mem,
+            reg_ready: [0u64; diag_isa::NUM_LANES],
+            clock: 0,
+            tid: 0,
+            total_cycles: 0,
+            stats: RunStats { threads: threads as u64, freq_ghz: 2.0, ..RunStats::default() },
+            halted: false,
+        });
+    }
+
+    fn step(&mut self) -> Result<StepOutcome, SimError> {
+        let run = self.run.as_mut().ok_or(SimError::NotLoaded)?;
+        if run.halted {
+            return Err(SimError::NotLoaded);
+        }
+        let info = arch_step(&mut run.state, &run.program, &mut run.mem, None)?;
+        let mut start = run.clock;
+        for src in info.inst.sources().iter() {
+            start = start.max(run.reg_ready[src.index()]);
+        }
+        let latency = match info.mem {
+            MemEffect::None => info.inst.exec_latency() as u64,
+            _ => MEM_LATENCY,
+        };
+        let finish = start + latency;
+        if let Some((lane, _)) = info.dest {
+            if !lane.is_zero() {
+                run.reg_ready[lane.index()] = finish;
+                run.stats.activity.reg_writes += 1;
+            }
+        }
+        run.clock = start + 1 + if info.redirected { BRANCH_BUBBLE } else { 0 };
+        run.stats.committed += 1;
+        run.stats.activity.decodes += 1;
+        match info.mem {
+            MemEffect::Load { .. } => run.stats.activity.loads += 1,
+            MemEffect::Store { .. } => run.stats.activity.stores += 1,
+            MemEffect::None => {
+                if info.inst.uses_fpu() {
+                    run.stats.activity.fp_ops += 1;
+                } else {
+                    run.stats.activity.int_ops += 1;
                 }
             }
-            total_cycles += clock;
         }
-        stats.cycles = total_cycles;
-        self.mem = Some(mem);
-        Ok(stats)
+        if self.commit_log {
+            self.commits.push(Commit {
+                thread: run.tid as u32,
+                pc: info.pc,
+                dest: info.dest.filter(|(lane, _)| !lane.is_zero()),
+            });
+        }
+        if run.clock > self.max_cycles {
+            return Err(SimError::CycleLimit { limit: self.max_cycles });
+        }
+        if run.state.halted {
+            run.total_cycles += run.clock;
+            run.tid += 1;
+            if run.tid < run.threads {
+                // Next thread takes over the (single) core with fresh
+                // architectural and timing state.
+                run.state = ArchState::new_thread(run.program.entry(), run.tid, run.threads);
+                run.reg_ready = [0u64; diag_isa::NUM_LANES];
+                run.clock = 0;
+            } else {
+                run.stats.cycles = run.total_cycles;
+                run.halted = true;
+                self.last_stats = Some(run.stats);
+                return Ok(StepOutcome::Halted);
+            }
+        }
+        Ok(StepOutcome::Running)
+    }
+
+    fn stats(&self) -> RunStats {
+        if let Some(stats) = self.last_stats {
+            return stats;
+        }
+        let Some(run) = &self.run else {
+            return RunStats::default();
+        };
+        let mut stats = run.stats;
+        stats.cycles = run.total_cycles + run.clock;
+        stats
+    }
+
+    fn set_commit_log(&mut self, enabled: bool) {
+        self.commit_log = enabled;
+    }
+
+    fn take_commits(&mut self) -> Vec<Commit> {
+        std::mem::take(&mut self.commits)
     }
 
     fn read_word(&self, addr: u32) -> u32 {
-        self.mem.as_ref().map_or(0, |m| m.read_u32(addr))
+        self.run.as_ref().map_or(0, |r| r.mem.read_u32(addr))
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

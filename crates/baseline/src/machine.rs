@@ -5,12 +5,70 @@
 //! a private L1 data cache, all backed by one shared L2 — the paper's
 //! 12-core baseline topology (§7.1).
 
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
 use diag_asm::Program;
 use diag_mem::{MainMemory, PrivateCache, SharedLevel};
-use diag_sim::{Machine, RunStats, SimError};
+use diag_sim::{Commit, Machine, RunStats, SimError, StepOutcome};
 
 use crate::config::O3Config;
 use crate::core::O3Core;
+
+/// In-flight execution state of one baseline run.
+#[derive(Debug)]
+struct OooRun {
+    program: Arc<Program>,
+    threads: usize,
+    mem: MainMemory,
+    l2: Rc<RefCell<SharedLevel>>,
+    /// Cores of the current wave.
+    cores: Vec<O3Core>,
+    /// Aggregate statistics of completed waves.
+    stats: RunStats,
+    committed: u64,
+    /// First thread id not yet launched.
+    next_tid: usize,
+    wave_start: u64,
+    finish_time: u64,
+    halted: bool,
+}
+
+impl OooRun {
+    /// Launches the next wave of threads onto fresh cores.
+    fn launch_wave(&mut self, config: &Arc<O3Config>, max_cores: usize, commit_log: bool) {
+        let batch = max_cores.min(self.threads - self.next_tid);
+        self.cores = (0..batch)
+            .map(|k| {
+                let l1d = PrivateCache::new(config.l1d, Rc::clone(&self.l2));
+                let mut core = O3Core::new(
+                    Arc::clone(&self.program),
+                    Arc::clone(config),
+                    l1d,
+                    self.next_tid + k,
+                    self.threads,
+                    self.wave_start,
+                );
+                core.commit_log = commit_log;
+                core
+            })
+            .collect();
+        self.next_tid += batch;
+    }
+
+    /// Folds a finished wave's cores into the aggregate statistics.
+    fn finish_wave(&mut self) {
+        for core in &self.cores {
+            self.committed += core.committed();
+            self.stats.activity += core.stats.activity;
+            self.stats.stalls += core.stats.stalls;
+            self.wave_start = self.wave_start.max(core.clock());
+        }
+        self.finish_time = self.finish_time.max(self.wave_start);
+        self.cores.clear();
+    }
+}
 
 /// The out-of-order multicore baseline.
 ///
@@ -30,10 +88,12 @@ use crate::core::O3Core;
 /// ```
 #[derive(Debug)]
 pub struct OooCpu {
-    config: O3Config,
+    config: Arc<O3Config>,
     max_cores: usize,
-    mem: Option<MainMemory>,
+    run: Option<OooRun>,
     last_stats: Option<RunStats>,
+    commit_log: bool,
+    commits: Vec<Commit>,
 }
 
 impl OooCpu {
@@ -45,7 +105,14 @@ impl OooCpu {
     /// Panics if `max_cores` is zero.
     pub fn new(config: O3Config, max_cores: usize) -> OooCpu {
         assert!(max_cores > 0, "need at least one core");
-        OooCpu { config, max_cores, mem: None, last_stats: None }
+        OooCpu {
+            config: Arc::new(config),
+            max_cores,
+            run: None,
+            last_stats: None,
+            commit_log: false,
+            commits: Vec::new(),
+        }
     }
 
     /// The paper's baseline: 12 cores of the aggressive 8-wide
@@ -70,61 +137,104 @@ impl Machine for OooCpu {
         format!("{}x{}", self.config.name, self.max_cores)
     }
 
-    fn run(&mut self, program: &Program, threads: usize) -> Result<RunStats, SimError> {
+    fn load(&mut self, program: &Program, threads: usize) {
         let threads = threads.max(1);
-        let mut mem = MainMemory::with_program(program);
+        let program = Arc::new(program.clone());
+        let mem = MainMemory::with_program(&program);
         let l2 = SharedLevel::new(self.config.l2).into_shared();
-        let mut stats = RunStats {
-            threads: threads as u64,
-            freq_ghz: self.config.freq_ghz,
-            ..RunStats::default()
+        self.last_stats = None;
+        self.commits.clear();
+        let mut run = OooRun {
+            program,
+            threads,
+            mem,
+            l2,
+            cores: Vec::new(),
+            stats: RunStats {
+                threads: threads as u64,
+                freq_ghz: self.config.freq_ghz,
+                ..RunStats::default()
+            },
+            committed: 0,
+            next_tid: 0,
+            wave_start: 0,
+            finish_time: 0,
+            halted: false,
         };
-        let mut committed = 0u64;
-        let mut finish_time = 0u64;
+        run.launch_wave(&self.config, self.max_cores, self.commit_log);
+        self.run = Some(run);
+    }
 
-        let mut tid = 0usize;
-        let mut wave_start = 0u64;
-        while tid < threads {
-            let batch = self.max_cores.min(threads - tid);
-            let mut cores: Vec<O3Core<'_>> = (0..batch)
-                .map(|k| {
-                    let l1d = PrivateCache::new(self.config.l1d, std::rc::Rc::clone(&l2));
-                    O3Core::new(program, &self.config, l1d, tid + k, threads, wave_start)
-                })
-                .collect();
-            loop {
-                let next = cores
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, c)| !c.halted)
-                    .min_by_key(|(_, c)| c.clock())
-                    .map(|(i, _)| i);
-                let Some(idx) = next else { break };
-                cores[idx].step(&mut mem)?;
-                if cores[idx].clock() > self.config.max_cycles {
-                    return Err(SimError::CycleLimit { limit: self.config.max_cycles });
-                }
-            }
-            for core in &cores {
-                committed += core.committed();
-                stats.activity += core.stats.activity;
-                stats.stalls += core.stats.stalls;
-                wave_start = wave_start.max(core.clock());
-            }
-            finish_time = finish_time.max(wave_start);
-            tid += batch;
+    fn step(&mut self) -> Result<StepOutcome, SimError> {
+        let run = self.run.as_mut().ok_or(SimError::NotLoaded)?;
+        if run.halted {
+            return Err(SimError::NotLoaded);
         }
+        let next = run
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.halted)
+            .min_by_key(|(_, c)| c.clock())
+            .map(|(i, _)| i);
+        if let Some(idx) = next {
+            run.cores[idx].step(&mut run.mem)?;
+            self.commits.append(&mut run.cores[idx].commits);
+            if run.cores[idx].clock() > self.config.max_cycles {
+                return Err(SimError::CycleLimit { limit: self.config.max_cycles });
+            }
+            return Ok(StepOutcome::Running);
+        }
+        run.finish_wave();
+        if run.next_tid < run.threads {
+            run.launch_wave(&self.config, self.max_cores, self.commit_log);
+            Ok(StepOutcome::Running)
+        } else {
+            run.stats.cycles = run.finish_time;
+            run.stats.committed = run.committed;
+            run.stats.activity.busy_cycles = run.finish_time;
+            run.halted = true;
+            self.last_stats = Some(run.stats);
+            Ok(StepOutcome::Halted)
+        }
+    }
 
-        stats.cycles = finish_time;
-        stats.committed = committed;
-        stats.activity.busy_cycles = finish_time;
-        self.mem = Some(mem);
-        self.last_stats = Some(stats);
-        Ok(stats)
+    fn stats(&self) -> RunStats {
+        if let Some(stats) = self.last_stats {
+            return stats;
+        }
+        let Some(run) = &self.run else {
+            return RunStats::default();
+        };
+        let mut stats = run.stats;
+        stats.committed = run.committed;
+        let mut clock = run.finish_time;
+        for core in &run.cores {
+            stats.activity += core.stats.activity;
+            stats.stalls += core.stats.stalls;
+            stats.committed += core.committed();
+            clock = clock.max(core.clock());
+        }
+        stats.cycles = clock;
+        stats.activity.busy_cycles = clock;
+        stats
+    }
+
+    fn set_commit_log(&mut self, enabled: bool) {
+        self.commit_log = enabled;
+        if let Some(run) = &mut self.run {
+            for core in &mut run.cores {
+                core.commit_log = enabled;
+            }
+        }
+    }
+
+    fn take_commits(&mut self) -> Vec<Commit> {
+        std::mem::take(&mut self.commits)
     }
 
     fn read_word(&self, addr: u32) -> u32 {
-        self.mem.as_ref().map_or(0, |m| m.read_u32(addr))
+        self.run.as_ref().map_or(0, |r| r.mem.read_u32(addr))
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -1,16 +1,34 @@
-//! Criterion microbenchmarks of the simulators themselves: host-side
-//! throughput (simulated instructions per wall second) for each machine
-//! model on representative kernels, plus per-figure regeneration timing
-//! at tiny scale.
+//! Microbenchmarks of the simulators themselves: host-side throughput
+//! (simulated instructions per wall second) for each machine model on a
+//! representative kernel, plus per-figure regeneration timing at tiny
+//! scale — including the serial-vs-parallel sweep comparison.
+//!
+//! Dependency-free timing harness (`harness = false`): run with
+//! `cargo bench -p diag-bench`. Measurements are best-of-N wall-clock
+//! loops — coarse, but plenty to catch order-of-magnitude regressions
+//! offline.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Instant;
+
 use diag_baseline::{InOrder, O3Config, OooCpu};
 use diag_bench::runner::{run_verified, MachineKind};
+use diag_bench::sweep::default_jobs;
 use diag_core::{Diag, DiagConfig};
 use diag_sim::Machine;
 use diag_workloads::{find, Params, Scale, Suite};
 
-fn machine_throughput(c: &mut Criterion) {
+/// Times `f` over `reps` runs and returns the best wall-clock seconds.
+fn best_of<F: FnMut()>(reps: u32, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn machine_throughput() {
     let spec = find("x264").expect("registered");
     let params = Params::tiny();
     let built = spec.build(&params).expect("build");
@@ -19,79 +37,102 @@ fn machine_throughput(c: &mut Criterion) {
         m.run(&built.program, 1).expect("run").committed
     };
 
-    let mut group = c.benchmark_group("simulator_throughput_x264");
-    group.throughput(Throughput::Elements(committed));
-    group.bench_function("inorder", |b| {
-        b.iter(|| {
+    println!("simulator throughput on x264 ({committed} dynamic instructions):");
+    let report = |name: &str, secs: f64| {
+        println!("  {name:10} {:8.2} ms/run, {:7.2} Minstr/s", secs * 1e3, committed as f64 / secs / 1e6);
+    };
+    report(
+        "inorder",
+        best_of(5, || {
             let mut m = InOrder::new();
-            m.run(&built.program, 1).unwrap()
-        })
-    });
-    group.bench_function("ooo_8wide", |b| {
-        b.iter(|| {
+            m.run(&built.program, 1).unwrap();
+        }),
+    );
+    report(
+        "ooo_8wide",
+        best_of(5, || {
             let mut m = OooCpu::new(O3Config::aggressive_8wide(), 1);
-            m.run(&built.program, 1).unwrap()
-        })
-    });
-    group.bench_function("diag_f4c2", |b| {
-        b.iter(|| {
+            m.run(&built.program, 1).unwrap();
+        }),
+    );
+    report(
+        "diag_f4c2",
+        best_of(5, || {
             let mut m = Diag::new(DiagConfig::f4c2());
-            m.run(&built.program, 1).unwrap()
-        })
-    });
-    group.bench_function("diag_f4c32", |b| {
-        b.iter(|| {
+            m.run(&built.program, 1).unwrap();
+        }),
+    );
+    report(
+        "diag_f4c32",
+        best_of(5, || {
             let mut m = Diag::new(DiagConfig::f4c32());
-            m.run(&built.program, 1).unwrap()
-        })
-    });
-    group.finish();
+            m.run(&built.program, 1).unwrap();
+        }),
+    );
 }
 
-fn workload_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("diag_f4c32_kernels");
-    group.sample_size(10);
+fn workload_sweep() {
+    println!("diag_f4c32 kernel runs (tiny scale):");
     for name in ["hotspot", "bfs", "kmeans", "deepsjeng"] {
         let spec = find(name).expect("registered");
-        group.bench_function(name, |b| {
-            b.iter(|| run_verified(&MachineKind::Diag(DiagConfig::f4c32()), &spec, &Params::tiny()))
+        let secs = best_of(3, || {
+            run_verified(&MachineKind::Diag(DiagConfig::f4c32()), &spec, &Params::tiny())
+                .expect("verified run");
         });
+        println!("  {name:10} {:8.2} ms", secs * 1e3);
     }
-    group.finish();
 }
 
-fn figure_regeneration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figure_regeneration_tiny");
-    group.sample_size(10);
-    group.bench_function("fig9a", |b| {
-        b.iter(|| diag_bench::experiments::fig_single_thread(Suite::Rodinia, Scale::Tiny))
-    });
-    group.bench_function("fig9b", |b| {
-        b.iter(|| diag_bench::experiments::fig_multi_thread(Suite::Rodinia, Scale::Tiny))
-    });
-    group.bench_function("fig10a", |b| {
-        b.iter(|| diag_bench::experiments::fig_single_thread(Suite::Spec, Scale::Tiny))
-    });
-    group.bench_function("fig10b", |b| {
-        b.iter(|| diag_bench::experiments::fig_multi_thread(Suite::Spec, Scale::Tiny))
-    });
-    group.bench_function("fig11", |b| b.iter(|| diag_bench::experiments::fig11(Scale::Tiny)));
-    group.bench_function("fig12", |b| b.iter(|| diag_bench::experiments::fig12(Scale::Tiny)));
-    group.bench_function("table1", |b| b.iter(|| diag_bench::experiments::table1(Scale::Tiny)));
-    group.bench_function("table2", |b| b.iter(diag_bench::experiments::table2));
-    group.bench_function("table3", |b| b.iter(diag_bench::experiments::table3));
-    group.bench_function("stalls", |b| b.iter(|| diag_bench::experiments::stalls(Scale::Tiny)));
-    group.bench_function("ablation_lane", |b| {
-        b.iter(|| diag_bench::experiments::ablation_lane(Scale::Tiny))
-    });
-    group.bench_function("ablation_reuse", |b| {
-        b.iter(|| diag_bench::experiments::ablation_reuse(Scale::Tiny))
-    });
-    group.bench_function("ablation_simt", |b| {
-        b.iter(|| diag_bench::experiments::ablation_simt_interval(Scale::Tiny))
-    });
-    group.finish();
+/// A figure whose regeneration fans runs out over a job count.
+type ParallelFig = (&'static str, fn(usize) -> String);
+/// A figure with no run fan-out (analytic tables, serial ablations).
+type SerialFig = (&'static str, fn() -> String);
+
+fn figure_regeneration() {
+    use diag_bench::experiments as exp;
+    let jobs = default_jobs();
+    println!("figure regeneration (tiny scale, serial vs --jobs {jobs}):");
+    let figs: [ParallelFig; 8] = [
+        ("fig9a", |j| exp::fig_single_thread(Suite::Rodinia, Scale::Tiny, j)),
+        ("fig9b", |j| exp::fig_multi_thread(Suite::Rodinia, Scale::Tiny, j)),
+        ("fig10a", |j| exp::fig_single_thread(Suite::Spec, Scale::Tiny, j)),
+        ("fig10b", |j| exp::fig_multi_thread(Suite::Spec, Scale::Tiny, j)),
+        ("fig11", |j| exp::fig11(Scale::Tiny, j)),
+        ("fig12", |j| exp::fig12(Scale::Tiny, j)),
+        ("table1", |j| exp::table1(Scale::Tiny, j)),
+        ("stalls", |j| exp::stalls(Scale::Tiny, j)),
+    ];
+    for (name, f) in figs {
+        let serial = best_of(2, || {
+            f(1);
+        });
+        let parallel = best_of(2, || {
+            f(jobs);
+        });
+        println!(
+            "  {name:8} serial {:8.2} ms, parallel {:8.2} ms ({:.2}x)",
+            serial * 1e3,
+            parallel * 1e3,
+            serial / parallel
+        );
+    }
+    let others: [SerialFig; 5] = [
+        ("table2", exp::table2),
+        ("table3", exp::table3),
+        ("abl-lane", || exp::ablation_lane(Scale::Tiny, 1)),
+        ("abl-reuse", || exp::ablation_reuse(Scale::Tiny, 1)),
+        ("abl-simt", || exp::ablation_simt_interval(Scale::Tiny, 1)),
+    ];
+    for (name, f) in others {
+        let secs = best_of(2, || {
+            f();
+        });
+        println!("  {name:8} {:8.2} ms", secs * 1e3);
+    }
 }
 
-criterion_group!(benches, machine_throughput, workload_sweep, figure_regeneration);
-criterion_main!(benches);
+fn main() {
+    machine_throughput();
+    workload_sweep();
+    figure_regeneration();
+}

@@ -1,44 +1,48 @@
 //! Experiment harness CLI: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! harness <experiment> [--quick]
-//! harness all [--quick]
+//! harness <experiment> [--quick] [--jobs N] [--strict]
+//! harness all [--quick] [--jobs N] [--strict]
 //! ```
 //!
 //! Experiments: `table1 table2 table3 fig9a fig9b fig10a fig10b fig11
 //! fig12 stalls ablation-lane ablation-reuse ablation-simt ablation-lsu ablation-spec`.
 //! `--quick` runs tiny inputs (for smoke testing); the default is the
-//! benchmarking scale.
+//! benchmarking scale. `--jobs N` shards the simulation runs of each
+//! experiment over N worker threads (default: the host's available
+//! parallelism); results are byte-identical at any job count. `--strict`
+//! exits non-zero if any individual run failed (failures are otherwise
+//! reported inline and the remaining rows still render).
 
 use diag_bench::experiments;
 use diag_workloads::{Scale, Suite};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <experiment|all> [--quick]\n\
+        "usage: harness <experiment|all> [--quick] [--jobs N] [--strict]\n\
          experiments: table1 table2 table3 fig9a fig9b fig10a fig10b fig11 fig12 \
          stalls ablation-lane ablation-reuse ablation-simt ablation-lsu ablation-spec"
     );
     std::process::exit(2)
 }
 
-fn run(name: &str, scale: Scale) -> Option<String> {
+fn run(name: &str, scale: Scale, jobs: usize) -> Option<String> {
     let out = match name {
-        "table1" => experiments::table1(scale),
+        "table1" => experiments::table1(scale, jobs),
         "table2" => experiments::table2(),
         "table3" => experiments::table3(),
-        "fig9a" => experiments::fig_single_thread(Suite::Rodinia, scale),
-        "fig9b" => experiments::fig_multi_thread(Suite::Rodinia, scale),
-        "fig10a" => experiments::fig_single_thread(Suite::Spec, scale),
-        "fig10b" => experiments::fig_multi_thread(Suite::Spec, scale),
-        "fig11" => experiments::fig11(scale),
-        "fig12" => experiments::fig12(scale),
-        "stalls" => experiments::stalls(scale),
-        "ablation-lane" => experiments::ablation_lane(scale),
-        "ablation-reuse" => experiments::ablation_reuse(scale),
-        "ablation-simt" => experiments::ablation_simt_interval(scale),
-        "ablation-lsu" => experiments::ablation_lsu(scale),
-        "ablation-spec" => experiments::ablation_spec(scale),
+        "fig9a" => experiments::fig_single_thread(Suite::Rodinia, scale, jobs),
+        "fig9b" => experiments::fig_multi_thread(Suite::Rodinia, scale, jobs),
+        "fig10a" => experiments::fig_single_thread(Suite::Spec, scale, jobs),
+        "fig10b" => experiments::fig_multi_thread(Suite::Spec, scale, jobs),
+        "fig11" => experiments::fig11(scale, jobs),
+        "fig12" => experiments::fig12(scale, jobs),
+        "stalls" => experiments::stalls(scale, jobs),
+        "ablation-lane" => experiments::ablation_lane(scale, jobs),
+        "ablation-reuse" => experiments::ablation_reuse(scale, jobs),
+        "ablation-simt" => experiments::ablation_simt_interval(scale, jobs),
+        "ablation-lsu" => experiments::ablation_lsu(scale, jobs),
+        "ablation-spec" => experiments::ablation_spec(scale, jobs),
         _ => return None,
     };
     Some(out)
@@ -62,24 +66,50 @@ const ALL: [&str; 15] = [
     "ablation-spec",
 ];
 
+/// Marker `sweep::append_failures` puts in a report when runs failed.
+const FAILURE_MARKER: &str = "failed runs (";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let strict = args.iter().any(|a| a == "--strict");
+    let mut jobs = diag_bench::sweep::default_jobs();
+    let mut names: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" | "--strict" => {}
+            "--jobs" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--jobs needs a positive integer");
+                    usage();
+                };
+                jobs = n.max(1);
+            }
+            other if other.starts_with("--") => usage(),
+            other => names.push(other),
+        }
+    }
     let scale = if quick { Scale::Tiny } else { Scale::Small };
-    let names: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     if names.is_empty() {
         usage();
     }
     let list: Vec<&str> = if names == ["all"] { ALL.to_vec() } else { names };
+    let mut any_failed = false;
     for (i, name) in list.iter().enumerate() {
-        match run(name, scale) {
+        match run(name, scale, jobs) {
             Some(out) => {
                 if i > 0 {
                     println!();
                 }
+                any_failed |= out.contains(FAILURE_MARKER);
                 println!("{out}");
             }
             None => usage(),
         }
+    }
+    if strict && any_failed {
+        eprintln!("--strict: at least one run failed (see \"failed runs\" sections above)");
+        std::process::exit(1);
     }
 }

@@ -5,13 +5,21 @@
 //! Absolute cycle counts are not expected to match the authors' testbed;
 //! the *shape* — who wins, by roughly what factor — is the reproduction
 //! target (see EXPERIMENTS.md).
+//!
+//! Experiments are two-phase: every simulation run is first enqueued into
+//! a [`Sweep`](crate::sweep::Sweep), the sweep executes across `jobs`
+//! worker threads, and the tables are then assembled from the results in
+//! submission order — so the rendered output is byte-identical at any job
+//! count, and a failed run shows up as a `FAIL` cell plus a trailing
+//! "failed runs" section instead of aborting the whole figure.
 
 use diag_core::{Diag, DiagConfig};
 use diag_power::{geomean, ratio, BaselineEnergyModel, DiagEnergyModel, TextTable};
 use diag_sim::RunStats;
 use diag_workloads::{rodinia_specs, spec_specs, Params, Scale, Suite, WorkloadSpec};
 
-use crate::runner::{run_verified, MachineKind, MT_THREADS};
+use crate::runner::{MachineKind, MT_THREADS};
+use crate::sweep::{append_failures, RunId, Sweep};
 
 fn params(scale: Scale) -> Params {
     Params { scale, ..Params::small() }
@@ -34,8 +42,13 @@ fn simt_config() -> DiagConfig {
     cfg
 }
 
+/// Renders a relative-performance cell, or `FAIL` if a run is missing.
+fn cell(rel: Option<f64>) -> String {
+    rel.map(ratio).unwrap_or_else(|| "FAIL".to_string())
+}
+
 /// Single-thread relative performance across a suite (Figures 9a / 10a).
-pub fn fig_single_thread(suite: Suite, scale: Scale) -> String {
+pub fn fig_single_thread(suite: Suite, scale: Scale, jobs: usize) -> String {
     let specs: Vec<WorkloadSpec> = match suite {
         Suite::Rodinia => rodinia_specs(),
         Suite::Spec => spec_specs(),
@@ -45,18 +58,33 @@ pub fn fig_single_thread(suite: Suite, scale: Scale) -> String {
         Suite::Spec => ("Figure 10a", [0.81, 0.97, 0.97]),
     };
     let p = params(scale);
-    let baseline = MachineKind::Ooo(1);
+
+    // Phase 1: enqueue one baseline run plus one run per DiAG size for
+    // every kernel.
+    let mut sweep = Sweep::new();
+    let queued: Vec<(RunId, [RunId; 3])> = specs
+        .iter()
+        .map(|spec| {
+            let base = sweep.add(MachineKind::Ooo(1), *spec, p);
+            let ours = diag_configs()
+                .map(|(_, cfg)| sweep.add(MachineKind::Diag(cfg), *spec, p));
+            (base, ours)
+        })
+        .collect();
+    let results = sweep.execute(jobs);
+
+    // Phase 2: assemble in submission order.
     let mut table =
         TextTable::new(["benchmark", "DiAG 32 PE", "DiAG 256 PE", "DiAG 512 PE"]);
     let mut cols: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-    for spec in &specs {
-        let base = run_verified(&baseline, spec, &p);
+    for (spec, (base, ours)) in specs.iter().zip(&queued) {
         let mut row = vec![spec.name.to_string()];
-        for (i, (_, cfg)) in diag_configs().into_iter().enumerate() {
-            let ours = run_verified(&MachineKind::Diag(cfg), spec, &p);
-            let rel = base.cycles as f64 / ours.cycles as f64;
-            cols[i].push(rel);
-            row.push(ratio(rel));
+        for (i, id) in ours.iter().enumerate() {
+            let rel = results.rel(*base, *id);
+            if let Some(rel) = rel {
+                cols[i].push(rel);
+            }
+            row.push(cell(rel));
         }
         table.row(row);
     }
@@ -67,16 +95,17 @@ pub fn fig_single_thread(suite: Suite, scale: Scale) -> String {
     for (i, pes) in [32, 256, 512].into_iter().enumerate() {
         out.push_str(&format!(
             "geomean {pes} PEs: {} (paper: {:.2}x)\n",
-            ratio(geomean(&cols[i])),
+            cell((!cols[i].is_empty()).then(|| geomean(&cols[i]))),
             paper_avgs[i]
         ));
     }
+    append_failures(&mut out, &results);
     out
 }
 
 /// Multi-thread relative performance across a suite (Figures 9b / 10b),
 /// with a SIMT-pipelined series for the capable kernels.
-pub fn fig_multi_thread(suite: Suite, scale: Scale) -> String {
+pub fn fig_multi_thread(suite: Suite, scale: Scale, jobs: usize) -> String {
     let specs: Vec<WorkloadSpec> = match suite {
         Suite::Rodinia => rodinia_specs(),
         Suite::Spec => spec_specs(),
@@ -86,26 +115,45 @@ pub fn fig_multi_thread(suite: Suite, scale: Scale) -> String {
         Suite::Spec => ("Figure 10b", 0.97, 1.15),
     };
     let p = params(scale).with_threads(MT_THREADS);
-    let baseline = MachineKind::Ooo(MT_THREADS);
+
+    let mut sweep = Sweep::new();
+    let queued: Vec<(RunId, RunId, Option<RunId>)> = specs
+        .iter()
+        .map(|spec| {
+            let base = sweep.add(MachineKind::Ooo(MT_THREADS), *spec, p);
+            let ours = sweep.add(MachineKind::Diag(DiagConfig::f4c32()), *spec, p);
+            let piped = spec.simt_capable.then(|| {
+                sweep.add(MachineKind::Diag(simt_config()), *spec, p.with_simt(true))
+            });
+            (base, ours, piped)
+        })
+        .collect();
+    let results = sweep.execute(jobs);
+
     let mut table = TextTable::new(["benchmark", "DiAG 16x2", "DiAG +SIMT"]);
     let mut mt = Vec::new();
     let mut simt = Vec::new();
-    for spec in &specs {
-        let base = run_verified(&baseline, spec, &p);
-        let ours = run_verified(&MachineKind::Diag(DiagConfig::f4c32()), spec, &p);
-        let rel = base.cycles as f64 / ours.cycles as f64;
-        mt.push(rel);
-        let simt_cell = if spec.simt_capable {
-            let ps = p.with_simt(true);
-            let pipelined = run_verified(&MachineKind::Diag(simt_config()), spec, &ps);
-            let rel_simt = base.cycles as f64 / pipelined.cycles as f64;
-            simt.push(rel_simt);
-            ratio(rel_simt)
-        } else {
-            simt.push(rel);
-            "-".to_string()
+    for (spec, (base, ours, piped)) in specs.iter().zip(&queued) {
+        let rel = results.rel(*base, *ours);
+        if let Some(rel) = rel {
+            mt.push(rel);
+        }
+        let simt_cell = match piped {
+            Some(piped) => {
+                let rel_simt = results.rel(*base, *piped);
+                if let Some(rel_simt) = rel_simt {
+                    simt.push(rel_simt);
+                }
+                cell(rel_simt)
+            }
+            None => {
+                if let Some(rel) = rel {
+                    simt.push(rel);
+                }
+                "-".to_string()
+            }
         };
-        table.row([spec.name.to_string(), ratio(rel), simt_cell]);
+        table.row([spec.name.to_string(), cell(rel), simt_cell]);
     }
     let mut out = format!(
         "{fig}: {MT_THREADS}-thread relative performance vs {MT_THREADS}-core OoO (higher = faster)\n"
@@ -113,129 +161,196 @@ pub fn fig_multi_thread(suite: Suite, scale: Scale) -> String {
     out.push_str(&table.render());
     out.push_str(&format!(
         "geomean multi-thread: {} (paper: {paper_mt:.2}x)\n",
-        ratio(geomean(&mt))
+        cell((!mt.is_empty()).then(|| geomean(&mt)))
     ));
     out.push_str(&format!(
         "geomean with SIMT pipelining: {} (paper: {paper_simt:.2}x)\n",
-        ratio(geomean(&simt))
+        cell((!simt.is_empty()).then(|| geomean(&simt)))
     ));
+    append_failures(&mut out, &results);
     out
 }
 
 /// Figure 11: energy-consumption breakdown by hardware component for four
 /// Rodinia benchmarks.
-pub fn fig11(scale: Scale) -> String {
+pub fn fig11(scale: Scale, jobs: usize) -> String {
     let names = ["backprop", "bfs", "hotspot", "srad"];
     let p = params(scale);
     let model = DiagEnergyModel::default();
+
+    let mut sweep = Sweep::new();
+    let ids: Vec<RunId> = names
+        .iter()
+        .map(|name| {
+            let spec = diag_workloads::find(name).expect("registered");
+            sweep.add(MachineKind::Diag(DiagConfig::f4c32()), spec, p)
+        })
+        .collect();
+    let results = sweep.execute(jobs);
+
     let mut table = TextTable::new(["benchmark", "FPU %", "reg lanes %", "memory %", "control %"]);
-    for name in names {
-        let spec = diag_workloads::find(name).expect("registered");
-        let stats = run_verified(&MachineKind::Diag(DiagConfig::f4c32()), &spec, &p);
-        let e = model.energy(&stats);
-        let (fpu, lanes, mem, ctl) = e.shares();
-        table.row([
-            name.to_string(),
-            format!("{fpu:.1}"),
-            format!("{lanes:.1}"),
-            format!("{mem:.1}"),
-            format!("{ctl:.1}"),
-        ]);
+    for (name, id) in names.iter().zip(&ids) {
+        match results.stats(*id) {
+            Some(stats) => {
+                let e = model.energy(stats);
+                let (fpu, lanes, mem, ctl) = e.shares();
+                table.row([
+                    name.to_string(),
+                    format!("{fpu:.1}"),
+                    format!("{lanes:.1}"),
+                    format!("{mem:.1}"),
+                    format!("{ctl:.1}"),
+                ]);
+            }
+            None => {
+                table.row([
+                    name.to_string(),
+                    "FAIL".to_string(),
+                    "FAIL".to_string(),
+                    "FAIL".to_string(),
+                    "FAIL".to_string(),
+                ]);
+            }
+        }
     }
     let mut out = String::from(
         "Figure 11: DiAG F4C32 energy breakdown by component (paper: FPU ~half in \
          compute-heavy kernels, ~20% register lanes; memory dominates graph traversal)\n",
     );
     out.push_str(&table.render());
+    append_failures(&mut out, &results);
     out
 }
 
 /// Figure 12: Rodinia energy-efficiency improvement over the baseline
 /// (inverse total energy; single-thread, multi-thread, and SIMT series).
-pub fn fig12(scale: Scale) -> String {
+pub fn fig12(scale: Scale, jobs: usize) -> String {
     let diag_model = DiagEnergyModel::default();
     let base_model = BaselineEnergyModel::default();
+    let specs = rodinia_specs();
+    let p1 = params(scale);
+    let pm = p1.with_threads(MT_THREADS);
+
+    let mut sweep = Sweep::new();
+    let queued: Vec<(RunId, RunId, RunId, RunId, Option<RunId>)> = specs
+        .iter()
+        .map(|spec| {
+            let b1 = sweep.add(MachineKind::Ooo(1), *spec, p1);
+            let d1 = sweep.add(MachineKind::Diag(DiagConfig::f4c32()), *spec, p1);
+            let bm = sweep.add(MachineKind::Ooo(MT_THREADS), *spec, pm);
+            let dm = sweep.add(MachineKind::Diag(DiagConfig::f4c32()), *spec, pm);
+            let ds = spec.simt_capable.then(|| {
+                sweep.add(MachineKind::Diag(simt_config()), *spec, pm.with_simt(true))
+            });
+            (b1, d1, bm, dm, ds)
+        })
+        .collect();
+    let results = sweep.execute(jobs);
+
+    // Energy-efficiency ratio of a (baseline, DiAG) run pair.
+    let eff = |b: RunId, d: RunId| -> Option<f64> {
+        Some(
+            base_model.energy(results.stats(b)?).total_nj()
+                / diag_model.energy(results.stats(d)?).total_nj(),
+        )
+    };
+
     let mut table = TextTable::new(["benchmark", "single", "multi", "+SIMT"]);
     let mut single = Vec::new();
     let mut multi = Vec::new();
     let mut simt = Vec::new();
-    for spec in rodinia_specs() {
-        let p1 = params(scale);
-        let b1 = run_verified(&MachineKind::Ooo(1), &spec, &p1);
-        let d1 = run_verified(&MachineKind::Diag(DiagConfig::f4c32()), &spec, &p1);
-        let r1 = base_model.energy(&b1).total_nj() / diag_model.energy(&d1).total_nj();
-        single.push(r1);
-
-        let pm = p1.with_threads(MT_THREADS);
-        let bm = run_verified(&MachineKind::Ooo(MT_THREADS), &spec, &pm);
-        let dm = run_verified(&MachineKind::Diag(DiagConfig::f4c32()), &spec, &pm);
-        let rm = base_model.energy(&bm).total_nj() / diag_model.energy(&dm).total_nj();
-        multi.push(rm);
-
-        let rs = if spec.simt_capable {
-            let ps = pm.with_simt(true);
-            let ds = run_verified(&MachineKind::Diag(simt_config()), &spec, &ps);
-            base_model.energy(&bm).total_nj() / diag_model.energy(&ds).total_nj()
-        } else {
-            rm
+    for (spec, (b1, d1, bm, dm, ds)) in specs.iter().zip(&queued) {
+        let r1 = eff(*b1, *d1);
+        if let Some(r1) = r1 {
+            single.push(r1);
+        }
+        let rm = eff(*bm, *dm);
+        if let Some(rm) = rm {
+            multi.push(rm);
+        }
+        let rs = match ds {
+            Some(ds) => eff(*bm, *ds),
+            None => rm,
         };
-        simt.push(rs);
+        if let Some(rs) = rs {
+            simt.push(rs);
+        }
         table.row([
             spec.name.to_string(),
-            ratio(r1),
-            ratio(rm),
-            if spec.simt_capable { ratio(rs) } else { "-".to_string() },
+            cell(r1),
+            cell(rm),
+            if ds.is_some() { cell(rs) } else { "-".to_string() },
         ]);
     }
     let mut out = String::from(
         "Figure 12: energy-efficiency improvement vs OoO baseline (higher = better)\n",
     );
     out.push_str(&table.render());
-    out.push_str(&format!("geomean single-thread: {} (paper: 1.51x)\n", ratio(geomean(&single))));
-    out.push_str(&format!("geomean multi-thread:  {} (paper: 1.35x)\n", ratio(geomean(&multi))));
-    out.push_str(&format!("geomean with SIMT:     {} (paper: 1.63x)\n", ratio(geomean(&simt))));
+    out.push_str(&format!(
+        "geomean single-thread: {} (paper: 1.51x)\n",
+        cell((!single.is_empty()).then(|| geomean(&single)))
+    ));
+    out.push_str(&format!(
+        "geomean multi-thread:  {} (paper: 1.35x)\n",
+        cell((!multi.is_empty()).then(|| geomean(&multi)))
+    ));
+    out.push_str(&format!(
+        "geomean with SIMT:     {} (paper: 1.63x)\n",
+        cell((!simt.is_empty()).then(|| geomean(&simt)))
+    ));
+    append_failures(&mut out, &results);
     out
 }
 
 /// Table 1: per-instruction front-end event rates, measured.
-pub fn table1(scale: Scale) -> String {
+pub fn table1(scale: Scale, jobs: usize) -> String {
     let spec = diag_workloads::find("pathfinder").expect("registered");
     let p = params(scale);
-    let ooo = run_verified(&MachineKind::Ooo(1), &spec, &p);
-    let diag = run_verified(&MachineKind::Diag(DiagConfig::f4c32()), &spec, &p);
     let mut no_reuse = DiagConfig::f4c32();
     no_reuse.enable_reuse = false;
-    let initial = run_verified(&MachineKind::Diag(no_reuse), &spec, &p);
 
-    let per = |n: u64, s: &RunStats| format!("{:.3}", n as f64 / s.committed as f64);
+    let mut sweep = Sweep::new();
+    let ooo_id = sweep.add(MachineKind::Ooo(1), spec, p);
+    let diag_id = sweep.add(MachineKind::Diag(DiagConfig::f4c32()), spec, p);
+    let initial_id = sweep.add(MachineKind::Diag(no_reuse), spec, p);
+    let results = sweep.execute(jobs);
+    let (ooo, diag, initial) =
+        (results.stats(ooo_id), results.stats(diag_id), results.stats(initial_id));
+
+    let per = |pick: fn(&RunStats) -> u64, s: Option<&RunStats>| {
+        s.map_or_else(
+            || "FAIL".to_string(),
+            |s| format!("{:.3}", pick(s) as f64 / s.committed as f64),
+        )
+    };
     let mut table = TextTable::new(["event / instr", "OoO", "DiAG (no reuse)", "DiAG (reuse)"]);
     table.row([
         "fetched lines".to_string(),
-        per(ooo.activity.line_fetches, &ooo),
-        per(initial.activity.line_fetches, &initial),
-        per(diag.activity.line_fetches, &diag),
+        per(|s| s.activity.line_fetches, ooo),
+        per(|s| s.activity.line_fetches, initial),
+        per(|s| s.activity.line_fetches, diag),
     ]);
     table.row([
         "decodes".to_string(),
-        per(ooo.activity.decodes, &ooo),
-        per(initial.activity.decodes, &initial),
-        per(diag.activity.decodes, &diag),
+        per(|s| s.activity.decodes, ooo),
+        per(|s| s.activity.decodes, initial),
+        per(|s| s.activity.decodes, diag),
     ]);
     table.row([
         "renames".to_string(),
-        per(ooo.activity.renames, &ooo),
+        per(|s| s.activity.renames, ooo),
         "0 (reg lanes)".to_string(),
         "0 (reg lanes)".to_string(),
     ]);
     table.row([
         "issues/dispatches".to_string(),
-        per(ooo.activity.issues, &ooo),
+        per(|s| s.activity.issues, ooo),
         "0 (dataflow)".to_string(),
         "0 (dataflow)".to_string(),
     ]);
     table.row([
         "ROB writes".to_string(),
-        per(ooo.activity.rob_writes, &ooo),
+        per(|s| s.activity.rob_writes, ooo),
         "0 (PC lane)".to_string(),
         "0 (PC lane)".to_string(),
     ]);
@@ -244,10 +359,13 @@ pub fn table1(scale: Scale) -> String {
          rename/issue/dispatch entirely; reuse also eliminates fetch and decode)\n",
     );
     out.push_str(&table.render());
-    out.push_str(&format!(
-        "DiAG reuse fraction on this loop kernel: {:.1}%\n",
-        diag.reuse_fraction() * 100.0
-    ));
+    if let Some(diag) = diag {
+        out.push_str(&format!(
+            "DiAG reuse fraction on this loop kernel: {:.1}%\n",
+            diag.reuse_fraction() * 100.0
+        ));
+    }
+    append_failures(&mut out, &results);
     out
 }
 
@@ -315,108 +433,166 @@ pub fn table3() -> String {
 }
 
 /// §7.3.2: stall-cause breakdown averaged across the Rodinia suite.
-pub fn stalls(scale: Scale) -> String {
+pub fn stalls(scale: Scale, jobs: usize) -> String {
     let p = params(scale);
+    let specs = rodinia_specs();
+    let mut sweep = Sweep::new();
+    let ids: Vec<RunId> = specs
+        .iter()
+        .map(|spec| sweep.add(MachineKind::Diag(DiagConfig::f4c32()), *spec, p))
+        .collect();
+    let results = sweep.execute(jobs);
+
     let mut total = diag_sim::StallBreakdown::default();
-    for spec in rodinia_specs() {
-        let stats = run_verified(&MachineKind::Diag(DiagConfig::f4c32()), &spec, &p);
-        total += stats.stalls;
+    for id in &ids {
+        if let Some(stats) = results.stats(*id) {
+            total += stats.stalls;
+        }
     }
     let (m, c, o) = total.shares();
     let mut table = TextTable::new(["cause", "measured", "paper"]);
     table.row(["memory".to_string(), format!("{m:.1}%"), "73.6%".to_string()]);
     table.row(["control".to_string(), format!("{c:.1}%"), "21.1%".to_string()]);
     table.row(["other (structural)".to_string(), format!("{o:.1}%"), "5.3%".to_string()]);
-    format!("Section 7.3.2: DiAG stall-source breakdown over Rodinia\n{}", table.render())
+    let mut out =
+        format!("Section 7.3.2: DiAG stall-source breakdown over Rodinia\n{}", table.render());
+    append_failures(&mut out, &results);
+    out
 }
 
 /// Ablation: register-lane buffer interval (paper §6.1.2 fixes it at 8).
-pub fn ablation_lane(scale: Scale) -> String {
+pub fn ablation_lane(scale: Scale, jobs: usize) -> String {
     let spec = diag_workloads::find("srad").expect("registered");
     let p = params(scale);
-    let mut table = TextTable::new(["buffer interval (PEs)", "cycles", "IPC"]);
-    for interval in [4usize, 8, 16] {
+    let intervals = [4usize, 8, 16];
+
+    let mut sweep = Sweep::new();
+    let ids = intervals.map(|interval| {
         let mut cfg = DiagConfig::f4c32();
         cfg.lane_buffer_interval = interval;
-        let stats = run_verified(&MachineKind::Diag(cfg), &spec, &p);
-        table.row([
-            interval.to_string(),
-            stats.cycles.to_string(),
-            format!("{:.3}", stats.ipc()),
-        ]);
+        sweep.add(MachineKind::Diag(cfg), spec, p)
+    });
+    let results = sweep.execute(jobs);
+
+    let mut table = TextTable::new(["buffer interval (PEs)", "cycles", "IPC"]);
+    for (interval, id) in intervals.iter().zip(&ids) {
+        let (cycles, ipc) = results.stats(*id).map_or_else(
+            || ("FAIL".to_string(), "FAIL".to_string()),
+            |s| (s.cycles.to_string(), format!("{:.3}", s.ipc())),
+        );
+        table.row([interval.to_string(), cycles, ipc]);
     }
-    format!(
+    let mut out = format!(
         "Ablation: register-lane buffer interval on srad (paper buffers every 8 PEs, \
          §6.1.2 — fewer buffers = lower latency but longer critical wires)\n{}",
         table.render()
-    )
+    );
+    append_failures(&mut out, &results);
+    out
 }
 
 /// Ablation: datapath reuse on/off across loop-heavy kernels.
-pub fn ablation_reuse(scale: Scale) -> String {
+pub fn ablation_reuse(scale: Scale, jobs: usize) -> String {
     let p = params(scale);
+    let names = ["pathfinder", "hotspot", "x264", "mcf"];
+
+    let mut sweep = Sweep::new();
+    let ids: Vec<(RunId, RunId)> = names
+        .iter()
+        .map(|name| {
+            let spec = diag_workloads::find(name).expect("registered");
+            let on = sweep.add(MachineKind::Diag(DiagConfig::f4c32()), spec, p);
+            let mut cfg = DiagConfig::f4c32();
+            cfg.enable_reuse = false;
+            let off = sweep.add(MachineKind::Diag(cfg), spec, p);
+            (on, off)
+        })
+        .collect();
+    let results = sweep.execute(jobs);
+
     let mut table = TextTable::new(["benchmark", "reuse cycles", "no-reuse cycles", "speedup"]);
-    for name in ["pathfinder", "hotspot", "x264", "mcf"] {
-        let spec = diag_workloads::find(name).expect("registered");
-        let on = run_verified(&MachineKind::Diag(DiagConfig::f4c32()), &spec, &p);
-        let mut cfg = DiagConfig::f4c32();
-        cfg.enable_reuse = false;
-        let off = run_verified(&MachineKind::Diag(cfg), &spec, &p);
+    for (name, (on, off)) in names.iter().zip(&ids) {
+        let on = results.stats(*on);
+        let off = results.stats(*off);
         table.row([
             name.to_string(),
-            on.cycles.to_string(),
-            off.cycles.to_string(),
-            ratio(off.cycles as f64 / on.cycles as f64),
+            on.map_or_else(|| "FAIL".to_string(), |s| s.cycles.to_string()),
+            off.map_or_else(|| "FAIL".to_string(), |s| s.cycles.to_string()),
+            cell(on.zip(off).map(|(on, off)| off.cycles as f64 / on.cycles as f64)),
         ]);
     }
-    format!(
+    let mut out = format!(
         "Ablation: datapath reuse (§4.3.2) on F4C32 — reuse (with its preemptive \
          loop-line loading) eliminates refetch/redecode of resident loops\n{}",
         table.render()
-    )
+    );
+    append_failures(&mut out, &results);
+    out
 }
 
 /// Ablation: cluster LSU queue depth (§7.3.2 blames "full LSU request
 /// queues" for many memory stalls).
-pub fn ablation_lsu(scale: Scale) -> String {
+pub fn ablation_lsu(scale: Scale, jobs: usize) -> String {
     let spec = diag_workloads::find("mcf").expect("registered");
     let p = params(scale);
-    let mut table = TextTable::new(["LSU depth", "cycles", "memory-stall cycles"]);
-    for depth in [4usize, 8, 16, 32] {
+    let depths = [4usize, 8, 16, 32];
+
+    let mut sweep = Sweep::new();
+    let ids = depths.map(|depth| {
         let mut cfg = DiagConfig::f4c32();
         cfg.lsu_depth = depth;
-        let stats = run_verified(&MachineKind::Diag(cfg), &spec, &p);
-        table.row([
-            depth.to_string(),
-            stats.cycles.to_string(),
-            stats.stalls.memory.to_string(),
-        ]);
+        sweep.add(MachineKind::Diag(cfg), spec, p)
+    });
+    let results = sweep.execute(jobs);
+
+    let mut table = TextTable::new(["LSU depth", "cycles", "memory-stall cycles"]);
+    for (depth, id) in depths.iter().zip(&ids) {
+        let (cycles, mem) = results.stats(*id).map_or_else(
+            || ("FAIL".to_string(), "FAIL".to_string()),
+            |s| (s.cycles.to_string(), s.stalls.memory.to_string()),
+        );
+        table.row([depth.to_string(), cycles, mem]);
     }
-    format!(
+    let mut out = format!(
         "Ablation: cluster LSU outstanding-request depth on mcf (memory-bound) — \
          deeper queues overlap more misses\n{}",
         table.render()
-    )
+    );
+    append_failures(&mut out, &results);
+    out
 }
 
 /// Ablation: speculative datapath construction on forward branches
 /// (paper §7.3.2 future work: "penalties due to unpredictable control
 /// flow changes can potentially be ameliorated by simultaneously
 /// constructing multiple speculative datapaths").
-pub fn ablation_spec(scale: Scale) -> String {
+pub fn ablation_spec(scale: Scale, jobs: usize) -> String {
     let p = params(scale);
+    let names = ["xz", "bfs", "nw", "leela"];
+
+    let mut sweep = Sweep::new();
+    let ids: Vec<(RunId, RunId)> = names
+        .iter()
+        .map(|name| {
+            let spec = diag_workloads::find(name).expect("registered");
+            let plain = sweep.add(MachineKind::Diag(DiagConfig::f4c32()), spec, p);
+            let mut cfg = DiagConfig::f4c32();
+            cfg.speculative_datapaths = true;
+            let with = sweep.add(MachineKind::Diag(cfg), spec, p);
+            (plain, with)
+        })
+        .collect();
+    let results = sweep.execute(jobs);
+
     let mut table = TextTable::new(["benchmark", "baseline cycles", "speculative cycles", "speedup"]);
-    for name in ["xz", "bfs", "nw", "leela"] {
-        let spec = diag_workloads::find(name).expect("registered");
-        let plain = run_verified(&MachineKind::Diag(DiagConfig::f4c32()), &spec, &p);
-        let mut cfg = DiagConfig::f4c32();
-        cfg.speculative_datapaths = true;
-        let with = run_verified(&MachineKind::Diag(cfg), &spec, &p);
+    for (name, (plain, with)) in names.iter().zip(&ids) {
+        let plain = results.stats(*plain);
+        let with = results.stats(*with);
         table.row([
             name.to_string(),
-            plain.cycles.to_string(),
-            with.cycles.to_string(),
-            ratio(plain.cycles as f64 / with.cycles as f64),
+            plain.map_or_else(|| "FAIL".to_string(), |s| s.cycles.to_string()),
+            with.map_or_else(|| "FAIL".to_string(), |s| s.cycles.to_string()),
+            cell(plain.zip(with).map(|(p, w)| p.cycles as f64 / w.cycles as f64)),
         ]);
     }
     // Suite kernels' forward branches are short skips within resident
@@ -437,7 +613,7 @@ pub fn ablation_spec(scale: Scale) -> String {
         with.cycles.to_string(),
         ratio(plain.cycles as f64 / with.cycles as f64),
     ]);
-    format!(
+    let mut out = format!(
         "Ablation: speculative forward-branch datapaths (§7.3.2 future work). \
          Finding: consistently neutral — once the control unit's preemptive \
          line loading (§5.1.3) and datapath residency are modelled, taken \
@@ -446,7 +622,9 @@ pub fn ablation_spec(scale: Scale) -> String {
          construction to hide. The paper's hypothesis targets wrong-path \
          flush costs our model does not simulate\n{}",
         table.render()
-    )
+    );
+    append_failures(&mut out, &results);
+    out
 }
 
 /// A loop whose taken forward branch lands in a different I-line.
@@ -474,24 +652,35 @@ fn far_branch_program() -> diag_asm::Program {
 }
 
 /// Ablation: SIMT initiation interval (paper §5.4's `interval` operand).
-pub fn ablation_simt_interval(scale: Scale) -> String {
+pub fn ablation_simt_interval(scale: Scale, jobs: usize) -> String {
     // Rebuild hotspot with different intervals by running the pipelined
     // config against the simt binary; the interval is encoded in simt_s,
     // so vary it through a custom build.
-    let p = params(scale).with_simt(true);
     let spec = diag_workloads::find("hotspot").expect("registered");
+    let mut piped_cfg = simt_config();
+    piped_cfg.ring_clusters = piped_cfg.clusters; // single ring for single thread
+
+    let mut sweep = Sweep::new();
+    let seq_id = sweep.add(MachineKind::Diag(DiagConfig::f4c32()), spec, params(scale));
+    let piped_id =
+        sweep.add(MachineKind::Diag(piped_cfg), spec, params(scale).with_simt(true));
+    let results = sweep.execute(jobs);
+
     let mut table = TextTable::new(["machine", "cycles", "IPC"]);
-    let seq = run_verified(&MachineKind::Diag(DiagConfig::f4c32()), &spec, &params(scale));
-    table.row(["serial loop (reuse)".to_string(), seq.cycles.to_string(), format!("{:.3}", seq.ipc())]);
-    let mut cfg = simt_config();
-    cfg.ring_clusters = cfg.clusters; // single ring for single thread
-    let piped = run_verified(&MachineKind::Diag(cfg), &spec, &p);
-    table.row(["SIMT pipelined".to_string(), piped.cycles.to_string(), format!("{:.3}", piped.ipc())]);
-    format!(
+    for (label, id) in [("serial loop (reuse)", seq_id), ("SIMT pipelined", piped_id)] {
+        let (cycles, ipc) = results.stats(id).map_or_else(
+            || ("FAIL".to_string(), "FAIL".to_string()),
+            |s| (s.cycles.to_string(), format!("{:.3}", s.ipc())),
+        );
+        table.row([label.to_string(), cycles, ipc]);
+    }
+    let mut out = format!(
         "Ablation: thread pipelining vs serial loop execution on hotspot (single \
          thread, §4.4)\n{}",
         table.render()
-    )
+    );
+    append_failures(&mut out, &results);
+    out
 }
 
 #[cfg(test)]
@@ -510,20 +699,29 @@ mod tests {
 
     #[test]
     fn table1_runs_at_tiny_scale() {
-        let t = table1(Scale::Tiny);
+        let t = table1(Scale::Tiny, 2);
         assert!(t.contains("reuse fraction"));
         assert!(t.contains("reg lanes"));
+        assert!(!t.contains("FAIL"), "{t}");
     }
 
     #[test]
     fn fig11_runs_at_tiny_scale() {
-        let t = fig11(Scale::Tiny);
+        let t = fig11(Scale::Tiny, 2);
         assert!(t.contains("backprop"));
+        assert!(!t.contains("FAIL"), "{t}");
     }
 
     #[test]
     fn stalls_runs_at_tiny_scale() {
-        let t = stalls(Scale::Tiny);
+        let t = stalls(Scale::Tiny, 2);
         assert!(t.contains("73.6%"));
+    }
+
+    #[test]
+    fn experiment_output_is_identical_at_any_job_count() {
+        let serial = ablation_simt_interval(Scale::Tiny, 1);
+        let parallel = ablation_simt_interval(Scale::Tiny, 4);
+        assert_eq!(serial, parallel);
     }
 }

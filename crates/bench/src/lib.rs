@@ -2,13 +2,20 @@
 //!
 //! Regenerates every table and figure of the paper's evaluation (§6–§7):
 //! one function per artifact in [`experiments`], shared machine/workload
-//! plumbing in [`runner`], and a CLI binary (`harness`) that prints the
-//! same rows/series the paper reports with the paper's published values
-//! alongside. Criterion microbenchmarks of the simulators themselves live
-//! under `benches/`.
+//! plumbing in [`runner`], the parallel work-queue runner in [`sweep`],
+//! and a CLI binary (`harness`) that prints the same rows/series the
+//! paper reports with the paper's published values alongside. Simulator
+//! microbenchmarks (dependency-free timing harnesses) live under
+//! `benches/`.
+//!
+//! Experiments enqueue every `(machine, workload, params)` simulation
+//! into a [`sweep::Sweep`] and assemble their tables from the results in
+//! submission order, so `harness --jobs N` output is byte-identical to a
+//! serial run.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
 pub mod runner;
+pub mod sweep;

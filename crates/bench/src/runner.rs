@@ -1,9 +1,11 @@
 //! Shared experiment plumbing: machine construction, workload runs, and
 //! relative-performance math.
 
+use std::fmt;
+
 use diag_baseline::{InOrder, O3Config, OooCpu};
 use diag_core::{Diag, DiagConfig};
-use diag_sim::{Machine, RunStats};
+use diag_sim::{Machine, RunStats, SimError};
 use diag_workloads::{Params, Scale, WorkloadSpec};
 
 /// Which machine to construct for a run.
@@ -39,37 +41,129 @@ impl MachineKind {
     }
 }
 
+/// Why one workload run failed. Carries enough context to be printed in
+/// an experiment report without the surrounding run table.
+#[derive(Debug, Clone)]
+pub enum RunError {
+    /// The workload's program failed to assemble.
+    Build {
+        /// Workload name.
+        workload: String,
+        /// Assembler error text.
+        message: String,
+    },
+    /// The simulation itself errored (cycle limit, illegal instruction…).
+    Sim {
+        /// Workload name.
+        workload: String,
+        /// Machine label.
+        machine: String,
+        /// The underlying simulator error.
+        error: SimError,
+    },
+    /// The run completed but produced wrong architectural results.
+    Verify {
+        /// Workload name.
+        workload: String,
+        /// Machine label.
+        machine: String,
+        /// Verifier error text.
+        message: String,
+    },
+    /// The run panicked (a simulator bug; caught so a sweep can finish).
+    Panicked {
+        /// Workload name.
+        workload: String,
+        /// Machine label.
+        machine: String,
+        /// Panic payload, if it was a string.
+        message: String,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Build { workload, message } => {
+                write!(f, "{workload}: build failed: {message}")
+            }
+            RunError::Sim { workload, machine, error } => {
+                write!(f, "{workload} on {machine}: {error}")
+            }
+            RunError::Verify { workload, machine, message } => {
+                write!(f, "{workload} on {machine}: verification failed: {message}")
+            }
+            RunError::Panicked { workload, machine, message } => {
+                write!(f, "{workload} on {machine}: panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Sim { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
 /// One workload run: builds, executes, verifies, returns statistics.
+///
+/// # Errors
+///
+/// Returns a [`RunError`] describing the failing stage — build, simulate,
+/// or verify — so sweeps can aggregate failures instead of aborting.
+pub fn run_verified(
+    kind: &MachineKind,
+    spec: &WorkloadSpec,
+    params: &Params,
+) -> Result<RunStats, RunError> {
+    let built = spec.build(params).map_err(|e| RunError::Build {
+        workload: spec.name.to_string(),
+        message: e.to_string(),
+    })?;
+    let mut machine = kind.build();
+    let stats = machine.run(&built.program, params.threads).map_err(|e| RunError::Sim {
+        workload: spec.name.to_string(),
+        machine: kind.label(),
+        error: e,
+    })?;
+    (built.verify)(machine.as_ref()).map_err(|e| RunError::Verify {
+        workload: spec.name.to_string(),
+        machine: kind.label(),
+        message: e,
+    })?;
+    Ok(stats)
+}
+
+/// [`run_verified`], but aborting on failure — for callers where a wrong
+/// experiment result must never be silently dropped (`harness --strict`).
 ///
 /// # Panics
 ///
-/// Panics on build, run, or verification failure — experiment results
-/// must never be silently wrong.
-pub fn run_verified(kind: &MachineKind, spec: &WorkloadSpec, params: &Params) -> RunStats {
-    let built = spec
-        .build(params)
-        .unwrap_or_else(|e| panic!("{}: build failed: {e}", spec.name));
-    let mut machine = kind.build();
-    let stats = machine
-        .run(&built.program, params.threads)
-        .unwrap_or_else(|e| panic!("{} on {}: {e}", spec.name, kind.label()));
-    (built.verify)(machine.as_ref())
-        .unwrap_or_else(|e| panic!("{} on {}: verification failed: {e}", spec.name, kind.label()));
-    stats
+/// Panics on build, run, or verification failure.
+pub fn run_verified_strict(kind: &MachineKind, spec: &WorkloadSpec, params: &Params) -> RunStats {
+    run_verified(kind, spec, params).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Relative performance of `kind` vs `baseline` on `spec` (ratio of
 /// baseline cycles to machine cycles at equal frequency — >1 means
 /// faster than baseline, the paper's reporting convention).
+///
+/// # Errors
+///
+/// Propagates the first failing run's [`RunError`].
 pub fn relative_performance(
     kind: &MachineKind,
     baseline: &MachineKind,
     spec: &WorkloadSpec,
     params: &Params,
-) -> f64 {
-    let base = run_verified(baseline, spec, params);
-    let ours = run_verified(kind, spec, params);
-    base.cycles as f64 / ours.cycles as f64
+) -> Result<f64, RunError> {
+    let base = run_verified(baseline, spec, params)?;
+    let ours = run_verified(kind, spec, params)?;
+    Ok(base.cycles as f64 / ours.cycles as f64)
 }
 
 /// Default benchmarking scale for harness runs.
@@ -93,7 +187,7 @@ mod tests {
     #[test]
     fn run_verified_produces_stats() {
         let spec = find("x264").unwrap();
-        let stats = run_verified(&MachineKind::InOrder, &spec, &Params::tiny());
+        let stats = run_verified(&MachineKind::InOrder, &spec, &Params::tiny()).unwrap();
         assert!(stats.cycles > 0);
         assert!(stats.committed > 0);
     }
@@ -106,7 +200,8 @@ mod tests {
             &MachineKind::Ooo(1),
             &spec,
             &Params::tiny(),
-        );
+        )
+        .unwrap();
         assert!(rel > 0.05 && rel < 20.0, "rel = {rel}");
     }
 
@@ -114,5 +209,17 @@ mod tests {
     fn labels_are_informative() {
         assert!(MachineKind::Diag(DiagConfig::f4c32()).label().contains("512"));
         assert!(MachineKind::Ooo(12).label().contains("x12"));
+    }
+
+    #[test]
+    fn run_errors_display_the_failing_stage() {
+        let e = RunError::Verify {
+            workload: "hotspot".to_string(),
+            machine: "in-order".to_string(),
+            message: "word 0 mismatch".to_string(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("hotspot"));
+        assert!(text.contains("verification failed"));
     }
 }

@@ -1,0 +1,258 @@
+//! A parallel experiment runner.
+//!
+//! Experiments are two-phase: *enqueue* every `(machine, workload,
+//! params)` run into a [`Sweep`], then [`Sweep::execute`] shards the queue
+//! across `jobs` OS threads and returns results **in submission order**,
+//! regardless of which worker ran what — so experiment output is
+//! byte-identical at any job count. Failed runs (including panics inside
+//! a simulator) are captured as [`RunError`]s in their slot instead of
+//! aborting the whole sweep.
+//!
+//! The unit of parallelism is one whole simulation run: machines are
+//! single-threaded internally (`Rc`-based cache hierarchies), so each
+//! worker constructs its machine privately and only the submission queue
+//! and result slots are shared.
+//!
+//! # Examples
+//!
+//! ```
+//! use diag_bench::runner::MachineKind;
+//! use diag_bench::sweep::Sweep;
+//! use diag_workloads::{find, Params};
+//!
+//! let spec = find("hotspot").expect("registered");
+//! let mut sweep = Sweep::new();
+//! let a = sweep.add(MachineKind::InOrder, spec, Params::tiny());
+//! let b = sweep.add(MachineKind::Ooo(1), spec, Params::tiny());
+//! let results = sweep.execute(2);
+//! let (slow, fast) = (results.stats(a).unwrap(), results.stats(b).unwrap());
+//! assert!(fast.cycles < slow.cycles);
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use diag_sim::RunStats;
+use diag_workloads::{Params, WorkloadSpec};
+
+use crate::runner::{run_verified, MachineKind, RunError};
+
+/// One queued run: which machine, which workload, which parameters.
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// Machine to construct.
+    pub machine: MachineKind,
+    /// Workload to build and verify.
+    pub spec: WorkloadSpec,
+    /// Build/run parameters (scale, threads, SIMT, seed).
+    pub params: Params,
+}
+
+/// Handle to one queued run, redeemable against [`SweepResults`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunId(usize);
+
+/// A queue of simulation runs executed together.
+#[derive(Debug, Default)]
+pub struct Sweep {
+    runs: Vec<SweepRun>,
+}
+
+impl Sweep {
+    /// Creates an empty sweep.
+    pub fn new() -> Sweep {
+        Sweep::default()
+    }
+
+    /// Enqueues one run and returns its handle.
+    pub fn add(&mut self, machine: MachineKind, spec: WorkloadSpec, params: Params) -> RunId {
+        self.runs.push(SweepRun { machine, spec, params });
+        RunId(self.runs.len() - 1)
+    }
+
+    /// Number of queued runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Executes every queued run on up to `jobs` worker threads and
+    /// returns the results in submission order.
+    pub fn execute(self, jobs: usize) -> SweepResults {
+        SweepResults { results: run_sweep(&self.runs, jobs) }
+    }
+}
+
+/// Results of a [`Sweep`], indexed by [`RunId`] in submission order.
+#[derive(Debug)]
+pub struct SweepResults {
+    results: Vec<Result<RunStats, RunError>>,
+}
+
+impl SweepResults {
+    /// The result of one run.
+    pub fn get(&self, id: RunId) -> &Result<RunStats, RunError> {
+        &self.results[id.0]
+    }
+
+    /// The statistics of one run, or `None` if it failed.
+    pub fn stats(&self, id: RunId) -> Option<&RunStats> {
+        self.results[id.0].as_ref().ok()
+    }
+
+    /// Baseline-over-ours cycle ratio (the paper's relative-performance
+    /// convention), or `None` if either run failed.
+    pub fn rel(&self, baseline: RunId, ours: RunId) -> Option<f64> {
+        Some(self.stats(baseline)?.cycles as f64 / self.stats(ours)?.cycles as f64)
+    }
+
+    /// Every failure, in submission order.
+    pub fn failures(&self) -> Vec<&RunError> {
+        self.results.iter().filter_map(|r| r.as_ref().err()).collect()
+    }
+
+    /// All results, in submission order.
+    pub fn all(&self) -> &[Result<RunStats, RunError>] {
+        &self.results
+    }
+}
+
+/// Appends a "failed runs" section to an experiment report if any run in
+/// the sweep failed. Experiments stay useful under partial failure: good
+/// rows render, broken ones are listed here.
+pub fn append_failures(out: &mut String, results: &SweepResults) {
+    let failures = results.failures();
+    if failures.is_empty() {
+        return;
+    }
+    out.push_str(&format!("failed runs ({}):\n", failures.len()));
+    for f in failures {
+        out.push_str(&format!("  {f}\n"));
+    }
+}
+
+/// Default worker count: the host's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Executes `runs` on up to `jobs` worker threads, returning one result
+/// per run **in submission order**. Workers pull indices from a shared
+/// atomic counter, so scheduling is dynamic but the output ordering (and
+/// every simulation itself — machines are deterministic) is not affected
+/// by the job count. A panicking run is caught and reported as
+/// [`RunError::Panicked`] without poisoning the rest of the sweep.
+pub fn run_sweep(runs: &[SweepRun], jobs: usize) -> Vec<Result<RunStats, RunError>> {
+    let jobs = jobs.clamp(1, runs.len().max(1));
+    if jobs == 1 {
+        return runs.iter().map(run_one).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<RunStats, RunError>>>> =
+        runs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(run) = runs.get(i) else { break };
+                let result = run_one(run);
+                *slots[i].lock().expect("result slot") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result slot").expect("worker filled slot"))
+        .collect()
+}
+
+fn run_one(run: &SweepRun) -> Result<RunStats, RunError> {
+    catch_unwind(AssertUnwindSafe(|| run_verified(&run.machine, &run.spec, &run.params)))
+        .unwrap_or_else(|payload| {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(RunError::Panicked {
+                workload: run.spec.name.to_string(),
+                machine: run.machine.label(),
+                message,
+            })
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_workloads::find;
+
+    fn queue_of(n: usize) -> Sweep {
+        let spec = find("bfs").unwrap();
+        let mut sweep = Sweep::new();
+        for _ in 0..n {
+            sweep.add(MachineKind::InOrder, spec, Params::tiny());
+        }
+        sweep
+    }
+
+    #[test]
+    fn results_are_in_submission_order_at_any_job_count() {
+        let mut sweep = Sweep::new();
+        let mut ids = Vec::new();
+        for name in ["bfs", "hotspot", "nw", "x264", "mcf"] {
+            ids.push((name, sweep.add(MachineKind::InOrder, find(name).unwrap(), Params::tiny())));
+        }
+        let serial = sweep.execute(1);
+        let mut sweep = Sweep::new();
+        for (name, _) in &ids {
+            sweep.add(MachineKind::InOrder, find(name).unwrap(), Params::tiny());
+        }
+        let parallel = sweep.execute(4);
+        for (i, (name, id)) in ids.iter().enumerate() {
+            let a = serial.stats(*id).unwrap_or_else(|| panic!("{name} failed serially"));
+            let b = parallel.stats(RunId(i)).unwrap_or_else(|| panic!("{name} failed in parallel"));
+            assert_eq!(a.cycles, b.cycles, "{name} nondeterministic across job counts");
+            assert_eq!(a.committed, b.committed, "{name}");
+        }
+    }
+
+    #[test]
+    fn more_jobs_than_runs_is_fine() {
+        let results = queue_of(2).execute(64);
+        assert_eq!(results.all().len(), 2);
+        assert!(results.failures().is_empty());
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        let results = queue_of(1).execute(0);
+        assert!(results.stats(RunId(0)).is_some());
+    }
+
+    #[test]
+    fn failures_are_reported_not_fatal() {
+        // A DiAG config with a far-too-small cycle limit: the run fails
+        // with a cycle-limit SimError but the sweep still completes, and
+        // the healthy neighbouring run is unaffected.
+        let spec = find("hotspot").unwrap();
+        let mut tiny_limit = diag_core::DiagConfig::f4c2();
+        tiny_limit.max_cycles = 10;
+        let mut sweep = Sweep::new();
+        let bad = sweep.add(MachineKind::Diag(tiny_limit), spec, Params::tiny());
+        let good = sweep.add(MachineKind::InOrder, spec, Params::tiny());
+        let results = sweep.execute(2);
+        assert!(results.stats(bad).is_none());
+        assert!(results.stats(good).is_some());
+        assert_eq!(results.failures().len(), 1);
+        let mut report = String::new();
+        append_failures(&mut report, &results);
+        assert!(report.contains("failed runs (1)"), "{report}");
+        assert!(report.contains("hotspot"), "{report}");
+    }
+}

@@ -165,7 +165,7 @@ impl DiagConfig {
         assert!(self.clusters >= 2, "need at least two clusters to alternate (§4.3)");
         assert!(self.ring_clusters >= 2, "a ring needs at least two clusters");
         assert!(
-            self.pes_per_cluster % self.lane_buffer_interval == 0,
+            self.pes_per_cluster.is_multiple_of(self.lane_buffer_interval),
             "lane buffer interval must divide PEs per cluster"
         );
         assert!(self.commit_width > 0, "commit width must be positive");

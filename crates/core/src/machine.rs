@@ -7,13 +7,59 @@
 //! contention (L1D banks, L2, DRAM channel, 512-bit bus) is modelled, and
 //! aggregates statistics.
 
+use std::sync::Arc;
+
 use diag_asm::Program;
 use diag_mem::MainMemory;
-use diag_sim::{Machine, RunStats, SimError};
+use diag_sim::{Commit, Machine, RunStats, SimError, StepOutcome};
 
 use crate::config::DiagConfig;
 use crate::ring::RingSim;
 use crate::shared::SharedParts;
+
+/// In-flight execution state of one DiAG run (between
+/// [`Machine::load`] and the final [`Machine::step`]).
+#[derive(Debug)]
+struct DiagRun {
+    program: Arc<Program>,
+    threads: usize,
+    ring_count: usize,
+    clusters_per_ring: usize,
+    shared: SharedParts,
+    /// Rings of the current wave (empty only transiently).
+    rings: Vec<RingSim>,
+    /// Aggregate statistics of completed waves.
+    stats: RunStats,
+    committed: u64,
+    /// First thread id not yet launched.
+    next_tid: usize,
+    wave_start: u64,
+    wave_floor: u64,
+    finish_time: u64,
+    halted: bool,
+}
+
+impl DiagRun {
+    /// Launches the next wave of threads onto fresh rings.
+    fn launch_wave(&mut self, config: &Arc<DiagConfig>, commit_log: bool) {
+        let batch = self.ring_count.min(self.threads - self.next_tid);
+        self.rings = (0..batch)
+            .map(|k| {
+                let mut ring = RingSim::new(
+                    Arc::clone(&self.program),
+                    Arc::clone(config),
+                    self.clusters_per_ring,
+                    self.next_tid + k,
+                    self.threads,
+                    self.wave_start,
+                );
+                ring.commit_log = commit_log;
+                ring
+            })
+            .collect();
+        self.next_tid += batch;
+    }
+}
 
 /// A DiAG processor instance.
 ///
@@ -31,12 +77,29 @@ use crate::shared::SharedParts;
 /// assert!(stats.cycles > 0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+///
+/// Or stepped externally:
+///
+/// ```
+/// use diag_asm::assemble;
+/// use diag_core::{Diag, DiagConfig};
+/// use diag_sim::Machine;
+///
+/// let program = assemble("li a0, 7\nsw a0, 0(zero)\necall\n")?;
+/// let mut diag = Diag::new(DiagConfig::f4c2());
+/// diag.load(&program, 1);
+/// while !diag.step()?.is_halted() {}
+/// assert_eq!(diag.read_word(0), 7);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Debug)]
 pub struct Diag {
-    config: DiagConfig,
-    mem: Option<MainMemory>,
+    config: Arc<DiagConfig>,
+    run: Option<DiagRun>,
     last_stats: Option<RunStats>,
     last_trace: Vec<crate::ring::TraceEvent>,
+    commit_log: bool,
+    commits: Vec<Commit>,
 }
 
 impl Diag {
@@ -48,7 +111,14 @@ impl Diag {
     /// (see [`DiagConfig::validate`]).
     pub fn new(config: DiagConfig) -> Diag {
         config.validate();
-        Diag { config, mem: None, last_stats: None, last_trace: Vec::new() }
+        Diag {
+            config: Arc::new(config),
+            run: None,
+            last_stats: None,
+            last_trace: Vec::new(),
+            commit_log: false,
+            commits: Vec::new(),
+        }
     }
 
     /// The processor's configuration.
@@ -63,9 +133,31 @@ impl Diag {
 
     /// Per-instruction execution trace of the most recent run (empty
     /// unless [`DiagConfig::collect_trace`] is set). Events are in
-    /// retirement order per ring, rings concatenated by thread id.
+    /// retirement order per ring, rings concatenated by thread id; events
+    /// of waves completed so far are visible mid-run.
     pub fn last_trace(&self) -> &[crate::ring::TraceEvent] {
         &self.last_trace
+    }
+
+    /// Folds a finished wave's rings into the aggregate statistics.
+    fn finish_wave(&mut self, run: &mut DiagRun) {
+        for ring in &mut run.rings {
+            self.last_trace.append(&mut ring.trace);
+            run.committed += ring.commit.committed();
+            run.stats.activity += ring.stats.activity;
+            run.stats.stalls += ring.stats.stalls;
+            // Resident-PE·cycles: a loaded cluster's PEs, register-lane
+            // segments, and decoder latches stay powered while resident
+            // (paper §7.3.1: register lanes and control are always
+            // powered; idle PEs are clock-gated).
+            run.stats.activity.pe_resident_cycles += (ring.max_resident_clusters()
+                * self.config.pes_per_cluster) as u64
+                * ring.clock().saturating_sub(run.wave_floor);
+            run.wave_start = run.wave_start.max(ring.clock());
+        }
+        run.finish_time = run.finish_time.max(run.wave_start);
+        run.wave_floor = run.wave_start;
+        run.rings.clear();
     }
 }
 
@@ -74,73 +166,117 @@ impl Machine for Diag {
         format!("diag-{}", self.config.name.to_lowercase())
     }
 
-    fn run(&mut self, program: &Program, threads: usize) -> Result<RunStats, SimError> {
+    fn load(&mut self, program: &Program, threads: usize) {
         let threads = threads.max(1);
-        let ring_count = self.config.rings_for(threads);
-        let clusters_per_ring = self.config.clusters_per_ring(threads);
-        let mut shared = SharedParts::new(&self.config, MainMemory::with_program(program));
-        let mut stats = RunStats { threads: threads as u64, freq_ghz: self.config.freq_ghz, ..RunStats::default() };
-        let mut committed = 0u64;
-        let mut finish_time = 0u64;
+        let program = Arc::new(program.clone());
+        let shared = SharedParts::new(&self.config, MainMemory::with_program(&program));
         self.last_trace.clear();
-
+        self.commits.clear();
+        self.last_stats = None;
+        let mut run = DiagRun {
+            threads,
+            ring_count: self.config.rings_for(threads),
+            clusters_per_ring: self.config.clusters_per_ring(threads),
+            program,
+            shared,
+            rings: Vec::new(),
+            stats: RunStats {
+                threads: threads as u64,
+                freq_ghz: self.config.freq_ghz,
+                ..RunStats::default()
+            },
+            committed: 0,
+            next_tid: 0,
+            wave_start: 0,
+            wave_floor: 0,
+            finish_time: 0,
+            halted: false,
+        };
         // Threads beyond the ring capacity run in waves (the scheduling
         // table frees rings as threads halt; waves are a conservative
         // approximation).
-        let mut tid = 0usize;
-        let mut wave_start = 0u64;
-        let mut wave_floor = 0u64;
-        while tid < threads {
-            let batch = ring_count.min(threads - tid);
-            let mut rings: Vec<RingSim<'_>> = (0..batch)
-                .map(|k| {
-                    RingSim::new(program, &self.config, clusters_per_ring, tid + k, threads, wave_start)
-                })
-                .collect();
-            loop {
-                // Advance the ring that is furthest behind, so shared
-                // busy-until state is updated in approximate time order.
-                let next = rings
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, r)| !r.halted)
-                    .min_by_key(|(_, r)| r.clock())
-                    .map(|(i, _)| i);
-                let Some(idx) = next else { break };
-                rings[idx].step(&mut shared)?;
-                if rings[idx].clock() > self.config.max_cycles {
+        run.launch_wave(&self.config, self.commit_log);
+        self.run = Some(run);
+    }
+
+    fn step(&mut self) -> Result<StepOutcome, SimError> {
+        let mut run = self.run.take().ok_or(SimError::NotLoaded)?;
+        let result = (|| {
+            if run.halted {
+                return Err(SimError::NotLoaded);
+            }
+            // Advance the ring that is furthest behind, so shared
+            // busy-until state is updated in approximate time order.
+            let next = run
+                .rings
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| !r.halted)
+                .min_by_key(|(_, r)| r.clock())
+                .map(|(i, _)| i);
+            if let Some(idx) = next {
+                run.rings[idx].step(&mut run.shared)?;
+                self.commits.append(&mut run.rings[idx].commits);
+                if run.rings[idx].clock() > self.config.max_cycles {
                     return Err(SimError::CycleLimit { limit: self.config.max_cycles });
                 }
+                return Ok(StepOutcome::Running);
             }
-            for ring in &mut rings {
-                self.last_trace.append(&mut ring.trace);
-                committed += ring.commit.committed();
-                stats.activity += ring.stats.activity;
-                stats.stalls += ring.stats.stalls;
-                // Resident-PE·cycles: a loaded cluster's PEs, register-lane
-                // segments, and decoder latches stay powered while resident
-                // (paper §7.3.1: register lanes and control are always
-                // powered; idle PEs are clock-gated).
-                stats.activity.pe_resident_cycles += (ring.max_resident_clusters()
-                    * self.config.pes_per_cluster) as u64
-                    * ring.clock().saturating_sub(wave_floor);
-                wave_start = wave_start.max(ring.clock());
+            // Every ring of the wave has halted: fold it in and launch the
+            // next wave, or finish the run.
+            self.finish_wave(&mut run);
+            if run.next_tid < run.threads {
+                run.launch_wave(&self.config, self.commit_log);
+                Ok(StepOutcome::Running)
+            } else {
+                run.stats.cycles = run.finish_time;
+                run.stats.committed = run.committed;
+                run.stats.activity.busy_cycles = run.finish_time;
+                run.halted = true;
+                self.last_stats = Some(run.stats);
+                Ok(StepOutcome::Halted)
             }
-            finish_time = finish_time.max(wave_start);
-            wave_floor = wave_start;
-            tid += batch;
-        }
+        })();
+        self.run = Some(run);
+        result
+    }
 
-        stats.cycles = finish_time;
-        stats.committed = committed;
-        stats.activity.busy_cycles = finish_time;
-        self.mem = Some(shared.mem);
-        self.last_stats = Some(stats);
-        Ok(stats)
+    fn stats(&self) -> RunStats {
+        if let Some(stats) = self.last_stats {
+            return stats;
+        }
+        let Some(run) = &self.run else {
+            return RunStats::default();
+        };
+        let mut stats = run.stats;
+        stats.committed = run.committed;
+        let mut clock = run.finish_time;
+        for ring in &run.rings {
+            stats.activity += ring.stats.activity;
+            stats.stalls += ring.stats.stalls;
+            stats.committed += ring.commit.committed();
+            clock = clock.max(ring.clock());
+        }
+        stats.cycles = clock;
+        stats.activity.busy_cycles = clock;
+        stats
+    }
+
+    fn set_commit_log(&mut self, enabled: bool) {
+        self.commit_log = enabled;
+        if let Some(run) = &mut self.run {
+            for ring in &mut run.rings {
+                ring.commit_log = enabled;
+            }
+        }
+    }
+
+    fn take_commits(&mut self) -> Vec<Commit> {
+        std::mem::take(&mut self.commits)
     }
 
     fn read_word(&self, addr: u32) -> u32 {
-        self.mem.as_ref().map_or(0, |m| m.read_u32(addr))
+        self.run.as_ref().map_or(0, |r| r.shared.mem.read_u32(addr))
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

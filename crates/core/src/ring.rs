@@ -16,11 +16,12 @@
 //! taken branch charges the paper's redirect penalty instead (§7.3.2).
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use diag_asm::Program;
 use diag_isa::{decode, exec, ArchReg, Inst, Reg, INST_BYTES};
 use diag_mem::{LaneLookup, MemLane, REGFILE_BEATS};
-use diag_sim::{Activity, SimError, StallBreakdown};
+use diag_sim::{Activity, Commit, SimError, StallBreakdown};
 
 use crate::cluster::Cluster;
 
@@ -61,9 +62,9 @@ pub struct RingStats {
 
 /// One dataflow ring executing one hardware thread.
 #[derive(Debug)]
-pub struct RingSim<'p> {
-    pub(crate) program: &'p Program,
-    pub(crate) config: &'p DiagConfig,
+pub struct RingSim {
+    pub(crate) program: Arc<Program>,
+    pub(crate) config: Arc<DiagConfig>,
     pub(crate) geom: LaneGeometry,
     pub(crate) clusters: Vec<Cluster>,
     pub(crate) resident: HashMap<u32, usize>,
@@ -102,19 +103,25 @@ pub struct RingSim<'p> {
     /// Collected execution trace (when configured).
     pub(crate) trace: Vec<TraceEvent>,
     pub(crate) thread_id: usize,
+    /// Whether retirements are appended to `commits`. Commit logging also
+    /// forces SIMT regions onto the sequential marker path so the stream
+    /// matches the architectural reference retirement-for-retirement.
+    pub(crate) commit_log: bool,
+    /// Retirements logged since the machine last drained them.
+    pub(crate) commits: Vec<Commit>,
 }
 
-impl<'p> RingSim<'p> {
+impl RingSim {
     /// Creates a ring of `clusters` processing clusters running `program`
     /// as hardware thread `thread_id` of `thread_count`.
     pub fn new(
-        program: &'p Program,
-        config: &'p DiagConfig,
+        program: Arc<Program>,
+        config: Arc<DiagConfig>,
         clusters: usize,
         thread_id: usize,
         thread_count: usize,
         start_time: u64,
-    ) -> RingSim<'p> {
+    ) -> RingSim {
         let ppc = config.pes_per_cluster;
         let mut lanes = LaneFile::new();
         lanes.set_value(Reg::A0.into(), thread_id as u32);
@@ -126,9 +133,8 @@ impl<'p> RingSim<'p> {
         lanes.retime_all(start_time, 0);
         let mut commit = CommitTracker::new(config.commit_width);
         commit.advance_to(start_time);
+        let entry = program.entry();
         RingSim {
-            program,
-            config,
             geom: LaneGeometry { buffer_interval: config.lane_buffer_interval, ring_slots: clusters * ppc },
             clusters: (0..clusters).map(|_| Cluster::new(ppc, config.lsu_depth)).collect(),
             resident: HashMap::new(),
@@ -138,7 +144,7 @@ impl<'p> RingSim<'p> {
             lanes,
             commit,
             memlane: MemLane::new(config.memlane_capacity),
-            pc: program.entry(),
+            pc: entry,
             halted: false,
             time_floor: start_time,
             redirect_pending: false,
@@ -149,6 +155,10 @@ impl<'p> RingSim<'p> {
             interrupt_taken: false,
             trace: Vec::new(),
             thread_id,
+            commit_log: false,
+            commits: Vec::new(),
+            program,
+            config,
         }
     }
 
@@ -399,7 +409,10 @@ impl<'p> RingSim<'p> {
         let inst = decode(word).map_err(|_| SimError::IllegalInstruction { addr: pc, word })?;
 
         if let Inst::SimtS { .. } = inst {
-            if self.config.enable_simt && self.try_simt(pc, inst, shared)? {
+            // Commit logging forces the sequential marker path: pipelined
+            // SIMT retires whole regions in bulk, which cannot be diffed
+            // retirement-for-retirement against the reference.
+            if self.config.enable_simt && !self.commit_log && self.try_simt(pc, inst, shared)? {
                 return Ok(());
             }
         }
@@ -484,7 +497,7 @@ impl<'p> RingSim<'p> {
             Inst::Load { op, rd, rs1, offset } => {
                 let addr = self.lanes.value(rs1.into()).wrapping_add(offset as u32);
                 let size = op.size();
-                if addr % size != 0 {
+                if !addr.is_multiple_of(size) {
                     return Err(SimError::Misaligned { addr, size });
                 }
                 let (issue, ready) = self.issue_mem(cluster, addr, size, false, start, shared);
@@ -497,7 +510,7 @@ impl<'p> RingSim<'p> {
             Inst::Store { op, rs1, rs2, offset } => {
                 let addr = self.lanes.value(rs1.into()).wrapping_add(offset as u32);
                 let size = op.size();
-                if addr % size != 0 {
+                if !addr.is_multiple_of(size) {
                     return Err(SimError::Misaligned { addr, size });
                 }
                 let value = self.lanes.value(rs2.into());
@@ -509,7 +522,7 @@ impl<'p> RingSim<'p> {
             }
             Inst::Flw { rd, rs1, offset } => {
                 let addr = self.lanes.value(rs1.into()).wrapping_add(offset as u32);
-                if addr % 4 != 0 {
+                if !addr.is_multiple_of(4) {
                     return Err(SimError::Misaligned { addr, size: 4 });
                 }
                 let (issue, ready) = self.issue_mem(cluster, addr, 4, false, start, shared);
@@ -520,7 +533,7 @@ impl<'p> RingSim<'p> {
             }
             Inst::Fsw { rs1, rs2, offset } => {
                 let addr = self.lanes.value(rs1.into()).wrapping_add(offset as u32);
-                if addr % 4 != 0 {
+                if !addr.is_multiple_of(4) {
                     return Err(SimError::Misaligned { addr, size: 4 });
                 }
                 shared.mem.write_u32(addr, self.lanes.value(rs2.into()));
@@ -607,6 +620,13 @@ impl<'p> RingSim<'p> {
             }
         }
 
+        if self.commit_log {
+            self.commits.push(Commit {
+                thread: self.thread_id as u32,
+                pc,
+                dest: lane_write.filter(|(lane, _)| !lane.is_zero()),
+            });
+        }
         // Drive the destination lane and retire through the PC lane.
         if let Some((lane, value)) = lane_write {
             self.lanes.write(lane, value, finish, slot);

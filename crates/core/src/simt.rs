@@ -47,7 +47,7 @@ struct Region {
     lines: Vec<u32>,
 }
 
-impl<'p> RingSim<'p> {
+impl RingSim {
     /// Attempts pipelined execution of the SIMT region whose `simt_s` is
     /// at `pc_s`. Returns `Ok(true)` when the region was executed in
     /// pipeline mode (all architectural and timing state advanced past

@@ -1,9 +1,30 @@
-//! Criterion microbenchmarks of the ISA layer: decode and encode rates.
+//! Microbenchmark of the ISA layer: decode and encode rates.
+//!
+//! Dependency-free timing harness (`harness = false`): run with
+//! `cargo bench -p diag-isa` and read the reported element rates. The
+//! measurement is a simple best-of-N wall-clock loop, which is plenty to
+//! catch order-of-magnitude codec regressions offline.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
+
 use diag_isa::{decode, encode, Inst};
 
-fn codec(c: &mut Criterion) {
+/// Runs `f` in a timed loop and returns the best per-iteration time in
+/// nanoseconds.
+fn best_of<F: FnMut()>(reps: u32, iters: u32, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e9 / iters as f64);
+    }
+    best
+}
+
+fn main() {
     // A representative mix of instruction words.
     let words: Vec<u32> = (0u32..65536)
         .filter_map(|i| {
@@ -13,15 +34,19 @@ fn codec(c: &mut Criterion) {
         .collect();
     let insts: Vec<Inst> = words.iter().map(|&w| decode(w).unwrap()).collect();
     assert!(!words.is_empty());
+    let n = words.len() as f64;
 
-    let mut group = c.benchmark_group("isa_codec");
-    group.throughput(Throughput::Elements(words.len() as u64));
-    group.bench_function("decode", |b| {
-        b.iter(|| words.iter().map(|&w| decode(w).unwrap()).count())
+    let decode_ns = best_of(20, 10, || {
+        for &w in black_box(&words) {
+            black_box(decode(w).unwrap());
+        }
     });
-    group.bench_function("encode", |b| b.iter(|| insts.iter().map(encode).count()));
-    group.finish();
-}
+    let encode_ns = best_of(20, 10, || {
+        for i in black_box(&insts) {
+            black_box(encode(i));
+        }
+    });
 
-criterion_group!(benches, codec);
-criterion_main!(benches);
+    println!("isa_codec/decode: {:.1} ns/iter, {:.1} Melem/s", decode_ns, n / decode_ns * 1e3);
+    println!("isa_codec/encode: {:.1} ns/iter, {:.1} Melem/s", encode_ns, n / encode_ns * 1e3);
+}

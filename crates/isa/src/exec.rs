@@ -47,13 +47,7 @@ pub fn alu(op: AluOp, a: u32, b: u32) -> u32 {
                 ((a as i32) / (b as i32)) as u32
             }
         }
-        AluOp::Divu => {
-            if b == 0 {
-                u32::MAX
-            } else {
-                a / b
-            }
-        }
+        AluOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
         AluOp::Rem => {
             if b == 0 {
                 a
@@ -212,9 +206,8 @@ pub fn fp_to_int(op: FpToIntOp, a: u32) -> u32 {
     let x = f(a);
     match op {
         FpToIntOp::CvtW => {
-            if x.is_nan() {
-                i32::MAX as u32
-            } else if x >= i32::MAX as f32 {
+            if x.is_nan() || x >= i32::MAX as f32 {
+                // NaN maps to the most-positive value, like overflow.
                 i32::MAX as u32
             } else if x <= i32::MIN as f32 {
                 i32::MIN as u32

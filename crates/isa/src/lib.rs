@@ -34,6 +34,7 @@ mod disasm;
 mod encode;
 pub mod exec;
 mod inst;
+pub mod prng;
 mod reg;
 pub mod regs;
 

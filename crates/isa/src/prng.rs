@@ -1,0 +1,235 @@
+//! A small seeded PRNG for workload input generation and randomized tests.
+//!
+//! The workspace must build and test with no network access, so instead of
+//! depending on the external `rand` crate the workloads and property-style
+//! tests use this self-contained SplitMix64 generator (Steele, Lea &
+//! Flood, OOPSLA 2014). It is deterministic for a given seed on every
+//! platform, which also keeps workload inputs — and therefore experiment
+//! rows — bit-reproducible across runs and machines.
+
+use std::ops::Range;
+
+/// A seeded SplitMix64 pseudo-random number generator.
+///
+/// # Examples
+///
+/// ```
+/// use diag_isa::prng::SplitMix64;
+///
+/// let mut rng = SplitMix64::seed_from_u64(42);
+/// let a: u32 = rng.gen();
+/// let b = rng.gen_range(0.0f32..1.0);
+/// assert_ne!(a, rng.gen());
+/// assert!((0.0..1.0).contains(&b));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed (same entry point name as
+    /// `rand::SeedableRng`, easing drop-in use).
+    pub fn seed_from_u64(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The next 32-bit output.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniformly distributed value of `T`.
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniformly distributed value in `range` (half-open, like
+    /// `rand::Rng::gen_range`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_in(self)
+    }
+
+    /// Uniform index below `bound` without modulo bias (Lemire's method).
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // 128-bit multiply-shift maps next_u64 onto [0, bound) with a
+        // rejection zone smaller than 2^-64 of the input space; a single
+        // widening multiply is exact enough for simulation inputs.
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+}
+
+/// Types [`SplitMix64::gen`] can produce.
+pub trait Sample {
+    /// Draws a uniformly distributed value.
+    fn sample(rng: &mut SplitMix64) -> Self;
+}
+
+impl Sample for u64 {
+    fn sample(rng: &mut SplitMix64) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    fn sample(rng: &mut SplitMix64) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Sample for u16 {
+    fn sample(rng: &mut SplitMix64) -> u16 {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl Sample for u8 {
+    fn sample(rng: &mut SplitMix64) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Sample for i32 {
+    fn sample(rng: &mut SplitMix64) -> i32 {
+        rng.next_u32() as i32
+    }
+}
+
+impl Sample for bool {
+    fn sample(rng: &mut SplitMix64) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+/// Ranges [`SplitMix64::gen_range`] can sample an element of type `T`
+/// from (the generic-parameter shape matches `rand`, so integer-literal
+/// ranges infer their type from the use site).
+pub trait SampleRange<T> {
+    /// Draws a uniformly distributed value from the range.
+    fn sample_in(self, rng: &mut SplitMix64) -> T;
+}
+
+macro_rules! uint_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_in(self, rng: &mut SplitMix64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.bounded_u64(span) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! sint_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_in(self, rng: &mut SplitMix64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i64 - self.start as i64) as u64;
+                (self.start as i64 + rng.bounded_u64(span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+uint_range!(u8, u16, u32, usize, u64);
+sint_range!(i32, i64);
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_in(self, rng: &mut SplitMix64) -> f32 {
+        assert!(self.start < self.end, "empty range");
+        // 24 mantissa-width bits of uniformity in [0, 1).
+        let unit = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_in(self, rng: &mut SplitMix64) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SplitMix64::seed_from_u64(7);
+        let mut b = SplitMix64::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = SplitMix64::seed_from_u64(1);
+        let mut b = SplitMix64::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn known_splitmix_vector() {
+        // Reference values for seed 1234567 (from the SplitMix64 paper's
+        // reference implementation).
+        let mut rng = SplitMix64::seed_from_u64(1234567);
+        assert_eq!(rng.next_u64(), 6457827717110365317);
+        assert_eq!(rng.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = SplitMix64::seed_from_u64(99);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&w));
+            let z = rng.gen_range(0usize..3);
+            assert!(z < 3);
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_all_values() {
+        let mut rng = SplitMix64::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..10 should appear");
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = SplitMix64::seed_from_u64(5);
+        let mut lo = f32::MAX;
+        let mut hi = f32::MIN;
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&v));
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < -0.9 && hi > 0.9, "range poorly covered: [{lo}, {hi}]");
+    }
+}

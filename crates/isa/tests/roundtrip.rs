@@ -1,205 +1,234 @@
-//! Property tests: every valid instruction round-trips through the 32-bit
-//! wire format, and decoding is total (never panics) over arbitrary words.
+//! Randomized property tests: every valid instruction round-trips through
+//! the 32-bit wire format, and decoding is total (never panics) over
+//! arbitrary words. Driven by the in-workspace [`SplitMix64`] generator so
+//! the suite runs fully offline; the `heavy` feature scales the case count
+//! up for soak runs.
 
+use diag_isa::prng::SplitMix64;
 use diag_isa::{
     decode, encode, AluOp, BranchOp, FReg, FmaOp, FpCmpOp, FpOp, FpToIntOp, Inst, IntToFpOp,
     LoadOp, Reg, StoreOp,
 };
-use proptest::prelude::*;
 
-fn any_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg::new)
+#[cfg(not(feature = "heavy"))]
+const CASES: u64 = 2_000;
+#[cfg(feature = "heavy")]
+const CASES: u64 = 200_000;
+
+fn any_reg(rng: &mut SplitMix64) -> Reg {
+    Reg::new(rng.gen_range(0u8..32))
 }
 
-fn any_freg() -> impl Strategy<Value = FReg> {
-    (0u8..32).prop_map(FReg::new)
+fn any_freg(rng: &mut SplitMix64) -> FReg {
+    FReg::new(rng.gen_range(0u8..32))
 }
 
-fn any_alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Sll),
-        Just(AluOp::Slt),
-        Just(AluOp::Sltu),
-        Just(AluOp::Xor),
-        Just(AluOp::Srl),
-        Just(AluOp::Sra),
-        Just(AluOp::Or),
-        Just(AluOp::And),
-        Just(AluOp::Mul),
-        Just(AluOp::Mulh),
-        Just(AluOp::Mulhsu),
-        Just(AluOp::Mulhu),
-        Just(AluOp::Div),
-        Just(AluOp::Divu),
-        Just(AluOp::Rem),
-        Just(AluOp::Remu),
-    ]
+const ALU_OPS: [AluOp; 18] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Sll,
+    AluOp::Slt,
+    AluOp::Sltu,
+    AluOp::Xor,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Or,
+    AluOp::And,
+    AluOp::Mul,
+    AluOp::Mulh,
+    AluOp::Mulhsu,
+    AluOp::Mulhu,
+    AluOp::Div,
+    AluOp::Divu,
+    AluOp::Rem,
+    AluOp::Remu,
+];
+
+fn any_alu_op(rng: &mut SplitMix64) -> AluOp {
+    ALU_OPS[rng.gen_range(0usize..ALU_OPS.len())]
 }
 
-fn any_imm_alu_op() -> impl Strategy<Value = AluOp> {
-    any_alu_op().prop_filter("must have an immediate form", |op| op.has_imm_form())
-}
-
-fn any_branch_op() -> impl Strategy<Value = BranchOp> {
-    prop_oneof![
-        Just(BranchOp::Beq),
-        Just(BranchOp::Bne),
-        Just(BranchOp::Blt),
-        Just(BranchOp::Bge),
-        Just(BranchOp::Bltu),
-        Just(BranchOp::Bgeu),
-    ]
-}
-
-fn any_load_op() -> impl Strategy<Value = LoadOp> {
-    prop_oneof![
-        Just(LoadOp::Lb),
-        Just(LoadOp::Lh),
-        Just(LoadOp::Lw),
-        Just(LoadOp::Lbu),
-        Just(LoadOp::Lhu),
-    ]
-}
-
-fn any_store_op() -> impl Strategy<Value = StoreOp> {
-    prop_oneof![Just(StoreOp::Sb), Just(StoreOp::Sh), Just(StoreOp::Sw)]
-}
-
-fn any_fp_op() -> impl Strategy<Value = FpOp> {
-    prop_oneof![
-        Just(FpOp::Add),
-        Just(FpOp::Sub),
-        Just(FpOp::Mul),
-        Just(FpOp::Div),
-        Just(FpOp::SgnJ),
-        Just(FpOp::SgnJN),
-        Just(FpOp::SgnJX),
-        Just(FpOp::Min),
-        Just(FpOp::Max),
-    ]
-}
-
-/// Strategy over the entire valid instruction space.
-fn any_inst() -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        (any_reg(), -(1i32 << 19)..(1 << 19))
-            .prop_map(|(rd, v)| Inst::Lui { rd, imm: v << 12 }),
-        (any_reg(), -(1i32 << 19)..(1 << 19))
-            .prop_map(|(rd, v)| Inst::Auipc { rd, imm: v << 12 }),
-        (any_reg(), -(1i32 << 19)..(1 << 19))
-            .prop_map(|(rd, half)| Inst::Jal { rd, offset: half * 2 }),
-        (any_reg(), any_reg(), -2048i32..=2047)
-            .prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
-        (any_branch_op(), any_reg(), any_reg(), -2048i32..=2047)
-            .prop_map(|(op, rs1, rs2, half)| Inst::Branch { op, rs1, rs2, offset: half * 2 }),
-        (any_load_op(), any_reg(), any_reg(), -2048i32..=2047)
-            .prop_map(|(op, rd, rs1, offset)| Inst::Load { op, rd, rs1, offset }),
-        (any_store_op(), any_reg(), any_reg(), -2048i32..=2047)
-            .prop_map(|(op, rs1, rs2, offset)| Inst::Store { op, rs1, rs2, offset }),
-        (any_imm_alu_op(), any_reg(), any_reg(), -2048i32..=2047).prop_map(
-            |(op, rd, rs1, imm)| {
-                let imm = match op {
-                    AluOp::Sll | AluOp::Srl | AluOp::Sra => imm & 0x1F,
-                    _ => imm,
-                };
-                Inst::OpImm { op, rd, rs1, imm }
-            }
-        ),
-        (any_alu_op(), any_reg(), any_reg(), any_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::Op { op, rd, rs1, rs2 }),
-        Just(Inst::Fence),
-        Just(Inst::Ecall),
-        Just(Inst::Ebreak),
-        (any_freg(), any_reg(), -2048i32..=2047)
-            .prop_map(|(rd, rs1, offset)| Inst::Flw { rd, rs1, offset }),
-        (any_reg(), any_freg(), -2048i32..=2047)
-            .prop_map(|(rs1, rs2, offset)| Inst::Fsw { rs1, rs2, offset }),
-        (any_fp_op(), any_freg(), any_freg(), any_freg())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::FpOp { op, rd, rs1, rs2 }),
-        (any_freg(), any_freg()).prop_map(|(rd, rs1)| Inst::FpOp {
-            op: FpOp::Sqrt,
-            rd,
-            rs1,
-            rs2: FReg::new(0)
-        }),
-        (
-            prop_oneof![
-                Just(FmaOp::MAdd),
-                Just(FmaOp::MSub),
-                Just(FmaOp::NMSub),
-                Just(FmaOp::NMAdd)
-            ],
-            any_freg(),
-            any_freg(),
-            any_freg(),
-            any_freg()
-        )
-            .prop_map(|(op, rd, rs1, rs2, rs3)| Inst::FpFma { op, rd, rs1, rs2, rs3 }),
-        (
-            prop_oneof![Just(FpCmpOp::Eq), Just(FpCmpOp::Lt), Just(FpCmpOp::Le)],
-            any_reg(),
-            any_freg(),
-            any_freg()
-        )
-            .prop_map(|(op, rd, rs1, rs2)| Inst::FpCmp { op, rd, rs1, rs2 }),
-        (
-            prop_oneof![
-                Just(FpToIntOp::CvtW),
-                Just(FpToIntOp::CvtWu),
-                Just(FpToIntOp::MvXW),
-                Just(FpToIntOp::Class)
-            ],
-            any_reg(),
-            any_freg()
-        )
-            .prop_map(|(op, rd, rs1)| Inst::FpToInt { op, rd, rs1 }),
-        (
-            prop_oneof![Just(IntToFpOp::CvtW), Just(IntToFpOp::CvtWu), Just(IntToFpOp::MvWX)],
-            any_freg(),
-            any_reg()
-        )
-            .prop_map(|(op, rd, rs1)| Inst::IntToFp { op, rd, rs1 }),
-        (any_reg(), any_reg(), any_reg(), 1u8..=127)
-            .prop_map(|(rc, r_step, r_end, interval)| Inst::SimtS { rc, r_step, r_end, interval }),
-        (any_reg(), any_reg(), -2048i32..=2047)
-            .prop_map(|(rc, r_end, l_offset)| Inst::SimtE { rc, r_end, l_offset }),
-    ]
-}
-
-proptest! {
-    /// decode(encode(inst)) == inst for the entire valid instruction space.
-    #[test]
-    fn encode_decode_round_trip(inst in any_inst()) {
-        let word = encode(&inst);
-        let back = decode(word).expect("encoded instruction must decode");
-        prop_assert_eq!(back, inst);
-    }
-
-    /// Decoding never panics, for any 32-bit word.
-    #[test]
-    fn decode_is_total(word in any::<u32>()) {
-        let _ = decode(word);
-    }
-
-    /// If an arbitrary word decodes, re-encoding produces a word that decodes
-    /// to the same instruction (encodings are canonical up to ignored fields
-    /// like rounding modes and fence operands).
-    #[test]
-    fn decode_encode_stable(word in any::<u32>()) {
-        if let Ok(inst) = decode(word) {
-            let word2 = encode(&inst);
-            prop_assert_eq!(decode(word2).expect("re-encoded word must decode"), inst);
+fn any_imm_alu_op(rng: &mut SplitMix64) -> AluOp {
+    loop {
+        let op = any_alu_op(rng);
+        if op.has_imm_form() {
+            return op;
         }
     }
+}
 
-    /// Disassembly text is nonempty and starts with a lowercase mnemonic.
-    #[test]
-    fn disasm_nonempty(inst in any_inst()) {
-        let text = inst.to_string();
-        prop_assert!(!text.is_empty());
+fn imm12(rng: &mut SplitMix64) -> i32 {
+    rng.gen_range(-2048i32..2048)
+}
+
+/// Draws one instruction uniformly across the valid instruction space.
+fn any_inst(rng: &mut SplitMix64) -> Inst {
+    const BRANCH_OPS: [BranchOp; 6] = [
+        BranchOp::Beq,
+        BranchOp::Bne,
+        BranchOp::Blt,
+        BranchOp::Bge,
+        BranchOp::Bltu,
+        BranchOp::Bgeu,
+    ];
+    const LOAD_OPS: [LoadOp; 5] = [LoadOp::Lb, LoadOp::Lh, LoadOp::Lw, LoadOp::Lbu, LoadOp::Lhu];
+    const STORE_OPS: [StoreOp; 3] = [StoreOp::Sb, StoreOp::Sh, StoreOp::Sw];
+    const FP_OPS: [FpOp; 9] = [
+        FpOp::Add,
+        FpOp::Sub,
+        FpOp::Mul,
+        FpOp::Div,
+        FpOp::SgnJ,
+        FpOp::SgnJN,
+        FpOp::SgnJX,
+        FpOp::Min,
+        FpOp::Max,
+    ];
+    const FMA_OPS: [FmaOp; 4] = [FmaOp::MAdd, FmaOp::MSub, FmaOp::NMSub, FmaOp::NMAdd];
+    const FCMP_OPS: [FpCmpOp; 3] = [FpCmpOp::Eq, FpCmpOp::Lt, FpCmpOp::Le];
+    const F2I_OPS: [FpToIntOp; 4] =
+        [FpToIntOp::CvtW, FpToIntOp::CvtWu, FpToIntOp::MvXW, FpToIntOp::Class];
+    const I2F_OPS: [IntToFpOp; 3] = [IntToFpOp::CvtW, IntToFpOp::CvtWu, IntToFpOp::MvWX];
+
+    match rng.gen_range(0u32..21) {
+        0 => Inst::Lui { rd: any_reg(rng), imm: rng.gen_range(-(1i32 << 19)..(1 << 19)) << 12 },
+        1 => Inst::Auipc { rd: any_reg(rng), imm: rng.gen_range(-(1i32 << 19)..(1 << 19)) << 12 },
+        2 => Inst::Jal { rd: any_reg(rng), offset: rng.gen_range(-(1i32 << 19)..(1 << 19)) * 2 },
+        3 => Inst::Jalr { rd: any_reg(rng), rs1: any_reg(rng), offset: imm12(rng) },
+        4 => Inst::Branch {
+            op: BRANCH_OPS[rng.gen_range(0usize..BRANCH_OPS.len())],
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+            offset: imm12(rng) * 2,
+        },
+        5 => Inst::Load {
+            op: LOAD_OPS[rng.gen_range(0usize..LOAD_OPS.len())],
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            offset: imm12(rng),
+        },
+        6 => Inst::Store {
+            op: STORE_OPS[rng.gen_range(0usize..STORE_OPS.len())],
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+            offset: imm12(rng),
+        },
+        7 => {
+            let op = any_imm_alu_op(rng);
+            let imm = match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => imm12(rng) & 0x1F,
+                _ => imm12(rng),
+            };
+            Inst::OpImm { op, rd: any_reg(rng), rs1: any_reg(rng), imm }
+        }
+        8 => Inst::Op {
+            op: any_alu_op(rng),
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        9 => Inst::Fence,
+        10 => Inst::Ecall,
+        11 => Inst::Ebreak,
+        12 => Inst::Flw { rd: any_freg(rng), rs1: any_reg(rng), offset: imm12(rng) },
+        13 => Inst::Fsw { rs1: any_reg(rng), rs2: any_freg(rng), offset: imm12(rng) },
+        14 => {
+            if rng.gen::<bool>() {
+                Inst::FpOp {
+                    op: FP_OPS[rng.gen_range(0usize..FP_OPS.len())],
+                    rd: any_freg(rng),
+                    rs1: any_freg(rng),
+                    rs2: any_freg(rng),
+                }
+            } else {
+                Inst::FpOp { op: FpOp::Sqrt, rd: any_freg(rng), rs1: any_freg(rng), rs2: FReg::new(0) }
+            }
+        }
+        15 => Inst::FpFma {
+            op: FMA_OPS[rng.gen_range(0usize..FMA_OPS.len())],
+            rd: any_freg(rng),
+            rs1: any_freg(rng),
+            rs2: any_freg(rng),
+            rs3: any_freg(rng),
+        },
+        16 => Inst::FpCmp {
+            op: FCMP_OPS[rng.gen_range(0usize..FCMP_OPS.len())],
+            rd: any_reg(rng),
+            rs1: any_freg(rng),
+            rs2: any_freg(rng),
+        },
+        17 => Inst::FpToInt {
+            op: F2I_OPS[rng.gen_range(0usize..F2I_OPS.len())],
+            rd: any_reg(rng),
+            rs1: any_freg(rng),
+        },
+        18 => Inst::IntToFp {
+            op: I2F_OPS[rng.gen_range(0usize..I2F_OPS.len())],
+            rd: any_freg(rng),
+            rs1: any_reg(rng),
+        },
+        19 => Inst::SimtS {
+            rc: any_reg(rng),
+            r_step: any_reg(rng),
+            r_end: any_reg(rng),
+            interval: rng.gen_range(1u8..128),
+        },
+        _ => Inst::SimtE { rc: any_reg(rng), r_end: any_reg(rng), l_offset: imm12(rng) },
+    }
+}
+
+/// decode(encode(inst)) == inst for the entire valid instruction space.
+#[test]
+fn encode_decode_round_trip() {
+    let mut rng = SplitMix64::seed_from_u64(0xD1A6_0001);
+    for case in 0..CASES {
+        let inst = any_inst(&mut rng);
+        let word = encode(&inst);
+        let back = decode(word).expect("encoded instruction must decode");
+        assert_eq!(back, inst, "case {case}: {inst:?} -> {word:#010x}");
+    }
+}
+
+/// Decoding never panics, for any 32-bit word.
+#[test]
+fn decode_is_total() {
+    let mut rng = SplitMix64::seed_from_u64(0xD1A6_0002);
+    for _ in 0..CASES {
+        let _ = decode(rng.gen::<u32>());
+    }
+    // Plus the corners.
+    for word in [0u32, u32::MAX, 0x7FFF_FFFF, 0x8000_0000] {
+        let _ = decode(word);
+    }
+}
+
+/// If an arbitrary word decodes, re-encoding produces a word that decodes
+/// to the same instruction (encodings are canonical up to ignored fields
+/// like rounding modes and fence operands).
+#[test]
+fn decode_encode_stable() {
+    let mut rng = SplitMix64::seed_from_u64(0xD1A6_0003);
+    for _ in 0..CASES {
+        let word = rng.gen::<u32>();
+        if let Ok(inst) = decode(word) {
+            let word2 = encode(&inst);
+            assert_eq!(
+                decode(word2).expect("re-encoded word must decode"),
+                inst,
+                "{word:#010x} -> {inst:?} -> {word2:#010x}"
+            );
+        }
+    }
+}
+
+/// Disassembly text is nonempty and starts with a lowercase mnemonic.
+#[test]
+fn disasm_nonempty() {
+    let mut rng = SplitMix64::seed_from_u64(0xD1A6_0004);
+    for _ in 0..CASES {
+        let text = any_inst(&mut rng).to_string();
+        assert!(!text.is_empty());
         let first = text.chars().next().unwrap();
-        prop_assert!(first.is_ascii_lowercase());
+        assert!(first.is_ascii_lowercase(), "mnemonic: {text}");
     }
 }

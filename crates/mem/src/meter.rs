@@ -32,7 +32,7 @@ impl PortMeter {
             if *c < self.width {
                 *c += 1;
                 self.granted += 1;
-                if self.granted % 8192 == 0 && self.counts.len() > 16384 {
+                if self.granted.is_multiple_of(8192) && self.counts.len() > 16384 {
                     // Bound bookkeeping: nothing will be requested far in
                     // the past once the machine has advanced.
                     let floor = t.saturating_sub(8192);

@@ -1,13 +1,20 @@
-//! Property tests for the memory subsystem against simple reference
+//! Randomized tests for the memory subsystem against simple reference
 //! models: main memory vs a byte map, the cache array vs a literal LRU
-//! list, and the memory lanes vs a naive store-buffer scan.
+//! list, and the memory lanes vs a naive store-buffer scan. Driven by the
+//! in-workspace [`SplitMix64`] generator so the suite runs fully offline;
+//! the `heavy` feature scales the case count up for soak runs.
 
 use std::collections::HashMap;
 
+use diag_isa::prng::SplitMix64;
 use diag_mem::{CacheArray, CacheConfig, LaneLookup, MainMemory, MemLane};
-use proptest::prelude::*;
 
-#[derive(Debug, Clone)]
+#[cfg(not(feature = "heavy"))]
+const CASES: u64 = 64;
+#[cfg(feature = "heavy")]
+const CASES: u64 = 4_096;
+
+#[derive(Debug, Clone, Copy)]
 enum MemOp {
     W8(u32, u8),
     W16(u32, u16),
@@ -15,26 +22,28 @@ enum MemOp {
     R(u32),
 }
 
-fn any_mem_op() -> impl Strategy<Value = MemOp> {
+fn any_mem_op(rng: &mut SplitMix64) -> MemOp {
     // A small address space with page-boundary crossings (page = 4096).
-    let addr = 0u32..20_000;
-    prop_oneof![
-        (addr.clone(), any::<u8>()).prop_map(|(a, v)| MemOp::W8(a, v)),
-        (addr.clone(), any::<u16>()).prop_map(|(a, v)| MemOp::W16(a, v)),
-        (addr.clone(), any::<u32>()).prop_map(|(a, v)| MemOp::W32(a, v)),
-        addr.prop_map(MemOp::R),
-    ]
+    let addr = rng.gen_range(0u32..20_000);
+    match rng.gen_range(0u32..4) {
+        0 => MemOp::W8(addr, rng.gen::<u8>()),
+        1 => MemOp::W16(addr, rng.gen::<u16>()),
+        2 => MemOp::W32(addr, rng.gen::<u32>()),
+        _ => MemOp::R(addr),
+    }
 }
 
-proptest! {
-    /// MainMemory agrees with a byte-granular reference map under any
-    /// mix of overlapping multi-width reads and writes.
-    #[test]
-    fn main_memory_matches_byte_map(ops in prop::collection::vec(any_mem_op(), 1..200)) {
+/// MainMemory agrees with a byte-granular reference map under any mix of
+/// overlapping multi-width reads and writes.
+#[test]
+fn main_memory_matches_byte_map() {
+    let mut rng = SplitMix64::seed_from_u64(0x4D45_4D01);
+    for _ in 0..CASES {
+        let count = rng.gen_range(1usize..200);
         let mut mem = MainMemory::new();
         let mut model: HashMap<u32, u8> = HashMap::new();
-        for op in &ops {
-            match *op {
+        for _ in 0..count {
+            match any_mem_op(&mut rng) {
                 MemOp::W8(a, v) => {
                     mem.write_u8(a, v);
                     model.insert(a, v);
@@ -58,21 +67,23 @@ proptest! {
                         model.get(&(a + 2)).copied().unwrap_or(0),
                         model.get(&(a + 3)).copied().unwrap_or(0),
                     ]);
-                    prop_assert_eq!(mem.read_u32(a), want);
+                    assert_eq!(mem.read_u32(a), want);
                 }
             }
         }
         // Final sweep.
         for (&a, &b) in &model {
-            prop_assert_eq!(mem.read_u8(a), b);
+            assert_eq!(mem.read_u8(a), b);
         }
     }
+}
 
-    /// CacheArray hit/miss behaviour matches a literal LRU-list model.
-    #[test]
-    fn cache_matches_lru_reference(
-        accesses in prop::collection::vec((0u32..64, any::<bool>()), 1..300)
-    ) {
+/// CacheArray hit/miss behaviour matches a literal LRU-list model.
+#[test]
+fn cache_matches_lru_reference() {
+    let mut rng = SplitMix64::seed_from_u64(0x4D45_4D02);
+    for _ in 0..CASES {
+        let count = rng.gen_range(1usize..300);
         let config = CacheConfig {
             size_bytes: 2 * 2 * 16, // 2 sets x 2 ways x 16-byte lines
             line_bytes: 16,
@@ -83,13 +94,15 @@ proptest! {
         let mut cache = CacheArray::new(config);
         // Reference: per set, a most-recent-first list of line addresses.
         let mut sets: Vec<Vec<u32>> = vec![Vec::new(); 2];
-        for &(line_idx, write) in &accesses {
+        for _ in 0..count {
+            let line_idx = rng.gen_range(0u32..64);
+            let write = rng.gen::<bool>();
             let addr = line_idx * 16;
             let set = (line_idx % 2) as usize;
             let list = &mut sets[set];
             let want_hit = list.contains(&line_idx);
             let got = cache.access(addr, write);
-            prop_assert_eq!(got.hit, want_hit, "line {} set {}", line_idx, set);
+            assert_eq!(got.hit, want_hit, "line {line_idx} set {set}");
             if let Some(pos) = list.iter().position(|&l| l == line_idx) {
                 list.remove(pos);
             }
@@ -97,15 +110,28 @@ proptest! {
             list.truncate(2);
         }
     }
+}
 
-    /// MemLane forwarding matches a naive youngest-covering-store scan,
-    /// and never forwards stale data.
-    #[test]
-    fn memlane_matches_reference_scan(
-        stores in prop::collection::vec((0u32..64, prop_oneof![Just(1u32), Just(2), Just(4)], any::<u32>()), 0..40),
-        probe_addr in 0u32..64,
-        probe_size in prop_oneof![Just(1u32), Just(2), Just(4)],
-    ) {
+/// MemLane forwarding matches a naive youngest-covering-store scan, and
+/// never forwards stale data.
+#[test]
+fn memlane_matches_reference_scan() {
+    let mut rng = SplitMix64::seed_from_u64(0x4D45_4D03);
+    let sizes = [1u32, 2, 4];
+    for _ in 0..CASES.max(256) {
+        let count = rng.gen_range(0usize..40);
+        let stores: Vec<(u32, u32, u32)> = (0..count)
+            .map(|_| {
+                (
+                    rng.gen_range(0u32..64),
+                    sizes[rng.gen_range(0usize..sizes.len())],
+                    rng.gen::<u32>(),
+                )
+            })
+            .collect();
+        let probe_addr = rng.gen_range(0u32..64);
+        let probe_size = sizes[rng.gen_range(0usize..sizes.len())];
+
         let mut lane = MemLane::new(8);
         for (i, &(addr, size, value)) in stores.iter().enumerate() {
             lane.push_store(addr, size, value, i as u64);
@@ -118,7 +144,8 @@ proptest! {
             let overlaps = addr < probe_addr + probe_size && probe_addr < addr + size;
             if covers {
                 let shift = (probe_addr - addr) * 8;
-                let mask = if probe_size == 4 { u32::MAX } else { (1u32 << (probe_size * 8)) - 1 };
+                let mask =
+                    if probe_size == 4 { u32::MAX } else { (1u32 << (probe_size * 8)) - 1 };
                 let v = (value >> shift) & mask;
                 let fast = stores.len() - i <= 8;
                 want = Some(if fast {
@@ -133,6 +160,6 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(got, want.unwrap_or(LaneLookup::Miss));
+        assert_eq!(got, want.unwrap_or(LaneLookup::Miss));
     }
 }

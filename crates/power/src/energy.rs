@@ -203,7 +203,7 @@ impl BaselineEnergyModel {
     /// bypass) so shares remain comparable with DiAG's Figure 11 bars.
     pub fn energy(&self, stats: &RunStats) -> EnergyBreakdown {
         let a = &stats.activity;
-        let cores = stats.threads.max(1).min(12) as f64;
+        let cores = stats.threads.clamp(1, 12) as f64;
         let fpu_nj = a.fpu_active_cycles as f64 * self.fpu_active_pj / 1000.0;
         let lanes_nj = (a.int_ops as f64 * self.int_op_pj
             + a.reg_writes as f64 * self.regfile_pj

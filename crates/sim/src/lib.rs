@@ -1,19 +1,23 @@
 //! # diag-sim — shared simulation API for the DiAG reproduction
 //!
 //! Defines what every processor model in the workspace has in common: the
-//! [`Machine`] trait (run a bare-metal program with N hardware threads),
-//! the [`RunStats`] structure with the paper's stall taxonomy (§7.3.2) and
-//! component-activity counters (Table 3 / Figure 11 granularity), and the
-//! [`SimError`] failure modes.
+//! steppable [`Machine`] trait ([`Machine::load`] a bare-metal program with
+//! N hardware threads, advance it with [`Machine::step`], read
+//! [`Machine::stats`]), the [`RunStats`] structure with the paper's stall
+//! taxonomy (§7.3.2) and component-activity counters (Table 3 / Figure 11
+//! granularity), the [`SimError`] failure modes, and the [`lockstep`]
+//! differential driver that diffs two machines' commit streams.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod interp;
+pub mod lockstep;
 mod machine;
 mod stats;
 
-pub use machine::{Machine, SimError};
+pub use lockstep::{run_lockstep, Divergence, LockstepOutcome};
+pub use machine::{Commit, Machine, SimError, StepOutcome};
 pub use stats::{Activity, RunStats, StallBreakdown, StallCause};
 
 /// Default cycle limit for simulation runs, generous enough for every

@@ -1,8 +1,17 @@
 //! The [`Machine`] abstraction implemented by every processor model.
+//!
+//! Machines are *externally steppable*: a program is mounted with
+//! [`Machine::load`] and advanced one schedulable quantum at a time with
+//! [`Machine::step`], which makes single-stepping debuggers, lockstep
+//! differential testing (see [`crate::lockstep`]), and schedulers that
+//! interleave many machines possible. [`Machine::run`] is a convenience
+//! default that drives `load` + `step` to completion, so callers that only
+//! want final results keep the one-call API.
 
 use std::fmt;
 
 use diag_asm::Program;
+use diag_isa::ArchReg;
 
 use crate::stats::RunStats;
 
@@ -45,6 +54,8 @@ pub enum SimError {
         /// Cycle at which progress stopped.
         cycle: u64,
     },
+    /// [`Machine::step`] was called with no program loaded.
+    NotLoaded,
 }
 
 impl fmt::Display for SimError {
@@ -60,11 +71,55 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidSimtRegion { reason } => write!(f, "invalid SIMT region: {reason}"),
             SimError::Deadlock { cycle } => write!(f, "no progress at cycle {cycle}"),
+            SimError::NotLoaded => write!(f, "step called with no program loaded"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+/// What one [`Machine::step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The machine made progress and has more work pending.
+    Running,
+    /// Every hardware thread has halted; [`Machine::stats`] is final.
+    Halted,
+}
+
+impl StepOutcome {
+    /// Whether this outcome ends the run.
+    pub fn is_halted(self) -> bool {
+        matches!(self, StepOutcome::Halted)
+    }
+}
+
+/// One retired instruction, as observed at the machine's commit point.
+///
+/// Machines append these to their commit log when
+/// [`Machine::set_commit_log`] is enabled; [`crate::lockstep`] compares the
+/// per-thread streams of two machines to pinpoint the first divergent
+/// retirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Commit {
+    /// Hardware thread that retired the instruction.
+    pub thread: u32,
+    /// Instruction address.
+    pub pc: u32,
+    /// Destination register lane written, with the value (architectural
+    /// writes only — `x0` writes and stores record `None`).
+    pub dest: Option<(ArchReg, u32)>,
+}
+
+impl fmt::Display for Commit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{} pc={:#x}", self.thread, self.pc)?;
+        match self.dest {
+            Some((lane, value)) => write!(f, " {lane}={value:#x}"),
+            None => write!(f, " (no reg write)"),
+        }
+    }
+}
 
 /// A processor model that can run a bare-metal [`Program`].
 ///
@@ -72,16 +127,68 @@ impl std::error::Error for SimError {}
 /// the program entry with `a0` = thread id, `a1` = thread count, and a
 /// private stack pointer; a thread halts by executing `ecall`. The run ends
 /// when all threads have halted.
+///
+/// # Stepping
+///
+/// The workspace machines are dependence-timed rather than
+/// cycle-by-cycle, so the stepping quantum is one *retired unit of work* —
+/// one dynamic instruction on most machines, one pipelined region
+/// iteration batch in DiAG's SIMT mode, or internal scheduling work (wave
+/// rotation) that retires nothing. Timing state (the machine clock)
+/// advances by whatever the quantum cost; callers must not assume one step
+/// equals one cycle.
 pub trait Machine {
     /// Short human-readable machine name (e.g. `"diag-f4c32"`).
     fn name(&self) -> String;
 
+    /// Mounts `program` for execution with `threads` hardware threads,
+    /// resetting all architectural and timing state from any prior run.
+    fn load(&mut self, program: &Program, threads: usize);
+
+    /// Advances the machine by one schedulable quantum.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`] for the failure modes; [`SimError::NotLoaded`] if
+    /// no program is mounted or the machine already halted.
+    fn step(&mut self) -> Result<StepOutcome, SimError>;
+
+    /// Statistics of the current (or just-finished) run. Totals are
+    /// final once [`Machine::step`] has returned [`StepOutcome::Halted`];
+    /// before that they cover the work retired so far.
+    fn stats(&self) -> RunStats;
+
+    /// Enables or disables commit logging (disabled by default; logging
+    /// every retirement costs memory proportional to the dynamic
+    /// instruction count, so leave it off for performance runs).
+    ///
+    /// Machines that do not support commit logging ignore this; their
+    /// [`Machine::take_commits`] stays empty.
+    fn set_commit_log(&mut self, _enabled: bool) {}
+
+    /// Drains the retirements logged since the last call (in per-thread
+    /// program order).
+    fn take_commits(&mut self) -> Vec<Commit> {
+        Vec::new()
+    }
+
     /// Runs `program` with `threads` hardware threads to completion.
+    ///
+    /// This is a convenience wrapper over [`Machine::load`] and
+    /// [`Machine::step`]; override only to add behaviour, not to bypass
+    /// the stepping interface.
     ///
     /// # Errors
     ///
     /// See [`SimError`] for the failure modes.
-    fn run(&mut self, program: &Program, threads: usize) -> Result<RunStats, SimError>;
+    fn run(&mut self, program: &Program, threads: usize) -> Result<RunStats, SimError> {
+        self.load(program, threads);
+        loop {
+            if self.step()?.is_halted() {
+                return Ok(self.stats());
+            }
+        }
+    }
 
     /// Reads a 32-bit word from the machine's memory after a run, for
     /// result verification.
@@ -111,9 +218,22 @@ mod tests {
             SimError::Misaligned { addr: 3, size: 4 },
             SimError::InvalidSimtRegion { reason: "nested loop".to_string() },
             SimError::Deadlock { cycle: 7 },
+            SimError::NotLoaded,
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn commit_displays() {
+        let c = Commit {
+            thread: 0,
+            pc: 0x1000,
+            dest: Some((diag_isa::Reg::T0.into(), 42)),
+        };
+        assert!(c.to_string().contains("pc=0x1000"));
+        let s = Commit { thread: 1, pc: 0x1004, dest: None };
+        assert!(s.to_string().contains("no reg write"));
     }
 }

@@ -9,8 +9,7 @@
 
 use diag_asm::{AsmError, ProgramBuilder};
 use diag_isa::regs::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use diag_isa::prng::SplitMix64;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
 use crate::util::{begin_repeat, end_repeat, repeats, check_floats, emit_thread_range};
@@ -54,7 +53,7 @@ fn expected(weights: &[f32], input: &[f32], hidden_n: usize) -> Vec<f32> {
 
 fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let h = hidden(p.scale);
-    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x6270);
+    let mut rng = SplitMix64::seed_from_u64(p.seed ^ 0x6270);
     let weights: Vec<f32> = (0..h * IN).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
     let input: Vec<f32> = (0..IN).map(|_| rng.gen_range(0.0f32..1.0)).collect();
     let expect = expected(&weights, &input, h);

@@ -8,8 +8,7 @@
 
 use diag_asm::{AsmError, ProgramBuilder};
 use diag_isa::regs::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use diag_isa::prng::SplitMix64;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
 use crate::util::check_words;
@@ -36,19 +35,19 @@ fn nodes(scale: Scale) -> usize {
 }
 
 /// A random connected-ish graph in CSR form (ring + random chords).
-fn gen_graph(n: usize, rng: &mut StdRng) -> (Vec<u32>, Vec<u32>) {
+fn gen_graph(n: usize, rng: &mut SplitMix64) -> (Vec<u32>, Vec<u32>) {
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
-    for v in 0..n {
-        adj[v].push(((v + 1) % n) as u32);
+    for (v, edges) in adj.iter_mut().enumerate() {
+        edges.push(((v + 1) % n) as u32);
         for _ in 0..3 {
-            adj[v].push(rng.gen_range(0..n) as u32);
+            edges.push(rng.gen_range(0..n) as u32);
         }
     }
     let mut row = Vec::with_capacity(n + 1);
     let mut col = Vec::new();
     row.push(0u32);
-    for v in 0..n {
-        col.extend_from_slice(&adj[v]);
+    for edges in &adj {
+        col.extend_from_slice(edges);
         row.push(col.len() as u32);
     }
     (row, col)
@@ -77,7 +76,7 @@ fn expected(row: &[u32], col: &[u32], n: usize) -> Vec<u32> {
 fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let n = nodes(p.scale);
     let threads = p.threads.max(1);
-    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x6266);
+    let mut rng = SplitMix64::seed_from_u64(p.seed ^ 0x6266);
     let mut rows = Vec::new();
     let mut cols = Vec::new();
     let mut expects = Vec::new();
@@ -186,7 +185,7 @@ mod tests {
 
     #[test]
     fn ring_edges_make_graph_connected() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::seed_from_u64(1);
         let (row, col) = gen_graph(64, &mut rng);
         let levels = expected(&row, &col, 64);
         assert!(levels.iter().all(|&l| l != u32::MAX), "all nodes reachable");

@@ -8,8 +8,7 @@
 
 use diag_asm::{AsmError, ProgramBuilder};
 use diag_isa::regs::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use diag_isa::prng::SplitMix64;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
 use crate::util::{begin_repeat, check_floats, emit_thread_range, end_repeat, repeats};
@@ -79,7 +78,7 @@ fn emit_cell(b: &mut ProgramBuilder) {
 
 fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let n = dims(p.scale);
-    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x4053);
+    let mut rng = SplitMix64::seed_from_u64(p.seed ^ 0x4053);
     let temp: Vec<f32> = (0..n * n).map(|_| rng.gen_range(20.0f32..90.0)).collect();
     let power: Vec<f32> = (0..n * n).map(|_| rng.gen_range(0.0f32..0.5)).collect();
     let expect = expected(&temp, &power, n);

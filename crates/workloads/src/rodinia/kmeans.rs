@@ -8,8 +8,7 @@
 
 use diag_asm::{AsmError, ProgramBuilder};
 use diag_isa::regs::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use diag_isa::prng::SplitMix64;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
 use crate::util::{begin_repeat, end_repeat, repeats, check_words, emit_thread_range};
@@ -60,7 +59,7 @@ fn expected(points: &[(f32, f32)]) -> Vec<u32> {
 
 fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let n = npoints(p.scale);
-    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x6B6D);
+    let mut rng = SplitMix64::seed_from_u64(p.seed ^ 0x6B6D);
     let points: Vec<(f32, f32)> = (0..n).map(|_| (rng.gen_range(0.0f32..1.0), rng.gen_range(0.0f32..1.0))).collect();
     let expect = expected(&points);
 

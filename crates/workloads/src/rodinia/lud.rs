@@ -6,8 +6,7 @@
 
 use diag_asm::{AsmError, ProgramBuilder};
 use diag_isa::regs::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use diag_isa::prng::SplitMix64;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
 use crate::util::check_floats;
@@ -51,7 +50,7 @@ fn expected(a: &[f32], m: usize) -> Vec<f32> {
 fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let m = dim(p.scale);
     let threads = p.threads.max(1);
-    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x6C75);
+    let mut rng = SplitMix64::seed_from_u64(p.seed ^ 0x6C75);
     let mut mats = Vec::with_capacity(threads);
     let mut expects = Vec::with_capacity(threads);
     for _ in 0..threads {
@@ -155,7 +154,7 @@ mod tests {
     fn lu_factors_reconstruct_matrix() {
         // Independent numeric sanity: L·U ≈ A for the expected output.
         let m = 8usize;
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::seed_from_u64(7);
         let mut a: Vec<f32> = (0..m * m).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
         for d in 0..m {
             a[d * m + d] = 6.0;

@@ -7,8 +7,7 @@
 
 use diag_asm::{AsmError, ProgramBuilder};
 use diag_isa::regs::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use diag_isa::prng::SplitMix64;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
 use crate::util::{begin_repeat, end_repeat, repeats, check_floats, emit_thread_range, thread_range};
@@ -39,7 +38,7 @@ const QUERY: (f32, f32) = (0.5, 0.5);
 fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let n = npoints(p.scale);
     let threads = p.threads.max(1);
-    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x6E6E);
+    let mut rng = SplitMix64::seed_from_u64(p.seed ^ 0x6E6E);
     let pts: Vec<(f32, f32)> = (0..n).map(|_| (rng.gen_range(0.0f32..1.0), rng.gen_range(0.0f32..1.0))).collect();
 
     // Expected distances (kernel order: fmadd(dy, dy, dx*dx)).
@@ -57,9 +56,9 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
         let (lo, hi) = thread_range(n, t, threads);
         let mut best = f32::INFINITY;
         let mut idx = 0u32;
-        for i in lo..hi {
-            if dists[i] < best {
-                best = dists[i];
+        for (i, &d) in dists.iter().enumerate().take(hi).skip(lo) {
+            if d < best {
+                best = d;
                 idx = i as u32;
             }
         }

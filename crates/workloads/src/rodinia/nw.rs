@@ -7,8 +7,7 @@
 
 use diag_asm::{AsmError, ProgramBuilder};
 use diag_isa::regs::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use diag_isa::prng::SplitMix64;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
 use crate::util::{begin_repeat, check_words, end_repeat, repeats};
@@ -68,7 +67,7 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let m = seq_len(p.scale);
     let w = m + 1;
     let threads = p.threads.max(1);
-    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x6E77);
+    let mut rng = SplitMix64::seed_from_u64(p.seed ^ 0x6E77);
     let mut seqs_a = Vec::new();
     let mut seqs_b = Vec::new();
     let mut expects = Vec::new();

@@ -7,8 +7,7 @@
 
 use diag_asm::{AsmError, ProgramBuilder};
 use diag_isa::regs::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use diag_isa::prng::SplitMix64;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
 use crate::util::{begin_repeat, check_words, end_repeat, repeats};
@@ -57,7 +56,7 @@ fn expected(grid: &[u32], rows: usize, cols: usize) -> Vec<u32> {
 fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let (rows, cols) = dims(p.scale);
     let threads = p.threads.max(1);
-    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x7066);
+    let mut rng = SplitMix64::seed_from_u64(p.seed ^ 0x7066);
 
     // Per-thread instance data.
     let mut grids: Vec<Vec<u32>> = Vec::with_capacity(threads);

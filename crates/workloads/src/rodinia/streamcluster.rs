@@ -7,8 +7,7 @@
 
 use diag_asm::{AsmError, ProgramBuilder};
 use diag_isa::regs::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use diag_isa::prng::SplitMix64;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
 use crate::util::{begin_repeat, end_repeat, repeats, check_floats, emit_thread_range, thread_range};
@@ -39,7 +38,7 @@ const MEDIAN: (f32, f32) = (0.4, 0.6);
 fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let n = npoints(p.scale);
     let threads = p.threads.max(1);
-    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x7363);
+    let mut rng = SplitMix64::seed_from_u64(p.seed ^ 0x7363);
     let pts: Vec<(f32, f32, f32)> = (0..n)
         .map(|_| (rng.gen_range(0.0f32..1.0), rng.gen_range(0.0f32..1.0), rng.gen_range(0.5f32..2.0)))
         .collect();

@@ -10,8 +10,7 @@
 
 use diag_asm::{AsmError, ProgramBuilder};
 use diag_isa::regs::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use diag_isa::prng::SplitMix64;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
 use crate::util::{begin_repeat, end_repeat, repeats, check_words, emit_thread_range};
@@ -86,7 +85,7 @@ fn emit_popcount(
 
 fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let n = npos(p.scale);
-    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x646A);
+    let mut rng = SplitMix64::seed_from_u64(p.seed ^ 0x646A);
     let boards: Vec<(u32, u32)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
     let expect = expected(&boards);
 

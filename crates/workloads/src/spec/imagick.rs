@@ -6,8 +6,7 @@
 
 use diag_asm::{AsmError, ProgramBuilder};
 use diag_isa::regs::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use diag_isa::prng::SplitMix64;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
 use crate::util::{begin_repeat, end_repeat, repeats, check_floats, emit_thread_range};
@@ -95,7 +94,7 @@ fn emit_pixel(b: &mut ProgramBuilder) {
 
 fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let n = dims(p.scale);
-    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x696D);
+    let mut rng = SplitMix64::seed_from_u64(p.seed ^ 0x696D);
     let img: Vec<f32> = (0..n * n).map(|_| rng.gen_range(0.0f32..255.0)).collect();
     let expect = expected(&img, n);
 

@@ -7,8 +7,7 @@
 
 use diag_asm::{AsmError, ProgramBuilder};
 use diag_isa::regs::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use diag_isa::prng::SplitMix64;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
 use crate::util::{check_floats, emit_thread_range};
@@ -41,8 +40,8 @@ fn expected(f: &[Vec<f32>], n: usize) -> Vec<Vec<f32>> {
     let mut out = f.to_vec();
     for i in 0..n {
         let mut rho = f[0][i];
-        for d in 1..5 {
-            rho += f[d][i];
+        for fd in f.iter().take(5).skip(1) {
+            rho += fd[i];
         }
         for d in 0..5 {
             // Kernel: feq = w_d * rho; f += ω*(feq - f) via fsub, fmadd.
@@ -56,7 +55,7 @@ fn expected(f: &[Vec<f32>], n: usize) -> Vec<Vec<f32>> {
 
 fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let n = cells(p.scale);
-    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x6C62);
+    let mut rng = SplitMix64::seed_from_u64(p.seed ^ 0x6C62);
     let f: Vec<Vec<f32>> =
         (0..5).map(|_| (0..n).map(|_| rng.gen_range(0.1f32..1.0)).collect()).collect();
     let expect = expected(&f, n);

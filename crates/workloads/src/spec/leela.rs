@@ -9,8 +9,7 @@
 
 use diag_asm::{AsmError, ProgramBuilder};
 use diag_isa::regs::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use diag_isa::prng::SplitMix64;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
 use crate::util::{begin_repeat, check_words, end_repeat, repeats};
@@ -64,7 +63,7 @@ fn expected(cells: &[u32], n: usize) -> Vec<u32> {
 fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let n = board(p.scale);
     let threads = p.threads.max(1);
-    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x6C65);
+    let mut rng = SplitMix64::seed_from_u64(p.seed ^ 0x6C65);
     let mut boards = Vec::new();
     let mut expects = Vec::new();
     for _ in 0..threads {

@@ -8,8 +8,7 @@
 
 use diag_asm::{AsmError, ProgramBuilder};
 use diag_isa::regs::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use diag_isa::prng::SplitMix64;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
 use crate::util::check_words;
@@ -55,7 +54,7 @@ fn expected(arcs: &[(u32, u32, u32)], nodes: usize, rounds: usize) -> Vec<u32> {
 fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let (nodes, arcs_n, rounds) = size(p.scale);
     let threads = p.threads.max(1);
-    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x6D63);
+    let mut rng = SplitMix64::seed_from_u64(p.seed ^ 0x6D63);
     let mut arc_sets = Vec::new();
     let mut expects = Vec::new();
     for _ in 0..threads {
@@ -69,8 +68,8 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
             })
             .collect();
         // Ensure reachability backbone.
-        for v in 1..nodes.min(arcs_n) {
-            arcs[v] = ((v - 1) as u32, v as u32, rng.gen_range(1..50));
+        for (v, arc) in arcs.iter_mut().enumerate().take(nodes.min(arcs_n)).skip(1) {
+            *arc = ((v - 1) as u32, v as u32, rng.gen_range(1..50));
         }
         expects.push(expected(&arcs, nodes, rounds));
         arc_sets.push(arcs);
@@ -155,11 +154,11 @@ mod tests {
     #[test]
     fn backbone_makes_nodes_reachable() {
         let (nodes, arcs_n, rounds) = size(Scale::Tiny);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::seed_from_u64(3);
         let mut arcs: Vec<(u32, u32, u32)> =
             (0..arcs_n).map(|_| (0, 0, rng.gen_range(1..100))).collect();
-        for v in 1..nodes.min(arcs_n) {
-            arcs[v] = ((v - 1) as u32, v as u32, 1);
+        for (v, arc) in arcs.iter_mut().enumerate().take(nodes.min(arcs_n)).skip(1) {
+            *arc = ((v - 1) as u32, v as u32, 1);
         }
         let d = expected(&arcs, nodes, rounds);
         // With enough rounds of full scans in index order, the chain

@@ -7,8 +7,7 @@
 
 use diag_asm::{AsmError, ProgramBuilder};
 use diag_isa::regs::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use diag_isa::prng::SplitMix64;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
 use crate::util::{begin_repeat, end_repeat, repeats, check_floats, emit_thread_range};
@@ -61,7 +60,7 @@ fn expected(pos: &[(f32, f32)], nbr: &[u32], n: usize) -> Vec<(f32, f32)> {
 
 fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let n = nparticles(p.scale);
-    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x6E64);
+    let mut rng = SplitMix64::seed_from_u64(p.seed ^ 0x6E64);
     let pos: Vec<(f32, f32)> =
         (0..n).map(|_| (rng.gen_range(0.0f32..8.0), rng.gen_range(0.0f32..8.0))).collect();
     let nbr: Vec<u32> =

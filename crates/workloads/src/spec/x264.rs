@@ -7,8 +7,7 @@
 
 use diag_asm::{AsmError, ProgramBuilder};
 use diag_isa::regs::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use diag_isa::prng::SplitMix64;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
 use crate::util::{begin_repeat, end_repeat, repeats, check_words, emit_thread_range};
@@ -52,7 +51,7 @@ fn expected(cur: &[u32], refr: &[u32], nb: usize) -> Vec<u32> {
 
 fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let nb = nblocks(p.scale);
-    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x7834);
+    let mut rng = SplitMix64::seed_from_u64(p.seed ^ 0x7834);
     let cur: Vec<u32> = (0..nb * BLOCK).map(|_| rng.gen_range(0..256)).collect();
     let refr: Vec<u32> = (0..nb * BLOCK).map(|_| rng.gen_range(0..256)).collect();
     let expect = expected(&cur, &refr, nb);

@@ -8,8 +8,7 @@
 
 use diag_asm::{AsmError, ProgramBuilder};
 use diag_isa::regs::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use diag_isa::prng::SplitMix64;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
 use crate::util::{begin_repeat, check_words, end_repeat, repeats};
@@ -59,7 +58,7 @@ fn expected(data: &[u8], probes: &[(u32, u32)]) -> Vec<u32> {
 fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let (bytes, nprobes) = size(p.scale);
     let threads = p.threads.max(1);
-    let mut rng = StdRng::seed_from_u64(p.seed ^ 0x787A);
+    let mut rng = SplitMix64::seed_from_u64(p.seed ^ 0x787A);
     let mut datas = Vec::new();
     let mut probe_sets = Vec::new();
     let mut expects = Vec::new();

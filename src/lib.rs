@@ -17,6 +17,13 @@
 //!   in-order reference machine.
 //! - [`power`]: Table-3-derived area/energy models.
 //! - [`workloads`]: Rodinia- and SPEC-style benchmark kernels.
+//! - [`bench`]: the experiment harness — per-figure regeneration
+//!   functions and the parallel [`bench::sweep`] runner.
+//!
+//! Machines expose a steppable interface — [`sim::Machine::load`] mounts
+//! a program, [`sim::Machine::step`] retires one unit of work — on top of
+//! which [`sim::run_lockstep`] diffs two machines' commit streams and
+//! reports the first divergence.
 //!
 //! # Quickstart
 //!
@@ -44,6 +51,7 @@
 
 pub use diag_asm as asm;
 pub use diag_baseline as baseline;
+pub use diag_bench as bench;
 pub use diag_core as core;
 pub use diag_isa as isa;
 pub use diag_mem as mem;

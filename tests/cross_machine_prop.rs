@@ -1,17 +1,24 @@
-//! Property-based differential testing: random (but terminating) programs
+//! Randomized differential testing: random (but terminating) programs
 //! must produce bit-identical architectural results on the in-order
 //! reference, the out-of-order baseline, and every DiAG configuration.
 //! This is the strongest correctness property in the workspace — the
 //! machines share instruction semantics but have completely different
-//! execution engines.
+//! execution engines. Driven by the in-workspace [`SplitMix64`] generator
+//! so the suite runs fully offline; the `heavy` feature scales the case
+//! count up for soak runs.
 
 use diag::asm::{Program, ProgramBuilder};
 use diag::baseline::{InOrder, O3Config, OooCpu};
 use diag::core::{Diag, DiagConfig};
+use diag::isa::prng::SplitMix64;
 use diag::isa::regs::*;
 use diag::isa::{AluOp, Reg};
 use diag::sim::Machine;
-use proptest::prelude::*;
+
+#[cfg(not(feature = "heavy"))]
+const CASES: u64 = 48;
+#[cfg(feature = "heavy")]
+const CASES: u64 = 2_048;
 
 /// Registers random programs are allowed to clobber.
 const POOL: [Reg; 12] = [T0, T1, T2, T3, T4, T5, S2, S3, S4, S5, S6, S7];
@@ -20,50 +27,65 @@ const POOL: [Reg; 12] = [T0, T1, T2, T3, T4, T5, S2, S3, S4, S5, S6, S7];
 enum Op {
     Alu(AluOp, usize, usize, usize),
     AluImm(AluOp, usize, usize, i32),
-    Store(usize, usize), // slot, src
-    Load(usize, usize),  // dst, slot
+    Store(usize, usize),    // slot, src
+    Load(usize, usize),     // dst, slot
     SkipIfEq(usize, usize), // forward branch over the next instruction
 }
 
-fn any_alu() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Xor),
-        Just(AluOp::Or),
-        Just(AluOp::And),
-        Just(AluOp::Sll),
-        Just(AluOp::Srl),
-        Just(AluOp::Sra),
-        Just(AluOp::Slt),
-        Just(AluOp::Sltu),
-        Just(AluOp::Mul),
-        Just(AluOp::Div),
-        Just(AluOp::Rem),
-    ]
+const ALU_OPS: [AluOp; 13] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Xor,
+    AluOp::Or,
+    AluOp::And,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Slt,
+    AluOp::Sltu,
+    AluOp::Mul,
+    AluOp::Div,
+    AluOp::Rem,
+];
+
+fn any_alu(rng: &mut SplitMix64) -> AluOp {
+    ALU_OPS[rng.gen_range(0usize..ALU_OPS.len())]
 }
 
-fn any_op() -> impl Strategy<Value = Op> {
-    let r = 0..POOL.len();
-    prop_oneof![
-        (any_alu(), r.clone(), r.clone(), r.clone()).prop_map(|(op, d, a, b)| Op::Alu(op, d, a, b)),
-        (any_alu(), r.clone(), r.clone(), -64i32..64).prop_filter_map(
-            "imm-form ops only",
-            |(op, d, a, imm)| {
-                if !op.has_imm_form() {
-                    return None;
-                }
-                let imm = match op {
-                    AluOp::Sll | AluOp::Srl | AluOp::Sra => imm & 0x1F,
-                    _ => imm,
-                };
-                Some(Op::AluImm(op, d, a, imm))
-            }
+fn any_op(rng: &mut SplitMix64) -> Op {
+    let r = POOL.len();
+    match rng.gen_range(0u32..5) {
+        0 => Op::Alu(
+            any_alu(rng),
+            rng.gen_range(0usize..r),
+            rng.gen_range(0usize..r),
+            rng.gen_range(0usize..r),
         ),
-        (0usize..16, r.clone()).prop_map(|(slot, src)| Op::Store(slot, src)),
-        (r.clone(), 0usize..16).prop_map(|(dst, slot)| Op::Load(dst, slot)),
-        (r.clone(), r).prop_map(|(a, b)| Op::SkipIfEq(a, b)),
-    ]
+        1 => {
+            let op = loop {
+                let op = any_alu(rng);
+                if op.has_imm_form() {
+                    break op;
+                }
+            };
+            let imm = rng.gen_range(-64i32..64);
+            let imm = match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => imm & 0x1F,
+                _ => imm,
+            };
+            Op::AluImm(op, rng.gen_range(0usize..r), rng.gen_range(0usize..r), imm)
+        }
+        2 => Op::Store(rng.gen_range(0usize..16), rng.gen_range(0usize..r)),
+        3 => Op::Load(rng.gen_range(0usize..r), rng.gen_range(0usize..16)),
+        _ => Op::SkipIfEq(rng.gen_range(0usize..r), rng.gen_range(0usize..r)),
+    }
+}
+
+fn random_case(rng: &mut SplitMix64, seed_bound: i32, max_ops: usize) -> (Vec<i32>, Vec<Op>) {
+    let seeds = (0..POOL.len()).map(|_| rng.gen_range(-seed_bound..seed_bound)).collect();
+    let count = rng.gen_range(1usize..max_ops);
+    let body = (0..count).map(|_| any_op(rng)).collect();
+    (seeds, body)
 }
 
 /// Builds a terminating program: seeded registers, a fixed-trip-count loop
@@ -122,15 +144,12 @@ fn dump_of(m: &dyn Machine, program: &Program) -> Vec<u32> {
     (0..(POOL.len() + 16) as u32).map(|i| m.read_word(dump + 4 * i)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn machines_agree_architecturally(
-        seeds in prop::collection::vec(-1000i32..1000, POOL.len()),
-        body in prop::collection::vec(any_op(), 1..24),
-        trips in 1u32..6,
-    ) {
+#[test]
+fn machines_agree_architecturally() {
+    let mut rng = SplitMix64::seed_from_u64(0xC055_0001);
+    for case in 0..CASES {
+        let (seeds, body) = random_case(&mut rng, 1000, 24);
+        let trips = rng.gen_range(1u32..6);
         let program = build_program(&seeds, &body, trips);
         let mut reference = InOrder::new();
         reference.run(&program, 1).expect("reference run");
@@ -138,13 +157,13 @@ proptest! {
 
         let mut ooo = OooCpu::new(O3Config::aggressive_8wide(), 1);
         ooo.run(&program, 1).expect("ooo run");
-        prop_assert_eq!(&dump_of(&ooo, &program), &want, "OoO diverged");
+        assert_eq!(dump_of(&ooo, &program), want, "OoO diverged (case {case})");
 
         for cfg in [DiagConfig::f4c2(), DiagConfig::f4c32()] {
             let name = cfg.name.clone();
             let mut diag = Diag::new(cfg);
             diag.run(&program, 1).expect("diag run");
-            prop_assert_eq!(&dump_of(&diag, &program), &want, "DiAG {} diverged", name);
+            assert_eq!(dump_of(&diag, &program), want, "DiAG {name} diverged (case {case})");
         }
 
         // Reuse ablation must not change architectural results either.
@@ -152,21 +171,22 @@ proptest! {
         cfg.enable_reuse = false;
         let mut diag = Diag::new(cfg);
         diag.run(&program, 1).expect("diag no-reuse run");
-        prop_assert_eq!(&dump_of(&diag, &program), &want, "DiAG no-reuse diverged");
+        assert_eq!(dump_of(&diag, &program), want, "DiAG no-reuse diverged (case {case})");
     }
+}
 
-    #[test]
-    fn multithreaded_runs_are_deterministic(
-        seeds in prop::collection::vec(-100i32..100, POOL.len()),
-        body in prop::collection::vec(any_op(), 1..10),
-    ) {
+#[test]
+fn multithreaded_runs_are_deterministic() {
+    let mut rng = SplitMix64::seed_from_u64(0xC055_0002);
+    for _ in 0..CASES {
         // Threads share the binary but not the scratch (all threads write
         // the same values — the final state equals any single thread's).
+        let (seeds, body) = random_case(&mut rng, 100, 10);
         let program = build_program(&seeds, &body, 2);
         let mut a = Diag::new(DiagConfig::f4c32());
         a.run(&program, 4).expect("run a");
         let mut c = Diag::new(DiagConfig::f4c32());
         c.run(&program, 4).expect("run b");
-        prop_assert_eq!(dump_of(&a, &program), dump_of(&c, &program));
+        assert_eq!(dump_of(&a, &program), dump_of(&c, &program));
     }
 }

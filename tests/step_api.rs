@@ -1,0 +1,231 @@
+//! Integration tests of the steppable-machine interface: explicit
+//! `load`/`step` loops on every machine over a real Rodinia kernel,
+//! lockstep differential execution (including a deliberately corrupted
+//! machine), and determinism of the parallel experiment runner across
+//! job counts.
+
+use diag::baseline::{InOrder, O3Config, OooCpu};
+use diag::bench::runner::MachineKind;
+use diag::bench::sweep::Sweep;
+use diag::core::{Diag, DiagConfig};
+use diag::sim::{
+    run_lockstep, Commit, LockstepOutcome, Machine, RunStats, SimError, StepOutcome,
+};
+use diag::workloads::{find, Params};
+
+fn machines() -> Vec<Box<dyn Machine>> {
+    vec![
+        Box::new(InOrder::new()),
+        Box::new(OooCpu::new(O3Config::aggressive_8wide(), 2)),
+        Box::new(Diag::new(DiagConfig::f4c32())),
+    ]
+}
+
+/// A Rodinia kernel driven through the explicit load/step loop on all
+/// three machine models: each step must make observable progress, the
+/// final stats must match `run()`, and the kernel's own verifier must
+/// pass on the stepped machine.
+#[test]
+fn rodinia_kernel_via_explicit_stepping() {
+    let spec = find("hotspot").expect("registered workload");
+    let built = spec.build(&Params::tiny()).expect("build");
+    for mut m in machines() {
+        let name = m.name();
+        m.load(&built.program, 1);
+        let mut steps = 0u64;
+        let mut last_committed = 0u64;
+        while let StepOutcome::Running =
+            m.step().unwrap_or_else(|e| panic!("{name}: step failed: {e}"))
+        {
+            steps += 1;
+            let committed = m.stats().committed;
+            assert!(committed >= last_committed, "{name}: committed count went backwards");
+            last_committed = committed;
+        }
+        let stats = m.stats();
+        assert!(steps > 0, "{name}: halted without stepping");
+        assert!(stats.committed > 0, "{name}: nothing committed");
+        assert!(stats.cycles > 0, "{name}: no cycles");
+        (built.verify)(m.as_ref())
+            .unwrap_or_else(|e| panic!("{name}: kernel verification failed: {e}"));
+
+        // Stepping a halted machine is an error, not a silent no-op.
+        assert!(matches!(m.step(), Err(SimError::NotLoaded)), "{name}");
+
+        // A fresh load fully resets the machine: same program, same stats.
+        m.load(&built.program, 1);
+        let mut rerun_steps = 0u64;
+        while !m.step().expect("rerun step").is_halted() {
+            rerun_steps += 1;
+        }
+        let rerun = m.stats();
+        assert_eq!(rerun.cycles, stats.cycles, "{name}: reload changed timing");
+        assert_eq!(rerun.committed, stats.committed, "{name}");
+        assert_eq!(rerun_steps, steps, "{name}: reload changed step count");
+    }
+}
+
+/// Stepping before any `load` is an error on every machine.
+#[test]
+fn step_before_load_errors() {
+    for mut m in machines() {
+        assert!(matches!(m.step(), Err(SimError::NotLoaded)), "{}", m.name());
+    }
+}
+
+/// DiAG and the out-of-order baseline both agree with the in-order
+/// reference retirement-for-retirement on a real kernel.
+#[test]
+fn lockstep_agrees_on_rodinia_kernel() {
+    let spec = find("bfs").expect("registered workload");
+    let built = spec.build(&Params::tiny()).expect("build");
+    for mut left in [
+        Box::new(Diag::new(DiagConfig::f4c2())) as Box<dyn Machine>,
+        Box::new(OooCpu::new(O3Config::aggressive_8wide(), 1)),
+    ] {
+        let name = left.name();
+        let mut reference = InOrder::new();
+        let outcome =
+            run_lockstep(left.as_mut(), &mut reference, &built.program, 1, u64::MAX)
+                .unwrap_or_else(|e| panic!("{name}: lockstep run failed: {e}"));
+        match outcome {
+            LockstepOutcome::Agree { commits } => {
+                assert!(commits > 100, "{name}: suspiciously short stream ({commits})");
+            }
+            LockstepOutcome::Diverged(d) => panic!("{name}: {d}"),
+        }
+    }
+}
+
+/// A machine that delegates to the in-order reference but corrupts the
+/// destination value of one retirement — the kind of single-instruction
+/// timing-model bug lockstep exists to catch.
+struct CorruptedMachine {
+    inner: InOrder,
+    /// 1-based index of the retirement whose dest value gets flipped.
+    corrupt_at: u64,
+    seen: u64,
+}
+
+impl CorruptedMachine {
+    fn new(corrupt_at: u64) -> CorruptedMachine {
+        CorruptedMachine { inner: InOrder::new(), corrupt_at, seen: 0 }
+    }
+}
+
+impl Machine for CorruptedMachine {
+    fn name(&self) -> String {
+        "corrupted-inorder".to_string()
+    }
+
+    fn load(&mut self, program: &diag::asm::Program, threads: usize) {
+        self.seen = 0;
+        self.inner.load(program, threads);
+    }
+
+    fn step(&mut self) -> Result<StepOutcome, SimError> {
+        self.inner.step()
+    }
+
+    fn stats(&self) -> RunStats {
+        self.inner.stats()
+    }
+
+    fn set_commit_log(&mut self, enabled: bool) {
+        self.inner.set_commit_log(enabled);
+    }
+
+    fn take_commits(&mut self) -> Vec<Commit> {
+        let mut commits = self.inner.take_commits();
+        for c in &mut commits {
+            self.seen += 1;
+            if self.seen == self.corrupt_at {
+                if let Some((reg, value)) = c.dest {
+                    c.dest = Some((reg, value ^ 1));
+                }
+            }
+        }
+        commits
+    }
+
+    fn read_word(&self, addr: u32) -> u32 {
+        self.inner.read_word(addr)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Lockstep pinpoints the first corrupted retirement: right thread, right
+/// index, both values in the report.
+#[test]
+fn lockstep_reports_first_divergence() {
+    let spec = find("nw").expect("registered workload");
+    let built = spec.build(&Params::tiny()).expect("build");
+    // Pick a retirement that writes a register (stores/branches carry no
+    // dest): walk the reference stream for the first suitable index past
+    // 50 retirements.
+    let mut probe = InOrder::new();
+    probe.set_commit_log(true);
+    probe.load(&built.program, 1);
+    let mut index = None;
+    let mut seen = 0u64;
+    'outer: while !probe.step().expect("probe").is_halted() {
+        for c in probe.take_commits() {
+            seen += 1;
+            if seen > 50 && c.dest.is_some() {
+                index = Some(seen);
+                break 'outer;
+            }
+        }
+    }
+    let corrupt_at = index.expect("kernel has register writes");
+
+    let mut left = CorruptedMachine::new(corrupt_at);
+    let mut reference = InOrder::new();
+    let outcome = run_lockstep(&mut left, &mut reference, &built.program, 1, u64::MAX)
+        .expect("lockstep run");
+    let LockstepOutcome::Diverged(d) = outcome else {
+        panic!("corruption at retirement {corrupt_at} went undetected");
+    };
+    assert_eq!(d.thread, 0);
+    assert_eq!(d.index, corrupt_at - 1, "divergence index is zero-based");
+    let (l, r) = (d.left.expect("left retired"), d.right.expect("reference retired"));
+    assert_eq!(l.pc, r.pc, "same instruction, different value");
+    assert_eq!(
+        l.dest.expect("dest").1 ^ 1,
+        r.dest.expect("dest").1,
+        "report carries both values"
+    );
+    // And the report is human-readable.
+    let text = d.to_string();
+    assert!(text.contains("first divergence"), "{text}");
+}
+
+/// The parallel sweep runner returns bit-identical statistics in
+/// submission order no matter how many worker threads execute it.
+#[test]
+fn sweep_results_identical_across_job_counts() {
+    let kernels = ["hotspot", "bfs", "srad", "x264"];
+    let run_all = |jobs: usize| -> Vec<(u64, u64)> {
+        let mut sweep = Sweep::new();
+        let mut ids = Vec::new();
+        for name in kernels {
+            let spec = find(name).expect("registered");
+            ids.push(sweep.add(MachineKind::Diag(DiagConfig::f4c2()), spec, Params::tiny()));
+            ids.push(sweep.add(MachineKind::Ooo(2), spec, Params::tiny().with_threads(2)));
+        }
+        let results = sweep.execute(jobs);
+        ids.iter()
+            .map(|id| {
+                let s = results.stats(*id).expect("run succeeded");
+                (s.cycles, s.committed)
+            })
+            .collect()
+    };
+    let serial = run_all(1);
+    for jobs in [2, 8] {
+        assert_eq!(serial, run_all(jobs), "sweep nondeterministic at {jobs} jobs");
+    }
+}
