@@ -1,0 +1,169 @@
+//! Structured diagnostics emitted by the analyzer's lint passes.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+///
+/// `Error` means the program will (or legally may) fault or misbehave at
+/// runtime; `Warning` means the program is almost certainly not what the
+/// author intended or cannot use the hardware as written; `Info` is advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory only.
+    Info,
+    /// Probable mistake or hardware-ineligible pattern.
+    Warning,
+    /// Will fault or produce undefined values at runtime.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name used in reports (`"error"` / `"warning"` / `"info"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// The individual lints the analyzer can emit, each with a stable
+/// machine-readable identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lint {
+    /// A text word does not decode to any RV32IMF(+SIMT) instruction.
+    IllegalInst,
+    /// A branch/jump/simt_e whose static target is outside the text
+    /// segment or not instruction-aligned.
+    WildBranchTarget,
+    /// Execution can fall off the end of the text segment (or past an
+    /// illegal word) without reaching a halt.
+    MissingHalt,
+    /// A register lane is read on some path before anything writes it.
+    UseBeforeDef,
+    /// A register write that no subsequent instruction can ever read.
+    DeadLaneWrite,
+    /// A basic block no direct control flow can reach (suppressed when the
+    /// program contains indirect jumps).
+    UnreachableBlock,
+    /// A memory access whose static offset is not a multiple of the access
+    /// size, so the access faults whenever the base is aligned.
+    MisalignedMem,
+    /// A loop body spanning more I-lines than one ring can keep resident,
+    /// making it ineligible for backward-branch datapath reuse (§4.3.2).
+    LoopExceedsCapacity,
+    /// A `simt_e` whose loop-back target is not the paired `simt_s`.
+    SimtMalformedRegion,
+    /// A SIMT region containing control flow that breaks instance
+    /// pipelining (backward branches, indirect jumps, halts).
+    SimtUnsafeControl,
+    /// A register (other than the control register) carried between SIMT
+    /// loop instances — instances are pipelined, so the dependence breaks
+    /// the paper's instance-independence requirement (§5.4).
+    SimtCarriedDep,
+}
+
+impl Lint {
+    /// The stable identifier used in JSON output and baselines.
+    pub fn id(self) -> &'static str {
+        match self {
+            Lint::IllegalInst => "illegal-inst",
+            Lint::WildBranchTarget => "wild-branch-target",
+            Lint::MissingHalt => "missing-halt",
+            Lint::UseBeforeDef => "use-before-def",
+            Lint::DeadLaneWrite => "dead-lane-write",
+            Lint::UnreachableBlock => "unreachable-block",
+            Lint::MisalignedMem => "misaligned-mem",
+            Lint::LoopExceedsCapacity => "loop-capacity",
+            Lint::SimtMalformedRegion => "simt-malformed-region",
+            Lint::SimtUnsafeControl => "simt-unsafe-control",
+            Lint::SimtCarriedDep => "simt-carried-dep",
+        }
+    }
+
+    /// The severity this lint is reported at.
+    pub fn severity(self) -> Severity {
+        match self {
+            Lint::IllegalInst
+            | Lint::WildBranchTarget
+            | Lint::MissingHalt
+            | Lint::SimtMalformedRegion => Severity::Error,
+            Lint::UseBeforeDef
+            | Lint::MisalignedMem
+            | Lint::SimtUnsafeControl
+            | Lint::SimtCarriedDep => Severity::Warning,
+            Lint::DeadLaneWrite | Lint::UnreachableBlock | Lint::LoopExceedsCapacity => {
+                Severity::Info
+            }
+        }
+    }
+}
+
+/// One finding: a lint instance anchored to a PC range, with the
+/// surrounding disassembly for context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity (always `self.lint.severity()`).
+    pub severity: Severity,
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Address range the finding covers: `[start, end)` in bytes. Single
+    /// instruction findings span 4 bytes.
+    pub pc_range: (u32, u32),
+    /// Human-readable explanation.
+    pub message: String,
+    /// Disassembly lines around the anchor instruction (the offending line
+    /// is marked `>`).
+    pub context: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic for a single instruction at `pc`.
+    pub fn at(lint: Lint, pc: u32, message: String, context: Vec<String>) -> Diagnostic {
+        Diagnostic {
+            severity: lint.severity(),
+            lint,
+            pc_range: (pc, pc + 4),
+            message,
+            context,
+        }
+    }
+
+    /// Creates a diagnostic spanning `[start, end)`.
+    pub fn spanning(lint: Lint, start: u32, end: u32, message: String) -> Diagnostic {
+        Diagnostic {
+            severity: lint.severity(),
+            lint,
+            pc_range: (start, end),
+            message,
+            context: Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (start, end) = self.pc_range;
+        if end - start <= 4 {
+            write!(
+                f,
+                "{}[{}] {:#x}: {}",
+                self.severity.name(),
+                self.lint.id(),
+                start,
+                self.message
+            )
+        } else {
+            write!(
+                f,
+                "{}[{}] {:#x}..{:#x}: {}",
+                self.severity.name(),
+                self.lint.id(),
+                start,
+                end,
+                self.message
+            )
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! The lint passes: each walks the CFG/dataflow results and emits
+//! [`Diagnostic`]s.
+
+use crate::cfg::Cfg;
+use crate::dataflow::{self, def_of, uses_of, LaneSet, Liveness};
+use crate::diagnostics::{Diagnostic, Lint};
+use crate::perf::PerfBounds;
+use diag_asm::Program;
+use diag_core::DiagConfig;
+use diag_isa::{ControlFlow, Inst};
+
+/// Disassembly context around `pc` for a diagnostic.
+fn ctx(program: &Program, pc: u32) -> Vec<String> {
+    program.disasm_context(pc, 2, 2)
+}
+
+/// Runs every lint pass and returns the findings sorted by address.
+pub fn run_lints(
+    program: &Program,
+    cfg: &Cfg,
+    liveness: &Liveness,
+    perf: &PerfBounds,
+    config: &DiagConfig,
+    threads: usize,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    lint_illegal(program, cfg, &mut out);
+    lint_wild_targets(program, cfg, &mut out);
+    lint_missing_halt(program, cfg, &mut out);
+    lint_use_before_def(program, cfg, &mut out);
+    lint_dead_writes(program, cfg, liveness, &mut out);
+    lint_unreachable(program, cfg, &mut out);
+    lint_misaligned(program, cfg, &mut out);
+    lint_loop_capacity(program, perf, config, threads, &mut out);
+    lint_simt_regions(program, cfg, &mut out);
+    out.sort_by_key(|d| (d.pc_range.0, d.lint.id()));
+    out
+}
+
+fn lint_illegal(program: &Program, cfg: &Cfg, out: &mut Vec<Diagnostic>) {
+    for &(pc, word) in &cfg.illegal {
+        out.push(Diagnostic::at(
+            Lint::IllegalInst,
+            pc,
+            format!("word {word:#010x} does not decode to any RV32IMF(+SIMT) instruction"),
+            ctx(program, pc),
+        ));
+    }
+}
+
+fn lint_wild_targets(program: &Program, cfg: &Cfg, out: &mut Vec<Diagnostic>) {
+    for &(pc, target) in &cfg.wild_targets {
+        out.push(Diagnostic::at(
+            Lint::WildBranchTarget,
+            pc,
+            format!(
+                "control transfer at {} targets {target:#x}, outside (or misaligned within) \
+                 .text [{:#x}, {:#x})",
+                program.describe_addr(pc),
+                program.text_base(),
+                program.text_end()
+            ),
+            ctx(program, pc),
+        ));
+    }
+}
+
+fn lint_missing_halt(program: &Program, cfg: &Cfg, out: &mut Vec<Diagnostic>) {
+    for block in &cfg.blocks {
+        if block.reachable && block.falls_off_text {
+            let last = block.end - 4;
+            out.push(Diagnostic::at(
+                Lint::MissingHalt,
+                last,
+                format!(
+                    "execution can fall past the end of .text after {} without reaching a halt",
+                    program.describe_addr(last)
+                ),
+                ctx(program, last),
+            ));
+        }
+    }
+}
+
+fn lint_use_before_def(program: &Program, cfg: &Cfg, out: &mut Vec<Diagnostic>) {
+    for f in dataflow::use_before_def(cfg, dataflow::abi_initialized()) {
+        out.push(Diagnostic::at(
+            Lint::UseBeforeDef,
+            f.pc,
+            format!(
+                "{} reads `{}` which no instruction on some path from the entry has written \
+                 (machines zero-initialize it, but the value is meaningless)",
+                program.describe_addr(f.pc),
+                f.lane
+            ),
+            ctx(program, f.pc),
+        ));
+    }
+}
+
+fn lint_dead_writes(program: &Program, cfg: &Cfg, liveness: &Liveness, out: &mut Vec<Diagnostic>) {
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        if !block.reachable {
+            continue;
+        }
+        let after = liveness.live_after_each(cfg, b);
+        for (i, (pc, inst)) in block.insts.iter().enumerate() {
+            // The simt_e write of rc is consumed by the region hardware
+            // itself; never flag it.
+            if matches!(inst, Inst::SimtE { .. }) {
+                continue;
+            }
+            if let Some(d) = def_of(inst) {
+                if !after[i].contains(d) {
+                    out.push(Diagnostic::at(
+                        Lint::DeadLaneWrite,
+                        *pc,
+                        format!(
+                            "write to `{d}` at {} is overwritten on every path before any read \
+                             — the lane is driven for nothing",
+                            program.describe_addr(*pc)
+                        ),
+                        ctx(program, *pc),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn lint_unreachable(program: &Program, cfg: &Cfg, out: &mut Vec<Diagnostic>) {
+    // With indirect jumps present, any block might be a jalr target;
+    // stay silent rather than guess.
+    if cfg.has_indirect {
+        return;
+    }
+    for block in &cfg.blocks {
+        if !block.reachable {
+            out.push(Diagnostic::spanning(
+                Lint::UnreachableBlock,
+                block.start,
+                block.end,
+                format!(
+                    "block {} ({} instructions) is unreachable from the entry",
+                    program.describe_addr(block.start),
+                    block.len()
+                ),
+            ));
+        }
+    }
+}
+
+fn lint_misaligned(program: &Program, cfg: &Cfg, out: &mut Vec<Diagnostic>) {
+    for block in &cfg.blocks {
+        for (pc, inst) in &block.insts {
+            let Some(size) = inst.mem_size() else {
+                continue;
+            };
+            if size == 1 {
+                continue;
+            }
+            let offset = match *inst {
+                Inst::Load { offset, .. }
+                | Inst::Store { offset, .. }
+                | Inst::Flw { offset, .. }
+                | Inst::Fsw { offset, .. } => offset,
+                _ => continue,
+            };
+            if offset.rem_euclid(size as i32) != 0 {
+                out.push(Diagnostic::at(
+                    Lint::MisalignedMem,
+                    *pc,
+                    format!(
+                        "{size}-byte access at {} uses offset {offset}, which faults whenever \
+                         the base register is {size}-byte aligned",
+                        program.describe_addr(*pc)
+                    ),
+                    ctx(program, *pc),
+                ));
+            }
+        }
+    }
+}
+
+fn lint_loop_capacity(
+    program: &Program,
+    perf: &PerfBounds,
+    config: &DiagConfig,
+    threads: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    let capacity = config.reuse_line_capacity(threads.max(1));
+    for l in &perf.loops {
+        if !l.reuse_eligible {
+            out.push(Diagnostic::at(
+                Lint::LoopExceedsCapacity,
+                l.head,
+                format!(
+                    "loop at {} spans {} I-lines but one ring holds {capacity}; backward \
+                     branches reload lines instead of reusing the resident datapath (§4.3.2)",
+                    program.describe_addr(l.head),
+                    l.lines
+                ),
+                ctx(program, l.head),
+            ));
+        }
+    }
+}
+
+fn lint_simt_regions(program: &Program, cfg: &Cfg, out: &mut Vec<Diagnostic>) {
+    for block in &cfg.blocks {
+        for (pc, inst) in &block.insts {
+            let Inst::SimtE { rc, l_offset, .. } = *inst else {
+                continue;
+            };
+            let start = pc.wrapping_add(l_offset as u32);
+            match program.decode_at(start) {
+                Some(Inst::SimtS { rc: s_rc, .. }) if s_rc == rc => {
+                    lint_simt_body(program, start, *pc, rc, out);
+                }
+                Some(Inst::SimtS { rc: s_rc, .. }) => {
+                    out.push(Diagnostic::at(
+                        Lint::SimtMalformedRegion,
+                        *pc,
+                        format!(
+                            "simt_e at {} controls `{rc}` but the simt_s at {} controls \
+                             `{s_rc}` — the region will fault at runtime",
+                            program.describe_addr(*pc),
+                            program.describe_addr(start)
+                        ),
+                        ctx(program, *pc),
+                    ));
+                }
+                other => {
+                    out.push(Diagnostic::at(
+                        Lint::SimtMalformedRegion,
+                        *pc,
+                        format!(
+                            "simt_e at {} loops back to {} which is {} — not the paired simt_s",
+                            program.describe_addr(*pc),
+                            program.describe_addr(start),
+                            match other {
+                                Some(i) => format!("`{i}`"),
+                                None => "not a decodable instruction".to_string(),
+                            }
+                        ),
+                        ctx(program, *pc),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Checks the straight-line body of a well-paired SIMT region
+/// `(start, end)` for patterns that break instance pipelining.
+fn lint_simt_body(
+    program: &Program,
+    start: u32,
+    end: u32,
+    rc: diag_isa::Reg,
+    out: &mut Vec<Diagnostic>,
+) {
+    let rc_lane: diag_isa::ArchReg = rc.into();
+    let mut written = LaneSet::EMPTY;
+    let mut carried = LaneSet::EMPTY;
+    let mut region_writes = LaneSet::EMPTY;
+    // First pass: every lane the region writes.
+    let mut at = start + 4;
+    while at < end {
+        if let Some(inst) = program.decode_at(at) {
+            if let Some(d) = def_of(&inst) {
+                region_writes.insert(d);
+            }
+        }
+        at += 4;
+    }
+    let mut at = start + 4;
+    while at < end {
+        let Some(inst) = program.decode_at(at) else {
+            at += 4;
+            continue;
+        };
+        match inst.control_flow() {
+            ControlFlow::Next => {}
+            ControlFlow::Branch { offset } | ControlFlow::Jump { offset, .. } if offset < 0 => {
+                out.push(Diagnostic::at(
+                    Lint::SimtUnsafeControl,
+                    at,
+                    format!(
+                        "backward branch at {} inside the SIMT region [{},{}] — pipelined \
+                         instances cannot iterate independently (§5.4)",
+                        program.describe_addr(at),
+                        program.describe_addr(start),
+                        program.describe_addr(end)
+                    ),
+                    ctx(program, at),
+                ));
+            }
+            ControlFlow::Branch { .. } | ControlFlow::Jump { .. } => {}
+            ControlFlow::Indirect { .. }
+            | ControlFlow::Halt
+            | ControlFlow::Trap
+            | ControlFlow::SimtLoop { .. } => {
+                out.push(Diagnostic::at(
+                    Lint::SimtUnsafeControl,
+                    at,
+                    format!(
+                        "`{inst}` at {} inside the SIMT region [{},{}] cannot be \
+                         thread-pipelined",
+                        program.describe_addr(at),
+                        program.describe_addr(start),
+                        program.describe_addr(end)
+                    ),
+                    ctx(program, at),
+                ));
+            }
+        }
+        // A read of a lane the region writes but has not yet written this
+        // instance depends on the *previous* instance's value — a carried
+        // dependence the pipelined instances would violate.
+        for lane in uses_of(&inst).iter() {
+            if lane != rc_lane
+                && region_writes.contains(lane)
+                && !written.contains(lane)
+                && !carried.contains(lane)
+            {
+                carried.insert(lane);
+                out.push(Diagnostic::at(
+                    Lint::SimtCarriedDep,
+                    at,
+                    format!(
+                        "`{lane}` is read at {} before the region writes it: its value is \
+                         carried from the previous SIMT instance, but instances execute \
+                         pipelined, not sequentially (§5.4)",
+                        program.describe_addr(at)
+                    ),
+                    ctx(program, at),
+                ));
+            }
+        }
+        if let Some(d) = def_of(&inst) {
+            written.insert(d);
+        }
+        at += 4;
+    }
+}

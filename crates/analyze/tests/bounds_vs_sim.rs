@@ -1,0 +1,177 @@
+//! Cross-validation of the static performance model against the cycle
+//! simulator: for every bundled workload (and a set of recurrence-bound
+//! microkernels) the statically-derived IPC upper bounds must dominate the
+//! simulator's measurements. A bound that a measurement exceeds is a
+//! soundness bug in `diag_analyze::perf`, not a simulator regression.
+//!
+//! Two quantities are checked, matching what each bound actually promises:
+//!
+//! - `perf.ipc_bound` (retirement bandwidth) dominates **whole-program**
+//!   IPC at any problem size.
+//! - `perf.steady_state_ipc_bound` is an *asymptotic loop* property, so it
+//!   is compared against the **marginal** IPC between two problem sizes —
+//!   `Δinstructions / Δcycles` — which cancels prologue/epilogue work that
+//!   retires at full bandwidth. (A whole-program comparison would be
+//!   unsound by construction: a 5-instruction epilogue after a 3000-cycle
+//!   loop nudges total IPC above the loop's sustainable rate.)
+
+use diag_analyze::{analyze, AnalyzeOptions};
+use diag_core::{Diag, DiagConfig};
+use diag_sim::Machine;
+use diag_workloads::{all, Params, Scale};
+
+const EPS: f64 = 1e-9;
+
+fn measure(program: &diag_asm::Program, threads: usize) -> (u64, u64) {
+    let mut cpu = Diag::new(DiagConfig::f4c2());
+    let stats = cpu.run(program, threads).expect("program runs");
+    (stats.committed, stats.cycles)
+}
+
+/// Analyzes `big`, runs both programs, and checks that the program-wide
+/// bound dominates whole-program IPC and the steady-state bound dominates
+/// the marginal (small→big) IPC.
+fn check_dominance(name: &str, small: &diag_asm::Program, big: &diag_asm::Program, threads: usize) {
+    let opts = AnalyzeOptions {
+        config: DiagConfig::f4c2(),
+        threads,
+    };
+    let analysis = analyze(big, &opts);
+
+    let (small_insts, small_cycles) = measure(small, threads);
+    let (big_insts, big_cycles) = measure(big, threads);
+    for (insts, cycles) in [(small_insts, small_cycles), (big_insts, big_cycles)] {
+        let ipc = insts as f64 / cycles.max(1) as f64;
+        assert!(
+            ipc <= analysis.perf.ipc_bound + EPS,
+            "{name} (threads={threads}): whole-program IPC {ipc:.4} exceeds program bound {:.4}",
+            analysis.perf.ipc_bound
+        );
+    }
+
+    let (steady, marginal) = match analysis.perf.steady_state_ipc_bound {
+        Some(s) if big_cycles > small_cycles && big_insts > small_insts => (
+            s,
+            (big_insts - small_insts) as f64 / (big_cycles - small_cycles) as f64,
+        ),
+        _ => return,
+    };
+    assert!(
+        marginal <= steady + EPS,
+        "{name} (threads={threads}): marginal IPC {marginal:.4} exceeds steady-state \
+         bound {steady:.4}"
+    );
+}
+
+#[test]
+fn workload_bounds_dominate_measured_ipc() {
+    for spec in all() {
+        for threads in [1, 4] {
+            let tiny = Params::tiny().with_threads(threads);
+            let small = Params {
+                scale: Scale::Small,
+                ..tiny
+            };
+            let b_tiny = spec.build(&tiny).expect("workloads assemble");
+            let b_small = spec.build(&small).expect("workloads assemble");
+            check_dominance(spec.name, &b_tiny.program, &b_small.program, threads);
+        }
+    }
+}
+
+#[test]
+fn simt_workload_bounds_dominate_measured_ipc() {
+    for spec in all().into_iter().filter(|s| s.simt_capable) {
+        let tiny = Params::tiny().with_threads(4).with_simt(true);
+        let small = Params {
+            scale: Scale::Small,
+            ..tiny
+        };
+        let b_tiny = spec.build(&tiny).expect("workloads assemble");
+        let b_small = spec.build(&small).expect("workloads assemble");
+        check_dominance(spec.name, &b_tiny.program, &b_small.program, 4);
+    }
+}
+
+/// A loop whose carried `mul` chain (latency 3) caps throughput well below
+/// the commit width — the bound is only sound if the recurrence analysis
+/// closes the circuit on the lane's *final* in-loop write.
+fn mul_chain(trips: i32) -> String {
+    format!(
+        "    addi t1, zero, 3\n\
+         \x20   addi t0, zero, 1\n\
+         \x20   li   t2, {trips}\n\
+         loop:\n\
+         \x20   mul  t0, t0, t1\n\
+         \x20   addi t2, t2, -1\n\
+         \x20   bnez t2, loop\n\
+         \x20   sw   t0, 0(zero)\n\
+         \x20   ecall\n"
+    )
+}
+
+/// Same shape with an integer divide (latency 20): II is dominated by one
+/// long-latency unit rather than chain length.
+fn div_chain(trips: i32) -> String {
+    format!(
+        "    addi t1, zero, 1\n\
+         \x20   lui  t0, 500000\n\
+         \x20   li   t2, {trips}\n\
+         loop:\n\
+         \x20   div  t0, t0, t1\n\
+         \x20   addi t2, t2, -1\n\
+         \x20   bnez t2, loop\n\
+         \x20   sw   t0, 0(zero)\n\
+         \x20   ecall\n"
+    )
+}
+
+#[test]
+fn recurrence_microkernels_have_tight_nontrivial_bounds() {
+    for (name, build, want_ii) in [
+        ("mul-chain", mul_chain as fn(i32) -> String, 3u64),
+        ("div-chain", div_chain as fn(i32) -> String, 20u64),
+    ] {
+        let small = diag_asm::assemble(&build(200)).expect("microkernel assembles");
+        let big = diag_asm::assemble(&build(400)).expect("microkernel assembles");
+        let config = DiagConfig::f4c2();
+        let opts = AnalyzeOptions {
+            config: config.clone(),
+            threads: 1,
+        };
+        let analysis = analyze(&big, &opts);
+
+        assert_eq!(analysis.perf.loops.len(), 1, "{name}: expected one loop");
+        let l = &analysis.perf.loops[0];
+        assert_eq!(l.recurrence_ii, want_ii, "{name}: recurrence II");
+        let expected_bound = 3.0 / want_ii as f64;
+        assert!(
+            (l.ipc_bound - expected_bound).abs() < EPS,
+            "{name}: loop IPC bound {} != {expected_bound}",
+            l.ipc_bound
+        );
+        // The bound must be *nontrivial*: far below raw commit bandwidth.
+        let steady = analysis.perf.steady_state_ipc_bound.expect("loop present");
+        assert!(
+            steady < config.commit_width as f64 / 2.0,
+            "{name}: steady bound {steady} is not a meaningful constraint"
+        );
+
+        // The simulator must respect it: marginal IPC between the two trip
+        // counts is exactly the loop's sustained rate.
+        let (s_insts, s_cycles) = measure(&small, 1);
+        let (b_insts, b_cycles) = measure(&big, 1);
+        let marginal = (b_insts - s_insts) as f64 / (b_cycles - s_cycles) as f64;
+        assert!(
+            marginal <= steady + EPS,
+            "{name}: marginal IPC {marginal:.4} exceeds steady bound {steady:.4}"
+        );
+        // Tightness: the measurement should land within 2x of the bound,
+        // otherwise the dominance check is vacuous.
+        assert!(
+            marginal > steady / 2.0,
+            "{name}: marginal IPC {marginal:.4} is not within 2x of bound {steady:.4}"
+        );
+        check_dominance(name, &small, &big, 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property test: on random straight-line programs, the analyzer's
+//! entry-liveness must agree exactly with ground truth obtained by
+//! *executing* the program on the architectural interpreter and recording
+//! which lanes each instruction reads before anything has written them.
+//!
+//! Straight-line programs make the dynamic trace equal the static
+//! instruction order, so the comparison is an equality, not an inclusion:
+//! any divergence — a lane the analyzer thinks is read from the
+//! environment but the interpreter never touches, or vice versa — fails.
+//!
+//! Driven by the in-workspace [`SplitMix64`] generator; the `heavy`
+//! feature scales the case count up for soak runs.
+
+use diag_analyze::dataflow::{self, LaneSet};
+use diag_analyze::{analyze, AnalyzeOptions, Cfg};
+use diag_isa::prng::SplitMix64;
+use diag_mem::MainMemory;
+use diag_sim::interp::{arch_step, ArchState};
+
+#[cfg(not(feature = "heavy"))]
+const CASES: u64 = 64;
+#[cfg(feature = "heavy")]
+const CASES: u64 = 2_048;
+
+/// Registers random programs read and clobber.
+const POOL: [&str; 12] = [
+    "t0", "t1", "t2", "t3", "t4", "t5", "s2", "s3", "s4", "s5", "s6", "s7",
+];
+
+const ALU: [&str; 10] = [
+    "add", "sub", "xor", "or", "and", "sll", "srl", "sra", "slt", "mul",
+];
+const ALU_IMM: [&str; 4] = ["addi", "xori", "ori", "andi"];
+
+fn reg(rng: &mut SplitMix64) -> &'static str {
+    POOL[rng.gen_range(0usize..POOL.len())]
+}
+
+fn random_program(rng: &mut SplitMix64) -> String {
+    let len = rng.gen_range(1u64..40) as usize;
+    let mut src = String::new();
+    for _ in 0..len {
+        match rng.gen_range(0u32..8) {
+            0..=2 => {
+                let op = ALU[rng.gen_range(0usize..ALU.len())];
+                src.push_str(&format!(
+                    "    {op} {}, {}, {}\n",
+                    reg(rng),
+                    reg(rng),
+                    reg(rng)
+                ));
+            }
+            3..=4 => {
+                let op = ALU_IMM[rng.gen_range(0usize..ALU_IMM.len())];
+                let imm = rng.gen_range(0u64..2048) as i64 - 1024;
+                src.push_str(&format!("    {op} {}, {}, {imm}\n", reg(rng), reg(rng)));
+            }
+            5 => {
+                let imm = rng.gen_range(1u64..0xF_FFFF);
+                src.push_str(&format!("    lui {}, {imm}\n", reg(rng)));
+            }
+            6 => {
+                let off = rng.gen_range(0u64..16) * 4;
+                src.push_str(&format!("    sw {}, {off}(zero)\n", reg(rng)));
+            }
+            _ => {
+                let off = rng.gen_range(0u64..16) * 4;
+                src.push_str(&format!("    lw {}, {off}(zero)\n", reg(rng)));
+            }
+        }
+    }
+    src.push_str("    ecall\n");
+    src
+}
+
+/// Ground truth: execute on the interpreter and collect every lane an
+/// instruction reads before any instruction has written it.
+fn trace_reads_before_writes(program: &diag_asm::Program) -> LaneSet {
+    let mut state = ArchState::new_thread(program.entry(), 0, 1);
+    let mut mem = MainMemory::new();
+    mem.load_program(program);
+    let mut written = LaneSet::EMPTY;
+    let mut env_reads = LaneSet::EMPTY;
+    for _ in 0..10_000 {
+        if state.halted {
+            return env_reads;
+        }
+        let info = arch_step(&mut state, program, &mut mem, None).expect("straight-line runs");
+        for lane in info.inst.sources() {
+            if !lane.is_zero() && !written.contains(lane) {
+                env_reads.insert(lane);
+            }
+        }
+        if let Some((d, _)) = info.dest {
+            written.insert(d);
+        }
+    }
+    panic!("program did not halt");
+}
+
+#[test]
+fn entry_liveness_matches_interpreter_trace() {
+    let mut rng = SplitMix64::seed_from_u64(0xA11A_1132_D1A6_0003);
+    for case in 0..CASES {
+        let src = random_program(&mut rng);
+        let program = diag_asm::assemble(&src)
+            .unwrap_or_else(|e| panic!("case {case}: assembly failed: {e}\n{src}"));
+
+        let expected = trace_reads_before_writes(&program);
+
+        let cfg = Cfg::build(&program, None);
+        let traffic = dataflow::traffic_liveness(&cfg);
+        let live_in = traffic.live_in[cfg.entry];
+        assert_eq!(
+            live_in,
+            expected,
+            "case {case}: analyzer entry live-in {{{}}} != interpreter reads-before-write \
+             {{{}}}\n{src}",
+            live_in.names(),
+            expected.names()
+        );
+
+        // The use-before-def lint must flag exactly the non-ABI subset.
+        let expected_ubd = expected.minus(dataflow::abi_initialized());
+        let mut flagged = LaneSet::EMPTY;
+        for f in dataflow::use_before_def(&cfg, dataflow::abi_initialized()) {
+            flagged.insert(f.lane);
+        }
+        assert_eq!(
+            flagged,
+            expected_ubd,
+            "case {case}: use-before-def lanes {{{}}} != expected {{{}}}\n{src}",
+            flagged.names(),
+            expected_ubd.names()
+        );
+
+        // And the full analyze() pipeline must agree on the entry count.
+        let analysis = analyze(&program, &AnalyzeOptions::default());
+        assert_eq!(
+            analysis.entry_live_lanes,
+            expected.len(),
+            "case {case}\n{src}"
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Every bundled workload must be analyzer-clean: no warning- or
+//! error-severity findings on any configuration the harness runs. This is
+//! the same gate `harness analyze` enforces in CI; keeping it as a unit
+//! test makes the failure local to the kernel (or lint) that regressed.
+
+use diag_analyze::{analyze, AnalyzeOptions, Severity};
+use diag_core::DiagConfig;
+use diag_workloads::{all, Params};
+
+fn assert_clean(name: &str, program: &diag_asm::Program, opts: &AnalyzeOptions) {
+    let analysis = analyze(program, opts);
+    let noisy: Vec<String> = analysis
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity >= Severity::Warning)
+        .map(|d| d.to_string())
+        .collect();
+    assert!(
+        noisy.is_empty(),
+        "{name} (threads={}): analyzer found {} warning+ diagnostics:\n{}",
+        opts.threads,
+        noisy.len(),
+        noisy.join("\n")
+    );
+}
+
+#[test]
+fn workloads_have_no_warnings_f4c32() {
+    for spec in all() {
+        for threads in [1, 4] {
+            let params = Params::tiny().with_threads(threads);
+            let built = spec.build(&params).expect("workloads assemble");
+            let opts = AnalyzeOptions {
+                config: DiagConfig::f4c32(),
+                threads,
+            };
+            assert_clean(spec.name, &built.program, &opts);
+        }
+    }
+}
+
+#[test]
+fn workloads_have_no_warnings_f4c2() {
+    for spec in all() {
+        let params = Params::tiny();
+        let built = spec.build(&params).expect("workloads assemble");
+        let opts = AnalyzeOptions {
+            config: DiagConfig::f4c2(),
+            threads: 1,
+        };
+        assert_clean(spec.name, &built.program, &opts);
+    }
+}
+
+#[test]
+fn simt_variants_have_no_warnings() {
+    for spec in all().into_iter().filter(|s| s.simt_capable) {
+        let params = Params::tiny().with_threads(4).with_simt(true);
+        let built = spec.build(&params).expect("workloads assemble");
+        let opts = AnalyzeOptions {
+            config: DiagConfig::f4c32(),
+            threads: 4,
+        };
+        assert_clean(spec.name, &built.program, &opts);
+    }
+}

@@ -116,7 +116,9 @@ impl Assembler {
                 Segment::Text => {
                     let l = self.label(name);
                     if self.builder.is_bound(l) {
-                        return Err(AsmError::RebindLabel { label: name.to_string() });
+                        return Err(AsmError::RebindLabel {
+                            label: name.to_string(),
+                        });
                     }
                     self.builder.bind(l);
                 }
@@ -578,7 +580,11 @@ impl Assembler {
                 let (rc, r_end) = (xr!(0), xr!(1));
                 // Third operand is the start label (or numeric offset).
                 if let Ok(off) = parse_int(&args[2], n) {
-                    self.builder.inst(Inst::SimtE { rc, r_end, l_offset: off as i32 });
+                    self.builder.inst(Inst::SimtE {
+                        rc,
+                        r_end,
+                        l_offset: off as i32,
+                    });
                 } else {
                     let target = self.branch_target(&args[2], n)?;
                     self.builder.simt_e(rc, r_end, target);
@@ -636,8 +642,11 @@ fn find_label_colon(line: &str) -> Option<usize> {
 
 fn is_identifier(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
-        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
         && s.parse::<f64>().is_err()
 }
 
@@ -732,7 +741,11 @@ mod tests {
         .unwrap();
         assert_eq!(p.text_len(), 6);
         match p.decode_at(p.text_base() + 16).unwrap() {
-            Inst::Branch { op: BranchOp::Bne, offset, .. } => assert_eq!(offset, -8),
+            Inst::Branch {
+                op: BranchOp::Bne,
+                offset,
+                ..
+            } => assert_eq!(offset, -8),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -837,7 +850,11 @@ mod tests {
     fn memref_without_offset() {
         let p = assemble("lw a0, (sp)\necall\n").unwrap();
         match p.decode_at(p.text_base()).unwrap() {
-            Inst::Load { op: LoadOp::Lw, offset, .. } => assert_eq!(offset, 0),
+            Inst::Load {
+                op: LoadOp::Lw,
+                offset,
+                ..
+            } => assert_eq!(offset, 0),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -846,7 +863,11 @@ mod tests {
     fn hex_and_binary_immediates() {
         let p = assemble("addi a0, zero, 0x7f\naddi a1, zero, 0b101\necall\n").unwrap();
         match p.decode_at(p.text_base()).unwrap() {
-            Inst::OpImm { op: AluOp::Add, imm, .. } => assert_eq!(imm, 0x7F),
+            Inst::OpImm {
+                op: AluOp::Add,
+                imm,
+                ..
+            } => assert_eq!(imm, 0x7F),
             other => panic!("unexpected {other:?}"),
         }
         match p.decode_at(p.text_base() + 4).unwrap() {

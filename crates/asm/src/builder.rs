@@ -32,8 +32,8 @@
 use std::collections::BTreeMap;
 
 use diag_isa::{
-    encode, AluOp, BranchOp, FReg, FmaOp, FpCmpOp, FpOp, FpToIntOp, Inst, IntToFpOp, LoadOp, Reg,
-    StoreOp, INST_BYTES,
+    decode, encode, AluOp, BranchOp, ControlFlow, FReg, FmaOp, FpCmpOp, FpOp, FpToIntOp, Inst,
+    IntToFpOp, LoadOp, Reg, StoreOp, INST_BYTES,
 };
 
 use crate::error::AsmError;
@@ -49,10 +49,25 @@ pub struct Label(usize);
 #[derive(Debug, Clone)]
 enum Item {
     Fixed(Inst),
-    Branch { op: BranchOp, rs1: Reg, rs2: Reg, target: Label },
-    Jal { rd: Reg, target: Label },
-    La { rd: Reg, symbol: String },
-    SimtE { rc: Reg, r_end: Reg, target: Label },
+    Branch {
+        op: BranchOp,
+        rs1: Reg,
+        rs2: Reg,
+        target: Label,
+    },
+    Jal {
+        rd: Reg,
+        target: Label,
+    },
+    La {
+        rd: Reg,
+        symbol: String,
+    },
+    SimtE {
+        rc: Reg,
+        r_end: Reg,
+        target: Label,
+    },
 }
 
 impl Item {
@@ -214,7 +229,9 @@ impl ProgramBuilder {
         l
     }
 
-    /// Binds `label` to the current position.
+    /// Binds `label` to the current position. Named labels also enter the
+    /// program's symbol table, so diagnostics and listings can describe
+    /// text addresses as `<name+offset>`.
     ///
     /// # Panics
     ///
@@ -227,6 +244,10 @@ impl ProgramBuilder {
             self.label_name(label)
         );
         self.labels[label.0] = Some(self.next_pos);
+        if let Some(name) = self.label_names[label.0].clone() {
+            self.symbols
+                .insert(name, TEXT_BASE + self.next_pos * INST_BYTES);
+        }
     }
 
     /// Binds `label` to an explicit word position (used by the assembler for
@@ -257,7 +278,9 @@ impl ProgramBuilder {
     }
 
     fn label_name(&self, label: Label) -> String {
-        self.label_names[label.0].clone().unwrap_or_else(|| format!("L{}", label.0))
+        self.label_names[label.0]
+            .clone()
+            .unwrap_or_else(|| format!("L{}", label.0))
     }
 
     // ---- data segment -------------------------------------------------
@@ -481,7 +504,10 @@ impl ProgramBuilder {
     /// `la rd, symbol`: loads a data symbol's address (fixed two-word
     /// `lui`+`addi` expansion, resolved at build time).
     pub fn la(&mut self, rd: Reg, symbol: &str) {
-        self.push(Item::La { rd, symbol: symbol.to_string() });
+        self.push(Item::La {
+            rd,
+            symbol: symbol.to_string(),
+        });
     }
 
     /// `mv rd, rs`.
@@ -583,12 +609,20 @@ impl ProgramBuilder {
 
     /// `flw rd, offset(base)`.
     pub fn flw(&mut self, rd: FReg, base: Reg, offset: i32) {
-        self.inst(Inst::Flw { rd, rs1: base, offset });
+        self.inst(Inst::Flw {
+            rd,
+            rs1: base,
+            offset,
+        });
     }
 
     /// `fsw src, offset(base)`.
     pub fn fsw(&mut self, src: FReg, base: Reg, offset: i32) {
-        self.inst(Inst::Fsw { rs1: base, rs2: src, offset });
+        self.inst(Inst::Fsw {
+            rs1: base,
+            rs2: src,
+            offset,
+        });
     }
 
     fp3! {
@@ -614,7 +648,12 @@ impl ProgramBuilder {
 
     /// `fsqrt.s rd, rs1`.
     pub fn fsqrt_s(&mut self, rd: FReg, rs1: FReg) {
-        self.inst(Inst::FpOp { op: FpOp::Sqrt, rd, rs1, rs2: FReg::new(0) });
+        self.inst(Inst::FpOp {
+            op: FpOp::Sqrt,
+            rd,
+            rs1,
+            rs2: FReg::new(0),
+        });
     }
 
     fp_fma! {
@@ -639,37 +678,65 @@ impl ProgramBuilder {
 
     /// `fcvt.w.s rd, rs1`: float → signed int.
     pub fn fcvt_w_s(&mut self, rd: Reg, rs1: FReg) {
-        self.inst(Inst::FpToInt { op: FpToIntOp::CvtW, rd, rs1 });
+        self.inst(Inst::FpToInt {
+            op: FpToIntOp::CvtW,
+            rd,
+            rs1,
+        });
     }
 
     /// `fcvt.wu.s rd, rs1`: float → unsigned int.
     pub fn fcvt_wu_s(&mut self, rd: Reg, rs1: FReg) {
-        self.inst(Inst::FpToInt { op: FpToIntOp::CvtWu, rd, rs1 });
+        self.inst(Inst::FpToInt {
+            op: FpToIntOp::CvtWu,
+            rd,
+            rs1,
+        });
     }
 
     /// `fmv.x.w rd, rs1`: raw bit move FP → int.
     pub fn fmv_x_w(&mut self, rd: Reg, rs1: FReg) {
-        self.inst(Inst::FpToInt { op: FpToIntOp::MvXW, rd, rs1 });
+        self.inst(Inst::FpToInt {
+            op: FpToIntOp::MvXW,
+            rd,
+            rs1,
+        });
     }
 
     /// `fclass.s rd, rs1`.
     pub fn fclass_s(&mut self, rd: Reg, rs1: FReg) {
-        self.inst(Inst::FpToInt { op: FpToIntOp::Class, rd, rs1 });
+        self.inst(Inst::FpToInt {
+            op: FpToIntOp::Class,
+            rd,
+            rs1,
+        });
     }
 
     /// `fcvt.s.w rd, rs1`: signed int → float.
     pub fn fcvt_s_w(&mut self, rd: FReg, rs1: Reg) {
-        self.inst(Inst::IntToFp { op: IntToFpOp::CvtW, rd, rs1 });
+        self.inst(Inst::IntToFp {
+            op: IntToFpOp::CvtW,
+            rd,
+            rs1,
+        });
     }
 
     /// `fcvt.s.wu rd, rs1`: unsigned int → float.
     pub fn fcvt_s_wu(&mut self, rd: FReg, rs1: Reg) {
-        self.inst(Inst::IntToFp { op: IntToFpOp::CvtWu, rd, rs1 });
+        self.inst(Inst::IntToFp {
+            op: IntToFpOp::CvtWu,
+            rd,
+            rs1,
+        });
     }
 
     /// `fmv.w.x rd, rs1`: raw bit move int → FP.
     pub fn fmv_w_x(&mut self, rd: FReg, rs1: Reg) {
-        self.inst(Inst::IntToFp { op: IntToFpOp::MvWX, rd, rs1 });
+        self.inst(Inst::IntToFp {
+            op: IntToFpOp::MvWX,
+            rd,
+            rs1,
+        });
     }
 
     /// `fmv.s rd, rs` (pseudo: `fsgnj.s rd, rs, rs`).
@@ -699,13 +766,22 @@ impl ProgramBuilder {
     /// `simt_s rc, r_step, r_end, interval`: begins a thread-pipelined loop
     /// region (paper §5.4).
     pub fn simt_s(&mut self, rc: Reg, r_step: Reg, r_end: Reg, interval: u8) {
-        self.inst(Inst::SimtS { rc, r_step, r_end, interval });
+        self.inst(Inst::SimtS {
+            rc,
+            r_step,
+            r_end,
+            interval,
+        });
     }
 
     /// `simt_e rc, r_end, start`: ends the pipelined region started at the
     /// `start` label (the encoded `l_offset` is computed at build time).
     pub fn simt_e(&mut self, rc: Reg, r_end: Reg, start: Label) {
-        self.push(Item::SimtE { rc, r_end, target: start });
+        self.push(Item::SimtE {
+            rc,
+            r_end,
+            target: start,
+        });
     }
 
     // ---- finalization ----------------------------------------------------
@@ -730,7 +806,12 @@ impl ProgramBuilder {
             let pc = TEXT_BASE + pos * INST_BYTES;
             match item {
                 Item::Fixed(inst) => text.push(encode(inst)),
-                Item::Branch { op, rs1, rs2, target } => {
+                Item::Branch {
+                    op,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
                     let dest = TEXT_BASE + resolve(*target)? * INST_BYTES;
                     let offset = dest as i64 - pc as i64;
                     if !(-4096..=4094).contains(&offset) {
@@ -757,17 +838,25 @@ impl ProgramBuilder {
                             limit: 1 << 20,
                         });
                     }
-                    text.push(encode(&Inst::Jal { rd: *rd, offset: offset as i32 }));
+                    text.push(encode(&Inst::Jal {
+                        rd: *rd,
+                        offset: offset as i32,
+                    }));
                 }
                 Item::La { rd, symbol } => {
-                    let addr = *self
-                        .symbols
-                        .get(symbol)
-                        .ok_or_else(|| AsmError::UndefinedSymbol { name: symbol.clone() })?
-                        as i32;
+                    let addr =
+                        *self
+                            .symbols
+                            .get(symbol)
+                            .ok_or_else(|| AsmError::UndefinedSymbol {
+                                name: symbol.clone(),
+                            })? as i32;
                     let hi = (addr.wrapping_add(0x800) as u32) & 0xFFFF_F000;
                     let lo = addr.wrapping_sub(hi as i32);
-                    text.push(encode(&Inst::Lui { rd: *rd, imm: hi as i32 }));
+                    text.push(encode(&Inst::Lui {
+                        rd: *rd,
+                        imm: hi as i32,
+                    }));
                     text.push(encode(&Inst::OpImm {
                         op: AluOp::Add,
                         rd: *rd,
@@ -793,8 +882,44 @@ impl ProgramBuilder {
                 }
             }
         }
-        Ok(Program::from_parts(text, TEXT_BASE, self.data, DATA_BASE, TEXT_BASE, self.symbols))
+        validate_static_targets(&text)?;
+        Ok(Program::from_parts(
+            text,
+            TEXT_BASE,
+            self.data,
+            DATA_BASE,
+            TEXT_BASE,
+            self.symbols,
+        ))
     }
+}
+
+/// Rejects control transfers whose statically-known target is unaligned or
+/// outside the text segment. Label-resolved items can only go wrong through
+/// raw [`ProgramBuilder::inst`] pushes or numeric offsets, but either way the
+/// program would fault at runtime with `PcOutOfRange` — fail assembly instead.
+fn validate_static_targets(text: &[u32]) -> Result<(), AsmError> {
+    let text_end = TEXT_BASE + (text.len() as u32) * INST_BYTES;
+    for (i, &word) in text.iter().enumerate() {
+        let Ok(inst) = decode(word) else { continue };
+        let pc = TEXT_BASE + (i as u32) * INST_BYTES;
+        let (mnemonic, target) = match inst.control_flow() {
+            ControlFlow::Branch { offset } => ("branch", pc.wrapping_add(offset as u32)),
+            ControlFlow::Jump { offset, .. } => ("jal", pc.wrapping_add(offset as u32)),
+            // simt_e resumes at the instruction after the paired simt_s, so
+            // the simt_s itself must be in text.
+            ControlFlow::SimtLoop { l_offset } => ("simt_e", pc.wrapping_add(l_offset as u32)),
+            _ => continue,
+        };
+        if target < TEXT_BASE || target >= text_end || !target.is_multiple_of(INST_BYTES) {
+            return Err(AsmError::TargetOutOfText {
+                mnemonic,
+                pc,
+                target,
+            });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -824,6 +949,90 @@ mod tests {
             Inst::Jal { offset, .. } => assert_eq!(offset, -8),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn out_of_text_branch_rejected() {
+        // A raw branch past the end of text would fault at runtime with
+        // PcOutOfRange; the builder must reject it at assembly time.
+        let mut b = ProgramBuilder::new();
+        b.inst(Inst::Branch {
+            op: BranchOp::Beq,
+            rs1: A0,
+            rs2: A1,
+            offset: 64,
+        });
+        b.ecall();
+        match b.build() {
+            Err(AsmError::TargetOutOfText {
+                mnemonic: "branch",
+                pc,
+                target,
+            }) => {
+                assert_eq!(pc, TEXT_BASE);
+                assert_eq!(target, TEXT_BASE + 64);
+            }
+            other => panic!("expected TargetOutOfText, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn before_text_jump_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.inst(Inst::Jal {
+            rd: ZERO,
+            offset: -8,
+        });
+        b.ecall();
+        assert!(matches!(
+            b.build(),
+            Err(AsmError::TargetOutOfText {
+                mnemonic: "jal",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn misaligned_target_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.ecall();
+        b.inst(Inst::Jal {
+            rd: ZERO,
+            offset: -2,
+        });
+        b.ecall();
+        assert!(matches!(b.build(), Err(AsmError::TargetOutOfText { .. })));
+    }
+
+    #[test]
+    fn out_of_text_simt_e_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.inst(Inst::SimtE {
+            rc: T0,
+            r_end: T1,
+            l_offset: -64,
+        });
+        b.ecall();
+        assert!(matches!(
+            b.build(),
+            Err(AsmError::TargetOutOfText {
+                mnemonic: "simt_e",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn named_labels_become_symbols() {
+        let mut b = ProgramBuilder::new();
+        b.nop();
+        let l = b.new_named_label("loop_head");
+        b.bind(l);
+        b.ecall();
+        let p = b.build().unwrap();
+        assert_eq!(p.symbol("loop_head"), Some(TEXT_BASE + 4));
+        assert_eq!(p.describe_addr(TEXT_BASE + 4), "0x1004 <loop_head>");
     }
 
     #[test]
@@ -901,7 +1110,9 @@ mod tests {
         b.la(A0, "missing");
         assert_eq!(
             b.build().unwrap_err(),
-            AsmError::UndefinedSymbol { name: "missing".to_string() }
+            AsmError::UndefinedSymbol {
+                name: "missing".to_string()
+            }
         );
     }
 
@@ -929,7 +1140,9 @@ mod tests {
         b.bind(far);
         b.ecall();
         match b.build() {
-            Err(AsmError::OffsetOutOfRange { mnemonic: "branch", .. }) => {}
+            Err(AsmError::OffsetOutOfRange {
+                mnemonic: "branch", ..
+            }) => {}
             other => panic!("expected OffsetOutOfRange, got {other:?}"),
         }
     }
@@ -964,7 +1177,11 @@ mod tests {
         }
         assert_eq!(
             p.decode_at(p.text_base() + 20).unwrap(),
-            Inst::Jalr { rd: ZERO, rs1: RA, offset: 0 }
+            Inst::Jalr {
+                rd: ZERO,
+                rs1: RA,
+                offset: 0
+            }
         );
     }
 

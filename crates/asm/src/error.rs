@@ -41,6 +41,18 @@ pub enum AsmError {
         /// The immediate value.
         value: i64,
     },
+    /// A control-transfer instruction targets an address outside the text
+    /// segment, or one that is not instruction-aligned. Caught at build
+    /// time so the mistake surfaces as an assembly error instead of a
+    /// confusing runtime `PcOutOfRange` fault.
+    TargetOutOfText {
+        /// The instruction's mnemonic.
+        mnemonic: &'static str,
+        /// Address of the offending instruction.
+        pc: u32,
+        /// The computed target address.
+        target: u32,
+    },
     /// A parse error in assembler text.
     Parse {
         /// 1-based source line number.
@@ -55,13 +67,31 @@ impl fmt::Display for AsmError {
         match self {
             AsmError::UnboundLabel { label } => write!(f, "label `{label}` was never bound"),
             AsmError::RebindLabel { label } => write!(f, "label `{label}` bound twice"),
-            AsmError::OffsetOutOfRange { mnemonic, offset, limit } => {
-                write!(f, "`{mnemonic}` offset {offset} exceeds encodable range (±{limit})")
+            AsmError::OffsetOutOfRange {
+                mnemonic,
+                offset,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "`{mnemonic}` offset {offset} exceeds encodable range (±{limit})"
+                )
             }
             AsmError::DuplicateSymbol { name } => write!(f, "symbol `{name}` defined twice"),
             AsmError::UndefinedSymbol { name } => write!(f, "symbol `{name}` is not defined"),
             AsmError::ImmediateOutOfRange { mnemonic, value } => {
                 write!(f, "immediate {value} out of range for `{mnemonic}`")
+            }
+            AsmError::TargetOutOfText {
+                mnemonic,
+                pc,
+                target,
+            } => {
+                write!(
+                    f,
+                    "`{mnemonic}` at {pc:#x} targets {target:#x}, which is outside \
+                     (or misaligned within) the text segment"
+                )
             }
             AsmError::Parse { line, message } => write!(f, "line {line}: {message}"),
         }

@@ -55,7 +55,14 @@ impl Program {
         entry: u32,
         symbols: BTreeMap<String, u32>,
     ) -> Program {
-        Program { text, text_base, data, data_base, entry, symbols }
+        Program {
+            text,
+            text_base,
+            data,
+            data_base,
+            entry,
+            symbols,
+        }
     }
 
     /// The instruction words of the text segment.
@@ -118,6 +125,64 @@ impl Program {
         self.fetch(addr).and_then(|w| decode(w).ok())
     }
 
+    /// Whether `addr` is a word-aligned address inside the text segment.
+    pub fn contains_text_addr(&self, addr: u32) -> bool {
+        addr >= self.text_base && addr < self.text_end() && addr.is_multiple_of(INST_BYTES)
+    }
+
+    /// The nearest symbol at or before `addr`, for humanizing addresses in
+    /// diagnostics. Returns the symbol name and `addr`'s byte offset from it.
+    pub fn symbol_before(&self, addr: u32) -> Option<(&str, u32)> {
+        self.symbols
+            .iter()
+            .filter(|&(_, &a)| a <= addr)
+            .max_by_key(|&(_, &a)| a)
+            .map(|(n, &a)| (n.as_str(), addr - a))
+    }
+
+    /// A human-readable location for `addr`: the address plus, when a symbol
+    /// precedes it, `<symbol+offset>`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use diag_asm::assemble;
+    ///
+    /// let p = assemble("start:\n  addi a0, zero, 1\n  ecall\n").unwrap();
+    /// assert_eq!(p.describe_addr(p.entry() + 4), "0x1004 <start+0x4>");
+    /// ```
+    pub fn describe_addr(&self, addr: u32) -> String {
+        match self.symbol_before(addr) {
+            Some((name, 0)) => format!("{addr:#x} <{name}>"),
+            Some((name, off)) => format!("{addr:#x} <{name}+{off:#x}>"),
+            None => format!("{addr:#x}"),
+        }
+    }
+
+    /// Disassembly lines for the instructions around `addr` (`before` and
+    /// `after` counted in instructions), clamped to the text segment — the
+    /// context block embedded in analyzer diagnostics. The line for `addr`
+    /// itself is marked with `>`.
+    pub fn disasm_context(&self, addr: u32, before: u32, after: u32) -> Vec<String> {
+        let mut lines = Vec::new();
+        if !self.contains_text_addr(addr) {
+            return lines;
+        }
+        let lo = addr.saturating_sub(before * INST_BYTES).max(self.text_base);
+        let hi = (addr + after * INST_BYTES).min(self.text_end() - INST_BYTES);
+        let mut at = lo;
+        while at <= hi {
+            let word = self.fetch(at).expect("in text");
+            let marker = if at == addr { '>' } else { ' ' };
+            match decode(word) {
+                Ok(inst) => lines.push(format!("{marker} {at:#07x}: {inst}")),
+                Err(_) => lines.push(format!("{marker} {at:#07x}: <illegal {word:#010x}>")),
+            }
+            at += INST_BYTES;
+        }
+        lines
+    }
+
     /// A listing of the whole text segment: `addr: word  disassembly`.
     pub fn listing(&self) -> String {
         use fmt::Write;
@@ -154,7 +219,14 @@ mod tests {
 
     fn sample() -> Program {
         let text = vec![encode(&Inst::NOP), encode(&Inst::Ecall)];
-        Program::from_parts(text, TEXT_BASE, vec![1, 2, 3, 4], DATA_BASE, TEXT_BASE, BTreeMap::new())
+        Program::from_parts(
+            text,
+            TEXT_BASE,
+            vec![1, 2, 3, 4],
+            DATA_BASE,
+            TEXT_BASE,
+            BTreeMap::new(),
+        )
     }
 
     #[test]

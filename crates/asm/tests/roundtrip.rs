@@ -31,8 +31,15 @@ enum Stmt {
 }
 
 fn any_stmt(rng: &mut SplitMix64) -> Stmt {
-    const OPS: [AluOp; 7] =
-        [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And, AluOp::Or, AluOp::Mul, AluOp::Sltu];
+    const OPS: [AluOp; 7] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Xor,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Mul,
+        AluOp::Sltu,
+    ];
     const IMM_OPS: [AluOp; 4] = [AluOp::Add, AluOp::Xor, AluOp::And, AluOp::Or];
     const LOADS: [LoadOp; 3] = [LoadOp::Lw, LoadOp::Lb, LoadOp::Lhu];
     const STORES: [StoreOp; 2] = [StoreOp::Sw, StoreOp::Sb];
@@ -90,12 +97,18 @@ fn listing_reassembles_bit_identically() {
             match *s {
                 Stmt::Op(op, rd, rs1, rs2) => b.inst(diag_isa::Inst::Op { op, rd, rs1, rs2 }),
                 Stmt::Imm(op, rd, rs1, imm) => b.inst(diag_isa::Inst::OpImm { op, rd, rs1, imm }),
-                Stmt::Load(op, rd, rs1, offset) => {
-                    b.inst(diag_isa::Inst::Load { op, rd, rs1, offset })
-                }
-                Stmt::Store(op, rs2, rs1, offset) => {
-                    b.inst(diag_isa::Inst::Store { op, rs1, rs2, offset })
-                }
+                Stmt::Load(op, rd, rs1, offset) => b.inst(diag_isa::Inst::Load {
+                    op,
+                    rd,
+                    rs1,
+                    offset,
+                }),
+                Stmt::Store(op, rs2, rs1, offset) => b.inst(diag_isa::Inst::Store {
+                    op,
+                    rs1,
+                    rs2,
+                    offset,
+                }),
                 Stmt::BranchBack(op, rs1, rs2) => b.bne_like(op, rs1, rs2, start),
                 Stmt::Li(rd, v) => b.li(rd, v),
                 Stmt::Jump => b.j(start),
@@ -187,7 +200,11 @@ fn listing_of_every_fp_instruction_reassembles() {
     b.fcvt_s_wu(FS4, T1);
     b.fmv_w_x(FS5, T2);
     b.simt_s(T0, T1, T2, 3);
-    b.inst(diag_isa::Inst::SimtE { rc: T0, r_end: T2, l_offset: -108 });
+    b.inst(diag_isa::Inst::SimtE {
+        rc: T0,
+        r_end: T2,
+        l_offset: -108,
+    });
     b.ecall();
     let program = b.build().unwrap();
     let mut text = String::new();

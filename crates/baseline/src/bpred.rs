@@ -35,8 +35,14 @@ impl BranchPredictor {
     ///
     /// Panics if `entries` or `btb_entries` is not a power of two.
     pub fn new(entries: usize, btb_entries: usize, ras_depth: usize) -> BranchPredictor {
-        assert!(entries.is_power_of_two(), "gshare entries must be a power of two");
-        assert!(btb_entries.is_power_of_two(), "BTB entries must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "gshare entries must be a power of two"
+        );
+        assert!(
+            btb_entries.is_power_of_two(),
+            "BTB entries must be a power of two"
+        );
         BranchPredictor {
             counters: vec![2; entries], // weakly taken
             history: 0,
@@ -64,22 +70,37 @@ impl BranchPredictor {
                 self.lookups += 1;
                 let taken = self.counters[self.gshare_index(pc)] >= 2;
                 let target = self.btb_lookup(pc);
-                Prediction { taken: taken && target.is_some(), target }
+                Prediction {
+                    taken: taken && target.is_some(),
+                    target,
+                }
             }
             Inst::Jal { .. } => {
                 self.lookups += 1;
-                Prediction { taken: true, target: self.btb_lookup(pc) }
+                Prediction {
+                    taken: true,
+                    target: self.btb_lookup(pc),
+                }
             }
             Inst::Jalr { rd, rs1, .. } => {
                 self.lookups += 1;
                 // Returns predict through the RAS.
                 if rd == Reg::ZERO && rs1 == Reg::RA {
-                    Prediction { taken: true, target: self.ras.last().copied() }
+                    Prediction {
+                        taken: true,
+                        target: self.ras.last().copied(),
+                    }
                 } else {
-                    Prediction { taken: true, target: self.btb_lookup(pc) }
+                    Prediction {
+                        taken: true,
+                        target: self.btb_lookup(pc),
+                    }
                 }
             }
-            _ => Prediction { taken: false, target: None },
+            _ => Prediction {
+                taken: false,
+                target: None,
+            },
         }
     }
 
@@ -168,7 +189,12 @@ mod tests {
     use diag_isa::BranchOp;
 
     fn branch() -> Inst {
-        Inst::Branch { op: BranchOp::Bne, rs1: Reg::T0, rs2: Reg::ZERO, offset: -16 }
+        Inst::Branch {
+            op: BranchOp::Bne,
+            rs1: Reg::T0,
+            rs2: Reg::ZERO,
+            offset: -16,
+        }
     }
 
     #[test]
@@ -211,8 +237,15 @@ mod tests {
     #[test]
     fn ras_predicts_returns() {
         let mut bp = BranchPredictor::new(64, 64, 8);
-        let call = Inst::Jal { rd: Reg::RA, offset: 0x100 };
-        let ret = Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 };
+        let call = Inst::Jal {
+            rd: Reg::RA,
+            offset: 0x100,
+        };
+        let ret = Inst::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            offset: 0,
+        };
         let p = bp.predict(0x1000, &call);
         bp.update(0x1000, &call, p, true, 0x1100);
         // The return from 0x1100 should predict 0x1004 via the RAS.
@@ -224,7 +257,10 @@ mod tests {
     #[test]
     fn jal_hits_btb_after_first_sight() {
         let mut bp = BranchPredictor::new(64, 64, 8);
-        let j = Inst::Jal { rd: Reg::ZERO, offset: 64 };
+        let j = Inst::Jal {
+            rd: Reg::ZERO,
+            offset: 64,
+        };
         let p = bp.predict(0x4000, &j);
         assert!(bp.update(0x4000, &j, p, true, 0x4040), "cold BTB");
         let p = bp.predict(0x4000, &j);

@@ -80,7 +80,13 @@ impl O3Config {
             btb_entries: 4096,
             ras_depth: 16,
             freq_ghz: 2.0,
-            l1d: CacheConfig { size_bytes: 64 << 10, line_bytes: 64, ways: 4, hit_latency: 3, banks: 4 },
+            l1d: CacheConfig {
+                size_bytes: 64 << 10,
+                line_bytes: 64,
+                ways: 4,
+                hit_latency: 3,
+                banks: 4,
+            },
             l2: CacheConfig::l2(4),
             max_cycles: diag_sim::DEFAULT_CYCLE_LIMIT,
         }

@@ -171,7 +171,10 @@ impl O3Core {
             .decode_at(pc)
             .ok_or(SimError::PcOutOfRange { pc })?;
         let prediction = self.bpred.predict(pc, &inst_peek);
-        if matches!(inst_peek, Inst::Branch { .. } | Inst::Jal { .. } | Inst::Jalr { .. }) {
+        if matches!(
+            inst_peek,
+            Inst::Branch { .. } | Inst::Jal { .. } | Inst::Jalr { .. }
+        ) {
             self.stats.activity.bpred_lookups += 1;
         }
         let info = arch_step(&mut self.state, &self.program, mem, None)?;
@@ -273,10 +276,14 @@ impl O3Core {
         self.stats.activity.pe_active_cycles += (finish - issue_t).max(1);
 
         // ---- control resolution -----------------------------------------
-        if matches!(info.inst, Inst::Branch { .. } | Inst::Jal { .. } | Inst::Jalr { .. }) {
+        if matches!(
+            info.inst,
+            Inst::Branch { .. } | Inst::Jal { .. } | Inst::Jalr { .. }
+        ) {
             let taken = info.redirected;
-            let mispredicted =
-                self.bpred.update(pc, &info.inst, prediction, taken, info.next_pc);
+            let mispredicted = self
+                .bpred
+                .update(pc, &info.inst, prediction, taken, info.next_pc);
             if mispredicted {
                 self.stats.activity.mispredicts += 1;
                 let redirect = finish + 1;
@@ -305,7 +312,12 @@ impl O3Core {
         }
         if self.committed_count.is_multiple_of(4096) {
             // Nothing issues before the oldest possible in-flight fetch.
-            let safe = self.rob.front().copied().unwrap_or(0).saturating_sub(4 * self.cfg.rob_size as u64);
+            let safe = self
+                .rob
+                .front()
+                .copied()
+                .unwrap_or(0)
+                .saturating_sub(4 * self.cfg.rob_size as u64);
             self.issue_bw.prune_before(safe);
         }
         if self.state.halted {

@@ -32,7 +32,9 @@ impl FuPool {
         if pipelined {
             FuPool::Pipelined(PortMeter::new(count))
         } else {
-            FuPool::Unpipelined { next_free: vec![0; count] }
+            FuPool::Unpipelined {
+                next_free: vec![0; count],
+            }
         }
     }
 

@@ -109,7 +109,11 @@ impl Machine for InOrder {
             clock: 0,
             tid: 0,
             total_cycles: 0,
-            stats: RunStats { threads: threads as u64, freq_ghz: 2.0, ..RunStats::default() },
+            stats: RunStats {
+                threads: threads as u64,
+                freq_ghz: 2.0,
+                ..RunStats::default()
+            },
             halted: false,
         });
     }
@@ -157,7 +161,9 @@ impl Machine for InOrder {
             });
         }
         if run.clock > self.max_cycles {
-            return Err(SimError::CycleLimit { limit: self.max_cycles });
+            return Err(SimError::CycleLimit {
+                limit: self.max_cycles,
+            });
         }
         if run.state.halted {
             run.total_cycles += run.clock;
@@ -249,6 +255,9 @@ mod tests {
     fn cycle_limit() {
         let program = assemble("loop: j loop\n").unwrap();
         let mut cpu = InOrder::new().with_cycle_limit(1000);
-        assert!(matches!(cpu.run(&program, 1), Err(SimError::CycleLimit { .. })));
+        assert!(matches!(
+            cpu.run(&program, 1),
+            Err(SimError::CycleLimit { .. })
+        ));
     }
 }

@@ -181,7 +181,9 @@ impl Machine for OooCpu {
             run.cores[idx].step(&mut run.mem)?;
             self.commits.append(&mut run.cores[idx].commits);
             if run.cores[idx].clock() > self.config.max_cycles {
-                return Err(SimError::CycleLimit { limit: self.config.max_cycles });
+                return Err(SimError::CycleLimit {
+                    limit: self.config.max_cycles,
+                });
             }
             return Ok(StepOutcome::Running);
         }
@@ -298,7 +300,12 @@ mod tests {
         let mut cpu = OooCpu::paper_baseline();
         let p = cpu.run(&assemble(par).unwrap(), 1).unwrap();
         let s = cpu.run(&assemble(ser).unwrap(), 1).unwrap();
-        assert!(p.cycles < s.cycles, "parallel {} vs serial {}", p.cycles, s.cycles);
+        assert!(
+            p.cycles < s.cycles,
+            "parallel {} vs serial {}",
+            p.cycles,
+            s.cycles
+        );
     }
 
     #[test]

@@ -17,7 +17,11 @@ impl Bandwidth {
     /// Panics if `width` is zero.
     pub fn new(width: usize) -> Bandwidth {
         assert!(width > 0, "bandwidth must be positive");
-        Bandwidth { width, last: 0, count: 0 }
+        Bandwidth {
+            width,
+            last: 0,
+            count: 0,
+        }
     }
 
     /// Reserves a slot at or after `at`; returns the granted cycle.
@@ -60,7 +64,11 @@ impl IssueMeter {
     /// Panics if `width` is zero or exceeds 255.
     pub fn new(width: usize) -> IssueMeter {
         assert!((1..=255).contains(&width), "issue width out of range");
-        IssueMeter { width: width as u8, counts: std::collections::HashMap::new(), horizon: 0 }
+        IssueMeter {
+            width: width as u8,
+            counts: std::collections::HashMap::new(),
+            horizon: 0,
+        }
     }
 
     /// Reserves a slot at the earliest cycle ≥ `at` with spare capacity.

@@ -39,7 +39,11 @@ fn machine_throughput() {
 
     println!("simulator throughput on x264 ({committed} dynamic instructions):");
     let report = |name: &str, secs: f64| {
-        println!("  {name:10} {:8.2} ms/run, {:7.2} Minstr/s", secs * 1e3, committed as f64 / secs / 1e6);
+        println!(
+            "  {name:10} {:8.2} ms/run, {:7.2} Minstr/s",
+            secs * 1e3,
+            committed as f64 / secs / 1e6
+        );
     };
     report(
         "inorder",
@@ -76,8 +80,12 @@ fn workload_sweep() {
     for name in ["hotspot", "bfs", "kmeans", "deepsjeng"] {
         let spec = find(name).expect("registered");
         let secs = best_of(3, || {
-            run_verified(&MachineKind::Diag(DiagConfig::f4c32()), &spec, &Params::tiny())
-                .expect("verified run");
+            run_verified(
+                &MachineKind::Diag(DiagConfig::f4c32()),
+                &spec,
+                &Params::tiny(),
+            )
+            .expect("verified run");
         });
         println!("  {name:10} {:8.2} ms", secs * 1e3);
     }
@@ -93,10 +101,18 @@ fn figure_regeneration() {
     let jobs = default_jobs();
     println!("figure regeneration (tiny scale, serial vs --jobs {jobs}):");
     let figs: [ParallelFig; 8] = [
-        ("fig9a", |j| exp::fig_single_thread(Suite::Rodinia, Scale::Tiny, j)),
-        ("fig9b", |j| exp::fig_multi_thread(Suite::Rodinia, Scale::Tiny, j)),
-        ("fig10a", |j| exp::fig_single_thread(Suite::Spec, Scale::Tiny, j)),
-        ("fig10b", |j| exp::fig_multi_thread(Suite::Spec, Scale::Tiny, j)),
+        ("fig9a", |j| {
+            exp::fig_single_thread(Suite::Rodinia, Scale::Tiny, j)
+        }),
+        ("fig9b", |j| {
+            exp::fig_multi_thread(Suite::Rodinia, Scale::Tiny, j)
+        }),
+        ("fig10a", |j| {
+            exp::fig_single_thread(Suite::Spec, Scale::Tiny, j)
+        }),
+        ("fig10b", |j| {
+            exp::fig_multi_thread(Suite::Spec, Scale::Tiny, j)
+        }),
         ("fig11", |j| exp::fig11(Scale::Tiny, j)),
         ("fig12", |j| exp::fig12(Scale::Tiny, j)),
         ("table1", |j| exp::table1(Scale::Tiny, j)),

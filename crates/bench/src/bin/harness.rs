@@ -3,6 +3,7 @@
 //! ```text
 //! harness <experiment> [--quick] [--jobs N] [--strict]
 //! harness all [--quick] [--jobs N] [--strict]
+//! harness analyze [workload ...|all] [--json] [--threads N] [--simt]
 //! ```
 //!
 //! Experiments: `table1 table2 table3 fig9a fig9b fig10a fig10b fig11
@@ -13,6 +14,11 @@
 //! parallelism); results are byte-identical at any job count. `--strict`
 //! exits non-zero if any individual run failed (failures are otherwise
 //! reported inline and the remaining rows still render).
+//!
+//! `analyze` runs the static dataflow analyzer ([`diag_analyze`]) over the
+//! named workloads (default: all) without simulating a cycle, printing one
+//! text report per kernel — or one JSON object per line with `--json` — and
+//! exits non-zero if any kernel has a warning- or error-severity finding.
 
 use diag_bench::experiments;
 use diag_workloads::{Scale, Suite};
@@ -20,10 +26,86 @@ use diag_workloads::{Scale, Suite};
 fn usage() -> ! {
     eprintln!(
         "usage: harness <experiment|all> [--quick] [--jobs N] [--strict]\n\
+         \x20      harness analyze [workload ...|all] [--json] [--threads N] [--simt]\n\
          experiments: table1 table2 table3 fig9a fig9b fig10a fig10b fig11 fig12 \
          stalls ablation-lane ablation-reuse ablation-simt ablation-lsu ablation-spec"
     );
     std::process::exit(2)
+}
+
+/// The `analyze` subcommand: static analysis over bundled workloads.
+/// Returns the process exit code.
+fn analyze_cmd(args: &[String]) -> i32 {
+    let mut json = false;
+    let mut threads = 1usize;
+    let mut simt = false;
+    let mut names: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--simt" => simt = true,
+            "--threads" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--threads needs a positive integer");
+                    usage();
+                };
+                threads = n.max(1);
+            }
+            other if other.starts_with("--") => usage(),
+            other => names.push(other),
+        }
+    }
+    let specs: Vec<diag_workloads::WorkloadSpec> = if names.is_empty() || names == ["all"] {
+        diag_workloads::all()
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                diag_workloads::find(n).unwrap_or_else(|| {
+                    eprintln!("unknown workload `{n}`");
+                    usage();
+                })
+            })
+            .collect()
+    };
+
+    let opts = diag_analyze::AnalyzeOptions {
+        config: diag_core::DiagConfig::f4c32(),
+        threads,
+    };
+    let params = diag_workloads::Params::tiny()
+        .with_threads(threads)
+        .with_simt(simt);
+    let mut worst: Option<diag_analyze::Severity> = None;
+    for spec in &specs {
+        if simt && !spec.simt_capable {
+            continue;
+        }
+        let built = match spec.build(&params) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{}: build failed: {e}", spec.name);
+                return 1;
+            }
+        };
+        let analysis = diag_analyze::analyze(&built.program, &opts);
+        if json {
+            println!("{}", diag_analyze::json_report(spec.name, &analysis));
+        } else {
+            print!(
+                "{}",
+                diag_analyze::text_report(spec.name, &built.program, &analysis)
+            );
+        }
+        worst = worst.max(analysis.max_severity());
+    }
+    if worst >= Some(diag_analyze::Severity::Warning) {
+        eprintln!("analyze: findings at warning severity or above (see reports)");
+        1
+    } else {
+        0
+    }
 }
 
 fn run(name: &str, scale: Scale, jobs: usize) -> Option<String> {
@@ -71,6 +153,9 @@ const FAILURE_MARKER: &str = "failed runs (";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("analyze") {
+        std::process::exit(analyze_cmd(&args[1..]));
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let strict = args.iter().any(|a| a == "--strict");
     let mut jobs = diag_bench::sweep::default_jobs();
@@ -94,7 +179,11 @@ fn main() {
     if names.is_empty() {
         usage();
     }
-    let list: Vec<&str> = if names == ["all"] { ALL.to_vec() } else { names };
+    let list: Vec<&str> = if names == ["all"] {
+        ALL.to_vec()
+    } else {
+        names
+    };
     let mut any_failed = false;
     for (i, name) in list.iter().enumerate() {
         match run(name, scale, jobs) {

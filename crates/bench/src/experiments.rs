@@ -7,7 +7,7 @@
 //! target (see EXPERIMENTS.md).
 //!
 //! Experiments are two-phase: every simulation run is first enqueued into
-//! a [`Sweep`](crate::sweep::Sweep), the sweep executes across `jobs`
+//! a [`Sweep`], the sweep executes across `jobs`
 //! worker threads, and the tables are then assembled from the results in
 //! submission order — so the rendered output is byte-identical at any job
 //! count, and a failed run shows up as a `FAIL` cell plus a trailing
@@ -22,7 +22,10 @@ use crate::runner::{MachineKind, MT_THREADS};
 use crate::sweep::{append_failures, RunId, Sweep};
 
 fn params(scale: Scale) -> Params {
-    Params { scale, ..Params::small() }
+    Params {
+        scale,
+        ..Params::small()
+    }
 }
 
 fn diag_configs() -> [(usize, DiagConfig); 3] {
@@ -66,16 +69,14 @@ pub fn fig_single_thread(suite: Suite, scale: Scale, jobs: usize) -> String {
         .iter()
         .map(|spec| {
             let base = sweep.add(MachineKind::Ooo(1), *spec, p);
-            let ours = diag_configs()
-                .map(|(_, cfg)| sweep.add(MachineKind::Diag(cfg), *spec, p));
+            let ours = diag_configs().map(|(_, cfg)| sweep.add(MachineKind::Diag(cfg), *spec, p));
             (base, ours)
         })
         .collect();
     let results = sweep.execute(jobs);
 
     // Phase 2: assemble in submission order.
-    let mut table =
-        TextTable::new(["benchmark", "DiAG 32 PE", "DiAG 256 PE", "DiAG 512 PE"]);
+    let mut table = TextTable::new(["benchmark", "DiAG 32 PE", "DiAG 256 PE", "DiAG 512 PE"]);
     let mut cols: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     for (spec, (base, ours)) in specs.iter().zip(&queued) {
         let mut row = vec![spec.name.to_string()];
@@ -122,9 +123,9 @@ pub fn fig_multi_thread(suite: Suite, scale: Scale, jobs: usize) -> String {
         .map(|spec| {
             let base = sweep.add(MachineKind::Ooo(MT_THREADS), *spec, p);
             let ours = sweep.add(MachineKind::Diag(DiagConfig::f4c32()), *spec, p);
-            let piped = spec.simt_capable.then(|| {
-                sweep.add(MachineKind::Diag(simt_config()), *spec, p.with_simt(true))
-            });
+            let piped = spec
+                .simt_capable
+                .then(|| sweep.add(MachineKind::Diag(simt_config()), *spec, p.with_simt(true)));
             (base, ours, piped)
         })
         .collect();
@@ -239,9 +240,9 @@ pub fn fig12(scale: Scale, jobs: usize) -> String {
             let d1 = sweep.add(MachineKind::Diag(DiagConfig::f4c32()), *spec, p1);
             let bm = sweep.add(MachineKind::Ooo(MT_THREADS), *spec, pm);
             let dm = sweep.add(MachineKind::Diag(DiagConfig::f4c32()), *spec, pm);
-            let ds = spec.simt_capable.then(|| {
-                sweep.add(MachineKind::Diag(simt_config()), *spec, pm.with_simt(true))
-            });
+            let ds = spec
+                .simt_capable
+                .then(|| sweep.add(MachineKind::Diag(simt_config()), *spec, pm.with_simt(true)));
             (b1, d1, bm, dm, ds)
         })
         .collect();
@@ -279,7 +280,11 @@ pub fn fig12(scale: Scale, jobs: usize) -> String {
             spec.name.to_string(),
             cell(r1),
             cell(rm),
-            if ds.is_some() { cell(rs) } else { "-".to_string() },
+            if ds.is_some() {
+                cell(rs)
+            } else {
+                "-".to_string()
+            },
         ]);
     }
     let mut out = String::from(
@@ -314,8 +319,11 @@ pub fn table1(scale: Scale, jobs: usize) -> String {
     let diag_id = sweep.add(MachineKind::Diag(DiagConfig::f4c32()), spec, p);
     let initial_id = sweep.add(MachineKind::Diag(no_reuse), spec, p);
     let results = sweep.execute(jobs);
-    let (ooo, diag, initial) =
-        (results.stats(ooo_id), results.stats(diag_id), results.stats(initial_id));
+    let (ooo, diag, initial) = (
+        results.stats(ooo_id),
+        results.stats(diag_id),
+        results.stats(initial_id),
+    );
 
     let per = |pick: fn(&RunStats) -> u64, s: Option<&RunStats>| {
         s.map_or_else(
@@ -381,19 +389,33 @@ pub fn table2() -> String {
         "L1D",
         "L2",
     ]);
-    for cfg in [DiagConfig::i4c2(), DiagConfig::f4c2(), DiagConfig::f4c16(), DiagConfig::f4c32()] {
+    for cfg in [
+        DiagConfig::i4c2(),
+        DiagConfig::f4c2(),
+        DiagConfig::f4c16(),
+        DiagConfig::f4c32(),
+    ] {
         table.row([
             cfg.name.clone(),
-            if cfg.fp_enabled { "RV32IMF".to_string() } else { "RV32I".to_string() },
+            if cfg.fp_enabled {
+                "RV32IMF".to_string()
+            } else {
+                "RV32I".to_string()
+            },
             cfg.pes_per_cluster.to_string(),
             cfg.clusters.to_string(),
             cfg.total_pes().to_string(),
             format!("{} GHz", cfg.freq_ghz),
             format!("{} KB", cfg.l1d.size_bytes >> 10),
-            cfg.l2.map_or("N/A".to_string(), |l2| format!("{} MB", l2.size_bytes >> 20)),
+            cfg.l2.map_or("N/A".to_string(), |l2| {
+                format!("{} MB", l2.size_bytes >> 20)
+            }),
         ]);
     }
-    format!("Table 2: DiAG configurations used for evaluation\n{}", table.render())
+    format!(
+        "Table 2: DiAG configurations used for evaluation\n{}",
+        table.render()
+    )
 }
 
 /// Table 3: hardware area and power breakdown by component.
@@ -422,10 +444,22 @@ pub fn table3() -> String {
     let cfg = DiagConfig::f4c32();
     let (l1i, l1d, l2) = diag_power::cacti::hierarchy(&cfg.l1i, &cfg.l1d, cfg.l2.as_ref());
     let mut caches = TextTable::new(["Cache (CACTI-style)", "Area", "Read energy"]);
-    caches.row(["L1I 32KB".to_string(), format!("{:.2} mm2", l1i.area_mm2), format!("{:.0} pJ", l1i.read_pj)]);
-    caches.row(["L1D 128KB".to_string(), format!("{:.2} mm2", l1d.area_mm2), format!("{:.0} pJ", l1d.read_pj)]);
+    caches.row([
+        "L1I 32KB".to_string(),
+        format!("{:.2} mm2", l1i.area_mm2),
+        format!("{:.0} pJ", l1i.read_pj),
+    ]);
+    caches.row([
+        "L1D 128KB".to_string(),
+        format!("{:.2} mm2", l1d.area_mm2),
+        format!("{:.0} pJ", l1d.read_pj),
+    ]);
     if let Some(l2) = l2 {
-        caches.row(["L2 4MB".to_string(), format!("{:.2} mm2", l2.area_mm2), format!("{:.0} pJ", l2.read_pj)]);
+        caches.row([
+            "L2 4MB".to_string(),
+            format!("{:.2} mm2", l2.area_mm2),
+            format!("{:.0} pJ", l2.read_pj),
+        ]);
     }
     out.push('\n');
     out.push_str(&caches.render());
@@ -451,11 +485,25 @@ pub fn stalls(scale: Scale, jobs: usize) -> String {
     }
     let (m, c, o) = total.shares();
     let mut table = TextTable::new(["cause", "measured", "paper"]);
-    table.row(["memory".to_string(), format!("{m:.1}%"), "73.6%".to_string()]);
-    table.row(["control".to_string(), format!("{c:.1}%"), "21.1%".to_string()]);
-    table.row(["other (structural)".to_string(), format!("{o:.1}%"), "5.3%".to_string()]);
-    let mut out =
-        format!("Section 7.3.2: DiAG stall-source breakdown over Rodinia\n{}", table.render());
+    table.row([
+        "memory".to_string(),
+        format!("{m:.1}%"),
+        "73.6%".to_string(),
+    ]);
+    table.row([
+        "control".to_string(),
+        format!("{c:.1}%"),
+        "21.1%".to_string(),
+    ]);
+    table.row([
+        "other (structural)".to_string(),
+        format!("{o:.1}%"),
+        "5.3%".to_string(),
+    ]);
+    let mut out = format!(
+        "Section 7.3.2: DiAG stall-source breakdown over Rodinia\n{}",
+        table.render()
+    );
     append_failures(&mut out, &results);
     out
 }
@@ -518,7 +566,10 @@ pub fn ablation_reuse(scale: Scale, jobs: usize) -> String {
             name.to_string(),
             on.map_or_else(|| "FAIL".to_string(), |s| s.cycles.to_string()),
             off.map_or_else(|| "FAIL".to_string(), |s| s.cycles.to_string()),
-            cell(on.zip(off).map(|(on, off)| off.cycles as f64 / on.cycles as f64)),
+            cell(
+                on.zip(off)
+                    .map(|(on, off)| off.cycles as f64 / on.cycles as f64),
+            ),
         ]);
     }
     let mut out = format!(
@@ -584,7 +635,12 @@ pub fn ablation_spec(scale: Scale, jobs: usize) -> String {
         .collect();
     let results = sweep.execute(jobs);
 
-    let mut table = TextTable::new(["benchmark", "baseline cycles", "speculative cycles", "speedup"]);
+    let mut table = TextTable::new([
+        "benchmark",
+        "baseline cycles",
+        "speculative cycles",
+        "speedup",
+    ]);
     for (name, (plain, with)) in names.iter().zip(&ids) {
         let plain = results.stats(*plain);
         let with = results.stats(*with);
@@ -592,7 +648,11 @@ pub fn ablation_spec(scale: Scale, jobs: usize) -> String {
             name.to_string(),
             plain.map_or_else(|| "FAIL".to_string(), |s| s.cycles.to_string()),
             with.map_or_else(|| "FAIL".to_string(), |s| s.cycles.to_string()),
-            cell(plain.zip(with).map(|(p, w)| p.cycles as f64 / w.cycles as f64)),
+            cell(
+                plain
+                    .zip(with)
+                    .map(|(p, w)| p.cycles as f64 / w.cycles as f64),
+            ),
         ]);
     }
     // Suite kernels' forward branches are short skips within resident
@@ -662,12 +722,18 @@ pub fn ablation_simt_interval(scale: Scale, jobs: usize) -> String {
 
     let mut sweep = Sweep::new();
     let seq_id = sweep.add(MachineKind::Diag(DiagConfig::f4c32()), spec, params(scale));
-    let piped_id =
-        sweep.add(MachineKind::Diag(piped_cfg), spec, params(scale).with_simt(true));
+    let piped_id = sweep.add(
+        MachineKind::Diag(piped_cfg),
+        spec,
+        params(scale).with_simt(true),
+    );
     let results = sweep.execute(jobs);
 
     let mut table = TextTable::new(["machine", "cycles", "IPC"]);
-    for (label, id) in [("serial loop (reuse)", seq_id), ("SIMT pipelined", piped_id)] {
+    for (label, id) in [
+        ("serial loop (reuse)", seq_id),
+        ("SIMT pipelined", piped_id),
+    ] {
         let (cycles, ipc) = results.stats(id).map_or_else(
             || ("FAIL".to_string(), "FAIL".to_string()),
             |s| (s.cycles.to_string(), format!("{:.3}", s.ipc())),

@@ -24,9 +24,7 @@ impl MachineKind {
     pub fn build(&self) -> Box<dyn Machine> {
         match self {
             MachineKind::Diag(cfg) => Box::new(Diag::new(cfg.clone())),
-            MachineKind::Ooo(cores) => {
-                Box::new(OooCpu::new(O3Config::aggressive_8wide(), *cores))
-            }
+            MachineKind::Ooo(cores) => Box::new(OooCpu::new(O3Config::aggressive_8wide(), *cores)),
             MachineKind::InOrder => Box::new(InOrder::new()),
         }
     }
@@ -87,13 +85,25 @@ impl fmt::Display for RunError {
             RunError::Build { workload, message } => {
                 write!(f, "{workload}: build failed: {message}")
             }
-            RunError::Sim { workload, machine, error } => {
+            RunError::Sim {
+                workload,
+                machine,
+                error,
+            } => {
                 write!(f, "{workload} on {machine}: {error}")
             }
-            RunError::Verify { workload, machine, message } => {
+            RunError::Verify {
+                workload,
+                machine,
+                message,
+            } => {
                 write!(f, "{workload} on {machine}: verification failed: {message}")
             }
-            RunError::Panicked { workload, machine, message } => {
+            RunError::Panicked {
+                workload,
+                machine,
+                message,
+            } => {
                 write!(f, "{workload} on {machine}: panicked: {message}")
             }
         }
@@ -125,11 +135,13 @@ pub fn run_verified(
         message: e.to_string(),
     })?;
     let mut machine = kind.build();
-    let stats = machine.run(&built.program, params.threads).map_err(|e| RunError::Sim {
-        workload: spec.name.to_string(),
-        machine: kind.label(),
-        error: e,
-    })?;
+    let stats = machine
+        .run(&built.program, params.threads)
+        .map_err(|e| RunError::Sim {
+            workload: spec.name.to_string(),
+            machine: kind.label(),
+            error: e,
+        })?;
     (built.verify)(machine.as_ref()).map_err(|e| RunError::Verify {
         workload: spec.name.to_string(),
         machine: kind.label(),
@@ -207,7 +219,9 @@ mod tests {
 
     #[test]
     fn labels_are_informative() {
-        assert!(MachineKind::Diag(DiagConfig::f4c32()).label().contains("512"));
+        assert!(MachineKind::Diag(DiagConfig::f4c32())
+            .label()
+            .contains("512"));
         assert!(MachineKind::Ooo(12).label().contains("x12"));
     }
 

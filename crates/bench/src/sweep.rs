@@ -67,7 +67,11 @@ impl Sweep {
 
     /// Enqueues one run and returns its handle.
     pub fn add(&mut self, machine: MachineKind, spec: WorkloadSpec, params: Params) -> RunId {
-        self.runs.push(SweepRun { machine, spec, params });
+        self.runs.push(SweepRun {
+            machine,
+            spec,
+            params,
+        });
         RunId(self.runs.len() - 1)
     }
 
@@ -84,7 +88,9 @@ impl Sweep {
     /// Executes every queued run on up to `jobs` worker threads and
     /// returns the results in submission order.
     pub fn execute(self, jobs: usize) -> SweepResults {
-        SweepResults { results: run_sweep(&self.runs, jobs) }
+        SweepResults {
+            results: run_sweep(&self.runs, jobs),
+        }
     }
 }
 
@@ -113,7 +119,10 @@ impl SweepResults {
 
     /// Every failure, in submission order.
     pub fn failures(&self) -> Vec<&RunError> {
-        self.results.iter().filter_map(|r| r.as_ref().err()).collect()
+        self.results
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .collect()
     }
 
     /// All results, in submission order.
@@ -167,24 +176,30 @@ pub fn run_sweep(runs: &[SweepRun], jobs: usize) -> Vec<Result<RunStats, RunErro
     });
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("result slot").expect("worker filled slot"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("worker filled slot")
+        })
         .collect()
 }
 
 fn run_one(run: &SweepRun) -> Result<RunStats, RunError> {
-    catch_unwind(AssertUnwindSafe(|| run_verified(&run.machine, &run.spec, &run.params)))
-        .unwrap_or_else(|payload| {
-            let message = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_string());
-            Err(RunError::Panicked {
-                workload: run.spec.name.to_string(),
-                machine: run.machine.label(),
-                message,
-            })
+    catch_unwind(AssertUnwindSafe(|| {
+        run_verified(&run.machine, &run.spec, &run.params)
+    }))
+    .unwrap_or_else(|payload| {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        Err(RunError::Panicked {
+            workload: run.spec.name.to_string(),
+            machine: run.machine.label(),
+            message,
         })
+    })
 }
 
 #[cfg(test)]
@@ -206,7 +221,10 @@ mod tests {
         let mut sweep = Sweep::new();
         let mut ids = Vec::new();
         for name in ["bfs", "hotspot", "nw", "x264", "mcf"] {
-            ids.push((name, sweep.add(MachineKind::InOrder, find(name).unwrap(), Params::tiny())));
+            ids.push((
+                name,
+                sweep.add(MachineKind::InOrder, find(name).unwrap(), Params::tiny()),
+            ));
         }
         let serial = sweep.execute(1);
         let mut sweep = Sweep::new();
@@ -215,9 +233,16 @@ mod tests {
         }
         let parallel = sweep.execute(4);
         for (i, (name, id)) in ids.iter().enumerate() {
-            let a = serial.stats(*id).unwrap_or_else(|| panic!("{name} failed serially"));
-            let b = parallel.stats(RunId(i)).unwrap_or_else(|| panic!("{name} failed in parallel"));
-            assert_eq!(a.cycles, b.cycles, "{name} nondeterministic across job counts");
+            let a = serial
+                .stats(*id)
+                .unwrap_or_else(|| panic!("{name} failed serially"));
+            let b = parallel
+                .stats(RunId(i))
+                .unwrap_or_else(|| panic!("{name} failed in parallel"));
+            assert_eq!(
+                a.cycles, b.cycles,
+                "{name} nondeterministic across job counts"
+            );
             assert_eq!(a.committed, b.committed, "{name}");
         }
     }

@@ -74,7 +74,13 @@ pub struct DiagConfig {
 }
 
 impl DiagConfig {
-    fn base(name: &str, clusters: usize, fp: bool, l1d_kib: u32, l2_mib: Option<u32>) -> DiagConfig {
+    fn base(
+        name: &str,
+        clusters: usize,
+        fp: bool,
+        l1d_kib: u32,
+        l2_mib: Option<u32>,
+    ) -> DiagConfig {
         DiagConfig {
             name: name.to_string(),
             pes_per_cluster: 16,
@@ -154,6 +160,27 @@ impl DiagConfig {
         }
     }
 
+    /// Distinct I-lines one ring can hold resident simultaneously — the
+    /// datapath-reuse capacity of §4.3.2. A loop whose body spans more
+    /// distinct I-lines than this cannot keep its whole datapath resident,
+    /// so backward branches reload lines instead of reusing them.
+    pub fn reuse_line_capacity(&self, threads: usize) -> usize {
+        self.clusters_per_ring(threads)
+    }
+
+    /// Instructions a ring can keep resident at once (`reuse_line_capacity`
+    /// lines of `pes_per_cluster` PEs) — the loop-body size limit for
+    /// datapath reuse used by the static analyzer's capacity lint.
+    pub fn reuse_inst_capacity(&self, threads: usize) -> usize {
+        self.reuse_line_capacity(threads) * self.pes_per_cluster
+    }
+
+    /// Buffered segments per register lane within one cluster (§6.1.2:
+    /// lanes are re-driven every `lane_buffer_interval` PEs).
+    pub fn lane_segments_per_cluster(&self) -> usize {
+        self.pes_per_cluster / self.lane_buffer_interval
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
@@ -162,10 +189,17 @@ impl DiagConfig {
     /// interval, or any structural parameter is zero.
     pub fn validate(&self) {
         assert!(self.pes_per_cluster > 0, "need at least one PE per cluster");
-        assert!(self.clusters >= 2, "need at least two clusters to alternate (§4.3)");
-        assert!(self.ring_clusters >= 2, "a ring needs at least two clusters");
         assert!(
-            self.pes_per_cluster.is_multiple_of(self.lane_buffer_interval),
+            self.clusters >= 2,
+            "need at least two clusters to alternate (§4.3)"
+        );
+        assert!(
+            self.ring_clusters >= 2,
+            "a ring needs at least two clusters"
+        );
+        assert!(
+            self.pes_per_cluster
+                .is_multiple_of(self.lane_buffer_interval),
             "lane buffer interval must divide PEs per cluster"
         );
         assert!(self.commit_width > 0, "commit width must be positive");
@@ -210,6 +244,20 @@ mod tests {
         assert_eq!(c.rings_for(16), 16);
         assert_eq!(c.rings_for(64), 16);
         assert_eq!(c.clusters_per_ring(12), 2);
+    }
+
+    #[test]
+    fn analyzer_geometry() {
+        let c = DiagConfig::f4c32();
+        // Single-threaded: the whole processor is one ring, 32 lines / 512
+        // instructions of resident loop capacity.
+        assert_eq!(c.reuse_line_capacity(1), 32);
+        assert_eq!(c.reuse_inst_capacity(1), 512);
+        // Multi-threaded 16-by-2: two lines per ring.
+        assert_eq!(c.reuse_line_capacity(8), 2);
+        assert_eq!(c.reuse_inst_capacity(8), 32);
+        // 16 PEs buffered every 8 → 2 segments per lane per cluster.
+        assert_eq!(c.lane_segments_per_cluster(), 2);
     }
 
     #[test]

@@ -75,7 +75,11 @@ impl LaneFile {
     /// Creates lanes that are all valid at time zero with value zero,
     /// written at slot 0.
     pub fn new() -> LaneFile {
-        LaneFile { values: [0; NUM_LANES], ready: [0; NUM_LANES], writer: [0; NUM_LANES] }
+        LaneFile {
+            values: [0; NUM_LANES],
+            ready: [0; NUM_LANES],
+            writer: [0; NUM_LANES],
+        }
     }
 
     /// Architectural value of a lane (the `x0` lane always reads zero).
@@ -161,7 +165,12 @@ pub struct CommitTracker {
 impl CommitTracker {
     /// Creates a tracker retiring at most `width` instructions per cycle.
     pub fn new(width: usize) -> CommitTracker {
-        CommitTracker { width, last_time: 0, at_last: 0, committed: 0 }
+        CommitTracker {
+            width,
+            last_time: 0,
+            at_last: 0,
+            committed: 0,
+        }
     }
 
     /// Retires an instruction that finished execution at `finish`; returns
@@ -210,7 +219,10 @@ mod tests {
     use super::*;
     use diag_isa::{regs, ArchReg};
 
-    const GEOM: LaneGeometry = LaneGeometry { buffer_interval: 8, ring_slots: 32 };
+    const GEOM: LaneGeometry = LaneGeometry {
+        buffer_interval: 8,
+        ring_slots: 32,
+    };
 
     #[test]
     fn same_segment_is_combinational() {
@@ -238,12 +250,15 @@ mod tests {
 
     #[test]
     fn long_transfers_capped_by_bus() {
-        let big = LaneGeometry { buffer_interval: 8, ring_slots: 512 };
+        let big = LaneGeometry {
+            buffer_interval: 8,
+            ring_slots: 512,
+        };
         // 32 clusters apart would be 62 buffer crossings on the lanes;
         // the control unit routes it over the bus instead (§5.1.3).
         assert_eq!(big.delay(0, 500), LaneGeometry::BUS_SHORTCUT);
         assert_eq!(big.delay(500, 4), 2); // short wrap uses the circular link
-        // Short hops still use the lanes.
+                                          // Short hops still use the lanes.
         assert_eq!(big.delay(0, 9), 1);
     }
 
@@ -281,7 +296,11 @@ mod tests {
         lanes.write(ArchReg::from(regs::A0), 1, 5, 2);
         lanes.retime_all(100, 0);
         assert_eq!(lanes.raw_ready(ArchReg::from(regs::A0)), 100);
-        assert_eq!(lanes.value(ArchReg::from(regs::A0)), 1, "values survive retiming");
+        assert_eq!(
+            lanes.value(ArchReg::from(regs::A0)),
+            1,
+            "values survive retiming"
+        );
         assert_eq!(lanes.latest_ready(), 100);
     }
 
@@ -313,6 +332,10 @@ mod tests {
         c.advance_to(500);
         c.add_bulk(32);
         assert_eq!(c.committed(), 32);
-        assert_eq!(c.commit(0), 500, "post-region commits cannot precede the region");
+        assert_eq!(
+            c.commit(0),
+            500,
+            "post-region commits cannot precede the region"
+        );
     }
 }

@@ -150,9 +150,9 @@ impl Diag {
             // segments, and decoder latches stay powered while resident
             // (paper §7.3.1: register lanes and control are always
             // powered; idle PEs are clock-gated).
-            run.stats.activity.pe_resident_cycles += (ring.max_resident_clusters()
-                * self.config.pes_per_cluster) as u64
-                * ring.clock().saturating_sub(run.wave_floor);
+            run.stats.activity.pe_resident_cycles +=
+                (ring.max_resident_clusters() * self.config.pes_per_cluster) as u64
+                    * ring.clock().saturating_sub(run.wave_floor);
             run.wave_start = run.wave_start.max(ring.clock());
         }
         run.finish_time = run.finish_time.max(run.wave_start);
@@ -218,7 +218,9 @@ impl Machine for Diag {
                 run.rings[idx].step(&mut run.shared)?;
                 self.commits.append(&mut run.rings[idx].commits);
                 if run.rings[idx].clock() > self.config.max_cycles {
-                    return Err(SimError::CycleLimit { limit: self.config.max_cycles });
+                    return Err(SimError::CycleLimit {
+                        limit: self.config.max_cycles,
+                    });
                 }
                 return Ok(StepOutcome::Running);
             }
@@ -298,15 +300,13 @@ mod tests {
 
     #[test]
     fn straight_line_arithmetic() {
-        let (diag, stats) = run(
-            r#"
+        let (diag, stats) = run(r#"
             li   t0, 6
             li   t1, 7
             mul  t2, t0, t1
             sw   t2, 0(zero)
             ecall
-            "#,
-        );
+            "#);
         assert_eq!(diag.read_word(0), 42);
         assert_eq!(stats.committed, 5);
         assert!(stats.cycles > 0);
@@ -314,8 +314,7 @@ mod tests {
 
     #[test]
     fn loop_sums_and_reuses_datapath() {
-        let (diag, stats) = run(
-            r#"
+        let (diag, stats) = run(r#"
                 li   t0, 100
                 li   t1, 0
             loop:
@@ -324,13 +323,16 @@ mod tests {
                 bnez t0, loop
                 sw   t1, 64(zero)
                 ecall
-            "#,
-        );
+            "#);
         assert_eq!(diag.read_word(64), 5050);
         // 2 + 100*3 + 2 = 304 committed instructions.
         assert_eq!(stats.committed, 304);
         // The loop body re-executes from the resident datapath.
-        assert!(stats.activity.reuse_commits > 250, "reuse = {}", stats.activity.reuse_commits);
+        assert!(
+            stats.activity.reuse_commits > 250,
+            "reuse = {}",
+            stats.activity.reuse_commits
+        );
         assert!(stats.activity.decodes < 20);
     }
 
@@ -338,8 +340,7 @@ mod tests {
     fn ilp_executes_in_parallel() {
         // Eight independent chains should overlap; a strictly serial
         // machine would need ~8x the cycles of one chain.
-        let (_, par) = run(
-            r#"
+        let (_, par) = run(r#"
             li t0, 1
             li t1, 1
             li t2, 1
@@ -349,10 +350,8 @@ mod tests {
             add t2, t2, t2
             add t3, t3, t3
             ecall
-            "#,
-        );
-        let (_, ser) = run(
-            r#"
+            "#);
+        let (_, ser) = run(r#"
             li t0, 1
             add t0, t0, t0
             add t0, t0, t0
@@ -362,8 +361,7 @@ mod tests {
             add t0, t0, t0
             add t0, t0, t0
             ecall
-            "#,
-        );
+            "#);
         assert!(
             par.cycles < ser.cycles,
             "independent chains ({}) should beat a serial chain ({})",
@@ -374,8 +372,7 @@ mod tests {
 
     #[test]
     fn memory_round_trip() {
-        let (diag, _) = run(
-            r#"
+        let (diag, _) = run(r#"
             li   t0, 0x1234
             sw   t0, 0(zero)
             lw   t1, 0(zero)
@@ -385,8 +382,7 @@ mod tests {
             lbu  t2, 8(zero)
             sw   t2, 12(zero)
             ecall
-            "#,
-        );
+            "#);
         assert_eq!(diag.read_word(0), 0x1234);
         assert_eq!(diag.read_word(4), 0x1235);
         assert_eq!(diag.read_word(12), 0x35);
@@ -394,8 +390,7 @@ mod tests {
 
     #[test]
     fn fp_kernel() {
-        let (diag, _) = run(
-            r#"
+        let (diag, _) = run(r#"
             .data
             vals:
                 .float 3.0, 4.0
@@ -408,8 +403,7 @@ mod tests {
                 fsqrt.s ft3, ft2
                 fsw   ft3, 8(a2)
                 ecall
-            "#,
-        );
+            "#);
         let addr = 8;
         let p = assemble("nop").unwrap();
         let _ = p;
@@ -419,8 +413,7 @@ mod tests {
 
     #[test]
     fn forward_branch_skips() {
-        let (diag, _) = run(
-            r#"
+        let (diag, _) = run(r#"
                 li t0, 1
                 beqz t0, skip
                 li t1, 111
@@ -430,8 +423,7 @@ mod tests {
             out:
                 sw t1, 0(zero)
                 ecall
-            "#,
-        );
+            "#);
         assert_eq!(diag.read_word(0), 111);
     }
 

@@ -135,8 +135,13 @@ impl RingSim {
         commit.advance_to(start_time);
         let entry = program.entry();
         RingSim {
-            geom: LaneGeometry { buffer_interval: config.lane_buffer_interval, ring_slots: clusters * ppc },
-            clusters: (0..clusters).map(|_| Cluster::new(ppc, config.lsu_depth)).collect(),
+            geom: LaneGeometry {
+                buffer_interval: config.lane_buffer_interval,
+                ring_slots: clusters * ppc,
+            },
+            clusters: (0..clusters)
+                .map(|_| Cluster::new(ppc, config.lsu_depth))
+                .collect(),
             resident: HashMap::new(),
             alloc_rr: 0,
             last_line: None,
@@ -188,7 +193,12 @@ impl RingSim {
 
     /// Ensures the I-line containing `line` is resident; returns its
     /// cluster index. `was_redirect` attributes any fetch wait to control.
-    fn ensure_resident(&mut self, line: u32, was_redirect: bool, shared: &mut SharedParts) -> usize {
+    fn ensure_resident(
+        &mut self,
+        line: u32,
+        was_redirect: bool,
+        shared: &mut SharedParts,
+    ) -> usize {
         if let Some(&c) = self.resident.get(&line) {
             return c;
         }
@@ -199,7 +209,9 @@ impl RingSim {
         // (preemptive loading, §5.1.3); on a redirect it starts at the
         // redirect floor.
         let initiate = match self.last_line {
-            Some((prev, arrived)) if line == prev.wrapping_add(self.config.line_bytes()) && !was_redirect => {
+            Some((prev, arrived))
+                if line == prev.wrapping_add(self.config.line_bytes()) && !was_redirect =>
+            {
                 arrived
             }
             _ => self.time_floor,
@@ -334,8 +346,7 @@ impl RingSim {
                 LaneLookup::HitFast { store_time, .. } => {
                     (start.max(self.fence_floor).max(store_time), true)
                 }
-                LaneLookup::HitSlow { store_time, .. }
-                | LaneLookup::Conflict { store_time } => {
+                LaneLookup::HitSlow { store_time, .. } | LaneLookup::Conflict { store_time } => {
                     (start.max(self.fence_floor).max(store_time + 1), false)
                 }
                 LaneLookup::Miss => (start.max(self.fence_floor), false),
@@ -397,7 +408,8 @@ impl RingSim {
                 self.redirect(vector, resolve, slot, shared);
                 // The interrupted PC is preserved for the handler in the
                 // conventional scratch register (a simplified mepc).
-                self.lanes.write(diag_isa::Reg::GP.into(), old_pc, resolve, slot);
+                self.lanes
+                    .write(diag_isa::Reg::GP.into(), old_pc, resolve, slot);
                 self.stats.stalls.control += 1;
             }
         }
@@ -466,7 +478,11 @@ impl RingSim {
             }
             Inst::Op { op, rd, rs1, rs2 } => {
                 finish = start + inst.exec_latency() as u64;
-                let v = exec::alu(op, self.lanes.value(rs1.into()), self.lanes.value(rs2.into()));
+                let v = exec::alu(
+                    op,
+                    self.lanes.value(rs1.into()),
+                    self.lanes.value(rs2.into()),
+                );
                 lane_write = Some((rd.into(), v));
             }
             Inst::Jal { rd, offset } => {
@@ -482,7 +498,12 @@ impl RingSim {
                 next_pc = target;
                 self.redirect(next_pc, finish, slot, shared);
             }
-            Inst::Branch { op, rs1, rs2, offset } => {
+            Inst::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 finish = start + 1;
                 let taken = exec::branch_taken(
                     op,
@@ -494,7 +515,12 @@ impl RingSim {
                     self.redirect(next_pc, finish, slot, shared);
                 }
             }
-            Inst::Load { op, rd, rs1, offset } => {
+            Inst::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let addr = self.lanes.value(rs1.into()).wrapping_add(offset as u32);
                 let size = op.size();
                 if !addr.is_multiple_of(size) {
@@ -507,7 +533,12 @@ impl RingSim {
                 lane_write = Some((rd.into(), exec::extend_load(op, raw)));
                 self.stats.activity.loads += 1;
             }
-            Inst::Store { op, rs1, rs2, offset } => {
+            Inst::Store {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let addr = self.lanes.value(rs1.into()).wrapping_add(offset as u32);
                 let size = op.size();
                 if !addr.is_multiple_of(size) {
@@ -544,10 +575,20 @@ impl RingSim {
             }
             Inst::FpOp { op, rd, rs1, rs2 } => {
                 finish = start + inst.exec_latency() as u64;
-                let v = exec::fp_op(op, self.lanes.value(rs1.into()), self.lanes.value(rs2.into()));
+                let v = exec::fp_op(
+                    op,
+                    self.lanes.value(rs1.into()),
+                    self.lanes.value(rs2.into()),
+                );
                 lane_write = Some((rd.into(), v));
             }
-            Inst::FpFma { op, rd, rs1, rs2, rs3 } => {
+            Inst::FpFma {
+                op,
+                rd,
+                rs1,
+                rs2,
+                rs3,
+            } => {
                 finish = start + inst.exec_latency() as u64;
                 let v = exec::fp_fma(
                     op,
@@ -559,7 +600,11 @@ impl RingSim {
             }
             Inst::FpCmp { op, rd, rs1, rs2 } => {
                 finish = start + inst.exec_latency() as u64;
-                let v = exec::fp_cmp(op, self.lanes.value(rs1.into()), self.lanes.value(rs2.into()));
+                let v = exec::fp_cmp(
+                    op,
+                    self.lanes.value(rs1.into()),
+                    self.lanes.value(rs2.into()),
+                );
                 lane_write = Some((rd.into(), v));
             }
             Inst::FpToInt { op, rd, rs1 } => {
@@ -598,7 +643,11 @@ impl RingSim {
                 finish = start + 1;
                 lane_write = Some((rc.into(), self.lanes.value(rc.into())));
             }
-            Inst::SimtE { rc, r_end, l_offset } => {
+            Inst::SimtE {
+                rc,
+                r_end,
+                l_offset,
+            } => {
                 finish = start + 1;
                 let start_pc = pc.wrapping_add(l_offset as u32);
                 let step = match self.program.decode_at(start_pc) {
@@ -644,7 +693,14 @@ impl RingSim {
         }
         let commit_t = self.commit.commit(finish);
         if self.config.collect_trace {
-            self.trace.push(TraceEvent { pc, slot, start, finish, commit: commit_t, reused });
+            self.trace.push(TraceEvent {
+                pc,
+                slot,
+                start,
+                finish,
+                commit: commit_t,
+                reused,
+            });
         }
         self.clusters[cluster].last_commit = self.clusters[cluster].last_commit.max(commit_t);
         // A PE accepts its next dynamic instance once its unit can issue

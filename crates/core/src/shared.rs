@@ -44,7 +44,13 @@ impl SharedParts {
         });
         let l2 = SharedLevel::new(l2_config).into_shared();
         let l1d = PrivateCache::new(config.l1d, Rc::clone(&l2));
-        SharedParts { mem, l1i: CacheArray::new(config.l1i), l1d, l2, bus: Bus::new() }
+        SharedParts {
+            mem,
+            l1i: CacheArray::new(config.l1i),
+            l1d,
+            l2,
+            bus: Bus::new(),
+        }
     }
 
     /// Fetches the I-line containing `line_addr` at `now`; returns the

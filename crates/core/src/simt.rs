@@ -64,7 +64,13 @@ impl RingSim {
         inst: Inst,
         shared: &mut SharedParts,
     ) -> Result<bool, SimError> {
-        let Inst::SimtS { rc, r_step, r_end, interval } = inst else {
+        let Inst::SimtS {
+            rc,
+            r_step,
+            r_end,
+            interval,
+        } = inst
+        else {
             return Ok(false);
         };
         let Some(region) = self.find_region(pc_s, rc)? else {
@@ -137,7 +143,9 @@ impl RingSim {
             }
             i += 1;
             if end_time > self.config.max_cycles {
-                return Err(SimError::CycleLimit { limit: self.config.max_cycles });
+                return Err(SimError::CycleLimit {
+                    limit: self.config.max_cycles,
+                });
             }
         }
         let instances = i + 1;
@@ -153,7 +161,11 @@ impl RingSim {
         let commits = total_body_commits + 2;
         self.commit.advance_to(end_time);
         self.commit.add_bulk(commits);
-        let first_cost = if fetched { region.body.len() as u64 + 2 } else { 0 };
+        let first_cost = if fetched {
+            region.body.len() as u64 + 2
+        } else {
+            0
+        };
         self.stats.activity.decodes += first_cost;
         self.stats.activity.reuse_commits += commits.saturating_sub(first_cost);
 
@@ -225,8 +237,15 @@ impl RingSim {
         let line_bytes = self.config.line_bytes();
         let first_line = pc_s & !(line_bytes - 1);
         let last_line = pc_e & !(line_bytes - 1);
-        let lines = (first_line..=last_line).step_by(line_bytes as usize).collect();
-        Ok(Some(Region { pc_s, pc_e, body, lines }))
+        let lines = (first_line..=last_line)
+            .step_by(line_bytes as usize)
+            .collect();
+        Ok(Some(Region {
+            pc_s,
+            pc_e,
+            body,
+            lines,
+        }))
     }
 
     /// Global PE slot of address `pc` within stage `stage`.
@@ -239,7 +258,12 @@ impl RingSim {
 
     /// Makes all region lines resident in consecutive clusters; returns
     /// per-stage decode-ready times and whether any fetching happened.
-    fn load_region(&mut self, region: &Region, now: u64, shared: &mut SharedParts) -> (Vec<u64>, bool) {
+    fn load_region(
+        &mut self,
+        region: &Region,
+        now: u64,
+        shared: &mut SharedParts,
+    ) -> (Vec<u64>, bool) {
         let already = region
             .lines
             .iter()
@@ -247,7 +271,9 @@ impl RingSim {
             .all(|(i, l)| self.resident.get(l) == Some(&i));
         if already {
             return (
-                (0..region.lines.len()).map(|i| self.clusters[i].decode_ready).collect(),
+                (0..region.lines.len())
+                    .map(|i| self.clusters[i].decode_ready)
+                    .collect(),
                 false,
             );
         }
@@ -364,13 +390,20 @@ impl RingSim {
         let out = match inst {
             Inst::Lui { rd, imm } => (start + 1, Some((rd.into(), imm as u32))),
             Inst::Auipc { rd, imm } => (start + 1, Some((rd.into(), pc.wrapping_add(imm as u32)))),
-            Inst::OpImm { op, rd, rs1, imm } => {
-                (start + latency, Some((rd.into(), exec::alu(op, v(rs1), imm as u32))))
-            }
-            Inst::Op { op, rd, rs1, rs2 } => {
-                (start + latency, Some((rd.into(), exec::alu(op, v(rs1), v(rs2)))))
-            }
-            Inst::Branch { op, rs1, rs2, offset } => {
+            Inst::OpImm { op, rd, rs1, imm } => (
+                start + latency,
+                Some((rd.into(), exec::alu(op, v(rs1), imm as u32))),
+            ),
+            Inst::Op { op, rd, rs1, rs2 } => (
+                start + latency,
+                Some((rd.into(), exec::alu(op, v(rs1), v(rs2)))),
+            ),
+            Inst::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 if exec::branch_taken(op, v(rs1), v(rs2)) {
                     *inst_pc = pc.wrapping_add(offset as u32);
                 }
@@ -380,25 +413,45 @@ impl RingSim {
                 *inst_pc = pc.wrapping_add(offset as u32);
                 (start + 1, Some((rd.into(), pc.wrapping_add(INST_BYTES))))
             }
-            Inst::Load { op, rd, rs1, offset } => {
+            Inst::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let addr = v(rs1).wrapping_add(offset as u32);
                 let size = op.size();
                 if addr % size != 0 {
                     return Err(SimError::Misaligned { addr, size });
                 }
-                let ready = self.simt_mem(stage, addr, size, false, start, memlane, store_floor, shared);
+                let ready = self.simt_mem(
+                    stage,
+                    addr,
+                    size,
+                    false,
+                    start,
+                    memlane,
+                    store_floor,
+                    shared,
+                );
                 self.stats.activity.loads += 1;
                 let raw = shared.mem.read(addr, size);
                 (ready, Some((rd.into(), exec::extend_load(op, raw))))
             }
-            Inst::Store { op, rs1, rs2, offset } => {
+            Inst::Store {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let addr = v(rs1).wrapping_add(offset as u32);
                 let size = op.size();
                 if addr % size != 0 {
                     return Err(SimError::Misaligned { addr, size });
                 }
                 shared.mem.write(addr, size, v(rs2));
-                let ready = self.simt_mem(stage, addr, size, true, start, memlane, store_floor, shared);
+                let ready =
+                    self.simt_mem(stage, addr, size, true, start, memlane, store_floor, shared);
                 self.stats.activity.stores += 1;
                 (ready, None)
             }
@@ -407,7 +460,8 @@ impl RingSim {
                 if addr % 4 != 0 {
                     return Err(SimError::Misaligned { addr, size: 4 });
                 }
-                let ready = self.simt_mem(stage, addr, 4, false, start, memlane, store_floor, shared);
+                let ready =
+                    self.simt_mem(stage, addr, 4, false, start, memlane, store_floor, shared);
                 self.stats.activity.loads += 1;
                 (ready, Some((rd.into(), shared.mem.read_u32(addr))))
             }
@@ -417,15 +471,25 @@ impl RingSim {
                     return Err(SimError::Misaligned { addr, size: 4 });
                 }
                 shared.mem.write_u32(addr, lanes.value(rs2.into()));
-                let ready = self.simt_mem(stage, addr, 4, true, start, memlane, store_floor, shared);
+                let ready =
+                    self.simt_mem(stage, addr, 4, true, start, memlane, store_floor, shared);
                 self.stats.activity.stores += 1;
                 (ready, None)
             }
             Inst::FpOp { op, rd, rs1, rs2 } => (
                 start + latency,
-                Some((rd.into(), exec::fp_op(op, lanes.value(rs1.into()), lanes.value(rs2.into())))),
+                Some((
+                    rd.into(),
+                    exec::fp_op(op, lanes.value(rs1.into()), lanes.value(rs2.into())),
+                )),
             ),
-            Inst::FpFma { op, rd, rs1, rs2, rs3 } => (
+            Inst::FpFma {
+                op,
+                rd,
+                rs1,
+                rs2,
+                rs3,
+            } => (
                 start + latency,
                 Some((
                     rd.into(),
@@ -439,14 +503,19 @@ impl RingSim {
             ),
             Inst::FpCmp { op, rd, rs1, rs2 } => (
                 start + latency,
-                Some((rd.into(), exec::fp_cmp(op, lanes.value(rs1.into()), lanes.value(rs2.into())))),
+                Some((
+                    rd.into(),
+                    exec::fp_cmp(op, lanes.value(rs1.into()), lanes.value(rs2.into())),
+                )),
             ),
-            Inst::FpToInt { op, rd, rs1 } => {
-                (start + latency, Some((rd.into(), exec::fp_to_int(op, lanes.value(rs1.into())))))
-            }
-            Inst::IntToFp { op, rd, rs1 } => {
-                (start + latency, Some((rd.into(), exec::int_to_fp(op, v(rs1)))))
-            }
+            Inst::FpToInt { op, rd, rs1 } => (
+                start + latency,
+                Some((rd.into(), exec::fp_to_int(op, lanes.value(rs1.into())))),
+            ),
+            Inst::IntToFp { op, rd, rs1 } => (
+                start + latency,
+                Some((rd.into(), exec::int_to_fp(op, v(rs1)))),
+            ),
             // find_region filtered everything else out.
             other => {
                 return Err(SimError::InvalidSimtRegion {
@@ -486,8 +555,9 @@ impl RingSim {
         } else {
             let (want, forward) = match memlane.lookup(addr, size) {
                 LaneLookup::HitFast { store_time, .. } => (start.max(store_time), true),
-                LaneLookup::HitSlow { store_time, .. }
-                | LaneLookup::Conflict { store_time } => (start.max(store_time + 1), false),
+                LaneLookup::HitSlow { store_time, .. } | LaneLookup::Conflict { store_time } => {
+                    (start.max(store_time + 1), false)
+                }
                 LaneLookup::Miss => (start, false),
             };
             let line = addr & !63;

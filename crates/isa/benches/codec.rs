@@ -28,7 +28,10 @@ fn main() {
     // A representative mix of instruction words.
     let words: Vec<u32> = (0u32..65536)
         .filter_map(|i| {
-            let w = i.wrapping_mul(0x9E37_79B9).rotate_left(7).wrapping_add(0x13);
+            let w = i
+                .wrapping_mul(0x9E37_79B9)
+                .rotate_left(7)
+                .wrapping_add(0x13);
             decode(w).ok().map(|_| w)
         })
         .collect();
@@ -47,6 +50,14 @@ fn main() {
         }
     });
 
-    println!("isa_codec/decode: {:.1} ns/iter, {:.1} Melem/s", decode_ns, n / decode_ns * 1e3);
-    println!("isa_codec/encode: {:.1} ns/iter, {:.1} Melem/s", encode_ns, n / encode_ns * 1e3);
+    println!(
+        "isa_codec/decode: {:.1} ns/iter, {:.1} Melem/s",
+        decode_ns,
+        n / decode_ns * 1e3
+    );
+    println!(
+        "isa_codec/encode: {:.1} ns/iter, {:.1} Melem/s",
+        encode_ns,
+        n / encode_ns * 1e3
+    );
 }

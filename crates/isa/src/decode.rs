@@ -133,14 +133,27 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
     let err = Err(DecodeError { word });
     let opcode = word & 0x7F;
     let inst = match opcode {
-        opcodes::LUI => Inst::Lui { rd: rd(word), imm: imm_u(word) },
-        opcodes::AUIPC => Inst::Auipc { rd: rd(word), imm: imm_u(word) },
-        opcodes::JAL => Inst::Jal { rd: rd(word), offset: imm_j(word) },
+        opcodes::LUI => Inst::Lui {
+            rd: rd(word),
+            imm: imm_u(word),
+        },
+        opcodes::AUIPC => Inst::Auipc {
+            rd: rd(word),
+            imm: imm_u(word),
+        },
+        opcodes::JAL => Inst::Jal {
+            rd: rd(word),
+            offset: imm_j(word),
+        },
         opcodes::JALR => {
             if funct3(word) != 0 {
                 return err;
             }
-            Inst::Jalr { rd: rd(word), rs1: rs1(word), offset: imm_i(word) }
+            Inst::Jalr {
+                rd: rd(word),
+                rs1: rs1(word),
+                offset: imm_i(word),
+            }
         }
         opcodes::BRANCH => {
             let op = match funct3(word) {
@@ -152,7 +165,12 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
                 0b111 => BranchOp::Bgeu,
                 _ => return err,
             };
-            Inst::Branch { op, rs1: rs1(word), rs2: rs2(word), offset: imm_b(word) }
+            Inst::Branch {
+                op,
+                rs1: rs1(word),
+                rs2: rs2(word),
+                offset: imm_b(word),
+            }
         }
         opcodes::LOAD => {
             let op = match funct3(word) {
@@ -163,7 +181,12 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
                 0b101 => LoadOp::Lhu,
                 _ => return err,
             };
-            Inst::Load { op, rd: rd(word), rs1: rs1(word), offset: imm_i(word) }
+            Inst::Load {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                offset: imm_i(word),
+            }
         }
         opcodes::STORE => {
             let op = match funct3(word) {
@@ -172,7 +195,12 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
                 0b010 => StoreOp::Sw,
                 _ => return err,
             };
-            Inst::Store { op, rs1: rs1(word), rs2: rs2(word), offset: imm_s(word) }
+            Inst::Store {
+                op,
+                rs1: rs1(word),
+                rs2: rs2(word),
+                offset: imm_s(word),
+            }
         }
         opcodes::OP_IMM => {
             let imm = imm_i(word);
@@ -200,11 +228,21 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
                         0b0100000 => AluOp::Sra,
                         _ => return err,
                     };
-                    return Ok(Inst::OpImm { op, rd: rd(word), rs1: rs1(word), imm: imm & 0x1F });
+                    return Ok(Inst::OpImm {
+                        op,
+                        rd: rd(word),
+                        rs1: rs1(word),
+                        imm: imm & 0x1F,
+                    });
                 }
                 _ => unreachable!("funct3 is 3 bits"),
             };
-            Inst::OpImm { op, rd: rd(word), rs1: rs1(word), imm }
+            Inst::OpImm {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                imm,
+            }
         }
         opcodes::OP => {
             let op = match (funct7(word), funct3(word)) {
@@ -228,7 +266,12 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
                 (0b0000001, 0b111) => AluOp::Remu,
                 _ => return err,
             };
-            Inst::Op { op, rd: rd(word), rs1: rs1(word), rs2: rs2(word) }
+            Inst::Op {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                rs2: rs2(word),
+            }
         }
         opcodes::MISC_MEM => Inst::Fence,
         opcodes::SYSTEM => {
@@ -245,13 +288,21 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
             if funct3(word) != 0b010 {
                 return err;
             }
-            Inst::Flw { rd: frd(word), rs1: rs1(word), offset: imm_i(word) }
+            Inst::Flw {
+                rd: frd(word),
+                rs1: rs1(word),
+                offset: imm_i(word),
+            }
         }
         opcodes::STORE_FP => {
             if funct3(word) != 0b010 {
                 return err;
             }
-            Inst::Fsw { rs1: rs1(word), rs2: frs2(word), offset: imm_s(word) }
+            Inst::Fsw {
+                rs1: rs1(word),
+                rs2: frs2(word),
+                offset: imm_s(word),
+            }
         }
         opcodes::OP_FP => return decode_op_fp(word),
         opcodes::MADD | opcodes::MSUB | opcodes::NMSUB | opcodes::NMADD => {
@@ -265,7 +316,13 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
                 opcodes::NMSUB => FmaOp::NMSub,
                 _ => FmaOp::NMAdd,
             };
-            Inst::FpFma { op, rd: frd(word), rs1: frs1(word), rs2: frs2(word), rs3: frs3(word) }
+            Inst::FpFma {
+                op,
+                rd: frd(word),
+                rs1: frs1(word),
+                rs2: frs2(word),
+                rs3: frs3(word),
+            }
         }
         opcodes::CUSTOM_0 => match funct3(word) {
             0b000 => {
@@ -273,9 +330,18 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
                 if interval == 0 {
                     return err;
                 }
-                Inst::SimtS { rc: rd(word), r_step: rs1(word), r_end: rs2(word), interval }
+                Inst::SimtS {
+                    rc: rd(word),
+                    r_step: rs1(word),
+                    r_end: rs2(word),
+                    interval,
+                }
             }
-            0b001 => Inst::SimtE { rc: rd(word), r_end: rs1(word), l_offset: imm_i(word) },
+            0b001 => Inst::SimtE {
+                rc: rd(word),
+                r_end: rs1(word),
+                l_offset: imm_i(word),
+            },
             _ => return err,
         },
         _ => return err,
@@ -288,15 +354,40 @@ fn decode_op_fp(word: u32) -> Result<Inst, DecodeError> {
     let f7 = funct7(word);
     let f3 = funct3(word);
     let inst = match f7 {
-        0b0000000 => Inst::FpOp { op: FpOp::Add, rd: frd(word), rs1: frs1(word), rs2: frs2(word) },
-        0b0000100 => Inst::FpOp { op: FpOp::Sub, rd: frd(word), rs1: frs1(word), rs2: frs2(word) },
-        0b0001000 => Inst::FpOp { op: FpOp::Mul, rd: frd(word), rs1: frs1(word), rs2: frs2(word) },
-        0b0001100 => Inst::FpOp { op: FpOp::Div, rd: frd(word), rs1: frs1(word), rs2: frs2(word) },
+        0b0000000 => Inst::FpOp {
+            op: FpOp::Add,
+            rd: frd(word),
+            rs1: frs1(word),
+            rs2: frs2(word),
+        },
+        0b0000100 => Inst::FpOp {
+            op: FpOp::Sub,
+            rd: frd(word),
+            rs1: frs1(word),
+            rs2: frs2(word),
+        },
+        0b0001000 => Inst::FpOp {
+            op: FpOp::Mul,
+            rd: frd(word),
+            rs1: frs1(word),
+            rs2: frs2(word),
+        },
+        0b0001100 => Inst::FpOp {
+            op: FpOp::Div,
+            rd: frd(word),
+            rs1: frs1(word),
+            rs2: frs2(word),
+        },
         0b0101100 => {
             if (word >> 20) & 0x1F != 0 {
                 return err;
             }
-            Inst::FpOp { op: FpOp::Sqrt, rd: frd(word), rs1: frs1(word), rs2: FReg::new(0) }
+            Inst::FpOp {
+                op: FpOp::Sqrt,
+                rd: frd(word),
+                rs1: frs1(word),
+                rs2: FReg::new(0),
+            }
         }
         0b0010000 => {
             let op = match f3 {
@@ -305,7 +396,12 @@ fn decode_op_fp(word: u32) -> Result<Inst, DecodeError> {
                 0b010 => FpOp::SgnJX,
                 _ => return err,
             };
-            Inst::FpOp { op, rd: frd(word), rs1: frs1(word), rs2: frs2(word) }
+            Inst::FpOp {
+                op,
+                rd: frd(word),
+                rs1: frs1(word),
+                rs2: frs2(word),
+            }
         }
         0b0010100 => {
             let op = match f3 {
@@ -313,7 +409,12 @@ fn decode_op_fp(word: u32) -> Result<Inst, DecodeError> {
                 0b001 => FpOp::Max,
                 _ => return err,
             };
-            Inst::FpOp { op, rd: frd(word), rs1: frs1(word), rs2: frs2(word) }
+            Inst::FpOp {
+                op,
+                rd: frd(word),
+                rs1: frs1(word),
+                rs2: frs2(word),
+            }
         }
         0b1010000 => {
             let op = match f3 {
@@ -322,7 +423,12 @@ fn decode_op_fp(word: u32) -> Result<Inst, DecodeError> {
                 0b000 => FpCmpOp::Le,
                 _ => return err,
             };
-            Inst::FpCmp { op, rd: rd(word), rs1: frs1(word), rs2: frs2(word) }
+            Inst::FpCmp {
+                op,
+                rd: rd(word),
+                rs1: frs1(word),
+                rs2: frs2(word),
+            }
         }
         0b1100000 => {
             let op = match (word >> 20) & 0x1F {
@@ -330,7 +436,11 @@ fn decode_op_fp(word: u32) -> Result<Inst, DecodeError> {
                 0b00001 => FpToIntOp::CvtWu,
                 _ => return err,
             };
-            Inst::FpToInt { op, rd: rd(word), rs1: frs1(word) }
+            Inst::FpToInt {
+                op,
+                rd: rd(word),
+                rs1: frs1(word),
+            }
         }
         0b1110000 => {
             if (word >> 20) & 0x1F != 0 {
@@ -341,7 +451,11 @@ fn decode_op_fp(word: u32) -> Result<Inst, DecodeError> {
                 0b001 => FpToIntOp::Class,
                 _ => return err,
             };
-            Inst::FpToInt { op, rd: rd(word), rs1: frs1(word) }
+            Inst::FpToInt {
+                op,
+                rd: rd(word),
+                rs1: frs1(word),
+            }
         }
         0b1101000 => {
             let op = match (word >> 20) & 0x1F {
@@ -349,13 +463,21 @@ fn decode_op_fp(word: u32) -> Result<Inst, DecodeError> {
                 0b00001 => IntToFpOp::CvtWu,
                 _ => return err,
             };
-            Inst::IntToFp { op, rd: frd(word), rs1: rs1(word) }
+            Inst::IntToFp {
+                op,
+                rd: frd(word),
+                rs1: rs1(word),
+            }
         }
         0b1111000 => {
             if (word >> 20) & 0x1F != 0 || f3 != 0 {
                 return err;
             }
-            Inst::IntToFp { op: IntToFpOp::MvWX, rd: frd(word), rs1: rs1(word) }
+            Inst::IntToFp {
+                op: IntToFpOp::MvWX,
+                rd: frd(word),
+                rs1: rs1(word),
+            }
         }
         _ => return err,
     };
@@ -370,17 +492,40 @@ mod tests {
     #[test]
     fn immediate_extraction_signs() {
         // lw a0, -4(sp)
-        let w = encode(&Inst::Load { op: LoadOp::Lw, rd: Reg::A0, rs1: Reg::SP, offset: -4 });
-        assert_eq!(decode(w).unwrap(), Inst::Load { op: LoadOp::Lw, rd: Reg::A0, rs1: Reg::SP, offset: -4 });
+        let w = encode(&Inst::Load {
+            op: LoadOp::Lw,
+            rd: Reg::A0,
+            rs1: Reg::SP,
+            offset: -4,
+        });
+        assert_eq!(
+            decode(w).unwrap(),
+            Inst::Load {
+                op: LoadOp::Lw,
+                rd: Reg::A0,
+                rs1: Reg::SP,
+                offset: -4
+            }
+        );
         // sw with negative offset
-        let w = encode(&Inst::Store { op: StoreOp::Sw, rs1: Reg::SP, rs2: Reg::A0, offset: -2048 });
+        let w = encode(&Inst::Store {
+            op: StoreOp::Sw,
+            rs1: Reg::SP,
+            rs2: Reg::A0,
+            offset: -2048,
+        });
         match decode(w).unwrap() {
             Inst::Store { offset, .. } => assert_eq!(offset, -2048),
             other => panic!("wrong decode: {other:?}"),
         }
         // branch at extreme offsets
         for off in [-4096i32, -2, 2, 4094] {
-            let w = encode(&Inst::Branch { op: BranchOp::Bne, rs1: Reg::A0, rs2: Reg::A1, offset: off });
+            let w = encode(&Inst::Branch {
+                op: BranchOp::Bne,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+                offset: off,
+            });
             match decode(w).unwrap() {
                 Inst::Branch { offset, .. } => assert_eq!(offset, off, "offset {off}"),
                 other => panic!("wrong decode: {other:?}"),
@@ -388,7 +533,10 @@ mod tests {
         }
         // jal at extreme offsets
         for off in [-(1i32 << 20), -2, 2, (1 << 20) - 2] {
-            let w = encode(&Inst::Jal { rd: Reg::RA, offset: off });
+            let w = encode(&Inst::Jal {
+                rd: Reg::RA,
+                offset: off,
+            });
             match decode(w).unwrap() {
                 Inst::Jal { offset, .. } => assert_eq!(offset, off, "offset {off}"),
                 other => panic!("wrong decode: {other:?}"),
@@ -436,9 +584,18 @@ mod tests {
 
     #[test]
     fn simt_round_trip() {
-        let s = Inst::SimtS { rc: Reg::S1, r_step: Reg::S2, r_end: Reg::S3, interval: 127 };
+        let s = Inst::SimtS {
+            rc: Reg::S1,
+            r_step: Reg::S2,
+            r_end: Reg::S3,
+            interval: 127,
+        };
         assert_eq!(decode(encode(&s)).unwrap(), s);
-        let e = Inst::SimtE { rc: Reg::S1, r_end: Reg::S3, l_offset: -2048 };
+        let e = Inst::SimtE {
+            rc: Reg::S1,
+            r_end: Reg::S3,
+            l_offset: -2048,
+        };
         assert_eq!(decode(encode(&e)).unwrap(), e);
     }
 }

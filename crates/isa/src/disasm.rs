@@ -84,14 +84,38 @@ impl fmt::Display for Inst {
             Inst::Auipc { rd, imm } => write!(f, "auipc {rd}, {:#x}", (imm as u32) >> 12),
             Inst::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
             Inst::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
-            Inst::Branch { op, rs1, rs2, offset } => {
+            Inst::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 write!(f, "{} {rs1}, {rs2}, {offset}", branch_mnemonic(op))
             }
-            Inst::Load { op, rd, rs1, offset } => {
+            Inst::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
                 write!(f, "{} {rd}, {offset}({rs1})", load_mnemonic(op))
             }
-            Inst::Store { op, rs1, rs2, offset } => {
+            Inst::Store {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 write!(f, "{} {rs2}, {offset}({rs1})", store_mnemonic(op))
+            }
+            // RISC-V spells this one `sltiu`, not `sltui`.
+            Inst::OpImm {
+                op: AluOp::Sltu,
+                rd,
+                rs1,
+                imm,
+            } => {
+                write!(f, "sltiu {rd}, {rs1}, {imm}")
             }
             Inst::OpImm { op, rd, rs1, imm } => {
                 write!(f, "{}i {rd}, {rs1}, {imm}", alu_mnemonic(op))
@@ -104,11 +128,22 @@ impl fmt::Display for Inst {
             Inst::Ebreak => write!(f, "ebreak"),
             Inst::Flw { rd, rs1, offset } => write!(f, "flw {rd}, {offset}({rs1})"),
             Inst::Fsw { rs1, rs2, offset } => write!(f, "fsw {rs2}, {offset}({rs1})"),
-            Inst::FpOp { op: FpOp::Sqrt, rd, rs1, .. } => write!(f, "fsqrt.s {rd}, {rs1}"),
+            Inst::FpOp {
+                op: FpOp::Sqrt,
+                rd,
+                rs1,
+                ..
+            } => write!(f, "fsqrt.s {rd}, {rs1}"),
             Inst::FpOp { op, rd, rs1, rs2 } => {
                 write!(f, "{} {rd}, {rs1}, {rs2}", fp_mnemonic(op))
             }
-            Inst::FpFma { op, rd, rs1, rs2, rs3 } => {
+            Inst::FpFma {
+                op,
+                rd,
+                rs1,
+                rs2,
+                rs3,
+            } => {
                 let m = match op {
                     FmaOp::MAdd => "fmadd.s",
                     FmaOp::MSub => "fmsub.s",
@@ -142,10 +177,19 @@ impl fmt::Display for Inst {
                 };
                 write!(f, "{m} {rd}, {rs1}")
             }
-            Inst::SimtS { rc, r_step, r_end, interval } => {
+            Inst::SimtS {
+                rc,
+                r_step,
+                r_end,
+                interval,
+            } => {
                 write!(f, "simt_s {rc}, {r_step}, {r_end}, {interval}")
             }
-            Inst::SimtE { rc, r_end, l_offset } => {
+            Inst::SimtE {
+                rc,
+                r_end,
+                l_offset,
+            } => {
                 write!(f, "simt_e {rc}, {r_end}, {l_offset}")
             }
         }
@@ -160,35 +204,117 @@ mod tests {
     #[test]
     fn formats_are_assembler_compatible() {
         let cases: Vec<(Inst, &str)> = vec![
-            (Inst::Lui { rd: Reg::A0, imm: 0x12345 << 12 }, "lui a0, 0x12345"),
-            (Inst::Jal { rd: Reg::RA, offset: -8 }, "jal ra, -8"),
-            (Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }, "jalr zero, 0(ra)"),
             (
-                Inst::Branch { op: BranchOp::Bne, rs1: Reg::T0, rs2: Reg::T1, offset: 12 },
+                Inst::Lui {
+                    rd: Reg::A0,
+                    imm: 0x12345 << 12,
+                },
+                "lui a0, 0x12345",
+            ),
+            (
+                Inst::Jal {
+                    rd: Reg::RA,
+                    offset: -8,
+                },
+                "jal ra, -8",
+            ),
+            (
+                Inst::Jalr {
+                    rd: Reg::ZERO,
+                    rs1: Reg::RA,
+                    offset: 0,
+                },
+                "jalr zero, 0(ra)",
+            ),
+            (
+                Inst::Branch {
+                    op: BranchOp::Bne,
+                    rs1: Reg::T0,
+                    rs2: Reg::T1,
+                    offset: 12,
+                },
                 "bne t0, t1, 12",
             ),
-            (Inst::Load { op: LoadOp::Lw, rd: Reg::A0, rs1: Reg::SP, offset: -4 }, "lw a0, -4(sp)"),
             (
-                Inst::Store { op: StoreOp::Sw, rs1: Reg::SP, rs2: Reg::A0, offset: 8 },
+                Inst::Load {
+                    op: LoadOp::Lw,
+                    rd: Reg::A0,
+                    rs1: Reg::SP,
+                    offset: -4,
+                },
+                "lw a0, -4(sp)",
+            ),
+            (
+                Inst::Store {
+                    op: StoreOp::Sw,
+                    rs1: Reg::SP,
+                    rs2: Reg::A0,
+                    offset: 8,
+                },
                 "sw a0, 8(sp)",
             ),
-            (Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 1 }, "addi a0, a0, 1"),
-            (Inst::Op { op: AluOp::Mul, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }, "mul a0, a1, a2"),
-            (Inst::Ecall, "ecall"),
-            (Inst::Flw { rd: FReg::new(0), rs1: Reg::A0, offset: 0 }, "flw ft0, 0(a0)"),
             (
-                Inst::FpOp { op: FpOp::Add, rd: FReg::new(0), rs1: FReg::new(1), rs2: FReg::new(2) },
+                Inst::OpImm {
+                    op: AluOp::Add,
+                    rd: Reg::A0,
+                    rs1: Reg::A0,
+                    imm: 1,
+                },
+                "addi a0, a0, 1",
+            ),
+            (
+                Inst::Op {
+                    op: AluOp::Mul,
+                    rd: Reg::A0,
+                    rs1: Reg::A1,
+                    rs2: Reg::A2,
+                },
+                "mul a0, a1, a2",
+            ),
+            (Inst::Ecall, "ecall"),
+            (
+                Inst::Flw {
+                    rd: FReg::new(0),
+                    rs1: Reg::A0,
+                    offset: 0,
+                },
+                "flw ft0, 0(a0)",
+            ),
+            (
+                Inst::FpOp {
+                    op: FpOp::Add,
+                    rd: FReg::new(0),
+                    rs1: FReg::new(1),
+                    rs2: FReg::new(2),
+                },
                 "fadd.s ft0, ft1, ft2",
             ),
             (
-                Inst::FpOp { op: FpOp::Sqrt, rd: FReg::new(0), rs1: FReg::new(1), rs2: FReg::new(0) },
+                Inst::FpOp {
+                    op: FpOp::Sqrt,
+                    rd: FReg::new(0),
+                    rs1: FReg::new(1),
+                    rs2: FReg::new(0),
+                },
                 "fsqrt.s ft0, ft1",
             ),
             (
-                Inst::SimtS { rc: Reg::T0, r_step: Reg::T1, r_end: Reg::T2, interval: 2 },
+                Inst::SimtS {
+                    rc: Reg::T0,
+                    r_step: Reg::T1,
+                    r_end: Reg::T2,
+                    interval: 2,
+                },
                 "simt_s t0, t1, t2, 2",
             ),
-            (Inst::SimtE { rc: Reg::T0, r_end: Reg::T2, l_offset: -64 }, "simt_e t0, t2, -64"),
+            (
+                Inst::SimtE {
+                    rc: Reg::T0,
+                    r_end: Reg::T2,
+                    l_offset: -64,
+                },
+                "simt_e t0, t2, -64",
+            ),
         ];
         for (inst, text) in cases {
             assert_eq!(inst.to_string(), text);

@@ -7,7 +7,9 @@
 //! interval carried in `funct7`; `simt_e` is I-type with `funct3 = 1` and
 //! the loop offset carried in the 12-bit immediate.
 
-use crate::inst::{AluOp, BranchOp, FmaOp, FpCmpOp, FpOp, FpToIntOp, Inst, IntToFpOp, LoadOp, StoreOp};
+use crate::inst::{
+    AluOp, BranchOp, FmaOp, FpCmpOp, FpOp, FpToIntOp, Inst, IntToFpOp, LoadOp, StoreOp,
+};
 use crate::reg::{FReg, Reg};
 
 pub(crate) mod opcodes {
@@ -42,12 +44,18 @@ fn r_type(opcode: u32, rd: u32, funct3: u32, rs1: u32, rs2: u32, funct7: u32) ->
 }
 
 fn i_type(opcode: u32, rd: u32, funct3: u32, rs1: u32, imm: i32) -> u32 {
-    debug_assert!((-2048..=2047).contains(&imm), "I-type immediate out of range: {imm}");
+    debug_assert!(
+        (-2048..=2047).contains(&imm),
+        "I-type immediate out of range: {imm}"
+    );
     opcode | (rd << 7) | (funct3 << 12) | (rs1 << 15) | (((imm as u32) & 0xFFF) << 20)
 }
 
 fn s_type(opcode: u32, funct3: u32, rs1: u32, rs2: u32, imm: i32) -> u32 {
-    debug_assert!((-2048..=2047).contains(&imm), "S-type immediate out of range: {imm}");
+    debug_assert!(
+        (-2048..=2047).contains(&imm),
+        "S-type immediate out of range: {imm}"
+    );
     let imm = imm as u32;
     opcode
         | ((imm & 0x1F) << 7)
@@ -74,7 +82,10 @@ fn b_type(opcode: u32, funct3: u32, rs1: u32, rs2: u32, imm: i32) -> u32 {
 }
 
 fn u_type(opcode: u32, rd: u32, imm: i32) -> u32 {
-    debug_assert!(imm & 0xFFF == 0, "U-type immediate has nonzero low bits: {imm:#x}");
+    debug_assert!(
+        imm & 0xFFF == 0,
+        "U-type immediate has nonzero low bits: {imm:#x}"
+    );
     opcode | (rd << 7) | (imm as u32 & 0xFFFF_F000)
 }
 
@@ -183,15 +194,24 @@ pub fn encode(inst: &Inst) -> u32 {
         Inst::Auipc { rd, imm } => u_type(AUIPC, xr(rd), imm),
         Inst::Jal { rd, offset } => j_type(JAL, xr(rd), offset),
         Inst::Jalr { rd, rs1, offset } => i_type(JALR, xr(rd), 0b000, xr(rs1), offset),
-        Inst::Branch { op, rs1, rs2, offset } => {
-            b_type(BRANCH, branch_funct3(op), xr(rs1), xr(rs2), offset)
-        }
-        Inst::Load { op, rd, rs1, offset } => {
-            i_type(LOAD, xr(rd), load_funct3(op), xr(rs1), offset)
-        }
-        Inst::Store { op, rs1, rs2, offset } => {
-            s_type(STORE, store_funct3(op), xr(rs1), xr(rs2), offset)
-        }
+        Inst::Branch {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => b_type(BRANCH, branch_funct3(op), xr(rs1), xr(rs2), offset),
+        Inst::Load {
+            op,
+            rd,
+            rs1,
+            offset,
+        } => i_type(LOAD, xr(rd), load_funct3(op), xr(rs1), offset),
+        Inst::Store {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => s_type(STORE, store_funct3(op), xr(rs1), xr(rs2), offset),
         Inst::OpImm { op, rd, rs1, imm } => {
             debug_assert!(op.has_imm_form(), "{op:?} has no OP-IMM form");
             let (funct3, funct7) = op_functs(op);
@@ -227,7 +247,13 @@ pub fn encode(inst: &Inst) -> u32 {
             };
             r_type(OP_FP, fr(rd), funct3, fr(rs1), rs2_field, funct7)
         }
-        Inst::FpFma { op, rd, rs1, rs2, rs3 } => {
+        Inst::FpFma {
+            op,
+            rd,
+            rs1,
+            rs2,
+            rs3,
+        } => {
             let opcode = match op {
                 FmaOp::MAdd => MADD,
                 FmaOp::MSub => MSUB,
@@ -255,16 +281,30 @@ pub fn encode(inst: &Inst) -> u32 {
             IntToFpOp::CvtWu => r_type(OP_FP, fr(rd), RM_DYN, xr(rs1), 0b00001, 0b1101000),
             IntToFpOp::MvWX => r_type(OP_FP, fr(rd), 0b000, xr(rs1), 0b00000, 0b1111000),
         },
-        Inst::SimtS { rc, r_step, r_end, interval } => {
+        Inst::SimtS {
+            rc,
+            r_step,
+            r_end,
+            interval,
+        } => {
             debug_assert!(
                 (1..=127).contains(&interval),
                 "simt_s interval out of range: {interval}"
             );
-            r_type(CUSTOM_0, xr(rc), 0b000, xr(r_step), xr(r_end), interval as u32)
+            r_type(
+                CUSTOM_0,
+                xr(rc),
+                0b000,
+                xr(r_step),
+                xr(r_end),
+                interval as u32,
+            )
         }
-        Inst::SimtE { rc, r_end, l_offset } => {
-            i_type(CUSTOM_0, xr(rc), 0b001, xr(r_end), l_offset)
-        }
+        Inst::SimtE {
+            rc,
+            r_end,
+            l_offset,
+        } => i_type(CUSTOM_0, xr(rc), 0b001, xr(r_end), l_offset),
     }
 }
 
@@ -277,36 +317,78 @@ mod tests {
         // Cross-checked against the RISC-V spec / GNU assembler output.
         // addi a0, a1, 1  -> 0x00158513
         assert_eq!(
-            encode(&Inst::OpImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, imm: 1 }),
+            encode(&Inst::OpImm {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                imm: 1
+            }),
             0x0015_8513
         );
         // add a0, a1, a2 -> 0x00C58533
         assert_eq!(
-            encode(&Inst::Op { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }),
+            encode(&Inst::Op {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2
+            }),
             0x00C5_8533
         );
         // sub a0, a1, a2 -> 0x40C58533
         assert_eq!(
-            encode(&Inst::Op { op: AluOp::Sub, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }),
+            encode(&Inst::Op {
+                op: AluOp::Sub,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2
+            }),
             0x40C5_8533
         );
         // lw a0, 8(sp) -> 0x00812503
         assert_eq!(
-            encode(&Inst::Load { op: LoadOp::Lw, rd: Reg::A0, rs1: Reg::SP, offset: 8 }),
+            encode(&Inst::Load {
+                op: LoadOp::Lw,
+                rd: Reg::A0,
+                rs1: Reg::SP,
+                offset: 8
+            }),
             0x0081_2503
         );
         // sw a0, 8(sp) -> 0x00A12423
         assert_eq!(
-            encode(&Inst::Store { op: StoreOp::Sw, rs1: Reg::SP, rs2: Reg::A0, offset: 8 }),
+            encode(&Inst::Store {
+                op: StoreOp::Sw,
+                rs1: Reg::SP,
+                rs2: Reg::A0,
+                offset: 8
+            }),
             0x00A1_2423
         );
         // lui a0, 0x12345 -> 0x12345537
-        assert_eq!(encode(&Inst::Lui { rd: Reg::A0, imm: 0x12345 << 12 }), 0x1234_5537);
+        assert_eq!(
+            encode(&Inst::Lui {
+                rd: Reg::A0,
+                imm: 0x12345 << 12
+            }),
+            0x1234_5537
+        );
         // jal ra, 16 -> 0x010000EF
-        assert_eq!(encode(&Inst::Jal { rd: Reg::RA, offset: 16 }), 0x0100_00EF);
+        assert_eq!(
+            encode(&Inst::Jal {
+                rd: Reg::RA,
+                offset: 16
+            }),
+            0x0100_00EF
+        );
         // beq a0, a1, -4 -> 0xFEB50EE3
         assert_eq!(
-            encode(&Inst::Branch { op: BranchOp::Beq, rs1: Reg::A0, rs2: Reg::A1, offset: -4 }),
+            encode(&Inst::Branch {
+                op: BranchOp::Beq,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+                offset: -4
+            }),
             0xFEB5_0EE3
         );
         // ecall -> 0x00000073
@@ -315,12 +397,22 @@ mod tests {
         assert_eq!(encode(&Inst::Ebreak), 0x0010_0073);
         // mul a0, a1, a2 -> 0x02C58533
         assert_eq!(
-            encode(&Inst::Op { op: AluOp::Mul, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }),
+            encode(&Inst::Op {
+                op: AluOp::Mul,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2
+            }),
             0x02C5_8533
         );
         // srai a0, a1, 3 -> 0x4035D513
         assert_eq!(
-            encode(&Inst::OpImm { op: AluOp::Sra, rd: Reg::A0, rs1: Reg::A1, imm: 3 }),
+            encode(&Inst::OpImm {
+                op: AluOp::Sra,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                imm: 3
+            }),
             0x4035_D513
         );
     }
@@ -340,7 +432,11 @@ mod tests {
         );
         // flw fa0, 0(a0) -> 0x00052507
         assert_eq!(
-            encode(&Inst::Flw { rd: FReg::new(10), rs1: Reg::A0, offset: 0 }),
+            encode(&Inst::Flw {
+                rd: FReg::new(10),
+                rs1: Reg::A0,
+                offset: 0
+            }),
             0x0005_2507
         );
         // fmadd.s fa0, fa1, fa2, fa3 (rm=dyn) -> 0x68C5F543
@@ -364,9 +460,18 @@ mod tests {
 
     #[test]
     fn custom0_opcode_used_for_simt() {
-        let s = encode(&Inst::SimtS { rc: Reg::T0, r_step: Reg::T1, r_end: Reg::T2, interval: 4 });
+        let s = encode(&Inst::SimtS {
+            rc: Reg::T0,
+            r_step: Reg::T1,
+            r_end: Reg::T2,
+            interval: 4,
+        });
         assert_eq!(s & 0x7F, opcodes::CUSTOM_0);
-        let e = encode(&Inst::SimtE { rc: Reg::T0, r_end: Reg::T2, l_offset: -128 });
+        let e = encode(&Inst::SimtE {
+            rc: Reg::T0,
+            r_end: Reg::T2,
+            l_offset: -128,
+        });
         assert_eq!(e & 0x7F, opcodes::CUSTOM_0);
         assert_ne!((s >> 12) & 0x7, (e >> 12) & 0x7);
     }
@@ -387,6 +492,11 @@ mod tests {
     #[should_panic(expected = "no OP-IMM form")]
     #[cfg(debug_assertions)]
     fn sub_imm_rejected() {
-        let _ = encode(&Inst::OpImm { op: AluOp::Sub, rd: Reg::A0, rs1: Reg::A1, imm: 1 });
+        let _ = encode(&Inst::OpImm {
+            op: AluOp::Sub,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            imm: 1,
+        });
     }
 }

@@ -373,8 +373,14 @@ mod tests {
         assert_eq!(fp_op(FpOp::Min, nan, one), one);
         assert_eq!(fp_op(FpOp::Max, one, nan), one);
         assert_eq!(fp_op(FpOp::Min, nan, nan), CANONICAL_NAN);
-        assert_eq!(f32::from_bits(fp_op(FpOp::Min, 1.0f32.to_bits(), 2.0f32.to_bits())), 1.0);
-        assert_eq!(f32::from_bits(fp_op(FpOp::Max, 1.0f32.to_bits(), 2.0f32.to_bits())), 2.0);
+        assert_eq!(
+            f32::from_bits(fp_op(FpOp::Min, 1.0f32.to_bits(), 2.0f32.to_bits())),
+            1.0
+        );
+        assert_eq!(
+            f32::from_bits(fp_op(FpOp::Max, 1.0f32.to_bits(), 2.0f32.to_bits())),
+            2.0
+        );
     }
 
     #[test]
@@ -403,14 +409,29 @@ mod tests {
 
     #[test]
     fn conversions_saturate() {
-        assert_eq!(fp_to_int(FpToIntOp::CvtW, 1e20f32.to_bits()), i32::MAX as u32);
-        assert_eq!(fp_to_int(FpToIntOp::CvtW, (-1e20f32).to_bits()), i32::MIN as u32);
+        assert_eq!(
+            fp_to_int(FpToIntOp::CvtW, 1e20f32.to_bits()),
+            i32::MAX as u32
+        );
+        assert_eq!(
+            fp_to_int(FpToIntOp::CvtW, (-1e20f32).to_bits()),
+            i32::MIN as u32
+        );
         assert_eq!(fp_to_int(FpToIntOp::CvtW, CANONICAL_NAN), i32::MAX as u32);
         assert_eq!(fp_to_int(FpToIntOp::CvtWu, (-3.0f32).to_bits()), 0);
-        assert_eq!(fp_to_int(FpToIntOp::CvtW, (-2.7f32).to_bits()), (-2i32) as u32);
+        assert_eq!(
+            fp_to_int(FpToIntOp::CvtW, (-2.7f32).to_bits()),
+            (-2i32) as u32
+        );
         assert_eq!(fp_to_int(FpToIntOp::CvtW, 2.7f32.to_bits()), 2);
-        assert_eq!(int_to_fp(IntToFpOp::CvtW, (-7i32) as u32), (-7.0f32).to_bits());
-        assert_eq!(int_to_fp(IntToFpOp::CvtWu, u32::MAX), (u32::MAX as f32).to_bits());
+        assert_eq!(
+            int_to_fp(IntToFpOp::CvtW, (-7i32) as u32),
+            (-7.0f32).to_bits()
+        );
+        assert_eq!(
+            int_to_fp(IntToFpOp::CvtWu, u32::MAX),
+            (u32::MAX as f32).to_bits()
+        );
     }
 
     #[test]
@@ -421,7 +442,10 @@ mod tests {
 
     #[test]
     fn fclass_masks() {
-        assert_eq!(fp_to_int(FpToIntOp::Class, f32::NEG_INFINITY.to_bits()), 1 << 0);
+        assert_eq!(
+            fp_to_int(FpToIntOp::Class, f32::NEG_INFINITY.to_bits()),
+            1 << 0
+        );
         assert_eq!(fp_to_int(FpToIntOp::Class, (-1.5f32).to_bits()), 1 << 1);
         assert_eq!(fp_to_int(FpToIntOp::Class, 0x8000_0001), 1 << 2); // -subnormal
         assert_eq!(fp_to_int(FpToIntOp::Class, 0x8000_0000), 1 << 3); // -0

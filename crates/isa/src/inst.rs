@@ -560,8 +560,12 @@ impl Inst {
     pub fn sources(&self) -> SourceSet {
         let mut set = SourceSet::default();
         match *self {
-            Inst::Lui { .. } | Inst::Auipc { .. } | Inst::Jal { .. } | Inst::Fence
-            | Inst::Ecall | Inst::Ebreak => {}
+            Inst::Lui { .. }
+            | Inst::Auipc { .. }
+            | Inst::Jal { .. }
+            | Inst::Fence
+            | Inst::Ecall
+            | Inst::Ebreak => {}
             Inst::Jalr { rs1, .. } => set.push(rs1.into()),
             Inst::Branch { rs1, rs2, .. } => {
                 set.push(rs1.into());
@@ -599,7 +603,9 @@ impl Inst {
             }
             Inst::FpToInt { rs1, .. } => set.push(rs1.into()),
             Inst::IntToFp { rs1, .. } => set.push(rs1.into()),
-            Inst::SimtS { rc, r_step, r_end, .. } => {
+            Inst::SimtS {
+                rc, r_step, r_end, ..
+            } => {
                 set.push(rc.into());
                 set.push(r_step.into());
                 set.push(r_end.into());
@@ -626,7 +632,9 @@ impl Inst {
             | Inst::Op { rd, .. }
             | Inst::FpCmp { rd, .. }
             | Inst::FpToInt { rd, .. } => rd.into(),
-            Inst::Flw { rd, .. } | Inst::FpOp { rd, .. } | Inst::FpFma { rd, .. }
+            Inst::Flw { rd, .. }
+            | Inst::FpOp { rd, .. }
+            | Inst::FpFma { rd, .. }
             | Inst::IntToFp { rd, .. } => rd.into(),
             Inst::SimtS { rc, .. } => rc.into(),
             _ => return None,
@@ -660,6 +668,98 @@ impl Inst {
     }
 }
 
+/// Static control-flow classification of an instruction.
+///
+/// This is the single classification shared by everything that walks a
+/// program statically — CFG recovery in `diag-analyze`, assembler target
+/// validation, and the machines' fetch redirect logic — so that "what can
+/// this instruction do to the PC" is answered in exactly one place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlFlow {
+    /// Falls through to the next sequential instruction.
+    Next,
+    /// Conditional branch: falls through or transfers to `pc + offset`.
+    Branch {
+        /// Signed byte offset from the branch's own address.
+        offset: i32,
+    },
+    /// Unconditional direct jump (`jal`) to `pc + offset`. `link` is true
+    /// when a return address is written (a call).
+    Jump {
+        /// Signed byte offset from the jump's own address.
+        offset: i32,
+        /// Whether a return address is written (rd != x0).
+        link: bool,
+    },
+    /// Indirect jump through a register (`jalr`): the target is not
+    /// statically known. `link` is true for indirect calls.
+    Indirect {
+        /// Whether a return address is written (rd != x0).
+        link: bool,
+    },
+    /// Halts the hardware thread (`ecall` in this bare-metal workspace).
+    Halt,
+    /// Trap (`ebreak`): vectors to the trap handler when one is configured,
+    /// otherwise halts.
+    Trap,
+    /// `simt_e`: falls through when the pipelined region terminates, or
+    /// transfers back to `pc + l_offset + 4` (the instruction after the
+    /// paired `simt_s`) for the next loop instance.
+    SimtLoop {
+        /// Signed byte offset back to the paired `simt_s` (negative).
+        l_offset: i32,
+    },
+}
+
+impl Inst {
+    /// Classifies what this instruction can do to the program counter.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use diag_isa::{ControlFlow, Inst, Reg};
+    ///
+    /// let j = Inst::Jal { rd: Reg::ZERO, offset: -8 };
+    /// assert_eq!(j.control_flow(), ControlFlow::Jump { offset: -8, link: false });
+    /// assert_eq!(Inst::NOP.control_flow(), ControlFlow::Next);
+    /// ```
+    pub fn control_flow(&self) -> ControlFlow {
+        match *self {
+            Inst::Branch { offset, .. } => ControlFlow::Branch { offset },
+            Inst::Jal { rd, offset } => ControlFlow::Jump {
+                offset,
+                link: !rd.is_zero(),
+            },
+            Inst::Jalr { rd, .. } => ControlFlow::Indirect {
+                link: !rd.is_zero(),
+            },
+            Inst::Ecall => ControlFlow::Halt,
+            Inst::Ebreak => ControlFlow::Trap,
+            Inst::SimtE { l_offset, .. } => ControlFlow::SimtLoop { l_offset },
+            _ => ControlFlow::Next,
+        }
+    }
+
+    /// Successor addresses that are statically knowable for an instruction
+    /// at `pc`: `(fall_through, taken_target)`. An unconditional jump has no
+    /// fall-through; an indirect jump or halt has neither.
+    pub fn static_successors(&self, pc: u32) -> (Option<u32>, Option<u32>) {
+        let next = pc.wrapping_add(4);
+        match self.control_flow() {
+            ControlFlow::Next => (Some(next), None),
+            ControlFlow::Branch { offset } => (Some(next), Some(pc.wrapping_add(offset as u32))),
+            ControlFlow::Jump { offset, .. } => (None, Some(pc.wrapping_add(offset as u32))),
+            // `ebreak` either halts or vectors to a configured trap handler;
+            // neither continuation is knowable from the instruction alone.
+            ControlFlow::Indirect { .. } | ControlFlow::Halt | ControlFlow::Trap => (None, None),
+            ControlFlow::SimtLoop { l_offset } => (
+                Some(next),
+                Some(pc.wrapping_add(l_offset as u32).wrapping_add(4)),
+            ),
+        }
+    }
+}
+
 /// A small fixed-capacity set of source lanes (an instruction reads at most
 /// three registers — FMA).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -686,7 +786,10 @@ impl SourceSet {
 
     /// Iterates over the source lanes.
     pub fn iter(&self) -> impl Iterator<Item = ArchReg> + '_ {
-        self.regs.iter().take(self.len as usize).map(|r| r.expect("within len"))
+        self.regs
+            .iter()
+            .take(self.len as usize)
+            .map(|r| r.expect("within len"))
     }
 }
 
@@ -713,15 +816,28 @@ mod tests {
 
     #[test]
     fn x0_dest_is_none() {
-        let i = Inst::Op { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::A0, rs2: Reg::A1 };
+        let i = Inst::Op {
+            op: AluOp::Add,
+            rd: Reg::ZERO,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+        };
         assert_eq!(i.dest(), None);
-        let j = Inst::Jal { rd: Reg::ZERO, offset: -8 };
+        let j = Inst::Jal {
+            rd: Reg::ZERO,
+            offset: -8,
+        };
         assert_eq!(j.dest(), None);
     }
 
     #[test]
     fn fp_dest_maps_to_fp_lane() {
-        let i = Inst::FpOp { op: FpOp::Add, rd: FReg::new(2), rs1: FReg::new(0), rs2: FReg::new(1) };
+        let i = Inst::FpOp {
+            op: FpOp::Add,
+            rd: FReg::new(2),
+            rs1: FReg::new(0),
+            rs2: FReg::new(1),
+        };
         let d = i.dest().unwrap();
         assert!(d.is_fp());
         assert_eq!(d.index(), 34);
@@ -729,9 +845,24 @@ mod tests {
 
     #[test]
     fn sources_counts() {
-        assert_eq!(Inst::Lui { rd: Reg::A0, imm: 0x1000 }.sources().len(), 0);
         assert_eq!(
-            Inst::Op { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }.sources().len(),
+            Inst::Lui {
+                rd: Reg::A0,
+                imm: 0x1000
+            }
+            .sources()
+            .len(),
+            0
+        );
+        assert_eq!(
+            Inst::Op {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2
+            }
+            .sources()
+            .len(),
             2
         );
         let fma = Inst::FpFma {
@@ -748,49 +879,99 @@ mod tests {
 
     #[test]
     fn sqrt_reads_one_source() {
-        let i = Inst::FpOp { op: FpOp::Sqrt, rd: FReg::new(1), rs1: FReg::new(2), rs2: FReg::new(0) };
+        let i = Inst::FpOp {
+            op: FpOp::Sqrt,
+            rd: FReg::new(1),
+            rs1: FReg::new(2),
+            rs2: FReg::new(0),
+        };
         assert_eq!(i.sources().len(), 1);
     }
 
     #[test]
     fn fu_kind_classification() {
         assert_eq!(
-            Inst::Op { op: AluOp::Mul, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }.fu_kind(),
+            Inst::Op {
+                op: AluOp::Mul,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2
+            }
+            .fu_kind(),
             FuKind::IntMul
         );
         assert_eq!(
-            Inst::Op { op: AluOp::Rem, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }.fu_kind(),
+            Inst::Op {
+                op: AluOp::Rem,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2
+            }
+            .fu_kind(),
             FuKind::IntDiv
         );
         assert_eq!(
-            Inst::FpOp { op: FpOp::Div, rd: FReg::new(0), rs1: FReg::new(1), rs2: FReg::new(2) }
-                .fu_kind(),
+            Inst::FpOp {
+                op: FpOp::Div,
+                rd: FReg::new(0),
+                rs1: FReg::new(1),
+                rs2: FReg::new(2)
+            }
+            .fu_kind(),
             FuKind::FpDiv
         );
         assert_eq!(
-            Inst::Flw { rd: FReg::new(0), rs1: Reg::A0, offset: 0 }.fu_kind(),
+            Inst::Flw {
+                rd: FReg::new(0),
+                rs1: Reg::A0,
+                offset: 0
+            }
+            .fu_kind(),
             FuKind::Mem
         );
     }
 
     #[test]
     fn static_targets() {
-        let b = Inst::Branch { op: BranchOp::Bne, rs1: Reg::A0, rs2: Reg::A1, offset: -16 };
+        let b = Inst::Branch {
+            op: BranchOp::Bne,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            offset: -16,
+        };
         assert_eq!(b.static_target(0x100), Some(0xF0));
         assert!(b.is_backward_branch());
-        let j = Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 };
+        let j = Inst::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            offset: 0,
+        };
         assert_eq!(j.static_target(0x100), None);
     }
 
     #[test]
     fn mem_classification() {
-        let l = Inst::Load { op: LoadOp::Lw, rd: Reg::A0, rs1: Reg::SP, offset: 4 };
+        let l = Inst::Load {
+            op: LoadOp::Lw,
+            rd: Reg::A0,
+            rs1: Reg::SP,
+            offset: 4,
+        };
         assert!(l.is_load() && l.is_mem() && !l.is_store());
         assert_eq!(l.mem_size(), Some(4));
-        let s = Inst::Store { op: StoreOp::Sb, rs1: Reg::SP, rs2: Reg::A0, offset: 0 };
+        let s = Inst::Store {
+            op: StoreOp::Sb,
+            rs1: Reg::SP,
+            rs2: Reg::A0,
+            offset: 0,
+        };
         assert!(s.is_store() && s.is_mem() && !s.is_load());
         assert_eq!(s.mem_size(), Some(1));
-        let f = Inst::Fsw { rs1: Reg::SP, rs2: FReg::new(1), offset: 8 };
+        let f = Inst::Fsw {
+            rs1: Reg::SP,
+            rs2: FReg::new(1),
+            offset: 8,
+        };
         assert_eq!(f.mem_size(), Some(4));
     }
 
@@ -798,19 +979,95 @@ mod tests {
     fn uses_fpu_excludes_fp_memory_ops() {
         // FP loads/stores use the memory port, not the FPU datapath, and are
         // not FPU activations for clock-gating purposes.
-        assert!(!Inst::Flw { rd: FReg::new(0), rs1: Reg::A0, offset: 0 }.uses_fpu());
-        assert!(Inst::FpOp { op: FpOp::Add, rd: FReg::new(0), rs1: FReg::new(1), rs2: FReg::new(2) }
-            .uses_fpu());
+        assert!(!Inst::Flw {
+            rd: FReg::new(0),
+            rs1: Reg::A0,
+            offset: 0
+        }
+        .uses_fpu());
+        assert!(Inst::FpOp {
+            op: FpOp::Add,
+            rd: FReg::new(0),
+            rs1: FReg::new(1),
+            rs2: FReg::new(2)
+        }
+        .uses_fpu());
     }
 
     #[test]
     fn simt_markers_have_sources() {
-        let s = Inst::SimtS { rc: Reg::T0, r_step: Reg::T1, r_end: Reg::T2, interval: 1 };
+        let s = Inst::SimtS {
+            rc: Reg::T0,
+            r_step: Reg::T1,
+            r_end: Reg::T2,
+            interval: 1,
+        };
         assert_eq!(s.sources().len(), 3);
         assert_eq!(s.dest(), Some(ArchReg::from(Reg::T0)));
-        let e = Inst::SimtE { rc: Reg::T0, r_end: Reg::T2, l_offset: -64 };
+        let e = Inst::SimtE {
+            rc: Reg::T0,
+            r_end: Reg::T2,
+            l_offset: -64,
+        };
         assert_eq!(e.sources().len(), 2);
         assert_eq!(e.dest(), None);
+    }
+
+    #[test]
+    fn control_flow_classification() {
+        let b = Inst::Branch {
+            op: BranchOp::Beq,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            offset: 16,
+        };
+        assert_eq!(b.control_flow(), ControlFlow::Branch { offset: 16 });
+        assert_eq!(b.static_successors(0x1000), (Some(0x1004), Some(0x1010)));
+
+        let call = Inst::Jal {
+            rd: Reg::RA,
+            offset: 0x40,
+        };
+        assert_eq!(
+            call.control_flow(),
+            ControlFlow::Jump {
+                offset: 0x40,
+                link: true
+            }
+        );
+        assert_eq!(call.static_successors(0x1000), (None, Some(0x1040)));
+
+        let ret = Inst::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            offset: 0,
+        };
+        assert_eq!(ret.control_flow(), ControlFlow::Indirect { link: false });
+        assert_eq!(ret.static_successors(0x1000), (None, None));
+
+        assert_eq!(Inst::Ecall.control_flow(), ControlFlow::Halt);
+        assert_eq!(Inst::Ecall.static_successors(0x1000), (None, None));
+        assert_eq!(Inst::Ebreak.control_flow(), ControlFlow::Trap);
+
+        // simt_e resumes at the instruction after the paired simt_s.
+        let e = Inst::SimtE {
+            rc: Reg::T0,
+            r_end: Reg::T1,
+            l_offset: -64,
+        };
+        assert_eq!(e.control_flow(), ControlFlow::SimtLoop { l_offset: -64 });
+        assert_eq!(e.static_successors(0x1080), (Some(0x1084), Some(0x1044)));
+
+        assert_eq!(
+            Inst::Load {
+                op: LoadOp::Lw,
+                rd: Reg::A0,
+                rs1: Reg::SP,
+                offset: 0
+            }
+            .control_flow(),
+            ControlFlow::Next
+        );
     }
 
     #[test]

@@ -41,8 +41,8 @@ pub mod regs;
 pub use decode::{decode, DecodeError};
 pub use encode::encode;
 pub use inst::{
-    AluOp, BranchOp, FmaOp, FpCmpOp, FpOp, FpToIntOp, FuKind, Inst, IntToFpOp, LoadOp, SourceSet,
-    StoreOp,
+    AluOp, BranchOp, ControlFlow, FmaOp, FpCmpOp, FpOp, FpToIntOp, FuKind, Inst, IntToFpOp, LoadOp,
+    SourceSet, StoreOp,
 };
 pub use reg::{ArchReg, FReg, ParseRegError, Reg, NUM_FP_REGS, NUM_INT_REGS, NUM_LANES};
 

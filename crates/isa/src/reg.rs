@@ -356,7 +356,9 @@ impl FromStr for Reg {
                 }
             }
         }
-        Err(ParseRegError { name: s.to_string() })
+        Err(ParseRegError {
+            name: s.to_string(),
+        })
     }
 }
 
@@ -374,7 +376,9 @@ impl FromStr for FReg {
                 }
             }
         }
-        Err(ParseRegError { name: s.to_string() })
+        Err(ParseRegError {
+            name: s.to_string(),
+        })
     }
 }
 

@@ -1,0 +1,308 @@
+//! Golden round-trip: every [`Inst`] variant (and every operation of every
+//! op sub-enum) must disassemble to text the assembler parses back to the
+//! identical instruction.
+//!
+//! The coverage bookkeeping is deliberately written with **exhaustive
+//! matches and no fallback arms**: adding a variant to `Inst` or to any op
+//! enum fails compilation here until an exemplar is added, so the
+//! round-trip property can never silently lose coverage.
+
+use diag_isa::{
+    decode, AluOp, BranchOp, FReg, FmaOp, FpCmpOp, FpOp, FpToIntOp, Inst, IntToFpOp, LoadOp, Reg,
+    StoreOp,
+};
+
+/// Maps each `Inst` variant to a dense slot index. Exhaustive on purpose:
+/// a new variant fails compilation until it gets a slot and an exemplar.
+fn variant_slot(inst: &Inst) -> usize {
+    match inst {
+        Inst::Lui { .. } => 0,
+        Inst::Auipc { .. } => 1,
+        Inst::Jal { .. } => 2,
+        Inst::Jalr { .. } => 3,
+        Inst::Branch { .. } => 4,
+        Inst::Load { .. } => 5,
+        Inst::Store { .. } => 6,
+        Inst::OpImm { .. } => 7,
+        Inst::Op { .. } => 8,
+        Inst::Fence => 9,
+        Inst::Ecall => 10,
+        Inst::Ebreak => 11,
+        Inst::Flw { .. } => 12,
+        Inst::Fsw { .. } => 13,
+        Inst::FpOp { .. } => 14,
+        Inst::FpFma { .. } => 15,
+        Inst::FpCmp { .. } => 16,
+        Inst::FpToInt { .. } => 17,
+        Inst::IntToFp { .. } => 18,
+        Inst::SimtS { .. } => 19,
+        Inst::SimtE { .. } => 20,
+    }
+}
+const VARIANT_COUNT: usize = 21;
+
+/// Defines `fn $name() -> Vec<$ty>` listing every variant of an op enum.
+/// The inner `match` has no wildcard: extending the enum breaks the build
+/// here until the list is updated.
+macro_rules! all_ops {
+    ($name:ident, $ty:ty, [$($v:path),+ $(,)?]) => {
+        fn $name() -> Vec<$ty> {
+            let exhaustive = |op: $ty| match op {
+                $($v => (),)+
+            };
+            let all = vec![$($v),+];
+            for &op in &all {
+                exhaustive(op);
+            }
+            all
+        }
+    };
+}
+
+all_ops!(
+    all_alu,
+    AluOp,
+    [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Sll,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Xor,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Or,
+        AluOp::And,
+        AluOp::Mul,
+        AluOp::Mulh,
+        AluOp::Mulhsu,
+        AluOp::Mulhu,
+        AluOp::Div,
+        AluOp::Divu,
+        AluOp::Rem,
+        AluOp::Remu,
+    ]
+);
+all_ops!(
+    all_branch,
+    BranchOp,
+    [
+        BranchOp::Beq,
+        BranchOp::Bne,
+        BranchOp::Blt,
+        BranchOp::Bge,
+        BranchOp::Bltu,
+        BranchOp::Bgeu,
+    ]
+);
+all_ops!(
+    all_load,
+    LoadOp,
+    [LoadOp::Lb, LoadOp::Lh, LoadOp::Lw, LoadOp::Lbu, LoadOp::Lhu]
+);
+all_ops!(all_store, StoreOp, [StoreOp::Sb, StoreOp::Sh, StoreOp::Sw]);
+all_ops!(
+    all_fp,
+    FpOp,
+    [
+        FpOp::Add,
+        FpOp::Sub,
+        FpOp::Mul,
+        FpOp::Div,
+        FpOp::Sqrt,
+        FpOp::SgnJ,
+        FpOp::SgnJN,
+        FpOp::SgnJX,
+        FpOp::Min,
+        FpOp::Max,
+    ]
+);
+all_ops!(
+    all_fma,
+    FmaOp,
+    [FmaOp::MAdd, FmaOp::MSub, FmaOp::NMSub, FmaOp::NMAdd]
+);
+all_ops!(all_fp_cmp, FpCmpOp, [FpCmpOp::Eq, FpCmpOp::Lt, FpCmpOp::Le]);
+all_ops!(
+    all_fp_to_int,
+    FpToIntOp,
+    [
+        FpToIntOp::CvtW,
+        FpToIntOp::CvtWu,
+        FpToIntOp::MvXW,
+        FpToIntOp::Class,
+    ]
+);
+all_ops!(
+    all_int_to_fp,
+    IntToFpOp,
+    [IntToFpOp::CvtW, IntToFpOp::CvtWu, IntToFpOp::MvWX]
+);
+
+/// One or more exemplars per variant, covering every op of every sub-enum.
+fn exemplars() -> Vec<Inst> {
+    let mut v = vec![
+        Inst::Lui {
+            rd: Reg::A0,
+            imm: 0x12345 << 12,
+        },
+        Inst::Auipc {
+            rd: Reg::T0,
+            imm: 0x7F << 12,
+        },
+        Inst::Jal {
+            rd: Reg::RA,
+            offset: 8,
+        },
+        Inst::Jal {
+            rd: Reg::ZERO,
+            offset: -8,
+        },
+        Inst::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            offset: 0,
+        },
+        Inst::Fence,
+        Inst::Ecall,
+        Inst::Ebreak,
+        Inst::Flw {
+            rd: FReg::new(3),
+            rs1: Reg::SP,
+            offset: -8,
+        },
+        Inst::Fsw {
+            rs1: Reg::A0,
+            rs2: FReg::new(31),
+            offset: 12,
+        },
+        Inst::SimtS {
+            rc: Reg::T0,
+            r_step: Reg::T1,
+            r_end: Reg::T2,
+            interval: 2,
+        },
+        Inst::SimtE {
+            rc: Reg::T0,
+            r_end: Reg::T2,
+            l_offset: -8,
+        },
+    ];
+    for op in all_branch() {
+        v.push(Inst::Branch {
+            op,
+            rs1: Reg::T0,
+            rs2: Reg::T1,
+            offset: 8,
+        });
+    }
+    for op in all_load() {
+        v.push(Inst::Load {
+            op,
+            rd: Reg::A0,
+            rs1: Reg::SP,
+            offset: -4,
+        });
+    }
+    for op in all_store() {
+        v.push(Inst::Store {
+            op,
+            rs1: Reg::SP,
+            rs2: Reg::A0,
+            offset: 16,
+        });
+    }
+    for op in all_alu() {
+        v.push(Inst::Op {
+            op,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        });
+        if op.has_imm_form() {
+            v.push(Inst::OpImm {
+                op,
+                rd: Reg::S2,
+                rs1: Reg::S3,
+                imm: 5,
+            });
+        }
+    }
+    for op in all_fp() {
+        // fsqrt.s prints one source and encodes rs2 = f0.
+        let rs2 = if op == FpOp::Sqrt {
+            FReg::new(0)
+        } else {
+            FReg::new(2)
+        };
+        v.push(Inst::FpOp {
+            op,
+            rd: FReg::new(0),
+            rs1: FReg::new(1),
+            rs2,
+        });
+    }
+    for op in all_fma() {
+        v.push(Inst::FpFma {
+            op,
+            rd: FReg::new(4),
+            rs1: FReg::new(5),
+            rs2: FReg::new(6),
+            rs3: FReg::new(7),
+        });
+    }
+    for op in all_fp_cmp() {
+        v.push(Inst::FpCmp {
+            op,
+            rd: Reg::A0,
+            rs1: FReg::new(1),
+            rs2: FReg::new(2),
+        });
+    }
+    for op in all_fp_to_int() {
+        v.push(Inst::FpToInt {
+            op,
+            rd: Reg::A3,
+            rs1: FReg::new(9),
+        });
+    }
+    for op in all_int_to_fp() {
+        v.push(Inst::IntToFp {
+            op,
+            rd: FReg::new(10),
+            rs1: Reg::A4,
+        });
+    }
+    v
+}
+
+#[test]
+fn every_variant_round_trips_through_disasm() {
+    let mut covered = [false; VARIANT_COUNT];
+    for inst in exemplars() {
+        covered[variant_slot(&inst)] = true;
+
+        // Embed the instruction between nops so branch/jump/simt targets
+        // stay inside .text (the assembler rejects wild targets).
+        let text = inst.to_string();
+        let src = format!(
+            "    addi zero, zero, 0\n\
+             \x20   addi zero, zero, 0\n\
+             \x20   {text}\n\
+             \x20   addi zero, zero, 0\n\
+             \x20   addi zero, zero, 0\n\
+             \x20   ecall\n"
+        );
+        let program = diag_asm::assemble(&src)
+            .unwrap_or_else(|e| panic!("`{text}` did not re-assemble: {e}"));
+        let pc = program.entry() + 2 * 4;
+        let word = program.fetch(pc).expect("instruction present");
+        let decoded = decode(word).unwrap_or_else(|e| panic!("`{text}` decode failed: {e:?}"));
+        assert_eq!(decoded, inst, "`{text}` round-tripped to `{decoded}`");
+    }
+    let missing: Vec<usize> = (0..VARIANT_COUNT).filter(|&i| !covered[i]).collect();
+    assert!(
+        missing.is_empty(),
+        "variants without exemplars: slots {missing:?}"
+    );
+}

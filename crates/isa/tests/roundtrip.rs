@@ -86,15 +86,32 @@ fn any_inst(rng: &mut SplitMix64) -> Inst {
     ];
     const FMA_OPS: [FmaOp; 4] = [FmaOp::MAdd, FmaOp::MSub, FmaOp::NMSub, FmaOp::NMAdd];
     const FCMP_OPS: [FpCmpOp; 3] = [FpCmpOp::Eq, FpCmpOp::Lt, FpCmpOp::Le];
-    const F2I_OPS: [FpToIntOp; 4] =
-        [FpToIntOp::CvtW, FpToIntOp::CvtWu, FpToIntOp::MvXW, FpToIntOp::Class];
+    const F2I_OPS: [FpToIntOp; 4] = [
+        FpToIntOp::CvtW,
+        FpToIntOp::CvtWu,
+        FpToIntOp::MvXW,
+        FpToIntOp::Class,
+    ];
     const I2F_OPS: [IntToFpOp; 3] = [IntToFpOp::CvtW, IntToFpOp::CvtWu, IntToFpOp::MvWX];
 
     match rng.gen_range(0u32..21) {
-        0 => Inst::Lui { rd: any_reg(rng), imm: rng.gen_range(-(1i32 << 19)..(1 << 19)) << 12 },
-        1 => Inst::Auipc { rd: any_reg(rng), imm: rng.gen_range(-(1i32 << 19)..(1 << 19)) << 12 },
-        2 => Inst::Jal { rd: any_reg(rng), offset: rng.gen_range(-(1i32 << 19)..(1 << 19)) * 2 },
-        3 => Inst::Jalr { rd: any_reg(rng), rs1: any_reg(rng), offset: imm12(rng) },
+        0 => Inst::Lui {
+            rd: any_reg(rng),
+            imm: rng.gen_range(-(1i32 << 19)..(1 << 19)) << 12,
+        },
+        1 => Inst::Auipc {
+            rd: any_reg(rng),
+            imm: rng.gen_range(-(1i32 << 19)..(1 << 19)) << 12,
+        },
+        2 => Inst::Jal {
+            rd: any_reg(rng),
+            offset: rng.gen_range(-(1i32 << 19)..(1 << 19)) * 2,
+        },
+        3 => Inst::Jalr {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            offset: imm12(rng),
+        },
         4 => Inst::Branch {
             op: BRANCH_OPS[rng.gen_range(0usize..BRANCH_OPS.len())],
             rs1: any_reg(rng),
@@ -119,7 +136,12 @@ fn any_inst(rng: &mut SplitMix64) -> Inst {
                 AluOp::Sll | AluOp::Srl | AluOp::Sra => imm12(rng) & 0x1F,
                 _ => imm12(rng),
             };
-            Inst::OpImm { op, rd: any_reg(rng), rs1: any_reg(rng), imm }
+            Inst::OpImm {
+                op,
+                rd: any_reg(rng),
+                rs1: any_reg(rng),
+                imm,
+            }
         }
         8 => Inst::Op {
             op: any_alu_op(rng),
@@ -130,8 +152,16 @@ fn any_inst(rng: &mut SplitMix64) -> Inst {
         9 => Inst::Fence,
         10 => Inst::Ecall,
         11 => Inst::Ebreak,
-        12 => Inst::Flw { rd: any_freg(rng), rs1: any_reg(rng), offset: imm12(rng) },
-        13 => Inst::Fsw { rs1: any_reg(rng), rs2: any_freg(rng), offset: imm12(rng) },
+        12 => Inst::Flw {
+            rd: any_freg(rng),
+            rs1: any_reg(rng),
+            offset: imm12(rng),
+        },
+        13 => Inst::Fsw {
+            rs1: any_reg(rng),
+            rs2: any_freg(rng),
+            offset: imm12(rng),
+        },
         14 => {
             if rng.gen::<bool>() {
                 Inst::FpOp {
@@ -141,7 +171,12 @@ fn any_inst(rng: &mut SplitMix64) -> Inst {
                     rs2: any_freg(rng),
                 }
             } else {
-                Inst::FpOp { op: FpOp::Sqrt, rd: any_freg(rng), rs1: any_freg(rng), rs2: FReg::new(0) }
+                Inst::FpOp {
+                    op: FpOp::Sqrt,
+                    rd: any_freg(rng),
+                    rs1: any_freg(rng),
+                    rs2: FReg::new(0),
+                }
             }
         }
         15 => Inst::FpFma {
@@ -173,7 +208,11 @@ fn any_inst(rng: &mut SplitMix64) -> Inst {
             r_end: any_reg(rng),
             interval: rng.gen_range(1u8..128),
         },
-        _ => Inst::SimtE { rc: any_reg(rng), r_end: any_reg(rng), l_offset: imm12(rng) },
+        _ => Inst::SimtE {
+            rc: any_reg(rng),
+            r_end: any_reg(rng),
+            l_offset: imm12(rng),
+        },
     }
 }
 

@@ -26,7 +26,13 @@ impl CacheConfig {
     /// A direct-mapped 32 KiB instruction cache with 64-byte lines
     /// (paper §5.1.1 and Table 2).
     pub fn l1i_32k() -> CacheConfig {
-        CacheConfig { size_bytes: 32 << 10, line_bytes: 64, ways: 1, hit_latency: 1, banks: 1 }
+        CacheConfig {
+            size_bytes: 32 << 10,
+            line_bytes: 64,
+            ways: 1,
+            hit_latency: 1,
+            banks: 1,
+        }
     }
 
     /// A banked L1 data cache of the given capacity (paper: 32–128 KiB
@@ -170,7 +176,10 @@ impl CacheArray {
                 line.lru = self.tick;
                 line.dirty |= write;
                 self.stats.hits += 1;
-                return LookupResult { hit: true, writeback: false };
+                return LookupResult {
+                    hit: true,
+                    writeback: false,
+                };
             }
         }
         // Miss: fill the LRU way.
@@ -190,8 +199,16 @@ impl CacheArray {
         if writeback {
             self.stats.writebacks += 1;
         }
-        *line = Line { tag, valid: true, dirty: write, lru: self.tick };
-        LookupResult { hit: false, writeback }
+        *line = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            lru: self.tick,
+        };
+        LookupResult {
+            hit: false,
+            writeback,
+        }
     }
 
     /// Whether `addr`'s line is currently resident (no state change).

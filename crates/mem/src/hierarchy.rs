@@ -22,7 +22,9 @@ struct OccupancyPool {
 
 impl OccupancyPool {
     fn new(units: usize) -> OccupancyPool {
-        OccupancyPool { next_free: vec![0; units] }
+        OccupancyPool {
+            next_free: vec![0; units],
+        }
     }
 
     fn issue(&mut self, ready: u64, occupancy: u64) -> u64 {
@@ -149,10 +151,18 @@ impl PrivateCache {
         let result = self.cache.access(addr, write);
         let after_tags = start + self.cache.config().hit_latency as u64;
         if result.hit {
-            MemOutcome { ready_at: after_tags, l1_hit: true, l2_hit: false }
+            MemOutcome {
+                ready_at: after_tags,
+                l1_hit: true,
+                l2_hit: false,
+            }
         } else {
             let (ready_at, l2_hit) = self.next.borrow_mut().access(addr, write, after_tags);
-            MemOutcome { ready_at, l1_hit: false, l2_hit }
+            MemOutcome {
+                ready_at,
+                l1_hit: false,
+                l2_hit,
+            }
         }
     }
 
@@ -181,7 +191,13 @@ mod tests {
         })
         .into_shared();
         let l1 = PrivateCache::new(
-            CacheConfig { size_bytes: 256, line_bytes: 64, ways: 2, hit_latency: 2, banks: 2 },
+            CacheConfig {
+                size_bytes: 256,
+                line_bytes: 64,
+                ways: 2,
+                hit_latency: 2,
+                banks: 2,
+            },
             Rc::clone(&l2),
         );
         (l1, l2)
@@ -251,7 +267,13 @@ mod tests {
             banks: 2,
         })
         .into_shared();
-        let cfg = CacheConfig { size_bytes: 256, line_bytes: 64, ways: 2, hit_latency: 2, banks: 2 };
+        let cfg = CacheConfig {
+            size_bytes: 256,
+            line_bytes: 64,
+            ways: 2,
+            hit_latency: 2,
+            banks: 2,
+        };
         let mut a = PrivateCache::new(cfg, Rc::clone(&l2));
         let mut b = PrivateCache::new(cfg, Rc::clone(&l2));
         a.access(0x4000, false, 0); // fills L2

@@ -18,14 +18,14 @@ mod bus;
 mod cache;
 mod hierarchy;
 mod lsu;
-mod meter;
 mod main_memory;
 mod memlane;
+mod meter;
 
 pub use bus::{Bus, ILINE_BEATS, REGFILE_BEATS};
 pub use cache::{CacheArray, CacheConfig, CacheStats, LookupResult};
 pub use hierarchy::{MemOutcome, PrivateCache, SharedLevel, DRAM_LATENCY};
 pub use lsu::Lsu;
-pub use meter::PortMeter;
 pub use main_memory::MainMemory;
 pub use memlane::{LaneLookup, MemLane};
+pub use meter::PortMeter;

@@ -64,7 +64,10 @@ pub struct MemLane {
 impl MemLane {
     /// Creates a memory lane with `capacity` fast-forwarding entries.
     pub fn new(capacity: usize) -> MemLane {
-        MemLane { entries: Vec::new(), capacity }
+        MemLane {
+            entries: Vec::new(),
+            capacity,
+        }
     }
 
     /// Fast-window capacity.
@@ -84,7 +87,12 @@ impl MemLane {
 
     /// Records a store issued at `time` (call in program order).
     pub fn push_store(&mut self, addr: u32, size: u32, value: u32, time: u64) {
-        self.entries.push(StoreEntry { addr, size, value, time });
+        self.entries.push(StoreEntry {
+            addr,
+            size,
+            value,
+            time,
+        });
     }
 
     /// Queries the youngest overlapping store for a load of `size` bytes
@@ -95,12 +103,22 @@ impl MemLane {
             let covers = e.addr <= addr && addr + size <= e.addr + e.size;
             if covers {
                 let shift = (addr - e.addr) * 8;
-                let mask = if size == 4 { u32::MAX } else { (1u32 << (size * 8)) - 1 };
+                let mask = if size == 4 {
+                    u32::MAX
+                } else {
+                    (1u32 << (size * 8)) - 1
+                };
                 let value = (e.value >> shift) & mask;
                 return if idx >= fast_floor {
-                    LaneLookup::HitFast { value, store_time: e.time }
+                    LaneLookup::HitFast {
+                        value,
+                        store_time: e.time,
+                    }
                 } else {
-                    LaneLookup::HitSlow { value, store_time: e.time }
+                    LaneLookup::HitSlow {
+                        value,
+                        store_time: e.time,
+                    }
                 };
             }
             let overlaps = e.addr < addr + size && addr < e.addr + e.size;
@@ -136,7 +154,10 @@ mod tests {
         lane.push_store(0x100, 4, 0xAABB_CCDD, 17);
         assert_eq!(
             lane.lookup(0x100, 4),
-            LaneLookup::HitFast { value: 0xAABB_CCDD, store_time: 17 }
+            LaneLookup::HitFast {
+                value: 0xAABB_CCDD,
+                store_time: 17
+            }
         );
     }
 
@@ -159,7 +180,13 @@ mod tests {
         let mut lane = MemLane::new(8);
         lane.push_store(0x100, 4, 1, 10);
         lane.push_store(0x100, 4, 2, 20);
-        assert_eq!(lane.lookup(0x100, 4), LaneLookup::HitFast { value: 2, store_time: 20 });
+        assert_eq!(
+            lane.lookup(0x100, 4),
+            LaneLookup::HitFast {
+                value: 2,
+                store_time: 20
+            }
+        );
     }
 
     #[test]
@@ -167,8 +194,17 @@ mod tests {
         let mut lane = MemLane::new(8);
         lane.push_store(0x100, 4, 7, 5);
         lane.push_store(0x102, 2, 9, 6);
-        assert_eq!(lane.lookup(0x100, 4), LaneLookup::Conflict { store_time: 6 });
-        assert_eq!(lane.lookup(0x102, 2), LaneLookup::HitFast { value: 9, store_time: 6 });
+        assert_eq!(
+            lane.lookup(0x100, 4),
+            LaneLookup::Conflict { store_time: 6 }
+        );
+        assert_eq!(
+            lane.lookup(0x102, 2),
+            LaneLookup::HitFast {
+                value: 9,
+                store_time: 6
+            }
+        );
     }
 
     #[test]
@@ -185,8 +221,14 @@ mod tests {
         lane.push_store(0x100, 4, 1, 1);
         lane.push_store(0x200, 4, 2, 2);
         lane.push_store(0x300, 4, 3, 3);
-        assert!(matches!(lane.lookup(0x100, 4), LaneLookup::HitSlow { value: 1, .. }));
-        assert!(matches!(lane.lookup(0x300, 4), LaneLookup::HitFast { value: 3, .. }));
+        assert!(matches!(
+            lane.lookup(0x100, 4),
+            LaneLookup::HitSlow { value: 1, .. }
+        ));
+        assert!(matches!(
+            lane.lookup(0x300, 4),
+            LaneLookup::HitFast { value: 3, .. }
+        ));
     }
 
     #[test]

@@ -21,7 +21,12 @@ impl PortMeter {
     /// Panics if `width` is 0 or exceeds 255.
     pub fn new(width: usize) -> PortMeter {
         assert!((1..=255).contains(&width), "port width out of range");
-        PortMeter { width: width as u8, counts: HashMap::new(), horizon: 0, granted: 0 }
+        PortMeter {
+            width: width as u8,
+            counts: HashMap::new(),
+            horizon: 0,
+            granted: 0,
+        }
     }
 
     /// Reserves a slot at the earliest cycle ≥ `at` with spare capacity.

@@ -144,19 +144,30 @@ fn memlane_matches_reference_scan() {
             let overlaps = addr < probe_addr + probe_size && probe_addr < addr + size;
             if covers {
                 let shift = (probe_addr - addr) * 8;
-                let mask =
-                    if probe_size == 4 { u32::MAX } else { (1u32 << (probe_size * 8)) - 1 };
+                let mask = if probe_size == 4 {
+                    u32::MAX
+                } else {
+                    (1u32 << (probe_size * 8)) - 1
+                };
                 let v = (value >> shift) & mask;
                 let fast = stores.len() - i <= 8;
                 want = Some(if fast {
-                    LaneLookup::HitFast { value: v, store_time: i as u64 }
+                    LaneLookup::HitFast {
+                        value: v,
+                        store_time: i as u64,
+                    }
                 } else {
-                    LaneLookup::HitSlow { value: v, store_time: i as u64 }
+                    LaneLookup::HitSlow {
+                        value: v,
+                        store_time: i as u64,
+                    }
                 });
                 break;
             }
             if overlaps {
-                want = Some(LaneLookup::Conflict { store_time: i as u64 });
+                want = Some(LaneLookup::Conflict {
+                    store_time: i as u64,
+                });
                 break;
             }
         }

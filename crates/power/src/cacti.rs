@@ -63,7 +63,11 @@ pub fn estimate(config: &CacheConfig) -> CacheEstimate {
 
     // Leakage ~0.01 mW per KB at 45 nm high-performance cells.
     let leakage_mw = 0.011 * kb;
-    CacheEstimate { area_mm2, read_pj, leakage_mw }
+    CacheEstimate {
+        area_mm2,
+        read_pj,
+        leakage_mw,
+    }
 }
 
 /// Estimates for the full cache hierarchy of a DiAG configuration:
@@ -90,12 +94,28 @@ mod tests {
             hit_latency: 3,
             banks: 4,
         });
-        assert!((0.15..1.0).contains(&l1.area_mm2), "32KB area = {} mm2", l1.area_mm2);
-        assert!((25.0..55.0).contains(&l1.read_pj), "32KB read = {} pJ", l1.read_pj);
+        assert!(
+            (0.15..1.0).contains(&l1.area_mm2),
+            "32KB area = {} mm2",
+            l1.area_mm2
+        );
+        assert!(
+            (25.0..55.0).contains(&l1.read_pj),
+            "32KB read = {} pJ",
+            l1.read_pj
+        );
 
         let l2 = estimate(&CacheConfig::l2(4));
-        assert!((12.0..30.0).contains(&l2.area_mm2), "4MB area = {} mm2", l2.area_mm2);
-        assert!((150.0..300.0).contains(&l2.read_pj), "4MB read = {} pJ", l2.read_pj);
+        assert!(
+            (12.0..30.0).contains(&l2.area_mm2),
+            "4MB area = {} mm2",
+            l2.area_mm2
+        );
+        assert!(
+            (150.0..300.0).contains(&l2.read_pj),
+            "4MB read = {} pJ",
+            l2.read_pj
+        );
     }
 
     #[test]
@@ -112,7 +132,13 @@ mod tests {
 
     #[test]
     fn associativity_costs_energy() {
-        let base = CacheConfig { size_bytes: 64 << 10, line_bytes: 64, ways: 2, hit_latency: 3, banks: 4 };
+        let base = CacheConfig {
+            size_bytes: 64 << 10,
+            line_bytes: 64,
+            ways: 2,
+            hit_latency: 3,
+            banks: 4,
+        };
         let wide = CacheConfig { ways: 8, ..base };
         assert!(estimate(&wide).read_pj > estimate(&base).read_pj);
     }

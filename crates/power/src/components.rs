@@ -21,29 +21,53 @@ pub struct ComponentSpec {
 }
 
 /// `RV_DECODER`: the per-PE RISC-V instruction decoder.
-pub const RV_DECODER: ComponentSpec =
-    ComponentSpec { name: "RV_DECODER", area_um2: 244.6, power_mw: 0.019, estimated: false };
+pub const RV_DECODER: ComponentSpec = ComponentSpec {
+    name: "RV_DECODER",
+    area_um2: 244.6,
+    power_mw: 0.019,
+    estimated: false,
+};
 
 /// `INT ALU`: the per-PE 32-bit integer ALU.
-pub const INT_ALU: ComponentSpec =
-    ComponentSpec { name: "INT ALU", area_um2: 1375.4, power_mw: 0.774, estimated: false };
+pub const INT_ALU: ComponentSpec = ComponentSpec {
+    name: "INT ALU",
+    area_um2: 1375.4,
+    power_mw: 0.774,
+    estimated: false,
+};
 
 /// `FPU (MUL / DIV)`: the per-PE single-precision floating-point unit.
-pub const FPU: ComponentSpec =
-    ComponentSpec { name: "FPU (MUL / DIV)", area_um2: 66592.0, power_mw: 105.2, estimated: false };
+pub const FPU: ComponentSpec = ComponentSpec {
+    name: "FPU (MUL / DIV)",
+    area_um2: 66592.0,
+    power_mw: 105.2,
+    estimated: false,
+};
 
 /// `REGLANE`: one register-lane crossing (multiplexers + wires + buffer
 /// share) per PE.
-pub const REGLANE: ComponentSpec =
-    ComponentSpec { name: "REGLANE", area_um2: 15731.0, power_mw: 3.063, estimated: false };
+pub const REGLANE: ComponentSpec = ComponentSpec {
+    name: "REGLANE",
+    area_um2: 15731.0,
+    power_mw: 3.063,
+    estimated: false,
+};
 
 /// `PE (w/ FPU)`: one processing element including its FPU.
-pub const PE: ComponentSpec =
-    ComponentSpec { name: "PE (w/ FPU)", area_um2: 97014.0, power_mw: 120.4, estimated: false };
+pub const PE: ComponentSpec = ComponentSpec {
+    name: "PE (w/ FPU)",
+    area_um2: 97014.0,
+    power_mw: 120.4,
+    estimated: false,
+};
 
 /// `PCLUSTER`: one 16-PE processing cluster.
-pub const PCLUSTER: ComponentSpec =
-    ComponentSpec { name: "PCLUSTER", area_um2: 2_208_000.0, power_mw: 2_104.0, estimated: true };
+pub const PCLUSTER: ComponentSpec = ComponentSpec {
+    name: "PCLUSTER",
+    area_um2: 2_208_000.0,
+    power_mw: 2_104.0,
+    estimated: true,
+};
 
 /// `F4C32 (TOP)`: the full 32-cluster processor.
 pub const TOP_F4C32: ComponentSpec = ComponentSpec {
@@ -101,9 +125,18 @@ mod tests {
         // cluster. Register lanes account for 16.3% of a processing
         // cluster."
         let (fpu_pe, lanes_cluster, fpu_cluster) = hierarchy_shares();
-        assert!((fpu_pe - 0.68).abs() < 0.02, "FPU share of PE = {fpu_pe:.3}");
-        assert!((fpu_cluster - 0.48).abs() < 0.01, "FPU share of cluster = {fpu_cluster:.3}");
-        assert!((lanes_cluster - 0.163).abs() < 0.01, "lane share of cluster = {lanes_cluster:.3}");
+        assert!(
+            (fpu_pe - 0.68).abs() < 0.02,
+            "FPU share of PE = {fpu_pe:.3}"
+        );
+        assert!(
+            (fpu_cluster - 0.48).abs() < 0.01,
+            "FPU share of cluster = {fpu_cluster:.3}"
+        );
+        assert!(
+            (lanes_cluster - 0.163).abs() < 0.01,
+            "lane share of cluster = {lanes_cluster:.3}"
+        );
     }
 
     #[test]

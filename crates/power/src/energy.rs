@@ -73,7 +73,13 @@ pub struct MemoryEnergy {
 
 impl Default for MemoryEnergy {
     fn default() -> MemoryEnergy {
-        MemoryEnergy { l1d_pj: 35.0, l2_pj: 180.0, dram_pj: 2600.0, iline_pj: 60.0, bus_beat_pj: 25.0 }
+        MemoryEnergy {
+            l1d_pj: 35.0,
+            l2_pj: 180.0,
+            dram_pj: 2600.0,
+            iline_pj: 60.0,
+            bus_beat_pj: 25.0,
+        }
     }
 }
 
@@ -142,7 +148,12 @@ impl DiagEnergyModel {
             + a.line_fetches as f64 * self.mem.iline_pj
             + stats.cycles as f64 * self.control_pj_per_cycle)
             / 1000.0;
-        EnergyBreakdown { fpu_nj, lanes_nj, memory_nj, control_nj }
+        EnergyBreakdown {
+            fpu_nj,
+            lanes_nj,
+            memory_nj,
+            control_nj,
+        }
     }
 }
 
@@ -221,7 +232,12 @@ impl BaselineEnergyModel {
             + a.line_fetches as f64 * self.mem.iline_pj
             + stats.cycles as f64 * self.static_pj_per_cycle * cores)
             / 1000.0;
-        EnergyBreakdown { fpu_nj, lanes_nj, memory_nj, control_nj }
+        EnergyBreakdown {
+            fpu_nj,
+            lanes_nj,
+            memory_nj,
+            control_nj,
+        }
     }
 }
 

@@ -12,7 +12,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> TextTable {
-        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header length).

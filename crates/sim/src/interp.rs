@@ -36,7 +36,11 @@ impl ArchState {
         regs[ArchReg::from(Reg::A1).index()] = threads as u32;
         regs[ArchReg::from(Reg::SP).index()] =
             diag_asm::STACK_TOP - (tid as u32) * diag_asm::STACK_STRIDE;
-        ArchState { regs, pc: entry, halted: false }
+        ArchState {
+            regs,
+            pc: entry,
+            halted: false,
+        }
     }
 
     /// Reads a register lane (the `x0` lane always reads zero).
@@ -138,13 +142,23 @@ pub fn arch_step(
             next_pc = target;
             redirected = true;
         }
-        Inst::Branch { op, rs1, rs2, offset } => {
+        Inst::Branch {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => {
             if exec::branch_taken(op, v(rs1, state), v(rs2, state)) {
                 next_pc = pc.wrapping_add(offset as u32);
                 redirected = true;
             }
         }
-        Inst::Load { op, rd, rs1, offset } => {
+        Inst::Load {
+            op,
+            rd,
+            rs1,
+            offset,
+        } => {
             let addr = v(rs1, state).wrapping_add(offset as u32);
             let size = op.size();
             if addr % size != 0 {
@@ -154,7 +168,12 @@ pub fn arch_step(
             dest = Some((rd.into(), exec::extend_load(op, raw)));
             mem_effect = MemEffect::Load { addr, size };
         }
-        Inst::Store { op, rs1, rs2, offset } => {
+        Inst::Store {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => {
             let addr = v(rs1, state).wrapping_add(offset as u32);
             let size = op.size();
             if addr % size != 0 {
@@ -180,9 +199,18 @@ pub fn arch_step(
             mem_effect = MemEffect::Store { addr, size: 4 };
         }
         Inst::FpOp { op, rd, rs1, rs2 } => {
-            dest = Some((rd.into(), exec::fp_op(op, state.reg(rs1.into()), state.reg(rs2.into()))))
+            dest = Some((
+                rd.into(),
+                exec::fp_op(op, state.reg(rs1.into()), state.reg(rs2.into())),
+            ))
         }
-        Inst::FpFma { op, rd, rs1, rs2, rs3 } => {
+        Inst::FpFma {
+            op,
+            rd,
+            rs1,
+            rs2,
+            rs3,
+        } => {
             dest = Some((
                 rd.into(),
                 exec::fp_fma(
@@ -194,7 +222,10 @@ pub fn arch_step(
             ))
         }
         Inst::FpCmp { op, rd, rs1, rs2 } => {
-            dest = Some((rd.into(), exec::fp_cmp(op, state.reg(rs1.into()), state.reg(rs2.into()))))
+            dest = Some((
+                rd.into(),
+                exec::fp_cmp(op, state.reg(rs1.into()), state.reg(rs2.into())),
+            ))
         }
         Inst::FpToInt { op, rd, rs1 } => {
             dest = Some((rd.into(), exec::fp_to_int(op, state.reg(rs1.into()))))
@@ -215,7 +246,11 @@ pub fn arch_step(
             // Sequential marker semantics: rc passes through.
             dest = Some((rc.into(), v(rc, state)));
         }
-        Inst::SimtE { rc, r_end, l_offset } => {
+        Inst::SimtE {
+            rc,
+            r_end,
+            l_offset,
+        } => {
             let start_pc = pc.wrapping_add(l_offset as u32);
             let step = match program.decode_at(start_pc) {
                 Some(Inst::SimtS { r_step, .. }) => v(r_step, state),
@@ -240,7 +275,14 @@ pub fn arch_step(
         state.set(lane, value);
     }
     state.pc = next_pc;
-    Ok(StepInfo { inst, pc, next_pc, redirected, dest, mem: mem_effect })
+    Ok(StepInfo {
+        inst,
+        pc,
+        next_pc,
+        redirected,
+        dest,
+        mem: mem_effect,
+    })
 }
 
 #[cfg(test)]
@@ -263,8 +305,7 @@ mod tests {
 
     #[test]
     fn fibonacci() {
-        let (_, mem, _) = run(
-            r#"
+        let (_, mem, _) = run(r#"
                 li t0, 0
                 li t1, 1
                 li t2, 10
@@ -276,15 +317,13 @@ mod tests {
                 bnez t2, loop
                 sw t1, 0(zero)
                 ecall
-            "#,
-        );
+            "#);
         assert_eq!(mem.read_u32(0), 89);
     }
 
     #[test]
     fn function_call_and_return() {
-        let (_, mem, _) = run(
-            r#"
+        let (_, mem, _) = run(r#"
                 li a0, 20
                 call double
                 sw a0, 0(zero)
@@ -292,15 +331,13 @@ mod tests {
             double:
                 add a0, a0, a0
                 ret
-            "#,
-        );
+            "#);
         assert_eq!(mem.read_u32(0), 40);
     }
 
     #[test]
     fn simt_markers_as_sequential_loop() {
-        let (state, mem, _) = run(
-            r#"
+        let (state, mem, _) = run(r#"
                 li   t0, 0
                 li   t1, 2
                 li   t2, 10
@@ -311,8 +348,7 @@ mod tests {
                 sw    t0, 0(t3)
                 simt_e t0, t2, head
                 ecall
-            "#,
-        );
+            "#);
         // Body executes for t0 = 0, 2, 4, 6, 8.
         for i in [0u32, 2, 4, 6, 8] {
             assert_eq!(mem.read_u32(4 * i), i);
@@ -325,7 +361,10 @@ mod tests {
         let s = ArchState::new_thread(0x1000, 3, 8);
         assert_eq!(s.reg(Reg::A0.into()), 3);
         assert_eq!(s.reg(Reg::A1.into()), 8);
-        assert_eq!(s.reg(Reg::SP.into()), diag_asm::STACK_TOP - 3 * diag_asm::STACK_STRIDE);
+        assert_eq!(
+            s.reg(Reg::SP.into()),
+            diag_asm::STACK_TOP - 3 * diag_asm::STACK_STRIDE
+        );
         assert_eq!(s.pc, 0x1000);
     }
 

@@ -88,7 +88,12 @@ impl<'m> Side<'m> {
     fn new(machine: &'m mut dyn Machine, program: &Program, threads: usize) -> Side<'m> {
         machine.load(program, threads);
         machine.set_commit_log(true);
-        Side { machine, pending: vec![VecDeque::new(); threads], halted: false, drained: 0 }
+        Side {
+            machine,
+            pending: vec![VecDeque::new(); threads],
+            halted: false,
+            drained: 0,
+        }
     }
 
     /// Steps once and files new commits under their threads.
@@ -192,7 +197,13 @@ fn divergence(
         .or(right)
         .and_then(|c| program.decode_at(c.pc))
         .map(|inst| inst.to_string());
-    Divergence { thread, index, left, right, disasm }
+    Divergence {
+        thread,
+        index,
+        left,
+        right,
+        disasm,
+    }
 }
 
 #[cfg(test)]

@@ -213,10 +213,15 @@ mod tests {
     fn errors_display() {
         let cases: Vec<SimError> = vec![
             SimError::CycleLimit { limit: 10 },
-            SimError::IllegalInstruction { addr: 0x1000, word: 0 },
+            SimError::IllegalInstruction {
+                addr: 0x1000,
+                word: 0,
+            },
             SimError::PcOutOfRange { pc: 4 },
             SimError::Misaligned { addr: 3, size: 4 },
-            SimError::InvalidSimtRegion { reason: "nested loop".to_string() },
+            SimError::InvalidSimtRegion {
+                reason: "nested loop".to_string(),
+            },
             SimError::Deadlock { cycle: 7 },
             SimError::NotLoaded,
         ];
@@ -233,7 +238,11 @@ mod tests {
             dest: Some((diag_isa::Reg::T0.into(), 42)),
         };
         assert!(c.to_string().contains("pc=0x1000"));
-        let s = Commit { thread: 1, pc: 0x1004, dest: None };
+        let s = Commit {
+            thread: 1,
+            pc: 0x1004,
+            dest: None,
+        };
         assert!(s.to_string().contains("no reg write"));
     }
 }

@@ -280,8 +280,16 @@ mod tests {
 
     #[test]
     fn activity_addition() {
-        let a = Activity { int_ops: 3, fp_ops: 1, ..Activity::default() };
-        let b = Activity { int_ops: 4, l2_misses: 2, ..Activity::default() };
+        let a = Activity {
+            int_ops: 3,
+            fp_ops: 1,
+            ..Activity::default()
+        };
+        let b = Activity {
+            int_ops: 4,
+            l2_misses: 2,
+            ..Activity::default()
+        };
         let c = a + b;
         assert_eq!(c.int_ops, 7);
         assert_eq!(c.fp_ops, 1);
@@ -309,7 +317,10 @@ mod tests {
     fn reuse_fraction() {
         let stats = RunStats {
             committed: 200,
-            activity: Activity { reuse_commits: 150, ..Activity::default() },
+            activity: Activity {
+                reuse_commits: 150,
+                ..Activity::default()
+            },
             ..RunStats::default()
         };
         assert!((stats.reuse_fraction() - 0.75).abs() < 1e-12);

@@ -47,12 +47,20 @@ impl Params {
     /// Single-threaded, small scale, no SIMT — the default experiment
     /// point.
     pub fn small() -> Params {
-        Params { scale: Scale::Small, threads: 1, simt: false, seed: 0xD1A6 }
+        Params {
+            scale: Scale::Small,
+            threads: 1,
+            simt: false,
+            seed: 0xD1A6,
+        }
     }
 
     /// Tiny scale for unit tests.
     pub fn tiny() -> Params {
-        Params { scale: Scale::Tiny, ..Params::small() }
+        Params {
+            scale: Scale::Tiny,
+            ..Params::small()
+        }
     }
 
     /// Returns a copy with the given thread count.
@@ -165,8 +173,16 @@ mod tests {
     fn registry_is_complete() {
         let r = rodinia();
         let s = spec();
-        assert!(r.len() >= 10, "need at least 10 Rodinia kernels, have {}", r.len());
-        assert!(s.len() >= 8, "need at least 8 SPEC kernels, have {}", s.len());
+        assert!(
+            r.len() >= 10,
+            "need at least 10 Rodinia kernels, have {}",
+            r.len()
+        );
+        assert!(
+            s.len() >= 8,
+            "need at least 8 SPEC kernels, have {}",
+            s.len()
+        );
         // Names are unique.
         let mut names: Vec<&str> = all().iter().map(|w| w.name).collect();
         names.sort_unstable();

@@ -8,11 +8,11 @@
 //! neurons and the body is the SIMT region.
 
 use diag_asm::{AsmError, ProgramBuilder};
-use diag_isa::regs::*;
 use diag_isa::prng::SplitMix64;
+use diag_isa::regs::*;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
-use crate::util::{begin_repeat, end_repeat, repeats, check_floats, emit_thread_range};
+use crate::util::{begin_repeat, check_floats, emit_thread_range, end_repeat, repeats};
 
 /// Registry entry.
 pub fn spec() -> WorkloadSpec {
@@ -64,7 +64,9 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let out_base = b.data_zeroed("hidden", 4 * h);
 
     // Preload the input vector into fs0..fs11, ft8..ft11 (16 registers).
-    let in_regs = [FS0, FS1, FS2, FS3, FS4, FS5, FS6, FS7, FS8, FS9, FS10, FS11, FT8, FT9, FT10, FT11];
+    let in_regs = [
+        FS0, FS1, FS2, FS3, FS4, FS5, FS6, FS7, FS8, FS9, FS10, FS11, FT8, FT9, FT10, FT11,
+    ];
     b.li(T0, in_base as i32);
     for (i, &fr) in in_regs.iter().enumerate() {
         b.flw(fr, T0, (4 * i) as i32);
@@ -119,7 +121,11 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let verify = Box::new(move |m: &dyn diag_sim::Machine| {
         check_floats(m, out_base, &expect, "backprop hidden")
     });
-    Ok(BuiltWorkload { program, verify, approx_work: (h * 42) as u64 })
+    Ok(BuiltWorkload {
+        program,
+        verify,
+        approx_work: (h * 42) as u64,
+    })
 }
 
 #[cfg(test)]

@@ -7,8 +7,8 @@
 //! (the frontier loop is inherently serial).
 
 use diag_asm::{AsmError, ProgramBuilder};
-use diag_isa::regs::*;
 use diag_isa::prng::SplitMix64;
+use diag_isa::regs::*;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
 use crate::util::check_words;
@@ -166,7 +166,11 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
         }
         Ok(())
     });
-    Ok(BuiltWorkload { program, verify, approx_work: (n * 4 * 12 * threads) as u64 })
+    Ok(BuiltWorkload {
+        program,
+        verify,
+        approx_work: (n * 4 * 12 * threads) as u64,
+    })
 }
 
 #[cfg(test)]

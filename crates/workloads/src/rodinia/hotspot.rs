@@ -7,8 +7,8 @@
 //! straight-line cell body is the SIMT region.
 
 use diag_asm::{AsmError, ProgramBuilder};
-use diag_isa::regs::*;
 use diag_isa::prng::SplitMix64;
+use diag_isa::regs::*;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
 use crate::util::{begin_repeat, check_floats, emit_thread_range, end_repeat, repeats};
@@ -41,7 +41,9 @@ fn expected(temp: &[f32], power: &[f32], n: usize) -> Vec<f32> {
     for r in 1..n - 1 {
         for j in 1..n - 1 {
             let c = temp[r * n + j];
-            let sum = temp[r * n + j - 1] + temp[r * n + j + 1] + temp[(r - 1) * n + j]
+            let sum = temp[r * n + j - 1]
+                + temp[r * n + j + 1]
+                + temp[(r - 1) * n + j]
                 + temp[(r + 1) * n + j];
             let lap = sum - 4.0 * c;
             // The kernel uses fmadd.s (single rounding): mirror it.
@@ -50,7 +52,6 @@ fn expected(temp: &[f32], power: &[f32], n: usize) -> Vec<f32> {
     }
     out
 }
-
 
 /// Emits the per-cell stencil body. Expects `T3` = &temp\[r\]\[j\],
 /// `S5` = row stride, `S6`/`S7` = power/out deltas, `FS0` = 4.0,
@@ -137,7 +138,11 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
         let verify = Box::new(move |m: &dyn diag_sim::Machine| {
             check_floats(m, out_base, &expect, "hotspot out")
         });
-        return Ok(BuiltWorkload { program, verify, approx_work: (n * n * 22) as u64 });
+        return Ok(BuiltWorkload {
+            program,
+            verify,
+            approx_work: (n * n * 22) as u64,
+        });
     }
 
     // Thread range over interior rows [1, n-1): use index space 0..n-2
@@ -180,7 +185,11 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let verify = Box::new(move |m: &dyn diag_sim::Machine| {
         check_floats(m, out_base, &expect, "hotspot out")
     });
-    Ok(BuiltWorkload { program, verify, approx_work })
+    Ok(BuiltWorkload {
+        program,
+        verify,
+        approx_work,
+    })
 }
 
 #[cfg(test)]

@@ -7,11 +7,11 @@
 //! only) is the SIMT region.
 
 use diag_asm::{AsmError, ProgramBuilder};
-use diag_isa::regs::*;
 use diag_isa::prng::SplitMix64;
+use diag_isa::regs::*;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
-use crate::util::{begin_repeat, end_repeat, repeats, check_words, emit_thread_range};
+use crate::util::{begin_repeat, check_words, emit_thread_range, end_repeat, repeats};
 
 /// Registry entry.
 pub fn spec() -> WorkloadSpec {
@@ -60,7 +60,9 @@ fn expected(points: &[(f32, f32)]) -> Vec<u32> {
 fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let n = npoints(p.scale);
     let mut rng = SplitMix64::seed_from_u64(p.seed ^ 0x6B6D);
-    let points: Vec<(f32, f32)> = (0..n).map(|_| (rng.gen_range(0.0f32..1.0), rng.gen_range(0.0f32..1.0))).collect();
+    let points: Vec<(f32, f32)> = (0..n)
+        .map(|_| (rng.gen_range(0.0f32..1.0), rng.gen_range(0.0f32..1.0)))
+        .collect();
     let expect = expected(&points);
 
     let flat: Vec<f32> = points.iter().flat_map(|&(x, y)| [x, y]).collect();
@@ -132,7 +134,11 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let verify = Box::new(move |m: &dyn diag_sim::Machine| {
         check_words(m, out_base, &expect, "kmeans assign")
     });
-    Ok(BuiltWorkload { program, verify, approx_work: (n * 36) as u64 })
+    Ok(BuiltWorkload {
+        program,
+        verify,
+        approx_work: (n * 36) as u64,
+    })
 }
 
 #[cfg(test)]

@@ -5,8 +5,8 @@
 //! instances and no SIMT region applies (nested backward loops, §4.4.3).
 
 use diag_asm::{AsmError, ProgramBuilder};
-use diag_isa::regs::*;
 use diag_isa::prng::SplitMix64;
+use diag_isa::regs::*;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
 use crate::util::check_floats;
@@ -133,7 +133,11 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
         }
         Ok(())
     });
-    Ok(BuiltWorkload { program, verify, approx_work: (m * m * m / 3 * 10 * threads) as u64 })
+    Ok(BuiltWorkload {
+        program,
+        verify,
+        approx_work: (m * m * m / 3 * 10 * threads) as u64,
+    })
 }
 
 #[cfg(test)]

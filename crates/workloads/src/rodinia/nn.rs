@@ -6,11 +6,13 @@
 //! sequential min-scan writing `(index, distance-bits)` per thread.
 
 use diag_asm::{AsmError, ProgramBuilder};
-use diag_isa::regs::*;
 use diag_isa::prng::SplitMix64;
+use diag_isa::regs::*;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
-use crate::util::{begin_repeat, end_repeat, repeats, check_floats, emit_thread_range, thread_range};
+use crate::util::{
+    begin_repeat, check_floats, emit_thread_range, end_repeat, repeats, thread_range,
+};
 
 /// Registry entry.
 pub fn spec() -> WorkloadSpec {
@@ -39,7 +41,9 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let n = npoints(p.scale);
     let threads = p.threads.max(1);
     let mut rng = SplitMix64::seed_from_u64(p.seed ^ 0x6E6E);
-    let pts: Vec<(f32, f32)> = (0..n).map(|_| (rng.gen_range(0.0f32..1.0), rng.gen_range(0.0f32..1.0))).collect();
+    let pts: Vec<(f32, f32)> = (0..n)
+        .map(|_| (rng.gen_range(0.0f32..1.0), rng.gen_range(0.0f32..1.0)))
+        .collect();
 
     // Expected distances (kernel order: fmadd(dy, dy, dx*dx)).
     let dists: Vec<f32> = pts
@@ -152,7 +156,11 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
         }
         Ok(())
     });
-    Ok(BuiltWorkload { program, verify, approx_work: (n * 14) as u64 })
+    Ok(BuiltWorkload {
+        program,
+        verify,
+        approx_work: (n * 14) as u64,
+    })
 }
 
 #[cfg(test)]

@@ -6,8 +6,8 @@
 //! *replicated* instances and there is no SIMT region.
 
 use diag_asm::{AsmError, ProgramBuilder};
-use diag_isa::regs::*;
 use diag_isa::prng::SplitMix64;
+use diag_isa::regs::*;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
 use crate::util::{begin_repeat, check_words, end_repeat, repeats};
@@ -46,7 +46,11 @@ fn expected(a: &[u32], bseq: &[u32], m: usize) -> Vec<u32> {
     }
     for i in 1..=m {
         for j in 1..=m {
-            let sim = if a[i - 1] == bseq[j - 1] { MATCH } else { MISMATCH };
+            let sim = if a[i - 1] == bseq[j - 1] {
+                MATCH
+            } else {
+                MISMATCH
+            };
             let diag = s[(i - 1) * w + j - 1] + sim;
             let up = s[(i - 1) * w + j] - GAP;
             let left = s[i * w + j - 1] - GAP;
@@ -135,7 +139,7 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let j_loop = b.bind_new_label();
     b.beq(T0, S3, j_done);
     b.lw(T3, T2, 0); // b[j-1]
-    // sim
+                     // sim
     b.li(T4, MISMATCH);
     let nomatch = b.new_label();
     b.bne(S8, T3, nomatch);
@@ -182,7 +186,11 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
         }
         Ok(())
     });
-    Ok(BuiltWorkload { program, verify, approx_work: (m * m * 18 * threads) as u64 })
+    Ok(BuiltWorkload {
+        program,
+        verify,
+        approx_work: (m * m * 18 * threads) as u64,
+    })
 }
 
 #[cfg(test)]

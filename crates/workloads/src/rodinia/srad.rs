@@ -7,8 +7,8 @@
 //! the straight-line cell body is the SIMT region.
 
 use diag_asm::{AsmError, ProgramBuilder};
-use diag_isa::regs::*;
 use diag_isa::prng::SplitMix64;
+use diag_isa::regs::*;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
 use crate::util::{begin_repeat, check_floats, emit_thread_range, end_repeat, repeats};
@@ -41,7 +41,9 @@ fn expected(img: &[f32], n: usize) -> Vec<f32> {
     for r in 1..n - 1 {
         for j in 1..n - 1 {
             let c = img[r * n + j];
-            let sum = img[r * n + j - 1] + img[r * n + j + 1] + img[(r - 1) * n + j]
+            let sum = img[r * n + j - 1]
+                + img[r * n + j + 1]
+                + img[(r - 1) * n + j]
                 + img[(r + 1) * n + j];
             let q = sum - 4.0 * c;
             let g = q / c;
@@ -51,7 +53,6 @@ fn expected(img: &[f32], n: usize) -> Vec<f32> {
     }
     out
 }
-
 
 /// Emits the per-cell diffusion body. Expects `T3` = &img\[r\]\[j\],
 /// `S5` = row stride, `S7` = out delta, `FS0` = 4.0, `FS1` = 1.0,
@@ -131,7 +132,11 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
         let verify = Box::new(move |m: &dyn diag_sim::Machine| {
             check_floats(m, out_base, &expect, "srad out")
         });
-        return Ok(BuiltWorkload { program, verify, approx_work: (n * n * 24) as u64 });
+        return Ok(BuiltWorkload {
+            program,
+            verify,
+            approx_work: (n * n * 24) as u64,
+        });
     }
     let rep_top = begin_repeat(&mut b, repeats(p.scale));
 
@@ -160,10 +165,13 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     b.ecall();
 
     let program = b.build()?;
-    let verify = Box::new(move |m: &dyn diag_sim::Machine| {
-        check_floats(m, out_base, &expect, "srad out")
-    });
-    Ok(BuiltWorkload { program, verify, approx_work: (n * n * 24) as u64 })
+    let verify =
+        Box::new(move |m: &dyn diag_sim::Machine| check_floats(m, out_base, &expect, "srad out"));
+    Ok(BuiltWorkload {
+        program,
+        verify,
+        approx_work: (n * n * 24) as u64,
+    })
 }
 
 #[cfg(test)]

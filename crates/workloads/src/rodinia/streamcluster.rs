@@ -6,11 +6,13 @@
 //! phase 2 reduces each thread's chunk to a per-thread cost.
 
 use diag_asm::{AsmError, ProgramBuilder};
-use diag_isa::regs::*;
 use diag_isa::prng::SplitMix64;
+use diag_isa::regs::*;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
-use crate::util::{begin_repeat, end_repeat, repeats, check_floats, emit_thread_range, thread_range};
+use crate::util::{
+    begin_repeat, check_floats, emit_thread_range, end_repeat, repeats, thread_range,
+};
 
 /// Registry entry.
 pub fn spec() -> WorkloadSpec {
@@ -40,7 +42,13 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let threads = p.threads.max(1);
     let mut rng = SplitMix64::seed_from_u64(p.seed ^ 0x7363);
     let pts: Vec<(f32, f32, f32)> = (0..n)
-        .map(|_| (rng.gen_range(0.0f32..1.0), rng.gen_range(0.0f32..1.0), rng.gen_range(0.5f32..2.0)))
+        .map(|_| {
+            (
+                rng.gen_range(0.0f32..1.0),
+                rng.gen_range(0.0f32..1.0),
+                rng.gen_range(0.5f32..2.0),
+            )
+        })
         .collect();
 
     // Kernel order: d = fmadd(dy, dy, dx*dx); gain = w * d.
@@ -137,7 +145,11 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
         check_floats(m, gain_base, &expect_gains, "streamcluster gain")?;
         check_floats(m, cost_base, &costs, "streamcluster cost")
     });
-    Ok(BuiltWorkload { program, verify, approx_work: (n * 16) as u64 })
+    Ok(BuiltWorkload {
+        program,
+        verify,
+        approx_work: (n * 16) as u64,
+    })
 }
 
 #[cfg(test)]

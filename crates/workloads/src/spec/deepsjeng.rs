@@ -9,11 +9,11 @@
 //! the SIMT region.
 
 use diag_asm::{AsmError, ProgramBuilder};
-use diag_isa::regs::*;
 use diag_isa::prng::SplitMix64;
+use diag_isa::regs::*;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
-use crate::util::{begin_repeat, end_repeat, repeats, check_words, emit_thread_range};
+use crate::util::{begin_repeat, check_words, emit_thread_range, end_repeat, repeats};
 
 /// Registry entry.
 pub fn spec() -> WorkloadSpec {
@@ -49,10 +49,10 @@ fn expected(boards: &[(u32, u32)]) -> Vec<u32> {
     boards
         .iter()
         .map(|&(lo, hi)| {
-            let spread_lo = ((lo << 8) | (lo >> 8) | ((lo << 1) & FILE_MASK) | ((lo >> 1) & FILE_MASK))
-                & !lo;
-            let spread_hi = ((hi << 8) | (hi >> 8) | ((hi << 1) & FILE_MASK) | ((hi >> 1) & FILE_MASK))
-                & !hi;
+            let spread_lo =
+                ((lo << 8) | (lo >> 8) | ((lo << 1) & FILE_MASK) | ((lo >> 1) & FILE_MASK)) & !lo;
+            let spread_hi =
+                ((hi << 8) | (hi >> 8) | ((hi << 1) & FILE_MASK) | ((hi >> 1) & FILE_MASK)) & !hi;
             popcount_swar(spread_lo) + popcount_swar(spread_hi)
         })
         .collect()
@@ -119,7 +119,7 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
         b.li(T6, 0); // mobility accumulator
         for half in 0..2 {
             b.lw(T4, T3, 4 * half); // board half
-            // spread = (b<<8 | b>>8 | (b<<1)&M | (b>>1)&M) & !b
+                                    // spread = (b<<8 | b>>8 | (b<<1)&M | (b>>1)&M) & !b
             b.slli(T5, T4, 8);
             b.srli(T2, T4, 8);
             b.or(T5, T5, T2);
@@ -152,7 +152,11 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let verify = Box::new(move |m: &dyn diag_sim::Machine| {
         check_words(m, out_base, &expect, "deepsjeng mobility")
     });
-    Ok(BuiltWorkload { program, verify, approx_work: (n * 50) as u64 })
+    Ok(BuiltWorkload {
+        program,
+        verify,
+        approx_work: (n * 50) as u64,
+    })
 }
 
 #[cfg(test)]

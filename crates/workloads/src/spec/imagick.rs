@@ -5,11 +5,11 @@
 //! and the fully-unrolled 9-tap body is the SIMT region.
 
 use diag_asm::{AsmError, ProgramBuilder};
-use diag_isa::regs::*;
 use diag_isa::prng::SplitMix64;
+use diag_isa::regs::*;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
-use crate::util::{begin_repeat, end_repeat, repeats, check_floats, emit_thread_range};
+use crate::util::{begin_repeat, check_floats, emit_thread_range, end_repeat, repeats};
 
 /// Registry entry.
 pub fn spec() -> WorkloadSpec {
@@ -32,7 +32,9 @@ fn dims(scale: Scale) -> usize {
     }
 }
 
-const KERNEL: [f32; 9] = [0.0625, 0.125, 0.0625, 0.125, 0.25, 0.125, 0.0625, 0.125, 0.0625];
+const KERNEL: [f32; 9] = [
+    0.0625, 0.125, 0.0625, 0.125, 0.25, 0.125, 0.0625, 0.125, 0.0625,
+];
 
 fn expected(img: &[f32], n: usize) -> Vec<f32> {
     let mut out = img.to_vec();
@@ -59,7 +61,6 @@ fn expected(img: &[f32], n: usize) -> Vec<f32> {
     }
     out
 }
-
 
 /// Emits the 9-tap convolution body. Expects `T3` = &img\[r\]\[j\],
 /// `S5` = row stride, `S7` = out delta, `FS0`/`FS1`/`FS2` = corner/edge/
@@ -146,7 +147,11 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
         let verify = Box::new(move |m: &dyn diag_sim::Machine| {
             check_floats(m, out_base, &expect, "imagick out")
         });
-        return Ok(BuiltWorkload { program, verify, approx_work: (n * n * 26) as u64 });
+        return Ok(BuiltWorkload {
+            program,
+            verify,
+            approx_work: (n * n * 26) as u64,
+        });
     }
     let rep_top = begin_repeat(&mut b, repeats(p.scale));
 
@@ -178,7 +183,11 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let verify = Box::new(move |m: &dyn diag_sim::Machine| {
         check_floats(m, out_base, &expect, "imagick out")
     });
-    Ok(BuiltWorkload { program, verify, approx_work: (n * n * 26) as u64 })
+    Ok(BuiltWorkload {
+        program,
+        verify,
+        approx_work: (n * n * 26) as u64,
+    })
 }
 
 #[cfg(test)]

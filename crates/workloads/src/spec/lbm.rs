@@ -6,8 +6,8 @@
 //! over cells.
 
 use diag_asm::{AsmError, ProgramBuilder};
-use diag_isa::regs::*;
 use diag_isa::prng::SplitMix64;
+use diag_isa::regs::*;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
 use crate::util::{check_floats, emit_thread_range};
@@ -34,7 +34,13 @@ fn cells(scale: Scale) -> usize {
 }
 
 const OMEGA: f32 = 0.6;
-const W: [f32; 5] = [0.333_333_34, 0.166_666_67, 0.166_666_67, 0.166_666_67, 0.166_666_67];
+const W: [f32; 5] = [
+    0.333_333_34,
+    0.166_666_67,
+    0.166_666_67,
+    0.166_666_67,
+    0.166_666_67,
+];
 
 fn expected(f: &[Vec<f32>], n: usize) -> Vec<Vec<f32>> {
     let mut out = f.to_vec();
@@ -56,8 +62,9 @@ fn expected(f: &[Vec<f32>], n: usize) -> Vec<Vec<f32>> {
 fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let n = cells(p.scale);
     let mut rng = SplitMix64::seed_from_u64(p.seed ^ 0x6C62);
-    let f: Vec<Vec<f32>> =
-        (0..5).map(|_| (0..n).map(|_| rng.gen_range(0.1f32..1.0)).collect()).collect();
+    let f: Vec<Vec<f32>> = (0..5)
+        .map(|_| (0..n).map(|_| rng.gen_range(0.1f32..1.0)).collect())
+        .collect();
     let expect = expected(&f, n);
 
     let mut b = ProgramBuilder::new();
@@ -121,7 +128,11 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
         }
         Ok(())
     });
-    Ok(BuiltWorkload { program, verify, approx_work: (n * 36) as u64 })
+    Ok(BuiltWorkload {
+        program,
+        verify,
+        approx_work: (n * 36) as u64,
+    })
 }
 
 #[cfg(test)]

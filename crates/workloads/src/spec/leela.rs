@@ -8,8 +8,8 @@
 //! is the branch behaviour, not parallelism).
 
 use diag_asm::{AsmError, ProgramBuilder};
-use diag_isa::regs::*;
 use diag_isa::prng::SplitMix64;
+use diag_isa::regs::*;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
 use crate::util::{begin_repeat, check_words, end_repeat, repeats};
@@ -110,7 +110,7 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     b.slli(T4, T3, 2);
     b.add(T4, T4, S2);
     b.lw(T5, T4, 0); // score = weights[me]
-    // Four neighbors: offsets +4, -4, +n*4, -n*4.
+                     // Four neighbors: offsets +4, -4, +n*4, -n*4.
     for idx in 0..4 {
         let (use_stride, positive) = match idx {
             0 => (false, true),
@@ -158,7 +158,11 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
         }
         Ok(())
     });
-    Ok(BuiltWorkload { program, verify, approx_work: (n * n * 30 * threads) as u64 })
+    Ok(BuiltWorkload {
+        program,
+        verify,
+        approx_work: (n * n * 30 * threads) as u64,
+    })
 }
 
 #[cfg(test)]

@@ -7,8 +7,8 @@
 //! the paper's DiAG trails the baseline. Replicated per thread.
 
 use diag_asm::{AsmError, ProgramBuilder};
-use diag_isa::regs::*;
 use diag_isa::prng::SplitMix64;
+use diag_isa::regs::*;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
 use crate::util::check_words;
@@ -75,7 +75,11 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
         arc_sets.push(arcs);
     }
 
-    let flat: Vec<u32> = arc_sets.iter().flatten().flat_map(|&(u, v, c)| [u, v, c]).collect();
+    let flat: Vec<u32> = arc_sets
+        .iter()
+        .flatten()
+        .flat_map(|&(u, v, c)| [u, v, c])
+        .collect();
     let mut b = ProgramBuilder::new();
     let arc_base = b.data_words("arcs", &flat);
     let dist_init: Vec<u32> = (0..nodes * threads)
@@ -134,7 +138,11 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
         }
         Ok(())
     });
-    Ok(BuiltWorkload { program, verify, approx_work: (arcs_n * rounds * 14 * threads) as u64 })
+    Ok(BuiltWorkload {
+        program,
+        verify,
+        approx_work: (arcs_n * rounds * 14 * threads) as u64,
+    })
 }
 
 #[cfg(test)]

@@ -6,11 +6,11 @@
 //! body is the SIMT region.
 
 use diag_asm::{AsmError, ProgramBuilder};
-use diag_isa::regs::*;
 use diag_isa::prng::SplitMix64;
+use diag_isa::regs::*;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
-use crate::util::{begin_repeat, end_repeat, repeats, check_floats, emit_thread_range};
+use crate::util::{begin_repeat, check_floats, emit_thread_range, end_repeat, repeats};
 
 /// Registry entry.
 pub fn spec() -> WorkloadSpec {
@@ -61,10 +61,12 @@ fn expected(pos: &[(f32, f32)], nbr: &[u32], n: usize) -> Vec<(f32, f32)> {
 fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let n = nparticles(p.scale);
     let mut rng = SplitMix64::seed_from_u64(p.seed ^ 0x6E64);
-    let pos: Vec<(f32, f32)> =
-        (0..n).map(|_| (rng.gen_range(0.0f32..8.0), rng.gen_range(0.0f32..8.0))).collect();
-    let nbr: Vec<u32> =
-        (0..n * NEIGHBORS).map(|_| rng.gen_range(0..n) as u32).collect();
+    let pos: Vec<(f32, f32)> = (0..n)
+        .map(|_| (rng.gen_range(0.0f32..8.0), rng.gen_range(0.0f32..8.0)))
+        .collect();
+    let nbr: Vec<u32> = (0..n * NEIGHBORS)
+        .map(|_| rng.gen_range(0..n) as u32)
+        .collect();
     let expect = expected(&pos, &nbr, n);
 
     let flat_pos: Vec<f32> = pos.iter().flat_map(|&(x, y)| [x, y]).collect();
@@ -134,7 +136,11 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     let verify = Box::new(move |m: &dyn diag_sim::Machine| {
         check_floats(m, force_base, &flat_force, "namd force")
     });
-    Ok(BuiltWorkload { program, verify, approx_work: (n * 60) as u64 })
+    Ok(BuiltWorkload {
+        program,
+        verify,
+        approx_work: (n * 60) as u64,
+    })
 }
 
 #[cfg(test)]

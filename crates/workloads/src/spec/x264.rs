@@ -6,11 +6,11 @@
 //! unrolled body is the SIMT region.
 
 use diag_asm::{AsmError, ProgramBuilder};
-use diag_isa::regs::*;
 use diag_isa::prng::SplitMix64;
+use diag_isa::regs::*;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
-use crate::util::{begin_repeat, end_repeat, repeats, check_words, emit_thread_range};
+use crate::util::{begin_repeat, check_words, emit_thread_range, end_repeat, repeats};
 
 /// Registry entry.
 pub fn spec() -> WorkloadSpec {
@@ -106,10 +106,13 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
     b.ecall();
 
     let program = b.build()?;
-    let verify = Box::new(move |m: &dyn diag_sim::Machine| {
-        check_words(m, sad_base, &expect, "x264 sad")
-    });
-    Ok(BuiltWorkload { program, verify, approx_work: (nb * 60) as u64 })
+    let verify =
+        Box::new(move |m: &dyn diag_sim::Machine| check_words(m, sad_base, &expect, "x264 sad"));
+    Ok(BuiltWorkload {
+        program,
+        verify,
+        approx_work: (nb * 60) as u64,
+    })
 }
 
 #[cfg(test)]

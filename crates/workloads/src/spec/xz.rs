@@ -7,8 +7,8 @@
 //! thread.
 
 use diag_asm::{AsmError, ProgramBuilder};
-use diag_isa::regs::*;
 use diag_isa::prng::SplitMix64;
+use diag_isa::regs::*;
 
 use crate::params::{BuiltWorkload, Params, Scale, Suite, ThreadModel, WorkloadSpec};
 use crate::util::{begin_repeat, check_words, end_repeat, repeats};
@@ -79,8 +79,11 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
 
     let mut b = ProgramBuilder::new();
     let data_base = b.data_bytes("data", &datas.concat());
-    let probes_flat: Vec<u32> =
-        probe_sets.iter().flatten().flat_map(|&(p0, c)| [p0, c]).collect();
+    let probes_flat: Vec<u32> = probe_sets
+        .iter()
+        .flatten()
+        .flat_map(|&(p0, c)| [p0, c])
+        .collect();
     let probe_base = b.data_words("probes", &probes_flat);
     let out_base = b.data_zeroed("lens", 4 * nprobes * threads);
 
@@ -140,7 +143,11 @@ fn build(p: &Params) -> Result<BuiltWorkload, AsmError> {
         }
         Ok(())
     });
-    Ok(BuiltWorkload { program, verify, approx_work: (nprobes * 80 * threads) as u64 })
+    Ok(BuiltWorkload {
+        program,
+        verify,
+        approx_work: (nprobes * 80 * threads) as u64,
+    })
 }
 
 #[cfg(test)]

@@ -81,7 +81,12 @@ pub fn check_words(m: &dyn Machine, base: u32, expected: &[u32], what: &str) -> 
 }
 
 /// Compares an expected `f32` slice (bit-exact) against machine memory.
-pub fn check_floats(m: &dyn Machine, base: u32, expected: &[f32], what: &str) -> Result<(), String> {
+pub fn check_floats(
+    m: &dyn Machine,
+    base: u32,
+    expected: &[f32],
+    what: &str,
+) -> Result<(), String> {
     for (i, &want) in expected.iter().enumerate() {
         let got = m.read_f32(base + 4 * i as u32);
         if got.to_bits() != want.to_bits() {
@@ -133,8 +138,16 @@ mod tests {
             diag_sim::Machine::run(&mut m, &program, threads).unwrap();
             for t in 0..threads {
                 let (lo, hi) = thread_range(n, t, threads);
-                assert_eq!(m.read_word(8 * t as u32), lo as u32, "lo t={t} threads={threads}");
-                assert_eq!(m.read_word(8 * t as u32 + 4), hi as u32, "hi t={t} threads={threads}");
+                assert_eq!(
+                    m.read_word(8 * t as u32),
+                    lo as u32,
+                    "lo t={t} threads={threads}"
+                );
+                assert_eq!(
+                    m.read_word(8 * t as u32 + 4),
+                    hi as u32,
+                    "hi t={t} threads={threads}"
+                );
             }
         }
     }

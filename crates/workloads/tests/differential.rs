@@ -9,12 +9,13 @@ use diag_sim::Machine;
 use diag_workloads::{all, Params};
 
 fn check(machine: &mut dyn Machine, spec: &diag_workloads::WorkloadSpec, params: &Params) {
-    let built = spec.build(params).unwrap_or_else(|e| panic!("{}: build failed: {e}", spec.name));
+    let built = spec
+        .build(params)
+        .unwrap_or_else(|e| panic!("{}: build failed: {e}", spec.name));
     machine
         .run(&built.program, params.threads)
         .unwrap_or_else(|e| panic!("{} on {}: run failed: {e}", spec.name, machine.name()));
-    (built.verify)(machine)
-        .unwrap_or_else(|e| panic!("{} on {}: {e}", spec.name, machine.name()));
+    (built.verify)(machine).unwrap_or_else(|e| panic!("{} on {}: {e}", spec.name, machine.name()));
 }
 
 #[test]

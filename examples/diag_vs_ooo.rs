@@ -27,7 +27,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let threads: usize = args.get(1).and_then(|t| t.parse().ok()).unwrap_or(1);
     let spec = find(name).ok_or_else(|| format!("unknown workload `{name}` (try `list`)"))?;
 
-    let params = Params { scale: Scale::Small, threads, simt: false, seed: 0xD1A6 };
+    let params = Params {
+        scale: Scale::Small,
+        threads,
+        simt: false,
+        seed: 0xD1A6,
+    };
     let built = spec.build(&params)?;
     println!(
         "{}: {} ({} threads, ~{} dynamic instructions)",
@@ -48,9 +53,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!();
     println!("                      DiAG F4C32     OoO 8-wide x12");
-    println!("cycles             {:>12}   {:>12}", s_diag.cycles, s_ooo.cycles);
-    println!("IPC                {:>12.2}   {:>12.2}", s_diag.ipc(), s_ooo.ipc());
-    println!("energy (nJ)        {:>12.1}   {:>12.1}", e_diag.total_nj(), e_ooo.total_nj());
+    println!(
+        "cycles             {:>12}   {:>12}",
+        s_diag.cycles, s_ooo.cycles
+    );
+    println!(
+        "IPC                {:>12.2}   {:>12.2}",
+        s_diag.ipc(),
+        s_ooo.ipc()
+    );
+    println!(
+        "energy (nJ)        {:>12.1}   {:>12.1}",
+        e_diag.total_nj(),
+        e_ooo.total_nj()
+    );
     println!();
     println!(
         "relative performance: {:.2}x   energy-efficiency improvement: {:.2}x",

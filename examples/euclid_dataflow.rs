@@ -31,10 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b.flw(FT1, A0, 4); // y1
     b.flw(FT2, A0, 8); // x2
     b.flw(FT3, A0, 12); // y2
-    // The Figure 3 dataflow graph:
-    //   i0: dx = x1 - x2        i2: dy = y1 - y2      (independent)
-    //   i1: dx2 = dx * dx       i3: dy2 = dy * dy     (independent)
-    //   i4: d2 = dx2 + dy2
+                        // The Figure 3 dataflow graph:
+                        //   i0: dx = x1 - x2        i2: dy = y1 - y2      (independent)
+                        //   i1: dx2 = dx * dx       i3: dy2 = dy * dy     (independent)
+                        //   i4: d2 = dx2 + dy2
     b.fsub_s(FT4, FT0, FT2);
     b.fmul_s(FT5, FT4, FT4);
     b.fsub_s(FT6, FT1, FT3);
@@ -57,11 +57,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(diag.read_f32(out), expected);
     assert_eq!(inorder.read_f32(out), expected);
 
-    println!("distance between ({x1},{y1}) and ({x2},{y2}) = {}", diag.read_f32(out));
+    println!(
+        "distance between ({x1},{y1}) and ({x2},{y2}) = {}",
+        diag.read_f32(out)
+    );
     println!();
     println!("DiAG (dataflow, Figure 3):  {} cycles", diag_stats.cycles);
     println!("OoO 8-wide:                 {} cycles", ooo_stats.cycles);
-    println!("in-order (flat 4-cy mem):   {} cycles", inorder_stats.cycles);
+    println!(
+        "in-order (flat 4-cy mem):   {} cycles",
+        inorder_stats.cycles
+    );
     println!();
     println!(
         "The independent dx/dy chains overlap on DiAG's register lanes exactly \

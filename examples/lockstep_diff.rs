@@ -80,12 +80,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = positional.first().map(|s| s.as_str()).unwrap_or("bfs");
     let threads: usize = positional.get(1).and_then(|t| t.parse().ok()).unwrap_or(1);
     let spec = find(name).ok_or_else(|| format!("unknown workload `{name}`"))?;
-    let params = Params { scale: Scale::Tiny, threads, simt: false, seed: 0xD1A6 };
+    let params = Params {
+        scale: Scale::Tiny,
+        threads,
+        simt: false,
+        seed: 0xD1A6,
+    };
     let built = spec.build(&params)?;
 
     let mut reference = InOrder::new();
     let outcome = if let Some(at) = corrupt {
-        let mut left = Corrupt { inner: Diag::new(DiagConfig::f4c32()), at, writes: 0 };
+        let mut left = Corrupt {
+            inner: Diag::new(DiagConfig::f4c32()),
+            at,
+            writes: 0,
+        };
         println!("running {name} with register write #{at} corrupted on the DiAG side…");
         run_lockstep(&mut left, &mut reference, &built.program, threads, u64::MAX)?
     } else {

@@ -67,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut ooo = OooCpu::paper_baseline();
     let s_ooo = ooo.run(&program, 1)?;
 
-    println!("dot product over 2048 elements (all results identical: {})", with_reuse.read_word(0));
+    println!(
+        "dot product over 2048 elements (all results identical: {})",
+        with_reuse.read_word(0)
+    );
     assert_eq!(with_reuse.read_word(0), without.read_word(0));
     assert_eq!(with_reuse.read_word(0), ooo.read_word(0));
     println!();

@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "#,
     )?;
 
-    println!("program: {} instructions\n{}", program.text_len(), program.listing());
+    println!(
+        "program: {} instructions\n{}",
+        program.text_len(),
+        program.listing()
+    );
 
     let mut cpu = Diag::new(DiagConfig::f4c32());
     let stats = cpu.run(&program, 1)?;

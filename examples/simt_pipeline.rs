@@ -70,15 +70,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let expected = A.mul_add(x, y);
         let addr = out_base + 4 * i as u32;
         assert_eq!(pipelined.read_f32(addr), expected, "pipelined, element {i}");
-        assert_eq!(sequential.read_f32(addr), expected, "sequential, element {i}");
+        assert_eq!(
+            sequential.read_f32(addr),
+            expected,
+            "sequential, element {i}"
+        );
         assert_eq!(ooo.read_f32(addr), expected, "baseline, element {i}");
     }
 
     println!("SAXPY over {N} elements (all three machines agree)");
     println!();
-    println!("DiAG, SIMT pipelined:      {:>8} cycles  IPC {:>5.2}", s_pipe.cycles, s_pipe.ipc());
-    println!("DiAG, sequential markers:  {:>8} cycles  IPC {:>5.2}", s_seq.cycles, s_seq.ipc());
-    println!("OoO 8-wide baseline:       {:>8} cycles  IPC {:>5.2}", s_ooo.cycles, s_ooo.ipc());
+    println!(
+        "DiAG, SIMT pipelined:      {:>8} cycles  IPC {:>5.2}",
+        s_pipe.cycles,
+        s_pipe.ipc()
+    );
+    println!(
+        "DiAG, sequential markers:  {:>8} cycles  IPC {:>5.2}",
+        s_seq.cycles,
+        s_seq.ipc()
+    );
+    println!(
+        "OoO 8-wide baseline:       {:>8} cycles  IPC {:>5.2}",
+        s_ooo.cycles,
+        s_ooo.ipc()
+    );
     println!();
     println!(
         "pipelined speedup over sequential markers: {:.2}x (one loop instance \

@@ -136,18 +136,27 @@ fn main() {
     };
 
     println!("machine:  {}", machine.name());
-    println!("program:  {} instructions, {} threads", program.text_len(), opts.threads);
+    println!(
+        "program:  {} instructions, {} threads",
+        program.text_len(),
+        opts.threads
+    );
     println!("cycles:   {}", stats.cycles);
     println!("retired:  {} (IPC {:.2})", stats.committed, stats.ipc());
     if stats.activity.reuse_commits > 0 {
-        println!("reuse:    {:.1}% of instructions", stats.reuse_fraction() * 100.0);
+        println!(
+            "reuse:    {:.1}% of instructions",
+            stats.reuse_fraction() * 100.0
+        );
     }
     let (m, c, o) = stats.stalls.shares();
     println!("stalls:   memory {m:.0}%, control {c:.0}%, structural {o:.0}%");
 
     if opts.trace {
         if let Some(diag) = machine.as_any().downcast_ref::<Diag>() {
-            println!("\nfirst retired instructions (pc / slot / start / finish / commit / reused):");
+            println!(
+                "\nfirst retired instructions (pc / slot / start / finish / commit / reused):"
+            );
             for e in diag.last_trace().iter().take(32) {
                 println!(
                     "  {:#07x}  slot {:>3}  {:>6} {:>6} {:>6}  {}",

@@ -13,11 +13,13 @@
 //!   architectural interpreter.
 //! - [`core`]: the DiAG processor itself — register lanes, processing
 //!   clusters, dataflow rings, datapath reuse, SIMT thread pipelining.
+//! - [`analyze`]: static dataflow-graph analysis — CFG recovery, lane
+//!   liveness, lints, and simulator-cross-checked IPC upper bounds.
 //! - [`baseline`]: the 8-issue out-of-order multicore baseline and the
 //!   in-order reference machine.
 //! - [`power`]: Table-3-derived area/energy models.
 //! - [`workloads`]: Rodinia- and SPEC-style benchmark kernels.
-//! - [`bench`]: the experiment harness — per-figure regeneration
+//! - [`mod@bench`]: the experiment harness — per-figure regeneration
 //!   functions and the parallel [`bench::sweep`] runner.
 //!
 //! Machines expose a steppable interface — [`sim::Machine::load`] mounts
@@ -49,6 +51,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub use diag_analyze as analyze;
 pub use diag_asm as asm;
 pub use diag_baseline as baseline;
 pub use diag_bench as bench;

@@ -82,7 +82,9 @@ fn any_op(rng: &mut SplitMix64) -> Op {
 }
 
 fn random_case(rng: &mut SplitMix64, seed_bound: i32, max_ops: usize) -> (Vec<i32>, Vec<Op>) {
-    let seeds = (0..POOL.len()).map(|_| rng.gen_range(-seed_bound..seed_bound)).collect();
+    let seeds = (0..POOL.len())
+        .map(|_| rng.gen_range(-seed_bound..seed_bound))
+        .collect();
     let count = rng.gen_range(1usize..max_ops);
     let body = (0..count).map(|_| any_op(rng)).collect();
     (seeds, body)
@@ -141,7 +143,9 @@ fn build_program(seeds: &[i32], body: &[Op], trips: u32) -> Program {
 
 fn dump_of(m: &dyn Machine, program: &Program) -> Vec<u32> {
     let dump = program.symbol("dump").unwrap();
-    (0..(POOL.len() + 16) as u32).map(|i| m.read_word(dump + 4 * i)).collect()
+    (0..(POOL.len() + 16) as u32)
+        .map(|i| m.read_word(dump + 4 * i))
+        .collect()
 }
 
 #[test]
@@ -163,7 +167,11 @@ fn machines_agree_architecturally() {
             let name = cfg.name.clone();
             let mut diag = Diag::new(cfg);
             diag.run(&program, 1).expect("diag run");
-            assert_eq!(dump_of(&diag, &program), want, "DiAG {name} diverged (case {case})");
+            assert_eq!(
+                dump_of(&diag, &program),
+                want,
+                "DiAG {name} diverged (case {case})"
+            );
         }
 
         // Reuse ablation must not change architectural results either.
@@ -171,7 +179,11 @@ fn machines_agree_architecturally() {
         cfg.enable_reuse = false;
         let mut diag = Diag::new(cfg);
         diag.run(&program, 1).expect("diag no-reuse run");
-        assert_eq!(dump_of(&diag, &program), want, "DiAG no-reuse diverged (case {case})");
+        assert_eq!(
+            dump_of(&diag, &program),
+            want,
+            "DiAG no-reuse diverged (case {case})"
+        );
     }
 }
 

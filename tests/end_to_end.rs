@@ -222,5 +222,9 @@ fn disassembly_reassembles_identically() {
         text.push('\n');
     }
     let again = assemble(&text).unwrap();
-    assert_eq!(program.text(), again.text(), "reassembled words differ:\n{listing}");
+    assert_eq!(
+        program.text(),
+        again.text(),
+        "reassembled words differ:\n{listing}"
+    );
 }

@@ -56,7 +56,10 @@ fn asynchronous_interrupt_is_precise() {
     // The saved interrupt PC points into the loop body (between the first
     // instruction and the first ecall).
     let epc = cpu.read_word(8);
-    assert!(epc >= program.text_base() && epc < handler_addr(&program) - 4, "epc {epc:#x}");
+    assert!(
+        epc >= program.text_base() && epc < handler_addr(&program) - 4,
+        "epc {epc:#x}"
+    );
 }
 
 #[test]
@@ -67,7 +70,11 @@ fn interrupt_before_start_fires_immediately() {
     let mut cpu = Diag::new(cfg);
     cpu.run(&program, 1).unwrap();
     assert_eq!(cpu.read_word(4), 0xFEED);
-    assert_eq!(cpu.read_word(0), 0, "no loop iteration retired before cycle 0");
+    assert_eq!(
+        cpu.read_word(0),
+        0,
+        "no loop iteration retired before cycle 0"
+    );
 }
 
 #[test]
@@ -114,9 +121,18 @@ fn misaligned_accesses_fault_everywhere() {
     use diag::baseline::{InOrder, OooCpu};
     let program = assemble("li t0, 2\nlw t1, 0(t0)\necall\n").unwrap();
     let mut diag = Diag::new(DiagConfig::f4c2());
-    assert!(matches!(diag.run(&program, 1), Err(SimError::Misaligned { addr: 2, size: 4 })));
+    assert!(matches!(
+        diag.run(&program, 1),
+        Err(SimError::Misaligned { addr: 2, size: 4 })
+    ));
     let mut ooo = OooCpu::paper_baseline();
-    assert!(matches!(ooo.run(&program, 1), Err(SimError::Misaligned { addr: 2, size: 4 })));
+    assert!(matches!(
+        ooo.run(&program, 1),
+        Err(SimError::Misaligned { addr: 2, size: 4 })
+    ));
     let mut io = InOrder::new();
-    assert!(matches!(io.run(&program, 1), Err(SimError::Misaligned { addr: 2, size: 4 })));
+    assert!(matches!(
+        io.run(&program, 1),
+        Err(SimError::Misaligned { addr: 2, size: 4 })
+    ));
 }

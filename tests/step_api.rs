@@ -8,9 +8,7 @@ use diag::baseline::{InOrder, O3Config, OooCpu};
 use diag::bench::runner::MachineKind;
 use diag::bench::sweep::Sweep;
 use diag::core::{Diag, DiagConfig};
-use diag::sim::{
-    run_lockstep, Commit, LockstepOutcome, Machine, RunStats, SimError, StepOutcome,
-};
+use diag::sim::{run_lockstep, Commit, LockstepOutcome, Machine, RunStats, SimError, StepOutcome};
 use diag::workloads::{find, Params};
 
 fn machines() -> Vec<Box<dyn Machine>> {
@@ -34,12 +32,16 @@ fn rodinia_kernel_via_explicit_stepping() {
         m.load(&built.program, 1);
         let mut steps = 0u64;
         let mut last_committed = 0u64;
-        while let StepOutcome::Running =
-            m.step().unwrap_or_else(|e| panic!("{name}: step failed: {e}"))
+        while let StepOutcome::Running = m
+            .step()
+            .unwrap_or_else(|e| panic!("{name}: step failed: {e}"))
         {
             steps += 1;
             let committed = m.stats().committed;
-            assert!(committed >= last_committed, "{name}: committed count went backwards");
+            assert!(
+                committed >= last_committed,
+                "{name}: committed count went backwards"
+            );
             last_committed = committed;
         }
         let stats = m.stats();
@@ -85,12 +87,14 @@ fn lockstep_agrees_on_rodinia_kernel() {
     ] {
         let name = left.name();
         let mut reference = InOrder::new();
-        let outcome =
-            run_lockstep(left.as_mut(), &mut reference, &built.program, 1, u64::MAX)
-                .unwrap_or_else(|e| panic!("{name}: lockstep run failed: {e}"));
+        let outcome = run_lockstep(left.as_mut(), &mut reference, &built.program, 1, u64::MAX)
+            .unwrap_or_else(|e| panic!("{name}: lockstep run failed: {e}"));
         match outcome {
             LockstepOutcome::Agree { commits } => {
-                assert!(commits > 100, "{name}: suspiciously short stream ({commits})");
+                assert!(
+                    commits > 100,
+                    "{name}: suspiciously short stream ({commits})"
+                );
             }
             LockstepOutcome::Diverged(d) => panic!("{name}: {d}"),
         }
@@ -109,7 +113,11 @@ struct CorruptedMachine {
 
 impl CorruptedMachine {
     fn new(corrupt_at: u64) -> CorruptedMachine {
-        CorruptedMachine { inner: InOrder::new(), corrupt_at, seen: 0 }
+        CorruptedMachine {
+            inner: InOrder::new(),
+            corrupt_at,
+            seen: 0,
+        }
     }
 }
 
@@ -184,14 +192,17 @@ fn lockstep_reports_first_divergence() {
 
     let mut left = CorruptedMachine::new(corrupt_at);
     let mut reference = InOrder::new();
-    let outcome = run_lockstep(&mut left, &mut reference, &built.program, 1, u64::MAX)
-        .expect("lockstep run");
+    let outcome =
+        run_lockstep(&mut left, &mut reference, &built.program, 1, u64::MAX).expect("lockstep run");
     let LockstepOutcome::Diverged(d) = outcome else {
         panic!("corruption at retirement {corrupt_at} went undetected");
     };
     assert_eq!(d.thread, 0);
     assert_eq!(d.index, corrupt_at - 1, "divergence index is zero-based");
-    let (l, r) = (d.left.expect("left retired"), d.right.expect("reference retired"));
+    let (l, r) = (
+        d.left.expect("left retired"),
+        d.right.expect("reference retired"),
+    );
     assert_eq!(l.pc, r.pc, "same instruction, different value");
     assert_eq!(
         l.dest.expect("dest").1 ^ 1,
@@ -226,6 +237,10 @@ fn sweep_results_identical_across_job_counts() {
     };
     let serial = run_all(1);
     for jobs in [2, 8] {
-        assert_eq!(serial, run_all(jobs), "sweep nondeterministic at {jobs} jobs");
+        assert_eq!(
+            serial,
+            run_all(jobs),
+            "sweep nondeterministic at {jobs} jobs"
+        );
     }
 }

@@ -39,7 +39,10 @@ fn trace_records_every_committed_instruction() {
     let body_events: Vec<_> = trace.iter().filter(|e| e.pc == body_pc).collect();
     assert_eq!(body_events.len(), 5);
     assert!(!body_events[0].reused, "first execution decodes");
-    assert!(body_events[1..].iter().all(|e| e.reused), "subsequent iterations reuse");
+    assert!(
+        body_events[1..].iter().all(|e| e.reused),
+        "subsequent iterations reuse"
+    );
 }
 
 #[test]
@@ -81,7 +84,11 @@ fn speculative_datapaths_help_taken_forward_branches() {
     let mut spec = Diag::new(cfg);
     let s_spec = spec.run(&program, 1).unwrap();
 
-    assert_eq!(plain.read_word(0), spec.read_word(0), "architecture unchanged");
+    assert_eq!(
+        plain.read_word(0),
+        spec.read_word(0),
+        "architecture unchanged"
+    );
     assert!(
         s_spec.cycles <= s_plain.cycles,
         "speculative datapaths must not slow things down ({} vs {})",
@@ -227,7 +234,9 @@ fn i4c2_fpga_proof_of_concept_suite() {
     for &(name, src, addr, expected) in suite {
         let program = assemble(src).unwrap();
         let mut cpu = Diag::new(DiagConfig::i4c2());
-        let stats = cpu.run(&program, 1).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let stats = cpu
+            .run(&program, 1)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(cpu.read_word(addr), expected, "{name}");
         assert!(stats.cycles > 0 && stats.committed > 0, "{name}");
     }
