@@ -17,6 +17,7 @@ use diag_isa::Inst;
 use diag_mem::{CacheArray, LaneLookup, Lsu, MainMemory, MemLane, PrivateCache};
 use diag_sim::interp::{arch_step, ArchState, MemEffect};
 use diag_sim::{Activity, Commit, SimError, StallBreakdown};
+use diag_trace::{Event, EventKind, StallCause, Tracer, Track};
 
 use crate::bpred::BranchPredictor;
 use crate::config::O3Config;
@@ -70,6 +71,9 @@ pub struct O3Core {
     pub(crate) commit_log: bool,
     /// Retirements logged since the machine last drained them.
     pub(crate) commits: Vec<Commit>,
+    /// Trace sink (disabled by default; set through the machine's
+    /// `set_tracer`). Baseline events ride on [`Track::Core`].
+    pub(crate) tracer: Tracer,
 }
 
 /// L2 hit latency charged on an L1I miss.
@@ -112,9 +116,35 @@ impl O3Core {
             thread_id,
             commit_log: false,
             commits: Vec::new(),
+            tracer: Tracer::off(),
             cfg,
             program,
         }
+    }
+
+    /// Records `cycles` of stall attributed to `cause`, ending at `end`,
+    /// both in the breakdown and — when a tracer is attached — as a
+    /// paired `StallBegin`/`StallEnd` interval on this core's track. All
+    /// baseline stall accounting flows through here so the trace timeline
+    /// reconciles exactly with [`StallBreakdown`].
+    fn stall(&mut self, cause: StallCause, end: u64, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        self.stats.stalls.add_cycles(cause, cycles);
+        let thread = self.thread_id as u32;
+        self.tracer.emit(|| Event {
+            cycle: end.saturating_sub(cycles),
+            thread,
+            track: Track::Core(thread),
+            kind: EventKind::StallBegin { cause },
+        });
+        self.tracer.emit(|| Event {
+            cycle: end,
+            thread,
+            track: Track::Core(thread),
+            kind: EventKind::StallEnd { cause, cycles },
+        });
     }
 
     /// This core's hardware-thread id.
@@ -145,7 +175,7 @@ impl O3Core {
             if !self.l1i.access(pc, false).hit {
                 fetch_t += L1I_MISS_PENALTY;
                 self.fetch_floor = fetch_t;
-                self.stats.stalls.control += L1I_MISS_PENALTY;
+                self.stall(StallCause::Control, fetch_t, L1I_MISS_PENALTY);
             }
         }
 
@@ -155,7 +185,7 @@ impl O3Core {
         while self.rob.len() >= self.cfg.rob_size {
             let freed = self.rob.pop_front().expect("rob non-empty");
             if freed > rename_t {
-                self.stats.stalls.structural += freed - rename_t;
+                self.stall(StallCause::Structural, freed, freed - rename_t);
                 rename_t = freed;
             }
         }
@@ -191,7 +221,7 @@ impl O3Core {
         while self.iq.len() >= self.cfg.iq_size {
             let oldest = self.iq.pop_front().expect("iq non-empty");
             if oldest > ready {
-                self.stats.stalls.structural += oldest - ready;
+                self.stall(StallCause::Structural, oldest, oldest - ready);
                 ready = oldest;
             }
         }
@@ -217,35 +247,47 @@ impl O3Core {
                     }
                     LaneLookup::Miss => (issue_t.max(self.fence_floor), false),
                 };
-                let (at, waited) = self.lsq.issue_blocking(want);
-                self.stats.stalls.memory += waited;
+                let tid = self.thread_id as u32;
+                let tracer = self.tracer.clone();
+                let (at, waited, id) = self
+                    .lsq
+                    .issue_blocking_traced(want, false, &tracer, tid, tid);
+                self.stall(StallCause::Memory, at, waited);
                 let ready_at = if forward {
                     self.stats.activity.memlane_hits += 1;
                     at + 1
                 } else {
-                    let out = self.l1d.access(addr, false, at);
+                    let out = self.l1d.access_traced(addr, false, at, &tracer, tid);
                     self.count_cache(out.l1_hit, out.l2_hit);
                     if !out.l1_hit {
                         let hit_time = at + self.cfg.l1d.hit_latency as u64;
-                        self.stats.stalls.memory += out.ready_at.saturating_sub(hit_time);
+                        self.stall(
+                            StallCause::Memory,
+                            out.ready_at,
+                            out.ready_at.saturating_sub(hit_time),
+                        );
                     }
                     out.ready_at
                 };
-                self.lsq.complete_at(ready_at);
+                self.lsq.complete_at_traced(ready_at, id, &tracer, tid, tid);
                 ready_at
             }
             MemEffect::Store { addr, size } => {
                 self.stats.activity.stores += 1;
                 let want = issue_t.max(self.store_floor);
-                let (at, waited) = self.lsq.issue_blocking(want);
-                self.stats.stalls.memory += waited;
+                let tid = self.thread_id as u32;
+                let tracer = self.tracer.clone();
+                let (at, waited, id) = self
+                    .lsq
+                    .issue_blocking_traced(want, true, &tracer, tid, tid);
+                self.stall(StallCause::Memory, at, waited);
                 self.store_floor = at;
                 self.store_buffer.push_store(addr, size, 0, at);
                 self.store_buffer.trim();
-                let out = self.l1d.access(addr, true, at);
+                let out = self.l1d.access_traced(addr, true, at, &tracer, tid);
                 self.count_cache(out.l1_hit, out.l2_hit);
                 let done = at + 1;
-                self.lsq.complete_at(done);
+                self.lsq.complete_at_traced(done, id, &tracer, tid, tid);
                 done
             }
             MemEffect::None => {
@@ -287,8 +329,21 @@ impl O3Core {
             if mispredicted {
                 self.stats.activity.mispredicts += 1;
                 let redirect = finish + 1;
+                let thread = self.thread_id as u32;
+                let (from_pc, to_pc) = (pc, info.next_pc);
+                self.tracer.emit(|| Event {
+                    cycle: redirect,
+                    thread,
+                    track: Track::Core(thread),
+                    kind: EventKind::BranchRedirect {
+                        from_pc,
+                        to_pc,
+                        backward: to_pc <= from_pc,
+                    },
+                });
                 if redirect > self.fetch_floor {
-                    self.stats.stalls.control += redirect - self.fetch_floor;
+                    let floor = self.fetch_floor;
+                    self.stall(StallCause::Control, redirect, redirect - floor);
                     self.fetch_floor = redirect;
                 }
             }
@@ -300,6 +355,17 @@ impl O3Core {
 
         // ---- commit -------------------------------------------------------
         let commit_t = self.commit_bw.next(finish.max(self.last_commit));
+        let thread = self.thread_id as u32;
+        self.tracer.emit(|| Event {
+            cycle: commit_t,
+            thread,
+            track: Track::Core(thread),
+            kind: EventKind::PeRetire {
+                pc,
+                start: issue_t,
+                finish,
+            },
+        });
         self.last_commit = commit_t;
         self.rob.push_back(commit_t);
         self.committed_count += 1;
@@ -322,6 +388,12 @@ impl O3Core {
         }
         if self.state.halted {
             self.halted = true;
+            self.tracer.emit(|| Event {
+                cycle: commit_t,
+                thread,
+                track: Track::Core(thread),
+                kind: EventKind::ThreadHalt,
+            });
         }
         Ok(())
     }

@@ -13,6 +13,7 @@ use diag_asm::Program;
 use diag_mem::MainMemory;
 use diag_sim::interp::{arch_step, ArchState, MemEffect};
 use diag_sim::{Commit, Machine, RunStats, SimError, StepOutcome};
+use diag_trace::{Event, EventKind, Tracer, Track};
 
 /// Flat memory access latency for the reference machine.
 const MEM_LATENCY: u64 = 4;
@@ -62,6 +63,7 @@ pub struct InOrder {
     last_stats: Option<RunStats>,
     commit_log: bool,
     commits: Vec<Commit>,
+    tracer: Tracer,
 }
 
 impl Default for InOrder {
@@ -79,6 +81,7 @@ impl InOrder {
             last_stats: None,
             commit_log: false,
             commits: Vec::new(),
+            tracer: Tracer::off(),
         }
     }
 
@@ -115,6 +118,12 @@ impl Machine for InOrder {
                 ..RunStats::default()
             },
             halted: false,
+        });
+        self.tracer.emit(|| Event {
+            cycle: 0,
+            thread: 0,
+            track: Track::Core(0),
+            kind: EventKind::ThreadStart,
         });
     }
 
@@ -160,12 +169,30 @@ impl Machine for InOrder {
                 dest: info.dest.filter(|(lane, _)| !lane.is_zero()),
             });
         }
+        let tid = run.tid as u32;
+        self.tracer.emit(|| Event {
+            cycle: run.clock,
+            thread: tid,
+            track: Track::Core(tid),
+            kind: EventKind::PeRetire {
+                pc: info.pc,
+                start,
+                finish,
+            },
+        });
         if run.clock > self.max_cycles {
             return Err(SimError::CycleLimit {
                 limit: self.max_cycles,
             });
         }
         if run.state.halted {
+            let at = run.clock;
+            self.tracer.emit(|| Event {
+                cycle: at,
+                thread: tid,
+                track: Track::Core(tid),
+                kind: EventKind::ThreadHalt,
+            });
             run.total_cycles += run.clock;
             run.tid += 1;
             if run.tid < run.threads {
@@ -174,10 +201,18 @@ impl Machine for InOrder {
                 run.state = ArchState::new_thread(run.program.entry(), run.tid, run.threads);
                 run.reg_ready = [0u64; diag_isa::NUM_LANES];
                 run.clock = 0;
+                let next = run.tid as u32;
+                self.tracer.emit(|| Event {
+                    cycle: 0,
+                    thread: next,
+                    track: Track::Core(next),
+                    kind: EventKind::ThreadStart,
+                });
             } else {
                 run.stats.cycles = run.total_cycles;
                 run.halted = true;
                 self.last_stats = Some(run.stats);
+                let _ = self.tracer.flush();
                 return Ok(StepOutcome::Halted);
             }
         }
@@ -194,6 +229,10 @@ impl Machine for InOrder {
         let mut stats = run.stats;
         stats.cycles = run.total_cycles + run.clock;
         stats
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn set_commit_log(&mut self, enabled: bool) {

@@ -12,6 +12,7 @@ use std::sync::Arc;
 use diag_asm::Program;
 use diag_mem::{MainMemory, PrivateCache, SharedLevel};
 use diag_sim::{Commit, Machine, RunStats, SimError, StepOutcome};
+use diag_trace::{Event, EventKind, Tracer, Track};
 
 use crate::config::O3Config;
 use crate::core::O3Core;
@@ -37,8 +38,15 @@ struct OooRun {
 
 impl OooRun {
     /// Launches the next wave of threads onto fresh cores.
-    fn launch_wave(&mut self, config: &Arc<O3Config>, max_cores: usize, commit_log: bool) {
+    fn launch_wave(
+        &mut self,
+        config: &Arc<O3Config>,
+        max_cores: usize,
+        commit_log: bool,
+        tracer: &Tracer,
+    ) {
         let batch = max_cores.min(self.threads - self.next_tid);
+        let at = self.wave_start;
         self.cores = (0..batch)
             .map(|k| {
                 let l1d = PrivateCache::new(config.l1d, Rc::clone(&self.l2));
@@ -51,6 +59,14 @@ impl OooRun {
                     self.wave_start,
                 );
                 core.commit_log = commit_log;
+                core.tracer = tracer.clone();
+                let thread = core.thread_id() as u32;
+                tracer.emit(|| Event {
+                    cycle: at,
+                    thread,
+                    track: Track::Core(thread),
+                    kind: EventKind::ThreadStart,
+                });
                 core
             })
             .collect();
@@ -94,6 +110,7 @@ pub struct OooCpu {
     last_stats: Option<RunStats>,
     commit_log: bool,
     commits: Vec<Commit>,
+    tracer: Tracer,
 }
 
 impl OooCpu {
@@ -112,6 +129,7 @@ impl OooCpu {
             last_stats: None,
             commit_log: false,
             commits: Vec::new(),
+            tracer: Tracer::off(),
         }
     }
 
@@ -161,7 +179,7 @@ impl Machine for OooCpu {
             finish_time: 0,
             halted: false,
         };
-        run.launch_wave(&self.config, self.max_cores, self.commit_log);
+        run.launch_wave(&self.config, self.max_cores, self.commit_log, &self.tracer);
         self.run = Some(run);
     }
 
@@ -189,7 +207,7 @@ impl Machine for OooCpu {
         }
         run.finish_wave();
         if run.next_tid < run.threads {
-            run.launch_wave(&self.config, self.max_cores, self.commit_log);
+            run.launch_wave(&self.config, self.max_cores, self.commit_log, &self.tracer);
             Ok(StepOutcome::Running)
         } else {
             run.stats.cycles = run.finish_time;
@@ -197,6 +215,7 @@ impl Machine for OooCpu {
             run.stats.activity.busy_cycles = run.finish_time;
             run.halted = true;
             self.last_stats = Some(run.stats);
+            let _ = self.tracer.flush();
             Ok(StepOutcome::Halted)
         }
     }
@@ -220,6 +239,10 @@ impl Machine for OooCpu {
         stats.cycles = clock;
         stats.activity.busy_cycles = clock;
         stats
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn set_commit_log(&mut self, enabled: bool) {

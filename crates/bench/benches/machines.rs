@@ -15,6 +15,7 @@ use diag_bench::runner::{run_verified, MachineKind};
 use diag_bench::sweep::default_jobs;
 use diag_core::{Diag, DiagConfig};
 use diag_sim::Machine;
+use diag_trace::{NullSink, Tracer, VecSink};
 use diag_workloads::{find, Params, Scale, Suite};
 
 /// Times `f` over `reps` runs and returns the best wall-clock seconds.
@@ -72,6 +73,40 @@ fn machine_throughput() {
             let mut m = Diag::new(DiagConfig::f4c32());
             m.run(&built.program, 1).unwrap();
         }),
+    );
+}
+
+/// Overhead of the `diag-trace` instrumentation: the same kernel run with
+/// the tracer off (the default — `emit` is one branch, the event closure
+/// never runs), enabled into a discarding [`NullSink`], and enabled into
+/// an in-memory [`VecSink`]. The disabled number is the one the <2 %
+/// budget in EXPERIMENTS.md refers to.
+fn trace_overhead() {
+    let spec = find("srad").expect("registered");
+    let built = spec.build(&Params::tiny()).expect("build");
+    let timed = |tracer: Option<Tracer>| {
+        best_of(7, || {
+            let mut m = Diag::new(DiagConfig::f4c32());
+            if let Some(t) = &tracer {
+                m.set_tracer(t.clone());
+            }
+            m.run(&built.program, 1).unwrap();
+        })
+    };
+    let off = timed(None);
+    let null = timed(Some(Tracer::to_sink(NullSink)));
+    let vec = timed(Some(Tracer::to_shared(VecSink::shared())));
+    println!("trace overhead on srad (diag_f4c32, tiny):");
+    println!("  tracer off      {:8.2} ms (baseline)", off * 1e3);
+    println!(
+        "  null sink       {:8.2} ms ({:+.1} %)",
+        null * 1e3,
+        (null / off - 1.0) * 1e2
+    );
+    println!(
+        "  vec sink        {:8.2} ms ({:+.1} %)",
+        vec * 1e3,
+        (vec / off - 1.0) * 1e2
     );
 }
 
@@ -149,6 +184,7 @@ fn figure_regeneration() {
 
 fn main() {
     machine_throughput();
+    trace_overhead();
     workload_sweep();
     figure_regeneration();
 }

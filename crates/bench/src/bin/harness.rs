@@ -1,35 +1,74 @@
-//! Experiment harness CLI: regenerates the paper's tables and figures.
+//! Experiment harness CLI: regenerates the paper's tables and figures,
+//! analyzes workloads statically, sweeps machines, and captures traces.
 //!
 //! ```text
-//! harness <experiment> [--quick] [--jobs N] [--strict]
-//! harness all [--quick] [--jobs N] [--strict]
+//! harness run <experiment|all> [--quick] [--jobs N] [--strict]
 //! harness analyze [workload ...|all] [--json] [--threads N] [--simt]
+//! harness sweep [workload ...|all] [--quick] [--jobs N] [--strict]
+//! harness trace <workload> [--machine M] [--format F] [--window N]
+//!               [--out FILE] [--threads N] [--simt] [--quick]
+//! harness --help
 //! ```
 //!
+//! The leading `run` may be omitted (`harness table1` works), preserving
+//! the historical invocation. Unknown flags exit non-zero with the usage
+//! text instead of being silently ignored.
+//!
 //! Experiments: `table1 table2 table3 fig9a fig9b fig10a fig10b fig11
-//! fig12 stalls ablation-lane ablation-reuse ablation-simt ablation-lsu ablation-spec`.
-//! `--quick` runs tiny inputs (for smoke testing); the default is the
-//! benchmarking scale. `--jobs N` shards the simulation runs of each
-//! experiment over N worker threads (default: the host's available
-//! parallelism); results are byte-identical at any job count. `--strict`
-//! exits non-zero if any individual run failed (failures are otherwise
-//! reported inline and the remaining rows still render).
+//! fig12 stalls ablation-lane ablation-reuse ablation-simt ablation-lsu
+//! ablation-spec`. `--quick` runs tiny inputs (for smoke testing); the
+//! default is the benchmarking scale. `--jobs N` shards the simulation
+//! runs of each experiment over N worker threads (default: the host's
+//! available parallelism); results are byte-identical at any job count.
+//! `--strict` exits non-zero if any individual run failed (failures are
+//! otherwise reported inline and the remaining rows still render).
 //!
 //! `analyze` runs the static dataflow analyzer ([`diag_analyze`]) over the
 //! named workloads (default: all) without simulating a cycle, printing one
 //! text report per kernel — or one JSON object per line with `--json` — and
 //! exits non-zero if any kernel has a warning- or error-severity finding.
+//!
+//! `sweep` runs the named workloads (default: all) on every machine model
+//! — DiAG f4c32, the 12-core out-of-order baseline, and the in-order
+//! reference — in parallel, and prints one cycles/IPC table.
+//!
+//! `trace` runs one workload with the [`diag_trace`] subsystem attached
+//! and exports the event stream: `--format perfetto` (default) writes
+//! Chrome trace-event JSON loadable at <https://ui.perfetto.dev>,
+//! `jsonl` writes the canonical one-event-per-line stream, `heatmap` and
+//! `timeline` render text views at `--window N` cycles per bucket
+//! (default: the run length over 64). `--out FILE` redirects the export
+//! from stdout into a file.
 
-use diag_bench::experiments;
-use diag_workloads::{Scale, Suite};
+use diag_bench::runner::MachineKind;
+use diag_bench::sweep::Sweep;
+use diag_bench::{experiments, sweep};
+use diag_trace::timeline::StallTimeline;
+use diag_trace::{heatmap, perfetto, Tracer, VecSink};
+use diag_workloads::{Params, Scale, Suite};
+
+const USAGE: &str = "usage: harness <subcommand> [options]
+
+subcommands:
+  run <experiment|all>   regenerate a paper table/figure (the leading
+                         `run` may be omitted: `harness table1` works)
+  analyze [workload ...] static dataflow analysis, no simulation
+  sweep [workload ...]   run workloads on every machine; cycles/IPC table
+  trace <workload>       run one workload with tracing and export events
+  --help                 this message
+
+run options:      [--quick] [--jobs N] [--strict]
+analyze options:  [--json] [--threads N] [--simt]
+sweep options:    [--quick] [--jobs N] [--strict]
+trace options:    [--machine diag|ooo|inorder] [--format perfetto|jsonl|heatmap|timeline]
+                  [--window N] [--out FILE] [--threads N] [--simt] [--quick]
+
+experiments: table1 table2 table3 fig9a fig9b fig10a fig10b fig11 fig12
+             stalls ablation-lane ablation-reuse ablation-simt
+             ablation-lsu ablation-spec";
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: harness <experiment|all> [--quick] [--jobs N] [--strict]\n\
-         \x20      harness analyze [workload ...|all] [--json] [--threads N] [--simt]\n\
-         experiments: table1 table2 table3 fig9a fig9b fig10a fig10b fig11 fig12 \
-         stalls ablation-lane ablation-reuse ablation-simt ablation-lsu ablation-spec"
-    );
+    eprintln!("{USAGE}");
     std::process::exit(2)
 }
 
@@ -52,23 +91,14 @@ fn analyze_cmd(args: &[String]) -> i32 {
                 };
                 threads = n.max(1);
             }
-            other if other.starts_with("--") => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
             other => names.push(other),
         }
     }
-    let specs: Vec<diag_workloads::WorkloadSpec> = if names.is_empty() || names == ["all"] {
-        diag_workloads::all()
-    } else {
-        names
-            .iter()
-            .map(|n| {
-                diag_workloads::find(n).unwrap_or_else(|| {
-                    eprintln!("unknown workload `{n}`");
-                    usage();
-                })
-            })
-            .collect()
-    };
+    let specs = resolve_workloads(&names);
 
     let opts = diag_analyze::AnalyzeOptions {
         config: diag_core::DiagConfig::f4c32(),
@@ -106,6 +136,297 @@ fn analyze_cmd(args: &[String]) -> i32 {
     } else {
         0
     }
+}
+
+/// Looks up workload names (empty or `all` → every bundled workload),
+/// exiting with usage on an unknown name.
+fn resolve_workloads(names: &[&str]) -> Vec<diag_workloads::WorkloadSpec> {
+    if names.is_empty() || names == ["all"] {
+        return diag_workloads::all();
+    }
+    names
+        .iter()
+        .map(|n| {
+            diag_workloads::find(n).unwrap_or_else(|| {
+                eprintln!("unknown workload `{n}`");
+                usage();
+            })
+        })
+        .collect()
+}
+
+/// The `sweep` subcommand: every named workload on every machine model,
+/// one cycles/IPC table. Returns the process exit code.
+fn sweep_cmd(args: &[String]) -> i32 {
+    let mut quick = false;
+    let mut strict = false;
+    let mut jobs = sweep::default_jobs();
+    let mut names: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--strict" => strict = true,
+            "--jobs" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--jobs needs a positive integer");
+                    usage();
+                };
+                jobs = n.max(1);
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+            other => names.push(other),
+        }
+    }
+    let specs = resolve_workloads(&names);
+    let params = if quick {
+        Params::tiny()
+    } else {
+        Params::small()
+    };
+    let machines = [
+        MachineKind::Diag(diag_core::DiagConfig::f4c32()),
+        MachineKind::Ooo(12),
+        MachineKind::InOrder,
+    ];
+    let mut queue = Sweep::new();
+    let mut ids = Vec::new();
+    for spec in &specs {
+        let row: Vec<_> = machines
+            .iter()
+            .map(|m| queue.add(m.clone(), *spec, params))
+            .collect();
+        ids.push((spec.name, row));
+    }
+    let results = queue.execute(jobs);
+    let mut table = diag_power::TextTable::new(
+        std::iter::once("benchmark".to_string()).chain(machines.iter().map(|m| m.label())),
+    );
+    for (name, row) in &ids {
+        table.row(
+            std::iter::once(name.to_string()).chain(row.iter().map(
+                |id| match results.stats(*id) {
+                    Some(s) => format!("{} cy (IPC {:.2})", s.cycles, s.ipc()),
+                    None => "failed".to_string(),
+                },
+            )),
+        );
+    }
+    let mut out = table.render();
+    sweep::append_failures(&mut out, &results);
+    println!("{out}");
+    if strict && !results.failures().is_empty() {
+        eprintln!("--strict: at least one run failed");
+        return 1;
+    }
+    0
+}
+
+/// The `trace` subcommand: run one workload with a tracer attached and
+/// export the event stream. Returns the process exit code.
+fn trace_cmd(args: &[String]) -> i32 {
+    let mut machine_name = "diag";
+    let mut format = "perfetto";
+    let mut window: Option<u64> = None;
+    let mut out: Option<String> = None;
+    let mut threads = 1usize;
+    let mut simt = false;
+    let mut quick = false;
+    let mut names: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--simt" => simt = true,
+            "--quick" => quick = true,
+            "--machine" => match it.next() {
+                Some(m) => machine_name = m,
+                None => {
+                    eprintln!("--machine needs a name (diag|ooo|inorder)");
+                    usage();
+                }
+            },
+            "--format" => match it.next() {
+                Some(f) => format = f,
+                None => {
+                    eprintln!("--format needs a name (perfetto|jsonl|heatmap|timeline)");
+                    usage();
+                }
+            },
+            "--window" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("--window needs a positive integer");
+                    usage();
+                };
+                window = Some(n.max(1));
+            }
+            "--out" => match it.next() {
+                Some(path) => out = Some(path.clone()),
+                None => {
+                    eprintln!("--out needs a file path");
+                    usage();
+                }
+            },
+            "--threads" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--threads needs a positive integer");
+                    usage();
+                };
+                threads = n.max(1);
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+            other => names.push(other),
+        }
+    }
+    let [name] = names[..] else {
+        eprintln!("trace needs exactly one workload name");
+        usage();
+    };
+    let Some(spec) = diag_workloads::find(name) else {
+        eprintln!("unknown workload `{name}`");
+        usage();
+    };
+    if simt && !spec.simt_capable {
+        eprintln!("{name} has no SIMT variant");
+        return 1;
+    }
+    if !matches!(format, "perfetto" | "jsonl" | "heatmap" | "timeline") {
+        eprintln!("unknown format `{format}` (perfetto|jsonl|heatmap|timeline)");
+        usage();
+    }
+    let kind = match machine_name {
+        "diag" => MachineKind::Diag(diag_core::DiagConfig::f4c32()),
+        "ooo" => MachineKind::Ooo(12),
+        "inorder" => MachineKind::InOrder,
+        other => {
+            eprintln!("unknown machine `{other}` (diag|ooo|inorder)");
+            usage();
+        }
+    };
+    let params = if quick {
+        Params::tiny()
+    } else {
+        Params::small()
+    }
+    .with_threads(threads)
+    .with_simt(simt);
+    let built = match spec.build(&params) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{name}: build failed: {e}");
+            return 1;
+        }
+    };
+    let sink = VecSink::shared();
+    let mut machine = kind.build();
+    machine.set_tracer(Tracer::to_shared(sink.clone()));
+    let stats = match machine.run(&built.program, params.threads) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{name} on {}: {e}", kind.label());
+            return 1;
+        }
+    };
+    if let Err(e) = (built.verify)(machine.as_ref()) {
+        eprintln!("{name} on {}: verification failed: {e}", kind.label());
+        return 1;
+    }
+    let events = sink.borrow_mut().take();
+    let window = window.unwrap_or_else(|| (stats.cycles / 64).max(1));
+    let text = match format {
+        "perfetto" => perfetto::export(&events),
+        "jsonl" => {
+            let mut buf = String::new();
+            for event in &events {
+                event.write_jsonl(&mut buf);
+                buf.push('\n');
+            }
+            buf
+        }
+        "heatmap" => heatmap::render(&events, window),
+        _ => StallTimeline::from_events(&events, window).render(),
+    };
+    eprintln!(
+        "{name} on {}: {} events over {} cycles ({} committed)",
+        kind.label(),
+        events.len(),
+        stats.cycles,
+        stats.committed
+    );
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("cannot write {path}: {e}");
+                return 1;
+            }
+            eprintln!("wrote {format} trace to {path}");
+        }
+        None => print!("{text}"),
+    }
+    0
+}
+
+/// The `run` subcommand (also the default): regenerate paper artifacts.
+/// Returns the process exit code.
+fn run_cmd(args: &[String]) -> i32 {
+    let mut quick = false;
+    let mut strict = false;
+    let mut jobs = sweep::default_jobs();
+    let mut names: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--strict" => strict = true,
+            "--jobs" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--jobs needs a positive integer");
+                    usage();
+                };
+                jobs = n.max(1);
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+            other => names.push(other),
+        }
+    }
+    let scale = if quick { Scale::Tiny } else { Scale::Small };
+    if names.is_empty() {
+        usage();
+    }
+    let list: Vec<&str> = if names == ["all"] {
+        ALL.to_vec()
+    } else {
+        names
+    };
+    let mut any_failed = false;
+    for (i, name) in list.iter().enumerate() {
+        match run(name, scale, jobs) {
+            Some(out) => {
+                if i > 0 {
+                    println!();
+                }
+                any_failed |= out.contains(FAILURE_MARKER);
+                println!("{out}");
+            }
+            None => {
+                eprintln!("unknown experiment `{name}`");
+                usage();
+            }
+        }
+    }
+    if strict && any_failed {
+        eprintln!("--strict: at least one run failed (see \"failed runs\" sections above)");
+        return 1;
+    }
+    0
 }
 
 fn run(name: &str, scale: Scale, jobs: usize) -> Option<String> {
@@ -153,52 +474,17 @@ const FAILURE_MARKER: &str = "failed runs (";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("analyze") {
-        std::process::exit(analyze_cmd(&args[1..]));
-    }
-    let quick = args.iter().any(|a| a == "--quick");
-    let strict = args.iter().any(|a| a == "--strict");
-    let mut jobs = diag_bench::sweep::default_jobs();
-    let mut names: Vec<&str> = Vec::new();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--quick" | "--strict" => {}
-            "--jobs" => {
-                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
-                    eprintln!("--jobs needs a positive integer");
-                    usage();
-                };
-                jobs = n.max(1);
-            }
-            other if other.starts_with("--") => usage(),
-            other => names.push(other),
+    let code = match args.first().map(String::as_str) {
+        Some("--help") | Some("-h") | Some("help") => {
+            println!("{USAGE}");
+            0
         }
-    }
-    let scale = if quick { Scale::Tiny } else { Scale::Small };
-    if names.is_empty() {
-        usage();
-    }
-    let list: Vec<&str> = if names == ["all"] {
-        ALL.to_vec()
-    } else {
-        names
+        Some("analyze") => analyze_cmd(&args[1..]),
+        Some("sweep") => sweep_cmd(&args[1..]),
+        Some("trace") => trace_cmd(&args[1..]),
+        Some("run") => run_cmd(&args[1..]),
+        Some(_) => run_cmd(&args),
+        None => usage(),
     };
-    let mut any_failed = false;
-    for (i, name) in list.iter().enumerate() {
-        match run(name, scale, jobs) {
-            Some(out) => {
-                if i > 0 {
-                    println!();
-                }
-                any_failed |= out.contains(FAILURE_MARKER);
-                println!("{out}");
-            }
-            None => usage(),
-        }
-    }
-    if strict && any_failed {
-        eprintln!("--strict: at least one run failed (see \"failed runs\" sections above)");
-        std::process::exit(1);
-    }
+    std::process::exit(code)
 }

@@ -26,7 +26,9 @@ impl LaneGeometry {
         self.ring_slots.div_ceil(self.buffer_interval)
     }
 
-    fn segment_of(&self, slot: usize) -> usize {
+    /// Lane-buffer segment containing global PE `slot` (used by the trace
+    /// subsystem to attribute segment-buffer traffic).
+    pub fn segment_of(&self, slot: usize) -> usize {
         (slot % self.ring_slots) / self.buffer_interval
     }
 
@@ -115,6 +117,16 @@ impl LaneFile {
             0
         } else {
             self.ready[lane.index()]
+        }
+    }
+
+    /// Global PE slot of the lane's most recent writer (slot 0 for
+    /// never-written lanes and the `x0` lane).
+    pub fn writer_of(&self, lane: ArchReg) -> usize {
+        if lane.is_zero() {
+            0
+        } else {
+            self.writer[lane.index()]
         }
     }
 

@@ -12,6 +12,7 @@ use std::sync::Arc;
 use diag_asm::Program;
 use diag_mem::MainMemory;
 use diag_sim::{Commit, Machine, RunStats, SimError, StepOutcome};
+use diag_trace::{Event, EventKind, Tracer, Track};
 
 use crate::config::DiagConfig;
 use crate::ring::RingSim;
@@ -57,6 +58,16 @@ impl DiagRun {
                 ring
             })
             .collect();
+        let at = self.wave_start;
+        for ring in &self.rings {
+            let thread = ring.thread_id() as u32;
+            self.shared.tracer.emit(|| Event {
+                cycle: at,
+                thread,
+                track: Track::Control,
+                kind: EventKind::ThreadStart,
+            });
+        }
         self.next_tid += batch;
     }
 }
@@ -100,6 +111,7 @@ pub struct Diag {
     last_trace: Vec<crate::ring::TraceEvent>,
     commit_log: bool,
     commits: Vec<Commit>,
+    tracer: Tracer,
 }
 
 impl Diag {
@@ -118,6 +130,7 @@ impl Diag {
             last_trace: Vec::new(),
             commit_log: false,
             commits: Vec::new(),
+            tracer: Tracer::off(),
         }
     }
 
@@ -132,11 +145,27 @@ impl Diag {
     }
 
     /// Per-instruction execution trace of the most recent run (empty
-    /// unless [`DiagConfig::collect_trace`] is set). Events are in
-    /// retirement order per ring, rings concatenated by thread id; events
-    /// of waves completed so far are visible mid-run.
+    /// unless [`DiagConfig::collect_trace`] is set).
+    ///
+    /// # Ordering guarantee
+    ///
+    /// Events are sorted by retirement (commit) time *within each ring*;
+    /// across rings they are merely concatenated — first wave by wave,
+    /// then ring by ring in thread-id order within a wave — so the slice
+    /// as a whole is **not** globally cycle-sorted for multi-threaded
+    /// runs. Use [`Diag::merged_trace`] for a globally cycle-sorted view.
+    /// Events of waves completed so far are visible mid-run.
     pub fn last_trace(&self) -> &[crate::ring::TraceEvent] {
         &self.last_trace
+    }
+
+    /// [`Diag::last_trace`] merged across rings into a single
+    /// retirement-time-sorted stream. Ties on commit cycle are broken by
+    /// thread id, then start cycle, then PC, so the view is deterministic.
+    pub fn merged_trace(&self) -> Vec<crate::ring::TraceEvent> {
+        let mut merged = self.last_trace.clone();
+        merged.sort_by_key(|e| (e.commit, e.thread, e.start, e.pc));
+        merged
     }
 
     /// Folds a finished wave's rings into the aggregate statistics.
@@ -144,7 +173,7 @@ impl Diag {
         for ring in &mut run.rings {
             self.last_trace.append(&mut ring.trace);
             run.committed += ring.commit.committed();
-            run.stats.activity += ring.stats.activity;
+            run.stats.activity += ring.stats.activity();
             run.stats.stalls += ring.stats.stalls;
             // Resident-PE·cycles: a loaded cluster's PEs, register-lane
             // segments, and decoder latches stay powered while resident
@@ -169,7 +198,8 @@ impl Machine for Diag {
     fn load(&mut self, program: &Program, threads: usize) {
         let threads = threads.max(1);
         let program = Arc::new(program.clone());
-        let shared = SharedParts::new(&self.config, MainMemory::with_program(&program));
+        let mut shared = SharedParts::new(&self.config, MainMemory::with_program(&program));
+        shared.tracer = self.tracer.clone();
         self.last_trace.clear();
         self.commits.clear();
         self.last_stats = None;
@@ -236,6 +266,7 @@ impl Machine for Diag {
                 run.stats.activity.busy_cycles = run.finish_time;
                 run.halted = true;
                 self.last_stats = Some(run.stats);
+                let _ = self.tracer.flush();
                 Ok(StepOutcome::Halted)
             }
         })();
@@ -254,7 +285,7 @@ impl Machine for Diag {
         stats.committed = run.committed;
         let mut clock = run.finish_time;
         for ring in &run.rings {
-            stats.activity += ring.stats.activity;
+            stats.activity += ring.stats.activity();
             stats.stalls += ring.stats.stalls;
             stats.committed += ring.commit.committed();
             clock = clock.max(ring.clock());
@@ -262,6 +293,10 @@ impl Machine for Diag {
         stats.cycles = clock;
         stats.activity.busy_cycles = clock;
         stats
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn set_commit_log(&mut self, enabled: bool) {

@@ -22,6 +22,7 @@ use diag_asm::Program;
 use diag_isa::{decode, exec, ArchReg, Inst, Reg, INST_BYTES};
 use diag_mem::{LaneLookup, MemLane, REGFILE_BEATS};
 use diag_sim::{Activity, Commit, SimError, StallBreakdown};
+use diag_trace::{Counter, Counters, Event, EventKind, StallCause, Tracer, Track};
 
 use crate::cluster::Cluster;
 
@@ -37,6 +38,8 @@ use crate::shared::SharedParts;
 /// [`DiagConfig::collect_trace`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceEvent {
+    /// Hardware thread the instruction retired on.
+    pub thread: u32,
     /// Instruction address.
     pub pc: u32,
     /// Global PE slot the instruction executed on.
@@ -54,10 +57,18 @@ pub struct TraceEvent {
 /// Per-ring statistics merged into the machine's [`diag_sim::RunStats`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RingStats {
-    /// Component activity (feeds the energy model).
-    pub activity: Activity,
+    /// Component activity as a `diag-trace` counter bank; folded into the
+    /// machine's [`Activity`] via [`RingStats::activity`].
+    pub counters: Counters,
     /// Stall-source cycles (§7.3.2 taxonomy).
     pub stalls: StallBreakdown,
+}
+
+impl RingStats {
+    /// The counter bank viewed as the energy model's [`Activity`] record.
+    pub fn activity(&self) -> Activity {
+        Activity::from(&self.counters)
+    }
 }
 
 /// One dataflow ring executing one hardware thread.
@@ -102,6 +113,10 @@ pub struct RingSim {
     pub(crate) interrupt_taken: bool,
     /// Collected execution trace (when configured).
     pub(crate) trace: Vec<TraceEvent>,
+    /// In-flight lane transports per buffered segment (arrival times),
+    /// maintained only while a tracer is attached to feed
+    /// [`diag_trace::EventKind::SegOccupancy`] events.
+    pub(crate) seg_inflight: Vec<Vec<u64>>,
     pub(crate) thread_id: usize,
     /// Whether retirements are appended to `commits`. Commit logging also
     /// forces SIMT regions onto the sequential marker path so the stream
@@ -159,6 +174,7 @@ impl RingSim {
             max_resident: 0,
             interrupt_taken: false,
             trace: Vec::new(),
+            seg_inflight: Vec::new(),
             thread_id,
             commit_log: false,
             commits: Vec::new(),
@@ -191,6 +207,104 @@ impl RingSim {
         !(self.config.line_bytes() - 1)
     }
 
+    /// Records `cycles` of stall attributed to `cause`, ending at `end`,
+    /// both in the §7.3.2 breakdown and — when a tracer is attached — as a
+    /// paired `StallBegin`/`StallEnd` interval on `track`. Every stall the
+    /// ring accounts flows through here, which is what lets the
+    /// stall-attribution timeline reconcile exactly with
+    /// [`StallBreakdown`].
+    pub(crate) fn stall(
+        &mut self,
+        tracer: &Tracer,
+        track: Track,
+        cause: StallCause,
+        end: u64,
+        cycles: u64,
+    ) {
+        if cycles == 0 {
+            return;
+        }
+        self.stats.stalls.add_cycles(cause, cycles);
+        let thread = self.thread_id as u32;
+        tracer.emit(|| Event {
+            cycle: end.saturating_sub(cycles),
+            thread,
+            track,
+            kind: EventKind::StallBegin { cause },
+        });
+        tracer.emit(|| Event {
+            cycle: end,
+            thread,
+            track,
+            kind: EventKind::StallEnd { cause, cycles },
+        });
+    }
+
+    /// Emits segment-buffer traffic events for one lane transport that
+    /// departs the writer at `depart` and reaches the reader at `arrive`
+    /// (only called with an enabled tracer).
+    fn emit_transport(
+        &mut self,
+        tracer: &Tracer,
+        lane: ArchReg,
+        reader_slot: usize,
+        depart: u64,
+        arrive: u64,
+    ) {
+        let thread = self.thread_id as u32;
+        let l = lane.index() as u8;
+        let from_slot = self.lanes.writer_of(lane);
+        let seg_from = self.geom.segment_of(from_slot) as u32;
+        let seg_to = self.geom.segment_of(reader_slot) as u32;
+        let to_slot = (reader_slot % self.geom.ring_slots) as u32;
+        tracer.emit(|| Event {
+            cycle: depart,
+            thread,
+            track: Track::Lane(l),
+            kind: EventKind::LaneForward {
+                lane: l,
+                from_slot: from_slot as u32,
+                to_slot,
+                hops: (arrive - depart) as u32,
+            },
+        });
+        tracer.emit(|| Event {
+            cycle: depart,
+            thread,
+            track: Track::Lane(l),
+            kind: EventKind::SegPush {
+                lane: l,
+                segment: seg_from,
+            },
+        });
+        tracer.emit(|| Event {
+            cycle: arrive,
+            thread,
+            track: Track::Lane(l),
+            kind: EventKind::SegPop {
+                lane: l,
+                segment: seg_to,
+            },
+        });
+        let segments = self.geom.segments();
+        if self.seg_inflight.len() < segments {
+            self.seg_inflight.resize(segments, Vec::new());
+        }
+        let row = &mut self.seg_inflight[seg_from as usize];
+        row.retain(|&e| e > depart);
+        row.push(arrive);
+        let occupancy = row.len() as u32;
+        tracer.emit(|| Event {
+            cycle: depart,
+            thread,
+            track: Track::Lane(l),
+            kind: EventKind::SegOccupancy {
+                segment: seg_from,
+                occupancy,
+            },
+        });
+    }
+
     /// Ensures the I-line containing `line` is resident; returns its
     /// cluster index. `was_redirect` attributes any fetch wait to control.
     fn ensure_resident(
@@ -218,24 +332,42 @@ impl RingSim {
         };
         // A known loop target was prefetched while the victim cluster was
         // draining; its transport cost was already paid in the background.
+        let tracer = shared.tracer.clone();
+        let thread = self.thread_id as u32;
         let prefetched = was_redirect && self.loop_lines.contains(&line);
         let arrived = if prefetched {
-            self.stats.activity.line_fetches += 1;
-            self.stats.activity.bus_beats += diag_mem::ILINE_BEATS;
             initiate
         } else {
-            let (arrived, bus_wait) = shared.fetch_line(line, initiate);
-            self.stats.stalls.structural += bus_wait;
+            let (arrived, bus_wait) = shared.fetch_line(line, initiate, thread);
+            self.stall(
+                &tracer,
+                Track::Bus,
+                StallCause::Structural,
+                arrived,
+                bus_wait,
+            );
             arrived
         };
         let free = self.clusters[c].last_commit;
         if free > arrived {
-            self.stats.stalls.structural += free - arrived;
+            self.stall(
+                &tracer,
+                Track::Cluster(c as u32),
+                StallCause::Structural,
+                free,
+                free - arrived,
+            );
         }
         let latch = arrived.max(free);
         let decode_ready = latch + self.config.line_load_cycles + 1;
         if was_redirect && decode_ready > self.time_floor {
-            self.stats.stalls.control += decode_ready - self.time_floor;
+            self.stall(
+                &tracer,
+                Track::Cluster(c as u32),
+                StallCause::Control,
+                decode_ready,
+                decode_ready - self.time_floor,
+            );
         }
         if let Some(old) = self.clusters[c].line_addr {
             self.resident.remove(&old);
@@ -244,17 +376,36 @@ impl RingSim {
         self.resident.insert(line, c);
         self.max_resident = self.max_resident.max(self.resident.len());
         self.last_line = Some((line, arrived));
-        if !prefetched {
-            self.stats.activity.line_fetches += 1;
-            self.stats.activity.bus_beats += diag_mem::ILINE_BEATS;
-        }
+        self.stats.counters.inc(Counter::LineFetches);
+        self.stats
+            .counters
+            .add(Counter::BusBeats, diag_mem::ILINE_BEATS);
+        tracer.emit(|| Event {
+            cycle: arrived,
+            thread,
+            track: Track::Cluster(c as u32),
+            kind: EventKind::LineFetch { line, prefetched },
+        });
         c
     }
 
     /// Handles a taken control transfer resolved at `resolve` from global
     /// PE slot `from_slot`; sets the floor for the next instruction.
     fn redirect(&mut self, target: u32, resolve: u64, from_slot: usize, shared: &mut SharedParts) {
+        let tracer = shared.tracer.clone();
+        let thread = self.thread_id as u32;
         let backward = target <= self.pc;
+        let from_pc = self.pc;
+        tracer.emit(|| Event {
+            cycle: resolve,
+            thread,
+            track: Track::Control,
+            kind: EventKind::BranchRedirect {
+                from_pc,
+                to_pc: target,
+                backward,
+            },
+        });
         let line = target & self.line_mask();
         match self.resident.get(&line).copied() {
             Some(c) => {
@@ -273,8 +424,13 @@ impl RingSim {
                     } else {
                         // Partial register-file transfer over the 512-bit
                         // bus: two cycles plus arbitration (§5.1.3).
-                        let granted = shared.bus.request(resolve, REGFILE_BEATS);
-                        self.stats.activity.bus_beats += REGFILE_BEATS;
+                        let granted = shared.bus.request_traced(
+                            resolve,
+                            REGFILE_BEATS,
+                            &shared.tracer,
+                            thread,
+                        );
+                        self.stats.counters.add(Counter::BusBeats, REGFILE_BEATS);
                         granted + REGFILE_BEATS - resolve
                     };
                     self.time_floor = resolve + delay;
@@ -283,7 +439,13 @@ impl RingSim {
                     // disable the skipped PEs — wasted slots the paper's
                     // taxonomy counts as control (§7.3.2).
                     if !backward {
-                        self.stats.stalls.control += delay;
+                        self.stall(
+                            &tracer,
+                            Track::Control,
+                            StallCause::Control,
+                            resolve + delay,
+                            delay,
+                        );
                     }
                     self.redirect_pending = true;
                     return;
@@ -308,7 +470,14 @@ impl RingSim {
                 self.time_floor = resolve + 1;
             }
         }
-        self.stats.stalls.control += self.time_floor - resolve;
+        let floor = self.time_floor;
+        self.stall(
+            &tracer,
+            Track::Control,
+            StallCause::Control,
+            floor,
+            floor - resolve,
+        );
         self.redirect_pending = true;
     }
 
@@ -328,18 +497,25 @@ impl RingSim {
         start: u64,
         shared: &mut SharedParts,
     ) -> (u64, u64) {
+        let tracer = shared.tracer.clone();
+        let thread = self.thread_id as u32;
+        let unit = cluster as u32;
         if write {
             let want = start.max(self.mem_floor);
-            let (issue, waited) = self.clusters[cluster].lsu.issue_blocking(want);
-            self.stats.stalls.memory += waited;
+            let (issue, waited, id) = self.clusters[cluster]
+                .lsu
+                .issue_blocking_traced(want, true, &tracer, thread, unit);
+            self.stall(&tracer, Track::Lsu(unit), StallCause::Memory, issue, waited);
             self.mem_floor = issue;
             self.memlane.push_store(addr, size, 0, issue);
             self.memlane.trim();
-            let out = shared.l1d.access(addr, true, issue);
+            let out = shared.l1d.access_traced(addr, true, issue, &tracer, thread);
             self.count_cache(&out);
             self.clusters[cluster].line_buf_fill(addr & !(shared_line_mask()));
             let ready = issue + 1;
-            self.clusters[cluster].lsu.complete_at(ready);
+            self.clusters[cluster]
+                .lsu
+                .complete_at_traced(ready, id, &tracer, thread, unit);
             (issue, ready)
         } else {
             let (want, forward) = match self.memlane.lookup(addr, size) {
@@ -356,36 +532,48 @@ impl RingSim {
             // queue or an L1D port.
             let line = addr & !(shared_line_mask());
             if !forward && self.clusters[cluster].line_buf_hit(line) {
-                self.stats.activity.memlane_hits += 1;
+                self.stats.counters.inc(Counter::MemlaneHits);
                 return (want, want + 1);
             }
-            let (issue, waited) = self.clusters[cluster].lsu.issue_blocking(want);
-            self.stats.stalls.memory += waited;
+            let (issue, waited, id) = self.clusters[cluster]
+                .lsu
+                .issue_blocking_traced(want, false, &tracer, thread, unit);
+            self.stall(&tracer, Track::Lsu(unit), StallCause::Memory, issue, waited);
             let ready = if forward {
-                self.stats.activity.memlane_hits += 1;
+                self.stats.counters.inc(Counter::MemlaneHits);
                 issue + 1
             } else {
-                let out = shared.l1d.access(addr, false, issue);
+                let out = shared
+                    .l1d
+                    .access_traced(addr, false, issue, &tracer, thread);
                 self.count_cache(&out);
                 if !out.l1_hit {
                     let hit_time = issue + self.config.l1d.hit_latency as u64;
-                    self.stats.stalls.memory += out.ready_at.saturating_sub(hit_time);
+                    self.stall(
+                        &tracer,
+                        Track::Cache(1),
+                        StallCause::Memory,
+                        out.ready_at,
+                        out.ready_at.saturating_sub(hit_time),
+                    );
                 }
                 self.clusters[cluster].line_buf_fill(line);
                 out.ready_at
             };
-            self.clusters[cluster].lsu.complete_at(ready);
+            self.clusters[cluster]
+                .lsu
+                .complete_at_traced(ready, id, &tracer, thread, unit);
             (issue, ready)
         }
     }
 
     pub(crate) fn count_cache(&mut self, out: &diag_mem::MemOutcome) {
-        self.stats.activity.l1d_accesses += 1;
+        self.stats.counters.inc(Counter::L1dAccesses);
         if !out.l1_hit {
-            self.stats.activity.l1d_misses += 1;
-            self.stats.activity.l2_accesses += 1;
+            self.stats.counters.inc(Counter::L1dMisses);
+            self.stats.counters.inc(Counter::L2Accesses);
             if !out.l2_hit {
-                self.stats.activity.l2_misses += 1;
+                self.stats.counters.inc(Counter::L2Misses);
             }
         }
     }
@@ -410,7 +598,8 @@ impl RingSim {
                 // conventional scratch register (a simplified mepc).
                 self.lanes
                     .write(diag_isa::Reg::GP.into(), old_pc, resolve, slot);
-                self.stats.stalls.control += 1;
+                let tracer = shared.tracer.clone();
+                self.stall(&tracer, Track::Control, StallCause::Control, resolve, 1);
             }
         }
         let pc = self.pc;
@@ -435,11 +624,13 @@ impl RingSim {
         let slot_in = ((pc - line) / INST_BYTES) as usize;
         let slot = cluster * self.config.pes_per_cluster + slot_in;
 
+        let tracer = shared.tracer.clone();
+        let thread = self.thread_id as u32;
         let reused = !self.clusters[cluster].mark_decoded(slot_in);
         if reused {
-            self.stats.activity.reuse_commits += 1;
+            self.stats.counters.inc(Counter::ReuseCommits);
         } else {
-            self.stats.activity.decodes += 1;
+            self.stats.counters.inc(Counter::Decodes);
         }
         let decode_ready = self.clusters[cluster].decode_ready;
 
@@ -447,7 +638,11 @@ impl RingSim {
         let mut op_ready = 0u64;
         for src in inst.sources().iter() {
             let t = self.lanes.ready_at(src, slot, self.geom);
-            self.stats.activity.lane_transports += t - self.lanes.raw_ready(src);
+            let raw = self.lanes.raw_ready(src);
+            self.stats.counters.add(Counter::LaneTransports, t - raw);
+            if t > raw && tracer.enabled() {
+                self.emit_transport(&tracer, src, slot, raw, t);
+            }
             op_ready = op_ready.max(t);
         }
 
@@ -456,6 +651,15 @@ impl RingSim {
             .max(decode_ready)
             .max(self.time_floor)
             .max(slot_free);
+        tracer.emit(|| Event {
+            cycle: start,
+            thread,
+            track: Track::Pe {
+                cluster: cluster as u32,
+                slot: slot_in as u32,
+            },
+            kind: EventKind::PeIssue { pc, reused },
+        });
 
         let mut next_pc = pc.wrapping_add(INST_BYTES);
         let mut lane_write: Option<(ArchReg, u32)> = None;
@@ -531,7 +735,7 @@ impl RingSim {
                 finish = ready;
                 let raw = shared.mem.read(addr, size);
                 lane_write = Some((rd.into(), exec::extend_load(op, raw)));
-                self.stats.activity.loads += 1;
+                self.stats.counters.inc(Counter::Loads);
             }
             Inst::Store {
                 op,
@@ -549,7 +753,7 @@ impl RingSim {
                 let (issue, ready) = self.issue_mem(cluster, addr, size, true, start, shared);
                 slot_release = Some(issue + 1);
                 finish = ready;
-                self.stats.activity.stores += 1;
+                self.stats.counters.inc(Counter::Stores);
             }
             Inst::Flw { rd, rs1, offset } => {
                 let addr = self.lanes.value(rs1.into()).wrapping_add(offset as u32);
@@ -560,7 +764,7 @@ impl RingSim {
                 slot_release = Some(issue + 1);
                 finish = ready;
                 lane_write = Some((rd.into(), shared.mem.read_u32(addr)));
-                self.stats.activity.loads += 1;
+                self.stats.counters.inc(Counter::Loads);
             }
             Inst::Fsw { rs1, rs2, offset } => {
                 let addr = self.lanes.value(rs1.into()).wrapping_add(offset as u32);
@@ -571,7 +775,7 @@ impl RingSim {
                 let (issue, ready) = self.issue_mem(cluster, addr, 4, true, start, shared);
                 slot_release = Some(issue + 1);
                 finish = ready;
-                self.stats.activity.stores += 1;
+                self.stats.counters.inc(Counter::Stores);
             }
             Inst::FpOp { op, rd, rs1, rs2 } => {
                 finish = start + inst.exec_latency() as u64;
@@ -680,20 +884,50 @@ impl RingSim {
         if let Some((lane, value)) = lane_write {
             self.lanes.write(lane, value, finish, slot);
             if !lane.is_zero() {
-                self.stats.activity.reg_writes += 1;
+                self.stats.counters.inc(Counter::RegWrites);
+                tracer.emit(|| Event {
+                    cycle: finish,
+                    thread,
+                    track: Track::Lane(lane.index() as u8),
+                    kind: EventKind::LaneWrite {
+                        lane: lane.index() as u8,
+                    },
+                });
             }
         }
         let exec_cycles = finish - start;
-        self.stats.activity.pe_active_cycles += exec_cycles.max(1);
+        self.stats
+            .counters
+            .add(Counter::PeActiveCycles, exec_cycles.max(1));
         if inst.uses_fpu() {
-            self.stats.activity.fpu_active_cycles += exec_cycles.max(1);
-            self.stats.activity.fp_ops += 1;
+            self.stats
+                .counters
+                .add(Counter::FpuActiveCycles, exec_cycles.max(1));
+            self.stats.counters.inc(Counter::FpOps);
         } else if !inst.is_mem() {
-            self.stats.activity.int_ops += 1;
+            self.stats.counters.inc(Counter::IntOps);
         }
         let commit_t = self.commit.commit(finish);
+        tracer.emit(|| Event {
+            cycle: commit_t,
+            thread,
+            track: Track::Pe {
+                cluster: cluster as u32,
+                slot: slot_in as u32,
+            },
+            kind: EventKind::PeRetire { pc, start, finish },
+        });
+        if self.halted {
+            tracer.emit(|| Event {
+                cycle: commit_t,
+                thread,
+                track: Track::Control,
+                kind: EventKind::ThreadHalt,
+            });
+        }
         if self.config.collect_trace {
             self.trace.push(TraceEvent {
+                thread,
                 pc,
                 slot,
                 start,

@@ -17,6 +17,7 @@
 use diag_isa::{exec, ArchReg, Inst, Reg, INST_BYTES};
 use diag_mem::{LaneLookup, MemLane};
 use diag_sim::SimError;
+use diag_trace::{Counter, Event, EventKind, StallCause, Track};
 
 use crate::lane::LaneFile;
 use crate::ring::RingSim;
@@ -112,10 +113,21 @@ impl RingSim {
         let mut end_time = t0;
         let final_lanes: LaneFile;
 
+        let tracer = shared.tracer.clone();
+        let thread = self.thread_id as u32;
         let mut i: u64 = 0;
         loop {
             let rc_i = rc0.wrapping_add((i as i32).wrapping_mul(step));
             let spawn = t0 + i * interval as u64;
+            tracer.emit(|| Event {
+                cycle: spawn,
+                thread,
+                track: Track::Control,
+                kind: EventKind::SimtSpawn {
+                    instance: i,
+                    rc: rc_i as u32,
+                },
+            });
 
             // Per-instance register lanes: the register file as of simt_s
             // with the control register advanced (paper §5.4).
@@ -166,8 +178,20 @@ impl RingSim {
         } else {
             0
         };
-        self.stats.activity.decodes += first_cost;
-        self.stats.activity.reuse_commits += commits.saturating_sub(first_cost);
+        self.stats.counters.add(Counter::Decodes, first_cost);
+        self.stats
+            .counters
+            .add(Counter::ReuseCommits, commits.saturating_sub(first_cost));
+        tracer.emit(|| Event {
+            cycle: end_time,
+            thread,
+            track: Track::Control,
+            kind: EventKind::SimtRegion {
+                pc_s: region.pc_s,
+                pc_e: region.pc_e,
+                instances,
+            },
+        });
 
         self.pc = region.pc_e.wrapping_add(INST_BYTES);
         self.time_floor = end_time;
@@ -278,17 +302,36 @@ impl RingSim {
             );
         }
         self.resident.clear();
+        let tracer = shared.tracer.clone();
+        let thread = self.thread_id as u32;
         let mut ready = Vec::with_capacity(region.lines.len());
         for (i, &line) in region.lines.iter().enumerate() {
             let free = self.clusters[i].last_commit;
-            let (arrived, bus_wait) = shared.fetch_line(line, now);
-            self.stats.stalls.structural += bus_wait;
+            let (arrived, bus_wait) = shared.fetch_line(line, now, thread);
+            self.stall(
+                &tracer,
+                Track::Bus,
+                StallCause::Structural,
+                arrived,
+                bus_wait,
+            );
             let decode_ready = arrived.max(free) + self.config.line_load_cycles + 1;
             self.clusters[i].load_line(line, decode_ready);
             self.resident.insert(line, i);
             self.max_resident = self.max_resident.max(self.resident.len());
-            self.stats.activity.line_fetches += 1;
-            self.stats.activity.bus_beats += diag_mem::ILINE_BEATS;
+            self.stats.counters.inc(Counter::LineFetches);
+            self.stats
+                .counters
+                .add(Counter::BusBeats, diag_mem::ILINE_BEATS);
+            tracer.emit(|| Event {
+                cycle: arrived,
+                thread,
+                track: Track::Cluster(i as u32),
+                kind: EventKind::LineFetch {
+                    line,
+                    prefetched: false,
+                },
+            });
             ready.push(decode_ready);
         }
         self.alloc_rr = region.lines.len() % self.clusters.len();
@@ -353,15 +396,15 @@ impl RingSim {
             slot_busy[k] = start + occupancy(&inst);
             if let Some((lane, value)) = write {
                 lanes.write(lane, value, finish, slot);
-                self.stats.activity.reg_writes += 1;
+                self.stats.counters.inc(Counter::RegWrites);
             }
             let cycles = (finish - start).max(1);
-            self.stats.activity.pe_active_cycles += cycles;
+            self.stats.counters.add(Counter::PeActiveCycles, cycles);
             if inst.uses_fpu() {
-                self.stats.activity.fpu_active_cycles += cycles;
-                self.stats.activity.fp_ops += 1;
+                self.stats.counters.add(Counter::FpuActiveCycles, cycles);
+                self.stats.counters.inc(Counter::FpOps);
             } else if !inst.is_mem() {
-                self.stats.activity.int_ops += 1;
+                self.stats.counters.inc(Counter::IntOps);
             }
             *commits += 1;
             exit = exit.max(finish);
@@ -434,7 +477,7 @@ impl RingSim {
                     store_floor,
                     shared,
                 );
-                self.stats.activity.loads += 1;
+                self.stats.counters.inc(Counter::Loads);
                 let raw = shared.mem.read(addr, size);
                 (ready, Some((rd.into(), exec::extend_load(op, raw))))
             }
@@ -452,7 +495,7 @@ impl RingSim {
                 shared.mem.write(addr, size, v(rs2));
                 let ready =
                     self.simt_mem(stage, addr, size, true, start, memlane, store_floor, shared);
-                self.stats.activity.stores += 1;
+                self.stats.counters.inc(Counter::Stores);
                 (ready, None)
             }
             Inst::Flw { rd, rs1, offset } => {
@@ -462,7 +505,7 @@ impl RingSim {
                 }
                 let ready =
                     self.simt_mem(stage, addr, 4, false, start, memlane, store_floor, shared);
-                self.stats.activity.loads += 1;
+                self.stats.counters.inc(Counter::Loads);
                 (ready, Some((rd.into(), shared.mem.read_u32(addr))))
             }
             Inst::Fsw { rs1, rs2, offset } => {
@@ -473,7 +516,7 @@ impl RingSim {
                 shared.mem.write_u32(addr, lanes.value(rs2.into()));
                 let ready =
                     self.simt_mem(stage, addr, 4, true, start, memlane, store_floor, shared);
-                self.stats.activity.stores += 1;
+                self.stats.counters.inc(Counter::Stores);
                 (ready, None)
             }
             Inst::FpOp { op, rd, rs1, rs2 } => (
@@ -539,18 +582,25 @@ impl RingSim {
         store_floor: &mut u64,
         shared: &mut SharedParts,
     ) -> u64 {
+        let tracer = shared.tracer.clone();
+        let thread = self.thread_id as u32;
+        let unit = stage as u32;
         if write {
             let want = start.max(*store_floor);
-            let (issue, waited) = self.clusters[stage].lsu.issue_blocking(want);
-            self.stats.stalls.memory += waited;
+            let (issue, waited, id) = self.clusters[stage]
+                .lsu
+                .issue_blocking_traced(want, true, &tracer, thread, unit);
+            self.stall(&tracer, Track::Lsu(unit), StallCause::Memory, issue, waited);
             *store_floor = issue;
             memlane.push_store(addr, size, 0, issue);
             memlane.trim();
-            let out = shared.l1d.access(addr, true, issue);
+            let out = shared.l1d.access_traced(addr, true, issue, &tracer, thread);
             self.count_cache(&out);
             self.clusters[stage].line_buf_fill(addr & !63);
             let ready = issue + 1;
-            self.clusters[stage].lsu.complete_at(ready);
+            self.clusters[stage]
+                .lsu
+                .complete_at_traced(ready, id, &tracer, thread, unit);
             ready
         } else {
             let (want, forward) = match memlane.lookup(addr, size) {
@@ -562,25 +612,37 @@ impl RingSim {
             };
             let line = addr & !63;
             if !forward && self.clusters[stage].line_buf_hit(line) {
-                self.stats.activity.memlane_hits += 1;
+                self.stats.counters.inc(Counter::MemlaneHits);
                 return want + 1;
             }
-            let (issue, waited) = self.clusters[stage].lsu.issue_blocking(want);
-            self.stats.stalls.memory += waited;
+            let (issue, waited, id) = self.clusters[stage]
+                .lsu
+                .issue_blocking_traced(want, false, &tracer, thread, unit);
+            self.stall(&tracer, Track::Lsu(unit), StallCause::Memory, issue, waited);
             let ready = if forward {
-                self.stats.activity.memlane_hits += 1;
+                self.stats.counters.inc(Counter::MemlaneHits);
                 issue + 1
             } else {
-                let out = shared.l1d.access(addr, false, issue);
+                let out = shared
+                    .l1d
+                    .access_traced(addr, false, issue, &tracer, thread);
                 self.count_cache(&out);
                 if !out.l1_hit {
                     let hit_time = issue + self.config.l1d.hit_latency as u64;
-                    self.stats.stalls.memory += out.ready_at.saturating_sub(hit_time);
+                    self.stall(
+                        &tracer,
+                        Track::Cache(1),
+                        StallCause::Memory,
+                        out.ready_at,
+                        out.ready_at.saturating_sub(hit_time),
+                    );
                 }
                 self.clusters[stage].line_buf_fill(line);
                 out.ready_at
             };
-            self.clusters[stage].lsu.complete_at(ready);
+            self.clusters[stage]
+                .lsu
+                .complete_at_traced(ready, id, &tracer, thread, unit);
             ready
         }
     }

@@ -6,6 +6,8 @@
 //! clusters." Contention on this bus is one of the paper's "other stalls"
 //! (§7.3.2).
 
+use diag_trace::{Event, EventKind, Tracer, Track};
+
 /// A single-owner bus granting transfers in request order.
 #[derive(Debug, Clone, Default)]
 pub struct Bus {
@@ -36,6 +38,24 @@ impl Bus {
         self.busy_until = start + beats;
         self.transfers += 1;
         self.beats += beats;
+        start
+    }
+
+    /// [`Bus::request`] with trace instrumentation: emits a
+    /// [`EventKind::BusGrant`] on `tracer` at the grant cycle, carrying
+    /// the arbitration wait. With a disabled tracer this is exactly
+    /// `request`.
+    pub fn request_traced(&mut self, now: u64, beats: u64, tracer: &Tracer, thread: u32) -> u64 {
+        let start = self.request(now, beats);
+        tracer.emit(|| Event {
+            cycle: start,
+            thread,
+            track: Track::Bus,
+            kind: EventKind::BusGrant {
+                wait: start - now,
+                beats,
+            },
+        });
         start
     }
 
@@ -81,6 +101,30 @@ mod tests {
         assert_eq!(bus.contended(), 2);
         assert_eq!(bus.beats(), 4);
         assert_eq!(bus.transfers(), 3);
+    }
+
+    #[test]
+    fn traced_request_matches_plain_and_emits_grant() {
+        use diag_trace::VecSink;
+
+        let sink = VecSink::shared();
+        let tracer = Tracer::to_shared(sink.clone());
+        let mut bus = Bus::new();
+        assert_eq!(bus.request_traced(0, REGFILE_BEATS, &tracer, 0), 0);
+        assert_eq!(bus.request_traced(1, ILINE_BEATS, &tracer, 1), 2);
+        let events = sink.borrow().events().to_vec();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].track, Track::Bus);
+        assert!(matches!(
+            events[1].kind,
+            EventKind::BusGrant { wait: 1, beats: 1 }
+        ));
+        assert_eq!(events[1].cycle, 2);
+
+        let mut plain = Bus::new();
+        plain.request(0, REGFILE_BEATS);
+        assert_eq!(plain.request(1, ILINE_BEATS), 2);
+        assert_eq!(plain.beats(), bus.beats());
     }
 
     #[test]

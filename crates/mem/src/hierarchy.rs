@@ -9,6 +9,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use diag_trace::{Event, EventKind, Tracer, Track};
+
 use crate::cache::{CacheArray, CacheConfig, CacheStats};
 use crate::meter::PortMeter;
 
@@ -166,6 +168,44 @@ impl PrivateCache {
         }
     }
 
+    /// [`PrivateCache::access`] with trace instrumentation: emits a
+    /// level-1 [`EventKind::CacheAccess`] at the access cycle and, on an
+    /// L1 miss, a level-2 one recording whether the shared level hit.
+    /// With a disabled tracer this is exactly `access`.
+    pub fn access_traced(
+        &mut self,
+        addr: u32,
+        write: bool,
+        now: u64,
+        tracer: &Tracer,
+        thread: u32,
+    ) -> MemOutcome {
+        let out = self.access(addr, write, now);
+        tracer.emit(|| Event {
+            cycle: now,
+            thread,
+            track: Track::Cache(1),
+            kind: EventKind::CacheAccess {
+                level: 1,
+                write,
+                hit: out.l1_hit,
+            },
+        });
+        if !out.l1_hit {
+            tracer.emit(|| Event {
+                cycle: now,
+                thread,
+                track: Track::Cache(2),
+                kind: EventKind::CacheAccess {
+                    level: 2,
+                    write,
+                    hit: out.l2_hit,
+                },
+            });
+        }
+        out
+    }
+
     /// L1 statistics.
     pub fn stats(&self) -> CacheStats {
         self.cache.stats()
@@ -281,6 +321,44 @@ mod tests {
         assert!(!out.l1_hit);
         assert!(out.l2_hit, "second core should hit in shared L2");
         assert_eq!(l2.borrow().dram_accesses(), 1);
+    }
+
+    #[test]
+    fn traced_access_emits_per_level_events() {
+        use diag_trace::{Tracer, VecSink};
+
+        let (mut l1, _l2) = hierarchy();
+        let sink = VecSink::shared();
+        let tracer = Tracer::to_shared(sink.clone());
+        // Cold miss: L1 miss + L2 miss events.
+        let cold = l1.access_traced(0x1000, false, 0, &tracer, 0);
+        assert!(!cold.l1_hit);
+        // Warm hit: one L1 event only.
+        let warm = l1.access_traced(0x1000, false, 500, &tracer, 0);
+        assert!(warm.l1_hit);
+        let events = sink.borrow().events().to_vec();
+        assert_eq!(events.len(), 3);
+        assert!(matches!(
+            events[0].kind,
+            EventKind::CacheAccess {
+                level: 1,
+                hit: false,
+                ..
+            }
+        ));
+        assert_eq!(events[1].track, Track::Cache(2));
+        assert!(matches!(
+            events[2].kind,
+            EventKind::CacheAccess {
+                level: 1,
+                hit: true,
+                ..
+            }
+        ));
+        // Timing identical to the untraced path on a fresh hierarchy.
+        let (mut plain, _l2b) = hierarchy();
+        assert_eq!(plain.access(0x1000, false, 0), cold);
+        assert_eq!(plain.access(0x1000, false, 500), warm);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! outstanding accesses; when the window is full the requester must stall
 //! (a memory stall).
 
+use diag_trace::{Event, EventKind, Tracer, Track};
+
 use crate::meter::PortMeter;
 
 /// A bounded-occupancy, one-request-per-cycle load/store port.
@@ -83,10 +85,62 @@ impl Lsu {
         }
     }
 
+    /// [`Lsu::issue_blocking`] with trace instrumentation: emits an
+    /// [`EventKind::LsuEnqueue`] on `tracer` (an async-begin in the
+    /// Perfetto export) and returns `(start, waited, id)` where `id` is
+    /// the per-LSU request serial number pairing the enqueue with its
+    /// [`Lsu::complete_at_traced`]. With a disabled tracer this is
+    /// exactly `issue_blocking`.
+    pub fn issue_blocking_traced(
+        &mut self,
+        now: u64,
+        write: bool,
+        tracer: &Tracer,
+        thread: u32,
+        unit: u32,
+    ) -> (u64, u64, u64) {
+        let (start, waited) = self.issue_blocking(now);
+        let id = self.accepted - 1;
+        tracer.emit(|| Event {
+            cycle: start,
+            thread,
+            track: Track::Lsu(unit),
+            kind: EventKind::LsuEnqueue {
+                id,
+                write,
+                wait: waited,
+                // This request occupies a slot from `start`; it is pushed
+                // into `outstanding` by the matching complete call.
+                occupancy: self.outstanding.len() as u32 + 1,
+            },
+        });
+        (start, waited, id)
+    }
+
     /// Records the completion time of the most recently issued request so
     /// the occupancy window reflects it.
     pub fn complete_at(&mut self, ready_at: u64) {
         self.outstanding.push(ready_at);
+    }
+
+    /// [`Lsu::complete_at`] with trace instrumentation: emits the
+    /// [`EventKind::LsuComplete`] closing request `id` (the async-end in
+    /// the Perfetto export).
+    pub fn complete_at_traced(
+        &mut self,
+        ready_at: u64,
+        id: u64,
+        tracer: &Tracer,
+        thread: u32,
+        unit: u32,
+    ) {
+        self.complete_at(ready_at);
+        tracer.emit(|| Event {
+            cycle: ready_at,
+            thread,
+            track: Track::Lsu(unit),
+            kind: EventKind::LsuComplete { id },
+        });
     }
 
     /// Number of requests currently in flight as of `now`.
@@ -192,6 +246,48 @@ mod tests {
         let t = lsu.try_issue(0).unwrap();
         lsu.complete_at(t + 10);
         assert!(!lsu.has_room(5));
+    }
+
+    #[test]
+    fn traced_wrappers_match_plain_and_emit_pairs() {
+        use diag_trace::VecSink;
+
+        let sink = VecSink::shared();
+        let tracer = Tracer::to_shared(sink.clone());
+        let mut lsu = Lsu::new(1);
+        let (s, w, id) = lsu.issue_blocking_traced(0, false, &tracer, 0, 3);
+        assert_eq!((s, w, id), (0, 0, 0));
+        lsu.complete_at_traced(s + 10, id, &tracer, 0, 3);
+        // Queue of depth 1 is full until cycle 10: the traced path must
+        // report the same wait as the plain one.
+        let mut plain = Lsu::new(1);
+        let (ps, _) = plain.issue_blocking(0);
+        plain.complete_at(ps + 10);
+        let (s2, w2, id2) = lsu.issue_blocking_traced(1, true, &tracer, 0, 3);
+        assert_eq!((s2, w2), plain.issue_blocking(1));
+        assert_eq!(id2, 1);
+
+        let events = sink.borrow().events().to_vec();
+        assert_eq!(events.len(), 3);
+        assert!(matches!(
+            events[0].kind,
+            EventKind::LsuEnqueue {
+                id: 0,
+                write: false,
+                wait: 0,
+                occupancy: 1,
+            }
+        ));
+        assert_eq!(events[0].track, Track::Lsu(3));
+        assert!(matches!(events[1].kind, EventKind::LsuComplete { id: 0 }));
+        assert!(matches!(
+            events[2].kind,
+            EventKind::LsuEnqueue {
+                id: 1,
+                write: true,
+                ..
+            }
+        ));
     }
 
     #[test]

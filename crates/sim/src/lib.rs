@@ -19,6 +19,9 @@ mod stats;
 pub use lockstep::{run_lockstep, Divergence, LockstepOutcome};
 pub use machine::{Commit, Machine, SimError, StepOutcome};
 pub use stats::{Activity, RunStats, StallBreakdown, StallCause};
+// Convenience re-exports so machine implementors and harnesses don't need
+// a direct `diag-trace` dependency for the common plumbing types.
+pub use diag_trace::{Counter, Counters, Tracer};
 
 /// Default cycle limit for simulation runs, generous enough for every
 /// workload in the workspace while still catching runaway programs.

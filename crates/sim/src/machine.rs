@@ -12,6 +12,7 @@ use std::fmt;
 
 use diag_asm::Program;
 use diag_isa::ArchReg;
+use diag_trace::Tracer;
 
 use crate::stats::RunStats;
 
@@ -157,6 +158,15 @@ pub trait Machine {
     /// final once [`Machine::step`] has returned [`StepOutcome::Halted`];
     /// before that they cover the work retired so far.
     fn stats(&self) -> RunStats;
+
+    /// Installs a [`Tracer`] delivering this machine's cycle-level trace
+    /// events (`diag-trace` vocabulary) to a sink. The tracer takes
+    /// effect from the next [`Machine::load`]; installing
+    /// [`Tracer::off`] (the default) makes every emission site a
+    /// non-evaluating branch.
+    ///
+    /// Machines that are not instrumented ignore this and emit nothing.
+    fn set_tracer(&mut self, _tracer: Tracer) {}
 
     /// Enables or disables commit logging (disabled by default; logging
     /// every retirement costs memory proportional to the dynamic

@@ -10,21 +10,13 @@
 use std::fmt;
 use std::ops::{Add, AddAssign};
 
-/// Why an instruction (or a whole pipeline) could not make progress in a
-/// given cycle. Matches the paper's stall attribution (§7.3.2): only the
-/// *source* of a stall is counted, not dependent instructions subsequently
-/// stalled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum StallCause {
-    /// Cache misses, full LSU queues, busy memory bus.
-    Memory,
-    /// Branch redirects, instruction-line reloads after control flow
-    /// changes.
-    Control,
-    /// Structural hazards: shared bus busy, no free cluster, no free
-    /// functional unit, full ROB/IQ.
-    Structural,
-}
+use diag_trace::{Counter, Counters};
+
+// The stall-cause taxonomy is shared with the trace subsystem's
+// stall-begin/end events (it lives in `diag-trace`, the bottom of the
+// workspace dependency graph); re-exported here so existing
+// `diag_sim::StallCause` users are unaffected.
+pub use diag_trace::StallCause;
 
 /// Stall-cycle counts by cause.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -45,10 +37,29 @@ impl StallBreakdown {
 
     /// Adds one stall event of the given cause.
     pub fn record(&mut self, cause: StallCause) {
+        self.add_cycles(cause, 1);
+    }
+
+    /// Adds `cycles` stall cycles of the given cause.
+    ///
+    /// Machines route every stall-accounting site through this (paired
+    /// with a trace stall-end event of the same length), which is what
+    /// makes the trace subsystem's stall-attribution timeline reconcile
+    /// exactly with this breakdown.
+    pub fn add_cycles(&mut self, cause: StallCause, cycles: u64) {
         match cause {
-            StallCause::Memory => self.memory += 1,
-            StallCause::Control => self.control += 1,
-            StallCause::Structural => self.structural += 1,
+            StallCause::Memory => self.memory += cycles,
+            StallCause::Control => self.control += cycles,
+            StallCause::Structural => self.structural += cycles,
+        }
+    }
+
+    /// The count attributed to `cause`.
+    pub fn get(&self, cause: StallCause) -> u64 {
+        match cause {
+            StallCause::Memory => self.memory,
+            StallCause::Control => self.control,
+            StallCause::Structural => self.structural,
         }
     }
 
@@ -147,6 +158,48 @@ pub struct Activity {
     pub l2_accesses: u64,
     /// L2 misses (DRAM accesses).
     pub l2_misses: u64,
+}
+
+impl From<&Counters> for Activity {
+    /// Folds a `diag-trace` counter bank into the public activity
+    /// aggregate. This is the single place the two vocabularies are
+    /// zipped; a unit test asserts the mapping is exhaustive and
+    /// value-preserving.
+    fn from(c: &Counters) -> Activity {
+        Activity {
+            busy_cycles: c.get(Counter::BusyCycles),
+            pe_active_cycles: c.get(Counter::PeActiveCycles),
+            pe_resident_cycles: c.get(Counter::PeResidentCycles),
+            fpu_active_cycles: c.get(Counter::FpuActiveCycles),
+            int_ops: c.get(Counter::IntOps),
+            fp_ops: c.get(Counter::FpOps),
+            loads: c.get(Counter::Loads),
+            stores: c.get(Counter::Stores),
+            reg_writes: c.get(Counter::RegWrites),
+            lane_transports: c.get(Counter::LaneTransports),
+            memlane_hits: c.get(Counter::MemlaneHits),
+            bus_beats: c.get(Counter::BusBeats),
+            line_fetches: c.get(Counter::LineFetches),
+            decodes: c.get(Counter::Decodes),
+            reuse_commits: c.get(Counter::ReuseCommits),
+            renames: c.get(Counter::Renames),
+            dispatches: c.get(Counter::Dispatches),
+            issues: c.get(Counter::Issues),
+            rob_writes: c.get(Counter::RobWrites),
+            bpred_lookups: c.get(Counter::BpredLookups),
+            mispredicts: c.get(Counter::Mispredicts),
+            l1d_accesses: c.get(Counter::L1dAccesses),
+            l1d_misses: c.get(Counter::L1dMisses),
+            l2_accesses: c.get(Counter::L2Accesses),
+            l2_misses: c.get(Counter::L2Misses),
+        }
+    }
+}
+
+impl From<Counters> for Activity {
+    fn from(c: Counters) -> Activity {
+        Activity::from(&c)
+    }
 }
 
 macro_rules! sum_fields {
@@ -330,5 +383,168 @@ mod tests {
     fn display_is_nonempty() {
         let text = RunStats::default().to_string();
         assert!(text.contains("cycles"));
+    }
+
+    #[test]
+    fn counter_bank_maps_exhaustively_onto_activity() {
+        // Give every counter a distinct value; the converted Activity
+        // must (a) place each value on the right field (spot-checked)
+        // and (b) conserve the grand total, which fails if any counter
+        // were dropped or double-mapped.
+        let mut bank = Counters::new();
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            bank.add(*c, (i + 1) as u64);
+        }
+        let a = Activity::from(&bank);
+        assert_eq!(a.busy_cycles, 1);
+        assert_eq!(a.lane_transports, bank.get(Counter::LaneTransports));
+        assert_eq!(a.mispredicts, bank.get(Counter::Mispredicts));
+        assert_eq!(a.l2_misses, bank.get(Counter::L2Misses));
+        let field_sum = (a + Activity::default()).into_iter_sum_for_test();
+        assert_eq!(field_sum, bank.total());
+    }
+
+    impl Activity {
+        /// Test-only: sum of every field, via the same macro list used
+        /// by `Add` so a new field cannot be silently forgotten.
+        fn into_iter_sum_for_test(self) -> u64 {
+            let doubled = self + self;
+            // (a + a) sums to 2×total; the difference catches any field
+            // the macro list misses.
+            let z = Activity::default();
+            let single = self + z;
+            assert_eq!(doubled.busy_cycles, 2 * single.busy_cycles);
+            single.busy_cycles
+                + single.pe_active_cycles
+                + single.pe_resident_cycles
+                + single.fpu_active_cycles
+                + single.int_ops
+                + single.fp_ops
+                + single.loads
+                + single.stores
+                + single.reg_writes
+                + single.lane_transports
+                + single.memlane_hits
+                + single.bus_beats
+                + single.line_fetches
+                + single.decodes
+                + single.reuse_commits
+                + single.renames
+                + single.dispatches
+                + single.issues
+                + single.rob_writes
+                + single.bpred_lookups
+                + single.mispredicts
+                + single.l1d_accesses
+                + single.l1d_misses
+                + single.l2_accesses
+                + single.l2_misses
+        }
+    }
+
+    #[test]
+    fn stall_breakdown_add_is_associative_and_commutative() {
+        let a = StallBreakdown {
+            memory: 3,
+            control: 1,
+            structural: 0,
+        };
+        let b = StallBreakdown {
+            memory: 10,
+            control: 0,
+            structural: 7,
+        };
+        let c = StallBreakdown {
+            memory: 0,
+            control: 5,
+            structural: 2,
+        };
+        assert_eq!((a + b) + c, a + (b + c));
+        assert_eq!(a + b, b + a);
+        let mut acc = StallBreakdown::default();
+        acc += a;
+        acc += b;
+        acc += c;
+        assert_eq!(acc, a + b + c);
+        assert_eq!(acc.total(), 28);
+    }
+
+    #[test]
+    fn activity_add_is_associative() {
+        let a = Activity {
+            int_ops: 1,
+            loads: 2,
+            ..Activity::default()
+        };
+        let b = Activity {
+            int_ops: 10,
+            bus_beats: 4,
+            ..Activity::default()
+        };
+        let c = Activity {
+            decodes: 9,
+            int_ops: 100,
+            ..Activity::default()
+        };
+        assert_eq!((a + b) + c, a + (b + c));
+        let mut acc = a;
+        acc += b;
+        assert_eq!(acc, a + b);
+    }
+
+    #[test]
+    fn add_cycles_matches_repeated_record() {
+        let mut bulk = StallBreakdown::default();
+        bulk.add_cycles(StallCause::Memory, 7);
+        bulk.add_cycles(StallCause::Structural, 2);
+        let mut unit = StallBreakdown::default();
+        for _ in 0..7 {
+            unit.record(StallCause::Memory);
+        }
+        for _ in 0..2 {
+            unit.record(StallCause::Structural);
+        }
+        assert_eq!(bulk, unit);
+        for cause in StallCause::ALL {
+            assert_eq!(bulk.get(cause), unit.get(cause));
+        }
+    }
+
+    #[test]
+    fn nonzero_shares_sum_to_hundred() {
+        // Awkward totals (prime counts) must still sum to ~100%.
+        let s = StallBreakdown {
+            memory: 13,
+            control: 7,
+            structural: 29,
+        };
+        let (m, c, o) = s.shares();
+        assert!((m + c + o - 100.0).abs() < 1e-9);
+        assert!(m > 0.0 && c > 0.0 && o > 0.0);
+    }
+
+    #[test]
+    fn run_stats_display_golden_snapshot() {
+        let stats = RunStats {
+            cycles: 1000,
+            committed: 1500,
+            threads: 2,
+            stalls: StallBreakdown {
+                memory: 60,
+                control: 30,
+                structural: 10,
+            },
+            activity: Activity {
+                line_fetches: 12,
+                decodes: 48,
+                reuse_commits: 750,
+                ..Activity::default()
+            },
+            freq_ghz: 2.0,
+        };
+        let expected = "cycles: 1000  committed: 1500  IPC: 1.500  threads: 2\n\
+                        stalls: 100 (memory 60.0%, control 30.0%, other 10.0%)\n\
+                        fetch lines: 12  decodes: 48  reuse commits: 750 (50.0%)";
+        assert_eq!(stats.to_string(), expected);
     }
 }

@@ -1,0 +1,238 @@
+//! The counter registry.
+//!
+//! A [`Counters`] bank is a fixed array of named `u64` counters, one per
+//! [`Counter`] variant, superseding the ad-hoc per-model activity fields
+//! that previously accreted inside each machine. Machines bump counters
+//! through this registry; `diag-sim` converts a bank into its public
+//! `Activity` aggregate at end of run, so `RunStats` consumers see the
+//! exact same numbers as before.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Names of every aggregate activity counter the machine models maintain.
+///
+/// The set mirrors `diag_sim::Activity` field-for-field; the `From`
+/// conversion living in `diag-sim` is the single place the two are zipped
+/// together, and a unit test there asserts the mapping is exhaustive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Cycles in which at least one PE did useful work.
+    BusyCycles,
+    /// Sum over PEs of cycles spent executing.
+    PeActiveCycles,
+    /// Sum over PEs of cycles spent powered with an instruction resident.
+    PeResidentCycles,
+    /// Sum over FPU-capable PEs of cycles spent on FP work.
+    FpuActiveCycles,
+    /// Integer ALU operations executed.
+    IntOps,
+    /// Floating-point operations executed.
+    FpOps,
+    /// Load instructions executed.
+    Loads,
+    /// Store instructions executed.
+    Stores,
+    /// Register (lane) writes.
+    RegWrites,
+    /// Lane segment-boundary transport hops.
+    LaneTransports,
+    /// Operand fetches served by a memory lane's store-forward buffer.
+    MemlaneHits,
+    /// Beats transferred on the shared 512-bit bus.
+    BusBeats,
+    /// Instruction lines fetched into clusters.
+    LineFetches,
+    /// Instruction decodes performed.
+    Decodes,
+    /// Commits served from a resident (reused) datapath.
+    ReuseCommits,
+    /// Register renames performed (baseline OoO only).
+    Renames,
+    /// Instructions dispatched into the window (baseline OoO only).
+    Dispatches,
+    /// Instructions issued to functional units (baseline OoO only).
+    Issues,
+    /// Reorder-buffer writes (baseline OoO only).
+    RobWrites,
+    /// Branch-predictor lookups (baseline OoO only).
+    BpredLookups,
+    /// Mispredicted branches (baseline OoO only).
+    Mispredicts,
+    /// L1 data-cache accesses.
+    L1dAccesses,
+    /// L1 data-cache misses.
+    L1dMisses,
+    /// L2 cache accesses.
+    L2Accesses,
+    /// L2 cache misses.
+    L2Misses,
+}
+
+/// Number of distinct [`Counter`] variants.
+pub const COUNTER_COUNT: usize = 25;
+
+impl Counter {
+    /// All counters, in declaration order (`ALL[c.index()] == c`).
+    pub const ALL: [Counter; COUNTER_COUNT] = [
+        Counter::BusyCycles,
+        Counter::PeActiveCycles,
+        Counter::PeResidentCycles,
+        Counter::FpuActiveCycles,
+        Counter::IntOps,
+        Counter::FpOps,
+        Counter::Loads,
+        Counter::Stores,
+        Counter::RegWrites,
+        Counter::LaneTransports,
+        Counter::MemlaneHits,
+        Counter::BusBeats,
+        Counter::LineFetches,
+        Counter::Decodes,
+        Counter::ReuseCommits,
+        Counter::Renames,
+        Counter::Dispatches,
+        Counter::Issues,
+        Counter::RobWrites,
+        Counter::BpredLookups,
+        Counter::Mispredicts,
+        Counter::L1dAccesses,
+        Counter::L1dMisses,
+        Counter::L2Accesses,
+        Counter::L2Misses,
+    ];
+
+    /// Index into a [`Counters`] bank.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name used in exported traces and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::BusyCycles => "busy_cycles",
+            Counter::PeActiveCycles => "pe_active_cycles",
+            Counter::PeResidentCycles => "pe_resident_cycles",
+            Counter::FpuActiveCycles => "fpu_active_cycles",
+            Counter::IntOps => "int_ops",
+            Counter::FpOps => "fp_ops",
+            Counter::Loads => "loads",
+            Counter::Stores => "stores",
+            Counter::RegWrites => "reg_writes",
+            Counter::LaneTransports => "lane_transports",
+            Counter::MemlaneHits => "memlane_hits",
+            Counter::BusBeats => "bus_beats",
+            Counter::LineFetches => "line_fetches",
+            Counter::Decodes => "decodes",
+            Counter::ReuseCommits => "reuse_commits",
+            Counter::Renames => "renames",
+            Counter::Dispatches => "dispatches",
+            Counter::Issues => "issues",
+            Counter::RobWrites => "rob_writes",
+            Counter::BpredLookups => "bpred_lookups",
+            Counter::Mispredicts => "mispredicts",
+            Counter::L1dAccesses => "l1d_accesses",
+            Counter::L1dMisses => "l1d_misses",
+            Counter::L2Accesses => "l2_accesses",
+            Counter::L2Misses => "l2_misses",
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A bank of one `u64` value per [`Counter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counters([u64; COUNTER_COUNT]);
+
+impl Counters {
+    /// An all-zero bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments `c` by one.
+    #[inline]
+    pub fn inc(&mut self, c: Counter) {
+        self.0[c.index()] += 1;
+    }
+
+    /// Adds `n` to `c`.
+    #[inline]
+    pub fn add(&mut self, c: Counter, n: u64) {
+        self.0[c.index()] += n;
+    }
+
+    /// Current value of `c`.
+    #[inline]
+    pub fn get(&self, c: Counter) -> u64 {
+        self.0[c.index()]
+    }
+
+    /// Overwrites `c` (used when a model computes a counter at end of run
+    /// rather than incrementally).
+    #[inline]
+    pub fn set(&mut self, c: Counter, v: u64) {
+        self.0[c.index()] = v;
+    }
+
+    /// Iterates `(counter, value)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (Counter, u64)> + '_ {
+        Counter::ALL.iter().map(move |&c| (c, self.0[c.index()]))
+    }
+
+    /// Sum of all counter values.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+}
+
+impl AddAssign for Counters {
+    fn add_assign(&mut self, rhs: Counters) {
+        for (slot, v) in self.0.iter_mut().zip(rhs.0.iter()) {
+            *slot += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ordering_matches_indices() {
+        assert_eq!(Counter::ALL.len(), COUNTER_COUNT);
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{c}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), COUNTER_COUNT);
+    }
+
+    #[test]
+    fn bank_arithmetic() {
+        let mut a = Counters::new();
+        a.inc(Counter::Loads);
+        a.add(Counter::Loads, 2);
+        a.add(Counter::BusBeats, 10);
+        let mut b = Counters::new();
+        b.add(Counter::Loads, 5);
+        let mut sum = a;
+        sum += b;
+        assert_eq!(sum.get(Counter::Loads), 8);
+        assert_eq!(sum.get(Counter::BusBeats), 10);
+        assert_eq!(sum.total(), 18);
+        assert_eq!(sum.iter().count(), COUNTER_COUNT);
+    }
+}

@@ -1,0 +1,202 @@
+//! Text utilization heatmap.
+//!
+//! [`render`] folds an event stream into fixed-width time windows and
+//! draws one ASCII row per component: PE rows show *occupancy* (fraction
+//! of the window the PE was executing, from retire slices), lane rows
+//! show *traffic* (writes + transports per window, scaled to the busiest
+//! window), and a footer row shows stalled cycles per window. The output
+//! is plain text so it drops into terminals, logs, and CI artifacts.
+
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+use crate::event::{Event, EventKind, Track};
+
+/// Intensity ramp, blank → densest.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+fn shade(fraction: f64) -> char {
+    let clamped = fraction.clamp(0.0, 1.0);
+    let idx = (clamped * (RAMP.len() - 1) as f64).round() as usize;
+    RAMP[idx] as char
+}
+
+/// Adds `amount` spread over cycle interval `[start, end)` into the
+/// window accumulator `row` (windows of `window` cycles).
+fn deposit(row: &mut Vec<u64>, start: u64, end: u64, window: u64) {
+    let mut c = start;
+    while c < end {
+        let w = (c / window) as usize;
+        if row.len() <= w {
+            row.resize(w + 1, 0);
+        }
+        let win_end = (c / window + 1) * window;
+        let take = end.min(win_end) - c;
+        row[w] += take;
+        c += take;
+    }
+}
+
+fn bump(row: &mut Vec<u64>, cycle: u64, window: u64, amount: u64) {
+    let w = (cycle / window) as usize;
+    if row.len() <= w {
+        row.resize(w + 1, 0);
+    }
+    row[w] += amount;
+}
+
+/// Renders the heatmap for `events` with `window`-cycle columns.
+///
+/// `window` of 0 is treated as 1. Rows appear in sorted track order; the
+/// legend explains each section's scale.
+pub fn render(events: &[Event], window: u64) -> String {
+    let window = window.max(1);
+    // Per-PE busy cycles, per-lane traffic, global stall cycles.
+    let mut pe: BTreeMap<(u32, Track), Vec<u64>> = BTreeMap::new();
+    let mut lane: BTreeMap<u8, Vec<u64>> = BTreeMap::new();
+    let mut stall: Vec<u64> = Vec::new();
+    let mut last_cycle = 0u64;
+
+    for e in events {
+        last_cycle = last_cycle.max(e.cycle);
+        match e.kind {
+            EventKind::PeRetire { start, finish, .. } => {
+                let row = pe.entry((e.thread, e.track)).or_default();
+                deposit(row, start, finish.max(start + 1), window);
+                last_cycle = last_cycle.max(finish);
+            }
+            EventKind::LaneWrite { lane: l } => {
+                bump(lane.entry(l).or_default(), e.cycle, window, 1);
+            }
+            EventKind::LaneForward { lane: l, hops, .. } => {
+                bump(
+                    lane.entry(l).or_default(),
+                    e.cycle,
+                    window,
+                    1 + u64::from(hops),
+                );
+            }
+            EventKind::SegPush { lane: l, .. } => {
+                bump(lane.entry(l).or_default(), e.cycle, window, 1);
+            }
+            EventKind::StallEnd { cycles, .. } => {
+                deposit(&mut stall, e.cycle.saturating_sub(cycles), e.cycle, window);
+            }
+            _ => {}
+        }
+    }
+
+    let windows = (last_cycle / window + 1) as usize;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "utilization heatmap — {windows} windows × {window} cycles (scale: \" .:-=+*#%@\")"
+    );
+
+    if !pe.is_empty() {
+        let _ = writeln!(out, "\nPE occupancy (busy fraction of window):");
+        for ((thread, track), row) in &pe {
+            let _ = write!(out, "  t{thread} {track:<10} |");
+            for w in 0..windows {
+                let busy = row.get(w).copied().unwrap_or(0);
+                out.push(shade(busy as f64 / window as f64));
+            }
+            out.push_str("|\n");
+        }
+    }
+
+    if !lane.is_empty() {
+        let peak = lane
+            .values()
+            .flat_map(|r| r.iter().copied())
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let _ = writeln!(
+            out,
+            "\nlane traffic (writes+transports, peak {peak}/window):"
+        );
+        for (l, row) in &lane {
+            let _ = write!(out, "  {:<13} |", format!("lane:{l}"));
+            for w in 0..windows {
+                let traffic = row.get(w).copied().unwrap_or(0);
+                out.push(shade(traffic as f64 / peak as f64));
+            }
+            out.push_str("|\n");
+        }
+    }
+
+    if stall.iter().any(|&s| s > 0) {
+        let _ = writeln!(out, "\nstalled cycles (fraction of window, all causes):");
+        let _ = write!(out, "  {:<13} |", "stalls");
+        for w in 0..windows {
+            let s = stall.get(w).copied().unwrap_or(0);
+            out.push(shade(s as f64 / window as f64));
+        }
+        out.push_str("|\n");
+    }
+
+    if pe.is_empty() && lane.is_empty() {
+        out.push_str("\n(no PE or lane events in trace)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shade_spans_ramp() {
+        assert_eq!(shade(0.0), ' ');
+        assert_eq!(shade(1.0), '@');
+        assert_eq!(shade(2.0), '@'); // clamped
+    }
+
+    #[test]
+    fn deposit_splits_across_windows() {
+        let mut row = Vec::new();
+        deposit(&mut row, 5, 25, 10);
+        // [5,10) → 5 in w0, [10,20) → 10 in w1, [20,25) → 5 in w2.
+        assert_eq!(row, [5, 10, 5]);
+        // Sum is conserved (the timeline exporter relies on the same
+        // splitting logic).
+        assert_eq!(row.iter().sum::<u64>(), 20);
+    }
+
+    #[test]
+    fn render_shows_sections() {
+        let events = vec![
+            Event {
+                cycle: 9,
+                thread: 0,
+                track: Track::Pe {
+                    cluster: 0,
+                    slot: 0,
+                },
+                kind: EventKind::PeRetire {
+                    pc: 0,
+                    start: 0,
+                    finish: 8,
+                },
+            },
+            Event {
+                cycle: 3,
+                thread: 0,
+                track: Track::Lane(2),
+                kind: EventKind::LaneWrite { lane: 2 },
+            },
+        ];
+        let text = render(&events, 8);
+        assert!(text.contains("PE occupancy"));
+        assert!(text.contains("lane traffic"));
+        assert!(text.contains("pe:0.0"));
+        assert!(text.contains("lane:2"));
+    }
+
+    #[test]
+    fn render_empty_is_graceful() {
+        let text = render(&[], 100);
+        assert!(text.contains("no PE or lane events"));
+    }
+}

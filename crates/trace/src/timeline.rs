@@ -1,0 +1,183 @@
+//! Stall-attribution timeline.
+//!
+//! A [`StallTimeline`] bins every stall interval in an event stream into
+//! fixed-width time windows, per [`StallCause`]. Intervals are split
+//! across window boundaries so no cycle is dropped or double-counted:
+//! the per-cause totals of the timeline reconcile **exactly** with the
+//! `StallBreakdown` the same run reports — an invariant the workspace
+//! integration tests enforce for every bundled workload.
+
+use std::fmt::Write;
+
+use crate::event::{Event, EventKind, StallCause};
+
+/// Per-cause stalled cycles over fixed windows of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallTimeline {
+    window: u64,
+    per_cause: [Vec<u64>; 3],
+}
+
+impl StallTimeline {
+    /// Bins the [`EventKind::StallEnd`] intervals of `events` into
+    /// `window`-cycle columns (`window` of 0 is treated as 1).
+    ///
+    /// An end event at cycle `c` with length `n` covers `[c - n, c)`;
+    /// the part falling in each window is attributed to that window.
+    pub fn from_events(events: &[Event], window: u64) -> Self {
+        let window = window.max(1);
+        let mut per_cause: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for e in events {
+            if let EventKind::StallEnd { cause, cycles } = e.kind {
+                if cycles == 0 {
+                    continue;
+                }
+                let row = &mut per_cause[cause.index()];
+                let mut c = e.cycle.saturating_sub(cycles);
+                let end = e.cycle.max(c + cycles); // guard saturation
+                while c < end {
+                    let w = (c / window) as usize;
+                    if row.len() <= w {
+                        row.resize(w + 1, 0);
+                    }
+                    let win_end = (c / window + 1) * window;
+                    let take = end.min(win_end) - c;
+                    row[w] += take;
+                    c += take;
+                }
+            }
+        }
+        Self { window, per_cause }
+    }
+
+    /// The window width in cycles.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Number of windows covered (length of the longest cause row).
+    pub fn windows(&self) -> usize {
+        self.per_cause.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Stalled cycles attributed to `cause` in window `w`.
+    pub fn cycles(&self, cause: StallCause, w: usize) -> u64 {
+        self.per_cause[cause.index()].get(w).copied().unwrap_or(0)
+    }
+
+    /// Total stalled cycles attributed to `cause`.
+    pub fn total(&self, cause: StallCause) -> u64 {
+        self.per_cause[cause.index()].iter().sum()
+    }
+
+    /// Per-cause totals in [`StallCause::ALL`] order
+    /// (memory, control, structural) — the values that must equal the
+    /// run's `StallBreakdown`.
+    pub fn totals(&self) -> [u64; 3] {
+        [
+            self.total(StallCause::Memory),
+            self.total(StallCause::Control),
+            self.total(StallCause::Structural),
+        ]
+    }
+
+    /// Renders the timeline as a text table: one line per window with
+    /// per-cause stalled cycles, followed by a totals footer.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let windows = self.windows();
+        let _ = writeln!(
+            out,
+            "stall-attribution timeline — {windows} windows × {} cycles",
+            self.window
+        );
+        let _ = writeln!(
+            out,
+            "{:>12}  {:>10}  {:>10}  {:>10}",
+            "window", "memory", "control", "structural"
+        );
+        for w in 0..windows {
+            let row: Vec<u64> = StallCause::ALL.iter().map(|&c| self.cycles(c, w)).collect();
+            if row.iter().all(|&v| v == 0) {
+                continue; // dense runs: skip all-quiet windows
+            }
+            let _ = writeln!(
+                out,
+                "{:>12}  {:>10}  {:>10}  {:>10}",
+                w as u64 * self.window,
+                row[0],
+                row[1],
+                row[2]
+            );
+        }
+        let totals = self.totals();
+        let _ = writeln!(
+            out,
+            "{:>12}  {:>10}  {:>10}  {:>10}",
+            "total", totals[0], totals[1], totals[2]
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Track;
+
+    fn stall(thread: u32, cause: StallCause, end: u64, cycles: u64) -> Event {
+        Event {
+            cycle: end,
+            thread,
+            track: Track::Control,
+            kind: EventKind::StallEnd { cause, cycles },
+        }
+    }
+
+    #[test]
+    fn totals_conserve_interval_lengths() {
+        let events = vec![
+            stall(0, StallCause::Memory, 25, 20),    // spans windows 0..3
+            stall(0, StallCause::Control, 7, 3),     // inside window 0
+            stall(1, StallCause::Memory, 100, 1),    // window 9
+            stall(0, StallCause::Structural, 40, 0), // zero-length: ignored
+        ];
+        let tl = StallTimeline::from_events(&events, 10);
+        assert_eq!(tl.totals(), [21, 3, 0]);
+        // window splits: [5,10)=5, [10,20)=10, [20,25)=5.
+        assert_eq!(tl.cycles(StallCause::Memory, 0), 5);
+        assert_eq!(tl.cycles(StallCause::Memory, 1), 10);
+        assert_eq!(tl.cycles(StallCause::Memory, 2), 5);
+        assert_eq!(tl.cycles(StallCause::Memory, 9), 1);
+        assert_eq!(tl.cycles(StallCause::Control, 0), 3);
+    }
+
+    #[test]
+    fn window_sums_equal_totals_for_any_window() {
+        let events: Vec<Event> = (1..50)
+            .map(|i| stall(0, StallCause::ALL[i % 3], (i * 7) as u64, (i % 11) as u64))
+            .collect();
+        let reference = StallTimeline::from_events(&events, 1).totals();
+        for window in [1, 2, 3, 8, 17, 100, 10_000] {
+            let tl = StallTimeline::from_events(&events, window);
+            assert_eq!(tl.totals(), reference, "window {window}");
+        }
+    }
+
+    #[test]
+    fn render_has_totals_footer() {
+        let events = vec![stall(0, StallCause::Memory, 12, 12)];
+        let tl = StallTimeline::from_events(&events, 4);
+        let text = tl.render();
+        assert!(text.contains("total"));
+        assert!(text.contains("12"));
+        assert_eq!(tl.windows(), 3);
+    }
+
+    #[test]
+    fn zero_window_is_clamped() {
+        let tl = StallTimeline::from_events(&[stall(0, StallCause::Control, 3, 2)], 0);
+        assert_eq!(tl.window(), 1);
+        assert_eq!(tl.total(StallCause::Control), 2);
+    }
+}

@@ -60,4 +60,5 @@ pub use diag_isa as isa;
 pub use diag_mem as mem;
 pub use diag_power as power;
 pub use diag_sim as sim;
+pub use diag_trace as trace;
 pub use diag_workloads as workloads;
