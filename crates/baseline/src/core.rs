@@ -12,10 +12,9 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use diag_asm::Program;
-use diag_isa::Inst;
+use diag_isa::{ExecKind, StationSlot, StationTable};
 use diag_mem::{CacheArray, LaneLookup, Lsu, MainMemory, MemLane, PrivateCache};
-use diag_sim::interp::{arch_step, ArchState, MemEffect};
+use diag_sim::interp::{station_step, ArchState, MemEffect};
 use diag_sim::{Activity, Commit, SimError, StallBreakdown};
 use diag_trace::{Event, EventKind, StallCause, Tracer, Track};
 
@@ -37,7 +36,11 @@ pub struct CoreStats {
 #[derive(Debug)]
 pub struct O3Core {
     cfg: Arc<O3Config>,
-    program: Arc<Program>,
+    /// Text segment predecoded once at load, shared by every core of the
+    /// wave; the step loop never touches program bytes or the decoder (the
+    /// *modeled* pipeline still decodes every dynamic instruction — see
+    /// the `decodes` counter).
+    stations: Arc<StationTable>,
     state: ArchState,
     /// Completion time of the latest writer of each register lane.
     reg_ready: [u64; diag_isa::NUM_LANES],
@@ -81,16 +84,17 @@ const L1I_MISS_PENALTY: u64 = 18;
 
 impl O3Core {
     /// Creates core `thread_id` of `threads`, with a private L1D backed by
-    /// the given shared L2.
+    /// the given shared L2 and the wave's shared predecoded stations.
     pub fn new(
-        program: Arc<Program>,
+        entry: u32,
+        stations: Arc<StationTable>,
         cfg: Arc<O3Config>,
         l1d: PrivateCache,
         thread_id: usize,
         threads: usize,
         start_time: u64,
     ) -> O3Core {
-        let state = ArchState::new_thread(program.entry(), thread_id, threads);
+        let state = ArchState::new_thread(entry, thread_id, threads);
         O3Core {
             state,
             reg_ready: [start_time; diag_isa::NUM_LANES],
@@ -118,7 +122,7 @@ impl O3Core {
             commits: Vec::new(),
             tracer: Tracer::off(),
             cfg,
-            program,
+            stations,
         }
     }
 
@@ -164,7 +168,9 @@ impl O3Core {
 
     /// Executes one dynamic instruction through the full pipeline model.
     pub fn step(&mut self, mem: &mut MainMemory) -> Result<(), SimError> {
-        debug_assert!(!self.halted, "step on a halted core");
+        if self.halted {
+            return Err(SimError::Halted);
+        }
         let pc = self.state.pc;
 
         // ---- fetch ----------------------------------------------------
@@ -196,23 +202,27 @@ impl O3Core {
 
         // ---- architectural execution (shared interpreter) --------------
         let before_regs_pc = pc;
-        let inst_peek = self
-            .program
-            .decode_at(pc)
-            .ok_or(SimError::PcOutOfRange { pc })?;
-        let prediction = self.bpred.predict(pc, &inst_peek);
-        if matches!(
-            inst_peek,
-            Inst::Branch { .. } | Inst::Jal { .. } | Inst::Jalr { .. }
-        ) {
+        let st = match *self.stations.get(pc) {
+            StationSlot::Ready(st) => st,
+            StationSlot::Illegal { word } => {
+                return Err(SimError::IllegalInstruction { addr: pc, word })
+            }
+            StationSlot::Empty => return Err(SimError::PcOutOfRange { pc }),
+        };
+        let is_ctl = matches!(
+            st.kind,
+            ExecKind::Branch { .. } | ExecKind::Jal { .. } | ExecKind::Jalr { .. }
+        );
+        let prediction = self.bpred.predict(pc, &st.inst);
+        if is_ctl {
             self.stats.activity.bpred_lookups += 1;
         }
-        let info = arch_step(&mut self.state, &self.program, mem, None)?;
+        let info = station_step(&mut self.state, &self.stations, mem, None)?;
         debug_assert_eq!(info.pc, before_regs_pc);
 
         // ---- issue ------------------------------------------------------
         let mut ready = rename_t + 1;
-        for src in info.inst.sources().iter() {
+        for src in st.srcs.iter() {
             ready = ready.max(self.reg_ready[src.index()]);
         }
         // Bounded issue queue: this instruction occupies an IQ entry from
@@ -225,8 +235,8 @@ impl O3Core {
                 ready = oldest;
             }
         }
-        let latency = info.inst.exec_latency() as u64;
-        let kind = info.inst.fu_kind();
+        let latency = st.latency as u64;
+        let kind = st.fu;
         let issue_t = self.fus.issue(kind, self.issue_bw.next(ready), latency);
         self.iq.push_back(issue_t);
         self.stats.activity.issues += 1;
@@ -248,16 +258,15 @@ impl O3Core {
                     LaneLookup::Miss => (issue_t.max(self.fence_floor), false),
                 };
                 let tid = self.thread_id as u32;
-                let tracer = self.tracer.clone();
-                let (at, waited, id) = self
-                    .lsq
-                    .issue_blocking_traced(want, false, &tracer, tid, tid);
+                let (at, waited, id) =
+                    self.lsq
+                        .issue_blocking_traced(want, false, &self.tracer, tid, tid);
                 self.stall(StallCause::Memory, at, waited);
                 let ready_at = if forward {
                     self.stats.activity.memlane_hits += 1;
                     at + 1
                 } else {
-                    let out = self.l1d.access_traced(addr, false, at, &tracer, tid);
+                    let out = self.l1d.access_traced(addr, false, at, &self.tracer, tid);
                     self.count_cache(out.l1_hit, out.l2_hit);
                     if !out.l1_hit {
                         let hit_time = at + self.cfg.l1d.hit_latency as u64;
@@ -269,29 +278,30 @@ impl O3Core {
                     }
                     out.ready_at
                 };
-                self.lsq.complete_at_traced(ready_at, id, &tracer, tid, tid);
+                self.lsq
+                    .complete_at_traced(ready_at, id, &self.tracer, tid, tid);
                 ready_at
             }
             MemEffect::Store { addr, size } => {
                 self.stats.activity.stores += 1;
                 let want = issue_t.max(self.store_floor);
                 let tid = self.thread_id as u32;
-                let tracer = self.tracer.clone();
-                let (at, waited, id) = self
-                    .lsq
-                    .issue_blocking_traced(want, true, &tracer, tid, tid);
+                let (at, waited, id) =
+                    self.lsq
+                        .issue_blocking_traced(want, true, &self.tracer, tid, tid);
                 self.stall(StallCause::Memory, at, waited);
                 self.store_floor = at;
                 self.store_buffer.push_store(addr, size, 0, at);
                 self.store_buffer.trim();
-                let out = self.l1d.access_traced(addr, true, at, &tracer, tid);
+                let out = self.l1d.access_traced(addr, true, at, &self.tracer, tid);
                 self.count_cache(out.l1_hit, out.l2_hit);
                 let done = at + 1;
-                self.lsq.complete_at_traced(done, id, &tracer, tid, tid);
+                self.lsq
+                    .complete_at_traced(done, id, &self.tracer, tid, tid);
                 done
             }
             MemEffect::None => {
-                if matches!(info.inst, Inst::Fence) {
+                if matches!(st.kind, ExecKind::Fence) {
                     let done = issue_t + latency;
                     self.store_floor = self.store_floor.max(done);
                     self.fence_floor = self.fence_floor.max(done);
@@ -309,23 +319,20 @@ impl O3Core {
                 self.stats.activity.reg_writes += 1;
             }
         }
-        if info.inst.uses_fpu() {
+        if st.uses_fpu {
             self.stats.activity.fpu_active_cycles += latency;
             self.stats.activity.fp_ops += 1;
-        } else if !info.inst.is_mem() {
+        } else if !st.is_mem {
             self.stats.activity.int_ops += 1;
         }
         self.stats.activity.pe_active_cycles += (finish - issue_t).max(1);
 
         // ---- control resolution -----------------------------------------
-        if matches!(
-            info.inst,
-            Inst::Branch { .. } | Inst::Jal { .. } | Inst::Jalr { .. }
-        ) {
+        if is_ctl {
             let taken = info.redirected;
             let mispredicted = self
                 .bpred
-                .update(pc, &info.inst, prediction, taken, info.next_pc);
+                .update(pc, &st.inst, prediction, taken, info.next_pc);
             if mispredicted {
                 self.stats.activity.mispredicts += 1;
                 let redirect = finish + 1;

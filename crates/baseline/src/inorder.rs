@@ -10,8 +10,9 @@
 use std::sync::Arc;
 
 use diag_asm::Program;
+use diag_isa::{StationSlot, StationTable};
 use diag_mem::MainMemory;
-use diag_sim::interp::{arch_step, ArchState, MemEffect};
+use diag_sim::interp::{station_step, ArchState, MemEffect};
 use diag_sim::{Commit, Machine, RunStats, SimError, StepOutcome};
 use diag_trace::{Event, EventKind, Tracer, Track};
 
@@ -27,6 +28,10 @@ const BRANCH_BUBBLE: u64 = 2;
 #[derive(Debug)]
 struct InOrderRun {
     program: Arc<Program>,
+    /// Text segment predecoded once at load; the step loop never touches
+    /// the decoder (the *modeled* pipeline still decodes every dynamic
+    /// instruction — see the `decodes` counter).
+    stations: StationTable,
     threads: usize,
     mem: MainMemory,
     state: ArchState,
@@ -105,6 +110,7 @@ impl Machine for InOrder {
         self.commits.clear();
         self.run = Some(InOrderRun {
             state: ArchState::new_thread(program.entry(), 0, threads),
+            stations: StationTable::build(program.text_base(), program.text()),
             program,
             threads,
             mem,
@@ -132,13 +138,24 @@ impl Machine for InOrder {
         if run.halted {
             return Err(SimError::NotLoaded);
         }
-        let info = arch_step(&mut run.state, &run.program, &mut run.mem, None)?;
+        let st = match *run.stations.get(run.state.pc) {
+            StationSlot::Ready(st) => st,
+            StationSlot::Illegal { word } => {
+                let pc = run.state.pc;
+                return Err(SimError::IllegalInstruction { addr: pc, word });
+            }
+            StationSlot::Empty => {
+                let pc = run.state.pc;
+                return Err(SimError::PcOutOfRange { pc });
+            }
+        };
+        let info = station_step(&mut run.state, &run.stations, &mut run.mem, None)?;
         let mut start = run.clock;
-        for src in info.inst.sources().iter() {
+        for src in st.srcs.iter() {
             start = start.max(run.reg_ready[src.index()]);
         }
         let latency = match info.mem {
-            MemEffect::None => info.inst.exec_latency() as u64,
+            MemEffect::None => st.latency as u64,
             _ => MEM_LATENCY,
         };
         let finish = start + latency;
@@ -155,7 +172,7 @@ impl Machine for InOrder {
             MemEffect::Load { .. } => run.stats.activity.loads += 1,
             MemEffect::Store { .. } => run.stats.activity.stores += 1,
             MemEffect::None => {
-                if info.inst.uses_fpu() {
+                if st.uses_fpu {
                     run.stats.activity.fp_ops += 1;
                 } else {
                     run.stats.activity.int_ops += 1;

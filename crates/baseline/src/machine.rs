@@ -10,6 +10,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use diag_asm::Program;
+use diag_isa::StationTable;
 use diag_mem::{MainMemory, PrivateCache, SharedLevel};
 use diag_sim::{Commit, Machine, RunStats, SimError, StepOutcome};
 use diag_trace::{Event, EventKind, Tracer, Track};
@@ -21,6 +22,9 @@ use crate::core::O3Core;
 #[derive(Debug)]
 struct OooRun {
     program: Arc<Program>,
+    /// Text segment predecoded once at load; shared by every core of
+    /// every wave, so no wave launch or step touches the decoder.
+    stations: Arc<StationTable>,
     threads: usize,
     mem: MainMemory,
     l2: Rc<RefCell<SharedLevel>>,
@@ -51,7 +55,8 @@ impl OooRun {
             .map(|k| {
                 let l1d = PrivateCache::new(config.l1d, Rc::clone(&self.l2));
                 let mut core = O3Core::new(
-                    Arc::clone(&self.program),
+                    self.program.entry(),
+                    Arc::clone(&self.stations),
                     Arc::clone(config),
                     l1d,
                     self.next_tid + k,
@@ -163,6 +168,7 @@ impl Machine for OooCpu {
         self.last_stats = None;
         self.commits.clear();
         let mut run = OooRun {
+            stations: Arc::new(StationTable::build(program.text_base(), program.text())),
             program,
             threads,
             mem,

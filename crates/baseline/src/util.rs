@@ -47,13 +47,12 @@ impl Bandwidth {
 /// An out-of-order per-cycle capacity meter: at most `width` events per
 /// cycle, but grants need not be in time order (models the issue stage of
 /// an out-of-order core, where a stalled instruction must not delay
-/// independent younger instructions).
+/// independent younger instructions). Backed by the sliding count window
+/// of [`diag_mem::PortMeter`], so `next` never hashes or allocates on the
+/// per-instruction hot path.
 #[derive(Debug, Clone)]
 pub struct IssueMeter {
-    width: u8,
-    counts: std::collections::HashMap<u64, u8>,
-    /// Grants below this time have been pruned.
-    horizon: u64,
+    port: diag_mem::PortMeter,
 }
 
 impl IssueMeter {
@@ -63,35 +62,21 @@ impl IssueMeter {
     ///
     /// Panics if `width` is zero or exceeds 255.
     pub fn new(width: usize) -> IssueMeter {
-        assert!((1..=255).contains(&width), "issue width out of range");
         IssueMeter {
-            width: width as u8,
-            counts: std::collections::HashMap::new(),
-            horizon: 0,
+            port: diag_mem::PortMeter::new(width),
         }
     }
 
     /// Reserves a slot at the earliest cycle ≥ `at` with spare capacity.
     pub fn next(&mut self, at: u64) -> u64 {
-        let mut t = at.max(self.horizon);
-        loop {
-            let c = self.counts.entry(t).or_insert(0);
-            if *c < self.width {
-                *c += 1;
-                return t;
-            }
-            t += 1;
-        }
+        self.port.next(at)
     }
 
     /// Discards bookkeeping for cycles before `time` (no new grant will be
     /// requested before it). Call periodically with a safe lower bound
     /// (e.g. the oldest in-flight instruction's fetch time).
     pub fn prune_before(&mut self, time: u64) {
-        if time > self.horizon {
-            self.horizon = time;
-            self.counts.retain(|&t, _| t >= time);
-        }
+        self.port.prune_before(time);
     }
 }
 

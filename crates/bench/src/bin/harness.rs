@@ -5,6 +5,8 @@
 //! harness run <experiment|all> [--quick] [--jobs N] [--strict]
 //! harness analyze [workload ...|all] [--json] [--threads N] [--simt]
 //! harness sweep [workload ...|all] [--quick] [--jobs N] [--strict]
+//! harness bench [workload ...|all] [--quick] [--repeat N] [--out FILE]
+//!               [--baseline FILE] [--max-regress PCT]
 //! harness trace <workload> [--machine M] [--format F] [--window N]
 //!               [--out FILE] [--threads N] [--simt] [--quick]
 //! harness --help
@@ -32,6 +34,14 @@
 //! — DiAG f4c32, the 12-core out-of-order baseline, and the in-order
 //! reference — in parallel, and prints one cycles/IPC table.
 //!
+//! `bench` times the *simulator itself*: host nanoseconds per committed
+//! instruction for every named workload (default: all) on every machine
+//! model, serially, best of `--repeat N` runs (default 3). The report is
+//! written as JSON to `--out FILE` (default `BENCH_sim.json`). With
+//! `--baseline FILE` each row gains a `speedup_vs_seed` field against the
+//! recorded numbers, and `--max-regress PCT` exits non-zero if the
+//! aggregate ns/instr regressed by more than PCT percent.
+//!
 //! `trace` runs one workload with the [`diag_trace`] subsystem attached
 //! and exports the event stream: `--format perfetto` (default) writes
 //! Chrome trace-event JSON loadable at <https://ui.perfetto.dev>,
@@ -42,7 +52,7 @@
 
 use diag_bench::runner::MachineKind;
 use diag_bench::sweep::Sweep;
-use diag_bench::{experiments, sweep};
+use diag_bench::{experiments, hostbench, sweep};
 use diag_trace::timeline::StallTimeline;
 use diag_trace::{heatmap, perfetto, Tracer, VecSink};
 use diag_workloads::{Params, Scale, Suite};
@@ -54,12 +64,15 @@ subcommands:
                          `run` may be omitted: `harness table1` works)
   analyze [workload ...] static dataflow analysis, no simulation
   sweep [workload ...]   run workloads on every machine; cycles/IPC table
+  bench [workload ...]   time the simulator itself; write BENCH_sim.json
   trace <workload>       run one workload with tracing and export events
   --help                 this message
 
 run options:      [--quick] [--jobs N] [--strict]
 analyze options:  [--json] [--threads N] [--simt]
 sweep options:    [--quick] [--jobs N] [--strict]
+bench options:    [--quick] [--repeat N] [--out FILE] [--baseline FILE]
+                  [--max-regress PCT]
 trace options:    [--machine diag|ooo|inorder] [--format perfetto|jsonl|heatmap|timeline]
                   [--window N] [--out FILE] [--threads N] [--simt] [--quick]
 
@@ -223,6 +236,121 @@ fn sweep_cmd(args: &[String]) -> i32 {
         return 1;
     }
     0
+}
+
+/// The `bench` subcommand: host-time the simulator over workloads ×
+/// machines and write `BENCH_sim.json`. Returns the process exit code.
+fn bench_cmd(args: &[String]) -> i32 {
+    let mut quick = false;
+    let mut repeat = 3u32;
+    let mut out_path = "BENCH_sim.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut max_regress: Option<f64> = None;
+    let mut names: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--repeat" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<u32>().ok()) else {
+                    eprintln!("--repeat needs a positive integer");
+                    usage();
+                };
+                repeat = n.max(1);
+            }
+            "--out" => match it.next() {
+                Some(path) => out_path = path.clone(),
+                None => {
+                    eprintln!("--out needs a file path");
+                    usage();
+                }
+            },
+            "--baseline" => match it.next() {
+                Some(path) => baseline_path = Some(path.clone()),
+                None => {
+                    eprintln!("--baseline needs a file path");
+                    usage();
+                }
+            },
+            "--max-regress" => {
+                let Some(pct) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--max-regress needs a percentage");
+                    usage();
+                };
+                max_regress = Some(pct);
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+            other => names.push(other),
+        }
+    }
+    let specs = resolve_workloads(&names);
+    let params = if quick {
+        Params::tiny()
+    } else {
+        Params::small()
+    };
+    let baseline = match &baseline_path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match hostbench::BenchBaseline::parse(&text) {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    eprintln!("cannot parse baseline {path}: {e}");
+                    return 1;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                return 1;
+            }
+        },
+        None => None,
+    };
+    let report = hostbench::run_bench(&specs, &params, repeat, baseline.as_ref());
+    let json = hostbench::to_json(&report, baseline.as_ref());
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return 1;
+    }
+    let mut table = diag_power::TextTable::new(
+        ["benchmark", "machine", "ns/instr", "sim cycles", "vs seed"]
+            .iter()
+            .map(|s| s.to_string()),
+    );
+    for row in &report.rows {
+        table.row([
+            row.workload.clone(),
+            row.machine.clone(),
+            format!("{:.1}", row.ns_per_instr),
+            row.sim_cycles.to_string(),
+            match row.speedup_vs_seed {
+                Some(s) => format!("{s:.2}x"),
+                None => "-".to_string(),
+            },
+        ]);
+    }
+    println!("{}", table.render());
+    eprintln!(
+        "total: {:.1} ns/instr over {} committed instructions; wrote {out_path}",
+        report.total_ns_per_instr(),
+        report.total_committed()
+    );
+    for failure in &report.failures {
+        eprintln!("failed: {failure}");
+    }
+    if let (Some(pct), Some(b)) = (max_regress, baseline.as_ref()) {
+        if let Err(e) = hostbench::check_regression(&report, b, pct) {
+            eprintln!("bench regression gate: {e}");
+            return 1;
+        }
+    }
+    if report.failures.is_empty() {
+        0
+    } else {
+        1
+    }
 }
 
 /// The `trace` subcommand: run one workload with a tracer attached and
@@ -481,6 +609,7 @@ fn main() {
         }
         Some("analyze") => analyze_cmd(&args[1..]),
         Some("sweep") => sweep_cmd(&args[1..]),
+        Some("bench") => bench_cmd(&args[1..]),
         Some("trace") => trace_cmd(&args[1..]),
         Some("run") => run_cmd(&args[1..]),
         Some(_) => run_cmd(&args),

@@ -17,5 +17,6 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod hostbench;
 pub mod runner;
 pub mod sweep;

@@ -1,0 +1,44 @@
+//! CLI contract tests for the `harness` binary: the help text documents
+//! every subcommand, and unknown flags are rejected with the usage exit
+//! code rather than being silently ignored.
+
+use std::process::Command;
+
+fn harness() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_harness"))
+}
+
+#[test]
+fn help_documents_the_bench_subcommand() {
+    let out = harness().arg("--help").output().unwrap();
+    let text =
+        String::from_utf8_lossy(&out.stdout).to_string() + &String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("bench"), "help must list `bench`: {text}");
+    assert!(
+        text.contains("--quick") && text.contains("--baseline"),
+        "help must list bench options: {text}"
+    );
+}
+
+#[test]
+fn bench_rejects_unknown_flags() {
+    let out = harness()
+        .args(["bench", "--no-such-flag"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "unknown flag must exit 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("unknown flag"),
+        "stderr must name the rejection: {err}"
+    );
+}
+
+#[test]
+fn bench_rejects_unknown_workloads() {
+    let out = harness()
+        .args(["bench", "definitely-not-a-workload"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -8,6 +8,7 @@
 //! slot's last dynamic instance finished (a PE holds one instruction
 //! instance at a time).
 
+use diag_isa::StationSlot;
 use diag_mem::Lsu;
 
 /// Timing and residency state of one processing cluster.
@@ -15,6 +16,12 @@ use diag_mem::Lsu;
 pub struct Cluster {
     /// Base address of the resident I-line, if any.
     pub line_addr: Option<u32>,
+    /// Predecoded PE stations for the resident line, one per slot (paper
+    /// §4.2: the line is decoded once into the PEs' latched control
+    /// signals; re-executions skip fetch/decode). The arena is sized at
+    /// construction and overwritten in place on every line load — the hot
+    /// path never allocates.
+    pub stations: Vec<StationSlot>,
     /// Cycle at which the resident instructions finished decoding and may
     /// begin execution (§5.1.1: one cycle after assignment).
     pub decode_ready: u64,
@@ -45,6 +52,7 @@ impl Cluster {
     pub fn new(pes: usize, lsu_depth: usize) -> Cluster {
         Cluster {
             line_addr: None,
+            stations: vec![StationSlot::Empty; pes],
             decode_ready: 0,
             decoded_slots: 0,
             slot_busy: vec![0; pes],

@@ -103,6 +103,7 @@ impl LaneFile {
 
     /// Time at which a consumer at `reader` slot observes the lane valid,
     /// including lane-buffer propagation from the writer.
+    #[inline]
     pub fn ready_at(&self, lane: ArchReg, reader: usize, geom: LaneGeometry) -> u64 {
         if lane.is_zero() {
             return 0;

@@ -55,6 +55,7 @@ impl DiagRun {
                     self.wave_start,
                 );
                 ring.commit_log = commit_log;
+                ring.tracer = self.shared.tracer.clone();
                 ring
             })
             .collect();

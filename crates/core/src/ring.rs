@@ -15,11 +15,11 @@
 //! shared 512-bit bus (§5.1.3). Wrong-path execution is not simulated; a
 //! taken branch charges the paper's redirect penalty instead (§7.3.2).
 
-use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
 use std::sync::Arc;
 
 use diag_asm::Program;
-use diag_isa::{decode, exec, ArchReg, Inst, Reg, INST_BYTES};
+use diag_isa::{decode, exec, ArchReg, ExecKind, Inst, Reg, Station, StationSlot, INST_BYTES};
 use diag_mem::{LaneLookup, MemLane, REGFILE_BEATS};
 use diag_sim::{Activity, Commit, SimError, StallBreakdown};
 use diag_trace::{Counter, Counters, Event, EventKind, StallCause, Tracer, Track};
@@ -78,7 +78,7 @@ pub struct RingSim {
     pub(crate) config: Arc<DiagConfig>,
     pub(crate) geom: LaneGeometry,
     pub(crate) clusters: Vec<Cluster>,
-    pub(crate) resident: HashMap<u32, usize>,
+    pub(crate) resident: diag_mem::FxHashMap<u32, usize>,
     pub(crate) alloc_rr: usize,
     /// Last sequentially-loaded line and the time its bus transport ended,
     /// modelling the control unit's preemptive next-line fetch (§5.1.3).
@@ -87,7 +87,7 @@ pub struct RingSim {
     /// scheduling table knows the thread loops through them and prefetches
     /// them into freed clusters (§5.1.3 "preemptively loading instruction
     /// lines"), hiding the fetch latency on re-entry.
-    pub(crate) loop_lines: HashSet<u32>,
+    pub(crate) loop_lines: diag_mem::FxHashSet<u32>,
     pub(crate) lanes: LaneFile,
     pub(crate) commit: CommitTracker,
     pub(crate) memlane: MemLane,
@@ -124,6 +124,18 @@ pub struct RingSim {
     pub(crate) commit_log: bool,
     /// Retirements logged since the machine last drained them.
     pub(crate) commits: Vec<Commit>,
+    /// The shared tracer, cloned once at wave launch so the per-step hot
+    /// loop performs no `Rc` refcount traffic. [`Tracer::off`] until the
+    /// machine installs the shared sink.
+    pub(crate) tracer: Tracer,
+    /// Validated-SIMT-region cache keyed by the `simt_s` address. Region
+    /// well-formedness is a static property of the program text, so each
+    /// `simt_s` is scanned and its body lowered to stations exactly once;
+    /// `None` records a validation fallback (sequential execution).
+    pub(crate) region_cache: diag_mem::FxHashMap<u32, Option<Rc<crate::simt::CachedRegion>>>,
+    /// Scratch memory lane reused across SIMT instances (cleared, not
+    /// reallocated, per instance).
+    pub(crate) simt_memlane: MemLane,
 }
 
 impl RingSim {
@@ -157,13 +169,14 @@ impl RingSim {
             clusters: (0..clusters)
                 .map(|_| Cluster::new(ppc, config.lsu_depth))
                 .collect(),
-            resident: HashMap::new(),
+            resident: diag_mem::FxHashMap::default(),
             alloc_rr: 0,
             last_line: None,
-            loop_lines: HashSet::new(),
+            loop_lines: diag_mem::FxHashSet::default(),
             lanes,
             commit,
             memlane: MemLane::new(config.memlane_capacity),
+            simt_memlane: MemLane::new(config.memlane_capacity),
             pc: entry,
             halted: false,
             time_floor: start_time,
@@ -178,6 +191,8 @@ impl RingSim {
             thread_id,
             commit_log: false,
             commits: Vec::new(),
+            tracer: Tracer::off(),
+            region_cache: diag_mem::FxHashMap::default(),
             program,
             config,
         }
@@ -213,26 +228,19 @@ impl RingSim {
     /// ring accounts flows through here, which is what lets the
     /// stall-attribution timeline reconcile exactly with
     /// [`StallBreakdown`].
-    pub(crate) fn stall(
-        &mut self,
-        tracer: &Tracer,
-        track: Track,
-        cause: StallCause,
-        end: u64,
-        cycles: u64,
-    ) {
+    pub(crate) fn stall(&mut self, track: Track, cause: StallCause, end: u64, cycles: u64) {
         if cycles == 0 {
             return;
         }
         self.stats.stalls.add_cycles(cause, cycles);
         let thread = self.thread_id as u32;
-        tracer.emit(|| Event {
+        self.tracer.emit(|| Event {
             cycle: end.saturating_sub(cycles),
             thread,
             track,
             kind: EventKind::StallBegin { cause },
         });
-        tracer.emit(|| Event {
+        self.tracer.emit(|| Event {
             cycle: end,
             thread,
             track,
@@ -243,14 +251,8 @@ impl RingSim {
     /// Emits segment-buffer traffic events for one lane transport that
     /// departs the writer at `depart` and reaches the reader at `arrive`
     /// (only called with an enabled tracer).
-    fn emit_transport(
-        &mut self,
-        tracer: &Tracer,
-        lane: ArchReg,
-        reader_slot: usize,
-        depart: u64,
-        arrive: u64,
-    ) {
+    fn emit_transport(&mut self, lane: ArchReg, reader_slot: usize, depart: u64, arrive: u64) {
+        let tracer = self.tracer.clone();
         let thread = self.thread_id as u32;
         let l = lane.index() as u8;
         let from_slot = self.lanes.writer_of(lane);
@@ -332,26 +334,18 @@ impl RingSim {
         };
         // A known loop target was prefetched while the victim cluster was
         // draining; its transport cost was already paid in the background.
-        let tracer = shared.tracer.clone();
         let thread = self.thread_id as u32;
         let prefetched = was_redirect && self.loop_lines.contains(&line);
         let arrived = if prefetched {
             initiate
         } else {
             let (arrived, bus_wait) = shared.fetch_line(line, initiate, thread);
-            self.stall(
-                &tracer,
-                Track::Bus,
-                StallCause::Structural,
-                arrived,
-                bus_wait,
-            );
+            self.stall(Track::Bus, StallCause::Structural, arrived, bus_wait);
             arrived
         };
         let free = self.clusters[c].last_commit;
         if free > arrived {
             self.stall(
-                &tracer,
                 Track::Cluster(c as u32),
                 StallCause::Structural,
                 free,
@@ -362,7 +356,6 @@ impl RingSim {
         let decode_ready = latch + self.config.line_load_cycles + 1;
         if was_redirect && decode_ready > self.time_floor {
             self.stall(
-                &tracer,
                 Track::Cluster(c as u32),
                 StallCause::Control,
                 decode_ready,
@@ -373,6 +366,7 @@ impl RingSim {
             self.resident.remove(&old);
         }
         self.clusters[c].load_line(line, decode_ready);
+        self.populate_stations(c, line);
         self.resident.insert(line, c);
         self.max_resident = self.max_resident.max(self.resident.len());
         self.last_line = Some((line, arrived));
@@ -380,7 +374,7 @@ impl RingSim {
         self.stats
             .counters
             .add(Counter::BusBeats, diag_mem::ILINE_BEATS);
-        tracer.emit(|| Event {
+        self.tracer.emit(|| Event {
             cycle: arrived,
             thread,
             track: Track::Cluster(c as u32),
@@ -389,14 +383,38 @@ impl RingSim {
         c
     }
 
+    /// Predecodes the just-loaded line into cluster `c`'s station arena —
+    /// the per-PE `RV_DECODER` pass of a line load (§4.2, Table 3). Each
+    /// slot that holds a decodable instruction counts one decode;
+    /// subsequent executions from the arena are datapath reuse and touch
+    /// neither the program bytes nor the decoder.
+    pub(crate) fn populate_stations(&mut self, c: usize, line: u32) {
+        let program = Arc::clone(&self.program);
+        let ppc = self.config.pes_per_cluster;
+        let mut decoded = 0u64;
+        for i in 0..ppc {
+            let pc = line + (i as u32) * INST_BYTES;
+            self.clusters[c].stations[i] = match program.fetch(pc) {
+                None => StationSlot::Empty,
+                Some(word) => match decode(word) {
+                    Ok(inst) => {
+                        decoded += 1;
+                        StationSlot::Ready(Station::lower(inst, pc, |a| program.decode_at(a)))
+                    }
+                    Err(_) => StationSlot::Illegal { word },
+                },
+            };
+        }
+        self.stats.counters.add(Counter::Decodes, decoded);
+    }
+
     /// Handles a taken control transfer resolved at `resolve` from global
     /// PE slot `from_slot`; sets the floor for the next instruction.
     fn redirect(&mut self, target: u32, resolve: u64, from_slot: usize, shared: &mut SharedParts) {
-        let tracer = shared.tracer.clone();
         let thread = self.thread_id as u32;
         let backward = target <= self.pc;
         let from_pc = self.pc;
-        tracer.emit(|| Event {
+        self.tracer.emit(|| Event {
             cycle: resolve,
             thread,
             track: Track::Control,
@@ -439,13 +457,7 @@ impl RingSim {
                     // disable the skipped PEs — wasted slots the paper's
                     // taxonomy counts as control (§7.3.2).
                     if !backward {
-                        self.stall(
-                            &tracer,
-                            Track::Control,
-                            StallCause::Control,
-                            resolve + delay,
-                            delay,
-                        );
+                        self.stall(Track::Control, StallCause::Control, resolve + delay, delay);
                     }
                     self.redirect_pending = true;
                     return;
@@ -471,13 +483,7 @@ impl RingSim {
             }
         }
         let floor = self.time_floor;
-        self.stall(
-            &tracer,
-            Track::Control,
-            StallCause::Control,
-            floor,
-            floor - resolve,
-        );
+        self.stall(Track::Control, StallCause::Control, floor, floor - resolve);
         self.redirect_pending = true;
     }
 
@@ -497,25 +503,30 @@ impl RingSim {
         start: u64,
         shared: &mut SharedParts,
     ) -> (u64, u64) {
-        let tracer = shared.tracer.clone();
         let thread = self.thread_id as u32;
         let unit = cluster as u32;
         if write {
             let want = start.max(self.mem_floor);
-            let (issue, waited, id) = self.clusters[cluster]
-                .lsu
-                .issue_blocking_traced(want, true, &tracer, thread, unit);
-            self.stall(&tracer, Track::Lsu(unit), StallCause::Memory, issue, waited);
+            let (issue, waited, id) = self.clusters[cluster].lsu.issue_blocking_traced(
+                want,
+                true,
+                &self.tracer,
+                thread,
+                unit,
+            );
+            self.stall(Track::Lsu(unit), StallCause::Memory, issue, waited);
             self.mem_floor = issue;
             self.memlane.push_store(addr, size, 0, issue);
             self.memlane.trim();
-            let out = shared.l1d.access_traced(addr, true, issue, &tracer, thread);
+            let out = shared
+                .l1d
+                .access_traced(addr, true, issue, &self.tracer, thread);
             self.count_cache(&out);
             self.clusters[cluster].line_buf_fill(addr & !(shared_line_mask()));
             let ready = issue + 1;
             self.clusters[cluster]
                 .lsu
-                .complete_at_traced(ready, id, &tracer, thread, unit);
+                .complete_at_traced(ready, id, &self.tracer, thread, unit);
             (issue, ready)
         } else {
             let (want, forward) = match self.memlane.lookup(addr, size) {
@@ -535,22 +546,25 @@ impl RingSim {
                 self.stats.counters.inc(Counter::MemlaneHits);
                 return (want, want + 1);
             }
-            let (issue, waited, id) = self.clusters[cluster]
-                .lsu
-                .issue_blocking_traced(want, false, &tracer, thread, unit);
-            self.stall(&tracer, Track::Lsu(unit), StallCause::Memory, issue, waited);
+            let (issue, waited, id) = self.clusters[cluster].lsu.issue_blocking_traced(
+                want,
+                false,
+                &self.tracer,
+                thread,
+                unit,
+            );
+            self.stall(Track::Lsu(unit), StallCause::Memory, issue, waited);
             let ready = if forward {
                 self.stats.counters.inc(Counter::MemlaneHits);
                 issue + 1
             } else {
                 let out = shared
                     .l1d
-                    .access_traced(addr, false, issue, &tracer, thread);
+                    .access_traced(addr, false, issue, &self.tracer, thread);
                 self.count_cache(&out);
                 if !out.l1_hit {
                     let hit_time = issue + self.config.l1d.hit_latency as u64;
                     self.stall(
-                        &tracer,
                         Track::Cache(1),
                         StallCause::Memory,
                         out.ready_at,
@@ -562,7 +576,7 @@ impl RingSim {
             };
             self.clusters[cluster]
                 .lsu
-                .complete_at_traced(ready, id, &tracer, thread, unit);
+                .complete_at_traced(ready, id, &self.tracer, thread, unit);
             (issue, ready)
         }
     }
@@ -581,7 +595,9 @@ impl RingSim {
     /// Executes one dynamic instruction (or one whole SIMT region when it
     /// begins at the current PC). Advances architectural and timing state.
     pub fn step(&mut self, shared: &mut SharedParts) -> Result<(), SimError> {
-        debug_assert!(!self.halted, "step on a halted ring");
+        if self.halted {
+            return Err(SimError::Halted);
+        }
         // Asynchronous interrupt (§5.1.4): taken at an instruction
         // boundary on thread 0 once the PC lane has passed the injection
         // cycle. All older instructions have retired (this engine is
@@ -598,50 +614,71 @@ impl RingSim {
                 // conventional scratch register (a simplified mepc).
                 self.lanes
                     .write(diag_isa::Reg::GP.into(), old_pc, resolve, slot);
-                let tracer = shared.tracer.clone();
-                self.stall(&tracer, Track::Control, StallCause::Control, resolve, 1);
+                self.stall(Track::Control, StallCause::Control, resolve, 1);
             }
         }
         let pc = self.pc;
-        let word = self
-            .program
-            .fetch(pc)
-            .ok_or(SimError::PcOutOfRange { pc })?;
-        let inst = decode(word).map_err(|_| SimError::IllegalInstruction { addr: pc, word })?;
+        if !self.program.contains_text_addr(pc) {
+            return Err(SimError::PcOutOfRange { pc });
+        }
+        let line = pc & self.line_mask();
 
-        if let Inst::SimtS { .. } = inst {
-            // Commit logging forces the sequential marker path: pipelined
-            // SIMT retires whole regions in bulk, which cannot be diffed
-            // retirement-for-retirement against the reference.
-            if self.config.enable_simt && !self.commit_log && self.try_simt(pc, inst, shared)? {
-                return Ok(());
+        // Commit logging forces the sequential marker path: pipelined
+        // SIMT retires whole regions in bulk, which cannot be diffed
+        // retirement-for-retirement against the reference. The peek comes
+        // from the resident station when available; only a cold miss on a
+        // region entry consults the decoder.
+        if self.config.enable_simt && !self.commit_log {
+            let peeked = match self.resident.get(&line).copied() {
+                Some(c) => {
+                    let slot_in = ((pc - line) / INST_BYTES) as usize;
+                    match self.clusters[c].stations[slot_in] {
+                        StationSlot::Ready(st) if matches!(st.kind, ExecKind::SimtS { .. }) => {
+                            Some(st.inst)
+                        }
+                        _ => None,
+                    }
+                }
+                None => self
+                    .program
+                    .decode_at(pc)
+                    .filter(|i| matches!(i, Inst::SimtS { .. })),
+            };
+            if let Some(inst) = peeked {
+                if self.try_simt(pc, inst, shared)? {
+                    return Ok(());
+                }
             }
         }
 
         let was_redirect = std::mem::take(&mut self.redirect_pending);
-        let line = pc & self.line_mask();
         let cluster = self.ensure_resident(line, was_redirect, shared);
         let slot_in = ((pc - line) / INST_BYTES) as usize;
         let slot = cluster * self.config.pes_per_cluster + slot_in;
 
-        let tracer = shared.tracer.clone();
+        let st = match self.clusters[cluster].stations[slot_in] {
+            StationSlot::Ready(st) => st,
+            StationSlot::Illegal { word } => {
+                return Err(SimError::IllegalInstruction { addr: pc, word })
+            }
+            StationSlot::Empty => return Err(SimError::PcOutOfRange { pc }),
+        };
+
         let thread = self.thread_id as u32;
         let reused = !self.clusters[cluster].mark_decoded(slot_in);
         if reused {
             self.stats.counters.inc(Counter::ReuseCommits);
-        } else {
-            self.stats.counters.inc(Counter::Decodes);
         }
         let decode_ready = self.clusters[cluster].decode_ready;
 
         // Source operands: value + validity time at this PE slot.
         let mut op_ready = 0u64;
-        for src in inst.sources().iter() {
+        for src in st.srcs.iter() {
             let t = self.lanes.ready_at(src, slot, self.geom);
             let raw = self.lanes.raw_ready(src);
             self.stats.counters.add(Counter::LaneTransports, t - raw);
-            if t > raw && tracer.enabled() {
-                self.emit_transport(&tracer, src, slot, raw, t);
+            if t > raw && self.tracer.enabled() {
+                self.emit_transport(src, slot, raw, t);
             }
             op_ready = op_ready.max(t);
         }
@@ -651,7 +688,7 @@ impl RingSim {
             .max(decode_ready)
             .max(self.time_floor)
             .max(slot_free);
-        tracer.emit(|| Event {
+        self.tracer.emit(|| Event {
             cycle: start,
             thread,
             track: Track::Pe {
@@ -666,66 +703,49 @@ impl RingSim {
         let mut slot_release: Option<u64> = None;
         let finish: u64;
 
-        match inst {
-            Inst::Lui { rd, imm } => {
+        match st.kind {
+            ExecKind::Const { value } => {
                 finish = start + 1;
-                lane_write = Some((rd.into(), imm as u32));
+                lane_write = st.dest.map(|d| (d, value));
             }
-            Inst::Auipc { rd, imm } => {
+            ExecKind::AluImm { op, rs1, imm } => {
+                finish = start + st.latency as u64;
+                let v = exec::alu(op, self.lanes.value(rs1), imm);
+                lane_write = st.dest.map(|d| (d, v));
+            }
+            ExecKind::Alu { op, rs1, rs2 } => {
+                finish = start + st.latency as u64;
+                let v = exec::alu(op, self.lanes.value(rs1), self.lanes.value(rs2));
+                lane_write = st.dest.map(|d| (d, v));
+            }
+            ExecKind::Jal { target, link } => {
                 finish = start + 1;
-                lane_write = Some((rd.into(), pc.wrapping_add(imm as u32)));
-            }
-            Inst::OpImm { op, rd, rs1, imm } => {
-                finish = start + inst.exec_latency() as u64;
-                let v = exec::alu(op, self.lanes.value(rs1.into()), imm as u32);
-                lane_write = Some((rd.into(), v));
-            }
-            Inst::Op { op, rd, rs1, rs2 } => {
-                finish = start + inst.exec_latency() as u64;
-                let v = exec::alu(
-                    op,
-                    self.lanes.value(rs1.into()),
-                    self.lanes.value(rs2.into()),
-                );
-                lane_write = Some((rd.into(), v));
-            }
-            Inst::Jal { rd, offset } => {
-                finish = start + 1;
-                lane_write = Some((rd.into(), pc.wrapping_add(INST_BYTES)));
-                next_pc = pc.wrapping_add(offset as u32);
-                self.redirect(next_pc, finish, slot, shared);
-            }
-            Inst::Jalr { rd, rs1, offset } => {
-                finish = start + 1;
-                let target = self.lanes.value(rs1.into()).wrapping_add(offset as u32) & !1;
-                lane_write = Some((rd.into(), pc.wrapping_add(INST_BYTES)));
+                lane_write = st.dest.map(|d| (d, link));
                 next_pc = target;
                 self.redirect(next_pc, finish, slot, shared);
             }
-            Inst::Branch {
+            ExecKind::Jalr { rs1, offset, link } => {
+                finish = start + 1;
+                let target = self.lanes.value(rs1).wrapping_add(offset as u32) & !1;
+                lane_write = st.dest.map(|d| (d, link));
+                next_pc = target;
+                self.redirect(next_pc, finish, slot, shared);
+            }
+            ExecKind::Branch {
                 op,
                 rs1,
                 rs2,
-                offset,
+                target,
             } => {
                 finish = start + 1;
-                let taken = exec::branch_taken(
-                    op,
-                    self.lanes.value(rs1.into()),
-                    self.lanes.value(rs2.into()),
-                );
+                let taken = exec::branch_taken(op, self.lanes.value(rs1), self.lanes.value(rs2));
                 if taken {
-                    next_pc = pc.wrapping_add(offset as u32);
+                    next_pc = target;
                     self.redirect(next_pc, finish, slot, shared);
                 }
             }
-            Inst::Load {
-                op,
-                rd,
-                rs1,
-                offset,
-            } => {
-                let addr = self.lanes.value(rs1.into()).wrapping_add(offset as u32);
+            ExecKind::Load { op, rs1, offset } => {
+                let addr = self.lanes.value(rs1).wrapping_add(offset as u32);
                 let size = op.size();
                 if !addr.is_multiple_of(size) {
                     return Err(SimError::Misaligned { addr, size });
@@ -734,102 +754,92 @@ impl RingSim {
                 slot_release = Some(issue + 1);
                 finish = ready;
                 let raw = shared.mem.read(addr, size);
-                lane_write = Some((rd.into(), exec::extend_load(op, raw)));
+                lane_write = st.dest.map(|d| (d, exec::extend_load(op, raw)));
                 self.stats.counters.inc(Counter::Loads);
             }
-            Inst::Store {
+            ExecKind::Store {
                 op,
                 rs1,
                 rs2,
                 offset,
             } => {
-                let addr = self.lanes.value(rs1.into()).wrapping_add(offset as u32);
+                let addr = self.lanes.value(rs1).wrapping_add(offset as u32);
                 let size = op.size();
                 if !addr.is_multiple_of(size) {
                     return Err(SimError::Misaligned { addr, size });
                 }
-                let value = self.lanes.value(rs2.into());
+                let value = self.lanes.value(rs2);
                 shared.mem.write(addr, size, value);
                 let (issue, ready) = self.issue_mem(cluster, addr, size, true, start, shared);
                 slot_release = Some(issue + 1);
                 finish = ready;
                 self.stats.counters.inc(Counter::Stores);
             }
-            Inst::Flw { rd, rs1, offset } => {
-                let addr = self.lanes.value(rs1.into()).wrapping_add(offset as u32);
+            ExecKind::LoadFp { rs1, offset } => {
+                let addr = self.lanes.value(rs1).wrapping_add(offset as u32);
                 if !addr.is_multiple_of(4) {
                     return Err(SimError::Misaligned { addr, size: 4 });
                 }
                 let (issue, ready) = self.issue_mem(cluster, addr, 4, false, start, shared);
                 slot_release = Some(issue + 1);
                 finish = ready;
-                lane_write = Some((rd.into(), shared.mem.read_u32(addr)));
+                lane_write = st.dest.map(|d| (d, shared.mem.read_u32(addr)));
                 self.stats.counters.inc(Counter::Loads);
             }
-            Inst::Fsw { rs1, rs2, offset } => {
-                let addr = self.lanes.value(rs1.into()).wrapping_add(offset as u32);
+            ExecKind::StoreFp { rs1, rs2, offset } => {
+                let addr = self.lanes.value(rs1).wrapping_add(offset as u32);
                 if !addr.is_multiple_of(4) {
                     return Err(SimError::Misaligned { addr, size: 4 });
                 }
-                shared.mem.write_u32(addr, self.lanes.value(rs2.into()));
+                shared.mem.write_u32(addr, self.lanes.value(rs2));
                 let (issue, ready) = self.issue_mem(cluster, addr, 4, true, start, shared);
                 slot_release = Some(issue + 1);
                 finish = ready;
                 self.stats.counters.inc(Counter::Stores);
             }
-            Inst::FpOp { op, rd, rs1, rs2 } => {
-                finish = start + inst.exec_latency() as u64;
-                let v = exec::fp_op(
-                    op,
-                    self.lanes.value(rs1.into()),
-                    self.lanes.value(rs2.into()),
-                );
-                lane_write = Some((rd.into(), v));
+            ExecKind::FpOp { op, rs1, rs2 } => {
+                finish = start + st.latency as u64;
+                let v = exec::fp_op(op, self.lanes.value(rs1), self.lanes.value(rs2));
+                lane_write = st.dest.map(|d| (d, v));
             }
-            Inst::FpFma {
-                op,
-                rd,
-                rs1,
-                rs2,
-                rs3,
-            } => {
-                finish = start + inst.exec_latency() as u64;
+            ExecKind::FpFma { op, rs1, rs2, rs3 } => {
+                finish = start + st.latency as u64;
                 let v = exec::fp_fma(
                     op,
-                    self.lanes.value(rs1.into()),
-                    self.lanes.value(rs2.into()),
-                    self.lanes.value(rs3.into()),
+                    self.lanes.value(rs1),
+                    self.lanes.value(rs2),
+                    self.lanes.value(rs3),
                 );
-                lane_write = Some((rd.into(), v));
+                lane_write = st.dest.map(|d| (d, v));
             }
-            Inst::FpCmp { op, rd, rs1, rs2 } => {
-                finish = start + inst.exec_latency() as u64;
-                let v = exec::fp_cmp(
-                    op,
-                    self.lanes.value(rs1.into()),
-                    self.lanes.value(rs2.into()),
-                );
-                lane_write = Some((rd.into(), v));
+            ExecKind::FpCmp { op, rs1, rs2 } => {
+                finish = start + st.latency as u64;
+                let v = exec::fp_cmp(op, self.lanes.value(rs1), self.lanes.value(rs2));
+                lane_write = st.dest.map(|d| (d, v));
             }
-            Inst::FpToInt { op, rd, rs1 } => {
-                finish = start + inst.exec_latency() as u64;
-                lane_write = Some((rd.into(), exec::fp_to_int(op, self.lanes.value(rs1.into()))));
+            ExecKind::FpToInt { op, rs1 } => {
+                finish = start + st.latency as u64;
+                lane_write = st
+                    .dest
+                    .map(|d| (d, exec::fp_to_int(op, self.lanes.value(rs1))));
             }
-            Inst::IntToFp { op, rd, rs1 } => {
-                finish = start + inst.exec_latency() as u64;
-                lane_write = Some((rd.into(), exec::int_to_fp(op, self.lanes.value(rs1.into()))));
+            ExecKind::IntToFp { op, rs1 } => {
+                finish = start + st.latency as u64;
+                lane_write = st
+                    .dest
+                    .map(|d| (d, exec::int_to_fp(op, self.lanes.value(rs1))));
             }
-            Inst::Fence => {
+            ExecKind::Fence => {
                 // Serialize the memory stream.
                 finish = start + 1;
                 self.mem_floor = self.mem_floor.max(finish);
                 self.fence_floor = self.fence_floor.max(finish);
             }
-            Inst::Ecall => {
+            ExecKind::Ecall => {
                 finish = start + 1;
                 self.halted = true;
             }
-            Inst::Ebreak => {
+            ExecKind::Ebreak => {
                 finish = start + 1;
                 match self.config.trap_vector {
                     Some(vector) => {
@@ -842,31 +852,32 @@ impl RingSim {
                     None => self.halted = true,
                 }
             }
-            Inst::SimtS { rc, .. } => {
+            ExecKind::SimtS { rc } => {
                 // Sequential marker semantics: rc passes through unchanged.
                 finish = start + 1;
-                lane_write = Some((rc.into(), self.lanes.value(rc.into())));
+                lane_write = Some((rc, self.lanes.value(rc)));
             }
-            Inst::SimtE {
+            ExecKind::SimtE {
                 rc,
                 r_end,
-                l_offset,
+                start_pc,
+                step,
             } => {
                 finish = start + 1;
-                let start_pc = pc.wrapping_add(l_offset as u32);
-                let step = match self.program.decode_at(start_pc) {
-                    Some(Inst::SimtS { r_step, .. }) => self.lanes.value(r_step.into()),
-                    other => {
+                let step = match step {
+                    Some(r_step) => self.lanes.value(r_step),
+                    None => {
+                        let other = self.program.decode_at(start_pc);
                         return Err(SimError::InvalidSimtRegion {
                             reason: format!(
                                 "simt_e at {pc:#x} points to {other:?} at {start_pc:#x}, not simt_s"
                             ),
-                        })
+                        });
                     }
                 };
-                let rc_new = self.lanes.value(rc.into()).wrapping_add(step);
-                lane_write = Some((rc.into(), rc_new));
-                if (rc_new as i32) < (self.lanes.value(r_end.into()) as i32) {
+                let rc_new = self.lanes.value(rc).wrapping_add(step);
+                lane_write = Some((rc, rc_new));
+                if (rc_new as i32) < (self.lanes.value(r_end) as i32) {
                     next_pc = start_pc.wrapping_add(INST_BYTES);
                     self.redirect(next_pc, finish, slot, shared);
                 }
@@ -885,7 +896,7 @@ impl RingSim {
             self.lanes.write(lane, value, finish, slot);
             if !lane.is_zero() {
                 self.stats.counters.inc(Counter::RegWrites);
-                tracer.emit(|| Event {
+                self.tracer.emit(|| Event {
                     cycle: finish,
                     thread,
                     track: Track::Lane(lane.index() as u8),
@@ -899,16 +910,16 @@ impl RingSim {
         self.stats
             .counters
             .add(Counter::PeActiveCycles, exec_cycles.max(1));
-        if inst.uses_fpu() {
+        if st.uses_fpu {
             self.stats
                 .counters
                 .add(Counter::FpuActiveCycles, exec_cycles.max(1));
             self.stats.counters.inc(Counter::FpOps);
-        } else if !inst.is_mem() {
+        } else if !st.is_mem {
             self.stats.counters.inc(Counter::IntOps);
         }
         let commit_t = self.commit.commit(finish);
-        tracer.emit(|| Event {
+        self.tracer.emit(|| Event {
             cycle: commit_t,
             thread,
             track: Track::Pe {
@@ -918,7 +929,7 @@ impl RingSim {
             kind: EventKind::PeRetire { pc, start, finish },
         });
         if self.halted {
-            tracer.emit(|| Event {
+            self.tracer.emit(|| Event {
                 cycle: commit_t,
                 thread,
                 track: Track::Control,
@@ -941,12 +952,38 @@ impl RingSim {
         // again: pipelined units every cycle (the buffered lane segments
         // pipeline the value flow), unpipelined dividers after their full
         // latency, memory PEs once the LSU accepted the request.
-        let occupancy = match inst.fu_kind() {
+        let occupancy = match st.fu {
             diag_isa::FuKind::IntDiv | diag_isa::FuKind::FpDiv => finish,
             _ => start + 1,
         };
         self.clusters[cluster].slot_busy[slot_in] = slot_release.unwrap_or(occupancy);
         self.pc = next_pc;
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DiagConfig;
+    use diag_asm::assemble;
+    use diag_mem::MainMemory;
+
+    /// Stepping a halted ring must be a hard error in every build
+    /// profile, not just a `debug_assert`: the parallel runner relies on
+    /// the error to catch scheduler bugs in release mode too.
+    #[test]
+    fn step_after_halt_is_an_error() {
+        let program = Arc::new(assemble("li t0, 1\necall\n").unwrap());
+        let config = Arc::new(DiagConfig::f4c2());
+        let mem = MainMemory::with_program(&program);
+        let mut shared = SharedParts::new(&config, mem);
+        let mut ring = RingSim::new(Arc::clone(&program), Arc::clone(&config), 2, 0, 1, 0);
+        while !ring.halted {
+            ring.step(&mut shared).unwrap();
+        }
+        assert!(matches!(ring.step(&mut shared), Err(SimError::Halted)));
+        // The error is sticky: a second attempt reports the same thing.
+        assert!(matches!(ring.step(&mut shared), Err(SimError::Halted)));
     }
 }

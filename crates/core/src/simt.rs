@@ -14,7 +14,9 @@
 //! are exactly those of the sequential loop; only the *timing* is
 //! pipelined.
 
-use diag_isa::{exec, ArchReg, Inst, Reg, INST_BYTES};
+use std::rc::Rc;
+
+use diag_isa::{exec, ArchReg, ExecKind, Inst, Reg, Station, INST_BYTES};
 use diag_mem::{LaneLookup, MemLane};
 use diag_sim::SimError;
 use diag_trace::{Counter, Event, EventKind, StallCause, Track};
@@ -26,23 +28,28 @@ use crate::shared::SharedParts;
 /// Cycles a PE's functional unit is unavailable after accepting an
 /// instance: pipelined units re-issue every cycle; unpipelined dividers
 /// block for their full latency (§5.1.2's FDIV concern).
-fn occupancy(inst: &diag_isa::Inst) -> u64 {
+fn occupancy(st: &Station) -> u64 {
     use diag_isa::FuKind;
-    match inst.fu_kind() {
-        FuKind::IntDiv | FuKind::FpDiv => inst.exec_latency() as u64,
+    match st.fu {
+        FuKind::IntDiv | FuKind::FpDiv => st.latency as u64,
         _ => 1,
     }
 }
 
-/// A validated SIMT region description.
+/// A validated SIMT region description, cached per `simt_s` address.
+///
+/// Region well-formedness is a static property of the program text, so the
+/// scan/validate/lower pass runs once; every later entry to the same
+/// region executes straight from the cached station body.
 #[derive(Debug)]
-struct Region {
+pub(crate) struct CachedRegion {
     /// Address of the `simt_s`.
     pc_s: u32,
     /// Address of the matching `simt_e`.
     pc_e: u32,
-    /// Decoded body instructions (between the markers), with addresses.
-    body: Vec<(u32, Inst)>,
+    /// Body instructions (between the markers) lowered to stations, with
+    /// addresses.
+    body: Vec<(u32, Station)>,
     /// I-line base addresses covered by the region, in order (one pipeline
     /// stage per line/cluster).
     lines: Vec<u32>,
@@ -74,8 +81,20 @@ impl RingSim {
         else {
             return Ok(false);
         };
-        let Some(region) = self.find_region(pc_s, rc)? else {
-            return Ok(false);
+        let region = match self.region_cache.get(&pc_s) {
+            Some(Some(r)) => Rc::clone(r),
+            Some(None) => return Ok(false),
+            None => match self.find_region(pc_s, rc)? {
+                Some(r) => {
+                    let r = Rc::new(r);
+                    self.region_cache.insert(pc_s, Some(Rc::clone(&r)));
+                    r
+                }
+                None => {
+                    self.region_cache.insert(pc_s, None);
+                    return Ok(false);
+                }
+            },
         };
         if region.lines.len() > self.clusters.len() {
             // Region does not fit in this ring: execute sequentially
@@ -113,13 +132,12 @@ impl RingSim {
         let mut end_time = t0;
         let final_lanes: LaneFile;
 
-        let tracer = shared.tracer.clone();
         let thread = self.thread_id as u32;
         let mut i: u64 = 0;
         loop {
             let rc_i = rc0.wrapping_add((i as i32).wrapping_mul(step));
             let spawn = t0 + i * interval as u64;
-            tracer.emit(|| Event {
+            self.tracer.emit(|| Event {
                 cycle: spawn,
                 thread,
                 track: Track::Control,
@@ -169,7 +187,10 @@ impl RingSim {
         lanes.retime_all(end_time, exit_slot);
         self.lanes = lanes;
 
-        // Retirement: body commits plus the two markers.
+        // Retirement: body commits plus the two markers. Decode activity
+        // was already counted when the region's lines populated their
+        // station arenas; commits beyond the first (fetched) pass are
+        // datapath reuse.
         let commits = total_body_commits + 2;
         self.commit.advance_to(end_time);
         self.commit.add_bulk(commits);
@@ -178,11 +199,10 @@ impl RingSim {
         } else {
             0
         };
-        self.stats.counters.add(Counter::Decodes, first_cost);
         self.stats
             .counters
             .add(Counter::ReuseCommits, commits.saturating_sub(first_cost));
-        tracer.emit(|| Event {
+        self.tracer.emit(|| Event {
             cycle: end_time,
             thread,
             track: Track::Control,
@@ -200,10 +220,12 @@ impl RingSim {
         Ok(true)
     }
 
-    /// Locates and validates the region. `Ok(None)` means "fall back to
-    /// sequential execution".
-    fn find_region(&self, pc_s: u32, rc: Reg) -> Result<Option<Region>, SimError> {
-        let mut body = Vec::new();
+    /// Locates and validates the region, lowering its body to stations.
+    /// `Ok(None)` means "fall back to sequential execution". Both outcomes
+    /// are cached in [`RingSim::region_cache`] by the caller; errors are
+    /// program bugs and propagate uncached.
+    fn find_region(&self, pc_s: u32, rc: Reg) -> Result<Option<CachedRegion>, SimError> {
+        let mut body: Vec<(u32, Inst)> = Vec::new();
         let mut pc = pc_s.wrapping_add(INST_BYTES);
         let pc_e = loop {
             let Some(inst) = self.program.decode_at(pc) else {
@@ -264,7 +286,11 @@ impl RingSim {
         let lines = (first_line..=last_line)
             .step_by(line_bytes as usize)
             .collect();
-        Ok(Some(Region {
+        let body = body
+            .into_iter()
+            .map(|(pc, inst)| (pc, Station::lower(inst, pc, |a| self.program.decode_at(a))))
+            .collect();
+        Ok(Some(CachedRegion {
             pc_s,
             pc_e,
             body,
@@ -273,7 +299,7 @@ impl RingSim {
     }
 
     /// Global PE slot of address `pc` within stage `stage`.
-    fn stage_slot(&self, stage: usize, pc: u32, region: &Region) -> usize {
+    fn stage_slot(&self, stage: usize, pc: u32, region: &CachedRegion) -> usize {
         let line = region.lines[stage.min(region.lines.len() - 1)];
         let ppc = self.config.pes_per_cluster;
         // Stages occupy clusters 0..stages for the duration of the region.
@@ -284,7 +310,7 @@ impl RingSim {
     /// per-stage decode-ready times and whether any fetching happened.
     fn load_region(
         &mut self,
-        region: &Region,
+        region: &CachedRegion,
         now: u64,
         shared: &mut SharedParts,
     ) -> (Vec<u64>, bool) {
@@ -302,28 +328,22 @@ impl RingSim {
             );
         }
         self.resident.clear();
-        let tracer = shared.tracer.clone();
         let thread = self.thread_id as u32;
         let mut ready = Vec::with_capacity(region.lines.len());
         for (i, &line) in region.lines.iter().enumerate() {
             let free = self.clusters[i].last_commit;
             let (arrived, bus_wait) = shared.fetch_line(line, now, thread);
-            self.stall(
-                &tracer,
-                Track::Bus,
-                StallCause::Structural,
-                arrived,
-                bus_wait,
-            );
+            self.stall(Track::Bus, StallCause::Structural, arrived, bus_wait);
             let decode_ready = arrived.max(free) + self.config.line_load_cycles + 1;
             self.clusters[i].load_line(line, decode_ready);
+            self.populate_stations(i, line);
             self.resident.insert(line, i);
             self.max_resident = self.max_resident.max(self.resident.len());
             self.stats.counters.inc(Counter::LineFetches);
             self.stats
                 .counters
                 .add(Counter::BusBeats, diag_mem::ILINE_BEATS);
-            tracer.emit(|| Event {
+            self.tracer.emit(|| Event {
                 cycle: arrived,
                 thread,
                 track: Track::Cluster(i as u32),
@@ -353,7 +373,7 @@ impl RingSim {
     #[allow(clippy::too_many_arguments)]
     fn run_instance(
         &mut self,
-        region: &Region,
+        region: &CachedRegion,
         lanes: &mut LaneFile,
         spawn: u64,
         stage_ready: &[u64],
@@ -362,14 +382,16 @@ impl RingSim {
         shared: &mut SharedParts,
     ) -> Result<u64, SimError> {
         let line_bytes = self.config.line_bytes();
-        let mut memlane = MemLane::new(self.config.memlane_capacity);
+        // Per-instance store-forwarding state, on the reused scratch lane
+        // (cleared, not reallocated, between instances).
+        let mut memlane = std::mem::replace(&mut self.simt_memlane, MemLane::new(0));
         let mut store_floor = spawn;
         let mut exit = spawn;
         // The instance's private PC starts after simt_s; forward branches
         // move it, nullifying skipped PEs (§4.4.3).
         let mut inst_pc = region.pc_s.wrapping_add(INST_BYTES);
 
-        for (k, &(pc, inst)) in region.body.iter().enumerate() {
+        for (k, &(pc, st)) in region.body.iter().enumerate() {
             if pc != inst_pc {
                 // Nullified by a taken forward branch: PE disabled.
                 continue;
@@ -378,11 +400,11 @@ impl RingSim {
             let stage = (((pc & !(line_bytes - 1)) - region.lines[0]) / line_bytes) as usize;
             let slot = self.stage_slot(stage, pc, region);
             let mut start = spawn.max(stage_ready[stage]).max(slot_busy[k]);
-            for src in inst.sources().iter() {
+            for src in st.srcs.iter() {
                 start = start.max(lanes.ready_at(src, slot, self.geom));
             }
-            let (finish, write) = self.eval_body_inst(
-                inst,
+            let result = self.eval_body_station(
+                &st,
                 pc,
                 start,
                 stage,
@@ -392,33 +414,43 @@ impl RingSim {
                 &mut memlane,
                 &mut store_floor,
                 shared,
-            )?;
-            slot_busy[k] = start + occupancy(&inst);
+            );
+            let (finish, write) = match result {
+                Ok(out) => out,
+                Err(e) => {
+                    memlane.clear();
+                    self.simt_memlane = memlane;
+                    return Err(e);
+                }
+            };
+            slot_busy[k] = start + occupancy(&st);
             if let Some((lane, value)) = write {
                 lanes.write(lane, value, finish, slot);
                 self.stats.counters.inc(Counter::RegWrites);
             }
             let cycles = (finish - start).max(1);
             self.stats.counters.add(Counter::PeActiveCycles, cycles);
-            if inst.uses_fpu() {
+            if st.uses_fpu {
                 self.stats.counters.add(Counter::FpuActiveCycles, cycles);
                 self.stats.counters.inc(Counter::FpOps);
-            } else if !inst.is_mem() {
+            } else if !st.is_mem {
                 self.stats.counters.inc(Counter::IntOps);
             }
             *commits += 1;
             exit = exit.max(finish);
         }
+        memlane.clear();
+        self.simt_memlane = memlane;
         Ok(exit)
     }
 
-    /// Evaluates one body instruction of a SIMT instance. Returns
+    /// Evaluates one body station of a SIMT instance. Returns
     /// `(finish_time, lane_write)`.
     #[allow(clippy::too_many_arguments)]
-    fn eval_body_inst(
+    fn eval_body_station(
         &mut self,
-        inst: Inst,
-        pc: u32,
+        st: &Station,
+        _pc: u32,
         start: u64,
         stage: usize,
         _slot: usize,
@@ -427,44 +459,37 @@ impl RingSim {
         memlane: &mut MemLane,
         store_floor: &mut u64,
         shared: &mut SharedParts,
-    ) -> Result<(u64, Option<(ArchReg, u32)>), SimError> {
-        let v = |r: Reg| lanes.value(r.into());
-        let latency = inst.exec_latency() as u64;
-        let out = match inst {
-            Inst::Lui { rd, imm } => (start + 1, Some((rd.into(), imm as u32))),
-            Inst::Auipc { rd, imm } => (start + 1, Some((rd.into(), pc.wrapping_add(imm as u32)))),
-            Inst::OpImm { op, rd, rs1, imm } => (
+    ) -> Result<(u64, Option<(diag_isa::ArchReg, u32)>), SimError> {
+        let latency = st.latency as u64;
+        let dst = |value: u32| st.dest.map(|d| (d, value));
+        let out = match st.kind {
+            ExecKind::Const { value } => (start + 1, dst(value)),
+            ExecKind::AluImm { op, rs1, imm } => {
+                (start + latency, dst(exec::alu(op, lanes.value(rs1), imm)))
+            }
+            ExecKind::Alu { op, rs1, rs2 } => (
                 start + latency,
-                Some((rd.into(), exec::alu(op, v(rs1), imm as u32))),
+                dst(exec::alu(op, lanes.value(rs1), lanes.value(rs2))),
             ),
-            Inst::Op { op, rd, rs1, rs2 } => (
-                start + latency,
-                Some((rd.into(), exec::alu(op, v(rs1), v(rs2)))),
-            ),
-            Inst::Branch {
+            ExecKind::Branch {
                 op,
                 rs1,
                 rs2,
-                offset,
+                target,
             } => {
-                if exec::branch_taken(op, v(rs1), v(rs2)) {
-                    *inst_pc = pc.wrapping_add(offset as u32);
+                if exec::branch_taken(op, lanes.value(rs1), lanes.value(rs2)) {
+                    *inst_pc = target;
                 }
                 (start + 1, None)
             }
-            Inst::Jal { rd, offset } => {
-                *inst_pc = pc.wrapping_add(offset as u32);
-                (start + 1, Some((rd.into(), pc.wrapping_add(INST_BYTES))))
+            ExecKind::Jal { target, link } => {
+                *inst_pc = target;
+                (start + 1, dst(link))
             }
-            Inst::Load {
-                op,
-                rd,
-                rs1,
-                offset,
-            } => {
-                let addr = v(rs1).wrapping_add(offset as u32);
+            ExecKind::Load { op, rs1, offset } => {
+                let addr = lanes.value(rs1).wrapping_add(offset as u32);
                 let size = op.size();
-                if addr % size != 0 {
+                if !addr.is_multiple_of(size) {
                     return Err(SimError::Misaligned { addr, size });
                 }
                 let ready = self.simt_mem(
@@ -479,91 +504,75 @@ impl RingSim {
                 );
                 self.stats.counters.inc(Counter::Loads);
                 let raw = shared.mem.read(addr, size);
-                (ready, Some((rd.into(), exec::extend_load(op, raw))))
+                (ready, dst(exec::extend_load(op, raw)))
             }
-            Inst::Store {
+            ExecKind::Store {
                 op,
                 rs1,
                 rs2,
                 offset,
             } => {
-                let addr = v(rs1).wrapping_add(offset as u32);
+                let addr = lanes.value(rs1).wrapping_add(offset as u32);
                 let size = op.size();
-                if addr % size != 0 {
+                if !addr.is_multiple_of(size) {
                     return Err(SimError::Misaligned { addr, size });
                 }
-                shared.mem.write(addr, size, v(rs2));
+                shared.mem.write(addr, size, lanes.value(rs2));
                 let ready =
                     self.simt_mem(stage, addr, size, true, start, memlane, store_floor, shared);
                 self.stats.counters.inc(Counter::Stores);
                 (ready, None)
             }
-            Inst::Flw { rd, rs1, offset } => {
-                let addr = v(rs1).wrapping_add(offset as u32);
-                if addr % 4 != 0 {
+            ExecKind::LoadFp { rs1, offset } => {
+                let addr = lanes.value(rs1).wrapping_add(offset as u32);
+                if !addr.is_multiple_of(4) {
                     return Err(SimError::Misaligned { addr, size: 4 });
                 }
                 let ready =
                     self.simt_mem(stage, addr, 4, false, start, memlane, store_floor, shared);
                 self.stats.counters.inc(Counter::Loads);
-                (ready, Some((rd.into(), shared.mem.read_u32(addr))))
+                (ready, dst(shared.mem.read_u32(addr)))
             }
-            Inst::Fsw { rs1, rs2, offset } => {
-                let addr = v(rs1).wrapping_add(offset as u32);
-                if addr % 4 != 0 {
+            ExecKind::StoreFp { rs1, rs2, offset } => {
+                let addr = lanes.value(rs1).wrapping_add(offset as u32);
+                if !addr.is_multiple_of(4) {
                     return Err(SimError::Misaligned { addr, size: 4 });
                 }
-                shared.mem.write_u32(addr, lanes.value(rs2.into()));
+                shared.mem.write_u32(addr, lanes.value(rs2));
                 let ready =
                     self.simt_mem(stage, addr, 4, true, start, memlane, store_floor, shared);
                 self.stats.counters.inc(Counter::Stores);
                 (ready, None)
             }
-            Inst::FpOp { op, rd, rs1, rs2 } => (
+            ExecKind::FpOp { op, rs1, rs2 } => (
                 start + latency,
-                Some((
-                    rd.into(),
-                    exec::fp_op(op, lanes.value(rs1.into()), lanes.value(rs2.into())),
+                dst(exec::fp_op(op, lanes.value(rs1), lanes.value(rs2))),
+            ),
+            ExecKind::FpFma { op, rs1, rs2, rs3 } => (
+                start + latency,
+                dst(exec::fp_fma(
+                    op,
+                    lanes.value(rs1),
+                    lanes.value(rs2),
+                    lanes.value(rs3),
                 )),
             ),
-            Inst::FpFma {
-                op,
-                rd,
-                rs1,
-                rs2,
-                rs3,
-            } => (
+            ExecKind::FpCmp { op, rs1, rs2 } => (
                 start + latency,
-                Some((
-                    rd.into(),
-                    exec::fp_fma(
-                        op,
-                        lanes.value(rs1.into()),
-                        lanes.value(rs2.into()),
-                        lanes.value(rs3.into()),
-                    ),
-                )),
+                dst(exec::fp_cmp(op, lanes.value(rs1), lanes.value(rs2))),
             ),
-            Inst::FpCmp { op, rd, rs1, rs2 } => (
-                start + latency,
-                Some((
-                    rd.into(),
-                    exec::fp_cmp(op, lanes.value(rs1.into()), lanes.value(rs2.into())),
-                )),
-            ),
-            Inst::FpToInt { op, rd, rs1 } => (
-                start + latency,
-                Some((rd.into(), exec::fp_to_int(op, lanes.value(rs1.into())))),
-            ),
-            Inst::IntToFp { op, rd, rs1 } => (
-                start + latency,
-                Some((rd.into(), exec::int_to_fp(op, v(rs1)))),
-            ),
+            ExecKind::FpToInt { op, rs1 } => {
+                (start + latency, dst(exec::fp_to_int(op, lanes.value(rs1))))
+            }
+            ExecKind::IntToFp { op, rs1 } => {
+                (start + latency, dst(exec::int_to_fp(op, lanes.value(rs1))))
+            }
             // find_region filtered everything else out.
-            other => {
+            _ => {
+                let other = st.inst;
                 return Err(SimError::InvalidSimtRegion {
                     reason: format!("unexpected instruction {other:?} in validated SIMT body"),
-                })
+                });
             }
         };
         Ok(out)
@@ -582,25 +591,30 @@ impl RingSim {
         store_floor: &mut u64,
         shared: &mut SharedParts,
     ) -> u64 {
-        let tracer = shared.tracer.clone();
         let thread = self.thread_id as u32;
         let unit = stage as u32;
         if write {
             let want = start.max(*store_floor);
-            let (issue, waited, id) = self.clusters[stage]
-                .lsu
-                .issue_blocking_traced(want, true, &tracer, thread, unit);
-            self.stall(&tracer, Track::Lsu(unit), StallCause::Memory, issue, waited);
+            let (issue, waited, id) = self.clusters[stage].lsu.issue_blocking_traced(
+                want,
+                true,
+                &self.tracer,
+                thread,
+                unit,
+            );
+            self.stall(Track::Lsu(unit), StallCause::Memory, issue, waited);
             *store_floor = issue;
             memlane.push_store(addr, size, 0, issue);
             memlane.trim();
-            let out = shared.l1d.access_traced(addr, true, issue, &tracer, thread);
+            let out = shared
+                .l1d
+                .access_traced(addr, true, issue, &self.tracer, thread);
             self.count_cache(&out);
             self.clusters[stage].line_buf_fill(addr & !63);
             let ready = issue + 1;
             self.clusters[stage]
                 .lsu
-                .complete_at_traced(ready, id, &tracer, thread, unit);
+                .complete_at_traced(ready, id, &self.tracer, thread, unit);
             ready
         } else {
             let (want, forward) = match memlane.lookup(addr, size) {
@@ -615,22 +629,25 @@ impl RingSim {
                 self.stats.counters.inc(Counter::MemlaneHits);
                 return want + 1;
             }
-            let (issue, waited, id) = self.clusters[stage]
-                .lsu
-                .issue_blocking_traced(want, false, &tracer, thread, unit);
-            self.stall(&tracer, Track::Lsu(unit), StallCause::Memory, issue, waited);
+            let (issue, waited, id) = self.clusters[stage].lsu.issue_blocking_traced(
+                want,
+                false,
+                &self.tracer,
+                thread,
+                unit,
+            );
+            self.stall(Track::Lsu(unit), StallCause::Memory, issue, waited);
             let ready = if forward {
                 self.stats.counters.inc(Counter::MemlaneHits);
                 issue + 1
             } else {
                 let out = shared
                     .l1d
-                    .access_traced(addr, false, issue, &tracer, thread);
+                    .access_traced(addr, false, issue, &self.tracer, thread);
                 self.count_cache(&out);
                 if !out.l1_hit {
                     let hit_time = issue + self.config.l1d.hit_latency as u64;
                     self.stall(
-                        &tracer,
                         Track::Cache(1),
                         StallCause::Memory,
                         out.ready_at,
@@ -642,7 +659,7 @@ impl RingSim {
             };
             self.clusters[stage]
                 .lsu
-                .complete_at_traced(ready, id, &tracer, thread, unit);
+                .complete_at_traced(ready, id, &self.tracer, thread, unit);
             ready
         }
     }

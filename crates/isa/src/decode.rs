@@ -114,6 +114,22 @@ fn imm_j(word: u32) -> i32 {
     (value << 11) >> 11
 }
 
+/// Process-wide count of [`decode`] invocations.
+///
+/// A test hook for the station layer's decode-once property: the machines'
+/// reuse paths must execute from predecoded stations without touching the
+/// decoder, which tests verify by sampling this counter around steady-state
+/// steps. Monotonic and shared across threads; meaningful as a *delta*.
+static DECODE_CALLS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// The number of times [`decode`] has run in this process, for asserting
+/// that hot execution paths perform zero decodes (see the station layer,
+/// [`crate::station`]). Compare before/after deltas; the absolute value
+/// accumulates across the whole process.
+pub fn decode_calls() -> u64 {
+    DECODE_CALLS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Decodes a 32-bit word into an instruction.
 ///
 /// # Errors
@@ -130,6 +146,7 @@ fn imm_j(word: u32) -> i32 {
 /// assert!(decode(0xFFFF_FFFF).is_err());
 /// ```
 pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    DECODE_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let err = Err(DecodeError { word });
     let opcode = word & 0x7F;
     let inst = match opcode {

@@ -37,14 +37,16 @@ mod inst;
 pub mod prng;
 mod reg;
 pub mod regs;
+pub mod station;
 
-pub use decode::{decode, DecodeError};
+pub use decode::{decode, decode_calls, DecodeError};
 pub use encode::encode;
 pub use inst::{
     AluOp, BranchOp, ControlFlow, FmaOp, FpCmpOp, FpOp, FpToIntOp, FuKind, Inst, IntToFpOp, LoadOp,
     SourceSet, StoreOp,
 };
 pub use reg::{ArchReg, FReg, ParseRegError, Reg, NUM_FP_REGS, NUM_INT_REGS, NUM_LANES};
+pub use station::{ExecKind, Station, StationSlot, StationTable};
 
 /// Width of one instruction in bytes (RV32 without the C extension).
 pub const INST_BYTES: u32 = 4;

@@ -1,0 +1,522 @@
+//! Predecoded PE-station records: decode-once / execute-many.
+//!
+//! DiAG's headline mechanism is datapath reuse: once an I-line is resident
+//! in a processing cluster, loop iterations re-execute from the configured
+//! PEs and "skip fetch/decode entirely" (paper §4.2). A [`Station`] is the
+//! software analogue of a configured PE: the instruction decoded exactly
+//! once into a flat record — pre-split source operands as [`ArchReg`] lane
+//! indices, latency class, functional-unit kind, and an [`ExecKind`]
+//! discriminant with PC-relative fields already resolved — so the
+//! simulator's hot loop touches no program bytes and no decoder on the
+//! reuse path, mirroring the hardware it models.
+//!
+//! [`StationSlot`] is one entry of a per-cluster arena: line loads may
+//! cover text-segment tails ([`StationSlot::Empty`]) or raw data words
+//! that do not decode ([`StationSlot::Illegal`]); both only become errors
+//! if the PC actually reaches them, exactly like the per-PE `RV_DECODER`
+//! raising an illegal-instruction trap at execution (Table 3).
+//! [`StationTable`] predecodes a whole text segment for machines without
+//! cluster residency (the in-order and out-of-order baselines).
+
+use crate::decode::decode;
+use crate::inst::{
+    AluOp, BranchOp, FmaOp, FpCmpOp, FpOp, FpToIntOp, FuKind, Inst, IntToFpOp, LoadOp, SourceSet,
+    StoreOp,
+};
+use crate::reg::ArchReg;
+use crate::INST_BYTES;
+
+/// The execution discriminant of a predecoded station.
+///
+/// Replaces the machines' per-step `match inst` dispatch: operands are
+/// pre-split into register-lane indices, and fields that only depend on
+/// the instruction's address (branch/jump targets, link values, `auipc`
+/// results, the paired `simt_s` address) are resolved at lowering time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecKind {
+    /// A PC- and operand-independent constant (`lui`, and `auipc` with the
+    /// station's address folded in).
+    Const {
+        /// The value driven onto the destination lane.
+        value: u32,
+    },
+    /// Register-immediate ALU operation.
+    AluImm {
+        /// ALU operation.
+        op: AluOp,
+        /// Source lane.
+        rs1: ArchReg,
+        /// Immediate operand (already sign-extended).
+        imm: u32,
+    },
+    /// Register-register ALU / M-extension operation.
+    Alu {
+        /// ALU operation.
+        op: AluOp,
+        /// First source lane.
+        rs1: ArchReg,
+        /// Second source lane.
+        rs2: ArchReg,
+    },
+    /// Direct jump with precomputed target and link value.
+    Jal {
+        /// Jump target address.
+        target: u32,
+        /// Return address (this station's address + 4).
+        link: u32,
+    },
+    /// Indirect jump; the target needs the base register at run time.
+    Jalr {
+        /// Base register lane.
+        rs1: ArchReg,
+        /// Signed byte offset added to the base.
+        offset: i32,
+        /// Return address (this station's address + 4).
+        link: u32,
+    },
+    /// Conditional branch with precomputed taken-target.
+    Branch {
+        /// Comparison performed.
+        op: BranchOp,
+        /// First compared lane.
+        rs1: ArchReg,
+        /// Second compared lane.
+        rs2: ArchReg,
+        /// Taken-path target address.
+        target: u32,
+    },
+    /// Integer load.
+    Load {
+        /// Width/sign of the access.
+        op: LoadOp,
+        /// Base address lane.
+        rs1: ArchReg,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// Integer store.
+    Store {
+        /// Width of the access.
+        op: StoreOp,
+        /// Base address lane.
+        rs1: ArchReg,
+        /// Data lane.
+        rs2: ArchReg,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// Floating-point load word.
+    LoadFp {
+        /// Base address lane.
+        rs1: ArchReg,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// Floating-point store word.
+    StoreFp {
+        /// Base address lane.
+        rs1: ArchReg,
+        /// FP data lane.
+        rs2: ArchReg,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// Two-operand FP arithmetic.
+    FpOp {
+        /// Operation.
+        op: FpOp,
+        /// First source lane.
+        rs1: ArchReg,
+        /// Second source lane (ignored by `fsqrt.s`).
+        rs2: ArchReg,
+    },
+    /// Fused multiply-add family.
+    FpFma {
+        /// Which fused operation.
+        op: FmaOp,
+        /// Multiplicand lane.
+        rs1: ArchReg,
+        /// Multiplier lane.
+        rs2: ArchReg,
+        /// Addend lane.
+        rs3: ArchReg,
+    },
+    /// FP comparison writing an integer lane.
+    FpCmp {
+        /// Comparison.
+        op: FpCmpOp,
+        /// First source lane.
+        rs1: ArchReg,
+        /// Second source lane.
+        rs2: ArchReg,
+    },
+    /// FP → integer move/convert/classify.
+    FpToInt {
+        /// Operation.
+        op: FpToIntOp,
+        /// Source lane.
+        rs1: ArchReg,
+    },
+    /// Integer → FP move/convert.
+    IntToFp {
+        /// Operation.
+        op: IntToFpOp,
+        /// Source lane.
+        rs1: ArchReg,
+    },
+    /// Memory-ordering fence.
+    Fence,
+    /// Environment call (halts the hardware thread in this workspace).
+    Ecall,
+    /// Breakpoint trap.
+    Ebreak,
+    /// `simt_s` region-start marker (sequential semantics: the control
+    /// register passes through unchanged).
+    SimtS {
+        /// Control-register lane.
+        rc: ArchReg,
+    },
+    /// `simt_e` region-end marker with the paired `simt_s` pre-resolved.
+    SimtE {
+        /// Control-register lane.
+        rc: ArchReg,
+        /// End-bound lane.
+        r_end: ArchReg,
+        /// Address of the paired `simt_s` (this station's address plus the
+        /// encoded `l_offset`).
+        start_pc: u32,
+        /// Step-register lane from the paired `simt_s`, or `None` when
+        /// `start_pc` does not hold a `simt_s` (an execution-time error).
+        step: Option<ArchReg>,
+    },
+}
+
+/// One instruction predecoded into a PE station (paper §4.2: the decoded
+/// control signals latched at the PE for the line's residency).
+///
+/// All derived per-instruction facts the execution engines need every step
+/// — source set, destination lane, latency, functional unit — are computed
+/// once at lowering time; the reuse path never re-derives them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Station {
+    /// The decoded instruction (kept for region validation, tracing, and
+    /// diagnostics; the hot path dispatches on [`Station::kind`]).
+    pub inst: Inst,
+    /// Source register lanes, pre-split ([`Inst::sources`]).
+    pub srcs: SourceSet,
+    /// Destination lane, if any ([`Inst::dest`]; `x0` reported as `None`).
+    pub dest: Option<ArchReg>,
+    /// Execution latency in cycles ([`Inst::exec_latency`]).
+    pub latency: u32,
+    /// Functional-unit kind ([`Inst::fu_kind`]).
+    pub fu: FuKind,
+    /// Whether the FPU is activated ([`Inst::uses_fpu`]).
+    pub uses_fpu: bool,
+    /// Whether this station accesses memory ([`Inst::is_mem`]).
+    pub is_mem: bool,
+    /// The execution discriminant.
+    pub kind: ExecKind,
+}
+
+impl Station {
+    /// Lowers `inst`, which resides at address `pc`, into a station.
+    ///
+    /// `peek` resolves the instruction at another text address; it is only
+    /// consulted for `simt_e`, to pre-resolve the paired `simt_s`'s step
+    /// register (the one cross-instruction fact the execution engines need
+    /// per loop-back).
+    pub fn lower(inst: Inst, pc: u32, peek: impl FnOnce(u32) -> Option<Inst>) -> Station {
+        let kind = match inst {
+            Inst::Lui { imm, .. } => ExecKind::Const { value: imm as u32 },
+            Inst::Auipc { imm, .. } => ExecKind::Const {
+                value: pc.wrapping_add(imm as u32),
+            },
+            Inst::Jal { offset, .. } => ExecKind::Jal {
+                target: pc.wrapping_add(offset as u32),
+                link: pc.wrapping_add(INST_BYTES),
+            },
+            Inst::Jalr { rs1, offset, .. } => ExecKind::Jalr {
+                rs1: rs1.into(),
+                offset,
+                link: pc.wrapping_add(INST_BYTES),
+            },
+            Inst::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => ExecKind::Branch {
+                op,
+                rs1: rs1.into(),
+                rs2: rs2.into(),
+                target: pc.wrapping_add(offset as u32),
+            },
+            Inst::Load {
+                op, rs1, offset, ..
+            } => ExecKind::Load {
+                op,
+                rs1: rs1.into(),
+                offset,
+            },
+            Inst::Store {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => ExecKind::Store {
+                op,
+                rs1: rs1.into(),
+                rs2: rs2.into(),
+                offset,
+            },
+            Inst::OpImm { op, rs1, imm, .. } => ExecKind::AluImm {
+                op,
+                rs1: rs1.into(),
+                imm: imm as u32,
+            },
+            Inst::Op { op, rs1, rs2, .. } => ExecKind::Alu {
+                op,
+                rs1: rs1.into(),
+                rs2: rs2.into(),
+            },
+            Inst::Fence => ExecKind::Fence,
+            Inst::Ecall => ExecKind::Ecall,
+            Inst::Ebreak => ExecKind::Ebreak,
+            Inst::Flw { rs1, offset, .. } => ExecKind::LoadFp {
+                rs1: rs1.into(),
+                offset,
+            },
+            Inst::Fsw { rs1, rs2, offset } => ExecKind::StoreFp {
+                rs1: rs1.into(),
+                rs2: rs2.into(),
+                offset,
+            },
+            Inst::FpOp { op, rs1, rs2, .. } => ExecKind::FpOp {
+                op,
+                rs1: rs1.into(),
+                rs2: rs2.into(),
+            },
+            Inst::FpFma {
+                op, rs1, rs2, rs3, ..
+            } => ExecKind::FpFma {
+                op,
+                rs1: rs1.into(),
+                rs2: rs2.into(),
+                rs3: rs3.into(),
+            },
+            Inst::FpCmp { op, rs1, rs2, .. } => ExecKind::FpCmp {
+                op,
+                rs1: rs1.into(),
+                rs2: rs2.into(),
+            },
+            Inst::FpToInt { op, rs1, .. } => ExecKind::FpToInt {
+                op,
+                rs1: rs1.into(),
+            },
+            Inst::IntToFp { op, rs1, .. } => ExecKind::IntToFp {
+                op,
+                rs1: rs1.into(),
+            },
+            Inst::SimtS { rc, .. } => ExecKind::SimtS { rc: rc.into() },
+            Inst::SimtE {
+                rc,
+                r_end,
+                l_offset,
+            } => {
+                let start_pc = pc.wrapping_add(l_offset as u32);
+                let step = match peek(start_pc) {
+                    Some(Inst::SimtS { r_step, .. }) => Some(r_step.into()),
+                    _ => None,
+                };
+                ExecKind::SimtE {
+                    rc: rc.into(),
+                    r_end: r_end.into(),
+                    start_pc,
+                    step,
+                }
+            }
+        };
+        Station {
+            inst,
+            srcs: inst.sources(),
+            dest: inst.dest(),
+            latency: inst.exec_latency(),
+            fu: inst.fu_kind(),
+            uses_fpu: inst.uses_fpu(),
+            is_mem: inst.is_mem(),
+            kind,
+        }
+    }
+}
+
+/// One PE-station arena entry.
+///
+/// Line loads predecode whole lines eagerly; slots past the text segment
+/// or holding undecodable words are recorded rather than rejected, and
+/// only raise their error if the PC reaches them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StationSlot {
+    /// No instruction at this slot (beyond the text segment).
+    Empty,
+    /// The word at this slot does not decode; executing it is an
+    /// illegal-instruction error.
+    Illegal {
+        /// The undecodable word.
+        word: u32,
+    },
+    /// A predecoded, executable station.
+    Ready(Station),
+}
+
+/// A whole text segment predecoded into stations, for machines without
+/// cluster residency (the baselines decode every dynamic instruction in
+/// the modeled pipeline, but the *simulator* need not).
+#[derive(Debug, Clone)]
+pub struct StationTable {
+    base: u32,
+    slots: Vec<StationSlot>,
+}
+
+impl StationTable {
+    /// Predecodes the text segment `words` based at address `base`.
+    pub fn build(base: u32, words: &[u32]) -> StationTable {
+        let peek = |addr: u32| -> Option<Inst> {
+            if addr < base || !addr.is_multiple_of(INST_BYTES) {
+                return None;
+            }
+            let index = ((addr - base) / INST_BYTES) as usize;
+            words.get(index).and_then(|&w| decode(w).ok())
+        };
+        let slots = words
+            .iter()
+            .enumerate()
+            .map(|(i, &word)| match decode(word) {
+                Ok(inst) => {
+                    StationSlot::Ready(Station::lower(inst, base + (i as u32) * INST_BYTES, peek))
+                }
+                Err(_) => StationSlot::Illegal { word },
+            })
+            .collect();
+        StationTable { base, slots }
+    }
+
+    /// The station slot for address `pc`. Misaligned or out-of-range
+    /// addresses yield [`StationSlot::Empty`], mirroring a failed fetch.
+    pub fn get(&self, pc: u32) -> &StationSlot {
+        const EMPTY: StationSlot = StationSlot::Empty;
+        if pc < self.base || !pc.is_multiple_of(INST_BYTES) {
+            return &EMPTY;
+        }
+        self.slots
+            .get(((pc - self.base) / INST_BYTES) as usize)
+            .unwrap_or(&EMPTY)
+    }
+
+    /// Base address of the predecoded segment.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Number of predecoded slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the table holds no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::reg::Reg;
+
+    #[test]
+    fn lowering_resolves_pc_relative_fields() {
+        let st = Station::lower(
+            Inst::Jal {
+                rd: Reg::RA,
+                offset: -8,
+            },
+            0x1010,
+            |_| None,
+        );
+        assert_eq!(
+            st.kind,
+            ExecKind::Jal {
+                target: 0x1008,
+                link: 0x1014
+            }
+        );
+        assert_eq!(st.dest, Some(ArchReg::from(Reg::RA)));
+
+        let st = Station::lower(
+            Inst::Auipc {
+                rd: Reg::A0,
+                imm: 0x2000,
+            },
+            0x1000,
+            |_| None,
+        );
+        assert_eq!(st.kind, ExecKind::Const { value: 0x3000 });
+    }
+
+    #[test]
+    fn simt_e_pairs_with_simt_s_at_lowering_time() {
+        let pair = Inst::SimtS {
+            rc: Reg::T0,
+            r_step: Reg::T1,
+            r_end: Reg::T2,
+            interval: 1,
+        };
+        let st = Station::lower(
+            Inst::SimtE {
+                rc: Reg::T0,
+                r_end: Reg::T2,
+                l_offset: -16,
+            },
+            0x1010,
+            |addr| (addr == 0x1000).then_some(pair),
+        );
+        assert_eq!(
+            st.kind,
+            ExecKind::SimtE {
+                rc: Reg::T0.into(),
+                r_end: Reg::T2.into(),
+                start_pc: 0x1000,
+                step: Some(Reg::T1.into()),
+            }
+        );
+        // An unpaired simt_e lowers with no step; the error is deferred to
+        // execution.
+        let st = Station::lower(
+            Inst::SimtE {
+                rc: Reg::T0,
+                r_end: Reg::T2,
+                l_offset: -16,
+            },
+            0x1010,
+            |_| Some(Inst::NOP),
+        );
+        assert!(matches!(st.kind, ExecKind::SimtE { step: None, .. }));
+    }
+
+    #[test]
+    fn table_mirrors_fetch_semantics() {
+        let words = vec![encode(&Inst::NOP), 0xFFFF_FFFF];
+        let table = StationTable::build(0x1000, &words);
+        assert_eq!(table.len(), 2);
+        assert!(matches!(table.get(0x1000), StationSlot::Ready(_)));
+        assert!(matches!(
+            table.get(0x1004),
+            StationSlot::Illegal { word: 0xFFFF_FFFF }
+        ));
+        // Out of range / misaligned behave like a failed fetch.
+        assert!(matches!(table.get(0x0FFC), StationSlot::Empty));
+        assert!(matches!(table.get(0x1008), StationSlot::Empty));
+        assert!(matches!(table.get(0x1002), StationSlot::Empty));
+    }
+}

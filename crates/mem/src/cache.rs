@@ -163,6 +163,7 @@ impl CacheArray {
     /// Looks up `addr`; on a miss, fills the line (evicting LRU). `write`
     /// marks the line dirty. Returns whether it hit and whether a dirty
     /// eviction occurred.
+    #[inline]
     pub fn access(&mut self, addr: u32, write: bool) -> LookupResult {
         self.tick += 1;
         self.stats.accesses += 1;

@@ -16,6 +16,7 @@
 
 mod bus;
 mod cache;
+pub mod fxmap;
 mod hierarchy;
 mod lsu;
 mod main_memory;
@@ -24,6 +25,7 @@ mod meter;
 
 pub use bus::{Bus, ILINE_BEATS, REGFILE_BEATS};
 pub use cache::{CacheArray, CacheConfig, CacheStats, LookupResult};
+pub use fxmap::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hierarchy::{MemOutcome, PrivateCache, SharedLevel, DRAM_LATENCY};
 pub use lsu::Lsu;
 pub use main_memory::MainMemory;

@@ -5,9 +5,9 @@
 //! no data arrays), mirroring how the paper's RTL testbench modelled caches
 //! "only … functionally with delays" (§7.1).
 
-use std::collections::HashMap;
-
 use diag_asm::Program;
+
+use crate::fxmap::FxHashMap;
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
@@ -30,7 +30,7 @@ const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct MainMemory {
-    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+    pages: FxHashMap<u32, Box<[u8; PAGE_SIZE]>>,
 }
 
 impl MainMemory {
@@ -85,6 +85,14 @@ impl MainMemory {
     /// Reads a little-endian u16 (no alignment requirement; the machines
     /// enforce alignment architecturally).
     pub fn read_u16(&self, addr: u32) -> u16 {
+        let offset = (addr as usize) & (PAGE_SIZE - 1);
+        if offset + 2 <= PAGE_SIZE {
+            // Whole halfword on one page: a single lookup.
+            return match self.page(addr) {
+                Some(p) => u16::from_le_bytes([p[offset], p[offset + 1]]),
+                None => 0,
+            };
+        }
         u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
     }
 
@@ -96,7 +104,18 @@ impl MainMemory {
     }
 
     /// Reads a little-endian u32.
+    #[inline]
     pub fn read_u32(&self, addr: u32) -> u32 {
+        let offset = (addr as usize) & (PAGE_SIZE - 1);
+        if offset + 4 <= PAGE_SIZE {
+            // Whole word on one page: a single lookup instead of four.
+            return match self.page(addr) {
+                Some(p) => {
+                    u32::from_le_bytes([p[offset], p[offset + 1], p[offset + 2], p[offset + 3]])
+                }
+                None => 0,
+            };
+        }
         u32::from_le_bytes([
             self.read_u8(addr),
             self.read_u8(addr.wrapping_add(1)),
@@ -107,6 +126,11 @@ impl MainMemory {
 
     /// Writes a little-endian u32.
     pub fn write_u32(&mut self, addr: u32, value: u32) {
+        let offset = (addr as usize) & (PAGE_SIZE - 1);
+        if offset + 4 <= PAGE_SIZE {
+            self.page_mut(addr)[offset..offset + 4].copy_from_slice(&value.to_le_bytes());
+            return;
+        }
         for (i, b) in value.to_le_bytes().into_iter().enumerate() {
             self.write_u8(addr.wrapping_add(i as u32), b);
         }
@@ -117,6 +141,7 @@ impl MainMemory {
     /// # Panics
     ///
     /// Panics if `size` is not 1, 2, or 4.
+    #[inline]
     pub fn read(&self, addr: u32, size: u32) -> u32 {
         match size {
             1 => self.read_u8(addr) as u32,

@@ -14,6 +14,14 @@
 //! within the configured capacity window — older entries still constrain
 //! ordering but pay the cache latency — modelling a bounded hardware
 //! structure without coupling capacity to correctness.
+//!
+//! Lookups are serviced from a per-word index while every buffered store
+//! is a word-aligned full word (the overwhelmingly common case), so a
+//! load costs one hash probe instead of a scan of the whole buffer; any
+//! buffered sub-word or unaligned store falls the structure back to the
+//! exact linear scan.
+
+use crate::fxmap::FxHashMap;
 
 /// One buffered store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +30,13 @@ struct StoreEntry {
     size: u32,
     value: u32,
     time: u64,
+}
+
+impl StoreEntry {
+    /// Whether this entry is an aligned full-word store (indexable).
+    fn is_word(&self) -> bool {
+        self.size == 4 && self.addr & 3 == 0
+    }
 }
 
 /// Result of a memory-lane load lookup.
@@ -59,6 +74,19 @@ pub enum LaneLookup {
 pub struct MemLane {
     entries: Vec<StoreEntry>,
     capacity: usize,
+    /// Sequence number of `entries[0]` (sequence numbers are assigned per
+    /// push and survive front-drains, so the word index below can refer
+    /// to entries stably).
+    base_seq: u64,
+    /// Youngest buffered store per word address (`addr >> 2`), by
+    /// sequence number. Entries whose sequence has been drained are
+    /// stale and mean "no buffered store to this word" — drains remove
+    /// oldest-first, so if the *youngest* store to a word is gone, every
+    /// other store to it is gone too.
+    word_index: FxHashMap<u32, u64>,
+    /// Number of buffered stores that are not aligned full words. While
+    /// zero, the word index answers every within-word load exactly.
+    irregular: usize,
 }
 
 impl MemLane {
@@ -67,6 +95,9 @@ impl MemLane {
         MemLane {
             entries: Vec::new(),
             capacity,
+            base_seq: 0,
+            word_index: FxHashMap::default(),
+            irregular: 0,
         }
     }
 
@@ -86,18 +117,65 @@ impl MemLane {
     }
 
     /// Records a store issued at `time` (call in program order).
+    #[inline]
     pub fn push_store(&mut self, addr: u32, size: u32, value: u32, time: u64) {
-        self.entries.push(StoreEntry {
+        let entry = StoreEntry {
             addr,
             size,
             value,
             time,
-        });
+        };
+        if entry.is_word() {
+            let seq = self.base_seq + self.entries.len() as u64;
+            self.word_index.insert(addr >> 2, seq);
+        } else {
+            self.irregular += 1;
+        }
+        self.entries.push(entry);
+    }
+
+    /// Classifies a covering entry at buffer position `pos` as fast or
+    /// slow forwarding and extracts the loaded bytes.
+    fn hit(&self, e: &StoreEntry, pos: usize, addr: u32, size: u32) -> LaneLookup {
+        let shift = (addr - e.addr) * 8;
+        let mask = if size == 4 {
+            u32::MAX
+        } else {
+            (1u32 << (size * 8)) - 1
+        };
+        let value = (e.value >> shift) & mask;
+        let fast_floor = self.entries.len().saturating_sub(self.capacity);
+        if pos >= fast_floor {
+            LaneLookup::HitFast {
+                value,
+                store_time: e.time,
+            }
+        } else {
+            LaneLookup::HitSlow {
+                value,
+                store_time: e.time,
+            }
+        }
     }
 
     /// Queries the youngest overlapping store for a load of `size` bytes
     /// at `addr`.
+    #[inline]
     pub fn lookup(&self, addr: u32, size: u32) -> LaneLookup {
+        // Fast path: every buffered store is an aligned word, and the
+        // load does not cross a word boundary, so the only stores that
+        // can overlap it are stores to its word — all of which cover it.
+        // One index probe replaces the scan.
+        if self.irregular == 0 && (addr & 3) + size <= 4 {
+            return match self.word_index.get(&(addr >> 2)) {
+                Some(&seq) if seq >= self.base_seq => {
+                    let pos = (seq - self.base_seq) as usize;
+                    let e = self.entries[pos];
+                    self.hit(&e, pos, addr, size)
+                }
+                _ => LaneLookup::Miss,
+            };
+        }
         let fast_floor = self.entries.len().saturating_sub(self.capacity);
         for (idx, e) in self.entries.iter().enumerate().rev() {
             let covers = e.addr <= addr && addr + size <= e.addr + e.size;
@@ -131,7 +209,10 @@ impl MemLane {
 
     /// Clears buffered stores (on cluster free / thread completion).
     pub fn clear(&mut self) {
+        self.base_seq += self.entries.len() as u64;
         self.entries.clear();
+        self.word_index.clear();
+        self.irregular = 0;
     }
 
     /// Drops the oldest entries down to a bounded multiple of the fast
@@ -139,7 +220,22 @@ impl MemLane {
     pub fn trim(&mut self) {
         let excess = self.entries.len().saturating_sub(self.capacity * 4);
         if excess > 0 {
+            self.irregular -= self
+                .entries
+                .iter()
+                .take(excess)
+                .filter(|e| !e.is_word())
+                .count();
             self.entries.drain(..excess);
+            self.base_seq += excess as u64;
+        }
+        // Stale index entries are answered lazily (seq below base_seq);
+        // sweep them out only once the index has grown to a small multiple
+        // of the live set, which keeps the sweep O(1) amortized per store
+        // while holding the map cache-resident for lookups.
+        if self.word_index.len() > (self.capacity * 8).max(256) {
+            let floor = self.base_seq;
+            self.word_index.retain(|_, &mut seq| seq >= floor);
         }
     }
 }
@@ -242,5 +338,53 @@ mod tests {
         lane.clear();
         assert!(lane.is_empty());
         assert_eq!(lane.lookup(0, 4), LaneLookup::Miss);
+    }
+
+    #[test]
+    fn drained_word_index_entries_are_misses() {
+        let mut lane = MemLane::new(2);
+        for i in 0..100u32 {
+            lane.push_store(i * 4, 4, i, i as u64);
+            lane.trim();
+        }
+        // Early stores have been trimmed away: their words must miss even
+        // though the index once knew them.
+        assert_eq!(lane.lookup(0, 4), LaneLookup::Miss);
+        assert_eq!(lane.lookup(4, 4), LaneLookup::Miss);
+        // The youngest survivors still forward.
+        assert!(matches!(
+            lane.lookup(99 * 4, 4),
+            LaneLookup::HitFast { value: 99, .. }
+        ));
+    }
+
+    #[test]
+    fn irregular_store_disables_fast_path_exactly() {
+        let mut lane = MemLane::new(8);
+        lane.push_store(0x100, 4, 0x1111_1111, 1);
+        lane.push_store(0x101, 1, 0x22, 2); // unaligned byte store
+                                            // The byte store partially overlaps a word load → conflict from
+                                            // the youngest overlapping entry.
+        assert_eq!(
+            lane.lookup(0x100, 4),
+            LaneLookup::Conflict { store_time: 2 }
+        );
+        // The byte itself forwards.
+        assert!(matches!(
+            lane.lookup(0x101, 1),
+            LaneLookup::HitFast { value: 0x22, .. }
+        ));
+    }
+
+    #[test]
+    fn word_crossing_load_scans() {
+        let mut lane = MemLane::new(8);
+        lane.push_store(0x100, 4, 7, 5);
+        // A halfword load crossing the word boundary cannot be covered by
+        // the word store → conflict.
+        assert_eq!(
+            lane.lookup(0x103, 2),
+            LaneLookup::Conflict { store_time: 5 }
+        );
     }
 }

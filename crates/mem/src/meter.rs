@@ -1,14 +1,26 @@
 //! Per-cycle capacity metering without program-order coupling.
 
-use std::collections::HashMap;
+/// Cycles of bookkeeping kept live at once. Matches the retention bound
+/// of the original hash-map implementation: requests are effectively
+/// monotone within a window this large, and grants for cycles that have
+/// fallen out of the window behave as if the cycle were empty (exactly
+/// what pruning the old map did).
+const WINDOW: usize = 1 << 14;
 
 /// Grants at most `width` events per cycle, in any time order — a stalled
 /// old request must not delay an independent young one (out-of-order
 /// issue ports, LSU ports, cache ports).
+///
+/// Implemented as a circular per-cycle count window rather than a map
+/// keyed by cycle: `next` on the hot path is an array index, never a
+/// hash or a heap allocation.
 #[derive(Debug, Clone)]
 pub struct PortMeter {
     width: u8,
-    counts: HashMap<u64, u8>,
+    /// Per-cycle grant counts for cycles `[base, base + WINDOW)`; the
+    /// slot of cycle `t` is `t % WINDOW`.
+    counts: Box<[u8]>,
+    base: u64,
     horizon: u64,
     granted: u64,
 }
@@ -23,26 +35,46 @@ impl PortMeter {
         assert!((1..=255).contains(&width), "port width out of range");
         PortMeter {
             width: width as u8,
-            counts: HashMap::new(),
+            counts: vec![0u8; WINDOW].into_boxed_slice(),
+            base: 0,
             horizon: 0,
             granted: 0,
         }
     }
 
+    /// Slides the window forward so cycle `t` is addressable, zeroing the
+    /// slots whose cycles fall out of the past edge.
+    fn cover(&mut self, t: u64) {
+        let limit = self.base + WINDOW as u64;
+        if t < limit {
+            return;
+        }
+        let new_base = t + 1 - WINDOW as u64;
+        if new_base - self.base >= WINDOW as u64 {
+            self.counts.fill(0);
+        } else {
+            for old in self.base..new_base {
+                self.counts[(old % WINDOW as u64) as usize] = 0;
+            }
+        }
+        self.base = new_base;
+    }
+
     /// Reserves a slot at the earliest cycle ≥ `at` with spare capacity.
+    #[inline]
     pub fn next(&mut self, at: u64) -> u64 {
         let mut t = at.max(self.horizon);
+        self.granted += 1;
+        if t < self.base {
+            // The cycle has aged out of the window; its bookkeeping is
+            // gone, so the grant is free (same as the pruned map).
+            return t;
+        }
         loop {
-            let c = self.counts.entry(t).or_insert(0);
-            if *c < self.width {
-                *c += 1;
-                self.granted += 1;
-                if self.granted.is_multiple_of(8192) && self.counts.len() > 16384 {
-                    // Bound bookkeeping: nothing will be requested far in
-                    // the past once the machine has advanced.
-                    let floor = t.saturating_sub(8192);
-                    self.counts.retain(|&k, _| k >= floor);
-                }
+            self.cover(t);
+            let slot = &mut self.counts[(t % WINDOW as u64) as usize];
+            if *slot < self.width {
+                *slot += 1;
                 return t;
             }
             t += 1;
@@ -53,7 +85,6 @@ impl PortMeter {
     pub fn prune_before(&mut self, time: u64) {
         if time > self.horizon {
             self.horizon = time;
-            self.counts.retain(|&t, _| t >= time);
         }
     }
 
@@ -64,7 +95,8 @@ impl PortMeter {
 
     /// Resets timing state, keeping statistics.
     pub fn reset(&mut self) {
-        self.counts.clear();
+        self.counts.fill(0);
+        self.base = 0;
         self.horizon = 0;
     }
 }
@@ -99,6 +131,27 @@ mod tests {
         m.next(0);
         m.prune_before(50);
         assert_eq!(m.next(0), 50);
+    }
+
+    #[test]
+    fn window_slide_keeps_capacity_exact() {
+        let mut m = PortMeter::new(1);
+        // Fill a cycle far ahead, then come back inside the live window:
+        // per-cycle counts are exact there.
+        assert_eq!(m.next(1_000_000), 1_000_000);
+        assert_eq!(m.next(1_000_000), 1_000_001);
+        let t = 1_000_000 + 100;
+        assert_eq!(m.next(t), t);
+        assert_eq!(m.next(t), t + 1);
+    }
+
+    #[test]
+    fn requests_behind_the_window_still_grant() {
+        let mut m = PortMeter::new(1);
+        assert_eq!(m.next(10_000_000), 10_000_000);
+        // Bookkeeping for the distant past is gone; the grant costs
+        // nothing (the old map pruned those entries the same way).
+        assert_eq!(m.next(3), 3);
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! behaviour DiAG's pipelined mode reproduces.
 
 use diag_asm::Program;
-use diag_isa::{exec, ArchReg, Inst, Reg, INST_BYTES, NUM_LANES};
+use diag_isa::{
+    exec, ArchReg, ExecKind, Inst, Reg, StationSlot, StationTable, INST_BYTES, NUM_LANES,
+};
 use diag_mem::MainMemory;
 
 use crate::machine::SimError;
@@ -277,6 +279,177 @@ pub fn arch_step(
     state.pc = next_pc;
     Ok(StepInfo {
         inst,
+        pc,
+        next_pc,
+        redirected,
+        dest,
+        mem: mem_effect,
+    })
+}
+
+/// Executes one instruction architecturally from a predecoded
+/// [`StationTable`] — the allocation- and decode-free counterpart of
+/// [`arch_step`], used by the baseline machines' hot loops. [`arch_step`]
+/// is kept as the independently-written reference the station path is
+/// diffed against.
+///
+/// The reported [`StepInfo::dest`] filters `x0` destinations (a station
+/// carries no `x0` writeback); every consumer of `dest` filters the zero
+/// lane anyway, so the two step functions are observably identical.
+///
+/// # Errors
+///
+/// Returns the same [`SimError`] conditions as [`arch_step`].
+pub fn station_step(
+    state: &mut ArchState,
+    stations: &StationTable,
+    mem: &mut MainMemory,
+    trap_vector: Option<u32>,
+) -> Result<StepInfo, SimError> {
+    let pc = state.pc;
+    let st = match *stations.get(pc) {
+        StationSlot::Ready(st) => st,
+        StationSlot::Illegal { word } => {
+            return Err(SimError::IllegalInstruction { addr: pc, word })
+        }
+        StationSlot::Empty => return Err(SimError::PcOutOfRange { pc }),
+    };
+    let mut next_pc = pc.wrapping_add(INST_BYTES);
+    let mut redirected = false;
+    let mut dest: Option<(ArchReg, u32)> = None;
+    let mut mem_effect = MemEffect::None;
+    let dst = |value: u32| st.dest.map(|d| (d, value));
+
+    match st.kind {
+        ExecKind::Const { value } => dest = dst(value),
+        ExecKind::AluImm { op, rs1, imm } => dest = dst(exec::alu(op, state.reg(rs1), imm)),
+        ExecKind::Alu { op, rs1, rs2 } => dest = dst(exec::alu(op, state.reg(rs1), state.reg(rs2))),
+        ExecKind::Jal { target, link } => {
+            dest = dst(link);
+            next_pc = target;
+            redirected = true;
+        }
+        ExecKind::Jalr { rs1, offset, link } => {
+            let target = state.reg(rs1).wrapping_add(offset as u32) & !1;
+            dest = dst(link);
+            next_pc = target;
+            redirected = true;
+        }
+        ExecKind::Branch {
+            op,
+            rs1,
+            rs2,
+            target,
+        } => {
+            if exec::branch_taken(op, state.reg(rs1), state.reg(rs2)) {
+                next_pc = target;
+                redirected = true;
+            }
+        }
+        ExecKind::Load { op, rs1, offset } => {
+            let addr = state.reg(rs1).wrapping_add(offset as u32);
+            let size = op.size();
+            if !addr.is_multiple_of(size) {
+                return Err(SimError::Misaligned { addr, size });
+            }
+            let raw = mem.read(addr, size);
+            dest = dst(exec::extend_load(op, raw));
+            mem_effect = MemEffect::Load { addr, size };
+        }
+        ExecKind::Store {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            let addr = state.reg(rs1).wrapping_add(offset as u32);
+            let size = op.size();
+            if !addr.is_multiple_of(size) {
+                return Err(SimError::Misaligned { addr, size });
+            }
+            mem.write(addr, size, state.reg(rs2));
+            mem_effect = MemEffect::Store { addr, size };
+        }
+        ExecKind::LoadFp { rs1, offset } => {
+            let addr = state.reg(rs1).wrapping_add(offset as u32);
+            if !addr.is_multiple_of(4) {
+                return Err(SimError::Misaligned { addr, size: 4 });
+            }
+            dest = dst(mem.read_u32(addr));
+            mem_effect = MemEffect::Load { addr, size: 4 };
+        }
+        ExecKind::StoreFp { rs1, rs2, offset } => {
+            let addr = state.reg(rs1).wrapping_add(offset as u32);
+            if !addr.is_multiple_of(4) {
+                return Err(SimError::Misaligned { addr, size: 4 });
+            }
+            mem.write_u32(addr, state.reg(rs2));
+            mem_effect = MemEffect::Store { addr, size: 4 };
+        }
+        ExecKind::FpOp { op, rs1, rs2 } => {
+            dest = dst(exec::fp_op(op, state.reg(rs1), state.reg(rs2)))
+        }
+        ExecKind::FpFma { op, rs1, rs2, rs3 } => {
+            dest = dst(exec::fp_fma(
+                op,
+                state.reg(rs1),
+                state.reg(rs2),
+                state.reg(rs3),
+            ))
+        }
+        ExecKind::FpCmp { op, rs1, rs2 } => {
+            dest = dst(exec::fp_cmp(op, state.reg(rs1), state.reg(rs2)))
+        }
+        ExecKind::FpToInt { op, rs1 } => dest = dst(exec::fp_to_int(op, state.reg(rs1))),
+        ExecKind::IntToFp { op, rs1 } => dest = dst(exec::int_to_fp(op, state.reg(rs1))),
+        ExecKind::Fence => {}
+        ExecKind::Ecall => state.halted = true,
+        ExecKind::Ebreak => match trap_vector {
+            Some(vector) => {
+                next_pc = vector;
+                redirected = true;
+            }
+            None => state.halted = true,
+        },
+        ExecKind::SimtS { rc } => {
+            // Sequential marker semantics: rc passes through.
+            dest = Some((rc, state.reg(rc)));
+        }
+        ExecKind::SimtE {
+            rc,
+            r_end,
+            start_pc,
+            step,
+        } => {
+            let step = match step {
+                Some(r_step) => state.reg(r_step),
+                None => {
+                    let other = match stations.get(start_pc) {
+                        StationSlot::Ready(s) => Some(s.inst),
+                        _ => None,
+                    };
+                    return Err(SimError::InvalidSimtRegion {
+                        reason: format!(
+                            "simt_e at {pc:#x} points to {other:?} at {start_pc:#x}, not simt_s"
+                        ),
+                    });
+                }
+            };
+            let rc_new = state.reg(rc).wrapping_add(step);
+            dest = Some((rc, rc_new));
+            if (rc_new as i32) < (state.reg(r_end) as i32) {
+                next_pc = start_pc.wrapping_add(INST_BYTES);
+                redirected = true;
+            }
+        }
+    }
+
+    if let Some((lane, value)) = dest {
+        state.set(lane, value);
+    }
+    state.pc = next_pc;
+    Ok(StepInfo {
+        inst: st.inst,
         pc,
         next_pc,
         redirected,

@@ -57,6 +57,9 @@ pub enum SimError {
     },
     /// [`Machine::step`] was called with no program loaded.
     NotLoaded,
+    /// A hardware thread that already executed its halting `ecall` was
+    /// stepped again (a scheduler bug — halted threads must be skipped).
+    Halted,
 }
 
 impl fmt::Display for SimError {
@@ -73,6 +76,7 @@ impl fmt::Display for SimError {
             SimError::InvalidSimtRegion { reason } => write!(f, "invalid SIMT region: {reason}"),
             SimError::Deadlock { cycle } => write!(f, "no progress at cycle {cycle}"),
             SimError::NotLoaded => write!(f, "step called with no program loaded"),
+            SimError::Halted => write!(f, "step called on a halted thread"),
         }
     }
 }
@@ -234,6 +238,7 @@ mod tests {
             },
             SimError::Deadlock { cycle: 7 },
             SimError::NotLoaded,
+            SimError::Halted,
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());

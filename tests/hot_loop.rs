@@ -1,0 +1,74 @@
+//! Hot-loop discipline tests: once a loop's line is resident, every
+//! further step must execute entirely from the predecoded stations —
+//! zero `decode()` calls and zero heap allocations per step. Lives in
+//! its own test binary because both checks read process-global counters
+//! (the decoder's call counter and a counting global allocator) that
+//! concurrent tests would pollute.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use diag::asm::assemble;
+use diag::core::{Diag, DiagConfig};
+use diag::isa::decode_calls;
+use diag::sim::Machine;
+
+/// Counts every allocation (and growing reallocation) in the process.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Steady-state reuse steps touch neither the decoder nor the heap.
+///
+/// A long-running single-line loop is warmed up past residency, then a
+/// window of steps is measured with the decoder's call counter and the
+/// allocation counter. Both deltas must be exactly zero: the reuse path
+/// reads only the station arena, the lane file, and plain counters.
+#[test]
+fn steady_state_steps_do_not_decode_or_allocate() {
+    let program = assemble(
+        r#"
+            li   t0, 1000000
+            li   t1, 0
+        loop:
+            add  t1, t1, t0
+            addi t0, t0, -1
+            bnez t0, loop
+            sw   t1, 0(zero)
+            ecall
+        "#,
+    )
+    .unwrap();
+    let mut cpu = Diag::new(DiagConfig::f4c2());
+    cpu.load(&program, 1);
+    // Warm-up: line fetch, station population, first iterations.
+    for _ in 0..256 {
+        cpu.step().unwrap();
+    }
+    let decodes_before = decode_calls();
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..2048 {
+        cpu.step().unwrap();
+    }
+    let decode_delta = decode_calls() - decodes_before;
+    let alloc_delta = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    assert_eq!(decode_delta, 0, "reuse steps must never call the decoder");
+    assert_eq!(alloc_delta, 0, "reuse steps must never touch the heap");
+}

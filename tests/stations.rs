@@ -1,0 +1,290 @@
+//! Station-layer integration tests: the predecoded PE-station arenas
+//! must (a) charge decode energy once per *population*, not once per
+//! dynamic instruction, (b) lower every decodable instruction without
+//! losing operand or latency metadata, and (c) execute bit-identically
+//! to the independently-written architectural interpreter.
+
+use diag::asm::{assemble, Program, ProgramBuilder};
+use diag::core::{Diag, DiagConfig};
+use diag::isa::prng::SplitMix64;
+use diag::isa::regs::*;
+use diag::isa::{decode, AluOp, Inst, Reg, Station, StationTable};
+use diag::mem::MainMemory;
+use diag::sim::interp::{arch_step, station_step, ArchState};
+use diag::sim::Machine;
+
+/// A single-line counted loop with `trips` iterations.
+fn loop_program(trips: u32) -> Program {
+    assemble(&format!(
+        r#"
+            li   t0, {trips}
+            li   t1, 0
+        loop:
+            add  t1, t1, t0
+            addi t0, t0, -1
+            bnez t0, loop
+            sw   t1, 0(zero)
+            ecall
+        "#
+    ))
+    .unwrap()
+}
+
+/// `Decodes` counts station populations — one per decodable (cluster,
+/// slot) filled when a line becomes resident — so a loop that stays
+/// resident charges the same decode energy at 10 trips as at 100, while
+/// the reuse counter keeps growing with the dynamic instruction count.
+#[test]
+fn decodes_count_populations_not_dynamic_instructions() {
+    let static_insts = 7; // the loop above assembles to 7 words in one line
+    let mut short = Diag::new(DiagConfig::f4c2());
+    let mut long = Diag::new(DiagConfig::f4c2());
+    let s = short.run(&loop_program(10), 1).unwrap();
+    let l = long.run(&loop_program(100), 1).unwrap();
+
+    assert_eq!(s.activity.decodes, static_insts);
+    assert_eq!(l.activity.decodes, static_insts);
+    assert!(l.committed > s.committed);
+    assert!(
+        l.activity.reuse_commits > s.activity.reuse_commits,
+        "reuse grows with trips: {} vs {}",
+        l.activity.reuse_commits,
+        s.activity.reuse_commits
+    );
+}
+
+/// Multi-line programs charge one decode per decodable slot of every
+/// populated line: straight-line code that spans lines and runs once
+/// decodes exactly its static instruction count.
+#[test]
+fn decodes_equal_static_instructions_for_straight_line_code() {
+    let mut b = ProgramBuilder::new();
+    // 40 instructions: well past one 16-slot line.
+    for i in 0..39 {
+        b.addi(T0, T0, i % 7);
+    }
+    b.ecall();
+    let program = b.build().unwrap();
+    let mut cpu = Diag::new(DiagConfig::f4c32());
+    let stats = cpu.run(&program, 1).unwrap();
+    assert_eq!(stats.committed, 40);
+    assert_eq!(stats.activity.decodes, 40);
+    assert_eq!(stats.activity.reuse_commits, 0);
+}
+
+/// Golden lowering check: for every decodable word, the flat [`Station`]
+/// record preserves the instruction's operand set, writeback lane,
+/// latency class, and functional-unit metadata. Driven by a PRNG sweep
+/// wide enough to hit every instruction-format family.
+#[test]
+fn station_lowering_round_trips_metadata() {
+    let mut rng = SplitMix64::seed_from_u64(0x57A7_1077);
+    let mut covered = std::collections::HashSet::new();
+    let mut checked = 0u32;
+    while checked < 20_000 {
+        let word = rng.next_u64() as u32;
+        let Ok(inst) = decode(word) else { continue };
+        checked += 1;
+        covered.insert(std::mem::discriminant(&inst));
+        let st = Station::lower(inst, 0x1000, |_| None);
+        assert_eq!(st.inst, inst, "station must carry the decoded inst");
+        assert_eq!(st.srcs, inst.sources(), "sources of {inst:?}");
+        assert_eq!(st.dest, inst.dest(), "dest of {inst:?}");
+        assert_eq!(st.latency, inst.exec_latency(), "latency of {inst:?}");
+        assert_eq!(st.fu, inst.fu_kind(), "fu kind of {inst:?}");
+        assert_eq!(st.uses_fpu, inst.uses_fpu(), "fpu flag of {inst:?}");
+        assert_eq!(st.is_mem, inst.is_mem(), "mem flag of {inst:?}");
+    }
+    // The sweep must have exercised a healthy spread of variants, or the
+    // assertions above prove nothing.
+    assert!(
+        covered.len() >= 15,
+        "only {} instruction variants covered",
+        covered.len()
+    );
+}
+
+/// Registers random programs may clobber.
+const POOL: [Reg; 10] = [T0, T1, T2, T3, T4, S2, S3, S4, S5, S6];
+
+const ALU_OPS: [AluOp; 10] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Xor,
+    AluOp::Or,
+    AluOp::And,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::Slt,
+    AluOp::Mul,
+    AluOp::Rem,
+];
+
+/// Builds a terminating random program: seeded registers, a counted loop
+/// around a random ALU/memory/branch body, then `ecall`.
+fn random_program(rng: &mut SplitMix64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let scratch = b.data_zeroed("scratch", 64);
+    for &reg in &POOL {
+        b.li(reg, rng.gen_range(-500i32..500));
+    }
+    b.li(S11, scratch as i32);
+    b.li(S10, rng.gen_range(1i32..5));
+    let top = b.bind_new_label();
+    let body = rng.gen_range(1usize..16);
+    for _ in 0..body {
+        let d = POOL[rng.gen_range(0usize..POOL.len())];
+        let a = POOL[rng.gen_range(0usize..POOL.len())];
+        let c = POOL[rng.gen_range(0usize..POOL.len())];
+        match rng.gen_range(0u32..5) {
+            0 => b.inst(Inst::Op {
+                op: ALU_OPS[rng.gen_range(0usize..ALU_OPS.len())],
+                rd: d,
+                rs1: a,
+                rs2: c,
+            }),
+            1 => b.addi(d, a, rng.gen_range(-64i32..64)),
+            2 => b.sw(a, S11, 4 * rng.gen_range(0i32..16)),
+            3 => b.lw(d, S11, 4 * rng.gen_range(0i32..16)),
+            _ => {
+                let skip = b.new_label();
+                b.beq(a, c, skip);
+                b.addi(a, a, 1);
+                b.bind(skip);
+            }
+        }
+    }
+    b.addi(S10, S10, -1);
+    b.bnez(S10, top);
+    b.ecall();
+    b.build().expect("generated program must assemble")
+}
+
+/// Lockstep differential test: the station interpreter must match the
+/// decode-per-step reference instruction for instruction — same PC
+/// stream, same redirects, same writebacks, same final registers and
+/// memory — on randomized programs.
+#[test]
+fn random_programs_station_path_matches_reference() {
+    let mut rng = SplitMix64::seed_from_u64(0x57A7_2002);
+    for case in 0..32 {
+        let program = random_program(&mut rng);
+        let stations = StationTable::build(program.text_base(), program.text());
+        let mut ref_state = ArchState::new_thread(program.entry(), 0, 1);
+        let mut st_state = ref_state.clone();
+        let mut ref_mem = MainMemory::with_program(&program);
+        let mut st_mem = MainMemory::with_program(&program);
+        let mut steps = 0u64;
+        while !ref_state.halted {
+            let r = arch_step(&mut ref_state, &program, &mut ref_mem, None).unwrap();
+            let s = station_step(&mut st_state, &stations, &mut st_mem, None).unwrap();
+            assert_eq!(r.pc, s.pc, "case {case} step {steps}");
+            assert_eq!(
+                r.next_pc, s.next_pc,
+                "case {case} step {steps} at {:#x}",
+                r.pc
+            );
+            assert_eq!(r.redirected, s.redirected, "case {case} step {steps}");
+            // The station path reports no x0 writeback; filter both sides.
+            assert_eq!(
+                r.dest.filter(|(lane, _)| !lane.is_zero()),
+                s.dest,
+                "case {case} step {steps} at {:#x}",
+                r.pc
+            );
+            assert_eq!(r.mem, s.mem, "case {case} step {steps} at {:#x}", r.pc);
+            steps += 1;
+            assert!(steps < 1_000_000, "case {case} runaway");
+        }
+        assert!(st_state.halted, "case {case}: station path must halt too");
+        assert_eq!(ref_state.pc, st_state.pc, "case {case} final pc");
+        for lane in 0..diag::isa::NUM_LANES {
+            assert_eq!(
+                ref_state.regs[lane], st_state.regs[lane],
+                "case {case} lane {lane}"
+            );
+        }
+        let scratch = program.symbol("scratch").unwrap();
+        for slot in 0..16u32 {
+            assert_eq!(
+                ref_mem.read_u32(scratch + 4 * slot),
+                st_mem.read_u32(scratch + 4 * slot),
+                "case {case} scratch slot {slot}"
+            );
+        }
+    }
+}
+
+/// Out-of-text and illegal-word errors must match between the two
+/// interpreters (the station table reports them from the predecoded
+/// slots rather than the decoder).
+#[test]
+fn station_errors_match_reference() {
+    let program = assemble("nop\necall\n").unwrap();
+    let stations = StationTable::build(program.text_base(), program.text());
+    let mut mem = MainMemory::with_program(&program);
+
+    // A PC outside the text segment errors identically on both paths.
+    let oob = program.text_end() + 64;
+    let mut a = ArchState::new_thread(oob, 0, 1);
+    let mut b = a.clone();
+    let ra = arch_step(&mut a, &program, &mut mem, None).unwrap_err();
+    let rb = station_step(&mut b, &stations, &mut mem, None).unwrap_err();
+    assert_eq!(format!("{ra:?}"), format!("{rb:?}"));
+
+    // An undecodable word is pinned at build time as an `Illegal` slot
+    // and reported with the same addr/word payload the decoder would use.
+    let bad_word = 0xffff_ffffu32;
+    assert!(decode(bad_word).is_err());
+    let table = StationTable::build(0x1000, &[bad_word]);
+    let mut c = ArchState::new_thread(0x1000, 0, 1);
+    match station_step(&mut c, &table, &mut mem, None).unwrap_err() {
+        diag::sim::SimError::IllegalInstruction { addr, word } => {
+            assert_eq!(addr, 0x1000);
+            assert_eq!(word, bad_word);
+        }
+        other => panic!("expected IllegalInstruction, got {other:?}"),
+    }
+}
+
+/// The station arenas must not disturb SIMT region execution, and SIMT
+/// decode accounting is per station population too: an 8-iteration and a
+/// 64-iteration run of the same pipelined region charge identical decode
+/// energy while committing very different dynamic instruction counts.
+#[test]
+fn simt_region_decodes_once_across_instances() {
+    fn counted_region(n: i32) -> Program {
+        let mut b = ProgramBuilder::new();
+        let data = b.data_zeroed("out", 4 * 64);
+        b.li(S5, data as i32);
+        b.li(T0, 0);
+        b.li(T1, 1);
+        b.li(T2, n);
+        let head = b.bind_new_label();
+        b.simt_s(T0, T1, T2, 1);
+        b.slli(T3, T0, 2);
+        b.add(T4, S5, T3);
+        b.sw(T0, T4, 0);
+        b.simt_e(T0, T2, head);
+        b.ecall();
+        b.build().unwrap()
+    }
+    let mut short = Diag::new(DiagConfig::f4c32());
+    let mut long = Diag::new(DiagConfig::f4c32());
+    let s = short.run(&counted_region(8), 1).unwrap();
+    let l = long.run(&counted_region(64), 1).unwrap();
+    let out = counted_region(64).symbol("out").unwrap();
+    for i in 0..64u32 {
+        assert_eq!(long.read_word(out + 4 * i), i, "instance {i}");
+    }
+    assert!(l.committed > s.committed);
+    assert_eq!(
+        s.activity.decodes, l.activity.decodes,
+        "decode energy is per population, not per SIMT instance"
+    );
+    assert!(
+        l.activity.decodes <= 2 * 10,
+        "a 10-instruction program must not decode more than its populated stations, got {}",
+        l.activity.decodes
+    );
+}
