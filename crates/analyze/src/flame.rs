@@ -1,0 +1,94 @@
+//! Flamegraph frame stacks from the static CFG and natural-loop tree.
+//!
+//! The profiler (`diag-profile`) records flat per-PC cycles; this module
+//! supplies the nesting that turns them into a loop-aware flamegraph:
+//! each instruction address gets a root-to-leaf stack of its enclosing
+//! natural loops (outermost first), its basic block, and the
+//! disassembled instruction itself. diag-profile deliberately sits below
+//! this crate in the dependency order, so the frame map is built here,
+//! where the CFG lives, and handed across.
+
+use std::collections::BTreeMap;
+
+use diag_asm::Program;
+use diag_profile::FrameMap;
+
+use crate::cfg::Cfg;
+
+/// Builds the loop-nest frame map for every decodable instruction in
+/// `program`'s text segment.
+///
+/// Frames, root first: one `loop@0x…` frame per enclosing natural loop
+/// (outermost to innermost, named by the loop-header address), then
+/// `bb@0x…` (the basic-block start), then the leaf `0x…: <disasm>`.
+pub fn frame_map(program: &Program) -> FrameMap {
+    let cfg = Cfg::build(program, None);
+    let loops = cfg.natural_loops();
+
+    // Enclosing loops per block, innermost-last. Natural-loop bodies
+    // nest or are disjoint, so sorting a block's enclosing loops by
+    // descending body size orders them outermost → innermost.
+    let mut enclosing: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (li, l) in loops.iter().enumerate() {
+        for &b in &l.body {
+            enclosing.entry(b).or_default().push(li);
+        }
+    }
+    for chain in enclosing.values_mut() {
+        chain.sort_by_key(|&li| std::cmp::Reverse(loops[li].body.len()));
+    }
+
+    let mut map = FrameMap::new();
+    for (bi, block) in cfg.blocks.iter().enumerate() {
+        let mut prefix: Vec<String> = Vec::new();
+        if let Some(chain) = enclosing.get(&bi) {
+            for &li in chain {
+                prefix.push(format!("loop@{:#x}", cfg.blocks[loops[li].head].start));
+            }
+        }
+        prefix.push(format!("bb@{:#x}", block.start));
+        for &(pc, inst) in &block.insts {
+            let mut stack = prefix.clone();
+            stack.push(format!("{pc:#x}: {inst}"));
+            map.insert(pc, stack);
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_asm::assemble;
+
+    #[test]
+    fn loop_bodies_nest_under_loop_frames() {
+        let program = assemble(
+            "    li   t0, 4\n\
+             outer:\n\
+             li   t1, 4\n\
+             inner:\n\
+             addi t1, t1, -1\n\
+             bnez t1, inner\n\
+             addi t0, t0, -1\n\
+             bnez t0, outer\n\
+             ecall\n",
+        )
+        .unwrap();
+        let map = frame_map(&program);
+        let base = program.text_base();
+        // The inner-loop body (addi t1 at +8) sits under both loops.
+        let inner = map.get(base + 8).expect("inner body mapped");
+        let loops: Vec<&String> = inner.iter().filter(|f| f.starts_with("loop@")).collect();
+        assert_eq!(loops.len(), 2, "stack: {inner:?}");
+        assert_eq!(map.innermost_loop(base + 8), Some(loops[1].as_str()));
+        // The preamble li is outside any loop.
+        let pre = map.get(base).expect("preamble mapped");
+        assert!(pre.iter().all(|f| !f.starts_with("loop@")), "{pre:?}");
+        assert!(pre.last().unwrap().contains("0x"));
+        // Outer-only body (addi t0 at +16) is under exactly the outer loop.
+        let outer = map.get(base + 16).expect("outer body mapped");
+        let outer_loops: Vec<&String> = outer.iter().filter(|f| f.starts_with("loop@")).collect();
+        assert_eq!(outer_loops, vec![loops[0]], "stack: {outer:?}");
+    }
+}

@@ -48,6 +48,7 @@
 pub mod cfg;
 pub mod dataflow;
 pub mod diagnostics;
+pub mod flame;
 pub mod lints;
 pub mod perf;
 pub mod report;

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use diag_isa::{ExecKind, StationSlot, StationTable};
 use diag_mem::{CacheArray, LaneLookup, Lsu, MainMemory, MemLane, PrivateCache};
 use diag_sim::interp::{station_step, ArchState, MemEffect};
-use diag_sim::{Activity, Commit, SimError, StallBreakdown};
+use diag_sim::{Activity, Bucket, Commit, Profiler, RetireSample, SimError, StallBreakdown};
 use diag_trace::{Event, EventKind, StallCause, Tracer, Track};
 
 use crate::bpred::BranchPredictor;
@@ -77,6 +77,12 @@ pub struct O3Core {
     /// Trace sink (disabled by default; set through the machine's
     /// `set_tracer`). Baseline events ride on [`Track::Core`].
     pub(crate) tracer: Tracer,
+    /// Cycle-accounting profiler (disabled by default; set through the
+    /// machine's `set_profiler`).
+    pub(crate) profiler: Profiler,
+    /// PC the in-flight instruction's stalls are attributed to
+    /// (`station_step` advances the architectural PC mid-step).
+    prof_pc: u32,
 }
 
 /// L2 hit latency charged on an L1I miss.
@@ -121,6 +127,8 @@ impl O3Core {
             commit_log: false,
             commits: Vec::new(),
             tracer: Tracer::off(),
+            profiler: Profiler::off(),
+            prof_pc: entry,
             cfg,
             stations,
         }
@@ -136,6 +144,7 @@ impl O3Core {
             return;
         }
         self.stats.stalls.add_cycles(cause, cycles);
+        self.profiler.stall(self.prof_pc, cause, cycles);
         let thread = self.thread_id as u32;
         self.tracer.emit(|| Event {
             cycle: end.saturating_sub(cycles),
@@ -172,6 +181,8 @@ impl O3Core {
             return Err(SimError::Halted);
         }
         let pc = self.state.pc;
+        self.prof_pc = pc;
+        let prev_clock = self.last_commit;
 
         // ---- fetch ----------------------------------------------------
         let mut fetch_t = self.fetch_bw.next(self.fetch_floor);
@@ -187,6 +198,7 @@ impl O3Core {
 
         // ---- decode / rename / dispatch -------------------------------
         let mut rename_t = fetch_t + self.cfg.frontend_latency();
+        let rename0 = rename_t;
         // ROB occupancy: dispatch stalls until a slot frees.
         while self.rob.len() >= self.cfg.rob_size {
             let freed = self.rob.pop_front().expect("rob non-empty");
@@ -225,6 +237,7 @@ impl O3Core {
         for src in st.srcs.iter() {
             ready = ready.max(self.reg_ready[src.index()]);
         }
+        let src_ready = ready;
         // Bounded issue queue: this instruction occupies an IQ entry from
         // rename until issue; it cannot even enter the queue until the
         // instruction `iq_size` older has left it.
@@ -362,6 +375,41 @@ impl O3Core {
 
         // ---- commit -------------------------------------------------------
         let commit_t = self.commit_bw.next(finish.max(self.last_commit));
+        self.profiler.retire(|| {
+            // Walk the pipeline-stage boundary chain, clipping each
+            // boundary to the previous commit clock: frontend to
+            // dispatch, ROB back-pressure, source wait, issue-side
+            // queueing, execution, then commit queueing. The clipped
+            // segments telescope to `commit_t - prev_clock` exactly.
+            let exec_bucket = if st.is_mem {
+                Bucket::MemoryBound
+            } else {
+                Bucket::Retiring
+            };
+            let chain = [
+                (rename0 + 1, Bucket::LineLoadFrontend),
+                (rename_t + 1, Bucket::RingTransit),
+                (src_ready, Bucket::LaneWait),
+                (issue_t, Bucket::RingTransit),
+                (finish, exec_bucket),
+                (commit_t, Bucket::Retiring),
+            ];
+            let mut parts = [0u64; 5];
+            let mut cur = prev_clock;
+            for (b, bucket) in chain {
+                if b > cur {
+                    parts[bucket.index()] += b - cur;
+                    cur = b;
+                }
+            }
+            RetireSample {
+                pc,
+                cluster: 0,
+                slot: 0,
+                reused: false,
+                parts,
+            }
+        });
         let thread = self.thread_id as u32;
         self.tracer.emit(|| Event {
             cycle: commit_t,

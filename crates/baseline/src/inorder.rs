@@ -13,7 +13,7 @@ use diag_asm::Program;
 use diag_isa::{StationSlot, StationTable};
 use diag_mem::MainMemory;
 use diag_sim::interp::{station_step, ArchState, MemEffect};
-use diag_sim::{Commit, Machine, RunStats, SimError, StepOutcome};
+use diag_sim::{Bucket, Commit, Machine, Profiler, RetireSample, RunStats, SimError, StepOutcome};
 use diag_trace::{Event, EventKind, Tracer, Track};
 
 /// Flat memory access latency for the reference machine.
@@ -69,6 +69,7 @@ pub struct InOrder {
     commit_log: bool,
     commits: Vec<Commit>,
     tracer: Tracer,
+    profiler: Profiler,
 }
 
 impl Default for InOrder {
@@ -87,6 +88,7 @@ impl InOrder {
             commit_log: false,
             commits: Vec::new(),
             tracer: Tracer::off(),
+            profiler: Profiler::off(),
         }
     }
 
@@ -150,6 +152,7 @@ impl Machine for InOrder {
             }
         };
         let info = station_step(&mut run.state, &run.stations, &mut run.mem, None)?;
+        let prev_clock = run.clock;
         let mut start = run.clock;
         for src in st.srcs.iter() {
             start = start.max(run.reg_ready[src.index()]);
@@ -166,6 +169,28 @@ impl Machine for InOrder {
             }
         }
         run.clock = start + 1 + if info.redirected { BRANCH_BUBBLE } else { 0 };
+        let new_clock = run.clock;
+        self.profiler.retire(|| {
+            // [prev, start) waits on sources, the single-issue cycle is
+            // retiring (memory-bound for loads/stores), and a taken
+            // branch's bubble is transit — summing to the clock delta.
+            let mut parts = [0u64; 5];
+            parts[Bucket::LaneWait.index()] += start - prev_clock;
+            let exec_bucket = if matches!(info.mem, MemEffect::None) {
+                Bucket::Retiring
+            } else {
+                Bucket::MemoryBound
+            };
+            parts[exec_bucket.index()] += 1;
+            parts[Bucket::RingTransit.index()] += new_clock - start - 1;
+            RetireSample {
+                pc: info.pc,
+                cluster: 0,
+                slot: 0,
+                reused: false,
+                parts,
+            }
+        });
         run.stats.committed += 1;
         run.stats.activity.decodes += 1;
         match info.mem {
@@ -210,6 +235,7 @@ impl Machine for InOrder {
                 track: Track::Core(tid),
                 kind: EventKind::ThreadHalt,
             });
+            self.profiler.thread_span(tid, 0, run.clock);
             run.total_cycles += run.clock;
             run.tid += 1;
             if run.tid < run.threads {
@@ -250,6 +276,10 @@ impl Machine for InOrder {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     fn set_commit_log(&mut self, enabled: bool) {

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use diag_asm::Program;
 use diag_isa::StationTable;
 use diag_mem::{MainMemory, PrivateCache, SharedLevel};
-use diag_sim::{Commit, Machine, RunStats, SimError, StepOutcome};
+use diag_sim::{Commit, Machine, Profiler, RunStats, SimError, StepOutcome};
 use diag_trace::{Event, EventKind, Tracer, Track};
 
 use crate::config::O3Config;
@@ -48,6 +48,7 @@ impl OooRun {
         max_cores: usize,
         commit_log: bool,
         tracer: &Tracer,
+        profiler: &Profiler,
     ) {
         let batch = max_cores.min(self.threads - self.next_tid);
         let at = self.wave_start;
@@ -65,6 +66,7 @@ impl OooRun {
                 );
                 core.commit_log = commit_log;
                 core.tracer = tracer.clone();
+                core.profiler = profiler.clone();
                 let thread = core.thread_id() as u32;
                 tracer.emit(|| Event {
                     cycle: at,
@@ -79,8 +81,12 @@ impl OooRun {
     }
 
     /// Folds a finished wave's cores into the aggregate statistics.
-    fn finish_wave(&mut self) {
+    fn finish_wave(&mut self, profiler: &Profiler) {
+        // The wave's launch time (`wave_start` is pushed forward inside
+        // the loop, so read the floor before the first core).
+        let floor = self.wave_start;
         for core in &self.cores {
+            profiler.thread_span(core.thread_id() as u32, floor, core.clock());
             self.committed += core.committed();
             self.stats.activity += core.stats.activity;
             self.stats.stalls += core.stats.stalls;
@@ -116,6 +122,7 @@ pub struct OooCpu {
     commit_log: bool,
     commits: Vec<Commit>,
     tracer: Tracer,
+    profiler: Profiler,
 }
 
 impl OooCpu {
@@ -135,6 +142,7 @@ impl OooCpu {
             commit_log: false,
             commits: Vec::new(),
             tracer: Tracer::off(),
+            profiler: Profiler::off(),
         }
     }
 
@@ -185,7 +193,13 @@ impl Machine for OooCpu {
             finish_time: 0,
             halted: false,
         };
-        run.launch_wave(&self.config, self.max_cores, self.commit_log, &self.tracer);
+        run.launch_wave(
+            &self.config,
+            self.max_cores,
+            self.commit_log,
+            &self.tracer,
+            &self.profiler,
+        );
         self.run = Some(run);
     }
 
@@ -211,9 +225,15 @@ impl Machine for OooCpu {
             }
             return Ok(StepOutcome::Running);
         }
-        run.finish_wave();
+        run.finish_wave(&self.profiler);
         if run.next_tid < run.threads {
-            run.launch_wave(&self.config, self.max_cores, self.commit_log, &self.tracer);
+            run.launch_wave(
+                &self.config,
+                self.max_cores,
+                self.commit_log,
+                &self.tracer,
+                &self.profiler,
+            );
             Ok(StepOutcome::Running)
         } else {
             run.stats.cycles = run.finish_time;
@@ -249,6 +269,10 @@ impl Machine for OooCpu {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     fn set_commit_log(&mut self, enabled: bool) {

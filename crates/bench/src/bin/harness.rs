@@ -9,6 +9,9 @@
 //!               [--baseline FILE] [--max-regress PCT]
 //! harness trace <workload> [--machine M] [--format F] [--window N]
 //!               [--out FILE] [--threads N] [--simt] [--quick]
+//! harness profile <workload> [--machine M] [--format text|json|folded]
+//!               [--top N] [--out FILE] [--threads N] [--simt] [--quick]
+//! harness profile diff <before.json> <after.json> [--top N]
 //! harness --help
 //! ```
 //!
@@ -49,10 +52,26 @@
 //! `timeline` render text views at `--window N` cycles per bucket
 //! (default: the run length over 64). `--out FILE` redirects the export
 //! from stdout into a file.
+//!
+//! `profile` runs one workload with the [`diag_profile`] cycle-accounting
+//! subsystem attached and reports where the cycles went: `--format text`
+//! (default) prints the top-down bucket table and the `--top N` hottest
+//! PCs with annotated disassembly, `json` writes the full machine-readable
+//! profile (host metadata in the header, exact reconciliation enforced
+//! before writing), and `folded` writes collapsed stacks — one
+//! `loop;block;instruction count` line per PC — loadable by inferno /
+//! speedscope / `flamegraph.pl`. `profile diff <before> <after>` compares
+//! two saved JSON profiles and prints per-PC self-cycle deltas.
+//!
+//! All `--out` paths create missing parent directories.
 
 use diag_bench::runner::MachineKind;
 use diag_bench::sweep::Sweep;
 use diag_bench::{experiments, hostbench, sweep};
+use diag_profile::{
+    diff_profiles, render_text, to_folded, CycleModel, Profile, ProfileCollector, ProfileMeta,
+    Profiler,
+};
 use diag_trace::timeline::StallTimeline;
 use diag_trace::{heatmap, perfetto, Tracer, VecSink};
 use diag_workloads::{Params, Scale, Suite};
@@ -66,6 +85,8 @@ subcommands:
   sweep [workload ...]   run workloads on every machine; cycles/IPC table
   bench [workload ...]   time the simulator itself; write BENCH_sim.json
   trace <workload>       run one workload with tracing and export events
+  profile <workload>     run one workload with cycle accounting attached
+  profile diff <a> <b>   compare two saved JSON profiles
   --help                 this message
 
 run options:      [--quick] [--jobs N] [--strict]
@@ -75,6 +96,9 @@ bench options:    [--quick] [--repeat N] [--out FILE] [--baseline FILE]
                   [--max-regress PCT]
 trace options:    [--machine diag|ooo|inorder] [--format perfetto|jsonl|heatmap|timeline]
                   [--window N] [--out FILE] [--threads N] [--simt] [--quick]
+profile options:  [--machine diag|ooo|inorder] [--format text|json|folded]
+                  [--top N] [--out FILE] [--threads N] [--simt] [--quick]
+profile diff options: [--top N]
 
 experiments: table1 table2 table3 fig9a fig9b fig10a fig10b fig11 fig12
              stalls ablation-lane ablation-reuse ablation-simt
@@ -83,6 +107,18 @@ experiments: table1 table2 table3 fig9a fig9b fig10a fig10b fig11 fig12
 fn usage() -> ! {
     eprintln!("{USAGE}");
     std::process::exit(2)
+}
+
+/// Writes `text` to `path`, creating any missing parent directories —
+/// `--out results/new/run.json` should not fail on a fresh checkout.
+fn write_output(path: &str, text: &str) -> Result<(), String> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 /// The `analyze` subcommand: static analysis over bundled workloads.
@@ -310,8 +346,8 @@ fn bench_cmd(args: &[String]) -> i32 {
     };
     let report = hostbench::run_bench(&specs, &params, repeat, baseline.as_ref());
     let json = hostbench::to_json(&report, baseline.as_ref());
-    if let Err(e) = std::fs::write(&out_path, &json) {
-        eprintln!("cannot write {out_path}: {e}");
+    if let Err(e) = write_output(&out_path, &json) {
+        eprintln!("{e}");
         return 1;
     }
     let mut table = diag_power::TextTable::new(
@@ -488,14 +524,225 @@ fn trace_cmd(args: &[String]) -> i32 {
     );
     match out {
         Some(path) => {
-            if let Err(e) = std::fs::write(&path, text) {
-                eprintln!("cannot write {path}: {e}");
+            if let Err(e) = write_output(&path, &text) {
+                eprintln!("{e}");
                 return 1;
             }
             eprintln!("wrote {format} trace to {path}");
         }
         None => print!("{text}"),
     }
+    0
+}
+
+/// The `profile` subcommand: run one workload with cycle accounting
+/// attached and report where the cycles went; or, with a leading `diff`,
+/// compare two saved JSON profiles. Returns the process exit code.
+fn profile_cmd(args: &[String]) -> i32 {
+    if args.first().map(String::as_str) == Some("diff") {
+        return profile_diff_cmd(&args[1..]);
+    }
+    let mut machine_name = "diag";
+    let mut format = "text";
+    let mut top = 20usize;
+    let mut out: Option<String> = None;
+    let mut threads = 1usize;
+    let mut simt = false;
+    let mut quick = false;
+    let mut names: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--simt" => simt = true,
+            "--quick" => quick = true,
+            "--machine" => match it.next() {
+                Some(m) => machine_name = m,
+                None => {
+                    eprintln!("--machine needs a name (diag|ooo|inorder)");
+                    usage();
+                }
+            },
+            "--format" => match it.next() {
+                Some(f) => format = f,
+                None => {
+                    eprintln!("--format needs a name (text|json|folded)");
+                    usage();
+                }
+            },
+            "--top" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--top needs a positive integer");
+                    usage();
+                };
+                top = n.max(1);
+            }
+            "--out" => match it.next() {
+                Some(path) => out = Some(path.clone()),
+                None => {
+                    eprintln!("--out needs a file path");
+                    usage();
+                }
+            },
+            "--threads" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--threads needs a positive integer");
+                    usage();
+                };
+                threads = n.max(1);
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+            other => names.push(other),
+        }
+    }
+    let [name] = names[..] else {
+        eprintln!("profile needs exactly one workload name");
+        usage();
+    };
+    let Some(spec) = diag_workloads::find(name) else {
+        eprintln!("unknown workload `{name}`");
+        usage();
+    };
+    if simt && !spec.simt_capable {
+        eprintln!("{name} has no SIMT variant");
+        return 1;
+    }
+    if !matches!(format, "text" | "json" | "folded") {
+        eprintln!("unknown format `{format}` (text|json|folded)");
+        usage();
+    }
+    let kind = match machine_name {
+        "diag" => MachineKind::Diag(diag_core::DiagConfig::f4c32()),
+        "ooo" => MachineKind::Ooo(12),
+        "inorder" => MachineKind::InOrder,
+        other => {
+            eprintln!("unknown machine `{other}` (diag|ooo|inorder)");
+            usage();
+        }
+    };
+    let params = if quick {
+        Params::tiny()
+    } else {
+        Params::small()
+    }
+    .with_threads(threads)
+    .with_simt(simt);
+    let built = match spec.build(&params) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{name}: build failed: {e}");
+            return 1;
+        }
+    };
+    let shared = ProfileCollector::shared();
+    let mut machine = kind.build();
+    machine.set_profiler(Profiler::to_shared(&shared));
+    let stats = match machine.run(&built.program, params.threads) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{name} on {}: {e}", kind.label());
+            return 1;
+        }
+    };
+    if let Err(e) = (built.verify)(machine.as_ref()) {
+        eprintln!("{name} on {}: verification failed: {e}", kind.label());
+        return 1;
+    }
+    let meta = ProfileMeta {
+        workload: name.to_string(),
+        machine: kind.label(),
+        threads: params.threads as u64,
+        simt: params.simt,
+        cycle_model: match kind {
+            MachineKind::InOrder => CycleModel::Additive,
+            _ => CycleModel::Wallclock,
+        },
+        total_cycles: stats.cycles,
+        committed: stats.committed,
+        stalls: [
+            stats.stalls.memory,
+            stats.stalls.control,
+            stats.stalls.structural,
+        ],
+        host: diag_bench::hostmeta::host_entries_with_repeat(1),
+    };
+    let frames = diag_analyze::flame::frame_map(&built.program);
+    let collector = shared.borrow();
+    let mut profile = Profile::build(&collector, meta, Some(&built.program));
+    drop(collector);
+    profile.apply_frames(&frames);
+    if let Err(e) = profile.reconcile() {
+        eprintln!(
+            "{name} on {}: profile does not reconcile: {e}",
+            kind.label()
+        );
+        return 1;
+    }
+    let text = match format {
+        "text" => render_text(&profile, top),
+        "json" => profile.to_json(),
+        _ => to_folded(&profile, Some(&frames)),
+    };
+    eprintln!(
+        "{name} on {}: {} cycles, {} committed, {} hot PCs",
+        kind.label(),
+        stats.cycles,
+        stats.committed,
+        profile.pcs.len()
+    );
+    match out {
+        Some(path) => {
+            if let Err(e) = write_output(&path, &text) {
+                eprintln!("{e}");
+                return 1;
+            }
+            eprintln!("wrote {format} profile to {path}");
+        }
+        None => print!("{text}"),
+    }
+    0
+}
+
+/// The `profile diff` mode: per-PC self-cycle deltas between two saved
+/// JSON profiles. Returns the process exit code.
+fn profile_diff_cmd(args: &[String]) -> i32 {
+    let mut top = 20usize;
+    let mut paths: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--top" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--top needs a positive integer");
+                    usage();
+                };
+                top = n.max(1);
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+            other => paths.push(other),
+        }
+    }
+    let [before, after] = paths[..] else {
+        eprintln!("profile diff needs exactly two JSON profile paths");
+        usage();
+    };
+    let load = |path: &str| -> Result<Profile, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Profile::from_json(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+    };
+    let (a, b) = match (load(before), load(after)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    print!("{}", diff_profiles(&a, &b, top));
     0
 }
 
@@ -611,6 +858,7 @@ fn main() {
         Some("sweep") => sweep_cmd(&args[1..]),
         Some("bench") => bench_cmd(&args[1..]),
         Some("trace") => trace_cmd(&args[1..]),
+        Some("profile") => profile_cmd(&args[1..]),
         Some("run") => run_cmd(&args[1..]),
         Some(_) => run_cmd(&args),
         None => usage(),

@@ -252,6 +252,17 @@ pub fn to_json(report: &BenchReport, baseline: Option<&BenchBaseline>) -> String
     out.push_str(&format!("  \"schema\": \"{BENCH_SCHEMA}\",\n"));
     out.push_str(&format!("  \"scale\": \"{}\",\n", scale_name(report.scale)));
     out.push_str(&format!("  \"repeat\": {},\n", report.repeat));
+    out.push_str(&format!(
+        "  \"host\": {{{}}},\n",
+        crate::hostmeta::host_entries_with_repeat(report.repeat)
+            .iter()
+            .map(|(k, v)| format!(
+                "\"{k}\": \"{}\"",
+                v.replace('\\', "\\\\").replace('"', "\\\"")
+            ))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
     out.push_str("  \"runs\": [\n");
     for (i, row) in report.rows.iter().enumerate() {
         out.push_str(&format!(

@@ -1,0 +1,91 @@
+//! Host build metadata stamped into benchmark and profile reports.
+//!
+//! A `BENCH_sim.json` from three months ago is only comparable to
+//! today's if you know what produced it: the compiler version, the
+//! commit, and whether the build used the workspace's thin-LTO release
+//! profile. This module collects those facts once per process (the
+//! compiler and git probes shell out) and hands them to the exporters as
+//! ordered `(key, value)` pairs. Every probe degrades to `"unknown"` —
+//! reports must render identically on hosts without `git` or `rustc` on
+//! the `PATH`.
+
+use std::process::Command;
+use std::sync::OnceLock;
+
+/// Runs `cmd args...` and returns its first line of stdout, trimmed,
+/// when the command exists and exits successfully.
+fn probe(cmd: &str, args: &[&str]) -> Option<String> {
+    let out = Command::new(cmd).args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8_lossy(&out.stdout);
+    let line = text.lines().next()?.trim();
+    if line.is_empty() {
+        None
+    } else {
+        Some(line.to_string())
+    }
+}
+
+/// Host metadata as ordered `(key, value)` pairs:
+///
+/// - `rustc` — `rustc --version` of the toolchain on the `PATH` (the
+///   toolchain that built this binary, under the usual cargo workflow);
+/// - `git_rev` — `git rev-parse --short HEAD` of the working directory;
+/// - `thin_lto` — whether this binary was built with the workspace's
+///   release profile (`lto = "thin"`); debug builds report `false`.
+///
+/// Probed once per process; missing tools yield `"unknown"`.
+pub fn host_entries() -> &'static [(String, String)] {
+    static ENTRIES: OnceLock<Vec<(String, String)>> = OnceLock::new();
+    ENTRIES.get_or_init(|| {
+        let unknown = || "unknown".to_string();
+        vec![
+            (
+                "rustc".to_string(),
+                probe("rustc", &["--version"]).unwrap_or_else(unknown),
+            ),
+            (
+                "git_rev".to_string(),
+                probe("git", &["rev-parse", "--short", "HEAD"]).unwrap_or_else(unknown),
+            ),
+            (
+                "thin_lto".to_string(),
+                (!cfg!(debug_assertions)).to_string(),
+            ),
+        ]
+    })
+}
+
+/// [`host_entries`] plus the run's `repeat` count, for report headers
+/// that record how many timing repetitions produced each row.
+pub fn host_entries_with_repeat(repeat: u32) -> Vec<(String, String)> {
+    let mut entries = host_entries().to_vec();
+    entries.push(("repeat".to_string(), repeat.to_string()));
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_are_stable_and_complete() {
+        let a = host_entries();
+        let b = host_entries();
+        assert_eq!(a, b, "probes must run once and cache");
+        let keys: Vec<&str> = a.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["rustc", "git_rev", "thin_lto"]);
+        assert!(a.iter().all(|(_, v)| !v.is_empty()));
+    }
+
+    #[test]
+    fn repeat_count_is_appended() {
+        let entries = host_entries_with_repeat(7);
+        assert_eq!(
+            entries.last(),
+            Some(&("repeat".to_string(), "7".to_string()))
+        );
+    }
+}

@@ -18,5 +18,6 @@
 
 pub mod experiments;
 pub mod hostbench;
+pub mod hostmeta;
 pub mod runner;
 pub mod sweep;

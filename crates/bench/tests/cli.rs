@@ -8,6 +8,15 @@ fn harness() -> Command {
     Command::new(env!("CARGO_BIN_EXE_harness"))
 }
 
+/// A fresh scratch directory unique to `test` (plain std; no tempdir
+/// crate in this workspace).
+fn scratch(test: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("diag-cli-{test}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
 #[test]
 fn help_documents_the_bench_subcommand() {
     let out = harness().arg("--help").output().unwrap();
@@ -41,4 +50,129 @@ fn bench_rejects_unknown_workloads() {
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn help_documents_the_profile_subcommand() {
+    let out = harness().arg("--help").output().unwrap();
+    let text =
+        String::from_utf8_lossy(&out.stdout).to_string() + &String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("profile"), "help must list `profile`: {text}");
+    assert!(
+        text.contains("--top") && text.contains("folded") && text.contains("profile diff"),
+        "help must list profile options and the diff mode: {text}"
+    );
+}
+
+#[test]
+fn profile_rejects_unknown_flags_and_formats() {
+    let out = harness()
+        .args(["profile", "hotspot", "--no-such-flag"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "unknown flag must exit 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag"), "{err}");
+
+    let out = harness()
+        .args(["profile", "hotspot", "--format", "xml"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "unknown format must exit 2");
+}
+
+#[test]
+fn out_paths_create_missing_parent_directories() {
+    let dir = scratch("mkdirs");
+    // Both exporters that take --out must create intermediate dirs.
+    let profile_out = dir.join("a/b/profile.json");
+    let out = harness()
+        .args(["profile", "hotspot", "--quick", "--format", "json", "--out"])
+        .arg(&profile_out)
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&profile_out).expect("profile written");
+    assert!(json.contains("diag-profile-v1"), "schema header: {json}");
+    assert!(json.contains("\"host\""), "host metadata header: {json}");
+
+    let trace_out = dir.join("c/d/trace.jsonl");
+    let out = harness()
+        .args(["trace", "hotspot", "--quick", "--format", "jsonl", "--out"])
+        .arg(&trace_out)
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(trace_out.exists(), "trace written into created dirs");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn profile_diff_of_identical_profiles_reports_no_changes() {
+    let dir = scratch("diff");
+    let path = dir.join("p.json");
+    let out = harness()
+        .args(["profile", "hotspot", "--quick", "--format", "json", "--out"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = harness()
+        .args(["profile", "diff"])
+        .arg(&path)
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("no per-PC self-cycle changes"),
+        "self-diff must be empty: {text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_json_carries_host_metadata() {
+    let dir = scratch("benchhost");
+    let path = dir.join("bench.json");
+    let out = harness()
+        .args(["bench", "hotspot", "--quick", "--repeat", "1", "--out"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&path).expect("bench written");
+    for key in [
+        "\"host\"",
+        "\"rustc\"",
+        "\"git_rev\"",
+        "\"thin_lto\"",
+        "\"repeat\"",
+    ] {
+        assert!(json.contains(key), "bench JSON must carry {key}: {json}");
+    }
+    // The baseline parser must still accept reports with the new header.
+    diag_bench::hostbench::BenchBaseline::parse(&json).expect("baseline parses");
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use diag_asm::Program;
 use diag_mem::MainMemory;
-use diag_sim::{Commit, Machine, RunStats, SimError, StepOutcome};
+use diag_sim::{Commit, Machine, Profiler, RunStats, SimError, StepOutcome};
 use diag_trace::{Event, EventKind, Tracer, Track};
 
 use crate::config::DiagConfig;
@@ -42,7 +42,7 @@ struct DiagRun {
 
 impl DiagRun {
     /// Launches the next wave of threads onto fresh rings.
-    fn launch_wave(&mut self, config: &Arc<DiagConfig>, commit_log: bool) {
+    fn launch_wave(&mut self, config: &Arc<DiagConfig>, commit_log: bool, profiler: &Profiler) {
         let batch = self.ring_count.min(self.threads - self.next_tid);
         self.rings = (0..batch)
             .map(|k| {
@@ -56,6 +56,7 @@ impl DiagRun {
                 );
                 ring.commit_log = commit_log;
                 ring.tracer = self.shared.tracer.clone();
+                ring.profiler = profiler.clone();
                 ring
             })
             .collect();
@@ -113,6 +114,7 @@ pub struct Diag {
     commit_log: bool,
     commits: Vec<Commit>,
     tracer: Tracer,
+    profiler: Profiler,
 }
 
 impl Diag {
@@ -132,6 +134,7 @@ impl Diag {
             commit_log: false,
             commits: Vec::new(),
             tracer: Tracer::off(),
+            profiler: Profiler::off(),
         }
     }
 
@@ -173,6 +176,8 @@ impl Diag {
     fn finish_wave(&mut self, run: &mut DiagRun) {
         for ring in &mut run.rings {
             self.last_trace.append(&mut ring.trace);
+            self.profiler
+                .thread_span(ring.thread_id() as u32, run.wave_floor, ring.clock());
             run.committed += ring.commit.committed();
             run.stats.activity += ring.stats.activity();
             run.stats.stalls += ring.stats.stalls;
@@ -226,7 +231,7 @@ impl Machine for Diag {
         // Threads beyond the ring capacity run in waves (the scheduling
         // table frees rings as threads halt; waves are a conservative
         // approximation).
-        run.launch_wave(&self.config, self.commit_log);
+        run.launch_wave(&self.config, self.commit_log, &self.profiler);
         self.run = Some(run);
     }
 
@@ -259,7 +264,7 @@ impl Machine for Diag {
             // next wave, or finish the run.
             self.finish_wave(&mut run);
             if run.next_tid < run.threads {
-                run.launch_wave(&self.config, self.commit_log);
+                run.launch_wave(&self.config, self.commit_log, &self.profiler);
                 Ok(StepOutcome::Running)
             } else {
                 run.stats.cycles = run.finish_time;
@@ -298,6 +303,10 @@ impl Machine for Diag {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     fn set_commit_log(&mut self, enabled: bool) {

@@ -21,7 +21,7 @@ use std::sync::Arc;
 use diag_asm::Program;
 use diag_isa::{decode, exec, ArchReg, ExecKind, Inst, Reg, Station, StationSlot, INST_BYTES};
 use diag_mem::{LaneLookup, MemLane, REGFILE_BEATS};
-use diag_sim::{Activity, Commit, SimError, StallBreakdown};
+use diag_sim::{Activity, Bucket, Commit, Profiler, RetireSample, SimError, StallBreakdown};
 use diag_trace::{Counter, Counters, Event, EventKind, StallCause, Tracer, Track};
 
 use crate::cluster::Cluster;
@@ -128,6 +128,10 @@ pub struct RingSim {
     /// loop performs no `Rc` refcount traffic. [`Tracer::off`] until the
     /// machine installs the shared sink.
     pub(crate) tracer: Tracer,
+    /// The shared cycle-accounting profiler, cloned at wave launch like
+    /// `tracer`. [`Profiler::off`] until the machine installs a
+    /// collector.
+    pub(crate) profiler: Profiler,
     /// Validated-SIMT-region cache keyed by the `simt_s` address. Region
     /// well-formedness is a static property of the program text, so each
     /// `simt_s` is scanned and its body lowered to stations exactly once;
@@ -192,6 +196,7 @@ impl RingSim {
             commit_log: false,
             commits: Vec::new(),
             tracer: Tracer::off(),
+            profiler: Profiler::off(),
             region_cache: diag_mem::FxHashMap::default(),
             program,
             config,
@@ -233,6 +238,7 @@ impl RingSim {
             return;
         }
         self.stats.stalls.add_cycles(cause, cycles);
+        self.profiler.stall(self.pc, cause, cycles);
         let thread = self.thread_id as u32;
         self.tracer.emit(|| Event {
             cycle: end.saturating_sub(cycles),
@@ -665,6 +671,7 @@ impl RingSim {
         };
 
         let thread = self.thread_id as u32;
+        let prev_clock = self.commit.last_commit();
         let reused = !self.clusters[cluster].mark_decoded(slot_in);
         if reused {
             self.stats.counters.inc(Counter::ReuseCommits);
@@ -919,6 +926,41 @@ impl RingSim {
             self.stats.counters.inc(Counter::IntOps);
         }
         let commit_t = self.commit.commit(finish);
+        self.profiler.retire(|| {
+            // Partition this retirement's commit-clock delta: waiting
+            // before issue, executing (memory-bound for loads/stores),
+            // then commit-bandwidth queueing. Each boundary is clipped
+            // to the previous commit clock so the parts telescope. The
+            // wait is attributed to whichever structure held the issue
+            // back: line fetch/predecode first (frontend), then source
+            // lanes, then everything else (redirect floors, PE
+            // occupancy) as transit.
+            let wait_bucket = if decode_ready == start {
+                Bucket::LineLoadFrontend
+            } else if op_ready == start {
+                Bucket::LaneWait
+            } else {
+                Bucket::RingTransit
+            };
+            let w_end = start.max(prev_clock);
+            let x_end = finish.max(prev_clock);
+            let mut parts = [0u64; 5];
+            parts[wait_bucket.index()] += w_end - prev_clock;
+            let exec_bucket = if st.is_mem {
+                Bucket::MemoryBound
+            } else {
+                Bucket::Retiring
+            };
+            parts[exec_bucket.index()] += x_end - w_end;
+            parts[Bucket::Retiring.index()] += commit_t - x_end;
+            RetireSample {
+                pc,
+                cluster: cluster as u32,
+                slot: slot_in as u32,
+                reused,
+                parts,
+            }
+        });
         self.tracer.emit(|| Event {
             cycle: commit_t,
             thread,

@@ -18,7 +18,7 @@ use std::rc::Rc;
 
 use diag_isa::{exec, ArchReg, ExecKind, Inst, Reg, Station, INST_BYTES};
 use diag_mem::{LaneLookup, MemLane};
-use diag_sim::SimError;
+use diag_sim::{RegionSample, RegionStation, SimError};
 use diag_trace::{Counter, Event, EventKind, StallCause, Track};
 
 use crate::lane::LaneFile;
@@ -125,9 +125,13 @@ impl RingSim {
         let (stage_ready, fetched) = self.load_region(&region, t0, shared);
         let t0 = (t0 + 1).max(stage_ready[0]);
 
-        // Per-PE issue-occupancy state across instances.
+        // Per-PE issue-occupancy state across instances, plus per-station
+        // busy/exec accumulators for the cycle-accounting profiler (the
+        // pro-rata weights the region's commit-clock span is split by).
         let stages = region.lines.len();
         let mut slot_busy = vec![0u64; region.body.len()];
+        let mut busy = vec![0u64; region.body.len()];
+        let mut execs = vec![0u64; region.body.len()];
         let mut total_body_commits = 0u64;
         let mut end_time = t0;
         let final_lanes: LaneFile;
@@ -159,6 +163,8 @@ impl RingSim {
                 spawn,
                 &stage_ready,
                 &mut slot_busy,
+                &mut busy,
+                &mut execs,
                 &mut total_body_commits,
                 shared,
             )?;
@@ -192,6 +198,7 @@ impl RingSim {
         // station arenas; commits beyond the first (fetched) pass are
         // datapath reuse.
         let commits = total_body_commits + 2;
+        let prev_clock = self.commit.last_commit();
         self.commit.advance_to(end_time);
         self.commit.add_bulk(commits);
         let first_cost = if fetched {
@@ -211,6 +218,35 @@ impl RingSim {
                 pc_e: region.pc_e,
                 instances,
             },
+        });
+        let line_bytes = self.config.line_bytes();
+        self.profiler.region(|| {
+            let stations = region
+                .body
+                .iter()
+                .enumerate()
+                .map(|(k, &(pc, st))| {
+                    let line = pc & !(line_bytes - 1);
+                    RegionStation {
+                        pc,
+                        cluster: (line - region.lines[0]) / line_bytes,
+                        slot: (pc - line) / INST_BYTES,
+                        busy: busy[k],
+                        execs: execs[k],
+                        is_mem: st.is_mem,
+                    }
+                })
+                .collect();
+            let last = region.lines.len() - 1;
+            RegionSample {
+                pc_s: region.pc_s,
+                pc_e: region.pc_e,
+                s_station: (0, (region.pc_s - region.lines[0]) / INST_BYTES),
+                e_station: (last as u32, (region.pc_e - region.lines[last]) / INST_BYTES),
+                span: end_time.saturating_sub(prev_clock),
+                fetched,
+                stations,
+            }
         });
 
         self.pc = region.pc_e.wrapping_add(INST_BYTES);
@@ -378,6 +414,8 @@ impl RingSim {
         spawn: u64,
         stage_ready: &[u64],
         slot_busy: &mut [u64],
+        busy: &mut [u64],
+        execs: &mut [u64],
         commits: &mut u64,
         shared: &mut SharedParts,
     ) -> Result<u64, SimError> {
@@ -437,6 +475,8 @@ impl RingSim {
                 self.stats.counters.inc(Counter::IntOps);
             }
             *commits += 1;
+            busy[k] += cycles;
+            execs[k] += 1;
             exit = exit.max(finish);
         }
         memlane.clear();

@@ -1,0 +1,382 @@
+//! The collection side: the [`Profiler`] handle machines hold and the
+//! [`ProfileCollector`] the samples accumulate into.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use diag_trace::StallCause;
+
+/// One of the five exhaustive top-down cycle buckets. Every retired
+/// instruction's commit-clock delta is partitioned across these with no
+/// remainder, so per-bucket totals sum exactly to attributed cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bucket {
+    /// Useful execution plus commit-bandwidth queueing.
+    Retiring,
+    /// Waiting on source register lanes (RAW dependences).
+    LaneWait,
+    /// Execution intervals of memory instructions (LSU queues, caches).
+    MemoryBound,
+    /// Redirect floors, PE-slot occupancy, ROB/IQ back-pressure, SIMT
+    /// pipeline fill.
+    RingTransit,
+    /// Waiting for instruction-line fetch + predecode (or the baseline
+    /// frontend).
+    LineLoadFrontend,
+}
+
+impl Bucket {
+    /// All buckets, in reporting order.
+    pub const ALL: [Bucket; 5] = [
+        Bucket::Retiring,
+        Bucket::LaneWait,
+        Bucket::MemoryBound,
+        Bucket::RingTransit,
+        Bucket::LineLoadFrontend,
+    ];
+
+    /// Stable snake_case name used in exported profiles.
+    pub fn name(self) -> &'static str {
+        match self {
+            Bucket::Retiring => "retiring",
+            Bucket::LaneWait => "lane_wait",
+            Bucket::MemoryBound => "memory_bound",
+            Bucket::RingTransit => "ring_transit",
+            Bucket::LineLoadFrontend => "line_load_frontend",
+        }
+    }
+
+    /// Index into per-bucket arrays (`ALL[b.index()] == b`).
+    pub fn index(self) -> usize {
+        match self {
+            Bucket::Retiring => 0,
+            Bucket::LaneWait => 1,
+            Bucket::MemoryBound => 2,
+            Bucket::RingTransit => 3,
+            Bucket::LineLoadFrontend => 4,
+        }
+    }
+}
+
+/// Accumulated profile of one static instruction address.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcRecord {
+    /// Dynamic executions attributed to this PC.
+    pub issues: u64,
+    /// Executions served from the resident datapath (§4.3.2 reuse).
+    pub reuse: u64,
+    /// Cycles per top-down bucket ([`Bucket::ALL`] order).
+    pub buckets: [u64; 5],
+    /// Stall-source cycles per cause ([`StallCause::ALL`] order).
+    pub stalls: [u64; 3],
+    /// Cluster of the most recent station this PC executed on.
+    pub cluster: u32,
+    /// PE slot within the cluster of that station.
+    pub slot: u32,
+}
+
+impl PcRecord {
+    /// Total attributed cycles (sum over buckets).
+    pub fn self_cycles(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+/// One retirement, pre-partitioned by the machine into bucket cycles.
+#[derive(Debug, Clone, Copy)]
+pub struct RetireSample {
+    /// Instruction address.
+    pub pc: u32,
+    /// Cluster of the executing station.
+    pub cluster: u32,
+    /// PE slot within the cluster.
+    pub slot: u32,
+    /// Whether the execution reused the resident datapath.
+    pub reused: bool,
+    /// Commit-clock delta partitioned per bucket ([`Bucket::ALL`]
+    /// order); the parts must sum to the delta exactly.
+    pub parts: [u64; 5],
+}
+
+/// Per-station accumulators of one pipelined SIMT region execution.
+#[derive(Debug, Clone, Copy)]
+pub struct RegionStation {
+    /// Body instruction address.
+    pub pc: u32,
+    /// Pipeline stage (cluster) the station occupies.
+    pub cluster: u32,
+    /// PE slot within the stage.
+    pub slot: u32,
+    /// Busy cycles accumulated across all instances.
+    pub busy: u64,
+    /// Instances that actually executed here (nullified ones excluded).
+    pub execs: u64,
+    /// Whether the station is a memory instruction.
+    pub is_mem: bool,
+}
+
+/// One whole pipelined SIMT region execution, retired in bulk.
+///
+/// The collector distributes the region's commit-clock span across the
+/// body PCs pro rata by accumulated busy cycles (integer floor); the
+/// remainder — pipeline fill/drain and skew — lands on the `simt_s`
+/// marker as [`Bucket::RingTransit`], so the span is conserved exactly.
+#[derive(Debug, Clone)]
+pub struct RegionSample {
+    /// Address of the `simt_s` marker.
+    pub pc_s: u32,
+    /// Address of the `simt_e` marker.
+    pub pc_e: u32,
+    /// `(cluster, slot)` of the `simt_s` station.
+    pub s_station: (u32, u32),
+    /// `(cluster, slot)` of the `simt_e` station.
+    pub e_station: (u32, u32),
+    /// Commit-clock delta consumed by the region.
+    pub span: u64,
+    /// Whether the region's lines were fetched (first entry) rather
+    /// than reused.
+    pub fetched: bool,
+    /// Per-station accumulators, in body order.
+    pub stations: Vec<RegionStation>,
+}
+
+/// Accumulates profile samples for one run. Obtain a machine-side
+/// handle with [`ProfileCollector::shared`] + [`Profiler::to_shared`].
+#[derive(Debug, Default)]
+pub struct ProfileCollector {
+    pub(crate) pcs: BTreeMap<u32, PcRecord>,
+    /// `(thread, start_clock, end_clock)` per hardware thread, in
+    /// completion order.
+    pub(crate) threads: Vec<(u32, u64, u64)>,
+}
+
+/// A shareable collector (machine holds one clone, the harness another).
+pub type SharedCollector = Rc<RefCell<ProfileCollector>>;
+
+impl ProfileCollector {
+    /// Creates an empty collector.
+    pub fn new() -> ProfileCollector {
+        ProfileCollector::default()
+    }
+
+    /// Wraps a fresh collector for sharing with a machine.
+    pub fn shared() -> SharedCollector {
+        Rc::new(RefCell::new(ProfileCollector::new()))
+    }
+
+    /// Per-PC records, keyed by instruction address.
+    pub fn pcs(&self) -> &BTreeMap<u32, PcRecord> {
+        &self.pcs
+    }
+
+    /// Recorded `(thread, start_clock, end_clock)` spans.
+    pub fn thread_spans(&self) -> &[(u32, u64, u64)] {
+        &self.threads
+    }
+
+    fn record_retire(&mut self, s: RetireSample) {
+        let rec = self.pcs.entry(s.pc).or_default();
+        rec.issues += 1;
+        rec.reuse += s.reused as u64;
+        for (acc, part) in rec.buckets.iter_mut().zip(s.parts) {
+            *acc += part;
+        }
+        rec.cluster = s.cluster;
+        rec.slot = s.slot;
+    }
+
+    fn record_stall(&mut self, pc: u32, cause: StallCause, cycles: u64) {
+        self.pcs.entry(pc).or_default().stalls[cause.index()] += cycles;
+    }
+
+    fn record_region(&mut self, s: RegionSample) {
+        let total_busy: u128 = s.stations.iter().map(|st| st.busy as u128).sum();
+        let mut distributed = 0u64;
+        for st in &s.stations {
+            let rec = self.pcs.entry(st.pc).or_default();
+            rec.issues += st.execs;
+            rec.reuse += if s.fetched {
+                st.execs.saturating_sub(1)
+            } else {
+                st.execs
+            };
+            rec.cluster = st.cluster;
+            rec.slot = st.slot;
+            let share = (s.span as u128 * st.busy as u128)
+                .checked_div(total_busy)
+                .unwrap_or(0) as u64;
+            let bucket = if st.is_mem {
+                Bucket::MemoryBound
+            } else {
+                Bucket::Retiring
+            };
+            rec.buckets[bucket.index()] += share;
+            distributed += share;
+        }
+        let marker_reuse = !s.fetched as u64;
+        let start = self.pcs.entry(s.pc_s).or_default();
+        start.issues += 1;
+        start.reuse += marker_reuse;
+        start.buckets[Bucket::RingTransit.index()] += s.span - distributed;
+        start.cluster = s.s_station.0;
+        start.slot = s.s_station.1;
+        let end = self.pcs.entry(s.pc_e).or_default();
+        end.issues += 1;
+        end.reuse += marker_reuse;
+        end.cluster = s.e_station.0;
+        end.slot = s.e_station.1;
+    }
+
+    fn record_thread_span(&mut self, thread: u32, start: u64, end: u64) {
+        self.threads.push((thread, start, end));
+    }
+}
+
+/// The handle machines hold. [`Profiler::off`] (the default) makes
+/// every hook a non-evaluating branch, mirroring [`diag_trace::Tracer`].
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    inner: Option<SharedCollector>,
+}
+
+impl Profiler {
+    /// A disabled profiler (every hook is a no-op branch).
+    pub fn off() -> Profiler {
+        Profiler { inner: None }
+    }
+
+    /// A profiler feeding the given shared collector.
+    pub fn to_shared(collector: &SharedCollector) -> Profiler {
+        Profiler {
+            inner: Some(Rc::clone(collector)),
+        }
+    }
+
+    /// Whether samples are being collected.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records one retirement. The closure is only evaluated when the
+    /// profiler is enabled.
+    #[inline]
+    pub fn retire(&self, f: impl FnOnce() -> RetireSample) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().record_retire(f());
+        }
+    }
+
+    /// Attributes `cycles` of stall at `pc` to `cause`. Call from the
+    /// same choke point that feeds the machine's `StallBreakdown` so
+    /// per-PC stall columns reconcile exactly.
+    #[inline]
+    pub fn stall(&self, pc: u32, cause: StallCause, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().record_stall(pc, cause, cycles);
+        }
+    }
+
+    /// Records one pipelined SIMT region execution. The closure is only
+    /// evaluated when the profiler is enabled.
+    #[inline]
+    pub fn region(&self, f: impl FnOnce() -> RegionSample) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().record_region(f());
+        }
+    }
+
+    /// Records a hardware thread's `[start, end)` commit-clock span.
+    #[inline]
+    pub fn thread_span(&self, thread: u32, start: u64, end: u64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().record_thread_span(thread, start, end);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_round_trip() {
+        for b in Bucket::ALL {
+            assert_eq!(Bucket::ALL[b.index()], b);
+            assert!(!b.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn disabled_profiler_never_evaluates_closures() {
+        let p = Profiler::off();
+        p.retire(|| panic!("must not be called"));
+        p.region(|| panic!("must not be called"));
+        assert!(!p.enabled());
+    }
+
+    #[test]
+    fn retire_samples_accumulate_per_pc() {
+        let shared = ProfileCollector::shared();
+        let p = Profiler::to_shared(&shared);
+        for reused in [false, true, true] {
+            p.retire(|| RetireSample {
+                pc: 0x1000,
+                cluster: 1,
+                slot: 2,
+                reused,
+                parts: [3, 1, 0, 0, 0],
+            });
+        }
+        p.stall(0x1000, StallCause::Memory, 5);
+        let c = shared.borrow();
+        let rec = c.pcs()[&0x1000];
+        assert_eq!(rec.issues, 3);
+        assert_eq!(rec.reuse, 2);
+        assert_eq!(rec.self_cycles(), 12);
+        assert_eq!(rec.stalls, [5, 0, 0]);
+        assert_eq!((rec.cluster, rec.slot), (1, 2));
+    }
+
+    #[test]
+    fn region_sample_conserves_span_exactly() {
+        let shared = ProfileCollector::shared();
+        let p = Profiler::to_shared(&shared);
+        p.region(|| RegionSample {
+            pc_s: 0x100,
+            pc_e: 0x110,
+            s_station: (0, 0),
+            e_station: (0, 4),
+            span: 101, // prime-ish: forces a pro-rata remainder
+            fetched: true,
+            stations: vec![
+                RegionStation {
+                    pc: 0x104,
+                    cluster: 0,
+                    slot: 1,
+                    busy: 7,
+                    execs: 8,
+                    is_mem: false,
+                },
+                RegionStation {
+                    pc: 0x108,
+                    cluster: 0,
+                    slot: 2,
+                    busy: 13,
+                    execs: 8,
+                    is_mem: true,
+                },
+            ],
+        });
+        let c = shared.borrow();
+        let total: u64 = c.pcs().values().map(|r| r.self_cycles()).sum();
+        assert_eq!(total, 101, "span must be conserved exactly");
+        let issues: u64 = c.pcs().values().map(|r| r.issues).sum();
+        assert_eq!(issues, 8 + 8 + 2, "body execs plus two markers");
+        assert!(c.pcs()[&0x108].buckets[Bucket::MemoryBound.index()] > 0);
+        assert!(c.pcs()[&0x100].buckets[Bucket::RingTransit.index()] > 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Profile diffing: turn "aggregate ns/instr moved" into "these PCs
+//! got slower".
+
+use std::collections::BTreeMap;
+
+use crate::model::Profile;
+
+/// Compares two profiles and renders per-PC self-cycle deltas, largest
+/// absolute change first (ties broken by address). PCs present in only
+/// one profile are treated as zero in the other. The header reports the
+/// total-cycle and committed deltas.
+pub fn diff_profiles(before: &Profile, after: &Profile, top: usize) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "diff: {} on {}  ->  {} on {}",
+        before.workload, before.machine, after.workload, after.machine
+    );
+    let _ = writeln!(
+        out,
+        "cycles: {} -> {} ({:+})",
+        before.total_cycles,
+        after.total_cycles,
+        after.total_cycles as i64 - before.total_cycles as i64
+    );
+    let _ = writeln!(
+        out,
+        "committed: {} -> {} ({:+})",
+        before.committed,
+        after.committed,
+        after.committed as i64 - before.committed as i64
+    );
+    out.push('\n');
+
+    // (self_before, self_after, disasm) per pc.
+    let mut rows: BTreeMap<u32, (u64, u64, String)> = BTreeMap::new();
+    for e in &before.pcs {
+        rows.insert(e.pc, (e.self_cycles, 0, e.disasm.clone()));
+    }
+    for e in &after.pcs {
+        let row = rows.entry(e.pc).or_insert((0, 0, e.disasm.clone()));
+        row.1 = e.self_cycles;
+        if row.2.is_empty() {
+            row.2 = e.disasm.clone();
+        }
+    }
+    let mut ranked: Vec<(u32, u64, u64, String)> = rows
+        .into_iter()
+        .map(|(pc, (b, a, d))| (pc, b, a, d))
+        .filter(|&(_, b, a, _)| a != b)
+        .collect();
+    ranked.sort_by_key(|&(pc, b, a, _)| (std::cmp::Reverse(a.abs_diff(b)), pc));
+
+    if ranked.is_empty() {
+        out.push_str("no per-PC self-cycle changes\n");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "top {} of {} changed PCs:",
+        top.min(ranked.len()),
+        ranked.len()
+    );
+    let _ = writeln!(
+        out,
+        "  {:>10} {:>12} {:>12} {:>12}  disasm",
+        "pc", "before", "after", "delta"
+    );
+    for (pc, b, a, disasm) in ranked.into_iter().take(top) {
+        let _ = writeln!(
+            out,
+            "  {:>#10x} {:>12} {:>12} {:>+12}  {}",
+            pc,
+            b,
+            a,
+            a as i64 - b as i64,
+            disasm
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CycleModel, PcEntry, Profile};
+
+    fn profile(cycles: &[(u32, u64)], total: u64) -> Profile {
+        Profile {
+            workload: "unit".to_string(),
+            machine: "diag".to_string(),
+            threads: 1,
+            simt: false,
+            cycle_model: CycleModel::Wallclock,
+            total_cycles: total,
+            committed: cycles.len() as u64,
+            stalls: [0; 3],
+            host: Vec::new(),
+            thread_spans: vec![(0, 0, total)],
+            pcs: cycles
+                .iter()
+                .map(|&(pc, c)| PcEntry {
+                    pc,
+                    disasm: String::new(),
+                    cluster: 0,
+                    slot: 0,
+                    issues: 1,
+                    reuse: 0,
+                    self_cycles: c,
+                    cum_cycles: c,
+                    buckets: [c, 0, 0, 0, 0],
+                    stalls: [0; 3],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn diff_ranks_by_absolute_delta() {
+        let before = profile(&[(0x10, 5), (0x14, 5), (0x18, 5)], 15);
+        let after = profile(&[(0x10, 5), (0x14, 25), (0x18, 2)], 32);
+        let text = diff_profiles(&before, &after, 10);
+        assert!(text.contains("(+17)"));
+        let big = text.find("0x14").expect("biggest delta present");
+        let small = text.find("0x18").expect("smaller delta present");
+        assert!(big < small, "largest |delta| first:\n{text}");
+        assert!(!text.contains("\n  0x10"), "unchanged PC omitted");
+        assert!(text.contains("+20"));
+        assert!(text.contains("-3"));
+    }
+
+    #[test]
+    fn identical_profiles_diff_clean() {
+        let p = profile(&[(0x10, 5)], 5);
+        let text = diff_profiles(&p, &p, 10);
+        assert!(text.contains("no per-PC self-cycle changes"));
+    }
+}

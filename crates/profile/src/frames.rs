@@ -1,0 +1,162 @@
+//! Stack-frame nesting for flamegraph export.
+//!
+//! A [`FrameMap`] assigns each instruction address a root-to-leaf frame
+//! stack — typically `loop@…` frames from diag-analyze's natural-loop
+//! tree, then a `bb@…` basic-block frame, then the leaf PC itself. The
+//! map is built by the analysis layer (which owns the CFG); this crate
+//! only consumes it, keeping diag-profile below diag-analyze in the
+//! dependency order.
+
+use std::collections::BTreeMap;
+
+use crate::model::Profile;
+
+/// Root-to-leaf frame stacks keyed by instruction address.
+#[derive(Debug, Clone, Default)]
+pub struct FrameMap {
+    frames: BTreeMap<u32, Vec<String>>,
+}
+
+impl FrameMap {
+    /// Creates an empty map.
+    pub fn new() -> FrameMap {
+        FrameMap::default()
+    }
+
+    /// Sets the frame stack (root first, leaf last) for one address.
+    pub fn insert(&mut self, pc: u32, stack: Vec<String>) {
+        self.frames.insert(pc, stack);
+    }
+
+    /// The frame stack for an address, root first.
+    pub fn get(&self, pc: u32) -> Option<&[String]> {
+        self.frames.get(&pc).map(Vec::as_slice)
+    }
+
+    /// The innermost `loop@…` frame for an address, if it sits inside a
+    /// natural loop.
+    pub fn innermost_loop(&self, pc: u32) -> Option<&str> {
+        self.frames
+            .get(&pc)?
+            .iter()
+            .rev()
+            .map(String::as_str)
+            .find(|f| f.starts_with("loop@"))
+    }
+}
+
+/// Renders a profile in the collapsed-stack ("folded") format consumed
+/// by inferno and speedscope: one `frame;frame;leaf count` line per PC
+/// with non-zero self cycles, sorted by address for determinism.
+///
+/// When `frames` is given, each line nests the PC under its loop/block
+/// stack; otherwise the stack is just `workload;pc: disasm`. Frame text
+/// is sanitised (spaces to `_`, `;` to `:`) so the output always parses.
+pub fn to_folded(profile: &Profile, frames: Option<&FrameMap>) -> String {
+    let mut out = String::new();
+    for e in &profile.pcs {
+        if e.self_cycles == 0 {
+            continue;
+        }
+        out.push_str(&sanitize(&profile.workload));
+        match frames.and_then(|f| f.get(e.pc)) {
+            Some(stack) => {
+                for frame in stack {
+                    out.push(';');
+                    out.push_str(&sanitize(frame));
+                }
+            }
+            None => {
+                out.push(';');
+                out.push_str(&sanitize(&leaf_label(e.pc, &e.disasm)));
+            }
+        }
+        out.push(' ');
+        out.push_str(&e.self_cycles.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Default leaf label when no frame map supplies one.
+pub(crate) fn leaf_label(pc: u32, disasm: &str) -> String {
+    if disasm.is_empty() {
+        format!("{pc:#x}")
+    } else {
+        format!("{pc:#x}: {disasm}")
+    }
+}
+
+/// Replaces characters that would corrupt the folded format.
+fn sanitize(frame: &str) -> String {
+    frame.replace(' ', "_").replace(';', ":")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{ProfileCollector, Profiler, RetireSample};
+    use crate::model::{CycleModel, Profile, ProfileMeta};
+
+    fn profile() -> Profile {
+        let shared = ProfileCollector::shared();
+        let p = Profiler::to_shared(&shared);
+        for (pc, cycles) in [(0x100u32, 6u64), (0x104, 4)] {
+            p.retire(|| RetireSample {
+                pc,
+                cluster: 0,
+                slot: 0,
+                reused: false,
+                parts: [cycles, 0, 0, 0, 0],
+            });
+        }
+        p.thread_span(0, 0, 10);
+        let collector = shared.borrow();
+        Profile::build(
+            &collector,
+            ProfileMeta {
+                workload: "my wl".to_string(),
+                machine: "diag".to_string(),
+                threads: 1,
+                simt: false,
+                cycle_model: CycleModel::Wallclock,
+                total_cycles: 10,
+                committed: 2,
+                stalls: [0; 3],
+                host: Vec::new(),
+            },
+            None,
+        )
+    }
+
+    #[test]
+    fn folded_lines_are_sanitised_and_counted() {
+        let text = to_folded(&profile(), None);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines, vec!["my_wl;0x100 6", "my_wl;0x104 4"]);
+        // Every line: frames then a single trailing integer.
+        for line in lines {
+            let (stack, count) = line.rsplit_once(' ').expect("space separator");
+            assert!(!stack.is_empty());
+            count.parse::<u64>().expect("integer count");
+        }
+    }
+
+    #[test]
+    fn frame_map_nests_loops() {
+        let mut frames = FrameMap::new();
+        frames.insert(
+            0x100,
+            vec![
+                "loop@0x100".to_string(),
+                "bb@0x100".to_string(),
+                "0x100: add x1, x2, x3".to_string(),
+            ],
+        );
+        assert_eq!(frames.innermost_loop(0x100), Some("loop@0x100"));
+        assert_eq!(frames.innermost_loop(0x104), None);
+        let text = to_folded(&profile(), Some(&frames));
+        assert!(text.contains("my_wl;loop@0x100;bb@0x100;0x100:_add_x1,_x2,_x3 6"));
+        assert!(text.contains("my_wl;0x104 4"));
+    }
+}

@@ -1,0 +1,51 @@
+//! # diag-profile — top-down cycle-accounting profiler
+//!
+//! Maps every cycle of a simulated run back to the static instruction
+//! that consumed it. Machines feed the profiler through three cheap
+//! hooks — a per-retirement sample, a per-stall attribution, and a
+//! per-SIMT-region bulk sample — and the collected per-PC records
+//! reconcile *exactly* with the run's `RunStats`/`StallBreakdown`, the
+//! same contract the stall-attribution timeline already honours.
+//!
+//! The accounting is hierarchical in the top-down style (Yasin's
+//! method, adapted to DiAG's §4 structures): each retired instruction's
+//! commit-clock delta is partitioned into five exhaustive, disjoint
+//! [`Bucket`]s:
+//!
+//! * **retiring** — useful execution plus commit-bandwidth queueing;
+//! * **lane-wait** — waiting on source register lanes (RAW through the
+//!   lane file, §4.1);
+//! * **memory-bound** — execution intervals of loads/stores, including
+//!   LSU queueing and cache misses (§5.2);
+//! * **ring-transit** — redirect floors, PE-slot occupancy, pipeline
+//!   back-pressure (ROB/IQ on the baseline), and SIMT pipeline fill;
+//! * **line-load-frontend** — waiting for a cluster's instruction line
+//!   to be fetched and predecoded (§4.3/§5.1.1), or the baseline's
+//!   frontend latency.
+//!
+//! Because each delta is measured between consecutive commit-clock
+//! readings of one hardware thread, the per-PC self-cycles *telescope*:
+//! their sum equals the thread's end clock minus its start clock with no
+//! approximation, which is what [`Profile::reconcile`] enforces.
+//!
+//! Like [`diag_trace::Tracer`], a disabled [`Profiler`] costs one
+//! `Option` discriminant test per hook; sample-building closures are
+//! never evaluated.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod collect;
+mod diff;
+mod frames;
+mod model;
+mod report;
+
+pub use collect::{
+    Bucket, PcRecord, ProfileCollector, Profiler, RegionSample, RegionStation, RetireSample,
+    SharedCollector,
+};
+pub use diff::diff_profiles;
+pub use frames::{to_folded, FrameMap};
+pub use model::{CycleModel, PcEntry, Profile, ProfileMeta, PROFILE_SCHEMA};
+pub use report::render_text;

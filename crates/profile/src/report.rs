@@ -1,0 +1,155 @@
+//! Human-readable text rendering: top-down summary plus an
+//! annotated-disassembly hottest-PC table.
+
+use diag_trace::StallCause;
+
+use crate::collect::Bucket;
+use crate::model::Profile;
+
+/// Renders the profile as an annotated text report: run header,
+/// top-down bucket breakdown with percentages, stall-source totals, and
+/// the `top` hottest PCs by self cycles with their disassembly.
+pub fn render_text(profile: &Profile, top: usize) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "profile: {} on {} (threads={}, simt={}, cycle model {})",
+        profile.workload,
+        profile.machine,
+        profile.threads,
+        profile.simt,
+        profile.cycle_model.name()
+    );
+    let _ = writeln!(
+        out,
+        "cycles: {}  committed: {}",
+        profile.total_cycles, profile.committed
+    );
+    if !profile.host.is_empty() {
+        let host: Vec<String> = profile
+            .host
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        let _ = writeln!(out, "host: {}", host.join(" "));
+    }
+    out.push('\n');
+
+    let topdown = profile.topdown();
+    let total: u64 = topdown.iter().sum::<u64>().max(1);
+    out.push_str("top-down (self cycles over all threads):\n");
+    for (i, bucket) in Bucket::ALL.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>12}  {:>5.1}%",
+            bucket.name(),
+            topdown[i],
+            topdown[i] as f64 * 100.0 / total as f64
+        );
+    }
+    let stall_total: u64 = profile.stalls.iter().sum();
+    if stall_total > 0 {
+        let stalls: Vec<String> = StallCause::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{}={}", c.name(), profile.stalls[i]))
+            .collect();
+        let _ = writeln!(out, "stall sources: {}", stalls.join(" "));
+    }
+    out.push('\n');
+
+    let mut ranked: Vec<usize> = (0..profile.pcs.len()).collect();
+    ranked.sort_by_key(|&i| {
+        (
+            std::cmp::Reverse(profile.pcs[i].self_cycles),
+            profile.pcs[i].pc,
+        )
+    });
+    let _ = writeln!(
+        out,
+        "hottest {} of {} PCs:",
+        top.min(ranked.len()),
+        ranked.len()
+    );
+    let _ = writeln!(
+        out,
+        "  {:>10} {:>10} {:>10} {:>6} {:>9} {:>7} {:>7}  disasm",
+        "pc", "self", "cum", "self%", "issues", "reuse", "station"
+    );
+    for &i in ranked.iter().take(top) {
+        let e = &profile.pcs[i];
+        let _ = writeln!(
+            out,
+            "  {:>#10x} {:>10} {:>10} {:>5.1}% {:>9} {:>7} {:>3}.{:<3}  {}",
+            e.pc,
+            e.self_cycles,
+            e.cum_cycles,
+            e.self_cycles as f64 * 100.0 / total as f64,
+            e.issues,
+            e.reuse,
+            e.cluster,
+            e.slot,
+            e.disasm
+        );
+        let mix: Vec<String> = Bucket::ALL
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| e.buckets[j] > 0)
+            .map(|(j, b)| format!("{}={}", b.name(), e.buckets[j]))
+            .collect();
+        if !mix.is_empty() {
+            let _ = writeln!(out, "             {}", mix.join(" "));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{ProfileCollector, Profiler, RetireSample};
+    use crate::model::{CycleModel, Profile, ProfileMeta};
+
+    #[test]
+    fn report_lists_hottest_pc_first() {
+        let shared = ProfileCollector::shared();
+        let p = Profiler::to_shared(&shared);
+        p.retire(|| RetireSample {
+            pc: 0x200,
+            cluster: 1,
+            slot: 2,
+            reused: true,
+            parts: [2, 0, 0, 0, 0],
+        });
+        p.retire(|| RetireSample {
+            pc: 0x204,
+            cluster: 1,
+            slot: 3,
+            reused: false,
+            parts: [0, 0, 8, 0, 0],
+        });
+        p.thread_span(0, 0, 10);
+        let profile = Profile::build(
+            &shared.borrow(),
+            ProfileMeta {
+                workload: "unit".to_string(),
+                machine: "diag".to_string(),
+                threads: 1,
+                simt: false,
+                cycle_model: CycleModel::Wallclock,
+                total_cycles: 10,
+                committed: 2,
+                stalls: [0; 3],
+                host: Vec::new(),
+            },
+            None,
+        );
+        let text = render_text(&profile, 10);
+        let hot = text.find("0x204").expect("hot pc present");
+        let cold = text.find("0x200").expect("cold pc present");
+        assert!(hot < cold, "hottest PC should be listed first:\n{text}");
+        assert!(text.contains("memory_bound=8"));
+        assert!(text.contains("top-down"));
+    }
+}

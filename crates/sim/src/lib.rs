@@ -21,6 +21,10 @@ pub use machine::{Commit, Machine, SimError, StepOutcome};
 pub use stats::{Activity, RunStats, StallBreakdown, StallCause};
 // Convenience re-exports so machine implementors and harnesses don't need
 // a direct `diag-trace` dependency for the common plumbing types.
+pub use diag_profile::{
+    Bucket, Profile, ProfileCollector, ProfileMeta, Profiler, RegionSample, RegionStation,
+    RetireSample, SharedCollector,
+};
 pub use diag_trace::{Counter, Counters, Tracer};
 
 /// Default cycle limit for simulation runs, generous enough for every

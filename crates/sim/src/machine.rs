@@ -12,6 +12,7 @@ use std::fmt;
 
 use diag_asm::Program;
 use diag_isa::ArchReg;
+use diag_profile::Profiler;
 use diag_trace::Tracer;
 
 use crate::stats::RunStats;
@@ -171,6 +172,16 @@ pub trait Machine {
     ///
     /// Machines that are not instrumented ignore this and emit nothing.
     fn set_tracer(&mut self, _tracer: Tracer) {}
+
+    /// Installs a [`Profiler`] collecting this machine's per-PC
+    /// cycle-accounting samples (`diag-profile` vocabulary). Like
+    /// [`Machine::set_tracer`], it takes effect from the next
+    /// [`Machine::load`]; installing [`Profiler::off`] (the default)
+    /// makes every sample site a non-evaluating branch.
+    ///
+    /// Machines that are not instrumented ignore this and record
+    /// nothing.
+    fn set_profiler(&mut self, _profiler: Profiler) {}
 
     /// Enables or disables commit logging (disabled by default; logging
     /// every retirement costs memory proportional to the dynamic

@@ -180,4 +180,48 @@ mod tests {
         assert_eq!(tl.window(), 1);
         assert_eq!(tl.total(StallCause::Control), 2);
     }
+
+    #[test]
+    fn stall_longer_than_trace_start_saturates_without_losing_cycles() {
+        // End at cycle 5, but 9 stalled cycles: the interval start
+        // saturates to 0 and the full length is still attributed, so
+        // timeline totals keep reconciling with the run's breakdown.
+        let tl = StallTimeline::from_events(&[stall(0, StallCause::Memory, 5, 9)], 10);
+        assert_eq!(tl.totals(), [9, 0, 0]);
+        assert_eq!(tl.cycles(StallCause::Memory, 0), 9);
+        assert_eq!(tl.windows(), 1);
+        // Same, but with the saturated interval crossing a boundary.
+        let tl = StallTimeline::from_events(&[stall(0, StallCause::Memory, 3, 7)], 4);
+        assert_eq!(tl.totals(), [7, 0, 0]);
+        assert_eq!(tl.cycles(StallCause::Memory, 0), 4);
+        assert_eq!(tl.cycles(StallCause::Memory, 1), 3);
+    }
+
+    #[test]
+    fn interval_exactly_on_window_boundaries_stays_in_one_window() {
+        // [10, 20) with 10-cycle windows: entirely window 1 — nothing
+        // spills into window 0 or 2 on either closed/open endpoint.
+        let tl = StallTimeline::from_events(&[stall(0, StallCause::Control, 20, 10)], 10);
+        assert_eq!(tl.cycles(StallCause::Control, 0), 0);
+        assert_eq!(tl.cycles(StallCause::Control, 1), 10);
+        assert_eq!(tl.windows(), 2, "open end must not allocate window 2");
+        assert_eq!(tl.totals(), [0, 10, 0]);
+    }
+
+    #[test]
+    fn zero_width_window_request_bins_per_cycle() {
+        // window 0 clamps to 1-cycle bins; per-window values are then
+        // exactly the per-cycle occupancy, and nothing merges.
+        let events = vec![
+            stall(0, StallCause::Memory, 4, 2),     // [2, 4)
+            stall(0, StallCause::Structural, 3, 1), // [2, 3)
+        ];
+        let tl = StallTimeline::from_events(&events, 0);
+        assert_eq!(tl.window(), 1);
+        assert_eq!(tl.windows(), 4);
+        let mem: Vec<u64> = (0..4).map(|w| tl.cycles(StallCause::Memory, w)).collect();
+        assert_eq!(mem, [0, 0, 1, 1]);
+        assert_eq!(tl.cycles(StallCause::Structural, 2), 1);
+        assert_eq!(tl.totals(), [2, 0, 1]);
+    }
 }

@@ -1,0 +1,176 @@
+//! End-to-end tests of the `diag-profile` cycle-accounting subsystem.
+//!
+//! The contract under test (ISSUE acceptance criteria):
+//!
+//! 1. **Exact reconciliation** — per-PC self-cycles sum to the run's
+//!    `Stats.cycles` (under each machine's cycle model), per-cause stall
+//!    columns sum to `StallBreakdown`, and per-PC issues sum to
+//!    `committed`, for every bundled workload on every machine model,
+//!    including multi-threaded and SIMT variants.
+//! 2. **Profiling is observation only** — a profiled run's `RunStats`
+//!    are identical to an unprofiled run's.
+//! 3. **Determinism** — two profiled runs produce byte-identical JSON.
+//! 4. **Folded export validity** — every collapsed-stack line is
+//!    `frames... count` with a positive integer count.
+
+use diag_bench::runner::MachineKind;
+use diag_profile::{to_folded, CycleModel, Profile, ProfileCollector, ProfileMeta, Profiler};
+use diag_sim::RunStats;
+use diag_workloads::{Params, WorkloadSpec};
+
+/// The cycle model each machine's `RunStats.cycles` follows: the
+/// in-order reference time-slices one core (cycles are summed per
+/// thread); DiAG rings and the OoO cores run concurrently (cycles are
+/// the latest end clock).
+fn cycle_model(kind: &MachineKind) -> CycleModel {
+    match kind {
+        MachineKind::InOrder => CycleModel::Additive,
+        _ => CycleModel::Wallclock,
+    }
+}
+
+/// Runs `spec` on a machine of `kind` with a profiler attached; returns
+/// the run's statistics and the built profile.
+fn profiled_run(kind: &MachineKind, spec: &WorkloadSpec, params: &Params) -> (RunStats, Profile) {
+    let built = spec.build(params).expect("workload builds");
+    let shared = ProfileCollector::shared();
+    let mut machine = kind.build();
+    machine.set_profiler(Profiler::to_shared(&shared));
+    let stats = machine
+        .run(&built.program, params.threads)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", spec.name, kind.label()));
+    (built.verify)(machine.as_ref())
+        .unwrap_or_else(|e| panic!("{} on {}: verify: {e}", spec.name, kind.label()));
+    let meta = ProfileMeta {
+        workload: spec.name.to_string(),
+        machine: kind.label(),
+        threads: params.threads as u64,
+        simt: params.simt,
+        cycle_model: cycle_model(kind),
+        total_cycles: stats.cycles,
+        committed: stats.committed,
+        stalls: [
+            stats.stalls.memory,
+            stats.stalls.control,
+            stats.stalls.structural,
+        ],
+        host: Vec::new(),
+    };
+    let collector = shared.borrow();
+    let profile = Profile::build(&collector, meta, Some(&built.program));
+    (stats, profile)
+}
+
+fn assert_reconciles(label: &str, profile: &Profile) {
+    profile
+        .reconcile()
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+}
+
+fn machines() -> Vec<MachineKind> {
+    vec![
+        MachineKind::Diag(diag_core::DiagConfig::f4c32()),
+        MachineKind::Ooo(4),
+        MachineKind::InOrder,
+    ]
+}
+
+#[test]
+fn profile_reconciles_on_every_workload() {
+    for kind in machines() {
+        for spec in diag_workloads::all() {
+            let params = Params::tiny();
+            let (_, profile) = profiled_run(&kind, &spec, &params);
+            assert_reconciles(&format!("{} on {}", spec.name, kind.label()), &profile);
+        }
+    }
+}
+
+#[test]
+fn profile_reconciles_multithreaded_and_simt() {
+    for spec in diag_workloads::all() {
+        let kind = MachineKind::Diag(diag_core::DiagConfig::f4c32());
+        let params = Params::tiny().with_threads(4);
+        let (_, profile) = profiled_run(&kind, &spec, &params);
+        assert_reconciles(&format!("{} x4 threads", spec.name), &profile);
+        if spec.simt_capable {
+            let params = Params::tiny().with_threads(4).with_simt(true);
+            let (_, profile) = profiled_run(&kind, &spec, &params);
+            assert_reconciles(&format!("{} x4 simt", spec.name), &profile);
+        }
+    }
+    // The baselines under waves (threads > cores) as well.
+    let spec = diag_workloads::find("hotspot").expect("bundled");
+    let params = Params::tiny().with_threads(6);
+    for kind in [MachineKind::Ooo(2), MachineKind::InOrder] {
+        let (_, profile) = profiled_run(&kind, &spec, &params);
+        assert_reconciles(&format!("hotspot waves on {}", kind.label()), &profile);
+    }
+}
+
+#[test]
+fn profiling_does_not_change_stats() {
+    for kind in machines() {
+        for name in ["hotspot", "mcf"] {
+            let spec = diag_workloads::find(name).expect("bundled");
+            let params = Params::tiny().with_threads(2);
+            let built = spec.build(&params).expect("workload builds");
+            let mut plain = kind.build();
+            let unprofiled = plain.run(&built.program, params.threads).expect("runs");
+            let (profiled, profile) = profiled_run(&kind, &spec, &params);
+            assert!(
+                !profile.pcs.is_empty(),
+                "{name} on {} profiled nothing",
+                kind.label()
+            );
+            assert_eq!(
+                unprofiled,
+                profiled,
+                "{name} on {}: profiling perturbed the run",
+                kind.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn profiles_are_byte_deterministic_and_round_trip() {
+    let spec = diag_workloads::find("bfs").expect("bundled");
+    let params = Params::tiny().with_threads(2);
+    for kind in machines() {
+        let (_, first) = profiled_run(&kind, &spec, &params);
+        let (_, second) = profiled_run(&kind, &spec, &params);
+        let json = first.to_json();
+        assert_eq!(
+            json,
+            second.to_json(),
+            "bfs on {}: nondeterministic profile",
+            kind.label()
+        );
+        let back = Profile::from_json(&json)
+            .unwrap_or_else(|e| panic!("bfs on {}: reparse: {e}", kind.label()));
+        assert_eq!(back, first, "bfs on {}: JSON round-trip", kind.label());
+        back.reconcile()
+            .unwrap_or_else(|e| panic!("bfs on {}: reparsed profile: {e}", kind.label()));
+    }
+}
+
+#[test]
+fn folded_export_is_well_formed() {
+    let spec = diag_workloads::find("srad").expect("bundled");
+    for kind in machines() {
+        let (_, profile) = profiled_run(&kind, &spec, &Params::tiny());
+        let folded = to_folded(&profile, None);
+        assert!(!folded.is_empty(), "srad on {}: empty folded", kind.label());
+        for line in folded.lines() {
+            let (stack, count) = line
+                .rsplit_once(' ')
+                .unwrap_or_else(|| panic!("srad on {}: bad line `{line}`", kind.label()));
+            assert!(!stack.is_empty());
+            let n: u64 = count
+                .parse()
+                .unwrap_or_else(|_| panic!("srad on {}: bad count `{line}`", kind.label()));
+            assert!(n > 0);
+        }
+    }
+}
