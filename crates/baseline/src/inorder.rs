@@ -28,10 +28,11 @@ const BRANCH_BUBBLE: u64 = 2;
 #[derive(Debug)]
 struct InOrderRun {
     program: Arc<Program>,
-    /// Text segment predecoded once at load; the step loop never touches
-    /// the decoder (the *modeled* pipeline still decodes every dynamic
+    /// Text segment predecoded once at load (or adopted already-lowered
+    /// from the artifact pipeline); the step loop never touches the
+    /// decoder (the *modeled* pipeline still decodes every dynamic
     /// instruction — see the `decodes` counter).
-    stations: StationTable,
+    stations: Arc<StationTable>,
     threads: usize,
     mem: MainMemory,
     state: ArchState,
@@ -97,14 +98,16 @@ impl InOrder {
         self.max_cycles = limit;
         self
     }
-}
 
-impl Machine for InOrder {
-    fn name(&self) -> String {
-        "inorder".to_string()
-    }
-
-    fn load(&mut self, program: &Program, threads: usize) {
+    /// Shared body of [`Machine::load`] / [`Machine::load_prepared`]:
+    /// mounts the program, adopting a caller-prepared [`StationTable`]
+    /// when one is supplied and lowering the text once otherwise.
+    fn load_with(
+        &mut self,
+        program: &Program,
+        stations: Option<&Arc<StationTable>>,
+        threads: usize,
+    ) {
         let threads = threads.max(1);
         let program = Arc::new(program.clone());
         let mem = MainMemory::with_program(&program);
@@ -112,7 +115,10 @@ impl Machine for InOrder {
         self.commits.clear();
         self.run = Some(InOrderRun {
             state: ArchState::new_thread(program.entry(), 0, threads),
-            stations: StationTable::build(program.text_base(), program.text()),
+            stations: match stations {
+                Some(table) => Arc::clone(table),
+                None => Arc::new(StationTable::build(program.text_base(), program.text())),
+            },
             program,
             threads,
             mem,
@@ -133,6 +139,20 @@ impl Machine for InOrder {
             track: Track::Core(0),
             kind: EventKind::ThreadStart,
         });
+    }
+}
+
+impl Machine for InOrder {
+    fn name(&self) -> String {
+        "inorder".to_string()
+    }
+
+    fn load(&mut self, program: &Program, threads: usize) {
+        self.load_with(program, None, threads);
+    }
+
+    fn load_prepared(&mut self, program: &Program, stations: &Arc<StationTable>, threads: usize) {
+        self.load_with(program, Some(stations), threads);
     }
 
     fn step(&mut self) -> Result<StepOutcome, SimError> {

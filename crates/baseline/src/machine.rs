@@ -161,14 +161,16 @@ impl OooCpu {
     pub fn last_stats(&self) -> Option<&RunStats> {
         self.last_stats.as_ref()
     }
-}
 
-impl Machine for OooCpu {
-    fn name(&self) -> String {
-        format!("{}x{}", self.config.name, self.max_cores)
-    }
-
-    fn load(&mut self, program: &Program, threads: usize) {
+    /// Shared body of [`Machine::load`] / [`Machine::load_prepared`]:
+    /// mounts the program, adopting a caller-prepared [`StationTable`]
+    /// when one is supplied and lowering the text once otherwise.
+    fn load_with(
+        &mut self,
+        program: &Program,
+        stations: Option<&Arc<StationTable>>,
+        threads: usize,
+    ) {
         let threads = threads.max(1);
         let program = Arc::new(program.clone());
         let mem = MainMemory::with_program(&program);
@@ -176,7 +178,10 @@ impl Machine for OooCpu {
         self.last_stats = None;
         self.commits.clear();
         let mut run = OooRun {
-            stations: Arc::new(StationTable::build(program.text_base(), program.text())),
+            stations: match stations {
+                Some(table) => Arc::clone(table),
+                None => Arc::new(StationTable::build(program.text_base(), program.text())),
+            },
             program,
             threads,
             mem,
@@ -201,6 +206,20 @@ impl Machine for OooCpu {
             &self.profiler,
         );
         self.run = Some(run);
+    }
+}
+
+impl Machine for OooCpu {
+    fn name(&self) -> String {
+        format!("{}x{}", self.config.name, self.max_cores)
+    }
+
+    fn load(&mut self, program: &Program, threads: usize) {
+        self.load_with(program, None, threads);
+    }
+
+    fn load_prepared(&mut self, program: &Program, stations: &Arc<StationTable>, threads: usize) {
+        self.load_with(program, Some(stations), threads);
     }
 
     fn step(&mut self) -> Result<StepOutcome, SimError> {

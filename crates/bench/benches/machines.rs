@@ -14,6 +14,7 @@ use diag_baseline::{InOrder, O3Config, OooCpu};
 use diag_bench::runner::{run_verified, MachineKind};
 use diag_bench::sweep::default_jobs;
 use diag_core::{Diag, DiagConfig};
+use diag_pipeline::Session;
 use diag_sim::Machine;
 use diag_trace::{NullSink, Tracer, VecSink};
 use diag_workloads::{find, Params, Scale, Suite};
@@ -135,23 +136,33 @@ fn figure_regeneration() {
     use diag_bench::experiments as exp;
     let jobs = default_jobs();
     println!("figure regeneration (tiny scale, serial vs --jobs {jobs}):");
+    // Each call gets a fresh in-memory session so the timings stay
+    // cold-preparation figures, comparable with earlier recordings.
     let figs: [ParallelFig; 8] = [
         ("fig9a", |j| {
-            exp::fig_single_thread(Suite::Rodinia, Scale::Tiny, j)
+            exp::fig_single_thread(&Session::in_memory(), Suite::Rodinia, Scale::Tiny, j)
         }),
         ("fig9b", |j| {
-            exp::fig_multi_thread(Suite::Rodinia, Scale::Tiny, j)
+            exp::fig_multi_thread(&Session::in_memory(), Suite::Rodinia, Scale::Tiny, j)
         }),
         ("fig10a", |j| {
-            exp::fig_single_thread(Suite::Spec, Scale::Tiny, j)
+            exp::fig_single_thread(&Session::in_memory(), Suite::Spec, Scale::Tiny, j)
         }),
         ("fig10b", |j| {
-            exp::fig_multi_thread(Suite::Spec, Scale::Tiny, j)
+            exp::fig_multi_thread(&Session::in_memory(), Suite::Spec, Scale::Tiny, j)
         }),
-        ("fig11", |j| exp::fig11(Scale::Tiny, j)),
-        ("fig12", |j| exp::fig12(Scale::Tiny, j)),
-        ("table1", |j| exp::table1(Scale::Tiny, j)),
-        ("stalls", |j| exp::stalls(Scale::Tiny, j)),
+        ("fig11", |j| {
+            exp::fig11(&Session::in_memory(), Scale::Tiny, j)
+        }),
+        ("fig12", |j| {
+            exp::fig12(&Session::in_memory(), Scale::Tiny, j)
+        }),
+        ("table1", |j| {
+            exp::table1(&Session::in_memory(), Scale::Tiny, j)
+        }),
+        ("stalls", |j| {
+            exp::stalls(&Session::in_memory(), Scale::Tiny, j)
+        }),
     ];
     for (name, f) in figs {
         let serial = best_of(2, || {
@@ -170,9 +181,15 @@ fn figure_regeneration() {
     let others: [SerialFig; 5] = [
         ("table2", exp::table2),
         ("table3", exp::table3),
-        ("abl-lane", || exp::ablation_lane(Scale::Tiny, 1)),
-        ("abl-reuse", || exp::ablation_reuse(Scale::Tiny, 1)),
-        ("abl-simt", || exp::ablation_simt_interval(Scale::Tiny, 1)),
+        ("abl-lane", || {
+            exp::ablation_lane(&Session::in_memory(), Scale::Tiny, 1)
+        }),
+        ("abl-reuse", || {
+            exp::ablation_reuse(&Session::in_memory(), Scale::Tiny, 1)
+        }),
+        ("abl-simt", || {
+            exp::ablation_simt_interval(&Session::in_memory(), Scale::Tiny, 1)
+        }),
     ];
     for (name, f) in others {
         let secs = best_of(2, || {

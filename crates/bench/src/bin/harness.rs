@@ -2,36 +2,52 @@
 //! analyzes workloads statically, sweeps machines, and captures traces.
 //!
 //! ```text
-//! harness run <experiment|all> [--quick] [--jobs N] [--strict]
-//! harness analyze [workload ...|all] [--json] [--threads N] [--simt]
-//! harness sweep [workload ...|all] [--quick] [--jobs N] [--strict]
-//! harness bench [workload ...|all] [--quick] [--repeat N] [--out FILE]
+//! harness run <experiment|all> [--scale S|--quick] [--jobs N] [--strict]
+//! harness analyze [workload ...|all] [--json] [--scale S] [--threads N] [--simt]
+//! harness sweep [workload ...|all] [--scale S|--quick] [--jobs N] [--strict]
+//! harness bench [workload ...|all] [--scale S|--quick] [--repeat N] [--out FILE]
 //!               [--baseline FILE] [--max-regress PCT]
 //! harness trace <workload> [--machine M] [--format F] [--window N]
-//!               [--out FILE] [--threads N] [--simt] [--quick]
+//!               [--out FILE] [--threads N] [--simt] [--scale S|--quick]
 //! harness profile <workload> [--machine M] [--format text|json|folded]
-//!               [--top N] [--out FILE] [--threads N] [--simt] [--quick]
+//!               [--top N] [--out FILE] [--threads N] [--simt] [--scale S|--quick]
 //! harness profile diff <before.json> <after.json> [--top N]
+//! harness cache stats|clear [--cache-dir DIR]
 //! harness --help
 //! ```
 //!
 //! The leading `run` may be omitted (`harness table1` works), preserving
 //! the historical invocation. Unknown flags exit non-zero with the usage
-//! text instead of being silently ignored.
+//! text instead of being silently ignored. All subcommands share one
+//! flag parser ([`diag_bench::cli`]): `--scale tiny|small|full` picks the
+//! input scale uniformly (`--quick` is an alias for `--scale tiny`), and
+//! the global `--no-cache` / `--cache-dir DIR` flags control the artifact
+//! cache.
+//!
+//! Everything a subcommand prepares — workload assembly, station-table
+//! lowering, static analysis, rendered reports — flows through one
+//! content-addressed artifact session (`diag_pipeline::Session`): each
+//! stage is built at most once per key per invocation, program images
+//! and reports persist under `target/diag-cache/` across invocations,
+//! and a one-line cache summary is printed to stderr (stdout stays
+//! byte-identical, cold or warm). `--no-cache` keeps the session in
+//! memory only; `harness cache stats|clear` inspects or empties the disk
+//! layer.
 //!
 //! Experiments: `table1 table2 table3 fig9a fig9b fig10a fig10b fig11
 //! fig12 stalls ablation-lane ablation-reuse ablation-simt ablation-lsu
-//! ablation-spec`. `--quick` runs tiny inputs (for smoke testing); the
-//! default is the benchmarking scale. `--jobs N` shards the simulation
-//! runs of each experiment over N worker threads (default: the host's
-//! available parallelism); results are byte-identical at any job count.
-//! `--strict` exits non-zero if any individual run failed (failures are
-//! otherwise reported inline and the remaining rows still render).
+//! ablation-spec`. `--jobs N` shards the simulation runs of each
+//! experiment over N worker threads (default: the host's available
+//! parallelism); results are byte-identical at any job count. `--strict`
+//! exits non-zero if any individual run failed (failures are otherwise
+//! reported inline and the remaining rows still render).
 //!
 //! `analyze` runs the static dataflow analyzer ([`diag_analyze`]) over the
 //! named workloads (default: all) without simulating a cycle, printing one
 //! text report per kernel — or one JSON object per line with `--json` — and
 //! exits non-zero if any kernel has a warning- or error-severity finding.
+//! (Its default scale stays `tiny`: analysis findings do not change with
+//! input size, and the CI gate runs it on every push.)
 //!
 //! `sweep` runs the named workloads (default: all) on every machine model
 //! — DiAG f4c32, the 12-core out-of-order baseline, and the in-order
@@ -40,7 +56,8 @@
 //! `bench` times the *simulator itself*: host nanoseconds per committed
 //! instruction for every named workload (default: all) on every machine
 //! model, serially, best of `--repeat N` runs (default 3). The report is
-//! written as JSON to `--out FILE` (default `BENCH_sim.json`). With
+//! written as JSON to `--out FILE` (default `BENCH_sim.json`); the host
+//! metadata object records the artifact-cache counters of the run. With
 //! `--baseline FILE` each row gains a `speedup_vs_seed` field against the
 //! recorded numbers, and `--max-regress PCT` exits non-zero if the
 //! aggregate ns/instr regressed by more than PCT percent.
@@ -65,16 +82,18 @@
 //!
 //! All `--out` paths create missing parent directories.
 
-use diag_bench::runner::MachineKind;
+use diag_bench::cli::{self, CliSpec, CommonArgs, Extra, Flag};
+use diag_bench::runner::{run_built, MachineKind};
 use diag_bench::sweep::Sweep;
 use diag_bench::{experiments, hostbench, sweep};
+use diag_pipeline::{DiskCache, ReportFormat, Session};
 use diag_profile::{
     diff_profiles, render_text, to_folded, CycleModel, Profile, ProfileCollector, ProfileMeta,
     Profiler,
 };
 use diag_trace::timeline::StallTimeline;
 use diag_trace::{heatmap, perfetto, Tracer, VecSink};
-use diag_workloads::{Params, Scale, Suite};
+use diag_workloads::{Scale, Suite};
 
 const USAGE: &str = "usage: harness <subcommand> [options]
 
@@ -87,18 +106,24 @@ subcommands:
   trace <workload>       run one workload with tracing and export events
   profile <workload>     run one workload with cycle accounting attached
   profile diff <a> <b>   compare two saved JSON profiles
+  cache stats|clear      inspect or empty the on-disk artifact cache
   --help                 this message
 
-run options:      [--quick] [--jobs N] [--strict]
-analyze options:  [--json] [--threads N] [--simt]
-sweep options:    [--quick] [--jobs N] [--strict]
-bench options:    [--quick] [--repeat N] [--out FILE] [--baseline FILE]
-                  [--max-regress PCT]
+global options (every subcommand):
+  --no-cache             keep artifacts in memory only for this run
+  --cache-dir DIR        artifact cache location (default target/diag-cache)
+
+run options:      [--scale tiny|small|full | --quick] [--jobs N] [--strict]
+analyze options:  [--json] [--scale tiny|small|full] [--threads N] [--simt]
+sweep options:    [--scale tiny|small|full | --quick] [--jobs N] [--strict]
+bench options:    [--scale tiny|small|full | --quick] [--repeat N] [--out FILE]
+                  [--baseline FILE] [--max-regress PCT]
 trace options:    [--machine diag|ooo|inorder] [--format perfetto|jsonl|heatmap|timeline]
                   [--window N] [--out FILE] [--threads N] [--simt] [--quick]
 profile options:  [--machine diag|ooo|inorder] [--format text|json|folded]
                   [--top N] [--out FILE] [--threads N] [--simt] [--quick]
 profile diff options: [--top N]
+cache options:    [--cache-dir DIR]
 
 experiments: table1 table2 table3 fig9a fig9b fig10a fig10b fig11 fig12
              stalls ablation-lane ablation-reuse ablation-simt
@@ -107,6 +132,22 @@ experiments: table1 table2 table3 fig9a fig9b fig10a fig10b fig11 fig12
 fn usage() -> ! {
     eprintln!("{USAGE}");
     std::process::exit(2)
+}
+
+/// Parses `args` against `spec`, printing the parse error and the usage
+/// text on rejection.
+fn parse_or_usage(spec: &CliSpec, args: &[String]) -> CommonArgs {
+    cli::parse(spec, args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage();
+    })
+}
+
+/// Prints the session's one-line cache summary to stderr (stdout is
+/// reserved for subcommand output, which must be byte-identical whether
+/// the cache was cold or warm).
+fn report_cache(session: &Session) {
+    eprintln!("{}", session.counters().summary());
 }
 
 /// Writes `text` to `path`, creating any missing parent directories —
@@ -124,61 +165,60 @@ fn write_output(path: &str, text: &str) -> Result<(), String> {
 /// The `analyze` subcommand: static analysis over bundled workloads.
 /// Returns the process exit code.
 fn analyze_cmd(args: &[String]) -> i32 {
-    let mut json = false;
-    let mut threads = 1usize;
-    let mut simt = false;
-    let mut names: Vec<&str> = Vec::new();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--json" => json = true,
-            "--simt" => simt = true,
-            "--threads" => {
-                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
-                    eprintln!("--threads needs a positive integer");
-                    usage();
-                };
-                threads = n.max(1);
-            }
-            other if other.starts_with('-') => {
-                eprintln!("unknown flag `{other}`");
-                usage();
-            }
-            other => names.push(other),
-        }
-    }
-    let specs = resolve_workloads(&names);
+    const SPEC: CliSpec = CliSpec {
+        cmd: "analyze",
+        flags: &[Flag::Scale, Flag::Threads, Flag::Simt],
+        extras: &[Extra {
+            name: "--json",
+            takes_value: false,
+        }],
+        // Findings do not change with input size and the CI gate runs
+        // `harness analyze` on every push, so the cheap scale stays the
+        // default; `--scale small|full` is available for parity.
+        default_scale: Scale::Tiny,
+    };
+    let args = parse_or_usage(&SPEC, args);
+    let json = args.has("--json");
+    let specs = resolve_workloads(&args.positionals);
+    let session = args.session();
 
     let opts = diag_analyze::AnalyzeOptions {
         config: diag_core::DiagConfig::f4c32(),
-        threads,
+        threads: args.threads,
     };
-    let params = diag_workloads::Params::tiny()
-        .with_threads(threads)
-        .with_simt(simt);
+    let params = args.params();
+    let format = if json {
+        ReportFormat::Json
+    } else {
+        ReportFormat::Text
+    };
     let mut worst: Option<diag_analyze::Severity> = None;
     for spec in &specs {
-        if simt && !spec.simt_capable {
+        if args.simt && !spec.simt_capable {
             continue;
         }
-        let built = match spec.build(&params) {
-            Ok(b) => b,
+        let report = match session.analysis_report(spec, &params, &opts, format) {
+            Ok(r) => r,
             Err(e) => {
                 eprintln!("{}: build failed: {e}", spec.name);
                 return 1;
             }
         };
-        let analysis = diag_analyze::analyze(&built.program, &opts);
         if json {
-            println!("{}", diag_analyze::json_report(spec.name, &analysis));
+            println!("{report}");
         } else {
-            print!(
-                "{}",
-                diag_analyze::text_report(spec.name, &built.program, &analysis)
-            );
+            print!("{report}");
         }
+        let analysis = match session.analysis(spec, &params, &opts) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{}: build failed: {e}", spec.name);
+                return 1;
+            }
+        };
         worst = worst.max(analysis.max_severity());
     }
+    report_cache(&session);
     if worst >= Some(diag_analyze::Severity::Warning) {
         eprintln!("analyze: findings at warning severity or above (see reports)");
         1
@@ -189,7 +229,7 @@ fn analyze_cmd(args: &[String]) -> i32 {
 
 /// Looks up workload names (empty or `all` → every bundled workload),
 /// exiting with usage on an unknown name.
-fn resolve_workloads(names: &[&str]) -> Vec<diag_workloads::WorkloadSpec> {
+fn resolve_workloads(names: &[String]) -> Vec<diag_workloads::WorkloadSpec> {
     if names.is_empty() || names == ["all"] {
         return diag_workloads::all();
     }
@@ -207,35 +247,16 @@ fn resolve_workloads(names: &[&str]) -> Vec<diag_workloads::WorkloadSpec> {
 /// The `sweep` subcommand: every named workload on every machine model,
 /// one cycles/IPC table. Returns the process exit code.
 fn sweep_cmd(args: &[String]) -> i32 {
-    let mut quick = false;
-    let mut strict = false;
-    let mut jobs = sweep::default_jobs();
-    let mut names: Vec<&str> = Vec::new();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--quick" => quick = true,
-            "--strict" => strict = true,
-            "--jobs" => {
-                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
-                    eprintln!("--jobs needs a positive integer");
-                    usage();
-                };
-                jobs = n.max(1);
-            }
-            other if other.starts_with('-') => {
-                eprintln!("unknown flag `{other}`");
-                usage();
-            }
-            other => names.push(other),
-        }
-    }
-    let specs = resolve_workloads(&names);
-    let params = if quick {
-        Params::tiny()
-    } else {
-        Params::small()
+    const SPEC: CliSpec = CliSpec {
+        cmd: "sweep",
+        flags: &[Flag::Scale, Flag::Jobs, Flag::Strict],
+        extras: &[],
+        default_scale: Scale::Small,
     };
+    let args = parse_or_usage(&SPEC, args);
+    let specs = resolve_workloads(&args.positionals);
+    let params = args.params();
+    let session = args.session();
     let machines = [
         MachineKind::Diag(diag_core::DiagConfig::f4c32()),
         MachineKind::Ooo(12),
@@ -250,7 +271,7 @@ fn sweep_cmd(args: &[String]) -> i32 {
             .collect();
         ids.push((spec.name, row));
     }
-    let results = queue.execute(jobs);
+    let results = queue.execute_with(&session, args.jobs);
     let mut table = diag_power::TextTable::new(
         std::iter::once("benchmark".to_string()).chain(machines.iter().map(|m| m.label())),
     );
@@ -267,7 +288,8 @@ fn sweep_cmd(args: &[String]) -> i32 {
     let mut out = table.render();
     sweep::append_failures(&mut out, &results);
     println!("{out}");
-    if strict && !results.failures().is_empty() {
+    report_cache(&session);
+    if args.strict && !results.failures().is_empty() {
         eprintln!("--strict: at least one run failed");
         return 1;
     }
@@ -277,58 +299,50 @@ fn sweep_cmd(args: &[String]) -> i32 {
 /// The `bench` subcommand: host-time the simulator over workloads ×
 /// machines and write `BENCH_sim.json`. Returns the process exit code.
 fn bench_cmd(args: &[String]) -> i32 {
-    let mut quick = false;
-    let mut repeat = 3u32;
-    let mut out_path = "BENCH_sim.json".to_string();
-    let mut baseline_path: Option<String> = None;
-    let mut max_regress: Option<f64> = None;
-    let mut names: Vec<&str> = Vec::new();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--quick" => quick = true,
-            "--repeat" => {
-                let Some(n) = it.next().and_then(|v| v.parse::<u32>().ok()) else {
-                    eprintln!("--repeat needs a positive integer");
-                    usage();
-                };
-                repeat = n.max(1);
-            }
-            "--out" => match it.next() {
-                Some(path) => out_path = path.clone(),
-                None => {
-                    eprintln!("--out needs a file path");
-                    usage();
-                }
+    const SPEC: CliSpec = CliSpec {
+        cmd: "bench",
+        flags: &[Flag::Scale, Flag::Out],
+        extras: &[
+            Extra {
+                name: "--repeat",
+                takes_value: true,
             },
-            "--baseline" => match it.next() {
-                Some(path) => baseline_path = Some(path.clone()),
-                None => {
-                    eprintln!("--baseline needs a file path");
-                    usage();
-                }
+            Extra {
+                name: "--baseline",
+                takes_value: true,
             },
-            "--max-regress" => {
-                let Some(pct) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
-                    eprintln!("--max-regress needs a percentage");
-                    usage();
-                };
-                max_regress = Some(pct);
-            }
-            other if other.starts_with('-') => {
-                eprintln!("unknown flag `{other}`");
+            Extra {
+                name: "--max-regress",
+                takes_value: true,
+            },
+        ],
+        default_scale: Scale::Small,
+    };
+    let args = parse_or_usage(&SPEC, args);
+    let repeat = match args.value("--repeat") {
+        Some(v) => match v.parse::<u32>() {
+            Ok(n) => n.max(1),
+            Err(_) => {
+                eprintln!("--repeat needs a positive integer");
                 usage();
             }
-            other => names.push(other),
-        }
-    }
-    let specs = resolve_workloads(&names);
-    let params = if quick {
-        Params::tiny()
-    } else {
-        Params::small()
+        },
+        None => 3,
     };
-    let baseline = match &baseline_path {
+    let max_regress = match args.value("--max-regress") {
+        Some(v) => match v.parse::<f64>() {
+            Ok(pct) => Some(pct),
+            Err(_) => {
+                eprintln!("--max-regress needs a percentage");
+                usage();
+            }
+        },
+        None => None,
+    };
+    let out_path = args.out.clone().unwrap_or_else(|| "BENCH_sim.json".into());
+    let specs = resolve_workloads(&args.positionals);
+    let params = args.params();
+    let baseline = match args.value("--baseline") {
         Some(path) => match std::fs::read_to_string(path) {
             Ok(text) => match hostbench::BenchBaseline::parse(&text) {
                 Ok(b) => Some(b),
@@ -344,7 +358,8 @@ fn bench_cmd(args: &[String]) -> i32 {
         },
         None => None,
     };
-    let report = hostbench::run_bench(&specs, &params, repeat, baseline.as_ref());
+    let session = args.session();
+    let report = hostbench::run_bench(&session, &specs, &params, repeat, baseline.as_ref());
     let json = hostbench::to_json(&report, baseline.as_ref());
     if let Err(e) = write_output(&out_path, &json) {
         eprintln!("{e}");
@@ -376,6 +391,7 @@ fn bench_cmd(args: &[String]) -> i32 {
     for failure in &report.failures {
         eprintln!("failed: {failure}");
     }
+    report_cache(&session);
     if let (Some(pct), Some(b)) = (max_regress, baseline.as_ref()) {
         if let Err(e) = hostbench::check_regression(&report, b, pct) {
             eprintln!("bench regression gate: {e}");
@@ -389,120 +405,87 @@ fn bench_cmd(args: &[String]) -> i32 {
     }
 }
 
-/// The `trace` subcommand: run one workload with a tracer attached and
-/// export the event stream. Returns the process exit code.
-fn trace_cmd(args: &[String]) -> i32 {
-    let mut machine_name = "diag";
-    let mut format = "perfetto";
-    let mut window: Option<u64> = None;
-    let mut out: Option<String> = None;
-    let mut threads = 1usize;
-    let mut simt = false;
-    let mut quick = false;
-    let mut names: Vec<&str> = Vec::new();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--simt" => simt = true,
-            "--quick" => quick = true,
-            "--machine" => match it.next() {
-                Some(m) => machine_name = m,
-                None => {
-                    eprintln!("--machine needs a name (diag|ooo|inorder)");
-                    usage();
-                }
-            },
-            "--format" => match it.next() {
-                Some(f) => format = f,
-                None => {
-                    eprintln!("--format needs a name (perfetto|jsonl|heatmap|timeline)");
-                    usage();
-                }
-            },
-            "--window" => {
-                let Some(n) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
-                    eprintln!("--window needs a positive integer");
-                    usage();
-                };
-                window = Some(n.max(1));
-            }
-            "--out" => match it.next() {
-                Some(path) => out = Some(path.clone()),
-                None => {
-                    eprintln!("--out needs a file path");
-                    usage();
-                }
-            },
-            "--threads" => {
-                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
-                    eprintln!("--threads needs a positive integer");
-                    usage();
-                };
-                threads = n.max(1);
-            }
-            other if other.starts_with('-') => {
-                eprintln!("unknown flag `{other}`");
-                usage();
-            }
-            other => names.push(other),
-        }
-    }
-    let [name] = names[..] else {
-        eprintln!("trace needs exactly one workload name");
+/// Resolves the one workload named on a trace/profile command line,
+/// checking SIMT capability.
+fn single_workload(args: &CommonArgs, what: &str) -> Result<diag_workloads::WorkloadSpec, i32> {
+    let [name] = &args.positionals[..] else {
+        eprintln!("{what} needs exactly one workload name");
         usage();
     };
     let Some(spec) = diag_workloads::find(name) else {
         eprintln!("unknown workload `{name}`");
         usage();
     };
-    if simt && !spec.simt_capable {
+    if args.simt && !spec.simt_capable {
         eprintln!("{name} has no SIMT variant");
-        return 1;
+        return Err(1);
     }
-    if !matches!(format, "perfetto" | "jsonl" | "heatmap" | "timeline") {
+    Ok(spec)
+}
+
+/// The `trace` subcommand: run one workload with a tracer attached and
+/// export the event stream. Returns the process exit code.
+fn trace_cmd(args: &[String]) -> i32 {
+    const SPEC: CliSpec = CliSpec {
+        cmd: "trace",
+        flags: &[
+            Flag::Scale,
+            Flag::Threads,
+            Flag::Simt,
+            Flag::Machine,
+            Flag::Out,
+        ],
+        extras: &[
+            Extra {
+                name: "--format",
+                takes_value: true,
+            },
+            Extra {
+                name: "--window",
+                takes_value: true,
+            },
+        ],
+        default_scale: Scale::Small,
+    };
+    let args = parse_or_usage(&SPEC, args);
+    let format = args.value("--format").unwrap_or("perfetto").to_string();
+    if !matches!(
+        format.as_str(),
+        "perfetto" | "jsonl" | "heatmap" | "timeline"
+    ) {
         eprintln!("unknown format `{format}` (perfetto|jsonl|heatmap|timeline)");
         usage();
     }
-    let kind = match machine_name {
-        "diag" => MachineKind::Diag(diag_core::DiagConfig::f4c32()),
-        "ooo" => MachineKind::Ooo(12),
-        "inorder" => MachineKind::InOrder,
-        other => {
-            eprintln!("unknown machine `{other}` (diag|ooo|inorder)");
-            usage();
-        }
+    let window = match args.value("--window") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) => Some(n.max(1)),
+            Err(_) => {
+                eprintln!("--window needs a positive integer");
+                usage();
+            }
+        },
+        None => None,
     };
-    let params = if quick {
-        Params::tiny()
-    } else {
-        Params::small()
-    }
-    .with_threads(threads)
-    .with_simt(simt);
-    let built = match spec.build(&params) {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!("{name}: build failed: {e}");
-            return 1;
-        }
+    let spec = match single_workload(&args, "trace") {
+        Ok(s) => s,
+        Err(code) => return code,
     };
+    let kind = args.machine.clone();
+    let params = args.params();
+    let session = args.session();
     let sink = VecSink::shared();
     let mut machine = kind.build();
     machine.set_tracer(Tracer::to_shared(sink.clone()));
-    let stats = match machine.run(&built.program, params.threads) {
+    let stats = match run_built(&session, &kind, &spec, &params, machine.as_mut()) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("{name} on {}: {e}", kind.label());
+            eprintln!("{e}");
             return 1;
         }
     };
-    if let Err(e) = (built.verify)(machine.as_ref()) {
-        eprintln!("{name} on {}: verification failed: {e}", kind.label());
-        return 1;
-    }
     let events = sink.borrow_mut().take();
     let window = window.unwrap_or_else(|| (stats.cycles / 64).max(1));
-    let text = match format {
+    let text = match format.as_str() {
         "perfetto" => perfetto::export(&events),
         "jsonl" => {
             let mut buf = String::new();
@@ -516,15 +499,17 @@ fn trace_cmd(args: &[String]) -> i32 {
         _ => StallTimeline::from_events(&events, window).render(),
     };
     eprintln!(
-        "{name} on {}: {} events over {} cycles ({} committed)",
+        "{} on {}: {} events over {} cycles ({} committed)",
+        spec.name,
         kind.label(),
         events.len(),
         stats.cycles,
         stats.committed
     );
-    match out {
+    report_cache(&session);
+    match &args.out {
         Some(path) => {
-            if let Err(e) = write_output(&path, &text) {
+            if let Err(e) = write_output(path, &text) {
                 eprintln!("{e}");
                 return 1;
             }
@@ -542,116 +527,69 @@ fn profile_cmd(args: &[String]) -> i32 {
     if args.first().map(String::as_str) == Some("diff") {
         return profile_diff_cmd(&args[1..]);
     }
-    let mut machine_name = "diag";
-    let mut format = "text";
-    let mut top = 20usize;
-    let mut out: Option<String> = None;
-    let mut threads = 1usize;
-    let mut simt = false;
-    let mut quick = false;
-    let mut names: Vec<&str> = Vec::new();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--simt" => simt = true,
-            "--quick" => quick = true,
-            "--machine" => match it.next() {
-                Some(m) => machine_name = m,
-                None => {
-                    eprintln!("--machine needs a name (diag|ooo|inorder)");
-                    usage();
-                }
+    const SPEC: CliSpec = CliSpec {
+        cmd: "profile",
+        flags: &[
+            Flag::Scale,
+            Flag::Threads,
+            Flag::Simt,
+            Flag::Machine,
+            Flag::Out,
+        ],
+        extras: &[
+            Extra {
+                name: "--format",
+                takes_value: true,
             },
-            "--format" => match it.next() {
-                Some(f) => format = f,
-                None => {
-                    eprintln!("--format needs a name (text|json|folded)");
-                    usage();
-                }
+            Extra {
+                name: "--top",
+                takes_value: true,
             },
-            "--top" => {
-                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
-                    eprintln!("--top needs a positive integer");
-                    usage();
-                };
-                top = n.max(1);
-            }
-            "--out" => match it.next() {
-                Some(path) => out = Some(path.clone()),
-                None => {
-                    eprintln!("--out needs a file path");
-                    usage();
-                }
-            },
-            "--threads" => {
-                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
-                    eprintln!("--threads needs a positive integer");
-                    usage();
-                };
-                threads = n.max(1);
-            }
-            other if other.starts_with('-') => {
-                eprintln!("unknown flag `{other}`");
-                usage();
-            }
-            other => names.push(other),
-        }
-    }
-    let [name] = names[..] else {
-        eprintln!("profile needs exactly one workload name");
-        usage();
+        ],
+        default_scale: Scale::Small,
     };
-    let Some(spec) = diag_workloads::find(name) else {
-        eprintln!("unknown workload `{name}`");
-        usage();
-    };
-    if simt && !spec.simt_capable {
-        eprintln!("{name} has no SIMT variant");
-        return 1;
-    }
-    if !matches!(format, "text" | "json" | "folded") {
+    let args = parse_or_usage(&SPEC, args);
+    let format = args.value("--format").unwrap_or("text").to_string();
+    if !matches!(format.as_str(), "text" | "json" | "folded") {
         eprintln!("unknown format `{format}` (text|json|folded)");
         usage();
     }
-    let kind = match machine_name {
-        "diag" => MachineKind::Diag(diag_core::DiagConfig::f4c32()),
-        "ooo" => MachineKind::Ooo(12),
-        "inorder" => MachineKind::InOrder,
-        other => {
-            eprintln!("unknown machine `{other}` (diag|ooo|inorder)");
-            usage();
-        }
+    let top = match args.value("--top") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n.max(1),
+            Err(_) => {
+                eprintln!("--top needs a positive integer");
+                usage();
+            }
+        },
+        None => 20,
     };
-    let params = if quick {
-        Params::tiny()
-    } else {
-        Params::small()
-    }
-    .with_threads(threads)
-    .with_simt(simt);
-    let built = match spec.build(&params) {
+    let spec = match single_workload(&args, "profile") {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let kind = args.machine.clone();
+    let params = args.params();
+    let session = args.session();
+    let built = match session.workload(&spec, &params) {
         Ok(b) => b,
         Err(e) => {
-            eprintln!("{name}: build failed: {e}");
+            eprintln!("{}: build failed: {e}", spec.name);
             return 1;
         }
     };
     let shared = ProfileCollector::shared();
     let mut machine = kind.build();
     machine.set_profiler(Profiler::to_shared(&shared));
-    let stats = match machine.run(&built.program, params.threads) {
+    let stats = match run_built(&session, &kind, &spec, &params, machine.as_mut()) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("{name} on {}: {e}", kind.label());
+            eprintln!("{e}");
             return 1;
         }
     };
-    if let Err(e) = (built.verify)(machine.as_ref()) {
-        eprintln!("{name} on {}: verification failed: {e}", kind.label());
-        return 1;
-    }
     let meta = ProfileMeta {
-        workload: name.to_string(),
+        workload: spec.name.to_string(),
         machine: kind.label(),
         threads: params.threads as u64,
         simt: params.simt,
@@ -675,26 +613,29 @@ fn profile_cmd(args: &[String]) -> i32 {
     profile.apply_frames(&frames);
     if let Err(e) = profile.reconcile() {
         eprintln!(
-            "{name} on {}: profile does not reconcile: {e}",
+            "{} on {}: profile does not reconcile: {e}",
+            spec.name,
             kind.label()
         );
         return 1;
     }
-    let text = match format {
+    let text = match format.as_str() {
         "text" => render_text(&profile, top),
         "json" => profile.to_json(),
         _ => to_folded(&profile, Some(&frames)),
     };
     eprintln!(
-        "{name} on {}: {} cycles, {} committed, {} hot PCs",
+        "{} on {}: {} cycles, {} committed, {} hot PCs",
+        spec.name,
         kind.label(),
         stats.cycles,
         stats.committed,
         profile.pcs.len()
     );
-    match out {
+    report_cache(&session);
+    match &args.out {
         Some(path) => {
-            if let Err(e) = write_output(&path, &text) {
+            if let Err(e) = write_output(path, &text) {
                 eprintln!("{e}");
                 return 1;
             }
@@ -708,26 +649,27 @@ fn profile_cmd(args: &[String]) -> i32 {
 /// The `profile diff` mode: per-PC self-cycle deltas between two saved
 /// JSON profiles. Returns the process exit code.
 fn profile_diff_cmd(args: &[String]) -> i32 {
-    let mut top = 20usize;
-    let mut paths: Vec<&str> = Vec::new();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--top" => {
-                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
-                    eprintln!("--top needs a positive integer");
-                    usage();
-                };
-                top = n.max(1);
-            }
-            other if other.starts_with('-') => {
-                eprintln!("unknown flag `{other}`");
+    const SPEC: CliSpec = CliSpec {
+        cmd: "profile diff",
+        flags: &[],
+        extras: &[Extra {
+            name: "--top",
+            takes_value: true,
+        }],
+        default_scale: Scale::Small,
+    };
+    let args = parse_or_usage(&SPEC, args);
+    let top = match args.value("--top") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n.max(1),
+            Err(_) => {
+                eprintln!("--top needs a positive integer");
                 usage();
             }
-            other => paths.push(other),
-        }
-    }
-    let [before, after] = paths[..] else {
+        },
+        None => 20,
+    };
+    let [before, after] = &args.positionals[..] else {
         eprintln!("profile diff needs exactly two JSON profile paths");
         usage();
     };
@@ -746,44 +688,74 @@ fn profile_diff_cmd(args: &[String]) -> i32 {
     0
 }
 
+/// The `cache` subcommand: inspect (`stats`) or empty (`clear`) the
+/// on-disk artifact cache. Returns the process exit code.
+fn cache_cmd(args: &[String]) -> i32 {
+    const SPEC: CliSpec = CliSpec {
+        cmd: "cache",
+        flags: &[],
+        extras: &[],
+        default_scale: Scale::Small,
+    };
+    let args = parse_or_usage(&SPEC, args);
+    let dir = args
+        .cache_dir
+        .clone()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(DiskCache::default_dir);
+    let cache = match DiskCache::open(&dir, DiskCache::DEFAULT_BUDGET) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot open cache at {}: {e}", dir.display());
+            return 1;
+        }
+    };
+    match args.positionals.first().map(String::as_str) {
+        Some("stats") => {
+            let stats = cache.stats();
+            println!(
+                "{}: {} blobs, {} bytes (budget {})",
+                cache.dir().display(),
+                stats.files,
+                stats.bytes,
+                DiskCache::DEFAULT_BUDGET
+            );
+            0
+        }
+        Some("clear") => {
+            let removed = cache.clear();
+            println!("{}: removed {removed} blobs", cache.dir().display());
+            0
+        }
+        _ => {
+            eprintln!("cache needs a mode: stats|clear");
+            usage();
+        }
+    }
+}
+
 /// The `run` subcommand (also the default): regenerate paper artifacts.
 /// Returns the process exit code.
 fn run_cmd(args: &[String]) -> i32 {
-    let mut quick = false;
-    let mut strict = false;
-    let mut jobs = sweep::default_jobs();
-    let mut names: Vec<&str> = Vec::new();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--quick" => quick = true,
-            "--strict" => strict = true,
-            "--jobs" => {
-                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
-                    eprintln!("--jobs needs a positive integer");
-                    usage();
-                };
-                jobs = n.max(1);
-            }
-            other if other.starts_with('-') => {
-                eprintln!("unknown flag `{other}`");
-                usage();
-            }
-            other => names.push(other),
-        }
-    }
-    let scale = if quick { Scale::Tiny } else { Scale::Small };
-    if names.is_empty() {
+    const SPEC: CliSpec = CliSpec {
+        cmd: "run",
+        flags: &[Flag::Scale, Flag::Jobs, Flag::Strict],
+        extras: &[],
+        default_scale: Scale::Small,
+    };
+    let args = parse_or_usage(&SPEC, args);
+    if args.positionals.is_empty() {
         usage();
     }
-    let list: Vec<&str> = if names == ["all"] {
+    let list: Vec<&str> = if args.positionals == ["all"] {
         ALL.to_vec()
     } else {
-        names
+        args.positionals.iter().map(String::as_str).collect()
     };
+    let session = args.session();
     let mut any_failed = false;
     for (i, name) in list.iter().enumerate() {
-        match run(name, scale, jobs) {
+        match run(name, &session, args.scale, args.jobs) {
             Some(out) => {
                 if i > 0 {
                     println!();
@@ -797,30 +769,31 @@ fn run_cmd(args: &[String]) -> i32 {
             }
         }
     }
-    if strict && any_failed {
+    report_cache(&session);
+    if args.strict && any_failed {
         eprintln!("--strict: at least one run failed (see \"failed runs\" sections above)");
         return 1;
     }
     0
 }
 
-fn run(name: &str, scale: Scale, jobs: usize) -> Option<String> {
+fn run(name: &str, session: &Session, scale: Scale, jobs: usize) -> Option<String> {
     let out = match name {
-        "table1" => experiments::table1(scale, jobs),
+        "table1" => experiments::table1(session, scale, jobs),
         "table2" => experiments::table2(),
         "table3" => experiments::table3(),
-        "fig9a" => experiments::fig_single_thread(Suite::Rodinia, scale, jobs),
-        "fig9b" => experiments::fig_multi_thread(Suite::Rodinia, scale, jobs),
-        "fig10a" => experiments::fig_single_thread(Suite::Spec, scale, jobs),
-        "fig10b" => experiments::fig_multi_thread(Suite::Spec, scale, jobs),
-        "fig11" => experiments::fig11(scale, jobs),
-        "fig12" => experiments::fig12(scale, jobs),
-        "stalls" => experiments::stalls(scale, jobs),
-        "ablation-lane" => experiments::ablation_lane(scale, jobs),
-        "ablation-reuse" => experiments::ablation_reuse(scale, jobs),
-        "ablation-simt" => experiments::ablation_simt_interval(scale, jobs),
-        "ablation-lsu" => experiments::ablation_lsu(scale, jobs),
-        "ablation-spec" => experiments::ablation_spec(scale, jobs),
+        "fig9a" => experiments::fig_single_thread(session, Suite::Rodinia, scale, jobs),
+        "fig9b" => experiments::fig_multi_thread(session, Suite::Rodinia, scale, jobs),
+        "fig10a" => experiments::fig_single_thread(session, Suite::Spec, scale, jobs),
+        "fig10b" => experiments::fig_multi_thread(session, Suite::Spec, scale, jobs),
+        "fig11" => experiments::fig11(session, scale, jobs),
+        "fig12" => experiments::fig12(session, scale, jobs),
+        "stalls" => experiments::stalls(session, scale, jobs),
+        "ablation-lane" => experiments::ablation_lane(session, scale, jobs),
+        "ablation-reuse" => experiments::ablation_reuse(session, scale, jobs),
+        "ablation-simt" => experiments::ablation_simt_interval(session, scale, jobs),
+        "ablation-lsu" => experiments::ablation_lsu(session, scale, jobs),
+        "ablation-spec" => experiments::ablation_spec(session, scale, jobs),
         _ => return None,
     };
     Some(out)
@@ -859,6 +832,7 @@ fn main() {
         Some("bench") => bench_cmd(&args[1..]),
         Some("trace") => trace_cmd(&args[1..]),
         Some("profile") => profile_cmd(&args[1..]),
+        Some("cache") => cache_cmd(&args[1..]),
         Some("run") => run_cmd(&args[1..]),
         Some(_) => run_cmd(&args),
         None => usage(),

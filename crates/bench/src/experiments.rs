@@ -11,9 +11,12 @@
 //! worker threads, and the tables are then assembled from the results in
 //! submission order — so the rendered output is byte-identical at any job
 //! count, and a failed run shows up as a `FAIL` cell plus a trailing
-//! "failed runs" section instead of aborting the whole figure.
+//! "failed runs" section instead of aborting the whole figure. Every
+//! experiment prepares through the caller's artifact [`Session`], so a
+//! `harness run all` assembles each workload once across all figures.
 
 use diag_core::{Diag, DiagConfig};
+use diag_pipeline::Session;
 use diag_power::{geomean, ratio, BaselineEnergyModel, DiagEnergyModel, TextTable};
 use diag_sim::RunStats;
 use diag_workloads::{rodinia_specs, spec_specs, Params, Scale, Suite, WorkloadSpec};
@@ -51,7 +54,7 @@ fn cell(rel: Option<f64>) -> String {
 }
 
 /// Single-thread relative performance across a suite (Figures 9a / 10a).
-pub fn fig_single_thread(suite: Suite, scale: Scale, jobs: usize) -> String {
+pub fn fig_single_thread(session: &Session, suite: Suite, scale: Scale, jobs: usize) -> String {
     let specs: Vec<WorkloadSpec> = match suite {
         Suite::Rodinia => rodinia_specs(),
         Suite::Spec => spec_specs(),
@@ -73,7 +76,7 @@ pub fn fig_single_thread(suite: Suite, scale: Scale, jobs: usize) -> String {
             (base, ours)
         })
         .collect();
-    let results = sweep.execute(jobs);
+    let results = sweep.execute_with(session, jobs);
 
     // Phase 2: assemble in submission order.
     let mut table = TextTable::new(["benchmark", "DiAG 32 PE", "DiAG 256 PE", "DiAG 512 PE"]);
@@ -106,7 +109,7 @@ pub fn fig_single_thread(suite: Suite, scale: Scale, jobs: usize) -> String {
 
 /// Multi-thread relative performance across a suite (Figures 9b / 10b),
 /// with a SIMT-pipelined series for the capable kernels.
-pub fn fig_multi_thread(suite: Suite, scale: Scale, jobs: usize) -> String {
+pub fn fig_multi_thread(session: &Session, suite: Suite, scale: Scale, jobs: usize) -> String {
     let specs: Vec<WorkloadSpec> = match suite {
         Suite::Rodinia => rodinia_specs(),
         Suite::Spec => spec_specs(),
@@ -129,7 +132,7 @@ pub fn fig_multi_thread(suite: Suite, scale: Scale, jobs: usize) -> String {
             (base, ours, piped)
         })
         .collect();
-    let results = sweep.execute(jobs);
+    let results = sweep.execute_with(session, jobs);
 
     let mut table = TextTable::new(["benchmark", "DiAG 16x2", "DiAG +SIMT"]);
     let mut mt = Vec::new();
@@ -174,7 +177,7 @@ pub fn fig_multi_thread(suite: Suite, scale: Scale, jobs: usize) -> String {
 
 /// Figure 11: energy-consumption breakdown by hardware component for four
 /// Rodinia benchmarks.
-pub fn fig11(scale: Scale, jobs: usize) -> String {
+pub fn fig11(session: &Session, scale: Scale, jobs: usize) -> String {
     let names = ["backprop", "bfs", "hotspot", "srad"];
     let p = params(scale);
     let model = DiagEnergyModel::default();
@@ -187,7 +190,7 @@ pub fn fig11(scale: Scale, jobs: usize) -> String {
             sweep.add(MachineKind::Diag(DiagConfig::f4c32()), spec, p)
         })
         .collect();
-    let results = sweep.execute(jobs);
+    let results = sweep.execute_with(session, jobs);
 
     let mut table = TextTable::new(["benchmark", "FPU %", "reg lanes %", "memory %", "control %"]);
     for (name, id) in names.iter().zip(&ids) {
@@ -225,7 +228,7 @@ pub fn fig11(scale: Scale, jobs: usize) -> String {
 
 /// Figure 12: Rodinia energy-efficiency improvement over the baseline
 /// (inverse total energy; single-thread, multi-thread, and SIMT series).
-pub fn fig12(scale: Scale, jobs: usize) -> String {
+pub fn fig12(session: &Session, scale: Scale, jobs: usize) -> String {
     let diag_model = DiagEnergyModel::default();
     let base_model = BaselineEnergyModel::default();
     let specs = rodinia_specs();
@@ -246,7 +249,7 @@ pub fn fig12(scale: Scale, jobs: usize) -> String {
             (b1, d1, bm, dm, ds)
         })
         .collect();
-    let results = sweep.execute(jobs);
+    let results = sweep.execute_with(session, jobs);
 
     // Energy-efficiency ratio of a (baseline, DiAG) run pair.
     let eff = |b: RunId, d: RunId| -> Option<f64> {
@@ -308,7 +311,7 @@ pub fn fig12(scale: Scale, jobs: usize) -> String {
 }
 
 /// Table 1: per-instruction front-end event rates, measured.
-pub fn table1(scale: Scale, jobs: usize) -> String {
+pub fn table1(session: &Session, scale: Scale, jobs: usize) -> String {
     let spec = diag_workloads::find("pathfinder").expect("registered");
     let p = params(scale);
     let mut no_reuse = DiagConfig::f4c32();
@@ -318,7 +321,7 @@ pub fn table1(scale: Scale, jobs: usize) -> String {
     let ooo_id = sweep.add(MachineKind::Ooo(1), spec, p);
     let diag_id = sweep.add(MachineKind::Diag(DiagConfig::f4c32()), spec, p);
     let initial_id = sweep.add(MachineKind::Diag(no_reuse), spec, p);
-    let results = sweep.execute(jobs);
+    let results = sweep.execute_with(session, jobs);
     let (ooo, diag, initial) = (
         results.stats(ooo_id),
         results.stats(diag_id),
@@ -467,7 +470,7 @@ pub fn table3() -> String {
 }
 
 /// §7.3.2: stall-cause breakdown averaged across the Rodinia suite.
-pub fn stalls(scale: Scale, jobs: usize) -> String {
+pub fn stalls(session: &Session, scale: Scale, jobs: usize) -> String {
     let p = params(scale);
     let specs = rodinia_specs();
     let mut sweep = Sweep::new();
@@ -475,7 +478,7 @@ pub fn stalls(scale: Scale, jobs: usize) -> String {
         .iter()
         .map(|spec| sweep.add(MachineKind::Diag(DiagConfig::f4c32()), *spec, p))
         .collect();
-    let results = sweep.execute(jobs);
+    let results = sweep.execute_with(session, jobs);
 
     let mut total = diag_sim::StallBreakdown::default();
     for id in &ids {
@@ -509,7 +512,7 @@ pub fn stalls(scale: Scale, jobs: usize) -> String {
 }
 
 /// Ablation: register-lane buffer interval (paper §6.1.2 fixes it at 8).
-pub fn ablation_lane(scale: Scale, jobs: usize) -> String {
+pub fn ablation_lane(session: &Session, scale: Scale, jobs: usize) -> String {
     let spec = diag_workloads::find("srad").expect("registered");
     let p = params(scale);
     let intervals = [4usize, 8, 16];
@@ -520,7 +523,7 @@ pub fn ablation_lane(scale: Scale, jobs: usize) -> String {
         cfg.lane_buffer_interval = interval;
         sweep.add(MachineKind::Diag(cfg), spec, p)
     });
-    let results = sweep.execute(jobs);
+    let results = sweep.execute_with(session, jobs);
 
     let mut table = TextTable::new(["buffer interval (PEs)", "cycles", "IPC"]);
     for (interval, id) in intervals.iter().zip(&ids) {
@@ -540,7 +543,7 @@ pub fn ablation_lane(scale: Scale, jobs: usize) -> String {
 }
 
 /// Ablation: datapath reuse on/off across loop-heavy kernels.
-pub fn ablation_reuse(scale: Scale, jobs: usize) -> String {
+pub fn ablation_reuse(session: &Session, scale: Scale, jobs: usize) -> String {
     let p = params(scale);
     let names = ["pathfinder", "hotspot", "x264", "mcf"];
 
@@ -556,7 +559,7 @@ pub fn ablation_reuse(scale: Scale, jobs: usize) -> String {
             (on, off)
         })
         .collect();
-    let results = sweep.execute(jobs);
+    let results = sweep.execute_with(session, jobs);
 
     let mut table = TextTable::new(["benchmark", "reuse cycles", "no-reuse cycles", "speedup"]);
     for (name, (on, off)) in names.iter().zip(&ids) {
@@ -583,7 +586,7 @@ pub fn ablation_reuse(scale: Scale, jobs: usize) -> String {
 
 /// Ablation: cluster LSU queue depth (§7.3.2 blames "full LSU request
 /// queues" for many memory stalls).
-pub fn ablation_lsu(scale: Scale, jobs: usize) -> String {
+pub fn ablation_lsu(session: &Session, scale: Scale, jobs: usize) -> String {
     let spec = diag_workloads::find("mcf").expect("registered");
     let p = params(scale);
     let depths = [4usize, 8, 16, 32];
@@ -594,7 +597,7 @@ pub fn ablation_lsu(scale: Scale, jobs: usize) -> String {
         cfg.lsu_depth = depth;
         sweep.add(MachineKind::Diag(cfg), spec, p)
     });
-    let results = sweep.execute(jobs);
+    let results = sweep.execute_with(session, jobs);
 
     let mut table = TextTable::new(["LSU depth", "cycles", "memory-stall cycles"]);
     for (depth, id) in depths.iter().zip(&ids) {
@@ -617,7 +620,7 @@ pub fn ablation_lsu(scale: Scale, jobs: usize) -> String {
 /// (paper §7.3.2 future work: "penalties due to unpredictable control
 /// flow changes can potentially be ameliorated by simultaneously
 /// constructing multiple speculative datapaths").
-pub fn ablation_spec(scale: Scale, jobs: usize) -> String {
+pub fn ablation_spec(session: &Session, scale: Scale, jobs: usize) -> String {
     let p = params(scale);
     let names = ["xz", "bfs", "nw", "leela"];
 
@@ -633,7 +636,7 @@ pub fn ablation_spec(scale: Scale, jobs: usize) -> String {
             (plain, with)
         })
         .collect();
-    let results = sweep.execute(jobs);
+    let results = sweep.execute_with(session, jobs);
 
     let mut table = TextTable::new([
         "benchmark",
@@ -712,7 +715,7 @@ fn far_branch_program() -> diag_asm::Program {
 }
 
 /// Ablation: SIMT initiation interval (paper §5.4's `interval` operand).
-pub fn ablation_simt_interval(scale: Scale, jobs: usize) -> String {
+pub fn ablation_simt_interval(session: &Session, scale: Scale, jobs: usize) -> String {
     // Rebuild hotspot with different intervals by running the pipelined
     // config against the simt binary; the interval is encoded in simt_s,
     // so vary it through a custom build.
@@ -727,7 +730,7 @@ pub fn ablation_simt_interval(scale: Scale, jobs: usize) -> String {
         spec,
         params(scale).with_simt(true),
     );
-    let results = sweep.execute(jobs);
+    let results = sweep.execute_with(session, jobs);
 
     let mut table = TextTable::new(["machine", "cycles", "IPC"]);
     for (label, id) in [
@@ -765,7 +768,7 @@ mod tests {
 
     #[test]
     fn table1_runs_at_tiny_scale() {
-        let t = table1(Scale::Tiny, 2);
+        let t = table1(&Session::in_memory(), Scale::Tiny, 2);
         assert!(t.contains("reuse fraction"));
         assert!(t.contains("reg lanes"));
         assert!(!t.contains("FAIL"), "{t}");
@@ -773,21 +776,31 @@ mod tests {
 
     #[test]
     fn fig11_runs_at_tiny_scale() {
-        let t = fig11(Scale::Tiny, 2);
+        let t = fig11(&Session::in_memory(), Scale::Tiny, 2);
         assert!(t.contains("backprop"));
         assert!(!t.contains("FAIL"), "{t}");
     }
 
     #[test]
     fn stalls_runs_at_tiny_scale() {
-        let t = stalls(Scale::Tiny, 2);
+        let t = stalls(&Session::in_memory(), Scale::Tiny, 2);
         assert!(t.contains("73.6%"));
     }
 
     #[test]
     fn experiment_output_is_identical_at_any_job_count() {
-        let serial = ablation_simt_interval(Scale::Tiny, 1);
-        let parallel = ablation_simt_interval(Scale::Tiny, 4);
+        let serial = ablation_simt_interval(&Session::in_memory(), Scale::Tiny, 1);
+        let parallel = ablation_simt_interval(&Session::in_memory(), Scale::Tiny, 4);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn experiment_output_is_identical_with_a_warm_session() {
+        // A session that already holds every artifact must not change a
+        // figure's rendered bytes — caching affects cost, not content.
+        let session = Session::in_memory();
+        let cold = table1(&session, Scale::Tiny, 2);
+        let warm = table1(&session, Scale::Tiny, 2);
+        assert_eq!(cold, warm);
     }
 }

@@ -11,11 +11,15 @@
 //! times serially (no worker threads — parallel runs would contend for
 //! cores and poison the timings) and the *minimum* host time is kept,
 //! which is the standard way to damp scheduler noise on a shared host.
-//! Only [`diag_sim::Machine::run`] is timed; workload assembly and machine
-//! construction are excluded.
+//! Only the simulation itself ([`diag_sim::Machine::run`] /
+//! [`diag_sim::Machine::run_prepared`]) is timed; workload assembly,
+//! station-table lowering, and machine construction all happen through
+//! the shared artifact [`Session`] before the clock starts. The session's
+//! cache counters are recorded in the report's host metadata.
 
 use std::time::Instant;
 
+use diag_pipeline::{CacheCounters, Session};
 use diag_trace::json;
 use diag_workloads::{Params, Scale, WorkloadSpec};
 
@@ -55,6 +59,9 @@ pub struct BenchReport {
     pub rows: Vec<BenchRow>,
     /// Failures as `workload on machine: message` lines.
     pub failures: Vec<String>,
+    /// Artifact-cache counters of the session the sweep prepared
+    /// through, when one was used (recorded into the JSON host object).
+    pub cache: Option<CacheCounters>,
 }
 
 impl BenchReport {
@@ -156,25 +163,40 @@ pub fn bench_machines() -> Vec<(&'static str, MachineKind)> {
     ]
 }
 
-/// Times one workload on one machine, best of `repeat` runs.
+/// Times one workload on one machine, best of `repeat` runs. Artifacts
+/// are prepared through `session` before timing starts, so repeats (and
+/// machines sharing a program) never re-assemble or re-lower.
 fn time_one(
+    session: &Session,
     kind: &MachineKind,
     key: &str,
     spec: &WorkloadSpec,
     params: &Params,
     repeat: u32,
 ) -> Result<BenchRow, String> {
-    let built = spec
-        .build(params)
+    let built = session
+        .workload(spec, params)
         .map_err(|e| format!("{}: build failed: {e}", spec.name))?;
+    // The baselines adopt a prepared station table; DiAG loads its own
+    // per-cluster stations at line-load time and mounts the bare image.
+    let stations = match kind {
+        MachineKind::Diag(_) => None,
+        MachineKind::Ooo(_) | MachineKind::InOrder => Some(
+            session
+                .stations(spec, params, None)
+                .map_err(|e| format!("{}: build failed: {e}", spec.name))?,
+        ),
+    };
     let mut best_ns = u64::MAX;
     let mut stats = None;
     for _ in 0..repeat.max(1) {
         let mut machine = kind.build();
         let t0 = Instant::now();
-        let s = machine
-            .run(&built.program, params.threads)
-            .map_err(|e| format!("{} on {key}: {e}", spec.name))?;
+        let s = match &stations {
+            Some(table) => machine.run_prepared(&built.program, table, params.threads),
+            None => machine.run(&built.program, params.threads),
+        }
+        .map_err(|e| format!("{} on {key}: {e}", spec.name))?;
         let ns = t0.elapsed().as_nanos() as u64;
         (built.verify)(machine.as_ref())
             .map_err(|e| format!("{} on {key}: verification failed: {e}", spec.name))?;
@@ -199,9 +221,11 @@ fn time_one(
 }
 
 /// Runs the host-time sweep: every workload in `specs` on every machine
-/// in [`bench_machines`], serially, best of `repeat` runs each. When a
-/// `baseline` is given, per-row and aggregate speedups are attached.
+/// in [`bench_machines`], serially, best of `repeat` runs each,
+/// preparing artifacts through `session`. When a `baseline` is given,
+/// per-row and aggregate speedups are attached.
 pub fn run_bench(
+    session: &Session,
     specs: &[WorkloadSpec],
     params: &Params,
     repeat: u32,
@@ -211,7 +235,7 @@ pub fn run_bench(
     let mut failures = Vec::new();
     for spec in specs {
         for (key, kind) in bench_machines() {
-            match time_one(&kind, key, spec, params, repeat) {
+            match time_one(session, &kind, key, spec, params, repeat) {
                 Ok(mut row) => {
                     row.speedup_vs_seed = baseline
                         .and_then(|b| b.row(&row.workload, &row.machine))
@@ -228,6 +252,7 @@ pub fn run_bench(
         repeat,
         rows,
         failures,
+        cache: Some(session.counters()),
     }
 }
 
@@ -252,10 +277,21 @@ pub fn to_json(report: &BenchReport, baseline: Option<&BenchBaseline>) -> String
     out.push_str(&format!("  \"schema\": \"{BENCH_SCHEMA}\",\n"));
     out.push_str(&format!("  \"scale\": \"{}\",\n", scale_name(report.scale)));
     out.push_str(&format!("  \"repeat\": {},\n", report.repeat));
+    let mut host = crate::hostmeta::host_entries_with_repeat(report.repeat);
+    if let Some(cache) = &report.cache {
+        // Artifact-cache counters ride in the host object: free-form
+        // provenance strings the baseline parser ignores.
+        host.push(("cache_hits".to_string(), cache.hits().to_string()));
+        host.push(("cache_builds".to_string(), cache.builds().to_string()));
+        host.push(("cache_disk_hits".to_string(), cache.disk_hits.to_string()));
+        host.push((
+            "cache_disk_writes".to_string(),
+            cache.disk_writes.to_string(),
+        ));
+    }
     out.push_str(&format!(
         "  \"host\": {{{}}},\n",
-        crate::hostmeta::host_entries_with_repeat(report.repeat)
-            .iter()
+        host.iter()
             .map(|(k, v)| format!(
                 "\"{k}\": \"{}\"",
                 v.replace('\\', "\\\\").replace('"', "\\\"")
@@ -351,6 +387,7 @@ mod tests {
             repeat: 1,
             rows,
             failures: Vec::new(),
+            cache: None,
         }
     }
 

@@ -5,6 +5,7 @@ use std::fmt;
 
 use diag_baseline::{InOrder, O3Config, OooCpu};
 use diag_core::{Diag, DiagConfig};
+use diag_pipeline::Session;
 use diag_sim::{Machine, RunStats, SimError};
 use diag_workloads::{Params, Scale, WorkloadSpec};
 
@@ -119,7 +120,73 @@ impl std::error::Error for RunError {
     }
 }
 
-/// One workload run: builds, executes, verifies, returns statistics.
+/// Runs `spec` on an already-constructed `machine`, preparing the
+/// program (and, for the baselines, the shared [`StationTable`]
+/// lowering) through `session` — callers that attach a tracer or
+/// profiler before running use this directly.
+///
+/// DiAG populates its per-cluster station arenas at line-load time
+/// (§4.2), so it mounts the bare program; the baselines adopt the
+/// session's whole-text table instead of lowering their own.
+///
+/// [`StationTable`]: diag_isa::StationTable
+///
+/// # Errors
+///
+/// Returns a [`RunError`] describing the failing stage — build, simulate,
+/// or verify.
+pub fn run_built(
+    session: &Session,
+    kind: &MachineKind,
+    spec: &WorkloadSpec,
+    params: &Params,
+    machine: &mut dyn Machine,
+) -> Result<RunStats, RunError> {
+    let build_err = |message: String| RunError::Build {
+        workload: spec.name.to_string(),
+        message,
+    };
+    let built = session.workload(spec, params).map_err(build_err)?;
+    let stats = match kind {
+        MachineKind::Diag(_) => machine.run(&built.program, params.threads),
+        MachineKind::Ooo(_) | MachineKind::InOrder => {
+            let stations = session.stations(spec, params, None).map_err(build_err)?;
+            machine.run_prepared(&built.program, &stations, params.threads)
+        }
+    }
+    .map_err(|e| RunError::Sim {
+        workload: spec.name.to_string(),
+        machine: kind.label(),
+        error: e,
+    })?;
+    (built.verify)(&*machine).map_err(|e| RunError::Verify {
+        workload: spec.name.to_string(),
+        machine: kind.label(),
+        message: e,
+    })?;
+    Ok(stats)
+}
+
+/// One workload run through a shared artifact `session`: prepares,
+/// executes, verifies, returns statistics. Repeated runs of the same
+/// `(spec, params)` reuse one assembly and one station-table lowering.
+///
+/// # Errors
+///
+/// Returns a [`RunError`] describing the failing stage — build, simulate,
+/// or verify — so sweeps can aggregate failures instead of aborting.
+pub fn run_verified_with(
+    session: &Session,
+    kind: &MachineKind,
+    spec: &WorkloadSpec,
+    params: &Params,
+) -> Result<RunStats, RunError> {
+    let mut machine = kind.build();
+    run_built(session, kind, spec, params, machine.as_mut())
+}
+
+/// [`run_verified_with`] over a throwaway in-memory session, for callers
+/// that run one thing once.
 ///
 /// # Errors
 ///
@@ -130,24 +197,7 @@ pub fn run_verified(
     spec: &WorkloadSpec,
     params: &Params,
 ) -> Result<RunStats, RunError> {
-    let built = spec.build(params).map_err(|e| RunError::Build {
-        workload: spec.name.to_string(),
-        message: e.to_string(),
-    })?;
-    let mut machine = kind.build();
-    let stats = machine
-        .run(&built.program, params.threads)
-        .map_err(|e| RunError::Sim {
-            workload: spec.name.to_string(),
-            machine: kind.label(),
-            error: e,
-        })?;
-    (built.verify)(machine.as_ref()).map_err(|e| RunError::Verify {
-        workload: spec.name.to_string(),
-        machine: kind.label(),
-        message: e,
-    })?;
-    Ok(stats)
+    run_verified_with(&Session::in_memory(), kind, spec, params)
 }
 
 /// [`run_verified`], but aborting on failure — for callers where a wrong

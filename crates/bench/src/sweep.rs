@@ -10,8 +10,10 @@
 //!
 //! The unit of parallelism is one whole simulation run: machines are
 //! single-threaded internally (`Rc`-based cache hierarchies), so each
-//! worker constructs its machine privately and only the submission queue
-//! and result slots are shared.
+//! worker constructs its machine privately and only the submission queue,
+//! the result slots, and the artifact [`Session`] are shared — workloads
+//! and station tables are prepared once per key no matter how many queued
+//! runs (or workers) want them.
 //!
 //! # Examples
 //!
@@ -33,10 +35,11 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use diag_pipeline::Session;
 use diag_sim::RunStats;
 use diag_workloads::{Params, WorkloadSpec};
 
-use crate::runner::{run_verified, MachineKind, RunError};
+use crate::runner::{run_verified_with, MachineKind, RunError};
 
 /// One queued run: which machine, which workload, which parameters.
 #[derive(Debug, Clone)]
@@ -86,10 +89,19 @@ impl Sweep {
     }
 
     /// Executes every queued run on up to `jobs` worker threads and
-    /// returns the results in submission order.
+    /// returns the results in submission order. One in-memory artifact
+    /// store is shared across the whole queue, so a workload enqueued
+    /// against three machines assembles once.
     pub fn execute(self, jobs: usize) -> SweepResults {
+        self.execute_with(&Session::in_memory(), jobs)
+    }
+
+    /// [`Sweep::execute`] against a caller-provided artifact `session`
+    /// — harness subcommands pass their (possibly disk-backed) session
+    /// so artifacts carry across sweeps and processes.
+    pub fn execute_with(self, session: &Session, jobs: usize) -> SweepResults {
         SweepResults {
-            results: run_sweep(&self.runs, jobs),
+            results: run_sweep_with(session, &self.runs, jobs),
         }
     }
 }
@@ -150,16 +162,28 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Executes `runs` on up to `jobs` worker threads against a fresh shared
+/// in-memory artifact store; see [`run_sweep_with`].
+pub fn run_sweep(runs: &[SweepRun], jobs: usize) -> Vec<Result<RunStats, RunError>> {
+    run_sweep_with(&Session::in_memory(), runs, jobs)
+}
+
 /// Executes `runs` on up to `jobs` worker threads, returning one result
 /// per run **in submission order**. Workers pull indices from a shared
 /// atomic counter, so scheduling is dynamic but the output ordering (and
 /// every simulation itself — machines are deterministic) is not affected
-/// by the job count. A panicking run is caught and reported as
+/// by the job count. All workers prepare through the shared `session`,
+/// so concurrent runs of the same workload block on one assembly instead
+/// of duplicating it. A panicking run is caught and reported as
 /// [`RunError::Panicked`] without poisoning the rest of the sweep.
-pub fn run_sweep(runs: &[SweepRun], jobs: usize) -> Vec<Result<RunStats, RunError>> {
+pub fn run_sweep_with(
+    session: &Session,
+    runs: &[SweepRun],
+    jobs: usize,
+) -> Vec<Result<RunStats, RunError>> {
     let jobs = jobs.clamp(1, runs.len().max(1));
     if jobs == 1 {
-        return runs.iter().map(run_one).collect();
+        return runs.iter().map(|run| run_one(session, run)).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<RunStats, RunError>>>> =
@@ -169,7 +193,7 @@ pub fn run_sweep(runs: &[SweepRun], jobs: usize) -> Vec<Result<RunStats, RunErro
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(run) = runs.get(i) else { break };
-                let result = run_one(run);
+                let result = run_one(session, run);
                 *slots[i].lock().expect("result slot") = Some(result);
             });
         }
@@ -184,9 +208,9 @@ pub fn run_sweep(runs: &[SweepRun], jobs: usize) -> Vec<Result<RunStats, RunErro
         .collect()
 }
 
-fn run_one(run: &SweepRun) -> Result<RunStats, RunError> {
+fn run_one(session: &Session, run: &SweepRun) -> Result<RunStats, RunError> {
     catch_unwind(AssertUnwindSafe(|| {
-        run_verified(&run.machine, &run.spec, &run.params)
+        run_verified_with(session, &run.machine, &run.spec, &run.params)
     }))
     .unwrap_or_else(|payload| {
         let message = payload

@@ -46,7 +46,7 @@ pub use inst::{
     SourceSet, StoreOp,
 };
 pub use reg::{ArchReg, FReg, ParseRegError, Reg, NUM_FP_REGS, NUM_INT_REGS, NUM_LANES};
-pub use station::{ExecKind, Station, StationSlot, StationTable};
+pub use station::{station_table_builds, ExecKind, Station, StationSlot, StationTable};
 
 /// Width of one instruction in bytes (RV32 without the C extension).
 pub const INST_BYTES: u32 = 4;

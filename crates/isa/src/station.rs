@@ -377,9 +377,22 @@ pub struct StationTable {
     slots: Vec<StationSlot>,
 }
 
+/// Process-wide count of [`StationTable::build`] calls.
+static TABLE_BUILDS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// How many whole-text [`StationTable`]s this process has lowered.
+///
+/// The artifact-pipeline tests assert that warm-cache runs perform *zero*
+/// lowerings for already-keyed programs, the same way the zero-decode
+/// hot-loop test pins the reuse path with [`crate::decode_calls`].
+pub fn station_table_builds() -> u64 {
+    TABLE_BUILDS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 impl StationTable {
     /// Predecodes the text segment `words` based at address `base`.
     pub fn build(base: u32, words: &[u32]) -> StationTable {
+        TABLE_BUILDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let peek = |addr: u32| -> Option<Inst> {
             if addr < base || !addr.is_multiple_of(INST_BYTES) {
                 return None;

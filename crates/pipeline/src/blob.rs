@@ -1,0 +1,205 @@
+//! Versioned, checksummed blob framing and the `Program` payload codec.
+//!
+//! On-disk artifacts are self-describing: an 8-byte magic, the key schema
+//! version, the stage code, the full 64-bit key, a length-prefixed payload,
+//! and a trailing FNV-1a checksum over everything before it. A reader that
+//! finds *anything* out of place — wrong magic, old schema, mismatched key,
+//! short file, bad checksum — treats the blob as absent, so a corrupt or
+//! truncated cache entry costs one rebuild, never a wrong result.
+
+use std::collections::BTreeMap;
+
+use diag_asm::Program;
+
+use crate::key::{ArtifactKey, StableHasher, SCHEMA_VERSION};
+
+/// Blob file magic: "DIAGART" + format revision digit.
+pub const MAGIC: [u8; 8] = *b"DIAGART1";
+
+/// Frames `payload` as a self-describing blob for `key`.
+pub fn frame(key: ArtifactKey, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 40);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&SCHEMA_VERSION.to_le_bytes());
+    out.push(key.stage.code());
+    out.extend_from_slice(&key.hash.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let mut h = StableHasher::new();
+    h.write_bytes(&out);
+    out.extend_from_slice(&h.finish().to_le_bytes());
+    out
+}
+
+/// Validates a framed blob against the expected `key` and returns its
+/// payload, or `None` if any part of the frame is wrong.
+pub fn unframe(key: ArtifactKey, bytes: &[u8]) -> Option<Vec<u8>> {
+    // magic(8) + schema(4) + stage(1) + key(8) + len(8) + checksum(8)
+    const OVERHEAD: usize = 37;
+    if bytes.len() < OVERHEAD || bytes[..8] != MAGIC {
+        return None;
+    }
+    let schema = u32::from_le_bytes(bytes[8..12].try_into().ok()?);
+    if schema != SCHEMA_VERSION || bytes[12] != key.stage.code() {
+        return None;
+    }
+    let hash = u64::from_le_bytes(bytes[13..21].try_into().ok()?);
+    if hash != key.hash {
+        return None;
+    }
+    let len = u64::from_le_bytes(bytes[21..29].try_into().ok()?) as usize;
+    if bytes.len() != OVERHEAD + len {
+        return None;
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let mut h = StableHasher::new();
+    h.write_bytes(body);
+    if h.finish().to_le_bytes() != tail {
+        return None;
+    }
+    Some(body[OVERHEAD - 8..].to_vec())
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u32(&mut self) -> Option<u32> {
+        let v = u32::from_le_bytes(self.bytes.get(self.at..self.at + 4)?.try_into().ok()?);
+        self.at += 4;
+        Some(v)
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.bytes.get(self.at..self.at + n)?;
+        self.at += n;
+        Some(s)
+    }
+
+    fn done(&self) -> bool {
+        self.at == self.bytes.len()
+    }
+}
+
+/// Serializes a [`Program`] payload: segment bases, entry point, text
+/// words, data bytes, and the symbol table — everything [`Program`]
+/// observes, so the decoded image is `==` to the original.
+pub fn encode_program(p: &Program) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_u32(&mut out, p.text_base());
+    push_u32(&mut out, p.data_base());
+    push_u32(&mut out, p.entry());
+    push_u32(&mut out, p.text_len() as u32);
+    for &word in p.text() {
+        push_u32(&mut out, word);
+    }
+    push_u32(&mut out, p.data().len() as u32);
+    out.extend_from_slice(p.data());
+    let symbols: Vec<(&str, u32)> = p.symbols().collect();
+    push_u32(&mut out, symbols.len() as u32);
+    for (name, addr) in symbols {
+        push_u32(&mut out, name.len() as u32);
+        out.extend_from_slice(name.as_bytes());
+        push_u32(&mut out, addr);
+    }
+    out
+}
+
+/// Decodes an [`encode_program`] payload, or `None` if it is malformed.
+pub fn decode_program(bytes: &[u8]) -> Option<Program> {
+    let mut r = Reader { bytes, at: 0 };
+    let text_base = r.u32()?;
+    let data_base = r.u32()?;
+    let entry = r.u32()?;
+    let text_len = r.u32()? as usize;
+    let mut text = Vec::with_capacity(text_len);
+    for _ in 0..text_len {
+        text.push(r.u32()?);
+    }
+    let data_len = r.u32()? as usize;
+    let data = r.take(data_len)?.to_vec();
+    let sym_count = r.u32()? as usize;
+    let mut symbols = BTreeMap::new();
+    for _ in 0..sym_count {
+        let name_len = r.u32()? as usize;
+        let name = String::from_utf8(r.take(name_len)?.to_vec()).ok()?;
+        let addr = r.u32()?;
+        symbols.insert(name, addr);
+    }
+    if !r.done() {
+        return None;
+    }
+    Some(Program::from_parts(
+        text, text_base, data, data_base, entry, symbols,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::program_key;
+    use diag_workloads::Params;
+
+    fn sample_program() -> Program {
+        let mut symbols = BTreeMap::new();
+        symbols.insert("start".to_string(), 0x1000);
+        symbols.insert("loop".to_string(), 0x1008);
+        Program::from_parts(
+            vec![0x0000_0013, 0x0000_0073],
+            0x1000,
+            vec![1, 2, 3, 4, 5],
+            0x0010_0000,
+            0x1000,
+            symbols,
+        )
+    }
+
+    #[test]
+    fn program_round_trips_exactly() {
+        let p = sample_program();
+        let decoded = decode_program(&encode_program(&p)).expect("decodes");
+        assert_eq!(p, decoded);
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let key = program_key("hotspot", &Params::tiny());
+        let payload = encode_program(&sample_program());
+        let blob = frame(key, &payload);
+        assert_eq!(unframe(key, &blob), Some(payload));
+    }
+
+    #[test]
+    fn frame_rejects_tampering() {
+        let key = program_key("hotspot", &Params::tiny());
+        let payload = encode_program(&sample_program());
+        let good = frame(key, &payload);
+
+        // Truncation.
+        assert_eq!(unframe(key, &good[..good.len() - 1]), None);
+        // Flipped payload byte (checksum catches it).
+        let mut bad = good.clone();
+        bad[40] ^= 0x01;
+        assert_eq!(unframe(key, &bad), None);
+        // Wrong key.
+        let other = program_key("nn", &Params::tiny());
+        assert_eq!(unframe(other, &good), None);
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert_eq!(unframe(key, &bad), None);
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut payload = encode_program(&sample_program());
+        payload.push(0);
+        assert_eq!(decode_program(&payload), None);
+    }
+}

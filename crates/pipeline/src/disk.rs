@@ -1,0 +1,246 @@
+//! The on-disk artifact layer.
+//!
+//! Blobs live as one file per key under a cache directory (default
+//! `target/diag-cache/`), written atomically (temp file + rename) and
+//! bounded by a byte budget with least-recently-used eviction: every load
+//! refreshes the file's modification time, and after every store the
+//! oldest files are deleted until the directory fits the budget again.
+//! All operations are best-effort — an unwritable or corrupt cache
+//! degrades to a rebuild, never to an error the caller sees.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::SystemTime;
+
+use crate::blob::{frame, unframe};
+use crate::key::ArtifactKey;
+
+/// File extension of artifact blobs.
+const BLOB_EXT: &str = "blob";
+
+/// Aggregate size of the on-disk cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskStats {
+    /// Number of blob files.
+    pub files: u64,
+    /// Total blob bytes.
+    pub bytes: u64,
+}
+
+/// A directory of framed artifact blobs with an LRU byte budget.
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+    budget_bytes: u64,
+}
+
+impl DiskCache {
+    /// Default eviction budget: plenty for every workload × scale ×
+    /// config artifact in the workspace, small enough to stay polite in
+    /// `target/`.
+    pub const DEFAULT_BUDGET: u64 = 64 << 20;
+
+    /// The conventional cache location: `target/diag-cache` under the
+    /// enclosing workspace root (the nearest ancestor of the working
+    /// directory holding a `Cargo.lock`), so every process of one
+    /// checkout shares a cache no matter which crate it runs from.
+    /// `CARGO_TARGET_DIR` is honored, and a process outside any
+    /// workspace falls back to the working directory.
+    pub fn default_dir() -> PathBuf {
+        if let Some(target) = std::env::var_os("CARGO_TARGET_DIR") {
+            return PathBuf::from(target).join("diag-cache");
+        }
+        let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        loop {
+            if dir.join("Cargo.lock").exists() {
+                return dir.join("target/diag-cache");
+            }
+            if !dir.pop() {
+                return PathBuf::from("target/diag-cache");
+            }
+        }
+    }
+
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>, budget_bytes: u64) -> io::Result<DiskCache> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(DiskCache { dir, budget_bytes })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, key: ArtifactKey) -> PathBuf {
+        self.dir.join(format!("{key}.{BLOB_EXT}"))
+    }
+
+    /// Loads and validates the payload stored for `key`. A blob that
+    /// fails validation (wrong magic/schema/key, truncation, checksum
+    /// mismatch) is deleted so the slot rebuilds cleanly.
+    pub fn load(&self, key: ArtifactKey) -> Option<Vec<u8>> {
+        let path = self.path(key);
+        let bytes = fs::read(&path).ok()?;
+        match unframe(key, &bytes) {
+            Some(payload) => {
+                // Refresh recency so the LRU sweep keeps hot artifacts.
+                if let Ok(f) = fs::File::open(&path) {
+                    let _ = f.set_modified(SystemTime::now());
+                }
+                Some(payload)
+            }
+            None => {
+                let _ = fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Stores `payload` for `key` (atomic rename), then evicts
+    /// least-recently-used blobs until the cache fits its budget.
+    /// Best-effort: I/O failures leave the cache cold, nothing more.
+    pub fn store(&self, key: ArtifactKey, payload: &[u8]) {
+        let blob = frame(key, payload);
+        let path = self.path(key);
+        let tmp = self.dir.join(format!("{key}.tmp"));
+        if fs::write(&tmp, &blob).is_ok() && fs::rename(&tmp, &path).is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        self.evict();
+    }
+
+    /// Current file and byte totals.
+    pub fn stats(&self) -> DiskStats {
+        let mut stats = DiskStats::default();
+        for (_, len, _) in self.entries() {
+            stats.files += 1;
+            stats.bytes += len;
+        }
+        stats
+    }
+
+    /// Deletes every blob. Returns the number of files removed.
+    pub fn clear(&self) -> u64 {
+        let mut removed = 0;
+        for (path, _, _) in self.entries() {
+            if fs::remove_file(path).is_ok() {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Blob files with size and modification time, unsorted.
+    fn entries(&self) -> Vec<(PathBuf, u64, SystemTime)> {
+        let Ok(dir) = fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        dir.filter_map(|e| {
+            let e = e.ok()?;
+            let path = e.path();
+            if path.extension().and_then(|x| x.to_str()) != Some(BLOB_EXT) {
+                return None;
+            }
+            let meta = e.metadata().ok()?;
+            let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+            Some((path, meta.len(), mtime))
+        })
+        .collect()
+    }
+
+    /// Deletes oldest-first until the directory fits the budget.
+    fn evict(&self) {
+        let mut entries = self.entries();
+        let mut total: u64 = entries.iter().map(|(_, len, _)| len).sum();
+        if total <= self.budget_bytes {
+            return;
+        }
+        entries.sort_by_key(|&(_, _, mtime)| mtime);
+        for (path, len, _) in entries {
+            if total <= self.budget_bytes {
+                break;
+            }
+            if fs::remove_file(path).is_ok() {
+                total -= len;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::program_key;
+    use diag_workloads::Params;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("diag-pipeline-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_load_clear() {
+        let dir = temp_dir("slc");
+        let cache = DiskCache::open(&dir, DiskCache::DEFAULT_BUDGET).unwrap();
+        let key = program_key("hotspot", &Params::tiny());
+        assert_eq!(cache.load(key), None);
+        cache.store(key, b"payload");
+        assert_eq!(cache.load(key), Some(b"payload".to_vec()));
+        assert_eq!(cache.stats().files, 1);
+        assert_eq!(cache.clear(), 1);
+        assert_eq!(cache.load(key), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_blob_is_deleted_and_missed() {
+        let dir = temp_dir("corrupt");
+        let cache = DiskCache::open(&dir, DiskCache::DEFAULT_BUDGET).unwrap();
+        let key = program_key("nn", &Params::tiny());
+        cache.store(key, b"payload");
+        // Truncate the file mid-payload.
+        let path = cache.path(key);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert_eq!(cache.load(key), None);
+        assert!(!path.exists(), "corrupt blob should be deleted");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_respects_budget_and_recency() {
+        let dir = temp_dir("evict");
+        // Budget of ~2 blobs of 64B payload (frame overhead is 37B).
+        let cache = DiskCache::open(&dir, 250).unwrap();
+        let keys: Vec<_> = (0..3)
+            .map(|i| {
+                program_key(
+                    "hotspot",
+                    &Params {
+                        seed: i,
+                        ..Params::tiny()
+                    },
+                )
+            })
+            .collect();
+        cache.store(keys[0], &[0u8; 64]);
+        cache.store(keys[1], &[1u8; 64]);
+        // Make key 0 fresher than key 1 before the overflowing store.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(cache.load(keys[0]).is_some());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        cache.store(keys[2], &[2u8; 64]);
+        assert!(cache.stats().bytes <= 250);
+        assert_eq!(cache.load(keys[1]), None, "LRU blob should be evicted");
+        assert!(cache.load(keys[2]).is_some(), "fresh blob survives");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

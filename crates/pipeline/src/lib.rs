@@ -1,0 +1,53 @@
+//! # diag-pipeline — the staged, content-addressed preparation pipeline
+//!
+//! Everything the workspace runs is prepared through the same chain:
+//!
+//! ```text
+//! WorkloadSpec + Params ──→ Program (assembly + inputs + verify)
+//! Program + DiagConfig ──→ StationTable (text lowering)
+//! Program + AnalyzeOptions ──→ Analysis (+ rendered reports)
+//! ```
+//!
+//! Historically every harness subcommand, sweep job, and example re-ran
+//! this chain from scratch. This crate models each stage as a
+//! *content-addressed artifact*: a stable 64-bit structural hash of the
+//! typed stage inputs ([`key`]) names the result, an in-memory store
+//! ([`store`]) shares one build per key across a whole process (including
+//! the parallel sweep runner's workers), and an on-disk blob layer
+//! ([`disk`], [`blob`]) carries images and reports across processes —
+//! versioned, checksummed, LRU-bounded, and safe to delete at any time.
+//!
+//! The one entry point consumers hold is the [`Session`].
+//!
+//! # Examples
+//!
+//! ```
+//! use diag_pipeline::Session;
+//! use diag_workloads::{find, Params};
+//!
+//! let session = Session::in_memory();
+//! let spec = find("hotspot").expect("registered workload");
+//! let params = Params::tiny();
+//! let first = session.workload(&spec, &params)?;
+//! let again = session.workload(&spec, &params)?;
+//! // Same Arc: the workload was assembled exactly once.
+//! assert!(std::sync::Arc::ptr_eq(&first, &again));
+//! # Ok::<(), String>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod blob;
+pub mod disk;
+pub mod key;
+pub mod session;
+pub mod store;
+
+pub use disk::{DiskCache, DiskStats};
+pub use key::{
+    analysis_key, program_key, report_key, stations_key, ArtifactKey, ReportFormat, StableHasher,
+    StableKey, Stage, SCHEMA_VERSION,
+};
+pub use session::{CacheCounters, Session};
+pub use store::{StageCounters, StageStore};

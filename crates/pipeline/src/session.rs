@@ -1,0 +1,362 @@
+//! The [`Session`]: one artifact store shared by everything a process
+//! prepares.
+//!
+//! A `Session` owns the in-memory stage stores and (optionally) the
+//! on-disk blob layer, and exposes one method per pipeline stage. Callers
+//! never check "is this cached?" — they ask for the artifact and the
+//! session returns the shared copy, building at most once per key:
+//!
+//! - [`Session::workload`] — `WorkloadSpec + Params → BuiltWorkload`
+//!   (assembly + input generation + verify closure). Memory-only: the
+//!   verify closure cannot round-trip through disk.
+//! - [`Session::program`] — the bare [`Program`] image. Served from the
+//!   built workload when present, else from a disk blob (no assembly!),
+//!   else by building the workload.
+//! - [`Session::stations`] — `Program + DiagConfig → StationTable`
+//!   lowering, shared by every machine that mounts the same program.
+//! - [`Session::analysis`] / [`Session::analysis_report`] — static
+//!   analysis and its rendered reports; reports also persist as blobs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use diag_analyze::{analyze, json_report, text_report, Analysis, AnalyzeOptions};
+use diag_asm::Program;
+use diag_core::DiagConfig;
+use diag_isa::StationTable;
+use diag_workloads::{BuiltWorkload, Params, WorkloadSpec};
+
+use crate::blob::{decode_program, encode_program};
+use crate::disk::DiskCache;
+use crate::key::{analysis_key, program_key, report_key, stations_key, ReportFormat};
+use crate::store::{StageCounters, StageStore};
+
+/// Hit/build counters across every layer of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounters {
+    /// Built-workload stage (assembly + verify closure).
+    pub workloads: StageCounters,
+    /// Program-image stage (builds here are clones or blob decodes, not
+    /// assemblies — `diag_workloads::build_calls` counts those).
+    pub programs: StageCounters,
+    /// Station-table lowering stage.
+    pub stations: StageCounters,
+    /// Static-analysis stage.
+    pub analyses: StageCounters,
+    /// Rendered-report stage.
+    pub reports: StageCounters,
+    /// Artifacts served from on-disk blobs.
+    pub disk_hits: u64,
+    /// Blobs written to disk.
+    pub disk_writes: u64,
+}
+
+impl CacheCounters {
+    /// Total in-memory hits across all stages.
+    pub fn hits(&self) -> u64 {
+        self.workloads.hits
+            + self.programs.hits
+            + self.stations.hits
+            + self.analyses.hits
+            + self.reports.hits
+    }
+
+    /// Total builds across all stages.
+    pub fn builds(&self) -> u64 {
+        self.workloads.builds
+            + self.programs.builds
+            + self.stations.builds
+            + self.analyses.builds
+            + self.reports.builds
+    }
+
+    /// One-line summary for status output.
+    pub fn summary(&self) -> String {
+        format!(
+            "cache: {} hits, {} builds (workloads {}/{}, stations {}/{}, analyses {}/{}, \
+             reports {}/{}; disk {} hits, {} writes)",
+            self.hits(),
+            self.builds(),
+            self.workloads.hits,
+            self.workloads.builds,
+            self.stations.hits,
+            self.stations.builds,
+            self.analyses.hits,
+            self.analyses.builds,
+            self.reports.hits,
+            self.reports.builds,
+            self.disk_hits,
+            self.disk_writes,
+        )
+    }
+}
+
+/// A process-wide artifact store over the preparation pipeline.
+#[derive(Debug, Default)]
+pub struct Session {
+    workloads: StageStore<BuiltWorkload>,
+    programs: StageStore<Program>,
+    stations: StageStore<StationTable>,
+    analyses: StageStore<Analysis>,
+    reports: StageStore<String>,
+    disk: Option<DiskCache>,
+    disk_hits: AtomicU64,
+    disk_writes: AtomicU64,
+}
+
+impl Session {
+    /// A session with no on-disk layer (unit tests, `--no-cache`).
+    pub fn in_memory() -> Session {
+        Session::default()
+    }
+
+    /// A session backed by `disk` for cross-process artifact reuse.
+    pub fn with_disk(disk: DiskCache) -> Session {
+        Session {
+            disk: Some(disk),
+            ..Session::default()
+        }
+    }
+
+    /// A session over the conventional cache directory
+    /// ([`DiskCache::default_dir`]); degrades to in-memory if the
+    /// directory cannot be created.
+    pub fn open_default() -> Session {
+        match DiskCache::open(DiskCache::default_dir(), DiskCache::DEFAULT_BUDGET) {
+            Ok(disk) => Session::with_disk(disk),
+            Err(_) => Session::in_memory(),
+        }
+    }
+
+    /// The on-disk layer, if this session has one.
+    pub fn disk(&self) -> Option<&DiskCache> {
+        self.disk.as_ref()
+    }
+
+    /// The built workload (program + verify closure) for
+    /// `(spec, params)`, assembling at most once per key.
+    ///
+    /// # Errors
+    ///
+    /// Returns the build error, first-hand or cached.
+    pub fn workload(
+        &self,
+        spec: &WorkloadSpec,
+        params: &Params,
+    ) -> Result<Arc<BuiltWorkload>, String> {
+        let key = program_key(spec.name, params);
+        let (built, fresh) = self.workloads.get_or_build(key.hash, || {
+            let wl = spec.build(params).map_err(|e| e.to_string())?;
+            Ok(Arc::new(wl))
+        })?;
+        if fresh {
+            // Persist the image so future processes can analyze without
+            // assembling (the verify closure itself cannot persist).
+            if let Some(disk) = &self.disk {
+                disk.store(key, &encode_program(&built.program));
+                self.disk_writes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(built)
+    }
+
+    /// The bare program image for `(spec, params)`. Prefers the built
+    /// workload already in memory, then an on-disk blob, and only then
+    /// assembles — so analysis-only consumers never pay for input
+    /// generation twice across processes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the workload build error if assembly is needed and fails.
+    pub fn program(&self, spec: &WorkloadSpec, params: &Params) -> Result<Arc<Program>, String> {
+        let key = program_key(spec.name, params);
+        if let Some(wl) = self.workloads.peek(key.hash) {
+            return Ok(self
+                .programs
+                .get_or_build(key.hash, || Ok(Arc::new(wl.program.clone())))?
+                .0);
+        }
+        let (program, _) = self.programs.get_or_build(key.hash, || {
+            if let Some(disk) = &self.disk {
+                if let Some(payload) = disk.load(key) {
+                    if let Some(program) = decode_program(&payload) {
+                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(Arc::new(program));
+                    }
+                }
+            }
+            let wl = self.workload(spec, params)?;
+            Ok(Arc::new(wl.program.clone()))
+        })?;
+        Ok(program)
+    }
+
+    /// The whole-text [`StationTable`] lowering of `(spec, params)`,
+    /// shared by every machine that mounts the same program. `config` is
+    /// the DiAG geometry the table serves (`None` for the baselines).
+    ///
+    /// # Errors
+    ///
+    /// Returns the upstream program error if the image must be built and
+    /// fails.
+    pub fn stations(
+        &self,
+        spec: &WorkloadSpec,
+        params: &Params,
+        config: Option<&DiagConfig>,
+    ) -> Result<Arc<StationTable>, String> {
+        let key = stations_key(program_key(spec.name, params), config);
+        let (table, _) = self.stations.get_or_build(key.hash, || {
+            let program = self.program(spec, params)?;
+            Ok(Arc::new(StationTable::build(
+                program.text_base(),
+                program.text(),
+            )))
+        })?;
+        Ok(table)
+    }
+
+    /// The static analysis of `(spec, params)` under `opts`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the upstream program error if the image must be built and
+    /// fails.
+    pub fn analysis(
+        &self,
+        spec: &WorkloadSpec,
+        params: &Params,
+        opts: &AnalyzeOptions,
+    ) -> Result<Arc<Analysis>, String> {
+        let key = analysis_key(program_key(spec.name, params), opts);
+        let (analysis, _) = self.analyses.get_or_build(key.hash, || {
+            let program = self.program(spec, params)?;
+            Ok(Arc::new(analyze(&program, opts)))
+        })?;
+        Ok(analysis)
+    }
+
+    /// The rendered analysis report, persisted as a disk blob so warm
+    /// runs reproduce it byte-for-byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns the upstream program error if the image must be built and
+    /// fails.
+    pub fn analysis_report(
+        &self,
+        spec: &WorkloadSpec,
+        params: &Params,
+        opts: &AnalyzeOptions,
+        format: ReportFormat,
+    ) -> Result<Arc<String>, String> {
+        let key = report_key(analysis_key(program_key(spec.name, params), opts), format);
+        let (report, _) = self.reports.get_or_build(key.hash, || {
+            if let Some(disk) = &self.disk {
+                if let Some(payload) = disk.load(key) {
+                    if let Ok(text) = String::from_utf8(payload) {
+                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(Arc::new(text));
+                    }
+                }
+            }
+            let program = self.program(spec, params)?;
+            let analysis = self.analysis(spec, params, opts)?;
+            let text = match format {
+                ReportFormat::Text => text_report(spec.name, &program, &analysis),
+                ReportFormat::Json => json_report(spec.name, &analysis),
+            };
+            if let Some(disk) = &self.disk {
+                disk.store(key, text.as_bytes());
+                self.disk_writes.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(Arc::new(text))
+        })?;
+        Ok(report)
+    }
+
+    /// Counters across all layers since this session was created.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            workloads: self.workloads.counters(),
+            programs: self.programs.counters(),
+            stations: self.stations.counters(),
+            analyses: self.analyses.counters(),
+            reports: self.reports.counters(),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_writes: self.disk_writes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_workloads::find;
+
+    #[test]
+    fn workload_assembles_once() {
+        let session = Session::in_memory();
+        let spec = find("hotspot").expect("registered");
+        let params = Params::tiny();
+        let before = diag_workloads::build_calls();
+        let a = session.workload(&spec, &params).unwrap();
+        let b = session.workload(&spec, &params).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(diag_workloads::build_calls() - before, 1);
+    }
+
+    #[test]
+    fn stations_lower_once_and_key_on_config() {
+        let session = Session::in_memory();
+        let spec = find("hotspot").expect("registered");
+        let params = Params::tiny();
+        let a = session.stations(&spec, &params, None).unwrap();
+        let b = session.stations(&spec, &params, None).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let diag = DiagConfig::f4c32();
+        let c = session.stations(&spec, &params, Some(&diag)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "config is part of the key");
+    }
+
+    #[test]
+    fn analysis_and_report_are_shared() {
+        let session = Session::in_memory();
+        let spec = find("nn").expect("registered");
+        let params = Params::tiny();
+        let opts = AnalyzeOptions::default();
+        let a = session.analysis(&spec, &params, &opts).unwrap();
+        let b = session.analysis(&spec, &params, &opts).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let t1 = session
+            .analysis_report(&spec, &params, &opts, ReportFormat::Text)
+            .unwrap();
+        let t2 = session
+            .analysis_report(&spec, &params, &opts, ReportFormat::Text)
+            .unwrap();
+        assert!(Arc::ptr_eq(&t1, &t2));
+        assert!(t1.contains("nn"));
+    }
+
+    #[test]
+    fn disk_layer_serves_programs_across_sessions() {
+        let dir = std::env::temp_dir().join(format!("diag-session-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = find("hotspot").expect("registered");
+        let params = Params::tiny();
+
+        let cold = Session::with_disk(DiskCache::open(&dir, DiskCache::DEFAULT_BUDGET).unwrap());
+        let built = cold.workload(&spec, &params).unwrap();
+        assert_eq!(cold.counters().disk_writes, 1);
+
+        // A fresh session (fresh memory layer) over the same directory
+        // gets the image from disk without assembling.
+        let warm = Session::with_disk(DiskCache::open(&dir, DiskCache::DEFAULT_BUDGET).unwrap());
+        let before = diag_workloads::build_calls();
+        let image = warm.program(&spec, &params).unwrap();
+        assert_eq!(diag_workloads::build_calls(), before, "no assembly");
+        assert_eq!(warm.counters().disk_hits, 1);
+        assert_eq!(*image, built.program);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

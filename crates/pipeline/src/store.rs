@@ -1,0 +1,158 @@
+//! The in-memory artifact layer: one typed store per pipeline stage.
+//!
+//! Each store maps a key hash to a once-initialized cell. Concurrent
+//! requests for the same key (the sweep runner's worker pool) block on the
+//! one in-flight build instead of duplicating it; every later request is a
+//! hit that clones an `Arc`. Build failures are cached too — stage inputs
+//! fully determine the outcome, so retrying an identical failed build
+//! would only repeat the work to reproduce the same message.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+type Cell<T> = Arc<OnceLock<Result<Arc<T>, String>>>;
+
+/// Hit/build counters of one stage store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageCounters {
+    /// Requests served from an already-initialized cell.
+    pub hits: u64,
+    /// Requests that ran the build closure.
+    pub builds: u64,
+}
+
+/// A content-addressed, once-per-key store for one artifact type.
+#[derive(Debug)]
+pub struct StageStore<T> {
+    cells: Mutex<HashMap<u64, Cell<T>>>,
+    hits: AtomicU64,
+    builds: AtomicU64,
+}
+
+impl<T> Default for StageStore<T> {
+    fn default() -> StageStore<T> {
+        StageStore::new()
+    }
+}
+
+impl<T> StageStore<T> {
+    /// An empty store.
+    pub fn new() -> StageStore<T> {
+        StageStore {
+            cells: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+        }
+    }
+
+    /// The artifact for `key`, building it with `build` exactly once per
+    /// key per store lifetime. Returns the build's result (shared) and
+    /// whether *this* call ran the build.
+    ///
+    /// # Errors
+    ///
+    /// Returns the build error, first-hand or cached.
+    pub fn get_or_build<F>(&self, key: u64, build: F) -> Result<(Arc<T>, bool), String>
+    where
+        F: FnOnce() -> Result<Arc<T>, String>,
+    {
+        let cell = {
+            let mut cells = self.cells.lock().expect("stage store poisoned");
+            Arc::clone(cells.entry(key).or_default())
+        };
+        // The map lock is released before building: a slow build blocks
+        // only same-key requests (on the OnceLock), never the whole store.
+        let mut built = false;
+        let result = cell
+            .get_or_init(|| {
+                built = true;
+                build()
+            })
+            .clone();
+        if built {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result.map(|arc| (arc, built))
+    }
+
+    /// The cached artifact for `key`, if a build already completed.
+    pub fn peek(&self, key: u64) -> Option<Arc<T>> {
+        let cell = {
+            let cells = self.cells.lock().expect("stage store poisoned");
+            Arc::clone(cells.get(&key)?)
+        };
+        cell.get().and_then(|r| r.as_ref().ok().cloned())
+    }
+
+    /// Counters since construction.
+    pub fn counters(&self) -> StageCounters {
+        StageCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_once_then_hits() {
+        let store: StageStore<u32> = StageStore::new();
+        let (v, built) = store.get_or_build(7, || Ok(Arc::new(42))).unwrap();
+        assert_eq!((*v, built), (42, true));
+        let (v, built) = store
+            .get_or_build(7, || panic!("must not rebuild"))
+            .unwrap();
+        assert_eq!((*v, built), (42, false));
+        assert_eq!(store.counters(), StageCounters { hits: 1, builds: 1 });
+    }
+
+    #[test]
+    fn failures_are_cached() {
+        let store: StageStore<u32> = StageStore::new();
+        let err = store
+            .get_or_build(1, || Err("boom".to_string()))
+            .unwrap_err();
+        assert_eq!(err, "boom");
+        let err = store
+            .get_or_build(1, || panic!("must not rebuild"))
+            .unwrap_err();
+        assert_eq!(err, "boom");
+    }
+
+    #[test]
+    fn peek_sees_only_successes() {
+        let store: StageStore<u32> = StageStore::new();
+        assert!(store.peek(5).is_none());
+        let _ = store.get_or_build(5, || Ok(Arc::new(9)));
+        assert_eq!(store.peek(5).as_deref(), Some(&9));
+        let _ = store.get_or_build(6, || Err("no".to_string()));
+        assert!(store.peek(6).is_none());
+    }
+
+    #[test]
+    fn concurrent_same_key_builds_once() {
+        let store: Arc<StageStore<u64>> = Arc::new(StageStore::new());
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    store.get_or_build(3, || Ok(Arc::new(11))).unwrap().0
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(*h.join().unwrap(), 11);
+        }
+        assert_eq!(store.counters().builds, 1);
+        assert_eq!(store.counters().hits, 7);
+    }
+}

@@ -1,0 +1,117 @@
+//! Golden tests pinning artifact-key stability.
+//!
+//! The on-disk cache is only sound if the same typed inputs hash to the
+//! same 64-bit key in every process, on every host, forever (within one
+//! `SCHEMA_VERSION`). These literals were recorded once and must never
+//! change silently: if a key scheme change is intentional, bump
+//! [`diag_pipeline::SCHEMA_VERSION`] and re-record — old blobs are then
+//! rejected by their embedded schema field instead of being misread.
+
+use diag_analyze::AnalyzeOptions;
+use diag_core::DiagConfig;
+use diag_pipeline::{analysis_key, program_key, report_key, stations_key, ReportFormat, Stage};
+use diag_workloads::Params;
+
+#[test]
+fn keys_are_stable_across_processes() {
+    let program = program_key("hotspot", &Params::tiny());
+    let stations_bare = stations_key(program, None);
+    let stations_diag = stations_key(program, Some(&DiagConfig::f4c32()));
+    let analysis = analysis_key(program, &AnalyzeOptions::default());
+    let report = report_key(analysis, ReportFormat::Text);
+
+    // Recorded goldens. A mismatch means the key schema changed: every
+    // cached blob in the wild is now unreachable (or worse, aliased).
+    assert_eq!(program.hash, 0x9b90dcaa0e3aff5f, "program key drifted");
+    assert_eq!(
+        stations_bare.hash, 0x711e824d9ba9a21c,
+        "stations key drifted"
+    );
+    assert_eq!(
+        stations_diag.hash, 0xd288f846418cecc8,
+        "stations+config key drifted"
+    );
+    assert_eq!(analysis.hash, 0x5d7c6b00d981aaa9, "analysis key drifted");
+    assert_eq!(report.hash, 0xde31365c58413404, "report key drifted");
+}
+
+#[test]
+fn stage_tags_partition_the_key_space() {
+    let program = program_key("hotspot", &Params::tiny());
+    assert_eq!(program.stage, Stage::Program);
+    assert_eq!(stations_key(program, None).stage, Stage::Stations);
+    let analysis = analysis_key(program, &AnalyzeOptions::default());
+    assert_eq!(analysis.stage, Stage::Analysis);
+    assert_eq!(
+        report_key(analysis, ReportFormat::Json).stage,
+        Stage::Report
+    );
+}
+
+/// Every `Params` field must contribute to the program key — a field
+/// that does not hash is a field whose change silently serves stale
+/// artifacts. (The `StableKey` impls destructure exhaustively, so *new*
+/// fields are compile errors until they are hashed; this test guards the
+/// hashing of the fields that exist today.)
+#[test]
+fn every_params_field_changes_the_key() {
+    let base = Params::tiny();
+    let baseline = program_key("hotspot", &base);
+
+    let variants = [
+        Params {
+            scale: diag_workloads::Scale::Small,
+            ..base
+        },
+        base.with_threads(2),
+        base.with_simt(true),
+        Params { seed: 1, ..base },
+    ];
+    for (i, v) in variants.iter().enumerate() {
+        assert_ne!(
+            program_key("hotspot", v).hash,
+            baseline.hash,
+            "Params variant #{i} did not change the key"
+        );
+    }
+    assert_ne!(
+        program_key("nn", &base).hash,
+        baseline.hash,
+        "workload name did not change the key"
+    );
+}
+
+#[test]
+fn config_and_options_fields_change_their_keys() {
+    let program = program_key("hotspot", &Params::tiny());
+
+    let base_cfg = DiagConfig::f4c32();
+    let mut cfg = base_cfg.clone();
+    cfg.enable_reuse = !cfg.enable_reuse;
+    assert_ne!(
+        stations_key(program, Some(&cfg)).hash,
+        stations_key(program, Some(&base_cfg)).hash,
+        "DiagConfig change did not change the stations key"
+    );
+    assert_ne!(
+        stations_key(program, None).hash,
+        stations_key(program, Some(&base_cfg)).hash,
+        "None config must not alias Some(config)"
+    );
+
+    let base_opts = AnalyzeOptions::default();
+    let mut opts = AnalyzeOptions::default();
+    opts.threads += 1;
+    assert_ne!(
+        analysis_key(program, &opts).hash,
+        analysis_key(program, &base_opts).hash,
+        "AnalyzeOptions change did not change the analysis key"
+    );
+
+    let analysis = analysis_key(program, &base_opts);
+    assert_ne!(
+        report_key(analysis, ReportFormat::Text).hash,
+        report_key(analysis, ReportFormat::Json).hash,
+        "report format did not change the report key"
+    );
+}

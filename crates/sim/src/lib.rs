@@ -16,7 +16,7 @@ pub mod lockstep;
 mod machine;
 mod stats;
 
-pub use lockstep::{run_lockstep, Divergence, LockstepOutcome};
+pub use lockstep::{run_lockstep, run_lockstep_prepared, Divergence, LockstepOutcome};
 pub use machine::{Commit, Machine, SimError, StepOutcome};
 pub use stats::{Activity, RunStats, StallBreakdown, StallCause};
 // Convenience re-exports so machine implementors and harnesses don't need

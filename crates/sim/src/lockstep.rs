@@ -15,8 +15,10 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 
 use diag_asm::Program;
+use diag_isa::StationTable;
 
 use crate::machine::{Commit, Machine, SimError, StepOutcome};
 
@@ -85,8 +87,13 @@ struct Side<'m> {
 }
 
 impl<'m> Side<'m> {
-    fn new(machine: &'m mut dyn Machine, program: &Program, threads: usize) -> Side<'m> {
-        machine.load(program, threads);
+    fn new(
+        machine: &'m mut dyn Machine,
+        program: &Program,
+        stations: &Arc<StationTable>,
+        threads: usize,
+    ) -> Side<'m> {
+        machine.load_prepared(program, stations, threads);
         machine.set_commit_log(true);
         Side {
             machine,
@@ -127,6 +134,10 @@ impl<'m> Side<'m> {
 ///
 /// Propagates the first [`SimError`] either machine raises. A machine
 /// erroring is *not* a divergence — it is a failed run.
+///
+/// The program's [`StationTable`] is lowered once here and shared by both
+/// sides; callers that already hold a prepared table (the artifact
+/// pipeline) should use [`run_lockstep_prepared`] instead.
 pub fn run_lockstep(
     left: &mut dyn Machine,
     right: &mut dyn Machine,
@@ -134,9 +145,28 @@ pub fn run_lockstep(
     threads: usize,
     max_commits: u64,
 ) -> Result<LockstepOutcome, SimError> {
+    let stations = Arc::new(StationTable::build(program.text_base(), program.text()));
+    run_lockstep_prepared(left, right, program, &stations, threads, max_commits)
+}
+
+/// [`run_lockstep`] over prepared artifacts: both machines mount the
+/// caller's `stations` via [`Machine::load_prepared`], so a cached
+/// lowering is reused instead of rebuilt per differential run.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] either machine raises.
+pub fn run_lockstep_prepared(
+    left: &mut dyn Machine,
+    right: &mut dyn Machine,
+    program: &Program,
+    stations: &Arc<StationTable>,
+    threads: usize,
+    max_commits: u64,
+) -> Result<LockstepOutcome, SimError> {
     let threads = threads.max(1);
-    let mut l = Side::new(left, program, threads);
-    let mut r = Side::new(right, program, threads);
+    let mut l = Side::new(left, program, stations, threads);
+    let mut r = Side::new(right, program, stations, threads);
     let mut matched = 0u64;
 
     loop {

@@ -9,9 +9,10 @@
 //! want final results keep the one-call API.
 
 use std::fmt;
+use std::sync::Arc;
 
 use diag_asm::Program;
-use diag_isa::ArchReg;
+use diag_isa::{ArchReg, StationTable};
 use diag_profile::Profiler;
 use diag_trace::Tracer;
 
@@ -151,6 +152,21 @@ pub trait Machine {
     /// resetting all architectural and timing state from any prior run.
     fn load(&mut self, program: &Program, threads: usize);
 
+    /// [`Machine::load`], but with the program's predecoded
+    /// [`StationTable`] supplied by the caller — the artifact-pipeline
+    /// path, where one lowering is shared across every run of the same
+    /// program instead of being rebuilt per [`Machine::load`].
+    ///
+    /// Machines that consume a whole-text station table (the baselines)
+    /// override this to adopt `stations` instead of lowering their own;
+    /// machines with per-cluster residency arenas (DiAG populates
+    /// stations at line-load time, §4.2) ignore it and defer to `load`.
+    /// `stations` must have been built from `program`'s text segment.
+    fn load_prepared(&mut self, program: &Program, stations: &Arc<StationTable>, threads: usize) {
+        let _ = stations;
+        self.load(program, threads);
+    }
+
     /// Advances the machine by one schedulable quantum.
     ///
     /// # Errors
@@ -208,6 +224,27 @@ pub trait Machine {
     /// See [`SimError`] for the failure modes.
     fn run(&mut self, program: &Program, threads: usize) -> Result<RunStats, SimError> {
         self.load(program, threads);
+        loop {
+            if self.step()?.is_halted() {
+                return Ok(self.stats());
+            }
+        }
+    }
+
+    /// [`Machine::run`], but mounting prepared artifacts via
+    /// [`Machine::load_prepared`] so the shared [`StationTable`] is
+    /// adopted instead of re-lowered.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`] for the failure modes.
+    fn run_prepared(
+        &mut self,
+        program: &Program,
+        stations: &Arc<StationTable>,
+        threads: usize,
+    ) -> Result<RunStats, SimError> {
+        self.load_prepared(program, stations, threads);
         loop {
             if self.step()?.is_halted() {
                 return Ok(self.stats());

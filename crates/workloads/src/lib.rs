@@ -33,6 +33,6 @@ pub mod spec;
 pub mod util;
 
 pub use params::{
-    all, find, rodinia as rodinia_specs, spec as spec_specs, BuiltWorkload, Params, Scale, Suite,
-    ThreadModel, VerifyFn, WorkloadSpec,
+    all, build_calls, find, rodinia as rodinia_specs, spec as spec_specs, BuiltWorkload, Params,
+    Scale, Suite, ThreadModel, VerifyFn, WorkloadSpec,
 };

@@ -74,10 +74,20 @@ impl Params {
         self.simt = simt;
         self
     }
+
+    /// Returns a copy at the given problem scale.
+    pub fn with_scale(mut self, scale: Scale) -> Params {
+        self.scale = scale;
+        self
+    }
 }
 
 /// Verification closure type: checks a machine's post-run memory.
-pub type VerifyFn = Box<dyn Fn(&dyn Machine) -> Result<(), String>>;
+///
+/// `Send + Sync` so built workloads can be shared across the parallel
+/// sweep runner's workers through the artifact store (the closures only
+/// capture expected-result vectors and addresses).
+pub type VerifyFn = Box<dyn Fn(&dyn Machine) -> Result<(), String> + Send + Sync>;
 
 /// A built, runnable workload instance.
 pub struct BuiltWorkload {
@@ -136,9 +146,21 @@ pub struct WorkloadSpec {
     pub build: fn(&Params) -> Result<BuiltWorkload, AsmError>,
 }
 
+/// Process-wide count of [`WorkloadSpec::build`] calls.
+static BUILD_CALLS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// How many workload assemblies this process has performed.
+///
+/// The artifact-pipeline tests assert that warm-cache runs perform *zero*
+/// assemblies for already-keyed `(workload, params)` inputs.
+pub fn build_calls() -> u64 {
+    BUILD_CALLS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 impl WorkloadSpec {
     /// Builds the workload with the given parameters.
     pub fn build(&self, params: &Params) -> Result<BuiltWorkload, AsmError> {
+        BUILD_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         (self.build)(params)
     }
 }

@@ -11,6 +11,7 @@
 
 use diag::baseline::OooCpu;
 use diag::core::{Diag, DiagConfig};
+use diag::pipeline::Session;
 use diag::power::{BaselineEnergyModel, DiagEnergyModel};
 use diag::sim::Machine;
 use diag::workloads::{all, find, Params, Scale};
@@ -33,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         simt: false,
         seed: 0xD1A6,
     };
-    let built = spec.build(&params)?;
+    // One artifact store for the whole comparison: the workload is
+    // assembled once and both machines run the same cached program.
+    let session = Session::in_memory();
+    let built = session.workload(&spec, &params)?;
     println!(
         "{}: {} ({} threads, ~{} dynamic instructions)",
         spec.name, spec.description, threads, built.approx_work
@@ -43,10 +47,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let s_diag = diag.run(&built.program, threads)?;
     (built.verify)(&diag).map_err(|e| format!("DiAG verification: {e}"))?;
 
-    let built2 = spec.build(&params)?;
+    // The baseline adopts the session's cached station-table lowering
+    // instead of re-lowering the text itself.
+    let stations = session.stations(&spec, &params, None)?;
     let mut ooo = OooCpu::paper_baseline();
-    let s_ooo = ooo.run(&built2.program, threads)?;
-    (built2.verify)(&ooo).map_err(|e| format!("baseline verification: {e}"))?;
+    let s_ooo = ooo.run_prepared(&built.program, &stations, threads)?;
+    (built.verify)(&ooo).map_err(|e| format!("baseline verification: {e}"))?;
 
     let e_diag = DiagEnergyModel::default().energy(&s_diag);
     let e_ooo = BaselineEnergyModel::default().energy(&s_ooo);

@@ -14,7 +14,10 @@
 
 use diag::baseline::InOrder;
 use diag::core::{Diag, DiagConfig};
-use diag::sim::{run_lockstep, Commit, LockstepOutcome, Machine, RunStats, SimError, StepOutcome};
+use diag::pipeline::Session;
+use diag::sim::{
+    run_lockstep_prepared, Commit, LockstepOutcome, Machine, RunStats, SimError, StepOutcome,
+};
 use diag::workloads::{find, Params, Scale};
 
 /// Wraps a machine and corrupts the value of one register-writing
@@ -86,7 +89,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         simt: false,
         seed: 0xD1A6,
     };
-    let built = spec.build(&params)?;
+    // Prepare the program and its station-table lowering once through
+    // the artifact store; both lockstep sides mount the shared table.
+    let session = Session::in_memory();
+    let built = session.workload(&spec, &params)?;
+    let stations = session.stations(&spec, &params, None)?;
 
     let mut reference = InOrder::new();
     let outcome = if let Some(at) = corrupt {
@@ -96,11 +103,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             writes: 0,
         };
         println!("running {name} with register write #{at} corrupted on the DiAG side…");
-        run_lockstep(&mut left, &mut reference, &built.program, threads, u64::MAX)?
+        run_lockstep_prepared(
+            &mut left,
+            &mut reference,
+            &built.program,
+            &stations,
+            threads,
+            u64::MAX,
+        )?
     } else {
         let mut left = Diag::new(DiagConfig::f4c32());
         println!("running {name} on DiAG F4C32 vs the in-order reference…");
-        run_lockstep(&mut left, &mut reference, &built.program, threads, u64::MAX)?
+        run_lockstep_prepared(
+            &mut left,
+            &mut reference,
+            &built.program,
+            &stations,
+            threads,
+            u64::MAX,
+        )?
     };
 
     match outcome {

@@ -19,6 +19,10 @@
 //!   in-order reference machine.
 //! - [`power`]: Table-3-derived area/energy models.
 //! - [`workloads`]: Rodinia- and SPEC-style benchmark kernels.
+//! - [`pipeline`]: the staged preparation pipeline — a content-addressed
+//!   artifact store ([`pipeline::Session`]) that memoizes workload
+//!   assembly, station-table lowering, and analysis in memory and on
+//!   disk.
 //! - [`mod@bench`]: the experiment harness — per-figure regeneration
 //!   functions and the parallel [`bench::sweep`] runner.
 //!
@@ -58,6 +62,7 @@ pub use diag_bench as bench;
 pub use diag_core as core;
 pub use diag_isa as isa;
 pub use diag_mem as mem;
+pub use diag_pipeline as pipeline;
 pub use diag_power as power;
 pub use diag_sim as sim;
 pub use diag_trace as trace;

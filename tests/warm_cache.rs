@@ -1,0 +1,135 @@
+//! Warm-cache acceptance tests: a session that already holds an
+//! artifact must perform **zero** workload assemblies and **zero**
+//! whole-text station-table lowerings when asked again — counted by the
+//! process-global build hooks ([`diag_workloads::build_calls`],
+//! [`diag_isa::station_table_builds`]), the same technique as the
+//! zero-decode hot-loop test.
+//!
+//! These live in their own test binary: the counters are process-global,
+//! so each test takes before/after deltas and the assertions only hold
+//! when no unrelated test is assembling concurrently — `cargo test`
+//! runs each integration-test binary's tests in one process, and every
+//! test here tolerates only its own session's work between its fences.
+
+use std::sync::Mutex;
+
+use diag_bench::runner::{run_verified_with, MachineKind};
+use diag_bench::sweep::Sweep;
+use diag_pipeline::Session;
+use diag_workloads::{find, Params};
+
+/// Counter fences are process-global, so the tests in this binary must
+/// not interleave their measured regions.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn counters() -> (u64, u64) {
+    (
+        diag_workloads::build_calls(),
+        diag_isa::station_table_builds(),
+    )
+}
+
+#[test]
+fn warm_runs_assemble_and_lower_nothing() {
+    let _guard = SERIAL.lock().unwrap();
+    let session = Session::in_memory();
+    let spec = find("hotspot").expect("registered");
+    let params = Params::tiny();
+    let machines = [
+        MachineKind::Diag(diag_core::DiagConfig::f4c32()),
+        MachineKind::Ooo(1),
+        MachineKind::InOrder,
+    ];
+
+    // Cold: one assembly for the program, one lowering shared by both
+    // baselines (DiAG populates stations per-cluster at line-load time
+    // and never builds a whole-text table).
+    let (builds0, lowers0) = counters();
+    for kind in &machines {
+        run_verified_with(&session, kind, &spec, &params).expect("cold run");
+    }
+    let (builds1, lowers1) = counters();
+    assert_eq!(
+        builds1 - builds0,
+        1,
+        "cold sweep must assemble exactly once"
+    );
+    assert_eq!(lowers1 - lowers0, 1, "cold sweep must lower exactly once");
+
+    // Warm: every artifact is already keyed — zero of either.
+    for kind in &machines {
+        run_verified_with(&session, kind, &spec, &params).expect("warm run");
+    }
+    let (builds2, lowers2) = counters();
+    assert_eq!(builds2 - builds1, 0, "warm runs must not assemble");
+    assert_eq!(lowers2 - lowers1, 0, "warm runs must not re-lower");
+}
+
+#[test]
+fn parallel_sweep_shares_one_preparation_per_key() {
+    let _guard = SERIAL.lock().unwrap();
+    let spec = find("bfs").expect("registered");
+    let params = Params::tiny();
+
+    let mut sweep = Sweep::new();
+    for _ in 0..4 {
+        sweep.add(MachineKind::InOrder, spec, params);
+        sweep.add(MachineKind::Ooo(1), spec, params);
+    }
+    let (builds0, lowers0) = counters();
+    let session = Session::in_memory();
+    let results = sweep.execute_with(&session, 4);
+    assert!(results.failures().is_empty());
+    let (builds1, lowers1) = counters();
+    assert_eq!(
+        builds1 - builds0,
+        1,
+        "8 queued runs across 4 workers must share one assembly"
+    );
+    assert_eq!(
+        lowers1 - lowers0,
+        1,
+        "8 queued runs across 4 workers must share one lowering"
+    );
+    let c = session.counters();
+    assert_eq!(c.workloads.builds, 1);
+    assert!(c.workloads.hits >= 7, "remaining runs hit: {c:?}");
+}
+
+#[test]
+fn warm_disk_session_serves_analysis_without_assembly() {
+    let _guard = SERIAL.lock().unwrap();
+    let dir = std::env::temp_dir().join(format!("diag-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = find("nn").expect("registered");
+    let params = Params::tiny();
+    let opts = diag_analyze::AnalyzeOptions::default();
+
+    // Cold session populates the disk layer.
+    {
+        let session = Session::with_disk(
+            diag_pipeline::DiskCache::open(&dir, diag_pipeline::DiskCache::DEFAULT_BUDGET)
+                .expect("cache dir"),
+        );
+        session.workload(&spec, &params).expect("build");
+        session
+            .analysis_report(&spec, &params, &opts, diag_pipeline::ReportFormat::Json)
+            .expect("report");
+    }
+
+    // A fresh session over the same directory — as a new process would
+    // see it — renders the identical report with zero assemblies.
+    let session = Session::with_disk(
+        diag_pipeline::DiskCache::open(&dir, diag_pipeline::DiskCache::DEFAULT_BUDGET)
+            .expect("cache dir"),
+    );
+    let (builds0, _) = counters();
+    let report = session
+        .analysis_report(&spec, &params, &opts, diag_pipeline::ReportFormat::Json)
+        .expect("warm report");
+    let (builds1, _) = counters();
+    assert_eq!(builds1 - builds0, 0, "warm report must not assemble");
+    assert!(report.contains("nn"));
+    assert!(session.counters().disk_hits >= 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
