@@ -15,7 +15,9 @@ use std::sync::Arc;
 use diag_isa::{ExecKind, StationSlot, StationTable};
 use diag_mem::{CacheArray, LaneLookup, Lsu, MainMemory, MemLane, PrivateCache};
 use diag_sim::interp::{station_step, ArchState, MemEffect};
-use diag_sim::{Activity, Bucket, Commit, Profiler, RetireSample, SimError, StallBreakdown};
+use diag_sim::{
+    Activity, Bucket, Commit, Observer, Profiler, RetireSample, SimError, StallBreakdown,
+};
 use diag_trace::{Event, EventKind, StallCause, Tracer, Track};
 
 use crate::bpred::BranchPredictor;
@@ -80,6 +82,9 @@ pub struct O3Core {
     /// Cycle-accounting profiler (disabled by default; set through the
     /// machine's `set_profiler`).
     pub(crate) profiler: Profiler,
+    /// Verifier-soundness observer (disabled by default; set through the
+    /// machine's `set_observer`).
+    pub(crate) observer: Observer,
     /// PC the in-flight instruction's stalls are attributed to
     /// (`station_step` advances the architectural PC mid-step).
     prof_pc: u32,
@@ -128,6 +133,7 @@ impl O3Core {
             commits: Vec::new(),
             tracer: Tracer::off(),
             profiler: Profiler::off(),
+            observer: Observer::off(),
             prof_pc: entry,
             cfg,
             stations,
@@ -231,6 +237,14 @@ impl O3Core {
         }
         let info = station_step(&mut self.state, &self.stations, mem, None)?;
         debug_assert_eq!(info.pc, before_regs_pc);
+        self.observer.retire(
+            info.pc,
+            info.dest,
+            match info.mem {
+                MemEffect::Load { addr, .. } | MemEffect::Store { addr, .. } => Some(addr),
+                MemEffect::None => None,
+            },
+        );
 
         // ---- issue ------------------------------------------------------
         let mut ready = rename_t + 1;

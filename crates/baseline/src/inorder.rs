@@ -13,7 +13,9 @@ use diag_asm::Program;
 use diag_isa::{StationSlot, StationTable};
 use diag_mem::MainMemory;
 use diag_sim::interp::{station_step, ArchState, MemEffect};
-use diag_sim::{Bucket, Commit, Machine, Profiler, RetireSample, RunStats, SimError, StepOutcome};
+use diag_sim::{
+    Bucket, Commit, Machine, Observer, Profiler, RetireSample, RunStats, SimError, StepOutcome,
+};
 use diag_trace::{Event, EventKind, Tracer, Track};
 
 /// Flat memory access latency for the reference machine.
@@ -71,6 +73,7 @@ pub struct InOrder {
     commits: Vec<Commit>,
     tracer: Tracer,
     profiler: Profiler,
+    observer: Observer,
 }
 
 impl Default for InOrder {
@@ -90,6 +93,7 @@ impl InOrder {
             commits: Vec::new(),
             tracer: Tracer::off(),
             profiler: Profiler::off(),
+            observer: Observer::off(),
         }
     }
 
@@ -172,6 +176,14 @@ impl Machine for InOrder {
             }
         };
         let info = station_step(&mut run.state, &run.stations, &mut run.mem, None)?;
+        self.observer.retire(
+            info.pc,
+            info.dest,
+            match info.mem {
+                MemEffect::Load { addr, .. } | MemEffect::Store { addr, .. } => Some(addr),
+                MemEffect::None => None,
+            },
+        );
         let prev_clock = run.clock;
         let mut start = run.clock;
         for src in st.srcs.iter() {
@@ -300,6 +312,10 @@ impl Machine for InOrder {
 
     fn set_profiler(&mut self, profiler: Profiler) {
         self.profiler = profiler;
+    }
+
+    fn set_observer(&mut self, observer: Observer) {
+        self.observer = observer;
     }
 
     fn set_commit_log(&mut self, enabled: bool) {

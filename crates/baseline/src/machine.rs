@@ -12,7 +12,7 @@ use std::sync::Arc;
 use diag_asm::Program;
 use diag_isa::StationTable;
 use diag_mem::{MainMemory, PrivateCache, SharedLevel};
-use diag_sim::{Commit, Machine, Profiler, RunStats, SimError, StepOutcome};
+use diag_sim::{Commit, Machine, Observer, Profiler, RunStats, SimError, StepOutcome};
 use diag_trace::{Event, EventKind, Tracer, Track};
 
 use crate::config::O3Config;
@@ -49,6 +49,7 @@ impl OooRun {
         commit_log: bool,
         tracer: &Tracer,
         profiler: &Profiler,
+        observer: &Observer,
     ) {
         let batch = max_cores.min(self.threads - self.next_tid);
         let at = self.wave_start;
@@ -67,6 +68,7 @@ impl OooRun {
                 core.commit_log = commit_log;
                 core.tracer = tracer.clone();
                 core.profiler = profiler.clone();
+                core.observer = observer.clone();
                 let thread = core.thread_id() as u32;
                 tracer.emit(|| Event {
                     cycle: at,
@@ -123,6 +125,7 @@ pub struct OooCpu {
     commits: Vec<Commit>,
     tracer: Tracer,
     profiler: Profiler,
+    observer: Observer,
 }
 
 impl OooCpu {
@@ -143,6 +146,7 @@ impl OooCpu {
             commits: Vec::new(),
             tracer: Tracer::off(),
             profiler: Profiler::off(),
+            observer: Observer::off(),
         }
     }
 
@@ -204,6 +208,7 @@ impl OooCpu {
             self.commit_log,
             &self.tracer,
             &self.profiler,
+            &self.observer,
         );
         self.run = Some(run);
     }
@@ -252,6 +257,7 @@ impl Machine for OooCpu {
                 self.commit_log,
                 &self.tracer,
                 &self.profiler,
+                &self.observer,
             );
             Ok(StepOutcome::Running)
         } else {
@@ -292,6 +298,10 @@ impl Machine for OooCpu {
 
     fn set_profiler(&mut self, profiler: Profiler) {
         self.profiler = profiler;
+    }
+
+    fn set_observer(&mut self, observer: Observer) {
+        self.observer = observer;
     }
 
     fn set_commit_log(&mut self, enabled: bool) {

@@ -101,6 +101,7 @@ subcommands:
   run <experiment|all>   regenerate a paper table/figure (the leading
                          `run` may be omitted: `harness table1` works)
   analyze [workload ...] static dataflow analysis, no simulation
+  verify [workload ...]  abstract-interpretation verifier, no simulation
   sweep [workload ...]   run workloads on every machine; cycles/IPC table
   bench [workload ...]   time the simulator itself; write BENCH_sim.json
   trace <workload>       run one workload with tracing and export events
@@ -115,6 +116,8 @@ global options (every subcommand):
 
 run options:      [--scale tiny|small|full | --quick] [--jobs N] [--strict]
 analyze options:  [--json] [--scale tiny|small|full] [--threads N] [--simt]
+verify options:   [--json] [--scale tiny|small|full] [--threads N] [--simt]
+                  [--strict] [--out FILE]
 sweep options:    [--scale tiny|small|full | --quick] [--jobs N] [--strict]
 bench options:    [--scale tiny|small|full | --quick] [--repeat N] [--out FILE]
                   [--baseline FILE] [--max-regress PCT]
@@ -225,6 +228,89 @@ fn analyze_cmd(args: &[String]) -> i32 {
     } else {
         0
     }
+}
+
+/// The `verify` subcommand: abstract-interpretation verification over
+/// bundled workloads. Returns the process exit code.
+fn verify_cmd(args: &[String]) -> i32 {
+    const SPEC: CliSpec = CliSpec {
+        cmd: "verify",
+        flags: &[
+            Flag::Scale,
+            Flag::Threads,
+            Flag::Simt,
+            Flag::Strict,
+            Flag::Out,
+        ],
+        extras: &[Extra {
+            name: "--json",
+            takes_value: false,
+        }],
+        // Like `analyze`: verdicts do not depend on input size and the
+        // CI gate runs `verify --strict` on every push, so the cheap
+        // scale is the default.
+        default_scale: Scale::Tiny,
+    };
+    let args = parse_or_usage(&SPEC, args);
+    let json = args.has("--json");
+    let specs = resolve_workloads(&args.positionals);
+    let session = args.session();
+
+    let opts = diag_verify::VerifyOptions {
+        threads: args.threads,
+        trap_vector: None,
+    };
+    let params = args.params();
+    let format = if json {
+        ReportFormat::Json
+    } else {
+        ReportFormat::Text
+    };
+    let mut refuted = 0usize;
+    let mut collected = String::new();
+    for spec in &specs {
+        if args.simt && !spec.simt_capable {
+            continue;
+        }
+        let report = match session.verification_report(spec, &params, &opts, format) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: build failed: {e}", spec.name);
+                return 1;
+            }
+        };
+        if json {
+            println!("{report}");
+            collected.push_str(&report);
+            collected.push('\n');
+        } else {
+            print!("{report}");
+            collected.push_str(&report);
+        }
+        let verification = match session.verification(spec, &params, &opts) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{}: build failed: {e}", spec.name);
+                return 1;
+            }
+        };
+        refuted += verification.refuted_count();
+    }
+    if let Some(path) = &args.out {
+        if let Err(e) = write_output(path, &collected) {
+            eprintln!("{e}");
+            return 1;
+        }
+    }
+    report_cache(&session);
+    eprintln!("verify: {} fixpoint runs", diag_verify::fixpoint_runs());
+    if refuted > 0 {
+        eprintln!("verify: {refuted} refuted fact(s) (see reports)");
+        if args.strict {
+            return 1;
+        }
+    }
+    0
 }
 
 /// Looks up workload names (empty or `all` → every bundled workload),
@@ -828,6 +914,7 @@ fn main() {
             0
         }
         Some("analyze") => analyze_cmd(&args[1..]),
+        Some("verify") => verify_cmd(&args[1..]),
         Some("sweep") => sweep_cmd(&args[1..]),
         Some("bench") => bench_cmd(&args[1..]),
         Some("trace") => trace_cmd(&args[1..]),

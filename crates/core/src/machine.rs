@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use diag_asm::Program;
 use diag_mem::MainMemory;
-use diag_sim::{Commit, Machine, Profiler, RunStats, SimError, StepOutcome};
+use diag_sim::{Commit, Machine, Observer, Profiler, RunStats, SimError, StepOutcome};
 use diag_trace::{Event, EventKind, Tracer, Track};
 
 use crate::config::DiagConfig;
@@ -42,7 +42,13 @@ struct DiagRun {
 
 impl DiagRun {
     /// Launches the next wave of threads onto fresh rings.
-    fn launch_wave(&mut self, config: &Arc<DiagConfig>, commit_log: bool, profiler: &Profiler) {
+    fn launch_wave(
+        &mut self,
+        config: &Arc<DiagConfig>,
+        commit_log: bool,
+        profiler: &Profiler,
+        observer: &Observer,
+    ) {
         let batch = self.ring_count.min(self.threads - self.next_tid);
         self.rings = (0..batch)
             .map(|k| {
@@ -57,6 +63,7 @@ impl DiagRun {
                 ring.commit_log = commit_log;
                 ring.tracer = self.shared.tracer.clone();
                 ring.profiler = profiler.clone();
+                ring.observer = observer.clone();
                 ring
             })
             .collect();
@@ -115,6 +122,7 @@ pub struct Diag {
     commits: Vec<Commit>,
     tracer: Tracer,
     profiler: Profiler,
+    observer: Observer,
 }
 
 impl Diag {
@@ -135,6 +143,7 @@ impl Diag {
             commits: Vec::new(),
             tracer: Tracer::off(),
             profiler: Profiler::off(),
+            observer: Observer::off(),
         }
     }
 
@@ -231,7 +240,12 @@ impl Machine for Diag {
         // Threads beyond the ring capacity run in waves (the scheduling
         // table frees rings as threads halt; waves are a conservative
         // approximation).
-        run.launch_wave(&self.config, self.commit_log, &self.profiler);
+        run.launch_wave(
+            &self.config,
+            self.commit_log,
+            &self.profiler,
+            &self.observer,
+        );
         self.run = Some(run);
     }
 
@@ -264,7 +278,12 @@ impl Machine for Diag {
             // next wave, or finish the run.
             self.finish_wave(&mut run);
             if run.next_tid < run.threads {
-                run.launch_wave(&self.config, self.commit_log, &self.profiler);
+                run.launch_wave(
+                    &self.config,
+                    self.commit_log,
+                    &self.profiler,
+                    &self.observer,
+                );
                 Ok(StepOutcome::Running)
             } else {
                 run.stats.cycles = run.finish_time;
@@ -307,6 +326,10 @@ impl Machine for Diag {
 
     fn set_profiler(&mut self, profiler: Profiler) {
         self.profiler = profiler;
+    }
+
+    fn set_observer(&mut self, observer: Observer) {
+        self.observer = observer;
     }
 
     fn set_commit_log(&mut self, enabled: bool) {

@@ -21,7 +21,9 @@ use std::sync::Arc;
 use diag_asm::Program;
 use diag_isa::{decode, exec, ArchReg, ExecKind, Inst, Reg, Station, StationSlot, INST_BYTES};
 use diag_mem::{LaneLookup, MemLane, REGFILE_BEATS};
-use diag_sim::{Activity, Bucket, Commit, Profiler, RetireSample, SimError, StallBreakdown};
+use diag_sim::{
+    Activity, Bucket, Commit, Observer, Profiler, RetireSample, SimError, StallBreakdown,
+};
 use diag_trace::{Counter, Counters, Event, EventKind, StallCause, Tracer, Track};
 
 use crate::cluster::Cluster;
@@ -132,6 +134,9 @@ pub struct RingSim {
     /// `tracer`. [`Profiler::off`] until the machine installs a
     /// collector.
     pub(crate) profiler: Profiler,
+    /// The shared verifier-soundness observer, cloned at wave launch like
+    /// `profiler`. [`Observer::off`] until the machine installs a log.
+    pub(crate) observer: Observer,
     /// Validated-SIMT-region cache keyed by the `simt_s` address. Region
     /// well-formedness is a static property of the program text, so each
     /// `simt_s` is scanned and its body lowered to stations exactly once;
@@ -197,6 +202,7 @@ impl RingSim {
             commits: Vec::new(),
             tracer: Tracer::off(),
             profiler: Profiler::off(),
+            observer: Observer::off(),
             region_cache: diag_mem::FxHashMap::default(),
             program,
             config,
@@ -707,6 +713,7 @@ impl RingSim {
 
         let mut next_pc = pc.wrapping_add(INST_BYTES);
         let mut lane_write: Option<(ArchReg, u32)> = None;
+        let mut mem_addr: Option<u32> = None;
         let mut slot_release: Option<u64> = None;
         let finish: u64;
 
@@ -757,6 +764,7 @@ impl RingSim {
                 if !addr.is_multiple_of(size) {
                     return Err(SimError::Misaligned { addr, size });
                 }
+                mem_addr = Some(addr);
                 let (issue, ready) = self.issue_mem(cluster, addr, size, false, start, shared);
                 slot_release = Some(issue + 1);
                 finish = ready;
@@ -775,6 +783,7 @@ impl RingSim {
                 if !addr.is_multiple_of(size) {
                     return Err(SimError::Misaligned { addr, size });
                 }
+                mem_addr = Some(addr);
                 let value = self.lanes.value(rs2);
                 shared.mem.write(addr, size, value);
                 let (issue, ready) = self.issue_mem(cluster, addr, size, true, start, shared);
@@ -787,6 +796,7 @@ impl RingSim {
                 if !addr.is_multiple_of(4) {
                     return Err(SimError::Misaligned { addr, size: 4 });
                 }
+                mem_addr = Some(addr);
                 let (issue, ready) = self.issue_mem(cluster, addr, 4, false, start, shared);
                 slot_release = Some(issue + 1);
                 finish = ready;
@@ -798,6 +808,7 @@ impl RingSim {
                 if !addr.is_multiple_of(4) {
                     return Err(SimError::Misaligned { addr, size: 4 });
                 }
+                mem_addr = Some(addr);
                 shared.mem.write_u32(addr, self.lanes.value(rs2));
                 let (issue, ready) = self.issue_mem(cluster, addr, 4, true, start, shared);
                 slot_release = Some(issue + 1);
@@ -898,6 +909,7 @@ impl RingSim {
                 dest: lane_write.filter(|(lane, _)| !lane.is_zero()),
             });
         }
+        self.observer.retire(pc, lane_write, mem_addr);
         // Drive the destination lane and retire through the PC lane.
         if let Some((lane, value)) = lane_write {
             self.lanes.write(lane, value, finish, slot);

@@ -116,6 +116,12 @@ impl RingSim {
             });
         }
 
+        // Pipelined execution is now committed. The observer sees the same
+        // architectural stream the sequential marker path would retire:
+        // simt_s once per region entry (rc passes through unchanged) …
+        self.observer
+            .retire(pc_s, Some((rc.into(), rc0 as u32)), None);
+
         // Spawn time: simt_s needs its operands and a loaded first stage.
         let entry_slot = self.stage_slot(0, pc_s, &region);
         let mut t0 = self.time_floor;
@@ -171,6 +177,9 @@ impl RingSim {
             end_time = end_time.max(exit);
 
             let rc_next = rc_i.wrapping_add(step);
+            // … and simt_e once per instance, writing the advanced rc.
+            self.observer
+                .retire(region.pc_e, Some((rc.into(), rc_next as u32)), None);
             let done = rc_next >= end;
             if done {
                 lanes.set_value(rc.into(), rc_next as u32);
@@ -490,7 +499,7 @@ impl RingSim {
     fn eval_body_station(
         &mut self,
         st: &Station,
-        _pc: u32,
+        pc: u32,
         start: u64,
         stage: usize,
         _slot: usize,
@@ -502,6 +511,7 @@ impl RingSim {
     ) -> Result<(u64, Option<(diag_isa::ArchReg, u32)>), SimError> {
         let latency = st.latency as u64;
         let dst = |value: u32| st.dest.map(|d| (d, value));
+        let mut mem_addr: Option<u32> = None;
         let out = match st.kind {
             ExecKind::Const { value } => (start + 1, dst(value)),
             ExecKind::AluImm { op, rs1, imm } => {
@@ -532,6 +542,7 @@ impl RingSim {
                 if !addr.is_multiple_of(size) {
                     return Err(SimError::Misaligned { addr, size });
                 }
+                mem_addr = Some(addr);
                 let ready = self.simt_mem(
                     stage,
                     addr,
@@ -557,6 +568,7 @@ impl RingSim {
                 if !addr.is_multiple_of(size) {
                     return Err(SimError::Misaligned { addr, size });
                 }
+                mem_addr = Some(addr);
                 shared.mem.write(addr, size, lanes.value(rs2));
                 let ready =
                     self.simt_mem(stage, addr, size, true, start, memlane, store_floor, shared);
@@ -568,6 +580,7 @@ impl RingSim {
                 if !addr.is_multiple_of(4) {
                     return Err(SimError::Misaligned { addr, size: 4 });
                 }
+                mem_addr = Some(addr);
                 let ready =
                     self.simt_mem(stage, addr, 4, false, start, memlane, store_floor, shared);
                 self.stats.counters.inc(Counter::Loads);
@@ -578,6 +591,7 @@ impl RingSim {
                 if !addr.is_multiple_of(4) {
                     return Err(SimError::Misaligned { addr, size: 4 });
                 }
+                mem_addr = Some(addr);
                 shared.mem.write_u32(addr, lanes.value(rs2));
                 let ready =
                     self.simt_mem(stage, addr, 4, true, start, memlane, store_floor, shared);
@@ -615,6 +629,7 @@ impl RingSim {
                 });
             }
         };
+        self.observer.retire(pc, out.1, mem_addr);
         Ok(out)
     }
 

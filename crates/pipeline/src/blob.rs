@@ -64,15 +64,31 @@ fn push_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
 struct Reader<'a> {
     bytes: &'a [u8],
     at: usize,
 }
 
 impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let v = *self.bytes.get(self.at)?;
+        self.at += 1;
+        Some(v)
+    }
+
     fn u32(&mut self) -> Option<u32> {
         let v = u32::from_le_bytes(self.bytes.get(self.at..self.at + 4)?.try_into().ok()?);
         self.at += 4;
+        Some(v)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let v = u64::from_le_bytes(self.bytes.get(self.at..self.at + 8)?.try_into().ok()?);
+        self.at += 8;
         Some(v)
     }
 
@@ -140,6 +156,193 @@ pub fn decode_program(bytes: &[u8]) -> Option<Program> {
     ))
 }
 
+fn push_itv(out: &mut Vec<u8>, itv: &diag_verify::Itv) {
+    push_u32(out, itv.lo);
+    push_u32(out, itv.hi);
+    out.push(itv.tz);
+}
+
+fn push_opt_itv(out: &mut Vec<u8>, itv: &Option<diag_verify::Itv>) {
+    match itv {
+        None => out.push(0),
+        Some(i) => {
+            out.push(1);
+            push_itv(out, i);
+        }
+    }
+}
+
+fn read_itv(r: &mut Reader<'_>) -> Option<diag_verify::Itv> {
+    Some(diag_verify::Itv {
+        lo: r.u32()?,
+        hi: r.u32()?,
+        tz: r.u8()?,
+    })
+}
+
+fn read_opt_itv(r: &mut Reader<'_>) -> Option<Option<diag_verify::Itv>> {
+    match r.u8()? {
+        0 => Some(None),
+        1 => Some(Some(read_itv(r)?)),
+        _ => None,
+    }
+}
+
+fn fact_kind_code(kind: diag_verify::FactKind) -> u8 {
+    kind.code()
+}
+
+fn fact_kind_from(code: u8) -> Option<diag_verify::FactKind> {
+    use diag_verify::FactKind;
+    Some(match code {
+        0 => FactKind::MemBounds,
+        1 => FactKind::MemAlign,
+        2 => FactKind::BranchTarget,
+        3 => FactKind::TripCount,
+        4 => FactKind::ConstFold,
+        5 => FactKind::Unreachable,
+        _ => return None,
+    })
+}
+
+fn verdict_code(v: diag_verify::Verdict) -> u8 {
+    match v {
+        diag_verify::Verdict::Proved => 0,
+        diag_verify::Verdict::Refuted => 1,
+        diag_verify::Verdict::Unknown => 2,
+    }
+}
+
+fn verdict_from(code: u8) -> Option<diag_verify::Verdict> {
+    use diag_verify::Verdict;
+    Some(match code {
+        0 => Verdict::Proved,
+        1 => Verdict::Refuted,
+        2 => Verdict::Unknown,
+        _ => return None,
+    })
+}
+
+/// Serializes a [`diag_verify::Verification`] payload: engine statistics,
+/// the per-PC interval map, all facts, and loop trip bounds — everything
+/// the reports and the soundness harness consume, so a decoded
+/// verification serves `--strict` runs without re-running the fixpoint.
+pub fn encode_verification(v: &diag_verify::Verification) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_u32(&mut out, v.threads as u32);
+    out.push(u8::from(v.imprecise_indirect));
+    push_u64(&mut out, v.iterations);
+    push_u64(&mut out, v.widenings);
+    push_u32(&mut out, v.pcs.len() as u32);
+    for (&pc, iv) in &v.pcs {
+        push_u32(&mut out, pc);
+        push_opt_itv(&mut out, &iv.dest);
+        push_opt_itv(&mut out, &iv.addr);
+    }
+    push_u32(&mut out, v.facts.len() as u32);
+    for f in &v.facts {
+        push_u32(&mut out, f.pc);
+        out.push(fact_kind_code(f.kind));
+        out.push(verdict_code(f.verdict));
+        push_opt_itv(&mut out, &f.witness);
+        push_u32(&mut out, f.detail.len() as u32);
+        out.extend_from_slice(f.detail.as_bytes());
+    }
+    push_u32(&mut out, v.loops.len() as u32);
+    for t in &v.loops {
+        push_u32(&mut out, t.head_pc);
+        push_u32(&mut out, t.latch_pc);
+        match t.entry_pc {
+            None => out.push(0),
+            Some(pc) => {
+                out.push(1);
+                push_u32(&mut out, pc);
+            }
+        }
+        match t.iterations {
+            None => out.push(0),
+            Some((lo, hi)) => {
+                out.push(1);
+                push_u64(&mut out, lo);
+                push_u64(&mut out, hi);
+            }
+        }
+    }
+    out
+}
+
+/// Decodes an [`encode_verification`] payload, or `None` if malformed.
+pub fn decode_verification(bytes: &[u8]) -> Option<diag_verify::Verification> {
+    let mut r = Reader { bytes, at: 0 };
+    let threads = r.u32()? as usize;
+    let imprecise_indirect = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    let iterations = r.u64()?;
+    let widenings = r.u64()?;
+    let pc_count = r.u32()? as usize;
+    let mut pcs = BTreeMap::new();
+    for _ in 0..pc_count {
+        let pc = r.u32()?;
+        let dest = read_opt_itv(&mut r)?;
+        let addr = read_opt_itv(&mut r)?;
+        pcs.insert(pc, diag_verify::PcIntervals { dest, addr });
+    }
+    let fact_count = r.u32()? as usize;
+    let mut facts = Vec::with_capacity(fact_count);
+    for _ in 0..fact_count {
+        let pc = r.u32()?;
+        let kind = fact_kind_from(r.u8()?)?;
+        let verdict = verdict_from(r.u8()?)?;
+        let witness = read_opt_itv(&mut r)?;
+        let detail_len = r.u32()? as usize;
+        let detail = String::from_utf8(r.take(detail_len)?.to_vec()).ok()?;
+        facts.push(diag_verify::Fact {
+            pc,
+            kind,
+            verdict,
+            witness,
+            detail,
+        });
+    }
+    let loop_count = r.u32()? as usize;
+    let mut loops = Vec::with_capacity(loop_count);
+    for _ in 0..loop_count {
+        let head_pc = r.u32()?;
+        let latch_pc = r.u32()?;
+        let entry_pc = match r.u8()? {
+            0 => None,
+            1 => Some(r.u32()?),
+            _ => return None,
+        };
+        let iterations = match r.u8()? {
+            0 => None,
+            1 => Some((r.u64()?, r.u64()?)),
+            _ => return None,
+        };
+        loops.push(diag_verify::LoopTrip {
+            head_pc,
+            latch_pc,
+            entry_pc,
+            iterations,
+        });
+    }
+    if !r.done() {
+        return None;
+    }
+    Some(diag_verify::Verification {
+        threads,
+        imprecise_indirect,
+        iterations,
+        widenings,
+        pcs,
+        facts,
+        loops,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,5 +404,33 @@ mod tests {
         let mut payload = encode_program(&sample_program());
         payload.push(0);
         assert_eq!(decode_program(&payload), None);
+    }
+
+    #[test]
+    fn verification_round_trips_exactly() {
+        let program = diag_asm::assemble(
+            "li t0, 0\nloop:\naddi t0, t0, 1\nblt t0, a1, loop\nsw t0, 0(gp)\necall\n",
+        )
+        .unwrap();
+        let v = diag_verify::verify(
+            &program,
+            &diag_verify::VerifyOptions {
+                threads: 3,
+                trap_vector: None,
+            },
+        );
+        let payload = encode_verification(&v);
+        let d = decode_verification(&payload).expect("decodes");
+        // Re-encoding the decoded value must be byte-identical (the
+        // warm-cache path serves exactly these bytes).
+        assert_eq!(encode_verification(&d), payload);
+        assert_eq!(d.threads, v.threads);
+        assert_eq!(d.facts.len(), v.facts.len());
+        assert_eq!(d.pcs.len(), v.pcs.len());
+        assert_eq!(d.loops.len(), v.loops.len());
+        assert_eq!(d.loops[0].iterations, v.loops[0].iterations);
+        let mut truncated = payload.clone();
+        truncated.pop();
+        assert!(decode_verification(&truncated).is_none());
     }
 }

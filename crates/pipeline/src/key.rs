@@ -277,8 +277,10 @@ pub enum Stage {
     Stations,
     /// `Program + AnalyzeOptions → Analysis` (static analysis).
     Analysis,
-    /// A rendered analysis report (text or JSON).
+    /// A rendered analysis or verification report (text or JSON).
     Report,
+    /// `Program + VerifyOptions → Verification` (abstract interpretation).
+    Verification,
 }
 
 impl Stage {
@@ -289,6 +291,7 @@ impl Stage {
             Stage::Stations => "stations",
             Stage::Analysis => "analysis",
             Stage::Report => "report",
+            Stage::Verification => "verification",
         }
     }
 
@@ -299,6 +302,7 @@ impl Stage {
             Stage::Stations => 2,
             Stage::Analysis => 3,
             Stage::Report => 4,
+            Stage::Verification => 5,
         }
     }
 }
@@ -372,6 +376,28 @@ pub fn analysis_key(program: ArtifactKey, opts: &AnalyzeOptions) -> ArtifactKey 
     opts.stable_hash(&mut h);
     ArtifactKey {
         stage: Stage::Analysis,
+        hash: h.finish(),
+    }
+}
+
+impl StableKey for diag_verify::VerifyOptions {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        let diag_verify::VerifyOptions {
+            threads,
+            trap_vector,
+        } = self;
+        threads.stable_hash(h);
+        trap_vector.stable_hash(h);
+    }
+}
+
+/// Key of the verification stage: `Program + VerifyOptions → Verification`.
+pub fn verification_key(program: ArtifactKey, opts: &diag_verify::VerifyOptions) -> ArtifactKey {
+    let mut h = stage_hasher(Stage::Verification);
+    h.write_u64(program.hash);
+    opts.stable_hash(&mut h);
+    ArtifactKey {
+        stage: Stage::Verification,
         hash: h.finish(),
     }
 }

@@ -46,8 +46,8 @@ pub mod store;
 
 pub use disk::{DiskCache, DiskStats};
 pub use key::{
-    analysis_key, program_key, report_key, stations_key, ArtifactKey, ReportFormat, StableHasher,
-    StableKey, Stage, SCHEMA_VERSION,
+    analysis_key, program_key, report_key, stations_key, verification_key, ArtifactKey,
+    ReportFormat, StableHasher, StableKey, Stage, SCHEMA_VERSION,
 };
 pub use session::{CacheCounters, Session};
 pub use store::{StageCounters, StageStore};

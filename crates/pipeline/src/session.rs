@@ -16,6 +16,9 @@
 //!   lowering, shared by every machine that mounts the same program.
 //! - [`Session::analysis`] / [`Session::analysis_report`] — static
 //!   analysis and its rendered reports; reports also persist as blobs.
+//! - [`Session::verification`] / [`Session::verification_report`] — the
+//!   abstract-interpretation verifier's facts; verifications persist as
+//!   blobs so warm `--strict` runs never re-run the fixpoint.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -26,9 +29,11 @@ use diag_core::DiagConfig;
 use diag_isa::StationTable;
 use diag_workloads::{BuiltWorkload, Params, WorkloadSpec};
 
-use crate::blob::{decode_program, encode_program};
+use crate::blob::{decode_program, decode_verification, encode_program, encode_verification};
 use crate::disk::DiskCache;
-use crate::key::{analysis_key, program_key, report_key, stations_key, ReportFormat};
+use crate::key::{
+    analysis_key, program_key, report_key, stations_key, verification_key, ReportFormat,
+};
 use crate::store::{StageCounters, StageStore};
 
 /// Hit/build counters across every layer of a session.
@@ -43,6 +48,8 @@ pub struct CacheCounters {
     pub stations: StageCounters,
     /// Static-analysis stage.
     pub analyses: StageCounters,
+    /// Static-verification stage.
+    pub verifications: StageCounters,
     /// Rendered-report stage.
     pub reports: StageCounters,
     /// Artifacts served from on-disk blobs.
@@ -58,6 +65,7 @@ impl CacheCounters {
             + self.programs.hits
             + self.stations.hits
             + self.analyses.hits
+            + self.verifications.hits
             + self.reports.hits
     }
 
@@ -67,6 +75,7 @@ impl CacheCounters {
             + self.programs.builds
             + self.stations.builds
             + self.analyses.builds
+            + self.verifications.builds
             + self.reports.builds
     }
 
@@ -74,7 +83,7 @@ impl CacheCounters {
     pub fn summary(&self) -> String {
         format!(
             "cache: {} hits, {} builds (workloads {}/{}, stations {}/{}, analyses {}/{}, \
-             reports {}/{}; disk {} hits, {} writes)",
+             verifications {}/{}, reports {}/{}; disk {} hits, {} writes)",
             self.hits(),
             self.builds(),
             self.workloads.hits,
@@ -83,6 +92,8 @@ impl CacheCounters {
             self.stations.builds,
             self.analyses.hits,
             self.analyses.builds,
+            self.verifications.hits,
+            self.verifications.builds,
             self.reports.hits,
             self.reports.builds,
             self.disk_hits,
@@ -98,6 +109,7 @@ pub struct Session {
     programs: StageStore<Program>,
     stations: StageStore<StationTable>,
     analyses: StageStore<Analysis>,
+    verifications: StageStore<diag_verify::Verification>,
     reports: StageStore<String>,
     disk: Option<DiskCache>,
     disk_hits: AtomicU64,
@@ -275,6 +287,84 @@ impl Session {
         Ok(report)
     }
 
+    /// The static verification of `(spec, params)` under `opts`. Served
+    /// from memory, then from an on-disk blob (no fixpoint run!), and
+    /// only then by running the abstract interpreter —
+    /// `diag_verify::fixpoint_runs()` stays flat on warm paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns the upstream program error if the image must be built and
+    /// fails.
+    pub fn verification(
+        &self,
+        spec: &WorkloadSpec,
+        params: &Params,
+        opts: &diag_verify::VerifyOptions,
+    ) -> Result<Arc<diag_verify::Verification>, String> {
+        let key = verification_key(program_key(spec.name, params), opts);
+        let (verification, _) = self.verifications.get_or_build(key.hash, || {
+            if let Some(disk) = &self.disk {
+                if let Some(payload) = disk.load(key) {
+                    if let Some(v) = decode_verification(&payload) {
+                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(Arc::new(v));
+                    }
+                }
+            }
+            let program = self.program(spec, params)?;
+            let v = diag_verify::verify(&program, opts);
+            if let Some(disk) = &self.disk {
+                disk.store(key, &encode_verification(&v));
+                self.disk_writes.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(Arc::new(v))
+        })?;
+        Ok(verification)
+    }
+
+    /// The rendered verification report, persisted as a disk blob so
+    /// warm runs reproduce it byte-for-byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns the upstream program error if the image must be built and
+    /// fails.
+    pub fn verification_report(
+        &self,
+        spec: &WorkloadSpec,
+        params: &Params,
+        opts: &diag_verify::VerifyOptions,
+        format: ReportFormat,
+    ) -> Result<Arc<String>, String> {
+        let key = report_key(
+            verification_key(program_key(spec.name, params), opts),
+            format,
+        );
+        let (report, _) = self.reports.get_or_build(key.hash, || {
+            if let Some(disk) = &self.disk {
+                if let Some(payload) = disk.load(key) {
+                    if let Ok(text) = String::from_utf8(payload) {
+                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(Arc::new(text));
+                    }
+                }
+            }
+            let program = self.program(spec, params)?;
+            let verification = self.verification(spec, params, opts)?;
+            let text = match format {
+                ReportFormat::Text => diag_verify::text_report(spec.name, &program, &verification),
+                ReportFormat::Json => diag_verify::json_report(spec.name, &verification),
+            };
+            if let Some(disk) = &self.disk {
+                disk.store(key, text.as_bytes());
+                self.disk_writes.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(Arc::new(text))
+        })?;
+        Ok(report)
+    }
+
     /// Counters across all layers since this session was created.
     pub fn counters(&self) -> CacheCounters {
         CacheCounters {
@@ -282,6 +372,7 @@ impl Session {
             programs: self.programs.counters(),
             stations: self.stations.counters(),
             analyses: self.analyses.counters(),
+            verifications: self.verifications.counters(),
             reports: self.reports.counters(),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             disk_writes: self.disk_writes.load(Ordering::Relaxed),

@@ -9,7 +9,10 @@
 
 use diag_analyze::AnalyzeOptions;
 use diag_core::DiagConfig;
-use diag_pipeline::{analysis_key, program_key, report_key, stations_key, ReportFormat, Stage};
+use diag_pipeline::{
+    analysis_key, program_key, report_key, stations_key, verification_key, ReportFormat, Stage,
+};
+use diag_verify::VerifyOptions;
 use diag_workloads::Params;
 
 #[test]
@@ -33,6 +36,12 @@ fn keys_are_stable_across_processes() {
     );
     assert_eq!(analysis.hash, 0x5d7c6b00d981aaa9, "analysis key drifted");
     assert_eq!(report.hash, 0xde31365c58413404, "report key drifted");
+
+    let verification = verification_key(program, &VerifyOptions::default());
+    assert_eq!(
+        verification.hash, 0xdb7965301b4215dd,
+        "verification key drifted"
+    );
 }
 
 #[test]
@@ -45,6 +54,12 @@ fn stage_tags_partition_the_key_space() {
     assert_eq!(
         report_key(analysis, ReportFormat::Json).stage,
         Stage::Report
+    );
+    let verification = verification_key(program, &VerifyOptions::default());
+    assert_eq!(verification.stage, Stage::Verification);
+    assert_ne!(
+        verification.hash, analysis.hash,
+        "verification and analysis stages must not alias"
     );
 }
 
@@ -113,5 +128,26 @@ fn config_and_options_fields_change_their_keys() {
         report_key(analysis, ReportFormat::Text).hash,
         report_key(analysis, ReportFormat::Json).hash,
         "report format did not change the report key"
+    );
+
+    let base_vopts = VerifyOptions::default();
+    let threads_vopts = VerifyOptions {
+        threads: base_vopts.threads + 1,
+        ..base_vopts
+    };
+    let trap_vopts = VerifyOptions {
+        trap_vector: Some(0x200),
+        ..base_vopts
+    };
+    let base_vkey = verification_key(program, &base_vopts);
+    assert_ne!(
+        verification_key(program, &threads_vopts).hash,
+        base_vkey.hash,
+        "VerifyOptions::threads did not change the verification key"
+    );
+    assert_ne!(
+        verification_key(program, &trap_vopts).hash,
+        base_vkey.hash,
+        "VerifyOptions::trap_vector did not change the verification key"
     );
 }

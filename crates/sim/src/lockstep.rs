@@ -180,9 +180,12 @@ pub fn run_lockstep_prepared(
 
         // Match as much of the common per-thread prefixes as possible.
         for t in 0..threads {
-            while !l.pending[t].is_empty() && !r.pending[t].is_empty() {
-                let a = l.pending[t].pop_front().expect("non-empty");
-                let b = r.pending[t].pop_front().expect("non-empty");
+            // Peek both before popping either: popping unconditionally
+            // would discard a commit from the longer queue when the
+            // other side has nothing to match it against yet.
+            while let (Some(&a), Some(&b)) = (l.pending[t].front(), r.pending[t].front()) {
+                l.pending[t].pop_front();
+                r.pending[t].pop_front();
                 if a != b {
                     return Ok(LockstepOutcome::Diverged(divergence(
                         program,

@@ -199,6 +199,17 @@ pub trait Machine {
     /// nothing.
     fn set_profiler(&mut self, _profiler: Profiler) {}
 
+    /// Installs an [`Observer`](crate::Observer) recording this machine's
+    /// per-PC value/address ranges for the static verifier's soundness
+    /// check (`diag-verify` vocabulary). Like [`Machine::set_profiler`],
+    /// it takes effect from the next [`Machine::load`]; installing
+    /// [`Observer::off`](crate::Observer::off) (the default) makes every
+    /// recording site a non-evaluating branch.
+    ///
+    /// Machines that are not instrumented ignore this and record
+    /// nothing.
+    fn set_observer(&mut self, _observer: crate::Observer) {}
+
     /// Enables or disables commit logging (disabled by default; logging
     /// every retirement costs memory proportional to the dynamic
     /// instruction count, so leave it off for performance runs).

@@ -1,0 +1,204 @@
+//! Runtime observation of per-PC value and address ranges.
+//!
+//! The static verifier (`diag-verify`) infers an interval for every
+//! destination value and memory address a program can produce. Its
+//! soundness contract — *observed ⊆ inferred* — is machine-checked by
+//! recording what the simulators actually execute and comparing. This
+//! module is the recording side: an [`Observer`] is a zero-cost-when-off
+//! hook (the same pattern as `diag-profile`'s `Profiler`) that machines
+//! clone into their hot loops; when enabled it folds each retirement into
+//! a shared [`ObservationLog`] of per-PC [`PcObserved`] records.
+//!
+//! Observations are deliberately a *subset* of architectural execution:
+//! recording fewer events can never break the ⊆ check, so machines are
+//! free to skip redundant records (e.g. nullified SIMT stations, which
+//! never execute architecturally either).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use diag_isa::ArchReg;
+
+/// Observed range of one quantity (destination values or addresses) at
+/// one PC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObservedRange {
+    /// Smallest value observed.
+    pub min: u32,
+    /// Largest value observed.
+    pub max: u32,
+    /// Minimum trailing-zero count observed (`0` observes as 32, matching
+    /// the verifier's alignment lattice where zero is maximally aligned).
+    pub min_tz: u32,
+    /// Number of observations folded in.
+    pub count: u64,
+}
+
+impl ObservedRange {
+    fn new(v: u32) -> ObservedRange {
+        ObservedRange {
+            min: v,
+            max: v,
+            min_tz: v.trailing_zeros(),
+            count: 1,
+        }
+    }
+
+    fn record(&mut self, v: u32) {
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.min_tz = self.min_tz.min(v.trailing_zeros());
+        self.count += 1;
+    }
+}
+
+/// Everything observed at one program counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcObserved {
+    /// Architectural executions (retirements) of this PC.
+    pub execs: u64,
+    /// Range of destination-lane values written (absent for stations with
+    /// no destination, e.g. stores and branches).
+    pub dest: Option<ObservedRange>,
+    /// Range of memory addresses accessed (absent for non-memory
+    /// stations).
+    pub addr: Option<ObservedRange>,
+}
+
+/// Per-PC observation records for one run, keyed by instruction address.
+#[derive(Debug, Default)]
+pub struct ObservationLog {
+    pcs: BTreeMap<u32, PcObserved>,
+}
+
+impl ObservationLog {
+    /// Creates an empty log.
+    pub fn new() -> ObservationLog {
+        ObservationLog::default()
+    }
+
+    /// The per-PC records, keyed by instruction address.
+    pub fn pcs(&self) -> &BTreeMap<u32, PcObserved> {
+        &self.pcs
+    }
+
+    /// Observed executions of `pc` (zero if never seen).
+    pub fn execs(&self, pc: u32) -> u64 {
+        self.pcs.get(&pc).map_or(0, |r| r.execs)
+    }
+
+    fn record(&mut self, pc: u32, dest: Option<(ArchReg, u32)>, addr: Option<u32>) {
+        let rec = self.pcs.entry(pc).or_default();
+        rec.execs += 1;
+        if let Some((lane, value)) = dest {
+            if !lane.is_zero() {
+                match &mut rec.dest {
+                    Some(r) => r.record(value),
+                    None => rec.dest = Some(ObservedRange::new(value)),
+                }
+            }
+        }
+        if let Some(a) = addr {
+            match &mut rec.addr {
+                Some(r) => r.record(a),
+                None => rec.addr = Some(ObservedRange::new(a)),
+            }
+        }
+    }
+}
+
+/// Shared handle machines and harnesses exchange: the log behind a
+/// `Rc<RefCell<…>>`, cloned into each ring/core at wave launch.
+pub type SharedObservations = Rc<RefCell<ObservationLog>>;
+
+/// The zero-cost-when-off observation hook.
+///
+/// [`Observer::off`] carries no collector: every recording call is an
+/// immediate `None` test on an `Option` the branch predictor learns, and
+/// the recorded values are only computed when enabled (callers pass them
+/// directly — they are already in registers at the hook sites).
+#[derive(Debug, Clone, Default)]
+pub struct Observer {
+    inner: Option<SharedObservations>,
+}
+
+impl Observer {
+    /// A disabled observer (records nothing).
+    pub fn off() -> Observer {
+        Observer { inner: None }
+    }
+
+    /// An observer feeding `shared`.
+    pub fn to_shared(shared: &SharedObservations) -> Observer {
+        Observer {
+            inner: Some(Rc::clone(shared)),
+        }
+    }
+
+    /// Whether observations are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records one architectural retirement at `pc`: the destination
+    /// write (if any) and the memory address accessed (if any).
+    #[inline]
+    pub fn retire(&self, pc: u32, dest: Option<(ArchReg, u32)>, addr: Option<u32>) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().record(pc, dest, addr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_isa::Reg;
+
+    #[test]
+    fn off_observer_records_nothing() {
+        let obs = Observer::off();
+        assert!(!obs.enabled());
+        obs.retire(0x1000, Some((Reg::T0.into(), 7)), Some(64));
+    }
+
+    #[test]
+    fn ranges_fold_min_max_and_alignment() {
+        let shared: SharedObservations = Rc::new(RefCell::new(ObservationLog::new()));
+        let obs = Observer::to_shared(&shared);
+        assert!(obs.enabled());
+        obs.retire(0x1000, Some((Reg::T0.into(), 8)), Some(0x100));
+        obs.retire(0x1000, Some((Reg::T0.into(), 20)), Some(0x104));
+        obs.retire(0x1004, None, None);
+        let log = shared.borrow();
+        let rec = log.pcs()[&0x1000];
+        assert_eq!(rec.execs, 2);
+        let dest = rec.dest.unwrap();
+        assert_eq!((dest.min, dest.max), (8, 20));
+        assert_eq!(dest.min_tz, 2, "20 = 0b10100 has two trailing zeros");
+        let addr = rec.addr.unwrap();
+        assert_eq!((addr.min, addr.max), (0x100, 0x104));
+        assert_eq!(addr.min_tz, 2);
+        assert_eq!(log.execs(0x1004), 1);
+        assert_eq!(log.execs(0x2000), 0);
+    }
+
+    #[test]
+    fn zero_counts_as_maximally_aligned() {
+        let shared: SharedObservations = Rc::new(RefCell::new(ObservationLog::new()));
+        let obs = Observer::to_shared(&shared);
+        obs.retire(0x1000, Some((Reg::T1.into(), 0)), None);
+        assert_eq!(shared.borrow().pcs()[&0x1000].dest.unwrap().min_tz, 32);
+    }
+
+    #[test]
+    fn x0_writes_are_not_recorded() {
+        let shared: SharedObservations = Rc::new(RefCell::new(ObservationLog::new()));
+        let obs = Observer::to_shared(&shared);
+        obs.retire(0x1000, Some((Reg::ZERO.into(), 99)), None);
+        let log = shared.borrow();
+        assert_eq!(log.execs(0x1000), 1);
+        assert!(log.pcs()[&0x1000].dest.is_none());
+    }
+}

@@ -1,0 +1,343 @@
+//! `diag-verify` — an abstract-interpretation static verifier for DiAG
+//! guest programs, soundness-checked against the simulator.
+//!
+//! The verifier runs a worklist fixpoint over [`diag_analyze`]'s control
+//! flow graph with an interval domain per architectural lane (a u32
+//! range plus a known-alignment bit count, see [`Itv`]), and emits
+//! per-PC [`Fact`]s with three-valued verdicts:
+//!
+//! - **mem-bounds** — every address a load/store can compute stays in
+//!   the data window `[DATA_BASE, STACK_TOP)`;
+//! - **mem-align** — every such address is naturally aligned;
+//! - **branch-target** — static control transfers land in text;
+//! - **trip-count** — natural loops have derivable iteration bounds;
+//! - **const-fold** — a station computes the same value on every run;
+//! - **unreachable** — a block is never entered.
+//!
+//! Soundness is not taken on faith: `diag_sim`'s [`Observer`] hooks
+//! record per-PC value/address ranges as the machines retire
+//! instructions, and [`soundness::check_observations`] asserts the
+//! observed ranges are contained in the inferred intervals — on every
+//! workload, machine model, and thread configuration (see
+//! `tests/soundness.rs`).
+//!
+//! [`Observer`]: diag_sim::Observer
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use diag_analyze::Cfg;
+use diag_asm::Program;
+
+pub mod absint;
+pub mod domain;
+pub mod facts;
+pub mod report;
+pub mod soundness;
+
+pub use absint::{AbsState, InstEffect};
+pub use domain::Itv;
+pub use facts::{Fact, FactKind, LoopTrip, Verdict};
+pub use report::{json_report, text_report};
+pub use soundness::{check_loop_counts, check_observations};
+
+/// Counts completed [`verify`] fixpoint runs, process-wide. The pipeline
+/// warm-cache tests assert this stays flat when verifications are served
+/// from the artifact cache.
+static FIXPOINT_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of [`verify`] fixpoint runs since process start.
+pub fn fixpoint_runs() -> u64 {
+    FIXPOINT_RUNS.load(Ordering::Relaxed)
+}
+
+/// Inputs that change what the verifier can prove (and therefore key the
+/// pipeline's verification artifacts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyOptions {
+    /// Thread count the wave will launch with: bounds the entry values
+    /// of `a0` (thread id), `a1` (thread count), and `sp`.
+    pub threads: usize,
+    /// Trap vector, mirroring the machine configuration: when set, the
+    /// handler block is analyzed under a conservative top state.
+    pub trap_vector: Option<u32>,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> VerifyOptions {
+        VerifyOptions {
+            threads: 1,
+            trap_vector: None,
+        }
+    }
+}
+
+/// The inferred intervals for one station: what it writes and where it
+/// touches memory.
+#[derive(Debug, Clone, Copy)]
+pub struct PcIntervals {
+    /// Interval of values written to the destination lane, when the
+    /// station writes one.
+    pub dest: Option<Itv>,
+    /// Interval of effective addresses, for memory stations.
+    pub addr: Option<Itv>,
+}
+
+/// The full result of statically verifying one program.
+#[derive(Debug, Clone)]
+pub struct Verification {
+    /// Thread count the verification assumed.
+    pub threads: usize,
+    /// True when the program contains indirect jumps: the CFG cannot be
+    /// trusted for reachability, so the verifier degrades to per-station
+    /// top-state analysis and suppresses unreachable/trip-count facts.
+    pub imprecise_indirect: bool,
+    /// Worklist block transfers performed to reach the fixpoint.
+    pub iterations: u64,
+    /// Lane widenings applied at loop heads.
+    pub widenings: u64,
+    /// Inferred intervals per reachable station.
+    pub pcs: BTreeMap<u32, PcIntervals>,
+    /// All facts, sorted by (pc, fact kind).
+    pub facts: Vec<Fact>,
+    /// Trip-count bounds per natural loop, sorted by head address.
+    pub loops: Vec<LoopTrip>,
+}
+
+impl Verification {
+    /// Number of facts with a [`Verdict::Refuted`] verdict.
+    pub fn refuted_count(&self) -> usize {
+        self.facts
+            .iter()
+            .filter(|f| f.verdict == Verdict::Refuted)
+            .count()
+    }
+
+    /// (proved, refuted, unknown) fact counts.
+    pub fn verdict_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for f in &self.facts {
+            match f.verdict {
+                Verdict::Proved => c.0 += 1,
+                Verdict::Refuted => c.1 += 1,
+                Verdict::Unknown => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// The facts anchored at one station.
+    pub fn facts_at(&self, pc: u32) -> impl Iterator<Item = &Fact> {
+        self.facts.iter().filter(move |f| f.pc == pc)
+    }
+}
+
+/// Statically verifies `program` under `opts`, running the abstract
+/// interpreter to a fixpoint and deriving all facts.
+pub fn verify(program: &Program, opts: &VerifyOptions) -> Verification {
+    let cfg = Cfg::build(program, opts.trap_vector);
+    let result = if cfg.has_indirect {
+        verify_degraded(program, &cfg, opts)
+    } else {
+        verify_precise(program, &cfg, opts)
+    };
+    FIXPOINT_RUNS.fetch_add(1, Ordering::Relaxed);
+    result
+}
+
+/// The precise path: fixpoint over block-entry states, then one
+/// deterministic final pass deriving per-PC intervals and facts.
+fn verify_precise(program: &Program, cfg: &Cfg, opts: &VerifyOptions) -> Verification {
+    let fix = absint::fixpoint(program, cfg, opts.threads, opts.trap_vector);
+    let mut pcs = BTreeMap::new();
+    let mut facts = Vec::new();
+
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        let Some(entry) = fix.entries[b].clone() else {
+            facts.push(Fact {
+                pc: block.start,
+                kind: FactKind::Unreachable,
+                verdict: Verdict::Proved,
+                witness: None,
+                detail: format!(
+                    "block [{:#x}, {:#x}) is never entered",
+                    block.start, block.end
+                ),
+            });
+            continue;
+        };
+        let mut state = entry;
+        for &(pc, ref inst) in &block.insts {
+            let effect = absint::transfer_inst(program, pc, inst, &mut state);
+            pcs.insert(
+                pc,
+                PcIntervals {
+                    dest: effect.dest.map(|(_, itv)| itv),
+                    addr: effect.addr,
+                },
+            );
+            facts::inst_facts(program, pc, inst, &effect, &mut facts);
+        }
+    }
+
+    let loops = facts::derive_loops(program, cfg, &fix);
+    for t in &loops {
+        let (verdict, witness, detail) = match t.iterations {
+            Some((lo, hi)) => (
+                Verdict::Proved,
+                Some(Itv::range(
+                    lo.min(u32::MAX as u64) as u32,
+                    hi.min(u32::MAX as u64) as u32,
+                )),
+                format!("{lo}..={hi} iterations per entry (latch {:#x})", t.latch_pc),
+            ),
+            None => (
+                Verdict::Unknown,
+                None,
+                format!("no canonical bound (latch {:#x})", t.latch_pc),
+            ),
+        };
+        facts.push(Fact {
+            pc: t.head_pc,
+            kind: FactKind::TripCount,
+            verdict,
+            witness,
+            detail,
+        });
+    }
+
+    facts.sort_by_key(|f| (f.pc, f.kind.code()));
+    Verification {
+        threads: opts.threads.max(1),
+        imprecise_indirect: false,
+        iterations: fix.iterations,
+        widenings: fix.widenings,
+        pcs,
+        facts,
+        loops,
+    }
+}
+
+/// The degraded path for programs with indirect jumps: an indirect
+/// target can land on any station, so block boundaries can't be trusted
+/// and every station is analyzed under a fresh top state. Facts that are
+/// still derivable that way (an `sw 0(zero)` is misaligned under *any*
+/// state) keep their verdicts; reachability and loop facts are
+/// suppressed.
+fn verify_degraded(program: &Program, cfg: &Cfg, opts: &VerifyOptions) -> Verification {
+    let mut pcs = BTreeMap::new();
+    let mut facts = Vec::new();
+    let base = program.text_base();
+    for i in 0..program.text_len() {
+        let pc = base + 4 * i as u32;
+        let Some(inst) = program.decode_at(pc) else {
+            continue;
+        };
+        let mut state = AbsState::top();
+        let effect = absint::transfer_inst(program, pc, &inst, &mut state);
+        pcs.insert(
+            pc,
+            PcIntervals {
+                dest: effect.dest.map(|(_, itv)| itv),
+                addr: effect.addr,
+            },
+        );
+        facts::inst_facts(program, pc, &inst, &effect, &mut facts);
+    }
+    facts.sort_by_key(|f| (f.pc, f.kind.code()));
+    let _ = cfg;
+    Verification {
+        threads: opts.threads.max(1),
+        imprecise_indirect: true,
+        iterations: 0,
+        widenings: 0,
+        pcs,
+        facts,
+        loops: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_asm::assemble;
+
+    #[test]
+    fn proves_clean_program() {
+        let program = assemble(
+            "li t0, 0x100000\nli t1, 5\nloop:\nsw t1, 0(t0)\naddi t0, t0, 4\n\
+             addi t1, t1, -1\nbnez t1, loop\necall\n",
+        )
+        .unwrap();
+        let v = verify(&program, &VerifyOptions::default());
+        assert_eq!(v.refuted_count(), 0);
+        assert!(!v.imprecise_indirect);
+        // The store's alignment is provable: base 0x100000 stepped by 4.
+        let align = v
+            .facts
+            .iter()
+            .find(|f| f.kind == FactKind::MemAlign)
+            .unwrap();
+        assert_eq!(align.verdict, Verdict::Proved);
+    }
+
+    #[test]
+    fn refutes_out_of_window_store() {
+        let program = assemble("li t0, 3\nsw zero, 0(t0)\necall\n").unwrap();
+        let v = verify(&program, &VerifyOptions::default());
+        let pc = program.text_base() + 4;
+        let kinds: Vec<_> = v
+            .facts_at(pc)
+            .filter(|f| f.verdict == Verdict::Refuted)
+            .map(|f| f.kind)
+            .collect();
+        assert!(kinds.contains(&FactKind::MemBounds), "facts: {:?}", v.facts);
+        assert!(kinds.contains(&FactKind::MemAlign));
+    }
+
+    #[test]
+    fn derives_trip_count() {
+        let program =
+            assemble("li t0, 0\nloop:\naddi t0, t0, 1\nblt t0, a1, loop\necall\n").unwrap();
+        let v = verify(
+            &program,
+            &VerifyOptions {
+                threads: 7,
+                trap_vector: None,
+            },
+        );
+        assert_eq!(v.loops.len(), 1);
+        assert_eq!(v.loops[0].iterations, Some((7, 7)));
+        assert!(v.loops[0].entry_pc.is_some());
+    }
+
+    #[test]
+    fn flags_unreachable_and_const_fold() {
+        let program = assemble(
+            "li t0, 3\nadd t1, t0, t0\nbeq t1, zero, dead\necall\ndead:\nli t2, 9\necall\n",
+        )
+        .unwrap();
+        let v = verify(&program, &VerifyOptions::default());
+        assert!(v
+            .facts
+            .iter()
+            .any(|f| f.kind == FactKind::Unreachable && f.verdict == Verdict::Proved));
+        let cf = v
+            .facts
+            .iter()
+            .find(|f| f.kind == FactKind::ConstFold)
+            .expect("add of two known constants is const-foldable");
+        assert_eq!(cf.witness.and_then(|w| w.is_singleton()), Some(6));
+    }
+
+    #[test]
+    fn fixpoint_counter_advances() {
+        let before = fixpoint_runs();
+        let program = assemble("ecall\n").unwrap();
+        let _ = verify(&program, &VerifyOptions::default());
+        assert!(fixpoint_runs() > before);
+    }
+}

@@ -1,0 +1,80 @@
+//! The verifier flags the *exact* station where a poisoned-reference run
+//! diverges.
+//!
+//! The kernel accumulates an uninitialized lane (`t1`) into another
+//! (`s0`). Under the workspace's zero-init convention the result is an
+//! accidentally-correct zero, so result checking cannot see the bug —
+//! but a reference interpreter whose uninitialized lanes start poisoned
+//! diverges at the first read of the poison. The verifier, which models
+//! the zero-init entry state exactly, proves the accumulating station
+//! always writes the constant 0 — a `const-fold` fact whose truth
+//! *depends on the convention*. This test pins that the fact lands on
+//! precisely the station where the poisoned run first writes a different
+//! value: the static proof and the dynamic divergence name the same pc.
+
+use diag_asm::{assemble, Program};
+use diag_isa::ArchReg;
+use diag_mem::MainMemory;
+use diag_sim::interp::{arch_step, ArchState};
+use diag_verify::{verify, FactKind, Verdict, VerifyOptions};
+
+const POISON: u32 = 0xDEAD_BEEF;
+
+const KERNEL: &str = "
+    addi t0, zero, 10
+loop:
+    add  s0, s0, t1
+    addi t0, t0, -1
+    bnez t0, loop
+    sw   s0, 0(zero)
+    ecall
+";
+
+/// Steps a zero-init and a poisoned interpreter in lockstep and returns
+/// the pc of the first step whose destination write differs.
+fn first_divergence(program: &Program) -> u32 {
+    let mut clean = ArchState::new_thread(program.entry(), 0, 1);
+    let mut dirty = ArchState::new_thread(program.entry(), 0, 1);
+    let keep = [ArchReg::new(10), ArchReg::new(11), ArchReg::new(2)];
+    for i in 1..dirty.regs.len() {
+        if !keep.iter().any(|r| r.index() == i) {
+            dirty.regs[i] = POISON;
+        }
+    }
+    let mut clean_mem = MainMemory::with_program(program);
+    let mut dirty_mem = MainMemory::with_program(program);
+    loop {
+        let a = arch_step(&mut clean, program, &mut clean_mem, None).expect("clean step");
+        let b = arch_step(&mut dirty, program, &mut dirty_mem, None).expect("poisoned step");
+        assert_eq!(a.pc, b.pc, "control flow diverged before a value did");
+        if a.dest.map(|(_, v)| v) != b.dest.map(|(_, v)| v) {
+            return a.pc;
+        }
+        assert!(!clean.halted, "no divergence before halt");
+    }
+}
+
+#[test]
+fn const_fold_fact_lands_on_the_divergence_pc() {
+    let program = assemble(KERNEL).expect("kernel assembles");
+    let divergence_pc = first_divergence(&program);
+
+    let v = verify(&program, &VerifyOptions::default());
+    let fact = v
+        .facts
+        .iter()
+        .find(|f| f.pc == divergence_pc && f.kind == FactKind::ConstFold)
+        .unwrap_or_else(|| {
+            panic!(
+                "no const-fold fact at divergence pc {divergence_pc:#x}; facts: {:?}",
+                v.facts
+            )
+        });
+    assert_eq!(fact.verdict, Verdict::Proved);
+    let witness = fact.witness.expect("const-fold carries a witness");
+    assert_eq!(
+        (witness.lo, witness.hi),
+        (0, 0),
+        "the convention-dependent constant is zero"
+    );
+}

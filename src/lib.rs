@@ -15,6 +15,10 @@
 //!   clusters, dataflow rings, datapath reuse, SIMT thread pipelining.
 //! - [`analyze`]: static dataflow-graph analysis — CFG recovery, lane
 //!   liveness, lints, and simulator-cross-checked IPC upper bounds.
+//! - [`verify`]: abstract-interpretation static verifier — interval
+//!   fixpoint over the CFG proving memory bounds/alignment, branch
+//!   targets, trip counts, and dead stations, soundness-checked against
+//!   the simulator's observed value ranges.
 //! - [`baseline`]: the 8-issue out-of-order multicore baseline and the
 //!   in-order reference machine.
 //! - [`power`]: Table-3-derived area/energy models.
@@ -66,4 +70,5 @@ pub use diag_pipeline as pipeline;
 pub use diag_power as power;
 pub use diag_sim as sim;
 pub use diag_trace as trace;
+pub use diag_verify as verify;
 pub use diag_workloads as workloads;

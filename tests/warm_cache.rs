@@ -97,6 +97,67 @@ fn parallel_sweep_shares_one_preparation_per_key() {
 }
 
 #[test]
+fn warm_verification_runs_zero_fixpoints() {
+    let _guard = SERIAL.lock().unwrap();
+    let dir = std::env::temp_dir().join(format!("diag-warm-verify-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = find("pathfinder").expect("registered");
+    let params = Params::tiny();
+    let opts = diag_verify::VerifyOptions::default();
+
+    // Cold session: exactly one fixpoint run, persisted to disk.
+    let fix0 = diag_verify::fixpoint_runs();
+    let first = {
+        let session = Session::with_disk(
+            diag_pipeline::DiskCache::open(&dir, diag_pipeline::DiskCache::DEFAULT_BUDGET)
+                .expect("cache dir"),
+        );
+        let v = session.verification(&spec, &params, &opts).expect("cold");
+        // In-process warm: the memoized Arc is returned, no re-analysis.
+        session.verification(&spec, &params, &opts).expect("warm");
+        let fix1 = diag_verify::fixpoint_runs();
+        assert_eq!(fix1 - fix0, 1, "cold+memoized must run one fixpoint");
+        session
+            .verification_report(&spec, &params, &opts, diag_pipeline::ReportFormat::Json)
+            .expect("report");
+        v
+    };
+
+    // A fresh session over the same directory decodes the blob instead
+    // of re-running the abstract interpreter — and decodes it *exactly*:
+    // facts, intervals, and loops all round-trip.
+    let session = Session::with_disk(
+        diag_pipeline::DiskCache::open(&dir, diag_pipeline::DiskCache::DEFAULT_BUDGET)
+            .expect("cache dir"),
+    );
+    let (builds0, _) = counters();
+    let fix2 = diag_verify::fixpoint_runs();
+    let warm = session
+        .verification(&spec, &params, &opts)
+        .expect("disk-warm");
+    let report = session
+        .verification_report(&spec, &params, &opts, diag_pipeline::ReportFormat::Json)
+        .expect("disk-warm report");
+    let (builds1, _) = counters();
+    let fix3 = diag_verify::fixpoint_runs();
+    assert_eq!(fix3 - fix2, 0, "disk-warm verification must not re-verify");
+    assert_eq!(
+        builds1 - builds0,
+        0,
+        "disk-warm verification must not assemble"
+    );
+    assert!(session.counters().disk_hits >= 2);
+    assert_eq!(first.facts, warm.facts, "decoded facts drifted");
+    assert_eq!(first.iterations, warm.iterations);
+    assert_eq!(
+        report.as_str(),
+        diag_verify::json_report(spec.name, &warm),
+        "persisted report must match a fresh rendering of the decoded artifact"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn warm_disk_session_serves_analysis_without_assembly() {
     let _guard = SERIAL.lock().unwrap();
     let dir = std::env::temp_dir().join(format!("diag-warm-{}", std::process::id()));
