@@ -280,24 +280,13 @@ pub fn to_json(report: &BenchReport, baseline: Option<&BenchBaseline>) -> String
     let mut host = crate::hostmeta::host_entries_with_repeat(report.repeat);
     if let Some(cache) = &report.cache {
         // Artifact-cache counters ride in the host object: free-form
-        // provenance strings the baseline parser ignores.
-        host.push(("cache_hits".to_string(), cache.hits().to_string()));
-        host.push(("cache_builds".to_string(), cache.builds().to_string()));
-        host.push(("cache_disk_hits".to_string(), cache.disk_hits.to_string()));
-        host.push((
-            "cache_disk_writes".to_string(),
-            cache.disk_writes.to_string(),
-        ));
+        // provenance strings the baseline parser ignores. The keys and
+        // rendering are shared with the server's `status` frame.
+        host.extend(crate::hostmeta::cache_entries(cache));
     }
     out.push_str(&format!(
-        "  \"host\": {{{}}},\n",
-        host.iter()
-            .map(|(k, v)| format!(
-                "\"{k}\": \"{}\"",
-                v.replace('\\', "\\\\").replace('"', "\\\"")
-            ))
-            .collect::<Vec<_>>()
-            .join(", ")
+        "  \"host\": {},\n",
+        crate::hostmeta::render_host_object(&host)
     ));
     out.push_str("  \"runs\": [\n");
     for (i, row) in report.rows.iter().enumerate() {

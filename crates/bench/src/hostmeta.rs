@@ -12,6 +12,8 @@
 use std::process::Command;
 use std::sync::OnceLock;
 
+use diag_pipeline::CacheCounters;
+
 /// Runs `cmd args...` and returns its first line of stdout, trimmed,
 /// when the command exists and exits successfully.
 fn probe(cmd: &str, args: &[&str]) -> Option<String> {
@@ -66,6 +68,37 @@ pub fn host_entries_with_repeat(repeat: u32) -> Vec<(String, String)> {
     entries
 }
 
+/// Artifact-cache counters as ordered `(key, value)` pairs, appended to
+/// the host block by both `BENCH_sim.json` and the `diag-serve` `status`
+/// frame — one source of truth for the keys and their order.
+pub fn cache_entries(cache: &CacheCounters) -> Vec<(String, String)> {
+    vec![
+        ("cache_hits".to_string(), cache.hits().to_string()),
+        ("cache_builds".to_string(), cache.builds().to_string()),
+        ("cache_disk_hits".to_string(), cache.disk_hits.to_string()),
+        (
+            "cache_disk_writes".to_string(),
+            cache.disk_writes.to_string(),
+        ),
+    ]
+}
+
+/// Renders ordered `(key, value)` pairs as a single-line JSON object
+/// with string values — the `"host": {...}` block every report embeds.
+pub fn render_host_object(entries: &[(String, String)]) -> String {
+    format!(
+        "{{{}}}",
+        entries
+            .iter()
+            .map(|(k, v)| format!(
+                "\"{k}\": \"{}\"",
+                v.replace('\\', "\\\\").replace('"', "\\\"")
+            ))
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +120,36 @@ mod tests {
             entries.last(),
             Some(&("repeat".to_string(), "7".to_string()))
         );
+    }
+
+    #[test]
+    fn cache_entries_have_fixed_keys() {
+        let keys: Vec<String> = cache_entries(&CacheCounters::default())
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(
+            keys,
+            [
+                "cache_hits",
+                "cache_builds",
+                "cache_disk_hits",
+                "cache_disk_writes"
+            ]
+        );
+    }
+
+    #[test]
+    fn host_object_renders_escaped_json() {
+        let entries = vec![
+            ("rustc".to_string(), "rustc 1.0".to_string()),
+            ("note".to_string(), "a \"quoted\" \\ thing".to_string()),
+        ];
+        let obj = render_host_object(&entries);
+        assert_eq!(
+            obj,
+            "{\"rustc\": \"rustc 1.0\", \"note\": \"a \\\"quoted\\\" \\\\ thing\"}"
+        );
+        diag_trace::json::parse(&obj).expect("valid JSON");
     }
 }

@@ -208,7 +208,11 @@ pub fn run_sweep_with(
         .collect()
 }
 
-fn run_one(session: &Session, run: &SweepRun) -> Result<RunStats, RunError> {
+/// Executes one [`SweepRun`] against `session`, catching panics as
+/// [`RunError::Panicked`] — the same per-run behaviour a sweep worker
+/// has, exposed for callers (like `diag-serve`) that schedule runs
+/// themselves but want identical failure semantics.
+pub fn run_one(session: &Session, run: &SweepRun) -> Result<RunStats, RunError> {
     catch_unwind(AssertUnwindSafe(|| {
         run_verified_with(session, &run.machine, &run.spec, &run.params)
     }))

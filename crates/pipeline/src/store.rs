@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 type Cell<T> = Arc<OnceLock<Result<Arc<T>, String>>>;
 
@@ -58,7 +58,10 @@ impl<T> StageStore<T> {
         F: FnOnce() -> Result<Arc<T>, String>,
     {
         let cell = {
-            let mut cells = self.cells.lock().expect("stage store poisoned");
+            // A panic elsewhere never corrupts the map (insertions are
+            // atomic per entry), so recover from poisoning instead of
+            // cascading the panic into every later request.
+            let mut cells = self.cells.lock().unwrap_or_else(PoisonError::into_inner);
             Arc::clone(cells.entry(key).or_default())
         };
         // The map lock is released before building: a slow build blocks
@@ -81,7 +84,7 @@ impl<T> StageStore<T> {
     /// The cached artifact for `key`, if a build already completed.
     pub fn peek(&self, key: u64) -> Option<Arc<T>> {
         let cell = {
-            let cells = self.cells.lock().expect("stage store poisoned");
+            let cells = self.cells.lock().unwrap_or_else(PoisonError::into_inner);
             Arc::clone(cells.get(&key)?)
         };
         cell.get().and_then(|r| r.as_ref().ok().cloned())

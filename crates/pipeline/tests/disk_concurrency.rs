@@ -1,0 +1,130 @@
+//! Disk-cache behaviour under concurrency: the LRU byte budget holds
+//! after racing writers quiesce, and an evicted-then-requested artifact
+//! is rebuilt exactly once no matter how many threads race for it.
+
+use std::sync::{Arc, Barrier};
+
+use diag_pipeline::{program_key, DiskCache, Session};
+use diag_workloads::{find, Params};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("diag-pipeline-conc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn concurrent_stores_respect_the_byte_budget() {
+    let dir = temp_dir("budget");
+    const BUDGET: u64 = 4096;
+    let cache = Arc::new(DiskCache::open(&dir, BUDGET).expect("open"));
+    let barrier = Arc::new(Barrier::new(8));
+    let payload = vec![0xA5u8; 1000];
+
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            let payload = payload.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..10 {
+                    // Distinct keys per (thread, iteration): every store
+                    // competes for budget, so evictions race each other.
+                    let name = format!("wl-{t}-{i}");
+                    let key = program_key(&name, &Params::tiny());
+                    cache.store(key, &payload);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("writer thread");
+    }
+
+    // Transient over-budget is allowed mid-race (store writes before it
+    // evicts); after quiescence the LRU bound must hold.
+    let stats = cache.stats();
+    assert!(
+        stats.bytes <= BUDGET,
+        "cache holds {} bytes over a {BUDGET}-byte budget ({} files)",
+        stats.bytes,
+        stats.files
+    );
+    assert!(stats.files >= 1, "budget admits at least one blob");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn evicted_program_rebuilds_exactly_once_across_racing_threads() {
+    let dir = temp_dir("evict");
+    let hotspot = find("hotspot").expect("registered");
+    let bfs = find("bfs").expect("registered");
+    let params = Params::tiny();
+    let key_hotspot = program_key(hotspot.name, &params);
+
+    // Seed the cache with hotspot's image and measure both blob sizes.
+    let seed = Session::with_disk(DiskCache::open(&dir, DiskCache::DEFAULT_BUDGET).expect("open"));
+    seed.workload(&hotspot, &params).expect("build hotspot");
+    let hotspot_bytes = seed.disk().expect("disk").stats().bytes;
+    seed.workload(&bfs, &params).expect("build bfs");
+    let bfs_bytes = seed.disk().expect("disk").stats().bytes - hotspot_bytes;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Re-seed hotspot alone, then store bfs through a cache whose
+    // budget fits either blob but not both: hotspot (the LRU entry) is
+    // evicted to make room.
+    let tight = hotspot_bytes.max(bfs_bytes);
+    let cold = Session::with_disk(DiskCache::open(&dir, tight).expect("open"));
+    cold.workload(&hotspot, &params).expect("build hotspot");
+    // Keep the two blobs' mtimes distinct on coarse filesystems so the
+    // LRU choice is unambiguous.
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    cold.workload(&bfs, &params).expect("build bfs");
+    let disk = cold.disk().expect("disk");
+    assert!(
+        disk.load(key_hotspot).is_none(),
+        "hotspot must have been evicted (budget {tight}, {:?})",
+        disk.stats()
+    );
+
+    // A fresh session (fresh memory layer, like a server restart) now
+    // races four threads for the evicted artifact: the OnceLock layer
+    // must coalesce them onto exactly one assembly.
+    let warm = Arc::new(Session::with_disk(
+        DiskCache::open(&dir, DiskCache::DEFAULT_BUDGET).expect("open"),
+    ));
+    let barrier = Arc::new(Barrier::new(4));
+    let before = diag_workloads::build_calls();
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let warm = Arc::clone(&warm);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                warm.workload(&find("hotspot").expect("registered"), &Params::tiny())
+                    .expect("rebuild hotspot")
+            })
+        })
+        .collect();
+    let builds: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("racer thread"))
+        .collect();
+    assert_eq!(
+        diag_workloads::build_calls() - before,
+        1,
+        "racing threads must coalesce onto one assembly"
+    );
+    for b in &builds[1..] {
+        assert!(Arc::ptr_eq(&builds[0], b), "all racers share one artifact");
+    }
+    let counters = warm.counters();
+    assert_eq!(counters.workloads.builds, 1);
+    assert_eq!(counters.disk_writes, 1, "the rebuilt image re-persists");
+    assert!(
+        warm.disk().expect("disk").load(key_hotspot).is_some(),
+        "hotspot image is back on disk"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,332 @@
+//! The `diag-load` load generator: a closed-loop client for `diag-serve`.
+//!
+//! ```text
+//! diag-load --addr HOST:PORT [--conns N] [--inflight M] [--requests K]
+//!           [--seed S] [--machine diag|ooo|inorder|mix]
+//!           [--workloads a,b,c] [--scale tiny|small|full]
+//!           [--expect-warm] [--allow-reject] [--shutdown]
+//! ```
+//!
+//! Opens `--conns` connections, each keeping up to `--inflight`
+//! submissions outstanding until `--requests` per connection have
+//! completed (closed loop). The workload/machine mix is drawn from a
+//! SplitMix64 stream seeded with `--seed` + the connection index, so a
+//! repeated invocation submits the identical request set — which is what
+//! lets a second burst assert warm-cache behaviour with `--expect-warm`
+//! (every result must report `builds == 0` and `hits ≥ 1`).
+//!
+//! Prints one summary line (req/s, latency p50/p99, cache totals) and
+//! exits nonzero on any error frame, any reject (unless
+//! `--allow-reject`), or any warm violation. `--shutdown` instead sends
+//! the shutdown verb and exits.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use diag_bench::cli::{self, CliSpec, Extra, Flag};
+use diag_bench::hostbench::scale_name;
+use diag_isa::prng::SplitMix64;
+use diag_serve::{Client, Submit};
+use diag_workloads::Scale;
+
+const USAGE: &str = "usage: diag-load --addr HOST:PORT [--conns N] [--inflight M] \
+                     [--requests K] [--seed S] [--machine diag|ooo|inorder|mix] \
+                     [--workloads a,b,c] [--scale tiny|small|full] [--expect-warm] \
+                     [--allow-reject] [--shutdown]";
+
+const SPEC: CliSpec = CliSpec {
+    cmd: "diag-load",
+    flags: &[Flag::Scale],
+    extras: &[
+        Extra {
+            name: "--addr",
+            takes_value: true,
+        },
+        Extra {
+            name: "--conns",
+            takes_value: true,
+        },
+        Extra {
+            name: "--inflight",
+            takes_value: true,
+        },
+        Extra {
+            name: "--requests",
+            takes_value: true,
+        },
+        Extra {
+            name: "--seed",
+            takes_value: true,
+        },
+        Extra {
+            name: "--machine",
+            takes_value: true,
+        },
+        Extra {
+            name: "--workloads",
+            takes_value: true,
+        },
+        Extra {
+            name: "--expect-warm",
+            takes_value: false,
+        },
+        Extra {
+            name: "--allow-reject",
+            takes_value: false,
+        },
+        Extra {
+            name: "--shutdown",
+            takes_value: false,
+        },
+    ],
+    default_scale: Scale::Tiny,
+};
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("diag-load: {message}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+/// What one connection observed.
+#[derive(Default)]
+struct ConnReport {
+    ok: u64,
+    errors: u64,
+    rejects: u64,
+    warm_violations: u64,
+    cache_hits: u64,
+    cache_builds: u64,
+    latencies_ns: Vec<u64>,
+    /// First few problem frames, verbatim, for the failure report.
+    samples: Vec<String>,
+}
+
+struct Plan {
+    addr: String,
+    requests: u64,
+    inflight: u64,
+    seed: u64,
+    workloads: Vec<String>,
+    machines: Vec<&'static str>,
+    scale: Scale,
+    expect_warm: bool,
+}
+
+fn drive(plan: &Plan, conn_idx: u64) -> std::io::Result<ConnReport> {
+    let mut client = Client::connect(&plan.addr)?;
+    let mut rng = SplitMix64::seed_from_u64(plan.seed.wrapping_add(conn_idx));
+    let mut report = ConnReport::default();
+    let mut sent: HashMap<u64, Instant> = HashMap::new();
+    let mut next: u64 = 0;
+    let mut done: u64 = 0;
+    while done < plan.requests {
+        while next < plan.requests && next - done < plan.inflight {
+            let workload = &plan.workloads[rng.gen_range(0..plan.workloads.len())];
+            let machine = plan.machines[rng.gen_range(0..plan.machines.len())];
+            let mut submit = Submit::new(next, workload, machine);
+            submit.scale = scale_name(plan.scale).to_string();
+            client.submit(&submit)?;
+            sent.insert(next, Instant::now());
+            next += 1;
+        }
+        let Some(frame) = client.recv()? else {
+            return Err(std::io::Error::other(format!(
+                "server closed with {} submissions outstanding",
+                next - done
+            )));
+        };
+        let seq = frame.seq();
+        match frame.kind() {
+            "result" => {
+                done += 1;
+                if let Some(t0) = seq.and_then(|s| sent.remove(&s)) {
+                    report.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                }
+                let hits = frame.cache_hits().unwrap_or(0);
+                let builds = frame.cache_builds().unwrap_or(0);
+                report.cache_hits += hits;
+                report.cache_builds += builds;
+                if frame.ok() == Some(true) {
+                    report.ok += 1;
+                    if plan.expect_warm && (builds != 0 || hits == 0) {
+                        report.warm_violations += 1;
+                        sample(&mut report.samples, &frame.raw);
+                    }
+                } else {
+                    report.errors += 1;
+                    sample(&mut report.samples, &frame.raw);
+                }
+            }
+            "reject" => {
+                done += 1;
+                seq.and_then(|s| sent.remove(&s));
+                report.rejects += 1;
+                sample(&mut report.samples, &frame.raw);
+            }
+            _ => {}
+        }
+    }
+    Ok(report)
+}
+
+fn sample(samples: &mut Vec<String>, raw: &str) {
+    if samples.len() < 5 {
+        samples.push(raw.to_string());
+    }
+}
+
+fn percentile_ms(sorted_ns: &[u64], pct: u64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() as u64 - 1) * pct / 100) as usize;
+    sorted_ns[idx] as f64 / 1e6
+}
+
+fn shutdown(addr: &str) -> ExitCode {
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("connect {addr}: {e}")),
+    };
+    if let Err(e) = client.send_verb("shutdown") {
+        return fail(&format!("send shutdown: {e}"));
+    }
+    match client.recv() {
+        Ok(Some(frame)) => {
+            println!("{}", frame.raw);
+            ExitCode::SUCCESS
+        }
+        Ok(None) => fail("server closed before acknowledging shutdown"),
+        Err(e) => fail(&format!("read shutdown ack: {e}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match cli::parse(&SPEC, &argv) {
+        Ok(args) => args,
+        Err(e) => return fail(&e),
+    };
+    let Some(addr) = args.value("--addr") else {
+        return fail("--addr is required");
+    };
+    if args.has("--shutdown") {
+        return shutdown(addr);
+    }
+    let num = |flag: &str, default: u64| -> Result<u64, String> {
+        match args.value(flag) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<u64>()
+                .map_err(|_| format!("{flag} needs a non-negative integer, got `{v}`")),
+        }
+    };
+    let (conns, inflight, requests, seed) = match (|| {
+        Ok::<_, String>((
+            num("--conns", 2)?.max(1),
+            num("--inflight", 4)?.max(1),
+            num("--requests", 16)?,
+            num("--seed", 1)?,
+        ))
+    })() {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let machines: Vec<&'static str> = match args.value("--machine").unwrap_or("mix") {
+        "diag" => vec!["diag"],
+        "ooo" => vec!["ooo"],
+        "inorder" => vec!["inorder"],
+        "mix" => vec!["diag", "ooo", "inorder"],
+        other => return fail(&format!("unknown machine `{other}` (diag|ooo|inorder|mix)")),
+    };
+    let workloads: Vec<String> = args
+        .value("--workloads")
+        .unwrap_or("bfs,hotspot,nn,mcf")
+        .split(',')
+        .map(|w| w.trim().to_string())
+        .filter(|w| !w.is_empty())
+        .collect();
+    if workloads.is_empty() {
+        return fail("--workloads needs at least one name");
+    }
+    let plan = Plan {
+        addr: addr.to_string(),
+        requests,
+        inflight,
+        seed,
+        workloads,
+        machines,
+        scale: args.scale,
+        expect_warm: args.has("--expect-warm"),
+    };
+    let t0 = Instant::now();
+    let reports: Vec<std::io::Result<ConnReport>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                let plan = &plan;
+                scope.spawn(move || drive(plan, c))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(std::io::Error::other("connection thread panicked")))
+            })
+            .collect()
+    });
+    let elapsed = t0.elapsed();
+
+    let mut total = ConnReport::default();
+    let mut io_errors = 0u64;
+    for report in reports {
+        match report {
+            Ok(r) => {
+                total.ok += r.ok;
+                total.errors += r.errors;
+                total.rejects += r.rejects;
+                total.warm_violations += r.warm_violations;
+                total.cache_hits += r.cache_hits;
+                total.cache_builds += r.cache_builds;
+                total.latencies_ns.extend(r.latencies_ns);
+                for s in r.samples {
+                    sample(&mut total.samples, &s);
+                }
+            }
+            Err(e) => {
+                io_errors += 1;
+                eprintln!("diag-load: connection failed: {e}");
+            }
+        }
+    }
+    total.latencies_ns.sort_unstable();
+    let results = total.ok + total.errors;
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "diag-load: {results} results ({} ok, {} errors, {} rejects{}) in {secs:.3}s; \
+         {:.1} req/s; latency p50 {:.2}ms p99 {:.2}ms; cache {} hits, {} builds",
+        total.ok,
+        total.errors,
+        total.rejects,
+        if plan.expect_warm {
+            format!(", {} warm violations", total.warm_violations)
+        } else {
+            String::new()
+        },
+        results as f64 / secs,
+        percentile_ms(&total.latencies_ns, 50),
+        percentile_ms(&total.latencies_ns, 99),
+        total.cache_hits,
+        total.cache_builds,
+    );
+    for s in &total.samples {
+        eprintln!("diag-load: problem frame: {s}");
+    }
+    let rejects_fatal = total.rejects > 0 && !args.has("--allow-reject");
+    if total.errors > 0 || rejects_fatal || total.warm_violations > 0 || io_errors > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

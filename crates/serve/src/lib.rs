@@ -1,0 +1,41 @@
+//! `diag-serve`: a persistent experiment server for the DiAG
+//! reproduction.
+//!
+//! The north star imagines this reproduction as the engine behind
+//! "millions of users submitting experiments"; this crate is the
+//! serving layer that turns the batch harness into that long-lived
+//! system. A `diag-serve` process owns **one** artifact
+//! [`Session`](diag_pipeline::Session) and executes every request
+//! through the same [`bench::sweep`](diag_bench::sweep) machinery the
+//! CLI uses, so:
+//!
+//! - concurrent requests for the same `(workload, params, machine)`
+//!   **coalesce** onto a single preparation (the store's
+//!   `Arc<OnceLock>` layer), and each response reports the cache
+//!   hits/builds its own run observed;
+//! - a wire request and a `harness` invocation of the same spec run the
+//!   *identical* simulation — same `RunStats`, same `RunError`
+//!   taxonomy;
+//! - admission is **bounded** ([`queue::FairQueue`]): over-capacity
+//!   submissions get an immediate `429` frame instead of growing server
+//!   memory;
+//! - scheduling is **fair** (deficit round-robin over client ids): a
+//!   client flooding thousands of jobs cannot starve one submitting
+//!   ten.
+//!
+//! Results stream back as JSONL frames in per-client submission order
+//! ([`protocol`]); `status`, `cancel`, and `shutdown` (graceful drain)
+//! are the control verbs. [`client`] is the matching blocking client,
+//! used by the `diag-load` load generator and the integration tests.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use client::{Client, Frame, Submit};
+pub use protocol::{Request, StatusSnapshot, PROTO};
+pub use queue::{FairQueue, SubmitError, Ticket};
+pub use server::{job_cost, ServeConfig, Server, ServerHandle};

@@ -1,0 +1,497 @@
+//! The `diag-serve` wire protocol: line-delimited JSON over TCP.
+//!
+//! Every request is one JSON object per line; every response is one JSON
+//! *frame* per line. Frames are rendered with a fixed key order by the
+//! functions in this module, so a request script replayed against a
+//! fresh server produces byte-identical response bodies once the one
+//! timing field (`host_ns`) is stripped — the same determinism
+//! discipline the harness CLI holds to (cold and warm cache runs diff
+//! clean).
+//!
+//! # Request verbs
+//!
+//! ```text
+//! {"verb":"submit","seq":1,"workload":"hotspot","machine":"diag",
+//!  "scale":"tiny","threads":1,"simt":false}       queue one experiment
+//! {"verb":"status"}                               server + cache counters
+//! {"verb":"cancel","seq":1}                       drop a still-queued job
+//! {"verb":"shutdown"}                             graceful drain + exit
+//! ```
+//!
+//! `seq` is a client-chosen identifier echoed on the job's frames.
+//! `machine` is `diag` | `ooo` | `inorder` (the same three models as
+//! `harness --machine`); `scale` is `tiny` | `small` | `full`; `threads`
+//! defaults to 1 and `simt` to false. `client` optionally names the
+//! fairness bucket the job bills to (default: one bucket per
+//! connection). `max_cycles` (diag only) overrides the cycle limit — the
+//! supported way to provoke a `sim`-kind error frame on demand.
+//!
+//! # Response frames
+//!
+//! - `hello` — sent once on connect: protocol version + connection id.
+//! - `result` — one per accepted submission, streamed **in per-client
+//!   submission order** as jobs complete. `ok:true` carries the
+//!   `RunStats`; `ok:false` carries the [`RunError`] taxonomy
+//!   (`build`/`sim`/`verify`/`panicked`). Both carry the per-request
+//!   artifact-cache attribution (`cache.hits`/`cache.builds`) and the
+//!   host-side service time (`host_ns`, the one nondeterministic field).
+//! - `reject` — immediate admission failure: `429` queue full, `503`
+//!   draining, `400` malformed parameters, `404` unknown workload.
+//!   Rejected submissions never occupy a result slot.
+//! - `error` — protocol-level failure (unparsable line, unknown verb).
+//! - `cancelled` — answer to `cancel`; an `ok:true` cancellation is
+//!   delivered through the job's result slot to keep ordering exact.
+//! - `status`, `shutdown` — control answers, written immediately.
+
+use diag_bench::runner::RunError;
+use diag_sim::RunStats;
+use diag_trace::json::{self, Value};
+use diag_workloads::Scale;
+
+/// Protocol identifier sent in the `hello` frame and `status` frames.
+pub const PROTO: &str = "diag-serve-v1";
+
+/// Admission-failure codes (HTTP-flavored, carried in `reject` frames).
+pub mod code {
+    /// Malformed or unsupported request parameters.
+    pub const BAD_REQUEST: u16 = 400;
+    /// Unknown workload name.
+    pub const NOT_FOUND: u16 = 404;
+    /// The bounded job queue is at capacity.
+    pub const QUEUE_FULL: u16 = 429;
+    /// The server is draining for shutdown.
+    pub const DRAINING: u16 = 503;
+}
+
+/// One parsed `submit` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// Client-chosen identifier echoed on every frame about this job.
+    pub seq: u64,
+    /// Fairness bucket override (default: the connection's own bucket).
+    pub client: Option<String>,
+    /// Workload name (`diag_workloads::find`).
+    pub workload: String,
+    /// Machine model: `diag` | `ooo` | `inorder`.
+    pub machine: String,
+    /// Input scale.
+    pub scale: Scale,
+    /// Hardware threads.
+    pub threads: usize,
+    /// SIMT-annotated variant.
+    pub simt: bool,
+    /// Cycle-limit override for the DiAG machine (error-path testing).
+    pub max_cycles: Option<u64>,
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Queue one experiment.
+    Submit(SubmitRequest),
+    /// Report queue depth, counters, and host metadata.
+    Status,
+    /// Drop a still-queued job by its `seq`.
+    Cancel {
+        /// The `seq` of the submission to drop.
+        seq: u64,
+    },
+    /// Stop admitting, drain the queue, exit.
+    Shutdown,
+}
+
+fn req_u64(doc: &Value, key: &str) -> Option<u64> {
+    doc.get(key).and_then(Value::as_num).map(|n| n as u64)
+}
+
+fn req_bool(doc: &Value, key: &str) -> Option<bool> {
+    match doc.get(key) {
+        Some(Value::Bool(b)) => Some(*b),
+        _ => None,
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a one-line message on invalid JSON, a missing/unknown verb,
+/// or missing required fields — the server answers with a `400` frame.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let verb = doc
+        .get("verb")
+        .and_then(Value::as_str)
+        .ok_or("missing `verb`")?;
+    match verb {
+        "submit" => {
+            let seq = req_u64(&doc, "seq").ok_or("submit needs a numeric `seq`")?;
+            let workload = doc
+                .get("workload")
+                .and_then(Value::as_str)
+                .ok_or("submit needs a `workload`")?
+                .to_string();
+            let scale = match doc.get("scale").and_then(Value::as_str).unwrap_or("tiny") {
+                "tiny" => Scale::Tiny,
+                "small" => Scale::Small,
+                "full" => Scale::Full,
+                other => return Err(format!("unknown scale `{other}` (tiny|small|full)")),
+            };
+            Ok(Request::Submit(SubmitRequest {
+                seq,
+                client: doc
+                    .get("client")
+                    .and_then(Value::as_str)
+                    .map(str::to_string),
+                workload,
+                machine: doc
+                    .get("machine")
+                    .and_then(Value::as_str)
+                    .unwrap_or("diag")
+                    .to_string(),
+                scale,
+                threads: req_u64(&doc, "threads").unwrap_or(1).max(1) as usize,
+                simt: req_bool(&doc, "simt").unwrap_or(false),
+                max_cycles: req_u64(&doc, "max_cycles"),
+            }))
+        }
+        "status" => Ok(Request::Status),
+        "cancel" => Ok(Request::Cancel {
+            seq: req_u64(&doc, "seq").ok_or("cancel needs a numeric `seq`")?,
+        }),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown verb `{other}`")),
+    }
+}
+
+/// Escapes a string for embedding in a JSON frame.
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The once-per-connection greeting frame.
+pub fn hello_frame(conn: u64) -> String {
+    format!("{{\"frame\":\"hello\",\"proto\":\"{PROTO}\",\"conn\":{conn}}}")
+}
+
+/// A successful result frame: the run's [`RunStats`] plus per-request
+/// cache attribution and service time.
+pub fn result_frame(
+    seq: u64,
+    workload: &str,
+    machine: &str,
+    stats: &RunStats,
+    cache_hits: u64,
+    cache_builds: u64,
+    host_ns: u64,
+) -> String {
+    format!(
+        "{{\"frame\":\"result\",\"seq\":{seq},\"ok\":true,\
+         \"workload\":\"{}\",\"machine\":\"{}\",\
+         \"stats\":{{\"cycles\":{},\"committed\":{},\"threads\":{},\"ipc\":{:.4},\
+         \"stalls\":{{\"memory\":{},\"control\":{},\"structural\":{}}}}},\
+         \"cache\":{{\"hits\":{cache_hits},\"builds\":{cache_builds}}},\
+         \"host_ns\":{host_ns}}}",
+        esc(workload),
+        esc(machine),
+        stats.cycles,
+        stats.committed,
+        stats.threads,
+        stats.ipc(),
+        stats.stalls.memory,
+        stats.stalls.control,
+        stats.stalls.structural,
+    )
+}
+
+/// The `RunError` taxonomy key a failed run reports over the wire.
+pub fn error_kind(e: &RunError) -> &'static str {
+    match e {
+        RunError::Build { .. } => "build",
+        RunError::Sim { .. } => "sim",
+        RunError::Verify { .. } => "verify",
+        RunError::Panicked { .. } => "panicked",
+    }
+}
+
+/// A failed result frame: the [`RunError`] taxonomy over the wire.
+pub fn error_frame(
+    seq: u64,
+    workload: &str,
+    machine: &str,
+    err: &RunError,
+    cache_hits: u64,
+    cache_builds: u64,
+    host_ns: u64,
+) -> String {
+    format!(
+        "{{\"frame\":\"result\",\"seq\":{seq},\"ok\":false,\
+         \"workload\":\"{}\",\"machine\":\"{}\",\
+         \"error\":{{\"kind\":\"{}\",\"message\":\"{}\"}},\
+         \"cache\":{{\"hits\":{cache_hits},\"builds\":{cache_builds}}},\
+         \"host_ns\":{host_ns}}}",
+        esc(workload),
+        esc(machine),
+        error_kind(err),
+        esc(&err.to_string()),
+    )
+}
+
+/// An immediate admission rejection (`seq` present when the request
+/// carried one).
+pub fn reject_frame(seq: Option<u64>, code: u16, message: &str) -> String {
+    match seq {
+        Some(seq) => format!(
+            "{{\"frame\":\"reject\",\"seq\":{seq},\"code\":{code},\"message\":\"{}\"}}",
+            esc(message)
+        ),
+        None => format!(
+            "{{\"frame\":\"reject\",\"code\":{code},\"message\":\"{}\"}}",
+            esc(message)
+        ),
+    }
+}
+
+/// A protocol-level error frame (unparsable line, unknown verb).
+pub fn protocol_error_frame(message: &str) -> String {
+    format!(
+        "{{\"frame\":\"error\",\"code\":{},\"message\":\"{}\"}}",
+        code::BAD_REQUEST,
+        esc(message)
+    )
+}
+
+/// The answer to a `cancel` request.
+pub fn cancelled_frame(seq: u64, ok: bool) -> String {
+    format!("{{\"frame\":\"cancelled\",\"seq\":{seq},\"ok\":{ok}}}")
+}
+
+/// The acknowledgement of a `shutdown` request.
+pub fn shutdown_frame(queued: usize) -> String {
+    format!("{{\"frame\":\"shutdown\",\"queued\":{queued}}}")
+}
+
+/// A point-in-time server snapshot for `status` frames.
+#[derive(Debug, Clone, Default)]
+pub struct StatusSnapshot {
+    /// Jobs waiting in the queue.
+    pub queued: usize,
+    /// Jobs currently executing on workers.
+    pub running: u64,
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Queue admission capacity.
+    pub capacity: usize,
+    /// Accepted submissions since start.
+    pub submitted: u64,
+    /// Jobs completed with `ok:true`.
+    pub completed: u64,
+    /// Jobs completed with `ok:false`.
+    pub errors: u64,
+    /// Submissions rejected at admission.
+    pub rejected: u64,
+    /// Jobs cancelled while queued.
+    pub cancelled: u64,
+    /// Pre-rendered host-metadata JSON object (see
+    /// [`diag_bench::hostmeta::render_host_object`]) — the same block
+    /// `BENCH_sim.json` carries.
+    pub host: String,
+}
+
+/// A `status` frame.
+pub fn status_frame(s: &StatusSnapshot) -> String {
+    format!(
+        "{{\"frame\":\"status\",\"proto\":\"{PROTO}\",\
+         \"workers\":{},\"capacity\":{},\"queued\":{},\"running\":{},\
+         \"submitted\":{},\"completed\":{},\"errors\":{},\"rejected\":{},\
+         \"cancelled\":{},\"host\":{}}}",
+        s.workers,
+        s.capacity,
+        s.queued,
+        s.running,
+        s.submitted,
+        s.completed,
+        s.errors,
+        s.rejected,
+        s.cancelled,
+        if s.host.is_empty() { "{}" } else { &s.host },
+    )
+}
+
+/// Replaces every `"host_ns":<digits>` with `"host_ns":0` — the one
+/// per-request timing field — so protocol transcripts can be compared
+/// byte-for-byte across runs.
+pub fn strip_timing(frames: &str) -> String {
+    const FIELD: &str = "\"host_ns\":";
+    let mut out = String::with_capacity(frames.len());
+    let mut rest = frames;
+    while let Some(i) = rest.find(FIELD) {
+        let after = i + FIELD.len();
+        out.push_str(&rest[..after]);
+        out.push('0');
+        let tail = &rest[after..];
+        let digits = tail.bytes().take_while(|b| b.is_ascii_digit()).count();
+        rest = &tail[digits..];
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_round_trips_with_defaults() {
+        let req = parse_request(r#"{"verb":"submit","seq":7,"workload":"hotspot"}"#).unwrap();
+        let Request::Submit(s) = req else {
+            panic!("not a submit")
+        };
+        assert_eq!(s.seq, 7);
+        assert_eq!(s.workload, "hotspot");
+        assert_eq!(s.machine, "diag");
+        assert_eq!(s.scale, Scale::Tiny);
+        assert_eq!(s.threads, 1);
+        assert!(!s.simt);
+        assert_eq!(s.max_cycles, None);
+        assert_eq!(s.client, None);
+    }
+
+    #[test]
+    fn submit_parses_every_field() {
+        let line = concat!(
+            r#"{"verb":"submit","seq":1,"client":"alice","workload":"bfs","#,
+            r#""machine":"ooo","scale":"small","threads":4,"simt":true,"#,
+            r#""max_cycles":10}"#,
+        );
+        let req = parse_request(line).unwrap();
+        let Request::Submit(s) = req else {
+            panic!("not a submit")
+        };
+        assert_eq!(s.client.as_deref(), Some("alice"));
+        assert_eq!(s.machine, "ooo");
+        assert_eq!(s.scale, Scale::Small);
+        assert_eq!(s.threads, 4);
+        assert!(s.simt);
+        assert_eq!(s.max_cycles, Some(10));
+    }
+
+    #[test]
+    fn control_verbs_parse() {
+        assert_eq!(
+            parse_request(r#"{"verb":"status"}"#).unwrap(),
+            Request::Status
+        );
+        assert_eq!(
+            parse_request(r#"{"verb":"cancel","seq":3}"#).unwrap(),
+            Request::Cancel { seq: 3 }
+        );
+        assert_eq!(
+            parse_request(r#"{"verb":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn bad_requests_are_rejected_with_messages() {
+        assert!(parse_request("not json")
+            .unwrap_err()
+            .contains("invalid JSON"));
+        assert!(parse_request("{}").unwrap_err().contains("verb"));
+        assert!(parse_request(r#"{"verb":"dance"}"#)
+            .unwrap_err()
+            .contains("unknown verb"));
+        assert!(parse_request(r#"{"verb":"submit","workload":"bfs"}"#)
+            .unwrap_err()
+            .contains("seq"));
+        assert!(
+            parse_request(r#"{"verb":"submit","seq":1,"workload":"x","scale":"huge"}"#)
+                .unwrap_err()
+                .contains("unknown scale")
+        );
+    }
+
+    #[test]
+    fn frames_are_valid_json_with_fixed_keys() {
+        let stats = RunStats {
+            cycles: 100,
+            committed: 50,
+            threads: 1,
+            ..RunStats::default()
+        };
+        for frame in [
+            hello_frame(1),
+            result_frame(1, "bfs", "diag", &stats, 2, 1, 12345),
+            error_frame(
+                2,
+                "bfs",
+                "diag",
+                &RunError::Build {
+                    workload: "bfs".to_string(),
+                    message: "quote \" and slash \\".to_string(),
+                },
+                0,
+                0,
+                1,
+            ),
+            reject_frame(Some(3), code::QUEUE_FULL, "queue full"),
+            reject_frame(None, code::BAD_REQUEST, "nope"),
+            protocol_error_frame("bad"),
+            cancelled_frame(4, true),
+            shutdown_frame(0),
+            status_frame(&StatusSnapshot::default()),
+        ] {
+            json::parse(&frame).unwrap_or_else(|e| panic!("{frame}: {e}"));
+        }
+    }
+
+    #[test]
+    fn strip_timing_zeroes_only_the_timing_field() {
+        let a = "{\"seq\":1,\"host_ns\":123456}\n{\"seq\":2,\"host_ns\":9}\n";
+        let b = "{\"seq\":1,\"host_ns\":777}\n{\"seq\":2,\"host_ns\":13}\n";
+        assert_eq!(strip_timing(a), strip_timing(b));
+        assert!(strip_timing(a).contains("\"host_ns\":0"));
+        assert!(strip_timing(a).contains("\"seq\":1"));
+    }
+
+    #[test]
+    fn error_kinds_cover_the_taxonomy() {
+        let w = "w".to_string();
+        let m = "m".to_string();
+        assert_eq!(
+            error_kind(&RunError::Build {
+                workload: w.clone(),
+                message: m.clone()
+            }),
+            "build"
+        );
+        assert_eq!(
+            error_kind(&RunError::Verify {
+                workload: w.clone(),
+                machine: m.clone(),
+                message: "x".to_string()
+            }),
+            "verify"
+        );
+        assert_eq!(
+            error_kind(&RunError::Panicked {
+                workload: w,
+                machine: m,
+                message: "x".to_string()
+            }),
+            "panicked"
+        );
+    }
+}

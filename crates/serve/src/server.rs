@@ -1,0 +1,478 @@
+//! The `diag-serve` server: admission, scheduling, execution, streaming.
+//!
+//! ```text
+//!                 ┌───────────── Server ─────────────────────────┐
+//!  conn 1 ──────► │ reader thread ─┐                             │
+//!  conn 2 ──────► │ reader thread ─┼─► FairQueue (bounded, DRR)  │
+//!  conn N ──────► │ reader thread ─┘        │ pop                │
+//!                 │                ┌────────┴─────────┐          │
+//!                 │                │ worker pool      │          │
+//!                 │                │ sweep::run_one   │          │
+//!                 │                │ (shared Session) │          │
+//!                 │                └────────┬─────────┘          │
+//!                 │      per-conn ordered flush (BTreeMap)       │
+//!                 └───────────────────│─────────────────────────-┘
+//!  conn K ◄── JSONL frames, per-client submission order ◄────────┘
+//! ```
+//!
+//! One [`Session`] is shared by every worker, so concurrent requests
+//! for the same `(workload, params, machine)` coalesce onto a single
+//! preparation through the store's `Arc<OnceLock>` layer — the second
+//! request blocks briefly and reports a cache *hit* instead of
+//! duplicating an assembly. Each result frame carries the hit/build
+//! delta observed around its own run.
+//!
+//! Results are written back **in per-client submission order**: each
+//! accepted submission takes the connection's next order slot, and a
+//! completed (or cancelled) job's frame is buffered until every earlier
+//! slot has flushed. Control frames (`reject`, `status`, …) bypass the
+//! ordering and are written immediately.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+use diag_bench::cli::machine_kind;
+use diag_bench::runner::MachineKind;
+use diag_bench::sweep::{self, SweepRun};
+use diag_pipeline::Session;
+use diag_workloads::{find, Params, Scale};
+
+use crate::protocol::{self, code, parse_request, Request, StatusSnapshot, SubmitRequest};
+use crate::queue::{FairQueue, SubmitError, Ticket};
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker-pool size. `0` is allowed (nothing executes — jobs queue
+    /// until capacity and further submissions get deterministic `429`s;
+    /// used by admission tests).
+    pub workers: usize,
+    /// Queue admission capacity.
+    pub capacity: usize,
+    /// Deficit-round-robin quantum (scheduling credit added per visit;
+    /// see [`crate::queue`]).
+    pub quantum: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: sweep::default_jobs(),
+            capacity: 1024,
+            quantum: 1,
+        }
+    }
+}
+
+/// Scheduling cost of one submission: larger scales consume more
+/// deficit, so a client flooding `full`-scale jobs yields proportionally
+/// more service to `tiny`-scale neighbours.
+pub fn job_cost(scale: Scale) -> u64 {
+    match scale {
+        Scale::Tiny => 1,
+        Scale::Small => 8,
+        Scale::Full => 64,
+    }
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Per-connection write side: the socket plus the in-order result
+/// buffer.
+struct ConnOut {
+    stream: Mutex<TcpStream>,
+    pending: Mutex<Pending>,
+}
+
+struct Pending {
+    /// Next order slot to flush.
+    next: u64,
+    /// Completed frames waiting on earlier slots.
+    ready: BTreeMap<u64, String>,
+}
+
+impl ConnOut {
+    fn new(stream: TcpStream) -> ConnOut {
+        ConnOut {
+            stream: Mutex::new(stream),
+            pending: Mutex::new(Pending {
+                next: 0,
+                ready: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Writes one frame immediately (control frames). Write errors are
+    /// ignored: the client hung up, and its jobs finish harmlessly.
+    /// Frame and newline go out in a single write — a split write ends
+    /// the line in its own small segment, which Nagle holds back behind
+    /// the peer's delayed ACK (~40ms per frame each way).
+    fn write_line(&self, frame: &str) {
+        let mut line = String::with_capacity(frame.len() + 1);
+        line.push_str(frame);
+        line.push('\n');
+        let mut s = lock(&self.stream);
+        let _ = s.write_all(line.as_bytes());
+        let _ = s.flush();
+    }
+
+    /// Delivers the frame for order slot `order`, flushing every
+    /// consecutively-complete slot.
+    fn complete(&self, order: u64, frame: String) {
+        let mut p = lock(&self.pending);
+        p.ready.insert(order, frame);
+        while let Some(f) = {
+            let next = p.next;
+            p.ready.remove(&next)
+        } {
+            self.write_line(&f);
+            p.next += 1;
+        }
+    }
+}
+
+/// One admitted job.
+struct Job {
+    out: Arc<ConnOut>,
+    seq: u64,
+    order: u64,
+    run: SweepRun,
+    /// Short machine key echoed on the frame (`diag`/`ooo`/`inorder`).
+    machine_key: String,
+}
+
+#[derive(Default)]
+struct ServerCounters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    errors: AtomicU64,
+    rejected: AtomicU64,
+    cancelled: AtomicU64,
+    running: AtomicU64,
+}
+
+struct Shared {
+    session: Session,
+    queue: FairQueue<Job>,
+    addr: SocketAddr,
+    workers: usize,
+    capacity: usize,
+    counters: ServerCounters,
+    conn_seq: AtomicU64,
+}
+
+impl Shared {
+    fn snapshot(&self) -> StatusSnapshot {
+        let c = &self.counters;
+        let mut host = diag_bench::hostmeta::host_entries().to_vec();
+        host.extend(diag_bench::hostmeta::cache_entries(
+            &self.session.counters(),
+        ));
+        StatusSnapshot {
+            queued: self.queue.len(),
+            running: c.running.load(Ordering::Relaxed),
+            workers: self.workers,
+            capacity: self.capacity,
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            host: diag_bench::hostmeta::render_host_object(&host),
+        }
+    }
+}
+
+/// A bound-but-not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `config.addr` and prepares the shared state. `session` is
+    /// the artifact store every worker executes through — pass a
+    /// disk-backed one for cross-restart warm starts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket bind failure.
+    pub fn bind(config: &ServeConfig, session: Session) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                session,
+                queue: FairQueue::new(config.capacity.max(1), config.quantum),
+                addr,
+                workers: config.workers,
+                capacity: config.capacity.max(1),
+                counters: ServerCounters::default(),
+                conn_seq: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Serves until a client sends `shutdown`, then drains: no new
+    /// admissions, queued jobs finish, workers join, and `run` returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates worker-thread spawn failures; per-connection I/O
+    /// errors only terminate their connection.
+    pub fn run(self) -> io::Result<()> {
+        let mut workers = Vec::new();
+        for i in 0..self.shared.workers {
+            let shared = Arc::clone(&self.shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("diag-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+        for stream in self.listener.incoming() {
+            if self.shared.queue.is_draining() {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || handle_conn(&shared, stream));
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+
+    /// Runs the server on a background thread — the in-process harness
+    /// tests use this; the binary calls [`Server::run`] directly.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        ServerHandle {
+            addr,
+            thread: std::thread::spawn(move || self.run()),
+        }
+    }
+}
+
+/// Handle to a [`Server::spawn`]ed server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    thread: std::thread::JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the server to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's I/O error, or an `Other` error if the
+    /// server thread panicked.
+    pub fn join(self) -> io::Result<()> {
+        self.thread
+            .join()
+            .map_err(|_| io::Error::other("server thread panicked"))?
+    }
+}
+
+/// Worker loop: pop, execute through the shared session, deliver. The
+/// cache delta around the run attributes hits/builds to this request
+/// (exact at one worker; under concurrency a neighbour's counter bumps
+/// can land in the window, which is why the warm-burst CI assertion is
+/// `builds == 0`, not an exact hit count).
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        shared.counters.running.fetch_add(1, Ordering::Relaxed);
+        let before = shared.session.counters();
+        let t0 = Instant::now();
+        let result = sweep::run_one(&shared.session, &job.run);
+        let host_ns = (t0.elapsed().as_nanos() as u64).max(1);
+        let after = shared.session.counters();
+        let hits = after.hits().saturating_sub(before.hits());
+        let builds = after.builds().saturating_sub(before.builds());
+        let workload = job.run.spec.name;
+        let frame = match &result {
+            Ok(stats) => {
+                shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+                protocol::result_frame(
+                    job.seq,
+                    workload,
+                    &job.machine_key,
+                    stats,
+                    hits,
+                    builds,
+                    host_ns,
+                )
+            }
+            Err(e) => {
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                protocol::error_frame(
+                    job.seq,
+                    workload,
+                    &job.machine_key,
+                    e,
+                    hits,
+                    builds,
+                    host_ns,
+                )
+            }
+        };
+        job.out.complete(job.order, frame);
+        shared.counters.running.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Validates a submission and builds its [`SweepRun`].
+fn plan_submit(req: &SubmitRequest) -> Result<(SweepRun, String), (u16, String)> {
+    let Some(spec) = find(&req.workload) else {
+        return Err((
+            code::NOT_FOUND,
+            format!("unknown workload `{}`", req.workload),
+        ));
+    };
+    let Some(mut kind) = machine_kind(&req.machine) else {
+        return Err((
+            code::BAD_REQUEST,
+            format!("unknown machine `{}` (diag|ooo|inorder)", req.machine),
+        ));
+    };
+    if let Some(max_cycles) = req.max_cycles {
+        match &mut kind {
+            MachineKind::Diag(cfg) => cfg.max_cycles = max_cycles,
+            _ => {
+                return Err((
+                    code::BAD_REQUEST,
+                    "max_cycles only applies to machine `diag`".to_string(),
+                ))
+            }
+        }
+    }
+    // Same construction as the harness CLI: the seed is fixed, so a
+    // wire request and a `harness` invocation of the same spec run the
+    // identical simulation.
+    let params = Params::small()
+        .with_scale(req.scale)
+        .with_threads(req.threads)
+        .with_simt(req.simt);
+    Ok((
+        SweepRun {
+            machine: kind,
+            spec,
+            params,
+        },
+        req.machine.clone(),
+    ))
+}
+
+/// One connection's reader loop: parse, admit, answer control verbs.
+fn handle_conn(shared: &Shared, stream: TcpStream) {
+    let conn = shared.conn_seq.fetch_add(1, Ordering::Relaxed) + 1;
+    // Frames are single sub-MSS writes; without NODELAY, Nagle queues
+    // each one behind the client's delayed ACK and every round trip
+    // costs tens of milliseconds.
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let out = Arc::new(ConnOut::new(write_half));
+    out.write_line(&protocol::hello_frame(conn));
+    let default_client = format!("conn{conn}");
+    // Order slots are allocated only on successful admission, so
+    // rejects never leave a hole in the result stream.
+    let mut next_order: u64 = 0;
+    let mut tickets: HashMap<u64, Ticket> = HashMap::new();
+    for line in BufReader::new(stream).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line) {
+            Err(message) => out.write_line(&protocol::protocol_error_frame(&message)),
+            Ok(Request::Submit(req)) => {
+                let (run, machine_key) = match plan_submit(&req) {
+                    Ok(planned) => planned,
+                    Err((code, message)) => {
+                        shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                        out.write_line(&protocol::reject_frame(Some(req.seq), code, &message));
+                        continue;
+                    }
+                };
+                let cost = job_cost(req.scale);
+                let client = req.client.as_deref().unwrap_or(&default_client);
+                let job = Job {
+                    out: Arc::clone(&out),
+                    seq: req.seq,
+                    order: next_order,
+                    run,
+                    machine_key,
+                };
+                match shared.queue.submit(client, cost, job) {
+                    Ok(ticket) => {
+                        next_order += 1;
+                        tickets.insert(req.seq, ticket);
+                        shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(SubmitError::Full) => {
+                        shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                        out.write_line(&protocol::reject_frame(
+                            Some(req.seq),
+                            code::QUEUE_FULL,
+                            "queue full",
+                        ));
+                    }
+                    Err(SubmitError::Draining) => {
+                        shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                        out.write_line(&protocol::reject_frame(
+                            Some(req.seq),
+                            code::DRAINING,
+                            "server is draining",
+                        ));
+                    }
+                }
+            }
+            Ok(Request::Cancel { seq }) => {
+                let hit = tickets
+                    .remove(&seq)
+                    .and_then(|ticket| shared.queue.cancel(ticket));
+                match hit {
+                    Some(job) => {
+                        shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                        // The cancelled frame takes the job's order slot
+                        // so later results still flush in order.
+                        job.out
+                            .complete(job.order, protocol::cancelled_frame(seq, true));
+                    }
+                    None => out.write_line(&protocol::cancelled_frame(seq, false)),
+                }
+            }
+            Ok(Request::Status) => out.write_line(&protocol::status_frame(&shared.snapshot())),
+            Ok(Request::Shutdown) => {
+                shared.queue.drain();
+                out.write_line(&protocol::shutdown_frame(shared.queue.len()));
+                // Unblock the accept loop so `run` can notice the drain.
+                let _ = TcpStream::connect(shared.addr);
+                break;
+            }
+        }
+    }
+}

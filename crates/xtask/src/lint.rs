@@ -3,12 +3,16 @@
 //!
 //! The machines (`crates/core`, `crates/sim`) are library code driven by
 //! arbitrary guest programs — a panic there takes down a whole sweep and
-//! masks the `SimError` that should have been reported. Clippy's
+//! masks the `SimError` that should have been reported. The artifact
+//! store (`crates/pipeline`) and the server (`crates/serve`) are shared
+//! by many concurrent requests — a panic there poisons locks or drops a
+//! connection instead of producing an error frame. Clippy's
 //! `unwrap_used` lint cannot be adopted piecemeal without attribute
 //! noise at every test module, so this is a small, dependency-free
 //! scanner with the policy hard-coded:
 //!
-//! - only `crates/core/src` and `crates/sim/src` are in scope;
+//! - only `crates/core/src`, `crates/sim/src`, `crates/pipeline/src`,
+//!   and `crates/serve/src` are in scope;
 //! - `#[cfg(test)]` items (and everything nested inside them) are
 //!   exempt;
 //! - a deliberate use is allowed by writing `// lint: allow(unwrap)` on
@@ -19,7 +23,12 @@ use std::path::Path;
 use std::process::ExitCode;
 
 /// Directories scanned, relative to the workspace root.
-const SCOPE: &[&str] = &["crates/core/src", "crates/sim/src"];
+const SCOPE: &[&str] = &[
+    "crates/core/src",
+    "crates/sim/src",
+    "crates/pipeline/src",
+    "crates/serve/src",
+];
 
 /// The escape-hatch marker.
 const ALLOW: &str = "lint: allow(unwrap)";
@@ -157,56 +166,69 @@ fn scan_file(path: &str, text: &str, out: &mut Vec<Offense>) {
     }
 }
 
-/// Net brace nesting change of `code`, ignoring braces inside string and
-/// char literals (format-string braces are balanced and cancel out; the
-/// literal cases that are not, like `'{'`, must not skew the count).
+/// Net brace nesting change of `code`, ignoring braces inside string,
+/// raw-string, and char literals (format-string braces are balanced and
+/// cancel out; the literal cases that are not, like `'{'` or
+/// `r#"{"k":1}"#`, must not skew the count).
 fn brace_delta(code: &str) -> i64 {
+    let chars: Vec<char> = code.chars().collect();
     let mut delta = 0i64;
-    let mut chars = code.chars().peekable();
-    let mut in_str = false;
-    let mut in_char = false;
-    while let Some(c) = chars.next() {
-        if in_str {
-            match c {
-                '\\' => {
-                    chars.next();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '"' => {
+                // Ordinary string: skip to the closing quote, honoring
+                // escapes.
+                i += 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '"' => break,
+                        _ => i += 1,
+                    }
                 }
-                '"' => in_str = false,
-                _ => {}
             }
-            continue;
-        }
-        if in_char {
-            match c {
-                '\\' => {
-                    chars.next();
+            'r' if i == 0 || (!chars[i - 1].is_alphanumeric() && chars[i - 1] != '_') => {
+                // Possible raw string `r#*"…"#*`: skip to the closing
+                // quote followed by the same number of hashes.
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < chars.len() && chars[j] == '#' {
+                    hashes += 1;
+                    j += 1;
                 }
-                '\'' => in_char = false,
-                _ => {}
+                if j < chars.len() && chars[j] == '"' {
+                    j += 1;
+                    while j < chars.len() {
+                        if chars[j] == '"'
+                            && chars[j + 1..].iter().take_while(|c| **c == '#').count() >= hashes
+                        {
+                            j += hashes;
+                            break;
+                        }
+                        j += 1;
+                    }
+                    i = j;
+                }
             }
-            continue;
-        }
-        match c {
-            '"' => in_str = true,
             // A lifetime tick (`&'a`) is followed by an identifier and
             // no closing quote; only treat `'` as a char literal when
             // the quote closes within two characters (`'x'`, `'\\n'`).
             '\'' => {
-                let mut ahead = chars.clone();
-                let first = ahead.next();
-                let is_char = match first {
-                    Some('\\') => true,
-                    Some(_) => ahead.next() == Some('\''),
-                    None => false,
+                let (skip, is_char) = match chars.get(i + 1) {
+                    Some('\\') => (3, true),
+                    Some(_) => (2, chars.get(i + 2) == Some(&'\'')),
+                    None => (0, false),
                 };
                 if is_char {
-                    in_char = true;
+                    i += skip;
                 }
             }
             '{' => delta += 1,
             '}' => delta -= 1,
             _ => {}
         }
+        i += 1;
     }
     delta
 }
@@ -251,5 +273,28 @@ mod tests {
     fn string_braces_do_not_derail_block_tracking() {
         let text = "#[cfg(test)]\nmod tests {\n    const S: &str = \"}\";\n    fn g() { x.unwrap(); }\n}\nfn h() { y.unwrap(); }\n";
         assert_eq!(offenses(text), vec![6]);
+    }
+
+    #[test]
+    fn raw_string_braces_do_not_derail_block_tracking() {
+        // JSON-heavy tests write raw strings like r#"{"verb":"x"}"# —
+        // their unbalanced-looking braces must not end the cfg(test)
+        // exemption early.
+        let text = "#[cfg(test)]\nmod tests {\n    fn g() {\n        let s = r#\"{\"verb\":\"dance\"}}}\"#;\n        parse(s).unwrap();\n    }\n}\nfn h() { y.unwrap(); }\n";
+        assert_eq!(offenses(text), vec![8]);
+    }
+
+    #[test]
+    fn brace_delta_handles_literals() {
+        assert_eq!(brace_delta("fn f() {"), 1);
+        assert_eq!(brace_delta("}"), -1);
+        assert_eq!(brace_delta("let s = r#\"}}}\"#;"), 0);
+        assert_eq!(brace_delta("let s = r\"}\";"), 0);
+        assert_eq!(brace_delta("let c = '{';"), 0);
+        assert_eq!(brace_delta("let c = '\\n'; {"), 1);
+        assert_eq!(brace_delta("write(\"{\\\"k\\\": 1}}\")"), 0);
+        // An identifier ending in `r` before a string is not a raw
+        // string prefix.
+        assert_eq!(brace_delta("var\"}\""), 0);
     }
 }

@@ -29,6 +29,9 @@
 //!   disk.
 //! - [`mod@bench`]: the experiment harness — per-figure regeneration
 //!   functions and the parallel [`bench::sweep`] runner.
+//! - [`serve`]: the persistent experiment server — bounded fair
+//!   queueing, request coalescing onto the shared [`pipeline::Session`],
+//!   and streaming JSONL results ([`serve::Server`], [`serve::Client`]).
 //!
 //! Machines expose a steppable interface — [`sim::Machine::load`] mounts
 //! a program, [`sim::Machine::step`] retires one unit of work — on top of
@@ -68,6 +71,7 @@ pub use diag_isa as isa;
 pub use diag_mem as mem;
 pub use diag_pipeline as pipeline;
 pub use diag_power as power;
+pub use diag_serve as serve;
 pub use diag_sim as sim;
 pub use diag_trace as trace;
 pub use diag_verify as verify;
