@@ -11,7 +11,7 @@
 use std::time::Instant;
 
 use diag_baseline::{InOrder, O3Config, OooCpu};
-use diag_bench::runner::{run_verified, MachineKind};
+use diag_bench::runner::{run_verified, MachineSpec};
 use diag_bench::sweep::default_jobs;
 use diag_core::{Diag, DiagConfig};
 use diag_pipeline::Session;
@@ -117,7 +117,7 @@ fn workload_sweep() {
         let spec = find(name).expect("registered");
         let secs = best_of(3, || {
             run_verified(
-                &MachineKind::Diag(DiagConfig::f4c32()),
+                &MachineSpec::Diag(DiagConfig::f4c32()),
                 &spec,
                 &Params::tiny(),
             )

@@ -5,6 +5,8 @@
 //! harness run <experiment|all> [--scale S|--quick] [--jobs N] [--strict]
 //! harness analyze [workload ...|all] [--json] [--scale S] [--threads N] [--simt]
 //! harness sweep [workload ...|all] [--scale S|--quick] [--jobs N] [--strict]
+//! harness tune [workload ...|all] [--grid SPEC;...] [--scale S|--quick]
+//!              [--threads N] [--simt] [--jobs N] [--strict] [--out FILE]
 //! harness bench [workload ...|all] [--scale S|--quick] [--repeat N] [--out FILE]
 //!               [--baseline FILE] [--max-regress PCT]
 //! harness trace <workload> [--machine M] [--format F] [--window N]
@@ -55,6 +57,13 @@
 //! — DiAG f4c32, the 12-core out-of-order baseline, and the in-order
 //! reference — in parallel, and prints one cycles/IPC table.
 //!
+//! `tune` sweeps a grid of DiAG configurations (default: 36 points
+//! around F4C32 on the §5 parametrizable axes; override with
+//! `--grid "spec;spec;..."`) over the named workloads and prints each
+//! workload's Pareto frontier of cycles vs modeled energy. Every grid
+//! run is memoized by the session's run stage, so a warm re-tune
+//! simulates nothing and prints a byte-identical report.
+//!
 //! `bench` times the *simulator itself*: host nanoseconds per committed
 //! instruction for every named workload (default: all) on every machine
 //! model, serially, best of `--repeat N` runs (default 3). The report is
@@ -85,8 +94,9 @@
 //! All `--out` paths create missing parent directories.
 
 use diag_bench::cli::{self, CliSpec, CommonArgs, Extra, Flag};
-use diag_bench::runner::{run_built, MachineKind};
+use diag_bench::runner::{build_machine, run_built, MachineSpec};
 use diag_bench::sweep::Sweep;
+use diag_bench::tune;
 use diag_bench::{experiments, hostbench, sweep};
 use diag_pipeline::{DiskCache, ReportFormat, Session};
 use diag_profile::{
@@ -105,6 +115,7 @@ subcommands:
   analyze [workload ...] static dataflow analysis, no simulation
   verify [workload ...]  abstract-interpretation verifier, no simulation
   sweep [workload ...]   run workloads on every machine; cycles/IPC table
+  tune [workload ...]    sweep a DiAG config grid; cycles/energy Pareto frontier
   bench [workload ...]   time the simulator itself; write BENCH_sim.json
   trace <workload>       run one workload with tracing and export events
   profile <workload>     run one workload with cycle accounting attached
@@ -122,12 +133,20 @@ analyze options:  [--json] [--scale tiny|small|full] [--threads N] [--simt]
 verify options:   [--json] [--scale tiny|small|full] [--threads N] [--simt]
                   [--strict] [--out FILE]
 sweep options:    [--scale tiny|small|full | --quick] [--jobs N] [--strict]
+tune options:     [--scale tiny|small|full | --quick] [--threads N] [--simt]
+                  [--jobs N] [--strict] [--out FILE] [--grid SPEC;SPEC;...]
 bench options:    [--scale tiny|small|full | --quick] [--repeat N] [--out FILE]
                   [--baseline FILE] [--max-regress PCT]
-trace options:    [--machine diag|ooo|inorder] [--format perfetto|jsonl|heatmap|timeline]
+trace options:    [--machine SPEC] [--format perfetto|jsonl|heatmap|timeline]
                   [--window N] [--out FILE] [--threads N] [--simt] [--quick]
-profile options:  [--machine diag|ooo|inorder] [--format text|json|folded]
+profile options:  [--machine SPEC] [--format text|json|folded]
                   [--top N] [--out FILE] [--threads N] [--simt] [--quick]
+
+machine specs (--machine, --grid): diag[:preset][+key=value,...] | ooo[:cores]
+  | inorder, e.g. diag:f4c32+clusters=16,lsu_depth=8. Presets: i4c2 f4c2
+  f4c16 f4c32. Override keys: pes_per_cluster clusters ring_clusters
+  lane_buffer_interval lsu_depth memlane_capacity commit_width max_cycles
+  reuse simt.
 profile diff options: [--top N]
 cache options:    [--cache-dir DIR]
 serve options:    [--addr HOST:PORT] [--workers N] [--capacity N] [--quantum N]
@@ -349,9 +368,9 @@ fn sweep_cmd(args: &[String]) -> i32 {
     let params = args.params();
     let session = args.session();
     let machines = [
-        MachineKind::Diag(diag_core::DiagConfig::f4c32()),
-        MachineKind::Ooo(12),
-        MachineKind::InOrder,
+        MachineSpec::Diag(diag_core::DiagConfig::f4c32()),
+        MachineSpec::Ooo(12),
+        MachineSpec::InOrder,
     ];
     let mut queue = Sweep::new();
     let mut ids = Vec::new();
@@ -382,6 +401,65 @@ fn sweep_cmd(args: &[String]) -> i32 {
     report_cache(&session);
     if args.strict && !results.failures().is_empty() {
         eprintln!("--strict: at least one run failed");
+        return 1;
+    }
+    0
+}
+
+/// The `tune` subcommand: sweep a DiAG configuration grid over the named
+/// workloads and print per-workload cycles/energy Pareto frontiers.
+/// Returns the process exit code.
+fn tune_cmd(args: &[String]) -> i32 {
+    const SPEC: CliSpec = CliSpec {
+        cmd: "tune",
+        flags: &[
+            Flag::Scale,
+            Flag::Threads,
+            Flag::Simt,
+            Flag::Jobs,
+            Flag::Strict,
+            Flag::Out,
+        ],
+        extras: &[Extra {
+            name: "--grid",
+            takes_value: true,
+        }],
+        // A 48-point grid times every workload is a lot of simulation;
+        // the cheap scale is the sane default for exploration.
+        default_scale: Scale::Tiny,
+    };
+    let args = parse_or_usage(&SPEC, args);
+    let grid = match args.value("--grid") {
+        Some(text) => match tune::parse_grid(text) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("{e}");
+                usage();
+            }
+        },
+        None => tune::default_grid(),
+    };
+    let specs = resolve_workloads(&args.positionals);
+    let params = args.params();
+    let session = args.session();
+    let report = tune::tune(&session, &specs, &grid, &params, args.jobs);
+    let text = report.render();
+    print!("{text}");
+    if let Some(path) = &args.out {
+        if let Err(e) = write_output(path, &text) {
+            eprintln!("{e}");
+            return 1;
+        }
+    }
+    report_cache(&session);
+    let runs = session.counters().runs;
+    eprintln!(
+        "tune: {} run-stage builds, {} run-stage hits",
+        runs.builds, runs.hits
+    );
+    let failed: usize = report.frontiers.iter().map(|f| f.failed.len()).sum();
+    if args.strict && failed > 0 {
+        eprintln!("--strict: {failed} grid run(s) failed");
         return 1;
     }
     0
@@ -565,7 +643,7 @@ fn trace_cmd(args: &[String]) -> i32 {
     let params = args.params();
     let session = args.session();
     let sink = VecSink::shared();
-    let mut machine = kind.build();
+    let mut machine = build_machine(&kind);
     machine.set_tracer(Tracer::to_shared(sink.clone()));
     let stats = match run_built(&session, &kind, &spec, &params, machine.as_mut()) {
         Ok(s) => s,
@@ -670,7 +748,7 @@ fn profile_cmd(args: &[String]) -> i32 {
         }
     };
     let shared = ProfileCollector::shared();
-    let mut machine = kind.build();
+    let mut machine = build_machine(&kind);
     machine.set_profiler(Profiler::to_shared(&shared));
     let stats = match run_built(&session, &kind, &spec, &params, machine.as_mut()) {
         Ok(s) => s,
@@ -685,7 +763,7 @@ fn profile_cmd(args: &[String]) -> i32 {
         threads: params.threads as u64,
         simt: params.simt,
         cycle_model: match kind {
-            MachineKind::InOrder => CycleModel::Additive,
+            MachineSpec::InOrder => CycleModel::Additive,
             _ => CycleModel::Wallclock,
         },
         total_cycles: stats.cycles,
@@ -956,6 +1034,7 @@ fn main() {
         Some("analyze") => analyze_cmd(&args[1..]),
         Some("verify") => verify_cmd(&args[1..]),
         Some("sweep") => sweep_cmd(&args[1..]),
+        Some("tune") => tune_cmd(&args[1..]),
         Some("bench") => bench_cmd(&args[1..]),
         Some("trace") => trace_cmd(&args[1..]),
         Some("profile") => profile_cmd(&args[1..]),

@@ -9,11 +9,10 @@
 //! before the usage text. The cache flags (`--no-cache`, `--cache-dir`)
 //! are global: every subcommand that prepares artifacts accepts them.
 
-use diag_core::DiagConfig;
 use diag_pipeline::{DiskCache, Session};
 use diag_workloads::{Params, Scale};
 
-use crate::runner::MachineKind;
+use crate::runner::MachineSpec;
 use crate::sweep::default_jobs;
 
 /// Common flags a subcommand can opt into.
@@ -26,7 +25,9 @@ pub enum Flag {
     Threads,
     /// `--simt`.
     Simt,
-    /// `--machine diag|ooo|inorder`.
+    /// `--machine SPEC` in the canonical machine grammar —
+    /// `diag[:preset][+key=value,...]`, `ooo[:cores]`, or `inorder`
+    /// (see [`MachineSpec::parse`]).
     Machine,
     /// `--jobs N`.
     Jobs,
@@ -67,8 +68,8 @@ pub struct CommonArgs {
     pub threads: usize,
     /// `--simt`.
     pub simt: bool,
-    /// `--machine` (default DiAG F4C32).
-    pub machine: MachineKind,
+    /// `--machine` (default `diag:f4c32`).
+    pub machine: MachineSpec,
     /// `--jobs` (default: host parallelism).
     pub jobs: usize,
     /// `--strict`.
@@ -125,17 +126,6 @@ impl CommonArgs {
     }
 }
 
-/// Resolves a `--machine` name to its [`MachineKind`]: the same three
-/// models everywhere (`diag` F4C32, `ooo` 12-core, `inorder`).
-pub fn machine_kind(name: &str) -> Option<MachineKind> {
-    match name {
-        "diag" => Some(MachineKind::Diag(DiagConfig::f4c32())),
-        "ooo" => Some(MachineKind::Ooo(12)),
-        "inorder" => Some(MachineKind::InOrder),
-        _ => None,
-    }
-}
-
 fn value_of<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a String, String> {
     it.next().ok_or_else(|| format!("{flag} needs a value"))
 }
@@ -162,7 +152,7 @@ pub fn parse(spec: &CliSpec, args: &[String]) -> Result<CommonArgs, String> {
         scale: spec.default_scale,
         threads: 1,
         simt: false,
-        machine: MachineKind::Diag(DiagConfig::f4c32()),
+        machine: MachineSpec::parse("diag")?,
         jobs: default_jobs(),
         strict: false,
         out: None,
@@ -190,9 +180,9 @@ pub fn parse(spec: &CliSpec, args: &[String]) -> Result<CommonArgs, String> {
             }
             "--simt" if has(Flag::Simt) => out.simt = true,
             "--machine" if has(Flag::Machine) => {
-                let name = value_of(&mut it, "--machine")?;
-                out.machine = machine_kind(name)
-                    .ok_or_else(|| format!("unknown machine `{name}` (diag|ooo|inorder)"))?;
+                let text = value_of(&mut it, "--machine")?;
+                out.machine =
+                    MachineSpec::parse(text).map_err(|e| format!("--machine {text}: {e}"))?;
             }
             "--jobs" if has(Flag::Jobs) => {
                 out.jobs = positive::<usize>(&mut it, "--jobs")?.max(1);
@@ -284,12 +274,30 @@ mod tests {
         assert_eq!(parsed.scale, Scale::Tiny);
         assert_eq!(parsed.threads, 4);
         assert!(parsed.simt);
-        assert!(matches!(parsed.machine, MachineKind::Ooo(12)));
+        assert!(matches!(parsed.machine, MachineSpec::Ooo(12)));
         assert_eq!(parsed.jobs, 2);
         assert!(parsed.strict);
         assert_eq!(parsed.out.as_deref(), Some("x.json"));
         assert!(parsed.no_cache);
         assert_eq!(parsed.positionals, ["hotspot"]);
+    }
+
+    #[test]
+    fn machine_specs_parse_through_the_grammar() {
+        let parsed = parse(
+            &FULL,
+            &args(&["--machine", "diag:f4c2+clusters=8,lsu_depth=4"]),
+        )
+        .unwrap();
+        let MachineSpec::Diag(cfg) = &parsed.machine else {
+            panic!("not diag: {:?}", parsed.machine)
+        };
+        assert_eq!(cfg.clusters, 8);
+        assert_eq!(cfg.lsu_depth, 4);
+        assert_eq!(parsed.machine.render(), "diag:f4c2+clusters=8,lsu_depth=4");
+
+        let parsed = parse(&FULL, &args(&[])).unwrap();
+        assert_eq!(parsed.machine.render(), "diag:f4c32", "default machine");
     }
 
     #[test]
@@ -309,6 +317,9 @@ mod tests {
         assert!(parse(&FULL, &args(&["--machine", "vax"]))
             .unwrap_err()
             .contains("unknown machine"));
+        assert!(parse(&FULL, &args(&["--machine", "diag+clusters=nope"]))
+            .unwrap_err()
+            .contains("unsigned integer"));
         assert!(parse(&FULL, &args(&["--threads", "many"]))
             .unwrap_err()
             .contains("positive integer"));

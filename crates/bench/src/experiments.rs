@@ -21,8 +21,14 @@ use diag_power::{geomean, ratio, BaselineEnergyModel, DiagEnergyModel, TextTable
 use diag_sim::RunStats;
 use diag_workloads::{rodinia_specs, spec_specs, Params, Scale, Suite, WorkloadSpec};
 
-use crate::runner::{MachineKind, MT_THREADS};
+use crate::runner::{MachineSpec, MT_THREADS};
 use crate::sweep::{append_failures, RunId, Sweep};
+
+/// Figure definitions reference workloads by compile-time constant
+/// names, so a lookup miss is a typo in this file, not a runtime input.
+fn workload(name: &str) -> WorkloadSpec {
+    diag_workloads::find(name).unwrap_or_else(|| panic!("workload `{name}` is not registered"))
+}
 
 fn params(scale: Scale) -> Params {
     Params {
@@ -71,8 +77,8 @@ pub fn fig_single_thread(session: &Session, suite: Suite, scale: Scale, jobs: us
     let queued: Vec<(RunId, [RunId; 3])> = specs
         .iter()
         .map(|spec| {
-            let base = sweep.add(MachineKind::Ooo(1), *spec, p);
-            let ours = diag_configs().map(|(_, cfg)| sweep.add(MachineKind::Diag(cfg), *spec, p));
+            let base = sweep.add(MachineSpec::Ooo(1), *spec, p);
+            let ours = diag_configs().map(|(_, cfg)| sweep.add(MachineSpec::Diag(cfg), *spec, p));
             (base, ours)
         })
         .collect();
@@ -124,11 +130,11 @@ pub fn fig_multi_thread(session: &Session, suite: Suite, scale: Scale, jobs: usi
     let queued: Vec<(RunId, RunId, Option<RunId>)> = specs
         .iter()
         .map(|spec| {
-            let base = sweep.add(MachineKind::Ooo(MT_THREADS), *spec, p);
-            let ours = sweep.add(MachineKind::Diag(DiagConfig::f4c32()), *spec, p);
+            let base = sweep.add(MachineSpec::Ooo(MT_THREADS), *spec, p);
+            let ours = sweep.add(MachineSpec::Diag(DiagConfig::f4c32()), *spec, p);
             let piped = spec
                 .simt_capable
-                .then(|| sweep.add(MachineKind::Diag(simt_config()), *spec, p.with_simt(true)));
+                .then(|| sweep.add(MachineSpec::Diag(simt_config()), *spec, p.with_simt(true)));
             (base, ours, piped)
         })
         .collect();
@@ -186,8 +192,8 @@ pub fn fig11(session: &Session, scale: Scale, jobs: usize) -> String {
     let ids: Vec<RunId> = names
         .iter()
         .map(|name| {
-            let spec = diag_workloads::find(name).expect("registered");
-            sweep.add(MachineKind::Diag(DiagConfig::f4c32()), spec, p)
+            let spec = workload(name);
+            sweep.add(MachineSpec::Diag(DiagConfig::f4c32()), spec, p)
         })
         .collect();
     let results = sweep.execute_with(session, jobs);
@@ -239,13 +245,13 @@ pub fn fig12(session: &Session, scale: Scale, jobs: usize) -> String {
     let queued: Vec<(RunId, RunId, RunId, RunId, Option<RunId>)> = specs
         .iter()
         .map(|spec| {
-            let b1 = sweep.add(MachineKind::Ooo(1), *spec, p1);
-            let d1 = sweep.add(MachineKind::Diag(DiagConfig::f4c32()), *spec, p1);
-            let bm = sweep.add(MachineKind::Ooo(MT_THREADS), *spec, pm);
-            let dm = sweep.add(MachineKind::Diag(DiagConfig::f4c32()), *spec, pm);
+            let b1 = sweep.add(MachineSpec::Ooo(1), *spec, p1);
+            let d1 = sweep.add(MachineSpec::Diag(DiagConfig::f4c32()), *spec, p1);
+            let bm = sweep.add(MachineSpec::Ooo(MT_THREADS), *spec, pm);
+            let dm = sweep.add(MachineSpec::Diag(DiagConfig::f4c32()), *spec, pm);
             let ds = spec
                 .simt_capable
-                .then(|| sweep.add(MachineKind::Diag(simt_config()), *spec, pm.with_simt(true)));
+                .then(|| sweep.add(MachineSpec::Diag(simt_config()), *spec, pm.with_simt(true)));
             (b1, d1, bm, dm, ds)
         })
         .collect();
@@ -312,15 +318,15 @@ pub fn fig12(session: &Session, scale: Scale, jobs: usize) -> String {
 
 /// Table 1: per-instruction front-end event rates, measured.
 pub fn table1(session: &Session, scale: Scale, jobs: usize) -> String {
-    let spec = diag_workloads::find("pathfinder").expect("registered");
+    let spec = workload("pathfinder");
     let p = params(scale);
     let mut no_reuse = DiagConfig::f4c32();
     no_reuse.enable_reuse = false;
 
     let mut sweep = Sweep::new();
-    let ooo_id = sweep.add(MachineKind::Ooo(1), spec, p);
-    let diag_id = sweep.add(MachineKind::Diag(DiagConfig::f4c32()), spec, p);
-    let initial_id = sweep.add(MachineKind::Diag(no_reuse), spec, p);
+    let ooo_id = sweep.add(MachineSpec::Ooo(1), spec, p);
+    let diag_id = sweep.add(MachineSpec::Diag(DiagConfig::f4c32()), spec, p);
+    let initial_id = sweep.add(MachineSpec::Diag(no_reuse), spec, p);
     let results = sweep.execute_with(session, jobs);
     let (ooo, diag, initial) = (
         results.stats(ooo_id),
@@ -476,7 +482,7 @@ pub fn stalls(session: &Session, scale: Scale, jobs: usize) -> String {
     let mut sweep = Sweep::new();
     let ids: Vec<RunId> = specs
         .iter()
-        .map(|spec| sweep.add(MachineKind::Diag(DiagConfig::f4c32()), *spec, p))
+        .map(|spec| sweep.add(MachineSpec::Diag(DiagConfig::f4c32()), *spec, p))
         .collect();
     let results = sweep.execute_with(session, jobs);
 
@@ -513,7 +519,7 @@ pub fn stalls(session: &Session, scale: Scale, jobs: usize) -> String {
 
 /// Ablation: register-lane buffer interval (paper §6.1.2 fixes it at 8).
 pub fn ablation_lane(session: &Session, scale: Scale, jobs: usize) -> String {
-    let spec = diag_workloads::find("srad").expect("registered");
+    let spec = workload("srad");
     let p = params(scale);
     let intervals = [4usize, 8, 16];
 
@@ -521,7 +527,7 @@ pub fn ablation_lane(session: &Session, scale: Scale, jobs: usize) -> String {
     let ids = intervals.map(|interval| {
         let mut cfg = DiagConfig::f4c32();
         cfg.lane_buffer_interval = interval;
-        sweep.add(MachineKind::Diag(cfg), spec, p)
+        sweep.add(MachineSpec::Diag(cfg), spec, p)
     });
     let results = sweep.execute_with(session, jobs);
 
@@ -551,11 +557,11 @@ pub fn ablation_reuse(session: &Session, scale: Scale, jobs: usize) -> String {
     let ids: Vec<(RunId, RunId)> = names
         .iter()
         .map(|name| {
-            let spec = diag_workloads::find(name).expect("registered");
-            let on = sweep.add(MachineKind::Diag(DiagConfig::f4c32()), spec, p);
+            let spec = workload(name);
+            let on = sweep.add(MachineSpec::Diag(DiagConfig::f4c32()), spec, p);
             let mut cfg = DiagConfig::f4c32();
             cfg.enable_reuse = false;
-            let off = sweep.add(MachineKind::Diag(cfg), spec, p);
+            let off = sweep.add(MachineSpec::Diag(cfg), spec, p);
             (on, off)
         })
         .collect();
@@ -587,7 +593,7 @@ pub fn ablation_reuse(session: &Session, scale: Scale, jobs: usize) -> String {
 /// Ablation: cluster LSU queue depth (§7.3.2 blames "full LSU request
 /// queues" for many memory stalls).
 pub fn ablation_lsu(session: &Session, scale: Scale, jobs: usize) -> String {
-    let spec = diag_workloads::find("mcf").expect("registered");
+    let spec = workload("mcf");
     let p = params(scale);
     let depths = [4usize, 8, 16, 32];
 
@@ -595,7 +601,7 @@ pub fn ablation_lsu(session: &Session, scale: Scale, jobs: usize) -> String {
     let ids = depths.map(|depth| {
         let mut cfg = DiagConfig::f4c32();
         cfg.lsu_depth = depth;
-        sweep.add(MachineKind::Diag(cfg), spec, p)
+        sweep.add(MachineSpec::Diag(cfg), spec, p)
     });
     let results = sweep.execute_with(session, jobs);
 
@@ -628,11 +634,11 @@ pub fn ablation_spec(session: &Session, scale: Scale, jobs: usize) -> String {
     let ids: Vec<(RunId, RunId)> = names
         .iter()
         .map(|name| {
-            let spec = diag_workloads::find(name).expect("registered");
-            let plain = sweep.add(MachineKind::Diag(DiagConfig::f4c32()), spec, p);
+            let spec = workload(name);
+            let plain = sweep.add(MachineSpec::Diag(DiagConfig::f4c32()), spec, p);
             let mut cfg = DiagConfig::f4c32();
             cfg.speculative_datapaths = true;
-            let with = sweep.add(MachineKind::Diag(cfg), spec, p);
+            let with = sweep.add(MachineSpec::Diag(cfg), spec, p);
             (plain, with)
         })
         .collect();
@@ -665,10 +671,12 @@ pub fn ablation_spec(session: &Session, scale: Scale, jobs: usize) -> String {
     // Under cluster-capacity pressure (F4C2: two clusters, three lines of
     // loop) the taken-path line is evicted every iteration.
     let mut plain_m = Diag::new(DiagConfig::f4c2());
+    // lint: allow(unwrap) — fixed synthetic kernel, terminates within max_cycles
     let plain = diag_sim::Machine::run(&mut plain_m, &program, 1).expect("plain run");
     let mut cfg = DiagConfig::f4c2();
     cfg.speculative_datapaths = true;
     let mut spec_m = Diag::new(cfg);
+    // lint: allow(unwrap) — fixed synthetic kernel, terminates within max_cycles
     let with = diag_sim::Machine::run(&mut spec_m, &program, 1).expect("spec run");
     table.row([
         "far-branch (synthetic, F4C2)".to_string(),
@@ -711,6 +719,7 @@ fn far_branch_program() -> diag_asm::Program {
     b.bnez(T0, top);
     b.sw(T2, ZERO, 0);
     b.ecall();
+    // lint: allow(unwrap) — compile-time-constant kernel; a build error is a typo here
     b.build().expect("synthetic kernel assembles")
 }
 
@@ -719,14 +728,14 @@ pub fn ablation_simt_interval(session: &Session, scale: Scale, jobs: usize) -> S
     // Rebuild hotspot with different intervals by running the pipelined
     // config against the simt binary; the interval is encoded in simt_s,
     // so vary it through a custom build.
-    let spec = diag_workloads::find("hotspot").expect("registered");
+    let spec = workload("hotspot");
     let mut piped_cfg = simt_config();
     piped_cfg.ring_clusters = piped_cfg.clusters; // single ring for single thread
 
     let mut sweep = Sweep::new();
-    let seq_id = sweep.add(MachineKind::Diag(DiagConfig::f4c32()), spec, params(scale));
+    let seq_id = sweep.add(MachineSpec::Diag(DiagConfig::f4c32()), spec, params(scale));
     let piped_id = sweep.add(
-        MachineKind::Diag(piped_cfg),
+        MachineSpec::Diag(piped_cfg),
         spec,
         params(scale).with_simt(true),
     );

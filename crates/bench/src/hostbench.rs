@@ -23,7 +23,7 @@ use diag_pipeline::{CacheCounters, Session};
 use diag_trace::json;
 use diag_workloads::{Params, Scale, WorkloadSpec};
 
-use crate::runner::MachineKind;
+use crate::runner::{build_machine, MachineSpec};
 
 /// Schema identifier written into (and required from) the JSON report.
 pub const BENCH_SCHEMA: &str = "diag-bench-host-v1";
@@ -155,11 +155,11 @@ impl BenchBaseline {
 }
 
 /// The machine models a bench sweep times, with their short JSON keys.
-pub fn bench_machines() -> Vec<(&'static str, MachineKind)> {
+pub fn bench_machines() -> Vec<(&'static str, MachineSpec)> {
     vec![
-        ("diag", MachineKind::Diag(diag_core::DiagConfig::f4c32())),
-        ("ooo", MachineKind::Ooo(12)),
-        ("inorder", MachineKind::InOrder),
+        ("diag", MachineSpec::Diag(diag_core::DiagConfig::f4c32())),
+        ("ooo", MachineSpec::Ooo(12)),
+        ("inorder", MachineSpec::InOrder),
     ]
 }
 
@@ -168,7 +168,7 @@ pub fn bench_machines() -> Vec<(&'static str, MachineKind)> {
 /// machines sharing a program) never re-assemble or re-lower.
 fn time_one(
     session: &Session,
-    kind: &MachineKind,
+    kind: &MachineSpec,
     key: &str,
     spec: &WorkloadSpec,
     params: &Params,
@@ -180,8 +180,8 @@ fn time_one(
     // The baselines adopt a prepared station table; DiAG loads its own
     // per-cluster stations at line-load time and mounts the bare image.
     let stations = match kind {
-        MachineKind::Diag(_) => None,
-        MachineKind::Ooo(_) | MachineKind::InOrder => Some(
+        MachineSpec::Diag(_) => None,
+        MachineSpec::Ooo(_) | MachineSpec::InOrder => Some(
             session
                 .stations(spec, params, None)
                 .map_err(|e| format!("{}: build failed: {e}", spec.name))?,
@@ -190,7 +190,7 @@ fn time_one(
     let mut best_ns = u64::MAX;
     let mut stats = None;
     for _ in 0..repeat.max(1) {
-        let mut machine = kind.build();
+        let mut machine = build_machine(kind);
         let t0 = Instant::now();
         let s = match &stations {
             Some(table) => machine.run_prepared(&built.program, table, params.threads),
@@ -203,6 +203,7 @@ fn time_one(
         best_ns = best_ns.min(ns.max(1));
         stats = Some(s);
     }
+    // lint: allow(unwrap) — the measurement loop above runs at least once
     let stats = stats.expect("repeat >= 1");
     let ns_per_instr = if stats.committed == 0 {
         0.0

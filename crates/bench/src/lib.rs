@@ -25,3 +25,4 @@ pub mod hostbench;
 pub mod hostmeta;
 pub mod runner;
 pub mod sweep;
+pub mod tune;

@@ -4,39 +4,22 @@
 use std::fmt;
 
 use diag_baseline::{InOrder, O3Config, OooCpu};
-use diag_core::{Diag, DiagConfig};
-use diag_pipeline::Session;
+use diag_core::Diag;
+use diag_pipeline::{run_key, Session};
 use diag_sim::{Machine, RunStats, SimError};
 use diag_workloads::{Params, Scale, WorkloadSpec};
 
-/// Which machine to construct for a run.
-#[derive(Debug, Clone)]
-pub enum MachineKind {
-    /// A DiAG processor with the given configuration.
-    Diag(DiagConfig),
-    /// The out-of-order baseline with up to this many cores.
-    Ooo(usize),
-    /// The in-order reference.
-    InOrder,
-}
+pub use diag_core::MachineSpec;
 
-impl MachineKind {
-    /// Builds the machine.
-    pub fn build(&self) -> Box<dyn Machine> {
-        match self {
-            MachineKind::Diag(cfg) => Box::new(Diag::new(cfg.clone())),
-            MachineKind::Ooo(cores) => Box::new(OooCpu::new(O3Config::aggressive_8wide(), *cores)),
-            MachineKind::InOrder => Box::new(InOrder::new()),
-        }
-    }
-
-    /// Short label for reports.
-    pub fn label(&self) -> String {
-        match self {
-            MachineKind::Diag(cfg) => format!("DiAG {} ({} PEs)", cfg.name, cfg.total_pes()),
-            MachineKind::Ooo(cores) => format!("OoO 8-wide x{cores}"),
-            MachineKind::InOrder => "in-order".to_string(),
-        }
+/// Constructs the machine a [`MachineSpec`] names. Specs are plain data
+/// (defined in `diag-core`, hashed by the pipeline, echoed over the
+/// wire); this is the one place they become simulators — the baselines
+/// live in `diag-baseline`, which the spec type itself cannot see.
+pub fn build_machine(spec: &MachineSpec) -> Box<dyn Machine> {
+    match spec {
+        MachineSpec::Diag(cfg) => Box::new(Diag::new(cfg.clone())),
+        MachineSpec::Ooo(cores) => Box::new(OooCpu::new(O3Config::aggressive_8wide(), *cores)),
+        MachineSpec::InOrder => Box::new(InOrder::new()),
     }
 }
 
@@ -137,7 +120,7 @@ impl std::error::Error for RunError {
 /// or verify.
 pub fn run_built(
     session: &Session,
-    kind: &MachineKind,
+    machine_spec: &MachineSpec,
     spec: &WorkloadSpec,
     params: &Params,
     machine: &mut dyn Machine,
@@ -147,21 +130,21 @@ pub fn run_built(
         message,
     };
     let built = session.workload(spec, params).map_err(build_err)?;
-    let stats = match kind {
-        MachineKind::Diag(_) => machine.run(&built.program, params.threads),
-        MachineKind::Ooo(_) | MachineKind::InOrder => {
+    let stats = match machine_spec {
+        MachineSpec::Diag(_) => machine.run(&built.program, params.threads),
+        MachineSpec::Ooo(_) | MachineSpec::InOrder => {
             let stations = session.stations(spec, params, None).map_err(build_err)?;
             machine.run_prepared(&built.program, &stations, params.threads)
         }
     }
     .map_err(|e| RunError::Sim {
         workload: spec.name.to_string(),
-        machine: kind.label(),
+        machine: machine_spec.label(),
         error: e,
     })?;
     (built.verify)(&*machine).map_err(|e| RunError::Verify {
         workload: spec.name.to_string(),
-        machine: kind.label(),
+        machine: machine_spec.label(),
         message: e,
     })?;
     Ok(stats)
@@ -169,7 +152,16 @@ pub fn run_built(
 
 /// One workload run through a shared artifact `session`: prepares,
 /// executes, verifies, returns statistics. Repeated runs of the same
-/// `(spec, params)` reuse one assembly and one station-table lowering.
+/// `(spec, params)` reuse one assembly and one station-table lowering —
+/// and a repeat of the same `(workload, params, machine_spec)` triple is
+/// served from the session's run-stage memo without constructing a
+/// machine or stepping it at all (memory first, then the disk blob
+/// layer). Only successful, verified runs are memoized; failures take
+/// the full path every time so their typed [`RunError`] is preserved.
+///
+/// Callers that attach instrumentation (tracer, profiler, commit log)
+/// use [`run_built`] directly with their own machine, which never
+/// consults the memo — an instrumented run must actually execute.
 ///
 /// # Errors
 ///
@@ -177,12 +169,18 @@ pub fn run_built(
 /// or verify — so sweeps can aggregate failures instead of aborting.
 pub fn run_verified_with(
     session: &Session,
-    kind: &MachineKind,
+    machine_spec: &MachineSpec,
     spec: &WorkloadSpec,
     params: &Params,
 ) -> Result<RunStats, RunError> {
-    let mut machine = kind.build();
-    run_built(session, kind, spec, params, machine.as_mut())
+    let key = run_key(spec.name, params, machine_spec);
+    if let Some(stats) = session.cached_run(key) {
+        return Ok(stats);
+    }
+    let mut machine = build_machine(machine_spec);
+    let stats = run_built(session, machine_spec, spec, params, machine.as_mut())?;
+    session.record_run(key, stats);
+    Ok(stats)
 }
 
 /// [`run_verified_with`] over a throwaway in-memory session, for callers
@@ -193,11 +191,11 @@ pub fn run_verified_with(
 /// Returns a [`RunError`] describing the failing stage — build, simulate,
 /// or verify — so sweeps can aggregate failures instead of aborting.
 pub fn run_verified(
-    kind: &MachineKind,
+    machine_spec: &MachineSpec,
     spec: &WorkloadSpec,
     params: &Params,
 ) -> Result<RunStats, RunError> {
-    run_verified_with(&Session::in_memory(), kind, spec, params)
+    run_verified_with(&Session::in_memory(), machine_spec, spec, params)
 }
 
 /// [`run_verified`], but aborting on failure — for callers where a wrong
@@ -206,25 +204,29 @@ pub fn run_verified(
 /// # Panics
 ///
 /// Panics on build, run, or verification failure.
-pub fn run_verified_strict(kind: &MachineKind, spec: &WorkloadSpec, params: &Params) -> RunStats {
-    run_verified(kind, spec, params).unwrap_or_else(|e| panic!("{e}"))
+pub fn run_verified_strict(
+    machine_spec: &MachineSpec,
+    spec: &WorkloadSpec,
+    params: &Params,
+) -> RunStats {
+    run_verified(machine_spec, spec, params).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Relative performance of `kind` vs `baseline` on `spec` (ratio of
-/// baseline cycles to machine cycles at equal frequency — >1 means
-/// faster than baseline, the paper's reporting convention).
+/// Relative performance of `machine_spec` vs `baseline` on `spec`
+/// (ratio of baseline cycles to machine cycles at equal frequency — >1
+/// means faster than baseline, the paper's reporting convention).
 ///
 /// # Errors
 ///
 /// Propagates the first failing run's [`RunError`].
 pub fn relative_performance(
-    kind: &MachineKind,
-    baseline: &MachineKind,
+    machine_spec: &MachineSpec,
+    baseline: &MachineSpec,
     spec: &WorkloadSpec,
     params: &Params,
 ) -> Result<f64, RunError> {
     let base = run_verified(baseline, spec, params)?;
-    let ours = run_verified(kind, spec, params)?;
+    let ours = run_verified(machine_spec, spec, params)?;
     Ok(base.cycles as f64 / ours.cycles as f64)
 }
 
@@ -244,12 +246,13 @@ pub const MT_THREADS: usize = 12;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use diag_core::DiagConfig;
     use diag_workloads::find;
 
     #[test]
     fn run_verified_produces_stats() {
         let spec = find("x264").unwrap();
-        let stats = run_verified(&MachineKind::InOrder, &spec, &Params::tiny()).unwrap();
+        let stats = run_verified(&MachineSpec::InOrder, &spec, &Params::tiny()).unwrap();
         assert!(stats.cycles > 0);
         assert!(stats.committed > 0);
     }
@@ -258,8 +261,8 @@ mod tests {
     fn relative_performance_is_positive() {
         let spec = find("deepsjeng").unwrap();
         let rel = relative_performance(
-            &MachineKind::Diag(diag_core::DiagConfig::f4c2()),
-            &MachineKind::Ooo(1),
+            &MachineSpec::Diag(DiagConfig::f4c2()),
+            &MachineSpec::Ooo(1),
             &spec,
             &Params::tiny(),
         )
@@ -269,10 +272,62 @@ mod tests {
 
     #[test]
     fn labels_are_informative() {
-        assert!(MachineKind::Diag(DiagConfig::f4c32())
+        assert!(MachineSpec::Diag(DiagConfig::f4c32())
             .label()
             .contains("512"));
-        assert!(MachineKind::Ooo(12).label().contains("x12"));
+        assert!(MachineSpec::Ooo(12).label().contains("x12"));
+    }
+
+    #[test]
+    fn warm_resubmission_executes_zero_machine_steps() {
+        // The acceptance test for run memoization: a second run of the
+        // same (workload, params, machine_spec) through the same session
+        // must not step a machine at all — `diag_sim::machine_steps` is
+        // the counting hook bumped by every default run loop.
+        let session = Session::in_memory();
+        let spec = find("hotspot").unwrap();
+        let machine = MachineSpec::Diag(DiagConfig::f4c2());
+        let params = Params::tiny();
+
+        let cold = run_verified_with(&session, &machine, &spec, &params).unwrap();
+        let runs = session.counters().runs;
+        assert_eq!((runs.hits, runs.builds), (0, 1));
+
+        let steps_before = diag_sim::machine_steps();
+        let warm = run_verified_with(&session, &machine, &spec, &params).unwrap();
+        assert_eq!(
+            diag_sim::machine_steps(),
+            steps_before,
+            "memoized resubmission stepped a machine"
+        );
+        assert_eq!(warm, cold);
+        let runs = session.counters().runs;
+        assert_eq!((runs.hits, runs.builds), (1, 1));
+
+        // A different machine spec is a different run key: it simulates.
+        let other = MachineSpec::InOrder;
+        run_verified_with(&session, &other, &spec, &params).unwrap();
+        assert_eq!(session.counters().runs.builds, 2);
+    }
+
+    #[test]
+    fn failed_runs_are_not_memoized() {
+        let session = Session::in_memory();
+        let spec = find("hotspot").unwrap();
+        let mut cfg = DiagConfig::f4c2();
+        cfg.max_cycles = 10;
+        let machine = MachineSpec::Diag(cfg);
+        let err = run_verified_with(&session, &machine, &spec, &Params::tiny()).unwrap_err();
+        assert!(matches!(err, RunError::Sim { .. }), "{err}");
+        let runs = session.counters().runs;
+        assert_eq!(
+            (runs.hits, runs.builds),
+            (0, 0),
+            "failures must not occupy the run memo"
+        );
+        // The retry keeps its typed error (and still does not memoize).
+        let err = run_verified_with(&session, &machine, &spec, &Params::tiny()).unwrap_err();
+        assert!(matches!(err, RunError::Sim { .. }), "{err}");
     }
 
     #[test]

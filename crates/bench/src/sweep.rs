@@ -18,14 +18,14 @@
 //! # Examples
 //!
 //! ```
-//! use diag_bench::runner::MachineKind;
+//! use diag_bench::runner::MachineSpec;
 //! use diag_bench::sweep::Sweep;
 //! use diag_workloads::{find, Params};
 //!
 //! let spec = find("hotspot").expect("registered");
 //! let mut sweep = Sweep::new();
-//! let a = sweep.add(MachineKind::InOrder, spec, Params::tiny());
-//! let b = sweep.add(MachineKind::Ooo(1), spec, Params::tiny());
+//! let a = sweep.add(MachineSpec::InOrder, spec, Params::tiny());
+//! let b = sweep.add(MachineSpec::Ooo(1), spec, Params::tiny());
 //! let results = sweep.execute(2);
 //! let (slow, fast) = (results.stats(a).unwrap(), results.stats(b).unwrap());
 //! assert!(fast.cycles < slow.cycles);
@@ -39,13 +39,13 @@ use diag_pipeline::Session;
 use diag_sim::RunStats;
 use diag_workloads::{Params, WorkloadSpec};
 
-use crate::runner::{run_verified_with, MachineKind, RunError};
+use crate::runner::{run_verified_with, MachineSpec, RunError};
 
 /// One queued run: which machine, which workload, which parameters.
 #[derive(Debug, Clone)]
 pub struct SweepRun {
     /// Machine to construct.
-    pub machine: MachineKind,
+    pub machine: MachineSpec,
     /// Workload to build and verify.
     pub spec: WorkloadSpec,
     /// Build/run parameters (scale, threads, SIMT, seed).
@@ -69,7 +69,7 @@ impl Sweep {
     }
 
     /// Enqueues one run and returns its handle.
-    pub fn add(&mut self, machine: MachineKind, spec: WorkloadSpec, params: Params) -> RunId {
+    pub fn add(&mut self, machine: MachineSpec, spec: WorkloadSpec, params: Params) -> RunId {
         self.runs.push(SweepRun {
             machine,
             spec,
@@ -194,7 +194,10 @@ pub fn run_sweep_with(
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(run) = runs.get(i) else { break };
                 let result = run_one(session, run);
-                *slots[i].lock().expect("result slot") = Some(result);
+                // A sweep worker never panics while holding the lock
+                // (`run_one` catches panics), but recover anyway: the
+                // slot is write-only here.
+                *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(result);
             });
         }
     });
@@ -202,7 +205,8 @@ pub fn run_sweep_with(
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("result slot")
+                .unwrap_or_else(|p| p.into_inner())
+                // lint: allow(unwrap) — the worker loop claims every index before exiting
                 .expect("worker filled slot")
         })
         .collect()
@@ -239,7 +243,7 @@ mod tests {
         let spec = find("bfs").unwrap();
         let mut sweep = Sweep::new();
         for _ in 0..n {
-            sweep.add(MachineKind::InOrder, spec, Params::tiny());
+            sweep.add(MachineSpec::InOrder, spec, Params::tiny());
         }
         sweep
     }
@@ -251,13 +255,13 @@ mod tests {
         for name in ["bfs", "hotspot", "nw", "x264", "mcf"] {
             ids.push((
                 name,
-                sweep.add(MachineKind::InOrder, find(name).unwrap(), Params::tiny()),
+                sweep.add(MachineSpec::InOrder, find(name).unwrap(), Params::tiny()),
             ));
         }
         let serial = sweep.execute(1);
         let mut sweep = Sweep::new();
         for (name, _) in &ids {
-            sweep.add(MachineKind::InOrder, find(name).unwrap(), Params::tiny());
+            sweep.add(MachineSpec::InOrder, find(name).unwrap(), Params::tiny());
         }
         let parallel = sweep.execute(4);
         for (i, (name, id)) in ids.iter().enumerate() {
@@ -297,8 +301,8 @@ mod tests {
         let mut tiny_limit = diag_core::DiagConfig::f4c2();
         tiny_limit.max_cycles = 10;
         let mut sweep = Sweep::new();
-        let bad = sweep.add(MachineKind::Diag(tiny_limit), spec, Params::tiny());
-        let good = sweep.add(MachineKind::InOrder, spec, Params::tiny());
+        let bad = sweep.add(MachineSpec::Diag(tiny_limit), spec, Params::tiny());
+        let good = sweep.add(MachineSpec::InOrder, spec, Params::tiny());
         let results = sweep.execute(2);
         assert!(results.stats(bad).is_none());
         assert!(results.stats(good).is_some());

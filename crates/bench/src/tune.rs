@@ -1,0 +1,276 @@
+//! Design-space autotuner: drive a grid of DiAG configurations through
+//! the parallel sweep runner and report, per workload, the Pareto
+//! frontier of cycles vs energy.
+//!
+//! The paper's §5 calls the cluster count, ring segmentation, lane
+//! buffering interval, and LSU depth "parametrizable"; Table 2 fixes one
+//! point (F4C32) for the evaluation. `harness tune` explores the
+//! neighbourhood instead: every grid point is a full [`MachineSpec`], so
+//! each `(workload, params, machine)` run is content-addressed and
+//! memoized by the session's run stage — a warm re-tune rebuilds
+//! nothing, and enlarging the grid only simulates the new points.
+//!
+//! Energy comes from the Table 3-derived [`DiagEnergyModel`]; a
+//! configuration is on the frontier when no other grid point is at least
+//! as fast *and* at least as frugal (with one strict). Output is
+//! deterministic: grid order, submission order, and stable tie-breaks
+//! make the report byte-identical at any `--jobs` count.
+
+use diag_pipeline::Session;
+use diag_power::DiagEnergyModel;
+use diag_workloads::{Params, WorkloadSpec};
+
+use crate::runner::MachineSpec;
+use crate::sweep::Sweep;
+
+/// One evaluated grid point of one workload.
+#[derive(Debug, Clone)]
+pub struct TunePoint {
+    /// The configuration, in canonical spec form.
+    pub machine: String,
+    /// Total run cycles.
+    pub cycles: u64,
+    /// Total energy of the run under the DiAG model, in nanojoules.
+    pub energy_nj: f64,
+    /// Whether the point survived Pareto filtering.
+    pub on_frontier: bool,
+}
+
+/// Every grid point of one workload, frontier-annotated.
+#[derive(Debug, Clone)]
+pub struct WorkloadFrontier {
+    /// Workload name.
+    pub workload: String,
+    /// All evaluated points, in grid order.
+    pub points: Vec<TunePoint>,
+    /// Grid points whose run failed, with the error text.
+    pub failed: Vec<String>,
+}
+
+impl WorkloadFrontier {
+    /// The frontier points, fastest first (ties keep grid order).
+    pub fn frontier(&self) -> Vec<&TunePoint> {
+        let mut f: Vec<&TunePoint> = self.points.iter().filter(|p| p.on_frontier).collect();
+        f.sort_by_key(|p| p.cycles);
+        f
+    }
+}
+
+/// A whole `harness tune` result: one frontier per workload.
+#[derive(Debug, Clone)]
+pub struct TuneReport {
+    /// Per-workload frontiers, in workload order.
+    pub frontiers: Vec<WorkloadFrontier>,
+}
+
+impl TuneReport {
+    /// Renders the deterministic text report: per workload, the Pareto
+    /// frontier (fastest first) and a one-line dominated/failed tally.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for wf in &self.frontiers {
+            let frontier = wf.frontier();
+            let dominated = wf.points.len() - frontier.len();
+            out.push_str(&format!(
+                "{}: {} grid points, {} on the cycles/energy frontier\n",
+                wf.workload,
+                wf.points.len() + wf.failed.len(),
+                frontier.len()
+            ));
+            let mut table = diag_power::TextTable::new(["machine", "cycles", "energy (nJ)"]);
+            for p in frontier {
+                table.row([
+                    p.machine.clone(),
+                    p.cycles.to_string(),
+                    format!("{:.1}", p.energy_nj),
+                ]);
+            }
+            out.push_str(&table.render());
+            out.push_str(&format!(
+                "dominated: {dominated}  failed: {}\n",
+                wf.failed.len()
+            ));
+            for f in &wf.failed {
+                out.push_str(&format!("  failed: {f}\n"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The default exploration grid around F4C32: clusters × ring
+/// segmentation × lane buffering interval × LSU depth (the §5
+/// parametrizable axes), 36 valid configurations.
+pub fn default_grid() -> Vec<MachineSpec> {
+    let mut grid = Vec::new();
+    for clusters in [8usize, 16, 32] {
+        for ring_clusters in [2usize, 4] {
+            for lane_buffer_interval in [8usize, 16] {
+                for lsu_depth in [4usize, 8, 16] {
+                    let text = format!(
+                        "diag:f4c32+clusters={clusters},ring_clusters={ring_clusters},\
+                         lane_buffer_interval={lane_buffer_interval},lsu_depth={lsu_depth}"
+                    );
+                    match MachineSpec::parse(&text) {
+                        Ok(spec) => grid.push(spec),
+                        Err(e) => unreachable!("default grid point `{text}` invalid: {e}"),
+                    }
+                }
+            }
+        }
+    }
+    grid
+}
+
+/// Parses a `--grid` override: semicolon-separated machine specs, each
+/// in the canonical grammar, all of which must be DiAG configurations
+/// (the energy axis is the DiAG model).
+///
+/// # Errors
+///
+/// Returns a one-line message on an empty grid, an unparsable spec, or a
+/// non-DiAG entry.
+pub fn parse_grid(text: &str) -> Result<Vec<MachineSpec>, String> {
+    let mut grid = Vec::new();
+    for part in text.split(';').filter(|p| !p.trim().is_empty()) {
+        let spec = MachineSpec::parse(part.trim()).map_err(|e| format!("--grid {part}: {e}"))?;
+        if !matches!(spec, MachineSpec::Diag(_)) {
+            return Err(format!(
+                "--grid {part}: tune explores DiAG configurations only"
+            ));
+        }
+        grid.push(spec);
+    }
+    if grid.is_empty() {
+        return Err("--grid needs at least one machine spec".to_string());
+    }
+    Ok(grid)
+}
+
+/// Marks the Pareto-optimal points of `(cycles, energy)` pairs: a point
+/// is dominated when another is no worse on both axes and strictly
+/// better on at least one.
+fn pareto(points: &[(u64, f64)]) -> Vec<bool> {
+    points
+        .iter()
+        .map(|&(c, e)| {
+            !points
+                .iter()
+                .any(|&(oc, oe)| (oc <= c && oe <= e) && (oc < c || oe < e))
+        })
+        .collect()
+}
+
+/// Runs every `(workload, grid point)` pair through the parallel sweep
+/// runner against `session` and assembles per-workload frontiers. Runs
+/// already in the session's run-stage memo (from a previous tune, a
+/// sweep, or the disk cache) are served without simulating.
+pub fn tune(
+    session: &Session,
+    specs: &[WorkloadSpec],
+    grid: &[MachineSpec],
+    params: &Params,
+    jobs: usize,
+) -> TuneReport {
+    let mut queue = Sweep::new();
+    let mut ids = Vec::new();
+    for spec in specs {
+        let row: Vec<_> = grid
+            .iter()
+            .map(|m| (m.render(), queue.add(m.clone(), *spec, *params)))
+            .collect();
+        ids.push((spec.name.to_string(), row));
+    }
+    let results = queue.execute_with(session, jobs);
+    let model = DiagEnergyModel::default();
+    let mut frontiers = Vec::new();
+    for (workload, row) in ids {
+        let mut points = Vec::new();
+        let mut failed = Vec::new();
+        for (machine, id) in row {
+            match results.get(id) {
+                Ok(stats) => points.push(TunePoint {
+                    machine,
+                    cycles: stats.cycles,
+                    energy_nj: model.energy(stats).total_nj(),
+                    on_frontier: false,
+                }),
+                Err(e) => failed.push(e.to_string()),
+            }
+        }
+        let axes: Vec<(u64, f64)> = points.iter().map(|p| (p.cycles, p.energy_nj)).collect();
+        for (p, on) in points.iter_mut().zip(pareto(&axes)) {
+            p.on_frontier = on;
+        }
+        frontiers.push(WorkloadFrontier {
+            workload,
+            points,
+            failed,
+        });
+    }
+    TuneReport { frontiers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_workloads::find;
+
+    #[test]
+    fn default_grid_is_large_and_valid() {
+        let grid = default_grid();
+        assert!(grid.len() >= 24, "grid has {} points", grid.len());
+        for spec in &grid {
+            let MachineSpec::Diag(cfg) = spec else {
+                panic!("non-diag grid point")
+            };
+            cfg.validate().unwrap();
+            // Round-trips through the canonical grammar.
+            assert_eq!(MachineSpec::parse(&spec.render()).unwrap(), *spec);
+        }
+    }
+
+    #[test]
+    fn pareto_keeps_exactly_the_non_dominated() {
+        let marks = pareto(&[(10, 5.0), (8, 7.0), (12, 6.0), (8, 7.0), (7, 4.0)]);
+        // (7,4) dominates everything else; equal duplicates both fall.
+        assert_eq!(marks, vec![false, false, false, false, true]);
+        let marks = pareto(&[(10, 5.0), (5, 10.0), (7, 7.0)]);
+        assert_eq!(marks, vec![true, true, true], "a true frontier survives");
+    }
+
+    #[test]
+    fn grid_override_parses_and_rejects() {
+        let grid = parse_grid("diag:f4c2; diag:f4c2+lsu_depth=4").unwrap();
+        assert_eq!(grid.len(), 2);
+        assert!(parse_grid("").is_err());
+        assert!(parse_grid("ooo").unwrap_err().contains("DiAG"));
+        assert!(parse_grid("diag+clusters=zero").is_err());
+    }
+
+    #[test]
+    fn tune_is_deterministic_and_warm_tune_rebuilds_nothing() {
+        let session = Session::in_memory();
+        let specs = [find("hotspot").unwrap()];
+        let grid = parse_grid("diag:f4c2;diag:f4c2+lsu_depth=4;diag:f4c2+lsu_depth=2").unwrap();
+        let params = Params::tiny();
+
+        let cold = tune(&session, &specs, &grid, &params, 2);
+        let built = session.counters().runs.builds;
+        assert_eq!(built, 3, "every grid point simulates once");
+        assert!(!cold.frontiers[0].points.is_empty());
+        assert!(
+            cold.frontiers[0].points.iter().any(|p| p.on_frontier),
+            "some point is always on the frontier"
+        );
+
+        let warm = tune(&session, &specs, &grid, &params, 2);
+        assert_eq!(
+            session.counters().runs.builds,
+            built,
+            "warm tune must not rebuild any run"
+        );
+        assert_eq!(warm.render(), cold.render(), "report is deterministic");
+    }
+}

@@ -7,6 +7,59 @@
 //! switches used by the ablation benches.
 
 use diag_mem::CacheConfig;
+use std::fmt;
+
+/// A structural constraint violated by a [`DiagConfig`].
+///
+/// One variant per invariant checked by [`DiagConfig::validate`], so
+/// callers that receive configurations from the CLI or the wire can map
+/// each violation to a precise diagnostic instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `pes_per_cluster` is zero.
+    NoPes,
+    /// Fewer than two clusters (§4.3 needs two to alternate).
+    TooFewClusters(usize),
+    /// Fewer than two clusters per ring.
+    TooFewRingClusters(usize),
+    /// `lane_buffer_interval` does not divide `pes_per_cluster`.
+    IntervalMismatch {
+        /// PEs per processing cluster.
+        pes_per_cluster: usize,
+        /// The offending buffer interval.
+        lane_buffer_interval: usize,
+    },
+    /// `commit_width` is zero.
+    ZeroCommitWidth,
+    /// `lsu_depth` is zero.
+    ZeroLsuDepth,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoPes => write!(f, "need at least one PE per cluster"),
+            ConfigError::TooFewClusters(n) => {
+                write!(f, "need at least two clusters to alternate (§4.3), got {n}")
+            }
+            ConfigError::TooFewRingClusters(n) => {
+                write!(f, "a ring needs at least two clusters, got {n}")
+            }
+            ConfigError::IntervalMismatch {
+                pes_per_cluster,
+                lane_buffer_interval,
+            } => write!(
+                f,
+                "lane buffer interval must divide PEs per cluster \
+                 ({lane_buffer_interval} does not divide {pes_per_cluster})"
+            ),
+            ConfigError::ZeroCommitWidth => write!(f, "commit width must be positive"),
+            ConfigError::ZeroLsuDepth => write!(f, "LSU depth must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Complete parameter set for one DiAG processor instance.
 #[derive(Debug, Clone, PartialEq)]
@@ -183,27 +236,38 @@ impl DiagConfig {
 
     /// Validates internal consistency.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if PEs per cluster is not a multiple of the lane-buffer
-    /// interval, or any structural parameter is zero.
-    pub fn validate(&self) {
-        assert!(self.pes_per_cluster > 0, "need at least one PE per cluster");
-        assert!(
-            self.clusters >= 2,
-            "need at least two clusters to alternate (§4.3)"
-        );
-        assert!(
-            self.ring_clusters >= 2,
-            "a ring needs at least two clusters"
-        );
-        assert!(
-            self.pes_per_cluster
-                .is_multiple_of(self.lane_buffer_interval),
-            "lane buffer interval must divide PEs per cluster"
-        );
-        assert!(self.commit_width > 0, "commit width must be positive");
-        assert!(self.lsu_depth > 0, "LSU depth must be positive");
+    /// Returns the first violated constraint: PEs per cluster must be a
+    /// multiple of the lane-buffer interval, and no structural parameter
+    /// may be zero. Configurations now arrive from the CLI and the wire,
+    /// so violations are typed errors rather than panics.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.pes_per_cluster == 0 {
+            return Err(ConfigError::NoPes);
+        }
+        if self.clusters < 2 {
+            return Err(ConfigError::TooFewClusters(self.clusters));
+        }
+        if self.ring_clusters < 2 {
+            return Err(ConfigError::TooFewRingClusters(self.ring_clusters));
+        }
+        if !self
+            .pes_per_cluster
+            .is_multiple_of(self.lane_buffer_interval)
+        {
+            return Err(ConfigError::IntervalMismatch {
+                pes_per_cluster: self.pes_per_cluster,
+                lane_buffer_interval: self.lane_buffer_interval,
+            });
+        }
+        if self.commit_width == 0 {
+            return Err(ConfigError::ZeroCommitWidth);
+        }
+        if self.lsu_depth == 0 {
+            return Err(ConfigError::ZeroLsuDepth);
+        }
+        Ok(())
     }
 }
 
@@ -230,7 +294,7 @@ mod tests {
         assert_eq!(f4c32.l1d.size_bytes, 128 << 10);
         assert_eq!(f4c32.l2.unwrap().size_bytes, 4 << 20);
         assert_eq!(f4c32.freq_ghz, 2.0);
-        f4c32.validate();
+        assert_eq!(f4c32.validate(), Ok(()));
     }
 
     #[test]
@@ -267,10 +331,43 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "lane buffer interval")]
     fn validate_rejects_bad_interval() {
         let mut c = DiagConfig::f4c32();
         c.lane_buffer_interval = 5;
-        c.validate();
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::IntervalMismatch {
+                pes_per_cluster: 16,
+                lane_buffer_interval: 5,
+            })
+        );
+        assert!(c
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("lane buffer interval"));
+    }
+
+    #[test]
+    fn validate_reports_each_constraint() {
+        let mut c = DiagConfig::f4c32();
+        c.pes_per_cluster = 0;
+        assert_eq!(c.validate(), Err(ConfigError::NoPes));
+
+        let mut c = DiagConfig::f4c32();
+        c.clusters = 1;
+        assert_eq!(c.validate(), Err(ConfigError::TooFewClusters(1)));
+
+        let mut c = DiagConfig::f4c32();
+        c.ring_clusters = 1;
+        assert_eq!(c.validate(), Err(ConfigError::TooFewRingClusters(1)));
+
+        let mut c = DiagConfig::f4c32();
+        c.commit_width = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroCommitWidth));
+
+        let mut c = DiagConfig::f4c32();
+        c.lsu_depth = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroLsuDepth));
     }
 }

@@ -21,10 +21,12 @@ mod machine;
 mod ring;
 mod shared;
 mod simt;
+mod spec;
 
 pub use cluster::Cluster;
-pub use config::DiagConfig;
+pub use config::{ConfigError, DiagConfig};
 pub use lane::{CommitTracker, LaneFile, LaneGeometry};
 pub use machine::Diag;
 pub use ring::{RingSim, RingStats, TraceEvent};
 pub use shared::SharedParts;
+pub use spec::{apply_override, MachineSpec, DEFAULT_OOO_CORES};

@@ -133,7 +133,9 @@ impl Diag {
     /// Panics if the configuration is internally inconsistent
     /// (see [`DiagConfig::validate`]).
     pub fn new(config: DiagConfig) -> Diag {
-        config.validate();
+        if let Err(e) = config.validate() {
+            panic!("invalid DiagConfig {:?}: {e}", config.name);
+        }
         Diag {
             config: Arc::new(config),
             run: None,

@@ -1,0 +1,380 @@
+//! First-class machine identity: the one place machine strings are
+//! parsed and rendered.
+//!
+//! A [`MachineSpec`] names a machine *as data* — the DiAG model with a
+//! full [`DiagConfig`], or one of the two baselines — so every layer
+//! (CLI, sweep runner, artifact pipeline, serve wire protocol) can carry,
+//! hash, and echo the same value instead of re-deriving a preset from a
+//! closed string. The canonical textual grammar is:
+//!
+//! ```text
+//! machine   := "diag" [":" preset] ["+" overrides]
+//!            | "ooo" [":" cores]
+//!            | "inorder"
+//! preset    := "i4c2" | "f4c2" | "f4c16" | "f4c32"      (default f4c32)
+//! overrides := key "=" value ("," key "=" value)*
+//! ```
+//!
+//! e.g. `diag:f4c32+clusters=16,lsu_depth=8,ring_clusters=4`. The
+//! override keys are the parameters the paper calls "parametrizable"
+//! (§5): `pes_per_cluster`, `clusters`, `ring_clusters`,
+//! `lane_buffer_interval`, `lsu_depth`, `memlane_capacity`,
+//! `commit_width`, `max_cycles`, and the feature switches `reuse` and
+//! `simt`. [`MachineSpec::render`] emits the canonical form — preset
+//! spelled out, overrides restricted to fields that differ from the
+//! preset, in declaration order — so `parse(render(s)) == s` for every
+//! spec obtained from [`MachineSpec::parse`].
+
+use crate::config::DiagConfig;
+use std::fmt;
+
+/// Core count of the `ooo` baseline when none is given (the paper's
+/// 12-core evaluation machine, §7.1).
+pub const DEFAULT_OOO_CORES: usize = 12;
+
+/// Which machine to run, as plain serializable data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachineSpec {
+    /// A DiAG processor with the given configuration.
+    Diag(DiagConfig),
+    /// The out-of-order baseline with up to this many cores.
+    Ooo(usize),
+    /// The in-order reference.
+    InOrder,
+}
+
+/// The DiAG presets nameable in the spec grammar, with their
+/// constructors — also the bases [`MachineSpec::render`] diffs against.
+fn presets() -> [(&'static str, DiagConfig); 4] {
+    [
+        ("i4c2", DiagConfig::i4c2()),
+        ("f4c2", DiagConfig::f4c2()),
+        ("f4c16", DiagConfig::f4c16()),
+        ("f4c32", DiagConfig::f4c32()),
+    ]
+}
+
+fn preset_config(name: &str) -> Option<DiagConfig> {
+    presets()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, c)| c)
+}
+
+fn parse_usize(key: &str, value: &str) -> Result<usize, String> {
+    value
+        .parse::<usize>()
+        .map_err(|_| format!("override `{key}` needs an unsigned integer, got `{value}`"))
+}
+
+fn parse_bool(key: &str, value: &str) -> Result<bool, String> {
+    match value {
+        "1" | "true" | "on" => Ok(true),
+        "0" | "false" | "off" => Ok(false),
+        _ => Err(format!(
+            "override `{key}` needs a boolean (0|1|true|false), got `{value}`"
+        )),
+    }
+}
+
+/// Applies one `key=value` override to a configuration. This is the
+/// single catalogue of wire/CLI-settable fields: the spec grammar, the
+/// serve `config` object, and `harness tune` all funnel through it.
+///
+/// # Errors
+///
+/// Returns a one-line message on an unknown key or an unparsable value.
+pub fn apply_override(cfg: &mut DiagConfig, key: &str, value: &str) -> Result<(), String> {
+    match key {
+        "pes_per_cluster" => cfg.pes_per_cluster = parse_usize(key, value)?,
+        "clusters" => cfg.clusters = parse_usize(key, value)?,
+        "ring_clusters" => cfg.ring_clusters = parse_usize(key, value)?,
+        "lane_buffer_interval" => cfg.lane_buffer_interval = parse_usize(key, value)?,
+        "lsu_depth" => cfg.lsu_depth = parse_usize(key, value)?,
+        "memlane_capacity" => cfg.memlane_capacity = parse_usize(key, value)?,
+        "commit_width" => cfg.commit_width = parse_usize(key, value)?,
+        "max_cycles" => {
+            cfg.max_cycles = value.parse::<u64>().map_err(|_| {
+                format!("override `{key}` needs an unsigned integer, got `{value}`")
+            })?;
+        }
+        "reuse" => cfg.enable_reuse = parse_bool(key, value)?,
+        "simt" => cfg.enable_simt = parse_bool(key, value)?,
+        _ => {
+            return Err(format!(
+                "unknown override `{key}` (pes_per_cluster|clusters|ring_clusters|\
+                 lane_buffer_interval|lsu_depth|memlane_capacity|commit_width|\
+                 max_cycles|reuse|simt)"
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// Renders the overrides of `cfg` relative to `base` in canonical
+/// (declaration) order — the inverse of [`apply_override`].
+fn render_overrides(cfg: &DiagConfig, base: &DiagConfig) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut num = |key: &str, have: usize, base: usize| {
+        if have != base {
+            out.push(format!("{key}={have}"));
+        }
+    };
+    num("pes_per_cluster", cfg.pes_per_cluster, base.pes_per_cluster);
+    num("clusters", cfg.clusters, base.clusters);
+    num("ring_clusters", cfg.ring_clusters, base.ring_clusters);
+    num(
+        "lane_buffer_interval",
+        cfg.lane_buffer_interval,
+        base.lane_buffer_interval,
+    );
+    num("lsu_depth", cfg.lsu_depth, base.lsu_depth);
+    num(
+        "memlane_capacity",
+        cfg.memlane_capacity,
+        base.memlane_capacity,
+    );
+    num("commit_width", cfg.commit_width, base.commit_width);
+    if cfg.max_cycles != base.max_cycles {
+        out.push(format!("max_cycles={}", cfg.max_cycles));
+    }
+    if cfg.enable_reuse != base.enable_reuse {
+        out.push(format!("reuse={}", u8::from(cfg.enable_reuse)));
+    }
+    if cfg.enable_simt != base.enable_simt {
+        out.push(format!("simt={}", u8::from(cfg.enable_simt)));
+    }
+    out
+}
+
+impl MachineSpec {
+    /// Parses the canonical machine grammar (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message on an unknown machine, preset, or
+    /// override key, an unparsable value, or a configuration that fails
+    /// [`DiagConfig::validate`].
+    pub fn parse(text: &str) -> Result<MachineSpec, String> {
+        if text == "inorder" {
+            return Ok(MachineSpec::InOrder);
+        }
+        if let Some(rest) = text.strip_prefix("ooo") {
+            let cores = match rest.strip_prefix(':') {
+                None if rest.is_empty() => DEFAULT_OOO_CORES,
+                Some(n) => n.parse::<usize>().ok().filter(|&c| c > 0).ok_or_else(|| {
+                    format!("ooo core count must be a positive integer, got `{n}`")
+                })?,
+                None => return Err(format!("unknown machine `{text}` (diag|ooo|inorder)")),
+            };
+            return Ok(MachineSpec::Ooo(cores));
+        }
+        let Some(rest) = text.strip_prefix("diag") else {
+            return Err(format!("unknown machine `{text}` (diag|ooo|inorder)"));
+        };
+        let (preset, overrides) = match rest.split_once('+') {
+            Some((head, tail)) => (head, Some(tail)),
+            None => (rest, None),
+        };
+        let preset = match preset.strip_prefix(':') {
+            None if preset.is_empty() => "f4c32",
+            Some(name) => name,
+            None => return Err(format!("unknown machine `{text}` (diag|ooo|inorder)")),
+        };
+        let mut cfg = preset_config(preset)
+            .ok_or_else(|| format!("unknown preset `{preset}` (i4c2|f4c2|f4c16|f4c32)"))?;
+        if let Some(overrides) = overrides {
+            for pair in overrides.split(',') {
+                let (key, value) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("override `{pair}` is not of the form key=value"))?;
+                apply_override(&mut cfg, key, value)?;
+            }
+        }
+        cfg.validate().map_err(|e| e.to_string())?;
+        Ok(MachineSpec::Diag(cfg))
+    }
+
+    /// Renders the canonical textual form. For specs obtained from
+    /// [`MachineSpec::parse`] this is exact — re-parsing yields an equal
+    /// spec and rendering is a fixed point. For hand-built configurations
+    /// it is a best-effort label: the preset is chosen by the config's
+    /// `name` (falling back to `f4c32`) and only grammar-covered fields
+    /// are diffed; content-addressed hashing always uses the full config,
+    /// never this string.
+    pub fn render(&self) -> String {
+        match self {
+            MachineSpec::InOrder => "inorder".to_string(),
+            MachineSpec::Ooo(cores) if *cores == DEFAULT_OOO_CORES => "ooo".to_string(),
+            MachineSpec::Ooo(cores) => format!("ooo:{cores}"),
+            MachineSpec::Diag(cfg) => {
+                let lower = cfg.name.to_ascii_lowercase();
+                let (preset, base) = match preset_config(&lower) {
+                    Some(base) => (lower, base),
+                    None => ("f4c32".to_string(), DiagConfig::f4c32()),
+                };
+                let overrides = render_overrides(cfg, &base);
+                if overrides.is_empty() {
+                    format!("diag:{preset}")
+                } else {
+                    format!("diag:{preset}+{}", overrides.join(","))
+                }
+            }
+        }
+    }
+
+    /// Short human label for reports (the canonical form is
+    /// [`MachineSpec::render`]; this one is for table headings).
+    pub fn label(&self) -> String {
+        match self {
+            MachineSpec::Diag(cfg) => format!("DiAG {} ({} PEs)", cfg.name, cfg.total_pes()),
+            MachineSpec::Ooo(cores) => format!("OoO 8-wide x{cores}"),
+            MachineSpec::InOrder => "in-order".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for MachineSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_names_parse_to_defaults() {
+        assert_eq!(
+            MachineSpec::parse("diag").unwrap(),
+            MachineSpec::Diag(DiagConfig::f4c32())
+        );
+        assert_eq!(
+            MachineSpec::parse("ooo").unwrap(),
+            MachineSpec::Ooo(DEFAULT_OOO_CORES)
+        );
+        assert_eq!(MachineSpec::parse("inorder").unwrap(), MachineSpec::InOrder);
+    }
+
+    #[test]
+    fn presets_and_overrides_parse() {
+        let spec = MachineSpec::parse("diag:f4c2").unwrap();
+        assert_eq!(spec, MachineSpec::Diag(DiagConfig::f4c2()));
+
+        let spec = MachineSpec::parse("diag:f4c32+clusters=16,lsu_depth=8").unwrap();
+        let MachineSpec::Diag(cfg) = &spec else {
+            panic!("not diag")
+        };
+        assert_eq!(cfg.clusters, 16);
+        assert_eq!(cfg.lsu_depth, 8);
+        assert_eq!(cfg.name, "F4C32", "overrides keep the preset name");
+
+        let spec = MachineSpec::parse("diag+reuse=0,simt=off,max_cycles=5000").unwrap();
+        let MachineSpec::Diag(cfg) = &spec else {
+            panic!("not diag")
+        };
+        assert!(!cfg.enable_reuse);
+        assert!(!cfg.enable_simt);
+        assert_eq!(cfg.max_cycles, 5000);
+
+        assert_eq!(MachineSpec::parse("ooo:4").unwrap(), MachineSpec::Ooo(4));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "vax",
+            "diag:f9c9",
+            "diag:f4c32+clusters",
+            "diag+clusters=lots",
+            "diag+warp_size=32",
+            "ooo:0",
+            "ooo:many",
+            "diagx",
+            "oooo",
+        ] {
+            assert!(MachineSpec::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_invalid_configs_with_the_constraint() {
+        let err = MachineSpec::parse("diag+clusters=1").unwrap_err();
+        assert!(err.contains("two clusters"), "{err}");
+        let err = MachineSpec::parse("diag+lane_buffer_interval=5").unwrap_err();
+        assert!(err.contains("lane buffer interval"), "{err}");
+    }
+
+    #[test]
+    fn render_is_canonical() {
+        assert_eq!(MachineSpec::parse("diag").unwrap().render(), "diag:f4c32");
+        assert_eq!(MachineSpec::parse("ooo:12").unwrap().render(), "ooo");
+        assert_eq!(MachineSpec::parse("inorder").unwrap().render(), "inorder");
+        assert_eq!(
+            MachineSpec::parse("diag:f4c32+lsu_depth=8,clusters=16")
+                .unwrap()
+                .render(),
+            "diag:f4c32+clusters=16,lsu_depth=8",
+            "overrides render in declaration order"
+        );
+        // Overriding a field back to its preset value is not an override.
+        assert_eq!(
+            MachineSpec::parse("diag+clusters=32").unwrap().render(),
+            "diag:f4c32"
+        );
+    }
+
+    #[test]
+    fn round_trip_property() {
+        // Deterministic sweep over the grammar: every rendered canonical
+        // form re-parses to an equal spec, and rendering is a fixed point.
+        let mut cases: Vec<String> = vec![
+            "diag".into(),
+            "inorder".into(),
+            "ooo".into(),
+            "ooo:1".into(),
+            "ooo:64".into(),
+        ];
+        for preset in ["i4c2", "f4c2", "f4c16", "f4c32"] {
+            cases.push(format!("diag:{preset}"));
+            for clusters in [2, 8, 32] {
+                for (key, value) in [
+                    ("ring_clusters", 4),
+                    ("lane_buffer_interval", 4),
+                    ("lsu_depth", 3),
+                    ("memlane_capacity", 64),
+                    ("commit_width", 5),
+                    ("max_cycles", 1234),
+                    ("reuse", 0),
+                    ("simt", 0),
+                ] {
+                    cases.push(format!("diag:{preset}+clusters={clusters},{key}={value}"));
+                }
+            }
+        }
+        for text in cases {
+            let spec = match MachineSpec::parse(&text) {
+                Ok(spec) => spec,
+                Err(e) => panic!("`{text}` failed to parse: {e}"),
+            };
+            let rendered = spec.render();
+            let reparsed = MachineSpec::parse(&rendered)
+                .unwrap_or_else(|e| panic!("rendered `{rendered}` failed to re-parse: {e}"));
+            assert_eq!(reparsed, spec, "`{text}` -> `{rendered}` is lossy");
+            assert_eq!(
+                reparsed.render(),
+                rendered,
+                "`{rendered}` is not a fixed point"
+            );
+        }
+    }
+
+    #[test]
+    fn display_is_render() {
+        assert_eq!(
+            MachineSpec::parse("diag").unwrap().to_string(),
+            "diag:f4c32"
+        );
+    }
+}

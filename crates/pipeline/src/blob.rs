@@ -343,6 +343,138 @@ pub fn decode_verification(bytes: &[u8]) -> Option<diag_verify::Verification> {
     })
 }
 
+/// Serializes a [`diag_sim::RunStats`] payload: cycles, committed
+/// instructions, thread count, the stall breakdown, every activity
+/// counter (exhaustively destructured, so a new field is a compile error
+/// here until the codec learns about it), and the modelled frequency.
+pub fn encode_run_stats(s: &diag_sim::RunStats) -> Vec<u8> {
+    let diag_sim::RunStats {
+        cycles,
+        committed,
+        threads,
+        stalls,
+        activity,
+        freq_ghz,
+    } = s;
+    let diag_sim::StallBreakdown {
+        memory,
+        control,
+        structural,
+    } = stalls;
+    let diag_sim::Activity {
+        busy_cycles,
+        pe_active_cycles,
+        pe_resident_cycles,
+        fpu_active_cycles,
+        int_ops,
+        fp_ops,
+        loads,
+        stores,
+        reg_writes,
+        lane_transports,
+        memlane_hits,
+        bus_beats,
+        line_fetches,
+        decodes,
+        reuse_commits,
+        renames,
+        dispatches,
+        issues,
+        rob_writes,
+        bpred_lookups,
+        mispredicts,
+        l1d_accesses,
+        l1d_misses,
+        l2_accesses,
+        l2_misses,
+    } = activity;
+    let mut out = Vec::new();
+    for v in [
+        *cycles,
+        *committed,
+        *threads,
+        *memory,
+        *control,
+        *structural,
+        *busy_cycles,
+        *pe_active_cycles,
+        *pe_resident_cycles,
+        *fpu_active_cycles,
+        *int_ops,
+        *fp_ops,
+        *loads,
+        *stores,
+        *reg_writes,
+        *lane_transports,
+        *memlane_hits,
+        *bus_beats,
+        *line_fetches,
+        *decodes,
+        *reuse_commits,
+        *renames,
+        *dispatches,
+        *issues,
+        *rob_writes,
+        *bpred_lookups,
+        *mispredicts,
+        *l1d_accesses,
+        *l1d_misses,
+        *l2_accesses,
+        *l2_misses,
+        freq_ghz.to_bits(),
+    ] {
+        push_u64(&mut out, v);
+    }
+    out
+}
+
+/// Decodes an [`encode_run_stats`] payload, or `None` if malformed.
+pub fn decode_run_stats(bytes: &[u8]) -> Option<diag_sim::RunStats> {
+    let mut r = Reader { bytes, at: 0 };
+    let stats = diag_sim::RunStats {
+        cycles: r.u64()?,
+        committed: r.u64()?,
+        threads: r.u64()?,
+        stalls: diag_sim::StallBreakdown {
+            memory: r.u64()?,
+            control: r.u64()?,
+            structural: r.u64()?,
+        },
+        activity: diag_sim::Activity {
+            busy_cycles: r.u64()?,
+            pe_active_cycles: r.u64()?,
+            pe_resident_cycles: r.u64()?,
+            fpu_active_cycles: r.u64()?,
+            int_ops: r.u64()?,
+            fp_ops: r.u64()?,
+            loads: r.u64()?,
+            stores: r.u64()?,
+            reg_writes: r.u64()?,
+            lane_transports: r.u64()?,
+            memlane_hits: r.u64()?,
+            bus_beats: r.u64()?,
+            line_fetches: r.u64()?,
+            decodes: r.u64()?,
+            reuse_commits: r.u64()?,
+            renames: r.u64()?,
+            dispatches: r.u64()?,
+            issues: r.u64()?,
+            rob_writes: r.u64()?,
+            bpred_lookups: r.u64()?,
+            mispredicts: r.u64()?,
+            l1d_accesses: r.u64()?,
+            l1d_misses: r.u64()?,
+            l2_accesses: r.u64()?,
+            l2_misses: r.u64()?,
+        },
+        freq_ghz: f64::from_bits(r.u64()?),
+    };
+    if !r.done() {
+        return None;
+    }
+    Some(stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,6 +536,59 @@ mod tests {
         let mut payload = encode_program(&sample_program());
         payload.push(0);
         assert_eq!(decode_program(&payload), None);
+    }
+
+    #[test]
+    fn run_stats_round_trip_exactly() {
+        let stats = diag_sim::RunStats {
+            cycles: 123_456,
+            committed: 98_765,
+            threads: 12,
+            stalls: diag_sim::StallBreakdown {
+                memory: 11,
+                control: 7,
+                structural: 3,
+            },
+            activity: diag_sim::Activity {
+                busy_cycles: 1,
+                pe_active_cycles: 2,
+                pe_resident_cycles: 3,
+                fpu_active_cycles: 4,
+                int_ops: 5,
+                fp_ops: 6,
+                loads: 7,
+                stores: 8,
+                reg_writes: 9,
+                lane_transports: 10,
+                memlane_hits: 11,
+                bus_beats: 12,
+                line_fetches: 13,
+                decodes: 14,
+                reuse_commits: 15,
+                renames: 16,
+                dispatches: 17,
+                issues: 18,
+                rob_writes: 19,
+                bpred_lookups: 20,
+                mispredicts: 21,
+                l1d_accesses: 22,
+                l1d_misses: 23,
+                l2_accesses: 24,
+                l2_misses: 25,
+            },
+            freq_ghz: 2.0,
+        };
+        let payload = encode_run_stats(&stats);
+        let decoded = decode_run_stats(&payload).expect("decodes");
+        assert_eq!(decoded, stats);
+        // Re-encoding must be byte-identical (warm path serves these bytes).
+        assert_eq!(encode_run_stats(&decoded), payload);
+        let mut truncated = payload.clone();
+        truncated.pop();
+        assert!(decode_run_stats(&truncated).is_none());
+        let mut padded = payload;
+        padded.push(0);
+        assert!(decode_run_stats(&padded).is_none());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! mechanism that keeps stale cache hits impossible as the workspace grows.
 
 use diag_analyze::AnalyzeOptions;
-use diag_core::DiagConfig;
+use diag_core::{DiagConfig, MachineSpec};
 use diag_mem::CacheConfig;
 use diag_workloads::{Params, Scale};
 
@@ -259,6 +259,26 @@ impl StableKey for DiagConfig {
     }
 }
 
+impl StableKey for MachineSpec {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        // Exhaustive match: a new machine kind fails to compile here
+        // until the key learns about it. The kind discriminant is folded
+        // first so `Diag` and a hypothetical baseline with colliding
+        // field encodings can never share a hash.
+        match self {
+            MachineSpec::Diag(cfg) => {
+                h.write_u8(1);
+                cfg.stable_hash(h);
+            }
+            MachineSpec::Ooo(cores) => {
+                h.write_u8(2);
+                cores.stable_hash(h);
+            }
+            MachineSpec::InOrder => h.write_u8(3),
+        }
+    }
+}
+
 impl StableKey for AnalyzeOptions {
     fn stable_hash(&self, h: &mut StableHasher) {
         let AnalyzeOptions { config, threads } = self;
@@ -281,6 +301,9 @@ pub enum Stage {
     Report,
     /// `Program + VerifyOptions → Verification` (abstract interpretation).
     Verification,
+    /// `Workload + Params + MachineSpec → RunStats` (a completed,
+    /// verified simulation run — the terminal artifact of the chain).
+    Run,
 }
 
 impl Stage {
@@ -292,6 +315,7 @@ impl Stage {
             Stage::Analysis => "analysis",
             Stage::Report => "report",
             Stage::Verification => "verification",
+            Stage::Run => "run",
         }
     }
 
@@ -303,6 +327,7 @@ impl Stage {
             Stage::Analysis => 3,
             Stage::Report => 4,
             Stage::Verification => 5,
+            Stage::Run => 6,
         }
     }
 }
@@ -398,6 +423,24 @@ pub fn verification_key(program: ArtifactKey, opts: &diag_verify::VerifyOptions)
     opts.stable_hash(&mut h);
     ArtifactKey {
         stage: Stage::Verification,
+        hash: h.finish(),
+    }
+}
+
+/// Key of the run stage: `Workload + Params + MachineSpec → RunStats`.
+///
+/// Keyed on the *inputs* (workload name, build/run parameters, and the
+/// full machine identity) rather than the program artifact, so a warm
+/// resubmission needs no assembly before it can hit. The thread count and
+/// SIMT switch ride inside `params`; every `DiagConfig` field rides
+/// inside `machine` — flipping any single one changes the key.
+pub fn run_key(workload: &str, params: &Params, machine: &MachineSpec) -> ArtifactKey {
+    let mut h = stage_hasher(Stage::Run);
+    h.write_str(workload);
+    params.stable_hash(&mut h);
+    machine.stable_hash(&mut h);
+    ArtifactKey {
+        stage: Stage::Run,
         hash: h.finish(),
     }
 }

@@ -6,6 +6,7 @@
 //! WorkloadSpec + Params ──→ Program (assembly + inputs + verify)
 //! Program + DiagConfig ──→ StationTable (text lowering)
 //! Program + AnalyzeOptions ──→ Analysis (+ rendered reports)
+//! Workload + Params + MachineSpec ──→ RunStats (memoized runs)
 //! ```
 //!
 //! Historically every harness subcommand, sweep job, and example re-ran
@@ -46,7 +47,7 @@ pub mod store;
 
 pub use disk::{DiskCache, DiskStats};
 pub use key::{
-    analysis_key, program_key, report_key, stations_key, verification_key, ArtifactKey,
+    analysis_key, program_key, report_key, run_key, stations_key, verification_key, ArtifactKey,
     ReportFormat, StableHasher, StableKey, Stage, SCHEMA_VERSION,
 };
 pub use session::{CacheCounters, Session};

@@ -19,20 +19,32 @@
 //! - [`Session::verification`] / [`Session::verification_report`] — the
 //!   abstract-interpretation verifier's facts; verifications persist as
 //!   blobs so warm `--strict` runs never re-run the fixpoint.
+//! - [`Session::cached_run`] / [`Session::record_run`] — memoized
+//!   [`RunStats`] of completed, verified simulation runs keyed by
+//!   `run_key(workload, params, machine_spec)`; a warm resubmission
+//!   skips simulation entirely. Only successes are memoized: a failed
+//!   run produces no artifact, and its typed failure taxonomy
+//!   (`RunError` upstream) does not round-trip through a string cache.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 use diag_analyze::{analyze, json_report, text_report, Analysis, AnalyzeOptions};
 use diag_asm::Program;
 use diag_core::DiagConfig;
 use diag_isa::StationTable;
+use diag_sim::RunStats;
 use diag_workloads::{BuiltWorkload, Params, WorkloadSpec};
 
-use crate::blob::{decode_program, decode_verification, encode_program, encode_verification};
+use crate::blob::{
+    decode_program, decode_run_stats, decode_verification, encode_program, encode_run_stats,
+    encode_verification,
+};
 use crate::disk::DiskCache;
 use crate::key::{
-    analysis_key, program_key, report_key, stations_key, verification_key, ReportFormat,
+    analysis_key, program_key, report_key, stations_key, verification_key, ArtifactKey,
+    ReportFormat, Stage,
 };
 use crate::store::{StageCounters, StageStore};
 
@@ -52,6 +64,9 @@ pub struct CacheCounters {
     pub verifications: StageCounters,
     /// Rendered-report stage.
     pub reports: StageCounters,
+    /// Run-stage memoization (hits = simulations skipped, builds =
+    /// simulated runs recorded).
+    pub runs: StageCounters,
     /// Artifacts served from on-disk blobs.
     pub disk_hits: u64,
     /// Blobs written to disk.
@@ -67,6 +82,7 @@ impl CacheCounters {
             + self.analyses.hits
             + self.verifications.hits
             + self.reports.hits
+            + self.runs.hits
     }
 
     /// Total builds across all stages.
@@ -77,13 +93,14 @@ impl CacheCounters {
             + self.analyses.builds
             + self.verifications.builds
             + self.reports.builds
+            + self.runs.builds
     }
 
     /// One-line summary for status output.
     pub fn summary(&self) -> String {
         format!(
             "cache: {} hits, {} builds (workloads {}/{}, stations {}/{}, analyses {}/{}, \
-             verifications {}/{}, reports {}/{}; disk {} hits, {} writes)",
+             verifications {}/{}, reports {}/{}, runs {}/{}; disk {} hits, {} writes)",
             self.hits(),
             self.builds(),
             self.workloads.hits,
@@ -96,6 +113,8 @@ impl CacheCounters {
             self.verifications.builds,
             self.reports.hits,
             self.reports.builds,
+            self.runs.hits,
+            self.runs.builds,
             self.disk_hits,
             self.disk_writes,
         )
@@ -111,6 +130,13 @@ pub struct Session {
     analyses: StageStore<Analysis>,
     verifications: StageStore<diag_verify::Verification>,
     reports: StageStore<String>,
+    // Run memoization has its own tiny store rather than a StageStore:
+    // only successes are recorded (a StageStore caches failures, which
+    // would flatten the caller's typed RunError taxonomy into strings),
+    // and RunStats is small and Copy so no Arc sharing is needed.
+    runs: Mutex<HashMap<u64, RunStats>>,
+    run_hits: AtomicU64,
+    run_builds: AtomicU64,
     disk: Option<DiskCache>,
     disk_hits: AtomicU64,
     disk_writes: AtomicU64,
@@ -365,6 +391,49 @@ impl Session {
         Ok(report)
     }
 
+    /// The memoized statistics of a completed, verified run, if this
+    /// session (or its disk layer) has them. `key` must be a
+    /// [`Stage::Run`] key from [`crate::run_key`]. A hit counts on the
+    /// run-stage counters; the caller skips simulation entirely.
+    pub fn cached_run(&self, key: ArtifactKey) -> Option<RunStats> {
+        debug_assert_eq!(key.stage, Stage::Run);
+        {
+            let runs = self.runs.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(stats) = runs.get(&key.hash) {
+                self.run_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(*stats);
+            }
+        }
+        let disk = self.disk.as_ref()?;
+        let stats = decode_run_stats(&disk.load(key)?)?;
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        self.run_hits.fetch_add(1, Ordering::Relaxed);
+        self.runs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key.hash, stats);
+        Some(stats)
+    }
+
+    /// Records the statistics of a freshly simulated, verified run under
+    /// `key` (a [`Stage::Run`] key), counting one run-stage build and
+    /// persisting a disk blob when this session has a disk layer.
+    /// Concurrent same-key simulations both record; the values are
+    /// identical (machines are deterministic), so last-write-wins is
+    /// harmless.
+    pub fn record_run(&self, key: ArtifactKey, stats: RunStats) {
+        debug_assert_eq!(key.stage, Stage::Run);
+        self.run_builds.fetch_add(1, Ordering::Relaxed);
+        self.runs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key.hash, stats);
+        if let Some(disk) = &self.disk {
+            disk.store(key, &encode_run_stats(&stats));
+            self.disk_writes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Counters across all layers since this session was created.
     pub fn counters(&self) -> CacheCounters {
         CacheCounters {
@@ -374,6 +443,10 @@ impl Session {
             analyses: self.analyses.counters(),
             verifications: self.verifications.counters(),
             reports: self.reports.counters(),
+            runs: StageCounters {
+                hits: self.run_hits.load(Ordering::Relaxed),
+                builds: self.run_builds.load(Ordering::Relaxed),
+            },
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             disk_writes: self.disk_writes.load(Ordering::Relaxed),
         }
@@ -427,6 +500,40 @@ mod tests {
             .unwrap();
         assert!(Arc::ptr_eq(&t1, &t2));
         assert!(t1.contains("nn"));
+    }
+
+    #[test]
+    fn run_memoization_counts_and_persists() {
+        let dir = std::env::temp_dir().join(format!("diag-run-memo-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = crate::run_key("hotspot", &Params::tiny(), &diag_core::MachineSpec::InOrder);
+        let stats = RunStats {
+            cycles: 777,
+            committed: 111,
+            ..RunStats::default()
+        };
+
+        let cold = Session::with_disk(DiskCache::open(&dir, DiskCache::DEFAULT_BUDGET).unwrap());
+        assert_eq!(cold.cached_run(key), None, "miss counts nothing");
+        assert_eq!(cold.counters().runs, StageCounters::default());
+        cold.record_run(key, stats);
+        assert_eq!(cold.cached_run(key), Some(stats));
+        let c = cold.counters();
+        assert_eq!((c.runs.hits, c.runs.builds), (1, 1));
+        assert_eq!(c.disk_writes, 1);
+
+        // A fresh session over the same directory serves the run from
+        // its blob — a disk hit plus a run hit, zero builds.
+        let warm = Session::with_disk(DiskCache::open(&dir, DiskCache::DEFAULT_BUDGET).unwrap());
+        assert_eq!(warm.cached_run(key), Some(stats));
+        let c = warm.counters();
+        assert_eq!((c.runs.hits, c.runs.builds), (1, 0));
+        assert_eq!(c.disk_hits, 1);
+
+        // In-memory sessions memoize within the process only.
+        let mem = Session::in_memory();
+        assert_eq!(mem.cached_run(key), None);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

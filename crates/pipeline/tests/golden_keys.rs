@@ -8,9 +8,10 @@
 //! rejected by their embedded schema field instead of being misread.
 
 use diag_analyze::AnalyzeOptions;
-use diag_core::DiagConfig;
+use diag_core::{DiagConfig, MachineSpec};
 use diag_pipeline::{
-    analysis_key, program_key, report_key, stations_key, verification_key, ReportFormat, Stage,
+    analysis_key, program_key, report_key, run_key, stations_key, verification_key, ReportFormat,
+    Stage,
 };
 use diag_verify::VerifyOptions;
 use diag_workloads::Params;
@@ -42,6 +43,23 @@ fn keys_are_stable_across_processes() {
         verification.hash, 0xdb7965301b4215dd,
         "verification key drifted"
     );
+
+    let params = Params::tiny();
+    assert_eq!(
+        run_key("hotspot", &params, &MachineSpec::Diag(DiagConfig::f4c32())).hash,
+        0x902b523a351e9ac8,
+        "diag run key drifted"
+    );
+    assert_eq!(
+        run_key("hotspot", &params, &MachineSpec::Ooo(12)).hash,
+        0x5bef766d8e063d4e,
+        "ooo run key drifted"
+    );
+    assert_eq!(
+        run_key("hotspot", &params, &MachineSpec::InOrder).hash,
+        0x4095a358ca6d4135,
+        "inorder run key drifted"
+    );
 }
 
 #[test]
@@ -57,6 +75,10 @@ fn stage_tags_partition_the_key_space() {
     );
     let verification = verification_key(program, &VerifyOptions::default());
     assert_eq!(verification.stage, Stage::Verification);
+    assert_eq!(
+        run_key("hotspot", &Params::tiny(), &MachineSpec::InOrder).stage,
+        Stage::Run
+    );
     assert_ne!(
         verification.hash, analysis.hash,
         "verification and analysis stages must not alias"
@@ -149,5 +171,95 @@ fn config_and_options_fields_change_their_keys() {
         verification_key(program, &trap_vopts).hash,
         base_vkey.hash,
         "VerifyOptions::trap_vector did not change the verification key"
+    );
+}
+
+/// Flipping any single `DiagConfig` field must change `run_key` — a
+/// field that does not hash is a field whose change silently serves a
+/// stale run. One mutation per field, applied to the F4C32 base.
+#[test]
+fn every_diag_config_field_changes_the_run_key() {
+    let params = Params::tiny();
+    let key_of = |cfg: DiagConfig| run_key("hotspot", &params, &MachineSpec::Diag(cfg)).hash;
+    let base = DiagConfig::f4c32();
+    let baseline = key_of(base.clone());
+
+    type Mutation = Box<dyn Fn(&mut DiagConfig)>;
+    let mutations: Vec<(&str, Mutation)> = vec![
+        ("name", Box::new(|c| c.name.push('X'))),
+        ("pes_per_cluster", Box::new(|c| c.pes_per_cluster += 8)),
+        ("clusters", Box::new(|c| c.clusters /= 2)),
+        ("ring_clusters", Box::new(|c| c.ring_clusters += 2)),
+        (
+            "lane_buffer_interval",
+            Box::new(|c| c.lane_buffer_interval /= 2),
+        ),
+        ("fp_enabled", Box::new(|c| c.fp_enabled = !c.fp_enabled)),
+        ("freq_ghz", Box::new(|c| c.freq_ghz += 0.5)),
+        ("l1i", Box::new(|c| c.l1i.ways += 1)),
+        ("l1d", Box::new(|c| c.l1d.size_bytes *= 2)),
+        ("l2", Box::new(|c| c.l2 = None)),
+        ("lsu_depth", Box::new(|c| c.lsu_depth /= 2)),
+        ("memlane_capacity", Box::new(|c| c.memlane_capacity *= 2)),
+        ("line_load_cycles", Box::new(|c| c.line_load_cycles += 1)),
+        ("max_cycles", Box::new(|c| c.max_cycles /= 2)),
+        (
+            "enable_reuse",
+            Box::new(|c| c.enable_reuse = !c.enable_reuse),
+        ),
+        ("enable_simt", Box::new(|c| c.enable_simt = !c.enable_simt)),
+        ("trap_vector", Box::new(|c| c.trap_vector = Some(0x100))),
+        (
+            "interrupt_at",
+            Box::new(|c| c.interrupt_at = Some((50, 0x100))),
+        ),
+        ("commit_width", Box::new(|c| c.commit_width /= 2)),
+        (
+            "speculative_datapaths",
+            Box::new(|c| c.speculative_datapaths = !c.speculative_datapaths),
+        ),
+        (
+            "collect_trace",
+            Box::new(|c| c.collect_trace = !c.collect_trace),
+        ),
+    ];
+    for (field, mutate) in mutations {
+        let mut cfg = base.clone();
+        mutate(&mut cfg);
+        assert_ne!(
+            key_of(cfg),
+            baseline,
+            "DiagConfig::{field} did not change the run key"
+        );
+    }
+}
+
+/// Machine kinds (and the baseline core count) partition the run-key
+/// space: the kind discriminant is folded before the fields.
+#[test]
+fn machine_kinds_partition_the_run_key_space() {
+    let params = Params::tiny();
+    let diag = run_key("hotspot", &params, &MachineSpec::Diag(DiagConfig::f4c32()));
+    let ooo = run_key("hotspot", &params, &MachineSpec::Ooo(12));
+    let ooo1 = run_key("hotspot", &params, &MachineSpec::Ooo(1));
+    let inorder = run_key("hotspot", &params, &MachineSpec::InOrder);
+    assert_ne!(diag.hash, ooo.hash);
+    assert_ne!(diag.hash, inorder.hash);
+    assert_ne!(ooo.hash, inorder.hash);
+    assert_ne!(ooo.hash, ooo1.hash, "core count must change the key");
+    assert_ne!(
+        run_key("nn", &params, &MachineSpec::InOrder).hash,
+        inorder.hash,
+        "workload name must change the key"
+    );
+    assert_ne!(
+        run_key(
+            "hotspot",
+            &Params::tiny().with_threads(2),
+            &MachineSpec::InOrder
+        )
+        .hash,
+        inorder.hash,
+        "params must change the key"
     );
 }

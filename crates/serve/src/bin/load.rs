@@ -2,10 +2,14 @@
 //!
 //! ```text
 //! diag-load --addr HOST:PORT [--conns N] [--inflight M] [--requests K]
-//!           [--seed S] [--machine diag|ooo|inorder|mix]
+//!           [--seed S] [--machine SPEC|mix]
 //!           [--workloads a,b,c] [--scale tiny|small|full]
 //!           [--expect-warm] [--allow-reject] [--shutdown]
 //! ```
+//!
+//! `--machine` takes any spec in the canonical grammar
+//! (`diag[:preset][+k=v,...]`, `ooo[:cores]`, `inorder`) or `mix` for a
+//! rotation over the three default machines.
 //!
 //! Opens `--conns` connections, each keeping up to `--inflight`
 //! submissions outstanding until `--requests` per connection have
@@ -13,7 +17,8 @@
 //! SplitMix64 stream seeded with `--seed` + the connection index, so a
 //! repeated invocation submits the identical request set — which is what
 //! lets a second burst assert warm-cache behaviour with `--expect-warm`
-//! (every result must report `builds == 0` and `hits ≥ 1`).
+//! (every result must report `builds == 0`, `hits ≥ 1`, and zero
+//! run-stage builds: nothing simulated).
 //!
 //! Prints one summary line (req/s, latency p50/p99, cache totals) and
 //! exits nonzero on any error frame, any reject (unless
@@ -26,12 +31,13 @@ use std::time::Instant;
 
 use diag_bench::cli::{self, CliSpec, Extra, Flag};
 use diag_bench::hostbench::scale_name;
+use diag_bench::runner::MachineSpec;
 use diag_isa::prng::SplitMix64;
 use diag_serve::{Client, Submit};
 use diag_workloads::Scale;
 
 const USAGE: &str = "usage: diag-load --addr HOST:PORT [--conns N] [--inflight M] \
-                     [--requests K] [--seed S] [--machine diag|ooo|inorder|mix] \
+                     [--requests K] [--seed S] [--machine SPEC|mix] \
                      [--workloads a,b,c] [--scale tiny|small|full] [--expect-warm] \
                      [--allow-reject] [--shutdown]";
 
@@ -98,6 +104,8 @@ struct ConnReport {
     warm_violations: u64,
     cache_hits: u64,
     cache_builds: u64,
+    run_hits: u64,
+    run_builds: u64,
     latencies_ns: Vec<u64>,
     /// First few problem frames, verbatim, for the failure report.
     samples: Vec<String>,
@@ -109,7 +117,7 @@ struct Plan {
     inflight: u64,
     seed: u64,
     workloads: Vec<String>,
-    machines: Vec<&'static str>,
+    machines: Vec<String>,
     scale: Scale,
     expect_warm: bool,
 }
@@ -124,7 +132,7 @@ fn drive(plan: &Plan, conn_idx: u64) -> std::io::Result<ConnReport> {
     while done < plan.requests {
         while next < plan.requests && next - done < plan.inflight {
             let workload = &plan.workloads[rng.gen_range(0..plan.workloads.len())];
-            let machine = plan.machines[rng.gen_range(0..plan.machines.len())];
+            let machine = &plan.machines[rng.gen_range(0..plan.machines.len())];
             let mut submit = Submit::new(next, workload, machine);
             submit.scale = scale_name(plan.scale).to_string();
             client.submit(&submit)?;
@@ -146,11 +154,14 @@ fn drive(plan: &Plan, conn_idx: u64) -> std::io::Result<ConnReport> {
                 }
                 let hits = frame.cache_hits().unwrap_or(0);
                 let builds = frame.cache_builds().unwrap_or(0);
+                let run_builds = frame.run_builds().unwrap_or(0);
                 report.cache_hits += hits;
                 report.cache_builds += builds;
+                report.run_hits += frame.run_hits().unwrap_or(0);
+                report.run_builds += run_builds;
                 if frame.ok() == Some(true) {
                     report.ok += 1;
-                    if plan.expect_warm && (builds != 0 || hits == 0) {
+                    if plan.expect_warm && (builds != 0 || hits == 0 || run_builds != 0) {
                         report.warm_violations += 1;
                         sample(&mut report.samples, &frame.raw);
                     }
@@ -234,12 +245,15 @@ fn main() -> ExitCode {
         Ok(v) => v,
         Err(e) => return fail(&e),
     };
-    let machines: Vec<&'static str> = match args.value("--machine").unwrap_or("mix") {
-        "diag" => vec!["diag"],
-        "ooo" => vec!["ooo"],
-        "inorder" => vec!["inorder"],
-        "mix" => vec!["diag", "ooo", "inorder"],
-        other => return fail(&format!("unknown machine `{other}` (diag|ooo|inorder|mix)")),
+    let machines: Vec<String> = match args.value("--machine").unwrap_or("mix") {
+        "mix" => ["diag", "ooo", "inorder"]
+            .iter()
+            .map(|m| m.to_string())
+            .collect(),
+        spec => match MachineSpec::parse(spec) {
+            Ok(parsed) => vec![parsed.render()],
+            Err(e) => return fail(&format!("--machine {spec}: {e}")),
+        },
     };
     let workloads: Vec<String> = args
         .value("--workloads")
@@ -290,6 +304,8 @@ fn main() -> ExitCode {
                 total.warm_violations += r.warm_violations;
                 total.cache_hits += r.cache_hits;
                 total.cache_builds += r.cache_builds;
+                total.run_hits += r.run_hits;
+                total.run_builds += r.run_builds;
                 total.latencies_ns.extend(r.latencies_ns);
                 for s in r.samples {
                     sample(&mut total.samples, &s);
@@ -306,7 +322,8 @@ fn main() -> ExitCode {
     let secs = elapsed.as_secs_f64().max(1e-9);
     println!(
         "diag-load: {results} results ({} ok, {} errors, {} rejects{}) in {secs:.3}s; \
-         {:.1} req/s; latency p50 {:.2}ms p99 {:.2}ms; cache {} hits, {} builds",
+         {:.1} req/s; latency p50 {:.2}ms p99 {:.2}ms; cache {} hits, {} builds; \
+         runs {} hits, {} builds",
         total.ok,
         total.errors,
         total.rejects,
@@ -320,6 +337,8 @@ fn main() -> ExitCode {
         percentile_ms(&total.latencies_ns, 99),
         total.cache_hits,
         total.cache_builds,
+        total.run_hits,
+        total.run_builds,
     );
     for s in &total.samples {
         eprintln!("diag-load: problem frame: {s}");

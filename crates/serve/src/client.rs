@@ -16,7 +16,8 @@ pub struct Submit {
     pub seq: u64,
     /// Workload name.
     pub workload: String,
-    /// Machine key: `diag` | `ooo` | `inorder`.
+    /// Machine spec in the canonical grammar (`diag[:preset][+k=v,...]`,
+    /// `ooo[:cores]`, `inorder`).
     pub machine: String,
     /// Scale name: `tiny` | `small` | `full`.
     pub scale: String,
@@ -24,7 +25,11 @@ pub struct Submit {
     pub threads: usize,
     /// SIMT-annotated variant.
     pub simt: bool,
-    /// Diag-only cycle-limit override.
+    /// Diag-only configuration overrides, sent as the `config` object
+    /// (the grammar's `+key=value` catalogue).
+    pub config: Vec<(String, String)>,
+    /// Diag-only cycle-limit override (back-compat alias for
+    /// `config.max_cycles`).
     pub max_cycles: Option<u64>,
     /// Fairness-bucket override.
     pub client: Option<String>,
@@ -40,6 +45,7 @@ impl Submit {
             scale: "tiny".to_string(),
             threads: 1,
             simt: false,
+            config: Vec::new(),
             max_cycles: None,
             client: None,
         }
@@ -57,6 +63,20 @@ impl Submit {
             self.threads,
             self.simt,
         );
+        if !self.config.is_empty() {
+            let entries: Vec<String> = self
+                .config
+                .iter()
+                .map(|(k, v)| {
+                    format!(
+                        "\"{}\":\"{}\"",
+                        crate::protocol::esc(k),
+                        crate::protocol::esc(v)
+                    )
+                })
+                .collect();
+            line.push_str(&format!(",\"config\":{{{}}}", entries.join(",")));
+        }
         if let Some(mc) = self.max_cycles {
             line.push_str(&format!(",\"max_cycles\":{mc}"));
         }
@@ -113,6 +133,22 @@ impl Frame {
     /// `result` frames: per-request artifact-cache builds.
     pub fn cache_builds(&self) -> Option<u64> {
         self.cache_field("builds")
+    }
+
+    /// `result` frames: run-memoization-stage hits for this request.
+    pub fn run_hits(&self) -> Option<u64> {
+        self.cache_field("run_hits")
+    }
+
+    /// `result` frames: run-memoization-stage builds (simulations that
+    /// actually executed) for this request.
+    pub fn run_builds(&self) -> Option<u64> {
+        self.cache_field("run_builds")
+    }
+
+    /// `result` frames: the canonical machine spec the run executed.
+    pub fn spec(&self) -> Option<&str> {
+        self.doc.get("spec").and_then(Value::as_str)
     }
 
     fn cache_field(&self, key: &str) -> Option<u64> {

@@ -19,11 +19,19 @@
 //! ```
 //!
 //! `seq` is a client-chosen identifier echoed on the job's frames.
-//! `machine` is `diag` | `ooo` | `inorder` (the same three models as
-//! `harness --machine`); `scale` is `tiny` | `small` | `full`; `threads`
-//! defaults to 1 and `simt` to false. `client` optionally names the
-//! fairness bucket the job bills to (default: one bucket per
-//! connection). `max_cycles` (diag only) overrides the cycle limit — the
+//! `machine` is any spec in the canonical machine grammar — the same
+//! strings `harness --machine` accepts: `diag[:preset][+key=value,...]`,
+//! `ooo[:cores]`, `inorder` (see `diag_core::MachineSpec`); `scale` is
+//! `tiny` | `small` | `full`; `threads` defaults to 1 and `simt` to
+//! false. `client` optionally names the fairness bucket the job bills to
+//! (default: one bucket per connection). `config` (diag only) is an
+//! object of configuration overrides applied on top of the parsed
+//! machine spec — the same key catalogue as the grammar's `+key=value`
+//! form (`{"config":{"clusters":16,"lsu_depth":8}}`); a malformed key,
+//! value, or resulting configuration is rejected with a `400` frame,
+//! never a dropped connection. `max_cycles` (diag only) is a
+//! back-compat alias for `config.max_cycles` — an explicit `config`
+//! entry wins over the alias. Overriding the cycle limit remains the
 //! supported way to provoke a `sim`-kind error frame on demand.
 //!
 //! # Response frames
@@ -32,9 +40,14 @@
 //! - `result` — one per accepted submission, streamed **in per-client
 //!   submission order** as jobs complete. `ok:true` carries the
 //!   `RunStats`; `ok:false` carries the [`RunError`] taxonomy
-//!   (`build`/`sim`/`verify`/`panicked`). Both carry the per-request
-//!   artifact-cache attribution (`cache.hits`/`cache.builds`) and the
-//!   host-side service time (`host_ns`, the one nondeterministic field).
+//!   (`build`/`sim`/`verify`/`panicked`). Both echo the canonical
+//!   machine spec (`spec`, the fully-resolved
+//!   `diag_core::MachineSpec::render` of machine + config), the
+//!   per-request artifact-cache attribution (`cache.hits` /
+//!   `cache.builds`, plus `cache.run_hits` / `cache.run_builds` for the
+//!   run-memoization stage alone — a warm resubmission shows
+//!   `run_hits:1, builds:0`), and the host-side service time (`host_ns`,
+//!   the one nondeterministic field).
 //! - `reject` — immediate admission failure: `429` queue full, `503`
 //!   draining, `400` malformed parameters, `404` unknown workload.
 //!   Rejected submissions never occupy a result slot.
@@ -72,7 +85,8 @@ pub struct SubmitRequest {
     pub client: Option<String>,
     /// Workload name (`diag_workloads::find`).
     pub workload: String,
-    /// Machine model: `diag` | `ooo` | `inorder`.
+    /// Machine spec in the canonical grammar (`diag[:preset][+k=v,...]`,
+    /// `ooo[:cores]`, `inorder`).
     pub machine: String,
     /// Input scale.
     pub scale: Scale,
@@ -80,7 +94,13 @@ pub struct SubmitRequest {
     pub threads: usize,
     /// SIMT-annotated variant.
     pub simt: bool,
-    /// Cycle-limit override for the DiAG machine (error-path testing).
+    /// Configuration overrides applied on top of the parsed machine spec
+    /// (diag only), in key order. Values arrive as JSON numbers, bools,
+    /// or strings and funnel through `diag_core::apply_override` —
+    /// exactly the grammar's `+key=value` catalogue.
+    pub config: Vec<(String, String)>,
+    /// Back-compat alias for `config.max_cycles` (an explicit `config`
+    /// entry wins).
     pub max_cycles: Option<u64>,
 }
 
@@ -111,6 +131,20 @@ fn req_bool(doc: &Value, key: &str) -> Option<bool> {
     }
 }
 
+/// Renders one `config` entry's value as the textual form
+/// `diag_core::apply_override` expects: integers without a fraction,
+/// bools as `true`/`false`, strings verbatim.
+fn config_value(key: &str, value: &Value) -> Result<String, String> {
+    match value {
+        Value::Num(n) if n.fract() == 0.0 && *n >= 0.0 => Ok(format!("{}", *n as u64)),
+        Value::Bool(b) => Ok(b.to_string()),
+        Value::Str(s) => Ok(s.clone()),
+        _ => Err(format!(
+            "config entry `{key}` needs an unsigned integer, boolean, or string"
+        )),
+    }
+}
+
 /// Parses one request line.
 ///
 /// # Errors
@@ -137,6 +171,17 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 "full" => Scale::Full,
                 other => return Err(format!("unknown scale `{other}` (tiny|small|full)")),
             };
+            let config = match doc.get("config") {
+                None => Vec::new(),
+                Some(Value::Obj(entries)) => {
+                    let mut out = Vec::with_capacity(entries.len());
+                    for (key, value) in entries {
+                        out.push((key.clone(), config_value(key, value)?));
+                    }
+                    out
+                }
+                Some(_) => return Err("`config` must be an object".to_string()),
+            };
             Ok(Request::Submit(SubmitRequest {
                 seq,
                 client: doc
@@ -152,6 +197,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 scale,
                 threads: req_u64(&doc, "threads").unwrap_or(1).max(1) as usize,
                 simt: req_bool(&doc, "simt").unwrap_or(false),
+                config,
                 max_cycles: req_u64(&doc, "max_cycles"),
             }))
         }
@@ -186,26 +232,53 @@ pub fn hello_frame(conn: u64) -> String {
     format!("{{\"frame\":\"hello\",\"proto\":\"{PROTO}\",\"conn\":{conn}}}")
 }
 
-/// A successful result frame: the run's [`RunStats`] plus per-request
-/// cache attribution and service time.
+/// Per-request cache attribution carried on every result frame: the
+/// whole-session hit/build delta observed around the run, plus the
+/// run-memoization stage's own delta (a warm resubmission of an
+/// identical request shows `run_hits >= 1` and `builds == 0` — the
+/// simulation never executed).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheDelta {
+    /// All-stage cache hits attributed to this request.
+    pub hits: u64,
+    /// All-stage cache builds attributed to this request.
+    pub builds: u64,
+    /// Run-stage memo hits attributed to this request.
+    pub run_hits: u64,
+    /// Run-stage memo builds (simulations actually executed).
+    pub run_builds: u64,
+}
+
+impl CacheDelta {
+    fn render(&self) -> String {
+        format!(
+            "{{\"hits\":{},\"builds\":{},\"run_hits\":{},\"run_builds\":{}}}",
+            self.hits, self.builds, self.run_hits, self.run_builds
+        )
+    }
+}
+
+/// A successful result frame: the run's [`RunStats`] plus the canonical
+/// machine spec, per-request cache attribution, and service time.
 pub fn result_frame(
     seq: u64,
     workload: &str,
     machine: &str,
+    spec: &str,
     stats: &RunStats,
-    cache_hits: u64,
-    cache_builds: u64,
+    cache: CacheDelta,
     host_ns: u64,
 ) -> String {
     format!(
         "{{\"frame\":\"result\",\"seq\":{seq},\"ok\":true,\
-         \"workload\":\"{}\",\"machine\":\"{}\",\
+         \"workload\":\"{}\",\"machine\":\"{}\",\"spec\":\"{}\",\
          \"stats\":{{\"cycles\":{},\"committed\":{},\"threads\":{},\"ipc\":{:.4},\
          \"stalls\":{{\"memory\":{},\"control\":{},\"structural\":{}}}}},\
-         \"cache\":{{\"hits\":{cache_hits},\"builds\":{cache_builds}}},\
+         \"cache\":{},\
          \"host_ns\":{host_ns}}}",
         esc(workload),
         esc(machine),
+        esc(spec),
         stats.cycles,
         stats.committed,
         stats.threads,
@@ -213,6 +286,7 @@ pub fn result_frame(
         stats.stalls.memory,
         stats.stalls.control,
         stats.stalls.structural,
+        cache.render(),
     )
 }
 
@@ -231,21 +305,23 @@ pub fn error_frame(
     seq: u64,
     workload: &str,
     machine: &str,
+    spec: &str,
     err: &RunError,
-    cache_hits: u64,
-    cache_builds: u64,
+    cache: CacheDelta,
     host_ns: u64,
 ) -> String {
     format!(
         "{{\"frame\":\"result\",\"seq\":{seq},\"ok\":false,\
-         \"workload\":\"{}\",\"machine\":\"{}\",\
+         \"workload\":\"{}\",\"machine\":\"{}\",\"spec\":\"{}\",\
          \"error\":{{\"kind\":\"{}\",\"message\":\"{}\"}},\
-         \"cache\":{{\"hits\":{cache_hits},\"builds\":{cache_builds}}},\
+         \"cache\":{},\
          \"host_ns\":{host_ns}}}",
         esc(workload),
         esc(machine),
+        esc(spec),
         error_kind(err),
         esc(&err.to_string()),
+        cache.render(),
     )
 }
 
@@ -365,8 +441,47 @@ mod tests {
         assert_eq!(s.scale, Scale::Tiny);
         assert_eq!(s.threads, 1);
         assert!(!s.simt);
+        assert!(s.config.is_empty());
         assert_eq!(s.max_cycles, None);
         assert_eq!(s.client, None);
+    }
+
+    #[test]
+    fn config_object_parses_in_key_order() {
+        let line = concat!(
+            r#"{"verb":"submit","seq":2,"workload":"bfs","machine":"diag:f4c2","#,
+            r#""config":{"lsu_depth":4,"clusters":8,"reuse":false,"max_cycles":"5000"}}"#,
+        );
+        let Request::Submit(s) = parse_request(line).unwrap() else {
+            panic!("not a submit")
+        };
+        // BTreeMap ordering: deterministic regardless of wire order.
+        assert_eq!(
+            s.config,
+            vec![
+                ("clusters".to_string(), "8".to_string()),
+                ("lsu_depth".to_string(), "4".to_string()),
+                ("max_cycles".to_string(), "5000".to_string()),
+                ("reuse".to_string(), "false".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_config_is_a_parse_error() {
+        let err =
+            parse_request(r#"{"verb":"submit","seq":1,"workload":"bfs","config":3}"#).unwrap_err();
+        assert!(err.contains("object"), "{err}");
+        let err = parse_request(
+            r#"{"verb":"submit","seq":1,"workload":"bfs","config":{"clusters":[1]}}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("clusters"), "{err}");
+        let err = parse_request(
+            r#"{"verb":"submit","seq":1,"workload":"bfs","config":{"clusters":1.5}}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("unsigned integer"), "{err}");
     }
 
     #[test]
@@ -431,19 +546,25 @@ mod tests {
             threads: 1,
             ..RunStats::default()
         };
+        let delta = CacheDelta {
+            hits: 2,
+            builds: 1,
+            run_hits: 1,
+            run_builds: 0,
+        };
         for frame in [
             hello_frame(1),
-            result_frame(1, "bfs", "diag", &stats, 2, 1, 12345),
+            result_frame(1, "bfs", "diag", "diag:f4c32", &stats, delta, 12345),
             error_frame(
                 2,
                 "bfs",
                 "diag",
+                "diag:f4c32",
                 &RunError::Build {
                     workload: "bfs".to_string(),
                     message: "quote \" and slash \\".to_string(),
                 },
-                0,
-                0,
+                CacheDelta::default(),
                 1,
             ),
             reject_frame(Some(3), code::QUEUE_FULL, "queue full"),
@@ -455,6 +576,10 @@ mod tests {
         ] {
             json::parse(&frame).unwrap_or_else(|e| panic!("{frame}: {e}"));
         }
+        let ok = result_frame(1, "bfs", "diag", "diag:f4c32", &stats, delta, 1);
+        assert!(ok.contains("\"spec\":\"diag:f4c32\""), "{ok}");
+        assert!(ok.contains("\"run_hits\":1"), "{ok}");
+        assert!(ok.contains("\"run_builds\":0"), "{ok}");
     }
 
     #[test]

@@ -35,13 +35,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
-use diag_bench::cli::machine_kind;
-use diag_bench::runner::MachineKind;
+use diag_bench::runner::MachineSpec;
 use diag_bench::sweep::{self, SweepRun};
+use diag_core::apply_override;
 use diag_pipeline::Session;
 use diag_workloads::{find, Params, Scale};
 
-use crate::protocol::{self, code, parse_request, Request, StatusSnapshot, SubmitRequest};
+use crate::protocol::{
+    self, code, parse_request, CacheDelta, Request, StatusSnapshot, SubmitRequest,
+};
 use crate::queue::{FairQueue, SubmitError, Ticket};
 
 /// Server construction parameters.
@@ -146,8 +148,11 @@ struct Job {
     seq: u64,
     order: u64,
     run: SweepRun,
-    /// Short machine key echoed on the frame (`diag`/`ooo`/`inorder`).
+    /// The request's machine string, echoed verbatim on the frame.
     machine_key: String,
+    /// The canonical rendering of the fully-resolved spec (machine +
+    /// config overrides), also echoed on the frame.
+    spec_render: String,
 }
 
 #[derive(Default)]
@@ -308,8 +313,12 @@ fn worker_loop(shared: &Shared) {
         let result = sweep::run_one(&shared.session, &job.run);
         let host_ns = (t0.elapsed().as_nanos() as u64).max(1);
         let after = shared.session.counters();
-        let hits = after.hits().saturating_sub(before.hits());
-        let builds = after.builds().saturating_sub(before.builds());
+        let cache = CacheDelta {
+            hits: after.hits().saturating_sub(before.hits()),
+            builds: after.builds().saturating_sub(before.builds()),
+            run_hits: after.runs.hits.saturating_sub(before.runs.hits),
+            run_builds: after.runs.builds.saturating_sub(before.runs.builds),
+        };
         let workload = job.run.spec.name;
         let frame = match &result {
             Ok(stats) => {
@@ -318,9 +327,9 @@ fn worker_loop(shared: &Shared) {
                     job.seq,
                     workload,
                     &job.machine_key,
+                    &job.spec_render,
                     stats,
-                    hits,
-                    builds,
+                    cache,
                     host_ns,
                 )
             }
@@ -330,9 +339,9 @@ fn worker_loop(shared: &Shared) {
                     job.seq,
                     workload,
                     &job.machine_key,
+                    &job.spec_render,
                     e,
-                    hits,
-                    builds,
+                    cache,
                     host_ns,
                 )
             }
@@ -342,31 +351,40 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Validates a submission and builds its [`SweepRun`].
-fn plan_submit(req: &SubmitRequest) -> Result<(SweepRun, String), (u16, String)> {
+/// Validates a submission and builds its [`SweepRun`] plus the two
+/// strings the result frame echoes (request machine text, canonical
+/// spec). Every failure is a typed `4xx` reject — a malformed machine
+/// spec or configuration override never panics a worker or drops the
+/// connection.
+fn plan_submit(req: &SubmitRequest) -> Result<(SweepRun, String, String), (u16, String)> {
     let Some(spec) = find(&req.workload) else {
         return Err((
             code::NOT_FOUND,
             format!("unknown workload `{}`", req.workload),
         ));
     };
-    let Some(mut kind) = machine_kind(&req.machine) else {
-        return Err((
-            code::BAD_REQUEST,
-            format!("unknown machine `{}` (diag|ooo|inorder)", req.machine),
-        ));
-    };
-    if let Some(max_cycles) = req.max_cycles {
-        match &mut kind {
-            MachineKind::Diag(cfg) => cfg.max_cycles = max_cycles,
-            _ => {
-                return Err((
-                    code::BAD_REQUEST,
-                    "max_cycles only applies to machine `diag`".to_string(),
-                ))
-            }
+    let mut machine = MachineSpec::parse(&req.machine)
+        .map_err(|e| (code::BAD_REQUEST, format!("machine `{}`: {e}", req.machine)))?;
+    if !req.config.is_empty() || req.max_cycles.is_some() {
+        let MachineSpec::Diag(cfg) = &mut machine else {
+            return Err((
+                code::BAD_REQUEST,
+                "config overrides only apply to machine `diag`".to_string(),
+            ));
+        };
+        // The alias first, then the config object: an explicit
+        // `config.max_cycles` wins over the legacy top-level field.
+        if let Some(max_cycles) = req.max_cycles {
+            cfg.max_cycles = max_cycles;
         }
+        for (key, value) in &req.config {
+            apply_override(cfg, key, value)
+                .map_err(|e| (code::BAD_REQUEST, format!("config: {e}")))?;
+        }
+        cfg.validate()
+            .map_err(|e| (code::BAD_REQUEST, format!("config: {e}")))?;
     }
+    let spec_render = machine.render();
     // Same construction as the harness CLI: the seed is fixed, so a
     // wire request and a `harness` invocation of the same spec run the
     // identical simulation.
@@ -376,11 +394,12 @@ fn plan_submit(req: &SubmitRequest) -> Result<(SweepRun, String), (u16, String)>
         .with_simt(req.simt);
     Ok((
         SweepRun {
-            machine: kind,
+            machine,
             spec,
             params,
         },
         req.machine.clone(),
+        spec_render,
     ))
 }
 
@@ -409,7 +428,7 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
         match parse_request(&line) {
             Err(message) => out.write_line(&protocol::protocol_error_frame(&message)),
             Ok(Request::Submit(req)) => {
-                let (run, machine_key) = match plan_submit(&req) {
+                let (run, machine_key, spec_render) = match plan_submit(&req) {
                     Ok(planned) => planned,
                     Err((code, message)) => {
                         shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
@@ -425,6 +444,7 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
                     order: next_order,
                     run,
                     machine_key,
+                    spec_render,
                 };
                 match shared.queue.submit(client, cost, job) {
                     Ok(ticket) => {

@@ -47,8 +47,17 @@ fn warm_resubmission_reports_hits_and_zero_builds() {
         cold.raw
     );
 
-    // Same spec again: every artifact is already in the shared session,
-    // so the run reports hits and no builds at all.
+    assert_eq!(
+        cold.run_builds(),
+        Some(1),
+        "cold run must simulate exactly once: {}",
+        cold.raw
+    );
+    assert_eq!(cold.spec(), Some("diag:f4c32"), "{}", cold.raw);
+
+    // Same spec again: the run-stage memo answers before any artifact
+    // is touched, so the warm result reports a run hit, zero builds of
+    // any kind — the simulator never stepped for this request.
     let warm = client.recv().expect("read").expect("warm result");
     assert_eq!(warm.seq(), Some(2), "{}", warm.raw);
     assert_eq!(warm.ok(), Some(true), "{}", warm.raw);
@@ -63,6 +72,78 @@ fn warm_resubmission_reports_hits_and_zero_builds() {
         "warm run saw no cache: {}",
         warm.raw
     );
+    assert_eq!(
+        warm.run_builds(),
+        Some(0),
+        "warm run re-simulated: {}",
+        warm.raw
+    );
+    assert!(
+        warm.run_hits().expect("cache.run_hits") >= 1,
+        "warm run missed the run memo: {}",
+        warm.raw
+    );
+    assert_eq!(warm.spec(), Some("diag:f4c32"), "{}", warm.raw);
+
+    client.send_verb("shutdown").expect("shutdown");
+    let _ = client.recv().expect("read");
+    handle.join().expect("clean server exit");
+}
+
+#[test]
+fn config_overrides_reshape_the_run_and_malformed_ones_reject() {
+    let handle = spawn(1, 16);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // An override on top of a preset: the result echoes the canonical
+    // spec, not the submitted machine text.
+    let mut shaped = Submit::new(1, "hotspot", "diag:f4c2");
+    shaped
+        .config
+        .push(("lsu_depth".to_string(), "4".to_string()));
+    client.submit(&shaped).expect("submit");
+    let frame = client.recv().expect("read").expect("result");
+    assert_eq!(frame.kind(), "result", "{}", frame.raw);
+    assert_eq!(frame.ok(), Some(true), "{}", frame.raw);
+    assert_eq!(frame.spec(), Some("diag:f4c2+lsu_depth=4"), "{}", frame.raw);
+
+    // The legacy `max_cycles` field is an alias for the config entry:
+    // the run fails with the sim taxonomy and the spec shows the fold.
+    let mut limited = Submit::new(2, "hotspot", "diag");
+    limited.max_cycles = Some(10);
+    client.submit(&limited).expect("submit");
+    let frame = client.recv().expect("read").expect("result");
+    assert_eq!(frame.ok(), Some(false), "{}", frame.raw);
+    assert_eq!(frame.error_kind(), Some("sim"), "{}", frame.raw);
+    assert_eq!(
+        frame.spec(),
+        Some("diag:f4c32+max_cycles=10"),
+        "{}",
+        frame.raw
+    );
+
+    // Malformed overrides are typed 400 rejects, never panics: an
+    // unknown key, an unparsable value, and overrides on a machine
+    // that has no configuration.
+    let mut unknown = Submit::new(3, "hotspot", "diag");
+    unknown
+        .config
+        .push(("warp_drive".to_string(), "9".to_string()));
+    let mut bad_value = Submit::new(4, "hotspot", "diag");
+    bad_value
+        .config
+        .push(("clusters".to_string(), "zero".to_string()));
+    let mut wrong_machine = Submit::new(5, "hotspot", "ooo");
+    wrong_machine
+        .config
+        .push(("clusters".to_string(), "8".to_string()));
+    for submit in [&unknown, &bad_value, &wrong_machine] {
+        client.submit(submit).expect("submit");
+        let reject = client.recv().expect("read").expect("reject");
+        assert_eq!(reject.kind(), "reject", "{}", reject.raw);
+        assert_eq!(reject.seq(), Some(submit.seq), "{}", reject.raw);
+        assert_eq!(reject.code(), Some(400), "{}", reject.raw);
+    }
 
     client.send_verb("shutdown").expect("shutdown");
     let _ = client.recv().expect("read");

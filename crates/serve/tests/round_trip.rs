@@ -3,8 +3,7 @@
 //! `sweep::run_one` of the same spec produces, and failed runs must
 //! carry the same `RunError` taxonomy and message.
 
-use diag_bench::cli::machine_kind;
-use diag_bench::runner::MachineKind;
+use diag_bench::runner::MachineSpec;
 use diag_bench::sweep::{self, SweepRun};
 use diag_pipeline::Session;
 use diag_serve::{Client, ServeConfig, Server, Submit};
@@ -65,7 +64,7 @@ fn every_workload_and_machine_matches_a_direct_run() {
         assert_eq!(frame.ok(), Some(true), "{}", frame.raw);
 
         let run = SweepRun {
-            machine: machine_kind(machine).expect("known machine"),
+            machine: MachineSpec::parse(machine).expect("known machine"),
             spec: find(workload).expect("registered workload"),
             params: Params::tiny(),
         };
@@ -131,8 +130,8 @@ fn failed_runs_carry_the_direct_error_taxonomy_and_message() {
     assert_eq!(frame.ok(), Some(false), "{}", frame.raw);
     assert_eq!(frame.error_kind(), Some("sim"), "{}", frame.raw);
 
-    let mut kind = machine_kind("diag").expect("diag");
-    let MachineKind::Diag(ref mut cfg) = kind else {
+    let mut kind = MachineSpec::parse("diag").expect("diag");
+    let MachineSpec::Diag(ref mut cfg) = kind else {
         panic!("diag kind");
     };
     cfg.max_cycles = 10;

@@ -18,7 +18,7 @@ pub mod observe;
 mod stats;
 
 pub use lockstep::{run_lockstep, run_lockstep_prepared, Divergence, LockstepOutcome};
-pub use machine::{Commit, Machine, SimError, StepOutcome};
+pub use machine::{machine_steps, Commit, Machine, SimError, StepOutcome};
 pub use observe::{ObservationLog, ObservedRange, Observer, PcObserved, SharedObservations};
 pub use stats::{Activity, RunStats, StallBreakdown, StallCause};
 // Convenience re-exports so machine implementors and harnesses don't need

@@ -9,6 +9,7 @@
 //! want final results keep the one-call API.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use diag_asm::Program;
@@ -84,6 +85,18 @@ impl fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+/// Process-wide count of [`Machine::step`] quanta driven by the default
+/// [`Machine::run`]/[`Machine::run_prepared`] loops, counted once per
+/// completed run to keep the hot loop free of per-step atomics.
+static MACHINE_STEPS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide number of [`Machine::step`] calls issued by the default
+/// run loops so far. A counting hook for cache tests: a memoized
+/// resubmission must leave this unchanged — zero simulation steps.
+pub fn machine_steps() -> u64 {
+    MACHINE_STEPS.load(Ordering::Relaxed)
+}
 
 /// What one [`Machine::step`] call did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -235,11 +248,17 @@ pub trait Machine {
     /// See [`SimError`] for the failure modes.
     fn run(&mut self, program: &Program, threads: usize) -> Result<RunStats, SimError> {
         self.load(program, threads);
-        loop {
-            if self.step()?.is_halted() {
-                return Ok(self.stats());
+        let mut steps = 0u64;
+        let result = loop {
+            steps += 1;
+            match self.step() {
+                Ok(outcome) if outcome.is_halted() => break Ok(self.stats()),
+                Ok(_) => {}
+                Err(e) => break Err(e),
             }
-        }
+        };
+        MACHINE_STEPS.fetch_add(steps, Ordering::Relaxed);
+        result
     }
 
     /// [`Machine::run`], but mounting prepared artifacts via
@@ -256,11 +275,17 @@ pub trait Machine {
         threads: usize,
     ) -> Result<RunStats, SimError> {
         self.load_prepared(program, stations, threads);
-        loop {
-            if self.step()?.is_halted() {
-                return Ok(self.stats());
+        let mut steps = 0u64;
+        let result = loop {
+            steps += 1;
+            match self.step() {
+                Ok(outcome) if outcome.is_halted() => break Ok(self.stats()),
+                Ok(_) => {}
+                Err(e) => break Err(e),
             }
-        }
+        };
+        MACHINE_STEPS.fetch_add(steps, Ordering::Relaxed);
+        result
     }
 
     /// Reads a 32-bit word from the machine's memory after a run, for

@@ -6,13 +6,17 @@
 //! masks the `SimError` that should have been reported. The artifact
 //! store (`crates/pipeline`) and the server (`crates/serve`) are shared
 //! by many concurrent requests — a panic there poisons locks or drops a
-//! connection instead of producing an error frame. Clippy's
+//! connection instead of producing an error frame. The harness
+//! (`crates/bench`) and energy models (`crates/power`) back every
+//! figure and the autotuner — a panic there aborts a sweep that the
+//! runner's error taxonomy should have survived. Clippy's
 //! `unwrap_used` lint cannot be adopted piecemeal without attribute
 //! noise at every test module, so this is a small, dependency-free
 //! scanner with the policy hard-coded:
 //!
 //! - only `crates/core/src`, `crates/sim/src`, `crates/pipeline/src`,
-//!   and `crates/serve/src` are in scope;
+//!   `crates/serve/src`, `crates/bench/src`, and `crates/power/src`
+//!   are in scope;
 //! - `#[cfg(test)]` items (and everything nested inside them) are
 //!   exempt;
 //! - a deliberate use is allowed by writing `// lint: allow(unwrap)` on
@@ -28,6 +32,8 @@ const SCOPE: &[&str] = &[
     "crates/sim/src",
     "crates/pipeline/src",
     "crates/serve/src",
+    "crates/bench/src",
+    "crates/power/src",
 ];
 
 /// The escape-hatch marker.

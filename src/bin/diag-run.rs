@@ -2,9 +2,16 @@
 //! any machine model in the workspace.
 //!
 //! ```text
-//! diag-run <file.s> [--machine diag-f4c32|diag-f4c2|diag-i4c2|ooo|inorder]
-//!          [--threads N] [--no-simt] [--no-reuse] [--trace] [--dump ADDR LEN]
+//! diag-run <file.s> [--machine SPEC] [--threads N] [--no-simt]
+//!          [--no-reuse] [--trace] [--dump ADDR LEN]
 //! ```
+//!
+//! `--machine` takes a spec in the canonical grammar shared with the
+//! harness and the server — `diag[:preset][+key=value,...]`,
+//! `ooo[:cores]`, or `inorder` (presets `i4c2`/`f4c2`/`f4c16`/`f4c32`;
+//! the legacy hyphenated names like `diag-f4c32` still work). So
+//! `diag:f4c2+lsu_depth=4` runs a two-cluster DiAG with a shallower
+//! load-store unit.
 //!
 //! The program halts when every hardware thread executes `ecall`. Run
 //! statistics (cycles, IPC, reuse fraction, stall breakdown) print on
@@ -12,9 +19,8 @@
 //! prints the first retired instructions with their dataflow timing.
 
 use diag::asm::assemble;
-use diag::baseline::{InOrder, OooCpu};
-use diag::core::{Diag, DiagConfig};
-use diag::sim::Machine;
+use diag::bench::runner::{build_machine, MachineSpec};
+use diag::core::Diag;
 
 struct Options {
     path: String,
@@ -30,7 +36,7 @@ fn parse_args() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
     let mut opts = Options {
         path: String::new(),
-        machine: "diag-f4c32".to_string(),
+        machine: "diag".to_string(),
         threads: 1,
         simt: true,
         reuse: true,
@@ -85,8 +91,9 @@ fn main() {
         Ok(o) => o,
         Err(e) => {
             eprintln!(
-                "error: {e}\nusage: diag-run <file.s> [--machine diag-f4c32|diag-f4c2|diag-i4c2|\
-                 ooo|inorder] [--threads N] [--no-simt] [--no-reuse] [--trace] [--dump ADDR LEN]"
+                "error: {e}\nusage: diag-run <file.s> [--machine SPEC] [--threads N] \
+                 [--no-simt] [--no-reuse] [--trace] [--dump ADDR LEN]\n\
+                 machine specs: diag[:preset][+key=value,...] | ooo[:cores] | inorder"
             );
             std::process::exit(2);
         }
@@ -106,26 +113,27 @@ fn main() {
         }
     };
 
-    let mut machine: Box<dyn Machine> = match opts.machine.as_str() {
-        "ooo" => Box::new(OooCpu::paper_baseline()),
-        "inorder" => Box::new(InOrder::new()),
-        name => {
-            let mut cfg = match name {
-                "diag-f4c32" => DiagConfig::f4c32(),
-                "diag-f4c16" => DiagConfig::f4c16(),
-                "diag-f4c2" => DiagConfig::f4c2(),
-                "diag-i4c2" => DiagConfig::i4c2(),
-                other => {
-                    eprintln!("error: unknown machine `{other}`");
-                    std::process::exit(2);
-                }
-            };
-            cfg.enable_simt = opts.simt;
-            cfg.enable_reuse = opts.reuse;
-            cfg.collect_trace = opts.trace;
-            Box::new(Diag::new(cfg))
+    // The pre-grammar machine names survive as aliases of the presets.
+    let text = match opts.machine.as_str() {
+        "diag-f4c32" => "diag:f4c32",
+        "diag-f4c16" => "diag:f4c16",
+        "diag-f4c2" => "diag:f4c2",
+        "diag-i4c2" => "diag:i4c2",
+        other => other,
+    };
+    let mut spec = match MachineSpec::parse(text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("error: --machine {}: {e}", opts.machine);
+            std::process::exit(2);
         }
     };
+    if let MachineSpec::Diag(cfg) = &mut spec {
+        cfg.enable_simt = opts.simt;
+        cfg.enable_reuse = opts.reuse;
+        cfg.collect_trace = opts.trace;
+    }
+    let mut machine = build_machine(&spec);
 
     let stats = match machine.run(&program, opts.threads) {
         Ok(s) => s,

@@ -13,7 +13,7 @@
 //! 4. **Folded export validity** — every collapsed-stack line is
 //!    `frames... count` with a positive integer count.
 
-use diag_bench::runner::MachineKind;
+use diag_bench::runner::{build_machine, MachineSpec};
 use diag_profile::{to_folded, CycleModel, Profile, ProfileCollector, ProfileMeta, Profiler};
 use diag_sim::RunStats;
 use diag_workloads::{Params, WorkloadSpec};
@@ -22,19 +22,19 @@ use diag_workloads::{Params, WorkloadSpec};
 /// in-order reference time-slices one core (cycles are summed per
 /// thread); DiAG rings and the OoO cores run concurrently (cycles are
 /// the latest end clock).
-fn cycle_model(kind: &MachineKind) -> CycleModel {
+fn cycle_model(kind: &MachineSpec) -> CycleModel {
     match kind {
-        MachineKind::InOrder => CycleModel::Additive,
+        MachineSpec::InOrder => CycleModel::Additive,
         _ => CycleModel::Wallclock,
     }
 }
 
 /// Runs `spec` on a machine of `kind` with a profiler attached; returns
 /// the run's statistics and the built profile.
-fn profiled_run(kind: &MachineKind, spec: &WorkloadSpec, params: &Params) -> (RunStats, Profile) {
+fn profiled_run(kind: &MachineSpec, spec: &WorkloadSpec, params: &Params) -> (RunStats, Profile) {
     let built = spec.build(params).expect("workload builds");
     let shared = ProfileCollector::shared();
-    let mut machine = kind.build();
+    let mut machine = build_machine(kind);
     machine.set_profiler(Profiler::to_shared(&shared));
     let stats = machine
         .run(&built.program, params.threads)
@@ -67,11 +67,11 @@ fn assert_reconciles(label: &str, profile: &Profile) {
         .unwrap_or_else(|e| panic!("{label}: {e}"));
 }
 
-fn machines() -> Vec<MachineKind> {
+fn machines() -> Vec<MachineSpec> {
     vec![
-        MachineKind::Diag(diag_core::DiagConfig::f4c32()),
-        MachineKind::Ooo(4),
-        MachineKind::InOrder,
+        MachineSpec::Diag(diag_core::DiagConfig::f4c32()),
+        MachineSpec::Ooo(4),
+        MachineSpec::InOrder,
     ]
 }
 
@@ -89,7 +89,7 @@ fn profile_reconciles_on_every_workload() {
 #[test]
 fn profile_reconciles_multithreaded_and_simt() {
     for spec in diag_workloads::all() {
-        let kind = MachineKind::Diag(diag_core::DiagConfig::f4c32());
+        let kind = MachineSpec::Diag(diag_core::DiagConfig::f4c32());
         let params = Params::tiny().with_threads(4);
         let (_, profile) = profiled_run(&kind, &spec, &params);
         assert_reconciles(&format!("{} x4 threads", spec.name), &profile);
@@ -102,7 +102,7 @@ fn profile_reconciles_multithreaded_and_simt() {
     // The baselines under waves (threads > cores) as well.
     let spec = diag_workloads::find("hotspot").expect("bundled");
     let params = Params::tiny().with_threads(6);
-    for kind in [MachineKind::Ooo(2), MachineKind::InOrder] {
+    for kind in [MachineSpec::Ooo(2), MachineSpec::InOrder] {
         let (_, profile) = profiled_run(&kind, &spec, &params);
         assert_reconciles(&format!("hotspot waves on {}", kind.label()), &profile);
     }
@@ -115,7 +115,7 @@ fn profiling_does_not_change_stats() {
             let spec = diag_workloads::find(name).expect("bundled");
             let params = Params::tiny().with_threads(2);
             let built = spec.build(&params).expect("workload builds");
-            let mut plain = kind.build();
+            let mut plain = build_machine(&kind);
             let unprofiled = plain.run(&built.program, params.threads).expect("runs");
             let (profiled, profile) = profiled_run(&kind, &spec, &params);
             assert!(

@@ -5,7 +5,7 @@
 //! job counts.
 
 use diag::baseline::{InOrder, O3Config, OooCpu};
-use diag::bench::runner::MachineKind;
+use diag::bench::runner::MachineSpec;
 use diag::bench::sweep::Sweep;
 use diag::core::{Diag, DiagConfig};
 use diag::sim::{run_lockstep, Commit, LockstepOutcome, Machine, RunStats, SimError, StepOutcome};
@@ -224,8 +224,8 @@ fn sweep_results_identical_across_job_counts() {
         let mut ids = Vec::new();
         for name in kernels {
             let spec = find(name).expect("registered");
-            ids.push(sweep.add(MachineKind::Diag(DiagConfig::f4c2()), spec, Params::tiny()));
-            ids.push(sweep.add(MachineKind::Ooo(2), spec, Params::tiny().with_threads(2)));
+            ids.push(sweep.add(MachineSpec::Diag(DiagConfig::f4c2()), spec, Params::tiny()));
+            ids.push(sweep.add(MachineSpec::Ooo(2), spec, Params::tiny().with_threads(2)));
         }
         let results = sweep.execute(jobs);
         ids.iter()

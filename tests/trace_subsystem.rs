@@ -13,7 +13,7 @@
 //! 4. **Perfetto validity** — the Chrome trace-event export passes the
 //!    schema check for every machine model.
 
-use diag_bench::runner::MachineKind;
+use diag_bench::runner::{build_machine, MachineSpec};
 use diag_sim::RunStats;
 use diag_trace::timeline::StallTimeline;
 use diag_trace::{perfetto, Event, Tracer, VecSink};
@@ -21,10 +21,10 @@ use diag_workloads::{Params, WorkloadSpec};
 
 /// Runs `spec` on a machine of `kind` with a tracer attached; returns the
 /// run's statistics and the captured event stream.
-fn traced_run(kind: &MachineKind, spec: &WorkloadSpec, params: &Params) -> (RunStats, Vec<Event>) {
+fn traced_run(kind: &MachineSpec, spec: &WorkloadSpec, params: &Params) -> (RunStats, Vec<Event>) {
     let built = spec.build(params).expect("workload builds");
     let sink = VecSink::shared();
-    let mut machine = kind.build();
+    let mut machine = build_machine(kind);
     machine.set_tracer(Tracer::to_shared(sink.clone()));
     let stats = machine
         .run(&built.program, params.threads)
@@ -51,11 +51,11 @@ fn assert_reconciles(label: &str, stats: &RunStats, events: &[Event]) {
     );
 }
 
-fn machines() -> Vec<MachineKind> {
+fn machines() -> Vec<MachineSpec> {
     vec![
-        MachineKind::Diag(diag_core::DiagConfig::f4c32()),
-        MachineKind::Ooo(4),
-        MachineKind::InOrder,
+        MachineSpec::Diag(diag_core::DiagConfig::f4c32()),
+        MachineSpec::Ooo(4),
+        MachineSpec::InOrder,
     ]
 }
 
@@ -77,7 +77,7 @@ fn stall_timeline_reconciles_on_every_workload() {
 #[test]
 fn stall_timeline_reconciles_multithreaded_and_simt() {
     for spec in diag_workloads::all() {
-        let kind = MachineKind::Diag(diag_core::DiagConfig::f4c32());
+        let kind = MachineSpec::Diag(diag_core::DiagConfig::f4c32());
         let params = Params::tiny().with_threads(4);
         let (stats, events) = traced_run(&kind, &spec, &params);
         assert_reconciles(&format!("{} x4 threads", spec.name), &stats, &events);
@@ -90,7 +90,7 @@ fn stall_timeline_reconciles_multithreaded_and_simt() {
     // The baselines under waves (threads > cores) as well.
     let spec = diag_workloads::find("hotspot").expect("bundled");
     let params = Params::tiny().with_threads(6);
-    for kind in [MachineKind::Ooo(2), MachineKind::InOrder] {
+    for kind in [MachineSpec::Ooo(2), MachineSpec::InOrder] {
         let (stats, events) = traced_run(&kind, &spec, &params);
         assert_reconciles(
             &format!("hotspot waves on {}", kind.label()),
@@ -107,7 +107,7 @@ fn tracing_does_not_change_stats() {
             let spec = diag_workloads::find(name).expect("bundled");
             let params = Params::tiny().with_threads(2);
             let built = spec.build(&params).expect("workload builds");
-            let mut plain = kind.build();
+            let mut plain = build_machine(&kind);
             let untraced = plain.run(&built.program, params.threads).expect("runs");
             let (traced, events) = traced_run(&kind, &spec, &params);
             assert!(
