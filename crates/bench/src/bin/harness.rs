@@ -5,6 +5,8 @@
 //! harness run <experiment|all> [--scale S|--quick] [--jobs N] [--strict]
 //! harness analyze [workload ...|all] [--json] [--scale S] [--threads N] [--simt]
 //! harness sweep [workload ...|all] [--scale S|--quick] [--jobs N] [--strict]
+//!               [--metrics-out FILE]
+//! harness metrics <file>
 //! harness tune [workload ...|all] [--grid SPEC;...] [--scale S|--quick]
 //!              [--threads N] [--simt] [--jobs N] [--strict] [--out FILE]
 //! harness bench [workload ...|all] [--scale S|--quick] [--repeat N] [--out FILE]
@@ -55,7 +57,13 @@
 //!
 //! `sweep` runs the named workloads (default: all) on every machine model
 //! — DiAG f4c32, the 12-core out-of-order baseline, and the in-order
-//! reference — in parallel, and prints one cycles/IPC table.
+//! reference — in parallel, and prints one cycles/IPC table. With
+//! `--metrics-out FILE` the sweep workers are instrumented (busy/idle
+//! wall time, per-run host ns and ns/instr histograms) and the telemetry
+//! exposition — including the session's cache-stage gauges — is written
+//! to FILE as `diag-telemetry-v1` JSON; `harness metrics FILE` renders
+//! such a file (or a captured `diag-serve` `metrics` frame) as aligned
+//! text.
 //!
 //! `tune` sweeps a grid of DiAG configurations (default: 36 points
 //! around F4C32 on the §5 parametrizable axes; override with
@@ -115,6 +123,7 @@ subcommands:
   analyze [workload ...] static dataflow analysis, no simulation
   verify [workload ...]  abstract-interpretation verifier, no simulation
   sweep [workload ...]   run workloads on every machine; cycles/IPC table
+  metrics <file>         pretty-print a saved telemetry exposition
   tune [workload ...]    sweep a DiAG config grid; cycles/energy Pareto frontier
   bench [workload ...]   time the simulator itself; write BENCH_sim.json
   trace <workload>       run one workload with tracing and export events
@@ -133,6 +142,7 @@ analyze options:  [--json] [--scale tiny|small|full] [--threads N] [--simt]
 verify options:   [--json] [--scale tiny|small|full] [--threads N] [--simt]
                   [--strict] [--out FILE]
 sweep options:    [--scale tiny|small|full | --quick] [--jobs N] [--strict]
+                  [--metrics-out FILE]
 tune options:     [--scale tiny|small|full | --quick] [--threads N] [--simt]
                   [--jobs N] [--strict] [--out FILE] [--grid SPEC;SPEC;...]
 bench options:    [--scale tiny|small|full | --quick] [--repeat N] [--out FILE]
@@ -360,7 +370,10 @@ fn sweep_cmd(args: &[String]) -> i32 {
     const SPEC: CliSpec = CliSpec {
         cmd: "sweep",
         flags: &[Flag::Scale, Flag::Jobs, Flag::Strict],
-        extras: &[],
+        extras: &[Extra {
+            name: "--metrics-out",
+            takes_value: true,
+        }],
         default_scale: Scale::Small,
     };
     let args = parse_or_usage(&SPEC, args);
@@ -381,7 +394,17 @@ fn sweep_cmd(args: &[String]) -> i32 {
             .collect();
         ids.push((spec.name, row));
     }
-    let results = queue.execute_with(&session, args.jobs);
+    // Worker telemetry is opt-in: without `--metrics-out` the sweep
+    // takes the uninstrumented path (no clock reads in the run loop).
+    let metrics_out = args.value("--metrics-out").map(str::to_string);
+    let registry = diag_telemetry::Registry::new();
+    let results = match metrics_out {
+        Some(_) => {
+            let metrics = sweep::SweepMetrics::new(&registry);
+            queue.execute_metered(&session, args.jobs, &metrics)
+        }
+        None => queue.execute_with(&session, args.jobs),
+    };
     let mut table = diag_power::TextTable::new(
         std::iter::once("benchmark".to_string()).chain(machines.iter().map(|m| m.label())),
     );
@@ -399,11 +422,77 @@ fn sweep_cmd(args: &[String]) -> i32 {
     sweep::append_failures(&mut out, &results);
     println!("{out}");
     report_cache(&session);
+    if let Some(path) = &metrics_out {
+        session.export_telemetry(&registry);
+        let mut json = registry.snapshot().to_json();
+        json.push('\n');
+        if let Err(e) = write_output(path, &json) {
+            eprintln!("{e}");
+            return 1;
+        }
+        eprintln!("wrote telemetry exposition to {path}");
+    }
     if args.strict && !results.failures().is_empty() {
         eprintln!("--strict: at least one run failed");
         return 1;
     }
     0
+}
+
+/// The `metrics` subcommand: pretty-print a saved telemetry exposition
+/// — a `--metrics-out` file, or a captured `diag-serve` `metrics` frame
+/// (the embedded `json` document is used). Returns the process exit
+/// code.
+fn metrics_cmd(args: &[String]) -> i32 {
+    const SPEC: CliSpec = CliSpec {
+        cmd: "metrics",
+        flags: &[],
+        extras: &[],
+        default_scale: Scale::Small,
+    };
+    let args = parse_or_usage(&SPEC, args);
+    let [path] = &args.positionals[..] else {
+        eprintln!("metrics needs exactly one exposition file path");
+        usage();
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let doc = match diag_trace::json::parse(text.trim()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return 1;
+        }
+    };
+    let exposition = match doc.get("frame").and_then(diag_trace::json::Value::as_str) {
+        Some("metrics") => match doc.get("json") {
+            Some(inner) => inner,
+            None => {
+                eprintln!("{path}: metrics frame has no `json` exposition");
+                return 1;
+            }
+        },
+        Some(other) => {
+            eprintln!("{path}: not a metrics frame (frame: {other})");
+            return 1;
+        }
+        None => &doc,
+    };
+    match diag_bench::metricsfmt::render(exposition) {
+        Ok(rendered) => {
+            print!("{rendered}");
+            0
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            1
+        }
+    }
 }
 
 /// The `tune` subcommand: sweep a DiAG configuration grid over the named
@@ -1034,6 +1123,7 @@ fn main() {
         Some("analyze") => analyze_cmd(&args[1..]),
         Some("verify") => verify_cmd(&args[1..]),
         Some("sweep") => sweep_cmd(&args[1..]),
+        Some("metrics") => metrics_cmd(&args[1..]),
         Some("tune") => tune_cmd(&args[1..]),
         Some("bench") => bench_cmd(&args[1..]),
         Some("trace") => trace_cmd(&args[1..]),

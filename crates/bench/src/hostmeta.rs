@@ -80,6 +80,10 @@ pub fn cache_entries(cache: &CacheCounters) -> Vec<(String, String)> {
             "cache_disk_writes".to_string(),
             cache.disk_writes.to_string(),
         ),
+        (
+            "cache_disk_evictions".to_string(),
+            cache.disk_evictions.to_string(),
+        ),
     ]
 }
 
@@ -134,7 +138,8 @@ mod tests {
                 "cache_hits",
                 "cache_builds",
                 "cache_disk_hits",
-                "cache_disk_writes"
+                "cache_disk_writes",
+                "cache_disk_evictions"
             ]
         );
     }

@@ -23,6 +23,7 @@ pub mod cli;
 pub mod experiments;
 pub mod hostbench;
 pub mod hostmeta;
+pub mod metricsfmt;
 pub mod runner;
 pub mod sweep;
 pub mod tune;

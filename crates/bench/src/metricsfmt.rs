@@ -1,0 +1,114 @@
+//! Pretty-printer for saved telemetry expositions.
+//!
+//! `harness metrics <file>` renders a `diag-telemetry-v1` JSON
+//! exposition — either a bare one (as written by `harness sweep
+//! --metrics-out`) or the one embedded in a captured `diag-serve`
+//! `metrics` frame — as aligned, human-readable text. Keys arrive
+//! sorted (the exposition is a JSON object and the parser keeps object
+//! keys in a `BTreeMap`), so the rendering is deterministic.
+
+use diag_trace::json::Value;
+
+/// Renders a `diag-telemetry-v1` exposition document as aligned text:
+/// one `counters:` / `gauges:` / `histograms:` section per non-empty
+/// family, metric keys left-aligned within each section.
+///
+/// # Errors
+///
+/// Rejects documents whose `schema` field is missing or not
+/// `diag-telemetry-v1`.
+pub fn render(doc: &Value) -> Result<String, String> {
+    let schema = doc.get("schema").and_then(Value::as_str);
+    if schema != Some(diag_telemetry::SCHEMA) {
+        return Err(format!(
+            "not a {} exposition (schema: {})",
+            diag_telemetry::SCHEMA,
+            schema.unwrap_or("missing")
+        ));
+    }
+    let mut out = String::new();
+    let num = |v: &Value, field: &str| -> u64 {
+        v.get(field).and_then(Value::as_num).unwrap_or(0.0) as u64
+    };
+    if let Some(counters) = doc.get("counters").and_then(Value::as_obj) {
+        if !counters.is_empty() {
+            let width = counters.keys().map(String::len).max().unwrap_or(0);
+            out.push_str("counters:\n");
+            for (key, value) in counters {
+                let n = value.as_num().unwrap_or(0.0) as u64;
+                out.push_str(&format!("  {key:<width$}  {n}\n"));
+            }
+        }
+    }
+    if let Some(gauges) = doc.get("gauges").and_then(Value::as_obj) {
+        if !gauges.is_empty() {
+            let width = gauges.keys().map(String::len).max().unwrap_or(0);
+            out.push_str("gauges:\n");
+            for (key, value) in gauges {
+                out.push_str(&format!(
+                    "  {key:<width$}  {} (high {})\n",
+                    num(value, "value"),
+                    num(value, "high_water")
+                ));
+            }
+        }
+    }
+    if let Some(hists) = doc.get("histograms").and_then(Value::as_obj) {
+        if !hists.is_empty() {
+            let width = hists.keys().map(String::len).max().unwrap_or(0);
+            out.push_str("histograms:\n");
+            for (key, value) in hists {
+                out.push_str(&format!(
+                    "  {key:<width$}  count {}  mean {}  p50 {}  p90 {}  p99 {}  max {}\n",
+                    num(value, "count"),
+                    num(value, "mean"),
+                    num(value, "p50"),
+                    num(value, "p90"),
+                    num(value, "p99"),
+                    num(value, "max")
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag_telemetry::Registry;
+    use diag_trace::json;
+
+    #[test]
+    fn renders_a_live_exposition_section_per_family() {
+        let registry = Registry::new();
+        registry.counter("jobs_total", &[("kind", "a")]).add(3);
+        registry.gauge("depth", &[]).set(2);
+        registry.histogram("latency_ns", &[]).record(1000);
+        let doc = json::parse(&registry.snapshot().to_json()).expect("exposition parses");
+        let text = render(&doc).expect("renders");
+        assert!(
+            text.contains("counters:\n  jobs_total{kind=\"a\"}  3\n"),
+            "{text}"
+        );
+        assert!(text.contains("gauges:\n  depth  2 (high 2)\n"), "{text}");
+        assert!(text.contains("latency_ns  count 1"), "{text}");
+        assert!(text.contains("p99 1023"), "{text}");
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        let doc = json::parse(&Registry::new().snapshot().to_json()).expect("parses");
+        assert_eq!(render(&doc).expect("renders"), "");
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let doc = json::parse("{\"schema\":\"bogus\"}").expect("parses");
+        let err = render(&doc).expect_err("rejected");
+        assert!(err.contains("bogus"), "{err}");
+        let doc = json::parse("{}").expect("parses");
+        let err = render(&doc).expect_err("rejected");
+        assert!(err.contains("missing"), "{err}");
+    }
+}

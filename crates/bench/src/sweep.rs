@@ -34,12 +34,67 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use diag_pipeline::Session;
 use diag_sim::RunStats;
+use diag_telemetry::{Counter, Histogram, Registry};
 use diag_workloads::{Params, WorkloadSpec};
 
 use crate::runner::{run_verified_with, MachineSpec, RunError};
+
+/// Host-side worker accounting for one sweep, registered under
+/// `diag_sweep_*` in a caller-provided [`Registry`]: total busy vs idle
+/// worker nanoseconds, per-run wall time, per-run host nanoseconds per
+/// committed guest instruction, and an ok/error outcome tally. Metrics
+/// accumulate across sweeps that share a registry.
+#[derive(Debug)]
+pub struct SweepMetrics {
+    busy_ns: Counter,
+    idle_ns: Counter,
+    run_ns: Histogram,
+    ns_per_instr: Histogram,
+    ok: Counter,
+    err: Counter,
+}
+
+impl SweepMetrics {
+    /// Registers (or re-attaches to) the sweep metric family.
+    pub fn new(registry: &Registry) -> SweepMetrics {
+        SweepMetrics {
+            busy_ns: registry.counter("diag_sweep_worker_busy_ns", &[]),
+            idle_ns: registry.counter("diag_sweep_worker_idle_ns", &[]),
+            run_ns: registry.histogram("diag_sweep_run_ns", &[]),
+            ns_per_instr: registry.histogram("diag_sweep_run_ns_per_instr", &[]),
+            ok: registry.counter("diag_sweep_runs_total", &[("outcome", "ok")]),
+            err: registry.counter("diag_sweep_runs_total", &[("outcome", "error")]),
+        }
+    }
+
+    /// Accounts one finished run.
+    fn observe(&self, host_ns: u64, result: &Result<RunStats, RunError>) {
+        self.busy_ns.add(host_ns);
+        self.run_ns.record(host_ns);
+        match result {
+            Ok(stats) => {
+                self.ok.inc();
+                self.ns_per_instr.record(host_ns / stats.committed.max(1));
+            }
+            Err(_) => self.err.inc(),
+        }
+    }
+
+    /// Accounts one worker's full lifetime: whatever was not spent in
+    /// runs was spent waiting on the queue (or on shared preparation).
+    fn observe_worker(&self, lifetime_ns: u64, busy_ns: u64) {
+        self.idle_ns.add(lifetime_ns.saturating_sub(busy_ns));
+    }
+}
+
+/// Nanoseconds since `t`, saturating at `u64::MAX`.
+fn ns_since(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX) // lint: allow(unwrap)
+}
 
 /// One queued run: which machine, which workload, which parameters.
 #[derive(Debug, Clone)]
@@ -102,6 +157,19 @@ impl Sweep {
     pub fn execute_with(self, session: &Session, jobs: usize) -> SweepResults {
         SweepResults {
             results: run_sweep_with(session, &self.runs, jobs),
+        }
+    }
+
+    /// [`Sweep::execute_with`] with worker telemetry: per-run wall time
+    /// and busy/idle accounting recorded into `metrics`.
+    pub fn execute_metered(
+        self,
+        session: &Session,
+        jobs: usize,
+        metrics: &SweepMetrics,
+    ) -> SweepResults {
+        SweepResults {
+            results: run_sweep_metered(session, &self.runs, jobs, Some(metrics)),
         }
     }
 }
@@ -181,23 +249,52 @@ pub fn run_sweep_with(
     runs: &[SweepRun],
     jobs: usize,
 ) -> Vec<Result<RunStats, RunError>> {
+    run_sweep_metered(session, runs, jobs, None)
+}
+
+/// [`run_sweep_with`] with optional worker telemetry. With `metrics:
+/// None` no clock is read and no atomic is touched — the uninstrumented
+/// path is exactly the old one. With a [`SweepMetrics`], each worker
+/// accounts every run's wall time plus its own busy/idle split.
+pub fn run_sweep_metered(
+    session: &Session,
+    runs: &[SweepRun],
+    jobs: usize,
+    metrics: Option<&SweepMetrics>,
+) -> Vec<Result<RunStats, RunError>> {
     let jobs = jobs.clamp(1, runs.len().max(1));
     if jobs == 1 {
-        return runs.iter().map(|run| run_one(session, run)).collect();
+        let born = metrics.map(|_| Instant::now());
+        let mut busy = 0u64;
+        let results = runs
+            .iter()
+            .map(|run| run_one_metered(session, run, metrics, &mut busy))
+            .collect();
+        if let (Some(m), Some(born)) = (metrics, born) {
+            m.observe_worker(ns_since(born), busy);
+        }
+        return results;
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<RunStats, RunError>>>> =
         runs.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(run) = runs.get(i) else { break };
-                let result = run_one(session, run);
-                // A sweep worker never panics while holding the lock
-                // (`run_one` catches panics), but recover anyway: the
-                // slot is write-only here.
-                *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(result);
+            scope.spawn(|| {
+                let born = metrics.map(|_| Instant::now());
+                let mut busy = 0u64;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(run) = runs.get(i) else { break };
+                    let result = run_one_metered(session, run, metrics, &mut busy);
+                    // A sweep worker never panics while holding the lock
+                    // (`run_one` catches panics), but recover anyway: the
+                    // slot is write-only here.
+                    *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(result);
+                }
+                if let (Some(m), Some(born)) = (metrics, born) {
+                    m.observe_worker(ns_since(born), busy);
+                }
             });
         }
     });
@@ -210,6 +307,25 @@ pub fn run_sweep_with(
                 .expect("worker filled slot")
         })
         .collect()
+}
+
+/// One run with optional accounting; adds the run's wall time to the
+/// calling worker's `busy` tally.
+fn run_one_metered(
+    session: &Session,
+    run: &SweepRun,
+    metrics: Option<&SweepMetrics>,
+    busy: &mut u64,
+) -> Result<RunStats, RunError> {
+    let Some(m) = metrics else {
+        return run_one(session, run);
+    };
+    let t0 = Instant::now();
+    let result = run_one(session, run);
+    let host_ns = ns_since(t0);
+    *busy = busy.saturating_add(host_ns);
+    m.observe(host_ns, &result);
+    result
 }
 
 /// Executes one [`SweepRun`] against `session`, catching panics as
@@ -290,6 +406,37 @@ mod tests {
     fn zero_jobs_clamps_to_one() {
         let results = queue_of(1).execute(0);
         assert!(results.stats(RunId(0)).is_some());
+    }
+
+    #[test]
+    fn metered_sweep_accounts_every_run() {
+        let registry = Registry::new();
+        let metrics = SweepMetrics::new(&registry);
+        let results = queue_of(4).execute_metered(&Session::in_memory(), 2, &metrics);
+        assert!(results.failures().is_empty());
+        let snap = registry.snapshot();
+        let counter = |key: &str| -> u64 {
+            snap.counters
+                .iter()
+                .find(|(k, _)| k.to_string() == key)
+                .unwrap_or_else(|| panic!("missing counter {key}"))
+                .1
+        };
+        assert_eq!(counter("diag_sweep_runs_total{outcome=\"ok\"}"), 4);
+        assert_eq!(counter("diag_sweep_runs_total{outcome=\"error\"}"), 0);
+        assert!(counter("diag_sweep_worker_busy_ns") > 0);
+        let (_, run_ns) = snap
+            .histograms
+            .iter()
+            .find(|(k, _)| k.name() == "diag_sweep_run_ns")
+            .expect("run histogram");
+        assert_eq!(run_ns.count, 4);
+        let (_, per_instr) = snap
+            .histograms
+            .iter()
+            .find(|(k, _)| k.name() == "diag_sweep_run_ns_per_instr")
+            .expect("per-instr histogram");
+        assert_eq!(per_instr.count, 4);
     }
 
     #[test]

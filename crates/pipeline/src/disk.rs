@@ -11,6 +11,7 @@
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::SystemTime;
 
 use crate::blob::{frame, unframe};
@@ -33,6 +34,7 @@ pub struct DiskStats {
 pub struct DiskCache {
     dir: PathBuf,
     budget_bytes: u64,
+    evictions: AtomicU64,
 }
 
 impl DiskCache {
@@ -70,7 +72,17 @@ impl DiskCache {
     pub fn open(dir: impl Into<PathBuf>, budget_bytes: u64) -> io::Result<DiskCache> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(DiskCache { dir, budget_bytes })
+        Ok(DiskCache {
+            dir,
+            budget_bytes,
+            evictions: AtomicU64::new(0),
+        })
+    }
+
+    /// Blobs this handle has evicted to stay under budget. Per handle,
+    /// not per directory: a fresh process starts at zero.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// The cache directory.
@@ -169,6 +181,7 @@ impl DiskCache {
             }
             if fs::remove_file(path).is_ok() {
                 total -= len;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -237,10 +250,12 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         assert!(cache.load(keys[0]).is_some());
         std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(cache.evictions(), 0);
         cache.store(keys[2], &[2u8; 64]);
         assert!(cache.stats().bytes <= 250);
         assert_eq!(cache.load(keys[1]), None, "LRU blob should be evicted");
         assert!(cache.load(keys[2]).is_some(), "fresh blob survives");
+        assert_eq!(cache.evictions(), 1, "one blob evicted, counted once");
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -71,6 +71,8 @@ pub struct CacheCounters {
     pub disk_hits: u64,
     /// Blobs written to disk.
     pub disk_writes: u64,
+    /// Blobs evicted from disk to stay under the byte budget.
+    pub disk_evictions: u64,
 }
 
 impl CacheCounters {
@@ -100,7 +102,8 @@ impl CacheCounters {
     pub fn summary(&self) -> String {
         format!(
             "cache: {} hits, {} builds (workloads {}/{}, stations {}/{}, analyses {}/{}, \
-             verifications {}/{}, reports {}/{}, runs {}/{}; disk {} hits, {} writes)",
+             verifications {}/{}, reports {}/{}, runs {}/{}; disk {} hits, {} writes, \
+             {} evictions)",
             self.hits(),
             self.builds(),
             self.workloads.hits,
@@ -117,6 +120,7 @@ impl CacheCounters {
             self.runs.builds,
             self.disk_hits,
             self.disk_writes,
+            self.disk_evictions,
         )
     }
 }
@@ -449,7 +453,48 @@ impl Session {
             },
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             disk_writes: self.disk_writes.load(Ordering::Relaxed),
+            disk_evictions: self.disk.as_ref().map_or(0, DiskCache::evictions),
         }
+    }
+
+    /// Publish the session's cache counters into `registry` as gauges,
+    /// one family per fact: absolute hit/build levels per stage, a
+    /// derived hit ratio in permille (integer math, so the exposition
+    /// stays deterministic), and the disk layer's hit/write/eviction
+    /// totals. Call before snapshotting — gauges are set, not
+    /// incremented, so repeated exports are idempotent.
+    pub fn export_telemetry(&self, registry: &diag_telemetry::Registry) {
+        let c = self.counters();
+        let stages: [(&str, StageCounters); 7] = [
+            ("workloads", c.workloads),
+            ("programs", c.programs),
+            ("stations", c.stations),
+            ("analyses", c.analyses),
+            ("verifications", c.verifications),
+            ("reports", c.reports),
+            ("runs", c.runs),
+        ];
+        for (stage, sc) in stages {
+            let labels = [("stage", stage)];
+            registry
+                .gauge("diag_cache_stage_hits", &labels)
+                .set(sc.hits);
+            registry
+                .gauge("diag_cache_stage_builds", &labels)
+                .set(sc.builds);
+            let total = sc.hits + sc.builds;
+            let permille = (sc.hits * 1000).checked_div(total).unwrap_or(0);
+            registry
+                .gauge("diag_cache_stage_hit_ratio_permille", &labels)
+                .set(permille);
+        }
+        registry.gauge("diag_cache_disk_hits", &[]).set(c.disk_hits);
+        registry
+            .gauge("diag_cache_disk_writes", &[])
+            .set(c.disk_writes);
+        registry
+            .gauge("diag_cache_disk_evictions", &[])
+            .set(c.disk_evictions);
     }
 }
 
@@ -534,6 +579,30 @@ mod tests {
         let mem = Session::in_memory();
         assert_eq!(mem.cached_run(key), None);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn telemetry_export_mirrors_counters() {
+        let session = Session::in_memory();
+        let spec = find("hotspot").expect("registered");
+        let params = Params::tiny();
+        let _ = session.workload(&spec, &params).unwrap();
+        let _ = session.workload(&spec, &params).unwrap();
+        let registry = diag_telemetry::Registry::new();
+        session.export_telemetry(&registry);
+        let labels = [("stage", "workloads")];
+        assert_eq!(registry.gauge("diag_cache_stage_hits", &labels).get(), 1);
+        assert_eq!(registry.gauge("diag_cache_stage_builds", &labels).get(), 1);
+        assert_eq!(
+            registry
+                .gauge("diag_cache_stage_hit_ratio_permille", &labels)
+                .get(),
+            500
+        );
+        // Gauges are set, not incremented: re-export is idempotent.
+        session.export_telemetry(&registry);
+        assert_eq!(registry.gauge("diag_cache_stage_hits", &labels).get(), 1);
+        assert_eq!(registry.gauge("diag_cache_disk_evictions", &[]).get(), 0);
     }
 
     #[test]

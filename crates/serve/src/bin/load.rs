@@ -24,6 +24,15 @@
 //! exits nonzero on any error frame, any reject (unless
 //! `--allow-reject`), or any warm violation. `--shutdown` instead sends
 //! the shutdown verb and exits.
+//!
+//! Client-side latency is recorded into the shared telemetry histogram
+//! ([`diag_telemetry::Histogram`]) — the same log-scale buckets the
+//! server uses — so the p50/p99 the summary prints and the ones the
+//! server's `metrics` verb reports are directly comparable. With
+//! `--expect-warm` the run finishes by scraping that verb and printing
+//! the server-side view: per-verb latency, first-byte latency at the
+//! run's scale, queue-depth high water, and run-stage cache totals next
+//! to the client-observed ones.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -33,7 +42,8 @@ use diag_bench::cli::{self, CliSpec, Extra, Flag};
 use diag_bench::hostbench::scale_name;
 use diag_bench::runner::MachineSpec;
 use diag_isa::prng::SplitMix64;
-use diag_serve::{Client, Submit};
+use diag_serve::{Client, Frame, Submit};
+use diag_telemetry::{Histogram, HistogramSnapshot};
 use diag_workloads::Scale;
 
 const USAGE: &str = "usage: diag-load --addr HOST:PORT [--conns N] [--inflight M] \
@@ -106,7 +116,7 @@ struct ConnReport {
     cache_builds: u64,
     run_hits: u64,
     run_builds: u64,
-    latencies_ns: Vec<u64>,
+    latency: Histogram,
     /// First few problem frames, verbatim, for the failure report.
     samples: Vec<String>,
 }
@@ -150,7 +160,7 @@ fn drive(plan: &Plan, conn_idx: u64) -> std::io::Result<ConnReport> {
             "result" => {
                 done += 1;
                 if let Some(t0) = seq.and_then(|s| sent.remove(&s)) {
-                    report.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                    report.latency.record(t0.elapsed().as_nanos() as u64);
                 }
                 let hits = frame.cache_hits().unwrap_or(0);
                 let builds = frame.cache_builds().unwrap_or(0);
@@ -188,12 +198,64 @@ fn sample(samples: &mut Vec<String>, raw: &str) {
     }
 }
 
-fn percentile_ms(sorted_ns: &[u64], pct: u64) -> f64 {
-    if sorted_ns.is_empty() {
-        return 0.0;
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Scrapes the server's `metrics` verb on a fresh connection.
+fn scrape_metrics(addr: &str) -> std::io::Result<Frame> {
+    let mut client = Client::connect(addr)?;
+    client.send_verb("metrics")?;
+    let frame = client
+        .recv()?
+        .ok_or_else(|| std::io::Error::other("server closed before the metrics frame"))?;
+    if frame.kind() != "metrics" {
+        return Err(std::io::Error::other(format!(
+            "expected a metrics frame, got: {}",
+            frame.raw
+        )));
     }
-    let idx = ((sorted_ns.len() as u64 - 1) * pct / 100) as usize;
-    sorted_ns[idx] as f64 / 1e6
+    Ok(frame)
+}
+
+/// Prints the server-side view next to what this client observed: the
+/// two latency distributions share bucket math, so the percentiles are
+/// directly comparable.
+fn print_server_view(frame: &Frame, scale: Scale, total: &ConnReport, client: &HistogramSnapshot) {
+    let hist = |key: &str, field: &str| frame.metric_field("histograms", key, field);
+    for verb in ["submit", "status", "metrics", "cancel"] {
+        let key = format!("diag_serve_verb_ns{{verb=\"{verb}\"}}");
+        let Some(count) = hist(&key, "count").filter(|&c| c > 0) else {
+            continue;
+        };
+        println!(
+            "diag-load: server verb {verb}: {count} handled, p50 {:.2}ms p99 {:.2}ms",
+            ms(hist(&key, "p50").unwrap_or(0)),
+            ms(hist(&key, "p99").unwrap_or(0)),
+        );
+    }
+    let key = format!(
+        "diag_serve_first_byte_ns{{scale=\"{}\"}}",
+        scale_name(scale)
+    );
+    println!(
+        "diag-load: server first-byte[{}] p50 {:.2}ms p99 {:.2}ms vs client p50 {:.2}ms p99 {:.2}ms",
+        scale_name(scale),
+        ms(hist(&key, "p50").unwrap_or(0)),
+        ms(hist(&key, "p99").unwrap_or(0)),
+        ms(client.p50()),
+        ms(client.p99()),
+    );
+    let gauge = |key: &str, field: &str| frame.metric_field("gauges", key, field).unwrap_or(0);
+    println!(
+        "diag-load: server queue depth high-water {}; run stage {} hits, {} builds \
+         (this client saw {} hits, {} builds)",
+        gauge("diag_serve_queue_depth", "high_water"),
+        gauge("diag_cache_stage_hits{stage=\"runs\"}", "value"),
+        gauge("diag_cache_stage_builds{stage=\"runs\"}", "value"),
+        total.run_hits,
+        total.run_builds,
+    );
 }
 
 fn shutdown(addr: &str) -> ExitCode {
@@ -294,6 +356,7 @@ fn main() -> ExitCode {
     let elapsed = t0.elapsed();
 
     let mut total = ConnReport::default();
+    let mut latency = HistogramSnapshot::default();
     let mut io_errors = 0u64;
     for report in reports {
         match report {
@@ -306,7 +369,7 @@ fn main() -> ExitCode {
                 total.cache_builds += r.cache_builds;
                 total.run_hits += r.run_hits;
                 total.run_builds += r.run_builds;
-                total.latencies_ns.extend(r.latencies_ns);
+                latency.merge(&r.latency.snapshot());
                 for s in r.samples {
                     sample(&mut total.samples, &s);
                 }
@@ -317,7 +380,6 @@ fn main() -> ExitCode {
             }
         }
     }
-    total.latencies_ns.sort_unstable();
     let results = total.ok + total.errors;
     let secs = elapsed.as_secs_f64().max(1e-9);
     println!(
@@ -333,8 +395,8 @@ fn main() -> ExitCode {
             String::new()
         },
         results as f64 / secs,
-        percentile_ms(&total.latencies_ns, 50),
-        percentile_ms(&total.latencies_ns, 99),
+        ms(latency.p50()),
+        ms(latency.p99()),
         total.cache_hits,
         total.cache_builds,
         total.run_hits,
@@ -342,6 +404,12 @@ fn main() -> ExitCode {
     );
     for s in &total.samples {
         eprintln!("diag-load: problem frame: {s}");
+    }
+    if plan.expect_warm {
+        match scrape_metrics(addr) {
+            Ok(frame) => print_server_view(&frame, plan.scale, &total, &latency),
+            Err(e) => eprintln!("diag-load: metrics scrape failed: {e}"),
+        }
     }
     let rejects_fatal = total.rejects > 0 && !args.has("--allow-reject");
     if total.errors > 0 || rejects_fatal || total.warm_violations > 0 || io_errors > 0 {

@@ -175,6 +175,40 @@ impl Frame {
             .and_then(Value::as_num)
             .map(|n| n as u16)
     }
+
+    /// `metrics` frames: the Prometheus-style text exposition (the
+    /// parser has already unescaped it).
+    pub fn metrics_text(&self) -> Option<&str> {
+        self.doc.get("text").and_then(Value::as_str)
+    }
+
+    /// `metrics` frames: the embedded `diag-telemetry-v1` JSON
+    /// exposition object.
+    pub fn metrics_json(&self) -> Option<&Value> {
+        self.doc.get("json")
+    }
+
+    /// `metrics` frames: one counter's value by its rendered key, e.g.
+    /// `diag_serve_requests_total{verb="submit"}`.
+    pub fn metric_counter(&self, key: &str) -> Option<u64> {
+        self.metrics_json()?
+            .get("counters")?
+            .get(key)
+            .and_then(Value::as_num)
+            .map(|n| n as u64)
+    }
+
+    /// `metrics` frames: one field of a gauge or histogram entry by
+    /// section (`"gauges"` / `"histograms"`), rendered metric key, and
+    /// field name (`"value"`, `"high_water"`, `"count"`, `"p50"`, …).
+    pub fn metric_field(&self, section: &str, key: &str, field: &str) -> Option<u64> {
+        self.metrics_json()?
+            .get(section)?
+            .get(key)?
+            .get(field)
+            .and_then(Value::as_num)
+            .map(|n| n as u64)
+    }
 }
 
 /// One protocol connection.
@@ -319,5 +353,26 @@ mod tests {
         assert_eq!(f.cache_builds(), Some(1));
         assert_eq!(f.error_kind(), None);
         assert_eq!(f.code(), None);
+    }
+
+    #[test]
+    fn frame_accessors_read_metrics_fields() {
+        let f = Frame::parse(
+            "{\"frame\":\"metrics\",\"proto\":\"diag-serve/1\",\
+             \"text\":\"# TYPE a counter\\na 1\\n\",\
+             \"json\":{\"schema\":\"diag-telemetry-v1\",\
+             \"counters\":{\"a\":1},\
+             \"gauges\":{\"g\":{\"value\":2,\"high_water\":7}},\
+             \"histograms\":{\"h\":{\"count\":3,\"p50\":40}}}}"
+                .to_string(),
+        )
+        .expect("parses");
+        assert_eq!(f.kind(), "metrics");
+        assert_eq!(f.metrics_text(), Some("# TYPE a counter\na 1\n"));
+        assert_eq!(f.metric_counter("a"), Some(1));
+        assert_eq!(f.metric_counter("missing"), None);
+        assert_eq!(f.metric_field("gauges", "g", "high_water"), Some(7));
+        assert_eq!(f.metric_field("histograms", "h", "p50"), Some(40));
+        assert_eq!(f.metric_field("histograms", "h", "p99"), None);
     }
 }

@@ -14,6 +14,7 @@
 //! {"verb":"submit","seq":1,"workload":"hotspot","machine":"diag",
 //!  "scale":"tiny","threads":1,"simt":false}       queue one experiment
 //! {"verb":"status"}                               server + cache counters
+//! {"verb":"metrics"}                              full telemetry registry
 //! {"verb":"cancel","seq":1}                       drop a still-queued job
 //! {"verb":"shutdown"}                             graceful drain + exit
 //! ```
@@ -55,6 +56,10 @@
 //! - `cancelled` — answer to `cancel`; an `ok:true` cancellation is
 //!   delivered through the job's result slot to keep ordering exact.
 //! - `status`, `shutdown` — control answers, written immediately.
+//! - `metrics` — the server's full telemetry registry in both
+//!   exposition formats: `text` (Prometheus-style, JSON-escaped) and
+//!   `json` (the `diag-telemetry-v1` object, embedded verbatim). Both
+//!   are byte-deterministic renderings of the same snapshot.
 
 use diag_bench::runner::RunError;
 use diag_sim::RunStats;
@@ -111,6 +116,8 @@ pub enum Request {
     Submit(SubmitRequest),
     /// Report queue depth, counters, and host metadata.
     Status,
+    /// Report the full telemetry registry (text + JSON expositions).
+    Metrics,
     /// Drop a still-queued job by its `seq`.
     Cancel {
         /// The `seq` of the submission to drop.
@@ -202,6 +209,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }))
         }
         "status" => Ok(Request::Status),
+        "metrics" => Ok(Request::Metrics),
         "cancel" => Ok(Request::Cancel {
             seq: req_u64(&doc, "seq").ok_or("cancel needs a numeric `seq`")?,
         }),
@@ -357,6 +365,17 @@ pub fn cancelled_frame(seq: u64, ok: bool) -> String {
 /// The acknowledgement of a `shutdown` request.
 pub fn shutdown_frame(queued: usize) -> String {
     format!("{{\"frame\":\"shutdown\",\"queued\":{queued}}}")
+}
+
+/// A `metrics` frame carrying both expositions of one registry
+/// snapshot: `text` is the Prometheus-style rendering (JSON-escaped),
+/// `json` the `diag-telemetry-v1` object embedded verbatim (it is
+/// already fixed-key-order JSON).
+pub fn metrics_frame(text: &str, json: &str) -> String {
+    format!(
+        "{{\"frame\":\"metrics\",\"proto\":\"{PROTO}\",\"text\":\"{}\",\"json\":{json}}}",
+        esc(text)
+    )
 }
 
 /// A point-in-time server snapshot for `status` frames.
@@ -517,6 +536,10 @@ mod tests {
             parse_request(r#"{"verb":"shutdown"}"#).unwrap(),
             Request::Shutdown
         );
+        assert_eq!(
+            parse_request(r#"{"verb":"metrics"}"#).unwrap(),
+            Request::Metrics
+        );
     }
 
     #[test]
@@ -573,6 +596,10 @@ mod tests {
             cancelled_frame(4, true),
             shutdown_frame(0),
             status_frame(&StatusSnapshot::default()),
+            metrics_frame(
+                "# TYPE x counter\nx{v=\"a\"} 1\n",
+                "{\"schema\":\"diag-telemetry-v1\",\"counters\":{},\"gauges\":{},\"histograms\":{}}",
+            ),
         ] {
             json::parse(&frame).unwrap_or_else(|e| panic!("{frame}: {e}"));
         }

@@ -24,10 +24,20 @@
 //! The queue is deliberately generic over the job payload so the
 //! scheduling policy is testable with synthetic jobs (no simulations) —
 //! the 1000-vs-10 fairness bound runs in microseconds.
+//!
+//! With [`FairQueue::with_metrics`] the queue additionally keeps a
+//! depth gauge (and its high-water mark) exactly in sync with
+//! [`FairQueue::len`], plus one deficit gauge per client lane. All
+//! gauge updates happen under the state mutex, so admission rejections
+//! (`429`/`503`) never touch the depth and a cancel decrements it
+//! exactly once — properties the accounting tests below pin down
+//! across concurrent submit/cancel/drain interleavings.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+use diag_telemetry::{Gauge, Registry};
 
 /// Handle to one admitted job, redeemable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +62,28 @@ struct Lane<T> {
     client: String,
     deficit: u64,
     jobs: VecDeque<Entry<T>>,
+    /// Mirror of `deficit` for scrapes, registered lazily at lane
+    /// creation when the queue has telemetry attached.
+    deficit_gauge: Option<Gauge>,
+}
+
+impl<T> Lane<T> {
+    /// Every deficit change goes through here so the gauge can never
+    /// drift from the scheduling state it mirrors.
+    fn set_deficit(&mut self, v: u64) {
+        self.deficit = v;
+        if let Some(g) = &self.deficit_gauge {
+            g.set(v);
+        }
+    }
+}
+
+/// Telemetry handles the queue updates under its own state mutex, so
+/// gauge readings are exact (never mid-transition) with respect to
+/// `len()` and the per-lane deficits.
+struct QueueMetrics {
+    registry: Registry,
+    depth: Gauge,
 }
 
 struct State<T> {
@@ -65,7 +97,7 @@ struct State<T> {
 }
 
 impl<T> State<T> {
-    fn lane_mut(&mut self, client: &str) -> &mut Lane<T> {
+    fn lane_mut(&mut self, client: &str, metrics: Option<&QueueMetrics>) -> &mut Lane<T> {
         if let Some(i) = self.lanes.iter().position(|l| l.client == client) {
             return &mut self.lanes[i];
         }
@@ -73,6 +105,10 @@ impl<T> State<T> {
             client: client.to_string(),
             deficit: 0,
             jobs: VecDeque::new(),
+            deficit_gauge: metrics.map(|m| {
+                m.registry
+                    .gauge("diag_serve_client_deficit", &[("client", client)])
+            }),
         });
         let last = self.lanes.len() - 1;
         &mut self.lanes[last]
@@ -87,6 +123,7 @@ pub struct FairQueue<T> {
     capacity: usize,
     quantum: u64,
     next_ticket: AtomicU64,
+    metrics: Option<QueueMetrics>,
 }
 
 fn lock_state<'a, T>(m: &'a Mutex<State<T>>) -> MutexGuard<'a, State<T>> {
@@ -108,7 +145,22 @@ impl<T> FairQueue<T> {
             capacity,
             quantum: quantum.max(1),
             next_ticket: AtomicU64::new(0),
+            metrics: None,
         }
+    }
+
+    /// Attaches telemetry: a `diag_serve_queue_depth` gauge (with its
+    /// high-water mark) kept exactly in sync with [`FairQueue::len`],
+    /// and a lazily-registered `diag_serve_client_deficit{client=…}`
+    /// gauge per fairness lane. All updates happen under the queue's
+    /// state mutex — a scrape never observes a half-applied transition.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: &Registry) -> FairQueue<T> {
+        self.metrics = Some(QueueMetrics {
+            registry: registry.clone(),
+            depth: registry.gauge("diag_serve_queue_depth", &[]),
+        });
+        self
     }
 
     /// Admits one job for `client` with the given scheduling `cost`
@@ -128,12 +180,17 @@ impl<T> FairQueue<T> {
             return Err(SubmitError::Full);
         }
         let ticket = Ticket(self.next_ticket.fetch_add(1, Ordering::Relaxed));
-        s.lane_mut(client).jobs.push_back(Entry {
-            ticket,
-            cost: cost.max(1),
-            job,
-        });
+        s.lane_mut(client, self.metrics.as_ref())
+            .jobs
+            .push_back(Entry {
+                ticket,
+                cost: cost.max(1),
+                job,
+            });
         s.len += 1;
+        if let Some(m) = &self.metrics {
+            m.depth.inc();
+        }
         drop(s);
         self.ready.notify_one();
         Ok(ticket)
@@ -148,6 +205,12 @@ impl<T> FairQueue<T> {
             if let Some(i) = lane.jobs.iter().position(|e| e.ticket == ticket) {
                 let entry = lane.jobs.remove(i)?;
                 s.len -= 1;
+                // Exactly-once by construction: the entry left the lane
+                // under this same lock, so a racing second cancel or a
+                // pop cannot see it again.
+                if let Some(m) = &self.metrics {
+                    m.depth.dec();
+                }
                 return Some(entry.job);
             }
         }
@@ -180,23 +243,26 @@ impl<T> FairQueue<T> {
             let i = s.cursor % n;
             let quantum = self.quantum;
             let lane = &mut s.lanes[i];
-            let Some(head) = lane.jobs.front() else {
+            let Some(head_cost) = lane.jobs.front().map(|e| e.cost) else {
                 // Empty lane: forfeit any banked deficit (an idle client
                 // must not hoard service credit) and move on.
-                lane.deficit = 0;
+                lane.set_deficit(0);
                 s.cursor = (i + 1) % n;
                 continue;
             };
-            if lane.deficit < head.cost {
-                lane.deficit += quantum;
+            if lane.deficit < head_cost {
+                lane.set_deficit(lane.deficit + quantum);
             }
-            if lane.deficit >= head.cost {
+            if lane.deficit >= head_cost {
                 let entry = lane
                     .jobs
                     .pop_front()
                     .unwrap_or_else(|| unreachable!("front() was Some"));
-                lane.deficit -= entry.cost;
+                lane.set_deficit(lane.deficit - entry.cost);
                 s.len -= 1;
+                if let Some(m) = &self.metrics {
+                    m.depth.dec();
+                }
                 // Advance unless this lane still has banked deficit for
                 // its next head — otherwise a quantum ≥ max cost would
                 // still round-robin one job per lane per visit.
@@ -397,6 +463,139 @@ mod tests {
             first_three.contains(&"b"),
             "idle lane banked deficit: {order:?}"
         );
+    }
+
+    fn depth_of(registry: &Registry) -> u64 {
+        registry.gauge("diag_serve_queue_depth", &[]).get()
+    }
+
+    #[test]
+    fn depth_gauge_tracks_len_and_high_water() {
+        let registry = Registry::new();
+        let q: FairQueue<u32> = FairQueue::new(8, 1).with_metrics(&registry);
+        for i in 0..3 {
+            q.submit("a", 1, i).unwrap();
+        }
+        assert_eq!(depth_of(&registry), 3);
+        q.pop().unwrap();
+        assert_eq!(depth_of(&registry), 2);
+        assert_eq!(depth_of(&registry) as usize, q.len());
+        assert_eq!(
+            registry.gauge("diag_serve_queue_depth", &[]).high_water(),
+            3
+        );
+    }
+
+    #[test]
+    fn cancel_decrements_depth_exactly_once() {
+        let registry = Registry::new();
+        let q: FairQueue<u32> = FairQueue::new(8, 1).with_metrics(&registry);
+        let t0 = q.submit("a", 1, 0).unwrap();
+        let t1 = q.submit("a", 1, 1).unwrap();
+        assert_eq!(q.cancel(t1), Some(1));
+        assert_eq!(depth_of(&registry), 1);
+        assert_eq!(q.cancel(t1), None, "double cancel");
+        assert_eq!(depth_of(&registry), 1, "double cancel must not decrement");
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.cancel(t0), None, "already dispatched");
+        assert_eq!(depth_of(&registry), 0, "cancel of a popped job is a no-op");
+    }
+
+    #[test]
+    fn rejected_submissions_never_touch_depth() {
+        let registry = Registry::new();
+        let q: FairQueue<u32> = FairQueue::new(2, 1).with_metrics(&registry);
+        q.submit("a", 1, 0).unwrap();
+        q.submit("a", 1, 1).unwrap();
+        assert_eq!(q.submit("a", 1, 2), Err(SubmitError::Full));
+        assert_eq!(depth_of(&registry), 2, "429 must not inflate depth");
+        q.drain();
+        assert_eq!(q.submit("a", 1, 3), Err(SubmitError::Draining));
+        assert_eq!(depth_of(&registry), 2, "503 must not touch depth");
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+        assert_eq!(depth_of(&registry), 0, "drain pops still decrement");
+    }
+
+    #[test]
+    fn deficit_gauge_mirrors_lane_deficit_deterministically() {
+        // One client, cost-3 jobs, quantum 2: the lane is topped up at
+        // most once per ring visit, so the first dispatch happens on
+        // the second visit (0→2→4) leaving deficit 1, and the second
+        // on the next (1→3) leaving 0.
+        let registry = Registry::new();
+        let q: FairQueue<&str> = FairQueue::new(8, 2).with_metrics(&registry);
+        q.submit("solo", 3, "j1").unwrap();
+        q.submit("solo", 3, "j2").unwrap();
+        let deficit = registry.gauge("diag_serve_client_deficit", &[("client", "solo")]);
+        assert_eq!(deficit.get(), 0);
+        assert_eq!(q.pop(), Some("j1"));
+        assert_eq!(deficit.get(), 1);
+        assert_eq!(q.pop(), Some("j2"));
+        assert_eq!(deficit.get(), 0);
+    }
+
+    #[test]
+    fn gauges_stay_exact_across_concurrent_submit_cancel_drain() {
+        // The satellite's race criterion: whatever interleaving of
+        // submits, cancels, pops, and a drain happens, the depth gauge
+        // must equal the true queue length at quiescence, and
+        // cancelled + popped must account for every admission.
+        let registry = Registry::new();
+        let q: Arc<FairQueue<u64>> = Arc::new(FairQueue::new(64, 1).with_metrics(&registry));
+        let admitted = Arc::new(AtomicU64::new(0));
+        let cancelled = Arc::new(AtomicU64::new(0));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                let admitted = Arc::clone(&admitted);
+                let cancelled = Arc::clone(&cancelled);
+                std::thread::spawn(move || {
+                    let client = format!("c{p}");
+                    for i in 0..200u64 {
+                        match q.submit(&client, 1 + i % 3, p * 1000 + i) {
+                            Ok(ticket) => {
+                                admitted.fetch_add(1, Ordering::Relaxed);
+                                // Cancel every third admission; half the
+                                // time it may already have been popped.
+                                if i % 3 == 0 && q.cancel(ticket).is_some() {
+                                    cancelled.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Err(_) => std::thread::yield_now(),
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut popped = 0u64;
+                    while q.pop().is_some() {
+                        popped += 1;
+                    }
+                    popped
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.drain();
+        let popped: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(q.len(), 0);
+        assert_eq!(depth_of(&registry), 0, "depth gauge drifted from len");
+        assert_eq!(
+            popped + cancelled.load(Ordering::Relaxed),
+            admitted.load(Ordering::Relaxed),
+            "every admission must be popped or cancelled exactly once"
+        );
+        let high = registry.gauge("diag_serve_queue_depth", &[]).high_water();
+        assert!(high >= 1, "some depth was observed");
+        assert!(high <= 64, "high water cannot exceed capacity");
     }
 
     #[test]

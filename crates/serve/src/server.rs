@@ -35,10 +35,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
+use diag_bench::hostbench::scale_name;
 use diag_bench::runner::MachineSpec;
 use diag_bench::sweep::{self, SweepRun};
 use diag_core::apply_override;
 use diag_pipeline::Session;
+use diag_telemetry::{Counter, Gauge, Histogram, Registry};
 use diag_workloads::{find, Params, Scale};
 
 use crate::protocol::{
@@ -88,6 +90,27 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Elapsed nanoseconds since `t`, saturating (never panics, never 0ns
+/// wraps).
+fn ns_since(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX) // lint: allow(unwrap)
+}
+
+/// Defers the admission→first-byte measurement of one accepted
+/// submission to the moment its frame is actually written: results can
+/// wait in the per-connection order buffer behind earlier slots, and
+/// that queueing delay is part of what the client experiences.
+struct FirstByte {
+    admitted: Instant,
+    hist: Histogram,
+}
+
+impl FirstByte {
+    fn observe(self) {
+        self.hist.record(ns_since(self.admitted));
+    }
+}
+
 /// Per-connection write side: the socket plus the in-order result
 /// buffer.
 struct ConnOut {
@@ -98,8 +121,9 @@ struct ConnOut {
 struct Pending {
     /// Next order slot to flush.
     next: u64,
-    /// Completed frames waiting on earlier slots.
-    ready: BTreeMap<u64, String>,
+    /// Completed frames waiting on earlier slots, each with its
+    /// deferred first-byte measurement (if telemetry wants one).
+    ready: BTreeMap<u64, (String, Option<FirstByte>)>,
 }
 
 impl ConnOut {
@@ -129,14 +153,17 @@ impl ConnOut {
 
     /// Delivers the frame for order slot `order`, flushing every
     /// consecutively-complete slot.
-    fn complete(&self, order: u64, frame: String) {
+    fn complete(&self, order: u64, frame: String, first_byte: Option<FirstByte>) {
         let mut p = lock(&self.pending);
-        p.ready.insert(order, frame);
-        while let Some(f) = {
+        p.ready.insert(order, (frame, first_byte));
+        while let Some((f, fb)) = {
             let next = p.next;
             p.ready.remove(&next)
         } {
             self.write_line(&f);
+            if let Some(fb) = fb {
+                fb.observe();
+            }
             p.next += 1;
         }
     }
@@ -153,16 +180,98 @@ struct Job {
     /// The canonical rendering of the fully-resolved spec (machine +
     /// config overrides), also echoed on the frame.
     spec_render: String,
+    /// When admission succeeded — the zero point of the request's
+    /// queue-wait and first-byte latency spans.
+    admitted: Instant,
 }
 
-#[derive(Default)]
-struct ServerCounters {
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    errors: AtomicU64,
-    rejected: AtomicU64,
-    cancelled: AtomicU64,
-    running: AtomicU64,
+/// The request verbs, in wire order, labelling the per-verb counter and
+/// latency families.
+const VERBS: [&str; 5] = ["submit", "status", "metrics", "cancel", "shutdown"];
+
+/// Index into the per-verb telemetry arrays.
+fn verb_idx(req: &Request) -> usize {
+    match req {
+        Request::Submit(_) => 0,
+        Request::Status => 1,
+        Request::Metrics => 2,
+        Request::Cancel { .. } => 3,
+        Request::Shutdown => 4,
+    }
+}
+
+/// The input scales, in ascending cost order, labelling the per-scale
+/// lifecycle histograms.
+const SCALES: [Scale; 3] = [Scale::Tiny, Scale::Small, Scale::Full];
+
+/// Index into the per-scale telemetry arrays.
+fn scale_idx(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 0,
+        Scale::Small => 1,
+        Scale::Full => 2,
+    }
+}
+
+/// Pre-registered telemetry handles for every serve-side fact. The hot
+/// paths (admission, worker loop, flush) index straight into these
+/// arrays and never touch the registry mutex.
+struct ServeMetrics {
+    submitted: Counter,
+    completed: Counter,
+    errors: Counter,
+    cancelled: Counter,
+    /// Admission rejections by code, in `400`/`404`/`429`/`503` order
+    /// (see [`reject_idx`]); the status frame reports their sum.
+    rejected: [Counter; 4],
+    running: Gauge,
+    verb_requests: [Counter; 5],
+    verb_ns: [Histogram; 5],
+    queue_wait_ns: [Histogram; 3],
+    execute_ns: [Histogram; 3],
+    first_byte_ns: [Histogram; 3],
+    run_ns_per_instr: Histogram,
+}
+
+/// Index into [`ServeMetrics::rejected`] for an admission-failure code.
+fn reject_idx(code: u16) -> usize {
+    match code {
+        code::BAD_REQUEST => 0,
+        code::NOT_FOUND => 1,
+        code::QUEUE_FULL => 2,
+        _ => 3,
+    }
+}
+
+impl ServeMetrics {
+    fn new(registry: &Registry) -> ServeMetrics {
+        let per_scale =
+            |name: &str| SCALES.map(|s| registry.histogram(name, &[("scale", scale_name(s))]));
+        ServeMetrics {
+            submitted: registry.counter("diag_serve_submitted_total", &[]),
+            completed: registry.counter("diag_serve_completed_total", &[]),
+            errors: registry.counter("diag_serve_errors_total", &[]),
+            cancelled: registry.counter("diag_serve_cancelled_total", &[]),
+            rejected: ["400", "404", "429", "503"]
+                .map(|c| registry.counter("diag_serve_rejected_total", &[("code", c)])),
+            running: registry.gauge("diag_serve_running", &[]),
+            verb_requests: VERBS
+                .map(|v| registry.counter("diag_serve_requests_total", &[("verb", v)])),
+            verb_ns: VERBS.map(|v| registry.histogram("diag_serve_verb_ns", &[("verb", v)])),
+            queue_wait_ns: per_scale("diag_serve_queue_wait_ns"),
+            execute_ns: per_scale("diag_serve_execute_ns"),
+            first_byte_ns: per_scale("diag_serve_first_byte_ns"),
+            run_ns_per_instr: registry.histogram("diag_serve_run_ns_per_instr", &[]),
+        }
+    }
+
+    fn reject(&self, code: u16) {
+        self.rejected[reject_idx(code)].inc();
+    }
+
+    fn rejected_total(&self) -> u64 {
+        self.rejected.iter().map(Counter::get).sum()
+    }
 }
 
 struct Shared {
@@ -171,27 +280,28 @@ struct Shared {
     addr: SocketAddr,
     workers: usize,
     capacity: usize,
-    counters: ServerCounters,
+    registry: Registry,
+    metrics: ServeMetrics,
     conn_seq: AtomicU64,
 }
 
 impl Shared {
     fn snapshot(&self) -> StatusSnapshot {
-        let c = &self.counters;
+        let m = &self.metrics;
         let mut host = diag_bench::hostmeta::host_entries().to_vec();
         host.extend(diag_bench::hostmeta::cache_entries(
             &self.session.counters(),
         ));
         StatusSnapshot {
             queued: self.queue.len(),
-            running: c.running.load(Ordering::Relaxed),
+            running: m.running.get(),
             workers: self.workers,
             capacity: self.capacity,
-            submitted: c.submitted.load(Ordering::Relaxed),
-            completed: c.completed.load(Ordering::Relaxed),
-            errors: c.errors.load(Ordering::Relaxed),
-            rejected: c.rejected.load(Ordering::Relaxed),
-            cancelled: c.cancelled.load(Ordering::Relaxed),
+            submitted: m.submitted.get(),
+            completed: m.completed.get(),
+            errors: m.errors.get(),
+            rejected: m.rejected_total(),
+            cancelled: m.cancelled.get(),
             host: diag_bench::hostmeta::render_host_object(&host),
         }
     }
@@ -214,15 +324,19 @@ impl Server {
     pub fn bind(config: &ServeConfig, session: Session) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let registry = Registry::new();
+        let metrics = ServeMetrics::new(&registry);
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
                 session,
-                queue: FairQueue::new(config.capacity.max(1), config.quantum),
+                queue: FairQueue::new(config.capacity.max(1), config.quantum)
+                    .with_metrics(&registry),
                 addr,
                 workers: config.workers,
                 capacity: config.capacity.max(1),
-                counters: ServerCounters::default(),
+                registry,
+                metrics,
                 conn_seq: AtomicU64::new(0),
             }),
         })
@@ -307,11 +421,15 @@ impl ServerHandle {
 /// `builds == 0`, not an exact hit count).
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
-        shared.counters.running.fetch_add(1, Ordering::Relaxed);
+        let m = &shared.metrics;
+        let si = scale_idx(job.run.params.scale);
+        m.queue_wait_ns[si].record(ns_since(job.admitted));
+        m.running.inc();
         let before = shared.session.counters();
         let t0 = Instant::now();
         let result = sweep::run_one(&shared.session, &job.run);
-        let host_ns = (t0.elapsed().as_nanos() as u64).max(1);
+        let host_ns = ns_since(t0).max(1);
+        m.execute_ns[si].record(host_ns);
         let after = shared.session.counters();
         let cache = CacheDelta {
             hits: after.hits().saturating_sub(before.hits()),
@@ -322,7 +440,10 @@ fn worker_loop(shared: &Shared) {
         let workload = job.run.spec.name;
         let frame = match &result {
             Ok(stats) => {
-                shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+                m.completed.inc();
+                // Guest work bought per host nanosecond — the ROADMAP
+                // item-1 gap (host ns/instr) measured per request.
+                m.run_ns_per_instr.record(host_ns / stats.committed.max(1));
                 protocol::result_frame(
                     job.seq,
                     workload,
@@ -334,7 +455,7 @@ fn worker_loop(shared: &Shared) {
                 )
             }
             Err(e) => {
-                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                m.errors.inc();
                 protocol::error_frame(
                     job.seq,
                     workload,
@@ -346,8 +467,12 @@ fn worker_loop(shared: &Shared) {
                 )
             }
         };
-        job.out.complete(job.order, frame);
-        shared.counters.running.fetch_sub(1, Ordering::Relaxed);
+        let first_byte = FirstByte {
+            admitted: job.admitted,
+            hist: m.first_byte_ns[si].clone(),
+        };
+        job.out.complete(job.order, frame, Some(first_byte));
+        m.running.dec();
     }
 }
 
@@ -425,74 +550,94 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
         if line.trim().is_empty() {
             continue;
         }
-        match parse_request(&line) {
-            Err(message) => out.write_line(&protocol::protocol_error_frame(&message)),
-            Ok(Request::Submit(req)) => {
-                let (run, machine_key, spec_render) = match plan_submit(&req) {
-                    Ok(planned) => planned,
-                    Err((code, message)) => {
-                        shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
-                        out.write_line(&protocol::reject_frame(Some(req.seq), code, &message));
-                        continue;
-                    }
-                };
-                let cost = job_cost(req.scale);
-                let client = req.client.as_deref().unwrap_or(&default_client);
-                let job = Job {
-                    out: Arc::clone(&out),
-                    seq: req.seq,
-                    order: next_order,
-                    run,
-                    machine_key,
-                    spec_render,
-                };
-                match shared.queue.submit(client, cost, job) {
-                    Ok(ticket) => {
-                        next_order += 1;
-                        tickets.insert(req.seq, ticket);
-                        shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(SubmitError::Full) => {
-                        shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
-                        out.write_line(&protocol::reject_frame(
-                            Some(req.seq),
-                            code::QUEUE_FULL,
-                            "queue full",
-                        ));
-                    }
-                    Err(SubmitError::Draining) => {
-                        shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
-                        out.write_line(&protocol::reject_frame(
-                            Some(req.seq),
-                            code::DRAINING,
-                            "server is draining",
-                        ));
+        let req = match parse_request(&line) {
+            Err(message) => {
+                out.write_line(&protocol::protocol_error_frame(&message));
+                continue;
+            }
+            Ok(req) => req,
+        };
+        let vi = verb_idx(&req);
+        shared.metrics.verb_requests[vi].inc();
+        let timer = shared.registry.span();
+        let stop = matches!(req, Request::Shutdown);
+        match req {
+            Request::Submit(req) => match plan_submit(&req) {
+                Ok((run, machine_key, spec_render)) => {
+                    let cost = job_cost(req.scale);
+                    let client = req.client.as_deref().unwrap_or(&default_client);
+                    let job = Job {
+                        out: Arc::clone(&out),
+                        seq: req.seq,
+                        order: next_order,
+                        run,
+                        machine_key,
+                        spec_render,
+                        admitted: Instant::now(),
+                    };
+                    match shared.queue.submit(client, cost, job) {
+                        Ok(ticket) => {
+                            next_order += 1;
+                            tickets.insert(req.seq, ticket);
+                            shared.metrics.submitted.inc();
+                        }
+                        Err(SubmitError::Full) => {
+                            shared.metrics.reject(code::QUEUE_FULL);
+                            out.write_line(&protocol::reject_frame(
+                                Some(req.seq),
+                                code::QUEUE_FULL,
+                                "queue full",
+                            ));
+                        }
+                        Err(SubmitError::Draining) => {
+                            shared.metrics.reject(code::DRAINING);
+                            out.write_line(&protocol::reject_frame(
+                                Some(req.seq),
+                                code::DRAINING,
+                                "server is draining",
+                            ));
+                        }
                     }
                 }
-            }
-            Ok(Request::Cancel { seq }) => {
+                Err((code, message)) => {
+                    shared.metrics.reject(code);
+                    out.write_line(&protocol::reject_frame(Some(req.seq), code, &message));
+                }
+            },
+            Request::Cancel { seq } => {
                 let hit = tickets
                     .remove(&seq)
                     .and_then(|ticket| shared.queue.cancel(ticket));
                 match hit {
                     Some(job) => {
-                        shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                        shared.metrics.cancelled.inc();
                         // The cancelled frame takes the job's order slot
                         // so later results still flush in order.
                         job.out
-                            .complete(job.order, protocol::cancelled_frame(seq, true));
+                            .complete(job.order, protocol::cancelled_frame(seq, true), None);
                     }
                     None => out.write_line(&protocol::cancelled_frame(seq, false)),
                 }
             }
-            Ok(Request::Status) => out.write_line(&protocol::status_frame(&shared.snapshot())),
-            Ok(Request::Shutdown) => {
+            Request::Status => out.write_line(&protocol::status_frame(&shared.snapshot())),
+            Request::Metrics => {
+                // Pull-model export: refresh the session's cache gauges
+                // into the registry, then snapshot everything at once so
+                // both expositions describe the same instant.
+                shared.session.export_telemetry(&shared.registry);
+                let snap = shared.registry.snapshot();
+                out.write_line(&protocol::metrics_frame(&snap.to_text(), &snap.to_json()));
+            }
+            Request::Shutdown => {
                 shared.queue.drain();
                 out.write_line(&protocol::shutdown_frame(shared.queue.len()));
                 // Unblock the accept loop so `run` can notice the drain.
                 let _ = TcpStream::connect(shared.addr);
-                break;
             }
+        }
+        timer.finish(&shared.metrics.verb_ns[vi]);
+        if stop {
+            break;
         }
     }
 }

@@ -151,6 +151,107 @@ fn config_overrides_reshape_the_run_and_malformed_ones_reject() {
 }
 
 #[test]
+fn metrics_verb_reports_both_expositions_and_reconciles_caches() {
+    let handle = spawn(1, 16);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client
+        .submit(&Submit::new(1, "hotspot", "diag"))
+        .expect("submit");
+    client
+        .submit(&Submit::new(2, "hotspot", "diag"))
+        .expect("submit");
+    let cold = client.recv().expect("read").expect("cold result");
+    let warm = client.recv().expect("read").expect("warm result");
+
+    client.send_verb("metrics").expect("metrics");
+    let m = client.recv().expect("read").expect("metrics frame");
+    assert_eq!(m.kind(), "metrics", "{}", m.raw);
+
+    // The text exposition carries the same families as the JSON one.
+    let text = m.metrics_text().expect("text exposition");
+    assert!(
+        text.contains("# TYPE diag_serve_requests_total counter"),
+        "text exposition missing TYPE line:\n{text}"
+    );
+    assert!(
+        text.contains("diag_serve_queue_depth_high_water"),
+        "text exposition missing gauge high-water:\n{text}"
+    );
+
+    // Request lifecycle counters: two submits, both completed, the
+    // metrics request itself already counted before the snapshot.
+    assert_eq!(
+        m.metric_counter("diag_serve_requests_total{verb=\"submit\"}"),
+        Some(2),
+        "{}",
+        m.raw
+    );
+    assert_eq!(
+        m.metric_counter("diag_serve_requests_total{verb=\"metrics\"}"),
+        Some(1),
+        "{}",
+        m.raw
+    );
+    assert_eq!(
+        m.metric_counter("diag_serve_submitted_total"),
+        Some(2),
+        "{}",
+        m.raw
+    );
+    assert_eq!(
+        m.metric_counter("diag_serve_completed_total"),
+        Some(2),
+        "{}",
+        m.raw
+    );
+
+    // Latency histograms saw both executions; queue gauges are drained
+    // but remember their high water.
+    assert_eq!(
+        m.metric_field(
+            "histograms",
+            "diag_serve_execute_ns{scale=\"tiny\"}",
+            "count"
+        ),
+        Some(2),
+        "{}",
+        m.raw
+    );
+    assert_eq!(
+        m.metric_field("gauges", "diag_serve_queue_depth", "value"),
+        Some(0),
+        "{}",
+        m.raw
+    );
+    assert!(
+        m.metric_field("gauges", "diag_serve_queue_depth", "high_water") >= Some(1),
+        "{}",
+        m.raw
+    );
+
+    // Run-stage cache gauges reconcile exactly with the per-frame
+    // counters summed over the cold and warm results.
+    let hits = cold.run_hits().expect("hits") + warm.run_hits().expect("hits");
+    let builds = cold.run_builds().expect("builds") + warm.run_builds().expect("builds");
+    assert_eq!(
+        m.metric_field("gauges", "diag_cache_stage_hits{stage=\"runs\"}", "value"),
+        Some(hits),
+        "{}",
+        m.raw
+    );
+    assert_eq!(
+        m.metric_field("gauges", "diag_cache_stage_builds{stage=\"runs\"}", "value"),
+        Some(builds),
+        "{}",
+        m.raw
+    );
+
+    client.send_verb("shutdown").expect("shutdown");
+    let _ = client.recv().expect("read");
+    handle.join().expect("clean server exit");
+}
+
+#[test]
 fn admission_rejects_cancel_and_drain_are_deterministic() {
     // Zero workers: nothing ever executes, so the queue state is fully
     // deterministic — two submissions fill capacity, the third bounces.

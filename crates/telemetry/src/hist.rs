@@ -1,0 +1,399 @@
+//! Fixed-bucket log-scale histograms with exact counts and derived
+//! percentiles.
+//!
+//! The bucket layout is a log-linear grid (the HdrHistogram family's
+//! trick, sized down to a fixed array): values `0..=3` get exact
+//! buckets; every power-of-two octave above that is split into 4
+//! linear sub-buckets, so a reported bucket bound is at most 25% above
+//! the recorded value. Forty octaves cover `4..2^42` — comfortably
+//! past an hour in nanoseconds — and everything larger lands in one
+//! saturating overflow bucket whose percentile reports the exact
+//! tracked maximum instead of a fabricated bound.
+//!
+//! Recording is four relaxed atomic ops (bucket, count, sum, max) and
+//! never allocates or locks, so it is safe on the serve/sweep hot
+//! paths. Percentiles are *derived at read time* from a
+//! [`HistogramSnapshot`], and always return a deterministic bucket
+//! upper bound — two snapshots with the same counts agree to the byte.
+
+use std::array;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of linear sub-buckets per power-of-two octave (2 bits).
+const SUB_BUCKETS: usize = 4;
+
+/// Number of octaves before the overflow bucket. Octave `o` covers
+/// `[4 << o, 8 << o)`; 40 octaves reach `2^42` ns ≈ 73 minutes.
+const OCTAVES: usize = 40;
+
+/// Index of the saturating overflow bucket (the last bucket).
+const OVERFLOW: usize = SUB_BUCKETS + OCTAVES * SUB_BUCKETS;
+
+/// Total bucket count: 4 exact + 40 octaves × 4 sub-buckets + overflow.
+pub const BUCKET_COUNT: usize = OVERFLOW + 1;
+
+/// Map a value to its bucket index.
+///
+/// Values `0..=3` map to their own index; larger values map to
+/// `4 + octave * 4 + sub` where `octave` positions the leading bit and
+/// `sub` is the next two bits; values at or above `2^42` saturate into
+/// the overflow bucket.
+pub fn bucket_index(value: u64) -> usize {
+    if value < 4 {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros() as usize;
+    let octave = msb - 2;
+    if octave >= OCTAVES {
+        return OVERFLOW;
+    }
+    let sub = ((value >> (msb - 2)) & 3) as usize;
+    SUB_BUCKETS + octave * SUB_BUCKETS + sub
+}
+
+/// Inclusive upper bound of a bucket. The overflow bucket has no
+/// finite bound and reports `u64::MAX`.
+pub fn bucket_bound(index: usize) -> u64 {
+    debug_assert!(index < BUCKET_COUNT);
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    if index >= OVERFLOW {
+        return u64::MAX;
+    }
+    let i = index - SUB_BUCKETS;
+    let octave = (i / SUB_BUCKETS) as u64;
+    let sub = (i % SUB_BUCKETS) as u64;
+    (SUB_BUCKETS as u64 + sub + 1) * (1u64 << octave) - 1
+}
+
+/// Inclusive lower bound of a bucket.
+pub(crate) fn bucket_lower(index: usize) -> u64 {
+    debug_assert!(index < BUCKET_COUNT);
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    if index >= OVERFLOW {
+        // First value past the last finite bucket.
+        return bucket_bound(OVERFLOW - 1) + 1;
+    }
+    let i = index - SUB_BUCKETS;
+    let octave = (i / SUB_BUCKETS) as u64;
+    let sub = (i % SUB_BUCKETS) as u64;
+    (SUB_BUCKETS as u64 + sub) * (1u64 << octave)
+}
+
+/// Shared histogram state. All fields use relaxed atomics: the
+/// histogram is a statistic, not a synchronization point, and the
+/// snapshot path tolerates momentarily inconsistent count/sum pairs.
+#[derive(Debug)]
+struct HistCell {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A lock-free log-scale histogram handle.
+///
+/// Cloning is cheap and shares the underlying cell, so the registry
+/// and the recording site observe the same counts.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistCell>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram(Arc::new(HistCell {
+            buckets: array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    /// Record one value (typically nanoseconds). Four relaxed atomic
+    /// ops; never locks or allocates.
+    pub fn record(&self, value: u64) {
+        let cell = &self.0;
+        cell.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        cell.count.fetch_add(1, Ordering::Relaxed);
+        cell.sum.fetch_add(value, Ordering::Relaxed);
+        cell.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Read the current state into an owned snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let cell = &self.0;
+        HistogramSnapshot {
+            buckets: cell
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: cell.count.load(Ordering::Relaxed),
+            sum: cell.sum.load(Ordering::Relaxed),
+            max: cell.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// True if the two handles share the same cell.
+    pub fn same_cell(&self, other: &Histogram) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// Owned, mergeable point-in-time view of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts, `BUCKET_COUNT` entries.
+    pub buckets: Vec<u64>,
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Sum of all recorded values (wrapping at `u64::MAX`).
+    pub sum: u64,
+    /// Largest recorded value (exact, even for overflow-bucket values).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// The value at or below which `pct` percent of samples fall,
+    /// reported as the containing bucket's inclusive upper bound
+    /// (exact tracked max for the overflow bucket). Returns 0 for an
+    /// empty histogram. `pct` is clamped to `1..=100`.
+    pub fn percentile(&self, pct: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let pct = pct.clamp(1, 100);
+        // Ceiling rank: p50 of a single sample is that sample.
+        let rank = (self.count * pct).div_ceil(100);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i >= OVERFLOW {
+                    self.max
+                } else {
+                    bucket_bound(i)
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`HistogramSnapshot::percentile`]).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.percentile(90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99)
+    }
+
+    /// Integer mean of recorded values; 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Fold another snapshot into this one (element-wise bucket add).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(lower, upper, count)` triples in
+    /// ascending order — the exposition's sparse view.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n != 0)
+            .map(|(i, &n)| (bucket_lower(i), bucket_bound(i), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_buckets_below_four() {
+        for v in 0..4u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bound(v as usize), v);
+            assert_eq!(bucket_lower(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn first_octave_is_exact_too() {
+        // Octave 0 has scale 1, so buckets 4..=7 are single-valued.
+        for v in 4..8u64 {
+            let i = bucket_index(v);
+            assert_eq!(bucket_lower(i), v);
+            assert_eq!(bucket_bound(i), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_line() {
+        // Consecutive buckets must cover the u64 range with no gaps
+        // and no overlaps up to the overflow bucket.
+        for i in 1..BUCKET_COUNT {
+            assert_eq!(
+                bucket_lower(i),
+                bucket_bound(i - 1) + 1,
+                "gap/overlap between buckets {} and {}",
+                i - 1,
+                i
+            );
+        }
+        // Every bound maps back into its own bucket.
+        for i in 0..OVERFLOW {
+            assert_eq!(bucket_index(bucket_lower(i)), i);
+            assert_eq!(bucket_index(bucket_bound(i)), i);
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // Reported bound is at most 25% above the true value.
+        for &v in &[5u64, 9, 100, 1_000, 65_537, 1 << 30, (1 << 41) + 12345] {
+            let bound = bucket_bound(bucket_index(v));
+            assert!(bound >= v);
+            assert!(
+                (bound - v) * 4 <= v,
+                "bound {bound} too far above value {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_samples_percentiles_are_zero() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.mean(), 0);
+        assert_eq!(s.nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn single_sample_owns_every_percentile() {
+        let h = Histogram::new();
+        h.record(1_000);
+        let s = h.snapshot();
+        let bound = bucket_bound(bucket_index(1_000));
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, 1_000);
+        assert_eq!(s.max, 1_000);
+        assert_eq!(s.percentile(1), bound);
+        assert_eq!(s.p50(), bound);
+        assert_eq!(s.p99(), bound);
+        assert_eq!(s.percentile(100), bound);
+    }
+
+    #[test]
+    fn boundary_values_split_buckets_exactly() {
+        // 9 is the last value of its bucket and 10 the first of the
+        // next (octave 1 sub-buckets are 2 wide: {8,9}, {10,11}, ...).
+        let h = Histogram::new();
+        h.record(9);
+        h.record(10);
+        let s = h.snapshot();
+        let nz: Vec<_> = s.nonzero_buckets().collect();
+        assert_eq!(nz, vec![(8, 9, 1), (10, 11, 1)]);
+    }
+
+    #[test]
+    fn overflow_bucket_saturates_and_reports_exact_max() {
+        let h = Histogram::new();
+        let big = u64::MAX - 17;
+        h.record(1 << 42); // first overflowing value
+        h.record(big);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[OVERFLOW], 2);
+        assert_eq!(s.max, big);
+        // Overflow percentiles report the tracked max, not a bound.
+        assert_eq!(s.p99(), big);
+        assert_eq!(s.percentile(100), big);
+    }
+
+    #[test]
+    fn percentiles_match_sorted_rank_on_known_data() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // p50 rank is the 50th value = 50; bucket bound may round up
+        // by at most 25%.
+        let p50 = s.p50();
+        assert!((50..=63).contains(&p50), "p50 = {p50}");
+        let p99 = s.p99();
+        assert!((99..=124).contains(&p99), "p99 = {p99}");
+        assert_eq!(s.percentile(1), 1);
+        assert_eq!(s.mean(), 50);
+    }
+
+    #[test]
+    fn merge_is_element_wise_and_order_independent() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [3u64, 17, 900] {
+            a.record(v);
+        }
+        for v in [3u64, 1 << 50] {
+            b.record(v);
+        }
+        let mut ab = a.snapshot();
+        ab.merge(&b.snapshot());
+        let mut ba = b.snapshot();
+        ba.merge(&a.snapshot());
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count, 5);
+        assert_eq!(ab.sum, 3 + 17 + 900 + 3 + (1u64 << 50));
+        assert_eq!(ab.max, 1 << 50);
+        assert_eq!(ab.buckets[bucket_index(3)], 2);
+        assert_eq!(ab.buckets[OVERFLOW], 1);
+    }
+
+    #[test]
+    fn clones_share_the_cell() {
+        let h = Histogram::new();
+        let h2 = h.clone();
+        h2.record(5);
+        assert!(h.same_cell(&h2));
+        assert_eq!(h.snapshot().count, 1);
+    }
+}

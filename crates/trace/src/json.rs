@@ -138,7 +138,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+    fn consume(&mut self, b: u8) -> Result<(), ParseError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -174,7 +174,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self, depth: usize) -> Result<Value, ParseError> {
-        self.expect(b'{')?;
+        self.consume(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -185,7 +185,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.consume(b':')?;
             self.skip_ws();
             let val = self.value(depth + 1)?;
             map.insert(key, val);
@@ -199,7 +199,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self, depth: usize) -> Result<Value, ParseError> {
-        self.expect(b'[')?;
+        self.consume(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -219,7 +219,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
+        self.consume(b'"')?;
         let mut out = String::new();
         loop {
             match self.bump() {
@@ -322,7 +322,10 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // The scanned slice is ASCII digits/sign/dot/exponent only, but
+        // the lint is right that a parser should not be able to panic.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
         text.parse::<f64>()
             .map(Value::Num)
             .map_err(|_| self.err("invalid number"))

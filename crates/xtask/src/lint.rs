@@ -9,14 +9,18 @@
 //! connection instead of producing an error frame. The harness
 //! (`crates/bench`) and energy models (`crates/power`) back every
 //! figure and the autotuner — a panic there aborts a sweep that the
-//! runner's error taxonomy should have survived. Clippy's
-//! `unwrap_used` lint cannot be adopted piecemeal without attribute
-//! noise at every test module, so this is a small, dependency-free
-//! scanner with the policy hard-coded:
+//! runner's error taxonomy should have survived. The observability
+//! stack (`crates/trace`, `crates/profile`, `crates/telemetry`) is
+//! attached to live runs precisely to explain them — a panic inside a
+//! tracer, profiler, or metrics hook destroys the run it was observing.
+//! Clippy's `unwrap_used` lint cannot be adopted piecemeal without
+//! attribute noise at every test module, so this is a small,
+//! dependency-free scanner with the policy hard-coded:
 //!
 //! - only `crates/core/src`, `crates/sim/src`, `crates/pipeline/src`,
-//!   `crates/serve/src`, `crates/bench/src`, and `crates/power/src`
-//!   are in scope;
+//!   `crates/serve/src`, `crates/bench/src`, `crates/power/src`,
+//!   `crates/trace/src`, `crates/profile/src`, and
+//!   `crates/telemetry/src` are in scope;
 //! - `#[cfg(test)]` items (and everything nested inside them) are
 //!   exempt;
 //! - a deliberate use is allowed by writing `// lint: allow(unwrap)` on
@@ -34,6 +38,9 @@ const SCOPE: &[&str] = &[
     "crates/serve/src",
     "crates/bench/src",
     "crates/power/src",
+    "crates/trace/src",
+    "crates/profile/src",
+    "crates/telemetry/src",
 ];
 
 /// The escape-hatch marker.

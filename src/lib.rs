@@ -32,6 +32,10 @@
 //! - [`serve`]: the persistent experiment server — bounded fair
 //!   queueing, request coalescing onto the shared [`pipeline::Session`],
 //!   and streaming JSONL results ([`serve::Server`], [`serve::Client`]).
+//! - [`telemetry`]: host-side service metrics — atomic counters/gauges,
+//!   log-scale latency histograms, and byte-deterministic text/JSON
+//!   expositions ([`telemetry::Registry`]), scraped live via the
+//!   server's `metrics` verb.
 //!
 //! Machines expose a steppable interface — [`sim::Machine::load`] mounts
 //! a program, [`sim::Machine::step`] retires one unit of work — on top of
@@ -73,6 +77,7 @@ pub use diag_pipeline as pipeline;
 pub use diag_power as power;
 pub use diag_serve as serve;
 pub use diag_sim as sim;
+pub use diag_telemetry as telemetry;
 pub use diag_trace as trace;
 pub use diag_verify as verify;
 pub use diag_workloads as workloads;
